@@ -1,0 +1,158 @@
+// Ablations for the design choices DESIGN.md calls out: how much each
+// mechanism contributes on the standard workload.
+//   A1 rebalance cadence        (self-organizing migration, Section 4.4)
+//   A2 on-access promotion      (continuous vs periodic self-organization)
+//   A3 lambda of the aging rule (Section 4.2)
+//   A4 guided-navigation prefetch (Section 4.1 logical pages)
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace cbfww::bench {
+namespace {
+
+corpus::CorpusOptions AblationCorpus() {
+  corpus::CorpusOptions copts = StandardCorpusOptions();
+  copts.num_sites = 15;
+  copts.pages_per_site = 400;
+  return copts;
+}
+
+trace::WorkloadOptions AblationWorkload() {
+  trace::WorkloadOptions wopts = StandardWorkloadOptions();
+  wopts.horizon = kDay;
+  return wopts;
+}
+
+struct AblationRun {
+  RunMetrics metrics;
+  uint64_t migrations = 0;
+  uint64_t path_prefetches = 0;
+};
+
+AblationRun Run(core::WarehouseOptions opts,
+                trace::WorkloadOptions wopts = AblationWorkload()) {
+  Simulation sim(AblationCorpus(), StandardFeedOptions());
+  trace::WorkloadGenerator gen(&sim.corpus, sim.feed.get(), wopts);
+  auto events = gen.Generate();
+  core::Warehouse wh(&sim.corpus, &sim.origin, sim.feed.get(), opts);
+  AblationRun run;
+  run.metrics = RunTrace(wh, events);
+  run.migrations = wh.hierarchy().stats().migrations;
+  run.path_prefetches = wh.counters().path_prefetches;
+  return run;
+}
+
+}  // namespace
+}  // namespace cbfww::bench
+
+int main() {
+  using namespace cbfww;
+  using namespace cbfww::bench;
+
+  PrintHeader("Ablations",
+              "Contribution of each design choice (DESIGN.md) on the "
+              "standard 1-day workload");
+
+  // --- A1: rebalance cadence. ---
+  std::printf("\nA1: rebalance interval (priority->tier remapping cadence)\n");
+  {
+    TablePrinter t({"interval", "mem hit", "mean latency", "migrations"});
+    double never_hit = 0.0, hourly_hit = 0.0;
+    for (SimTime interval : {10 * kMinute, kHour, 6 * kHour, 365 * kDay}) {
+      core::WarehouseOptions opts = StandardWarehouseOptions();
+      opts.rebalance_interval = interval;
+      AblationRun run = Run(opts);
+      t.AddRow({interval >= 365 * kDay
+                    ? "never"
+                    : StrFormat("%.1fh", static_cast<double>(interval) / kHour),
+                FormatDouble(run.metrics.MemoryHitRatio(), 3),
+                StrFormat("%.1fms", run.metrics.MeanLatencyMs()),
+                StrFormat("%llu",
+                          static_cast<unsigned long long>(run.migrations))});
+      if (interval == kHour) hourly_hit = run.metrics.MemoryHitRatio();
+      if (interval >= 365 * kDay) never_hit = run.metrics.MemoryHitRatio();
+    }
+    t.Print(std::cout);
+    ShapeCheck("periodic rebalancing beats never rebalancing",
+               hourly_hit > never_hit);
+  }
+
+  // --- A2: on-access promotion x rebalance cadence (they overlap: each
+  // can compensate for the other; the system degrades only when both are
+  // removed). ---
+  std::printf("\nA2: on-access promotion x rebalance cadence\n");
+  {
+    TablePrinter t({"promotion", "rebalance", "mem hit", "mean latency"});
+    double both_off = 0.0, promo_only = 0.0, both_on = 0.0;
+    for (bool promo : {true, false}) {
+      for (bool periodic : {true, false}) {
+        core::WarehouseOptions opts = StandardWarehouseOptions();
+        opts.enable_access_promotion = promo;
+        opts.rebalance_interval = periodic ? kHour : 365 * kDay;
+        AblationRun run = Run(opts);
+        t.AddRow({promo ? "on" : "off", periodic ? "hourly" : "never",
+                  FormatDouble(run.metrics.MemoryHitRatio(), 3),
+                  StrFormat("%.1fms", run.metrics.MeanLatencyMs())});
+        if (promo && periodic) both_on = run.metrics.MemoryHitRatio();
+        if (promo && !periodic) promo_only = run.metrics.MemoryHitRatio();
+        if (!promo && !periodic) both_off = run.metrics.MemoryHitRatio();
+      }
+    }
+    t.Print(std::cout);
+    ShapeCheck("promotion alone recovers most of the periodic-rebalance "
+               "benefit",
+               promo_only > both_off + 0.05);
+    ShapeCheck("removing both self-organization paths hurts badly",
+               both_on > both_off + 0.05);
+  }
+
+  // --- A3: lambda of the aging recurrence. ---
+  std::printf("\nA3: lambda of the aging recurrence (Section 4.2)\n");
+  {
+    TablePrinter t({"lambda", "mem hit", "mean latency"});
+    double best = 0.0, worst = 1.0;
+    for (double lambda : {0.1, 0.3, 0.7}) {
+      core::WarehouseOptions opts = StandardWarehouseOptions();
+      opts.priority.lambda = lambda;
+      AblationRun run = Run(opts);
+      t.AddRow({FormatDouble(lambda, 1),
+                FormatDouble(run.metrics.MemoryHitRatio(), 3),
+                StrFormat("%.1fms", run.metrics.MeanLatencyMs())});
+      best = std::max(best, run.metrics.MemoryHitRatio());
+      worst = std::min(worst, run.metrics.MemoryHitRatio());
+    }
+    t.Print(std::cout);
+    ShapeCheck("the policy is robust across lambda (spread < 0.1)",
+               best - worst < 0.1);
+  }
+
+  // --- A4: guided-navigation prefetch on a trail-heavy workload. ---
+  std::printf("\nA4: guided navigation (logical-path prefetch)\n");
+  {
+    trace::WorkloadOptions wopts = AblationWorkload();
+    wopts.trail_session_prob = 0.45;
+    TablePrinter t({"guided navigation", "mem hit", "mean latency",
+                    "path prefetches"});
+    double on_hit = 0.0, off_hit = 0.0;
+    for (bool enabled : {true, false}) {
+      core::WarehouseOptions opts = StandardWarehouseOptions();
+      opts.enable_path_prefetch = enabled;
+      AblationRun run = Run(opts, wopts);
+      t.AddRow({enabled ? "on" : "off",
+                FormatDouble(run.metrics.MemoryHitRatio(), 3),
+                StrFormat("%.1fms", run.metrics.MeanLatencyMs()),
+                StrFormat("%llu", static_cast<unsigned long long>(
+                                      run.path_prefetches))});
+      (enabled ? on_hit : off_hit) = run.metrics.MemoryHitRatio();
+    }
+    t.Print(std::cout);
+    ShapeCheck("guided navigation does not hurt (and usually helps) "
+               "memory hits on navigational traffic",
+               on_hit >= off_hit - 0.01);
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Reproduces the paper's levels-of-detail claim (Sections 4.1/4.3): "there
+// may be important but large documents … abstracted contents are prepared
+// to be stored in the main memory in order to save space"; "summary or
+// abstract can be stored at fast storage level to provide a fast preview
+// even the original document is currently not available." Measures preview
+// latency for large high-priority documents with LoD on vs off, the memory
+// it saves, and summary quality (term-mass coverage).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "text/summarizer.h"
+#include "text/tfidf.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace cbfww;
+  using namespace cbfww::bench;
+
+  PrintHeader("Claim C4 (Sections 4.1/4.3)",
+              "Levels of detail: summaries of large documents in fast "
+              "storage");
+
+  corpus::CorpusOptions copts = StandardCorpusOptions();
+  copts.large_doc_fraction = 0.10;  // Plenty of large docs to measure.
+  corpus::NewsFeed::Options fopts = StandardFeedOptions();
+  trace::WorkloadOptions wopts = StandardWorkloadOptions();
+  wopts.horizon = kDay;
+  wopts.cold_start_fraction = 0.3;
+
+  TablePrinter table({"levels of detail", "large-doc preview mean",
+                      "large-doc full-read mean", "mem used",
+                      "summaries in memory"});
+  double preview_on = 0.0, preview_off = 0.0;
+  for (bool lod_on : {true, false}) {
+    Simulation sim(copts, fopts);
+    trace::WorkloadGenerator gen(&sim.corpus, sim.feed.get(), wopts);
+    auto events = gen.Generate();
+    core::WarehouseOptions opts = StandardWarehouseOptions();
+    opts.storage.enable_lod = lod_on;
+    opts.storage.lod_threshold_bytes = 96 * 1024;
+    core::Warehouse wh(&sim.corpus, &sim.origin, sim.feed.get(), opts);
+    RunTrace(wh, events);
+
+    // Preview the 50 highest-priority large documents.
+    std::vector<std::pair<double, const core::RawObjectRecord*>> large;
+    for (const auto& [id, rec] : wh.raw_records()) {
+      if (rec.bytes > opts.storage.lod_threshold_bytes &&
+          rec.cached_version > 0) {
+        large.push_back({rec.effective_priority, &rec});
+      }
+    }
+    std::sort(large.rbegin(), large.rend());
+    if (large.size() > 50) large.resize(50);
+
+    RunningStats preview_ms, full_ms;
+    uint64_t summaries_in_memory = 0;
+    core::StorageManager& sm = wh.mutable_storage_manager();
+    for (const auto& [priority, rec] : large) {
+      auto preview = sm.ReadPreview(*rec);
+      auto full = sm.ReadObject(*rec);
+      if (preview.ok()) preview_ms.Add(static_cast<double>(*preview) / 1000.0);
+      if (full.ok()) full_ms.Add(static_cast<double>(*full) / 1000.0);
+      auto summary_id = core::EncodeStoreId(index::ObjectLevel::kRaw,
+                                            rec->id, /*summary=*/true);
+      if (wh.hierarchy().IsResident(summary_id, 0)) ++summaries_in_memory;
+    }
+    table.AddRow({lod_on ? "on" : "off",
+                  StrFormat("%.2fms", preview_ms.mean()),
+                  StrFormat("%.2fms", full_ms.mean()),
+                  FormatBytes(wh.hierarchy().used_bytes(0)),
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        summaries_in_memory))});
+    if (lod_on) {
+      preview_on = preview_ms.mean();
+    } else {
+      preview_off = preview_ms.mean();
+    }
+  }
+  table.Print(std::cout);
+
+  // Summary quality: coverage of the document's term mass (B' vs B).
+  Simulation sim(copts);
+  text::TfIdfVectorizer vectorizer(sim.corpus.mutable_vocabulary());
+  text::Summarizer summarizer;
+  RunningStats coverage;
+  int large_docs = 0;
+  for (const auto& page : sim.corpus.pages()) {
+    const auto& raw = sim.corpus.raw(page.container);
+    if (raw.size_bytes <= 96 * 1024) continue;
+    text::TermVector v = vectorizer.VectorizeTerms(raw.body_terms, true);
+    coverage.Add(summarizer.Summarize(v).weight_coverage);
+    ++large_docs;
+  }
+  std::printf("summary quality over %d large docs: mean %.0f%% of the "
+              "TF-IDF mass retained in %zu terms\n",
+              large_docs, 100.0 * coverage.mean(),
+              summarizer.options().max_terms);
+
+  ShapeCheck("summaries make large-doc previews much faster",
+             preview_on * 5.0 < preview_off);
+  ShapeCheck("summaries retain most of the document's term mass (> 50%)",
+             coverage.mean() > 0.5);
+  return 0;
+}

@@ -1,0 +1,160 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "cache/cache_simulator.h"
+#include "cache/replacement_policy.h"
+
+namespace cbfww::bench {
+
+corpus::CorpusOptions StandardCorpusOptions(uint64_t seed) {
+  corpus::CorpusOptions opts;
+  opts.num_sites = 30;
+  opts.pages_per_site = 800;
+  opts.topic.num_topics = 10;
+  opts.seed = seed;
+  return opts;
+}
+
+trace::WorkloadOptions StandardWorkloadOptions(uint64_t seed) {
+  trace::WorkloadOptions opts;
+  opts.horizon = 3 * kDay;
+  opts.sessions_per_hour = 150;
+  opts.cold_start_fraction = 0.55;
+  opts.hot_set_fraction = 0.04;
+  opts.modifications_per_hour = 30;
+  opts.seed = seed;
+  return opts;
+}
+
+corpus::NewsFeed::Options StandardFeedOptions() {
+  corpus::NewsFeed::Options opts;
+  opts.num_bursts = 10;
+  opts.horizon = 3 * kDay;
+  opts.burst_duration_mean = 4 * kHour;
+  opts.headline_lead = 45 * kMinute;
+  opts.intensity = 20.0;
+  return opts;
+}
+
+core::WarehouseOptions StandardWarehouseOptions() {
+  core::WarehouseOptions opts;
+  // Contended memory, ample disk: the regime where priority placement
+  // matters. The corpus is ~400 MB in total.
+  opts.memory_bytes = 24ull * 1024 * 1024;
+  opts.disk_bytes = 1ull << 31;  // 2 GB.
+  return opts;
+}
+
+Simulation::Simulation(const corpus::CorpusOptions& copts)
+    : corpus(copts), origin(&corpus, net::NetworkModel()) {}
+
+Simulation::Simulation(const corpus::CorpusOptions& copts,
+                       const corpus::NewsFeed::Options& fopts)
+    : corpus(copts), origin(&corpus, net::NetworkModel()) {
+  feed = std::make_unique<corpus::NewsFeed>(fopts, &corpus.topic_model());
+}
+
+RunMetrics RunTrace(core::Warehouse& warehouse,
+                    const std::vector<trace::TraceEvent>& events) {
+  RunMetrics metrics;
+  for (const trace::TraceEvent& e : events) {
+    core::PageVisit visit = warehouse.ProcessEvent(e);
+    if (e.type != trace::TraceEventType::kRequest) continue;
+    ++metrics.requests;
+    metrics.objects_from_memory += visit.from_memory;
+    metrics.objects_from_disk += visit.from_disk;
+    metrics.objects_from_tertiary += visit.from_tertiary;
+    metrics.objects_from_origin += visit.from_origin;
+    metrics.latency_us.Add(static_cast<double>(visit.latency));
+    metrics.latency_pct.Add(static_cast<double>(visit.latency));
+  }
+  return metrics;
+}
+
+namespace {
+
+std::unique_ptr<cache::ReplacementPolicy> MakePolicy(
+    const std::string& name) {
+  if (name == "LRU") return cache::MakeLruPolicy();
+  if (name == "LFU") return cache::MakeLfuPolicy();
+  if (name == "LRU-2") return cache::MakeLruKPolicy(2);
+  if (name == "GDSF") return cache::MakeGdsfPolicy();
+  if (name == "LFU-DA") return cache::MakeLfuDaPolicy();
+  if (name == "SIZE") return cache::MakeSizePolicy();
+  return cache::MakeLruPolicy();
+}
+
+}  // namespace
+
+CacheStackResult RunCacheStack(Simulation& sim,
+                               const std::vector<trace::TraceEvent>& events,
+                               const std::string& policy_name,
+                               uint64_t memory_bytes, uint64_t disk_bytes) {
+  cache::CacheSimulator memory(memory_bytes, MakePolicy(policy_name));
+  cache::CacheSimulator disk(disk_bytes, MakePolicy(policy_name));
+  storage::DeviceModel mem_dev = storage::DeviceModel::Memory(0);
+  storage::DeviceModel disk_dev = storage::DeviceModel::Disk(0);
+
+  CacheStackResult result;
+  Pcg32 rng(11, 0xCAFE);
+  for (const trace::TraceEvent& e : events) {
+    if (e.type == trace::TraceEventType::kModify) {
+      sim.corpus.ModifyObject(e.modified, e.time, rng);
+      // Conventional cache: invalidate on modification notice.
+      memory.Invalidate(e.modified);
+      disk.Invalidate(e.modified);
+      continue;
+    }
+    ++result.metrics.requests;
+    const corpus::PhysicalPageSpec& page = sim.corpus.page(e.page);
+    std::vector<corpus::RawId> objects;
+    objects.push_back(page.container);
+    objects.insert(objects.end(), page.components.begin(),
+                   page.components.end());
+    SimTime container_cost = 0;
+    SimTime max_component = 0;
+    for (size_t i = 0; i < objects.size(); ++i) {
+      corpus::RawId id = objects[i];
+      uint64_t bytes = sim.corpus.raw(id).size_bytes;
+      SimTime cost;
+      if (memory.Access(id, bytes, e.time)) {
+        cost = mem_dev.TransferTime(bytes);
+        ++result.metrics.objects_from_memory;
+        disk.Access(id, bytes, e.time);  // Keep inclusion property warm.
+      } else if (disk.Access(id, bytes, e.time)) {
+        cost = disk_dev.TransferTime(bytes);
+        ++result.metrics.objects_from_disk;
+      } else {
+        cost = sim.origin.Fetch(id).cost;
+        ++result.metrics.objects_from_origin;
+      }
+      if (i == 0) {
+        container_cost = cost;
+      } else {
+        max_component = std::max(max_component, cost);
+      }
+    }
+    SimTime latency = container_cost + max_component;
+    result.metrics.latency_us.Add(static_cast<double>(latency));
+    result.metrics.latency_pct.Add(static_cast<double>(latency));
+  }
+  result.evictions = memory.stats().evictions + disk.stats().evictions;
+  return result;
+}
+
+void PrintHeader(const std::string& artifact, const std::string& what) {
+  std::printf("\n");
+  std::printf(
+      "==============================================================\n");
+  std::printf("CBFWW reproduction — %s\n", artifact.c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf(
+      "==============================================================\n");
+}
+
+void ShapeCheck(const std::string& description, bool ok) {
+  std::printf("[SHAPE-%s] %s\n", ok ? "OK  " : "FAIL", description.c_str());
+}
+
+}  // namespace cbfww::bench

@@ -1,0 +1,102 @@
+#ifndef CBFWW_BENCH_BENCH_COMMON_H_
+#define CBFWW_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/warehouse.h"
+#include "corpus/news_feed.h"
+#include "corpus/web_corpus.h"
+#include "net/origin_server.h"
+#include "trace/trace_event.h"
+#include "trace/workload.h"
+#include "util/stats.h"
+
+namespace cbfww::bench {
+
+/// Standard corpus used by the reproduction benches: 20 sites x 300 pages,
+/// 10 topics. Big enough for one-timer behaviour, small enough that every
+/// bench runs in seconds.
+corpus::CorpusOptions StandardCorpusOptions(uint64_t seed = 2003);
+
+/// Standard 3-day workload at the paper's operating point (~60% one-timer
+/// pages, topic bursts, navigational sessions).
+trace::WorkloadOptions StandardWorkloadOptions(uint64_t seed = 17);
+
+/// Standard news feed aligned with the workload horizon.
+corpus::NewsFeed::Options StandardFeedOptions();
+
+/// Warehouse sized so that memory is contended (the interesting regime).
+core::WarehouseOptions StandardWarehouseOptions();
+
+/// Everything a simulation run needs, with correct construction order.
+struct Simulation {
+  explicit Simulation(const corpus::CorpusOptions& copts);
+  Simulation(const corpus::CorpusOptions& copts,
+             const corpus::NewsFeed::Options& fopts);
+
+  corpus::WebCorpus corpus;
+  std::unique_ptr<corpus::NewsFeed> feed;  // Null when not requested.
+  net::OriginServer origin;
+};
+
+/// Aggregate metrics of replaying a trace through a warehouse.
+struct RunMetrics {
+  uint64_t requests = 0;
+  /// Raw-object serve mix across all page visits.
+  uint64_t objects_from_memory = 0;
+  uint64_t objects_from_disk = 0;
+  uint64_t objects_from_tertiary = 0;
+  uint64_t objects_from_origin = 0;
+  RunningStats latency_us;
+  PercentileTracker latency_pct;
+
+  uint64_t TotalObjects() const {
+    return objects_from_memory + objects_from_disk + objects_from_tertiary +
+           objects_from_origin;
+  }
+  double MemoryHitRatio() const {
+    uint64_t total = TotalObjects();
+    return total == 0 ? 0.0
+                      : static_cast<double>(objects_from_memory) /
+                            static_cast<double>(total);
+  }
+  /// Fraction of object serves satisfied locally (not from the origin).
+  double LocalHitRatio() const {
+    uint64_t total = TotalObjects();
+    return total == 0 ? 0.0
+                      : static_cast<double>(total - objects_from_origin) /
+                            static_cast<double>(total);
+  }
+  double MeanLatencyMs() const { return latency_us.mean() / 1000.0; }
+  double P99LatencyMs() { return latency_pct.Percentile(99) / 1000.0; }
+};
+
+/// Replays `events` through `warehouse`, collecting metrics.
+RunMetrics RunTrace(core::Warehouse& warehouse,
+                    const std::vector<trace::TraceEvent>& events);
+
+/// Classical two-level (memory+disk) cache stack baseline: both tiers run
+/// the given replacement policy; a miss in both goes to the origin. This is
+/// "the conventional web cache" of the paper's comparison.
+struct CacheStackResult {
+  RunMetrics metrics;
+  uint64_t evictions = 0;
+};
+CacheStackResult RunCacheStack(
+    Simulation& sim, const std::vector<trace::TraceEvent>& events,
+    const std::string& policy_name, uint64_t memory_bytes,
+    uint64_t disk_bytes);
+
+/// Prints the standard bench header identifying the paper artifact.
+void PrintHeader(const std::string& artifact, const std::string& what);
+
+/// Prints a PASS/FAIL shape-check line (the reproduction contract: shape,
+/// not absolute numbers).
+void ShapeCheck(const std::string& description, bool ok);
+
+}  // namespace cbfww::bench
+
+#endif  // CBFWW_BENCH_BENCH_COMMON_H_

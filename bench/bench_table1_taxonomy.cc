@@ -1,0 +1,169 @@
+// Reproduces paper Table 1: "Comparison among Databases, Data Streams and
+// Traditional Data Caches" — extended with the CBFWW column the table
+// motivates. Instead of restating the taxonomy, this harness *probes* each
+// property against running systems built in this repository:
+//   - persistence: do once-inserted objects survive a long workload?
+//   - capacity: does the system evict under load?
+//   - query capability: does the system answer content/usage queries?
+//   - manipulation: which mutation operations the system supports.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "cache/cache_simulator.h"
+#include "cache/replacement_policy.h"
+#include "stream/stream_system.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace cbfww::bench {
+namespace {
+
+struct Probe {
+  std::string data_store;
+  std::string capacity;
+  std::string query;
+  uint64_t evictions = 0;
+  bool retained_all = false;
+  bool queries_ok = false;
+};
+
+/// Probes the bounded classical cache.
+Probe ProbeCache(Simulation& sim, const std::vector<trace::TraceEvent>& events) {
+  Probe p;
+  cache::CacheSimulator cache(8ull * 1024 * 1024, cache::MakeLruPolicy());
+  uint64_t inserted = 0;
+  for (const auto& e : events) {
+    if (e.type != trace::TraceEventType::kRequest) continue;
+    const auto& page = sim.corpus.page(e.page);
+    if (!cache.Access(page.container,
+                      sim.corpus.raw(page.container).size_bytes, e.time)) {
+      ++inserted;
+    }
+  }
+  p.evictions = cache.stats().evictions;
+  p.retained_all = cache.stats().evictions == 0;
+  p.queries_ok = false;  // CacheSimulator exposes no query interface.
+  p.data_store = p.retained_all ? "Persistent" : "Temporary (evicting)";
+  p.capacity = StrFormat("Bounded (%llu evictions)",
+                         static_cast<unsigned long long>(p.evictions));
+  p.query = "Not supported";
+  return p;
+}
+
+/// Probes the data-stream system.
+Probe ProbeStream(Simulation& sim, const std::vector<trace::TraceEvent>& events) {
+  Probe p;
+  stream::StreamSystem dsms(stream::StreamSystem::Options{});
+  stream::StreamTuple first_tuple{};
+  bool have_first = false;
+  for (const auto& e : events) {
+    if (e.type != trace::TraceEventType::kRequest) continue;
+    const auto& page = sim.corpus.page(e.page);
+    stream::StreamTuple tuple{e.time, page.container,
+                              sim.corpus.raw(page.container).size_bytes};
+    if (!have_first) {
+      first_tuple = tuple;
+      have_first = true;
+    }
+    dsms.Append(tuple);
+  }
+  // Aggregates work (approximately); old individual tuples are gone.
+  bool aggregates_ok = dsms.total_tuples() > 0 && dsms.AvgValue() > 0 &&
+                       dsms.ApproxCount(first_tuple.key) > 0;
+  bool old_tuple_gone =
+      have_first &&
+      !dsms.Retrieve(first_tuple.time, first_tuple.key).ok();
+  p.retained_all = !old_tuple_gone;
+  p.queries_ok = aggregates_ok;
+  p.data_store = old_tuple_gone
+                     ? StrFormat("Little store (%zu tuples buffered)",
+                                 dsms.buffered())
+                     : "UNEXPECTEDLY persistent";
+  p.capacity = StrFormat("Bounded memory (%s total state)",
+                         FormatBytes(dsms.MemoryBytes()).c_str());
+  p.query = aggregates_ok ? "Approximate aggregates (CM-sketch, EH window)"
+                          : "FAILED";
+  return p;
+}
+
+/// Probes the CBFWW warehouse.
+Probe ProbeWarehouse(Simulation& sim,
+                     const std::vector<trace::TraceEvent>& events) {
+  Probe p;
+  core::WarehouseOptions opts = StandardWarehouseOptions();
+  core::Warehouse wh(&sim.corpus, &sim.origin, sim.feed.get(), opts);
+  RunTrace(wh, events);
+  // Persistence: every object ever fetched is still resident somewhere
+  // (tertiary is bound-free).
+  p.retained_all = true;
+  for (const auto& [id, rec] : wh.raw_records()) {
+    if (rec.cached_version == 0) continue;  // Never actually fetched.
+    auto sid = core::EncodeStoreId(index::ObjectLevel::kRaw, id);
+    if (wh.hierarchy().FastestTierOf(sid) == storage::kNoTier) {
+      p.retained_all = false;
+      break;
+    }
+  }
+  // Query capability: the paper's usage-aware SELECT works.
+  auto q = wh.ExecuteQuery("SELECT MFU 5 p.oid, p.frequency "
+                           "FROM Physical_Page p WHERE p.size > 10000");
+  p.queries_ok = q.ok() && !q->rows.empty();
+  p.data_store = p.retained_all ? "Persistent (bound-free)" : "LOSSY (bug!)";
+  p.capacity = "No practical limit (tertiary-backed)";
+  p.query = p.queries_ok ? "Select+usage modifiers (LRU/MRU/LFU/MFU)"
+                         : "FAILED";
+  return p;
+}
+
+}  // namespace
+}  // namespace cbfww::bench
+
+int main() {
+  using namespace cbfww;
+  using namespace cbfww::bench;
+
+  PrintHeader("Table 1",
+              "Databases vs data streams vs caches vs CBFWW — probed "
+              "against the systems built in this repository");
+
+  corpus::CorpusOptions copts = StandardCorpusOptions();
+  copts.pages_per_site = 150;  // Faster probe run.
+  Simulation sim(copts, StandardFeedOptions());
+  trace::WorkloadOptions wopts = StandardWorkloadOptions();
+  wopts.horizon = 1 * kDay;
+  trace::WorkloadGenerator gen(&sim.corpus, sim.feed.get(), wopts);
+  auto events = gen.Generate();
+  std::printf("workload: %zu events over 1 simulated day\n", events.size());
+
+  Probe cache_probe = ProbeCache(sim, events);
+  Probe stream_probe = ProbeStream(sim, events);
+  Probe wh_probe = ProbeWarehouse(sim, events);
+
+  TablePrinter table({"Property", "Database Systems",
+                      "Data Stream Systems (measured)",
+                      "Traditional Data Caches (measured)",
+                      "CBFWW (measured)"});
+  table.AddRow({"Objectives", "Data Management", "Online Decision Support",
+                "Efficiency", "Cache+DB+Warehouse functions"});
+  table.AddRow({"Data Store", "Persistent Store", stream_probe.data_store,
+                cache_probe.data_store, wh_probe.data_store});
+  table.AddRow({"Storage Capacity", "No Limit Assumed", stream_probe.capacity,
+                cache_probe.capacity, wh_probe.capacity});
+  table.AddRow({"Data Manipulation", "Insert, Delete, Update", "Append-Only",
+                "Insert, Delete (eviction)",
+                "Insert, Refresh (versioned), Migrate"});
+  table.AddRow({"Query Capability", "Select, Join, Project, Aggregate",
+                stream_probe.query, cache_probe.query, wh_probe.query});
+  table.AddRow({"Management System", "DBMS", "DSMS", "Ad hoc", "CBFWW"});
+  table.Print(std::cout);
+
+  ShapeCheck("bounded cache evicts under load", cache_probe.evictions > 0);
+  ShapeCheck("DSMS answers approximate aggregates but discards old tuples",
+             stream_probe.queries_ok && !stream_probe.retained_all);
+  ShapeCheck("CBFWW retains every fetched object", wh_probe.retained_all);
+  ShapeCheck("CBFWW answers usage-aware queries; cache cannot",
+             wh_probe.queries_ok && !cache_probe.queries_ok);
+  return 0;
+}

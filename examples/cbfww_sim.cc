@@ -1,0 +1,211 @@
+// cbfww_sim — command-line simulation driver: configure a corpus, workload
+// and warehouse from flags, run, and print a full report. Traces can be
+// exported/imported in the repository's CSV format so experiments are
+// archivable and replayable.
+//
+//   ./build/examples/cbfww_sim --sites=10 --pages=200 --hours=24
+//       --memory-mb=16 --mode=similarity --sensor=1 --trace-out=/tmp/t.csv
+//   ./build/examples/cbfww_sim --trace-in=/tmp/t.csv --sites=10 --pages=200
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "core/warehouse.h"
+#include "corpus/news_feed.h"
+#include "corpus/web_corpus.h"
+#include "net/origin_server.h"
+#include "trace/trace_io.h"
+#include "trace/workload.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+using namespace cbfww;
+
+namespace {
+
+/// Parses --key=value flags into a map; returns false on unknown syntax.
+bool ParseFlags(int argc, char** argv, std::map<std::string, std::string>* out) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) return false;
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      (*out)[arg.substr(2)] = "1";
+    } else {
+      (*out)[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return true;
+}
+
+int64_t FlagInt(const std::map<std::string, std::string>& flags,
+                const std::string& key, int64_t fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::atoll(it->second.c_str());
+}
+
+std::string FlagStr(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+void PrintUsage() {
+  std::printf(
+      "cbfww_sim — run a CBFWW simulation\n"
+      "  --sites=N         sites in the synthetic corpus (default 10)\n"
+      "  --pages=N         pages per site (default 200)\n"
+      "  --hours=N         workload horizon in hours (default 24)\n"
+      "  --sessions=N      sessions per hour (default 120)\n"
+      "  --memory-mb=N     memory tier capacity (default 16)\n"
+      "  --disk-mb=N       disk tier capacity (default 2048)\n"
+      "  --mode=M          initial priority: similarity|top|zero\n"
+      "  --sensor=0|1      topic sensor + prefetch (default 1)\n"
+      "  --diurnal=0..100  diurnal amplitude percent (default 0)\n"
+      "  --seed=N          simulation seed (default 2003)\n"
+      "  --trace-out=FILE  export the generated trace as CSV\n"
+      "  --trace-in=FILE   replay a previously exported trace\n"
+      "  --query=Q         run one warehouse query after the trace\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  if (!ParseFlags(argc, argv, &flags) || flags.contains("help")) {
+    PrintUsage();
+    return flags.contains("help") ? 0 : 1;
+  }
+
+  corpus::CorpusOptions copts;
+  copts.num_sites = static_cast<uint32_t>(FlagInt(flags, "sites", 10));
+  copts.pages_per_site = static_cast<uint32_t>(FlagInt(flags, "pages", 200));
+  copts.seed = static_cast<uint64_t>(FlagInt(flags, "seed", 2003));
+  corpus::WebCorpus corpus(copts);
+  net::OriginServer origin(&corpus, net::NetworkModel());
+
+  corpus::NewsFeed::Options fopts;
+  fopts.horizon = FlagInt(flags, "hours", 24) * kHour;
+  fopts.seed = copts.seed + 1;
+  corpus::NewsFeed feed(fopts, &corpus.topic_model());
+
+  core::WarehouseOptions wopts;
+  wopts.memory_bytes =
+      static_cast<uint64_t>(FlagInt(flags, "memory-mb", 16)) << 20;
+  wopts.disk_bytes =
+      static_cast<uint64_t>(FlagInt(flags, "disk-mb", 2048)) << 20;
+  wopts.seed = copts.seed;
+  std::string mode = FlagStr(flags, "mode", "similarity");
+  if (mode == "top") {
+    wopts.initial_priority = core::InitialPriorityMode::kTop;
+  } else if (mode == "zero") {
+    wopts.initial_priority = core::InitialPriorityMode::kZero;
+  } else if (mode != "similarity") {
+    std::fprintf(stderr, "unknown --mode=%s\n", mode.c_str());
+    return 1;
+  }
+  bool sensor = FlagInt(flags, "sensor", 1) != 0;
+  wopts.enable_topic_sensor = sensor;
+  wopts.enable_prefetch = sensor;
+  core::Warehouse warehouse(&corpus, &origin, &feed, wopts);
+
+  // Trace: replay a file or generate fresh.
+  std::vector<trace::TraceEvent> events;
+  std::string trace_in = FlagStr(flags, "trace-in", "");
+  if (!trace_in.empty()) {
+    std::ifstream in(trace_in);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", trace_in.c_str());
+      return 1;
+    }
+    auto loaded = trace::ReadTrace(in);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "bad trace: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    events = std::move(loaded).value();
+    std::printf("replaying %zu events from %s\n", events.size(),
+                trace_in.c_str());
+  } else {
+    trace::WorkloadOptions topts;
+    topts.horizon = FlagInt(flags, "hours", 24) * kHour;
+    topts.sessions_per_hour =
+        static_cast<double>(FlagInt(flags, "sessions", 120));
+    topts.diurnal_amplitude =
+        static_cast<double>(FlagInt(flags, "diurnal", 0)) / 100.0;
+    topts.seed = copts.seed + 2;
+    trace::WorkloadGenerator generator(&corpus, &feed, topts);
+    events = generator.Generate();
+    std::printf("generated %zu events over %lldh\n", events.size(),
+                static_cast<long long>(FlagInt(flags, "hours", 24)));
+    std::string trace_out = FlagStr(flags, "trace-out", "");
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      trace::WriteTrace(events, out);
+      std::printf("trace written to %s\n", trace_out.c_str());
+    }
+  }
+
+  // Run.
+  RunningStats latency_ms;
+  uint64_t mem = 0, total = 0;
+  for (const auto& e : events) {
+    core::PageVisit v = warehouse.ProcessEvent(e);
+    if (e.type != trace::TraceEventType::kRequest) continue;
+    latency_ms.Add(static_cast<double>(v.latency) / 1000.0);
+    mem += v.from_memory;
+    total += v.from_memory + v.from_disk + v.from_tertiary + v.from_origin;
+  }
+
+  // Report.
+  std::printf("\n=== report ===\n");
+  std::printf("requests: %llu  distinct pages: %zu  users: %zu\n",
+              static_cast<unsigned long long>(
+                  warehouse.analyzer().total_requests()),
+              warehouse.analyzer().distinct_pages(),
+              warehouse.analyzer().distinct_users());
+  std::printf("mean latency: %.1fms  memory-hit ratio: %.3f\n",
+              latency_ms.mean(),
+              total == 0 ? 0.0
+                         : static_cast<double>(mem) /
+                               static_cast<double>(total));
+  std::printf("origin fetches: %llu  prefetches: %llu  rebalances: %llu\n",
+              static_cast<unsigned long long>(
+                  warehouse.counters().origin_fetches),
+              static_cast<unsigned long long>(warehouse.counters().prefetches),
+              static_cast<unsigned long long>(
+                  warehouse.counters().rebalances));
+  std::printf("tiers: %llu objects in memory, %llu on disk, %llu on "
+              "tertiary (%s retained versions)\n",
+              static_cast<unsigned long long>(
+                  warehouse.hierarchy().resident_count(0)),
+              static_cast<unsigned long long>(
+                  warehouse.hierarchy().resident_count(1)),
+              static_cast<unsigned long long>(
+                  warehouse.hierarchy().resident_count(2)),
+              FormatBytes(warehouse.versions().TotalBytesRetained()).c_str());
+  std::printf("logical pages mined: %zu  semantic regions: %zu\n",
+              warehouse.logical_pages().pages().size(),
+              warehouse.regions().regions().size());
+
+  std::string query = FlagStr(flags, "query", "");
+  if (!query.empty()) {
+    std::printf("\n> %s\n", query.c_str());
+    auto result = warehouse.ExecuteQuery(query);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& row : result->rows) {
+      std::printf("  ");
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%s%s", c > 0 ? " | " : "", row[c].ToString().c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

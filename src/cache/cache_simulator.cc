@@ -1,0 +1,56 @@
+#include "cache/cache_simulator.h"
+
+#include <cassert>
+
+namespace cbfww::cache {
+
+CacheSimulator::CacheSimulator(uint64_t capacity_bytes,
+                               std::unique_ptr<ReplacementPolicy> policy)
+    : capacity_bytes_(capacity_bytes), policy_(std::move(policy)) {
+  assert(policy_ != nullptr);
+}
+
+void CacheSimulator::EvictUntilFits(uint64_t incoming_bytes) {
+  if (capacity_bytes_ == 0) return;
+  while (!resident_.empty() &&
+         used_bytes_ + incoming_bytes > capacity_bytes_) {
+    uint64_t victim = policy_->ChooseVictim();
+    auto it = resident_.find(victim);
+    assert(it != resident_.end());
+    used_bytes_ -= it->second;
+    resident_.erase(it);
+    policy_->OnRemove(victim);
+    ++stats_.evictions;
+  }
+}
+
+bool CacheSimulator::Access(uint64_t key, uint64_t bytes, SimTime now) {
+  ++stats_.requests;
+  stats_.byte_requests += bytes;
+  auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    ++stats_.hits;
+    stats_.byte_hits += it->second;
+    policy_->OnHit(key, it->second, now);
+    return true;
+  }
+  // Bypass objects larger than the whole cache.
+  if (capacity_bytes_ != 0 && bytes > capacity_bytes_) return false;
+  EvictUntilFits(bytes);
+  resident_.emplace(key, bytes);
+  used_bytes_ += bytes;
+  policy_->OnInsert(key, bytes, now);
+  ++stats_.insertions;
+  return false;
+}
+
+void CacheSimulator::Invalidate(uint64_t key) {
+  auto it = resident_.find(key);
+  if (it == resident_.end()) return;
+  used_bytes_ -= it->second;
+  resident_.erase(it);
+  policy_->OnRemove(key);
+  ++stats_.invalidations;
+}
+
+}  // namespace cbfww::cache

@@ -1,0 +1,73 @@
+#ifndef CBFWW_CACHE_CACHE_SIMULATOR_H_
+#define CBFWW_CACHE_CACHE_SIMULATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "cache/replacement_policy.h"
+#include "util/clock.h"
+
+namespace cbfww::cache {
+
+/// Capacity-bounded web-cache simulator with a pluggable replacement
+/// policy. Models the "traditional data cache" column of the paper's
+/// Table 1 and provides the baselines for experiment F8.
+class CacheSimulator {
+ public:
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t hits = 0;
+    uint64_t byte_requests = 0;  // Total bytes requested.
+    uint64_t byte_hits = 0;      // Bytes served from cache.
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+
+    double HitRatio() const {
+      return requests == 0 ? 0.0
+                           : static_cast<double>(hits) /
+                                 static_cast<double>(requests);
+    }
+    double ByteHitRatio() const {
+      return byte_requests == 0 ? 0.0
+                                : static_cast<double>(byte_hits) /
+                                      static_cast<double>(byte_requests);
+    }
+  };
+
+  /// capacity_bytes == 0 means unbounded.
+  CacheSimulator(uint64_t capacity_bytes,
+                 std::unique_ptr<ReplacementPolicy> policy);
+
+  CacheSimulator(const CacheSimulator&) = delete;
+  CacheSimulator& operator=(const CacheSimulator&) = delete;
+
+  /// Simulates a request for `key` of `bytes`. Returns true on hit. On a
+  /// miss the object is admitted, evicting victims as needed. Objects
+  /// larger than the whole cache are bypassed (never admitted).
+  bool Access(uint64_t key, uint64_t bytes, SimTime now);
+
+  /// Drops `key` (origin modification invalidates the copy).
+  void Invalidate(uint64_t key);
+
+  bool Contains(uint64_t key) const { return resident_.contains(key); }
+  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  size_t num_objects() const { return resident_.size(); }
+  const Stats& stats() const { return stats_; }
+  const ReplacementPolicy& policy() const { return *policy_; }
+
+ private:
+  void EvictUntilFits(uint64_t incoming_bytes);
+
+  uint64_t capacity_bytes_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::unordered_map<uint64_t, uint64_t> resident_;  // key -> bytes
+  uint64_t used_bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace cbfww::cache
+
+#endif  // CBFWW_CACHE_CACHE_SIMULATOR_H_

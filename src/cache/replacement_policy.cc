@@ -1,0 +1,294 @@
+#include "cache/replacement_policy.h"
+
+#include <cassert>
+#include <deque>
+#include <list>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace cbfww::cache {
+namespace {
+
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  void OnInsert(uint64_t key, uint64_t bytes, SimTime now) override {
+    (void)bytes;
+    (void)now;
+    order_.push_front(key);
+    where_[key] = order_.begin();
+  }
+  void OnHit(uint64_t key, uint64_t bytes, SimTime now) override {
+    (void)bytes;
+    (void)now;
+    auto it = where_.find(key);
+    if (it == where_.end()) return;
+    order_.erase(it->second);
+    order_.push_front(key);
+    it->second = order_.begin();
+  }
+  void OnRemove(uint64_t key) override {
+    auto it = where_.find(key);
+    if (it == where_.end()) return;
+    order_.erase(it->second);
+    where_.erase(it);
+  }
+  uint64_t ChooseVictim() override {
+    assert(!order_.empty());
+    return order_.back();
+  }
+  std::string_view name() const override { return "LRU"; }
+
+ private:
+  std::list<uint64_t> order_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> where_;
+};
+
+class LfuPolicy final : public ReplacementPolicy {
+ public:
+  void OnInsert(uint64_t key, uint64_t bytes, SimTime now) override {
+    (void)bytes;
+    // Tie-break equal frequencies by age (insertion order).
+    Entry e{1, seq_++};
+    (void)now;
+    entries_[key] = e;
+    queue_.insert({e, key});
+  }
+  void OnHit(uint64_t key, uint64_t bytes, SimTime now) override {
+    (void)bytes;
+    (void)now;
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    queue_.erase({it->second, key});
+    ++it->second.frequency;
+    it->second.seq = seq_++;
+    queue_.insert({it->second, key});
+  }
+  void OnRemove(uint64_t key) override {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    queue_.erase({it->second, key});
+    entries_.erase(it);
+  }
+  uint64_t ChooseVictim() override {
+    assert(!queue_.empty());
+    return queue_.begin()->second;
+  }
+  std::string_view name() const override { return "LFU"; }
+
+ private:
+  struct Entry {
+    uint64_t frequency;
+    uint64_t seq;
+    bool operator<(const Entry& o) const {
+      if (frequency != o.frequency) return frequency < o.frequency;
+      return seq < o.seq;
+    }
+  };
+  uint64_t seq_ = 0;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::set<std::pair<Entry, uint64_t>> queue_;
+};
+
+class LruKPolicy final : public ReplacementPolicy {
+ public:
+  explicit LruKPolicy(int k) : k_(k) { assert(k >= 1); }
+
+  void OnInsert(uint64_t key, uint64_t bytes, SimTime now) override {
+    (void)bytes;
+    History h;
+    h.refs.push_back(now);
+    entries_[key] = h;
+    queue_.insert({Rank(entries_[key]), key});
+  }
+  void OnHit(uint64_t key, uint64_t bytes, SimTime now) override {
+    (void)bytes;
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    queue_.erase({Rank(it->second), key});
+    it->second.refs.push_back(now);
+    while (it->second.refs.size() > static_cast<size_t>(k_)) {
+      it->second.refs.pop_front();
+    }
+    queue_.insert({Rank(it->second), key});
+  }
+  void OnRemove(uint64_t key) override {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    queue_.erase({Rank(it->second), key});
+    entries_.erase(it);
+  }
+  uint64_t ChooseVictim() override {
+    assert(!queue_.empty());
+    return queue_.begin()->second;
+  }
+  std::string_view name() const override { return "LRU-K"; }
+
+ private:
+  struct History {
+    std::deque<SimTime> refs;  // Up to k most recent references.
+  };
+  /// Backward K-distance rank: the k-th most recent reference time, or
+  /// (kNeverTime + last-ref) ordering for entries with < k references so
+  /// they sort before any full-history entry (classical LRU-K behaviour).
+  std::pair<SimTime, SimTime> Rank(const History& h) const {
+    if (h.refs.size() < static_cast<size_t>(k_)) {
+      return {kNeverTime, h.refs.back()};
+    }
+    return {h.refs.front(), h.refs.back()};
+  }
+
+  int k_;
+  std::unordered_map<uint64_t, History> entries_;
+  std::set<std::pair<std::pair<SimTime, SimTime>, uint64_t>> queue_;
+};
+
+class GdsfPolicy final : public ReplacementPolicy {
+ public:
+  void OnInsert(uint64_t key, uint64_t bytes, SimTime now) override {
+    (void)now;
+    Entry e;
+    e.frequency = 1;
+    e.bytes = bytes == 0 ? 1 : bytes;
+    e.h = inflation_ + Value(e);
+    entries_[key] = e;
+    queue_.insert({e.h, key});
+  }
+  void OnHit(uint64_t key, uint64_t bytes, SimTime now) override {
+    (void)bytes;
+    (void)now;
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    queue_.erase({it->second.h, key});
+    ++it->second.frequency;
+    it->second.h = inflation_ + Value(it->second);
+    queue_.insert({it->second.h, key});
+  }
+  void OnRemove(uint64_t key) override {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    // Ratchet the inflation value L to the removed entry's H (classic
+    // Greedy-Dual aging) only when evicted as the minimum; approximating
+    // with every removal keeps the structure simple and monotone.
+    queue_.erase({it->second.h, key});
+    entries_.erase(it);
+  }
+  uint64_t ChooseVictim() override {
+    assert(!queue_.empty());
+    inflation_ = queue_.begin()->first;
+    return queue_.begin()->second;
+  }
+  std::string_view name() const override { return "GDSF"; }
+
+ private:
+  struct Entry {
+    uint64_t frequency = 0;
+    uint64_t bytes = 1;
+    double h = 0.0;
+  };
+  /// frequency / size, scaled so typical values are O(1).
+  static double Value(const Entry& e) {
+    return static_cast<double>(e.frequency) * 1024.0 /
+           static_cast<double>(e.bytes);
+  }
+
+  double inflation_ = 0.0;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::set<std::pair<double, uint64_t>> queue_;
+};
+
+class LfuDaPolicy final : public ReplacementPolicy {
+ public:
+  void OnInsert(uint64_t key, uint64_t bytes, SimTime now) override {
+    (void)bytes;
+    (void)now;
+    Entry e;
+    e.k = inflation_ + 1.0;
+    e.frequency = 1;
+    entries_[key] = e;
+    queue_.insert({e.k, key});
+  }
+  void OnHit(uint64_t key, uint64_t bytes, SimTime now) override {
+    (void)bytes;
+    (void)now;
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    queue_.erase({it->second.k, key});
+    ++it->second.frequency;
+    it->second.k = inflation_ + static_cast<double>(it->second.frequency);
+    queue_.insert({it->second.k, key});
+  }
+  void OnRemove(uint64_t key) override {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return;
+    queue_.erase({it->second.k, key});
+    entries_.erase(it);
+  }
+  uint64_t ChooseVictim() override {
+    assert(!queue_.empty());
+    inflation_ = queue_.begin()->first;  // Dynamic aging.
+    return queue_.begin()->second;
+  }
+  std::string_view name() const override { return "LFU-DA"; }
+
+ private:
+  struct Entry {
+    double k = 0.0;
+    uint64_t frequency = 0;
+  };
+  double inflation_ = 0.0;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::set<std::pair<double, uint64_t>> queue_;
+};
+
+class SizePolicy final : public ReplacementPolicy {
+ public:
+  void OnInsert(uint64_t key, uint64_t bytes, SimTime now) override {
+    (void)now;
+    sizes_[key] = bytes;
+    queue_.insert({bytes, key});
+  }
+  void OnHit(uint64_t key, uint64_t bytes, SimTime now) override {
+    (void)key;
+    (void)bytes;
+    (void)now;
+  }
+  void OnRemove(uint64_t key) override {
+    auto it = sizes_.find(key);
+    if (it == sizes_.end()) return;
+    queue_.erase({it->second, key});
+    sizes_.erase(it);
+  }
+  uint64_t ChooseVictim() override {
+    assert(!queue_.empty());
+    return queue_.rbegin()->second;  // Largest object.
+  }
+  std::string_view name() const override { return "SIZE"; }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> sizes_;
+  std::set<std::pair<uint64_t, uint64_t>> queue_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> MakeLruPolicy() {
+  return std::make_unique<LruPolicy>();
+}
+std::unique_ptr<ReplacementPolicy> MakeLfuPolicy() {
+  return std::make_unique<LfuPolicy>();
+}
+std::unique_ptr<ReplacementPolicy> MakeLruKPolicy(int k) {
+  return std::make_unique<LruKPolicy>(k);
+}
+std::unique_ptr<ReplacementPolicy> MakeGdsfPolicy() {
+  return std::make_unique<GdsfPolicy>();
+}
+std::unique_ptr<ReplacementPolicy> MakeSizePolicy() {
+  return std::make_unique<SizePolicy>();
+}
+std::unique_ptr<ReplacementPolicy> MakeLfuDaPolicy() {
+  return std::make_unique<LfuDaPolicy>();
+}
+
+}  // namespace cbfww::cache

@@ -1,0 +1,55 @@
+#ifndef CBFWW_CACHE_REPLACEMENT_POLICY_H_
+#define CBFWW_CACHE_REPLACEMENT_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "util/clock.h"
+
+namespace cbfww::cache {
+
+/// Interface for classical replacement policies driving the capacity-bounded
+/// CacheSimulator. These are the baselines the paper positions CBFWW
+/// against ("modifying LRU algorithms", abstract; LFU / LRU-k / cost-aware
+/// GDSF per the cited Cao & Irani and Rizzo & Vicisano).
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// Called when `key` enters the cache.
+  virtual void OnInsert(uint64_t key, uint64_t bytes, SimTime now) = 0;
+
+  /// Called on a cache hit.
+  virtual void OnHit(uint64_t key, uint64_t bytes, SimTime now) = 0;
+
+  /// Called when `key` leaves the cache (eviction or invalidation).
+  virtual void OnRemove(uint64_t key) = 0;
+
+  /// Returns the key the policy wants evicted next. Only called when the
+  /// cache is non-empty.
+  virtual uint64_t ChooseVictim() = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Factory helpers.
+std::unique_ptr<ReplacementPolicy> MakeLruPolicy();
+std::unique_ptr<ReplacementPolicy> MakeLfuPolicy();
+/// LRU-K (O'Neil et al.): victim has the oldest k-th most recent reference;
+/// entries with fewer than k references are preferred victims (ordered by
+/// their last reference).
+std::unique_ptr<ReplacementPolicy> MakeLruKPolicy(int k);
+/// Greedy-Dual-Size-Frequency (Cao & Irani '97 family): priority
+/// H = L + frequency / size; evicts min H, L ratchets up to the evicted H.
+std::unique_ptr<ReplacementPolicy> MakeGdsfPolicy();
+/// LFU with Dynamic Aging (Arlitt et al.; Squid's LFU-DA): priority
+/// K = frequency + L where L ratchets to the evicted K — frequency-based
+/// but immune to cache pollution by formerly-hot objects.
+std::unique_ptr<ReplacementPolicy> MakeLfuDaPolicy();
+/// SIZE: always evicts the largest object.
+std::unique_ptr<ReplacementPolicy> MakeSizePolicy();
+
+}  // namespace cbfww::cache
+
+#endif  // CBFWW_CACHE_REPLACEMENT_POLICY_H_

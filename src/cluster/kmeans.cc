@@ -1,0 +1,119 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+
+namespace cbfww::cluster {
+
+std::vector<uint32_t> AssignToNearest(
+    const std::vector<text::TermVector>& points,
+    const std::vector<text::TermVector>& centers) {
+  std::vector<uint32_t> assignment(points.size(), 0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < centers.size(); ++c) {
+      double d = points[i].L2Distance(centers[c]);
+      if (d < best) {
+        best = d;
+        assignment[i] = static_cast<uint32_t>(c);
+      }
+    }
+  }
+  return assignment;
+}
+
+double SumSquaredDistance(const std::vector<text::TermVector>& points,
+                          const std::vector<text::TermVector>& centers,
+                          const std::vector<uint32_t>& assignment) {
+  double ssq = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    double d = points[i].L2Distance(centers[assignment[i]]);
+    ssq += d * d;
+  }
+  return ssq;
+}
+
+double ClusterPurity(const std::vector<uint32_t>& assignment,
+                     const std::vector<int32_t>& labels) {
+  assert(assignment.size() == labels.size());
+  if (assignment.empty()) return 0.0;
+  std::map<uint32_t, std::map<int32_t, uint64_t>> counts;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    ++counts[assignment[i]][labels[i]];
+  }
+  uint64_t majority_total = 0;
+  for (const auto& [cluster, label_counts] : counts) {
+    (void)cluster;
+    uint64_t best = 0;
+    for (const auto& [label, count] : label_counts) {
+      (void)label;
+      best = std::max(best, count);
+    }
+    majority_total += best;
+  }
+  return static_cast<double>(majority_total) /
+         static_cast<double>(assignment.size());
+}
+
+KMeansResult KMeans::Fit(const std::vector<text::TermVector>& points) const {
+  KMeansResult result;
+  if (points.empty()) return result;
+  uint32_t k = std::min<uint32_t>(options_.k,
+                                  static_cast<uint32_t>(points.size()));
+  Pcg32 rng(options_.seed, /*stream=*/0x99);
+
+  // k-means++ seeding.
+  std::vector<text::TermVector> centers;
+  centers.push_back(points[rng.NextBounded(
+      static_cast<uint32_t>(points.size()))]);
+  std::vector<double> min_dist(points.size(),
+                               std::numeric_limits<double>::infinity());
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double d = points[i].L2Distance(centers.back());
+      min_dist[i] = std::min(min_dist[i], d * d);
+      total += min_dist[i];
+    }
+    if (total <= 0.0) break;
+    double u = rng.NextDouble() * total;
+    size_t pick = 0;
+    for (; pick + 1 < points.size(); ++pick) {
+      u -= min_dist[pick];
+      if (u <= 0.0) break;
+    }
+    centers.push_back(points[pick]);
+  }
+
+  // Lloyd iterations.
+  std::vector<uint32_t> assignment(points.size(), 0);
+  uint32_t iter = 0;
+  for (; iter < options_.max_iterations; ++iter) {
+    std::vector<uint32_t> next = AssignToNearest(points, centers);
+    bool changed = (next != assignment);
+    assignment = std::move(next);
+    std::vector<text::TermVector> sums(centers.size());
+    std::vector<uint64_t> counts(centers.size(), 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      sums[assignment[i]].AddScaled(points[i], 1.0);
+      ++counts[assignment[i]];
+    }
+    for (size_t c = 0; c < centers.size(); ++c) {
+      if (counts[c] > 0) {
+        sums[c].Scale(1.0 / static_cast<double>(counts[c]));
+        centers[c] = sums[c];
+      }
+    }
+    if (!changed) break;
+  }
+
+  result.centers = std::move(centers);
+  result.assignment = std::move(assignment);
+  result.ssq = SumSquaredDistance(points, result.centers, result.assignment);
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace cbfww::cluster

@@ -1,0 +1,63 @@
+#ifndef CBFWW_CLUSTER_KMEANS_H_
+#define CBFWW_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/term_vector.h"
+#include "util/rng.h"
+
+namespace cbfww::cluster {
+
+/// Result of a batch clustering run.
+struct KMeansResult {
+  std::vector<text::TermVector> centers;
+  /// Cluster index per input point.
+  std::vector<uint32_t> assignment;
+  /// Sum of squared L2 distance of each point to its center.
+  double ssq = 0.0;
+  uint32_t iterations = 0;
+};
+
+/// Batch Lloyd k-means with k-means++ seeding over sparse term vectors.
+///
+/// Serves as the offline quality baseline against which the single-pass
+/// StreamingKMedian is scored in experiment F7 (the paper cites BIRCH /
+/// Bradley et al. / STREAM as the family of applicable algorithms).
+class KMeans {
+ public:
+  struct Options {
+    uint32_t k = 10;
+    uint32_t max_iterations = 50;
+    uint64_t seed = 17;
+  };
+
+  explicit KMeans(const Options& options) : options_(options) {}
+
+  /// Clusters `points`. Requires points.size() >= 1; k is clamped to the
+  /// number of points.
+  KMeansResult Fit(const std::vector<text::TermVector>& points) const;
+
+ private:
+  Options options_;
+};
+
+/// Sum of squared distances of points to their assigned centers.
+double SumSquaredDistance(const std::vector<text::TermVector>& points,
+                          const std::vector<text::TermVector>& centers,
+                          const std::vector<uint32_t>& assignment);
+
+/// Assigns each point to its nearest center.
+std::vector<uint32_t> AssignToNearest(
+    const std::vector<text::TermVector>& points,
+    const std::vector<text::TermVector>& centers);
+
+/// Cluster purity against ground-truth labels: for each cluster take the
+/// majority label; purity = (sum of majority counts) / n. In [0, 1],
+/// higher is better.
+double ClusterPurity(const std::vector<uint32_t>& assignment,
+                     const std::vector<int32_t>& labels);
+
+}  // namespace cbfww::cluster
+
+#endif  // CBFWW_CLUSTER_KMEANS_H_

@@ -1,0 +1,211 @@
+#include "cluster/streaming_kmedian.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace cbfww::cluster {
+
+StreamingKMedian::StreamingKMedian(const StreamingKMedianOptions& options)
+    : options_(options),
+      facility_cost_(options.initial_facility_cost),
+      rng_(options.seed, /*stream=*/0xC1) {
+  assert(options_.target_clusters >= 1);
+  assert(options_.max_facilities >= options_.target_clusters);
+}
+
+uint32_t StreamingKMedian::OpenFacility(const text::TermVector& center,
+                                        double weight) {
+  uint32_t id = next_id_++;
+  Facility f;
+  f.id = id;
+  f.center = center;
+  f.weight = weight;
+  facilities_.emplace(id, std::move(f));
+  return id;
+}
+
+std::pair<uint32_t, double> StreamingKMedian::NearestImpl(
+    const text::TermVector& point) const {
+  uint32_t best = UINT32_MAX;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const auto& [id, f] : facilities_) {
+    double d = point.L2Distance(f.center);
+    if (d < best_dist) {
+      best_dist = d;
+      best = id;
+    }
+  }
+  return {best, best_dist};
+}
+
+uint32_t StreamingKMedian::Nearest(const text::TermVector& point) const {
+  return NearestImpl(point).first;
+}
+
+uint32_t StreamingKMedian::Add(const text::TermVector& point) {
+  ++points_processed_;
+  if (facilities_.empty()) return OpenFacility(point, 1.0);
+
+  auto [nearest, dist] = NearestImpl(point);
+  // Meyerson rule: open a new facility with probability min(1, d / f).
+  double p = std::min(1.0, dist / facility_cost_);
+  uint32_t assigned;
+  if (rng_.NextBernoulli(p)) {
+    assigned = OpenFacility(point, 1.0);
+  } else {
+    Facility& f = facilities_[nearest];
+    f.weight += 1.0;
+    // Online-mean drift toward the member points.
+    f.center.Scale(1.0 - 1.0 / f.weight);
+    f.center.AddScaled(point, 1.0 / f.weight);
+    assigned = nearest;
+  }
+  if (facilities_.size() > options_.max_facilities) PhaseChange();
+  return assigned;
+}
+
+void StreamingKMedian::PhaseChange() {
+  ++num_phases_;
+  facility_cost_ *= options_.cost_multiplier;
+
+  // Re-run the online process over the weighted facilities with the raised
+  // cost, in decreasing-weight order so heavy facilities become the seeds.
+  std::vector<Facility> old;
+  old.reserve(facilities_.size());
+  for (auto& [id, f] : facilities_) old.push_back(std::move(f));
+  facilities_.clear();
+  std::sort(old.begin(), old.end(), [](const Facility& a, const Facility& b) {
+    return a.weight > b.weight;
+  });
+
+  for (Facility& f : old) {
+    if (facilities_.empty()) {
+      // Keep the original id so aggregates survive phase changes.
+      facilities_.emplace(f.id, f);
+      continue;
+    }
+    auto [nearest, dist] = NearestImpl(f.center);
+    double p = std::min(1.0, f.weight * dist / facility_cost_);
+    if (rng_.NextBernoulli(p)) {
+      facilities_.emplace(f.id, f);
+    } else {
+      Facility& target = facilities_[nearest];
+      double total = target.weight + f.weight;
+      target.center.Scale(target.weight / total);
+      target.center.AddScaled(f.center, f.weight / total);
+      target.weight = total;
+      merge_log_.push_back({f.id, target.id});
+    }
+  }
+
+  // Safety: the probabilistic pass can in principle keep too many; force
+  // down to the budget by merging the lightest into their nearest heavier
+  // neighbour.
+  while (facilities_.size() > options_.max_facilities) {
+    uint32_t lightest = UINT32_MAX;
+    double min_w = std::numeric_limits<double>::infinity();
+    for (const auto& [id, f] : facilities_) {
+      if (f.weight < min_w) {
+        min_w = f.weight;
+        lightest = id;
+      }
+    }
+    Facility light = facilities_[lightest];
+    facilities_.erase(lightest);
+    auto [nearest, dist] = NearestImpl(light.center);
+    (void)dist;
+    Facility& target = facilities_[nearest];
+    double total = target.weight + light.weight;
+    target.center.Scale(target.weight / total);
+    target.center.AddScaled(light.center, light.weight / total);
+    target.weight = total;
+    merge_log_.push_back({light.id, target.id});
+  }
+}
+
+std::vector<MergeEvent> StreamingKMedian::TakeMergeEvents() {
+  std::vector<MergeEvent> out;
+  out.swap(merge_log_);
+  return out;
+}
+
+std::vector<Facility> StreamingKMedian::FinalClusters() const {
+  std::vector<Facility> points;
+  points.reserve(facilities_.size());
+  for (const auto& [id, f] : facilities_) points.push_back(f);
+  if (points.empty()) return {};
+  uint32_t k = std::min<uint32_t>(options_.target_clusters,
+                                  static_cast<uint32_t>(points.size()));
+
+  // Weighted k-means++ seeding.
+  Pcg32 rng(options_.seed, /*stream=*/0xF1);
+  std::vector<Facility> centers;
+  std::vector<double> min_dist(points.size(),
+                               std::numeric_limits<double>::infinity());
+  // First center: heaviest facility.
+  size_t first = 0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].weight > points[first].weight) first = i;
+  }
+  centers.push_back(points[first]);
+  for (uint32_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double d = points[i].center.L2Distance(centers.back().center);
+      min_dist[i] = std::min(min_dist[i], d * d * points[i].weight);
+      total += min_dist[i];
+    }
+    if (total <= 0.0) break;
+    double u = rng.NextDouble() * total;
+    size_t pick = 0;
+    for (; pick + 1 < points.size(); ++pick) {
+      u -= min_dist[pick];
+      if (u <= 0.0) break;
+    }
+    centers.push_back(points[pick]);
+  }
+
+  // Lloyd refinement over the weighted facilities.
+  std::vector<uint32_t> assign(points.size(), 0);
+  for (int iter = 0; iter < 8; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < points.size(); ++i) {
+      uint32_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < centers.size(); ++c) {
+        double d = points[i].center.L2Distance(centers[c].center);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<uint32_t>(c);
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    // Recompute weighted means.
+    std::vector<text::TermVector> sums(centers.size());
+    std::vector<double> weights(centers.size(), 0.0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      sums[assign[i]].AddScaled(points[i].center, points[i].weight);
+      weights[assign[i]] += points[i].weight;
+    }
+    for (size_t c = 0; c < centers.size(); ++c) {
+      if (weights[c] > 0.0) {
+        sums[c].Scale(1.0 / weights[c]);
+        centers[c].center = sums[c];
+        centers[c].weight = weights[c];
+      }
+    }
+    if (!changed) break;
+  }
+  for (size_t c = 0; c < centers.size(); ++c) {
+    centers[c].id = static_cast<uint32_t>(c);
+  }
+  return centers;
+}
+
+}  // namespace cbfww::cluster

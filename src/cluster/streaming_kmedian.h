@@ -1,0 +1,107 @@
+#ifndef CBFWW_CLUSTER_STREAMING_KMEDIAN_H_
+#define CBFWW_CLUSTER_STREAMING_KMEDIAN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "text/term_vector.h"
+#include "util/rng.h"
+
+namespace cbfww::cluster {
+
+/// A weighted cluster representative maintained by the streaming algorithm.
+struct Facility {
+  uint32_t id = 0;
+  text::TermVector center;
+  /// Total weight (number of points, for unweighted input).
+  double weight = 0.0;
+};
+
+/// Records that facility `from` was merged into facility `into` during a
+/// phase change. Consumers maintaining per-cluster aggregates (the Semantic
+/// Region Manager) replay these to combine their state.
+struct MergeEvent {
+  uint32_t from = 0;
+  uint32_t into = 0;
+};
+
+/// Options for StreamingKMedian.
+struct StreamingKMedianOptions {
+  /// Desired number of final clusters (the paper's k in "k-Median").
+  uint32_t target_clusters = 10;
+  /// Facility budget; exceeding it triggers a phase change (cost doubling +
+  /// facility consolidation). Usually a small multiple of target_clusters.
+  uint32_t max_facilities = 60;
+  /// Initial facility opening cost.
+  double initial_facility_cost = 0.05;
+  /// Cost multiplier per phase (Meyerson/STREAM use 2).
+  double cost_multiplier = 2.0;
+  uint64_t seed = 99;
+};
+
+/// Single-pass streaming k-median after the STREAM/LSEARCH line of work
+/// (O'Callaghan et al., ICDE 2002; Meyerson online facility location) —
+/// the algorithm the paper *assumes* exists for forming semantic regions
+/// (Section 5.3).
+///
+/// Each arriving point either joins its nearest facility (probabilistically,
+/// based on distance vs. facility cost) or opens a new facility at itself.
+/// When the facility budget is exceeded the facility cost is multiplied and
+/// facilities are consolidated by re-running the online process over the
+/// weighted facility set; merges are reported via TakeMergeEvents so callers
+/// can combine per-cluster aggregates. Facility centers drift toward the
+/// weighted mean of their members (an online-mean refinement on top of the
+/// classical fixed-median scheme; improves SSQ at no asymptotic cost).
+///
+/// Memory: O(max_facilities) vectors — independent of stream length.
+class StreamingKMedian {
+ public:
+  explicit StreamingKMedian(const StreamingKMedianOptions& options);
+
+  /// Processes one point; returns the id of the facility it was assigned to
+  /// (possibly a newly opened one). Point vectors should be L2-normalized
+  /// for topical data so distance is monotone with cosine dissimilarity.
+  uint32_t Add(const text::TermVector& point);
+
+  /// Id of the nearest facility without inserting, or UINT32_MAX if no
+  /// facilities exist yet.
+  uint32_t Nearest(const text::TermVector& point) const;
+
+  /// Live facilities keyed by id.
+  const std::unordered_map<uint32_t, Facility>& facilities() const {
+    return facilities_;
+  }
+
+  /// Drains the merge log (events since the previous call).
+  std::vector<MergeEvent> TakeMergeEvents();
+
+  /// Consolidates the facility set down to exactly target_clusters weighted
+  /// centers (weighted k-means++ seeding + Lloyd refinement over the
+  /// facilities). Does not modify internal state.
+  std::vector<Facility> FinalClusters() const;
+
+  double facility_cost() const { return facility_cost_; }
+  uint64_t points_processed() const { return points_processed_; }
+  /// Number of phase changes (facility-cost doublings) so far.
+  uint32_t num_phases() const { return num_phases_; }
+
+ private:
+  uint32_t OpenFacility(const text::TermVector& center, double weight);
+  /// Weighted nearest-facility lookup; returns id and distance.
+  std::pair<uint32_t, double> NearestImpl(const text::TermVector& point) const;
+  void PhaseChange();
+
+  StreamingKMedianOptions options_;
+  std::unordered_map<uint32_t, Facility> facilities_;
+  std::vector<MergeEvent> merge_log_;
+  double facility_cost_;
+  uint32_t next_id_ = 0;
+  uint64_t points_processed_ = 0;
+  uint32_t num_phases_ = 0;
+  Pcg32 rng_;
+};
+
+}  // namespace cbfww::cluster
+
+#endif  // CBFWW_CLUSTER_STREAMING_KMEDIAN_H_

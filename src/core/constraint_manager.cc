@@ -1,0 +1,152 @@
+#include "core/constraint_manager.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/result.h"
+#include "util/strings.h"
+
+namespace cbfww::core {
+
+ConstraintManager::ConstraintManager(const Options& options)
+    : options_(options) {}
+
+Status ConstraintManager::CheckAdmission(corpus::RawId id, uint64_t bytes,
+                                         storage::TierIndex tier,
+                                         const UsageHistory& history) const {
+  if (tier < 0) return Status::InvalidArgument("negative tier");
+  if (IsCopyrighted(id)) {
+    return Status::FailedPrecondition("copyrighted resource not admitted");
+  }
+  if (static_cast<size_t>(tier) < options_.tier_max_object_bytes.size()) {
+    uint64_t limit = options_.tier_max_object_bytes[tier];
+    if (limit != 0 && bytes > limit) {
+      return Status::ResourceExhausted(
+          StrFormat("object of %llu bytes exceeds tier %d admission limit",
+                    static_cast<unsigned long long>(bytes), tier));
+    }
+  }
+  if (options_.max_update_rate_per_day > 0) {
+    SimTime interval = history.MeanModificationInterval();
+    if (interval > 0) {
+      double rate_per_day =
+          static_cast<double>(kDay) / static_cast<double>(interval);
+      if (rate_per_day > options_.max_update_rate_per_day) {
+        return Status::FailedPrecondition(
+            StrFormat("update rate %.1f/day exceeds admission limit %.1f/day",
+                      rate_per_day, options_.max_update_rate_per_day));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Parses a tier name (memory/disk/tertiary, or a bare index).
+Result<storage::TierIndex> ParseTier(const std::string& word) {
+  std::string w = ToLowerAscii(word);
+  if (w == "memory" || w == "0") return 0;
+  if (w == "disk" || w == "1") return 1;
+  if (w == "tertiary" || w == "tape" || w == "2") return 2;
+  return Status::InvalidArgument(StrFormat("unknown tier '%s'", w.c_str()));
+}
+
+}  // namespace
+
+Status ConstraintManager::ApplySchemaStatement(std::string_view statement) {
+  std::string_view trimmed = TrimAscii(statement);
+  if (!trimmed.empty() && trimmed.back() == ';') {
+    trimmed = TrimAscii(trimmed.substr(0, trimmed.size() - 1));
+  }
+  if (trimmed.empty() || trimmed.front() == '#') return Status::Ok();
+  std::vector<std::string> words = SplitString(trimmed, ' ');
+  auto keyword = [&](size_t i, std::string_view kw) {
+    return i < words.size() && ToLowerAscii(words[i]) == ToLowerAscii(kw);
+  };
+  auto object_id = [&](size_t i) -> Result<corpus::RawId> {
+    if (i >= words.size()) {
+      return Status::InvalidArgument("missing object id");
+    }
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(words[i].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return Status::InvalidArgument(
+          StrFormat("bad object id '%s'", words[i].c_str()));
+    }
+    return static_cast<corpus::RawId>(v);
+  };
+
+  if (keyword(0, "pin") && keyword(1, "object") && keyword(3, "to") &&
+      words.size() == 5) {
+    CBFWW_ASSIGN_OR_RETURN(corpus::RawId id, object_id(2));
+    CBFWW_ASSIGN_OR_RETURN(storage::TierIndex tier, ParseTier(words[4]));
+    PinToTier(id, tier);
+    return Status::Ok();
+  }
+  if (keyword(0, "restrict") && keyword(1, "object") && keyword(3, "below") &&
+      words.size() == 5) {
+    CBFWW_ASSIGN_OR_RETURN(corpus::RawId id, object_id(2));
+    CBFWW_ASSIGN_OR_RETURN(storage::TierIndex tier, ParseTier(words[4]));
+    RestrictBelowTier(id, tier);
+    return Status::Ok();
+  }
+  if (keyword(0, "copyright") && keyword(1, "object") && words.size() == 3) {
+    CBFWW_ASSIGN_OR_RETURN(corpus::RawId id, object_id(2));
+    MarkCopyrighted(id);
+    return Status::Ok();
+  }
+  if (keyword(0, "unpin") && keyword(1, "object") && words.size() == 3) {
+    CBFWW_ASSIGN_OR_RETURN(corpus::RawId id, object_id(2));
+    Unpin(id);
+    return Status::Ok();
+  }
+  if (keyword(0, "consistency") && words.size() == 2) {
+    std::string mode = ToLowerAscii(words[1]);
+    if (mode == "strong") {
+      set_consistency_mode(ConsistencyMode::kStrong);
+      return Status::Ok();
+    }
+    if (mode == "weak") {
+      set_consistency_mode(ConsistencyMode::kWeak);
+      return Status::Ok();
+    }
+    return Status::InvalidArgument(
+        StrFormat("unknown consistency mode '%s'", mode.c_str()));
+  }
+  return Status::InvalidArgument(
+      StrFormat("unrecognized schema statement: '%.*s'",
+                static_cast<int>(trimmed.size()), trimmed.data()));
+}
+
+Status ConstraintManager::ApplySchema(std::string_view schema) {
+  size_t start = 0;
+  while (start <= schema.size()) {
+    size_t end = schema.find_first_of(";\n", start);
+    if (end == std::string_view::npos) end = schema.size();
+    CBFWW_RETURN_IF_ERROR(
+        ApplySchemaStatement(schema.substr(start, end - start)));
+    start = end + 1;
+  }
+  return Status::Ok();
+}
+
+SimTime ConstraintManager::PollingInterval(const UsageHistory& history) const {
+  SimTime update_interval = history.MeanModificationInterval();
+  if (update_interval <= 0) {
+    // No update history: assume slow-changing; poll at the max cycle.
+    update_interval = options_.max_poll_interval * 2;
+  }
+  double base = options_.poll_update_fraction *
+                static_cast<double>(update_interval);
+  // Frequently used objects deserve fresher copies: shorten the cycle by a
+  // log factor of the lifetime reference count.
+  double usage_factor =
+      1.0 + std::log1p(static_cast<double>(history.frequency()));
+  SimTime interval = static_cast<SimTime>(base / usage_factor);
+  return std::clamp(interval, options_.min_poll_interval,
+                    options_.max_poll_interval);
+}
+
+}  // namespace cbfww::core

@@ -1,0 +1,131 @@
+#ifndef CBFWW_CORE_CONSTRAINT_MANAGER_H_
+#define CBFWW_CORE_CONSTRAINT_MANAGER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/object_model.h"
+#include "corpus/web_object.h"
+#include "storage/hierarchy.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace cbfww::core {
+
+/// Consistency regimes for cached copies (paper Section 3, component (7)).
+enum class ConsistencyMode {
+  /// Copy must synchronize with the origin on every modification: the
+  /// warehouse validates before serving.
+  kStrong,
+  /// Past data allowed; freshness maintained by periodic polling whose
+  /// cycle depends on usage frequency and the object's update period.
+  kWeak,
+};
+
+/// Constraint Manager (paper Section 3, component (7)): with the capacity
+/// constraint gone, admission and consistency constraints take its place.
+class ConstraintManager {
+ public:
+  struct Options {
+    /// Per-tier admission: largest object admitted to each tier (0 = no
+    /// limit). Typical use: keep multi-MB media out of main memory — their
+    /// summaries go there instead (levels of detail).
+    std::vector<uint64_t> tier_max_object_bytes;
+    /// Objects modified more often than this are not worth caching (their
+    /// copies would always be stale); 0 disables the rule.
+    double max_update_rate_per_day = 96.0;
+    ConsistencyMode default_consistency = ConsistencyMode::kWeak;
+    /// Polling-cycle clamp for weak consistency.
+    SimTime min_poll_interval = 10 * kMinute;
+    SimTime max_poll_interval = 2 * kDay;
+    /// Fraction of the mean update interval at which to poll (Nyquist-ish:
+    /// 0.5 polls twice per expected update).
+    double poll_update_fraction = 0.5;
+  };
+
+  explicit ConstraintManager(const Options& options);
+
+  /// Admission check for placing an object of `bytes` at `tier`.
+  /// Violations: kFailedPrecondition (copyright), kResourceExhausted
+  /// (size rule), kInvalidArgument (bad tier).
+  Status CheckAdmission(corpus::RawId id, uint64_t bytes,
+                        storage::TierIndex tier,
+                        const UsageHistory& history) const;
+
+  /// Registers an object whose license forbids warehousing.
+  void MarkCopyrighted(corpus::RawId id) { copyrighted_.insert(id); }
+  bool IsCopyrighted(corpus::RawId id) const {
+    return copyrighted_.contains(id);
+  }
+
+  // ----- Manual placement definitions (paper Sections 2.3/4.4) -----
+  // "Definitions on semantic criteria are not required … although it is
+  // possible to use manual definition together by various reasons
+  // (security, for example)" plus "facilities like storage schema
+  // definition language".
+
+  /// Pins an object to a tier: the Storage Manager places it there (and
+  /// keeps it there) regardless of priority.
+  void PinToTier(corpus::RawId id, storage::TierIndex tier) {
+    pins_[id] = tier;
+  }
+  /// Pinned tier of an object, or storage::kNoTier when unpinned.
+  storage::TierIndex PinnedTier(corpus::RawId id) const {
+    auto it = pins_.find(id);
+    return it == pins_.end() ? storage::kNoTier : it->second;
+  }
+  void Unpin(corpus::RawId id) { pins_.erase(id); }
+
+  /// Restricts an object to tiers at or below (slower than) `tier` — e.g.
+  /// security-sensitive content never enters shared memory.
+  void RestrictBelowTier(corpus::RawId id, storage::TierIndex tier) {
+    floors_[id] = tier;
+  }
+  /// Fastest tier the object may occupy (0 when unrestricted).
+  storage::TierIndex TierFloor(corpus::RawId id) const {
+    auto it = floors_.find(id);
+    return it == floors_.end() ? 0 : it->second;
+  }
+
+  /// Applies one statement of the storage schema definition language:
+  ///   PIN OBJECT <id> TO <memory|disk|tertiary>
+  ///   RESTRICT OBJECT <id> BELOW <memory|disk|tertiary>
+  ///   COPYRIGHT OBJECT <id>
+  ///   UNPIN OBJECT <id>
+  ///   CONSISTENCY <strong|weak>
+  /// Keywords are case-insensitive; statements may end with ';'.
+  Status ApplySchemaStatement(std::string_view statement);
+
+  /// Applies a whole schema (newline- or ';'-separated statements; '#'
+  /// starts a comment line).
+  Status ApplySchema(std::string_view schema);
+
+  /// Weak-consistency polling cycle for an object: proportional to its
+  /// observed mean update interval, shortened for frequently used objects,
+  /// clamped to [min, max] (paper: "consider usage frequency as well as
+  /// average period of updates, to determine polling cycle for each
+  /// object").
+  SimTime PollingInterval(const UsageHistory& history) const;
+
+  ConsistencyMode consistency_mode() const {
+    return options_.default_consistency;
+  }
+  void set_consistency_mode(ConsistencyMode mode) {
+    options_.default_consistency = mode;
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::unordered_set<corpus::RawId> copyrighted_;
+  std::unordered_map<corpus::RawId, storage::TierIndex> pins_;
+  std::unordered_map<corpus::RawId, storage::TierIndex> floors_;
+};
+
+}  // namespace cbfww::core
+
+#endif  // CBFWW_CORE_CONSTRAINT_MANAGER_H_

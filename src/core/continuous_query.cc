@@ -1,0 +1,86 @@
+#include "core/continuous_query.h"
+
+#include <set>
+#include <string>
+
+#include "core/query/query_parser.h"
+
+namespace cbfww::core {
+
+ContinuousQueryManager::ContinuousQueryManager(
+    const query::QueryCatalog* catalog)
+    : catalog_(catalog) {}
+
+Result<ContinuousQueryId> ContinuousQueryManager::Register(
+    std::string_view text, SimTime period) {
+  if (period <= 0) return Status::InvalidArgument("period must be positive");
+  auto stmt = query::ParseQuery(text);
+  if (!stmt.ok()) return stmt.status();
+  ContinuousQueryId id = next_id_++;
+  Entry entry;
+  entry.registration.id = id;
+  entry.registration.text = std::string(text);
+  entry.registration.period = period;
+  entry.registration.next_run = 0;  // Due at the next Poll.
+  entry.statement = std::move(stmt).value();
+  queries_.emplace(id, std::move(entry));
+  return id;
+}
+
+Status ContinuousQueryManager::Unregister(ContinuousQueryId id) {
+  return queries_.erase(id) > 0
+             ? Status::Ok()
+             : Status::NotFound("no such continuous query");
+}
+
+namespace {
+
+/// First-column fingerprints of a result, for change detection.
+std::set<std::string> RowKeys(const query::QueryExecutionResult& result) {
+  std::set<std::string> keys;
+  for (const auto& row : result.rows) {
+    if (!row.empty()) keys.insert(row[0].ToString());
+  }
+  return keys;
+}
+
+}  // namespace
+
+std::vector<ContinuousQueryId> ContinuousQueryManager::Poll(SimTime now) {
+  std::vector<ContinuousQueryId> evaluated;
+  query::QueryExecutor executor(catalog_);
+  for (auto& [id, entry] : queries_) {
+    Registration& reg = entry.registration;
+    if (now < reg.next_run) continue;
+    auto result = executor.Execute(*entry.statement);
+    if (!result.ok()) {
+      // The warehouse may transiently lack entities (e.g. no logical pages
+      // yet); keep the registration and try again next period.
+      reg.next_run = now + reg.period;
+      continue;
+    }
+    std::set<std::string> before = RowKeys(reg.latest);
+    std::set<std::string> after = RowKeys(*result);
+    reg.last_added = 0;
+    reg.last_removed = 0;
+    for (const auto& k : after) {
+      if (!before.contains(k)) ++reg.last_added;
+    }
+    for (const auto& k : before) {
+      if (!after.contains(k)) ++reg.last_removed;
+    }
+    reg.latest = std::move(result).value();
+    ++reg.evaluations;
+    reg.next_run = now + reg.period;
+    evaluated.push_back(id);
+  }
+  return evaluated;
+}
+
+const ContinuousQueryManager::Registration* ContinuousQueryManager::Find(
+    ContinuousQueryId id) const {
+  auto it = queries_.find(id);
+  return it == queries_.end() ? nullptr : &it->second.registration;
+}
+
+}  // namespace cbfww::core

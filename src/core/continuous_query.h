@@ -1,0 +1,76 @@
+#ifndef CBFWW_CORE_CONTINUOUS_QUERY_H_
+#define CBFWW_CORE_CONTINUOUS_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query/query_ast.h"
+#include "core/query/query_executor.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace cbfww::core {
+
+/// Identifier of a registered continuous query.
+using ContinuousQueryId = uint64_t;
+
+/// Continuous (standing) queries over the warehouse — the paper's stated
+/// long-term goal: "a general purpose system that incorporates data
+/// management functions as in database and online decision support
+/// capability in data stream model in cooperation with dynamic hot spot
+/// data" (Section 6). A registered query is re-evaluated on a period; the
+/// manager keeps the latest result and reports how it changed, which is
+/// what an online decision-support dashboard consumes.
+class ContinuousQueryManager {
+ public:
+  struct Registration {
+    ContinuousQueryId id = 0;
+    std::string text;
+    SimTime period = kHour;
+    SimTime next_run = 0;
+    /// Latest materialized result.
+    query::QueryExecutionResult latest;
+    /// Number of evaluations so far.
+    uint64_t evaluations = 0;
+    /// Rows added/removed between the last two evaluations (set-diff on the
+    /// first projection column).
+    uint64_t last_added = 0;
+    uint64_t last_removed = 0;
+  };
+
+  /// The catalog is not owned and must outlive the manager.
+  explicit ContinuousQueryManager(const query::QueryCatalog* catalog);
+
+  /// Registers `text` to be evaluated every `period`, starting at the next
+  /// Poll. Fails if the query does not parse.
+  Result<ContinuousQueryId> Register(std::string_view text, SimTime period);
+
+  /// Removes a registration. kNotFound for unknown ids.
+  Status Unregister(ContinuousQueryId id);
+
+  /// Evaluates all queries whose period elapsed. Returns the ids that were
+  /// (re-)evaluated this call.
+  std::vector<ContinuousQueryId> Poll(SimTime now);
+
+  /// Latest state of a registration (null when unknown).
+  const Registration* Find(ContinuousQueryId id) const;
+
+  size_t size() const { return queries_.size(); }
+
+ private:
+  struct Entry {
+    Registration registration;
+    std::unique_ptr<query::SelectStatement> statement;
+  };
+
+  const query::QueryCatalog* catalog_;
+  std::unordered_map<ContinuousQueryId, Entry> queries_;
+  ContinuousQueryId next_id_ = 1;
+};
+
+}  // namespace cbfww::core
+
+#endif  // CBFWW_CORE_CONTINUOUS_QUERY_H_

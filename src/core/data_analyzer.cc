@@ -1,0 +1,35 @@
+#include "core/data_analyzer.h"
+
+#include <algorithm>
+
+namespace cbfww::core {
+
+void DataAnalyzer::RecordRequest(corpus::PageId page, uint32_t user,
+                                 SimTime now, ServedBy served,
+                                 SimTime latency) {
+  ++total_requests_;
+  ++served_counts_[static_cast<int>(served)];
+  ++page_counts_[page];
+  ++user_counts_[user];
+  latency_.Add(static_cast<double>(latency));
+  latency_pct_.Add(static_cast<double>(latency));
+  size_t hour = static_cast<size_t>(now / kHour);
+  if (hourly_.size() <= hour) hourly_.resize(hour + 1, 0);
+  ++hourly_[hour];
+}
+
+std::vector<DataAnalyzer::TopEntry> DataAnalyzer::TopPages(size_t k) const {
+  std::vector<TopEntry> all;
+  all.reserve(page_counts_.size());
+  for (const auto& [page, count] : page_counts_) {
+    all.push_back({page, count});
+  }
+  std::sort(all.begin(), all.end(), [](const TopEntry& a, const TopEntry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.page < b.page;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace cbfww::core

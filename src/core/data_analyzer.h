@@ -1,0 +1,59 @@
+#ifndef CBFWW_CORE_DATA_ANALYZER_H_
+#define CBFWW_CORE_DATA_ANALYZER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/web_object.h"
+#include "util/clock.h"
+#include "util/stats.h"
+
+namespace cbfww::core {
+
+/// Data Analyzer (paper Figure 1): aggregates operational data (logs) for
+/// usage mining — request volumes, latency distributions, tier serve mix,
+/// top objects, per-user activity. Feeds recommendations and the
+/// warehouse's reporting.
+class DataAnalyzer {
+ public:
+  /// Which level of the storage stack served a request.
+  enum class ServedBy { kMemory = 0, kDisk, kTertiary, kOrigin };
+
+  void RecordRequest(corpus::PageId page, uint32_t user, SimTime now,
+                     ServedBy served, SimTime latency);
+
+  struct TopEntry {
+    corpus::PageId page = corpus::kInvalidPageId;
+    uint64_t count = 0;
+  };
+
+  /// Top-k most requested pages.
+  std::vector<TopEntry> TopPages(size_t k) const;
+
+  uint64_t total_requests() const { return total_requests_; }
+  uint64_t served_from(ServedBy s) const {
+    return served_counts_[static_cast<int>(s)];
+  }
+  const RunningStats& latency_stats() const { return latency_; }
+  PercentileTracker& latency_percentiles() { return latency_pct_; }
+  const PercentileTracker& latency_percentiles() const { return latency_pct_; }
+  size_t distinct_pages() const { return page_counts_.size(); }
+  size_t distinct_users() const { return user_counts_.size(); }
+
+  /// Requests per simulated hour (index = hour since epoch).
+  const std::vector<uint64_t>& hourly_requests() const { return hourly_; }
+
+ private:
+  uint64_t total_requests_ = 0;
+  uint64_t served_counts_[4] = {0, 0, 0, 0};
+  std::unordered_map<corpus::PageId, uint64_t> page_counts_;
+  std::unordered_map<uint32_t, uint64_t> user_counts_;
+  RunningStats latency_;
+  PercentileTracker latency_pct_;
+  std::vector<uint64_t> hourly_;
+};
+
+}  // namespace cbfww::core
+
+#endif  // CBFWW_CORE_DATA_ANALYZER_H_

@@ -1,0 +1,140 @@
+#include "core/logical_page_manager.h"
+
+#include <algorithm>
+
+namespace cbfww::core {
+
+LogicalPageManager::LogicalPageManager(const LogicalPageOptions& options,
+                                       const LogicalContentProvider* content)
+    : options_(options), content_(content) {}
+
+LogicalPageRecord* LogicalPageManager::FindPage(LogicalPageId id) {
+  auto it = pages_.find(id);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+const LogicalPageRecord* LogicalPageManager::FindPage(LogicalPageId id) const {
+  auto it = pages_.find(id);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+const std::vector<LogicalPageId>& LogicalPageManager::PagesContaining(
+    corpus::PageId page) const {
+  static const std::vector<LogicalPageId> kEmpty;
+  auto it = containing_.find(page);
+  return it == containing_.end() ? kEmpty : it->second;
+}
+
+std::vector<LogicalPageId> LogicalPageManager::PagesStartingAt(
+    corpus::PageId page) const {
+  auto it = starting_at_.find(page);
+  return it == starting_at_.end() ? std::vector<LogicalPageId>{} : it->second;
+}
+
+uint64_t LogicalPageManager::CandidateSupport(
+    const std::vector<corpus::PageId>& path) const {
+  auto it = candidates_.find(path);
+  return it == candidates_.end() ? 0 : it->second;
+}
+
+LogicalPageId LogicalPageManager::Materialize(
+    const std::vector<corpus::PageId>& path) {
+  LogicalPageId id = next_id_++;
+  LogicalPageRecord rec;
+  rec.id = id;
+  rec.path = path;
+  rec.support = candidates_[path];
+
+  // Content = <anchor texts along the path + terminal title, terminal body>
+  // (paper Section 5.2), combined as v = ω·v_title + v_body (Section 5.3).
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    std::vector<text::TermId> anchor =
+        content_->AnchorTerms(path[i], path[i + 1]);
+    rec.title_terms.insert(rec.title_terms.end(), anchor.begin(), anchor.end());
+  }
+  std::vector<text::TermId> terminal_title =
+      content_->TitleTerms(path.back());
+  rec.title_terms.insert(rec.title_terms.end(), terminal_title.begin(),
+                         terminal_title.end());
+
+  text::TermVector v_title = content_->TermsToVector(rec.title_terms);
+  text::TermVector v_body = content_->BodyVector(path.back());
+  rec.vector = v_body;
+  rec.vector.AddScaled(v_title, options_.omega);
+
+  path_to_id_[path] = id;
+  for (corpus::PageId p : path) {
+    auto& list = containing_[p];
+    if (std::find(list.begin(), list.end(), id) == list.end()) {
+      list.push_back(id);
+    }
+  }
+  starting_at_[path.front()].push_back(id);
+  pages_.emplace(id, std::move(rec));
+  return id;
+}
+
+void LogicalPageManager::PruneCandidatesIfNeeded() {
+  if (candidates_.size() <= options_.max_candidates) return;
+  // Drop the lowest-support half of the non-materialized candidates.
+  std::vector<uint64_t> supports;
+  supports.reserve(candidates_.size());
+  for (const auto& [path, count] : candidates_) {
+    if (!path_to_id_.contains(path)) supports.push_back(count);
+  }
+  if (supports.empty()) return;
+  auto mid = supports.begin() + static_cast<long>(supports.size() / 2);
+  std::nth_element(supports.begin(), mid, supports.end());
+  uint64_t cutoff = *mid;
+  for (auto it = candidates_.begin(); it != candidates_.end();) {
+    if (it->second <= cutoff && !path_to_id_.contains(it->first)) {
+      it = candidates_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+LogicalPageManager::Observation LogicalPageManager::ObserveRequest(
+    int64_t session, corpus::PageId page, bool via_link, SimTime now) {
+  Observation result;
+  SessionWindow& window = sessions_[session];
+
+  bool continues = via_link && !window.pages.empty() &&
+                   (now - window.last_time) <= options_.max_hop_gap;
+  if (!continues) window.pages.clear();
+  window.pages.push_back(page);
+  window.last_time = now;
+  while (window.pages.size() > options_.max_path_length) {
+    window.pages.pop_front();
+  }
+
+  // Count every suffix of the window ending at the current page as one
+  // traversal of that path.
+  std::vector<corpus::PageId> suffix;
+  for (size_t len = options_.min_path_length; len <= window.pages.size();
+       ++len) {
+    suffix.assign(window.pages.end() - static_cast<long>(len),
+                  window.pages.end());
+    uint64_t& count = candidates_[suffix];
+    ++count;
+
+    auto mat = path_to_id_.find(suffix);
+    if (mat != path_to_id_.end()) {
+      // A completed traversal of an existing logical page = one reference.
+      LogicalPageRecord& rec = pages_[mat->second];
+      rec.support = count;
+      rec.history.RecordReference(now);
+      result.completed.push_back(mat->second);
+    } else if (count >= options_.support_threshold) {
+      LogicalPageId id = Materialize(suffix);
+      pages_[id].history.RecordReference(now);
+      result.materialized.push_back(id);
+      result.completed.push_back(id);
+    }
+  }
+  PruneCandidatesIfNeeded();
+  return result;
+}
+
+}  // namespace cbfww::core

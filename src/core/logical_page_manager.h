@@ -1,0 +1,123 @@
+#ifndef CBFWW_CORE_LOGICAL_PAGE_MANAGER_H_
+#define CBFWW_CORE_LOGICAL_PAGE_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/object_model.h"
+#include "corpus/web_object.h"
+#include "text/term_vector.h"
+#include "util/clock.h"
+#include "util/hash.h"
+
+namespace cbfww::core {
+
+/// Supplies document content to the miner when a logical page is
+/// materialized. Implemented by the Warehouse over its corpus.
+class LogicalContentProvider {
+ public:
+  virtual ~LogicalContentProvider() = default;
+
+  /// Anchor-text terms of the link from -> to (empty if no such link).
+  virtual std::vector<text::TermId> AnchorTerms(corpus::PageId from,
+                                                corpus::PageId to) const = 0;
+  /// Title terms of a page.
+  virtual std::vector<text::TermId> TitleTerms(corpus::PageId page) const = 0;
+  /// TF-IDF vector of a page's body.
+  virtual text::TermVector BodyVector(corpus::PageId page) const = 0;
+  /// TF-IDF vector of a bag of terms (for anchor-text titles).
+  virtual text::TermVector TermsToVector(
+      const std::vector<text::TermId>& terms) const = 0;
+};
+
+/// Options for logical-document mining.
+struct LogicalPageOptions {
+  uint32_t min_path_length = 2;
+  uint32_t max_path_length = 5;
+  /// Traversal count at which a candidate path becomes a logical page.
+  uint64_t support_threshold = 5;
+  /// Maximum time between consecutive hops for them to count as one
+  /// traversal (the paper's "within a limited time interval").
+  SimTime max_hop_gap = 10 * kMinute;
+  /// ω in  v = ω·v_title + v_body  (Section 5.3; "stress more on title").
+  double omega = 3.0;
+  /// Bound on the candidate table (lowest-support candidates are pruned).
+  size_t max_candidates = 200000;
+};
+
+/// Logical Page Manager (paper Sections 4.1 and 5.2): watches per-session
+/// navigation, counts traversed paths, and materializes frequently
+/// traversed paths as logical page objects with content
+/// <anchor texts + terminal title, terminal body>.
+class LogicalPageManager {
+ public:
+  /// `content` is not owned and must outlive the manager.
+  LogicalPageManager(const LogicalPageOptions& options,
+                     const LogicalContentProvider* content);
+
+  /// Result of observing one request.
+  struct Observation {
+    /// Logical pages whose full path was just completed (a "reference" to
+    /// the logical document per Section 5.2).
+    std::vector<LogicalPageId> completed;
+    /// Logical pages newly materialized by this request.
+    std::vector<LogicalPageId> materialized;
+  };
+
+  /// Feeds one request into the miner.
+  Observation ObserveRequest(int64_t session, corpus::PageId page,
+                             bool via_link, SimTime now);
+
+  const std::unordered_map<LogicalPageId, LogicalPageRecord>& pages() const {
+    return pages_;
+  }
+  LogicalPageRecord* FindPage(LogicalPageId id);
+  const LogicalPageRecord* FindPage(LogicalPageId id) const;
+
+  /// Logical pages whose path contains `page`.
+  const std::vector<LogicalPageId>& PagesContaining(corpus::PageId page) const;
+
+  /// Logical pages whose entry document is `page` (guided navigation,
+  /// Section 4.1: "supporting guided navigation when a reference is
+  /// detected towards the start point of a logical page path").
+  std::vector<LogicalPageId> PagesStartingAt(corpus::PageId page) const;
+
+  /// Support observed for an exact candidate path (0 if never seen).
+  uint64_t CandidateSupport(const std::vector<corpus::PageId>& path) const;
+
+  size_t num_candidates() const { return candidates_.size(); }
+
+ private:
+  struct PathHash {
+    size_t operator()(const std::vector<corpus::PageId>& p) const {
+      uint64_t h = 0x9E3779B97F4A7C15ULL;
+      for (corpus::PageId id : p) h = HashCombine(h, id);
+      return static_cast<size_t>(h);
+    }
+  };
+  struct SessionWindow {
+    std::deque<corpus::PageId> pages;
+    SimTime last_time = 0;
+  };
+
+  LogicalPageId Materialize(const std::vector<corpus::PageId>& path);
+  void PruneCandidatesIfNeeded();
+
+  LogicalPageOptions options_;
+  const LogicalContentProvider* content_;
+  std::unordered_map<int64_t, SessionWindow> sessions_;
+  std::unordered_map<std::vector<corpus::PageId>, uint64_t, PathHash>
+      candidates_;
+  std::unordered_map<std::vector<corpus::PageId>, LogicalPageId, PathHash>
+      path_to_id_;
+  std::unordered_map<LogicalPageId, LogicalPageRecord> pages_;
+  std::unordered_map<corpus::PageId, std::vector<LogicalPageId>> containing_;
+  std::unordered_map<corpus::PageId, std::vector<LogicalPageId>> starting_at_;
+  LogicalPageId next_id_ = 0;
+};
+
+}  // namespace cbfww::core
+
+#endif  // CBFWW_CORE_LOGICAL_PAGE_MANAGER_H_

@@ -1,0 +1,132 @@
+#ifndef CBFWW_CORE_OBJECT_MODEL_H_
+#define CBFWW_CORE_OBJECT_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/usage_history.h"
+#include "corpus/web_object.h"
+#include "index/index_hierarchy.h"
+#include "storage/hierarchy.h"
+#include "text/term_vector.h"
+
+namespace cbfww::core {
+
+/// Identifier of a logical page (mined traversal path) inside a warehouse.
+using LogicalPageId = uint64_t;
+/// Identifier of a semantic region (cluster) inside a warehouse.
+using RegionId = uint32_t;
+
+constexpr LogicalPageId kInvalidLogicalPageId = UINT64_MAX;
+constexpr RegionId kInvalidRegionId = UINT32_MAX;
+
+/// Object priority: non-negative, higher = more valuable. Priorities are
+/// comparable across all object levels; the Storage Manager ranks by them
+/// when mapping objects onto the storage hierarchy.
+using Priority = double;
+
+/// Encodes a (level, id) pair plus a summary flag into a StoreObjectId for
+/// the storage hierarchy: level in bits 61-62, summary flag in bit 60.
+constexpr storage::StoreObjectId EncodeStoreId(index::ObjectLevel level,
+                                               uint64_t id,
+                                               bool summary = false) {
+  return (static_cast<uint64_t>(level) << 61) |
+         (summary ? (1ULL << 60) : 0ULL) | (id & ((1ULL << 60) - 1));
+}
+
+/// Warehouse-side record of a raw web object (a cached file).
+struct RawObjectRecord {
+  corpus::RawId id = corpus::kInvalidRawId;
+  uint64_t bytes = 0;
+  corpus::MediaKind kind = corpus::MediaKind::kHtml;
+  /// Version of the cached copy (compare against origin for freshness).
+  uint32_t cached_version = 0;
+  /// When the warehouse last validated the copy against the origin.
+  SimTime last_validated = kNeverTime;
+  UsageHistory history;
+  /// Own (non-structural) priority.
+  Priority own_priority = 0.0;
+  /// Effective priority after structural max-propagation (Figure 2 rule).
+  Priority effective_priority = 0.0;
+  /// Physical pages embedding this object (containers). Drives `shared`.
+  std::vector<corpus::PageId> containers;
+  /// True when a levels-of-detail summary of this object exists.
+  bool has_summary = false;
+  /// Size of the summary object (valid when has_summary).
+  uint64_t summary_bytes = 0;
+  /// True if the object was placed in memory at fetch time (admission
+  /// decision) — used to measure wasted placements (experiment F8/C1).
+  bool admitted_to_memory_on_fetch = false;
+  /// True once any read of this object was served from the memory tier.
+  bool served_from_memory = false;
+};
+
+/// Warehouse-side record of a physical page (container + components).
+struct PhysicalPageRecord {
+  corpus::PageId id = corpus::kInvalidPageId;
+  corpus::RawId container = corpus::kInvalidRawId;
+  std::vector<corpus::RawId> components;
+  std::string url;
+  /// TF-IDF vector of title+body (normalized).
+  text::TermVector vector;
+  std::vector<text::TermId> title_terms;
+  uint64_t total_bytes = 0;
+  UsageHistory history;
+  Priority own_priority = 0.0;
+  Priority effective_priority = 0.0;
+  /// Logical pages whose path includes this page.
+  std::vector<LogicalPageId> logical_pages;
+  /// Semantic region assigned to this page's content.
+  RegionId region = kInvalidRegionId;
+};
+
+/// A logical page: a frequently traversed path (paper Section 5.2). The
+/// content is <concatenated anchor texts + terminal title, terminal body>.
+struct LogicalPageRecord {
+  LogicalPageId id = kInvalidLogicalPageId;
+  std::vector<corpus::PageId> path;
+  /// Anchor-text terms along the path (title part of the content).
+  std::vector<text::TermId> title_terms;
+  /// Combined feature vector  v = ω·v_title + v_body  (Section 5.3).
+  text::TermVector vector;
+  UsageHistory history;
+  Priority own_priority = 0.0;
+  Priority effective_priority = 0.0;
+  RegionId region = kInvalidRegionId;
+  /// Support (completed traversals) observed by the miner.
+  uint64_t support = 0;
+
+  corpus::PageId entry() const {
+    return path.empty() ? corpus::kInvalidPageId : path.front();
+  }
+  corpus::PageId terminal() const {
+    return path.empty() ? corpus::kInvalidPageId : path.back();
+  }
+};
+
+/// A semantic region: cluster of logical documents (Section 5.3),
+/// R = (σ, λ) with centroid σ and radius λ.
+struct SemanticRegionRecord {
+  RegionId id = kInvalidRegionId;
+  text::TermVector centroid;
+  double radius = 0.0;
+  /// Aggregate weight (number of member assignments).
+  double weight = 0.0;
+  /// Aggregated priority statistics of members, used to predict the
+  /// priority of newly arrived similar objects.
+  double priority_sum = 0.0;
+  uint64_t priority_count = 0;
+  UsageHistory history;
+  Priority own_priority = 0.0;
+
+  double MeanMemberPriority() const {
+    return priority_count == 0 ? 0.0
+                               : priority_sum /
+                                     static_cast<double>(priority_count);
+  }
+};
+
+}  // namespace cbfww::core
+
+#endif  // CBFWW_CORE_OBJECT_MODEL_H_

@@ -1,0 +1,48 @@
+#include "core/priority_manager.h"
+
+namespace cbfww::core {
+
+PriorityManager::PriorityManager(const PriorityOptions& options)
+    : options_(options) {}
+
+LambdaAgingCounter& PriorityManager::CounterFor(const Key& key) {
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(key, LambdaAgingCounter(options_.lambda,
+                                              options_.aging_period))
+             .first;
+  }
+  return it->second;
+}
+
+void PriorityManager::RecordAccess(index::ObjectLevel level, uint64_t id,
+                                   SimTime now) {
+  CounterFor({level, id}).RecordEvent(now);
+}
+
+double PriorityManager::OwnPriority(index::ObjectLevel level, uint64_t id,
+                                    SimTime now) {
+  return CounterFor({level, id}).Frequency(now);
+}
+
+void PriorityManager::SeedPriority(index::ObjectLevel level, uint64_t id,
+                                   double value, SimTime now) {
+  CounterFor({level, id}).SeedValue(value, now);
+}
+
+void PriorityManager::Forget(index::ObjectLevel level, uint64_t id) {
+  counters_.erase({level, id});
+}
+
+double PriorityManager::InitialPriority(double region_mean_priority,
+                                        double similarity,
+                                        double topic_hotness) const {
+  double prior = 0.0;
+  if (similarity >= options_.similarity_threshold) {
+    prior = options_.region_prior_weight * region_mean_priority;
+  }
+  return prior + options_.topic_boost_weight * topic_hotness;
+}
+
+}  // namespace cbfww::core

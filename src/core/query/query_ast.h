@@ -1,0 +1,95 @@
+#ifndef CBFWW_CORE_QUERY_QUERY_AST_H_
+#define CBFWW_CORE_QUERY_QUERY_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/query/query_value.h"
+
+namespace cbfww::core::query {
+
+/// Usage-based result modifiers — the paper's extension of OQL (Section
+/// 4.3): "We assume LRU, MRU, LFU and MFU as new modifiers for filtering
+/// querying results based on their usage information."
+enum class UsageModifier {
+  kNone = 0,
+  kLru,  // Least recently used first (ascending last reference).
+  kMru,  // Most recently used first.
+  kLfu,  // Least frequently used first.
+  kMfu,  // Most frequently used first.
+};
+
+std::string_view UsageModifierName(UsageModifier m);
+
+struct SelectStatement;
+
+/// Expression node kinds.
+enum class ExprKind {
+  kLiteral,    // Constant Value.
+  kAttribute,  // alias.attr or bare attr (resolved against the environment).
+  kFunction,   // fn(expr), e.g. end_at(l.oid).
+  kCompare,    // left op right.
+  kMention,    // left MENTION "phrase".
+  kAnd,
+  kOr,
+  kNot,
+  kExists,     // EXISTS (subquery).
+  kIn,         // left IN (subquery) | left IN attribute-list.
+  kStar,       // '*' projection.
+};
+
+/// Comparison operators.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// An expression tree node. Plain struct: the parser owns construction, the
+/// executor only reads.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  Value literal;
+
+  // kAttribute: alias may be empty (resolved to the innermost entity).
+  std::string alias;
+  std::string attribute;
+
+  // kFunction
+  std::string function_name;
+
+  // kCompare
+  CompareOp op = CompareOp::kEq;
+
+  // Children: unary ops use children[0]; binary use [0], [1].
+  std::vector<std::unique_ptr<Expr>> children;
+
+  // kMention: the phrase literal.
+  std::string phrase;
+
+  // kExists / kIn subquery.
+  std::unique_ptr<SelectStatement> subquery;
+};
+
+/// A parsed SELECT statement of the warehouse query language:
+///
+///   SELECT [LRU|MRU|LFU|MFU [n]] proj {, proj}
+///   FROM   Raw_Object|Physical_Page|Logical_Page|Semantic_Region alias
+///   [WHERE expr]
+struct SelectStatement {
+  UsageModifier modifier = UsageModifier::kNone;
+  /// Result-count limit attached to the modifier; 0 = unlimited.
+  uint64_t limit = 0;
+  /// Projections (kAttribute/kFunction/kStar expressions).
+  std::vector<std::unique_ptr<Expr>> projections;
+  EntityKind from = EntityKind::kPhysicalPage;
+  std::string from_alias;
+  /// Null when there is no WHERE clause.
+  std::unique_ptr<Expr> where;
+};
+
+std::string_view EntityKindName(EntityKind kind);
+
+}  // namespace cbfww::core::query
+
+#endif  // CBFWW_CORE_QUERY_QUERY_AST_H_

@@ -1,0 +1,405 @@
+#include "core/query/query_executor.h"
+
+#include <algorithm>
+
+#include "core/query/query_parser.h"
+#include "text/tokenizer.h"
+#include "util/strings.h"
+
+namespace cbfww::core::query {
+
+std::vector<std::string> MentionTerms(std::string_view phrase) {
+  text::Tokenizer tokenizer;
+  return tokenizer.Tokenize(phrase);
+}
+
+namespace {
+
+/// Renders a projection expression as a column name.
+std::string ColumnName(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kAttribute:
+      return e.alias.empty() ? e.attribute : e.alias + "." + e.attribute;
+    case ExprKind::kFunction: {
+      const Expr* arg = e.children.empty() ? nullptr : e.children[0].get();
+      std::string inner = arg == nullptr ? "" : ColumnName(*arg);
+      return e.function_name + "(" + inner + ")";
+    }
+    case ExprKind::kLiteral:
+      return e.literal.ToString();
+    default:
+      return "expr";
+  }
+}
+
+/// True for SQL-style aggregate function names.
+bool IsAggregateName(const std::string& name) {
+  return name == "count" || name == "sum" || name == "avg" ||
+         name == "min" || name == "max";
+}
+
+bool HasAggregate(const SelectStatement& stmt) {
+  for (const auto& proj : stmt.projections) {
+    if (proj->kind == ExprKind::kFunction &&
+        IsAggregateName(proj->function_name)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Flattens nested ANDs into a conjunct list (no ownership transfer).
+void CollectConjuncts(const Expr* e, std::vector<const Expr*>& out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kAnd) {
+    CollectConjuncts(e->children[0].get(), out);
+    CollectConjuncts(e->children[1].get(), out);
+  } else {
+    out.push_back(e);
+  }
+}
+
+}  // namespace
+
+QueryExecutor::QueryExecutor(const QueryCatalog* catalog)
+    : catalog_(catalog), options_(Options()) {}
+
+QueryExecutor::QueryExecutor(const QueryCatalog* catalog, Options options)
+    : catalog_(catalog), options_(options) {}
+
+Result<QueryExecutionResult> QueryExecutor::Execute(
+    std::string_view text) const {
+  auto stmt = ParseQuery(text);
+  if (!stmt.ok()) return stmt.status();
+  return Execute(**stmt);
+}
+
+Result<QueryExecutionResult> QueryExecutor::Execute(
+    const SelectStatement& stmt) const {
+  return ExecuteWithEnv(stmt, Env());
+}
+
+Result<Value> QueryExecutor::ResolveAttribute(const std::string& alias,
+                                              const std::string& attr,
+                                              const Env& env) const {
+  if (env.empty()) {
+    return Status::FailedPrecondition("attribute outside FROM scope");
+  }
+  // Innermost binding first.
+  for (auto it = env.rbegin(); it != env.rend(); ++it) {
+    if (alias.empty() || it->alias == alias) {
+      return catalog_->GetAttribute(it->kind, it->oid, attr);
+    }
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown alias '%s'", alias.c_str()));
+}
+
+Result<Value> QueryExecutor::EvalOperand(const Expr& e, const Env& env) const {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kAttribute:
+      return ResolveAttribute(e.alias, e.attribute, env);
+    case ExprKind::kFunction: {
+      // Functions are attribute projections over logical pages:
+      // end_at(l.oid), start_at(l.oid).
+      auto arg = EvalOperand(*e.children[0], env);
+      if (!arg.ok()) return arg.status();
+      if (!arg->is_numeric()) {
+        return Status::InvalidArgument(
+            StrFormat("%s() expects an oid", e.function_name.c_str()));
+      }
+      uint64_t oid = static_cast<uint64_t>(arg->AsInt());
+      return catalog_->GetAttribute(EntityKind::kLogicalPage, oid,
+                                    e.function_name);
+    }
+    case ExprKind::kStar:
+      return Value(std::string("*"));
+    default:
+      return Status::InvalidArgument("expression is not an operand");
+  }
+}
+
+Result<bool> QueryExecutor::EvalPredicate(const Expr& e,
+                                          const Env& env) const {
+  switch (e.kind) {
+    case ExprKind::kAnd: {
+      auto a = EvalPredicate(*e.children[0], env);
+      if (!a.ok()) return a;
+      if (!*a) return false;
+      return EvalPredicate(*e.children[1], env);
+    }
+    case ExprKind::kOr: {
+      auto a = EvalPredicate(*e.children[0], env);
+      if (!a.ok()) return a;
+      if (*a) return true;
+      return EvalPredicate(*e.children[1], env);
+    }
+    case ExprKind::kNot: {
+      auto a = EvalPredicate(*e.children[0], env);
+      if (!a.ok()) return a;
+      return !*a;
+    }
+    case ExprKind::kCompare: {
+      auto left = EvalOperand(*e.children[0], env);
+      if (!left.ok()) return left.status();
+      auto right = EvalOperand(*e.children[1], env);
+      if (!right.ok()) return right.status();
+      if (left->is_null() || right->is_null()) return false;
+      int cmp = left->Compare(*right);
+      switch (e.op) {
+        case CompareOp::kEq:
+          return cmp == 0;
+        case CompareOp::kNe:
+          return cmp != 0;
+        case CompareOp::kLt:
+          return cmp < 0;
+        case CompareOp::kLe:
+          return cmp <= 0;
+        case CompareOp::kGt:
+          return cmp > 0;
+        case CompareOp::kGe:
+          return cmp >= 0;
+      }
+      return false;
+    }
+    case ExprKind::kMention: {
+      const Expr& operand = *e.children[0];
+      if (operand.kind != ExprKind::kAttribute) {
+        return Status::InvalidArgument("MENTION requires an attribute");
+      }
+      // Resolve the owning binding to know entity kind and oid.
+      for (auto it = env.rbegin(); it != env.rend(); ++it) {
+        if (operand.alias.empty() || it->alias == operand.alias) {
+          return catalog_->RowMentions(it->kind, it->oid, operand.attribute,
+                                       MentionTerms(e.phrase));
+        }
+      }
+      return Status::InvalidArgument("MENTION alias not in scope");
+    }
+    case ExprKind::kExists: {
+      // Correlated existence check: run the subquery with the outer env;
+      // any row => true.
+      auto sub = ExecuteWithEnv(*e.subquery, env);
+      if (!sub.ok()) return sub.status();
+      return !sub->rows.empty();
+    }
+    case ExprKind::kIn: {
+      auto left = EvalOperand(*e.children[0], env);
+      if (!left.ok()) return left.status();
+      if (e.subquery != nullptr) {
+        auto sub = ExecuteWithEnv(*e.subquery, env);
+        if (!sub.ok()) return sub.status();
+        for (const auto& row : sub->rows) {
+          if (!row.empty() && left->Compare(row[0]) == 0) return true;
+        }
+        return false;
+      }
+      auto target = EvalOperand(*e.children[1], env);
+      if (!target.ok()) return target.status();
+      if (target->is_oid_list() && left->is_numeric()) {
+        uint64_t oid = static_cast<uint64_t>(left->AsInt());
+        const auto& list = target->AsOidList();
+        return std::find(list.begin(), list.end(), oid) != list.end();
+      }
+      return left->Compare(*target) == 0;
+    }
+    default:
+      return Status::InvalidArgument("expression is not a predicate");
+  }
+}
+
+Result<QueryExecutionResult> QueryExecutor::ExecuteWithEnv(
+    const SelectStatement& stmt, const Env& outer) const {
+  QueryExecutionResult result;
+
+  // Candidate set: all objects, or index-accelerated MENTION candidates
+  // when a top-level conjunct mentions an attribute of this statement's
+  // entity.
+  std::vector<uint64_t> candidates;
+  bool have_candidates = false;
+  if (options_.use_index && stmt.where != nullptr) {
+    std::vector<const Expr*> conjuncts;
+    CollectConjuncts(stmt.where.get(), conjuncts);
+    for (const Expr* c : conjuncts) {
+      if (c->kind != ExprKind::kMention) continue;
+      const Expr& operand = *c->children[0];
+      if (operand.kind != ExprKind::kAttribute) continue;
+      if (!operand.alias.empty() && operand.alias != stmt.from_alias) continue;
+      auto accel = catalog_->MentionCandidates(stmt.from, operand.attribute,
+                                               MentionTerms(c->phrase));
+      if (accel.has_value()) {
+        candidates = std::move(*accel);
+        have_candidates = true;
+        result.used_index = true;
+        break;
+      }
+    }
+  }
+  if (!have_candidates) candidates = catalog_->AllObjects(stmt.from);
+
+  // Filter.
+  std::vector<uint64_t> selected;
+  Env env = outer;
+  env.push_back({stmt.from_alias, stmt.from, 0});
+  for (uint64_t oid : candidates) {
+    env.back().oid = oid;
+    ++result.candidates_evaluated;
+    if (stmt.where != nullptr) {
+      auto keep = EvalPredicate(*stmt.where, env);
+      if (!keep.ok()) return keep.status();
+      if (!*keep) continue;
+    }
+    selected.push_back(oid);
+  }
+
+  // Usage-modifier ordering.
+  if (stmt.modifier != UsageModifier::kNone) {
+    auto last_ref = [this, &stmt](uint64_t oid) {
+      return catalog_->LastReference(stmt.from, oid);
+    };
+    auto freq = [this, &stmt](uint64_t oid) {
+      return catalog_->Frequency(stmt.from, oid);
+    };
+    switch (stmt.modifier) {
+      case UsageModifier::kLru:
+        std::sort(selected.begin(), selected.end(),
+                  [&](uint64_t a, uint64_t b) {
+                    SimTime ta = last_ref(a);
+                    SimTime tb = last_ref(b);
+                    if (ta != tb) return ta < tb;
+                    return a < b;
+                  });
+        break;
+      case UsageModifier::kMru:
+        std::sort(selected.begin(), selected.end(),
+                  [&](uint64_t a, uint64_t b) {
+                    SimTime ta = last_ref(a);
+                    SimTime tb = last_ref(b);
+                    if (ta != tb) return ta > tb;
+                    return a < b;
+                  });
+        break;
+      case UsageModifier::kLfu:
+        std::sort(selected.begin(), selected.end(),
+                  [&](uint64_t a, uint64_t b) {
+                    uint64_t fa = freq(a);
+                    uint64_t fb = freq(b);
+                    if (fa != fb) return fa < fb;
+                    return a < b;
+                  });
+        break;
+      case UsageModifier::kMfu:
+        std::sort(selected.begin(), selected.end(),
+                  [&](uint64_t a, uint64_t b) {
+                    uint64_t fa = freq(a);
+                    uint64_t fb = freq(b);
+                    if (fa != fb) return fa > fb;
+                    return a < b;
+                  });
+        break;
+      case UsageModifier::kNone:
+        break;
+    }
+    if (stmt.limit > 0 && selected.size() > stmt.limit) {
+      selected.resize(stmt.limit);
+    }
+  }
+  if (options_.max_rows > 0 && selected.size() > options_.max_rows) {
+    selected.resize(options_.max_rows);
+  }
+
+  // Aggregate projections (COUNT/SUM/AVG/MIN/MAX) collapse the selected
+  // set into one row.
+  if (HasAggregate(stmt)) {
+    std::vector<Value> row;
+    for (const auto& proj : stmt.projections) {
+      if (proj->kind != ExprKind::kFunction ||
+          !IsAggregateName(proj->function_name)) {
+        return Status::InvalidArgument(
+            "cannot mix aggregate and per-row projections");
+      }
+      result.columns.push_back(ColumnName(*proj));
+      const Expr& arg = *proj->children[0];
+      if (proj->function_name == "count" && arg.kind == ExprKind::kStar) {
+        row.emplace_back(static_cast<int64_t>(selected.size()));
+        continue;
+      }
+      // Numeric aggregate over the argument per row (NULLs skipped).
+      int64_t count = 0;
+      double sum = 0.0;
+      double mn = 0.0;
+      double mx = 0.0;
+      for (uint64_t oid : selected) {
+        env.back().oid = oid;
+        auto v = EvalOperand(arg, env);
+        if (!v.ok()) return v.status();
+        if (v->is_null()) continue;
+        if (!v->is_numeric()) {
+          if (proj->function_name == "count") {
+            ++count;
+            continue;
+          }
+          return Status::InvalidArgument(
+              StrFormat("%s() requires a numeric attribute",
+                        proj->function_name.c_str()));
+        }
+        double x = v->AsDouble();
+        if (count == 0) {
+          mn = mx = x;
+        } else {
+          mn = std::min(mn, x);
+          mx = std::max(mx, x);
+        }
+        ++count;
+        sum += x;
+      }
+      if (proj->function_name == "count") {
+        row.emplace_back(static_cast<int64_t>(count));
+      } else if (count == 0) {
+        row.emplace_back();  // NULL over the empty set.
+      } else if (proj->function_name == "sum") {
+        row.emplace_back(sum);
+      } else if (proj->function_name == "avg") {
+        row.emplace_back(sum / static_cast<double>(count));
+      } else if (proj->function_name == "min") {
+        row.emplace_back(mn);
+      } else {
+        row.emplace_back(mx);
+      }
+    }
+    result.rows.push_back(std::move(row));
+    return result;
+  }
+
+  // Projection.
+  bool star = !stmt.projections.empty() &&
+              stmt.projections[0]->kind == ExprKind::kStar;
+  if (star) {
+    result.columns = {"oid"};
+  } else {
+    for (const auto& proj : stmt.projections) {
+      result.columns.push_back(ColumnName(*proj));
+    }
+  }
+  for (uint64_t oid : selected) {
+    env.back().oid = oid;
+    std::vector<Value> row;
+    if (star) {
+      row.emplace_back(static_cast<int64_t>(oid));
+    } else {
+      for (const auto& proj : stmt.projections) {
+        auto v = EvalOperand(*proj, env);
+        if (!v.ok()) return v.status();
+        row.push_back(std::move(v).value());
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace cbfww::core::query

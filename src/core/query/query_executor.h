@@ -1,0 +1,114 @@
+#ifndef CBFWW_CORE_QUERY_QUERY_EXECUTOR_H_
+#define CBFWW_CORE_QUERY_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/query/query_ast.h"
+#include "core/query/query_value.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace cbfww::core::query {
+
+/// Data access interface the executor runs against. The Warehouse
+/// implements this over its object records and indexes; tests implement it
+/// over fixtures.
+class QueryCatalog {
+ public:
+  virtual ~QueryCatalog() = default;
+
+  /// All object ids of an entity kind.
+  virtual std::vector<uint64_t> AllObjects(EntityKind kind) const = 0;
+
+  /// Attribute value of one object (Null Value when unknown attribute or
+  /// missing object).
+  virtual Value GetAttribute(EntityKind kind, uint64_t oid,
+                             const std::string& attr) const = 0;
+
+  /// Last-reference time for LRU/MRU ordering (kNeverTime if never used).
+  virtual SimTime LastReference(EntityKind kind, uint64_t oid) const = 0;
+
+  /// Lifetime reference count for LFU/MFU ordering.
+  virtual uint64_t Frequency(EntityKind kind, uint64_t oid) const = 0;
+
+  /// True if the object's `attr` text mentions all of `terms`.
+  virtual bool RowMentions(EntityKind kind, uint64_t oid,
+                           const std::string& attr,
+                           const std::vector<std::string>& terms) const = 0;
+
+  /// Optional index acceleration for MENTION: ids of objects whose `attr`
+  /// contains all `terms`. nullopt = no index available (executor scans).
+  virtual std::optional<std::vector<uint64_t>> MentionCandidates(
+      EntityKind kind, const std::string& attr,
+      const std::vector<std::string>& terms) const {
+    (void)kind;
+    (void)attr;
+    (void)terms;
+    return std::nullopt;
+  }
+};
+
+/// A materialized query result.
+struct QueryExecutionResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+  /// Objects that entered predicate evaluation (for the index-vs-scan
+  /// experiment C5).
+  uint64_t candidates_evaluated = 0;
+  bool used_index = false;
+};
+
+/// Executes parsed SELECT statements against a QueryCatalog: filtering
+/// (comparisons, MENTION, IN, EXISTS with correlation), usage-modifier
+/// ordering (LRU/MRU/LFU/MFU [n]), and projection.
+class QueryExecutor {
+ public:
+  struct Options {
+    /// Use MentionCandidates index acceleration when available.
+    bool use_index = true;
+    /// Hard cap on produced rows (0 = unlimited).
+    uint64_t max_rows = 0;
+  };
+
+  /// `catalog` is not owned and must outlive the executor.
+  explicit QueryExecutor(const QueryCatalog* catalog);
+  QueryExecutor(const QueryCatalog* catalog, Options options);
+
+  /// Parses and executes `text`.
+  Result<QueryExecutionResult> Execute(std::string_view text) const;
+
+  /// Executes a parsed statement.
+  Result<QueryExecutionResult> Execute(const SelectStatement& stmt) const;
+
+ private:
+  struct Binding {
+    std::string alias;
+    EntityKind kind;
+    uint64_t oid;
+  };
+  using Env = std::vector<Binding>;
+
+  Result<QueryExecutionResult> ExecuteWithEnv(const SelectStatement& stmt,
+                                              const Env& outer) const;
+  Result<Value> EvalOperand(const Expr& e, const Env& env) const;
+  Result<bool> EvalPredicate(const Expr& e, const Env& env) const;
+  /// Resolves an attribute reference against the environment (innermost
+  /// binding wins for empty alias).
+  Result<Value> ResolveAttribute(const std::string& alias,
+                                 const std::string& attr,
+                                 const Env& env) const;
+
+  const QueryCatalog* catalog_;
+  Options options_;
+};
+
+/// Tokenizes a MENTION phrase the same way documents are tokenized.
+std::vector<std::string> MentionTerms(std::string_view phrase);
+
+}  // namespace cbfww::core::query
+
+#endif  // CBFWW_CORE_QUERY_QUERY_EXECUTOR_H_

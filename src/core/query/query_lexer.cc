@@ -1,0 +1,174 @@
+#include "core/query/query_lexer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace cbfww::core::query {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      tok.kind = TokenKind::kIdentifier;
+      tok.text = std::string(input.substr(start, i - start));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (IsDigit(c)) {
+      size_t start = i;
+      while (i < n && IsDigit(input[i])) ++i;
+      // Thousands separators: ",ddd" groups (the paper writes 200,000).
+      while (i + 3 < n && input[i] == ',' && IsDigit(input[i + 1]) &&
+             IsDigit(input[i + 2]) && IsDigit(input[i + 3]) &&
+             (i + 4 >= n || !IsDigit(input[i + 4]))) {
+        i += 4;
+      }
+      bool is_float = false;
+      if (i < n && input[i] == '.' && i + 1 < n && IsDigit(input[i + 1])) {
+        is_float = true;
+        ++i;
+        while (i < n && IsDigit(input[i])) ++i;
+      }
+      (void)is_float;
+      std::string digits;
+      for (size_t j = start; j < i; ++j) {
+        if (input[j] != ',') digits.push_back(input[j]);
+      }
+      tok.kind = TokenKind::kNumber;
+      tok.number = std::stod(digits);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string text;
+      while (i < n && input[i] != quote) {
+        text.push_back(input[i]);
+        ++i;
+      }
+      if (i >= n) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string at offset %zu", tok.position));
+      }
+      ++i;  // Closing quote.
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Backquote-style double quotes from the paper's listings (``...'')
+    // are normalized by treating a backquote as a double quote.
+    if (c == '`') {
+      size_t q = i;
+      while (q < n && input[q] == '`') ++q;
+      std::string text;
+      i = q;
+      while (i < n && input[i] != '\'' && input[i] != '`' && input[i] != '"') {
+        text.push_back(input[i]);
+        ++i;
+      }
+      while (i < n && (input[i] == '\'' || input[i] == '`' || input[i] == '"')) {
+        ++i;
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    switch (c) {
+      case ',':
+        tok.kind = TokenKind::kComma;
+        ++i;
+        break;
+      case '.':
+        tok.kind = TokenKind::kDot;
+        ++i;
+        break;
+      case '(':
+        tok.kind = TokenKind::kLParen;
+        ++i;
+        break;
+      case ')':
+        tok.kind = TokenKind::kRParen;
+        ++i;
+        break;
+      case '*':
+        tok.kind = TokenKind::kStar;
+        ++i;
+        break;
+      case ';':
+        ++i;
+        continue;  // Statement terminator: ignored.
+      case '=':
+        tok.kind = TokenKind::kEq;
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tok.kind = TokenKind::kNe;
+          i += 2;
+        } else {
+          return Status::InvalidArgument(
+              StrFormat("unexpected '!' at offset %zu", i));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tok.kind = TokenKind::kLe;
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          tok.kind = TokenKind::kNe;
+          i += 2;
+        } else {
+          tok.kind = TokenKind::kLt;
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          tok.kind = TokenKind::kGe;
+          i += 2;
+        } else {
+          tok.kind = TokenKind::kGt;
+          ++i;
+        }
+        break;
+      default:
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at offset %zu", c, i));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace cbfww::core::query

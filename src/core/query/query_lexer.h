@@ -1,0 +1,48 @@
+#ifndef CBFWW_CORE_QUERY_QUERY_LEXER_H_
+#define CBFWW_CORE_QUERY_QUERY_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace cbfww::core::query {
+
+/// Token categories of the query language.
+enum class TokenKind {
+  kIdentifier,  // SELECT, FROM, aliases, attribute names (case-insensitive
+                // keywords are classified by the parser).
+  kNumber,
+  kString,      // 'single' or "double" quoted.
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kEq,          // =
+  kNe,          // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // Identifier/keyword text (as written).
+  double number = 0.0;   // kNumber value.
+  size_t position = 0;   // Byte offset in the input (for error messages).
+};
+
+/// Splits a query string into tokens. Numbers may contain a thousands
+/// separator comma only inside parentheses-free contexts — the paper writes
+/// "200,000"; we accept digit groups joined by commas when the next group
+/// is exactly 3 digits (so "LFU 10, l.path" still parses as 10 then comma).
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace cbfww::core::query
+
+#endif  // CBFWW_CORE_QUERY_QUERY_LEXER_H_

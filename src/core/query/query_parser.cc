@@ -1,0 +1,373 @@
+#include "core/query/query_parser.h"
+
+#include <cmath>
+
+#include "core/query/query_lexer.h"
+#include "util/strings.h"
+
+namespace cbfww::core::query {
+
+std::string_view UsageModifierName(UsageModifier m) {
+  switch (m) {
+    case UsageModifier::kNone:
+      return "NONE";
+    case UsageModifier::kLru:
+      return "LRU";
+    case UsageModifier::kMru:
+      return "MRU";
+    case UsageModifier::kLfu:
+      return "LFU";
+    case UsageModifier::kMfu:
+      return "MFU";
+  }
+  return "?";
+}
+
+std::string_view EntityKindName(EntityKind kind) {
+  switch (kind) {
+    case EntityKind::kRawObject:
+      return "Raw_Object";
+    case EntityKind::kPhysicalPage:
+      return "Physical_Page";
+    case EntityKind::kLogicalPage:
+      return "Logical_Page";
+    case EntityKind::kSemanticRegion:
+      return "Semantic_Region";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelect();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool PeekKeyword(std::string_view kw) const {
+    return Peek().kind == TokenKind::kIdentifier &&
+           ToLowerAscii(Peek().text) == ToLowerAscii(kw);
+  }
+  bool ConsumeKeyword(std::string_view kw) {
+    if (!PeekKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(TokenKind kind, std::string_view what) {
+    if (Peek().kind != kind) {
+      return Status::InvalidArgument(
+          StrFormat("expected %s at offset %zu", std::string(what).c_str(),
+                    Peek().position));
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseOr();
+  Result<std::unique_ptr<Expr>> ParseAnd();
+  Result<std::unique_ptr<Expr>> ParseUnary();
+  Result<std::unique_ptr<Expr>> ParsePrimary();
+  Result<std::unique_ptr<Expr>> ParseOperand();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<std::unique_ptr<Expr>> Parser::ParseOperand() {
+  const Token& tok = Peek();
+  if (tok.kind == TokenKind::kNumber) {
+    Advance();
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kLiteral;
+    double v = tok.number;
+    if (v == std::floor(v)) {
+      e->literal = Value(static_cast<int64_t>(v));
+    } else {
+      e->literal = Value(v);
+    }
+    return e;
+  }
+  if (tok.kind == TokenKind::kString) {
+    Advance();
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kLiteral;
+    e->literal = Value(tok.text);
+    return e;
+  }
+  if (tok.kind == TokenKind::kStar) {
+    Advance();
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kStar;
+    return e;
+  }
+  if (tok.kind == TokenKind::kIdentifier) {
+    std::string first = Advance().text;
+    if (Peek().kind == TokenKind::kLParen) {
+      // Function call, e.g. end_at(l.oid).
+      Advance();
+      auto arg = ParseOperand();
+      if (!arg.ok()) return arg.status();
+      CBFWW_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kFunction;
+      e->function_name = ToLowerAscii(first);
+      e->children.push_back(std::move(arg).value());
+      return e;
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kAttribute;
+    if (Peek().kind == TokenKind::kDot) {
+      Advance();
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Status::InvalidArgument(
+            StrFormat("expected attribute after '.' at offset %zu",
+                      Peek().position));
+      }
+      e->alias = first;
+      e->attribute = ToLowerAscii(Advance().text);
+    } else {
+      e->attribute = ToLowerAscii(first);
+    }
+    return e;
+  }
+  return Status::InvalidArgument(
+      StrFormat("unexpected token at offset %zu", tok.position));
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParsePrimary() {
+  if (Peek().kind == TokenKind::kLParen) {
+    Advance();
+    auto inner = ParseOr();
+    if (!inner.ok()) return inner.status();
+    CBFWW_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    return inner;
+  }
+  if (PeekKeyword("exists")) {
+    Advance();
+    CBFWW_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'(' after EXISTS"));
+    auto sub = ParseSelect();
+    if (!sub.ok()) return sub.status();
+    CBFWW_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')' after subquery"));
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kExists;
+    e->subquery = std::move(sub).value();
+    return e;
+  }
+
+  auto left = ParseOperand();
+  if (!left.ok()) return left.status();
+
+  if (PeekKeyword("mention")) {
+    Advance();
+    if (Peek().kind != TokenKind::kString) {
+      return Status::InvalidArgument(
+          StrFormat("MENTION requires a string literal at offset %zu",
+                    Peek().position));
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kMention;
+    e->phrase = Advance().text;
+    e->children.push_back(std::move(left).value());
+    return e;
+  }
+  if (PeekKeyword("in")) {
+    Advance();
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kIn;
+    e->children.push_back(std::move(left).value());
+    if (Peek().kind == TokenKind::kLParen) {
+      // Could be a subquery or a parenthesized operand; SELECT decides.
+      size_t save = pos_;
+      Advance();
+      if (PeekKeyword("select")) {
+        auto sub = ParseSelect();
+        if (!sub.ok()) return sub.status();
+        CBFWW_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        e->subquery = std::move(sub).value();
+        return e;
+      }
+      pos_ = save;
+    }
+    auto target = ParseOperand();
+    if (!target.ok()) return target.status();
+    e->children.push_back(std::move(target).value());
+    return e;
+  }
+
+  CompareOp op;
+  switch (Peek().kind) {
+    case TokenKind::kEq:
+      op = CompareOp::kEq;
+      break;
+    case TokenKind::kNe:
+      op = CompareOp::kNe;
+      break;
+    case TokenKind::kLt:
+      op = CompareOp::kLt;
+      break;
+    case TokenKind::kLe:
+      op = CompareOp::kLe;
+      break;
+    case TokenKind::kGt:
+      op = CompareOp::kGt;
+      break;
+    case TokenKind::kGe:
+      op = CompareOp::kGe;
+      break;
+    default: {
+      // Bare operand as a boolean-ish primary (e.g. projection contexts
+      // never reach here; treat as error for WHERE clauses).
+      return Status::InvalidArgument(StrFormat(
+          "expected comparison, MENTION or IN at offset %zu", Peek().position));
+    }
+  }
+  Advance();
+  auto right = ParseOperand();
+  if (!right.ok()) return right.status();
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCompare;
+  e->op = op;
+  e->children.push_back(std::move(left).value());
+  e->children.push_back(std::move(right).value());
+  return e;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseUnary() {
+  if (ConsumeKeyword("not")) {
+    auto inner = ParseUnary();
+    if (!inner.ok()) return inner.status();
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kNot;
+    e->children.push_back(std::move(inner).value());
+    return e;
+  }
+  return ParsePrimary();
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseAnd() {
+  auto left = ParseUnary();
+  if (!left.ok()) return left;
+  while (ConsumeKeyword("and")) {
+    auto right = ParseUnary();
+    if (!right.ok()) return right;
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kAnd;
+    e->children.push_back(std::move(left).value());
+    e->children.push_back(std::move(right).value());
+    left = std::move(e);
+  }
+  return left;
+}
+
+Result<std::unique_ptr<Expr>> Parser::ParseOr() {
+  auto left = ParseAnd();
+  if (!left.ok()) return left;
+  while (ConsumeKeyword("or")) {
+    auto right = ParseAnd();
+    if (!right.ok()) return right;
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kOr;
+    e->children.push_back(std::move(left).value());
+    e->children.push_back(std::move(right).value());
+    left = std::move(e);
+  }
+  return left;
+}
+
+Result<std::unique_ptr<SelectStatement>> Parser::ParseSelect() {
+  if (!ConsumeKeyword("select")) {
+    return Status::InvalidArgument(
+        StrFormat("expected SELECT at offset %zu", Peek().position));
+  }
+  auto stmt = std::make_unique<SelectStatement>();
+
+  if (PeekKeyword("lru")) {
+    stmt->modifier = UsageModifier::kLru;
+    Advance();
+  } else if (PeekKeyword("mru")) {
+    stmt->modifier = UsageModifier::kMru;
+    Advance();
+  } else if (PeekKeyword("lfu")) {
+    stmt->modifier = UsageModifier::kLfu;
+    Advance();
+  } else if (PeekKeyword("mfu")) {
+    stmt->modifier = UsageModifier::kMfu;
+    Advance();
+  }
+  if (stmt->modifier != UsageModifier::kNone) {
+    if (Peek().kind == TokenKind::kNumber) {
+      stmt->limit = static_cast<uint64_t>(Advance().number);
+    }
+    // Optional comma after the modifier (the paper writes "SELECT MFU,
+    // l.path").
+    if (Peek().kind == TokenKind::kComma) Advance();
+  }
+
+  // Projections.
+  while (true) {
+    auto proj = ParseOperand();
+    if (!proj.ok()) return proj.status();
+    stmt->projections.push_back(std::move(proj).value());
+    if (Peek().kind == TokenKind::kComma) {
+      Advance();
+      // Tolerate a trailing comma before FROM (appears in the paper's
+      // second example: "SELECT MFU 10 l.oid, l.path,").
+      if (PeekKeyword("from")) break;
+      continue;
+    }
+    break;
+  }
+
+  if (!ConsumeKeyword("from")) {
+    return Status::InvalidArgument(
+        StrFormat("expected FROM at offset %zu", Peek().position));
+  }
+  if (Peek().kind != TokenKind::kIdentifier) {
+    return Status::InvalidArgument(
+        StrFormat("expected entity name at offset %zu", Peek().position));
+  }
+  std::string entity = ToLowerAscii(Advance().text);
+  if (entity == "raw_object" || entity == "raw_objects") {
+    stmt->from = EntityKind::kRawObject;
+  } else if (entity == "physical_page" || entity == "physical_pages") {
+    stmt->from = EntityKind::kPhysicalPage;
+  } else if (entity == "logical_page" || entity == "logical_pages") {
+    stmt->from = EntityKind::kLogicalPage;
+  } else if (entity == "semantic_region" || entity == "semantic_regions") {
+    stmt->from = EntityKind::kSemanticRegion;
+  } else {
+    return Status::InvalidArgument(
+        StrFormat("unknown entity '%s'", entity.c_str()));
+  }
+
+  if (Peek().kind == TokenKind::kIdentifier && !PeekKeyword("where")) {
+    stmt->from_alias = Advance().text;
+  }
+
+  if (ConsumeKeyword("where")) {
+    auto where = ParseOr();
+    if (!where.ok()) return where.status();
+    stmt->where = std::move(where).value();
+  }
+  return stmt;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStatement>> ParseQuery(std::string_view text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  auto stmt = parser.ParseSelect();
+  if (!stmt.ok()) return stmt.status();
+  return stmt;
+}
+
+}  // namespace cbfww::core::query

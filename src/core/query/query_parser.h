@@ -1,0 +1,38 @@
+#ifndef CBFWW_CORE_QUERY_QUERY_PARSER_H_
+#define CBFWW_CORE_QUERY_QUERY_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "core/query/query_ast.h"
+#include "util/result.h"
+
+namespace cbfww::core::query {
+
+/// Parses one SELECT statement of the warehouse query language (paper
+/// Section 4.3). Grammar (keywords case-insensitive):
+///
+///   select    := SELECT [modifier [number]] projlist FROM entity [alias]
+///                [WHERE or_expr]
+///   modifier  := LRU | MRU | LFU | MFU
+///   projlist  := '*' | proj {',' proj}
+///   proj      := operand
+///   or_expr   := and_expr {OR and_expr}
+///   and_expr  := unary {AND unary}
+///   unary     := NOT unary | primary
+///   primary   := '(' or_expr ')'
+///             | EXISTS '(' select ')'
+///             | operand MENTION string
+///             | operand IN in_target
+///             | operand [cmp operand]
+///   in_target := '(' select ')' | operand
+///   operand   := number | string | ident '(' operand ')'
+///             | ident ['.' ident]
+///   cmp       := = | != | <> | < | <= | > | >=
+///
+/// Entities: Raw_Object, Physical_Page, Logical_Page, Semantic_Region.
+Result<std::unique_ptr<SelectStatement>> ParseQuery(std::string_view text);
+
+}  // namespace cbfww::core::query
+
+#endif  // CBFWW_CORE_QUERY_QUERY_PARSER_H_

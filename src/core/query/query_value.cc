@@ -1,0 +1,46 @@
+#include "core/query/query_value.h"
+
+#include "util/strings.h"
+
+namespace cbfww::core::query {
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return StrFormat("%lld", static_cast<long long>(AsInt()));
+  if (is_double()) return StrFormat("%.4g", AsDouble());
+  if (is_string()) return AsString();
+  if (is_bool()) return AsBool() ? "true" : "false";
+  if (is_oid_list()) {
+    std::string out = "[";
+    const auto& oids = AsOidList();
+    for (size_t i = 0; i < oids.size(); ++i) {
+      if (i > 0) out += ",";
+      out += StrFormat("%llu", static_cast<unsigned long long>(oids[i]));
+    }
+    out += "]";
+    return out;
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    double a = AsDouble();
+    double b = other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (is_string() && other.is_string()) {
+    return AsString().compare(other.AsString());
+  }
+  if (is_bool() && other.is_bool()) {
+    return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+  }
+  // Incompatible types: order by variant index for stability.
+  int ai = static_cast<int>(data_.index());
+  int bi = static_cast<int>(other.data_.index());
+  return ai - bi;
+}
+
+}  // namespace cbfww::core::query

@@ -1,0 +1,67 @@
+#ifndef CBFWW_CORE_QUERY_QUERY_VALUE_H_
+#define CBFWW_CORE_QUERY_QUERY_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cbfww::core::query {
+
+/// Entity sets a query can range over (the FROM clause).
+enum class EntityKind {
+  kRawObject = 0,
+  kPhysicalPage,
+  kLogicalPage,
+  kSemanticRegion,
+};
+
+/// Runtime value in the query engine: null, int, double, string, bool, or a
+/// list of object ids (for attributes like l.physicals).
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(std::vector<uint64_t> oids) : data_(std::move(oids)) {}
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_oid_list() const {
+    return std::holds_alternative<std::vector<uint64_t>>(data_);
+  }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(data_))
+                    : std::get<double>(data_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  bool AsBool() const { return std::get<bool>(data_); }
+  const std::vector<uint64_t>& AsOidList() const {
+    return std::get<std::vector<uint64_t>>(data_);
+  }
+
+  /// Rendering for result tables.
+  std::string ToString() const;
+
+  /// SQL-style comparison; numeric values compare across int/double.
+  /// Returns <0, 0, >0; comparing incompatible types yields 0 == false
+  /// equality and ordering by type index (stable but arbitrary).
+  int Compare(const Value& other) const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, bool,
+               std::vector<uint64_t>>
+      data_;
+};
+
+}  // namespace cbfww::core::query
+
+#endif  // CBFWW_CORE_QUERY_QUERY_VALUE_H_

@@ -1,0 +1,61 @@
+#include "core/recommendation_manager.h"
+
+#include <algorithm>
+
+namespace cbfww::core {
+
+RecommendationManager::RecommendationManager(const Options& options)
+    : options_(options) {}
+
+void RecommendationManager::RecordAccess(uint32_t user,
+                                         const text::TermVector& v,
+                                         SimTime now) {
+  auto it = profiles_.find(user);
+  if (it == profiles_.end()) {
+    it = profiles_.emplace(user, DecayingTermWeights(options_.half_life))
+             .first;
+  }
+  double norm = v.Norm();
+  if (norm <= 0.0) return;
+  for (const auto& [term, weight] : v.entries()) {
+    it->second.Add(term, weight / norm, now);
+  }
+}
+
+text::TermVector RecommendationManager::UserProfile(uint32_t user,
+                                                    SimTime now) const {
+  auto it = profiles_.find(user);
+  if (it == profiles_.end()) return {};
+  std::vector<text::TermVector::Entry> entries;
+  for (const auto& [term, weight] :
+       it->second.TopTerms(now, options_.profile_terms)) {
+    entries.emplace_back(term, weight);
+  }
+  return text::TermVector::FromUnsorted(std::move(entries));
+}
+
+std::vector<index::ScoredDoc> RecommendationManager::RecommendPages(
+    uint32_t user, const index::InvertedIndex& page_index, size_t k,
+    SimTime now) const {
+  text::TermVector profile = UserProfile(user, now);
+  if (profile.empty()) return {};
+  return page_index.QueryVector(profile, k);
+}
+
+std::vector<LogicalPageId> RecommendationManager::RecommendPaths(
+    corpus::PageId page, const LogicalPageManager& lpm, size_t k) const {
+  std::vector<LogicalPageId> starting = lpm.PagesStartingAt(page);
+  std::sort(starting.begin(), starting.end(),
+            [&lpm](LogicalPageId a, LogicalPageId b) {
+              const LogicalPageRecord* ra = lpm.FindPage(a);
+              const LogicalPageRecord* rb = lpm.FindPage(b);
+              uint64_t fa = ra != nullptr ? ra->history.frequency() : 0;
+              uint64_t fb = rb != nullptr ? rb->history.frequency() : 0;
+              if (fa != fb) return fa > fb;
+              return a < b;
+            });
+  if (starting.size() > k) starting.resize(k);
+  return starting;
+}
+
+}  // namespace cbfww::core

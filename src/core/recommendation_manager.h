@@ -1,0 +1,60 @@
+#ifndef CBFWW_CORE_RECOMMENDATION_MANAGER_H_
+#define CBFWW_CORE_RECOMMENDATION_MANAGER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/logical_page_manager.h"
+#include "core/object_model.h"
+#include "core/topic.h"
+#include "index/inverted_index.h"
+#include "text/term_vector.h"
+#include "util/clock.h"
+
+namespace cbfww::core {
+
+/// Recommendation Manager (paper Section 3, component (5)): maintains
+/// per-user views of relevant contents and recommends pages (by content
+/// profile) and navigation paths (by other users' traversals — "Social
+/// Navigation").
+class RecommendationManager {
+ public:
+  struct Options {
+    /// Terms kept in a user profile vector.
+    size_t profile_terms = 64;
+    /// Decay half-life of user interests.
+    SimTime half_life = 24 * kHour;
+  };
+
+  explicit RecommendationManager(const Options& options);
+
+  /// Folds an accessed document's content into the user's interest profile.
+  void RecordAccess(uint32_t user, const text::TermVector& v, SimTime now);
+
+  /// Current interest profile (top terms, as a vector). Empty when the user
+  /// has no history.
+  text::TermVector UserProfile(uint32_t user, SimTime now) const;
+
+  /// Top-k pages by cosine similarity between the user profile and the
+  /// physical-page index.
+  std::vector<index::ScoredDoc> RecommendPages(
+      uint32_t user, const index::InvertedIndex& page_index, size_t k,
+      SimTime now) const;
+
+  /// Social navigation: the most-referenced logical pages that start at
+  /// `page`, ranked by traversal frequency (other users' experience).
+  std::vector<LogicalPageId> RecommendPaths(corpus::PageId page,
+                                            const LogicalPageManager& lpm,
+                                            size_t k) const;
+
+  size_t num_users() const { return profiles_.size(); }
+
+ private:
+  Options options_;
+  std::unordered_map<uint32_t, DecayingTermWeights> profiles_;
+};
+
+}  // namespace cbfww::core
+
+#endif  // CBFWW_CORE_RECOMMENDATION_MANAGER_H_

@@ -1,0 +1,114 @@
+#include "core/semantic_region_manager.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbfww::core {
+
+SemanticRegionManager::SemanticRegionManager(const Options& options)
+    : options_(options), stream_(options.clustering) {}
+
+SemanticRegionRecord* SemanticRegionManager::FindRegion(RegionId id) {
+  auto it = regions_.find(id);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+const SemanticRegionRecord* SemanticRegionManager::FindRegion(
+    RegionId id) const {
+  auto it = regions_.find(id);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+RegionId SemanticRegionManager::Assign(const text::TermVector& v) {
+  uint32_t facility = stream_.Add(v);
+  auto it = regions_.find(facility);
+  if (it == regions_.end()) {
+    SemanticRegionRecord rec;
+    rec.id = facility;
+    rec.centroid = v;
+    regions_.emplace(facility, std::move(rec));
+  }
+  regions_[facility].weight += 1.0;
+  return facility;
+}
+
+RegionId SemanticRegionManager::Nearest(const text::TermVector& v) const {
+  uint32_t facility = stream_.Nearest(v);
+  return facility == UINT32_MAX ? kInvalidRegionId : facility;
+}
+
+void SemanticRegionManager::ApplyDecay(SemanticRegionRecord& rec,
+                                       SimTime now) {
+  auto [it, inserted] = last_decay_.try_emplace(rec.id, now);
+  if (inserted) return;  // First touch: start the decay clock here.
+  SimTime& last = it->second;
+  while (now >= last + options_.decay_period) {
+    rec.priority_sum *= options_.aggregate_decay;
+    last += options_.decay_period;
+  }
+}
+
+void SemanticRegionManager::RecordMemberPriority(RegionId region,
+                                                 Priority priority,
+                                                 SimTime now) {
+  auto it = regions_.find(region);
+  if (it == regions_.end()) return;
+  ApplyDecay(it->second, now);
+  it->second.priority_sum += priority;
+  ++it->second.priority_count;
+  it->second.history.RecordReference(now);
+}
+
+SemanticRegionManager::Prediction SemanticRegionManager::PredictPriority(
+    const text::TermVector& v) const {
+  Prediction pred;
+  RegionId nearest = Nearest(v);
+  if (nearest == kInvalidRegionId) return pred;
+  auto it = regions_.find(nearest);
+  if (it == regions_.end()) return pred;
+  pred.region = nearest;
+  pred.mean_priority = it->second.MeanMemberPriority();
+  pred.similarity = v.Cosine(it->second.centroid);
+  return pred;
+}
+
+void SemanticRegionManager::Sync(SimTime now) {
+  // 1. Replay merges: fold aggregates of absorbed regions into survivors.
+  for (const cluster::MergeEvent& merge : stream_.TakeMergeEvents()) {
+    auto from = regions_.find(merge.from);
+    if (from == regions_.end()) continue;
+    SemanticRegionRecord& into = regions_[merge.into];
+    if (into.id == kInvalidRegionId) into.id = merge.into;
+    ApplyDecay(from->second, now);
+    ApplyDecay(into, now);
+    into.weight += from->second.weight;
+    into.priority_sum += from->second.priority_sum;
+    into.priority_count += from->second.priority_count;
+    regions_.erase(from);
+    last_decay_.erase(merge.from);
+  }
+
+  // 2. Refresh centroids and weights from the live facilities; drop regions
+  // whose facility vanished without a recorded merge (defensive).
+  const auto& facilities = stream_.facilities();
+  for (auto it = regions_.begin(); it != regions_.end();) {
+    auto fit = facilities.find(it->first);
+    if (fit == facilities.end()) {
+      last_decay_.erase(it->first);
+      it = regions_.erase(it);
+      continue;
+    }
+    it->second.centroid = fit->second.center;
+    it->second.weight = fit->second.weight;
+    ++it;
+  }
+
+  // 3. Radii: mean distance proxy — facility cost is the scale at which
+  // points open new facilities, so use it as the region radius λ.
+  for (auto& [id, rec] : regions_) {
+    (void)id;
+    rec.radius = stream_.facility_cost();
+  }
+}
+
+}  // namespace cbfww::core

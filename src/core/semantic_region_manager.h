@@ -1,0 +1,77 @@
+#ifndef CBFWW_CORE_SEMANTIC_REGION_MANAGER_H_
+#define CBFWW_CORE_SEMANTIC_REGION_MANAGER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/streaming_kmedian.h"
+#include "core/object_model.h"
+#include "text/term_vector.h"
+#include "util/clock.h"
+
+namespace cbfww::core {
+
+/// Semantic Region Manager (paper Sections 4.1 and 5.3): clusters document
+/// content vectors into semantic regions R = (σ, λ) with a single-pass
+/// streaming k-median, and maintains per-region priority aggregates so the
+/// Priority Manager can predict the priority of a newly retrieved object
+/// from the region its content falls into.
+class SemanticRegionManager {
+ public:
+  struct Options {
+    cluster::StreamingKMedianOptions clustering;
+    /// Exponential-decay factor applied to region priority aggregates per
+    /// decay period (keeps the prediction tracking current hot spots).
+    double aggregate_decay = 0.98;
+    SimTime decay_period = 1 * kHour;
+  };
+
+  explicit SemanticRegionManager(const Options& options);
+
+  /// Assigns `v` (should be L2-normalized) to a region, creating one if the
+  /// stream opens a new facility. Returns the region id.
+  RegionId Assign(const text::TermVector& v);
+
+  /// Nearest region without inserting; kInvalidRegionId when none exist.
+  RegionId Nearest(const text::TermVector& v) const;
+
+  /// Records that a member of `region` currently carries `priority`
+  /// (called on accesses so the aggregate tracks live popularity).
+  void RecordMemberPriority(RegionId region, Priority priority, SimTime now);
+
+  /// Similarity-based priority prediction for new content: returns the
+  /// mean member priority of the nearest region and the cosine-style
+  /// similarity to its centroid (both 0 when no regions exist).
+  struct Prediction {
+    RegionId region = kInvalidRegionId;
+    double mean_priority = 0.0;
+    double similarity = 0.0;
+  };
+  Prediction PredictPriority(const text::TermVector& v) const;
+
+  /// Region records (centroid, radius, aggregates).
+  const std::unordered_map<RegionId, SemanticRegionRecord>& regions() const {
+    return regions_;
+  }
+  SemanticRegionRecord* FindRegion(RegionId id);
+  const SemanticRegionRecord* FindRegion(RegionId id) const;
+
+  /// Applies pending cluster merges and refreshes centroids/radii from the
+  /// underlying stream state. Call periodically (the Warehouse's Tick).
+  void Sync(SimTime now);
+
+  const cluster::StreamingKMedian& stream() const { return stream_; }
+
+ private:
+  void ApplyDecay(SemanticRegionRecord& rec, SimTime now);
+
+  Options options_;
+  cluster::StreamingKMedian stream_;
+  std::unordered_map<RegionId, SemanticRegionRecord> regions_;
+  std::unordered_map<RegionId, SimTime> last_decay_;
+};
+
+}  // namespace cbfww::core
+
+#endif  // CBFWW_CORE_SEMANTIC_REGION_MANAGER_H_

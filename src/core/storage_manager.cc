@@ -1,0 +1,350 @@
+#include "core/storage_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace cbfww::core {
+
+StorageManager::StorageManager(storage::StorageHierarchy* hierarchy,
+                               const ConstraintManager* constraints,
+                               const Options& options)
+    : hierarchy_(hierarchy), constraints_(constraints), options_(options) {
+  assert(hierarchy_ != nullptr);
+  assert(hierarchy_->num_tiers() >= 3);
+}
+
+bool StorageManager::FullObjectFitsMemoryRules(
+    const RawObjectRecord& rec) const {
+  if (options_.enable_lod && options_.lod_threshold_bytes != 0 &&
+      rec.bytes > options_.lod_threshold_bytes) {
+    return false;  // Levels of detail: only the summary goes up.
+  }
+  if (constraints_ != nullptr) {
+    if (constraints_->TierFloor(rec.id) > kMemoryTier) {
+      return false;  // Manual restriction (security): stays below memory.
+    }
+    return constraints_
+        ->CheckAdmission(rec.id, rec.bytes, kMemoryTier, rec.history)
+        .ok();
+  }
+  return true;
+}
+
+Status StorageManager::AdmitNew(RawObjectRecord& rec, Priority priority) {
+  storage::StoreObjectId full_id =
+      EncodeStoreId(index::ObjectLevel::kRaw, rec.id);
+  if (constraints_ != nullptr) {
+    CBFWW_RETURN_IF_ERROR(constraints_->CheckAdmission(
+        rec.id, rec.bytes, kTertiaryTier, rec.history));
+  }
+  // Tertiary backup always exists under copy control (the "store
+  // everything" premise); without it, objects live on exactly one tier.
+  if (options_.copy_control) {
+    CBFWW_RETURN_IF_ERROR(
+        hierarchy_->Store(full_id, rec.bytes, kTertiaryTier));
+  }
+
+  // Disk copy when admitted; a full disk just means the object stays on
+  // tertiary until the next rebalance makes room.
+  bool disk_ok = false;
+  if (constraints_ == nullptr ||
+      constraints_->CheckAdmission(rec.id, rec.bytes, kDiskTier, rec.history)
+          .ok()) {
+    disk_ok = hierarchy_->Store(full_id, rec.bytes, kDiskTier).ok();
+  }
+  if (!options_.copy_control && !disk_ok) {
+    // Single-copy mode with no disk room: tertiary is the only home.
+    CBFWW_RETURN_IF_ERROR(
+        hierarchy_->Store(full_id, rec.bytes, kTertiaryTier));
+  }
+
+  // Memory promotion only when the predicted priority clears the bar set by
+  // the last rebalance — this is where CBFWW departs from LRU's
+  // "new object on top". Weaker residents are displaced to make room
+  // (they keep their disk copies).
+  if (disk_ok && priority >= memory_threshold_) {
+    if (FullObjectFitsMemoryRules(rec)) {
+      if (!hierarchy_->Store(full_id, rec.bytes, kMemoryTier).ok() &&
+          MakeMemoryRoom(rec.bytes, priority)) {
+        (void)hierarchy_->Store(full_id, rec.bytes, kMemoryTier);
+      }
+      if (hierarchy_->IsResident(full_id, kMemoryTier)) {
+        NoteMemoryResident(full_id, priority);
+        rec.admitted_to_memory_on_fetch = true;
+      }
+    } else if (rec.has_summary) {
+      storage::StoreObjectId summary_id =
+          EncodeStoreId(index::ObjectLevel::kRaw, rec.id, /*summary=*/true);
+      if (!hierarchy_->Store(summary_id, rec.summary_bytes, kMemoryTier)
+               .ok() &&
+          MakeMemoryRoom(rec.summary_bytes, priority)) {
+        (void)hierarchy_->Store(summary_id, rec.summary_bytes, kMemoryTier);
+      }
+      if (hierarchy_->IsResident(summary_id, kMemoryTier)) {
+        NoteMemoryResident(summary_id, priority);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+bool StorageManager::MakeMemoryRoom(uint64_t bytes,
+                                    Priority incoming_priority) {
+  if (hierarchy_->tier(kMemoryTier).capacity_bytes == 0) return true;
+  while (hierarchy_->free_bytes(kMemoryTier) < bytes) {
+    // Weakest registered resident; displace only if strictly weaker than
+    // the incoming object.
+    storage::StoreObjectId weakest = 0;
+    Priority weakest_priority = 0.0;
+    bool found = false;
+    for (const auto& [id, priority] : memory_entries_) {
+      if (!found || priority < weakest_priority) {
+        weakest = id;
+        weakest_priority = priority;
+        found = true;
+      }
+    }
+    if (!found || weakest_priority >= incoming_priority) return false;
+    memory_entries_.erase(weakest);
+    if (!hierarchy_->Evict(weakest, kMemoryTier).ok()) {
+      // Registry out of sync (copy already gone); drop and continue.
+      continue;
+    }
+  }
+  return true;
+}
+
+bool StorageManager::ReserveMemoryRoom(uint64_t bytes) {
+  return MakeMemoryRoom(bytes, std::numeric_limits<Priority>::infinity());
+}
+
+void StorageManager::PromoteOnAccess(RawObjectRecord& rec, Priority priority) {
+  storage::StoreObjectId full_id =
+      EncodeStoreId(index::ObjectLevel::kRaw, rec.id);
+  if (hierarchy_->IsResident(full_id, kMemoryTier)) {
+    NoteMemoryResident(full_id, priority);
+    return;
+  }
+  if (priority < memory_threshold_) return;
+  if (!FullObjectFitsMemoryRules(rec)) return;
+  if (hierarchy_->FastestTierOf(full_id) == storage::kNoTier) return;
+  if (!hierarchy_->Migrate(full_id, kMemoryTier, /*exclusive=*/false).ok()) {
+    if (!MakeMemoryRoom(rec.bytes, priority)) return;
+    if (!hierarchy_->Migrate(full_id, kMemoryTier, /*exclusive=*/false)
+             .ok()) {
+      return;
+    }
+  }
+  NoteMemoryResident(full_id, priority);
+}
+
+Result<SimTime> StorageManager::ReadObject(const RawObjectRecord& rec) {
+  return hierarchy_->Read(EncodeStoreId(index::ObjectLevel::kRaw, rec.id));
+}
+
+Result<SimTime> StorageManager::ReadPreview(const RawObjectRecord& rec) {
+  if (rec.has_summary) {
+    storage::StoreObjectId summary_id =
+        EncodeStoreId(index::ObjectLevel::kRaw, rec.id, /*summary=*/true);
+    if (hierarchy_->FastestTierOf(summary_id) != storage::kNoTier) {
+      return hierarchy_->Read(summary_id);
+    }
+  }
+  return ReadObject(rec);
+}
+
+StorageManager::RebalanceResult StorageManager::Rebalance(
+    std::vector<RankedObject> ranked) {
+  RebalanceResult result;
+  memory_entries_.clear();  // Rebuilt below from the desired placement.
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedObject& a, const RankedObject& b) {
+              if (a.priority != b.priority) return a.priority > b.priority;
+              return a.record->id < b.record->id;
+            });
+
+  // --- Phase 1: desired placement under tier budgets. ---
+  const uint64_t mem_cap = hierarchy_->tier(kMemoryTier).capacity_bytes;
+  const uint64_t disk_cap = hierarchy_->tier(kDiskTier).capacity_bytes;
+  uint64_t mem_budget =
+      mem_cap == 0 ? std::numeric_limits<uint64_t>::max()
+                   : static_cast<uint64_t>(options_.memory_fill_target *
+                                           static_cast<double>(mem_cap));
+  uint64_t disk_budget =
+      disk_cap == 0 ? std::numeric_limits<uint64_t>::max()
+                    : static_cast<uint64_t>(options_.disk_fill_target *
+                                            static_cast<double>(disk_cap));
+
+  // Full-object tier and (independently) whether the object's summary
+  // lives in memory — a large doc may be tertiary-resident while its
+  // summary stays hot ("fast preview even [when] the original document is
+  // currently not available", Section 4.3).
+  std::vector<storage::TierIndex> full_tier(ranked.size(), kTertiaryTier);
+  std::vector<char> summary_in_memory(ranked.size(), 0);
+  Priority weakest_in_memory = 0.0;
+  Priority weakest_on_disk = 0.0;
+  bool memory_has_objects = false;
+  bool memory_rejected_any = false;
+
+  // Pass A — manual pins (storage schema definition language) reserve
+  // their tier before any priority-ranked placement.
+  std::vector<char> handled(ranked.size(), 0);
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (constraints_ == nullptr) break;
+    const RawObjectRecord& rec = *ranked[i].record;
+    storage::TierIndex pin = constraints_->PinnedTier(rec.id);
+    if (pin == storage::kNoTier) continue;
+    if (pin == kMemoryTier && rec.bytes <= mem_budget) {
+      full_tier[i] = kMemoryTier;
+      mem_budget -= rec.bytes;
+      memory_has_objects = true;
+      handled[i] = 1;
+      // Pinned residents are undisplaceable: register at +inf priority so
+      // neither promotions nor index reservations can push them out.
+      ranked[i].priority = std::numeric_limits<Priority>::infinity();
+    } else if (pin == kDiskTier && rec.bytes <= disk_budget) {
+      full_tier[i] = kDiskTier;
+      disk_budget -= rec.bytes;
+      handled[i] = 1;
+    } else if (pin == kTertiaryTier) {
+      full_tier[i] = kTertiaryTier;
+      handled[i] = 1;
+    }
+  }
+
+  // Pass B — priority-ranked placement for everything else.
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (handled[i]) continue;
+    const RawObjectRecord& rec = *ranked[i].record;
+    // Objects barred from the warehouse entirely (copyright, churn rules)
+    // must not be re-materialized by the rebalancer.
+    if (constraints_ != nullptr &&
+        !constraints_
+             ->CheckAdmission(rec.id, rec.bytes, kTertiaryTier, rec.history)
+             .ok()) {
+      full_tier[i] = storage::kNoTier;
+      continue;
+    }
+    bool in_memory = false;
+    if (FullObjectFitsMemoryRules(rec) && rec.bytes <= mem_budget) {
+      full_tier[i] = kMemoryTier;
+      mem_budget -= rec.bytes;
+      weakest_in_memory = ranked[i].priority;
+      memory_has_objects = true;
+      in_memory = true;
+    } else if (options_.enable_lod && rec.has_summary &&
+               rec.summary_bytes <= mem_budget) {
+      summary_in_memory[i] = 1;
+      mem_budget -= rec.summary_bytes;
+      weakest_in_memory = ranked[i].priority;
+      memory_has_objects = true;
+      in_memory = true;  // Memory presence via summary.
+    }
+    if (!in_memory) memory_rejected_any = true;
+    if (full_tier[i] != kMemoryTier) {
+      bool disk_admissible =
+          constraints_ == nullptr ||
+          (constraints_->TierFloor(rec.id) <= kDiskTier &&
+           constraints_
+               ->CheckAdmission(rec.id, rec.bytes, kDiskTier, rec.history)
+               .ok());
+      if (disk_admissible && rec.bytes <= disk_budget) {
+        full_tier[i] = kDiskTier;
+        disk_budget -= rec.bytes;
+        weakest_on_disk = ranked[i].priority;
+      } else {
+        full_tier[i] = kTertiaryTier;
+      }
+    }
+  }
+  // Admission thresholds for newly fetched objects until the next pass:
+  // once memory is contended (some object was turned away while others got
+  // in), only priorities at or above the weakest resident may enter.
+  memory_threshold_ =
+      (memory_has_objects && memory_rejected_any) ? weakest_in_memory : 0.0;
+  disk_threshold_ = weakest_on_disk;
+
+  // --- Phase 2: evict copies above the desired tier. ---
+  std::vector<storage::TierIndex> before(ranked.size());
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const RawObjectRecord& rec = *ranked[i].record;
+    storage::StoreObjectId full_id =
+        EncodeStoreId(index::ObjectLevel::kRaw, rec.id);
+    storage::StoreObjectId summary_id =
+        EncodeStoreId(index::ObjectLevel::kRaw, rec.id, /*summary=*/true);
+    before[i] = hierarchy_->FastestTierOf(full_id);
+
+    if (full_tier[i] == storage::kNoTier) {
+      hierarchy_->EvictAll(full_id);
+      hierarchy_->EvictAll(summary_id);
+      continue;
+    }
+    if (full_tier[i] != kMemoryTier &&
+        hierarchy_->IsResident(full_id, kMemoryTier)) {
+      (void)hierarchy_->Evict(full_id, kMemoryTier);
+    }
+    if (!summary_in_memory[i] &&
+        hierarchy_->IsResident(summary_id, kMemoryTier)) {
+      (void)hierarchy_->Evict(summary_id, kMemoryTier);
+    }
+    if (full_tier[i] == kTertiaryTier &&
+        hierarchy_->IsResident(full_id, kDiskTier)) {
+      (void)hierarchy_->Evict(full_id, kDiskTier);
+    }
+  }
+
+  // --- Phase 3: establish desired residency, best first. ---
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    RawObjectRecord& rec = *ranked[i].record;
+    storage::StoreObjectId full_id =
+        EncodeStoreId(index::ObjectLevel::kRaw, rec.id);
+    storage::StoreObjectId summary_id =
+        EncodeStoreId(index::ObjectLevel::kRaw, rec.id, /*summary=*/true);
+
+    if (full_tier[i] == storage::kNoTier) continue;  // Barred object.
+    // Tertiary backup for everything (copy control).
+    if (options_.copy_control || full_tier[i] == kTertiaryTier) {
+      (void)hierarchy_->Store(full_id, rec.bytes, kTertiaryTier);
+    }
+    if (summary_in_memory[i]) {
+      if (hierarchy_->Store(summary_id, rec.summary_bytes, kMemoryTier).ok() ||
+          hierarchy_->IsResident(summary_id, kMemoryTier)) {
+        NoteMemoryResident(summary_id, ranked[i].priority);
+        ++result.summaries_in_memory;
+      }
+    }
+    switch (full_tier[i]) {
+      case kMemoryTier: {
+        if (options_.copy_control) {
+          (void)hierarchy_->Store(full_id, rec.bytes, kDiskTier);
+        }
+        bool stored =
+            hierarchy_->Store(full_id, rec.bytes, kMemoryTier).ok() ||
+            hierarchy_->IsResident(full_id, kMemoryTier);
+        if (!stored && MakeMemoryRoom(rec.bytes, ranked[i].priority)) {
+          stored = hierarchy_->Store(full_id, rec.bytes, kMemoryTier).ok();
+        }
+        if (stored) NoteMemoryResident(full_id, ranked[i].priority);
+        ++result.objects_in_memory;
+        break;
+      }
+      case kDiskTier:
+        (void)hierarchy_->Store(full_id, rec.bytes, kDiskTier);
+        ++result.objects_on_disk;
+        break;
+      default:
+        ++result.objects_on_tertiary;
+        break;
+    }
+
+    storage::TierIndex after = hierarchy_->FastestTierOf(full_id);
+    if (before[i] != storage::kNoTier && after != storage::kNoTier) {
+      if (after < before[i]) ++result.promotions;
+      if (after > before[i]) ++result.demotions;
+    }
+  }
+  return result;
+}
+
+}  // namespace cbfww::core

@@ -1,0 +1,128 @@
+#ifndef CBFWW_CORE_STORAGE_MANAGER_H_
+#define CBFWW_CORE_STORAGE_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+#include <unordered_map>
+
+#include "core/constraint_manager.h"
+#include "core/object_model.h"
+#include "storage/hierarchy.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace cbfww::core {
+
+/// Storage Manager (paper Sections 3 and 4.4): maps the object hierarchy
+/// onto the storage hierarchy by priority, self-organizingly. Implements:
+///  - priority-ranked placement (hot objects in memory, warm on disk, cold
+///    on tertiary),
+///  - copy control (memory residents have disk copies; disk residents have
+///    possibly-stale tertiary copies),
+///  - levels of detail (a large high-priority document keeps only its
+///    summary in the fast tier; the full object stays one tier down),
+///  - dynamic migration as priorities change (Rebalance).
+class StorageManager {
+ public:
+  struct Options {
+    /// Fraction of each bounded tier's capacity the rebalancer fills.
+    double memory_fill_target = 0.90;
+    double disk_fill_target = 0.95;
+    /// Objects larger than this are represented in memory by their summary
+    /// (levels of detail); 0 disables the rule.
+    uint64_t lod_threshold_bytes = 1024 * 1024;
+    bool enable_lod = true;
+    /// Maintain lower-tier backup copies (recovery copy control).
+    bool copy_control = true;
+  };
+
+  struct RankedObject {
+    RawObjectRecord* record = nullptr;
+    Priority priority = 0.0;
+  };
+
+  struct RebalanceResult {
+    uint64_t promotions = 0;
+    uint64_t demotions = 0;
+    uint64_t summaries_in_memory = 0;
+    uint64_t objects_in_memory = 0;
+    uint64_t objects_on_disk = 0;
+    uint64_t objects_on_tertiary = 0;
+  };
+
+  /// `hierarchy` and `constraints` are not owned; must outlive the manager.
+  /// The hierarchy is expected to have 3 tiers (memory, disk, tertiary).
+  StorageManager(storage::StorageHierarchy* hierarchy,
+                 const ConstraintManager* constraints, const Options& options);
+
+  /// Places a newly fetched object: disk + tertiary backup by default;
+  /// promoted straight to memory when its (predicted) priority beats the
+  /// current memory admission threshold, displacing weaker residents if
+  /// memory is full (safe: memory residents always have disk copies).
+  Status AdmitNew(RawObjectRecord& rec, Priority priority);
+
+  /// Self-organization between rebalances: promotes an accessed object into
+  /// memory when `priority` clears the admission bar, displacing weaker
+  /// residents as needed. No-op if already in memory (refreshes its
+  /// registered priority) or if the object must stay below memory (LoD /
+  /// admission rules).
+  void PromoteOnAccess(RawObjectRecord& rec, Priority priority);
+
+  /// Simulated cost of serving the full object from its fastest copy.
+  /// kNotFound when the object is not resident anywhere (warehouse miss).
+  Result<SimTime> ReadObject(const RawObjectRecord& rec);
+
+  /// Simulated cost of serving a preview: the summary if one is resident,
+  /// otherwise the full object.
+  Result<SimTime> ReadPreview(const RawObjectRecord& rec);
+
+  /// Full self-organizing pass: ranks all objects by priority and reassigns
+  /// tiers greedily (top of the ranking fills memory, then disk, the rest
+  /// sinks to tertiary). `ranked` need not be pre-sorted.
+  RebalanceResult Rebalance(std::vector<RankedObject> ranked);
+
+  /// Frees memory for `bytes` by displacing the weakest residents (any
+  /// priority). Used to host memory-resident indexes, which outrank data
+  /// objects ("indices stored in the main memory can be processed in a
+  /// short time", Section 4.1). Returns false if the tier is simply too
+  /// small.
+  bool ReserveMemoryRoom(uint64_t bytes);
+
+  /// Priority below which new objects are not admitted straight to memory.
+  /// Set by Rebalance to the weakest priority that made it into memory;
+  /// starts at 0 so an empty memory tier accepts objects immediately.
+  Priority memory_admission_threshold() const { return memory_threshold_; }
+
+  storage::StorageHierarchy* hierarchy() { return hierarchy_; }
+  const Options& options() const { return options_; }
+
+  static constexpr storage::TierIndex kMemoryTier = 0;
+  static constexpr storage::TierIndex kDiskTier = 1;
+  static constexpr storage::TierIndex kTertiaryTier = 2;
+
+ private:
+  /// True if the full object (not just its summary) may sit in memory.
+  bool FullObjectFitsMemoryRules(const RawObjectRecord& rec) const;
+
+  /// Frees memory for `bytes` by evicting registered residents with
+  /// priority strictly below `incoming_priority`, weakest first. Returns
+  /// true when enough space is available afterwards.
+  bool MakeMemoryRoom(uint64_t bytes, Priority incoming_priority);
+
+  /// Registers a memory-resident store object with its priority.
+  void NoteMemoryResident(storage::StoreObjectId id, Priority priority) {
+    memory_entries_[id] = priority;
+  }
+
+  storage::StorageHierarchy* hierarchy_;
+  const ConstraintManager* constraints_;
+  Options options_;
+  Priority memory_threshold_ = 0.0;
+  Priority disk_threshold_ = 0.0;
+  /// Priority registry of memory residents (displacement admission).
+  std::unordered_map<storage::StoreObjectId, Priority> memory_entries_;
+};
+
+}  // namespace cbfww::core
+
+#endif  // CBFWW_CORE_STORAGE_MANAGER_H_

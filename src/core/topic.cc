@@ -1,0 +1,133 @@
+#include "core/topic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbfww::core {
+
+DecayingTermWeights::DecayingTermWeights(SimTime half_life)
+    : half_life_(half_life) {}
+
+double DecayingTermWeights::Decayed(const Cell& c, SimTime now) const {
+  if (now <= c.updated) return c.weight;
+  double periods = static_cast<double>(now - c.updated) /
+                   static_cast<double>(half_life_);
+  return c.weight * std::exp2(-periods);
+}
+
+void DecayingTermWeights::Add(text::TermId term, double delta, SimTime now) {
+  Cell& c = weights_[term];
+  c.weight = Decayed(c, now) + delta;
+  c.updated = now;
+  total_mass_.weight = Decayed(total_mass_, now) + delta;
+  total_mass_.updated = now;
+}
+
+double DecayingTermWeights::WeightOf(text::TermId term, SimTime now) const {
+  auto it = weights_.find(term);
+  return it == weights_.end() ? 0.0 : Decayed(it->second, now);
+}
+
+double DecayingTermWeights::Overlap(const text::TermVector& v,
+                                    SimTime now) const {
+  double norm = v.Norm();
+  if (norm <= 0.0 || weights_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [term, weight] : v.entries()) {
+    sum += weight * WeightOf(term, now);
+  }
+  return sum / norm;
+}
+
+double DecayingTermWeights::TotalMass(SimTime now) const {
+  return Decayed(total_mass_, now);
+}
+
+double DecayingTermWeights::NormalizedOverlap(const text::TermVector& v,
+                                              SimTime now) const {
+  double mass = TotalMass(now);
+  if (mass <= 1e-12) return 0.0;
+  return Overlap(v, now) / mass;
+}
+
+std::vector<std::pair<text::TermId, double>> DecayingTermWeights::TopTerms(
+    SimTime now, size_t k) const {
+  std::vector<std::pair<text::TermId, double>> all;
+  all.reserve(weights_.size());
+  for (const auto& [term, cell] : weights_) {
+    double w = Decayed(cell, now);
+    if (w > 0.0) all.emplace_back(term, w);
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+void DecayingTermWeights::Compact(SimTime now, double epsilon) {
+  for (auto it = weights_.begin(); it != weights_.end();) {
+    if (Decayed(it->second, now) < epsilon) {
+      it = weights_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+TopicSensor::TopicSensor(const corpus::NewsFeed* feed, const Options& options)
+    : feed_(feed), options_(options), weights_(options.half_life) {}
+
+void TopicSensor::Poll(SimTime now) {
+  if (feed_ == nullptr || now <= last_poll_) return;
+  for (const corpus::NewsHeadline& h :
+       feed_->HeadlinesBetween(last_poll_, now)) {
+    ++headlines_seen_;
+    for (text::TermId term : h.terms) {
+      weights_.Add(term, options_.headline_term_weight, h.time);
+    }
+  }
+  last_poll_ = now;
+}
+
+double TopicSensor::HotnessOf(const text::TermVector& v, SimTime now) const {
+  // Scale-free: independent of how many headlines have been ingested.
+  return weights_.NormalizedOverlap(v, now);
+}
+
+std::vector<std::pair<text::TermId, double>> TopicSensor::HotTerms(
+    SimTime now, size_t k) const {
+  return weights_.TopTerms(now, k);
+}
+
+TopicManager::TopicManager(const TopicSensor* sensor, const Options& options)
+    : sensor_(sensor), options_(options), usage_weights_(options.half_life) {}
+
+void TopicManager::RecordUsage(const text::TermVector& v, double priority,
+                               SimTime now) {
+  double norm = v.Norm();
+  if (norm <= 0.0) return;
+  // Contribute priority-weighted normalized term weights.
+  double scale = (1.0 + priority) / norm;
+  for (const auto& [term, weight] : v.entries()) {
+    usage_weights_.Add(term, weight * scale, now);
+  }
+}
+
+double TopicManager::TopicScore(const text::TermVector& v, SimTime now) const {
+  double sensor_part =
+      sensor_ != nullptr ? sensor_->HotnessOf(v, now) : 0.0;
+  // Scale-free: independent of total traffic volume, so topic boosts stay
+  // commensurate with per-object access rates.
+  double usage_part = usage_weights_.NormalizedOverlap(v, now);
+  return options_.sensor_weight * sensor_part +
+         options_.usage_weight * usage_part;
+}
+
+std::vector<std::pair<text::TermId, double>> TopicManager::ImportantTerms(
+    SimTime now, size_t k) const {
+  return usage_weights_.TopTerms(now, k);
+}
+
+}  // namespace cbfww::core

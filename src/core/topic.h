@@ -1,0 +1,132 @@
+#ifndef CBFWW_CORE_TOPIC_H_
+#define CBFWW_CORE_TOPIC_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "corpus/news_feed.h"
+#include "text/term_vector.h"
+#include "text/vocabulary.h"
+#include "util/clock.h"
+
+namespace cbfww::core {
+
+/// A decaying weighted term set shared by the sensor and the manager:
+/// each term's weight decays exponentially with half-life `half_life`.
+class DecayingTermWeights {
+ public:
+  explicit DecayingTermWeights(SimTime half_life);
+
+  /// Adds `delta` to the term's weight at time `now`.
+  void Add(text::TermId term, double delta, SimTime now);
+
+  /// Current (decayed) weight of a term.
+  double WeightOf(text::TermId term, SimTime now) const;
+
+  /// Weighted overlap between `v` and the hot-term set, normalized by
+  /// ||v||: sum over terms of v_weight * hot_weight / ||v||. 0 for empty v.
+  double Overlap(const text::TermVector& v, SimTime now) const;
+
+  /// Scale-free overlap: Overlap / total decayed mass, in ~[0, 1]. Makes
+  /// topic scores comparable with access rates regardless of traffic
+  /// volume.
+  double NormalizedOverlap(const text::TermVector& v, SimTime now) const;
+
+  /// Sum of all decayed weights (the "mass" of the profile).
+  double TotalMass(SimTime now) const;
+
+  /// Top-k terms by current weight.
+  std::vector<std::pair<text::TermId, double>> TopTerms(SimTime now,
+                                                        size_t k) const;
+
+  size_t size() const { return weights_.size(); }
+
+  /// Removes entries whose decayed weight dropped below `epsilon`.
+  void Compact(SimTime now, double epsilon = 1e-6);
+
+ private:
+  struct Cell {
+    double weight = 0.0;
+    SimTime updated = 0;
+  };
+  double Decayed(const Cell& c, SimTime now) const;
+
+  SimTime half_life_;
+  std::unordered_map<text::TermId, Cell> weights_;
+  Cell total_mass_;
+};
+
+/// Topic Sensor (paper Section 3, component (3)): polls the news feed,
+/// turning headlines into a decaying hot-term profile. Hot terms predict
+/// imminent request bursts because news topics drive web hot spots (the
+/// paper's Kyoto-inet observation).
+class TopicSensor {
+ public:
+  struct Options {
+    /// Weight contributed by each headline term occurrence.
+    double headline_term_weight = 1.0;
+    /// Half-life of hot-term weights (hot spots are short-lived).
+    SimTime half_life = 2 * kHour;
+  };
+
+  /// `feed` is not owned; may be null (sensor stays cold).
+  TopicSensor(const corpus::NewsFeed* feed, const Options& options);
+
+  /// Ingests headlines published in [last_poll, now).
+  void Poll(SimTime now);
+
+  /// Hotness of a content vector against current hot terms (>= 0).
+  double HotnessOf(const text::TermVector& v, SimTime now) const;
+
+  std::vector<std::pair<text::TermId, double>> HotTerms(SimTime now,
+                                                        size_t k) const;
+
+  uint64_t headlines_seen() const { return headlines_seen_; }
+
+ private:
+  const corpus::NewsFeed* feed_;
+  Options options_;
+  DecayingTermWeights weights_;
+  SimTime last_poll_ = 0;
+  uint64_t headlines_seen_ = 0;
+};
+
+/// Topic Manager (paper Section 3, component (2)): maintains importance
+/// weights of words/phrases from *usage* (weighted by the priority of the
+/// content that used them) merged with the Topic Sensor's news-driven
+/// weights. Supplies the topic-hotness term of priorities and query
+/// expansion terms for the Query Processor.
+class TopicManager {
+ public:
+  struct Options {
+    SimTime half_life = 12 * kHour;
+    /// Relative weight of sensor hotness vs usage-derived importance in
+    /// TopicScore.
+    double sensor_weight = 1.0;
+    double usage_weight = 0.3;
+  };
+
+  TopicManager(const TopicSensor* sensor, const Options& options);
+
+  /// Accumulates usage evidence: content `v` was accessed while carrying
+  /// `priority`.
+  void RecordUsage(const text::TermVector& v, double priority, SimTime now);
+
+  /// Combined topic score of a content vector (sensor + usage).
+  double TopicScore(const text::TermVector& v, SimTime now) const;
+
+  /// Usage-importance top terms.
+  std::vector<std::pair<text::TermId, double>> ImportantTerms(SimTime now,
+                                                              size_t k) const;
+
+ private:
+  const TopicSensor* sensor_;
+  Options options_;
+  DecayingTermWeights usage_weights_;
+};
+
+}  // namespace cbfww::core
+
+#endif  // CBFWW_CORE_TOPIC_H_

@@ -1,0 +1,40 @@
+#include "core/usage_history.h"
+
+namespace cbfww::core {
+
+void UsageHistory::RecordReference(SimTime now) {
+  ++frequency_;
+  if (firstref_ == kNeverTime) firstref_ = now;
+  last_refs_.push_front(now);
+  while (last_refs_.size() > static_cast<size_t>(k_depth_)) {
+    last_refs_.pop_back();
+  }
+}
+
+void UsageHistory::RecordModification(SimTime now) {
+  ++modification_count_;
+  last_mods_.push_front(now);
+  while (last_mods_.size() > static_cast<size_t>(k_depth_)) {
+    last_mods_.pop_back();
+  }
+}
+
+SimTime UsageHistory::LastKRef(int k) const {
+  if (k < 1 || static_cast<size_t>(k) > last_refs_.size()) return kNeverTime;
+  return last_refs_[static_cast<size_t>(k - 1)];
+}
+
+SimTime UsageHistory::LastKMod(int k) const {
+  if (k < 1 || static_cast<size_t>(k) > last_mods_.size()) return kNeverTime;
+  return last_mods_[static_cast<size_t>(k - 1)];
+}
+
+SimTime UsageHistory::MeanModificationInterval() const {
+  if (last_mods_.size() < 2) return 0;
+  // last_mods_ is most-recent-first; span / (count-1) over the retained
+  // window approximates the true mean interval.
+  SimTime span = last_mods_.front() - last_mods_.back();
+  return span / static_cast<SimTime>(last_mods_.size() - 1);
+}
+
+}  // namespace cbfww::core

@@ -1,0 +1,145 @@
+#ifndef CBFWW_CORE_USAGE_HISTORY_H_
+#define CBFWW_CORE_USAGE_HISTORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "util/clock.h"
+
+namespace cbfww::core {
+
+/// Exact frequency over a sliding time window: keeps the reference
+/// timestamps inside the window (paper Section 4.2, "Sliding Window"
+/// method). Exact but O(events in window) memory — the overhead λ-aging is
+/// designed to remove (experiment C2 quantifies the trade).
+class SlidingWindowCounter {
+ public:
+  explicit SlidingWindowCounter(SimTime window) : window_(window) {}
+
+  void RecordEvent(SimTime now) {
+    Expire(now);
+    events_.push_back(now);
+  }
+
+  /// Events inside (now - window, now].
+  uint64_t Count(SimTime now) {
+    Expire(now);
+    return events_.size();
+  }
+
+  /// Events per window-length (rate).
+  double Frequency(SimTime now) { return static_cast<double>(Count(now)); }
+
+  /// Memory cost in timestamps currently retained.
+  size_t StateSize() const { return events_.size(); }
+
+  SimTime window() const { return window_; }
+
+ private:
+  void Expire(SimTime now) {
+    while (!events_.empty() && events_.front() <= now - window_) {
+      events_.pop_front();
+    }
+  }
+
+  SimTime window_;
+  std::deque<SimTime> events_;
+};
+
+/// λ-aging frequency estimator (paper Section 4.2):
+///   f_{i,j} = λ · f* + (1 − λ) · f_{i,j−1}
+/// where f* is the count since the previous recomputation. O(1) state.
+/// Recomputation happens on period boundaries of length `period`.
+class LambdaAgingCounter {
+ public:
+  LambdaAgingCounter(double lambda, SimTime period)
+      : lambda_(lambda), period_(period) {}
+
+  void RecordEvent(SimTime now) {
+    Roll(now);
+    pending_ += 1.0;
+  }
+
+  /// Current aged frequency estimate (events per period).
+  double Frequency(SimTime now) {
+    Roll(now);
+    return value_;
+  }
+
+  /// Seeds the aged value directly — used to start a newly retrieved object
+  /// at its *predicted* frequency (the paper's similarity-based initial
+  /// priority) instead of at zero or at the top.
+  void SeedValue(double value, SimTime now) {
+    Roll(now);
+    value_ = value;
+  }
+
+  double lambda() const { return lambda_; }
+  SimTime period() const { return period_; }
+
+ private:
+  /// Applies the aging recurrence for every full period boundary passed.
+  void Roll(SimTime now) {
+    while (now >= period_start_ + period_) {
+      value_ = lambda_ * pending_ + (1.0 - lambda_) * value_;
+      pending_ = 0.0;
+      period_start_ += period_;
+    }
+  }
+
+  double lambda_;
+  SimTime period_;
+  SimTime period_start_ = 0;
+  double pending_ = 0.0;  // f*: events in the current (open) period.
+  double value_ = 0.0;    // f_{i,j-1}.
+};
+
+/// The per-object usage attributes of the paper's Table 2:
+///   frequency f_i, firstref t_i, lastkref t_i^k, lastkmod u_i^k, shared r.
+/// `k_depth` bounds how many recent reference/modification times are kept.
+class UsageHistory {
+ public:
+  explicit UsageHistory(int k_depth = 4) : k_depth_(k_depth) {}
+
+  void RecordReference(SimTime now);
+  void RecordModification(SimTime now);
+
+  /// Total reference count (f_i over the object lifetime).
+  uint64_t frequency() const { return frequency_; }
+
+  /// Time of first reference, or kNeverTime if never referenced.
+  SimTime firstref() const { return firstref_; }
+
+  /// Time of the k-th most recent reference (k=1 is the last reference);
+  /// kNeverTime when fewer than k references have occurred — the paper's
+  /// t_i^k = −∞ convention.
+  SimTime LastKRef(int k) const;
+
+  /// Time of the k-th most recent modification; kNeverTime analogously.
+  SimTime LastKMod(int k) const;
+
+  /// Number of containers sharing this object (attribute `shared`,
+  /// maintained by the hierarchy managers).
+  uint32_t shared() const { return shared_; }
+  void set_shared(uint32_t n) { shared_ = n; }
+
+  uint64_t modification_count() const { return modification_count_; }
+
+  /// Mean interval between modifications, or 0 when fewer than 2 are known.
+  /// Used by the Constraint Manager to pick polling cycles.
+  SimTime MeanModificationInterval() const;
+
+ private:
+  int k_depth_;
+  uint64_t frequency_ = 0;
+  uint64_t modification_count_ = 0;
+  SimTime firstref_ = kNeverTime;
+  std::deque<SimTime> last_refs_;  // Most recent first.
+  std::deque<SimTime> last_mods_;  // Most recent first.
+  uint32_t shared_ = 0;
+};
+
+}  // namespace cbfww::core
+
+#endif  // CBFWW_CORE_USAGE_HISTORY_H_

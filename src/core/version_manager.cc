@@ -1,0 +1,46 @@
+#include "core/version_manager.h"
+
+namespace cbfww::core {
+
+VersionManager::VersionManager(const Options& options) : options_(options) {}
+
+void VersionManager::CaptureVersion(corpus::RawId id, uint32_t version,
+                                    SimTime now, uint64_t bytes) {
+  std::vector<VersionRecord>& list = versions_[id];
+  if (!list.empty() && list.back().version == version) return;  // Idempotent.
+  VersionRecord rec;
+  rec.version = version;
+  rec.captured = now;
+  rec.bytes = bytes;
+  list.push_back(rec);
+  total_bytes_ += bytes;
+  ++num_versions_;
+  if (options_.max_versions_per_object != 0 &&
+      list.size() > options_.max_versions_per_object) {
+    total_bytes_ -= list.front().bytes;
+    --num_versions_;
+    list.erase(list.begin());
+  }
+}
+
+Result<VersionRecord> VersionManager::AsOf(corpus::RawId id, SimTime t) const {
+  auto it = versions_.find(id);
+  if (it == versions_.end()) return Status::NotFound("object has no versions");
+  const VersionRecord* best = nullptr;
+  for (const VersionRecord& rec : it->second) {
+    if (rec.captured <= t) best = &rec;
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no version captured at or before requested time");
+  }
+  return *best;
+}
+
+const std::vector<VersionRecord>& VersionManager::VersionsOf(
+    corpus::RawId id) const {
+  static const std::vector<VersionRecord> kEmpty;
+  auto it = versions_.find(id);
+  return it == versions_.end() ? kEmpty : it->second;
+}
+
+}  // namespace cbfww::core

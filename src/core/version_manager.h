@@ -1,0 +1,63 @@
+#ifndef CBFWW_CORE_VERSION_MANAGER_H_
+#define CBFWW_CORE_VERSION_MANAGER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/web_object.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace cbfww::core {
+
+/// One retained past version of a raw web object.
+struct VersionRecord {
+  uint32_t version = 0;
+  /// When the warehouse captured this version.
+  SimTime captured = 0;
+  uint64_t bytes = 0;
+};
+
+/// Version Manager (paper Section 3, component (6)): "if there is extra
+/// capacity, previous contents of web pages can be stored. A user can know
+/// the data in the past." Snapshots live on the tertiary tier; the manager
+/// tracks lineage and answers as-of queries.
+class VersionManager {
+ public:
+  struct Options {
+    /// Retained versions per object (oldest dropped beyond this); 0 keeps
+    /// everything (truly bound-free).
+    uint32_t max_versions_per_object = 16;
+  };
+
+  explicit VersionManager(const Options& options);
+
+  /// Records that `version` of the object (of `bytes`) was observed at
+  /// `now`. Idempotent for repeated captures of the same version.
+  void CaptureVersion(corpus::RawId id, uint32_t version, SimTime now,
+                      uint64_t bytes);
+
+  /// Latest version captured at or before `t` ("the web as of t").
+  /// kNotFound when nothing that old is retained.
+  Result<VersionRecord> AsOf(corpus::RawId id, SimTime t) const;
+
+  /// All retained versions, oldest first (empty if unknown object).
+  const std::vector<VersionRecord>& VersionsOf(corpus::RawId id) const;
+
+  /// Total bytes across all retained snapshots (the capacity cost of the
+  /// version store; experiment C6).
+  uint64_t TotalBytesRetained() const { return total_bytes_; }
+  uint64_t num_versions() const { return num_versions_; }
+  size_t num_objects() const { return versions_.size(); }
+
+ private:
+  Options options_;
+  std::unordered_map<corpus::RawId, std::vector<VersionRecord>> versions_;
+  uint64_t total_bytes_ = 0;
+  uint64_t num_versions_ = 0;
+};
+
+}  // namespace cbfww::core
+
+#endif  // CBFWW_CORE_VERSION_MANAGER_H_

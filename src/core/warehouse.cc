@@ -1,0 +1,1102 @@
+#include "core/warehouse.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace cbfww::core {
+
+/// Adapts the corpus + vectorizer to the logical-page miner's content
+/// interface.
+class Warehouse::ContentProviderImpl : public LogicalContentProvider {
+ public:
+  explicit ContentProviderImpl(Warehouse* wh) : wh_(wh) {}
+
+  std::vector<text::TermId> AnchorTerms(corpus::PageId from,
+                                        corpus::PageId to) const override {
+    const corpus::PhysicalPageSpec& spec = wh_->corpus_->page(from);
+    for (const corpus::Anchor& a : spec.anchors) {
+      if (a.target == to) return a.text_terms;
+    }
+    return {};
+  }
+
+  std::vector<text::TermId> TitleTerms(corpus::PageId page) const override {
+    const corpus::PhysicalPageSpec& spec = wh_->corpus_->page(page);
+    return wh_->corpus_->raw(spec.container).title_terms;
+  }
+
+  text::TermVector BodyVector(corpus::PageId page) const override {
+    const corpus::PhysicalPageSpec& spec = wh_->corpus_->page(page);
+    return wh_->vectorizer_.VectorizeTerms(
+        wh_->corpus_->raw(spec.container).body_terms,
+        /*update_statistics=*/false);
+  }
+
+  text::TermVector TermsToVector(
+      const std::vector<text::TermId>& terms) const override {
+    return wh_->vectorizer_.VectorizeTerms(terms, /*update_statistics=*/false);
+  }
+
+ private:
+  Warehouse* wh_;
+};
+
+namespace {
+
+std::vector<storage::DeviceModel> MakeTiers(const WarehouseOptions& options) {
+  return {
+      storage::DeviceModel::Memory(options.memory_bytes),
+      storage::DeviceModel::Disk(options.disk_bytes),
+      storage::DeviceModel::Tertiary(/*capacity_bytes=*/0),  // Bound-free.
+  };
+}
+
+DataAnalyzer::ServedBy SourceOfTier(storage::TierIndex tier) {
+  switch (tier) {
+    case StorageManager::kMemoryTier:
+      return DataAnalyzer::ServedBy::kMemory;
+    case StorageManager::kDiskTier:
+      return DataAnalyzer::ServedBy::kDisk;
+    default:
+      return DataAnalyzer::ServedBy::kTertiary;
+  }
+}
+
+}  // namespace
+
+Warehouse::Warehouse(corpus::WebCorpus* corpus, net::OriginServer* origin,
+                     const corpus::NewsFeed* feed,
+                     const WarehouseOptions& options)
+    : corpus_(corpus),
+      origin_(origin),
+      options_(options),
+      hierarchy_(std::make_unique<storage::StorageHierarchy>(
+          MakeTiers(options))),
+      vectorizer_(corpus->mutable_vocabulary()),
+      summarizer_(options.summarizer),
+      constraints_(options.constraints),
+      storage_(hierarchy_.get(), &constraints_, options.storage),
+      priorities_(options.priority),
+      sensor_(options.enable_topic_sensor ? feed : nullptr, options.sensor),
+      topics_(&sensor_, options.topics),
+      content_provider_(std::make_unique<ContentProviderImpl>(this)),
+      logical_(options.logical, content_provider_.get()),
+      regions_(options.regions),
+      recommendations_(options.recommendations),
+      versions_(options.versions),
+      continuous_(this),
+      rng_(options.seed, /*stream=*/0xCBF) {}
+
+Warehouse::~Warehouse() = default;
+
+const RawObjectRecord* Warehouse::FindRaw(corpus::RawId id) const {
+  auto it = raws_.find(id);
+  return it == raws_.end() ? nullptr : &it->second;
+}
+
+const PhysicalPageRecord* Warehouse::FindPage(corpus::PageId id) const {
+  auto it = pages_.find(id);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+RawObjectRecord& Warehouse::EnsureRawRecord(corpus::RawId id) {
+  auto it = raws_.find(id);
+  if (it != raws_.end()) return it->second;
+  const corpus::RawWebObject& obj = corpus_->raw(id);
+  RawObjectRecord rec;
+  rec.id = id;
+  rec.bytes = obj.size_bytes;
+  rec.kind = obj.kind;
+  rec.cached_version = 0;  // Nothing cached yet.
+  // Summary sizing (levels of detail): HTML summaries carry the top terms;
+  // media summaries model a thumbnail.
+  if (obj.is_html()) {
+    rec.has_summary = true;
+    rec.summary_bytes = static_cast<uint64_t>(summarizer_.options().max_terms) *
+                        summarizer_.options().bytes_per_term;
+  } else {
+    rec.has_summary = true;
+    rec.summary_bytes = std::max<uint64_t>(2048, obj.size_bytes / 20);
+  }
+  return raws_.emplace(id, std::move(rec)).first->second;
+}
+
+PhysicalPageRecord& Warehouse::EnsurePageRecord(corpus::PageId id) {
+  auto it = pages_.find(id);
+  if (it != pages_.end()) return it->second;
+
+  const corpus::PhysicalPageSpec& spec = corpus_->page(id);
+  const corpus::RawWebObject& container = corpus_->raw(spec.container);
+
+  PhysicalPageRecord rec;
+  rec.id = id;
+  rec.container = spec.container;
+  rec.components = spec.components;
+  rec.url = container.url;
+  rec.title_terms = container.title_terms;
+  rec.total_bytes = container.size_bytes;
+  for (corpus::RawId c : spec.components) {
+    rec.total_bytes += corpus_->raw(c).size_bytes;
+  }
+
+  // Content vector: title + body, TF-IDF, normalized. This page counts
+  // toward the corpus DF statistics exactly once (first contact).
+  std::vector<text::TermId> all_terms = container.title_terms;
+  all_terms.insert(all_terms.end(), container.body_terms.begin(),
+                   container.body_terms.end());
+  rec.vector = vectorizer_.VectorizeTerms(all_terms, /*update_statistics=*/true);
+  text::TfIdfVectorizer::Normalize(rec.vector);
+
+  // Register containment: the container and every component now know this
+  // page shares them (attribute `shared`, Figure 2 structure).
+  auto link_container = [this, id](corpus::RawId raw_id) {
+    RawObjectRecord& raw = EnsureRawRecord(raw_id);
+    if (std::find(raw.containers.begin(), raw.containers.end(), id) ==
+        raw.containers.end()) {
+      raw.containers.push_back(id);
+      raw.history.set_shared(static_cast<uint32_t>(raw.containers.size()));
+    }
+  };
+  link_container(spec.container);
+  for (corpus::RawId c : spec.components) link_container(c);
+
+  // Index the page (content + title). The semantic region is assigned by
+  // RequestPage *after* the initial-priority prediction, so a new page
+  // cannot match itself.
+  auto& stored = pages_.emplace(id, std::move(rec)).first->second;
+  indexes_.Add(index::ObjectLevel::kPhysical, id, stored.vector);
+  text::TermVector title_vec =
+      vectorizer_.VectorizeTerms(stored.title_terms, false);
+  title_index_.Add(id, title_vec);
+  // Raw-level index: "index for raw web objects (textual objects only) is
+  // generated by the words/phrases appeared in the web objects".
+  indexes_.Add(index::ObjectLevel::kRaw, spec.container,
+               vectorizer_.VectorizeTerms(container.body_terms, false));
+  return stored;
+}
+
+Priority Warehouse::PredictInitialPriority(const text::TermVector& v,
+                                           SimTime now) {
+  switch (options_.initial_priority) {
+    case InitialPriorityMode::kTop: {
+      // LRU-like: start above everything currently in memory.
+      return storage_.memory_admission_threshold() + 1.0;
+    }
+    case InitialPriorityMode::kZero:
+      return 0.0;
+    case InitialPriorityMode::kSimilarity:
+      break;
+  }
+  SemanticRegionManager::Prediction pred = regions_.PredictPriority(v);
+  double hotness = topics_.TopicScore(v, now);
+  return priorities_.InitialPriority(pred.mean_priority, pred.similarity,
+                                     hotness);
+}
+
+Warehouse::ServeResult Warehouse::ServeRawObject(corpus::RawId id, SimTime now,
+                                                 Priority page_priority_hint) {
+  RawObjectRecord& rec = EnsureRawRecord(id);
+  rec.history.RecordReference(now);
+  priorities_.RecordAccess(index::ObjectLevel::kRaw, id, now);
+
+  const corpus::RawWebObject& obj = corpus_->raw(id);
+  storage::StoreObjectId full_id = EncodeStoreId(index::ObjectLevel::kRaw, id);
+  bool resident = hierarchy_->FastestTierOf(full_id) != storage::kNoTier;
+  bool stale = rec.cached_version != obj.version;
+  bool strong = constraints_.consistency_mode() == ConsistencyMode::kStrong;
+
+  ServeResult result;
+  if (resident && (!stale || !strong)) {
+    // Serve the cached copy (weak consistency tolerates staleness).
+    auto read = storage_.ReadObject(rec);
+    if (read.ok()) {
+      result.cost = *read;
+      storage::TierIndex tier = hierarchy_->FastestTierOf(full_id);
+      result.source = SourceOfTier(tier);
+      if (tier == StorageManager::kMemoryTier) rec.served_from_memory = true;
+      rec.effective_priority = std::max(rec.effective_priority,
+                                        page_priority_hint);
+      // Self-organization between rebalances: an accessed object whose
+      // priority now clears the memory bar is promoted immediately,
+      // displacing weaker memory residents.
+      if (options_.enable_access_promotion) {
+        storage_.PromoteOnAccess(rec, page_priority_hint);
+      }
+      return result;
+    }
+    resident = false;  // Defensive: fall through to fetch.
+  }
+  if (resident && stale && strong) {
+    // Strong consistency: validate + refetch the new version.
+    net::OriginServer::ValidateResult v =
+        origin_->Validate(id, rec.cached_version);
+    result.cost += v.cost;
+  }
+
+  // Fetch from the origin.
+  net::OriginServer::FetchResult fetch = origin_->Fetch(id);
+  ++counters_.origin_fetches;
+  result.cost += fetch.cost;
+  result.source = DataAnalyzer::ServedBy::kOrigin;
+  bool first_fetch = rec.cached_version == 0;
+  rec.cached_version = fetch.version;
+  rec.bytes = fetch.bytes;
+  rec.last_validated = now;
+  versions_.CaptureVersion(id, fetch.version, now, fetch.bytes);
+
+  Status admitted = storage_.AdmitNew(rec, page_priority_hint);
+  if (!admitted.ok()) {
+    ++counters_.admission_rejections;
+  } else if (first_fetch &&
+             constraints_.consistency_mode() == ConsistencyMode::kWeak) {
+    poll_queue_.push({now + constraints_.PollingInterval(rec.history), id});
+  }
+  rec.effective_priority = std::max(rec.effective_priority, page_priority_hint);
+  return result;
+}
+
+PageVisit Warehouse::RequestPage(corpus::PageId page, uint32_t user,
+                                 int64_t session, bool via_link, SimTime now) {
+  if (now < now_) now = now_;
+  now_ = now;
+  ++counters_.requests;
+
+  PhysicalPageRecord& rec = EnsurePageRecord(page);
+  bool first_contact = rec.history.frequency() == 0;
+
+  PageVisit visit;
+  visit.page = page;
+
+  // Initial priority of a fresh page (the paper's headline mechanism):
+  // predict from the most similar existing region, THEN insert the page
+  // into the clustering stream.
+  if (first_contact) {
+    Priority initial = PredictInitialPriority(rec.vector, now);
+    priorities_.SeedPriority(index::ObjectLevel::kPhysical, page, initial,
+                             now);
+    rec.region = regions_.Assign(rec.vector);
+  }
+  rec.history.RecordReference(now);
+  priorities_.RecordAccess(index::ObjectLevel::kPhysical, page, now);
+  Priority page_priority = EffectivePagePriority(page, now);
+  rec.own_priority =
+      priorities_.OwnPriority(index::ObjectLevel::kPhysical, page, now);
+  rec.effective_priority = page_priority;
+
+  // Serve container first (it references the components), then components
+  // in parallel: latency = container + max(component costs).
+  ServeResult container_serve =
+      ServeRawObject(rec.container, now, page_priority);
+  visit.latency = container_serve.cost;
+  SimTime max_component = 0;
+  auto count_source = [&visit](DataAnalyzer::ServedBy s) {
+    switch (s) {
+      case DataAnalyzer::ServedBy::kMemory:
+        ++visit.from_memory;
+        break;
+      case DataAnalyzer::ServedBy::kDisk:
+        ++visit.from_disk;
+        break;
+      case DataAnalyzer::ServedBy::kTertiary:
+        ++visit.from_tertiary;
+        break;
+      case DataAnalyzer::ServedBy::kOrigin:
+        ++visit.from_origin;
+        break;
+    }
+  };
+  count_source(container_serve.source);
+  for (corpus::RawId c : rec.components) {
+    ServeResult s = ServeRawObject(c, now, page_priority);
+    max_component = std::max(max_component, s.cost);
+    count_source(s.source);
+  }
+  visit.latency += max_component;
+
+  // Usage-driven signals.
+  topics_.RecordUsage(rec.vector, rec.own_priority, now);
+  recommendations_.RecordAccess(user, rec.vector, now);
+  if (rec.region != kInvalidRegionId) {
+    regions_.RecordMemberPriority(rec.region, rec.own_priority, now);
+    priorities_.RecordAccess(index::ObjectLevel::kRegion, rec.region, now);
+  }
+
+  // Logical-page mining.
+  LogicalPageManager::Observation obs =
+      logical_.ObserveRequest(session, page, via_link, now);
+  for (LogicalPageId lid : obs.materialized) {
+    LogicalPageRecord* lp = logical_.FindPage(lid);
+    if (lp == nullptr) continue;
+    text::TermVector v = lp->vector;
+    text::TfIdfVectorizer::Normalize(v);
+    lp->region = regions_.Assign(v);
+    indexes_.Add(index::ObjectLevel::kLogical, lid, lp->vector);
+    for (corpus::PageId member : lp->path) {
+      auto pit = pages_.find(member);
+      if (pit == pages_.end()) continue;
+      auto& list = pit->second.logical_pages;
+      if (std::find(list.begin(), list.end(), lid) == list.end()) {
+        list.push_back(lid);
+      }
+    }
+  }
+  for (LogicalPageId lid : obs.completed) {
+    priorities_.RecordAccess(index::ObjectLevel::kLogical, lid, now);
+    LogicalPageRecord* lp = logical_.FindPage(lid);
+    if (lp != nullptr) {
+      lp->own_priority =
+          priorities_.OwnPriority(index::ObjectLevel::kLogical, lid, now);
+      lp->effective_priority = EffectiveLogicalPriority(lid, now);
+      if (lp->region != kInvalidRegionId) {
+        regions_.RecordMemberPriority(lp->region, lp->own_priority, now);
+        priorities_.RecordAccess(index::ObjectLevel::kRegion, lp->region, now);
+      }
+    }
+  }
+  visit.completed_logical = obs.completed;
+
+  // Guided navigation (Section 4.1): the user just arrived at the start of
+  // known traversal paths — stage what they will read next.
+  if (options_.enable_path_prefetch) PathPrefetch(page, now);
+
+  analyzer_.RecordRequest(page, user, now, visit.SlowestSource(),
+                          visit.latency);
+  return visit;
+}
+
+void Warehouse::PathPrefetch(corpus::PageId page, SimTime now) {
+  std::vector<LogicalPageId> starting = logical_.PagesStartingAt(page);
+  if (starting.empty()) return;
+  // Most-traversed path wins (what "experienced users" do — Section 3(5)).
+  LogicalPageId best = starting.front();
+  uint64_t best_freq = 0;
+  for (LogicalPageId id : starting) {
+    const LogicalPageRecord* rec = logical_.FindPage(id);
+    if (rec != nullptr && rec->history.frequency() > best_freq) {
+      best_freq = rec->history.frequency();
+      best = id;
+    }
+  }
+  const LogicalPageRecord* path = logical_.FindPage(best);
+  if (path == nullptr) return;
+  Priority path_priority = EffectiveLogicalPriority(best, now);
+
+  uint32_t staged = 0;
+  for (size_t i = 1; i < path->path.size() &&
+                     staged < options_.path_prefetch_depth;
+       ++i, ++staged) {
+    corpus::PageId next = path->path[i];
+    auto pit = pages_.find(next);
+    if (pit == pages_.end()) continue;  // Never warehoused: skip (cheap).
+    auto stage_raw = [&](corpus::RawId rid) {
+      RawObjectRecord& rec = EnsureRawRecord(rid);
+      storage::StoreObjectId full_id =
+          EncodeStoreId(index::ObjectLevel::kRaw, rid);
+      storage::TierIndex tier = hierarchy_->FastestTierOf(full_id);
+      if (tier == StorageManager::kMemoryTier) return;
+      if (tier == storage::kNoTier) {
+        // Expired/never stored: background fetch.
+        net::OriginServer::FetchResult fetch = origin_->Fetch(rid);
+        counters_.background_time += fetch.cost;
+        rec.cached_version = fetch.version;
+        rec.bytes = fetch.bytes;
+        versions_.CaptureVersion(rid, fetch.version, now, fetch.bytes);
+        (void)storage_.AdmitNew(rec, path_priority);
+      } else {
+        storage_.PromoteOnAccess(rec, path_priority);
+      }
+      ++counters_.path_prefetches;
+    };
+    stage_raw(pit->second.container);
+    for (corpus::RawId c : pit->second.components) stage_raw(c);
+  }
+}
+
+void Warehouse::OnOriginModified(corpus::RawId id, SimTime now) {
+  auto it = raws_.find(id);
+  if (it == raws_.end()) return;  // Not warehoused: nothing to invalidate.
+  RawObjectRecord& rec = it->second;
+  rec.history.RecordModification(now);
+  for (corpus::PageId p : rec.containers) {
+    auto pit = pages_.find(p);
+    if (pit != pages_.end()) pit->second.history.RecordModification(now);
+  }
+  storage::StoreObjectId full_id = EncodeStoreId(index::ObjectLevel::kRaw, id);
+  if (constraints_.consistency_mode() == ConsistencyMode::kStrong) {
+    // Copies are now invalid; drop fast copies, keep the (stale-marked)
+    // tertiary backup for as-of queries.
+    (void)hierarchy_->Evict(full_id, StorageManager::kMemoryTier);
+    (void)hierarchy_->Evict(full_id, StorageManager::kDiskTier);
+    (void)hierarchy_->MarkStale(full_id, StorageManager::kTertiaryTier);
+  } else {
+    for (storage::TierIndex t = 0; t < hierarchy_->num_tiers(); ++t) {
+      if (hierarchy_->IsResident(full_id, t)) {
+        (void)hierarchy_->MarkStale(full_id, t);
+      }
+    }
+  }
+}
+
+PageVisit Warehouse::ProcessEvent(const trace::TraceEvent& event) {
+  Tick(event.time);
+  if (event.type == trace::TraceEventType::kRequest) {
+    return RequestPage(event.page, event.user, event.session, event.via_link,
+                       event.time);
+  }
+  corpus_->ModifyObject(event.modified, event.time, rng_);
+  OnOriginModified(event.modified, event.time);
+  return PageVisit{};
+}
+
+void Warehouse::Tick(SimTime now) {
+  if (now < now_) now = now_;
+  now_ = now;
+  if (options_.enable_topic_sensor && now_ >= next_sensor_poll_) {
+    sensor_.Poll(now_);
+    next_sensor_poll_ = now_ + options_.sensor_poll_interval;
+    if (options_.enable_prefetch) MaybePrefetch(now_);
+  }
+  RunConsistencyPolls(now_);
+  continuous_.Poll(now_);
+  if (now_ >= next_rebalance_) {
+    regions_.Sync(now_);
+    Rebalance(now_);
+    next_rebalance_ = now_ + options_.rebalance_interval;
+  }
+}
+
+void Warehouse::RunConsistencyPolls(SimTime now) {
+  uint32_t budget = options_.polls_per_tick;
+  while (budget > 0 && !poll_queue_.empty() && poll_queue_.top().first <= now) {
+    corpus::RawId id = poll_queue_.top().second;
+    poll_queue_.pop();
+    auto it = raws_.find(id);
+    if (it == raws_.end()) continue;
+    RawObjectRecord& rec = it->second;
+    --budget;
+    ++counters_.consistency_polls;
+    net::OriginServer::ValidateResult v =
+        origin_->Validate(id, rec.cached_version);
+    counters_.background_time += v.cost;
+    rec.last_validated = now;
+    if (v.modified) {
+      net::OriginServer::FetchResult fetch = origin_->Fetch(id);
+      counters_.background_time += fetch.cost;
+      ++counters_.consistency_refreshes;
+      rec.cached_version = fetch.version;
+      rec.bytes = fetch.bytes;
+      versions_.CaptureVersion(id, fetch.version, now, fetch.bytes);
+      // Refresh resident copies (clears stale marks).
+      storage::StoreObjectId full_id =
+          EncodeStoreId(index::ObjectLevel::kRaw, id);
+      for (storage::TierIndex t = 0; t < hierarchy_->num_tiers(); ++t) {
+        if (hierarchy_->IsResident(full_id, t)) {
+          (void)hierarchy_->Store(full_id, rec.bytes, t);
+        }
+      }
+    }
+    poll_queue_.push({now + constraints_.PollingInterval(rec.history), id});
+  }
+}
+
+void Warehouse::PlaceIndexes(SimTime now) {
+  (void)now;
+  // Sizes of the five index objects.
+  uint64_t sizes[5];
+  for (int i = 0; i < index::kNumObjectLevels; ++i) {
+    sizes[i] = indexes_.level(static_cast<index::ObjectLevel>(i)).MemoryBytes();
+  }
+  sizes[4] = title_index_.MemoryBytes();
+
+  // Most-used indexes first; decay so placement tracks the workload.
+  std::array<int, 5> order = {0, 1, 2, 3, 4};
+  std::sort(order.begin(), order.end(),
+            [this](int a, int b) { return index_uses_[a] > index_uses_[b]; });
+  for (double& u : index_uses_) u *= 0.5;
+
+  // Dedicated slice of memory for indexes ("some important indexes are
+  // stored in the main memory", Section 4.1); the rest go to disk.
+  uint64_t budget = hierarchy_->tier(0).capacity_bytes / 8;
+  for (int which : order) {
+    storage::StoreObjectId id = IndexStoreId(which);
+    if (sizes[which] == 0) {
+      hierarchy_->EvictAll(id);
+      continue;
+    }
+    // Re-placing with a new size requires dropping stale copies first.
+    if (hierarchy_->SizeOf(id) != sizes[which]) hierarchy_->EvictAll(id);
+    (void)hierarchy_->Store(id, sizes[which], StorageManager::kDiskTier);
+    if (sizes[which] <= budget) {
+      bool stored =
+          hierarchy_->Store(id, sizes[which], StorageManager::kMemoryTier)
+              .ok();
+      if (!stored && storage_.ReserveMemoryRoom(sizes[which])) {
+        stored = hierarchy_->Store(id, sizes[which],
+                                   StorageManager::kMemoryTier)
+                     .ok();
+      }
+      if (stored) budget -= sizes[which];
+    } else if (hierarchy_->IsResident(id, StorageManager::kMemoryTier)) {
+      (void)hierarchy_->Evict(id, StorageManager::kMemoryTier);
+    }
+  }
+}
+
+void Warehouse::Rebalance(SimTime now) {
+  ++counters_.rebalances;
+  // Region-level index: centroids of the current semantic regions.
+  for (const auto& [rid, rec] : regions_.regions()) {
+    indexes_.Add(index::ObjectLevel::kRegion, rid, rec.centroid);
+  }
+  // Compute page-level effective priorities once, then raw-object
+  // priorities via the Figure 2 max-over-containers rule.
+  std::unordered_map<corpus::PageId, Priority> page_priority;
+  page_priority.reserve(pages_.size());
+  for (auto& [pid, rec] : pages_) {
+    Priority p = EffectivePagePriority(pid, now);
+    rec.own_priority =
+        priorities_.OwnPriority(index::ObjectLevel::kPhysical, pid, now);
+    rec.effective_priority = p;
+    page_priority.emplace(pid, p);
+  }
+  std::vector<StorageManager::RankedObject> ranked;
+  ranked.reserve(raws_.size());
+  for (auto& [rid, rec] : raws_) {
+    Priority p;
+    if (rec.containers.empty()) {
+      p = priorities_.OwnPriority(index::ObjectLevel::kRaw, rid, now);
+    } else {
+      p = 0.0;
+      for (corpus::PageId c : rec.containers) {
+        auto it = page_priority.find(c);
+        if (it != page_priority.end()) p = std::max(p, it->second);
+      }
+    }
+    rec.own_priority =
+        priorities_.OwnPriority(index::ObjectLevel::kRaw, rid, now);
+    rec.effective_priority = p;
+    ranked.push_back({&rec, p});
+  }
+  storage_.Rebalance(std::move(ranked));
+  // Indexes are placed after data objects and may displace the weakest of
+  // them: a memory-resident index accelerates every query it serves.
+  PlaceIndexes(now);
+}
+
+void Warehouse::MaybePrefetch(SimTime now) {
+  auto hot = sensor_.HotTerms(now, 16);
+  if (hot.empty()) return;
+  std::vector<text::TermVector::Entry> entries;
+  entries.reserve(hot.size());
+  for (const auto& [term, weight] : hot) entries.emplace_back(term, weight);
+  text::TermVector hot_vec = text::TermVector::FromUnsorted(std::move(entries));
+
+  auto matches = indexes_.Query(index::ObjectLevel::kPhysical, hot_vec,
+                                options_.prefetch_pages_per_tick);
+  for (const index::ScoredDoc& m : matches) {
+    auto pit = pages_.find(m.doc);
+    if (pit == pages_.end()) continue;
+    PhysicalPageRecord& page = pit->second;
+    Priority boost = storage_.memory_admission_threshold() +
+                     m.score;  // Clears the memory bar.
+    auto prefetch_raw = [&](corpus::RawId rid) {
+      RawObjectRecord& rec = EnsureRawRecord(rid);
+      storage::StoreObjectId full_id =
+          EncodeStoreId(index::ObjectLevel::kRaw, rid);
+      storage::TierIndex tier = hierarchy_->FastestTierOf(full_id);
+      if (tier == StorageManager::kMemoryTier) return;  // Already hot.
+      if (tier == storage::kNoTier) {
+        // Not warehoused yet: background fetch + admit.
+        const corpus::RawWebObject& obj = corpus_->raw(rid);
+        net::OriginServer::FetchResult fetch = origin_->Fetch(rid);
+        counters_.background_time += fetch.cost;
+        rec.cached_version = fetch.version;
+        rec.bytes = obj.size_bytes;
+        versions_.CaptureVersion(rid, fetch.version, now, fetch.bytes);
+        (void)storage_.AdmitNew(rec, boost);
+      } else {
+        // Promote toward memory, displacing weaker residents.
+        storage_.PromoteOnAccess(rec, boost);
+      }
+      rec.effective_priority = std::max(rec.effective_priority, boost);
+      ++counters_.prefetches;
+    };
+    prefetch_raw(page.container);
+    for (corpus::RawId c : page.components) prefetch_raw(c);
+  }
+}
+
+Priority Warehouse::EffectiveLogicalPriority(LogicalPageId id, SimTime now) {
+  const LogicalPageRecord* lp = logical_.FindPage(id);
+  if (lp == nullptr) return 0.0;
+  Priority own = priorities_.OwnPriority(index::ObjectLevel::kLogical, id, now);
+  Priority lift = 0.0;
+  if (lp->region != kInvalidRegionId) {
+    lift = priorities_.OwnPriority(index::ObjectLevel::kRegion, lp->region, now);
+  }
+  return PriorityManager::CombineContained(own, lift);
+}
+
+Priority Warehouse::EffectivePagePriority(corpus::PageId id, SimTime now) {
+  auto it = pages_.find(id);
+  if (it == pages_.end()) return 0.0;
+  PhysicalPageRecord& rec = it->second;
+  Priority own =
+      priorities_.OwnPriority(index::ObjectLevel::kPhysical, id, now) +
+      options_.priority.topic_boost_weight * topics_.TopicScore(rec.vector, now);
+  Priority lift = 0.0;
+  for (LogicalPageId lid : rec.logical_pages) {
+    lift = std::max(lift, EffectiveLogicalPriority(lid, now));
+  }
+  return PriorityManager::CombineContained(own, lift);
+}
+
+Priority Warehouse::EffectiveRawPriority(corpus::RawId id, SimTime now) {
+  auto it = raws_.find(id);
+  if (it == raws_.end()) return 0.0;
+  const RawObjectRecord& rec = it->second;
+  if (rec.containers.empty()) {
+    return priorities_.OwnPriority(index::ObjectLevel::kRaw, id, now);
+  }
+  // Figure 2: a shared component's priority is the max of its containers'
+  // priorities — its raw access count (which double-counts shared use) is
+  // deliberately ignored.
+  Priority p = 0.0;
+  for (corpus::PageId c : rec.containers) {
+    p = std::max(p, EffectivePagePriority(c, now));
+  }
+  return PriorityManager::CombineShared(p);
+}
+
+Result<query::QueryExecutionResult> Warehouse::ExecuteQuery(
+    std::string_view text, bool use_index) {
+  query::QueryExecutor::Options opts;
+  opts.use_index = use_index;
+  query::QueryExecutor executor(this, opts);
+  return executor.Execute(text);
+}
+
+Result<Warehouse::CostedQueryResult> Warehouse::ExecuteQueryWithCost(
+    std::string_view text, bool use_index) {
+  last_index_used_ = 0;
+  auto result = ExecuteQuery(text, use_index);
+  if (!result.ok()) return result.status();
+  CostedQueryResult out;
+  out.result = std::move(result).value();
+  // Per-candidate evaluation CPU (~2us of predicate work per row).
+  constexpr SimTime kRowCost = 2 * kMicrosecond;
+  out.cost = static_cast<SimTime>(out.result.candidates_evaluated) * kRowCost;
+  if (out.result.used_index && last_index_used_ != 0) {
+    // Reading the index costs whatever its storage tier charges; an index
+    // that fell out of memory makes the whole query pay disk latency.
+    auto read = hierarchy_->Read(last_index_used_);
+    if (read.ok()) out.cost += *read;
+    ++counters_.indexed_queries;
+  } else {
+    ++counters_.scan_queries;
+  }
+  return out;
+}
+
+std::vector<index::ScoredDoc> Warehouse::RecommendPages(uint32_t user,
+                                                        size_t k) const {
+  return recommendations_.RecommendPages(
+      user, indexes_.level(index::ObjectLevel::kPhysical), k, now_);
+}
+
+std::vector<LogicalPageId> Warehouse::RecommendPaths(corpus::PageId page,
+                                                     size_t k) const {
+  return recommendations_.RecommendPaths(page, logical_, k);
+}
+
+std::vector<index::ScoredDoc> Warehouse::SearchPages(
+    std::string_view query_text, size_t k, double popularity_weight) {
+  text::TermVector query = vectorizer_.Vectorize(query_text, false);
+  // Over-fetch, then re-rank by popularity-boosted relevance.
+  auto hits = indexes_.Query(index::ObjectLevel::kPhysical, query, k * 4 + 8);
+  for (index::ScoredDoc& hit : hits) {
+    const PhysicalPageRecord* rec = FindPage(hit.doc);
+    double freq =
+        rec == nullptr ? 0.0 : static_cast<double>(rec->history.frequency());
+    hit.score *= 1.0 + popularity_weight * std::log1p(freq);
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const index::ScoredDoc& a, const index::ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+std::vector<index::ScoredDoc> Warehouse::RecommendPagesCacheConscious(
+    uint32_t user, size_t k, double tier_weight) const {
+  auto hits = recommendations_.RecommendPages(
+      user, indexes_.level(index::ObjectLevel::kPhysical), k * 4 + 8, now_);
+  for (index::ScoredDoc& hit : hits) {
+    const PhysicalPageRecord* rec = FindPage(hit.doc);
+    if (rec == nullptr) continue;
+    storage::TierIndex tier = hierarchy_->FastestTierOf(
+        EncodeStoreId(index::ObjectLevel::kRaw, rec->container));
+    // Tier speed factor: memory 1.0, disk 0.5, tertiary 0.33, absent 0.
+    double speed =
+        tier == storage::kNoTier ? 0.0 : 1.0 / (1.0 + static_cast<double>(tier));
+    hit.score *= 1.0 + tier_weight * speed;
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const index::ScoredDoc& a, const index::ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+uint64_t Warehouse::SimulateTierFailure(storage::TierIndex tier) {
+  uint64_t lost = 0;
+  for (storage::StoreObjectId id : hierarchy_->ObjectsAtTier(tier)) {
+    if (hierarchy_->Evict(id, tier).ok()) ++lost;
+  }
+  return lost;
+}
+
+void Warehouse::PrintReport(std::ostream& os) const {
+  os << "=== CBFWW report ===\n";
+  os << StrFormat("requests: %llu  distinct pages: %zu  users: %zu\n",
+                  static_cast<unsigned long long>(analyzer_.total_requests()),
+                  analyzer_.distinct_pages(), analyzer_.distinct_users());
+  os << StrFormat(
+      "latency: mean %.1fms  p99 %.1fms\n",
+      analyzer_.latency_stats().mean() / 1000.0,
+      analyzer_.latency_percentiles().Percentile(99) / 1000.0);
+  os << StrFormat(
+      "serve mix (page level): memory %llu  disk %llu  tertiary %llu  "
+      "origin %llu\n",
+      static_cast<unsigned long long>(
+          analyzer_.served_from(DataAnalyzer::ServedBy::kMemory)),
+      static_cast<unsigned long long>(
+          analyzer_.served_from(DataAnalyzer::ServedBy::kDisk)),
+      static_cast<unsigned long long>(
+          analyzer_.served_from(DataAnalyzer::ServedBy::kTertiary)),
+      static_cast<unsigned long long>(
+          analyzer_.served_from(DataAnalyzer::ServedBy::kOrigin)));
+  os << StrFormat(
+      "tiers: %llu objects in memory (%s), %llu on disk (%s), %llu on "
+      "tertiary (%s)\n",
+      static_cast<unsigned long long>(hierarchy_->resident_count(0)),
+      FormatBytes(hierarchy_->used_bytes(0)).c_str(),
+      static_cast<unsigned long long>(hierarchy_->resident_count(1)),
+      FormatBytes(hierarchy_->used_bytes(1)).c_str(),
+      static_cast<unsigned long long>(hierarchy_->resident_count(2)),
+      FormatBytes(hierarchy_->used_bytes(2)).c_str());
+  os << StrFormat(
+      "activity: %llu origin fetches, %llu prefetches (%llu guided), "
+      "%llu polls, %llu refreshes, %llu rebalances, %llu migrations\n",
+      static_cast<unsigned long long>(counters_.origin_fetches),
+      static_cast<unsigned long long>(counters_.prefetches),
+      static_cast<unsigned long long>(counters_.path_prefetches),
+      static_cast<unsigned long long>(counters_.consistency_polls),
+      static_cast<unsigned long long>(counters_.consistency_refreshes),
+      static_cast<unsigned long long>(counters_.rebalances),
+      static_cast<unsigned long long>(hierarchy_->stats().migrations));
+  os << StrFormat(
+      "mining: %zu logical pages, %zu semantic regions, %zu user profiles, "
+      "%llu versions (%s), %zu standing queries\n",
+      logical_.pages().size(), regions_.regions().size(),
+      recommendations_.num_users(),
+      static_cast<unsigned long long>(versions_.num_versions()),
+      FormatBytes(versions_.TotalBytesRetained()).c_str(),
+      continuous_.size());
+}
+
+// ---------------------------------------------------------------------------
+// QueryCatalog implementation
+// ---------------------------------------------------------------------------
+
+std::vector<uint64_t> Warehouse::AllObjects(query::EntityKind kind) const {
+  std::vector<uint64_t> out;
+  switch (kind) {
+    case query::EntityKind::kRawObject:
+      out.reserve(raws_.size());
+      for (const auto& [id, rec] : raws_) out.push_back(id);
+      break;
+    case query::EntityKind::kPhysicalPage:
+      out.reserve(pages_.size());
+      for (const auto& [id, rec] : pages_) out.push_back(id);
+      break;
+    case query::EntityKind::kLogicalPage:
+      out.reserve(logical_.pages().size());
+      for (const auto& [id, rec] : logical_.pages()) out.push_back(id);
+      break;
+    case query::EntityKind::kSemanticRegion:
+      out.reserve(regions_.regions().size());
+      for (const auto& [id, rec] : regions_.regions()) out.push_back(id);
+      break;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+/// Joins term strings for a human-readable title.
+std::string RenderTerms(const text::Vocabulary& vocab,
+                        const std::vector<text::TermId>& terms) {
+  std::string out;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += " ";
+    out += vocab.TermOf(terms[i]);
+  }
+  return out;
+}
+
+std::string RenderPath(const std::vector<corpus::PageId>& path) {
+  std::string out;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out += "-";
+    out += StrFormat("%llu", static_cast<unsigned long long>(path[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+query::Value Warehouse::GetAttribute(query::EntityKind kind, uint64_t oid,
+                                     const std::string& attr) const {
+  using query::Value;
+  switch (kind) {
+    case query::EntityKind::kPhysicalPage: {
+      const PhysicalPageRecord* rec = FindPage(oid);
+      if (rec == nullptr) return Value();
+      if (attr == "oid") return Value(static_cast<int64_t>(rec->id));
+      if (attr == "title") {
+        return Value(RenderTerms(corpus_->vocabulary(), rec->title_terms));
+      }
+      if (attr == "url") return Value(rec->url);
+      if (attr == "size") return Value(static_cast<int64_t>(rec->total_bytes));
+      if (attr == "frequency") {
+        return Value(static_cast<int64_t>(rec->history.frequency()));
+      }
+      if (attr == "lastref") {
+        return Value(static_cast<int64_t>(rec->history.LastKRef(1)));
+      }
+      if (attr == "firstref") {
+        return Value(static_cast<int64_t>(rec->history.firstref()));
+      }
+      if (attr == "priority") return Value(rec->effective_priority);
+      if (attr == "region") {
+        return Value(static_cast<int64_t>(rec->region));
+      }
+      if (attr == "container") {
+        return Value(static_cast<int64_t>(rec->container));
+      }
+      return Value();
+    }
+    case query::EntityKind::kLogicalPage: {
+      const LogicalPageRecord* rec = logical_.FindPage(oid);
+      if (rec == nullptr) return Value();
+      if (attr == "oid") return Value(static_cast<int64_t>(rec->id));
+      if (attr == "path") return Value(RenderPath(rec->path));
+      if (attr == "physicals") {
+        return Value(std::vector<uint64_t>(rec->path.begin(),
+                                           rec->path.end()));
+      }
+      if (attr == "size") {
+        return Value(static_cast<int64_t>(rec->path.size()));
+      }
+      if (attr == "frequency") {
+        return Value(static_cast<int64_t>(rec->history.frequency()));
+      }
+      if (attr == "lastref") {
+        return Value(static_cast<int64_t>(rec->history.LastKRef(1)));
+      }
+      if (attr == "support") {
+        return Value(static_cast<int64_t>(rec->support));
+      }
+      if (attr == "end_at") {
+        return Value(static_cast<int64_t>(rec->terminal()));
+      }
+      if (attr == "start_at") {
+        return Value(static_cast<int64_t>(rec->entry()));
+      }
+      if (attr == "title") {
+        return Value(RenderTerms(corpus_->vocabulary(), rec->title_terms));
+      }
+      if (attr == "priority") return Value(rec->effective_priority);
+      return Value();
+    }
+    case query::EntityKind::kRawObject: {
+      const RawObjectRecord* rec = FindRaw(oid);
+      if (rec == nullptr) return Value();
+      if (attr == "oid") return Value(static_cast<int64_t>(rec->id));
+      if (attr == "url") return Value(corpus_->raw(oid).url);
+      if (attr == "size") return Value(static_cast<int64_t>(rec->bytes));
+      if (attr == "kind") {
+        return Value(std::string(corpus::MediaKindName(rec->kind)));
+      }
+      if (attr == "frequency") {
+        return Value(static_cast<int64_t>(rec->history.frequency()));
+      }
+      if (attr == "lastref") {
+        return Value(static_cast<int64_t>(rec->history.LastKRef(1)));
+      }
+      if (attr == "shared") {
+        return Value(static_cast<int64_t>(rec->history.shared()));
+      }
+      if (attr == "priority") return Value(rec->effective_priority);
+      return Value();
+    }
+    case query::EntityKind::kSemanticRegion: {
+      const SemanticRegionRecord* rec = regions_.FindRegion(
+          static_cast<RegionId>(oid));
+      if (rec == nullptr) return Value();
+      if (attr == "oid") return Value(static_cast<int64_t>(rec->id));
+      if (attr == "weight") return Value(rec->weight);
+      if (attr == "priority") return Value(rec->MeanMemberPriority());
+      if (attr == "size") {
+        return Value(static_cast<int64_t>(rec->priority_count));
+      }
+      if (attr == "frequency") {
+        return Value(static_cast<int64_t>(rec->history.frequency()));
+      }
+      return Value();
+    }
+  }
+  return query::Value();
+}
+
+SimTime Warehouse::LastReference(query::EntityKind kind, uint64_t oid) const {
+  switch (kind) {
+    case query::EntityKind::kPhysicalPage: {
+      const PhysicalPageRecord* rec = FindPage(oid);
+      return rec == nullptr ? kNeverTime : rec->history.LastKRef(1);
+    }
+    case query::EntityKind::kLogicalPage: {
+      const LogicalPageRecord* rec = logical_.FindPage(oid);
+      return rec == nullptr ? kNeverTime : rec->history.LastKRef(1);
+    }
+    case query::EntityKind::kRawObject: {
+      const RawObjectRecord* rec = FindRaw(oid);
+      return rec == nullptr ? kNeverTime : rec->history.LastKRef(1);
+    }
+    case query::EntityKind::kSemanticRegion: {
+      const SemanticRegionRecord* rec =
+          regions_.FindRegion(static_cast<RegionId>(oid));
+      return rec == nullptr ? kNeverTime : rec->history.LastKRef(1);
+    }
+  }
+  return kNeverTime;
+}
+
+uint64_t Warehouse::Frequency(query::EntityKind kind, uint64_t oid) const {
+  switch (kind) {
+    case query::EntityKind::kPhysicalPage: {
+      const PhysicalPageRecord* rec = FindPage(oid);
+      return rec == nullptr ? 0 : rec->history.frequency();
+    }
+    case query::EntityKind::kLogicalPage: {
+      const LogicalPageRecord* rec = logical_.FindPage(oid);
+      return rec == nullptr ? 0 : rec->history.frequency();
+    }
+    case query::EntityKind::kRawObject: {
+      const RawObjectRecord* rec = FindRaw(oid);
+      return rec == nullptr ? 0 : rec->history.frequency();
+    }
+    case query::EntityKind::kSemanticRegion: {
+      const SemanticRegionRecord* rec =
+          regions_.FindRegion(static_cast<RegionId>(oid));
+      return rec == nullptr ? 0 : rec->history.frequency();
+    }
+  }
+  return 0;
+}
+
+std::vector<text::TermId> Warehouse::LookupTerms(
+    const std::vector<std::string>& terms) const {
+  std::vector<text::TermId> ids;
+  ids.reserve(terms.size());
+  for (const std::string& t : terms) {
+    ids.push_back(corpus_->vocabulary().Lookup(t));
+  }
+  return ids;
+}
+
+bool Warehouse::RowMentions(query::EntityKind kind, uint64_t oid,
+                            const std::string& attr,
+                            const std::vector<std::string>& terms) const {
+  std::vector<text::TermId> ids = LookupTerms(terms);
+  for (text::TermId id : ids) {
+    if (id == text::kInvalidTermId) return false;  // Unknown term: no match.
+  }
+  auto contains_all_in_terms = [&ids](const std::vector<text::TermId>& have) {
+    for (text::TermId id : ids) {
+      if (std::find(have.begin(), have.end(), id) == have.end()) return false;
+    }
+    return true;
+  };
+  auto contains_all_in_vector = [&ids](const text::TermVector& v) {
+    for (text::TermId id : ids) {
+      if (v.WeightOf(id) <= 0.0) return false;
+    }
+    return true;
+  };
+
+  switch (kind) {
+    case query::EntityKind::kPhysicalPage: {
+      const PhysicalPageRecord* rec = FindPage(oid);
+      if (rec == nullptr) return false;
+      if (attr == "title") return contains_all_in_terms(rec->title_terms);
+      if (attr == "content" || attr == "body") {
+        return contains_all_in_vector(rec->vector);
+      }
+      return false;
+    }
+    case query::EntityKind::kLogicalPage: {
+      const LogicalPageRecord* rec = logical_.FindPage(oid);
+      if (rec == nullptr) return false;
+      if (attr == "title") return contains_all_in_terms(rec->title_terms);
+      if (attr == "content" || attr == "body") {
+        return contains_all_in_vector(rec->vector);
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+std::optional<std::vector<uint64_t>> Warehouse::MentionCandidates(
+    query::EntityKind kind, const std::string& attr,
+    const std::vector<std::string>& terms) const {
+  std::vector<text::TermId> ids = LookupTerms(terms);
+  for (text::TermId id : ids) {
+    if (id == text::kInvalidTermId) return std::vector<uint64_t>{};
+  }
+  if (kind == query::EntityKind::kPhysicalPage) {
+    if (attr == "title") {
+      index_uses_[4] += 1.0;
+      last_index_used_ = IndexStoreId(4);
+      return title_index_.DocsContainingAll(ids);
+    }
+    if (attr == "content" || attr == "body") {
+      index_uses_[static_cast<int>(index::ObjectLevel::kPhysical)] += 1.0;
+      last_index_used_ =
+          IndexStoreId(static_cast<int>(index::ObjectLevel::kPhysical));
+      return indexes_.level(index::ObjectLevel::kPhysical)
+          .DocsContainingAll(ids);
+    }
+  }
+  if (kind == query::EntityKind::kLogicalPage &&
+      (attr == "content" || attr == "body" || attr == "title")) {
+    index_uses_[static_cast<int>(index::ObjectLevel::kLogical)] += 1.0;
+    last_index_used_ =
+        IndexStoreId(static_cast<int>(index::ObjectLevel::kLogical));
+    return indexes_.level(index::ObjectLevel::kLogical).DocsContainingAll(ids);
+  }
+  return std::nullopt;
+}
+
+}  // namespace cbfww::core

@@ -1,0 +1,375 @@
+#ifndef CBFWW_CORE_WAREHOUSE_H_
+#define CBFWW_CORE_WAREHOUSE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/constraint_manager.h"
+#include "core/continuous_query.h"
+#include "core/data_analyzer.h"
+#include "core/logical_page_manager.h"
+#include "core/object_model.h"
+#include "core/priority_manager.h"
+#include "core/query/query_executor.h"
+#include "core/recommendation_manager.h"
+#include "core/semantic_region_manager.h"
+#include "core/storage_manager.h"
+#include "core/topic.h"
+#include "core/usage_history.h"
+#include "core/version_manager.h"
+#include "corpus/news_feed.h"
+#include "corpus/web_corpus.h"
+#include "index/index_hierarchy.h"
+#include "net/origin_server.h"
+#include "storage/hierarchy.h"
+#include "text/summarizer.h"
+#include "text/tfidf.h"
+#include "trace/trace_event.h"
+#include "util/result.h"
+
+namespace cbfww::core {
+
+/// How the warehouse seeds the priority of a newly retrieved object.
+/// kSimilarity is the paper's contribution; the others are ablations used
+/// by the F8/F2 benches.
+enum class InitialPriorityMode {
+  /// Paper rule: predict from the most similar semantic region + topic
+  /// hotness ("determine the priority of a page when it is retrieved").
+  kSimilarity,
+  /// LRU-like: every new object starts at the top.
+  kTop,
+  /// Pessimistic: every new object starts cold.
+  kZero,
+};
+
+/// Configuration of a Warehouse instance.
+struct WarehouseOptions {
+  /// Storage tier capacities (bytes); tertiary is always unbounded — that
+  /// is the "capacity bound-free" premise.
+  uint64_t memory_bytes = 64ull * 1024 * 1024;
+  uint64_t disk_bytes = 2ull * 1024 * 1024 * 1024;
+
+  InitialPriorityMode initial_priority = InitialPriorityMode::kSimilarity;
+  PriorityOptions priority;
+  LogicalPageOptions logical;
+  SemanticRegionManager::Options regions;
+  ConstraintManager::Options constraints;
+  VersionManager::Options versions;
+  RecommendationManager::Options recommendations;
+  TopicSensor::Options sensor;
+  TopicManager::Options topics;
+  StorageManager::Options storage;
+  text::SummarizerOptions summarizer;
+
+  /// Enable the Topic Sensor (requires a NewsFeed).
+  bool enable_topic_sensor = true;
+  /// Enable sensor-driven prefetching of hot-topic pages.
+  bool enable_prefetch = true;
+  /// Promote objects into memory on access when their priority clears the
+  /// admission bar (self-organization between rebalances).
+  bool enable_access_promotion = true;
+  uint32_t prefetch_pages_per_tick = 8;
+  /// Guided navigation (paper Section 4.1): when a request hits the entry
+  /// document of a mined logical page, prefetch the next documents on its
+  /// most-traversed path.
+  bool enable_path_prefetch = true;
+  /// How many upcoming pages of the predicted path to stage.
+  uint32_t path_prefetch_depth = 2;
+
+  /// Housekeeping cadence.
+  SimTime rebalance_interval = 1 * kHour;
+  SimTime sensor_poll_interval = 10 * kMinute;
+  /// Maximum origin polls per housekeeping tick (weak consistency).
+  uint32_t polls_per_tick = 64;
+  /// Seed for internal randomized decisions.
+  uint64_t seed = 2003;
+};
+
+/// Latency breakdown of serving one page request.
+struct PageVisit {
+  corpus::PageId page = corpus::kInvalidPageId;
+  SimTime latency = 0;
+  /// Number of raw objects served per source.
+  uint32_t from_memory = 0;
+  uint32_t from_disk = 0;
+  uint32_t from_tertiary = 0;
+  uint32_t from_origin = 0;
+  /// Logical pages completed by this request.
+  std::vector<LogicalPageId> completed_logical;
+
+  DataAnalyzer::ServedBy SlowestSource() const {
+    if (from_origin > 0) return DataAnalyzer::ServedBy::kOrigin;
+    if (from_tertiary > 0) return DataAnalyzer::ServedBy::kTertiary;
+    if (from_disk > 0) return DataAnalyzer::ServedBy::kDisk;
+    return DataAnalyzer::ServedBy::kMemory;
+  }
+};
+
+/// The Capacity Bound-free Web Warehouse (paper Figure 1): the facade that
+/// wires Query Processor, Topic Manager/Sensor, Priority Manager,
+/// Recommendation, Version and Constraint Managers, the object hierarchy
+/// managers, and the self-organizing Storage Manager over a simulated
+/// storage hierarchy and origin.
+class Warehouse : public query::QueryCatalog {
+ public:
+  /// `corpus` is shared with (and mutated by) the driver for modification
+  /// events; `origin` fronts it; `feed` may be null (topic sensor idle).
+  /// All must outlive the warehouse.
+  Warehouse(corpus::WebCorpus* corpus, net::OriginServer* origin,
+            const corpus::NewsFeed* feed, const WarehouseOptions& options);
+
+  Warehouse(const Warehouse&) = delete;
+  Warehouse& operator=(const Warehouse&) = delete;
+  ~Warehouse() override;
+
+  // ----- Workload ingestion -----
+
+  /// Processes one trace event (request or modification). Runs pending
+  /// housekeeping first. For kModify events, applies the modification to
+  /// the corpus and reacts per the consistency policy.
+  PageVisit ProcessEvent(const trace::TraceEvent& event);
+
+  /// Serves a page request at `now` for `user`. Core of the system.
+  PageVisit RequestPage(corpus::PageId page, uint32_t user, int64_t session,
+                        bool via_link, SimTime now);
+
+  /// Origin-side modification notification.
+  void OnOriginModified(corpus::RawId id, SimTime now);
+
+  /// Housekeeping: sensor poll, consistency polling, region sync,
+  /// rebalance, prefetch. Called automatically from ProcessEvent; may be
+  /// called directly.
+  void Tick(SimTime now);
+
+  // ----- Queries (paper Section 4.3) -----
+
+  /// Parses and executes a warehouse query.
+  Result<query::QueryExecutionResult> ExecuteQuery(std::string_view text,
+                                                   bool use_index = true);
+
+  /// A query result together with its simulated execution cost: reading
+  /// the index objects used (which live in the storage hierarchy like any
+  /// other object — Section 4.1 "Hierarchy of Indices") plus per-candidate
+  /// evaluation CPU.
+  struct CostedQueryResult {
+    query::QueryExecutionResult result;
+    SimTime cost = 0;
+  };
+  Result<CostedQueryResult> ExecuteQueryWithCost(std::string_view text,
+                                                 bool use_index = true);
+
+  /// Registers a continuous (standing) query, re-evaluated every `period`
+  /// during housekeeping — the paper's "online decision support" goal
+  /// (Section 6).
+  Result<ContinuousQueryId> RegisterContinuousQuery(std::string_view text,
+                                                    SimTime period) {
+    return continuous_.Register(text, period);
+  }
+  const ContinuousQueryManager& continuous_queries() const {
+    return continuous_;
+  }
+  ContinuousQueryManager& mutable_continuous_queries() { return continuous_; }
+
+  // ----- Recommendations (Section 3 component (5)) -----
+
+  std::vector<index::ScoredDoc> RecommendPages(uint32_t user, size_t k) const;
+  std::vector<LogicalPageId> RecommendPaths(corpus::PageId page,
+                                            size_t k) const;
+
+  /// Popularity-aware search (Section 3, function 3): free-text search over
+  /// warehoused pages, ranking by content relevance boosted by usage —
+  /// score = cosine * (1 + popularity_weight * ln(1 + frequency)).
+  std::vector<index::ScoredDoc> SearchPages(std::string_view query_text,
+                                            size_t k,
+                                            double popularity_weight = 0.5);
+
+  /// Cache-conscious navigation (Section 3, function 3): like
+  /// RecommendPages, but among comparably relevant pages prefers ones whose
+  /// objects sit in fast storage (they can be shown instantly).
+  std::vector<index::ScoredDoc> RecommendPagesCacheConscious(
+      uint32_t user, size_t k, double tier_weight = 0.3) const;
+
+  // ----- Failure injection (copy control, Section 4.4) -----
+
+  /// Simulates losing an entire tier (e.g. a memory crash or a disk
+  /// failure): every copy on that tier vanishes. Copy control guarantees
+  /// the warehouse keeps serving from the remaining tiers. Returns the
+  /// number of copies lost.
+  uint64_t SimulateTierFailure(storage::TierIndex tier);
+
+  // ----- Priorities -----
+
+  /// Effective (structural) priority of a raw object per the Figure 2
+  /// rule: max over containing physical pages' effective priorities.
+  Priority EffectiveRawPriority(corpus::RawId id, SimTime now);
+
+  /// Effective priority of a physical page: own aged rate + topic boost,
+  /// lifted by the strongest containing logical page.
+  Priority EffectivePagePriority(corpus::PageId id, SimTime now);
+
+  Priority EffectiveLogicalPriority(LogicalPageId id, SimTime now);
+
+  // ----- Component access (benches, tests, examples) -----
+
+  const DataAnalyzer& analyzer() const { return analyzer_; }
+  const storage::StorageHierarchy& hierarchy() const { return *hierarchy_; }
+  storage::StorageHierarchy& mutable_hierarchy() { return *hierarchy_; }
+  const LogicalPageManager& logical_pages() const { return logical_; }
+  const SemanticRegionManager& regions() const { return regions_; }
+  const VersionManager& versions() const { return versions_; }
+  const ConstraintManager& constraints() const { return constraints_; }
+  ConstraintManager& mutable_constraints() { return constraints_; }
+  const TopicSensor& sensor() const { return sensor_; }
+  const TopicManager& topics() const { return topics_; }
+  const RecommendationManager& recommendations() const {
+    return recommendations_;
+  }
+  const StorageManager& storage_manager() const { return storage_; }
+  StorageManager& mutable_storage_manager() { return storage_; }
+  const index::IndexHierarchy& indexes() const { return indexes_; }
+  const WarehouseOptions& options() const { return options_; }
+  SimTime now() const { return now_; }
+
+  const std::unordered_map<corpus::RawId, RawObjectRecord>& raw_records()
+      const {
+    return raws_;
+  }
+  const std::unordered_map<corpus::PageId, PhysicalPageRecord>& page_records()
+      const {
+    return pages_;
+  }
+  const RawObjectRecord* FindRaw(corpus::RawId id) const;
+  const PhysicalPageRecord* FindPage(corpus::PageId id) const;
+
+  struct Counters {
+    uint64_t requests = 0;
+    uint64_t origin_fetches = 0;
+    uint64_t prefetches = 0;
+    /// Guided-navigation prefetches (objects staged ahead of a session).
+    uint64_t path_prefetches = 0;
+    uint64_t consistency_polls = 0;
+    uint64_t consistency_refreshes = 0;
+    uint64_t rebalances = 0;
+    uint64_t admission_rejections = 0;
+    /// Queries served via an index vs by scanning.
+    uint64_t indexed_queries = 0;
+    uint64_t scan_queries = 0;
+    /// Total simulated time spent on background work (polls, prefetch,
+    /// migration) — not charged to user latency.
+    SimTime background_time = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  /// Writes a human-readable status report: traffic, latency, tier
+  /// occupancy, component activity. Used by the CLI driver and examples.
+  void PrintReport(std::ostream& os) const;
+
+  /// Store id of index object `which` (0-3: level indexes, 4: the title
+  /// index). Indexes live in the storage hierarchy like any other object.
+  static storage::StoreObjectId IndexStoreId(int which) {
+    return (1ULL << 59) | static_cast<uint64_t>(which);
+  }
+
+  // ----- QueryCatalog implementation -----
+  std::vector<uint64_t> AllObjects(query::EntityKind kind) const override;
+  query::Value GetAttribute(query::EntityKind kind, uint64_t oid,
+                            const std::string& attr) const override;
+  SimTime LastReference(query::EntityKind kind, uint64_t oid) const override;
+  uint64_t Frequency(query::EntityKind kind, uint64_t oid) const override;
+  bool RowMentions(query::EntityKind kind, uint64_t oid,
+                   const std::string& attr,
+                   const std::vector<std::string>& terms) const override;
+  std::optional<std::vector<uint64_t>> MentionCandidates(
+      query::EntityKind kind, const std::string& attr,
+      const std::vector<std::string>& terms) const override;
+
+ private:
+  class ContentProviderImpl;
+
+  /// Ensures the raw object is warehoused; fetches from origin when absent
+  /// or invalid. Returns serve cost and source.
+  struct ServeResult {
+    SimTime cost = 0;
+    DataAnalyzer::ServedBy source = DataAnalyzer::ServedBy::kMemory;
+  };
+  ServeResult ServeRawObject(corpus::RawId id, SimTime now,
+                             Priority page_priority_hint);
+
+  /// Creates warehouse records for a page on first contact.
+  PhysicalPageRecord& EnsurePageRecord(corpus::PageId id);
+  RawObjectRecord& EnsureRawRecord(corpus::RawId id);
+
+  /// Initial priority of a page's content per the configured mode.
+  Priority PredictInitialPriority(const text::TermVector& v, SimTime now);
+
+  void MaybePrefetch(SimTime now);
+  /// Guided navigation: stages the next pages of the best logical path
+  /// starting at `page` for the session that just arrived there.
+  void PathPrefetch(corpus::PageId page, SimTime now);
+
+  /// Places the five index objects (four level indexes + the title index)
+  /// into the storage hierarchy by their decayed use rate — the paper's
+  /// "priorities of indices" problem. Called from Rebalance.
+  void PlaceIndexes(SimTime now);
+  void RunConsistencyPolls(SimTime now);
+  void Rebalance(SimTime now);
+
+  /// Term ids for a list of (already-normalized) term strings; unknown
+  /// terms map to kInvalidTermId entries which never match.
+  std::vector<text::TermId> LookupTerms(
+      const std::vector<std::string>& terms) const;
+
+  corpus::WebCorpus* corpus_;
+  net::OriginServer* origin_;
+  WarehouseOptions options_;
+
+  std::unique_ptr<storage::StorageHierarchy> hierarchy_;
+  text::TfIdfVectorizer vectorizer_;
+  text::Summarizer summarizer_;
+
+  ConstraintManager constraints_;
+  StorageManager storage_;
+  PriorityManager priorities_;
+  TopicSensor sensor_;
+  TopicManager topics_;
+  std::unique_ptr<ContentProviderImpl> content_provider_;
+  LogicalPageManager logical_;
+  SemanticRegionManager regions_;
+  RecommendationManager recommendations_;
+  VersionManager versions_;
+  ContinuousQueryManager continuous_;
+  DataAnalyzer analyzer_;
+  index::IndexHierarchy indexes_;
+  /// Separate index over page *titles* for `title MENTION` acceleration.
+  index::InvertedIndex title_index_;
+
+  std::unordered_map<corpus::RawId, RawObjectRecord> raws_;
+  std::unordered_map<corpus::PageId, PhysicalPageRecord> pages_;
+
+  /// Weak-consistency polling schedule: (next_poll, raw id).
+  using PollEntry = std::pair<SimTime, corpus::RawId>;
+  std::priority_queue<PollEntry, std::vector<PollEntry>,
+                      std::greater<PollEntry>>
+      poll_queue_;
+
+  /// Decayed per-index use counts (4 level indexes + title index) and the
+  /// id of the index consulted by the most recent MentionCandidates call.
+  mutable std::array<double, 5> index_uses_{};
+  mutable storage::StoreObjectId last_index_used_ = 0;
+
+  SimTime now_ = 0;
+  SimTime next_rebalance_ = 0;
+  SimTime next_sensor_poll_ = 0;
+  Counters counters_;
+  Pcg32 rng_;
+};
+
+}  // namespace cbfww::core
+
+#endif  // CBFWW_CORE_WAREHOUSE_H_

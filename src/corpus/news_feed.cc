@@ -1,0 +1,74 @@
+#include "corpus/news_feed.h"
+
+#include <algorithm>
+
+namespace cbfww::corpus {
+
+NewsFeed::NewsFeed(const Options& options, const TopicModel* topics)
+    : options_(options), topics_(topics) {
+  Pcg32 rng(options.seed, /*stream=*/0xBEEF);
+  const uint32_t num_topics = topics_->num_topics();
+  for (uint32_t b = 0; b < options.num_bursts; ++b) {
+    BurstSpec burst;
+    // Bursts begin after one lead interval so every burst has headlines.
+    SimTime earliest = options.headline_lead;
+    SimTime span = std::max<SimTime>(1, options.horizon - earliest);
+    burst.start = earliest + rng.NextInt(0, span - 1);
+    burst.duration = std::max<SimTime>(
+        kMinute, static_cast<SimTime>(options.burst_duration_mean *
+                                      (0.5 + rng.NextDouble())));
+    burst.topic = static_cast<TopicId>(rng.NextBounded(num_topics));
+    burst.intensity = options.intensity * (0.5 + rng.NextDouble());
+    bursts_.push_back(burst);
+
+    // Headlines announcing the burst, spread over the lead window.
+    for (uint32_t h = 0; h < options.headlines_per_burst; ++h) {
+      NewsHeadline headline;
+      headline.topic = burst.topic;
+      SimTime lead = options.headline_lead;
+      headline.time = burst.start - lead +
+                      rng.NextInt(0, std::max<SimTime>(1, lead) - 1);
+      if (headline.time < 0) headline.time = 0;
+      // Headlines are dense in topic signature terms plus a couple of
+      // sampled ones (noise).
+      headline.terms = topics_->TopicSignature(
+          burst.topic, options.terms_per_headline > 2
+                           ? options.terms_per_headline - 2
+                           : options.terms_per_headline);
+      Pcg32 hrng = rng.Fork(b * 131 + h);
+      while (headline.terms.size() < options.terms_per_headline) {
+        headline.terms.push_back(topics_->SampleTerm(burst.topic, hrng));
+      }
+      headlines_.push_back(std::move(headline));
+    }
+  }
+  std::sort(bursts_.begin(), bursts_.end(),
+            [](const BurstSpec& a, const BurstSpec& b) { return a.start < b.start; });
+  std::sort(headlines_.begin(), headlines_.end(),
+            [](const NewsHeadline& a, const NewsHeadline& b) {
+              return a.time < b.time;
+            });
+}
+
+std::vector<NewsHeadline> NewsFeed::HeadlinesBetween(SimTime from,
+                                                     SimTime to) const {
+  std::vector<NewsHeadline> out;
+  auto lo = std::lower_bound(headlines_.begin(), headlines_.end(), from,
+                             [](const NewsHeadline& h, SimTime t) {
+                               return h.time < t;
+                             });
+  for (auto it = lo; it != headlines_.end() && it->time < to; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+double NewsFeed::TopicBoostAt(TopicId topic, SimTime t) const {
+  double boost = 1.0;
+  for (const BurstSpec& b : bursts_) {
+    if (b.topic == topic && b.ActiveAt(t)) boost += b.intensity;
+  }
+  return boost;
+}
+
+}  // namespace cbfww::corpus

@@ -1,0 +1,77 @@
+#ifndef CBFWW_CORPUS_NEWS_FEED_H_
+#define CBFWW_CORPUS_NEWS_FEED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/topic_model.h"
+#include "text/vocabulary.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace cbfww::corpus {
+
+/// One hot-spot episode: between [start, start + duration) requests for
+/// pages of `topic` are inflated by `intensity`. The paper's Kyoto-inet
+/// observation: hot spots are topic-driven and short-lived (Section 4.4).
+struct BurstSpec {
+  SimTime start = 0;
+  SimTime duration = 0;
+  TopicId topic = kNoTopic;
+  /// Multiplier on the probability mass of the topic's pages while active.
+  double intensity = 10.0;
+
+  bool ActiveAt(SimTime t) const { return t >= start && t < start + duration; }
+};
+
+/// A headline emitted by the simulated news wire.
+struct NewsHeadline {
+  SimTime time = 0;
+  TopicId topic = kNoTopic;
+  std::vector<text::TermId> terms;
+};
+
+/// Simulated news sites: generates a schedule of topic bursts and the
+/// headlines announcing them. Headlines precede the corresponding request
+/// burst by `headline_lead`, which is the signal the Topic Sensor exploits
+/// for prediction/prefetch (paper Section 3, component (3)).
+class NewsFeed {
+ public:
+  struct Options {
+    /// Number of bursts across the horizon.
+    uint32_t num_bursts = 8;
+    SimTime horizon = 7 * kDay;
+    SimTime burst_duration_mean = 4 * kHour;
+    double intensity = 15.0;
+    /// How long before the request burst the headlines appear.
+    SimTime headline_lead = 30 * kMinute;
+    /// Headlines per burst.
+    uint32_t headlines_per_burst = 5;
+    uint32_t terms_per_headline = 8;
+    uint64_t seed = 7;
+  };
+
+  /// Generates the schedule. The topic model is not owned and must outlive
+  /// the feed.
+  NewsFeed(const Options& options, const TopicModel* topics);
+
+  const std::vector<BurstSpec>& bursts() const { return bursts_; }
+  const std::vector<NewsHeadline>& headlines() const { return headlines_; }
+
+  /// Headlines with time in [from, to). Both lists are time-sorted.
+  std::vector<NewsHeadline> HeadlinesBetween(SimTime from, SimTime to) const;
+
+  /// Total popularity multiplier for `topic` at time `t` (1.0 when no burst
+  /// is active).
+  double TopicBoostAt(TopicId topic, SimTime t) const;
+
+ private:
+  Options options_;
+  const TopicModel* topics_;
+  std::vector<BurstSpec> bursts_;
+  std::vector<NewsHeadline> headlines_;
+};
+
+}  // namespace cbfww::corpus
+
+#endif  // CBFWW_CORPUS_NEWS_FEED_H_

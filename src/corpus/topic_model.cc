@@ -1,0 +1,79 @@
+#include "corpus/topic_model.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace cbfww::corpus {
+
+TopicModel::TopicModel(const Options& options, text::Vocabulary* vocabulary)
+    : options_(options),
+      vocabulary_(vocabulary),
+      topic_zipf_(options.terms_per_topic, options.zipf_theta),
+      shared_zipf_(options.shared_terms, options.zipf_theta) {
+  assert(options.num_topics >= 1);
+  assert(options.terms_per_topic >= 1);
+  assert(options.shared_terms >= 1);
+  topic_terms_.resize(options.num_topics);
+  for (uint32_t t = 0; t < options.num_topics; ++t) {
+    topic_terms_[t].reserve(options.terms_per_topic);
+    for (uint32_t i = 0; i < options.terms_per_topic; ++i) {
+      // No separators that the tokenizer would split on: these strings must
+      // round-trip through Tokenize() unchanged for MENTION queries.
+      topic_terms_[t].push_back(
+          vocabulary_->Intern(StrFormat("topic%uterm%u", t, i)));
+    }
+  }
+  shared_terms_.reserve(options.shared_terms);
+  for (uint32_t i = 0; i < options.shared_terms; ++i) {
+    shared_terms_.push_back(vocabulary_->Intern(StrFormat("commonterm%u", i)));
+  }
+}
+
+text::TermId TopicModel::SampleTerm(TopicId topic, Pcg32& rng) const {
+  bool from_topic = topic != kNoTopic &&
+                    topic >= 0 &&
+                    static_cast<uint32_t>(topic) < options_.num_topics &&
+                    rng.NextBernoulli(options_.concentration);
+  if (from_topic) {
+    uint64_t rank = topic_zipf_.Sample(rng);
+    return topic_terms_[static_cast<uint32_t>(topic)][rank];
+  }
+  uint64_t rank = shared_zipf_.Sample(rng);
+  return shared_terms_[rank];
+}
+
+std::vector<text::TermId> TopicModel::SampleTerms(TopicId topic, uint32_t count,
+                                                  Pcg32& rng) const {
+  std::vector<text::TermId> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) out.push_back(SampleTerm(topic, rng));
+  return out;
+}
+
+std::vector<text::TermId> TopicModel::TopicSignature(TopicId topic,
+                                                     uint32_t k) const {
+  std::vector<text::TermId> out;
+  if (topic < 0 || static_cast<uint32_t>(topic) >= options_.num_topics) return out;
+  const auto& terms = topic_terms_[static_cast<uint32_t>(topic)];
+  uint32_t n = std::min<uint32_t>(k, static_cast<uint32_t>(terms.size()));
+  out.assign(terms.begin(), terms.begin() + n);
+  return out;
+}
+
+bool TopicModel::TermInTopic(text::TermId term, TopicId topic) const {
+  return TopicOfTerm(term) == topic;
+}
+
+TopicId TopicModel::TopicOfTerm(text::TermId term) const {
+  // Topic blocks were interned contiguously; recover by range.
+  for (uint32_t t = 0; t < options_.num_topics; ++t) {
+    if (!topic_terms_[t].empty() && term >= topic_terms_[t].front() &&
+        term <= topic_terms_[t].back()) {
+      return static_cast<TopicId>(t);
+    }
+  }
+  return kNoTopic;
+}
+
+}  // namespace cbfww::corpus

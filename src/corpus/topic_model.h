@@ -1,0 +1,76 @@
+#ifndef CBFWW_CORPUS_TOPIC_MODEL_H_
+#define CBFWW_CORPUS_TOPIC_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/vocabulary.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace cbfww::corpus {
+
+/// Index of a topic in the generator's topic space.
+using TopicId = int32_t;
+
+constexpr TopicId kNoTopic = -1;
+
+/// Synthetic topic-mixture language model.
+///
+/// Each topic owns a block of topic-specific terms; a shared background
+/// vocabulary is mixed in. Term frequencies within each block are Zipfian.
+/// Pages generated with a dominant topic draw a `concentration` fraction of
+/// their tokens from that topic's block, which gives the TF-IDF vectorizer
+/// and the clustering substrate a recoverable ground truth (used to score
+/// semantic-region purity in experiment F7).
+class TopicModel {
+ public:
+  struct Options {
+    uint32_t num_topics = 10;
+    uint32_t terms_per_topic = 200;
+    uint32_t shared_terms = 500;
+    /// Probability that a token is drawn from the dominant topic's block.
+    double concentration = 0.8;
+    /// Zipf exponent for term frequency within each block.
+    double zipf_theta = 1.0;
+  };
+
+  /// Interns all topic/background terms into `vocabulary` (not owned; must
+  /// outlive the model).
+  TopicModel(const Options& options, text::Vocabulary* vocabulary);
+
+  /// Samples one token for a document whose dominant topic is `topic`
+  /// (kNoTopic = pure background).
+  text::TermId SampleTerm(TopicId topic, Pcg32& rng) const;
+
+  /// Samples `count` tokens.
+  std::vector<text::TermId> SampleTerms(TopicId topic, uint32_t count,
+                                        Pcg32& rng) const;
+
+  /// The most characteristic (most frequent) `k` terms of a topic — these
+  /// are what the news feed emits as headline terms.
+  std::vector<text::TermId> TopicSignature(TopicId topic, uint32_t k) const;
+
+  /// True if `term` belongs to `topic`'s block.
+  bool TermInTopic(text::TermId term, TopicId topic) const;
+
+  /// Ground-truth topic owning `term`, or kNoTopic if background.
+  TopicId TopicOfTerm(text::TermId term) const;
+
+  uint32_t num_topics() const { return options_.num_topics; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  text::Vocabulary* vocabulary_;
+  // topic_terms_[t] holds TermIds of topic t, in decreasing frequency.
+  std::vector<std::vector<text::TermId>> topic_terms_;
+  std::vector<text::TermId> shared_terms_;
+  ZipfSampler topic_zipf_;
+  ZipfSampler shared_zipf_;
+};
+
+}  // namespace cbfww::corpus
+
+#endif  // CBFWW_CORPUS_TOPIC_MODEL_H_

@@ -1,0 +1,201 @@
+#include "corpus/web_corpus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace cbfww::corpus {
+
+std::string_view MediaKindName(MediaKind kind) {
+  switch (kind) {
+    case MediaKind::kHtml:
+      return "html";
+    case MediaKind::kImage:
+      return "image";
+    case MediaKind::kAudio:
+      return "audio";
+    case MediaKind::kVideo:
+      return "video";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Lognormal-ish size: mean * exp(sigma * gaussian), clamped to >= 512.
+uint64_t SampleSize(uint64_t mean, Pcg32& rng) {
+  double factor = std::exp(0.5 * rng.NextGaussian());
+  double v = static_cast<double>(mean) * factor;
+  return static_cast<uint64_t>(std::max(512.0, v));
+}
+
+}  // namespace
+
+WebCorpus::WebCorpus(const CorpusOptions& options)
+    : options_(options),
+      vocabulary_(std::make_unique<text::Vocabulary>()),
+      rng_(options.seed, /*stream=*/0xC0FFEE) {
+  topic_model_ = std::make_unique<TopicModel>(options.topic, vocabulary_.get());
+  Generate();
+}
+
+void WebCorpus::Generate() {
+  const uint32_t sites = options_.num_sites;
+  const uint32_t pages_per_site = options_.pages_per_site;
+  const uint32_t topics = topic_model_->num_topics();
+
+  // Reserve: each page has one container; each site has a media pool.
+  pages_.reserve(static_cast<size_t>(sites) * pages_per_site);
+
+  // Per-site component pools (RawIds of media objects).
+  std::vector<std::vector<RawId>> site_pools(sites);
+
+  auto new_raw = [&](MediaKind kind, uint32_t site, uint64_t size) -> RawId {
+    RawWebObject obj;
+    obj.id = raw_objects_.size();
+    obj.kind = kind;
+    obj.site = site;
+    obj.size_bytes = size;
+    obj.url = StrFormat("http://site%u.example.org/%s/%llu", site,
+                        std::string(MediaKindName(kind)).c_str(),
+                        static_cast<unsigned long long>(obj.id));
+    raw_objects_.push_back(std::move(obj));
+    return raw_objects_.back().id;
+  };
+
+  // 1. Media pools.
+  for (uint32_t s = 0; s < sites; ++s) {
+    Pcg32 rng = rng_.Fork(0x1000 + s);
+    site_pools[s].reserve(options_.component_pool_per_site);
+    for (uint32_t i = 0; i < options_.component_pool_per_site; ++i) {
+      MediaKind kind = MediaKind::kImage;
+      double r = rng.NextDouble();
+      if (r > 0.9) {
+        kind = MediaKind::kVideo;
+      } else if (r > 0.8) {
+        kind = MediaKind::kAudio;
+      }
+      site_pools[s].push_back(
+          new_raw(kind, s, SampleSize(options_.media_size_mean, rng)));
+    }
+  }
+
+  // 2. Pages: container + components. Sites lean toward a home topic so
+  // semantic regions correlate with (but do not equal) sites.
+  for (uint32_t s = 0; s < sites; ++s) {
+    Pcg32 rng = rng_.Fork(0x2000 + s);
+    TopicId site_topic = static_cast<TopicId>(s % topics);
+    for (uint32_t p = 0; p < pages_per_site; ++p) {
+      TopicId topic = rng.NextBernoulli(0.7)
+                          ? site_topic
+                          : static_cast<TopicId>(rng.NextBounded(topics));
+      uint64_t size = SampleSize(options_.html_size_mean, rng);
+      if (rng.NextBernoulli(options_.large_doc_fraction)) {
+        size = options_.large_doc_size +
+               rng.NextBounded(static_cast<uint32_t>(options_.large_doc_size / 2));
+      }
+      RawId container = new_raw(MediaKind::kHtml, s, size);
+      RawWebObject& raw = raw_objects_[container];
+      raw.topic = topic;
+      raw.title_terms = topic_model_->SampleTerms(topic, options_.title_terms, rng);
+      raw.body_terms = topic_model_->SampleTerms(topic, options_.body_terms, rng);
+
+      PhysicalPageSpec page;
+      page.id = pages_.size();
+      page.container = container;
+      page.site = s;
+      page.topic = topic;
+      // Components: shared from the site pool or fresh.
+      uint32_t ncomp = rng.NextBounded(2 * options_.components_per_page_mean + 1);
+      for (uint32_t c = 0; c < ncomp; ++c) {
+        if (!site_pools[s].empty() &&
+            rng.NextBernoulli(options_.component_share_prob)) {
+          page.components.push_back(
+              site_pools[s][rng.NextBounded(
+                  static_cast<uint32_t>(site_pools[s].size()))]);
+        } else {
+          page.components.push_back(
+              new_raw(MediaKind::kImage, s,
+                      SampleSize(options_.media_size_mean, rng)));
+        }
+      }
+      std::sort(page.components.begin(), page.components.end());
+      page.components.erase(
+          std::unique(page.components.begin(), page.components.end()),
+          page.components.end());
+      pages_.push_back(std::move(page));
+    }
+  }
+
+  // 3. Link graph with anchor texts. Links prefer the same site (navigation
+  // structure); anchor text previews the destination's topic.
+  const uint64_t total_pages = pages_.size();
+  std::vector<std::vector<PageId>> pages_by_site(sites);
+  for (const PhysicalPageSpec& page : pages_) {
+    pages_by_site[page.site].push_back(page.id);
+  }
+  for (PhysicalPageSpec& page : pages_) {
+    Pcg32 rng = rng_.Fork(0x3000 + page.id);
+    const std::vector<PageId>& site_pages = pages_by_site[page.site];
+    for (uint32_t l = 0; l < options_.links_per_page; ++l) {
+      PageId target;
+      if (!site_pages.empty() &&
+          !rng.NextBernoulli(options_.cross_site_link_prob)) {
+        target = site_pages[rng.NextBounded(
+            static_cast<uint32_t>(site_pages.size()))];
+      } else {
+        target = rng.NextBounded(static_cast<uint32_t>(total_pages));
+      }
+      if (target == page.id) continue;
+      Anchor anchor;
+      anchor.target = target;
+      anchor.text_terms = topic_model_->SampleTerms(
+          pages_[target].topic, options_.anchor_text_terms, rng);
+      page.anchors.push_back(std::move(anchor));
+    }
+  }
+
+  // 4. Reverse component index.
+  containers_of_.assign(raw_objects_.size(), {});
+  for (const PhysicalPageSpec& page : pages_) {
+    for (RawId c : page.components) containers_of_[c].push_back(page.id);
+  }
+  for (auto& v : containers_of_) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+}
+
+std::vector<PageId> WebCorpus::PagesOfSite(uint32_t site) const {
+  std::vector<PageId> out;
+  // Pages are generated site-by-site; compute the contiguous range.
+  for (PageId id = 0; id < pages_.size(); ++id) {
+    if (pages_[id].site == site) out.push_back(id);
+  }
+  return out;
+}
+
+void WebCorpus::ModifyObject(RawId id, SimTime now, Pcg32& rng) {
+  assert(id < raw_objects_.size());
+  RawWebObject& obj = raw_objects_[id];
+  ++obj.version;
+  obj.last_modified = now;
+  if (obj.is_html() && !obj.body_terms.empty()) {
+    // Re-sample ~20% of body tokens: content drift under the same topic.
+    uint32_t n = static_cast<uint32_t>(obj.body_terms.size()) / 5;
+    for (uint32_t i = 0; i < n; ++i) {
+      uint32_t pos = rng.NextBounded(static_cast<uint32_t>(obj.body_terms.size()));
+      obj.body_terms[pos] = topic_model_->SampleTerm(obj.topic, rng);
+    }
+  }
+}
+
+const std::vector<PageId>& WebCorpus::ContainersOf(RawId component) const {
+  static const std::vector<PageId> kEmpty;
+  if (component >= containers_of_.size()) return kEmpty;
+  return containers_of_[component];
+}
+
+}  // namespace cbfww::corpus

@@ -1,0 +1,101 @@
+#ifndef CBFWW_CORPUS_WEB_CORPUS_H_
+#define CBFWW_CORPUS_WEB_CORPUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "corpus/topic_model.h"
+#include "corpus/web_object.h"
+#include "text/vocabulary.h"
+#include "util/rng.h"
+
+namespace cbfww::corpus {
+
+/// Parameters for synthetic corpus generation. Defaults give a ~4k-page
+/// corpus that runs every experiment in seconds; benches scale them up.
+struct CorpusOptions {
+  uint32_t num_sites = 20;
+  uint32_t pages_per_site = 200;
+
+  TopicModel::Options topic;
+
+  /// Tokens in a page title / body.
+  uint32_t title_terms = 6;
+  uint32_t body_terms = 120;
+
+  /// Embedded media components per page (Poisson-ish around the mean) and
+  /// the per-site pool they are drawn from. Sharing is what creates the
+  /// Figure 2 situation (one image embedded by many pages).
+  uint32_t components_per_page_mean = 3;
+  uint32_t component_pool_per_site = 40;
+  double component_share_prob = 0.6;
+
+  /// Size model (bytes). HTML and media sizes are lognormal-ish around the
+  /// mean; a small fraction of documents is made very large to exercise
+  /// levels-of-detail (experiment C4).
+  uint64_t html_size_mean = 24 * 1024;
+  uint64_t media_size_mean = 64 * 1024;
+  double large_doc_fraction = 0.02;
+  uint64_t large_doc_size = 4 * 1024 * 1024;
+
+  /// Out-links per page and the probability a link crosses sites.
+  uint32_t links_per_page = 6;
+  double cross_site_link_prob = 0.15;
+  uint32_t anchor_text_terms = 3;
+
+  uint64_t seed = 42;
+};
+
+/// A fully generated synthetic web: sites, raw objects, physical pages, and
+/// a link graph with anchor texts. Substitutes for the live web (see
+/// DESIGN.md, substitution table). Deterministic given `seed`.
+class WebCorpus {
+ public:
+  /// Generates the corpus. The corpus owns its vocabulary and topic model.
+  explicit WebCorpus(const CorpusOptions& options);
+
+  WebCorpus(const WebCorpus&) = delete;
+  WebCorpus& operator=(const WebCorpus&) = delete;
+
+  const CorpusOptions& options() const { return options_; }
+  const text::Vocabulary& vocabulary() const { return *vocabulary_; }
+  text::Vocabulary* mutable_vocabulary() { return vocabulary_.get(); }
+  const TopicModel& topic_model() const { return *topic_model_; }
+
+  size_t num_raw_objects() const { return raw_objects_.size(); }
+  size_t num_pages() const { return pages_.size(); }
+
+  const RawWebObject& raw(RawId id) const { return raw_objects_[id]; }
+  RawWebObject& mutable_raw(RawId id) { return raw_objects_[id]; }
+  const PhysicalPageSpec& page(PageId id) const { return pages_[id]; }
+
+  const std::vector<RawWebObject>& raw_objects() const { return raw_objects_; }
+  const std::vector<PhysicalPageSpec>& pages() const { return pages_; }
+
+  /// Pages of one site, in generation order.
+  std::vector<PageId> PagesOfSite(uint32_t site) const;
+
+  /// Applies an origin-side modification to a raw object: bumps version,
+  /// sets last_modified, and (for HTML) re-samples a fraction of body terms.
+  void ModifyObject(RawId id, SimTime now, Pcg32& rng);
+
+  /// All pages embedding the given component (reverse of
+  /// PhysicalPageSpec::components).
+  const std::vector<PageId>& ContainersOf(RawId component) const;
+
+ private:
+  void Generate();
+
+  CorpusOptions options_;
+  std::unique_ptr<text::Vocabulary> vocabulary_;
+  std::unique_ptr<TopicModel> topic_model_;
+  std::vector<RawWebObject> raw_objects_;
+  std::vector<PhysicalPageSpec> pages_;
+  std::vector<std::vector<PageId>> containers_of_;  // indexed by RawId
+  Pcg32 rng_;
+};
+
+}  // namespace cbfww::corpus
+
+#endif  // CBFWW_CORPUS_WEB_CORPUS_H_

@@ -1,0 +1,80 @@
+#ifndef CBFWW_CORPUS_WEB_OBJECT_H_
+#define CBFWW_CORPUS_WEB_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/topic_model.h"
+#include "text/vocabulary.h"
+#include "util/clock.h"
+
+namespace cbfww::corpus {
+
+/// Identifier of a raw web object (single file) in the corpus.
+using RawId = uint64_t;
+
+/// Identifier of a physical page (container + components) in the corpus.
+using PageId = uint64_t;
+
+constexpr RawId kInvalidRawId = UINT64_MAX;
+constexpr PageId kInvalidPageId = UINT64_MAX;
+
+/// Media type of a raw web object (paper Figure 4).
+enum class MediaKind {
+  kHtml = 0,
+  kImage,
+  kAudio,
+  kVideo,
+};
+
+std::string_view MediaKindName(MediaKind kind);
+
+/// A single file on a web site — the smallest unit the warehouse handles
+/// (paper Section 4.1, "Raw Web Objects").
+struct RawWebObject {
+  RawId id = kInvalidRawId;
+  std::string url;
+  MediaKind kind = MediaKind::kHtml;
+  uint64_t size_bytes = 0;
+  uint32_t site = 0;
+  /// Content version; bumped on each modification at the origin.
+  uint32_t version = 1;
+  /// Simulated time of last modification at the origin.
+  SimTime last_modified = 0;
+  /// Title terms (HTML containers only).
+  std::vector<text::TermId> title_terms;
+  /// Body terms in document order (HTML containers only).
+  std::vector<text::TermId> body_terms;
+  /// Ground-truth dominant topic (HTML containers; kNoTopic for media).
+  TopicId topic = kNoTopic;
+
+  bool is_html() const { return kind == MediaKind::kHtml; }
+};
+
+/// A link from an anchor inside a page to a destination page
+/// (span-to-node link, paper Section 5.1).
+struct Anchor {
+  /// Anchor text terms — the paper uses these to form logical-document
+  /// titles (Section 5.2).
+  std::vector<text::TermId> text_terms;
+  /// Destination physical page.
+  PageId target = kInvalidPageId;
+};
+
+/// A complete visual unit in a browser: one HTML container plus embedded
+/// media components (paper Section 4.1, "Physical Page Objects"). Components
+/// may be shared between pages of the same site, which drives the Figure 2
+/// priority experiment.
+struct PhysicalPageSpec {
+  PageId id = kInvalidPageId;
+  RawId container = kInvalidRawId;
+  std::vector<RawId> components;
+  std::vector<Anchor> anchors;
+  uint32_t site = 0;
+  TopicId topic = kNoTopic;
+};
+
+}  // namespace cbfww::corpus
+
+#endif  // CBFWW_CORPUS_WEB_OBJECT_H_

@@ -1,0 +1,42 @@
+#include "index/index_hierarchy.h"
+
+namespace cbfww::index {
+
+std::string_view ObjectLevelName(ObjectLevel level) {
+  switch (level) {
+    case ObjectLevel::kRaw:
+      return "raw";
+    case ObjectLevel::kPhysical:
+      return "physical";
+    case ObjectLevel::kLogical:
+      return "logical";
+    case ObjectLevel::kRegion:
+      return "region";
+  }
+  return "unknown";
+}
+
+void IndexHierarchy::Add(ObjectLevel l, uint64_t doc,
+                         const text::TermVector& vec) {
+  level(l).Add(doc, vec);
+}
+
+void IndexHierarchy::Remove(ObjectLevel l, uint64_t doc) {
+  level(l).Remove(doc);
+}
+
+uint32_t IndexHierarchy::LevelsContaining(text::TermId term) const {
+  uint32_t mask = 0;
+  for (int i = 0; i < kNumObjectLevels; ++i) {
+    if (indexes_[i].TermPresent(term)) mask |= (1u << i);
+  }
+  return mask;
+}
+
+uint64_t IndexHierarchy::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& idx : indexes_) bytes += idx.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace cbfww::index

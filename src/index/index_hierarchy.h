@@ -1,0 +1,63 @@
+#ifndef CBFWW_INDEX_INDEX_HIERARCHY_H_
+#define CBFWW_INDEX_INDEX_HIERARCHY_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace cbfww::index {
+
+/// The four object levels of the paper's hierarchy (Section 4.1).
+enum class ObjectLevel : int {
+  kRaw = 0,
+  kPhysical = 1,
+  kLogical = 2,
+  kRegion = 3,
+};
+
+constexpr int kNumObjectLevels = 4;
+
+std::string_view ObjectLevelName(ObjectLevel level);
+
+/// One inverted index per object level plus an "index for indices": a
+/// term-routing table that tells which level indexes contain a term, so a
+/// query touches only the indexes that can answer it (paper Section 4.1,
+/// "we have to prepare an index for indices to form a index hierarchy").
+class IndexHierarchy {
+ public:
+  IndexHierarchy() = default;
+
+  InvertedIndex& level(ObjectLevel l) { return indexes_[static_cast<int>(l)]; }
+  const InvertedIndex& level(ObjectLevel l) const {
+    return indexes_[static_cast<int>(l)];
+  }
+
+  /// Adds a document vector at a level (updates the routing table).
+  void Add(ObjectLevel l, uint64_t doc, const text::TermVector& vec);
+
+  /// Removes a document from a level.
+  void Remove(ObjectLevel l, uint64_t doc);
+
+  /// Bitmask of levels whose index contains `term` (bit i = level i); this
+  /// consults only the routing table, not the posting lists.
+  uint32_t LevelsContaining(text::TermId term) const;
+
+  /// Top-k at one level.
+  std::vector<ScoredDoc> Query(ObjectLevel l, const text::TermVector& query,
+                               size_t k) const {
+    return level(l).QueryVector(query, k);
+  }
+
+  /// Total memory of all level indexes.
+  uint64_t MemoryBytes() const;
+
+ private:
+  std::array<InvertedIndex, kNumObjectLevels> indexes_;
+};
+
+}  // namespace cbfww::index
+
+#endif  // CBFWW_INDEX_INDEX_HIERARCHY_H_

@@ -1,0 +1,130 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbfww::index {
+
+void InvertedIndex::Add(uint64_t doc, const text::TermVector& vec) {
+  if (Contains(doc)) Remove(doc);
+  std::vector<text::TermId> terms;
+  terms.reserve(vec.size());
+  for (const auto& [term, weight] : vec.entries()) {
+    if (weight == 0.0) continue;
+    auto& list = postings_[term];
+    auto it = std::lower_bound(
+        list.begin(), list.end(), doc,
+        [](const Posting& p, uint64_t d) { return p.doc < d; });
+    list.insert(it, Posting{doc, weight});
+    terms.push_back(term);
+  }
+  doc_norms_[doc] = vec.Norm();
+  doc_terms_[doc] = std::move(terms);
+}
+
+void InvertedIndex::Remove(uint64_t doc) {
+  auto it = doc_terms_.find(doc);
+  if (it == doc_terms_.end()) return;
+  for (text::TermId term : it->second) {
+    auto pit = postings_.find(term);
+    if (pit == postings_.end()) continue;
+    auto& list = pit->second;
+    auto lit = std::lower_bound(
+        list.begin(), list.end(), doc,
+        [](const Posting& p, uint64_t d) { return p.doc < d; });
+    if (lit != list.end() && lit->doc == doc) list.erase(lit);
+    if (list.empty()) postings_.erase(pit);
+  }
+  doc_terms_.erase(it);
+  doc_norms_.erase(doc);
+}
+
+std::vector<ScoredDoc> InvertedIndex::QueryVector(const text::TermVector& query,
+                                                  size_t k) const {
+  std::unordered_map<uint64_t, double> dots;
+  for (const auto& [term, qweight] : query.entries()) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    for (const Posting& p : it->second) dots[p.doc] += qweight * p.weight;
+  }
+  double qnorm = query.Norm();
+  std::vector<ScoredDoc> scored;
+  scored.reserve(dots.size());
+  for (const auto& [doc, dot] : dots) {
+    auto nit = doc_norms_.find(doc);
+    double dnorm = nit != doc_norms_.end() ? nit->second : 0.0;
+    if (dnorm <= 0.0 || qnorm <= 0.0) continue;
+    scored.push_back({doc, dot / (dnorm * qnorm)});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredDoc& a, const ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+std::vector<uint64_t> InvertedIndex::DocsContainingAll(
+    const std::vector<text::TermId>& terms) const {
+  if (terms.empty()) return {};
+  // Intersect posting lists, smallest first.
+  std::vector<const std::vector<Posting>*> lists;
+  for (text::TermId t : terms) {
+    auto it = postings_.find(t);
+    if (it == postings_.end()) return {};
+    lists.push_back(&it->second);
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<uint64_t> result;
+  for (const Posting& p : *lists[0]) result.push_back(p.doc);
+  for (size_t i = 1; i < lists.size() && !result.empty(); ++i) {
+    std::vector<uint64_t> next;
+    const auto& list = *lists[i];
+    size_t a = 0;
+    size_t b = 0;
+    while (a < result.size() && b < list.size()) {
+      if (result[a] < list[b].doc) {
+        ++a;
+      } else if (list[b].doc < result[a]) {
+        ++b;
+      } else {
+        next.push_back(result[a]);
+        ++a;
+        ++b;
+      }
+    }
+    result = std::move(next);
+  }
+  return result;
+}
+
+std::vector<uint64_t> InvertedIndex::DocsContainingAny(
+    const std::vector<text::TermId>& terms) const {
+  std::vector<uint64_t> result;
+  for (text::TermId t : terms) {
+    auto it = postings_.find(t);
+    if (it == postings_.end()) continue;
+    for (const Posting& p : it->second) result.push_back(p.doc);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+uint64_t InvertedIndex::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [term, list] : postings_) {
+    (void)term;
+    bytes += sizeof(text::TermId) + list.size() * sizeof(Posting);
+  }
+  bytes += doc_norms_.size() * (sizeof(uint64_t) + sizeof(double));
+  for (const auto& [doc, terms] : doc_terms_) {
+    (void)doc;
+    bytes += sizeof(uint64_t) + terms.size() * sizeof(text::TermId);
+  }
+  return bytes;
+}
+
+}  // namespace cbfww::index

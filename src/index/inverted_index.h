@@ -1,0 +1,76 @@
+#ifndef CBFWW_INDEX_INVERTED_INDEX_H_
+#define CBFWW_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "text/term_vector.h"
+
+namespace cbfww::index {
+
+/// A document id with a relevance score.
+struct ScoredDoc {
+  uint64_t doc = 0;
+  double score = 0.0;
+};
+
+/// In-memory inverted index over sparse term vectors.
+///
+/// Posting lists map term -> (doc, weight); document norms are cached so
+/// QueryVector scores are cosine similarities. Supports removal (for object
+/// eviction / version turnover) and reports its memory footprint, which the
+/// Storage Manager uses when deciding which indexes stay in fast storage
+/// (paper Section 4.1, "Hierarchy of Indices").
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Adds (or replaces) the document's vector.
+  void Add(uint64_t doc, const text::TermVector& vec);
+
+  /// Removes a document; no-op if absent.
+  void Remove(uint64_t doc);
+
+  bool Contains(uint64_t doc) const { return doc_norms_.contains(doc); }
+
+  /// Top-k documents by cosine similarity to `query`. Results sorted by
+  /// descending score; ties broken by ascending doc id.
+  std::vector<ScoredDoc> QueryVector(const text::TermVector& query,
+                                     size_t k) const;
+
+  /// Documents whose vectors contain *all* of `terms` (conjunctive MENTION).
+  std::vector<uint64_t> DocsContainingAll(
+      const std::vector<text::TermId>& terms) const;
+
+  /// Documents containing *any* of `terms`.
+  std::vector<uint64_t> DocsContainingAny(
+      const std::vector<text::TermId>& terms) const;
+
+  bool TermPresent(text::TermId term) const {
+    auto it = postings_.find(term);
+    return it != postings_.end() && !it->second.empty();
+  }
+
+  size_t num_documents() const { return doc_norms_.size(); }
+  size_t num_terms() const { return postings_.size(); }
+
+  /// Approximate memory footprint of posting lists + norms, in bytes.
+  uint64_t MemoryBytes() const;
+
+ private:
+  struct Posting {
+    uint64_t doc;
+    double weight;
+  };
+  // term -> postings sorted by doc id.
+  std::unordered_map<text::TermId, std::vector<Posting>> postings_;
+  // doc -> L2 norm of its vector (for cosine scoring).
+  std::unordered_map<uint64_t, double> doc_norms_;
+  // doc -> terms it contains (for removal).
+  std::unordered_map<uint64_t, std::vector<text::TermId>> doc_terms_;
+};
+
+}  // namespace cbfww::index
+
+#endif  // CBFWW_INDEX_INVERTED_INDEX_H_

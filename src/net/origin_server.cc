@@ -1,0 +1,32 @@
+#include "net/origin_server.h"
+
+namespace cbfww::net {
+
+OriginServer::OriginServer(const corpus::WebCorpus* corpus, NetworkModel model)
+    : corpus_(corpus), model_(model) {}
+
+OriginServer::FetchResult OriginServer::Fetch(corpus::RawId id) {
+  const corpus::RawWebObject& obj = corpus_->raw(id);
+  FetchResult result;
+  result.bytes = obj.size_bytes;
+  result.version = obj.version;
+  result.cost = model_.FetchTime(obj.size_bytes);
+  ++stats_.fetches;
+  stats_.bytes_transferred += obj.size_bytes;
+  stats_.total_time += result.cost;
+  return result;
+}
+
+OriginServer::ValidateResult OriginServer::Validate(corpus::RawId id,
+                                                    uint32_t cached_version) {
+  const corpus::RawWebObject& obj = corpus_->raw(id);
+  ValidateResult result;
+  result.version = obj.version;
+  result.modified = obj.version != cached_version;
+  result.cost = model_.ValidateTime();
+  ++stats_.validations;
+  stats_.total_time += result.cost;
+  return result;
+}
+
+}  // namespace cbfww::net

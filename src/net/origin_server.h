@@ -1,0 +1,74 @@
+#ifndef CBFWW_NET_ORIGIN_SERVER_H_
+#define CBFWW_NET_ORIGIN_SERVER_H_
+
+#include <cstdint>
+
+#include "corpus/web_corpus.h"
+#include "util/clock.h"
+
+namespace cbfww::net {
+
+/// Wide-area network + origin-server cost model. Early-2000s magnitudes:
+/// the premise of the paper is origin retrieval >> local disk access, and
+/// these defaults preserve that ratio (~250ms for a 24KB page vs ~8ms disk).
+struct NetworkModel {
+  /// Round-trip time to the origin.
+  SimTime rtt = 150 * kMillisecond;
+  /// Server processing time per request.
+  SimTime server_time = 50 * kMillisecond;
+  /// Download bandwidth in bytes per microsecond (0.5 = 4 Mbit/s).
+  double bytes_per_us = 0.5;
+
+  SimTime FetchTime(uint64_t bytes) const {
+    return rtt + server_time +
+           static_cast<SimTime>(static_cast<double>(bytes) / bytes_per_us);
+  }
+  /// Conditional GET that returns 304: headers only.
+  SimTime ValidateTime() const { return rtt + server_time; }
+};
+
+/// Simulated origin web server fronting the synthetic corpus. Substitutes
+/// for the live web (see DESIGN.md). Fetches return the object's current
+/// version so the warehouse's consistency machinery can detect staleness.
+class OriginServer {
+ public:
+  struct FetchResult {
+    SimTime cost = 0;
+    uint64_t bytes = 0;
+    uint32_t version = 0;
+  };
+  struct ValidateResult {
+    SimTime cost = 0;
+    /// True if the origin copy is newer than `cached_version`.
+    bool modified = false;
+    uint32_t version = 0;
+  };
+  struct Stats {
+    uint64_t fetches = 0;
+    uint64_t validations = 0;
+    uint64_t bytes_transferred = 0;
+    SimTime total_time = 0;
+  };
+
+  /// `corpus` is not owned and must outlive the server.
+  OriginServer(const corpus::WebCorpus* corpus, NetworkModel model);
+
+  /// Full GET of a raw object.
+  FetchResult Fetch(corpus::RawId id);
+
+  /// Conditional GET: cheap when the cached version is still current.
+  ValidateResult Validate(corpus::RawId id, uint32_t cached_version);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+  const NetworkModel& model() const { return model_; }
+
+ private:
+  const corpus::WebCorpus* corpus_;
+  NetworkModel model_;
+  Stats stats_;
+};
+
+}  // namespace cbfww::net
+
+#endif  // CBFWW_NET_ORIGIN_SERVER_H_

@@ -1,0 +1,37 @@
+#include "storage/device.h"
+
+namespace cbfww::storage {
+
+DeviceModel DeviceModel::Memory(uint64_t capacity_bytes) {
+  DeviceModel d;
+  d.name = "memory";
+  d.capacity_bytes = capacity_bytes;
+  d.access_latency = 1 * kMicrosecond;
+  d.bytes_per_us = 2000.0;  // 2 GB/s
+  return d;
+}
+
+DeviceModel DeviceModel::Disk(uint64_t capacity_bytes) {
+  DeviceModel d;
+  d.name = "disk";
+  d.capacity_bytes = capacity_bytes;
+  d.access_latency = 8 * kMillisecond;
+  d.bytes_per_us = 60.0;  // 60 MB/s
+  return d;
+}
+
+DeviceModel DeviceModel::Tertiary(uint64_t capacity_bytes) {
+  DeviceModel d;
+  d.name = "tertiary";
+  d.capacity_bytes = capacity_bytes;
+  // Near-line archive. The paper's premise is explicit: "access time of
+  // disks (or even online tapes) is still shorter than time required for
+  // retrieving web pages from origin servers" — so the tertiary tier must
+  // sit between disk (~8ms) and an origin fetch (~250ms for a typical
+  // page).
+  d.access_latency = 120 * kMillisecond;
+  d.bytes_per_us = 15.0;  // 15 MB/s
+  return d;
+}
+
+}  // namespace cbfww::storage

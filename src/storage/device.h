@@ -1,0 +1,42 @@
+#ifndef CBFWW_STORAGE_DEVICE_H_
+#define CBFWW_STORAGE_DEVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/clock.h"
+
+namespace cbfww::storage {
+
+/// Latency/bandwidth/capacity model of one storage device.
+///
+/// Access time = fixed latency + bytes / bandwidth. Only the *ratios*
+/// between tiers matter to the paper's argument (mem << disk << tertiary
+/// << origin); the defaults below use early-2000s magnitudes to match the
+/// paper's setting.
+struct DeviceModel {
+  std::string name;
+  /// 0 means unbounded ("capacity bound-free").
+  uint64_t capacity_bytes = 0;
+  /// Fixed per-access latency (seek, robot arm, ...).
+  SimTime access_latency = 0;
+  /// Sustained bandwidth in bytes per microsecond.
+  double bytes_per_us = 1.0;
+
+  /// Simulated time to transfer `bytes` from this device.
+  SimTime TransferTime(uint64_t bytes) const {
+    double xfer = static_cast<double>(bytes) / bytes_per_us;
+    return access_latency + static_cast<SimTime>(xfer);
+  }
+
+  /// Main memory: ~1us access, 2 GB/s.
+  static DeviceModel Memory(uint64_t capacity_bytes);
+  /// Magnetic disk: ~8ms seek, 60 MB/s.
+  static DeviceModel Disk(uint64_t capacity_bytes);
+  /// Near-line tertiary (tape/optical robot): ~8s load, 12 MB/s.
+  static DeviceModel Tertiary(uint64_t capacity_bytes);
+};
+
+}  // namespace cbfww::storage
+
+#endif  // CBFWW_STORAGE_DEVICE_H_

@@ -1,0 +1,192 @@
+#include "storage/hierarchy.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace cbfww::storage {
+
+StorageHierarchy::StorageHierarchy(std::vector<DeviceModel> tiers)
+    : tiers_(std::move(tiers)) {
+  assert(!tiers_.empty());
+  assert(tiers_.size() <= 32);
+  used_bytes_.assign(tiers_.size(), 0);
+  resident_count_.assign(tiers_.size(), 0);
+}
+
+Status StorageHierarchy::Store(StoreObjectId id, uint64_t bytes,
+                               TierIndex tier) {
+  if (tier < 0 || tier >= num_tiers()) {
+    return Status::InvalidArgument(StrFormat("bad tier %d", tier));
+  }
+  Residency& res = objects_[id];
+  uint32_t bit = 1u << tier;
+  if (res.tier_mask & bit) {
+    // Refresh existing copy.
+    res.stale_mask &= ~bit;
+    return Status::Ok();
+  }
+  const DeviceModel& dev = tiers_[tier];
+  if (dev.capacity_bytes != 0 && used_bytes_[tier] + bytes > dev.capacity_bytes) {
+    if (res.tier_mask == 0) objects_.erase(id);
+    return Status::ResourceExhausted(
+        StrFormat("tier %d (%s) full: used=%llu need=%llu cap=%llu", tier,
+                  dev.name.c_str(),
+                  static_cast<unsigned long long>(used_bytes_[tier]),
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(dev.capacity_bytes)));
+  }
+  if (res.tier_mask != 0 && res.bytes != bytes) {
+    // Keep sizes consistent across copies; adopt the latest.
+    res.bytes = bytes;
+  } else {
+    res.bytes = bytes;
+  }
+  res.tier_mask |= bit;
+  res.stale_mask &= ~bit;
+  used_bytes_[tier] += bytes;
+  ++resident_count_[tier];
+  return Status::Ok();
+}
+
+Status StorageHierarchy::Evict(StoreObjectId id, TierIndex tier) {
+  if (tier < 0 || tier >= num_tiers()) {
+    return Status::InvalidArgument(StrFormat("bad tier %d", tier));
+  }
+  auto it = objects_.find(id);
+  uint32_t bit = 1u << tier;
+  if (it == objects_.end() || !(it->second.tier_mask & bit)) {
+    return Status::NotFound("no copy at tier");
+  }
+  it->second.tier_mask &= ~bit;
+  it->second.stale_mask &= ~bit;
+  used_bytes_[tier] -= it->second.bytes;
+  --resident_count_[tier];
+  ++stats_.evictions;
+  if (it->second.tier_mask == 0) objects_.erase(it);
+  return Status::Ok();
+}
+
+void StorageHierarchy::EvictAll(StoreObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return;
+  for (TierIndex t = 0; t < num_tiers(); ++t) {
+    if (it->second.tier_mask & (1u << t)) {
+      used_bytes_[t] -= it->second.bytes;
+      --resident_count_[t];
+      ++stats_.evictions;
+    }
+  }
+  objects_.erase(it);
+}
+
+bool StorageHierarchy::IsResident(StoreObjectId id, TierIndex tier) const {
+  auto it = objects_.find(id);
+  return it != objects_.end() && tier >= 0 && tier < num_tiers() &&
+         (it->second.tier_mask & (1u << tier));
+}
+
+TierIndex StorageHierarchy::FastestTierOf(StoreObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return kNoTier;
+  for (TierIndex t = 0; t < num_tiers(); ++t) {
+    if (it->second.tier_mask & (1u << t)) return t;
+  }
+  return kNoTier;
+}
+
+uint64_t StorageHierarchy::SizeOf(StoreObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? 0 : it->second.bytes;
+}
+
+Result<SimTime> StorageHierarchy::Read(StoreObjectId id) {
+  TierIndex t = FastestTierOf(id);
+  if (t == kNoTier) return Status::NotFound("object not resident");
+  SimTime cost = tiers_[t].TransferTime(objects_[id].bytes);
+  ++stats_.reads;
+  stats_.read_time += cost;
+  return cost;
+}
+
+Status StorageHierarchy::Migrate(StoreObjectId id, TierIndex dst,
+                                 bool exclusive) {
+  if (dst < 0 || dst >= num_tiers()) {
+    return Status::InvalidArgument(StrFormat("bad tier %d", dst));
+  }
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return Status::NotFound("object not resident");
+  TierIndex src = FastestTierOf(id);
+  uint64_t bytes = it->second.bytes;
+
+  if (!IsResident(id, dst)) {
+    // Check destination capacity before dropping source copies so a failed
+    // exclusive move never loses the object.
+    const DeviceModel& dev = tiers_[dst];
+    if (dev.capacity_bytes != 0 &&
+        used_bytes_[dst] + bytes > dev.capacity_bytes) {
+      return Status::ResourceExhausted(
+          StrFormat("tier %d (%s) full for migration", dst, dev.name.c_str()));
+    }
+    if (exclusive) {
+      for (TierIndex t = 0; t < num_tiers(); ++t) {
+        if (t != dst && (it->second.tier_mask & (1u << t))) {
+          used_bytes_[t] -= bytes;
+          --resident_count_[t];
+          it->second.tier_mask &= ~(1u << t);
+          it->second.stale_mask &= ~(1u << t);
+        }
+      }
+    }
+    CBFWW_RETURN_IF_ERROR(Store(id, bytes, dst));
+    ++stats_.migrations;
+    stats_.bytes_migrated += bytes;
+    stats_.migration_time +=
+        tiers_[src].TransferTime(bytes) + tiers_[dst].TransferTime(bytes);
+    return Status::Ok();
+  }
+
+  if (exclusive) {
+    for (TierIndex t = 0; t < num_tiers(); ++t) {
+      if (t != dst && (it->second.tier_mask & (1u << t))) {
+        used_bytes_[t] -= bytes;
+        --resident_count_[t];
+        it->second.tier_mask &= ~(1u << t);
+        it->second.stale_mask &= ~(1u << t);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status StorageHierarchy::MarkStale(StoreObjectId id, TierIndex tier) {
+  auto it = objects_.find(id);
+  uint32_t bit = 1u << tier;
+  if (it == objects_.end() || tier < 0 || tier >= num_tiers() ||
+      !(it->second.tier_mask & bit)) {
+    return Status::NotFound("no copy at tier");
+  }
+  it->second.stale_mask |= bit;
+  return Status::Ok();
+}
+
+bool StorageHierarchy::IsStale(StoreObjectId id, TierIndex tier) const {
+  auto it = objects_.find(id);
+  return it != objects_.end() && tier >= 0 && tier < num_tiers() &&
+         (it->second.stale_mask & (1u << tier));
+}
+
+uint64_t StorageHierarchy::free_bytes(TierIndex t) const {
+  if (tiers_[t].capacity_bytes == 0) return UINT64_MAX;
+  return tiers_[t].capacity_bytes - used_bytes_[t];
+}
+
+std::vector<StoreObjectId> StorageHierarchy::ObjectsAtTier(TierIndex t) const {
+  std::vector<StoreObjectId> out;
+  for (const auto& [id, res] : objects_) {
+    if (res.tier_mask & (1u << t)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace cbfww::storage

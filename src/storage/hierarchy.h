@@ -1,0 +1,114 @@
+#ifndef CBFWW_STORAGE_HIERARCHY_H_
+#define CBFWW_STORAGE_HIERARCHY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/device.h"
+#include "util/clock.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cbfww::storage {
+
+/// Caller-defined identifier of a stored object (the warehouse uses RawIds
+/// and synthetic ids for summaries/indices).
+using StoreObjectId = uint64_t;
+
+/// Tier index within a hierarchy: 0 is fastest. Conventional layout is
+/// 0 = memory, 1 = disk, 2 = tertiary (paper Figure 3).
+using TierIndex = int;
+
+constexpr TierIndex kNoTier = -1;
+
+/// Simulated multi-level store with per-tier capacity accounting, copy
+/// control, and migration cost tracking (paper Sections 4.3-4.4; the
+/// multi-level-store lineage is Stonebraker SIGMOD'91).
+///
+/// An object may be resident on several tiers at once ("data in main memory
+/// have exact copies in the disk; data in the disk have back-up copies in
+/// the tertiary storage"). Reads are served from the fastest resident copy.
+class StorageHierarchy {
+ public:
+  explicit StorageHierarchy(std::vector<DeviceModel> tiers);
+
+  StorageHierarchy(const StorageHierarchy&) = delete;
+  StorageHierarchy& operator=(const StorageHierarchy&) = delete;
+
+  /// Number of tiers.
+  int num_tiers() const { return static_cast<int>(tiers_.size()); }
+  const DeviceModel& tier(TierIndex t) const { return tiers_[t]; }
+
+  /// Adds a copy of the object at `tier`. Fails with kResourceExhausted if
+  /// the tier has a capacity bound and it would be exceeded. Storing an
+  /// already-resident copy refreshes it (marks it non-stale) at no cost.
+  Status Store(StoreObjectId id, uint64_t bytes, TierIndex tier);
+
+  /// Drops the copy at `tier`. kNotFound if no such copy.
+  Status Evict(StoreObjectId id, TierIndex tier);
+
+  /// Drops all copies of the object.
+  void EvictAll(StoreObjectId id);
+
+  bool IsResident(StoreObjectId id, TierIndex tier) const;
+
+  /// Fastest tier holding a copy, or kNoTier.
+  TierIndex FastestTierOf(StoreObjectId id) const;
+
+  /// Size recorded for the object, or 0 if absent everywhere.
+  uint64_t SizeOf(StoreObjectId id) const;
+
+  /// Simulated read from the fastest resident copy. Returns the access
+  /// time; kNotFound if the object is not resident anywhere.
+  Result<SimTime> Read(StoreObjectId id);
+
+  /// Ensures a copy exists at `dst`. The copy is made from the fastest
+  /// current tier (cost = read src + write dst, charged to stats). When
+  /// `exclusive` is true all other copies are dropped (a true move);
+  /// otherwise existing copies remain (copy control for recovery).
+  Status Migrate(StoreObjectId id, TierIndex dst, bool exclusive);
+
+  /// Marks the copy at `tier` stale (e.g. tertiary backup behind newer
+  /// versions). Stale copies still serve reads in weak-consistency mode.
+  Status MarkStale(StoreObjectId id, TierIndex tier);
+  bool IsStale(StoreObjectId id, TierIndex tier) const;
+
+  uint64_t used_bytes(TierIndex t) const { return used_bytes_[t]; }
+  uint64_t free_bytes(TierIndex t) const;
+  /// Number of objects resident at tier t.
+  uint64_t resident_count(TierIndex t) const { return resident_count_[t]; }
+
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t migrations = 0;
+    uint64_t bytes_migrated = 0;
+    uint64_t evictions = 0;
+    /// Total simulated time spent in reads (excluding migration cost).
+    SimTime read_time = 0;
+    /// Total simulated migration cost.
+    SimTime migration_time = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  /// All objects currently resident at tier t (unordered).
+  std::vector<StoreObjectId> ObjectsAtTier(TierIndex t) const;
+
+ private:
+  struct Residency {
+    uint64_t bytes = 0;
+    uint32_t tier_mask = 0;   // Bit t set => copy at tier t.
+    uint32_t stale_mask = 0;  // Bit t set => copy at tier t is stale.
+  };
+
+  std::vector<DeviceModel> tiers_;
+  std::unordered_map<StoreObjectId, Residency> objects_;
+  std::vector<uint64_t> used_bytes_;
+  std::vector<uint64_t> resident_count_;
+  Stats stats_;
+};
+
+}  // namespace cbfww::storage
+
+#endif  // CBFWW_STORAGE_HIERARCHY_H_

@@ -1,0 +1,49 @@
+#include "stream/count_min_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace cbfww::stream {
+
+CountMinSketch::CountMinSketch(double eps, double delta) {
+  assert(eps > 0.0 && eps < 1.0);
+  assert(delta > 0.0 && delta < 1.0);
+  width_ = static_cast<size_t>(std::ceil(std::exp(1.0) / eps));
+  depth_ = static_cast<size_t>(std::ceil(std::log(1.0 / delta)));
+  width_ = std::max<size_t>(width_, 2);
+  depth_ = std::max<size_t>(depth_, 1);
+  cells_.assign(width_ * depth_, 0);
+  SplitMix64 seeder(0xC0117ED5EEDULL);
+  seeds_.reserve(depth_);
+  for (size_t d = 0; d < depth_; ++d) seeds_.push_back(seeder.Next());
+}
+
+uint64_t CountMinSketch::CellHash(size_t row, uint64_t item) const {
+  // One SplitMix64 round keyed by the row seed: fast, well mixed.
+  uint64_t z = item + seeds_[row];
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= (z >> 31);
+  return z % width_;
+}
+
+void CountMinSketch::Add(uint64_t item, uint64_t count) {
+  total_ += count;
+  for (size_t d = 0; d < depth_; ++d) {
+    cells_[d * width_ + CellHash(d, item)] += count;
+  }
+}
+
+uint64_t CountMinSketch::Estimate(uint64_t item) const {
+  uint64_t best = std::numeric_limits<uint64_t>::max();
+  for (size_t d = 0; d < depth_; ++d) {
+    best = std::min(best, cells_[d * width_ + CellHash(d, item)]);
+  }
+  return best == std::numeric_limits<uint64_t>::max() ? 0 : best;
+}
+
+}  // namespace cbfww::stream

@@ -1,0 +1,53 @@
+#ifndef CBFWW_STREAM_COUNT_MIN_SKETCH_H_
+#define CBFWW_STREAM_COUNT_MIN_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cbfww::stream {
+
+/// Count-Min sketch (Cormode & Muthukrishnan): approximate frequency
+/// counting in sublinear space for append-only streams — the kind of
+/// approximate aggregation the paper's Table 1 attributes to Data Stream
+/// Management Systems.
+///
+/// Estimate(x) >= TrueCount(x), and with probability 1 - delta,
+/// Estimate(x) <= TrueCount(x) + eps * N where N is the stream length.
+/// width = ceil(e / eps), depth = ceil(ln(1 / delta)).
+class CountMinSketch {
+ public:
+  /// Builds a sketch with the given error targets. eps and delta must be in
+  /// (0, 1).
+  CountMinSketch(double eps, double delta);
+
+  /// Adds `count` occurrences of `item`.
+  void Add(uint64_t item, uint64_t count = 1);
+
+  /// Upper-bound estimate of item's count (never underestimates).
+  uint64_t Estimate(uint64_t item) const;
+
+  /// Total items added (N).
+  uint64_t total() const { return total_; }
+
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+
+  /// Memory footprint in bytes — the point of sketching.
+  uint64_t MemoryBytes() const {
+    return static_cast<uint64_t>(width_) * depth_ * sizeof(uint64_t);
+  }
+
+ private:
+  uint64_t CellHash(size_t row, uint64_t item) const;
+
+  size_t width_;
+  size_t depth_;
+  std::vector<uint64_t> cells_;  // depth_ rows x width_ columns.
+  std::vector<uint64_t> seeds_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace cbfww::stream
+
+#endif  // CBFWW_STREAM_COUNT_MIN_SKETCH_H_

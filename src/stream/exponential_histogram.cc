@@ -1,0 +1,58 @@
+#include "stream/exponential_histogram.h"
+
+#include <cassert>
+
+namespace cbfww::stream {
+
+ExponentialHistogram::ExponentialHistogram(SimTime window, uint32_t k)
+    : window_(window), k_(k < 2 ? 2 : k) {
+  assert(window > 0);
+}
+
+void ExponentialHistogram::Expire(SimTime now) {
+  while (!buckets_.empty() && buckets_.back().newest <= now - window_) {
+    total_in_buckets_ -= buckets_.back().size;
+    buckets_.pop_back();
+  }
+}
+
+void ExponentialHistogram::Merge() {
+  // Walk size classes front (newest) to back; when a class exceeds
+  // k/2 + 1 buckets, merge its two oldest into the next class.
+  size_t limit = k_ / 2 + 1;
+  size_t i = 0;
+  while (i < buckets_.size()) {
+    uint64_t size = buckets_[i].size;
+    size_t begin = i;
+    while (i < buckets_.size() && buckets_[i].size == size) ++i;
+    size_t count = i - begin;
+    if (count > limit) {
+      // Merge the two OLDEST buckets of this class (highest indices).
+      // Index b is the newer of the two, so its timestamp survives.
+      size_t a = i - 1;
+      size_t b = i - 2;
+      buckets_[b].size *= 2;
+      buckets_.erase(buckets_.begin() + static_cast<long>(a));
+      // Restart the scan at the merged class (it may now overflow too).
+      i = b;
+    }
+  }
+}
+
+void ExponentialHistogram::RecordEvent(SimTime now) {
+  Expire(now);
+  buckets_.push_front(Bucket{now, 1});
+  total_in_buckets_ += 1;
+  Merge();
+}
+
+uint64_t ExponentialHistogram::Estimate(SimTime now) {
+  Expire(now);
+  if (buckets_.empty()) return 0;
+  // All buckets except the oldest are fully inside the window; the oldest
+  // straddles it — count half of it (the classical estimator).
+  uint64_t oldest = buckets_.back().size;
+  return total_in_buckets_ - oldest + (oldest + 1) / 2;
+}
+
+}  // namespace cbfww::stream

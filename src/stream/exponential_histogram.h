@@ -1,0 +1,54 @@
+#ifndef CBFWW_STREAM_EXPONENTIAL_HISTOGRAM_H_
+#define CBFWW_STREAM_EXPONENTIAL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "util/clock.h"
+
+namespace cbfww::stream {
+
+/// Exponential histogram (Datar, Gionis, Indyk, Motwani): approximate count
+/// of events within a sliding time window using O(log N / eps) buckets —
+/// the DSMS answer to the sliding-window state problem the paper discusses
+/// in Section 4.2.
+///
+/// The estimate is within a (1 + eps) relative factor of the true
+/// in-window count.
+class ExponentialHistogram {
+ public:
+  /// `window` is the sliding-window length; `k` controls precision:
+  /// at most k/2 + 1 buckets per size class, eps ~ 2 / k.
+  ExponentialHistogram(SimTime window, uint32_t k = 8);
+
+  /// Records one event at time `now` (times must be non-decreasing).
+  void RecordEvent(SimTime now);
+
+  /// Approximate number of events in (now - window, now].
+  uint64_t Estimate(SimTime now);
+
+  /// Current number of buckets (the memory footprint).
+  size_t bucket_count() const { return buckets_.size(); }
+
+  SimTime window() const { return window_; }
+
+ private:
+  struct Bucket {
+    SimTime newest;  // Timestamp of the most recent event in the bucket.
+    uint64_t size;   // Number of events merged into this bucket (power of 2).
+  };
+
+  void Expire(SimTime now);
+  void Merge();
+
+  SimTime window_;
+  uint32_t k_;
+  // Most recent bucket at the front; sizes non-decreasing toward the back.
+  std::deque<Bucket> buckets_;
+  uint64_t total_in_buckets_ = 0;
+};
+
+}  // namespace cbfww::stream
+
+#endif  // CBFWW_STREAM_EXPONENTIAL_HISTOGRAM_H_

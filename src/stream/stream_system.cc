@@ -1,0 +1,45 @@
+#include "stream/stream_system.h"
+
+#include <algorithm>
+
+namespace cbfww::stream {
+
+StreamSystem::StreamSystem(const Options& options)
+    : options_(options),
+      sketch_(options.sketch_eps, options.sketch_delta),
+      window_count_(options.window, options.histogram_k) {}
+
+void StreamSystem::Append(const StreamTuple& tuple) {
+  ++total_tuples_;
+  sum_values_ += tuple.value;
+  max_value_ = std::max(max_value_, tuple.value);
+  sketch_.Add(tuple.key);
+  window_count_.RecordEvent(tuple.time);
+  buffer_.push_back(tuple);
+  while (buffer_.size() > options_.max_buffered_tuples) buffer_.pop_front();
+}
+
+uint64_t StreamSystem::ApproxCount(uint64_t key) const {
+  return sketch_.Estimate(key);
+}
+
+uint64_t StreamSystem::ApproxWindowCount(SimTime now) {
+  return window_count_.Estimate(now);
+}
+
+Result<StreamTuple> StreamSystem::Retrieve(SimTime time, uint64_t key) const {
+  for (const StreamTuple& t : buffer_) {
+    if (t.time == time && t.key == key) return t;
+  }
+  return Status::NotFound(
+      "tuple not in the bounded buffer (stream data is discarded once "
+      "processed)");
+}
+
+uint64_t StreamSystem::MemoryBytes() const {
+  return sketch_.MemoryBytes() +
+         window_count_.bucket_count() * 2 * sizeof(uint64_t) +
+         buffer_.size() * sizeof(StreamTuple);
+}
+
+}  // namespace cbfww::stream

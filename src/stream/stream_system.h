@@ -1,0 +1,90 @@
+#ifndef CBFWW_STREAM_STREAM_SYSTEM_H_
+#define CBFWW_STREAM_STREAM_SYSTEM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "stream/count_min_sketch.h"
+#include "stream/exponential_histogram.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace cbfww::stream {
+
+/// One tuple of the request stream.
+struct StreamTuple {
+  SimTime time = 0;
+  uint64_t key = 0;    // E.g. page id.
+  uint64_t value = 0;  // E.g. bytes transferred.
+};
+
+/// A minimal Data Stream Management System facade, as characterized by the
+/// paper's Table 1: append-only input, little or no store (bounded memory),
+/// approximate aggregate queries only, no retrieval of individual old
+/// tuples. Built so the Table 1 comparison probes a *running* system on
+/// every column instead of restating the taxonomy.
+class StreamSystem {
+ public:
+  struct Options {
+    /// Bound on tuples retained verbatim (the "little store").
+    size_t max_buffered_tuples = 1024;
+    /// Count-Min error targets for per-key frequency.
+    double sketch_eps = 0.01;
+    double sketch_delta = 0.01;
+    /// Sliding window for windowed counts.
+    SimTime window = 1 * kHour;
+    uint32_t histogram_k = 8;
+  };
+
+  explicit StreamSystem(const Options& options);
+
+  /// Appends a tuple (append-only: the one supported mutation). Tuple
+  /// times must be non-decreasing.
+  void Append(const StreamTuple& tuple);
+
+  // --- Approximate aggregates (the supported query class). ---
+
+  /// Approximate lifetime count of `key` (Count-Min upper bound).
+  uint64_t ApproxCount(uint64_t key) const;
+
+  /// Approximate number of tuples in the last `window`.
+  uint64_t ApproxWindowCount(SimTime now);
+
+  /// Exact running aggregates over the whole stream (O(1) state).
+  uint64_t total_tuples() const { return total_tuples_; }
+  uint64_t sum_values() const { return sum_values_; }
+  double AvgValue() const {
+    return total_tuples_ == 0
+               ? 0.0
+               : static_cast<double>(sum_values_) /
+                     static_cast<double>(total_tuples_);
+  }
+  uint64_t max_value() const { return max_value_; }
+
+  // --- What a DSMS does NOT offer (probed by Table 1). ---
+
+  /// Point retrieval of an old tuple: only the bounded recent buffer can
+  /// answer; anything older is gone (kNotFound). This is the "quite
+  /// expensive to retrieve old data once processed" property.
+  Result<StreamTuple> Retrieve(SimTime time, uint64_t key) const;
+
+  /// Tuples currently buffered (bounded by max_buffered_tuples).
+  size_t buffered() const { return buffer_.size(); }
+
+  /// Total state footprint: sketch + histogram buckets + buffer.
+  uint64_t MemoryBytes() const;
+
+ private:
+  Options options_;
+  CountMinSketch sketch_;
+  ExponentialHistogram window_count_;
+  std::deque<StreamTuple> buffer_;
+  uint64_t total_tuples_ = 0;
+  uint64_t sum_values_ = 0;
+  uint64_t max_value_ = 0;
+};
+
+}  // namespace cbfww::stream
+
+#endif  // CBFWW_STREAM_STREAM_SYSTEM_H_

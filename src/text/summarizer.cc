@@ -1,0 +1,18 @@
+#include "text/summarizer.h"
+
+namespace cbfww::text {
+
+Summarizer::Summarizer(SummarizerOptions options) : options_(options) {}
+
+DocumentSummary Summarizer::Summarize(const TermVector& full) const {
+  DocumentSummary summary;
+  summary.terms = full.TopK(options_.max_terms);
+  summary.size_bytes =
+      static_cast<uint64_t>(summary.terms.size()) * options_.bytes_per_term;
+  double full_norm = full.Norm();
+  summary.weight_coverage =
+      full_norm > 0.0 ? summary.terms.Norm() / full_norm : 0.0;
+  return summary;
+}
+
+}  // namespace cbfww::text

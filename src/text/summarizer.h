@@ -1,0 +1,48 @@
+#ifndef CBFWW_TEXT_SUMMARIZER_H_
+#define CBFWW_TEXT_SUMMARIZER_H_
+
+#include <cstdint>
+
+#include "text/term_vector.h"
+
+namespace cbfww::text {
+
+/// A reduced representation of a document ("levels of details", paper
+/// Section 4.1): the highest-weight terms only, plus the size the summary
+/// would occupy in storage.
+struct DocumentSummary {
+  TermVector terms;
+  /// Simulated byte size of the summary object in storage.
+  uint64_t size_bytes = 0;
+  /// Fraction of the original vector's L2 mass retained by the summary,
+  /// in [0, 1]; a quality measure for experiment C4.
+  double weight_coverage = 0.0;
+};
+
+/// Options for summary generation.
+struct SummarizerOptions {
+  /// Maximum number of terms kept in a summary.
+  size_t max_terms = 32;
+  /// Simulated bytes charged per kept term (posting + term text).
+  uint64_t bytes_per_term = 16;
+};
+
+/// Produces levels-of-detail summaries: B' from B, such that B' is small
+/// enough to live one storage tier above B while preserving the terms that
+/// drive similarity and indexing (paper Section 4.1 "Levels of Details").
+class Summarizer {
+ public:
+  explicit Summarizer(SummarizerOptions options = SummarizerOptions());
+
+  /// Builds a summary of `full` containing at most max_terms terms.
+  DocumentSummary Summarize(const TermVector& full) const;
+
+  const SummarizerOptions& options() const { return options_; }
+
+ private:
+  SummarizerOptions options_;
+};
+
+}  // namespace cbfww::text
+
+#endif  // CBFWW_TEXT_SUMMARIZER_H_

@@ -1,0 +1,142 @@
+#include "text/term_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cbfww::text {
+
+TermVector TermVector::FromUnsorted(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.first < b.first; });
+  TermVector v;
+  for (const Entry& e : entries) {
+    if (!v.entries_.empty() && v.entries_.back().first == e.first) {
+      v.entries_.back().second += e.second;
+    } else {
+      v.entries_.push_back(e);
+    }
+  }
+  return v;
+}
+
+TermVector TermVector::FromCounts(const std::vector<TermId>& term_ids) {
+  std::vector<Entry> entries;
+  entries.reserve(term_ids.size());
+  for (TermId id : term_ids) entries.emplace_back(id, 1.0);
+  return FromUnsorted(std::move(entries));
+}
+
+void TermVector::Add(TermId term, double weight) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), term,
+      [](const Entry& e, TermId t) { return e.first < t; });
+  if (it != entries_.end() && it->first == term) {
+    it->second += weight;
+  } else {
+    entries_.insert(it, {term, weight});
+  }
+}
+
+double TermVector::WeightOf(TermId term) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), term,
+      [](const Entry& e, TermId t) { return e.first < t; });
+  return (it != entries_.end() && it->first == term) ? it->second : 0.0;
+}
+
+void TermVector::AddScaled(const TermVector& other, double scale) {
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < entries_.size() || j < other.entries_.size()) {
+    if (j >= other.entries_.size() ||
+        (i < entries_.size() && entries_[i].first < other.entries_[j].first)) {
+      merged.push_back(entries_[i++]);
+    } else if (i >= entries_.size() || other.entries_[j].first < entries_[i].first) {
+      merged.emplace_back(other.entries_[j].first, other.entries_[j].second * scale);
+      ++j;
+    } else {
+      merged.emplace_back(entries_[i].first,
+                          entries_[i].second + other.entries_[j].second * scale);
+      ++i;
+      ++j;
+    }
+  }
+  entries_ = std::move(merged);
+}
+
+void TermVector::Scale(double scale) {
+  for (Entry& e : entries_) e.second *= scale;
+}
+
+void TermVector::Prune(double epsilon) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [epsilon](const Entry& e) {
+                                  return std::abs(e.second) <= epsilon;
+                                }),
+                 entries_.end());
+}
+
+TermVector TermVector::TopK(size_t k) const {
+  if (k >= entries_.size()) return *this;
+  std::vector<Entry> by_weight = entries_;
+  std::nth_element(by_weight.begin(), by_weight.begin() + static_cast<long>(k),
+                   by_weight.end(), [](const Entry& a, const Entry& b) {
+                     return std::abs(a.second) > std::abs(b.second);
+                   });
+  by_weight.resize(k);
+  return FromUnsorted(std::move(by_weight));
+}
+
+double TermVector::Dot(const TermVector& other) const {
+  double sum = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    if (entries_[i].first < other.entries_[j].first) {
+      ++i;
+    } else if (other.entries_[j].first < entries_[i].first) {
+      ++j;
+    } else {
+      sum += entries_[i].second * other.entries_[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+double TermVector::Norm() const { return std::sqrt(Dot(*this)); }
+
+double TermVector::Cosine(const TermVector& other) const {
+  double na = Norm();
+  double nb = other.Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(other) / (na * nb);
+}
+
+double TermVector::L2Distance(const TermVector& other) const {
+  double sum = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < entries_.size() || j < other.entries_.size()) {
+    double a = 0.0;
+    double b = 0.0;
+    if (j >= other.entries_.size() ||
+        (i < entries_.size() && entries_[i].first < other.entries_[j].first)) {
+      a = entries_[i++].second;
+    } else if (i >= entries_.size() ||
+               other.entries_[j].first < entries_[i].first) {
+      b = other.entries_[j++].second;
+    } else {
+      a = entries_[i++].second;
+      b = other.entries_[j++].second;
+    }
+    double d = a - b;
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace cbfww::text

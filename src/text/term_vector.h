@@ -1,0 +1,75 @@
+#ifndef CBFWW_TEXT_TERM_VECTOR_H_
+#define CBFWW_TEXT_TERM_VECTOR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace cbfww::text {
+
+/// Sparse term-weight vector in the vector space model (VSM).
+///
+/// Entries are kept sorted by TermId so dot products and merges are linear.
+/// This is the feature representation of documents, logical documents, and
+/// semantic-region centroids (paper Section 5.3).
+class TermVector {
+ public:
+  using Entry = std::pair<TermId, double>;
+
+  TermVector() = default;
+
+  /// Builds from unsorted (term, weight) pairs; duplicate term ids are
+  /// summed.
+  static TermVector FromUnsorted(std::vector<Entry> entries);
+
+  /// Builds from a bag of term ids with weight = occurrence count.
+  static TermVector FromCounts(const std::vector<TermId>& term_ids);
+
+  /// Adds `weight` to the entry for `term` (creating it if absent).
+  void Add(TermId term, double weight);
+
+  /// Returns the weight of `term` (0 if absent).
+  double WeightOf(TermId term) const;
+
+  /// In-place: this += scale * other.
+  void AddScaled(const TermVector& other, double scale);
+
+  /// In-place multiplication of every weight by `scale`.
+  void Scale(double scale);
+
+  /// Removes entries with |weight| <= epsilon.
+  void Prune(double epsilon = 1e-12);
+
+  /// Keeps only the k highest-weight entries (the "levels of detail"
+  /// summary operation).
+  TermVector TopK(size_t k) const;
+
+  double Dot(const TermVector& other) const;
+  double Norm() const;
+
+  /// Cosine similarity in [0, 1] for non-negative vectors; 0 if either
+  /// vector is empty/zero.
+  double Cosine(const TermVector& other) const;
+
+  /// Euclidean (L2) distance to `other`.
+  double L2Distance(const TermVector& other) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Approximate in-memory footprint in bytes (used for levels-of-detail
+  /// placement decisions).
+  uint64_t MemoryBytes() const {
+    return static_cast<uint64_t>(entries_.size()) * sizeof(Entry);
+  }
+
+ private:
+  std::vector<Entry> entries_;  // Sorted by TermId, unique.
+};
+
+}  // namespace cbfww::text
+
+#endif  // CBFWW_TEXT_TERM_VECTOR_H_

@@ -1,0 +1,46 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace cbfww::text {
+
+TfIdfVectorizer::TfIdfVectorizer(Vocabulary* vocabulary,
+                                 TokenizerOptions tokenizer_options)
+    : vocabulary_(vocabulary), tokenizer_(tokenizer_options) {}
+
+TermVector TfIdfVectorizer::Vectorize(std::string_view body,
+                                      bool update_statistics) {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(body);
+  std::vector<TermId> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& t : tokens) ids.push_back(vocabulary_->Intern(t));
+  return VectorizeTerms(ids, update_statistics);
+}
+
+TermVector TfIdfVectorizer::VectorizeTerms(const std::vector<TermId>& term_ids,
+                                           bool update_statistics) {
+  if (update_statistics) vocabulary_->AddDocument(term_ids);
+  std::unordered_map<TermId, uint32_t> counts;
+  for (TermId id : term_ids) ++counts[id];
+  std::vector<TermVector::Entry> entries;
+  entries.reserve(counts.size());
+  for (const auto& [id, tf] : counts) {
+    double weight = (1.0 + std::log(static_cast<double>(tf))) * Idf(id);
+    entries.emplace_back(id, weight);
+  }
+  return TermVector::FromUnsorted(std::move(entries));
+}
+
+void TfIdfVectorizer::Normalize(TermVector& v) {
+  double norm = v.Norm();
+  if (norm > 0.0) v.Scale(1.0 / norm);
+}
+
+double TfIdfVectorizer::Idf(TermId id) const {
+  double n = static_cast<double>(vocabulary_->num_documents());
+  double df = static_cast<double>(vocabulary_->DocumentFrequency(id));
+  return std::log((1.0 + n) / (1.0 + df)) + 1.0;
+}
+
+}  // namespace cbfww::text

@@ -1,0 +1,51 @@
+#ifndef CBFWW_TEXT_TFIDF_H_
+#define CBFWW_TEXT_TFIDF_H_
+
+#include <string_view>
+#include <vector>
+
+#include "text/term_vector.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace cbfww::text {
+
+/// TF-IDF vectorizer over a shared Vocabulary (paper Section 5.1/5.3).
+///
+/// TF is log-scaled (1 + ln tf); IDF is ln((1 + N) / (1 + df)) + 1 so that
+/// unseen terms still receive finite weight. Vectors are L2-normalized on
+/// request so that cosine similarity equals the dot product.
+class TfIdfVectorizer {
+ public:
+  /// The vectorizer does not own the vocabulary; it must outlive the
+  /// vectorizer. Documents vectorized with `update_statistics = true` also
+  /// update the vocabulary's DF counts.
+  explicit TfIdfVectorizer(Vocabulary* vocabulary,
+                           TokenizerOptions tokenizer_options = TokenizerOptions());
+
+  /// Tokenizes `body`, interns terms, and returns the TF-IDF vector. When
+  /// `update_statistics` is true the document is also counted into DF/N.
+  TermVector Vectorize(std::string_view body, bool update_statistics);
+
+  /// TF-IDF for a pre-tokenized bag of term ids.
+  TermVector VectorizeTerms(const std::vector<TermId>& term_ids,
+                            bool update_statistics);
+
+  /// L2-normalizes `v` in place (no-op on zero vectors).
+  static void Normalize(TermVector& v);
+
+  /// Inverse document frequency of a term under the current statistics.
+  double Idf(TermId id) const;
+
+  const Vocabulary& vocabulary() const { return *vocabulary_; }
+  Vocabulary* mutable_vocabulary() { return vocabulary_; }
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+
+ private:
+  Vocabulary* vocabulary_;
+  Tokenizer tokenizer_;
+};
+
+}  // namespace cbfww::text
+
+#endif  // CBFWW_TEXT_TFIDF_H_

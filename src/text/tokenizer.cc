@@ -1,0 +1,57 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <array>
+
+namespace cbfww::text {
+namespace {
+
+// Compact stopword list: the most frequent English function words. Sorted
+// for binary search.
+constexpr std::array<std::string_view, 48> kStopwords = {
+    "a",    "about", "after", "all",  "an",   "and",  "are",  "as",
+    "at",   "be",    "but",   "by",   "can",  "for",  "from", "had",
+    "has",  "have",  "he",    "her",  "his",  "how",  "i",    "in",
+    "is",   "it",    "its",   "no",   "not",  "of",   "on",   "or",
+    "she",  "that",  "the",   "their", "then", "there", "they", "this",
+    "to",   "was",   "we",    "were", "what", "will", "with", "you",
+};
+
+bool IsAlnum(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+}
+
+char ToLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+bool Tokenizer::IsStopword(std::string_view term) {
+  return std::binary_search(kStopwords.begin(), kStopwords.end(), term);
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view body) const {
+  std::vector<std::string> terms;
+  std::string current;
+  auto flush = [&] {
+    if (current.size() >= options_.min_token_length &&
+        (!options_.remove_stopwords || !IsStopword(current))) {
+      terms.push_back(current);
+    }
+    current.clear();
+  };
+  for (char c : body) {
+    if (IsAlnum(c)) {
+      current.push_back(ToLower(c));
+    } else if (!current.empty()) {
+      flush();
+    }
+  }
+  if (!current.empty()) flush();
+  return terms;
+}
+
+}  // namespace cbfww::text

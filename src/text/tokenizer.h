@@ -1,0 +1,40 @@
+#ifndef CBFWW_TEXT_TOKENIZER_H_
+#define CBFWW_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbfww::text {
+
+/// Options controlling tokenization.
+struct TokenizerOptions {
+  /// Minimum token length kept after normalization.
+  size_t min_token_length = 2;
+  /// Drop tokens appearing in the built-in English stopword list.
+  bool remove_stopwords = true;
+};
+
+/// Splits text into normalized terms.
+///
+/// Normalization: ASCII lowercasing; token boundaries at any
+/// non-alphanumeric character; optional stopword removal. This is the
+/// term-extraction step the paper assumes when it speaks of "words/phrases
+/// appearing in web objects" (Section 4.1).
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = TokenizerOptions());
+
+  /// Tokenizes `body` into terms, in document order (duplicates preserved).
+  std::vector<std::string> Tokenize(std::string_view body) const;
+
+  /// True if `term` (already lowercase) is a stopword.
+  static bool IsStopword(std::string_view term);
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace cbfww::text
+
+#endif  // CBFWW_TEXT_TOKENIZER_H_

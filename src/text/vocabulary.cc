@@ -1,0 +1,36 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+
+namespace cbfww::text {
+
+TermId Vocabulary::Intern(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  doc_frequency_.push_back(0);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Lookup(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+void Vocabulary::AddDocument(const std::vector<TermId>& term_ids) {
+  ++num_documents_;
+  std::vector<TermId> unique = term_ids;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  for (TermId id : unique) {
+    if (id < doc_frequency_.size()) ++doc_frequency_[id];
+  }
+}
+
+uint32_t Vocabulary::DocumentFrequency(TermId id) const {
+  return id < doc_frequency_.size() ? doc_frequency_[id] : 0;
+}
+
+}  // namespace cbfww::text

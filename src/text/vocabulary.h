@@ -1,0 +1,56 @@
+#ifndef CBFWW_TEXT_VOCABULARY_H_
+#define CBFWW_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cbfww::text {
+
+/// Dense integer id of a term within a Vocabulary.
+using TermId = uint32_t;
+
+constexpr TermId kInvalidTermId = UINT32_MAX;
+
+/// Bidirectional term <-> id mapping with document-frequency statistics.
+///
+/// The vocabulary is shared by the vectorizer, indexes, and the topic
+/// manager so that term ids are consistent across the whole warehouse.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `term`, interning it if new.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id of `term` or kInvalidTermId if unknown.
+  TermId Lookup(std::string_view term) const;
+
+  /// Returns the term string for a valid id.
+  const std::string& TermOf(TermId id) const { return terms_[id]; }
+
+  /// Records that `term_ids` (deduplicated by the caller or not — duplicates
+  /// are counted once) appeared in one more document; updates DF counts.
+  void AddDocument(const std::vector<TermId>& term_ids);
+
+  /// Document frequency of a term (number of documents it appeared in).
+  uint32_t DocumentFrequency(TermId id) const;
+
+  /// Number of documents observed via AddDocument.
+  uint64_t num_documents() const { return num_documents_; }
+
+  /// Number of distinct terms interned.
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+  std::vector<uint32_t> doc_frequency_;
+  uint64_t num_documents_ = 0;
+};
+
+}  // namespace cbfww::text
+
+#endif  // CBFWW_TEXT_VOCABULARY_H_

@@ -1,0 +1,53 @@
+#include "trace/trace_event.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cbfww::trace {
+
+TraceStats ComputeTraceStats(const std::vector<TraceEvent>& events,
+                             const std::vector<corpus::RawId>& container_of) {
+  TraceStats stats;
+  struct PageState {
+    uint64_t count = 0;
+    bool reused_before_modify = false;
+    bool modified_since_first_use = false;
+  };
+  std::unordered_map<corpus::PageId, PageState> pages;
+  std::unordered_map<corpus::RawId, std::vector<corpus::PageId>> pages_of_container;
+  std::unordered_set<int64_t> sessions;
+
+  for (const TraceEvent& e : events) {
+    if (e.type == TraceEventType::kRequest) {
+      ++stats.num_requests;
+      if (e.session >= 0) sessions.insert(e.session);
+      PageState& st = pages[e.page];
+      if (st.count == 0 && e.page < container_of.size()) {
+        pages_of_container[container_of[e.page]].push_back(e.page);
+      }
+      if (st.count > 0 && !st.modified_since_first_use) {
+        st.reused_before_modify = true;
+      }
+      ++st.count;
+    } else {
+      ++stats.num_modifications;
+      auto it = pages_of_container.find(e.modified);
+      if (it != pages_of_container.end()) {
+        for (corpus::PageId p : it->second) {
+          pages[p].modified_since_first_use = true;
+        }
+      }
+    }
+  }
+
+  stats.distinct_pages = pages.size();
+  stats.num_sessions = sessions.size();
+  for (const auto& [page, st] : pages) {
+    (void)page;
+    if (st.count == 1) ++stats.one_timer_pages;
+    if (!st.reused_before_modify) ++stats.no_reuse_before_modify_pages;
+  }
+  return stats;
+}
+
+}  // namespace cbfww::trace

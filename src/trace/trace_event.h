@@ -1,0 +1,76 @@
+#ifndef CBFWW_TRACE_TRACE_EVENT_H_
+#define CBFWW_TRACE_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/web_object.h"
+#include "util/clock.h"
+
+namespace cbfww::trace {
+
+/// Kind of a trace event.
+enum class TraceEventType {
+  /// A user requests a physical page (container + components).
+  kRequest = 0,
+  /// The origin modifies a raw object (new version).
+  kModify,
+};
+
+/// One event in a workload trace. Events are time-ordered.
+struct TraceEvent {
+  SimTime time = 0;
+  TraceEventType type = TraceEventType::kRequest;
+
+  // --- kRequest fields ---
+  uint32_t user = 0;
+  corpus::PageId page = corpus::kInvalidPageId;
+  /// Session this request belongs to (monotonically increasing).
+  int64_t session = -1;
+  /// True for the first request of a session (entry document).
+  bool session_start = false;
+  /// True if the request navigated here via a link from the session's
+  /// previous page (as opposed to a jump/bookmark).
+  bool via_link = false;
+
+  // --- kModify fields ---
+  corpus::RawId modified = corpus::kInvalidRawId;
+};
+
+/// Aggregate statistics of a trace, including the paper's headline
+/// observation (Section 1): the fraction of once-used pages never retrieved
+/// again.
+struct TraceStats {
+  uint64_t num_requests = 0;
+  uint64_t num_modifications = 0;
+  uint64_t distinct_pages = 0;
+  /// Pages requested exactly once over the whole trace.
+  uint64_t one_timer_pages = 0;
+  /// Pages never re-requested before their container was modified — the
+  /// paper's exact phrasing of the 60% claim.
+  uint64_t no_reuse_before_modify_pages = 0;
+  uint64_t num_sessions = 0;
+
+  double OneTimerFraction() const {
+    return distinct_pages == 0
+               ? 0.0
+               : static_cast<double>(one_timer_pages) /
+                     static_cast<double>(distinct_pages);
+  }
+  double NoReuseBeforeModifyFraction() const {
+    return distinct_pages == 0
+               ? 0.0
+               : static_cast<double>(no_reuse_before_modify_pages) /
+                     static_cast<double>(distinct_pages);
+  }
+};
+
+/// Computes TraceStats over a time-ordered event stream. `container_of`
+/// maps PageId -> container RawId so modification events can be attributed
+/// to pages.
+TraceStats ComputeTraceStats(const std::vector<TraceEvent>& events,
+                             const std::vector<corpus::RawId>& container_of);
+
+}  // namespace cbfww::trace
+
+#endif  // CBFWW_TRACE_TRACE_EVENT_H_

@@ -1,0 +1,89 @@
+#include "trace/trace_io.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/strings.h"
+
+namespace cbfww::trace {
+
+namespace {
+constexpr char kHeader[] = "# cbfww-trace v1";
+}  // namespace
+
+void WriteTrace(const std::vector<TraceEvent>& events, std::ostream& os) {
+  os << kHeader << "\n";
+  for (const TraceEvent& e : events) {
+    if (e.type == TraceEventType::kRequest) {
+      os << "R," << e.time << ',' << e.user << ',' << e.page << ','
+         << e.session << ',' << (e.session_start ? 1 : 0) << ','
+         << (e.via_link ? 1 : 0) << "\n";
+    } else {
+      os << "M," << e.time << ',' << e.modified << "\n";
+    }
+  }
+}
+
+Result<std::vector<TraceEvent>> ReadTrace(std::istream& is) {
+  std::string line;
+  size_t line_number = 0;
+  auto error = [&](const char* what) {
+    return Status::InvalidArgument(
+        StrFormat("%s at line %zu", what, line_number));
+  };
+
+  if (!std::getline(is, line)) return error("empty input");
+  ++line_number;
+  if (TrimAscii(line) != kHeader) return error("bad header");
+
+  std::vector<TraceEvent> events;
+  while (std::getline(is, line)) {
+    ++line_number;
+    std::string_view trimmed = TrimAscii(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::vector<std::string> fields = SplitString(trimmed, ',');
+    if (fields.empty()) return error("empty record");
+
+    TraceEvent e;
+    char* end = nullptr;
+    auto parse_u64 = [&](const std::string& s, uint64_t* out) {
+      end = nullptr;
+      *out = std::strtoull(s.c_str(), &end, 10);
+      return end != nullptr && *end == '\0';
+    };
+    auto parse_i64 = [&](const std::string& s, int64_t* out) {
+      end = nullptr;
+      *out = std::strtoll(s.c_str(), &end, 10);
+      return end != nullptr && *end == '\0';
+    };
+
+    if (fields[0] == "R") {
+      if (fields.size() != 7) return error("request record needs 7 fields");
+      uint64_t user, page, flag;
+      if (!parse_i64(fields[1], &e.time) || !parse_u64(fields[2], &user) ||
+          !parse_u64(fields[3], &page) || !parse_i64(fields[4], &e.session)) {
+        return error("bad numeric field");
+      }
+      e.type = TraceEventType::kRequest;
+      e.user = static_cast<uint32_t>(user);
+      e.page = page;
+      if (!parse_u64(fields[5], &flag) || flag > 1) return error("bad flag");
+      e.session_start = flag == 1;
+      if (!parse_u64(fields[6], &flag) || flag > 1) return error("bad flag");
+      e.via_link = flag == 1;
+    } else if (fields[0] == "M") {
+      if (fields.size() != 3) return error("modify record needs 3 fields");
+      if (!parse_i64(fields[1], &e.time) ||
+          !parse_u64(fields[2], &e.modified)) {
+        return error("bad numeric field");
+      }
+      e.type = TraceEventType::kModify;
+    } else {
+      return error("unknown record type");
+    }
+    events.push_back(e);
+  }
+  return events;
+}
+
+}  // namespace cbfww::trace

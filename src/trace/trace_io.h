@@ -1,0 +1,29 @@
+#ifndef CBFWW_TRACE_TRACE_IO_H_
+#define CBFWW_TRACE_TRACE_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "trace/trace_event.h"
+#include "util/result.h"
+
+namespace cbfww::trace {
+
+/// Writes a trace in the repository's CSV format:
+///
+///   # cbfww-trace v1
+///   R,<time_us>,<user>,<page>,<session>,<start 0|1>,<via_link 0|1>
+///   M,<time_us>,<raw_id>
+///
+/// Human-inspectable, diffable, and stable across versions — lets
+/// experiments be archived, shared, and replayed outside the generator.
+void WriteTrace(const std::vector<TraceEvent>& events, std::ostream& os);
+
+/// Reads a trace written by WriteTrace. Fails with kInvalidArgument on a
+/// malformed header or record, carrying the offending line number.
+Result<std::vector<TraceEvent>> ReadTrace(std::istream& is);
+
+}  // namespace cbfww::trace
+
+#endif  // CBFWW_TRACE_TRACE_IO_H_

@@ -1,0 +1,247 @@
+#include "trace/workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cbfww::trace {
+
+namespace {
+
+/// Hot set size: at least 1 page.
+uint64_t HotSetSize(const corpus::WebCorpus& corpus, double fraction) {
+  uint64_t n = static_cast<uint64_t>(
+      std::ceil(fraction * static_cast<double>(corpus.num_pages())));
+  return std::max<uint64_t>(1, std::min<uint64_t>(n, corpus.num_pages()));
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(const corpus::WebCorpus* corpus,
+                                     const corpus::NewsFeed* feed,
+                                     const WorkloadOptions& options)
+    : corpus_(corpus),
+      feed_(feed),
+      options_(options),
+      hot_zipf_(HotSetSize(*corpus, options.hot_set_fraction),
+                options.zipf_theta),
+      rng_(options.seed, /*stream=*/0x7ACE) {
+  // The hot set is a deterministic shuffled sample of the corpus, biased
+  // toward a few hot topics (popularity is topic-driven in web traffic).
+  std::vector<corpus::PageId> all(corpus_->num_pages());
+  for (corpus::PageId i = 0; i < all.size(); ++i) all[i] = i;
+  Pcg32 shuffle_rng = rng_.Fork(0x5AFE);
+  for (size_t i = all.size(); i > 1; --i) {
+    size_t j = shuffle_rng.NextBounded(static_cast<uint32_t>(i));
+    std::swap(all[i - 1], all[j]);
+  }
+  const uint32_t hot_topics =
+      std::min<uint32_t>(options.num_hot_topics,
+                         corpus_->topic_model().num_topics());
+  std::vector<corpus::PageId> hot_topic_pool;
+  std::vector<corpus::PageId> any_pool;
+  for (corpus::PageId p : all) {
+    corpus::TopicId topic = corpus_->page(p).topic;
+    if (topic >= 0 && static_cast<uint32_t>(topic) < hot_topics) {
+      hot_topic_pool.push_back(p);
+    } else {
+      any_pool.push_back(p);
+    }
+  }
+  size_t hi = 0;
+  size_t ai = 0;
+  Pcg32 pick_rng = rng_.Fork(0x507);
+  while (hot_pages_.size() < hot_zipf_.size()) {
+    bool from_hot = hi < hot_topic_pool.size() &&
+                    (ai >= any_pool.size() ||
+                     pick_rng.NextBernoulli(options.hot_topic_bias));
+    hot_pages_.push_back(from_hot ? hot_topic_pool[hi++] : any_pool[ai++]);
+  }
+
+  // Topic index for burst targeting; traffic within a bursting topic is
+  // Zipf-skewed across its pages (a few hot articles).
+  pages_by_topic_.resize(corpus_->topic_model().num_topics());
+  for (const corpus::PhysicalPageSpec& page : corpus_->pages()) {
+    if (page.topic >= 0) pages_by_topic_[page.topic].push_back(page.id);
+  }
+  topic_zipf_.reserve(pages_by_topic_.size());
+  for (const auto& pages : pages_by_topic_) {
+    topic_zipf_.emplace_back(std::max<uint64_t>(1, pages.size()),
+                             options.zipf_theta);
+  }
+
+  PlantTrails();
+}
+
+void WorkloadGenerator::PlantTrails() {
+  Pcg32 rng = rng_.Fork(0x17A11);
+  for (uint32_t t = 0; t < options_.num_trails; ++t) {
+    Trail trail;
+    trail.weight = 1.0 / static_cast<double>(t + 1);  // Zipf-ish trail use.
+    uint32_t target_len =
+        options_.trail_length_min +
+        rng.NextBounded(options_.trail_length_max - options_.trail_length_min + 1);
+    // Random walk along real anchors; restart if a dead end hits too early.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      trail.pages.clear();
+      trail.anchor_index.clear();
+      corpus::PageId cur =
+          rng.NextBounded(static_cast<uint32_t>(corpus_->num_pages()));
+      trail.pages.push_back(cur);
+      while (trail.pages.size() < target_len) {
+        const auto& anchors = corpus_->page(cur).anchors;
+        if (anchors.empty()) break;
+        uint32_t pick = rng.NextBounded(static_cast<uint32_t>(anchors.size()));
+        corpus::PageId next = anchors[pick].target;
+        // Avoid revisits inside one trail (keeps paths simple).
+        if (std::find(trail.pages.begin(), trail.pages.end(), next) !=
+            trail.pages.end()) {
+          break;
+        }
+        trail.anchor_index.push_back(pick);
+        trail.pages.push_back(next);
+        cur = next;
+      }
+      if (trail.pages.size() >= options_.trail_length_min) break;
+    }
+    if (trail.pages.size() >= 2) trails_.push_back(std::move(trail));
+  }
+}
+
+corpus::PageId WorkloadGenerator::SampleSessionStart(SimTime now,
+                                                     Pcg32& rng) const {
+  // Burst targeting: with probability proportional to active intensity,
+  // start on a page of the hot topic.
+  if (feed_ != nullptr) {
+    for (const corpus::BurstSpec& burst : feed_->bursts()) {
+      if (!burst.ActiveAt(now)) continue;
+      double p = burst.intensity / (burst.intensity + 10.0);
+      if (!pages_by_topic_[burst.topic].empty() && rng.NextBernoulli(p)) {
+        const auto& candidates = pages_by_topic_[burst.topic];
+        return candidates[topic_zipf_[burst.topic].Sample(rng)];
+      }
+    }
+  }
+  if (rng.NextBernoulli(options_.cold_start_fraction)) {
+    // Cold (usually one-timer) page: uniform over the corpus.
+    return rng.NextBounded(static_cast<uint32_t>(corpus_->num_pages()));
+  }
+  return hot_pages_[hot_zipf_.Sample(rng)];
+}
+
+std::vector<TraceEvent> WorkloadGenerator::Generate() {
+  std::vector<TraceEvent> events;
+  Pcg32 rng = rng_.Fork(0xE7E47);
+  int64_t session_id = 0;
+
+  // --- Sessions (Poisson arrivals, optionally diurnal via thinning). ---
+  const double amplitude = std::clamp(options_.diurnal_amplitude, 0.0, 1.0);
+  double peak_rate_per_us = options_.sessions_per_hour *
+                            (1.0 + amplitude) / static_cast<double>(kHour);
+  SimTime t = 0;
+  while (true) {
+    t += static_cast<SimTime>(rng.NextExponential(peak_rate_per_us));
+    if (t >= options_.horizon) break;
+    if (amplitude > 0.0) {
+      double phase = 2.0 * M_PI *
+                     static_cast<double>(t % kDay) / static_cast<double>(kDay);
+      double accept = (1.0 + amplitude * std::sin(phase)) / (1.0 + amplitude);
+      if (!rng.NextBernoulli(accept)) continue;  // Thinned arrival.
+    }
+    uint32_t user = rng.NextBounded(options_.num_users);
+    int64_t sid = session_id++;
+    SimTime now = t;
+
+    bool use_trail = !trails_.empty() &&
+                     rng.NextBernoulli(options_.trail_session_prob);
+    if (use_trail) {
+      // Weighted trail choice.
+      double total = 0.0;
+      for (const Trail& tr : trails_) total += tr.weight;
+      double u = rng.NextDouble() * total;
+      size_t pick = 0;
+      for (; pick + 1 < trails_.size(); ++pick) {
+        u -= trails_[pick].weight;
+        if (u <= 0.0) break;
+      }
+      const Trail& trail = trails_[pick];
+      for (size_t i = 0; i < trail.pages.size(); ++i) {
+        TraceEvent e;
+        e.time = now;
+        e.type = TraceEventType::kRequest;
+        e.user = user;
+        e.page = trail.pages[i];
+        e.session = sid;
+        e.session_start = (i == 0);
+        e.via_link = (i > 0);
+        events.push_back(e);
+        now += static_cast<SimTime>(
+            rng.NextExponential(1.0 / static_cast<double>(
+                                          options_.think_time_mean)));
+      }
+      continue;
+    }
+
+    // Free-browsing session: start page, then link-following random walk.
+    corpus::PageId cur = SampleSessionStart(t, rng);
+    uint32_t length = 1 + rng.NextBounded(options_.max_session_length);
+    for (uint32_t i = 0; i < length; ++i) {
+      TraceEvent e;
+      e.time = now;
+      e.type = TraceEventType::kRequest;
+      e.user = user;
+      e.page = cur;
+      e.session = sid;
+      e.session_start = (i == 0);
+      e.via_link = (i > 0);
+      events.push_back(e);
+      if (i + 1 == length) break;
+      const auto& anchors = corpus_->page(cur).anchors;
+      if (anchors.empty() || !rng.NextBernoulli(options_.follow_link_prob)) {
+        break;  // Session ends instead of jumping.
+      }
+      // Prefer earlier anchors (positional bias observed in real browsing).
+      uint32_t pick = std::min<uint32_t>(
+          static_cast<uint32_t>(anchors.size()) - 1,
+          static_cast<uint32_t>(rng.NextExponential(0.7)));
+      cur = anchors[pick].target;
+      now += static_cast<SimTime>(
+          rng.NextExponential(1.0 / static_cast<double>(
+                                        options_.think_time_mean)));
+    }
+  }
+
+  // --- Modifications (Poisson over the corpus). ---
+  Pcg32 mod_rng = rng_.Fork(0x30D1F);
+  double mod_rate_per_us =
+      options_.modifications_per_hour / static_cast<double>(kHour);
+  if (mod_rate_per_us > 0) {
+    SimTime mt = 0;
+    while (true) {
+      mt += static_cast<SimTime>(mod_rng.NextExponential(mod_rate_per_us));
+      if (mt >= options_.horizon) break;
+      TraceEvent e;
+      e.time = mt;
+      e.type = TraceEventType::kModify;
+      e.modified = mod_rng.NextBounded(
+          static_cast<uint32_t>(corpus_->num_raw_objects()));
+      events.push_back(e);
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.time < b.time;
+                   });
+  return events;
+}
+
+std::vector<corpus::RawId> WorkloadGenerator::ContainerOfPages() const {
+  std::vector<corpus::RawId> out(corpus_->num_pages());
+  for (corpus::PageId p = 0; p < corpus_->num_pages(); ++p) {
+    out[p] = corpus_->page(p).container;
+  }
+  return out;
+}
+
+}  // namespace cbfww::trace

@@ -1,0 +1,110 @@
+#ifndef CBFWW_TRACE_WORKLOAD_H_
+#define CBFWW_TRACE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/news_feed.h"
+#include "corpus/web_corpus.h"
+#include "trace/trace_event.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace cbfww::trace {
+
+/// A planted navigation trail: a path through the corpus link graph that
+/// sessions replay with elevated probability. Trails are the ground truth
+/// for logical-document mining (paper Section 5.2, experiment F5).
+struct Trail {
+  std::vector<corpus::PageId> pages;
+  /// Index of the anchor taken at each hop (pages.size() - 1 entries).
+  std::vector<uint32_t> anchor_index;
+  /// Relative popularity weight among trails.
+  double weight = 1.0;
+};
+
+/// Parameters of the synthetic workload. Defaults match the paper's stated
+/// operating point (Kyoto-inet log properties): ~60% one-timer pages,
+/// short-lived topic bursts, navigational sessions.
+struct WorkloadOptions {
+  SimTime horizon = 7 * kDay;
+  /// Session arrivals per hour (Poisson).
+  double sessions_per_hour = 200.0;
+  uint32_t num_users = 500;
+
+  /// Popularity law over the hot set.
+  double zipf_theta = 0.9;
+  /// Fraction of the corpus forming the recurring hot set.
+  double hot_set_fraction = 0.05;
+  /// Hot spots are topic-driven (the paper's Kyoto-inet observation): this
+  /// fraction of the hot set is drawn from `num_hot_topics` designated
+  /// topics, making content similarity predictive of reuse.
+  double hot_topic_bias = 0.7;
+  uint32_t num_hot_topics = 3;
+  /// Probability a session start targets a uniformly random (usually
+  /// cold, hence one-timer) page instead of the hot set.
+  double cold_start_fraction = 0.55;
+
+  /// Diurnal modulation of session arrivals: rate(t) scales by
+  /// 1 + amplitude * sin(2*pi*(t mod day)/day). 0 disables (flat traffic).
+  double diurnal_amplitude = 0.0;
+
+  /// Navigation behaviour.
+  double follow_link_prob = 0.65;
+  uint32_t max_session_length = 12;
+  SimTime think_time_mean = 30 * kSecond;
+
+  /// Trails (planted frequent paths).
+  uint32_t num_trails = 12;
+  uint32_t trail_length_min = 3;
+  uint32_t trail_length_max = 5;
+  /// Probability a session replays a trail.
+  double trail_session_prob = 0.25;
+
+  /// Origin-side modification rate over the whole corpus.
+  double modifications_per_hour = 40.0;
+
+  uint64_t seed = 1234;
+};
+
+/// Generates time-ordered workload traces over a WebCorpus, optionally
+/// driven by a NewsFeed burst schedule. Substitutes for the Kyoto-inet
+/// access logs (see DESIGN.md).
+class WorkloadGenerator {
+ public:
+  /// `corpus` must outlive the generator. `feed` may be null (no bursts).
+  WorkloadGenerator(const corpus::WebCorpus* corpus,
+                    const corpus::NewsFeed* feed,
+                    const WorkloadOptions& options);
+
+  /// Generates the full trace for the configured horizon.
+  std::vector<TraceEvent> Generate();
+
+  /// The planted trails (fixed at construction; ground truth for F5).
+  const std::vector<Trail>& trails() const { return trails_; }
+
+  const WorkloadOptions& options() const { return options_; }
+
+  /// Convenience: PageId -> container RawId map for ComputeTraceStats.
+  std::vector<corpus::RawId> ContainerOfPages() const;
+
+ private:
+  corpus::PageId SampleSessionStart(SimTime now, Pcg32& rng) const;
+  void PlantTrails();
+
+  const corpus::WebCorpus* corpus_;
+  const corpus::NewsFeed* feed_;
+  WorkloadOptions options_;
+  ZipfSampler hot_zipf_;
+  std::vector<corpus::PageId> hot_pages_;
+  std::vector<std::vector<corpus::PageId>> pages_by_topic_;
+  /// Within-burst popularity is itself skewed (a few hot articles draw most
+  /// of the traffic): one Zipf sampler per topic page list.
+  std::vector<ZipfSampler> topic_zipf_;
+  std::vector<Trail> trails_;
+  Pcg32 rng_;
+};
+
+}  // namespace cbfww::trace
+
+#endif  // CBFWW_TRACE_WORKLOAD_H_

@@ -1,0 +1,50 @@
+#ifndef CBFWW_UTIL_CLOCK_H_
+#define CBFWW_UTIL_CLOCK_H_
+
+#include <cstdint>
+
+namespace cbfww {
+
+/// Simulated time, in microseconds since the start of the simulation.
+using SimTime = int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+constexpr SimTime kDay = 24 * kHour;
+
+/// Sentinel for "never" / unset timestamps (paper: t_i^k = -infinity when an
+/// object has fewer than k references).
+constexpr SimTime kNeverTime = INT64_MIN;
+
+/// Discrete-event simulation clock.
+///
+/// All components take time from a VirtualClock rather than the wall clock,
+/// so simulations are deterministic and can model day-scale workloads in
+/// milliseconds of real time.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  explicit VirtualClock(SimTime start) : now_(start) {}
+
+  SimTime now() const { return now_; }
+
+  /// Moves time forward by `delta` (must be >= 0).
+  void Advance(SimTime delta) {
+    if (delta > 0) now_ += delta;
+  }
+
+  /// Jumps to an absolute time (must not move backwards).
+  void AdvanceTo(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace cbfww
+
+#endif  // CBFWW_UTIL_CLOCK_H_

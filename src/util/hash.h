@@ -1,0 +1,29 @@
+#ifndef CBFWW_UTIL_HASH_H_
+#define CBFWW_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cbfww {
+
+/// FNV-1a 64-bit hash of a byte string. Stable across platforms; used for
+/// term ids and deterministic content fingerprints.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Mixes a new 64-bit value into an existing hash (boost::hash_combine
+/// style, 64-bit constants).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace cbfww
+
+#endif  // CBFWW_UTIL_HASH_H_

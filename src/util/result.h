@@ -1,0 +1,77 @@
+#ifndef CBFWW_UTIL_RESULT_H_
+#define CBFWW_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace cbfww {
+
+/// Value-or-error carrier, analogous to absl::StatusOr<T>.
+///
+/// A Result is either OK and holds a T, or holds a non-OK Status. Accessing
+/// the value of an error Result aborts in debug builds (assert) and is
+/// undefined otherwise, so callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  /// Constructs an OK result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when this is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace cbfww
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// status from the enclosing function.
+#define CBFWW_ASSIGN_OR_RETURN(lhs, expr)           \
+  auto CBFWW_CONCAT_(_cbfww_res_, __LINE__) = (expr); \
+  if (!CBFWW_CONCAT_(_cbfww_res_, __LINE__).ok())     \
+    return CBFWW_CONCAT_(_cbfww_res_, __LINE__).status(); \
+  lhs = std::move(CBFWW_CONCAT_(_cbfww_res_, __LINE__)).value()
+
+#define CBFWW_CONCAT_INNER_(a, b) a##b
+#define CBFWW_CONCAT_(a, b) CBFWW_CONCAT_INNER_(a, b)
+
+#endif  // CBFWW_UTIL_RESULT_H_

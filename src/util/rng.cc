@@ -1,0 +1,107 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cbfww {
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream) : seed_(seed) {
+  // Standard PCG32 initialization sequence.
+  state_ = 0;
+  inc_ = (stream << 1u) | 1u;
+  Next();
+  state_ += SplitMix64(seed).Next();
+  Next();
+}
+
+uint32_t Pcg32::Next() {
+  uint64_t oldstate = state_;
+  state_ = oldstate * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((oldstate >> 18u) ^ oldstate) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(oldstate >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31));
+}
+
+uint32_t Pcg32::NextBounded(uint32_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless bounded generation.
+  uint64_t m = static_cast<uint64_t>(Next()) * bound;
+  uint32_t l = static_cast<uint32_t>(m);
+  if (l < bound) {
+    uint32_t t = (~bound + 1u) % bound;
+    while (l < t) {
+      m = static_cast<uint64_t>(Next()) * bound;
+      l = static_cast<uint32_t>(m);
+    }
+  }
+  return static_cast<uint32_t>(m >> 32);
+}
+
+double Pcg32::NextDouble() {
+  // 32 random bits scaled to [0, 1).
+  return Next() * (1.0 / 4294967296.0);
+}
+
+int64_t Pcg32::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range; compose two 32-bit draws.
+    uint64_t v = (static_cast<uint64_t>(Next()) << 32) | Next();
+    return static_cast<int64_t>(v);
+  }
+  uint64_t v;
+  if (span <= 0xffffffffULL) {
+    v = NextBounded(static_cast<uint32_t>(span));
+  } else {
+    // Rejection over 64-bit draws.
+    uint64_t limit = (~0ULL / span) * span;
+    do {
+      v = (static_cast<uint64_t>(Next()) << 32) | Next();
+    } while (v >= limit);
+    v %= span;
+  }
+  return lo + static_cast<int64_t>(v);
+}
+
+bool Pcg32::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Pcg32::NextGaussian() {
+  if (have_gauss_) {
+    have_gauss_ = false;
+    return gauss_;
+  }
+  // Box-Muller; avoid log(0) by excluding u1 == 0.
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  gauss_ = r * std::sin(theta);
+  have_gauss_ = true;
+  return r * std::cos(theta);
+}
+
+double Pcg32::NextExponential(double rate) {
+  assert(rate > 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+Pcg32 Pcg32::Fork(uint64_t tag) const {
+  SplitMix64 mixer(seed_ ^ (tag * 0x9e3779b97f4a7c15ULL + 0x1234567));
+  uint64_t child_seed = mixer.Next();
+  uint64_t child_stream = mixer.Next();
+  return Pcg32(child_seed, child_stream);
+}
+
+}  // namespace cbfww

@@ -1,0 +1,55 @@
+#ifndef CBFWW_UTIL_STATS_H_
+#define CBFWW_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cbfww {
+
+/// Online accumulator for scalar samples: count, mean, variance (Welford),
+/// min/max. Used by the benchmark harnesses for latency series.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Reservoir of samples supporting exact percentile queries. Stores all
+/// samples; intended for simulation-scale sample counts (<= tens of
+/// millions).
+class PercentileTracker {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  /// Returns the p-th percentile (p in [0, 100]) by nearest-rank. Returns 0
+  /// when empty.
+  double Percentile(double p) const;
+
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace cbfww
+
+#endif  // CBFWW_UTIL_STATS_H_

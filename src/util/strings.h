@@ -1,0 +1,33 @@
+#ifndef CBFWW_UTIL_STRINGS_H_
+#define CBFWW_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbfww {
+
+/// Splits `text` on `sep`, omitting empty pieces.
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLowerAscii(std::string_view text);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view TrimAscii(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Renders a double with fixed precision (helper for table output).
+std::string FormatDouble(double value, int precision);
+
+/// Renders a byte count with a human-readable unit ("12.3 MB").
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace cbfww
+
+#endif  // CBFWW_UTIL_STRINGS_H_

@@ -1,0 +1,40 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+
+namespace cbfww {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : headers_[i];
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+      os << (i + 1 < headers_.size() ? " | " : " |\n");
+    }
+  };
+  print_row(headers_);
+  os << "|";
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    os << std::string(widths[i] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace cbfww

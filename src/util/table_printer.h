@@ -1,0 +1,29 @@
+#ifndef CBFWW_UTIL_TABLE_PRINTER_H_
+#define CBFWW_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cbfww {
+
+/// Aligned ASCII table writer used by the benchmark harnesses to print the
+/// rows/series corresponding to the paper's tables and figures.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the table with a header rule and column alignment.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cbfww
+
+#endif  // CBFWW_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,34 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cbfww {
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  assert(n >= 1);
+  assert(theta >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = total;
+  }
+  for (uint64_t i = 0; i < n; ++i) cdf_[i] /= total;
+  cdf_[n - 1] = 1.0;  // Guard against rounding.
+}
+
+uint64_t ZipfSampler::Sample(Pcg32& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(uint64_t rank) const {
+  assert(rank < n_);
+  double prev = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return cdf_[rank] - prev;
+}
+
+}  // namespace cbfww

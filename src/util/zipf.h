@@ -1,0 +1,42 @@
+#ifndef CBFWW_UTIL_ZIPF_H_
+#define CBFWW_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cbfww {
+
+/// Zipfian rank sampler over {0, 1, ..., n-1}.
+///
+/// P(rank = i) is proportional to 1 / (i+1)^theta. Web object popularity is
+/// well modelled as Zipf with theta in [0.6, 1.0] (Breslau et al., INFOCOM
+/// 1999); the trace generator uses this as its popularity law.
+///
+/// Sampling is O(log n) via binary search over the precomputed CDF; building
+/// is O(n). Deterministic given the caller's Pcg32.
+class ZipfSampler {
+ public:
+  /// Builds a sampler over n ranks with exponent theta. Requires n >= 1 and
+  /// theta >= 0 (theta == 0 degenerates to uniform).
+  ZipfSampler(uint64_t n, double theta);
+
+  /// Draws a rank in [0, n). Rank 0 is the most popular.
+  uint64_t Sample(Pcg32& rng) const;
+
+  /// Probability mass of the given rank.
+  double Pmf(uint64_t rank) const;
+
+  uint64_t size() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace cbfww
+
+#endif  // CBFWW_UTIL_ZIPF_H_

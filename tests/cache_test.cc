@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "cache/cache_simulator.h"
+#include "cache/replacement_policy.h"
+#include "util/rng.h"
+
+namespace cbfww::cache {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Policy-specific behaviour
+// ---------------------------------------------------------------------------
+
+TEST(LruTest, EvictsLeastRecentlyUsed) {
+  CacheSimulator cache(30, MakeLruPolicy());
+  cache.Access(1, 10, 1);
+  cache.Access(2, 10, 2);
+  cache.Access(3, 10, 3);
+  cache.Access(1, 10, 4);   // Touch 1: now 2 is LRU.
+  cache.Access(4, 10, 5);   // Evicts 2.
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+}
+
+TEST(LfuTest, EvictsLeastFrequentlyUsed) {
+  CacheSimulator cache(30, MakeLfuPolicy());
+  cache.Access(1, 10, 1);
+  cache.Access(1, 10, 2);
+  cache.Access(1, 10, 3);
+  cache.Access(2, 10, 4);
+  cache.Access(2, 10, 5);
+  cache.Access(3, 10, 6);  // Frequency: 1->3, 2->2, 3->1.
+  cache.Access(4, 10, 7);  // Evicts 3 (LFU).
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_FALSE(cache.Contains(3));
+}
+
+TEST(LruKTest, PrefersEvictingShortHistoryEntries) {
+  CacheSimulator cache(30, MakeLruKPolicy(2));
+  cache.Access(1, 10, 1);
+  cache.Access(1, 10, 2);   // 1 has full 2-history.
+  cache.Access(2, 10, 3);
+  cache.Access(2, 10, 4);   // 2 has full 2-history.
+  cache.Access(3, 10, 5);   // 3 has only one reference.
+  cache.Access(4, 10, 6);   // Evicts 3 (fewer than K refs).
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_FALSE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+}
+
+TEST(LruKTest, AmongFullHistoriesEvictsOldestKth) {
+  CacheSimulator cache(20, MakeLruKPolicy(2));
+  cache.Access(1, 10, 1);
+  cache.Access(1, 10, 10);  // 1: 2nd-last ref at t=1.
+  cache.Access(2, 10, 2);
+  cache.Access(2, 10, 20);  // 2: 2nd-last ref at t=2.
+  cache.Access(1, 10, 30);  // 1: 2nd-last ref now t=10 > 2.
+  cache.Access(3, 10, 40);  // Evict 2 (oldest K-distance).
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(GdsfTest, PrefersEvictingLargeColdObjects) {
+  CacheSimulator cache(1000, MakeGdsfPolicy());
+  cache.Access(1, 500, 1);  // Large.
+  cache.Access(2, 50, 2);   // Small.
+  cache.Access(3, 50, 3);
+  cache.Access(4, 500, 4);  // Needs space: evicts the large cold 1.
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(GdsfTest, FrequencyProtectsLargeObjects) {
+  CacheSimulator cache(1000, MakeGdsfPolicy());
+  cache.Access(1, 400, 1);
+  for (SimTime t = 2; t < 12; ++t) cache.Access(1, 400, t);  // Hot large.
+  cache.Access(2, 400, 20);  // Cold large.
+  cache.Access(3, 400, 21);  // Evict: should prefer 2 over hot 1.
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(LfuDaTest, AgingPreventsPermanentPollution) {
+  // Classic LFU pathology: a formerly hot object blocks the cache forever.
+  // Dynamic aging lets newer traffic age it out.
+  CacheSimulator cache(30, MakeLfuDaPolicy());
+  for (SimTime t = 0; t < 50; ++t) cache.Access(1, 10, t);  // Very hot once.
+  // New regime: 2 and 3 get steady traffic, 4 arrives repeatedly.
+  SimTime t = 100;
+  for (int round = 0; round < 60; ++round) {
+    cache.Access(2, 10, t++);
+    cache.Access(3, 10, t++);
+    cache.Access(4, 10, t++);  // Keeps displacing/being displaced.
+  }
+  // Under plain LFU object 1 (freq 50) would still be resident; LFU-DA's
+  // inflation lets the active set win.
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(SizeTest, EvictsLargest) {
+  CacheSimulator cache(100, MakeSizePolicy());
+  cache.Access(1, 60, 1);
+  cache.Access(2, 30, 2);
+  cache.Access(3, 30, 3);  // Evicts 1 (largest).
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+// ---------------------------------------------------------------------------
+// Generic invariants across all policies (property-style TEST_P)
+// ---------------------------------------------------------------------------
+
+using PolicyFactory = std::function<std::unique_ptr<ReplacementPolicy>()>;
+
+struct PolicyParam {
+  std::string name;
+  PolicyFactory make;
+};
+
+class PolicyInvariantTest : public ::testing::TestWithParam<PolicyParam> {};
+
+TEST_P(PolicyInvariantTest, CapacityNeverExceeded) {
+  CacheSimulator cache(1000, GetParam().make());
+  Pcg32 rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t key = rng.NextBounded(300);
+    uint64_t bytes = 1 + rng.NextBounded(200);
+    cache.Access(key, bytes, i);
+    EXPECT_LE(cache.used_bytes(), 1000u);
+  }
+}
+
+TEST_P(PolicyInvariantTest, HitAfterInsert) {
+  CacheSimulator cache(1000, GetParam().make());
+  EXPECT_FALSE(cache.Access(7, 10, 1));  // Miss inserts.
+  EXPECT_TRUE(cache.Access(7, 10, 2));   // Hit.
+}
+
+TEST_P(PolicyInvariantTest, OversizedObjectBypassed) {
+  CacheSimulator cache(100, GetParam().make());
+  EXPECT_FALSE(cache.Access(1, 500, 1));
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  // And it stays a miss.
+  EXPECT_FALSE(cache.Access(1, 500, 2));
+}
+
+TEST_P(PolicyInvariantTest, InvalidateRemoves) {
+  CacheSimulator cache(1000, GetParam().make());
+  cache.Access(1, 10, 1);
+  cache.Invalidate(1);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_FALSE(cache.Access(1, 10, 2));  // Miss again.
+  cache.Invalidate(999);                 // No-op.
+}
+
+TEST_P(PolicyInvariantTest, StatsConsistent) {
+  CacheSimulator cache(500, GetParam().make());
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    cache.Access(rng.NextBounded(100), 1 + rng.NextBounded(50), i);
+  }
+  const auto& s = cache.stats();
+  EXPECT_EQ(s.requests, 1000u);
+  EXPECT_EQ(s.hits + s.insertions,
+            s.requests - 0u /* oversized bypasses impossible here */);
+  EXPECT_LE(s.byte_hits, s.byte_requests);
+  EXPECT_GT(s.HitRatio(), 0.0);
+  EXPECT_LE(s.HitRatio(), 1.0);
+  EXPECT_LE(s.ByteHitRatio(), 1.0);
+}
+
+TEST_P(PolicyInvariantTest, UnboundedCacheNeverEvicts) {
+  CacheSimulator cache(0, GetParam().make());
+  Pcg32 rng(9);
+  for (int i = 0; i < 500; ++i) {
+    cache.Access(rng.NextBounded(200), 1 + rng.NextBounded(1000), i);
+  }
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  // All touched keys stay resident (at most 200 distinct keys exist).
+  EXPECT_LE(cache.num_objects(), 200u);
+  EXPECT_GT(cache.num_objects(), 150u);
+  EXPECT_EQ(cache.num_objects(),
+            cache.stats().insertions);  // Nothing ever left.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyInvariantTest,
+    ::testing::Values(PolicyParam{"LRU", &MakeLruPolicy},
+                      PolicyParam{"LFU", &MakeLfuPolicy},
+                      PolicyParam{"LRU2", [] { return MakeLruKPolicy(2); }},
+                      PolicyParam{"GDSF", &MakeGdsfPolicy},
+                      PolicyParam{"LFUDA", &MakeLfuDaPolicy},
+                      PolicyParam{"SIZE", &MakeSizePolicy}),
+    [](const ::testing::TestParamInfo<PolicyParam>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Accounting details
+// ---------------------------------------------------------------------------
+
+TEST(CacheSimulatorTest, ByteHitRatioWeightsBySize) {
+  CacheSimulator cache(0, MakeLruPolicy());
+  cache.Access(1, 100, 1);  // Miss.
+  cache.Access(2, 900, 2);  // Miss.
+  cache.Access(1, 100, 3);  // Hit (100 bytes).
+  EXPECT_DOUBLE_EQ(cache.stats().HitRatio(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cache.stats().ByteHitRatio(), 100.0 / 1100.0);
+}
+
+TEST(CacheSimulatorTest, PolicyNameExposed) {
+  CacheSimulator cache(10, MakeGdsfPolicy());
+  EXPECT_EQ(cache.policy().name(), "GDSF");
+}
+
+}  // namespace
+}  // namespace cbfww::cache

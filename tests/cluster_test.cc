@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cluster/kmeans.h"
+#include "cluster/streaming_kmedian.h"
+#include "util/rng.h"
+
+namespace cbfww::cluster {
+namespace {
+
+/// Generates points around `k` well-separated planted centers in a sparse
+/// term space; labels returned alongside.
+struct PlantedData {
+  std::vector<text::TermVector> points;
+  std::vector<int32_t> labels;
+  std::vector<text::TermVector> centers;
+};
+
+PlantedData MakePlanted(uint32_t k, uint32_t per_cluster, uint64_t seed) {
+  PlantedData data;
+  Pcg32 rng(seed);
+  for (uint32_t c = 0; c < k; ++c) {
+    // Center: a block of 8 dedicated dimensions.
+    text::TermVector center;
+    for (uint32_t d = 0; d < 8; ++d) center.Add(c * 8 + d, 1.0);
+    center.Scale(1.0 / center.Norm());
+    data.centers.push_back(center);
+    for (uint32_t i = 0; i < per_cluster; ++i) {
+      text::TermVector p = center;
+      // Small noise in the cluster's own dimensions.
+      p.Add(c * 8 + rng.NextBounded(8), 0.2 * rng.NextDouble());
+      p.Scale(1.0 / p.Norm());
+      data.points.push_back(p);
+      data.labels.push_back(static_cast<int32_t>(c));
+    }
+  }
+  // Deterministic shuffle so clusters arrive interleaved.
+  for (size_t i = data.points.size(); i > 1; --i) {
+    size_t j = rng.NextBounded(static_cast<uint32_t>(i));
+    std::swap(data.points[i - 1], data.points[j]);
+    std::swap(data.labels[i - 1], data.labels[j]);
+  }
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// Batch k-means
+// ---------------------------------------------------------------------------
+
+TEST(KMeansTest, RecoversPlantedClusters) {
+  PlantedData data = MakePlanted(4, 50, 1);
+  KMeans::Options opts;
+  opts.k = 4;
+  KMeans km(opts);
+  KMeansResult result = km.Fit(data.points);
+  EXPECT_EQ(result.centers.size(), 4u);
+  double purity = ClusterPurity(result.assignment, data.labels);
+  EXPECT_GT(purity, 0.95);
+}
+
+TEST(KMeansTest, SsqDecreasesWithMoreClusters) {
+  PlantedData data = MakePlanted(6, 40, 2);
+  KMeans::Options o1;
+  o1.k = 1;
+  KMeans::Options o6;
+  o6.k = 6;
+  double ssq1 = KMeans(o1).Fit(data.points).ssq;
+  double ssq6 = KMeans(o6).Fit(data.points).ssq;
+  EXPECT_LT(ssq6, ssq1 * 0.5);
+}
+
+TEST(KMeansTest, EmptyAndSingleton) {
+  KMeans km(KMeans::Options{});
+  EXPECT_TRUE(km.Fit({}).centers.empty());
+  text::TermVector v;
+  v.Add(1, 1.0);
+  KMeansResult r = km.Fit({v});
+  EXPECT_EQ(r.centers.size(), 1u);
+  EXPECT_NEAR(r.ssq, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, AssignToNearestCorrect) {
+  text::TermVector c0, c1;
+  c0.Add(0, 1.0);
+  c1.Add(1, 1.0);
+  text::TermVector p;
+  p.Add(0, 0.9);
+  p.Add(1, 0.1);
+  auto assign = AssignToNearest({p}, {c0, c1});
+  EXPECT_EQ(assign[0], 0u);
+}
+
+TEST(KMeansTest, PurityBounds) {
+  // Perfect clustering.
+  EXPECT_DOUBLE_EQ(ClusterPurity({0, 0, 1, 1}, {5, 5, 7, 7}), 1.0);
+  // Totally mixed two-cluster case.
+  EXPECT_DOUBLE_EQ(ClusterPurity({0, 0, 0, 0}, {1, 1, 2, 2}), 0.5);
+  EXPECT_DOUBLE_EQ(ClusterPurity({}, {}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming k-median
+// ---------------------------------------------------------------------------
+
+StreamingKMedianOptions StreamOpts(uint32_t k) {
+  StreamingKMedianOptions opts;
+  opts.target_clusters = k;
+  opts.max_facilities = 4 * k;
+  opts.seed = 3;
+  return opts;
+}
+
+TEST(StreamingKMedianTest, MemoryBoundedByFacilityBudget) {
+  PlantedData data = MakePlanted(5, 200, 4);
+  StreamingKMedian stream(StreamOpts(5));
+  for (const auto& p : data.points) stream.Add(p);
+  EXPECT_LE(stream.facilities().size(), StreamOpts(5).max_facilities);
+  EXPECT_EQ(stream.points_processed(), data.points.size());
+}
+
+TEST(StreamingKMedianTest, FinalClustersRecoverPlanted) {
+  PlantedData data = MakePlanted(4, 150, 5);
+  StreamingKMedian stream(StreamOpts(4));
+  for (const auto& p : data.points) stream.Add(p);
+  auto finals = stream.FinalClusters();
+  ASSERT_LE(finals.size(), 4u);
+  ASSERT_GE(finals.size(), 2u);
+
+  std::vector<text::TermVector> centers;
+  for (const auto& f : finals) centers.push_back(f.center);
+  auto assign = AssignToNearest(data.points, centers);
+  double purity = ClusterPurity(assign, data.labels);
+  EXPECT_GT(purity, 0.8);
+}
+
+TEST(StreamingKMedianTest, SsqWithinFactorOfBatch) {
+  PlantedData data = MakePlanted(5, 100, 6);
+  StreamingKMedian stream(StreamOpts(5));
+  for (const auto& p : data.points) stream.Add(p);
+  auto finals = stream.FinalClusters();
+  std::vector<text::TermVector> stream_centers;
+  for (const auto& f : finals) stream_centers.push_back(f.center);
+  auto stream_assign = AssignToNearest(data.points, stream_centers);
+  double stream_ssq =
+      SumSquaredDistance(data.points, stream_centers, stream_assign);
+
+  KMeans::Options bopts;
+  bopts.k = 5;
+  double batch_ssq = KMeans(bopts).Fit(data.points).ssq;
+  // Single-pass should be within a small constant factor of batch quality.
+  EXPECT_LT(stream_ssq, std::max(batch_ssq * 5.0, batch_ssq + 1.0));
+}
+
+TEST(StreamingKMedianTest, MergeEventsPreserveAggregableIdentity) {
+  PlantedData data = MakePlanted(3, 300, 7);
+  StreamingKMedianOptions opts = StreamOpts(3);
+  opts.max_facilities = 8;  // Force many phase changes.
+  StreamingKMedian stream(opts);
+  std::unordered_set<uint32_t> assigned_ids;
+  for (const auto& p : data.points) assigned_ids.insert(stream.Add(p));
+
+  // Replay merges: every assigned id must resolve to a live facility.
+  std::unordered_map<uint32_t, uint32_t> redirect;
+  for (const MergeEvent& m : stream.TakeMergeEvents()) {
+    redirect[m.from] = m.into;
+  }
+  auto resolve = [&](uint32_t id) {
+    int hops = 0;
+    while (redirect.contains(id) && hops < 10000) {
+      id = redirect[id];
+      ++hops;
+    }
+    return id;
+  };
+  for (uint32_t id : assigned_ids) {
+    uint32_t live = resolve(id);
+    EXPECT_TRUE(stream.facilities().contains(live))
+        << "id " << id << " resolved to dead facility " << live;
+  }
+}
+
+TEST(StreamingKMedianTest, PhaseChangeRaisesCost) {
+  StreamingKMedianOptions opts = StreamOpts(2);
+  opts.max_facilities = 4;
+  opts.initial_facility_cost = 0.01;
+  StreamingKMedian stream(opts);
+  double initial = stream.facility_cost();
+  Pcg32 rng(8);
+  // Scatter points widely so many facilities open.
+  for (int i = 0; i < 500; ++i) {
+    text::TermVector p;
+    p.Add(rng.NextBounded(1000), 1.0);
+    stream.Add(p);
+  }
+  EXPECT_GT(stream.num_phases(), 0u);
+  EXPECT_GT(stream.facility_cost(), initial);
+  EXPECT_LE(stream.facilities().size(), opts.max_facilities);
+}
+
+TEST(StreamingKMedianTest, NearestOnEmptyIsInvalid) {
+  StreamingKMedian stream(StreamOpts(2));
+  text::TermVector p;
+  p.Add(0, 1.0);
+  EXPECT_EQ(stream.Nearest(p), UINT32_MAX);
+  EXPECT_TRUE(stream.FinalClusters().empty());
+}
+
+TEST(StreamingKMedianTest, IdenticalPointsOneFacility) {
+  StreamingKMedian stream(StreamOpts(3));
+  text::TermVector p;
+  p.Add(5, 1.0);
+  uint32_t first = stream.Add(p);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(stream.Add(p), first);
+  EXPECT_EQ(stream.facilities().size(), 1u);
+  EXPECT_DOUBLE_EQ(stream.facilities().at(first).weight, 51.0);
+}
+
+TEST(StreamingKMedianTest, DeterministicForSeed) {
+  PlantedData data = MakePlanted(3, 60, 9);
+  StreamingKMedian a(StreamOpts(3)), b(StreamOpts(3));
+  for (const auto& p : data.points) {
+    EXPECT_EQ(a.Add(p), b.Add(p));
+  }
+}
+
+}  // namespace
+}  // namespace cbfww::cluster

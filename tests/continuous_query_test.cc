@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/continuous_query.h"
+#include "core/warehouse.h"
+#include "corpus/web_corpus.h"
+#include "net/origin_server.h"
+
+namespace cbfww::core {
+namespace {
+
+/// Mutable catalog so tests can change the data between polls.
+class MutableCatalog : public query::QueryCatalog {
+ public:
+  std::vector<uint64_t> objects = {1, 2, 3};
+
+  std::vector<uint64_t> AllObjects(query::EntityKind) const override {
+    return objects;
+  }
+  query::Value GetAttribute(query::EntityKind, uint64_t oid,
+                            const std::string& attr) const override {
+    if (attr == "oid") return query::Value(static_cast<int64_t>(oid));
+    if (attr == "size") return query::Value(static_cast<int64_t>(oid * 10));
+    return query::Value();
+  }
+  SimTime LastReference(query::EntityKind, uint64_t) const override {
+    return 0;
+  }
+  uint64_t Frequency(query::EntityKind, uint64_t oid) const override {
+    return oid;
+  }
+  bool RowMentions(query::EntityKind, uint64_t, const std::string&,
+                   const std::vector<std::string>&) const override {
+    return false;
+  }
+};
+
+TEST(ContinuousQueryTest, RegisterValidatesSyntax) {
+  MutableCatalog catalog;
+  ContinuousQueryManager mgr(&catalog);
+  EXPECT_FALSE(mgr.Register("SELECT FROM nothing", kHour).ok());
+  EXPECT_FALSE(
+      mgr.Register("SELECT oid FROM Physical_Page", 0).ok());  // Bad period.
+  auto id = mgr.Register("SELECT oid FROM Physical_Page", kHour);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(mgr.size(), 1u);
+}
+
+TEST(ContinuousQueryTest, PollRespectsPeriod) {
+  MutableCatalog catalog;
+  ContinuousQueryManager mgr(&catalog);
+  auto id = mgr.Register("SELECT oid FROM Physical_Page", kHour);
+  ASSERT_TRUE(id.ok());
+
+  // Due immediately at the first poll.
+  EXPECT_EQ(mgr.Poll(0).size(), 1u);
+  EXPECT_EQ(mgr.Find(*id)->evaluations, 1u);
+  // Within the period: nothing to do.
+  EXPECT_TRUE(mgr.Poll(30 * kMinute).empty());
+  // After the period: re-evaluated.
+  EXPECT_EQ(mgr.Poll(kHour + kMinute).size(), 1u);
+  EXPECT_EQ(mgr.Find(*id)->evaluations, 2u);
+}
+
+TEST(ContinuousQueryTest, DetectsResultChanges) {
+  MutableCatalog catalog;
+  ContinuousQueryManager mgr(&catalog);
+  auto id = mgr.Register("SELECT oid FROM Physical_Page p WHERE p.size > 15",
+                         kHour);
+  ASSERT_TRUE(id.ok());
+  mgr.Poll(0);  // {2, 3}.
+  EXPECT_EQ(mgr.Find(*id)->latest.rows.size(), 2u);
+  EXPECT_EQ(mgr.Find(*id)->last_added, 2u);
+
+  catalog.objects = {2, 3, 4, 5};  // Object 1 gone; 4, 5 appear.
+  mgr.Poll(2 * kHour);             // {2, 3, 4, 5}.
+  EXPECT_EQ(mgr.Find(*id)->latest.rows.size(), 4u);
+  EXPECT_EQ(mgr.Find(*id)->last_added, 2u);
+  EXPECT_EQ(mgr.Find(*id)->last_removed, 0u);
+
+  catalog.objects = {4};
+  mgr.Poll(4 * kHour);  // {4}.
+  EXPECT_EQ(mgr.Find(*id)->last_removed, 3u);
+  EXPECT_EQ(mgr.Find(*id)->last_added, 0u);
+}
+
+TEST(ContinuousQueryTest, Unregister) {
+  MutableCatalog catalog;
+  ContinuousQueryManager mgr(&catalog);
+  auto id = mgr.Register("SELECT oid FROM Physical_Page", kHour);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(mgr.Unregister(*id).ok());
+  EXPECT_EQ(mgr.Unregister(*id).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(mgr.Poll(0).empty());
+  EXPECT_EQ(mgr.Find(*id), nullptr);
+}
+
+TEST(ContinuousQueryTest, WorksEndToEndInWarehouse) {
+  corpus::CorpusOptions copts;
+  copts.num_sites = 3;
+  copts.pages_per_site = 30;
+  corpus::WebCorpus corpus(copts);
+  net::OriginServer origin(&corpus, net::NetworkModel());
+  Warehouse wh(&corpus, &origin, nullptr, WarehouseOptions{});
+
+  auto id = wh.RegisterContinuousQuery(
+      "SELECT MFU 3 p.oid, p.frequency FROM Physical_Page p", 30 * kMinute);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  SimTime t = kSecond;
+  for (int round = 0; round < 3; ++round) {
+    for (corpus::PageId p = 0; p < 10; ++p) {
+      wh.RequestPage(p, 1, round * 100 + p, false, t);
+      t += kMinute;
+    }
+    wh.Tick(t);  // Housekeeping evaluates due standing queries.
+  }
+  wh.Tick(t + kHour);
+  const auto* reg = wh.continuous_queries().Find(*id);
+  ASSERT_NE(reg, nullptr);
+  EXPECT_GT(reg->evaluations, 1u);
+  ASSERT_FALSE(reg->latest.rows.empty());
+  // The standing query tracks the live MFU ranking.
+  EXPECT_GT(reg->latest.rows[0][1].AsInt(), 1);
+}
+
+}  // namespace
+}  // namespace cbfww::core

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "corpus/news_feed.h"
+#include "corpus/topic_model.h"
+#include "corpus/web_corpus.h"
+
+namespace cbfww::corpus {
+namespace {
+
+CorpusOptions SmallCorpus(uint64_t seed = 42) {
+  CorpusOptions opts;
+  opts.num_sites = 4;
+  opts.pages_per_site = 25;
+  opts.topic.num_topics = 5;
+  opts.seed = seed;
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// TopicModel
+// ---------------------------------------------------------------------------
+
+TEST(TopicModelTest, InternsDistinctBlocks) {
+  text::Vocabulary vocab;
+  TopicModel::Options opts;
+  opts.num_topics = 3;
+  opts.terms_per_topic = 10;
+  opts.shared_terms = 5;
+  TopicModel model(opts, &vocab);
+  EXPECT_EQ(vocab.size(), 3u * 10u + 5u);
+  // Signatures are disjoint across topics.
+  auto s0 = model.TopicSignature(0, 10);
+  auto s1 = model.TopicSignature(1, 10);
+  std::set<text::TermId> set0(s0.begin(), s0.end());
+  for (text::TermId t : s1) EXPECT_FALSE(set0.contains(t));
+}
+
+TEST(TopicModelTest, ConcentrationBiasesSampling) {
+  text::Vocabulary vocab;
+  TopicModel::Options opts;
+  opts.num_topics = 4;
+  opts.concentration = 0.9;
+  TopicModel model(opts, &vocab);
+  Pcg32 rng(1);
+  int in_topic = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (model.TermInTopic(model.SampleTerm(2, rng), 2)) ++in_topic;
+  }
+  double frac = static_cast<double>(in_topic) / n;
+  EXPECT_NEAR(frac, 0.9, 0.03);
+}
+
+TEST(TopicModelTest, NoTopicSamplesBackground) {
+  text::Vocabulary vocab;
+  TopicModel model(TopicModel::Options(), &vocab);
+  Pcg32 rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.TopicOfTerm(model.SampleTerm(kNoTopic, rng)), kNoTopic);
+  }
+}
+
+TEST(TopicModelTest, TopicOfTermRecoversOwner) {
+  text::Vocabulary vocab;
+  TopicModel::Options opts;
+  opts.num_topics = 3;
+  TopicModel model(opts, &vocab);
+  for (TopicId t = 0; t < 3; ++t) {
+    for (text::TermId id : model.TopicSignature(t, 5)) {
+      EXPECT_EQ(model.TopicOfTerm(id), t);
+    }
+  }
+}
+
+TEST(TopicModelTest, SignatureBoundedByTopicSize) {
+  text::Vocabulary vocab;
+  TopicModel::Options opts;
+  opts.terms_per_topic = 7;
+  TopicModel model(opts, &vocab);
+  EXPECT_EQ(model.TopicSignature(0, 100).size(), 7u);
+  EXPECT_TRUE(model.TopicSignature(-1, 5).empty());
+}
+
+// ---------------------------------------------------------------------------
+// WebCorpus
+// ---------------------------------------------------------------------------
+
+TEST(WebCorpusTest, GeneratesRequestedPages) {
+  WebCorpus corpus(SmallCorpus());
+  EXPECT_EQ(corpus.num_pages(), 100u);
+  EXPECT_GT(corpus.num_raw_objects(), corpus.num_pages());
+}
+
+TEST(WebCorpusTest, PagesHaveValidStructure) {
+  WebCorpus corpus(SmallCorpus());
+  for (const PhysicalPageSpec& page : corpus.pages()) {
+    const RawWebObject& container = corpus.raw(page.container);
+    EXPECT_TRUE(container.is_html());
+    EXPECT_FALSE(container.title_terms.empty());
+    EXPECT_FALSE(container.body_terms.empty());
+    EXPECT_EQ(container.site, page.site);
+    for (RawId c : page.components) {
+      EXPECT_LT(c, corpus.num_raw_objects());
+      EXPECT_FALSE(corpus.raw(c).is_html());
+    }
+    for (const Anchor& a : page.anchors) {
+      EXPECT_LT(a.target, corpus.num_pages());
+      EXPECT_NE(a.target, page.id);
+      EXPECT_FALSE(a.text_terms.empty());
+    }
+  }
+}
+
+TEST(WebCorpusTest, ComponentsAreShared) {
+  WebCorpus corpus(SmallCorpus());
+  // At least one media object embedded by 2+ pages (Figure 2 situation).
+  bool found_shared = false;
+  for (RawId id = 0; id < corpus.num_raw_objects(); ++id) {
+    if (!corpus.raw(id).is_html() && corpus.ContainersOf(id).size() >= 2) {
+      found_shared = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_shared);
+}
+
+TEST(WebCorpusTest, ContainersOfMatchesPageSpecs) {
+  WebCorpus corpus(SmallCorpus());
+  for (const PhysicalPageSpec& page : corpus.pages()) {
+    for (RawId c : page.components) {
+      const auto& containers = corpus.ContainersOf(c);
+      EXPECT_NE(std::find(containers.begin(), containers.end(), page.id),
+                containers.end());
+    }
+  }
+}
+
+TEST(WebCorpusTest, DeterministicForSeed) {
+  WebCorpus a(SmallCorpus(7));
+  WebCorpus b(SmallCorpus(7));
+  ASSERT_EQ(a.num_raw_objects(), b.num_raw_objects());
+  for (RawId id = 0; id < a.num_raw_objects(); ++id) {
+    EXPECT_EQ(a.raw(id).size_bytes, b.raw(id).size_bytes);
+    EXPECT_EQ(a.raw(id).url, b.raw(id).url);
+    EXPECT_EQ(a.raw(id).body_terms, b.raw(id).body_terms);
+  }
+}
+
+TEST(WebCorpusTest, DifferentSeedsDiffer) {
+  WebCorpus a(SmallCorpus(7));
+  WebCorpus b(SmallCorpus(8));
+  ASSERT_EQ(a.num_pages(), b.num_pages());
+  int differing = 0;
+  for (PageId id = 0; id < a.num_pages(); ++id) {
+    const RawWebObject& ra = a.raw(a.page(id).container);
+    const RawWebObject& rb = b.raw(b.page(id).container);
+    if (ra.body_terms != rb.body_terms) ++differing;
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST(WebCorpusTest, LargeDocsExist) {
+  CorpusOptions opts = SmallCorpus();
+  opts.large_doc_fraction = 0.3;
+  opts.large_doc_size = 4 * 1024 * 1024;
+  WebCorpus corpus(opts);
+  int large = 0;
+  for (const PhysicalPageSpec& page : corpus.pages()) {
+    if (corpus.raw(page.container).size_bytes >= opts.large_doc_size) ++large;
+  }
+  EXPECT_GT(large, 10);
+}
+
+TEST(WebCorpusTest, ModifyBumpsVersionAndDriftsContent) {
+  WebCorpus corpus(SmallCorpus());
+  Pcg32 rng(5);
+  RawId container = corpus.page(0).container;
+  auto before = corpus.raw(container).body_terms;
+  EXPECT_EQ(corpus.raw(container).version, 1u);
+  corpus.ModifyObject(container, 100 * kSecond, rng);
+  EXPECT_EQ(corpus.raw(container).version, 2u);
+  EXPECT_EQ(corpus.raw(container).last_modified, 100 * kSecond);
+  EXPECT_NE(corpus.raw(container).body_terms, before);
+  EXPECT_EQ(corpus.raw(container).body_terms.size(), before.size());
+}
+
+TEST(WebCorpusTest, SizesArePlausible) {
+  WebCorpus corpus(SmallCorpus());
+  for (RawId id = 0; id < corpus.num_raw_objects(); ++id) {
+    EXPECT_GE(corpus.raw(id).size_bytes, 512u);
+  }
+}
+
+TEST(WebCorpusTest, PagesOfSitePartition) {
+  WebCorpus corpus(SmallCorpus());
+  size_t total = 0;
+  for (uint32_t s = 0; s < corpus.options().num_sites; ++s) {
+    total += corpus.PagesOfSite(s).size();
+  }
+  EXPECT_EQ(total, corpus.num_pages());
+}
+
+// ---------------------------------------------------------------------------
+// NewsFeed
+// ---------------------------------------------------------------------------
+
+class NewsFeedTest : public ::testing::Test {
+ protected:
+  NewsFeedTest() : corpus_(SmallCorpus()) {
+    NewsFeed::Options opts;
+    opts.num_bursts = 6;
+    opts.horizon = 2 * kDay;
+    opts.headline_lead = 30 * kMinute;
+    feed_ = std::make_unique<NewsFeed>(opts, &corpus_.topic_model());
+  }
+  WebCorpus corpus_;
+  std::unique_ptr<NewsFeed> feed_;
+};
+
+TEST_F(NewsFeedTest, GeneratesBurstsAndHeadlines) {
+  EXPECT_EQ(feed_->bursts().size(), 6u);
+  EXPECT_EQ(feed_->headlines().size(), 6u * 5u);
+}
+
+TEST_F(NewsFeedTest, ListsAreTimeSorted) {
+  const auto& bursts = feed_->bursts();
+  for (size_t i = 1; i < bursts.size(); ++i) {
+    EXPECT_LE(bursts[i - 1].start, bursts[i].start);
+  }
+  const auto& hl = feed_->headlines();
+  for (size_t i = 1; i < hl.size(); ++i) {
+    EXPECT_LE(hl[i - 1].time, hl[i].time);
+  }
+}
+
+TEST_F(NewsFeedTest, HeadlinesPrecedeTheirBurst) {
+  // For every burst there are headlines strictly before burst start.
+  for (const BurstSpec& burst : feed_->bursts()) {
+    bool found = false;
+    for (const NewsHeadline& h : feed_->headlines()) {
+      if (h.topic == burst.topic && h.time <= burst.start) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(NewsFeedTest, HeadlineTermsMatchTopic) {
+  const auto& model = corpus_.topic_model();
+  for (const NewsHeadline& h : feed_->headlines()) {
+    int on_topic = 0;
+    for (text::TermId t : h.terms) {
+      if (model.TopicOfTerm(t) == h.topic) ++on_topic;
+    }
+    EXPECT_GE(on_topic, static_cast<int>(h.terms.size()) / 2);
+  }
+}
+
+TEST_F(NewsFeedTest, HeadlinesBetweenRespectsRange) {
+  auto all = feed_->headlines();
+  ASSERT_FALSE(all.empty());
+  SimTime mid = all[all.size() / 2].time;
+  auto early = feed_->HeadlinesBetween(0, mid);
+  for (const auto& h : early) EXPECT_LT(h.time, mid);
+  auto none = feed_->HeadlinesBetween(100 * kDay, 200 * kDay);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(NewsFeedTest, TopicBoostActiveOnlyDuringBurst) {
+  const BurstSpec& b = feed_->bursts().front();
+  EXPECT_GT(feed_->TopicBoostAt(b.topic, b.start + b.duration / 2), 1.0);
+  EXPECT_DOUBLE_EQ(feed_->TopicBoostAt(b.topic, b.start + b.duration + kDay * 30),
+                   1.0);
+}
+
+TEST_F(NewsFeedTest, BurstActiveAt) {
+  BurstSpec b;
+  b.start = 100;
+  b.duration = 50;
+  EXPECT_TRUE(b.ActiveAt(100));
+  EXPECT_TRUE(b.ActiveAt(149));
+  EXPECT_FALSE(b.ActiveAt(150));
+  EXPECT_FALSE(b.ActiveAt(99));
+}
+
+}  // namespace
+}  // namespace cbfww::corpus

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "index/index_hierarchy.h"
+#include "index/inverted_index.h"
+
+namespace cbfww::index {
+namespace {
+
+text::TermVector Vec(std::vector<std::pair<text::TermId, double>> entries) {
+  return text::TermVector::FromUnsorted(std::move(entries));
+}
+
+TEST(InvertedIndexTest, AddAndQuery) {
+  InvertedIndex idx;
+  idx.Add(1, Vec({{10, 1.0}, {11, 2.0}}));
+  idx.Add(2, Vec({{11, 1.0}, {12, 1.0}}));
+  EXPECT_EQ(idx.num_documents(), 2u);
+  EXPECT_EQ(idx.num_terms(), 3u);
+
+  auto hits = idx.QueryVector(Vec({{10, 1.0}}), 10);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 1u);
+}
+
+TEST(InvertedIndexTest, QueryRanksbyCosine) {
+  InvertedIndex idx;
+  idx.Add(1, Vec({{10, 1.0}}));                 // Perfect match.
+  idx.Add(2, Vec({{10, 1.0}, {99, 10.0}}));     // Diluted match.
+  auto hits = idx.QueryVector(Vec({{10, 1.0}}), 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc, 1u);
+  EXPECT_GT(hits[0].score, hits[1].score);
+  EXPECT_NEAR(hits[0].score, 1.0, 1e-9);
+}
+
+TEST(InvertedIndexTest, TopKTruncates) {
+  InvertedIndex idx;
+  for (uint64_t d = 0; d < 20; ++d) idx.Add(d, Vec({{5, 1.0 + d}}));
+  auto hits = idx.QueryVector(Vec({{5, 1.0}}), 3);
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST(InvertedIndexTest, RemoveErasesPostings) {
+  InvertedIndex idx;
+  idx.Add(1, Vec({{10, 1.0}}));
+  idx.Add(2, Vec({{10, 1.0}}));
+  idx.Remove(1);
+  EXPECT_FALSE(idx.Contains(1));
+  auto hits = idx.QueryVector(Vec({{10, 1.0}}), 10);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 2u);
+  idx.Remove(2);
+  EXPECT_EQ(idx.num_terms(), 0u);
+  idx.Remove(99);  // No-op.
+}
+
+TEST(InvertedIndexTest, ReAddReplaces) {
+  InvertedIndex idx;
+  idx.Add(1, Vec({{10, 1.0}}));
+  idx.Add(1, Vec({{20, 1.0}}));
+  EXPECT_EQ(idx.num_documents(), 1u);
+  EXPECT_TRUE(idx.DocsContainingAll({10}).empty());
+  EXPECT_EQ(idx.DocsContainingAll({20}).size(), 1u);
+}
+
+TEST(InvertedIndexTest, DocsContainingAll) {
+  InvertedIndex idx;
+  idx.Add(1, Vec({{10, 1.0}, {11, 1.0}}));
+  idx.Add(2, Vec({{10, 1.0}}));
+  idx.Add(3, Vec({{10, 1.0}, {11, 1.0}, {12, 1.0}}));
+  auto both = idx.DocsContainingAll({10, 11});
+  EXPECT_EQ(both, (std::vector<uint64_t>{1, 3}));
+  EXPECT_TRUE(idx.DocsContainingAll({10, 99}).empty());
+  EXPECT_TRUE(idx.DocsContainingAll({}).empty());
+}
+
+TEST(InvertedIndexTest, DocsContainingAny) {
+  InvertedIndex idx;
+  idx.Add(1, Vec({{10, 1.0}}));
+  idx.Add(2, Vec({{11, 1.0}}));
+  idx.Add(3, Vec({{12, 1.0}}));
+  auto any = idx.DocsContainingAny({10, 12, 99});
+  EXPECT_EQ(any, (std::vector<uint64_t>{1, 3}));
+}
+
+TEST(InvertedIndexTest, ZeroWeightEntriesSkipped) {
+  InvertedIndex idx;
+  idx.Add(1, Vec({{10, 0.0}, {11, 1.0}}));
+  EXPECT_FALSE(idx.TermPresent(10));
+  EXPECT_TRUE(idx.TermPresent(11));
+}
+
+TEST(InvertedIndexTest, MemoryBytesGrowsWithContent) {
+  InvertedIndex idx;
+  uint64_t empty = idx.MemoryBytes();
+  for (uint64_t d = 0; d < 50; ++d) {
+    idx.Add(d, Vec({{static_cast<text::TermId>(d), 1.0}, {999, 1.0}}));
+  }
+  EXPECT_GT(idx.MemoryBytes(), empty);
+}
+
+TEST(IndexHierarchyTest, LevelsIndependent) {
+  IndexHierarchy h;
+  h.Add(ObjectLevel::kPhysical, 1, Vec({{10, 1.0}}));
+  h.Add(ObjectLevel::kLogical, 2, Vec({{20, 1.0}}));
+  EXPECT_EQ(h.level(ObjectLevel::kPhysical).num_documents(), 1u);
+  EXPECT_EQ(h.level(ObjectLevel::kLogical).num_documents(), 1u);
+  EXPECT_EQ(h.level(ObjectLevel::kRaw).num_documents(), 0u);
+  EXPECT_EQ(h.Query(ObjectLevel::kPhysical, Vec({{10, 1.0}}), 5).size(), 1u);
+}
+
+TEST(IndexHierarchyTest, RoutingTable) {
+  IndexHierarchy h;
+  h.Add(ObjectLevel::kPhysical, 1, Vec({{10, 1.0}}));
+  h.Add(ObjectLevel::kLogical, 2, Vec({{10, 1.0}, {20, 1.0}}));
+  // Term 10 lives at physical(1) and logical(2) levels.
+  EXPECT_EQ(h.LevelsContaining(10), (1u << 1) | (1u << 2));
+  EXPECT_EQ(h.LevelsContaining(20), (1u << 2));
+  EXPECT_EQ(h.LevelsContaining(999), 0u);
+  h.Remove(ObjectLevel::kLogical, 2);
+  EXPECT_EQ(h.LevelsContaining(10), (1u << 1));
+}
+
+TEST(IndexHierarchyTest, ObjectLevelNames) {
+  EXPECT_EQ(ObjectLevelName(ObjectLevel::kRaw), "raw");
+  EXPECT_EQ(ObjectLevelName(ObjectLevel::kPhysical), "physical");
+  EXPECT_EQ(ObjectLevelName(ObjectLevel::kLogical), "logical");
+  EXPECT_EQ(ObjectLevelName(ObjectLevel::kRegion), "region");
+}
+
+TEST(IndexHierarchyTest, MemoryAggregates) {
+  IndexHierarchy h;
+  uint64_t base = h.MemoryBytes();
+  h.Add(ObjectLevel::kRaw, 1, Vec({{1, 1.0}}));
+  h.Add(ObjectLevel::kRegion, 2, Vec({{2, 1.0}}));
+  EXPECT_GT(h.MemoryBytes(), base);
+}
+
+}  // namespace
+}  // namespace cbfww::index

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include "core/logical_page_manager.h"
+#include "core/semantic_region_manager.h"
+
+namespace cbfww::core {
+namespace {
+
+/// Fixture content provider: anchor text for link a->b is term 1000+a;
+/// title of page p is term 2000+p; body vector has weight on term 3000+p.
+class FakeContent : public LogicalContentProvider {
+ public:
+  std::vector<text::TermId> AnchorTerms(corpus::PageId from,
+                                        corpus::PageId to) const override {
+    (void)to;
+    return {static_cast<text::TermId>(1000 + from)};
+  }
+  std::vector<text::TermId> TitleTerms(corpus::PageId page) const override {
+    return {static_cast<text::TermId>(2000 + page)};
+  }
+  text::TermVector BodyVector(corpus::PageId page) const override {
+    text::TermVector v;
+    v.Add(static_cast<text::TermId>(3000 + page), 1.0);
+    return v;
+  }
+  text::TermVector TermsToVector(
+      const std::vector<text::TermId>& terms) const override {
+    return text::TermVector::FromCounts(terms);
+  }
+};
+
+LogicalPageOptions MinerOptions() {
+  LogicalPageOptions opts;
+  opts.min_path_length = 2;
+  opts.max_path_length = 4;
+  opts.support_threshold = 3;
+  opts.max_hop_gap = 5 * kMinute;
+  opts.omega = 3.0;
+  return opts;
+}
+
+class LogicalPageManagerTest : public ::testing::Test {
+ protected:
+  LogicalPageManagerTest() : manager_(MinerOptions(), &content_) {}
+
+  /// Replays path once for `session`, with hops `gap` apart starting at t0.
+  LogicalPageManager::Observation Walk(int64_t session,
+                                       const std::vector<corpus::PageId>& path,
+                                       SimTime t0, SimTime gap = kMinute) {
+    LogicalPageManager::Observation last;
+    SimTime t = t0;
+    for (size_t i = 0; i < path.size(); ++i) {
+      last = manager_.ObserveRequest(session, path[i], i > 0, t);
+      t += gap;
+    }
+    return last;
+  }
+
+  FakeContent content_;
+  LogicalPageManager manager_;
+};
+
+TEST_F(LogicalPageManagerTest, MaterializesAtSupportThreshold) {
+  // The paper's Figure 5 scenario: path A-B-E traversed repeatedly.
+  std::vector<corpus::PageId> path = {10, 20, 30};
+  Walk(1, path, 0);
+  Walk(2, path, kHour);
+  EXPECT_TRUE(manager_.pages().empty());
+  auto obs = Walk(3, path, 2 * kHour);  // Third traversal crosses threshold.
+  EXPECT_FALSE(manager_.pages().empty());
+  EXPECT_FALSE(obs.materialized.empty());
+  EXPECT_EQ(manager_.CandidateSupport(path), 3u);
+}
+
+TEST_F(LogicalPageManagerTest, MaterializedContentFollowsPaperFormula) {
+  std::vector<corpus::PageId> path = {1, 2, 3};
+  for (int s = 0; s < 3; ++s) Walk(s, path, s * kHour);
+  // Find the full-length logical page.
+  const LogicalPageRecord* rec = nullptr;
+  for (const auto& [id, r] : manager_.pages()) {
+    if (r.path == path) rec = &r;
+  }
+  ASSERT_NE(rec, nullptr);
+  // Title = anchor texts along the path + terminal title:
+  //   anchor(1->2)=1001, anchor(2->3)=1002, title(3)=2003.
+  EXPECT_EQ(rec->title_terms,
+            (std::vector<text::TermId>{1001, 1002, 2003}));
+  // Vector = omega * v_title + v_body: title terms weigh omega, body 1.
+  EXPECT_DOUBLE_EQ(rec->vector.WeightOf(1001), 3.0);
+  EXPECT_DOUBLE_EQ(rec->vector.WeightOf(2003), 3.0);
+  EXPECT_DOUBLE_EQ(rec->vector.WeightOf(3003), 1.0);
+  EXPECT_EQ(rec->entry(), 1u);
+  EXPECT_EQ(rec->terminal(), 3u);
+}
+
+TEST_F(LogicalPageManagerTest, CompletedTraversalsCountAsReferences) {
+  std::vector<corpus::PageId> path = {5, 6};
+  for (int s = 0; s < 3; ++s) Walk(s, path, s * kHour);
+  LogicalPageId id = manager_.pages().begin()->first;
+  uint64_t freq_before = manager_.FindPage(id)->history.frequency();
+  auto obs = Walk(99, path, 100 * kHour);
+  EXPECT_FALSE(obs.completed.empty());
+  EXPECT_EQ(manager_.FindPage(id)->history.frequency(), freq_before + 1);
+}
+
+TEST_F(LogicalPageManagerTest, TimeGapBreaksTraversal) {
+  std::vector<corpus::PageId> path = {7, 8};
+  // Hops exceed max_hop_gap: never forms a path.
+  for (int s = 0; s < 10; ++s) {
+    Walk(s, path, s * kHour, /*gap=*/kHour);
+  }
+  EXPECT_EQ(manager_.CandidateSupport(path), 0u);
+  EXPECT_TRUE(manager_.pages().empty());
+}
+
+TEST_F(LogicalPageManagerTest, NonLinkRequestBreaksPath) {
+  for (int s = 0; s < 5; ++s) {
+    manager_.ObserveRequest(s, 1, false, s * kHour);
+    manager_.ObserveRequest(s, 2, false, s * kHour + kMinute);  // Jump.
+  }
+  EXPECT_EQ(manager_.CandidateSupport({1, 2}), 0u);
+}
+
+TEST_F(LogicalPageManagerTest, SuffixPathsCountedSeparately) {
+  std::vector<corpus::PageId> path = {1, 2, 3, 4};
+  Walk(0, path, 0);
+  // Suffixes of the window all count: {3,4}, {2,3,4}, {1,2,3,4}.
+  EXPECT_EQ(manager_.CandidateSupport({3, 4}), 1u);
+  EXPECT_EQ(manager_.CandidateSupport({2, 3, 4}), 1u);
+  EXPECT_EQ(manager_.CandidateSupport({1, 2, 3, 4}), 1u);
+  // Earlier window states counted their own suffixes too.
+  EXPECT_EQ(manager_.CandidateSupport({1, 2, 3}), 1u);
+  // Non-contiguous subsequences are never counted.
+  EXPECT_EQ(manager_.CandidateSupport({1, 3}), 0u);
+  EXPECT_EQ(manager_.CandidateSupport({2, 4}), 0u);
+}
+
+TEST_F(LogicalPageManagerTest, WindowBoundedByMaxPathLength) {
+  std::vector<corpus::PageId> path = {1, 2, 3, 4, 5, 6};
+  Walk(0, path, 0);
+  // Paths longer than max (4) never counted.
+  EXPECT_EQ(manager_.CandidateSupport({1, 2, 3, 4, 5}), 0u);
+  EXPECT_EQ(manager_.CandidateSupport({3, 4, 5, 6}), 1u);
+}
+
+TEST_F(LogicalPageManagerTest, IndexesByContainmentAndStart) {
+  std::vector<corpus::PageId> path = {11, 12, 13};
+  for (int s = 0; s < 3; ++s) Walk(s, path, s * kHour);
+  // Containment: every page of a materialized path indexes it.
+  EXPECT_FALSE(manager_.PagesContaining(12).empty());
+  EXPECT_TRUE(manager_.PagesContaining(99).empty());
+  // Start index ("guided navigation" hook).
+  EXPECT_FALSE(manager_.PagesStartingAt(12).empty());  // Suffix {12,13}.
+  auto at11 = manager_.PagesStartingAt(11);
+  bool found_full = false;
+  for (LogicalPageId id : at11) {
+    if (manager_.FindPage(id)->path == path) found_full = true;
+  }
+  EXPECT_TRUE(found_full);
+}
+
+TEST_F(LogicalPageManagerTest, SessionsAreIsolated) {
+  // Interleaved sessions must not splice paths together.
+  manager_.ObserveRequest(1, 1, false, 0);
+  manager_.ObserveRequest(2, 7, false, kSecond);
+  manager_.ObserveRequest(1, 2, true, 2 * kSecond);
+  EXPECT_EQ(manager_.CandidateSupport({1, 2}), 1u);
+  EXPECT_EQ(manager_.CandidateSupport({7, 2}), 0u);
+}
+
+TEST_F(LogicalPageManagerTest, CandidatePruningKeepsTableBounded) {
+  LogicalPageOptions opts = MinerOptions();
+  opts.max_candidates = 50;
+  opts.support_threshold = 1000000;  // Never materialize.
+  LogicalPageManager small(opts, &content_);
+  Pcg32 rng(3);
+  SimTime t = 0;
+  for (int i = 0; i < 3000; ++i) {
+    small.ObserveRequest(0, rng.NextBounded(500), i % 4 != 0, t);
+    t += kSecond;
+  }
+  EXPECT_LE(small.num_candidates(), 60u);  // Bounded (prune at > 50).
+}
+
+// ---------------------------------------------------------------------------
+// SemanticRegionManager
+// ---------------------------------------------------------------------------
+
+SemanticRegionManager::Options RegionOptions() {
+  SemanticRegionManager::Options opts;
+  opts.clustering.target_clusters = 4;
+  opts.clustering.max_facilities = 16;
+  opts.clustering.seed = 5;
+  return opts;
+}
+
+text::TermVector UnitVec(text::TermId dim) {
+  text::TermVector v;
+  v.Add(dim, 1.0);
+  return v;
+}
+
+TEST(SemanticRegionTest, AssignCreatesAndReuses) {
+  SemanticRegionManager mgr(RegionOptions());
+  RegionId a = mgr.Assign(UnitVec(1));
+  EXPECT_NE(a, kInvalidRegionId);
+  // Same vector lands in the same region.
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(mgr.Assign(UnitVec(1)), a);
+  EXPECT_EQ(mgr.regions().size(), 1u);
+}
+
+TEST(SemanticRegionTest, DistinctContentDistinctRegions) {
+  SemanticRegionManager mgr(RegionOptions());
+  RegionId a = mgr.Assign(UnitVec(1));
+  RegionId b = mgr.Assign(UnitVec(500));
+  // Orthogonal unit vectors are distance sqrt(2) >> facility cost.
+  EXPECT_NE(a, b);
+}
+
+TEST(SemanticRegionTest, NearestWithoutInsert) {
+  SemanticRegionManager mgr(RegionOptions());
+  EXPECT_EQ(mgr.Nearest(UnitVec(1)), kInvalidRegionId);
+  RegionId a = mgr.Assign(UnitVec(1));
+  EXPECT_EQ(mgr.Nearest(UnitVec(1)), a);
+  size_t regions_before = mgr.regions().size();
+  mgr.Nearest(UnitVec(999));
+  EXPECT_EQ(mgr.regions().size(), regions_before);
+}
+
+TEST(SemanticRegionTest, PredictionReflectsMemberPriorities) {
+  SemanticRegionManager mgr(RegionOptions());
+  RegionId hot = mgr.Assign(UnitVec(1));
+  RegionId cold = mgr.Assign(UnitVec(500));
+  for (int i = 0; i < 10; ++i) {
+    mgr.RecordMemberPriority(hot, 10.0, 0);
+    mgr.RecordMemberPriority(cold, 0.1, 0);
+  }
+  auto hot_pred = mgr.PredictPriority(UnitVec(1));
+  auto cold_pred = mgr.PredictPriority(UnitVec(500));
+  EXPECT_EQ(hot_pred.region, hot);
+  EXPECT_EQ(cold_pred.region, cold);
+  EXPECT_NEAR(hot_pred.mean_priority, 10.0, 1e-9);
+  EXPECT_NEAR(cold_pred.mean_priority, 0.1, 1e-9);
+  EXPECT_GT(hot_pred.similarity, 0.9);
+}
+
+TEST(SemanticRegionTest, PredictionOnEmptyManager) {
+  SemanticRegionManager mgr(RegionOptions());
+  auto pred = mgr.PredictPriority(UnitVec(1));
+  EXPECT_EQ(pred.region, kInvalidRegionId);
+  EXPECT_DOUBLE_EQ(pred.mean_priority, 0.0);
+}
+
+TEST(SemanticRegionTest, AggregateDecayTracksHotSpots) {
+  SemanticRegionManager::Options opts = RegionOptions();
+  opts.aggregate_decay = 0.5;
+  opts.decay_period = kHour;
+  SemanticRegionManager mgr(opts);
+  RegionId r = mgr.Assign(UnitVec(1));
+  mgr.RecordMemberPriority(r, 8.0, 0);
+  // Much later, record a tiny priority; the old aggregate has decayed.
+  mgr.RecordMemberPriority(r, 0.0, 10 * kHour);
+  auto pred = mgr.PredictPriority(UnitVec(1));
+  EXPECT_LT(pred.mean_priority, 1.0);
+}
+
+TEST(SemanticRegionTest, SyncSurvivesMerges) {
+  SemanticRegionManager::Options opts = RegionOptions();
+  opts.clustering.max_facilities = 6;  // Force phase changes.
+  SemanticRegionManager mgr(opts);
+  Pcg32 rng(7);
+  for (int i = 0; i < 400; ++i) {
+    RegionId r = mgr.Assign(UnitVec(rng.NextBounded(100)));
+    mgr.RecordMemberPriority(r, 1.0, i);
+  }
+  mgr.Sync(400);
+  EXPECT_LE(mgr.regions().size(), 6u);
+  // All regions correspond to live facilities with refreshed centroids.
+  for (const auto& [id, rec] : mgr.regions()) {
+    EXPECT_TRUE(mgr.stream().facilities().contains(id));
+    EXPECT_GT(rec.weight, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cbfww::core

@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include "core/constraint_manager.h"
+#include "core/recommendation_manager.h"
+#include "core/storage_manager.h"
+#include "core/version_manager.h"
+#include "index/inverted_index.h"
+
+namespace cbfww::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ConstraintManager
+// ---------------------------------------------------------------------------
+
+ConstraintManager::Options ConstraintOpts() {
+  ConstraintManager::Options opts;
+  opts.tier_max_object_bytes = {1024, 1024 * 1024, 0};
+  opts.max_update_rate_per_day = 24.0;
+  return opts;
+}
+
+TEST(ConstraintTest, SizeAdmissionPerTier) {
+  ConstraintManager cm(ConstraintOpts());
+  UsageHistory h;
+  EXPECT_TRUE(cm.CheckAdmission(1, 512, 0, h).ok());
+  EXPECT_EQ(cm.CheckAdmission(1, 2048, 0, h).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(cm.CheckAdmission(1, 2048, 1, h).ok());
+  // Unlimited tier takes anything.
+  EXPECT_TRUE(cm.CheckAdmission(1, 1ull << 33, 2, h).ok());
+}
+
+TEST(ConstraintTest, CopyrightedNeverAdmitted) {
+  ConstraintManager cm(ConstraintOpts());
+  cm.MarkCopyrighted(7);
+  UsageHistory h;
+  EXPECT_EQ(cm.CheckAdmission(7, 10, 2, h).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(cm.CheckAdmission(8, 10, 2, h).ok());
+  EXPECT_TRUE(cm.IsCopyrighted(7));
+}
+
+TEST(ConstraintTest, UpdateRateLimitRejectsChurners) {
+  ConstraintManager cm(ConstraintOpts());  // Limit: 24 updates/day.
+  UsageHistory churner;
+  // Modified every 30 minutes -> 48/day.
+  for (int i = 0; i < 4; ++i) churner.RecordModification(i * 30 * kMinute);
+  EXPECT_EQ(cm.CheckAdmission(1, 10, 2, churner).code(),
+            StatusCode::kFailedPrecondition);
+  UsageHistory calm;
+  for (int i = 0; i < 4; ++i) calm.RecordModification(i * 6 * kHour);
+  EXPECT_TRUE(cm.CheckAdmission(1, 10, 2, calm).ok());
+}
+
+TEST(ConstraintTest, PollingIntervalTracksUpdatePeriod) {
+  ConstraintManager cm(ConstraintOpts());
+  UsageHistory fast_changing;
+  for (int i = 0; i < 4; ++i) {
+    fast_changing.RecordModification(i * 2 * kHour);
+  }
+  UsageHistory slow_changing;
+  for (int i = 0; i < 4; ++i) {
+    slow_changing.RecordModification(i * 40 * kHour);
+  }
+  EXPECT_LT(cm.PollingInterval(fast_changing),
+            cm.PollingInterval(slow_changing));
+}
+
+TEST(ConstraintTest, PollingIntervalShrinksWithUsage) {
+  ConstraintManager cm(ConstraintOpts());
+  UsageHistory popular, unpopular;
+  for (int i = 0; i < 3; ++i) {
+    popular.RecordModification(i * 12 * kHour);
+    unpopular.RecordModification(i * 12 * kHour);
+  }
+  for (int i = 0; i < 1000; ++i) popular.RecordReference(i);
+  EXPECT_LT(cm.PollingInterval(popular), cm.PollingInterval(unpopular));
+}
+
+TEST(ConstraintTest, PollingIntervalClamped) {
+  ConstraintManager::Options opts = ConstraintOpts();
+  opts.min_poll_interval = kHour;
+  opts.max_poll_interval = kDay;
+  ConstraintManager cm(opts);
+  UsageHistory no_history;
+  SimTime t = cm.PollingInterval(no_history);
+  EXPECT_GE(t, kHour);
+  EXPECT_LE(t, kDay);
+  UsageHistory hyper;
+  for (int i = 0; i < 4; ++i) hyper.RecordModification(i);
+  EXPECT_GE(cm.PollingInterval(hyper), kHour);
+}
+
+TEST(ConstraintTest, ConsistencyModeSwitch) {
+  ConstraintManager cm(ConstraintOpts());
+  EXPECT_EQ(cm.consistency_mode(), ConsistencyMode::kWeak);
+  cm.set_consistency_mode(ConsistencyMode::kStrong);
+  EXPECT_EQ(cm.consistency_mode(), ConsistencyMode::kStrong);
+}
+
+// ---------------------------------------------------------------------------
+// VersionManager
+// ---------------------------------------------------------------------------
+
+TEST(VersionTest, CapturesLineage) {
+  VersionManager vm(VersionManager::Options{});
+  vm.CaptureVersion(1, 1, 100, 1000);
+  vm.CaptureVersion(1, 2, 200, 1100);
+  vm.CaptureVersion(1, 3, 300, 900);
+  EXPECT_EQ(vm.VersionsOf(1).size(), 3u);
+  EXPECT_EQ(vm.num_versions(), 3u);
+  EXPECT_EQ(vm.TotalBytesRetained(), 3000u);
+}
+
+TEST(VersionTest, CaptureIdempotentPerVersion) {
+  VersionManager vm(VersionManager::Options{});
+  vm.CaptureVersion(1, 1, 100, 1000);
+  vm.CaptureVersion(1, 1, 150, 1000);
+  EXPECT_EQ(vm.num_versions(), 1u);
+}
+
+TEST(VersionTest, AsOfReturnsLatestNotAfter) {
+  VersionManager vm(VersionManager::Options{});
+  vm.CaptureVersion(1, 1, 100, 10);
+  vm.CaptureVersion(1, 2, 200, 10);
+  auto v = vm.AsOf(1, 150);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->version, 1u);
+  auto v2 = vm.AsOf(1, 200);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->version, 2u);
+  EXPECT_EQ(vm.AsOf(1, 50).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(vm.AsOf(99, 150).status().code(), StatusCode::kNotFound);
+}
+
+TEST(VersionTest, RetentionDropsOldest) {
+  VersionManager::Options opts;
+  opts.max_versions_per_object = 2;
+  VersionManager vm(opts);
+  vm.CaptureVersion(1, 1, 100, 10);
+  vm.CaptureVersion(1, 2, 200, 20);
+  vm.CaptureVersion(1, 3, 300, 30);
+  EXPECT_EQ(vm.VersionsOf(1).size(), 2u);
+  EXPECT_EQ(vm.VersionsOf(1).front().version, 2u);
+  EXPECT_EQ(vm.TotalBytesRetained(), 50u);
+  // The dropped version is no longer reachable as-of its capture time.
+  EXPECT_FALSE(vm.AsOf(1, 150).ok());
+}
+
+TEST(VersionTest, ZeroMeansKeepEverything) {
+  VersionManager::Options opts;
+  opts.max_versions_per_object = 0;
+  VersionManager vm(opts);
+  for (uint32_t v = 1; v <= 100; ++v) vm.CaptureVersion(1, v, v * 100, 1);
+  EXPECT_EQ(vm.VersionsOf(1).size(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// RecommendationManager
+// ---------------------------------------------------------------------------
+
+text::TermVector TopicContent(text::TermId base) {
+  text::TermVector v;
+  for (text::TermId t = base; t < base + 5; ++t) v.Add(t, 1.0);
+  return v;
+}
+
+TEST(RecommendationTest, ProfileBuiltFromAccesses) {
+  RecommendationManager rm(RecommendationManager::Options{});
+  EXPECT_TRUE(rm.UserProfile(1, 0).empty());
+  rm.RecordAccess(1, TopicContent(100), 0);
+  text::TermVector profile = rm.UserProfile(1, 0);
+  EXPECT_FALSE(profile.empty());
+  EXPECT_GT(profile.WeightOf(100), 0.0);
+  EXPECT_EQ(rm.num_users(), 1u);
+}
+
+TEST(RecommendationTest, RecommendsContentMatchingProfile) {
+  RecommendationManager rm(RecommendationManager::Options{});
+  index::InvertedIndex idx;
+  idx.Add(1, TopicContent(100));  // On the user's topic.
+  idx.Add(2, TopicContent(500));  // Off topic.
+  rm.RecordAccess(7, TopicContent(100), 0);
+  auto recs = rm.RecommendPages(7, idx, 2, 0);
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs[0].doc, 1u);
+  // Unknown user: nothing.
+  EXPECT_TRUE(rm.RecommendPages(99, idx, 2, 0).empty());
+}
+
+TEST(RecommendationTest, InterestsDecay) {
+  RecommendationManager::Options opts;
+  opts.half_life = kHour;
+  RecommendationManager rm(opts);
+  rm.RecordAccess(1, TopicContent(100), 0);
+  rm.RecordAccess(1, TopicContent(500), 50 * kHour);
+  text::TermVector profile = rm.UserProfile(1, 50 * kHour);
+  // The old interest decayed far below the fresh one.
+  EXPECT_GT(profile.WeightOf(500), 100 * profile.WeightOf(100));
+}
+
+// ---------------------------------------------------------------------------
+// StorageManager (unit; integration covered in warehouse_test)
+// ---------------------------------------------------------------------------
+
+StorageManager::Options StorageOpts() {
+  StorageManager::Options opts;
+  opts.lod_threshold_bytes = 1000;
+  return opts;
+}
+
+struct StorageFixture {
+  StorageFixture()
+      : hierarchy({storage::DeviceModel::Memory(4000),
+                   storage::DeviceModel::Disk(20000),
+                   storage::DeviceModel::Tertiary(0)}),
+        constraints(ConstraintManager::Options{}),
+        manager(&hierarchy, &constraints, StorageOpts()) {}
+
+  RawObjectRecord MakeRecord(corpus::RawId id, uint64_t bytes) {
+    RawObjectRecord rec;
+    rec.id = id;
+    rec.bytes = bytes;
+    rec.has_summary = true;
+    rec.summary_bytes = 64;
+    return rec;
+  }
+
+  storage::StorageHierarchy hierarchy;
+  ConstraintManager constraints;
+  StorageManager manager;
+};
+
+TEST(StorageManagerTest, AdmitNewAlwaysBacksUpToTertiary) {
+  StorageFixture f;
+  RawObjectRecord rec = f.MakeRecord(1, 500);
+  ASSERT_TRUE(f.manager.AdmitNew(rec, 0.0).ok());
+  auto id = EncodeStoreId(index::ObjectLevel::kRaw, 1);
+  EXPECT_TRUE(f.hierarchy.IsResident(id, 2));
+  EXPECT_TRUE(f.hierarchy.IsResident(id, 1));  // Disk copy too.
+}
+
+TEST(StorageManagerTest, HighPriorityGoesStraightToMemory) {
+  StorageFixture f;
+  RawObjectRecord rec = f.MakeRecord(1, 500);
+  // Threshold starts at 0, so any priority >= 0 may enter memory.
+  ASSERT_TRUE(f.manager.AdmitNew(rec, 5.0).ok());
+  EXPECT_TRUE(f.hierarchy.IsResident(
+      EncodeStoreId(index::ObjectLevel::kRaw, 1), 0));
+}
+
+TEST(StorageManagerTest, LargeObjectGetsSummaryInMemory) {
+  StorageFixture f;
+  RawObjectRecord rec = f.MakeRecord(1, 3000);  // > LoD threshold 1000.
+  ASSERT_TRUE(f.manager.AdmitNew(rec, 5.0).ok());
+  auto full = EncodeStoreId(index::ObjectLevel::kRaw, 1);
+  auto summary = EncodeStoreId(index::ObjectLevel::kRaw, 1, true);
+  EXPECT_FALSE(f.hierarchy.IsResident(full, 0));
+  EXPECT_TRUE(f.hierarchy.IsResident(summary, 0));
+  EXPECT_TRUE(f.hierarchy.IsResident(full, 1));
+}
+
+TEST(StorageManagerTest, ReadPreviewUsesSummary) {
+  StorageFixture f;
+  RawObjectRecord rec = f.MakeRecord(1, 3000);
+  ASSERT_TRUE(f.manager.AdmitNew(rec, 5.0).ok());
+  auto preview = f.manager.ReadPreview(rec);
+  auto full = f.manager.ReadObject(rec);
+  ASSERT_TRUE(preview.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_LT(*preview, *full);  // Memory summary beats disk full object.
+}
+
+TEST(StorageManagerTest, RebalanceFillsMemoryWithTopPriorities) {
+  StorageFixture f;
+  std::vector<RawObjectRecord> recs;
+  recs.reserve(20);
+  for (corpus::RawId id = 0; id < 20; ++id) {
+    recs.push_back(f.MakeRecord(id, 500));
+    ASSERT_TRUE(f.manager.AdmitNew(recs.back(), 0.0).ok());
+  }
+  std::vector<StorageManager::RankedObject> ranked;
+  for (auto& rec : recs) {
+    ranked.push_back({&rec, static_cast<double>(rec.id)});  // id = priority.
+  }
+  auto result = f.manager.Rebalance(ranked);
+  // Memory (4000 bytes * 0.9 fill = 3600) fits the 7 hottest 500-byte objs.
+  EXPECT_EQ(result.objects_in_memory, 7u);
+  for (corpus::RawId id = 13; id < 20; ++id) {
+    EXPECT_TRUE(f.hierarchy.IsResident(
+        EncodeStoreId(index::ObjectLevel::kRaw, id), 0))
+        << "object " << id;
+  }
+  EXPECT_FALSE(f.hierarchy.IsResident(
+      EncodeStoreId(index::ObjectLevel::kRaw, 0), 0));
+  // Memory threshold now reflects the weakest memory resident. Object 12's
+  // summary also squeezed into the leftover budget (levels of detail), so
+  // the weakest memory presence has priority 12.
+  EXPECT_EQ(result.summaries_in_memory, 1u);
+  EXPECT_GE(f.manager.memory_admission_threshold(), 12.0);
+}
+
+TEST(StorageManagerTest, RebalanceDemotesCooledObjects) {
+  StorageFixture f;
+  RawObjectRecord hot = f.MakeRecord(1, 500);
+  ASSERT_TRUE(f.manager.AdmitNew(hot, 10.0).ok());
+  auto id1 = EncodeStoreId(index::ObjectLevel::kRaw, 1);
+  ASSERT_TRUE(f.hierarchy.IsResident(id1, 0));
+  // Object cooled to 0 and 8 hotter objects arrive.
+  std::vector<RawObjectRecord> recs;
+  recs.push_back(hot);
+  for (corpus::RawId id = 2; id < 10; ++id) {
+    recs.push_back(f.MakeRecord(id, 500));
+    ASSERT_TRUE(f.manager.AdmitNew(recs.back(), 0.0).ok());
+  }
+  std::vector<StorageManager::RankedObject> ranked;
+  for (auto& rec : recs) {
+    ranked.push_back({&rec, rec.id == 1 ? 0.0 : 5.0});
+  }
+  auto result = f.manager.Rebalance(ranked);
+  EXPECT_FALSE(f.hierarchy.IsResident(id1, 0));  // Demoted.
+  EXPECT_TRUE(f.hierarchy.IsResident(id1, 1));   // Still on disk.
+  EXPECT_GT(result.demotions + result.promotions, 0u);
+}
+
+TEST(StorageManagerTest, CopyControlKeepsBackups) {
+  StorageFixture f;
+  std::vector<RawObjectRecord> recs;
+  for (corpus::RawId id = 0; id < 4; ++id) {
+    recs.push_back(f.MakeRecord(id, 500));
+    ASSERT_TRUE(f.manager.AdmitNew(recs.back(), 0.0).ok());
+  }
+  std::vector<StorageManager::RankedObject> ranked;
+  for (auto& rec : recs) ranked.push_back({&rec, 1.0});
+  f.manager.Rebalance(ranked);
+  for (corpus::RawId id = 0; id < 4; ++id) {
+    auto sid = EncodeStoreId(index::ObjectLevel::kRaw, id);
+    if (f.hierarchy.IsResident(sid, 0)) {
+      // Memory residents must have a disk copy (recovery rule).
+      EXPECT_TRUE(f.hierarchy.IsResident(sid, 1));
+    }
+    EXPECT_TRUE(f.hierarchy.IsResident(sid, 2));  // Everything on tertiary.
+  }
+}
+
+}  // namespace
+}  // namespace cbfww::core

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "core/priority_manager.h"
+#include "core/topic.h"
+#include "corpus/news_feed.h"
+#include "corpus/web_corpus.h"
+
+namespace cbfww::core {
+namespace {
+
+using index::ObjectLevel;
+
+// ---------------------------------------------------------------------------
+// PriorityManager
+// ---------------------------------------------------------------------------
+
+PriorityOptions TestPriorityOptions() {
+  PriorityOptions opts;
+  opts.lambda = 0.5;
+  opts.aging_period = kHour;
+  opts.similarity_threshold = 0.2;
+  opts.topic_boost_weight = 2.0;
+  return opts;
+}
+
+TEST(PriorityManagerTest, AccessRaisesOwnPriority) {
+  PriorityManager pm(TestPriorityOptions());
+  EXPECT_DOUBLE_EQ(pm.OwnPriority(ObjectLevel::kPhysical, 1, 0), 0.0);
+  for (int i = 0; i < 10; ++i) {
+    pm.RecordAccess(ObjectLevel::kPhysical, 1, i * kMinute);
+  }
+  EXPECT_GT(pm.OwnPriority(ObjectLevel::kPhysical, 1, kHour), 0.0);
+}
+
+TEST(PriorityManagerTest, PriorityDecaysWhenIdle) {
+  PriorityManager pm(TestPriorityOptions());
+  for (int i = 0; i < 10; ++i) pm.RecordAccess(ObjectLevel::kRaw, 5, i);
+  double warm = pm.OwnPriority(ObjectLevel::kRaw, 5, kHour);
+  double cold = pm.OwnPriority(ObjectLevel::kRaw, 5, 50 * kHour);
+  EXPECT_LT(cold, warm * 0.01);
+}
+
+TEST(PriorityManagerTest, LevelsAreIndependent) {
+  PriorityManager pm(TestPriorityOptions());
+  pm.RecordAccess(ObjectLevel::kRaw, 1, 0);
+  EXPECT_GT(pm.OwnPriority(ObjectLevel::kRaw, 1, kHour), 0.0);
+  EXPECT_DOUBLE_EQ(pm.OwnPriority(ObjectLevel::kPhysical, 1, kHour), 0.0);
+}
+
+TEST(PriorityManagerTest, SeedPriorityStartsWarm) {
+  PriorityManager pm(TestPriorityOptions());
+  pm.SeedPriority(ObjectLevel::kPhysical, 9, 4.0, 0);
+  EXPECT_DOUBLE_EQ(pm.OwnPriority(ObjectLevel::kPhysical, 9, 0), 4.0);
+}
+
+TEST(PriorityManagerTest, ForgetClearsState) {
+  PriorityManager pm(TestPriorityOptions());
+  pm.SeedPriority(ObjectLevel::kRaw, 2, 5.0, 0);
+  pm.Forget(ObjectLevel::kRaw, 2);
+  EXPECT_DOUBLE_EQ(pm.OwnPriority(ObjectLevel::kRaw, 2, 0), 0.0);
+}
+
+TEST(PriorityManagerTest, InitialPriorityRequiresSimilarity) {
+  PriorityManager pm(TestPriorityOptions());
+  // Similar region: inherit its mean priority.
+  EXPECT_DOUBLE_EQ(pm.InitialPriority(3.0, 0.5, 0.0), 3.0);
+  // Below the similarity threshold: cold start.
+  EXPECT_DOUBLE_EQ(pm.InitialPriority(3.0, 0.1, 0.0), 0.0);
+}
+
+TEST(PriorityManagerTest, TopicHotnessAlwaysBoosts) {
+  PriorityManager pm(TestPriorityOptions());
+  // Even a dissimilar page gets the hot-topic boost (weight 2).
+  EXPECT_DOUBLE_EQ(pm.InitialPriority(0.0, 0.0, 1.5), 3.0);
+  EXPECT_DOUBLE_EQ(pm.InitialPriority(2.0, 0.9, 1.0), 4.0);
+}
+
+TEST(PriorityManagerTest, CombineRules) {
+  // Figure 2: shared component takes exactly the max container priority.
+  EXPECT_DOUBLE_EQ(PriorityManager::CombineShared(12.0), 12.0);
+  // Containment: an object never loses its own priority.
+  EXPECT_DOUBLE_EQ(PriorityManager::CombineContained(5.0, 3.0), 5.0);
+  EXPECT_DOUBLE_EQ(PriorityManager::CombineContained(3.0, 5.0), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// DecayingTermWeights
+// ---------------------------------------------------------------------------
+
+TEST(DecayingTermWeightsTest, HalfLifeDecay) {
+  DecayingTermWeights w(kHour);
+  w.Add(1, 8.0, 0);
+  EXPECT_DOUBLE_EQ(w.WeightOf(1, 0), 8.0);
+  EXPECT_NEAR(w.WeightOf(1, kHour), 4.0, 1e-9);
+  EXPECT_NEAR(w.WeightOf(1, 3 * kHour), 1.0, 1e-9);
+}
+
+TEST(DecayingTermWeightsTest, AddAccumulatesAfterDecay) {
+  DecayingTermWeights w(kHour);
+  w.Add(1, 4.0, 0);
+  w.Add(1, 1.0, kHour);  // 4/2 + 1 = 3.
+  EXPECT_NEAR(w.WeightOf(1, kHour), 3.0, 1e-9);
+}
+
+TEST(DecayingTermWeightsTest, OverlapNormalizedByVectorNorm) {
+  DecayingTermWeights w(kHour);
+  w.Add(1, 2.0, 0);
+  text::TermVector v;
+  v.Add(1, 3.0);
+  v.Add(2, 4.0);  // Norm 5.
+  EXPECT_NEAR(w.Overlap(v, 0), 2.0 * 3.0 / 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(w.Overlap(text::TermVector(), 0), 0.0);
+}
+
+TEST(DecayingTermWeightsTest, TopTermsSortedAndBounded) {
+  DecayingTermWeights w(kHour);
+  w.Add(1, 1.0, 0);
+  w.Add(2, 3.0, 0);
+  w.Add(3, 2.0, 0);
+  auto top = w.TopTerms(0, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 2u);
+  EXPECT_EQ(top[1].first, 3u);
+}
+
+TEST(DecayingTermWeightsTest, CompactDropsDecayedEntries) {
+  DecayingTermWeights w(kHour);
+  w.Add(1, 1.0, 0);
+  w.Add(2, 1000.0, 0);
+  // After 10 half-lives: term 1 ~ 1e-3 (dropped), term 2 ~ 0.98 (kept).
+  w.Compact(10 * kHour, 1e-2);
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_GT(w.WeightOf(2, 10 * kHour), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// TopicSensor + TopicManager against a real news feed
+// ---------------------------------------------------------------------------
+
+class TopicSensorTest : public ::testing::Test {
+ protected:
+  TopicSensorTest() {
+    corpus::CorpusOptions copts;
+    copts.num_sites = 3;
+    copts.pages_per_site = 20;
+    corpus_ = std::make_unique<corpus::WebCorpus>(copts);
+    corpus::NewsFeed::Options fopts;
+    fopts.num_bursts = 3;
+    fopts.horizon = kDay;
+    feed_ = std::make_unique<corpus::NewsFeed>(fopts, &corpus_->topic_model());
+  }
+
+  text::TermVector TopicVector(corpus::TopicId topic) {
+    text::TermVector v;
+    for (text::TermId t : corpus_->topic_model().TopicSignature(topic, 8)) {
+      v.Add(t, 1.0);
+    }
+    return v;
+  }
+
+  std::unique_ptr<corpus::WebCorpus> corpus_;
+  std::unique_ptr<corpus::NewsFeed> feed_;
+};
+
+TEST_F(TopicSensorTest, ColdBeforePolling) {
+  TopicSensor sensor(feed_.get(), TopicSensor::Options());
+  EXPECT_EQ(sensor.headlines_seen(), 0u);
+  EXPECT_DOUBLE_EQ(sensor.HotnessOf(TopicVector(0), 0), 0.0);
+}
+
+TEST_F(TopicSensorTest, PollIngestsHeadlinesOnce) {
+  TopicSensor sensor(feed_.get(), TopicSensor::Options());
+  sensor.Poll(kDay);
+  uint64_t seen = sensor.headlines_seen();
+  EXPECT_EQ(seen, feed_->headlines().size());
+  sensor.Poll(kDay);  // Idempotent for the same horizon.
+  EXPECT_EQ(sensor.headlines_seen(), seen);
+}
+
+TEST_F(TopicSensorTest, HotTopicScoresAboveColdTopic) {
+  TopicSensor sensor(feed_.get(), TopicSensor::Options());
+  const corpus::BurstSpec& burst = feed_->bursts().front();
+  SimTime t = burst.start;
+  sensor.Poll(t);
+  double hot = sensor.HotnessOf(TopicVector(burst.topic), t);
+  // Some other topic that has no burst yet at this time.
+  double cold_best = 0.0;
+  for (uint32_t topic = 0; topic < corpus_->topic_model().num_topics();
+       ++topic) {
+    bool bursted = false;
+    for (const auto& b : feed_->bursts()) {
+      if (b.topic == static_cast<corpus::TopicId>(topic) && b.start <= t) {
+        bursted = true;
+      }
+    }
+    if (!bursted) {
+      cold_best = std::max(
+          cold_best,
+          sensor.HotnessOf(TopicVector(static_cast<corpus::TopicId>(topic)), t));
+    }
+  }
+  EXPECT_GT(hot, cold_best);
+}
+
+TEST_F(TopicSensorTest, HotTermsComeFromHeadlines) {
+  TopicSensor sensor(feed_.get(), TopicSensor::Options());
+  sensor.Poll(kDay);
+  auto hot = sensor.HotTerms(kDay, 5);
+  ASSERT_FALSE(hot.empty());
+  // Every hot term must appear in some headline.
+  for (const auto& [term, weight] : hot) {
+    bool found = false;
+    for (const auto& h : feed_->headlines()) {
+      if (std::find(h.terms.begin(), h.terms.end(), term) != h.terms.end()) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(TopicSensorTest, NullFeedStaysCold) {
+  TopicSensor sensor(nullptr, TopicSensor::Options());
+  sensor.Poll(kDay);
+  EXPECT_EQ(sensor.headlines_seen(), 0u);
+}
+
+TEST_F(TopicSensorTest, ManagerMergesSensorAndUsage) {
+  TopicSensor sensor(feed_.get(), TopicSensor::Options());
+  TopicManager::Options mopts;
+  mopts.sensor_weight = 1.0;
+  mopts.usage_weight = 1.0;
+  TopicManager manager(&sensor, mopts);
+
+  text::TermVector v = TopicVector(1);
+  double before = manager.TopicScore(v, 0);
+  manager.RecordUsage(v, /*priority=*/5.0, 0);
+  double after = manager.TopicScore(v, 0);
+  EXPECT_GT(after, before);
+
+  auto important = manager.ImportantTerms(0, 3);
+  EXPECT_FALSE(important.empty());
+}
+
+TEST_F(TopicSensorTest, HighPriorityUsageWeighsMoreInTheMix) {
+  // Topic scores are scale-free (normalized by total mass), so priority
+  // matters through the *share* of the profile a topic earns: equal usage
+  // counts, but topic 2 carried high priority in manager `a` and low in
+  // manager `b` — topic 2 must outscore topic 3 only in `a`.
+  TopicManager::Options mopts;
+  mopts.sensor_weight = 0.0;
+  mopts.usage_weight = 1.0;
+  TopicManager a(nullptr, mopts), b(nullptr, mopts);
+  text::TermVector hot = TopicVector(2);
+  text::TermVector other = TopicVector(3);
+  a.RecordUsage(hot, 10.0, 0);
+  a.RecordUsage(other, 0.0, 0);
+  b.RecordUsage(hot, 0.0, 0);
+  b.RecordUsage(other, 10.0, 0);
+  EXPECT_GT(a.TopicScore(hot, 0), a.TopicScore(other, 0));
+  EXPECT_LT(b.TopicScore(hot, 0), b.TopicScore(other, 0));
+}
+
+}  // namespace
+}  // namespace cbfww::core

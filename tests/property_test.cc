@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/data_analyzer.h"
+#include "core/warehouse.h"
+#include "corpus/web_corpus.h"
+#include "net/origin_server.h"
+#include "storage/hierarchy.h"
+#include "trace/workload.h"
+#include "util/rng.h"
+
+namespace cbfww {
+namespace {
+
+// ---------------------------------------------------------------------------
+// StorageHierarchy accounting invariants under random operation sequences
+// ---------------------------------------------------------------------------
+
+struct HierarchyParam {
+  uint64_t mem_cap;
+  uint64_t disk_cap;
+  uint64_t seed;
+};
+
+class HierarchyFuzzTest : public ::testing::TestWithParam<HierarchyParam> {};
+
+TEST_P(HierarchyFuzzTest, AccountingAlwaysConsistent) {
+  const HierarchyParam& p = GetParam();
+  storage::StorageHierarchy h({storage::DeviceModel::Memory(p.mem_cap),
+                               storage::DeviceModel::Disk(p.disk_cap),
+                               storage::DeviceModel::Tertiary(0)});
+  Pcg32 rng(p.seed);
+  // Shadow model: object -> (bytes, tier set).
+  std::map<uint64_t, std::pair<uint64_t, uint32_t>> shadow;
+
+  for (int step = 0; step < 3000; ++step) {
+    uint64_t id = rng.NextBounded(60);
+    int tier = static_cast<int>(rng.NextBounded(3));
+    switch (rng.NextBounded(4)) {
+      case 0: {  // Store.
+        uint64_t bytes = shadow.contains(id) ? shadow[id].first
+                                             : 1 + rng.NextBounded(500);
+        if (h.Store(id, bytes, tier).ok()) {
+          shadow[id].first = bytes;
+          shadow[id].second |= (1u << tier);
+        }
+        break;
+      }
+      case 1: {  // Evict.
+        bool had = shadow.contains(id) && (shadow[id].second & (1u << tier));
+        Status s = h.Evict(id, tier);
+        EXPECT_EQ(s.ok(), had);
+        if (had) {
+          shadow[id].second &= ~(1u << tier);
+          if (shadow[id].second == 0) shadow.erase(id);
+        }
+        break;
+      }
+      case 2: {  // Migrate.
+        bool resident = shadow.contains(id);
+        bool exclusive = rng.NextBernoulli(0.5);
+        Status s = h.Migrate(id, tier, exclusive);
+        if (!resident) {
+          EXPECT_FALSE(s.ok());
+        } else if (s.ok() && exclusive) {
+          shadow[id].second = (1u << tier);
+        } else if (s.ok()) {
+          shadow[id].second |= (1u << tier);
+        }
+        break;
+      }
+      case 3: {  // Read.
+        EXPECT_EQ(h.Read(id).ok(), shadow.contains(id));
+        break;
+      }
+    }
+    // Invariants after every step.
+    for (int t = 0; t < 3; ++t) {
+      uint64_t expected_bytes = 0;
+      uint64_t expected_count = 0;
+      for (const auto& [oid, st] : shadow) {
+        if (st.second & (1u << t)) {
+          expected_bytes += st.first;
+          ++expected_count;
+        }
+      }
+      ASSERT_EQ(h.used_bytes(t), expected_bytes) << "step " << step;
+      ASSERT_EQ(h.resident_count(t), expected_count) << "step " << step;
+      uint64_t cap = t == 0 ? p.mem_cap : (t == 1 ? p.disk_cap : 0);
+      if (cap != 0) {
+        ASSERT_LE(h.used_bytes(t), cap);
+      }
+    }
+    for (const auto& [oid, st] : shadow) {
+      for (int t = 0; t < 3; ++t) {
+        ASSERT_EQ(h.IsResident(oid, t), (st.second & (1u << t)) != 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, HierarchyFuzzTest,
+    ::testing::Values(HierarchyParam{2000, 20000, 1},
+                      HierarchyParam{500, 5000, 2},
+                      HierarchyParam{0, 0, 3},          // All unbounded.
+                      HierarchyParam{100, 100000, 4},   // Tiny memory.
+                      HierarchyParam{100000, 300, 5})); // Tiny disk.
+
+// ---------------------------------------------------------------------------
+// Workload validity across seeds
+// ---------------------------------------------------------------------------
+
+class WorkloadSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WorkloadSeedTest, GeneratedTraceIsWellFormed) {
+  corpus::CorpusOptions copts;
+  copts.num_sites = 3;
+  copts.pages_per_site = 40;
+  copts.seed = GetParam() * 7 + 1;
+  corpus::WebCorpus corpus(copts);
+
+  trace::WorkloadOptions wopts;
+  wopts.horizon = 6 * kHour;
+  wopts.sessions_per_hour = 50;
+  wopts.seed = GetParam();
+  trace::WorkloadGenerator gen(&corpus, nullptr, wopts);
+  auto events = gen.Generate();
+  ASSERT_FALSE(events.empty());
+
+  SimTime prev = 0;
+  std::map<int64_t, SimTime> session_last;
+  for (const auto& e : events) {
+    ASSERT_GE(e.time, prev);
+    prev = e.time;
+    ASSERT_LT(e.time, wopts.horizon + kHour);
+    if (e.type == trace::TraceEventType::kRequest) {
+      ASSERT_LT(e.page, corpus.num_pages());
+      ASSERT_LT(e.user, wopts.num_users);
+      ASSERT_GE(e.session, 0);
+      // Session times are monotone within the session.
+      auto it = session_last.find(e.session);
+      if (it != session_last.end()) {
+        ASSERT_GE(e.time, it->second);
+      }
+      session_last[e.session] = e.time;
+    } else {
+      ASSERT_LT(e.modified, corpus.num_raw_objects());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadSeedTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------------------------------------------------------------------------
+// Warehouse end-to-end invariants across seeds
+// ---------------------------------------------------------------------------
+
+class WarehouseSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WarehouseSeedTest, InvariantsHoldOverFullRun) {
+  corpus::CorpusOptions copts;
+  copts.num_sites = 3;
+  copts.pages_per_site = 50;
+  copts.seed = GetParam();
+  corpus::WebCorpus corpus(copts);
+  net::OriginServer origin(&corpus, net::NetworkModel());
+
+  core::WarehouseOptions opts;
+  opts.memory_bytes = 2ull * 1024 * 1024;  // Tight: forces displacement.
+  opts.disk_bytes = 64ull * 1024 * 1024;
+  core::Warehouse wh(&corpus, &origin, nullptr, opts);
+
+  trace::WorkloadOptions wopts;
+  wopts.horizon = 6 * kHour;
+  wopts.sessions_per_hour = 40;
+  wopts.seed = GetParam() + 100;
+  trace::WorkloadGenerator gen(&corpus, nullptr, wopts);
+
+  std::map<corpus::PageId, uint64_t> request_counts;
+  for (const auto& e : gen.Generate()) {
+    wh.ProcessEvent(e);
+    if (e.type == trace::TraceEventType::kRequest) ++request_counts[e.page];
+    // Capacity invariants hold continuously.
+    ASSERT_LE(wh.hierarchy().used_bytes(0), opts.memory_bytes);
+    ASSERT_LE(wh.hierarchy().used_bytes(1), opts.disk_bytes);
+  }
+
+  // Every requested page: history matches the trace, objects retrievable.
+  for (const auto& [page, count] : request_counts) {
+    const core::PhysicalPageRecord* rec = wh.FindPage(page);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->history.frequency(), count);
+    auto sid = core::EncodeStoreId(index::ObjectLevel::kRaw, rec->container);
+    EXPECT_NE(wh.hierarchy().FastestTierOf(sid), storage::kNoTier)
+        << "container of page " << page << " lost";
+  }
+  // Analyzer agrees with the trace.
+  uint64_t total = 0;
+  for (const auto& [page, count] : request_counts) total += count;
+  EXPECT_EQ(wh.analyzer().total_requests(), total);
+  EXPECT_EQ(wh.analyzer().distinct_pages(), request_counts.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WarehouseSeedTest, ::testing::Values(11, 22, 33));
+
+// ---------------------------------------------------------------------------
+// DataAnalyzer
+// ---------------------------------------------------------------------------
+
+TEST(DataAnalyzerTest, AggregatesRequests) {
+  core::DataAnalyzer analyzer;
+  analyzer.RecordRequest(1, 10, kSecond, core::DataAnalyzer::ServedBy::kMemory,
+                         100);
+  analyzer.RecordRequest(1, 10, 2 * kSecond,
+                         core::DataAnalyzer::ServedBy::kOrigin, 500);
+  analyzer.RecordRequest(2, 11, kHour + kSecond,
+                         core::DataAnalyzer::ServedBy::kDisk, 300);
+  EXPECT_EQ(analyzer.total_requests(), 3u);
+  EXPECT_EQ(analyzer.distinct_pages(), 2u);
+  EXPECT_EQ(analyzer.distinct_users(), 2u);
+  EXPECT_EQ(analyzer.served_from(core::DataAnalyzer::ServedBy::kMemory), 1u);
+  EXPECT_EQ(analyzer.served_from(core::DataAnalyzer::ServedBy::kOrigin), 1u);
+  EXPECT_DOUBLE_EQ(analyzer.latency_stats().mean(), 300.0);
+  auto top = analyzer.TopPages(5);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].page, 1u);
+  EXPECT_EQ(top[0].count, 2u);
+  // Hourly buckets: two in hour 0, one in hour 1.
+  ASSERT_GE(analyzer.hourly_requests().size(), 2u);
+  EXPECT_EQ(analyzer.hourly_requests()[0], 2u);
+  EXPECT_EQ(analyzer.hourly_requests()[1], 1u);
+}
+
+}  // namespace
+}  // namespace cbfww

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/query/query_executor.h"
+#include "core/query/query_parser.h"
+#include "util/rng.h"
+
+namespace cbfww::core::query {
+namespace {
+
+/// Minimal catalog: a handful of objects with deterministic attributes so
+/// randomly generated queries can execute.
+class FuzzCatalog : public QueryCatalog {
+ public:
+  std::vector<uint64_t> AllObjects(EntityKind kind) const override {
+    (void)kind;
+    return {1, 2, 3, 4, 5};
+  }
+  Value GetAttribute(EntityKind kind, uint64_t oid,
+                     const std::string& attr) const override {
+    (void)kind;
+    if (attr == "oid") return Value(static_cast<int64_t>(oid));
+    if (attr == "size") return Value(static_cast<int64_t>(oid * 100));
+    if (attr == "title") return Value(std::string("title of ") +
+                                      std::to_string(oid));
+    if (attr == "physicals") return Value(std::vector<uint64_t>{oid});
+    if (attr == "end_at") return Value(static_cast<int64_t>(oid));
+    return Value();
+  }
+  SimTime LastReference(EntityKind, uint64_t oid) const override {
+    return static_cast<SimTime>(oid) * kSecond;
+  }
+  uint64_t Frequency(EntityKind, uint64_t oid) const override { return oid; }
+  bool RowMentions(EntityKind, uint64_t oid, const std::string&,
+                   const std::vector<std::string>&) const override {
+    return oid % 2 == 0;
+  }
+};
+
+/// Builds a random query from grammar fragments. Roughly half are valid.
+std::string RandomQuery(Pcg32& rng) {
+  static const char* kFragments[] = {
+      "SELECT",        "FROM",          "WHERE",         "Physical_Page",
+      "Logical_Page",  "Raw_Object",    "Semantic_Region", "p",
+      "l",             "oid",           "p.oid",         "l.physicals",
+      "p.size",        "p.title",       "MENTION",       "'data'",
+      "\"warehouse\"", "MFU",           "LRU",           "MRU",
+      "LFU",           "10",            "200,000",       ">",
+      "<",             "=",             "!=",            ">=",
+      "AND",           "OR",            "NOT",           "EXISTS",
+      "IN",            "(",             ")",             "*",
+      ",",             ";",             "end_at",        "COUNT",
+      "SUM",           "AVG",           "5.5",
+  };
+  std::string q;
+  uint32_t len = 2 + rng.NextBounded(18);
+  for (uint32_t i = 0; i < len; ++i) {
+    q += kFragments[rng.NextBounded(
+        static_cast<uint32_t>(std::size(kFragments)))];
+    q += " ";
+  }
+  return q;
+}
+
+/// Builds a structurally plausible random query: valid skeleton, random
+/// predicate fragments — a large fraction parse and execute.
+std::string RandomSkeletonQuery(Pcg32& rng) {
+  static const char* kEntities[] = {"Physical_Page", "Logical_Page",
+                                    "Raw_Object", "Semantic_Region"};
+  static const char* kMods[] = {"", "MFU ", "LRU 3 ", "MRU ", "LFU 2 "};
+  static const char* kProjs[] = {"p.oid", "p.oid, p.size", "*",
+                                 "COUNT(*)", "AVG(p.size)"};
+  static const char* kPreds[] = {
+      "p.size > 100",
+      "p.size > 100 AND p.oid < 4",
+      "NOT p.size = 300",
+      "p.title MENTION 'title'",
+      "p.oid IN p.physicals",
+      "EXISTS (SELECT * FROM Raw_Object r WHERE r.oid = p.oid)",
+      "end_at(p.oid) = 2",
+      "p.size > 100 OR p.size < 50",
+  };
+  std::string q = "SELECT ";
+  q += kMods[rng.NextBounded(5)];
+  q += kProjs[rng.NextBounded(5)];
+  q += " FROM ";
+  q += kEntities[rng.NextBounded(4)];
+  q += " p";
+  if (rng.NextBernoulli(0.8)) {
+    q += " WHERE ";
+    q += kPreds[rng.NextBounded(8)];
+    if (rng.NextBernoulli(0.3)) {
+      q += " AND ";
+      q += kPreds[rng.NextBounded(8)];
+    }
+  }
+  return q;
+}
+
+class QueryFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryFuzzTest, RandomTokenSoupNeverCrashes) {
+  Pcg32 rng(GetParam());
+  FuzzCatalog catalog;
+  QueryExecutor::Options opts;
+  opts.max_rows = 100;
+  QueryExecutor executor(&catalog, opts);
+  for (int i = 0; i < 2000; ++i) {
+    std::string q = RandomQuery(rng);
+    auto stmt = ParseQuery(q);
+    if (!stmt.ok()) continue;  // Clean rejection is fine.
+    // Whatever parsed must execute without crashing (errors are fine).
+    auto result = executor.Execute(**stmt);
+    if (result.ok()) {
+      EXPECT_LE(result->rows.size(), 100u);
+    }
+  }
+}
+
+TEST_P(QueryFuzzTest, SkeletonQueriesParseAndExecute) {
+  Pcg32 rng(GetParam() * 31 + 7);
+  FuzzCatalog catalog;
+  QueryExecutor::Options opts;
+  opts.max_rows = 100;
+  QueryExecutor executor(&catalog, opts);
+  int parsed = 0;
+  int executed = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::string q = RandomSkeletonQuery(rng);
+    auto stmt = ParseQuery(q);
+    ASSERT_TRUE(stmt.ok()) << q << " -> " << stmt.status().ToString();
+    ++parsed;
+    auto result = executor.Execute(**stmt);
+    if (result.ok()) {
+      ++executed;
+      EXPECT_LE(result->rows.size(), 100u);
+    }
+  }
+  EXPECT_EQ(parsed, 500);
+  // Most skeleton queries execute cleanly (a few hit type errors like
+  // end_at over a non-oid, which must fail gracefully).
+  EXPECT_GT(executed, 250);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzzTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+TEST(QueryFuzzTest, DeeplyNestedSubqueriesParse) {
+  // EXISTS nesting several levels deep must not blow the parser.
+  std::string inner = "SELECT * FROM Physical_Page p WHERE p.size > 1";
+  for (int depth = 0; depth < 12; ++depth) {
+    inner = "SELECT * FROM Logical_Page l WHERE EXISTS (" + inner + ")";
+  }
+  auto stmt = ParseQuery(inner);
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+
+  FuzzCatalog catalog;
+  QueryExecutor executor(&catalog);
+  auto result = executor.Execute(**stmt);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(QueryFuzzTest, PathologicalInputsRejectedCleanly) {
+  const char* kInputs[] = {
+      "SELECT",
+      "SELECT SELECT SELECT",
+      "SELECT ((((((((((",
+      "SELECT p.oid FROM Physical_Page WHERE (((p.size > 1)",
+      "SELECT MFU MFU p.oid FROM Physical_Page",
+      "SELECT p..oid FROM Physical_Page",
+      "SELECT 'unterminated FROM Physical_Page",
+      "SELECT \x01\x02 FROM Physical_Page",
+      "SELECT p.oid FROM Physical_Page p WHERE p.title MENTION MENTION 'x'",
+  };
+  for (const char* input : kInputs) {
+    auto stmt = ParseQuery(input);
+    EXPECT_FALSE(stmt.ok()) << "should reject: " << input;
+  }
+}
+
+TEST(QueryFuzzTest, DeterministicAcrossRuns) {
+  FuzzCatalog catalog;
+  QueryExecutor executor(&catalog);
+  std::string q =
+      "SELECT MFU 3 p.oid FROM Physical_Page p WHERE p.size >= 200";
+  auto a = executor.Execute(q);
+  auto b = executor.Execute(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->rows.size(), b->rows.size());
+  for (size_t i = 0; i < a->rows.size(); ++i) {
+    EXPECT_EQ(a->rows[i][0].AsInt(), b->rows[i][0].AsInt());
+  }
+}
+
+}  // namespace
+}  // namespace cbfww::core::query

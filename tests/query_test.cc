@@ -1,0 +1,480 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/query/query_executor.h"
+#include "core/query/query_lexer.h"
+#include "core/query/query_parser.h"
+
+namespace cbfww::core::query {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT p.oid FROM Physical_Page p");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 8u);  // 6 identifiers + dot + end... recount:
+  // SELECT, p, ., oid, FROM, Physical_Page, p, END
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kDot);
+  EXPECT_EQ((*tokens)[7].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, ThousandsSeparatorNumber) {
+  // The paper writes "p.size > 200,000".
+  auto tokens = Tokenize("p.size > 200,000");
+  ASSERT_TRUE(tokens.ok());
+  bool found = false;
+  for (const Token& t : *tokens) {
+    if (t.kind == TokenKind::kNumber) {
+      EXPECT_DOUBLE_EQ(t.number, 200000.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, CommaAfterNumberNotSwallowed) {
+  auto tokens = Tokenize("MFU 10, l.path");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 10.0);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kComma);
+}
+
+TEST(LexerTest, StringsInBothQuoteStyles) {
+  auto t1 = Tokenize("'data warehouse'");
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ((*t1)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*t1)[0].text, "data warehouse");
+  auto t2 = Tokenize("\"data stream\"");
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ((*t2)[0].text, "data stream");
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = Tokenize("= != <> < <= > >=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kEq);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kNe);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kNe);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kLt);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kLe);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kGt);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kGe);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, UnexpectedCharFails) {
+  EXPECT_FALSE(Tokenize("a # b").ok());
+}
+
+TEST(LexerTest, UrlInsideString) {
+  auto tokens = Tokenize("p.url=\"http://www-db.cs.wisc.edu/cidr/\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[4].text, "http://www-db.cs.wisc.edu/cidr/");
+}
+
+// ---------------------------------------------------------------------------
+// Parser — including the paper's three example queries verbatim
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, PaperExampleOne) {
+  auto stmt = ParseQuery(
+      "SELECT MRU p.oid, p.title "
+      "FROM Physical_Page p "
+      "WHERE p.title MENTION 'data warehouse'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->modifier, UsageModifier::kMru);
+  EXPECT_EQ((*stmt)->limit, 0u);
+  EXPECT_EQ((*stmt)->from, EntityKind::kPhysicalPage);
+  EXPECT_EQ((*stmt)->from_alias, "p");
+  ASSERT_EQ((*stmt)->projections.size(), 2u);
+  ASSERT_NE((*stmt)->where, nullptr);
+  EXPECT_EQ((*stmt)->where->kind, ExprKind::kMention);
+  EXPECT_EQ((*stmt)->where->phrase, "data warehouse");
+}
+
+TEST(ParserTest, PaperExampleTwoWithExists) {
+  auto stmt = ParseQuery(
+      "SELECT MFU 10 l.oid, l.path, "
+      "FROM Logical_Page l "
+      "WHERE EXISTS "
+      "( SELECT * FROM Physical_Page p "
+      "  WHERE p.oid IN l.physicals AND p.size > 200,000);");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->modifier, UsageModifier::kMfu);
+  EXPECT_EQ((*stmt)->limit, 10u);
+  EXPECT_EQ((*stmt)->from, EntityKind::kLogicalPage);
+  ASSERT_NE((*stmt)->where, nullptr);
+  EXPECT_EQ((*stmt)->where->kind, ExprKind::kExists);
+  const SelectStatement& sub = *(*stmt)->where->subquery;
+  EXPECT_EQ(sub.from, EntityKind::kPhysicalPage);
+  ASSERT_NE(sub.where, nullptr);
+  EXPECT_EQ(sub.where->kind, ExprKind::kAnd);
+}
+
+TEST(ParserTest, PaperExampleThreeWithEndAt) {
+  auto stmt = ParseQuery(
+      "SELECT MFU, l.path "
+      "FROM Logical_Page l "
+      "WHERE end_at(l.oid) IN "
+      "( SELECT p.oid FROM Physical_Page p "
+      "  WHERE p.url=\"http://www-db.cs.wisc.edu/cidr/\");");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->modifier, UsageModifier::kMfu);
+  ASSERT_NE((*stmt)->where, nullptr);
+  EXPECT_EQ((*stmt)->where->kind, ExprKind::kIn);
+  EXPECT_EQ((*stmt)->where->children[0]->kind, ExprKind::kFunction);
+  EXPECT_EQ((*stmt)->where->children[0]->function_name, "end_at");
+  ASSERT_NE((*stmt)->where->subquery, nullptr);
+}
+
+TEST(ParserTest, KeywordsCaseInsensitive) {
+  auto stmt = ParseQuery("select lfu 5 oid from raw_object r where size > 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->modifier, UsageModifier::kLfu);
+  EXPECT_EQ((*stmt)->limit, 5u);
+  EXPECT_EQ((*stmt)->from, EntityKind::kRawObject);
+}
+
+TEST(ParserTest, NoModifier) {
+  auto stmt = ParseQuery("SELECT oid FROM Semantic_Region");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->modifier, UsageModifier::kNone);
+  EXPECT_TRUE((*stmt)->from_alias.empty());
+  EXPECT_EQ((*stmt)->where, nullptr);
+}
+
+TEST(ParserTest, BooleanPrecedenceAndOrNot) {
+  auto stmt = ParseQuery(
+      "SELECT oid FROM Physical_Page p "
+      "WHERE p.size > 1 AND p.size < 5 OR NOT p.frequency = 0");
+  ASSERT_TRUE(stmt.ok());
+  // OR at the root (AND binds tighter).
+  EXPECT_EQ((*stmt)->where->kind, ExprKind::kOr);
+  EXPECT_EQ((*stmt)->where->children[0]->kind, ExprKind::kAnd);
+  EXPECT_EQ((*stmt)->where->children[1]->kind, ExprKind::kNot);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("FROM Physical_Page").ok());
+  EXPECT_FALSE(ParseQuery("SELECT oid").ok());
+  EXPECT_FALSE(ParseQuery("SELECT oid FROM Unknown_Entity").ok());
+  EXPECT_FALSE(ParseQuery("SELECT oid FROM Physical_Page WHERE").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT oid FROM Physical_Page WHERE title MENTION 5").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Executor over a fixture catalog
+// ---------------------------------------------------------------------------
+
+/// Tiny in-memory catalog: physical pages with title/size/usage; logical
+/// pages with paths.
+class FixtureCatalog : public QueryCatalog {
+ public:
+  struct Page {
+    std::string title;
+    int64_t size = 0;
+    uint64_t frequency = 0;
+    SimTime lastref = kNeverTime;
+  };
+  struct Logical {
+    std::vector<uint64_t> path;
+    uint64_t frequency = 0;
+    SimTime lastref = kNeverTime;
+  };
+
+  std::map<uint64_t, Page> pages;
+  std::map<uint64_t, Logical> logicals;
+
+  std::vector<uint64_t> AllObjects(EntityKind kind) const override {
+    std::vector<uint64_t> out;
+    if (kind == EntityKind::kPhysicalPage) {
+      for (const auto& [id, p] : pages) out.push_back(id);
+    } else if (kind == EntityKind::kLogicalPage) {
+      for (const auto& [id, l] : logicals) out.push_back(id);
+    }
+    return out;
+  }
+
+  Value GetAttribute(EntityKind kind, uint64_t oid,
+                     const std::string& attr) const override {
+    if (kind == EntityKind::kPhysicalPage) {
+      auto it = pages.find(oid);
+      if (it == pages.end()) return Value();
+      if (attr == "oid") return Value(static_cast<int64_t>(oid));
+      if (attr == "title") return Value(it->second.title);
+      if (attr == "size") return Value(it->second.size);
+      if (attr == "frequency") {
+        return Value(static_cast<int64_t>(it->second.frequency));
+      }
+    }
+    if (kind == EntityKind::kLogicalPage) {
+      auto it = logicals.find(oid);
+      if (it == logicals.end()) return Value();
+      if (attr == "oid") return Value(static_cast<int64_t>(oid));
+      if (attr == "physicals") return Value(it->second.path);
+      if (attr == "end_at") {
+        return Value(static_cast<int64_t>(it->second.path.back()));
+      }
+      if (attr == "start_at") {
+        return Value(static_cast<int64_t>(it->second.path.front()));
+      }
+      if (attr == "size") {
+        return Value(static_cast<int64_t>(it->second.path.size()));
+      }
+    }
+    return Value();
+  }
+
+  SimTime LastReference(EntityKind kind, uint64_t oid) const override {
+    if (kind == EntityKind::kPhysicalPage && pages.contains(oid)) {
+      return pages.at(oid).lastref;
+    }
+    if (kind == EntityKind::kLogicalPage && logicals.contains(oid)) {
+      return logicals.at(oid).lastref;
+    }
+    return kNeverTime;
+  }
+
+  uint64_t Frequency(EntityKind kind, uint64_t oid) const override {
+    if (kind == EntityKind::kPhysicalPage && pages.contains(oid)) {
+      return pages.at(oid).frequency;
+    }
+    if (kind == EntityKind::kLogicalPage && logicals.contains(oid)) {
+      return logicals.at(oid).frequency;
+    }
+    return 0;
+  }
+
+  bool RowMentions(EntityKind kind, uint64_t oid, const std::string& attr,
+                   const std::vector<std::string>& terms) const override {
+    if (kind != EntityKind::kPhysicalPage || attr != "title") return false;
+    auto it = pages.find(oid);
+    if (it == pages.end()) return false;
+    for (const std::string& t : terms) {
+      if (it->second.title.find(t) == std::string::npos) return false;
+    }
+    return true;
+  }
+
+  std::optional<std::vector<uint64_t>> MentionCandidates(
+      EntityKind kind, const std::string& attr,
+      const std::vector<std::string>& terms) const override {
+    if (!index_enabled) return std::nullopt;
+    std::vector<uint64_t> out;
+    for (uint64_t oid : AllObjects(kind)) {
+      if (RowMentions(kind, oid, attr, terms)) out.push_back(oid);
+    }
+    ++index_uses;
+    return out;
+  }
+
+  bool index_enabled = false;
+  mutable int index_uses = 0;
+};
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() {
+    catalog_.pages[1] = {"data warehouse overview", 100, 5, 50};
+    catalog_.pages[2] = {"stream processing", 300000, 9, 90};
+    catalog_.pages[3] = {"data warehouse design", 250000, 2, 20};
+    catalog_.pages[4] = {"kyoto travel", 50, 7, 70};
+    catalog_.logicals[10] = {{1, 2}, 4, 40};
+    catalog_.logicals[11] = {{4, 3}, 8, 80};
+    catalog_.logicals[12] = {{2, 3}, 1, 10};
+  }
+
+  QueryExecutionResult Run(std::string_view q) {
+    QueryExecutor ex(&catalog_);
+    auto r = ex.Execute(q);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : QueryExecutionResult{};
+  }
+
+  FixtureCatalog catalog_;
+};
+
+TEST_F(ExecutorTest, SimpleFilterAndProjection) {
+  auto r = Run("SELECT p.oid, p.size FROM Physical_Page p WHERE p.size > 200");
+  EXPECT_EQ(r.columns, (std::vector<std::string>{"p.oid", "p.size"}));
+  ASSERT_EQ(r.rows.size(), 2u);  // Pages 2 and 3.
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, MentionFilter) {
+  auto r = Run(
+      "SELECT p.oid FROM Physical_Page p "
+      "WHERE p.title MENTION 'data warehouse'");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, MfuOrdersByFrequencyDescending) {
+  auto r = Run("SELECT MFU p.oid FROM Physical_Page p");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);  // freq 9.
+  EXPECT_EQ(r.rows[1][0].AsInt(), 4);  // freq 7.
+  EXPECT_EQ(r.rows[3][0].AsInt(), 3);  // freq 2.
+}
+
+TEST_F(ExecutorTest, LfuWithLimit) {
+  auto r = Run("SELECT LFU 2 p.oid FROM Physical_Page p");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);  // freq 2.
+  EXPECT_EQ(r.rows[1][0].AsInt(), 1);  // freq 5.
+}
+
+TEST_F(ExecutorTest, LruAndMruUseLastReference) {
+  auto lru = Run("SELECT LRU 1 p.oid FROM Physical_Page p");
+  ASSERT_EQ(lru.rows.size(), 1u);
+  EXPECT_EQ(lru.rows[0][0].AsInt(), 3);  // lastref 20 (oldest).
+  auto mru = Run("SELECT MRU 1 p.oid FROM Physical_Page p");
+  EXPECT_EQ(mru.rows[0][0].AsInt(), 2);  // lastref 90 (newest).
+}
+
+TEST_F(ExecutorTest, PaperExampleTwoSemantics) {
+  // Logical pages containing a physical page larger than 200,000 bytes.
+  auto r = Run(
+      "SELECT MFU 10 l.oid FROM Logical_Page l "
+      "WHERE EXISTS (SELECT * FROM Physical_Page p "
+      "WHERE p.oid IN l.physicals AND p.size > 200,000)");
+  // Logical 10 = {1,2}: page 2 is 300000 -> yes. 11 = {4,3}: page 3 is
+  // 250000 -> yes. 12 = {2,3}: yes. Ordered by frequency: 11(8), 10(4),
+  // 12(1).
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 11);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 10);
+  EXPECT_EQ(r.rows[2][0].AsInt(), 12);
+}
+
+TEST_F(ExecutorTest, PaperExampleThreeSemantics) {
+  // Most frequently used logical pages ending at page 3.
+  auto r = Run(
+      "SELECT MFU l.oid FROM Logical_Page l "
+      "WHERE end_at(l.oid) IN (SELECT p.oid FROM Physical_Page p "
+      "WHERE p.title MENTION 'design')");
+  ASSERT_EQ(r.rows.size(), 2u);  // Logicals 11 and 12 end at page 3.
+  EXPECT_EQ(r.rows[0][0].AsInt(), 11);  // freq 8 > 1.
+  EXPECT_EQ(r.rows[1][0].AsInt(), 12);
+}
+
+TEST_F(ExecutorTest, InListAttribute) {
+  auto r = Run(
+      "SELECT l.oid FROM Logical_Page l WHERE 4 IN l.physicals");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 11);
+}
+
+TEST_F(ExecutorTest, NotAndOr) {
+  auto r = Run(
+      "SELECT p.oid FROM Physical_Page p "
+      "WHERE NOT p.size > 200 AND (p.frequency = 5 OR p.frequency = 7)");
+  ASSERT_EQ(r.rows.size(), 2u);  // Pages 1 and 4.
+}
+
+TEST_F(ExecutorTest, StarProjection) {
+  auto r = Run("SELECT * FROM Physical_Page p WHERE p.size > 200,000");
+  EXPECT_EQ(r.columns, (std::vector<std::string>{"oid"}));
+  ASSERT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, IndexAccelerationUsedWhenAvailable) {
+  catalog_.index_enabled = true;
+  QueryExecutor ex(&catalog_);
+  auto r = ex.Execute(
+      "SELECT p.oid FROM Physical_Page p WHERE p.title MENTION 'kyoto'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->used_index);
+  EXPECT_EQ(r->candidates_evaluated, 1u);  // Only the index candidate.
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 4);
+}
+
+TEST_F(ExecutorTest, IndexDisabledScansEverything) {
+  catalog_.index_enabled = true;
+  QueryExecutor::Options opts;
+  opts.use_index = false;
+  QueryExecutor ex(&catalog_, opts);
+  auto r = ex.Execute(
+      "SELECT p.oid FROM Physical_Page p WHERE p.title MENTION 'kyoto'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->used_index);
+  EXPECT_EQ(r->candidates_evaluated, 4u);
+  EXPECT_EQ(catalog_.index_uses, 0);
+}
+
+TEST_F(ExecutorTest, MaxRowsCap) {
+  QueryExecutor::Options opts;
+  opts.max_rows = 2;
+  QueryExecutor ex(&catalog_, opts);
+  auto r = ex.Execute("SELECT p.oid FROM Physical_Page p");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, NullComparisonsAreFalse) {
+  auto r = Run("SELECT p.oid FROM Physical_Page p WHERE p.nosuch = 1");
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(ExecutorTest, AggregateCountStar) {
+  auto r = Run("SELECT COUNT(*) FROM Physical_Page p WHERE p.size > 200");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.columns[0], "count(*)");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, AggregateNumericFunctions) {
+  auto r = Run(
+      "SELECT COUNT(p.oid), SUM(p.size), AVG(p.frequency), MIN(p.size), "
+      "MAX(p.size) FROM Physical_Page p");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 4);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble(), 100.0 + 300000 + 250000 + 50);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), (5.0 + 9 + 2 + 7) / 4.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].AsDouble(), 50.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][4].AsDouble(), 300000.0);
+}
+
+TEST_F(ExecutorTest, AggregateOverEmptySetIsNullButCountZero) {
+  auto r = Run("SELECT COUNT(*), AVG(p.size) FROM Physical_Page p "
+               "WHERE p.size > 999,999,999");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, MixedAggregateAndRowProjectionRejected) {
+  QueryExecutor ex(&catalog_);
+  auto r = ex.Execute("SELECT COUNT(*), p.oid FROM Physical_Page p");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValueTest, CompareAndToString) {
+  EXPECT_EQ(Value(static_cast<int64_t>(3)).Compare(Value(3.0)), 0);
+  EXPECT_LT(Value(static_cast<int64_t>(2)).Compare(Value(3.0)), 0);
+  EXPECT_EQ(Value(std::string("a")).Compare(Value(std::string("a"))), 0);
+  EXPECT_EQ(Value(static_cast<int64_t>(42)).ToString(), "42");
+  EXPECT_EQ(Value(std::string("x")).ToString(), "x");
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(std::vector<uint64_t>{1, 2}).ToString(), "[1,2]");
+  EXPECT_EQ(Value(true).ToString(), "true");
+}
+
+}  // namespace
+}  // namespace cbfww::core::query

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "core/constraint_manager.h"
+#include "core/storage_manager.h"
+
+namespace cbfww::core {
+namespace {
+
+ConstraintManager MakeManager() {
+  return ConstraintManager(ConstraintManager::Options{});
+}
+
+// ---------------------------------------------------------------------------
+// Storage schema definition language (paper Section 4.4)
+// ---------------------------------------------------------------------------
+
+TEST(SchemaLanguageTest, PinStatement) {
+  ConstraintManager cm = MakeManager();
+  ASSERT_TRUE(cm.ApplySchemaStatement("PIN OBJECT 42 TO memory").ok());
+  EXPECT_EQ(cm.PinnedTier(42), 0);
+  ASSERT_TRUE(cm.ApplySchemaStatement("pin object 7 to tertiary;").ok());
+  EXPECT_EQ(cm.PinnedTier(7), 2);
+  EXPECT_EQ(cm.PinnedTier(999), storage::kNoTier);
+}
+
+TEST(SchemaLanguageTest, UnpinStatement) {
+  ConstraintManager cm = MakeManager();
+  ASSERT_TRUE(cm.ApplySchemaStatement("PIN OBJECT 1 TO disk").ok());
+  ASSERT_TRUE(cm.ApplySchemaStatement("UNPIN OBJECT 1").ok());
+  EXPECT_EQ(cm.PinnedTier(1), storage::kNoTier);
+}
+
+TEST(SchemaLanguageTest, RestrictStatement) {
+  ConstraintManager cm = MakeManager();
+  ASSERT_TRUE(cm.ApplySchemaStatement("RESTRICT OBJECT 5 BELOW disk").ok());
+  EXPECT_EQ(cm.TierFloor(5), 1);
+  EXPECT_EQ(cm.TierFloor(6), 0);  // Unrestricted.
+}
+
+TEST(SchemaLanguageTest, CopyrightStatement) {
+  ConstraintManager cm = MakeManager();
+  ASSERT_TRUE(cm.ApplySchemaStatement("COPYRIGHT OBJECT 9").ok());
+  EXPECT_TRUE(cm.IsCopyrighted(9));
+}
+
+TEST(SchemaLanguageTest, ConsistencyStatement) {
+  ConstraintManager cm = MakeManager();
+  ASSERT_TRUE(cm.ApplySchemaStatement("CONSISTENCY strong").ok());
+  EXPECT_EQ(cm.consistency_mode(), ConsistencyMode::kStrong);
+  ASSERT_TRUE(cm.ApplySchemaStatement("CONSISTENCY weak").ok());
+  EXPECT_EQ(cm.consistency_mode(), ConsistencyMode::kWeak);
+}
+
+TEST(SchemaLanguageTest, WholeSchemaWithCommentsAndSeparators) {
+  ConstraintManager cm = MakeManager();
+  Status s = cm.ApplySchema(R"(
+      # security policy
+      RESTRICT OBJECT 10 BELOW tertiary
+      PIN OBJECT 11 TO memory; COPYRIGHT OBJECT 12
+
+      CONSISTENCY strong
+  )");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(cm.TierFloor(10), 2);
+  EXPECT_EQ(cm.PinnedTier(11), 0);
+  EXPECT_TRUE(cm.IsCopyrighted(12));
+  EXPECT_EQ(cm.consistency_mode(), ConsistencyMode::kStrong);
+}
+
+TEST(SchemaLanguageTest, Errors) {
+  ConstraintManager cm = MakeManager();
+  EXPECT_FALSE(cm.ApplySchemaStatement("PIN OBJECT x TO memory").ok());
+  EXPECT_FALSE(cm.ApplySchemaStatement("PIN OBJECT 1 TO floppy").ok());
+  EXPECT_FALSE(cm.ApplySchemaStatement("FROB OBJECT 1").ok());
+  EXPECT_FALSE(cm.ApplySchemaStatement("CONSISTENCY eventual").ok());
+  // Empty statements and comments are fine.
+  EXPECT_TRUE(cm.ApplySchemaStatement("").ok());
+  EXPECT_TRUE(cm.ApplySchemaStatement("  # note ").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Manual definitions take effect in placement
+// ---------------------------------------------------------------------------
+
+struct PlacementFixture {
+  PlacementFixture()
+      : hierarchy({storage::DeviceModel::Memory(100000),
+                   storage::DeviceModel::Disk(1000000),
+                   storage::DeviceModel::Tertiary(0)}),
+        constraints(ConstraintManager::Options{}),
+        manager(&hierarchy, &constraints, StorageManager::Options{}) {}
+
+  RawObjectRecord MakeRecord(corpus::RawId id, uint64_t bytes = 500) {
+    RawObjectRecord rec;
+    rec.id = id;
+    rec.bytes = bytes;
+    rec.has_summary = true;
+    rec.summary_bytes = 64;
+    return rec;
+  }
+
+  storage::StorageHierarchy hierarchy;
+  ConstraintManager constraints;
+  StorageManager manager;
+};
+
+TEST(ManualPlacementTest, RestrictedObjectNeverEntersMemory) {
+  PlacementFixture f;
+  ASSERT_TRUE(
+      f.constraints.ApplySchemaStatement("RESTRICT OBJECT 1 BELOW disk").ok());
+  RawObjectRecord rec = f.MakeRecord(1);
+  ASSERT_TRUE(f.manager.AdmitNew(rec, /*priority=*/100.0).ok());
+  auto id = EncodeStoreId(index::ObjectLevel::kRaw, 1);
+  EXPECT_FALSE(f.hierarchy.IsResident(id, 0));
+  EXPECT_TRUE(f.hierarchy.IsResident(id, 1));
+
+  // Even a rebalance ranking it first keeps it out of memory.
+  std::vector<StorageManager::RankedObject> ranked = {{&rec, 100.0}};
+  f.manager.Rebalance(ranked);
+  EXPECT_FALSE(f.hierarchy.IsResident(id, 0));
+  // PromoteOnAccess also refuses.
+  f.manager.PromoteOnAccess(rec, 1000.0);
+  EXPECT_FALSE(f.hierarchy.IsResident(id, 0));
+}
+
+TEST(ManualPlacementTest, PinnedObjectStaysPutRegardlessOfPriority) {
+  PlacementFixture f;
+  ASSERT_TRUE(
+      f.constraints.ApplySchemaStatement("PIN OBJECT 2 TO memory").ok());
+  std::vector<RawObjectRecord> recs;
+  recs.push_back(f.MakeRecord(2));
+  for (corpus::RawId id = 10; id < 20; ++id) {
+    recs.push_back(f.MakeRecord(id));
+  }
+  for (auto& rec : recs) ASSERT_TRUE(f.manager.AdmitNew(rec, 0.0).ok());
+
+  // Rebalance with the pinned object ranked dead last.
+  std::vector<StorageManager::RankedObject> ranked;
+  for (auto& rec : recs) {
+    ranked.push_back({&rec, rec.id == 2 ? 0.0 : 50.0});
+  }
+  f.manager.Rebalance(ranked);
+  EXPECT_TRUE(f.hierarchy.IsResident(
+      EncodeStoreId(index::ObjectLevel::kRaw, 2), 0));
+}
+
+TEST(ManualPlacementTest, PinSurvivesDisplacementPressure) {
+  PlacementFixture f;
+  ASSERT_TRUE(
+      f.constraints.ApplySchemaStatement("PIN OBJECT 1 TO memory").ok());
+  // Admit the pinned object plus far more hot data than memory holds
+  // (memory = 100000 bytes, each object 500).
+  std::vector<RawObjectRecord> recs;
+  recs.push_back(f.MakeRecord(1));
+  for (corpus::RawId id = 100; id < 400; ++id) {
+    recs.push_back(f.MakeRecord(id));
+  }
+  std::vector<StorageManager::RankedObject> ranked;
+  for (auto& rec : recs) {
+    ASSERT_TRUE(f.manager.AdmitNew(rec, 0.0).ok());
+    ranked.push_back({&rec, rec.id == 1 ? 0.0 : 100.0});
+  }
+  f.manager.Rebalance(ranked);
+  auto pinned_id = EncodeStoreId(index::ObjectLevel::kRaw, 1);
+  ASSERT_TRUE(f.hierarchy.IsResident(pinned_id, 0));
+  // Displacement pressure: a flood of very hot promotions must never push
+  // the pinned object out.
+  for (corpus::RawId id = 100; id < 400; ++id) {
+    f.manager.PromoteOnAccess(recs[id - 99], 1000.0);
+  }
+  EXPECT_TRUE(f.hierarchy.IsResident(pinned_id, 0));
+}
+
+TEST(ManualPlacementTest, CopyrightedObjectNeverRematerializedByRebalance) {
+  PlacementFixture f;
+  RawObjectRecord rec = f.MakeRecord(9);
+  ASSERT_TRUE(f.manager.AdmitNew(rec, 1.0).ok());
+  auto sid = EncodeStoreId(index::ObjectLevel::kRaw, 9);
+  ASSERT_NE(f.hierarchy.FastestTierOf(sid), storage::kNoTier);
+  // The license problem is discovered later; the rebalancer must purge it.
+  ASSERT_TRUE(f.constraints.ApplySchemaStatement("COPYRIGHT OBJECT 9").ok());
+  std::vector<StorageManager::RankedObject> ranked = {{&rec, 1.0}};
+  f.manager.Rebalance(ranked);
+  EXPECT_EQ(f.hierarchy.FastestTierOf(sid), storage::kNoTier);
+}
+
+TEST(ManualPlacementTest, PinToTertiaryDemotes) {
+  PlacementFixture f;
+  ASSERT_TRUE(
+      f.constraints.ApplySchemaStatement("PIN OBJECT 3 TO tertiary").ok());
+  RawObjectRecord rec = f.MakeRecord(3);
+  ASSERT_TRUE(f.manager.AdmitNew(rec, 100.0).ok());
+  std::vector<StorageManager::RankedObject> ranked = {{&rec, 100.0}};
+  f.manager.Rebalance(ranked);
+  auto id = EncodeStoreId(index::ObjectLevel::kRaw, 3);
+  EXPECT_FALSE(f.hierarchy.IsResident(id, 0));
+  EXPECT_FALSE(f.hierarchy.IsResident(id, 1));
+  EXPECT_TRUE(f.hierarchy.IsResident(id, 2));
+}
+
+}  // namespace
+}  // namespace cbfww::core

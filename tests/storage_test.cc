@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "corpus/web_corpus.h"
+#include "net/origin_server.h"
+#include "storage/device.h"
+#include "storage/hierarchy.h"
+
+namespace cbfww::storage {
+namespace {
+
+std::vector<DeviceModel> ThreeTiers(uint64_t mem = 1000, uint64_t disk = 10000) {
+  return {DeviceModel::Memory(mem), DeviceModel::Disk(disk),
+          DeviceModel::Tertiary(0)};
+}
+
+// ---------------------------------------------------------------------------
+// DeviceModel
+// ---------------------------------------------------------------------------
+
+TEST(DeviceModelTest, TransferTimeScalesWithSize) {
+  DeviceModel d = DeviceModel::Disk(0);
+  EXPECT_GT(d.TransferTime(1 << 20), d.TransferTime(1 << 10));
+  EXPECT_GE(d.TransferTime(0), d.access_latency);
+}
+
+TEST(DeviceModelTest, TierLatencyOrdering) {
+  // The premise: memory << disk << tertiary, and (checked in
+  // OriginServerTest) every tier beats an origin fetch.
+  uint64_t bytes = 24 * 1024;
+  SimTime mem = DeviceModel::Memory(0).TransferTime(bytes);
+  SimTime disk = DeviceModel::Disk(0).TransferTime(bytes);
+  SimTime tape = DeviceModel::Tertiary(0).TransferTime(bytes);
+  EXPECT_LT(mem * 100, disk);
+  EXPECT_LT(disk * 10, tape);
+}
+
+// ---------------------------------------------------------------------------
+// StorageHierarchy
+// ---------------------------------------------------------------------------
+
+TEST(HierarchyTest, StoreAndRead) {
+  StorageHierarchy h(ThreeTiers());
+  ASSERT_TRUE(h.Store(1, 100, 0).ok());
+  EXPECT_TRUE(h.IsResident(1, 0));
+  EXPECT_EQ(h.FastestTierOf(1), 0);
+  EXPECT_EQ(h.SizeOf(1), 100u);
+  auto cost = h.Read(1);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_GT(*cost, 0);
+  EXPECT_EQ(h.stats().reads, 1u);
+}
+
+TEST(HierarchyTest, ReadMissingFails) {
+  StorageHierarchy h(ThreeTiers());
+  EXPECT_EQ(h.Read(99).status().code(), StatusCode::kNotFound);
+}
+
+TEST(HierarchyTest, CapacityEnforced) {
+  StorageHierarchy h(ThreeTiers(/*mem=*/100));
+  EXPECT_TRUE(h.Store(1, 60, 0).ok());
+  EXPECT_EQ(h.Store(2, 60, 0).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(h.used_bytes(0), 60u);
+  // Unbounded tertiary accepts anything.
+  EXPECT_TRUE(h.Store(2, 1ull << 40, 2).ok());
+}
+
+TEST(HierarchyTest, MultiTierCopiesReadFromFastest) {
+  StorageHierarchy h(ThreeTiers());
+  ASSERT_TRUE(h.Store(1, 100, 2).ok());
+  auto slow = h.Read(1);
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(h.Store(1, 100, 0).ok());
+  auto fast = h.Read(1);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_LT(*fast, *slow);
+  EXPECT_EQ(h.resident_count(0), 1u);
+  EXPECT_EQ(h.resident_count(2), 1u);
+}
+
+TEST(HierarchyTest, EvictFreesSpace) {
+  StorageHierarchy h(ThreeTiers(100));
+  ASSERT_TRUE(h.Store(1, 80, 0).ok());
+  ASSERT_TRUE(h.Evict(1, 0).ok());
+  EXPECT_EQ(h.used_bytes(0), 0u);
+  EXPECT_EQ(h.FastestTierOf(1), kNoTier);
+  EXPECT_TRUE(h.Store(2, 80, 0).ok());
+  EXPECT_EQ(h.Evict(1, 0).code(), StatusCode::kNotFound);
+}
+
+TEST(HierarchyTest, EvictAllDropsEverything) {
+  StorageHierarchy h(ThreeTiers());
+  ASSERT_TRUE(h.Store(1, 10, 0).ok());
+  ASSERT_TRUE(h.Store(1, 10, 1).ok());
+  ASSERT_TRUE(h.Store(1, 10, 2).ok());
+  h.EvictAll(1);
+  EXPECT_EQ(h.FastestTierOf(1), kNoTier);
+  for (int t = 0; t < 3; ++t) EXPECT_EQ(h.used_bytes(t), 0u);
+}
+
+TEST(HierarchyTest, MigrateCopiesAndMoves) {
+  StorageHierarchy h(ThreeTiers());
+  ASSERT_TRUE(h.Store(1, 100, 2).ok());
+  // Non-exclusive: copy up, keep backup.
+  ASSERT_TRUE(h.Migrate(1, 0, /*exclusive=*/false).ok());
+  EXPECT_TRUE(h.IsResident(1, 0));
+  EXPECT_TRUE(h.IsResident(1, 2));
+  EXPECT_EQ(h.stats().migrations, 1u);
+  EXPECT_EQ(h.stats().bytes_migrated, 100u);
+  // Exclusive: move down, dropping other copies.
+  ASSERT_TRUE(h.Migrate(1, 1, /*exclusive=*/true).ok());
+  EXPECT_TRUE(h.IsResident(1, 1));
+  EXPECT_FALSE(h.IsResident(1, 0));
+  EXPECT_FALSE(h.IsResident(1, 2));
+}
+
+TEST(HierarchyTest, MigrateRespectsCapacityWithoutLosingObject) {
+  StorageHierarchy h(ThreeTiers(/*mem=*/50));
+  ASSERT_TRUE(h.Store(1, 100, 1).ok());
+  Status s = h.Migrate(1, 0, /*exclusive=*/true);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(h.IsResident(1, 1));  // Source copy survived.
+}
+
+TEST(HierarchyTest, MigrateMissingObject) {
+  StorageHierarchy h(ThreeTiers());
+  EXPECT_EQ(h.Migrate(42, 0, false).code(), StatusCode::kNotFound);
+}
+
+TEST(HierarchyTest, StaleMarking) {
+  StorageHierarchy h(ThreeTiers());
+  ASSERT_TRUE(h.Store(1, 10, 1).ok());
+  EXPECT_FALSE(h.IsStale(1, 1));
+  ASSERT_TRUE(h.MarkStale(1, 1).ok());
+  EXPECT_TRUE(h.IsStale(1, 1));
+  // Re-storing refreshes the copy.
+  ASSERT_TRUE(h.Store(1, 10, 1).ok());
+  EXPECT_FALSE(h.IsStale(1, 1));
+  EXPECT_EQ(h.MarkStale(1, 0).code(), StatusCode::kNotFound);
+}
+
+TEST(HierarchyTest, FreeBytesAccounting) {
+  StorageHierarchy h(ThreeTiers(100, 200));
+  EXPECT_EQ(h.free_bytes(0), 100u);
+  ASSERT_TRUE(h.Store(1, 40, 0).ok());
+  EXPECT_EQ(h.free_bytes(0), 60u);
+  EXPECT_EQ(h.free_bytes(2), UINT64_MAX);
+}
+
+TEST(HierarchyTest, ObjectsAtTier) {
+  StorageHierarchy h(ThreeTiers());
+  ASSERT_TRUE(h.Store(1, 1, 0).ok());
+  ASSERT_TRUE(h.Store(2, 1, 0).ok());
+  ASSERT_TRUE(h.Store(3, 1, 1).ok());
+  auto at0 = h.ObjectsAtTier(0);
+  EXPECT_EQ(at0.size(), 2u);
+  EXPECT_EQ(h.ObjectsAtTier(1).size(), 1u);
+  EXPECT_TRUE(h.ObjectsAtTier(2).empty());
+}
+
+TEST(HierarchyTest, DoubleStoreIsRefreshNotDuplicate) {
+  StorageHierarchy h(ThreeTiers(100));
+  ASSERT_TRUE(h.Store(1, 60, 0).ok());
+  ASSERT_TRUE(h.Store(1, 60, 0).ok());  // No double accounting.
+  EXPECT_EQ(h.used_bytes(0), 60u);
+  EXPECT_EQ(h.resident_count(0), 1u);
+}
+
+TEST(HierarchyTest, InvalidTierRejected) {
+  StorageHierarchy h(ThreeTiers());
+  EXPECT_EQ(h.Store(1, 1, -1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(h.Store(1, 1, 3).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cbfww::storage
+
+namespace cbfww::net {
+namespace {
+
+corpus::CorpusOptions TinyCorpus() {
+  corpus::CorpusOptions opts;
+  opts.num_sites = 2;
+  opts.pages_per_site = 5;
+  return opts;
+}
+
+TEST(OriginServerTest, FetchCostsAndStats) {
+  corpus::WebCorpus corpus(TinyCorpus());
+  OriginServer origin(&corpus, NetworkModel());
+  auto r = origin.Fetch(0);
+  EXPECT_EQ(r.bytes, corpus.raw(0).size_bytes);
+  EXPECT_EQ(r.version, 1u);
+  EXPECT_GT(r.cost, NetworkModel().rtt);
+  EXPECT_EQ(origin.stats().fetches, 1u);
+  EXPECT_EQ(origin.stats().bytes_transferred, r.bytes);
+}
+
+TEST(OriginServerTest, FetchSlowerThanEveryLocalTierPremise) {
+  // The paper's core premise: even online tapes beat the origin.
+  corpus::WebCorpus corpus(TinyCorpus());
+  OriginServer origin(&corpus, NetworkModel());
+  auto r = origin.Fetch(0);
+  EXPECT_GT(r.cost, storage::DeviceModel::Disk(0).TransferTime(r.bytes));
+  EXPECT_GT(r.cost, storage::DeviceModel::Tertiary(0).TransferTime(r.bytes));
+}
+
+TEST(OriginServerTest, ValidateDetectsModification) {
+  corpus::WebCorpus corpus(TinyCorpus());
+  OriginServer origin(&corpus, NetworkModel());
+  auto v1 = origin.Validate(0, 1);
+  EXPECT_FALSE(v1.modified);
+  Pcg32 rng(1);
+  corpus.ModifyObject(0, kSecond, rng);
+  auto v2 = origin.Validate(0, 1);
+  EXPECT_TRUE(v2.modified);
+  EXPECT_EQ(v2.version, 2u);
+  EXPECT_EQ(origin.stats().validations, 2u);
+}
+
+TEST(OriginServerTest, ValidateCheaperThanFetch) {
+  corpus::WebCorpus corpus(TinyCorpus());
+  OriginServer origin(&corpus, NetworkModel());
+  auto f = origin.Fetch(0);
+  auto v = origin.Validate(0, f.version);
+  EXPECT_LT(v.cost, f.cost);
+}
+
+}  // namespace
+}  // namespace cbfww::net

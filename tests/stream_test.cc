@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "stream/count_min_sketch.h"
+#include "stream/exponential_histogram.h"
+#include "stream/stream_system.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace cbfww::stream {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CountMinSketch
+// ---------------------------------------------------------------------------
+
+TEST(CountMinSketchTest, NeverUnderestimates) {
+  CountMinSketch sketch(0.01, 0.01);
+  std::map<uint64_t, uint64_t> truth;
+  Pcg32 rng(1);
+  ZipfSampler zipf(500, 1.0);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t item = zipf.Sample(rng);
+    sketch.Add(item);
+    ++truth[item];
+  }
+  for (const auto& [item, count] : truth) {
+    EXPECT_GE(sketch.Estimate(item), count);
+  }
+}
+
+TEST(CountMinSketchTest, ErrorBoundHolds) {
+  const double eps = 0.01;
+  CountMinSketch sketch(eps, 0.01);
+  std::map<uint64_t, uint64_t> truth;
+  Pcg32 rng(2);
+  ZipfSampler zipf(1000, 0.9);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t item = zipf.Sample(rng);
+    sketch.Add(item);
+    ++truth[item];
+  }
+  // With probability 1-delta per item: error <= eps * N. Allow a couple of
+  // outliers across 1000 items.
+  int violations = 0;
+  for (const auto& [item, count] : truth) {
+    if (sketch.Estimate(item) > count + static_cast<uint64_t>(eps * n)) {
+      ++violations;
+    }
+  }
+  EXPECT_LE(violations, 10);
+}
+
+TEST(CountMinSketchTest, UnseenItemsUsuallyZeroish) {
+  CountMinSketch sketch(0.001, 0.01);
+  for (uint64_t i = 0; i < 100; ++i) sketch.Add(i);
+  // An unseen item's estimate is bounded by eps*N = 0.1: must be 0.
+  EXPECT_EQ(sketch.Estimate(999999), 0u);
+}
+
+TEST(CountMinSketchTest, WeightedAdds) {
+  CountMinSketch sketch(0.01, 0.01);
+  sketch.Add(7, 42);
+  EXPECT_GE(sketch.Estimate(7), 42u);
+  EXPECT_EQ(sketch.total(), 42u);
+}
+
+TEST(CountMinSketchTest, MemorySublinear) {
+  CountMinSketch sketch(0.01, 0.01);
+  Pcg32 rng(3);
+  for (int i = 0; i < 1000000; ++i) sketch.Add(rng.Next());
+  // 1M distinct-ish items in a fixed-size sketch.
+  EXPECT_LT(sketch.MemoryBytes(), 200 * 1024u);
+}
+
+// ---------------------------------------------------------------------------
+// ExponentialHistogram
+// ---------------------------------------------------------------------------
+
+TEST(ExponentialHistogramTest, ExactForSmallCounts) {
+  ExponentialHistogram h(kHour);
+  for (int i = 0; i < 4; ++i) h.RecordEvent(i * kMinute);
+  EXPECT_EQ(h.Estimate(5 * kMinute), 4u);
+}
+
+TEST(ExponentialHistogramTest, ExpiresOldEvents) {
+  ExponentialHistogram h(kHour);
+  h.RecordEvent(0);
+  h.RecordEvent(kMinute);
+  EXPECT_EQ(h.Estimate(2 * kHour), 0u);
+}
+
+TEST(ExponentialHistogramTest, RelativeErrorBounded) {
+  const uint32_t k = 8;  // eps ~ 2/k = 0.25.
+  ExponentialHistogram h(kHour, k);
+  std::deque<SimTime> exact;
+  Pcg32 rng(4);
+  SimTime t = 0;
+  int checks = 0;
+  for (int i = 0; i < 20000; ++i) {
+    t += rng.NextBounded(30) * kSecond;
+    h.RecordEvent(t);
+    exact.push_back(t);
+    while (!exact.empty() && exact.front() <= t - kHour) exact.pop_front();
+    if (i % 500 == 0 && exact.size() > 20) {
+      double est = static_cast<double>(h.Estimate(t));
+      double truth = static_cast<double>(exact.size());
+      EXPECT_NEAR(est / truth, 1.0, 0.3) << "at i=" << i;
+      ++checks;
+    }
+  }
+  EXPECT_GT(checks, 10);
+}
+
+TEST(ExponentialHistogramTest, MemoryLogarithmic) {
+  ExponentialHistogram h(10 * kHour, 8);
+  for (SimTime t = 0; t < 10 * kHour; t += kSecond) h.RecordEvent(t);
+  // 36000 events within the window, held in O(k log n) buckets.
+  EXPECT_LT(h.bucket_count(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// StreamSystem (the Table 1 DSMS column)
+// ---------------------------------------------------------------------------
+
+StreamSystem::Options SmallOptions() {
+  StreamSystem::Options opts;
+  opts.max_buffered_tuples = 16;
+  return opts;
+}
+
+TEST(StreamSystemTest, AppendOnlyAggregates) {
+  StreamSystem s(SmallOptions());
+  for (uint64_t i = 1; i <= 10; ++i) {
+    s.Append({static_cast<SimTime>(i) * kSecond, i % 3, i});
+  }
+  EXPECT_EQ(s.total_tuples(), 10u);
+  EXPECT_EQ(s.sum_values(), 55u);
+  EXPECT_DOUBLE_EQ(s.AvgValue(), 5.5);
+  EXPECT_EQ(s.max_value(), 10u);
+  EXPECT_GE(s.ApproxCount(1), 3u);  // Keys 1,4,7,10 -> key 1 appears 4x? 1%3..
+}
+
+TEST(StreamSystemTest, WindowCountApproximatesRecentTraffic) {
+  StreamSystem::Options opts = SmallOptions();
+  opts.window = kHour;
+  StreamSystem s(opts);
+  for (int i = 0; i < 100; ++i) {
+    s.Append({static_cast<SimTime>(i) * kMinute, 1, 1});
+  }
+  // At t=100min, about 59-60 events fall in the last hour.
+  uint64_t est = s.ApproxWindowCount(100 * kMinute);
+  EXPECT_GT(est, 40u);
+  EXPECT_LT(est, 80u);
+}
+
+TEST(StreamSystemTest, OldTuplesNotRetrievable) {
+  StreamSystem s(SmallOptions());  // Buffer of 16.
+  for (uint64_t i = 0; i < 100; ++i) {
+    s.Append({static_cast<SimTime>(i), i, i});
+  }
+  EXPECT_EQ(s.buffered(), 16u);
+  // Recent tuple: retrievable.
+  EXPECT_TRUE(s.Retrieve(99, 99).ok());
+  // Old tuple: discarded once processed (the paper's DSMS property).
+  EXPECT_EQ(s.Retrieve(5, 5).status().code(), StatusCode::kNotFound);
+}
+
+TEST(StreamSystemTest, BoundedMemoryUnderUnboundedStream) {
+  StreamSystem s(SmallOptions());
+  Pcg32 rng(5);
+  uint64_t bytes_early = 0;
+  for (int i = 0; i < 100000; ++i) {
+    s.Append({static_cast<SimTime>(i) * kSecond, rng.Next() % 1000, 1});
+    if (i == 1000) bytes_early = s.MemoryBytes();
+  }
+  // State does not grow linearly with the stream.
+  EXPECT_LT(s.MemoryBytes(), bytes_early * 4);
+}
+
+}  // namespace
+}  // namespace cbfww::stream

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "text/summarizer.h"
+#include "text/term_vector.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace cbfww::text {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  Tokenizer t;
+  auto tokens = t.Tokenize("Kyoto Station Access");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"kyoto", "station", "access"}));
+}
+
+TEST(TokenizerTest, DropsStopwordsAndShortTokens) {
+  Tokenizer t;
+  auto tokens = t.Tokenize("the access to a station");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"access", "station"}));
+}
+
+TEST(TokenizerTest, KeepsStopwordsWhenDisabled) {
+  TokenizerOptions opts;
+  opts.remove_stopwords = false;
+  opts.min_token_length = 1;
+  Tokenizer t(opts);
+  auto tokens = t.Tokenize("the a x");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"the", "a", "x"}));
+}
+
+TEST(TokenizerTest, SplitsOnPunctuationAndDigitsKept) {
+  Tokenizer t;
+  auto tokens = t.Tokenize("data-warehouse: cidr2003!");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"data", "warehouse", "cidr2003"}));
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("  \t\n ").empty());
+}
+
+TEST(TokenizerTest, DuplicatesPreserved) {
+  Tokenizer t;
+  auto tokens = t.Tokenize("cache cache cache");
+  EXPECT_EQ(tokens.size(), 3u);
+}
+
+TEST(TokenizerTest, StopwordLookup) {
+  EXPECT_TRUE(Tokenizer::IsStopword("the"));
+  EXPECT_TRUE(Tokenizer::IsStopword("and"));
+  EXPECT_FALSE(Tokenizer::IsStopword("warehouse"));
+}
+
+// ---------------------------------------------------------------------------
+// Vocabulary
+// ---------------------------------------------------------------------------
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary v;
+  TermId a = v.Intern("cache");
+  TermId b = v.Intern("cache");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.TermOf(a), "cache");
+}
+
+TEST(VocabularyTest, LookupUnknown) {
+  Vocabulary v;
+  EXPECT_EQ(v.Lookup("nothing"), kInvalidTermId);
+  v.Intern("x");
+  EXPECT_NE(v.Lookup("x"), kInvalidTermId);
+}
+
+TEST(VocabularyTest, DocumentFrequencyCountsOncePerDoc) {
+  Vocabulary v;
+  TermId a = v.Intern("a");
+  TermId b = v.Intern("b");
+  v.AddDocument({a, a, a, b});
+  v.AddDocument({a});
+  EXPECT_EQ(v.DocumentFrequency(a), 2u);
+  EXPECT_EQ(v.DocumentFrequency(b), 1u);
+  EXPECT_EQ(v.num_documents(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// TermVector
+// ---------------------------------------------------------------------------
+
+TEST(TermVectorTest, FromUnsortedMergesDuplicates) {
+  TermVector v = TermVector::FromUnsorted({{3, 1.0}, {1, 2.0}, {3, 0.5}});
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.WeightOf(1), 2.0);
+  EXPECT_DOUBLE_EQ(v.WeightOf(3), 1.5);
+  EXPECT_DOUBLE_EQ(v.WeightOf(2), 0.0);
+}
+
+TEST(TermVectorTest, FromCounts) {
+  TermVector v = TermVector::FromCounts({5, 5, 7});
+  EXPECT_DOUBLE_EQ(v.WeightOf(5), 2.0);
+  EXPECT_DOUBLE_EQ(v.WeightOf(7), 1.0);
+}
+
+TEST(TermVectorTest, AddInsertsSorted) {
+  TermVector v;
+  v.Add(10, 1.0);
+  v.Add(2, 1.0);
+  v.Add(10, 0.5);
+  EXPECT_EQ(v.entries().front().first, 2u);
+  EXPECT_DOUBLE_EQ(v.WeightOf(10), 1.5);
+}
+
+TEST(TermVectorTest, DotAndNorm) {
+  TermVector a = TermVector::FromUnsorted({{1, 3.0}, {2, 4.0}});
+  TermVector b = TermVector::FromUnsorted({{2, 2.0}, {3, 9.0}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 8.0);
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+}
+
+TEST(TermVectorTest, CosineIdenticalIsOne) {
+  TermVector a = TermVector::FromUnsorted({{1, 1.0}, {2, 2.0}});
+  EXPECT_NEAR(a.Cosine(a), 1.0, 1e-12);
+}
+
+TEST(TermVectorTest, CosineOrthogonalIsZero) {
+  TermVector a = TermVector::FromUnsorted({{1, 1.0}});
+  TermVector b = TermVector::FromUnsorted({{2, 1.0}});
+  EXPECT_DOUBLE_EQ(a.Cosine(b), 0.0);
+}
+
+TEST(TermVectorTest, CosineEmptyIsZero) {
+  TermVector a;
+  TermVector b = TermVector::FromUnsorted({{1, 1.0}});
+  EXPECT_DOUBLE_EQ(a.Cosine(b), 0.0);
+}
+
+TEST(TermVectorTest, L2Distance) {
+  TermVector a = TermVector::FromUnsorted({{1, 1.0}});
+  TermVector b = TermVector::FromUnsorted({{2, 1.0}});
+  EXPECT_NEAR(a.L2Distance(b), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(a.L2Distance(a), 0.0);
+}
+
+TEST(TermVectorTest, AddScaledMergesAndScales) {
+  TermVector a = TermVector::FromUnsorted({{1, 1.0}, {2, 1.0}});
+  TermVector b = TermVector::FromUnsorted({{2, 1.0}, {3, 2.0}});
+  a.AddScaled(b, 2.0);
+  EXPECT_DOUBLE_EQ(a.WeightOf(1), 1.0);
+  EXPECT_DOUBLE_EQ(a.WeightOf(2), 3.0);
+  EXPECT_DOUBLE_EQ(a.WeightOf(3), 4.0);
+}
+
+TEST(TermVectorTest, ScaleAndPrune) {
+  TermVector a = TermVector::FromUnsorted({{1, 1.0}, {2, 1e-15}});
+  a.Prune();
+  EXPECT_EQ(a.size(), 1u);
+  a.Scale(2.0);
+  EXPECT_DOUBLE_EQ(a.WeightOf(1), 2.0);
+}
+
+TEST(TermVectorTest, TopKKeepsHeaviest) {
+  TermVector a =
+      TermVector::FromUnsorted({{1, 0.1}, {2, 5.0}, {3, 3.0}, {4, 0.2}});
+  TermVector top = a.TopK(2);
+  EXPECT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top.WeightOf(2), 5.0);
+  EXPECT_DOUBLE_EQ(top.WeightOf(3), 3.0);
+  // TopK with k >= size returns everything.
+  EXPECT_EQ(a.TopK(10).size(), 4u);
+}
+
+// Property sweep: AddScaled(x, 1) then AddScaled(x, -1) is identity.
+class TermVectorRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(TermVectorRoundTrip, AddThenSubtractIsIdentity) {
+  int seed = GetParam();
+  TermVector a;
+  TermVector b;
+  for (int i = 0; i < 20; ++i) {
+    a.Add((seed * 31 + i * 7) % 50, (i % 5) + 0.5);
+    b.Add((seed * 17 + i * 3) % 50, (i % 3) + 0.25);
+  }
+  TermVector orig = a;
+  a.AddScaled(b, 1.0);
+  a.AddScaled(b, -1.0);
+  a.Prune(1e-9);
+  orig.Prune(1e-9);
+  ASSERT_EQ(a.size(), orig.size());
+  for (const auto& [term, w] : orig.entries()) {
+    EXPECT_NEAR(a.WeightOf(term), w, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TermVectorRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// TF-IDF
+// ---------------------------------------------------------------------------
+
+TEST(TfIdfTest, RareTermsWeighMore) {
+  Vocabulary vocab;
+  TfIdfVectorizer vec(&vocab);
+  // "common" appears in all docs, "rare" in one.
+  vec.Vectorize("common rare", true);
+  vec.Vectorize("common other", true);
+  vec.Vectorize("common third", true);
+  TermVector v = vec.Vectorize("common rare", false);
+  TermId common = vocab.Lookup("common");
+  TermId rare = vocab.Lookup("rare");
+  EXPECT_GT(v.WeightOf(rare), v.WeightOf(common));
+}
+
+TEST(TfIdfTest, TfIsSublinear) {
+  Vocabulary vocab;
+  TfIdfVectorizer vec(&vocab);
+  TermVector v = vec.Vectorize("word word word word other", true);
+  TermId word = vocab.Lookup("word");
+  TermId other = vocab.Lookup("other");
+  // 4 occurrences weigh more than 1 but less than 4x.
+  EXPECT_GT(v.WeightOf(word), v.WeightOf(other));
+  EXPECT_LT(v.WeightOf(word), 4.0 * v.WeightOf(other));
+}
+
+TEST(TfIdfTest, NormalizeMakesUnitNorm) {
+  Vocabulary vocab;
+  TfIdfVectorizer vec(&vocab);
+  TermVector v = vec.Vectorize("a few words here now", true);
+  TfIdfVectorizer::Normalize(v);
+  EXPECT_NEAR(v.Norm(), 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, NormalizeZeroVectorNoop) {
+  TermVector v;
+  TfIdfVectorizer::Normalize(v);
+  EXPECT_EQ(v.Norm(), 0.0);
+}
+
+TEST(TfIdfTest, StatisticsOnlyWhenRequested) {
+  Vocabulary vocab;
+  TfIdfVectorizer vec(&vocab);
+  vec.Vectorize("hello world", false);
+  EXPECT_EQ(vocab.num_documents(), 0u);
+  vec.Vectorize("hello world", true);
+  EXPECT_EQ(vocab.num_documents(), 1u);
+}
+
+TEST(TfIdfTest, SimilarDocumentsHaveHighCosine) {
+  Vocabulary vocab;
+  TfIdfVectorizer vec(&vocab);
+  TermVector a = vec.Vectorize("kyoto travel guide station bus", true);
+  TermVector b = vec.Vectorize("kyoto travel station subway", true);
+  TermVector c = vec.Vectorize("database stream query aggregate", true);
+  EXPECT_GT(a.Cosine(b), a.Cosine(c));
+}
+
+// ---------------------------------------------------------------------------
+// Summarizer (levels of detail)
+// ---------------------------------------------------------------------------
+
+TEST(SummarizerTest, BoundsTermsAndSize) {
+  SummarizerOptions opts;
+  opts.max_terms = 4;
+  opts.bytes_per_term = 10;
+  Summarizer s(opts);
+  TermVector big;
+  for (TermId t = 0; t < 100; ++t) big.Add(t, 1.0 + t);
+  DocumentSummary sum = s.Summarize(big);
+  EXPECT_EQ(sum.terms.size(), 4u);
+  EXPECT_EQ(sum.size_bytes, 40u);
+  // The kept terms are the heaviest ones.
+  EXPECT_GT(sum.terms.WeightOf(99), 0.0);
+  EXPECT_EQ(sum.terms.WeightOf(0), 0.0);
+}
+
+TEST(SummarizerTest, CoverageInUnitInterval) {
+  Summarizer s;
+  TermVector v;
+  for (TermId t = 0; t < 100; ++t) v.Add(t, t < 5 ? 10.0 : 0.1);
+  DocumentSummary sum = s.Summarize(v);
+  EXPECT_GT(sum.weight_coverage, 0.9);  // Heavy terms dominate the mass.
+  EXPECT_LE(sum.weight_coverage, 1.0);
+}
+
+TEST(SummarizerTest, SmallDocUnchanged) {
+  Summarizer s;
+  TermVector v = TermVector::FromUnsorted({{1, 2.0}, {2, 1.0}});
+  DocumentSummary sum = s.Summarize(v);
+  EXPECT_EQ(sum.terms.size(), 2u);
+  EXPECT_NEAR(sum.weight_coverage, 1.0, 1e-12);
+}
+
+TEST(SummarizerTest, EmptyDoc) {
+  Summarizer s;
+  DocumentSummary sum = s.Summarize(TermVector());
+  EXPECT_EQ(sum.terms.size(), 0u);
+  EXPECT_EQ(sum.weight_coverage, 0.0);
+}
+
+}  // namespace
+}  // namespace cbfww::text

@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "corpus/web_corpus.h"
+#include "trace/trace_event.h"
+#include "trace/trace_io.h"
+#include "trace/workload.h"
+
+namespace cbfww::trace {
+namespace {
+
+corpus::CorpusOptions TestCorpusOptions() {
+  corpus::CorpusOptions opts;
+  opts.num_sites = 5;
+  opts.pages_per_site = 60;
+  opts.seed = 11;
+  return opts;
+}
+
+WorkloadOptions TestWorkloadOptions() {
+  WorkloadOptions opts;
+  opts.horizon = 12 * kHour;
+  opts.sessions_per_hour = 120;
+  opts.seed = 21;
+  return opts;
+}
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : corpus_(TestCorpusOptions()) {}
+  corpus::WebCorpus corpus_;
+};
+
+TEST_F(WorkloadTest, EventsAreTimeOrderedAndInHorizon) {
+  WorkloadGenerator gen(&corpus_, nullptr, TestWorkloadOptions());
+  auto events = gen.Generate();
+  ASSERT_FALSE(events.empty());
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+  for (const TraceEvent& e : events) {
+    EXPECT_GE(e.time, 0);
+    if (e.type == TraceEventType::kRequest) {
+      EXPECT_LT(e.page, corpus_.num_pages());
+    } else {
+      EXPECT_LT(e.modified, corpus_.num_raw_objects());
+    }
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicForSeed) {
+  WorkloadGenerator a(&corpus_, nullptr, TestWorkloadOptions());
+  WorkloadGenerator b(&corpus_, nullptr, TestWorkloadOptions());
+  auto ea = a.Generate();
+  auto eb = b.Generate();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].time, eb[i].time);
+    EXPECT_EQ(ea[i].page, eb[i].page);
+    EXPECT_EQ(ea[i].session, eb[i].session);
+  }
+}
+
+TEST_F(WorkloadTest, SessionsAreContiguousAndStartFlagged) {
+  WorkloadGenerator gen(&corpus_, nullptr, TestWorkloadOptions());
+  auto events = gen.Generate();
+  std::unordered_map<int64_t, int> counts;
+  std::unordered_set<int64_t> started;
+  for (const TraceEvent& e : events) {
+    if (e.type != TraceEventType::kRequest) continue;
+    ++counts[e.session];
+    if (e.session_start) {
+      EXPECT_FALSE(started.contains(e.session));
+      started.insert(e.session);
+    }
+  }
+  // Every session has exactly one start.
+  EXPECT_EQ(counts.size(), started.size());
+}
+
+TEST_F(WorkloadTest, ViaLinkFollowsRealAnchors) {
+  WorkloadGenerator gen(&corpus_, nullptr, TestWorkloadOptions());
+  auto events = gen.Generate();
+  // Track previous page per session; via_link implies a real anchor.
+  std::unordered_map<int64_t, corpus::PageId> prev;
+  int checked = 0;
+  for (const TraceEvent& e : events) {
+    if (e.type != TraceEventType::kRequest) continue;
+    if (e.via_link) {
+      auto it = prev.find(e.session);
+      ASSERT_NE(it, prev.end());
+      bool linked = false;
+      for (const corpus::Anchor& a : corpus_.page(it->second).anchors) {
+        if (a.target == e.page) {
+          linked = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(linked) << "via_link request without matching anchor";
+      ++checked;
+    }
+    prev[e.session] = e.page;
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST_F(WorkloadTest, ColdStartFractionControlsOneTimers) {
+  // One-timer behaviour needs a corpus comfortably larger than the request
+  // volume (the paper's setting: the web vs one provider's users).
+  corpus::CorpusOptions big = TestCorpusOptions();
+  big.pages_per_site = 800;
+  corpus::WebCorpus big_corpus(big);
+
+  WorkloadOptions cold = TestWorkloadOptions();
+  cold.horizon = 6 * kHour;
+  cold.cold_start_fraction = 0.8;
+  cold.trail_session_prob = 0.0;
+  WorkloadOptions hot = cold;
+  hot.cold_start_fraction = 0.05;
+
+  WorkloadGenerator cold_gen(&big_corpus, nullptr, cold);
+  WorkloadGenerator hot_gen(&big_corpus, nullptr, hot);
+  auto cold_stats =
+      ComputeTraceStats(cold_gen.Generate(), cold_gen.ContainerOfPages());
+  auto hot_stats =
+      ComputeTraceStats(hot_gen.Generate(), hot_gen.ContainerOfPages());
+  EXPECT_GT(cold_stats.OneTimerFraction(), hot_stats.OneTimerFraction());
+  // At the paper's operating point the one-timer majority emerges.
+  EXPECT_GT(cold_stats.OneTimerFraction(), 0.4);
+}
+
+TEST_F(WorkloadTest, TrailsAreValidPaths) {
+  WorkloadGenerator gen(&corpus_, nullptr, TestWorkloadOptions());
+  ASSERT_FALSE(gen.trails().empty());
+  for (const Trail& trail : gen.trails()) {
+    ASSERT_GE(trail.pages.size(), 2u);
+    ASSERT_EQ(trail.anchor_index.size(), trail.pages.size() - 1);
+    for (size_t i = 0; i + 1 < trail.pages.size(); ++i) {
+      const auto& anchors = corpus_.page(trail.pages[i]).anchors;
+      ASSERT_LT(trail.anchor_index[i], anchors.size());
+      EXPECT_EQ(anchors[trail.anchor_index[i]].target, trail.pages[i + 1]);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, TrailsAreReplayedOften) {
+  WorkloadOptions opts = TestWorkloadOptions();
+  opts.trail_session_prob = 0.5;
+  WorkloadGenerator gen(&corpus_, nullptr, opts);
+  auto events = gen.Generate();
+  // Count completed replays of the most popular trail.
+  const Trail& top = gen.trails().front();
+  std::unordered_map<int64_t, size_t> progress;
+  int completions = 0;
+  for (const TraceEvent& e : events) {
+    if (e.type != TraceEventType::kRequest) continue;
+    size_t& p = progress[e.session];
+    if (p < top.pages.size() && e.page == top.pages[p]) {
+      ++p;
+      if (p == top.pages.size()) ++completions;
+    }
+  }
+  EXPECT_GT(completions, 10);
+}
+
+TEST_F(WorkloadTest, BurstSkewsTowardHotTopic) {
+  corpus::NewsFeed::Options feed_opts;
+  feed_opts.num_bursts = 1;
+  feed_opts.horizon = 12 * kHour;
+  feed_opts.intensity = 50.0;
+  feed_opts.burst_duration_mean = 6 * kHour;
+  corpus::NewsFeed feed(feed_opts, &corpus_.topic_model());
+  ASSERT_EQ(feed.bursts().size(), 1u);
+  const corpus::BurstSpec& burst = feed.bursts().front();
+
+  WorkloadOptions opts = TestWorkloadOptions();
+  opts.trail_session_prob = 0.0;
+  WorkloadGenerator gen(&corpus_, &feed, opts);
+  auto events = gen.Generate();
+
+  uint64_t in_burst_topic = 0, in_burst_total = 0;
+  uint64_t out_topic = 0, out_total = 0;
+  for (const TraceEvent& e : events) {
+    if (e.type != TraceEventType::kRequest || !e.session_start) continue;
+    bool hot = corpus_.page(e.page).topic == burst.topic;
+    if (burst.ActiveAt(e.time)) {
+      ++in_burst_total;
+      if (hot) ++in_burst_topic;
+    } else {
+      ++out_total;
+      if (hot) ++out_topic;
+    }
+  }
+  ASSERT_GT(in_burst_total, 50u);
+  ASSERT_GT(out_total, 50u);
+  double in_frac = static_cast<double>(in_burst_topic) / in_burst_total;
+  double out_frac = static_cast<double>(out_topic) / out_total;
+  EXPECT_GT(in_frac, 2.0 * out_frac);
+}
+
+TEST_F(WorkloadTest, ModificationRateScales) {
+  WorkloadOptions none = TestWorkloadOptions();
+  none.modifications_per_hour = 0;
+  WorkloadOptions lots = TestWorkloadOptions();
+  lots.modifications_per_hour = 100;
+  auto count_mods = [&](const WorkloadOptions& o) {
+    WorkloadGenerator gen(&corpus_, nullptr, o);
+    uint64_t mods = 0;
+    for (const TraceEvent& e : gen.Generate()) {
+      if (e.type == TraceEventType::kModify) ++mods;
+    }
+    return mods;
+  };
+  EXPECT_EQ(count_mods(none), 0u);
+  uint64_t m = count_mods(lots);
+  EXPECT_NEAR(static_cast<double>(m), 1200.0, 250.0);  // 100/h * 12h.
+}
+
+TEST_F(WorkloadTest, DiurnalAmplitudeShapesArrivals) {
+  WorkloadOptions flat = TestWorkloadOptions();
+  flat.horizon = 2 * kDay;
+  WorkloadOptions diurnal = flat;
+  diurnal.diurnal_amplitude = 0.9;
+
+  auto peak_vs_trough = [&](const WorkloadOptions& o) {
+    WorkloadGenerator gen(&corpus_, nullptr, o);
+    uint64_t peak = 0, trough = 0;
+    for (const TraceEvent& e : gen.Generate()) {
+      if (e.type != TraceEventType::kRequest || !e.session_start) continue;
+      SimTime tod = e.time % kDay;
+      // sin peaks at day/4, troughs at 3*day/4.
+      if (tod > kDay / 8 && tod < 3 * kDay / 8) ++peak;
+      if (tod > 5 * kDay / 8 && tod < 7 * kDay / 8) ++trough;
+    }
+    return std::pair<uint64_t, uint64_t>{peak, trough};
+  };
+  auto [flat_peak, flat_trough] = peak_vs_trough(flat);
+  auto [di_peak, di_trough] = peak_vs_trough(diurnal);
+  // Flat traffic: roughly equal; diurnal: strongly peaked.
+  EXPECT_LT(static_cast<double>(flat_peak),
+            1.3 * static_cast<double>(flat_trough));
+  EXPECT_GT(static_cast<double>(di_peak),
+            2.0 * static_cast<double>(di_trough));
+}
+
+// ---------------------------------------------------------------------------
+// Trace serialization
+// ---------------------------------------------------------------------------
+
+TEST_F(WorkloadTest, TraceRoundTripsThroughCsv) {
+  WorkloadOptions opts = TestWorkloadOptions();
+  opts.horizon = 2 * kHour;
+  WorkloadGenerator gen(&corpus_, nullptr, opts);
+  auto events = gen.Generate();
+  ASSERT_FALSE(events.empty());
+
+  std::stringstream buffer;
+  WriteTrace(events, buffer);
+  auto restored = ReadTrace(buffer);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ((*restored)[i].time, events[i].time);
+    EXPECT_EQ((*restored)[i].type, events[i].type);
+    EXPECT_EQ((*restored)[i].page, events[i].page);
+    EXPECT_EQ((*restored)[i].user, events[i].user);
+    EXPECT_EQ((*restored)[i].session, events[i].session);
+    EXPECT_EQ((*restored)[i].session_start, events[i].session_start);
+    EXPECT_EQ((*restored)[i].via_link, events[i].via_link);
+    EXPECT_EQ((*restored)[i].modified, events[i].modified);
+  }
+}
+
+TEST(TraceIoTest, RejectsMalformedInput) {
+  auto read = [](const std::string& text) {
+    std::stringstream ss(text);
+    return ReadTrace(ss);
+  };
+  EXPECT_FALSE(read("").ok());
+  EXPECT_FALSE(read("not a header\n").ok());
+  EXPECT_FALSE(read("# cbfww-trace v1\nX,1,2\n").ok());
+  EXPECT_FALSE(read("# cbfww-trace v1\nR,1,2\n").ok());          // Too few.
+  EXPECT_FALSE(read("# cbfww-trace v1\nR,a,2,3,4,0,0\n").ok());  // Bad num.
+  EXPECT_FALSE(read("# cbfww-trace v1\nR,1,2,3,4,7,0\n").ok());  // Bad flag.
+  EXPECT_FALSE(read("# cbfww-trace v1\nM,1\n").ok());
+  // Comments and blank lines are fine.
+  auto ok = read("# cbfww-trace v1\n\n# note\nM,5,9\n");
+  ASSERT_TRUE(ok.ok());
+  ASSERT_EQ(ok->size(), 1u);
+  EXPECT_EQ((*ok)[0].modified, 9u);
+}
+
+// ---------------------------------------------------------------------------
+// TraceStats
+// ---------------------------------------------------------------------------
+
+TEST(TraceStatsTest, CountsOneTimers) {
+  std::vector<TraceEvent> events;
+  auto req = [&](SimTime t, corpus::PageId p) {
+    TraceEvent e;
+    e.time = t;
+    e.type = TraceEventType::kRequest;
+    e.page = p;
+    e.session = 0;
+    events.push_back(e);
+  };
+  req(1, 0);
+  req(2, 1);
+  req(3, 1);  // Page 1 reused; page 0 one-timer.
+  std::vector<corpus::RawId> container_of = {100, 101};
+  TraceStats stats = ComputeTraceStats(events, container_of);
+  EXPECT_EQ(stats.num_requests, 3u);
+  EXPECT_EQ(stats.distinct_pages, 2u);
+  EXPECT_EQ(stats.one_timer_pages, 1u);
+  EXPECT_DOUBLE_EQ(stats.OneTimerFraction(), 0.5);
+}
+
+TEST(TraceStatsTest, ModificationBlocksReuseCredit) {
+  std::vector<TraceEvent> events;
+  TraceEvent r1;
+  r1.time = 1;
+  r1.type = TraceEventType::kRequest;
+  r1.page = 0;
+  events.push_back(r1);
+  TraceEvent m;
+  m.time = 2;
+  m.type = TraceEventType::kModify;
+  m.modified = 100;
+  events.push_back(m);
+  TraceEvent r2 = r1;
+  r2.time = 3;
+  events.push_back(r2);
+
+  std::vector<corpus::RawId> container_of = {100};
+  TraceStats stats = ComputeTraceStats(events, container_of);
+  // Page 0 was re-requested, but only AFTER its container changed: per the
+  // paper's phrasing it was "never retrieved again before modified".
+  EXPECT_EQ(stats.one_timer_pages, 0u);
+  EXPECT_EQ(stats.no_reuse_before_modify_pages, 1u);
+}
+
+TEST(TraceStatsTest, EmptyTrace) {
+  TraceStats stats = ComputeTraceStats({}, {});
+  EXPECT_EQ(stats.num_requests, 0u);
+  EXPECT_EQ(stats.OneTimerFraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace cbfww::trace

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/usage_history.h"
+#include "util/rng.h"
+
+namespace cbfww::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// UsageHistory (Table 2 attributes)
+// ---------------------------------------------------------------------------
+
+TEST(UsageHistoryTest, FreshObjectHasNeverTimes) {
+  UsageHistory h;
+  EXPECT_EQ(h.frequency(), 0u);
+  EXPECT_EQ(h.firstref(), kNeverTime);
+  EXPECT_EQ(h.LastKRef(1), kNeverTime);
+  EXPECT_EQ(h.LastKMod(1), kNeverTime);
+  EXPECT_EQ(h.shared(), 0u);
+}
+
+TEST(UsageHistoryTest, FirstrefFixedAtFirstAccess) {
+  UsageHistory h;
+  h.RecordReference(100);
+  h.RecordReference(200);
+  EXPECT_EQ(h.firstref(), 100);
+  EXPECT_EQ(h.frequency(), 2u);
+}
+
+TEST(UsageHistoryTest, LastKRefOrdering) {
+  UsageHistory h(/*k_depth=*/3);
+  h.RecordReference(10);
+  h.RecordReference(20);
+  h.RecordReference(30);
+  // k=1 is the most recent (paper: k=1 gives the LRU attribute).
+  EXPECT_EQ(h.LastKRef(1), 30);
+  EXPECT_EQ(h.LastKRef(2), 20);
+  EXPECT_EQ(h.LastKRef(3), 10);
+}
+
+TEST(UsageHistoryTest, LastKRefBeyondHistoryIsNegInfinity) {
+  UsageHistory h(3);
+  h.RecordReference(10);
+  // Paper: t_i^k = -inf when accessed fewer than k times.
+  EXPECT_EQ(h.LastKRef(2), kNeverTime);
+  EXPECT_EQ(h.LastKRef(0), kNeverTime);  // Invalid k.
+  EXPECT_EQ(h.LastKRef(4), kNeverTime);  // Beyond retained depth.
+}
+
+TEST(UsageHistoryTest, KDepthBoundsRetention) {
+  UsageHistory h(2);
+  for (SimTime t = 1; t <= 10; ++t) h.RecordReference(t);
+  EXPECT_EQ(h.LastKRef(1), 10);
+  EXPECT_EQ(h.LastKRef(2), 9);
+  EXPECT_EQ(h.LastKRef(3), kNeverTime);  // Depth 2 only.
+  EXPECT_EQ(h.frequency(), 10u);         // Count is unbounded.
+}
+
+TEST(UsageHistoryTest, ModificationsTracked) {
+  UsageHistory h;
+  h.RecordModification(50);
+  h.RecordModification(150);
+  EXPECT_EQ(h.modification_count(), 2u);
+  EXPECT_EQ(h.LastKMod(1), 150);
+  EXPECT_EQ(h.LastKMod(2), 50);
+  EXPECT_EQ(h.MeanModificationInterval(), 100);
+}
+
+TEST(UsageHistoryTest, MeanModificationIntervalNeedsTwo) {
+  UsageHistory h;
+  EXPECT_EQ(h.MeanModificationInterval(), 0);
+  h.RecordModification(10);
+  EXPECT_EQ(h.MeanModificationInterval(), 0);
+}
+
+TEST(UsageHistoryTest, SharedSettable) {
+  UsageHistory h;
+  h.set_shared(3);
+  EXPECT_EQ(h.shared(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// SlidingWindowCounter
+// ---------------------------------------------------------------------------
+
+TEST(SlidingWindowTest, CountsWithinWindow) {
+  SlidingWindowCounter c(100);
+  c.RecordEvent(10);
+  c.RecordEvent(50);
+  c.RecordEvent(90);
+  EXPECT_EQ(c.Count(100), 3u);
+  // Event at t=10 expires once now - window >= 10.
+  EXPECT_EQ(c.Count(110), 2u);
+  EXPECT_EQ(c.Count(1000), 0u);
+}
+
+TEST(SlidingWindowTest, StateGrowsWithEvents) {
+  SlidingWindowCounter c(kHour);
+  for (SimTime t = 0; t < 1000; ++t) c.RecordEvent(t);
+  // The overhead the paper attributes to sliding windows: state is O(events
+  // in window).
+  EXPECT_EQ(c.StateSize(), 1000u);
+  c.Count(2 * kHour);
+  EXPECT_EQ(c.StateSize(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// LambdaAgingCounter
+// ---------------------------------------------------------------------------
+
+TEST(LambdaAgingTest, MatchesRecurrenceExactly) {
+  // f_{i,j} = λ f* + (1-λ) f_{i,j-1} with λ=0.5, period 100.
+  LambdaAgingCounter c(0.5, 100);
+  // Period [0,100): 4 events.
+  for (int i = 0; i < 4; ++i) c.RecordEvent(10 + i);
+  // At t=100 one roll: f = 0.5*4 + 0.5*0 = 2.
+  EXPECT_DOUBLE_EQ(c.Frequency(100), 2.0);
+  // Period [100,200): 2 events; at t=200: f = 0.5*2 + 0.5*2 = 2.
+  c.RecordEvent(150);
+  c.RecordEvent(160);
+  EXPECT_DOUBLE_EQ(c.Frequency(200), 2.0);
+  // Idle period: f = 0.5*0 + 0.5*2 = 1.
+  EXPECT_DOUBLE_EQ(c.Frequency(300), 1.0);
+}
+
+TEST(LambdaAgingTest, DecaysToZeroWhenIdle) {
+  LambdaAgingCounter c(0.3, kHour);
+  c.RecordEvent(1);
+  double f1 = c.Frequency(kHour);
+  EXPECT_GT(f1, 0.0);
+  double f2 = c.Frequency(100 * kHour);
+  EXPECT_LT(f2, 1e-6);
+}
+
+TEST(LambdaAgingTest, HigherLambdaAdaptsFaster) {
+  LambdaAgingCounter fast(0.9, 100);
+  LambdaAgingCounter slow(0.1, 100);
+  // Warm both with steady traffic.
+  for (SimTime t = 0; t < 1000; t += 10) {
+    fast.RecordEvent(t);
+    slow.RecordEvent(t);
+  }
+  double fast_before = fast.Frequency(1000);
+  double slow_before = slow.Frequency(1000);
+  // Traffic stops; after one idle period the fast-λ estimate collapses more.
+  double fast_after = fast.Frequency(1100);
+  double slow_after = slow.Frequency(1100);
+  EXPECT_LT(fast_after / fast_before, slow_after / slow_before);
+}
+
+TEST(LambdaAgingTest, SeedValueSetsEstimate) {
+  LambdaAgingCounter c(0.5, 100);
+  c.SeedValue(7.5, 0);
+  EXPECT_DOUBLE_EQ(c.Frequency(50), 7.5);
+  // Seeded value ages like any other estimate.
+  EXPECT_DOUBLE_EQ(c.Frequency(100), 3.75);
+}
+
+TEST(LambdaAgingTest, ApproximatesSteadyStateRate) {
+  // Under steady traffic of r events/period, the fixed point is r.
+  LambdaAgingCounter c(0.4, 100);
+  Pcg32 rng(5);
+  for (SimTime t = 0; t < 100000; ++t) {
+    if (rng.NextBernoulli(0.05)) c.RecordEvent(t);  // ~5 events / period.
+  }
+  EXPECT_NEAR(c.Frequency(100000), 5.0, 1.5);
+}
+
+}  // namespace
+}  // namespace cbfww::core

@@ -1,0 +1,375 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/clock.h"
+#include "util/hash.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+#include "util/zipf.h"
+
+namespace cbfww {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing object");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing object");
+  EXPECT_EQ(s.ToString(), "NotFound: missing object");
+}
+
+TEST(StatusTest, OkCodeIgnoresMessage) {
+  Status s(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::InvalidArgument("bad");
+  EXPECT_EQ(os.str(), "InvalidArgument: bad");
+}
+
+TEST(StatusTest, AllCodeNamesDistinct) {
+  std::set<std::string_view> names;
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    names.insert(StatusCodeName(c));
+  }
+  EXPECT_EQ(names.size(), 9u);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status UsesReturnIfError(int x) {
+  CBFWW_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Pcg32 a(123), b(124);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Pcg32 rng(7);
+  for (uint32_t bound : {1u, 2u, 3u, 17u, 1000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Pcg32 rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Pcg32 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Pcg32 rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Pcg32 rng(15);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  double p = static_cast<double>(hits) / n;
+  EXPECT_NEAR(p, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Pcg32 rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Pcg32 rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.NextExponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(RngTest, ForkIndependentButDeterministic) {
+  Pcg32 a(21);
+  Pcg32 c1 = a.Fork(5);
+  Pcg32 c2 = Pcg32(21).Fork(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(c1.Next(), c2.Next());
+  Pcg32 d = Pcg32(21).Fork(6);
+  int same = 0;
+  Pcg32 e = Pcg32(21).Fork(5);
+  for (int i = 0; i < 100; ++i) {
+    if (d.Next() == e.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, SplitMixDeterministic) {
+  SplitMix64 a(99), b(99);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), SplitMix64(100).Next());
+}
+
+// ---------------------------------------------------------------------------
+// Zipf
+// ---------------------------------------------------------------------------
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler z(100, 0.9);
+  double total = 0.0;
+  for (uint64_t i = 0; i < 100; ++i) total += z.Pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfMonotoneDecreasing) {
+  ZipfSampler z(50, 1.0);
+  for (uint64_t i = 1; i < 50; ++i) {
+    EXPECT_LE(z.Pmf(i), z.Pmf(i - 1) + 1e-12);
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfSampler z(10, 0.0);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_NEAR(z.Pmf(i), 0.1, 1e-9);
+}
+
+TEST(ZipfTest, SamplingMatchesSkew) {
+  ZipfSampler z(100, 1.0);
+  Pcg32 rng(31);
+  std::vector<int> counts(100, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(rng)];
+  // Rank 0 should be sampled close to its pmf.
+  double p0 = static_cast<double>(counts[0]) / n;
+  EXPECT_NEAR(p0, z.Pmf(0), 0.01);
+  // Top rank dominates deep tail.
+  EXPECT_GT(counts[0], counts[99] * 5);
+}
+
+TEST(ZipfTest, SingleElement) {
+  ZipfSampler z(1, 0.8);
+  Pcg32 rng(33);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.Sample(rng), 0u);
+  EXPECT_NEAR(z.Pmf(0), 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(StringsTest, SplitSkipsEmptyPieces) {
+  EXPECT_EQ(SplitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitString("", ',').empty());
+  EXPECT_TRUE(SplitString(",,,", ',').empty());
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(ToLowerAscii("HeLLo 123"), "hello 123");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(TrimAscii("  x y \t\n"), "x y");
+  EXPECT_EQ(TrimAscii(""), "");
+  EXPECT_EQ(TrimAscii("   "), "");
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+}
+
+TEST(StringsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(StatsTest, RunningStatsBasics) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(StatsTest, EmptyStats) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StatsTest, Percentiles) {
+  PercentileTracker p;
+  for (int i = 1; i <= 100; ++i) p.Add(i);
+  EXPECT_NEAR(p.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(p.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(p.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(p.Percentile(99), 99.01, 0.1);
+}
+
+TEST(StatsTest, PercentileAfterInterleavedAdds) {
+  PercentileTracker p;
+  p.Add(10);
+  EXPECT_EQ(p.Percentile(50), 10.0);
+  p.Add(20);
+  EXPECT_NEAR(p.Percentile(100), 20.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Clock, hash, table printer
+// ---------------------------------------------------------------------------
+
+TEST(ClockTest, AdvanceMonotone) {
+  VirtualClock c;
+  EXPECT_EQ(c.now(), 0);
+  c.Advance(5 * kSecond);
+  EXPECT_EQ(c.now(), 5 * kSecond);
+  c.Advance(-10);  // Negative deltas ignored.
+  EXPECT_EQ(c.now(), 5 * kSecond);
+  c.AdvanceTo(2 * kSecond);  // Backwards jumps ignored.
+  EXPECT_EQ(c.now(), 5 * kSecond);
+  c.AdvanceTo(kMinute);
+  EXPECT_EQ(c.now(), kMinute);
+}
+
+TEST(HashTest, Fnv1aStable) {
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_NE(Fnv1a64(""), Fnv1a64("a"));
+}
+
+TEST(HashTest, CombineOrderSensitive) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2),
+            HashCombine(HashCombine(0, 2), 1));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long_name", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(out.find("| long_name | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"x"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("| x | "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbfww

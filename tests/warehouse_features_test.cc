@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/warehouse.h"
+#include "corpus/web_corpus.h"
+#include "net/origin_server.h"
+#include "util/strings.h"
+
+namespace cbfww::core {
+namespace {
+
+corpus::CorpusOptions FeatureCorpusOptions() {
+  corpus::CorpusOptions opts;
+  opts.num_sites = 4;
+  opts.pages_per_site = 50;
+  opts.topic.num_topics = 4;
+  opts.seed = 99;
+  return opts;
+}
+
+class WarehouseFeaturesTest : public ::testing::Test {
+ protected:
+  WarehouseFeaturesTest()
+      : corpus_(FeatureCorpusOptions()),
+        origin_(&corpus_, net::NetworkModel()) {}
+
+  std::unique_ptr<Warehouse> MakeWarehouse(WarehouseOptions opts) {
+    return std::make_unique<Warehouse>(&corpus_, &origin_, nullptr, opts);
+  }
+
+  /// A length-3 link path starting at page 0.
+  std::vector<corpus::PageId> LinkPath() {
+    corpus::PageId a = 0;
+    corpus::PageId b = corpus_.page(a).anchors[0].target;
+    corpus::PageId c = corpus_.page(b).anchors[0].target;
+    return {a, b, c};
+  }
+
+  corpus::WebCorpus corpus_;
+  net::OriginServer origin_;
+};
+
+// ---------------------------------------------------------------------------
+// Guided navigation (path prefetch)
+// ---------------------------------------------------------------------------
+
+TEST_F(WarehouseFeaturesTest, PathPrefetchStagesUpcomingPages) {
+  WarehouseOptions opts;
+  opts.memory_bytes = 4ull * 1024 * 1024;
+  opts.logical.support_threshold = 3;
+  opts.enable_path_prefetch = true;
+  auto wh = MakeWarehouse(opts);
+  auto path = LinkPath();
+
+  // Mine the path with several sessions.
+  SimTime t = kSecond;
+  for (int s = 0; s < 4; ++s) {
+    for (size_t i = 0; i < path.size(); ++i) {
+      wh->RequestPage(path[i], 1, s, i > 0, t);
+      t += 10 * kSecond;
+    }
+    t += kHour;
+  }
+  ASSERT_FALSE(wh->logical_pages().PagesStartingAt(path[0]).empty());
+
+  // Demote the next page's container out of memory, then let a fresh
+  // session hit the entry page: guided navigation must stage it back.
+  auto next_container = EncodeStoreId(index::ObjectLevel::kRaw,
+                                      corpus_.page(path[1]).container);
+  if (wh->mutable_hierarchy().IsResident(next_container, 0)) {
+    ASSERT_TRUE(wh->mutable_hierarchy().Evict(next_container, 0).ok());
+  }
+  ASSERT_NE(wh->hierarchy().FastestTierOf(next_container), 0);
+
+  uint64_t before = wh->counters().path_prefetches;
+  wh->RequestPage(path[0], 9, 999, false, t);
+  EXPECT_GT(wh->counters().path_prefetches, before);
+  EXPECT_EQ(wh->hierarchy().FastestTierOf(next_container), 0);
+}
+
+TEST_F(WarehouseFeaturesTest, PathPrefetchCanBeDisabled) {
+  WarehouseOptions opts;
+  opts.logical.support_threshold = 3;
+  opts.enable_path_prefetch = false;
+  auto wh = MakeWarehouse(opts);
+  auto path = LinkPath();
+  SimTime t = kSecond;
+  for (int s = 0; s < 5; ++s) {
+    for (size_t i = 0; i < path.size(); ++i) {
+      wh->RequestPage(path[i], 1, s, i > 0, t);
+      t += 10 * kSecond;
+    }
+    t += kHour;
+  }
+  EXPECT_EQ(wh->counters().path_prefetches, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Index placement + costed queries
+// ---------------------------------------------------------------------------
+
+TEST_F(WarehouseFeaturesTest, IndexesArePlacedIntoTheHierarchy) {
+  WarehouseOptions opts;
+  opts.memory_bytes = 32ull * 1024 * 1024;
+  auto wh = MakeWarehouse(opts);
+  SimTime t = kSecond;
+  for (corpus::PageId p = 0; p < 50; ++p) {
+    wh->RequestPage(p, 1, p, false, t);
+    t += kSecond;
+  }
+  wh->Tick(t + 2 * kHour);  // Rebalance places the indexes.
+  // The physical-level content index and the title index are resident.
+  auto phys_idx = Warehouse::IndexStoreId(
+      static_cast<int>(index::ObjectLevel::kPhysical));
+  auto title_idx = Warehouse::IndexStoreId(4);
+  EXPECT_NE(wh->hierarchy().FastestTierOf(phys_idx), storage::kNoTier);
+  EXPECT_NE(wh->hierarchy().FastestTierOf(title_idx), storage::kNoTier);
+}
+
+TEST_F(WarehouseFeaturesTest, CostedQueryChargesIndexRead) {
+  WarehouseOptions opts;
+  auto wh = MakeWarehouse(opts);
+  SimTime t = kSecond;
+  for (corpus::PageId p = 0; p < 60; ++p) {
+    wh->RequestPage(p, 1, p, false, t);
+    t += kSecond;
+  }
+  wh->Tick(t + 2 * kHour);
+
+  const PhysicalPageRecord* rec = wh->FindPage(0);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_FALSE(rec->title_terms.empty());
+  std::string term = corpus_.vocabulary().TermOf(rec->title_terms[0]);
+  std::string q = StrFormat(
+      "SELECT p.oid FROM Physical_Page p WHERE p.title MENTION '%s'",
+      term.c_str());
+
+  auto indexed = wh->ExecuteQueryWithCost(q, true);
+  auto scanned = wh->ExecuteQueryWithCost(q, false);
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_TRUE(indexed->result.used_index);
+  EXPECT_FALSE(scanned->result.used_index);
+  EXPECT_GT(indexed->cost, 0);
+  EXPECT_GT(scanned->cost, 0);
+  // Same answers either way.
+  EXPECT_EQ(indexed->result.rows.size(), scanned->result.rows.size());
+  EXPECT_EQ(wh->counters().indexed_queries, 1u);
+  EXPECT_EQ(wh->counters().scan_queries, 1u);
+}
+
+TEST_F(WarehouseFeaturesTest, HotIndexPreferredForMemory) {
+  WarehouseOptions opts;
+  // Memory sized so the index budget (1/8) cannot hold both big indexes.
+  opts.memory_bytes = 2ull * 1024 * 1024;
+  auto wh = MakeWarehouse(opts);
+  SimTime t = kSecond;
+  for (corpus::PageId p = 0; p < 120; ++p) {
+    wh->RequestPage(p, 1, p, false, t);
+    t += kSecond;
+  }
+  // Hammer the title index with queries; leave the content index cold.
+  const PhysicalPageRecord* rec = wh->FindPage(0);
+  std::string term = corpus_.vocabulary().TermOf(rec->title_terms[0]);
+  for (int i = 0; i < 20; ++i) {
+    (void)wh->ExecuteQueryWithCost(
+        StrFormat("SELECT p.oid FROM Physical_Page p WHERE p.title "
+                  "MENTION '%s'",
+                  term.c_str()),
+        true);
+  }
+  wh->Tick(t + 2 * kHour);
+
+  auto title_idx = Warehouse::IndexStoreId(4);
+  auto phys_idx = Warehouse::IndexStoreId(
+      static_cast<int>(index::ObjectLevel::kPhysical));
+  // The title index (heavily used, small) should rank at least as fast a
+  // tier as the content index.
+  storage::TierIndex title_tier = wh->hierarchy().FastestTierOf(title_idx);
+  storage::TierIndex phys_tier = wh->hierarchy().FastestTierOf(phys_idx);
+  ASSERT_NE(title_tier, storage::kNoTier);
+  ASSERT_NE(phys_tier, storage::kNoTier);
+  EXPECT_LE(title_tier, phys_tier);
+}
+
+// ---------------------------------------------------------------------------
+// Query catalog coverage for raw / region entities
+// ---------------------------------------------------------------------------
+
+TEST_F(WarehouseFeaturesTest, RawObjectQueries) {
+  auto wh = MakeWarehouse(WarehouseOptions{});
+  wh->RequestPage(0, 1, 1, false, kSecond);
+  wh->RequestPage(0, 1, 2, false, 2 * kSecond);
+  auto r = wh->ExecuteQuery(
+      "SELECT MFU 3 r.oid, r.kind, r.size, r.shared FROM Raw_Object r");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(r->rows.empty());
+  // The top raw object was referenced as part of page 0's visits.
+  EXPECT_TRUE(r->rows[0][1].is_string());
+  EXPECT_GT(r->rows[0][2].AsInt(), 0);
+}
+
+TEST_F(WarehouseFeaturesTest, SemanticRegionQueries) {
+  auto wh = MakeWarehouse(WarehouseOptions{});
+  SimTime t = kSecond;
+  for (corpus::PageId p = 0; p < 30; ++p) {
+    wh->RequestPage(p, 1, p, false, t);
+    t += kSecond;
+  }
+  auto r = wh->ExecuteQuery(
+      "SELECT oid, weight, priority, size FROM Semantic_Region s "
+      "WHERE s.weight > 0");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->rows.empty());
+  for (const auto& row : r->rows) {
+    EXPECT_GT(row[1].AsDouble(), 0.0);
+  }
+}
+
+TEST_F(WarehouseFeaturesTest, PrintReportSummarizesState) {
+  auto wh = MakeWarehouse(WarehouseOptions{});
+  SimTime t = kSecond;
+  for (corpus::PageId p = 0; p < 10; ++p) {
+    wh->RequestPage(p, 1, p, false, t);
+    t += kSecond;
+  }
+  std::ostringstream os;
+  wh->PrintReport(os);
+  std::string report = os.str();
+  EXPECT_NE(report.find("requests: 10"), std::string::npos);
+  EXPECT_NE(report.find("origin fetches"), std::string::npos);
+  EXPECT_NE(report.find("tiers:"), std::string::npos);
+  EXPECT_NE(report.find("semantic regions"), std::string::npos);
+}
+
+TEST_F(WarehouseFeaturesTest, UnknownAttributeIsNull) {
+  auto wh = MakeWarehouse(WarehouseOptions{});
+  wh->RequestPage(0, 1, 1, false, kSecond);
+  auto r = wh->ExecuteQuery("SELECT p.nonsense FROM Physical_Page p");
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->rows.empty());
+  EXPECT_TRUE(r->rows[0][0].is_null());
+}
+
+}  // namespace
+}  // namespace cbfww::core

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/warehouse.h"
+#include "corpus/web_corpus.h"
+#include "net/origin_server.h"
+#include "util/strings.h"
+
+namespace cbfww::core {
+namespace {
+
+corpus::CorpusOptions SearchCorpusOptions() {
+  corpus::CorpusOptions opts;
+  opts.num_sites = 4;
+  opts.pages_per_site = 60;
+  opts.topic.num_topics = 4;
+  opts.seed = 321;
+  return opts;
+}
+
+class WarehouseSearchRecoveryTest : public ::testing::Test {
+ protected:
+  WarehouseSearchRecoveryTest()
+      : corpus_(SearchCorpusOptions()),
+        origin_(&corpus_, net::NetworkModel()) {}
+
+  std::unique_ptr<Warehouse> MakeWarehouse(
+      WarehouseOptions opts = WarehouseOptions{}) {
+    return std::make_unique<Warehouse>(&corpus_, &origin_, nullptr, opts);
+  }
+
+  corpus::WebCorpus corpus_;
+  net::OriginServer origin_;
+};
+
+// ---------------------------------------------------------------------------
+// Popularity-aware search (Section 3, function 3)
+// ---------------------------------------------------------------------------
+
+TEST_F(WarehouseSearchRecoveryTest, SearchRanksByRelevance) {
+  auto wh = MakeWarehouse();
+  SimTime t = kSecond;
+  for (corpus::PageId p = 0; p < 40; ++p) {
+    wh->RequestPage(p, 1, p, false, t);
+    t += kSecond;
+  }
+  // Query with a page's own title terms: that page must rank at the top
+  // region of the results.
+  const PhysicalPageRecord* rec = wh->FindPage(5);
+  ASSERT_NE(rec, nullptr);
+  std::string query;
+  for (text::TermId term : rec->title_terms) {
+    query += corpus_.vocabulary().TermOf(term);
+    query += " ";
+  }
+  auto hits = wh->SearchPages(query, 5, /*popularity_weight=*/0.0);
+  ASSERT_FALSE(hits.empty());
+  bool found = false;
+  for (const auto& h : hits) {
+    if (h.doc == 5) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(WarehouseSearchRecoveryTest, PopularityBoostsHotPages) {
+  auto wh = MakeWarehouse();
+  // Two same-topic pages: one hot (30 accesses), one touched once.
+  corpus::PageId hot = corpus::kInvalidPageId;
+  corpus::PageId cold = corpus::kInvalidPageId;
+  for (corpus::PageId p = 0; p + 1 < corpus_.num_pages(); ++p) {
+    if (corpus_.page(p).topic == corpus_.page(p + 1).topic &&
+        corpus_.page(p).topic == 0) {
+      hot = p;
+      cold = p + 1;
+      break;
+    }
+  }
+  ASSERT_NE(hot, corpus::kInvalidPageId);
+  SimTime t = kSecond;
+  for (int i = 0; i < 30; ++i) {
+    wh->RequestPage(hot, 1, i, false, t);
+    t += kSecond;
+  }
+  wh->RequestPage(cold, 1, 999, false, t);
+
+  // Query with the shared topic's signature terms.
+  std::string query;
+  for (text::TermId term : corpus_.topic_model().TopicSignature(0, 6)) {
+    query += corpus_.vocabulary().TermOf(term);
+    query += " ";
+  }
+  auto boosted = wh->SearchPages(query, 10, /*popularity_weight=*/2.0);
+  ASSERT_FALSE(boosted.empty());
+  // The hot page outranks the cold one when popularity matters.
+  int hot_pos = -1, cold_pos = -1;
+  for (size_t i = 0; i < boosted.size(); ++i) {
+    if (boosted[i].doc == hot) hot_pos = static_cast<int>(i);
+    if (boosted[i].doc == cold) cold_pos = static_cast<int>(i);
+  }
+  ASSERT_NE(hot_pos, -1);
+  if (cold_pos != -1) {
+    EXPECT_LT(hot_pos, cold_pos);
+  }
+}
+
+TEST_F(WarehouseSearchRecoveryTest, CacheConsciousPrefersResidentPages) {
+  WarehouseOptions opts;
+  opts.memory_bytes = 64ull * 1024 * 1024;  // Roomy: requested pages stick.
+  auto wh = MakeWarehouse(opts);
+  SimTime t = kSecond;
+  // User 1 reads topic-0 pages; index some un-requested ones implicitly
+  // stay absent from storage.
+  std::vector<corpus::PageId> topic0;
+  for (corpus::PageId p = 0; p < corpus_.num_pages(); ++p) {
+    if (corpus_.page(p).topic == 0) topic0.push_back(p);
+  }
+  ASSERT_GE(topic0.size(), 12u);
+  for (size_t i = 0; i < 8; ++i) {
+    wh->RequestPage(topic0[i], 1, i, false, t);
+    t += kSecond;
+  }
+  auto recs = wh->RecommendPagesCacheConscious(1, 5, /*tier_weight=*/1.0);
+  ASSERT_FALSE(recs.empty());
+  // Every recommended page is at least warehoused (cache-conscious ranking
+  // favors fast-tier residents; only requested pages are stored at all).
+  int resident = 0;
+  for (const auto& r : recs) {
+    const PhysicalPageRecord* rec = wh->FindPage(r.doc);
+    if (rec != nullptr &&
+        wh->hierarchy().FastestTierOf(
+            EncodeStoreId(index::ObjectLevel::kRaw, rec->container)) == 0) {
+      ++resident;
+    }
+  }
+  EXPECT_GT(resident, static_cast<int>(recs.size()) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Tier-failure recovery (copy control, Section 4.4)
+// ---------------------------------------------------------------------------
+
+TEST_F(WarehouseSearchRecoveryTest, MemoryCrashServedFromDiskCopies) {
+  auto wh = MakeWarehouse();
+  SimTime t = kSecond;
+  for (corpus::PageId p = 0; p < 20; ++p) {
+    wh->RequestPage(p, 1, p, false, t);
+    t += kSecond;
+  }
+  uint64_t lost = wh->SimulateTierFailure(0);
+  EXPECT_GT(lost, 0u);
+  EXPECT_EQ(wh->hierarchy().resident_count(0), 0u);
+
+  // Every page is still serveable WITHOUT touching the origin: memory
+  // residents kept disk copies (copy control).
+  uint64_t fetches_before = wh->counters().origin_fetches;
+  for (corpus::PageId p = 0; p < 20; ++p) {
+    PageVisit v = wh->RequestPage(p, 2, 100 + p, false, t);
+    EXPECT_EQ(v.from_origin, 0u) << "page " << p;
+    t += kSecond;
+  }
+  EXPECT_EQ(wh->counters().origin_fetches, fetches_before);
+}
+
+TEST_F(WarehouseSearchRecoveryTest, DiskCrashServedFromTertiary) {
+  auto wh = MakeWarehouse();
+  SimTime t = kSecond;
+  for (corpus::PageId p = 0; p < 10; ++p) {
+    wh->RequestPage(p, 1, p, false, t);
+    t += kSecond;
+  }
+  wh->SimulateTierFailure(0);
+  wh->SimulateTierFailure(1);
+  uint64_t fetches_before = wh->counters().origin_fetches;
+  for (corpus::PageId p = 0; p < 10; ++p) {
+    PageVisit v = wh->RequestPage(p, 2, 100 + p, false, t);
+    EXPECT_EQ(v.from_origin, 0u);
+    EXPECT_GT(v.from_tertiary, 0u);
+    t += kSecond;
+  }
+  EXPECT_EQ(wh->counters().origin_fetches, fetches_before);
+}
+
+}  // namespace
+}  // namespace cbfww::core

@@ -1,0 +1,458 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/warehouse.h"
+#include "corpus/web_corpus.h"
+#include "net/origin_server.h"
+#include "trace/workload.h"
+#include "util/strings.h"
+
+namespace cbfww::core {
+namespace {
+
+corpus::CorpusOptions TestCorpusOptions() {
+  corpus::CorpusOptions opts;
+  opts.num_sites = 4;
+  opts.pages_per_site = 40;
+  opts.topic.num_topics = 4;
+  opts.seed = 77;
+  return opts;
+}
+
+WarehouseOptions TestWarehouseOptions() {
+  WarehouseOptions opts;
+  opts.memory_bytes = 8ull * 1024 * 1024;
+  opts.disk_bytes = 512ull * 1024 * 1024;
+  opts.rebalance_interval = kHour;
+  opts.logical.support_threshold = 3;
+  return opts;
+}
+
+class WarehouseTest : public ::testing::Test {
+ protected:
+  WarehouseTest()
+      : corpus_(TestCorpusOptions()),
+        origin_(&corpus_, net::NetworkModel()) {}
+
+  std::unique_ptr<Warehouse> MakeWarehouse(
+      WarehouseOptions opts = TestWarehouseOptions(),
+      const corpus::NewsFeed* feed = nullptr) {
+    return std::make_unique<Warehouse>(&corpus_, &origin_, feed, opts);
+  }
+
+  corpus::WebCorpus corpus_;
+  net::OriginServer origin_;
+};
+
+TEST_F(WarehouseTest, FirstRequestFetchesFromOrigin) {
+  auto wh = MakeWarehouse();
+  PageVisit v = wh->RequestPage(0, 1, 1, false, kSecond);
+  EXPECT_GT(v.from_origin, 0u);
+  EXPECT_GT(v.latency, 0);
+  EXPECT_EQ(wh->counters().requests, 1u);
+  EXPECT_GT(wh->counters().origin_fetches, 0u);
+  EXPECT_NE(wh->FindPage(0), nullptr);
+  EXPECT_NE(wh->FindRaw(corpus_.page(0).container), nullptr);
+}
+
+TEST_F(WarehouseTest, RepeatRequestServedLocallyAndFaster) {
+  auto wh = MakeWarehouse();
+  PageVisit first = wh->RequestPage(0, 1, 1, false, kSecond);
+  PageVisit second = wh->RequestPage(0, 1, 2, false, 2 * kSecond);
+  EXPECT_EQ(second.from_origin, 0u);
+  EXPECT_LT(second.latency, first.latency);
+  EXPECT_GT(second.from_memory + second.from_disk + second.from_tertiary, 0u);
+}
+
+TEST_F(WarehouseTest, HistoriesTrackAccesses) {
+  auto wh = MakeWarehouse();
+  for (int i = 0; i < 5; ++i) {
+    wh->RequestPage(3, 1, i, false, (i + 1) * kMinute);
+  }
+  const PhysicalPageRecord* rec = wh->FindPage(3);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->history.frequency(), 5u);
+  EXPECT_EQ(rec->history.firstref(), kMinute);
+  EXPECT_EQ(rec->history.LastKRef(1), 5 * kMinute);
+  // Raw container got the same number of references.
+  const RawObjectRecord* raw = wh->FindRaw(rec->container);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_EQ(raw->history.frequency(), 5u);
+}
+
+TEST_F(WarehouseTest, SharedComponentTracksContainers) {
+  auto wh = MakeWarehouse();
+  // Find a component shared by two pages.
+  corpus::RawId shared = corpus::kInvalidRawId;
+  corpus::PageId p1 = corpus::kInvalidPageId, p2 = corpus::kInvalidPageId;
+  for (corpus::RawId id = 0; id < corpus_.num_raw_objects(); ++id) {
+    const auto& containers = corpus_.ContainersOf(id);
+    if (containers.size() >= 2) {
+      shared = id;
+      p1 = containers[0];
+      p2 = containers[1];
+      break;
+    }
+  }
+  ASSERT_NE(shared, corpus::kInvalidRawId);
+  wh->RequestPage(p1, 1, 1, false, kSecond);
+  wh->RequestPage(p2, 1, 2, false, 2 * kSecond);
+  const RawObjectRecord* raw = wh->FindRaw(shared);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_EQ(raw->history.shared(), 2u);
+  EXPECT_EQ(raw->containers.size(), 2u);
+}
+
+TEST_F(WarehouseTest, Figure2SharedComponentPriorityIsMaxNotSum) {
+  // Isolate the structural rule: no similarity seeding, no topic boost, and
+  // a short aging period so access rates materialize quickly.
+  WarehouseOptions opts = TestWarehouseOptions();
+  opts.initial_priority = InitialPriorityMode::kZero;
+  opts.priority.topic_boost_weight = 0.0;
+  opts.priority.aging_period = kMinute;
+  opts.topics.usage_weight = 0.0;
+  opts.topics.sensor_weight = 0.0;
+  auto wh = MakeWarehouse(opts);
+  corpus::RawId shared = corpus::kInvalidRawId;
+  corpus::PageId d2 = corpus::kInvalidPageId, d3 = corpus::kInvalidPageId;
+  for (corpus::RawId id = 0; id < corpus_.num_raw_objects(); ++id) {
+    const auto& containers = corpus_.ContainersOf(id);
+    if (containers.size() == 2) {
+      shared = id;
+      d2 = containers[0];
+      d3 = containers[1];
+      break;
+    }
+  }
+  ASSERT_NE(shared, corpus::kInvalidRawId);
+
+  // The paper's Figure 2: D2 accessed 12 times, D3 accessed 7 times; the
+  // shared component E5 sees 19 raw accesses but its priority must be
+  // D2's, not the sum.
+  // Interleave accesses inside one aging period, then cross a boundary so
+  // the rates settle (times must be monotone).
+  SimTime t = kSecond;
+  for (int i = 0; i < 12; ++i) {
+    wh->RequestPage(d2, 1, i, false, t);
+    if (i < 7) wh->RequestPage(d3, 2, 100 + i, false, t + kSecond);
+    t += 4 * kSecond;
+  }
+  EXPECT_EQ(wh->FindRaw(shared)->history.frequency(), 19u);
+  t = 2 * kMinute;
+
+  Priority pd2 = wh->EffectivePagePriority(d2, t);
+  Priority pd3 = wh->EffectivePagePriority(d3, t);
+  Priority pshared = wh->EffectiveRawPriority(shared, t);
+  EXPECT_GT(pd2, pd3);
+  EXPECT_DOUBLE_EQ(pshared, std::max(pd2, pd3));
+  EXPECT_LE(pshared, pd2 + 1e-9);  // Never exceeds the max container.
+}
+
+TEST_F(WarehouseTest, InitialPriorityInheritsFromSimilarRegion) {
+  auto wh = MakeWarehouse();
+  // Warm up: hammer pages of site 0 (same dominant topic) so their region
+  // accumulates high member priorities.
+  auto site_pages = corpus_.PagesOfSite(0);
+  SimTime t = kSecond;
+  for (int round = 0; round < 20; ++round) {
+    for (size_t i = 0; i < 5; ++i) {
+      wh->RequestPage(site_pages[i], 1, round, false, t);
+      t += kSecond;
+    }
+  }
+  // A fresh page of the same site (similar content) vs a fresh page of a
+  // different-topic site.
+  corpus::PageId similar_fresh = site_pages[20];
+  // Find a page of a different topic.
+  corpus::PageId dissimilar_fresh = corpus::kInvalidPageId;
+  for (corpus::PageId p = 0; p < corpus_.num_pages(); ++p) {
+    if (corpus_.page(p).topic != corpus_.page(similar_fresh).topic &&
+        wh->FindPage(p) == nullptr) {
+      dissimilar_fresh = p;
+      break;
+    }
+  }
+  ASSERT_NE(dissimilar_fresh, corpus::kInvalidPageId);
+
+  wh->RequestPage(similar_fresh, 2, 1000, false, t);
+  wh->RequestPage(dissimilar_fresh, 2, 1001, false, t + kSecond);
+  const PhysicalPageRecord* sim = wh->FindPage(similar_fresh);
+  const PhysicalPageRecord* dis = wh->FindPage(dissimilar_fresh);
+  ASSERT_NE(sim, nullptr);
+  ASSERT_NE(dis, nullptr);
+  // The similar page starts warmer (paper Section 3 Priority Manager).
+  EXPECT_GT(sim->own_priority, dis->own_priority);
+}
+
+TEST_F(WarehouseTest, LruModeStartsEverythingHot) {
+  WarehouseOptions opts = TestWarehouseOptions();
+  opts.initial_priority = InitialPriorityMode::kZero;
+  auto cold_wh = MakeWarehouse(opts);
+  cold_wh->RequestPage(0, 1, 1, false, kSecond);
+  EXPECT_DOUBLE_EQ(cold_wh->FindPage(0)->own_priority, 0.0);
+}
+
+TEST_F(WarehouseTest, LogicalPagesMinedFromTrails) {
+  auto wh = MakeWarehouse();
+  // Build a valid link path of length 3 from the corpus.
+  corpus::PageId a = 0;
+  ASSERT_FALSE(corpus_.page(a).anchors.empty());
+  corpus::PageId b = corpus_.page(a).anchors[0].target;
+  ASSERT_FALSE(corpus_.page(b).anchors.empty());
+  corpus::PageId c = corpus_.page(b).anchors[0].target;
+
+  SimTime t = kSecond;
+  for (int s = 0; s < 4; ++s) {
+    wh->RequestPage(a, 1, s, false, t);
+    t += 10 * kSecond;
+    wh->RequestPage(b, 1, s, true, t);
+    t += 10 * kSecond;
+    wh->RequestPage(c, 1, s, true, t);
+    t += kHour;  // Gap between sessions.
+  }
+  EXPECT_FALSE(wh->logical_pages().pages().empty());
+  // Social navigation: starting at `a` recommends a mined path.
+  auto recs = wh->RecommendPaths(a, 3);
+  EXPECT_FALSE(recs.empty());
+}
+
+TEST_F(WarehouseTest, WeakConsistencyServesStaleWithoutOrigin) {
+  auto wh = MakeWarehouse();  // Default: weak consistency.
+  wh->RequestPage(0, 1, 1, false, kSecond);
+  corpus::RawId container = corpus_.page(0).container;
+  wh->ProcessEvent([&] {
+    trace::TraceEvent e;
+    e.time = 2 * kSecond;
+    e.type = trace::TraceEventType::kModify;
+    e.modified = container;
+    return e;
+  }());
+  EXPECT_EQ(corpus_.raw(container).version, 2u);
+  uint64_t fetches_before = wh->counters().origin_fetches;
+  PageVisit v = wh->RequestPage(0, 1, 2, false, 3 * kSecond);
+  EXPECT_EQ(v.from_origin, 0u);  // Stale copy served.
+  EXPECT_EQ(wh->counters().origin_fetches, fetches_before);
+}
+
+TEST_F(WarehouseTest, StrongConsistencyRefetchesAfterModification) {
+  WarehouseOptions opts = TestWarehouseOptions();
+  opts.constraints.default_consistency = ConsistencyMode::kStrong;
+  auto wh = MakeWarehouse(opts);
+  wh->RequestPage(0, 1, 1, false, kSecond);
+  corpus::RawId container = corpus_.page(0).container;
+  Pcg32 rng(1);
+  corpus_.ModifyObject(container, 2 * kSecond, rng);
+  wh->OnOriginModified(container, 2 * kSecond);
+  PageVisit v = wh->RequestPage(0, 1, 2, false, 3 * kSecond);
+  EXPECT_GT(v.from_origin, 0u);  // Invalid copy refetched.
+  EXPECT_EQ(wh->FindRaw(container)->cached_version, 2u);
+}
+
+TEST_F(WarehouseTest, VersionsCapturedAcrossRefetches) {
+  WarehouseOptions opts = TestWarehouseOptions();
+  opts.constraints.default_consistency = ConsistencyMode::kStrong;
+  auto wh = MakeWarehouse(opts);
+  corpus::RawId container = corpus_.page(0).container;
+  wh->RequestPage(0, 1, 1, false, kSecond);
+  Pcg32 rng(1);
+  corpus_.ModifyObject(container, 2 * kSecond, rng);
+  wh->OnOriginModified(container, 2 * kSecond);
+  wh->RequestPage(0, 1, 2, false, 3 * kSecond);
+  EXPECT_EQ(wh->versions().VersionsOf(container).size(), 2u);
+  auto old = wh->versions().AsOf(container, kSecond);
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(old->version, 1u);
+}
+
+TEST_F(WarehouseTest, CopyrightedObjectsNeverStored) {
+  auto wh = MakeWarehouse();
+  corpus::RawId container = corpus_.page(0).container;
+  wh->mutable_constraints().MarkCopyrighted(container);
+  PageVisit v1 = wh->RequestPage(0, 1, 1, false, kSecond);
+  EXPECT_GT(v1.from_origin, 0u);
+  EXPECT_GT(wh->counters().admission_rejections, 0u);
+  // Still a miss next time: the container must be refetched.
+  PageVisit v2 = wh->RequestPage(0, 1, 2, false, 2 * kSecond);
+  EXPECT_GT(v2.from_origin, 0u);
+}
+
+TEST_F(WarehouseTest, RebalancePlacesHotPagesInMemory) {
+  auto wh = MakeWarehouse();
+  SimTime t = kSecond;
+  // Hammer page 5 through one simulated hour, touch others once.
+  for (int i = 0; i < 30; ++i) {
+    wh->RequestPage(5, 1, i, false, t);
+    t += kMinute;
+  }
+  for (corpus::PageId p = 10; p < 20; ++p) {
+    wh->RequestPage(p, 2, 100 + p, false, t);
+    t += kSecond;
+  }
+  wh->Tick(t + 2 * kHour);  // Forces a rebalance.
+  EXPECT_GE(wh->counters().rebalances, 1u);
+  corpus::RawId hot_container = corpus_.page(5).container;
+  auto store_id = EncodeStoreId(index::ObjectLevel::kRaw, hot_container);
+  EXPECT_TRUE(wh->hierarchy().IsResident(store_id, 0))
+      << "hot page's container should live in memory";
+}
+
+TEST_F(WarehouseTest, QueriesEndToEnd) {
+  auto wh = MakeWarehouse();
+  SimTime t = kSecond;
+  for (int i = 0; i < 9; ++i) {
+    wh->RequestPage(7, 1, i, false, t);
+    t += kSecond;
+  }
+  wh->RequestPage(8, 1, 100, false, t);
+
+  auto r = wh->ExecuteQuery("SELECT MFU 1 p.oid, p.frequency "
+                            "FROM Physical_Page p");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 7);
+  EXPECT_EQ(r->rows[0][1].AsInt(), 9);
+}
+
+TEST_F(WarehouseTest, MentionQueryFindsTopicTerms) {
+  auto wh = MakeWarehouse();
+  wh->RequestPage(2, 1, 1, false, kSecond);
+  const PhysicalPageRecord* rec = wh->FindPage(2);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_FALSE(rec->title_terms.empty());
+  std::string term = corpus_.vocabulary().TermOf(rec->title_terms[0]);
+
+  auto r = wh->ExecuteQuery(
+      StrFormat("SELECT p.oid FROM Physical_Page p "
+                "WHERE p.title MENTION '%s'",
+                term.c_str()));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->used_index);
+  bool found = false;
+  for (const auto& row : r->rows) {
+    if (row[0].AsInt() == 2) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(WarehouseTest, TopicSensorDrivesPrefetch) {
+  corpus::NewsFeed::Options fopts;
+  fopts.num_bursts = 4;
+  fopts.horizon = kDay;
+  fopts.headline_lead = kHour;
+  corpus::NewsFeed feed(fopts, &corpus_.topic_model());
+  WarehouseOptions opts = TestWarehouseOptions();
+  opts.enable_topic_sensor = true;
+  opts.enable_prefetch = true;
+  // Small memory tier: most pages live on disk, so hot-topic promotion has
+  // something to do.
+  opts.memory_bytes = 256 * 1024;
+  auto wh = MakeWarehouse(opts, &feed);
+
+  // Warm the index with pages of every site (hence every topic) so the
+  // sensor's hot terms always have matching candidates.
+  SimTime t = kSecond;
+  for (corpus::PageId p = 0; p < corpus_.num_pages(); p += 4) {
+    wh->RequestPage(p, 1, p, false, t);
+    t += kSecond;
+  }
+  // Advance past all headlines so the sensor sees them.
+  wh->Tick(kDay);
+  EXPECT_GT(wh->sensor().headlines_seen(), 0u);
+  EXPECT_GT(wh->counters().prefetches, 0u);
+}
+
+TEST_F(WarehouseTest, WeakConsistencyPollingRefreshes) {
+  WarehouseOptions opts = TestWarehouseOptions();
+  opts.constraints.min_poll_interval = kMinute;
+  opts.constraints.max_poll_interval = 10 * kMinute;
+  auto wh = MakeWarehouse(opts);
+  wh->RequestPage(0, 1, 1, false, kSecond);
+  corpus::RawId container = corpus_.page(0).container;
+  Pcg32 rng(1);
+  corpus_.ModifyObject(container, kMinute, rng);
+  // Let polling run well past the max poll interval.
+  wh->Tick(kHour);
+  EXPECT_GT(wh->counters().consistency_polls, 0u);
+  EXPECT_GT(wh->counters().consistency_refreshes, 0u);
+  EXPECT_EQ(wh->FindRaw(container)->cached_version, 2u);
+}
+
+TEST_F(WarehouseTest, RecommendationsMatchUserTopic) {
+  auto wh = MakeWarehouse();
+  // User 1 reads topic-0 pages; user 2 reads topic-1 pages.
+  corpus::TopicId user_topic = 0;
+  std::vector<corpus::PageId> topic0, topic1;
+  for (corpus::PageId p = 0; p < corpus_.num_pages(); ++p) {
+    if (corpus_.page(p).topic == 0) topic0.push_back(p);
+    if (corpus_.page(p).topic == 1) topic1.push_back(p);
+  }
+  ASSERT_GE(topic0.size(), 10u);
+  ASSERT_GE(topic1.size(), 10u);
+  SimTime t = kSecond;
+  for (size_t i = 0; i < 10; ++i) {
+    wh->RequestPage(topic0[i], 1, i, false, t);
+    t += kSecond;
+  }
+  for (size_t i = 0; i < 10; ++i) {
+    wh->RequestPage(topic1[i], 2, 100 + i, false, t);
+    t += kSecond;
+  }
+  auto recs = wh->RecommendPages(1, 5);
+  ASSERT_FALSE(recs.empty());
+  int matching = 0;
+  for (const auto& r : recs) {
+    if (corpus_.page(r.doc).topic == user_topic) ++matching;
+  }
+  EXPECT_GT(matching, static_cast<int>(recs.size()) / 2);
+}
+
+TEST_F(WarehouseTest, ProcessEventDispatches) {
+  auto wh = MakeWarehouse();
+  trace::TraceEvent req;
+  req.time = kSecond;
+  req.type = trace::TraceEventType::kRequest;
+  req.page = 1;
+  req.user = 3;
+  req.session = 9;
+  PageVisit v = wh->ProcessEvent(req);
+  EXPECT_EQ(v.page, 1u);
+  EXPECT_EQ(wh->analyzer().total_requests(), 1u);
+  EXPECT_EQ(wh->analyzer().distinct_users(), 1u);
+}
+
+TEST_F(WarehouseTest, EndToEndWorkloadRuns) {
+  // Full pipeline smoke: generated workload through the warehouse.
+  trace::WorkloadOptions wopts;
+  wopts.horizon = 2 * kHour;
+  wopts.sessions_per_hour = 60;
+  trace::WorkloadGenerator gen(&corpus_, nullptr, wopts);
+  auto events = gen.Generate();
+  ASSERT_GT(events.size(), 100u);
+
+  auto wh = MakeWarehouse();
+  for (const auto& e : events) wh->ProcessEvent(e);
+  EXPECT_GT(wh->analyzer().total_requests(), 100u);
+  EXPECT_GT(wh->counters().origin_fetches, 0u);
+  // Storage invariant: memory usage within capacity.
+  EXPECT_LE(wh->hierarchy().used_bytes(0), TestWarehouseOptions().memory_bytes);
+  // Latency stats populated.
+  EXPECT_GT(wh->analyzer().latency_stats().mean(), 0.0);
+}
+
+TEST_F(WarehouseTest, AnalyzerTracksServeMix) {
+  auto wh = MakeWarehouse();
+  wh->RequestPage(0, 1, 1, false, kSecond);          // Origin.
+  wh->RequestPage(0, 1, 2, false, 2 * kSecond);      // Local.
+  const DataAnalyzer& an = wh->analyzer();
+  EXPECT_EQ(an.total_requests(), 2u);
+  EXPECT_GE(an.served_from(DataAnalyzer::ServedBy::kOrigin), 1u);
+  auto top = an.TopPages(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].page, 0u);
+  EXPECT_EQ(top[0].count, 2u);
+}
+
+}  // namespace
+}  // namespace cbfww::core
