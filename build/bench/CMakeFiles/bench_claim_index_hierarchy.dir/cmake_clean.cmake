@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_index_hierarchy.dir/bench_claim_index_hierarchy.cc.o"
+  "CMakeFiles/bench_claim_index_hierarchy.dir/bench_claim_index_hierarchy.cc.o.d"
+  "CMakeFiles/bench_claim_index_hierarchy.dir/bench_common.cc.o"
+  "CMakeFiles/bench_claim_index_hierarchy.dir/bench_common.cc.o.d"
+  "bench_claim_index_hierarchy"
+  "bench_claim_index_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_index_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

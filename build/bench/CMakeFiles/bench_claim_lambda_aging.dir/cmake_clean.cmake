@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_lambda_aging.dir/bench_claim_lambda_aging.cc.o"
+  "CMakeFiles/bench_claim_lambda_aging.dir/bench_claim_lambda_aging.cc.o.d"
+  "CMakeFiles/bench_claim_lambda_aging.dir/bench_common.cc.o"
+  "CMakeFiles/bench_claim_lambda_aging.dir/bench_common.cc.o.d"
+  "bench_claim_lambda_aging"
+  "bench_claim_lambda_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_lambda_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_lod.dir/bench_claim_lod.cc.o"
+  "CMakeFiles/bench_claim_lod.dir/bench_claim_lod.cc.o.d"
+  "CMakeFiles/bench_claim_lod.dir/bench_common.cc.o"
+  "CMakeFiles/bench_claim_lod.dir/bench_common.cc.o.d"
+  "bench_claim_lod"
+  "bench_claim_lod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_lod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_onetimers.dir/bench_claim_onetimers.cc.o"
+  "CMakeFiles/bench_claim_onetimers.dir/bench_claim_onetimers.cc.o.d"
+  "CMakeFiles/bench_claim_onetimers.dir/bench_common.cc.o"
+  "CMakeFiles/bench_claim_onetimers.dir/bench_common.cc.o.d"
+  "bench_claim_onetimers"
+  "bench_claim_onetimers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_onetimers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

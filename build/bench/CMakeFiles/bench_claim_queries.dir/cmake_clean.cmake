@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_queries.dir/bench_claim_queries.cc.o"
+  "CMakeFiles/bench_claim_queries.dir/bench_claim_queries.cc.o.d"
+  "CMakeFiles/bench_claim_queries.dir/bench_common.cc.o"
+  "CMakeFiles/bench_claim_queries.dir/bench_common.cc.o.d"
+  "bench_claim_queries"
+  "bench_claim_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_recovery.dir/bench_claim_recovery.cc.o"
+  "CMakeFiles/bench_claim_recovery.dir/bench_claim_recovery.cc.o.d"
+  "CMakeFiles/bench_claim_recovery.dir/bench_common.cc.o"
+  "CMakeFiles/bench_claim_recovery.dir/bench_common.cc.o.d"
+  "bench_claim_recovery"
+  "bench_claim_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_topic_sensor.dir/bench_claim_topic_sensor.cc.o"
+  "CMakeFiles/bench_claim_topic_sensor.dir/bench_claim_topic_sensor.cc.o.d"
+  "CMakeFiles/bench_claim_topic_sensor.dir/bench_common.cc.o"
+  "CMakeFiles/bench_claim_topic_sensor.dir/bench_common.cc.o.d"
+  "bench_claim_topic_sensor"
+  "bench_claim_topic_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_topic_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim_versions_consistency.dir/bench_claim_versions_consistency.cc.o"
+  "CMakeFiles/bench_claim_versions_consistency.dir/bench_claim_versions_consistency.cc.o.d"
+  "CMakeFiles/bench_claim_versions_consistency.dir/bench_common.cc.o"
+  "CMakeFiles/bench_claim_versions_consistency.dir/bench_common.cc.o.d"
+  "bench_claim_versions_consistency"
+  "bench_claim_versions_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim_versions_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_shared_priority.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig2_shared_priority.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig2_shared_priority.dir/bench_fig2_shared_priority.cc.o"
+  "CMakeFiles/bench_fig2_shared_priority.dir/bench_fig2_shared_priority.cc.o.d"
+  "bench_fig2_shared_priority"
+  "bench_fig2_shared_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_shared_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

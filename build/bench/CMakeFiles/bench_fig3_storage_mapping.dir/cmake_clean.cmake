@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_storage_mapping.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig3_storage_mapping.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig3_storage_mapping.dir/bench_fig3_storage_mapping.cc.o"
+  "CMakeFiles/bench_fig3_storage_mapping.dir/bench_fig3_storage_mapping.cc.o.d"
+  "bench_fig3_storage_mapping"
+  "bench_fig3_storage_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_storage_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_composition.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig4_composition.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig4_composition.dir/bench_fig4_composition.cc.o"
+  "CMakeFiles/bench_fig4_composition.dir/bench_fig4_composition.cc.o.d"
+  "bench_fig4_composition"
+  "bench_fig4_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

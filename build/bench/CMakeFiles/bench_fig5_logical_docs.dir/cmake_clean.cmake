@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_logical_docs.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig5_logical_docs.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig5_logical_docs.dir/bench_fig5_logical_docs.cc.o"
+  "CMakeFiles/bench_fig5_logical_docs.dir/bench_fig5_logical_docs.cc.o.d"
+  "bench_fig5_logical_docs"
+  "bench_fig5_logical_docs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_logical_docs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5_logical_docs.
+# This may be replaced when dependencies are built.

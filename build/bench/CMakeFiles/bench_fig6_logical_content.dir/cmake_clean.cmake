@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_logical_content.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig6_logical_content.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig6_logical_content.dir/bench_fig6_logical_content.cc.o"
+  "CMakeFiles/bench_fig6_logical_content.dir/bench_fig6_logical_content.cc.o.d"
+  "bench_fig6_logical_content"
+  "bench_fig6_logical_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_logical_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_semantic_regions.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig7_semantic_regions.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig7_semantic_regions.dir/bench_fig7_semantic_regions.cc.o"
+  "CMakeFiles/bench_fig7_semantic_regions.dir/bench_fig7_semantic_regions.cc.o.d"
+  "bench_fig7_semantic_regions"
+  "bench_fig7_semantic_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_semantic_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

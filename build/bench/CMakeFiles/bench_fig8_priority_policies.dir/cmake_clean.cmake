@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_priority_policies.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig8_priority_policies.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig8_priority_policies.dir/bench_fig8_priority_policies.cc.o"
+  "CMakeFiles/bench_fig8_priority_policies.dir/bench_fig8_priority_policies.cc.o.d"
+  "bench_fig8_priority_policies"
+  "bench_fig8_priority_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_priority_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

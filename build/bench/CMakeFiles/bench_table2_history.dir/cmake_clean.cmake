@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_history.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table2_history.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table2_history.dir/bench_table2_history.cc.o"
+  "CMakeFiles/bench_table2_history.dir/bench_table2_history.cc.o.d"
+  "bench_table2_history"
+  "bench_table2_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbfww_sim.dir/cbfww_sim.cc.o"
+  "CMakeFiles/cbfww_sim.dir/cbfww_sim.cc.o.d"
+  "cbfww_sim"
+  "cbfww_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbfww_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_admin.dir/schema_admin.cc.o"
+  "CMakeFiles/schema_admin.dir/schema_admin.cc.o.d"
+  "schema_admin"
+  "schema_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

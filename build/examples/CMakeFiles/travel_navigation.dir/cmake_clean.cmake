@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_navigation.dir/travel_navigation.cc.o"
+  "CMakeFiles/travel_navigation.dir/travel_navigation.cc.o.d"
+  "travel_navigation"
+  "travel_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_analytics.dir/warehouse_analytics.cc.o"
+  "CMakeFiles/warehouse_analytics.dir/warehouse_analytics.cc.o.d"
+  "warehouse_analytics"
+  "warehouse_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

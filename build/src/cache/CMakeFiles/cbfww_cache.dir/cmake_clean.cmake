@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbfww_cache.dir/cache_simulator.cc.o"
+  "CMakeFiles/cbfww_cache.dir/cache_simulator.cc.o.d"
+  "CMakeFiles/cbfww_cache.dir/replacement_policy.cc.o"
+  "CMakeFiles/cbfww_cache.dir/replacement_policy.cc.o.d"
+  "libcbfww_cache.a"
+  "libcbfww_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbfww_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

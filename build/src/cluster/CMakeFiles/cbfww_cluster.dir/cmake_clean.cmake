@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbfww_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/cbfww_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/cbfww_cluster.dir/streaming_kmedian.cc.o"
+  "CMakeFiles/cbfww_cluster.dir/streaming_kmedian.cc.o.d"
+  "libcbfww_cluster.a"
+  "libcbfww_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbfww_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/constraint_manager.cc" "src/core/CMakeFiles/cbfww_core.dir/constraint_manager.cc.o" "gcc" "src/core/CMakeFiles/cbfww_core.dir/constraint_manager.cc.o.d"
+  "/root/repo/src/core/continuous_query.cc" "src/core/CMakeFiles/cbfww_core.dir/continuous_query.cc.o" "gcc" "src/core/CMakeFiles/cbfww_core.dir/continuous_query.cc.o.d"
+  "/root/repo/src/core/data_analyzer.cc" "src/core/CMakeFiles/cbfww_core.dir/data_analyzer.cc.o" "gcc" "src/core/CMakeFiles/cbfww_core.dir/data_analyzer.cc.o.d"
+  "/root/repo/src/core/logical_page_manager.cc" "src/core/CMakeFiles/cbfww_core.dir/logical_page_manager.cc.o" "gcc" "src/core/CMakeFiles/cbfww_core.dir/logical_page_manager.cc.o.d"
+  "/root/repo/src/core/priority_manager.cc" "src/core/CMakeFiles/cbfww_core.dir/priority_manager.cc.o" "gcc" "src/core/CMakeFiles/cbfww_core.dir/priority_manager.cc.o.d"
+  "/root/repo/src/core/query/query_executor.cc" "src/core/CMakeFiles/cbfww_core.dir/query/query_executor.cc.o" "gcc" "src/core/CMakeFiles/cbfww_core.dir/query/query_executor.cc.o.d"
+  "/root/repo/src/core/query/query_lexer.cc" "src/core/CMakeFiles/cbfww_core.dir/query/query_lexer.cc.o" "gcc" "src/core/CMakeFiles/cbfww_core.dir/query/query_lexer.cc.o.d"
+  "/root/repo/src/core/query/query_parser.cc" "src/core/CMakeFiles/cbfww_core.dir/query/query_parser.cc.o" "gcc" "src/core/CMakeFiles/cbfww_core.dir/query/query_parser.cc.o.d"
+  "/root/repo/src/core/query/query_value.cc" "src/core/CMakeFiles/cbfww_core.dir/query/query_value.cc.o" "gcc" "src/core/CMakeFiles/cbfww_core.dir/query/query_value.cc.o.d"
+  "/root/repo/src/core/recommendation_manager.cc" "src/core/CMakeFiles/cbfww_core.dir/recommendation_manager.cc.o" "gcc" "src/core/CMakeFiles/cbfww_core.dir/recommendation_manager.cc.o.d"
+  "/root/repo/src/core/semantic_region_manager.cc" "src/core/CMakeFiles/cbfww_core.dir/semantic_region_manager.cc.o" "gcc" "src/core/CMakeFiles/cbfww_core.dir/semantic_region_manager.cc.o.d"
+  "/root/repo/src/core/storage_manager.cc" "src/core/CMakeFiles/cbfww_core.dir/storage_manager.cc.o" "gcc" "src/core/CMakeFiles/cbfww_core.dir/storage_manager.cc.o.d"
+  "/root/repo/src/core/topic.cc" "src/core/CMakeFiles/cbfww_core.dir/topic.cc.o" "gcc" "src/core/CMakeFiles/cbfww_core.dir/topic.cc.o.d"
+  "/root/repo/src/core/usage_history.cc" "src/core/CMakeFiles/cbfww_core.dir/usage_history.cc.o" "gcc" "src/core/CMakeFiles/cbfww_core.dir/usage_history.cc.o.d"
+  "/root/repo/src/core/version_manager.cc" "src/core/CMakeFiles/cbfww_core.dir/version_manager.cc.o" "gcc" "src/core/CMakeFiles/cbfww_core.dir/version_manager.cc.o.d"
+  "/root/repo/src/core/warehouse.cc" "src/core/CMakeFiles/cbfww_core.dir/warehouse.cc.o" "gcc" "src/core/CMakeFiles/cbfww_core.dir/warehouse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/cbfww_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/cbfww_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/cbfww_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cbfww_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cbfww_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cbfww_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cbfww_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cbfww_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcbfww_core.a"
+)

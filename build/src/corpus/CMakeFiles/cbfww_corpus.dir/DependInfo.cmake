@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/news_feed.cc" "src/corpus/CMakeFiles/cbfww_corpus.dir/news_feed.cc.o" "gcc" "src/corpus/CMakeFiles/cbfww_corpus.dir/news_feed.cc.o.d"
+  "/root/repo/src/corpus/topic_model.cc" "src/corpus/CMakeFiles/cbfww_corpus.dir/topic_model.cc.o" "gcc" "src/corpus/CMakeFiles/cbfww_corpus.dir/topic_model.cc.o.d"
+  "/root/repo/src/corpus/web_corpus.cc" "src/corpus/CMakeFiles/cbfww_corpus.dir/web_corpus.cc.o" "gcc" "src/corpus/CMakeFiles/cbfww_corpus.dir/web_corpus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/cbfww_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cbfww_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

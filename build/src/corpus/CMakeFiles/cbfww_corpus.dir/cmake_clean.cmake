@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbfww_corpus.dir/news_feed.cc.o"
+  "CMakeFiles/cbfww_corpus.dir/news_feed.cc.o.d"
+  "CMakeFiles/cbfww_corpus.dir/topic_model.cc.o"
+  "CMakeFiles/cbfww_corpus.dir/topic_model.cc.o.d"
+  "CMakeFiles/cbfww_corpus.dir/web_corpus.cc.o"
+  "CMakeFiles/cbfww_corpus.dir/web_corpus.cc.o.d"
+  "libcbfww_corpus.a"
+  "libcbfww_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbfww_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

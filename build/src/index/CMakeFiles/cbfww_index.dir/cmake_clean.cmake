@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbfww_index.dir/index_hierarchy.cc.o"
+  "CMakeFiles/cbfww_index.dir/index_hierarchy.cc.o.d"
+  "CMakeFiles/cbfww_index.dir/inverted_index.cc.o"
+  "CMakeFiles/cbfww_index.dir/inverted_index.cc.o.d"
+  "libcbfww_index.a"
+  "libcbfww_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbfww_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/origin_server.cc" "src/net/CMakeFiles/cbfww_net.dir/origin_server.cc.o" "gcc" "src/net/CMakeFiles/cbfww_net.dir/origin_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/cbfww_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cbfww_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cbfww_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

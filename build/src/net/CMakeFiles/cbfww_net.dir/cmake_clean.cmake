@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbfww_net.dir/origin_server.cc.o"
+  "CMakeFiles/cbfww_net.dir/origin_server.cc.o.d"
+  "libcbfww_net.a"
+  "libcbfww_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbfww_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbfww_storage.dir/device.cc.o"
+  "CMakeFiles/cbfww_storage.dir/device.cc.o.d"
+  "CMakeFiles/cbfww_storage.dir/hierarchy.cc.o"
+  "CMakeFiles/cbfww_storage.dir/hierarchy.cc.o.d"
+  "libcbfww_storage.a"
+  "libcbfww_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbfww_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/count_min_sketch.cc" "src/stream/CMakeFiles/cbfww_stream.dir/count_min_sketch.cc.o" "gcc" "src/stream/CMakeFiles/cbfww_stream.dir/count_min_sketch.cc.o.d"
+  "/root/repo/src/stream/exponential_histogram.cc" "src/stream/CMakeFiles/cbfww_stream.dir/exponential_histogram.cc.o" "gcc" "src/stream/CMakeFiles/cbfww_stream.dir/exponential_histogram.cc.o.d"
+  "/root/repo/src/stream/stream_system.cc" "src/stream/CMakeFiles/cbfww_stream.dir/stream_system.cc.o" "gcc" "src/stream/CMakeFiles/cbfww_stream.dir/stream_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cbfww_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbfww_stream.dir/count_min_sketch.cc.o"
+  "CMakeFiles/cbfww_stream.dir/count_min_sketch.cc.o.d"
+  "CMakeFiles/cbfww_stream.dir/exponential_histogram.cc.o"
+  "CMakeFiles/cbfww_stream.dir/exponential_histogram.cc.o.d"
+  "CMakeFiles/cbfww_stream.dir/stream_system.cc.o"
+  "CMakeFiles/cbfww_stream.dir/stream_system.cc.o.d"
+  "libcbfww_stream.a"
+  "libcbfww_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbfww_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbfww_text.dir/summarizer.cc.o"
+  "CMakeFiles/cbfww_text.dir/summarizer.cc.o.d"
+  "CMakeFiles/cbfww_text.dir/term_vector.cc.o"
+  "CMakeFiles/cbfww_text.dir/term_vector.cc.o.d"
+  "CMakeFiles/cbfww_text.dir/tfidf.cc.o"
+  "CMakeFiles/cbfww_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/cbfww_text.dir/tokenizer.cc.o"
+  "CMakeFiles/cbfww_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/cbfww_text.dir/vocabulary.cc.o"
+  "CMakeFiles/cbfww_text.dir/vocabulary.cc.o.d"
+  "libcbfww_text.a"
+  "libcbfww_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbfww_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbfww_trace.dir/trace_event.cc.o"
+  "CMakeFiles/cbfww_trace.dir/trace_event.cc.o.d"
+  "CMakeFiles/cbfww_trace.dir/trace_io.cc.o"
+  "CMakeFiles/cbfww_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/cbfww_trace.dir/workload.cc.o"
+  "CMakeFiles/cbfww_trace.dir/workload.cc.o.d"
+  "libcbfww_trace.a"
+  "libcbfww_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbfww_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

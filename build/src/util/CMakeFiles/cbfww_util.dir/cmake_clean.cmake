@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbfww_util.dir/rng.cc.o"
+  "CMakeFiles/cbfww_util.dir/rng.cc.o.d"
+  "CMakeFiles/cbfww_util.dir/stats.cc.o"
+  "CMakeFiles/cbfww_util.dir/stats.cc.o.d"
+  "CMakeFiles/cbfww_util.dir/status.cc.o"
+  "CMakeFiles/cbfww_util.dir/status.cc.o.d"
+  "CMakeFiles/cbfww_util.dir/strings.cc.o"
+  "CMakeFiles/cbfww_util.dir/strings.cc.o.d"
+  "CMakeFiles/cbfww_util.dir/table_printer.cc.o"
+  "CMakeFiles/cbfww_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/cbfww_util.dir/zipf.cc.o"
+  "CMakeFiles/cbfww_util.dir/zipf.cc.o.d"
+  "libcbfww_util.a"
+  "libcbfww_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbfww_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_region_test.dir/logical_region_test.cc.o"
+  "CMakeFiles/logical_region_test.dir/logical_region_test.cc.o.d"
+  "logical_region_test"
+  "logical_region_test.pdb"
+  "logical_region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/managers_test.dir/managers_test.cc.o"
+  "CMakeFiles/managers_test.dir/managers_test.cc.o.d"
+  "managers_test"
+  "managers_test.pdb"
+  "managers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/managers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

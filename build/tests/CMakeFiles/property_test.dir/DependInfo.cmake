@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cbfww_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cbfww_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cbfww_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/cbfww_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/cbfww_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cbfww_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/cbfww_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/cbfww_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cbfww_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cbfww_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cbfww_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_language_test.dir/schema_language_test.cc.o"
+  "CMakeFiles/schema_language_test.dir/schema_language_test.cc.o.d"
+  "schema_language_test"
+  "schema_language_test.pdb"
+  "schema_language_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_language_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usage_history_test.dir/usage_history_test.cc.o"
+  "CMakeFiles/usage_history_test.dir/usage_history_test.cc.o.d"
+  "usage_history_test"
+  "usage_history_test.pdb"
+  "usage_history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usage_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_features_test.dir/warehouse_features_test.cc.o"
+  "CMakeFiles/warehouse_features_test.dir/warehouse_features_test.cc.o.d"
+  "warehouse_features_test"
+  "warehouse_features_test.pdb"
+  "warehouse_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_search_recovery_test.dir/warehouse_search_recovery_test.cc.o"
+  "CMakeFiles/warehouse_search_recovery_test.dir/warehouse_search_recovery_test.cc.o.d"
+  "warehouse_search_recovery_test"
+  "warehouse_search_recovery_test.pdb"
+  "warehouse_search_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_search_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/usage_history_test[1]_include.cmake")
+include("/root/repo/build/tests/priority_topic_test[1]_include.cmake")
+include("/root/repo/build/tests/logical_region_test[1]_include.cmake")
+include("/root/repo/build/tests/managers_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/warehouse_test[1]_include.cmake")
+include("/root/repo/build/tests/schema_language_test[1]_include.cmake")
+include("/root/repo/build/tests/warehouse_features_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
+include("/root/repo/build/tests/warehouse_search_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/query_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/continuous_query_test[1]_include.cmake")
