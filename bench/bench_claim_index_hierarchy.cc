@@ -83,7 +83,7 @@ int main() {
   SimTime cost_memory = 0, cost_disk = 0, cost_scan = 0;
   // Index currently in memory (PlaceIndexes ran during the trace).
   {
-    auto r = wh.ExecuteQueryWithCost(q, true);
+    auto r = wh.ExecuteQuery(q, {.use_index = true, .with_cost = true});
     if (r.ok()) {
       cost_memory = r->cost;
       cost.AddRow({"memory", StrFormat("%.2fms",
@@ -99,7 +99,7 @@ int main() {
     if (wh.mutable_hierarchy().IsResident(idx_id, 0)) {
       (void)wh.mutable_hierarchy().Evict(idx_id, 0);
     }
-    auto r = wh.ExecuteQueryWithCost(q, true);
+    auto r = wh.ExecuteQuery(q, {.use_index = true, .with_cost = true});
     if (r.ok()) {
       cost_disk = r->cost;
       cost.AddRow({"disk", StrFormat("%.2fms",
@@ -110,7 +110,7 @@ int main() {
   }
   // No index at all: scan.
   {
-    auto r = wh.ExecuteQueryWithCost(q, false);
+    auto r = wh.ExecuteQuery(q, {.use_index = false, .with_cost = true});
     if (r.ok()) {
       cost_scan = r->cost;
       cost.AddRow({"none (scan)",

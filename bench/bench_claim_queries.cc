@@ -59,14 +59,14 @@ void RunQuery(benchmark::State& state, const std::string& query,
   uint64_t rows = 0;
   uint64_t candidates = 0;
   for (auto _ : state) {
-    auto r = f.warehouse->ExecuteQuery(query, use_index);
+    auto r = f.warehouse->ExecuteQuery(query, {.use_index = use_index});
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
       return;
     }
-    rows = r->rows.size();
-    candidates = r->candidates_evaluated;
-    benchmark::DoNotOptimize(r->rows.data());
+    rows = r->result.rows.size();
+    candidates = r->result.candidates_evaluated;
+    benchmark::DoNotOptimize(r->result.rows.data());
   }
   state.counters["rows"] = static_cast<double>(rows);
   state.counters["candidates"] = static_cast<double>(candidates);
@@ -140,13 +140,13 @@ int main(int argc, char** argv) {
   auto& f = cbfww::bench::Fixture();
   std::string q = "SELECT MFU 10 p.oid FROM Physical_Page p WHERE p.title "
                   "MENTION '" + f.mention_term + "'";
-  auto with_index = f.warehouse->ExecuteQuery(q, true);
-  auto without = f.warehouse->ExecuteQuery(q, false);
+  auto with_index = f.warehouse->ExecuteQuery(q, {.use_index = true});
+  auto without = f.warehouse->ExecuteQuery(q, {.use_index = false});
   bool ok = with_index.ok() && without.ok() &&
-            with_index->used_index && !without->used_index &&
-            with_index->candidates_evaluated <
-                without->candidates_evaluated &&
-            with_index->rows.size() == without->rows.size();
+            with_index->result.used_index && !without->result.used_index &&
+            with_index->result.candidates_evaluated <
+                without->result.candidates_evaluated &&
+            with_index->result.rows.size() == without->result.rows.size();
   cbfww::bench::ShapeCheck(
       "index hierarchy reduces candidates without changing results", ok);
   cbfww::bench::ShapeCheck(

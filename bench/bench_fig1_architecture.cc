@@ -99,7 +99,7 @@ int main() {
   std::printf("\nQuery Processor: SELECT MFU 3 p.oid, p.frequency, "
               "p.priority FROM Physical_Page p\n");
   if (q.ok()) {
-    for (const auto& row : q->rows) {
+    for (const auto& row : q->result.rows) {
       std::printf("  oid=%s freq=%s priority=%s\n", row[0].ToString().c_str(),
                   row[1].ToString().c_str(), row[2].ToString().c_str());
     }
@@ -124,7 +124,7 @@ int main() {
                  wh.versions().num_versions() > 0 &&
                  wh.counters().consistency_polls > 0 &&
                  wh.recommendations().num_users() > 0 &&
-                 q.ok() && !q->rows.empty());
+                 q.ok() && !q->result.rows.empty());
   ShapeCheck("local serves dominate origin fetches after warm-up",
              metrics.LocalHitRatio() > 0.5);
   return 0;

@@ -62,8 +62,9 @@ int main() {
   core::Warehouse wh(&sim.corpus, &sim.origin, nullptr, PurePriorityOptions());
   SimTime t = kSecond;
   for (int i = 0; i < 12; ++i) {
-    wh.RequestPage(d2, 1, i, false, t);
-    if (i < 7) wh.RequestPage(d3, 2, 100 + i, false, t + kSecond);
+    wh.RequestPage({.page = d2, .user = 1, .session = i, .now = t});
+    if (i < 7) wh.RequestPage(
+        {.page = d3, .user = 2, .session = 100 + i, .now = t + kSecond});
     t += kMinute;
   }
   SimTime eval = kDay + kHour;  // Cross the aging period: counts settle.

@@ -109,7 +109,7 @@ Probe ProbeWarehouse(Simulation& sim,
   // Query capability: the paper's usage-aware SELECT works.
   auto q = wh.ExecuteQuery("SELECT MFU 5 p.oid, p.frequency "
                            "FROM Physical_Page p WHERE p.size > 10000");
-  p.queries_ok = q.ok() && !q->rows.empty();
+  p.queries_ok = q.ok() && !q->result.rows.empty();
   p.data_store = p.retained_all ? "Persistent (bound-free)" : "LOSSY (bug!)";
   p.capacity = "No practical limit (tertiary-backed)";
   p.query = p.queries_ok ? "Select+usage modifiers (LRU/MRU/LFU/MFU)"

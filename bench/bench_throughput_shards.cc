@@ -1,0 +1,155 @@
+// Parallel throughput of the sharded warehouse front-end.
+//
+// Replays one fixed trace through WarehouseCluster at 1/2/4/8 shards and
+// measures replay events/sec. Two numbers are reported per configuration:
+//   - wall-clock events/sec, which depends on how many hardware threads
+//     the machine actually has, and
+//   - critical-path events/sec (events / max per-shard busy time), the
+//     throughput a machine with >= shards hardware threads would see.
+// The scalability shape check uses the critical path so the result is
+// meaningful on single-core CI runners too; on a big machine the two
+// numbers converge. Results land in BENCH_throughput_shards.json for the
+// perf trajectory.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/warehouse_cluster.h"
+#include "trace/workload.h"
+
+namespace {
+
+using cbfww::cluster::ClusterOptions;
+using cbfww::cluster::ClusterReport;
+using cbfww::cluster::WarehouseCluster;
+
+struct ConfigResult {
+  uint32_t shards = 0;
+  uint64_t events = 0;
+  double wall_s = 0.0;
+  double events_per_sec_wall = 0.0;
+  double events_per_sec_critical = 0.0;
+  uint64_t total_requests = 0;
+  uint64_t origin_fetches = 0;
+};
+
+ConfigResult RunConfig(const cbfww::corpus::CorpusOptions& corpus_opts,
+                       const std::vector<cbfww::trace::TraceEvent>& events,
+                       uint32_t shards) {
+  ClusterOptions opts;
+  opts.num_shards = shards;
+  opts.warehouse = cbfww::bench::StandardWarehouseOptions();
+  // Same cluster-wide capacity at every shard count.
+  opts.warehouse.memory_bytes /= shards;
+  opts.warehouse.disk_bytes /= shards;
+
+  WarehouseCluster cluster(corpus_opts, std::nullopt, opts);
+  auto start = std::chrono::steady_clock::now();
+  cluster.Replay(events);
+  auto end = std::chrono::steady_clock::now();
+
+  ClusterReport report = cluster.Report();
+  std::printf("  shard busy:");
+  for (size_t s = 0; s < report.shard_busy_ns.size(); ++s) {
+    std::printf(" %.2fs/%llu ev", report.shard_busy_ns[s] / 1e9,
+                static_cast<unsigned long long>(report.shard_requests[s]));
+  }
+  std::printf("\n");
+  ConfigResult r;
+  r.shards = shards;
+  r.events = cluster.events_submitted();
+  r.wall_s = std::chrono::duration<double>(end - start).count();
+  r.events_per_sec_wall = static_cast<double>(r.events) / r.wall_s;
+  double critical_s = static_cast<double>(report.MaxShardBusyNs()) / 1e9;
+  r.events_per_sec_critical =
+      critical_s > 0 ? static_cast<double>(r.events) / critical_s : 0.0;
+  r.total_requests = report.counters.requests;
+  r.origin_fetches = report.counters.origin_fetches;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  cbfww::bench::PrintHeader(
+      "throughput/shards",
+      "WarehouseCluster parallel replay throughput at 1/2/4/8 shards");
+
+  // A mid-size corpus: big enough that per-event work dominates queue
+  // overhead, small enough that 8 replicas build in seconds.
+  cbfww::corpus::CorpusOptions corpus_opts =
+      cbfww::bench::StandardCorpusOptions();
+  corpus_opts.num_sites = 12;
+  corpus_opts.pages_per_site = 250;
+
+  cbfww::trace::WorkloadOptions wopts =
+      cbfww::bench::StandardWorkloadOptions();
+  wopts.horizon = 2 * cbfww::kDay;
+  wopts.sessions_per_hour = 120;
+
+  cbfww::corpus::WebCorpus corpus(corpus_opts);
+  cbfww::trace::WorkloadGenerator generator(&corpus, nullptr, wopts);
+  std::vector<cbfww::trace::TraceEvent> events = generator.Generate();
+  std::printf("trace: %zu events, machine threads: %u\n\n", events.size(),
+              std::thread::hardware_concurrency());
+
+  std::vector<ConfigResult> results;
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    ConfigResult r = RunConfig(corpus_opts, events, shards);
+    results.push_back(r);
+    std::printf(
+        "shards=%u  events=%llu  wall=%.2fs  ev/s(wall)=%.0f  "
+        "ev/s(critical-path)=%.0f\n",
+        r.shards, static_cast<unsigned long long>(r.events), r.wall_s,
+        r.events_per_sec_wall, r.events_per_sec_critical);
+  }
+
+  const ConfigResult& base = results[0];
+  const ConfigResult& four = results[2];
+  double speedup =
+      four.events_per_sec_critical / base.events_per_sec_critical;
+  std::printf("\ncritical-path speedup at 4 shards: %.2fx\n", speedup);
+  cbfww::bench::ShapeCheck(
+      "4-shard cluster sustains >= 2x the 1-shard events/sec "
+      "(critical path)",
+      speedup >= 2.0);
+  cbfww::bench::ShapeCheck(
+      "request totals identical at every shard count (partitioned replay "
+      "loses nothing)",
+      results[1].total_requests == base.total_requests &&
+          four.total_requests == base.total_requests &&
+          results[3].total_requests == base.total_requests);
+
+  // Determinism spot check: a second 4-shard run must reproduce the
+  // aggregate counters exactly.
+  ConfigResult again = RunConfig(corpus_opts, events, 4);
+  cbfww::bench::ShapeCheck(
+      "4-shard aggregate counters reproduce across runs (deterministic "
+      "replay)",
+      again.total_requests == four.total_requests &&
+          again.origin_fetches == four.origin_fetches);
+
+  std::ofstream json("BENCH_throughput_shards.json");
+  json << "{\n  \"bench\": \"throughput_shards\",\n";
+  json << "  \"machine_threads\": " << std::thread::hardware_concurrency()
+       << ",\n  \"trace_events\": " << events.size() << ",\n";
+  json << "  \"configs\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    json << "    {\"shards\": " << r.shards << ", \"events\": " << r.events
+         << ", \"wall_s\": " << r.wall_s
+         << ", \"events_per_sec_wall\": " << r.events_per_sec_wall
+         << ", \"events_per_sec_critical_path\": " << r.events_per_sec_critical
+         << ", \"requests\": " << r.total_requests
+         << ", \"origin_fetches\": " << r.origin_fetches << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"critical_path_speedup_4_shards\": " << speedup
+       << "\n}\n";
+  std::printf("\nwrote BENCH_throughput_shards.json\n");
+  return 0;
+}

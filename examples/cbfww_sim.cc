@@ -199,7 +199,7 @@ int main(int argc, char** argv) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       return 1;
     }
-    for (const auto& row : result->rows) {
+    for (const auto& row : result->result.rows) {
       std::printf("  ");
       for (size_t c = 0; c < row.size(); ++c) {
         std::printf("%s%s", c > 0 ? " | " : "", row[c].ToString().c_str());

@@ -91,7 +91,7 @@ int main() {
   auto result = warehouse.ExecuteQuery(
       "SELECT MFU 5 p.oid, p.title FROM Physical_Page p");
   if (result.ok()) {
-    for (const auto& row : result->rows) {
+    for (const auto& row : result->result.rows) {
       std::printf("  page %-6s \"%.60s\"\n", row[0].ToString().c_str(),
                   row[1].ToString().c_str());
     }

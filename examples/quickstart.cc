@@ -63,7 +63,7 @@ int main() {
   auto result = warehouse.ExecuteQuery(
       "SELECT MFU 5 p.oid, p.frequency, p.priority FROM Physical_Page p");
   if (result.ok()) {
-    for (const auto& row : result->rows) {
+    for (const auto& row : result->result.rows) {
       std::printf("  page %-6s frequency=%-4s priority=%s\n",
                   row[0].ToString().c_str(), row[1].ToString().c_str(),
                   row[2].ToString().c_str());
@@ -74,7 +74,7 @@ int main() {
   auto lru = warehouse.ExecuteQuery(
       "SELECT LRU 3 p.oid, p.lastref FROM Physical_Page p");
   if (lru.ok()) {
-    for (const auto& row : lru->rows) {
+    for (const auto& row : lru->result.rows) {
       std::printf("  page %-6s lastref=%s us\n", row[0].ToString().c_str(),
                   row[1].ToString().c_str());
     }

@@ -70,8 +70,8 @@ int main() {
   // Touch the governed pages once so the warehouse knows them, then run
   // half a day of traffic.
   for (corpus::PageId p = 0; p < 3; ++p) {
-    warehouse.RequestPage(p, /*user=*/0, /*session=*/p, false,
-                          (p + 1) * kSecond);
+    warehouse.RequestPage(
+        {.page = p, .user = 0, .session = static_cast<int64_t>(p), .now = static_cast<SimTime>(p + 1) * kSecond});
   }
   trace::WorkloadOptions workload_options;
   workload_options.horizon = 12 * kHour;

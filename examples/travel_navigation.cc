@@ -51,7 +51,7 @@ int main() {
       "SELECT MFU 3 l.oid, l.path, l.frequency, l.title "
       "FROM Logical_Page l");
   if (top.ok()) {
-    for (const auto& row : top->rows) {
+    for (const auto& row : top->result.rows) {
       std::printf("logical doc %s  path %s  traversed %s times\n",
                   row[0].ToString().c_str(), row[1].ToString().c_str(),
                   row[2].ToString().c_str());
@@ -91,7 +91,7 @@ int main() {
       "(SELECT p.oid FROM Physical_Page p WHERE p.url = '%s')",
       terminal_rec.url.c_str()));
   if (paths_to.ok()) {
-    for (const auto& row : paths_to->rows) {
+    for (const auto& row : paths_to->result.rows) {
       std::printf("  via %s\n", row[0].ToString().c_str());
     }
   }

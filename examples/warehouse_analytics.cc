@@ -88,14 +88,14 @@ int main() {
       std::printf("  error: %s\n", result.status().ToString().c_str());
       continue;
     }
-    for (const auto& row : result->rows) {
+    for (const auto& row : result->result.rows) {
       std::printf("  ");
       for (size_t c = 0; c < row.size(); ++c) {
         std::printf("%s%.50s", c > 0 ? " | " : "", row[c].ToString().c_str());
       }
       std::printf("\n");
     }
-    if (result->rows.empty()) std::printf("  (no rows)\n");
+    if (result->result.rows.empty()) std::printf("  (no rows)\n");
   }
 
   // --- Version history: the web as of 6 hours ago. ---

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# CI for the CBFWW repro: tier-1 verify (full build + test suite) plus a
+# ThreadSanitizer pass over the concurrent cluster front-end.
+#
+#   scripts/ci.sh           # everything
+#   scripts/ci.sh tier1     # build + ctest only
+#   scripts/ci.sh tsan      # TSan cluster tests + shard bench only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+stage="${1:-all}"
+
+tier1() {
+  echo "=== tier-1: build + tests ==="
+  cmake -B build -S .
+  cmake --build build -j
+  ctest --test-dir build --output-on-failure -j
+}
+
+tsan() {
+  echo "=== tsan: cluster front-end under ThreadSanitizer ==="
+  cmake -B build-tsan -S . -DCBFWW_SANITIZE=thread
+  cmake --build build-tsan -j --target cluster_front_test \
+    bench_throughput_shards
+  ./build-tsan/tests/cluster_front_test
+  # The bench drives the 1/2/4/8-shard configs (incl. the 4-shard run the
+  # acceptance bar names); run it from a scratch dir so the sanitized run
+  # does not overwrite the committed BENCH_*.json numbers.
+  tsan_out="$(mktemp -d)"
+  (cd "${tsan_out}" && "${OLDPWD}/build-tsan/bench/bench_throughput_shards")
+  rm -rf "${tsan_out}"
+}
+
+case "${stage}" in
+  tier1) tier1 ;;
+  tsan) tsan ;;
+  all)
+    tier1
+    tsan
+    ;;
+  *)
+    echo "usage: scripts/ci.sh [tier1|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "CI OK"

@@ -1,0 +1,100 @@
+#ifndef CBFWW_CLUSTER_SPSC_QUEUE_H_
+#define CBFWW_CLUSTER_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace cbfww::cluster {
+
+/// Bounded lock-free single-producer/single-consumer ring buffer.
+///
+/// The cluster front-end runs one router (producer) and one worker per
+/// shard (consumer), so SPSC is exactly the coordination the event queues
+/// need: a release-store of the tail publishes the slot written by the
+/// producer, an acquire-load on the consumer side observes it, and neither
+/// side ever takes a lock. Capacity is rounded up to a power of two.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t min_capacity) {
+    size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  size_t capacity() const { return buffer_.size(); }
+
+  /// Producer side. Returns false when the ring is full.
+  bool TryPush(const T& item) {
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= buffer_.size()) return false;
+    buffer_[tail & mask_] = item;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side; spins (with escalating backoff) until space frees up.
+  void Push(const T& item) {
+    Backoff backoff;
+    while (!TryPush(item)) backoff.Pause();
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T& out) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = buffer_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// Escalating wait: yield a while, then sleep in growing slices. Keeps
+  /// the hot path spin-free under load while not burning a core when idle
+  /// (this repo's CI may run on a single hardware thread).
+  class Backoff {
+   public:
+    void Pause() {
+      if (spins_ < 64) {
+        ++spins_;
+        std::this_thread::yield();
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+      if (sleep_us_ < 1000) sleep_us_ *= 2;
+    }
+    void Reset() {
+      spins_ = 0;
+      sleep_us_ = 10;
+    }
+
+   private:
+    int spins_ = 0;
+    int64_t sleep_us_ = 10;
+  };
+
+ private:
+  std::vector<T> buffer_;
+  size_t mask_ = 0;
+  /// Producer and consumer cursors on separate cache lines.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::atomic<uint64_t> tail_{0};
+};
+
+}  // namespace cbfww::cluster
+
+#endif  // CBFWW_CLUSTER_SPSC_QUEUE_H_

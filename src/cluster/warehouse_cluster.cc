@@ -1,0 +1,202 @@
+#include "cluster/warehouse_cluster.h"
+
+#include <ctime>
+
+#include <algorithm>
+
+#include "trace/workload.h"
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace cbfww::cluster {
+
+namespace {
+
+// CPU time consumed by the calling thread. Unlike a wall clock this
+// excludes time spent descheduled, so per-shard busy_ns stays meaningful
+// when worker threads outnumber hardware threads.
+uint64_t ThreadCpuNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+WarehouseCluster::WarehouseCluster(
+    const corpus::CorpusOptions& corpus_options,
+    const std::optional<corpus::NewsFeed::Options>& feed_options,
+    const ClusterOptions& options) {
+  uint32_t n = std::max<uint32_t>(1, options.num_shards);
+  shards_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>(options.queue_capacity);
+    shard->corpus = std::make_unique<corpus::WebCorpus>(corpus_options);
+    shard->origin = std::make_unique<net::OriginServer>(shard->corpus.get(),
+                                                        net::NetworkModel());
+    if (feed_options.has_value()) {
+      shard->feed = std::make_unique<corpus::NewsFeed>(
+          *feed_options, &shard->corpus->topic_model());
+    }
+    core::WarehouseOptions wopts = options.warehouse;
+    // Shards must not share randomized decisions, but each shard's stream
+    // stays fixed across runs (deterministic replay).
+    wopts.seed = HashCombine(options.warehouse.seed, i);
+    shard->warehouse = std::make_unique<core::Warehouse>(
+        shard->corpus.get(), shard->origin.get(), shard->feed.get(), wopts);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(*s); });
+  }
+}
+
+WarehouseCluster::~WarehouseCluster() {
+  Drain();
+  stop_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void WarehouseCluster::WorkerLoop(Shard& shard) {
+  trace::TraceEvent event;
+  SpscQueue<trace::TraceEvent>::Backoff backoff;
+  for (;;) {
+    if (shard.queue.TryPop(event)) {
+      backoff.Reset();
+      uint64_t start = ThreadCpuNanos();
+      shard.warehouse->ProcessEvent(event);
+      shard.busy_ns.fetch_add(ThreadCpuNanos() - start,
+                              std::memory_order_relaxed);
+      // Release-publish the warehouse mutations above to Drain() readers.
+      shard.processed.fetch_add(1, std::memory_order_release);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire) && shard.queue.Empty()) return;
+    backoff.Pause();
+  }
+}
+
+uint32_t WarehouseCluster::ShardOf(corpus::PageId page) const {
+  return trace::ShardOfPage(page, num_shards());
+}
+
+void WarehouseCluster::Submit(const trace::TraceEvent& event) {
+  if (event.type == trace::TraceEventType::kRequest) {
+    Shard& shard = *shards_[ShardOf(event.page)];
+    shard.queue.Push(event);
+    shard.submitted.fetch_add(1, std::memory_order_relaxed);
+    ++events_submitted_;
+    return;
+  }
+  // Modifications touch raw objects, which pages of any shard may embed:
+  // broadcast so every replica stays in (weakly) consistent step.
+  for (auto& shard : shards_) {
+    shard->queue.Push(event);
+    shard->submitted.fetch_add(1, std::memory_order_relaxed);
+    ++events_submitted_;
+  }
+}
+
+void WarehouseCluster::Drain() {
+  SpscQueue<trace::TraceEvent>::Backoff backoff;
+  for (auto& shard : shards_) {
+    uint64_t target = shard->submitted.load(std::memory_order_relaxed);
+    while (shard->processed.load(std::memory_order_acquire) < target) {
+      backoff.Pause();
+    }
+  }
+}
+
+void WarehouseCluster::Replay(const std::vector<trace::TraceEvent>& events) {
+  for (const trace::TraceEvent& event : events) Submit(event);
+  Drain();
+}
+
+ClusterReport WarehouseCluster::Report() {
+  Drain();
+  ClusterReport report;
+  report.num_shards = num_shards();
+  core::DataAnalyzer merged_log;
+  for (auto& shard : shards_) {
+    const core::Warehouse& wh = *shard->warehouse;
+    report.counters.MergeFrom(wh.counters());
+    merged_log.MergeFrom(wh.analyzer());
+    report.distinct_pages += wh.analyzer().distinct_pages();
+    report.shard_requests.push_back(wh.counters().requests);
+    report.shard_busy_ns.push_back(
+        shard->busy_ns.load(std::memory_order_relaxed));
+
+    const storage::StorageHierarchy& hier = wh.hierarchy();
+    if (report.tiers.size() < static_cast<size_t>(hier.num_tiers())) {
+      report.tiers.resize(hier.num_tiers());
+    }
+    for (storage::TierIndex t = 0; t < hier.num_tiers(); ++t) {
+      report.tiers[t].used_bytes += hier.used_bytes(t);
+      report.tiers[t].capacity_bytes += hier.tier(t).capacity_bytes;
+      report.tiers[t].resident_objects += hier.resident_count(t);
+    }
+  }
+  for (int s = 0; s < 4; ++s) {
+    report.served_from[s] =
+        merged_log.served_from(static_cast<core::DataAnalyzer::ServedBy>(s));
+  }
+  report.latency = merged_log.latency_stats();
+  report.latency_percentiles.Merge(merged_log.latency_percentiles());
+  return report;
+}
+
+uint64_t WarehouseCluster::SimulateTierFailure(uint32_t shard,
+                                               storage::TierIndex tier) {
+  Drain();
+  return shards_[shard]->warehouse->SimulateTierFailure(tier);
+}
+
+uint64_t ClusterReport::MaxShardBusyNs() const {
+  uint64_t max_ns = 0;
+  for (uint64_t ns : shard_busy_ns) max_ns = std::max(max_ns, ns);
+  return max_ns;
+}
+
+void ClusterReport::Print(std::ostream& os) const {
+  os << "=== CBFWW cluster report (" << num_shards << " shards) ===\n";
+  os << StrFormat("requests: %llu  distinct pages: %llu\n",
+                  static_cast<unsigned long long>(counters.requests),
+                  static_cast<unsigned long long>(distinct_pages));
+  os << StrFormat("latency: mean %.1fms  p99 %.1fms\n",
+                  latency.mean() / 1000.0,
+                  latency_percentiles.Percentile(99) / 1000.0);
+  os << StrFormat(
+      "serve mix: memory %llu  disk %llu  tertiary %llu  origin %llu\n",
+      static_cast<unsigned long long>(served_from[0]),
+      static_cast<unsigned long long>(served_from[1]),
+      static_cast<unsigned long long>(served_from[2]),
+      static_cast<unsigned long long>(served_from[3]));
+  for (size_t t = 0; t < tiers.size(); ++t) {
+    os << StrFormat(
+        "tier %zu: %llu objects, %s used%s\n", t,
+        static_cast<unsigned long long>(tiers[t].resident_objects),
+        FormatBytes(tiers[t].used_bytes).c_str(),
+        tiers[t].capacity_bytes == 0
+            ? " (unbounded)"
+            : StrFormat(" of %s", FormatBytes(tiers[t].capacity_bytes).c_str())
+                  .c_str());
+  }
+  os << StrFormat(
+      "activity: %llu origin fetches, %llu prefetches (%llu guided), "
+      "%llu polls, %llu rebalances\n",
+      static_cast<unsigned long long>(counters.origin_fetches),
+      static_cast<unsigned long long>(counters.prefetches),
+      static_cast<unsigned long long>(counters.path_prefetches),
+      static_cast<unsigned long long>(counters.consistency_polls),
+      static_cast<unsigned long long>(counters.rebalances));
+  os << "shard balance (requests):";
+  for (uint64_t r : shard_requests) {
+    os << ' ' << r;
+  }
+  os << '\n';
+}
+
+}  // namespace cbfww::cluster

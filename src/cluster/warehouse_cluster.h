@@ -1,0 +1,176 @@
+#ifndef CBFWW_CLUSTER_WAREHOUSE_CLUSTER_H_
+#define CBFWW_CLUSTER_WAREHOUSE_CLUSTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "cluster/spsc_queue.h"
+#include "core/warehouse.h"
+#include "corpus/news_feed.h"
+#include "corpus/web_corpus.h"
+#include "net/origin_server.h"
+#include "trace/trace_event.h"
+#include "util/stats.h"
+
+namespace cbfww::cluster {
+
+/// Configuration of a WarehouseCluster.
+struct ClusterOptions {
+  uint32_t num_shards = 4;
+  /// Options applied to every shard warehouse. Tier capacities are
+  /// per-shard, so a cluster with the same totals as a monolith should
+  /// divide them by num_shards. The per-shard RNG seed is derived from
+  /// `warehouse.seed` and the shard index.
+  core::WarehouseOptions warehouse;
+  /// Per-shard event queue capacity (rounded up to a power of two).
+  uint32_t queue_capacity = 4096;
+};
+
+/// Cluster-level aggregate of per-shard reports: summed counters, merged
+/// latency distributions, summed tier occupancy.
+struct ClusterReport {
+  uint32_t num_shards = 0;
+  core::Warehouse::Counters counters;
+  /// Serve mix at page-visit granularity, summed across shards (indexed by
+  /// DataAnalyzer::ServedBy).
+  uint64_t served_from[4] = {0, 0, 0, 0};
+  /// Exact cluster-wide latency distribution (per-shard samples merged).
+  RunningStats latency;
+  PercentileTracker latency_percentiles;
+  /// Requests partition by page, so per-shard distinct-page counts are
+  /// disjoint and their sum is exact.
+  uint64_t distinct_pages = 0;
+
+  struct TierOccupancy {
+    uint64_t used_bytes = 0;
+    uint64_t capacity_bytes = 0;  // 0 = unbounded (sum of bounded shares).
+    uint64_t resident_objects = 0;
+  };
+  /// Indexed by tier (0 = memory, 1 = disk, 2 = tertiary).
+  std::vector<TierOccupancy> tiers;
+
+  /// Per-shard request counts (router balance diagnostic).
+  std::vector<uint64_t> shard_requests;
+  /// Per-shard CPU time spent inside ProcessEvent (thread CPU clock, so
+  /// preemption on oversubscribed machines is excluded). The max over
+  /// shards is the replay critical path — what wall-clock would be on a
+  /// machine with >= num_shards hardware threads.
+  std::vector<uint64_t> shard_busy_ns;
+
+  uint64_t MaxShardBusyNs() const;
+  void Print(std::ostream& os) const;
+};
+
+/// Sharded parallel front-end over N independent Warehouse shards (the
+/// cooperative-partitioning direction from the ROADMAP: scale the paper's
+/// monolith by hash-partitioning pages across shards).
+///
+/// Concurrency model:
+///  - Pages are hash-partitioned by PageId (trace::ShardOfPage); a shard
+///    owns its pages' records, storage hierarchy, indexes, and a full
+///    corpus/origin/feed replica. No warehouse state is shared between
+///    shards, so shard workers never synchronize with each other.
+///  - One router (the caller of Submit) feeds one SPSC queue per shard;
+///    one worker thread per shard drains its queue in FIFO order. A given
+///    trace therefore yields the same per-shard event sequence — and the
+///    same per-shard results — on every run (deterministic replay).
+///  - Modification events are broadcast to every shard: a raw object may
+///    be embedded by pages of any shard, and each shard tracks versions
+///    for its own replica.
+///  - Drain() is the only cross-thread barrier: it waits until every
+///    submitted event has been processed. Reading shard state or merging
+///    reports is only safe while drained (enforced by the callers below).
+class WarehouseCluster {
+ public:
+  /// Builds `options.num_shards` shard warehouses. Every shard generates
+  /// its own corpus replica from `corpus_options` (WebCorpus is
+  /// deterministic given a seed, so replicas are identical) plus its own
+  /// origin server and, when `feed_options` is set, news feed.
+  WarehouseCluster(const corpus::CorpusOptions& corpus_options,
+                   const std::optional<corpus::NewsFeed::Options>& feed_options,
+                   const ClusterOptions& options);
+
+  WarehouseCluster(const WarehouseCluster&) = delete;
+  WarehouseCluster& operator=(const WarehouseCluster&) = delete;
+
+  /// Drains and joins all shard workers.
+  ~WarehouseCluster();
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+
+  /// Shard owning `page`; identical to trace::ShardOfPage.
+  uint32_t ShardOf(corpus::PageId page) const;
+
+  /// Routes one event to its shard queue (requests) or broadcasts it
+  /// (modifications). Returns after the event is enqueued, not processed;
+  /// call Drain() for completion. Must be called from one thread at a
+  /// time (the router is the single producer of the shard queues).
+  void Submit(const trace::TraceEvent& event);
+
+  /// Blocks until every submitted event has been processed and all shard
+  /// workers are idle.
+  void Drain();
+
+  /// Submits a whole time-ordered trace and drains.
+  void Replay(const std::vector<trace::TraceEvent>& events);
+
+  /// Drains, then merges per-shard counters, serve mixes, latency
+  /// distributions, and tier occupancy into one cluster-level report.
+  ClusterReport Report();
+
+  /// Drains, then injects a tier failure into one shard. The other shards
+  /// are untouched and keep serving. Returns copies lost.
+  uint64_t SimulateTierFailure(uint32_t shard, storage::TierIndex tier);
+
+  /// Shard access for tests/benches. Callers must Drain() first; the
+  /// non-const overload is safe because workers only touch their
+  /// warehouse while events are in flight.
+  const core::Warehouse& shard(uint32_t i) const {
+    return *shards_[i]->warehouse;
+  }
+  core::Warehouse& mutable_shard(uint32_t i) {
+    return *shards_[i]->warehouse;
+  }
+
+  /// Total events handed to shard queues (modifications count once per
+  /// shard they were broadcast to).
+  uint64_t events_submitted() const { return events_submitted_; }
+
+ private:
+  struct Shard {
+    explicit Shard(uint32_t queue_capacity) : queue(queue_capacity) {}
+
+    // Replica world: each shard owns corpus + origin + feed so no mutable
+    // state crosses a thread boundary.
+    std::unique_ptr<corpus::WebCorpus> corpus;
+    std::unique_ptr<corpus::NewsFeed> feed;
+    std::unique_ptr<net::OriginServer> origin;
+    std::unique_ptr<core::Warehouse> warehouse;
+
+    SpscQueue<trace::TraceEvent> queue;
+    /// submitted is written by the router only; processed by the worker
+    /// only. processed's release-store publishes all warehouse mutations
+    /// of the events counted, so drained readers are race-free.
+    std::atomic<uint64_t> submitted{0};
+    std::atomic<uint64_t> processed{0};
+    std::atomic<uint64_t> busy_ns{0};
+    std::thread worker;
+  };
+
+  void WorkerLoop(Shard& shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> stop_{false};
+  uint64_t events_submitted_ = 0;
+};
+
+}  // namespace cbfww::cluster
+
+#endif  // CBFWW_CLUSTER_WAREHOUSE_CLUSTER_H_

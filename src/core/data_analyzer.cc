@@ -18,6 +18,25 @@ void DataAnalyzer::RecordRequest(corpus::PageId page, uint32_t user,
   ++hourly_[hour];
 }
 
+void DataAnalyzer::MergeFrom(const DataAnalyzer& other) {
+  total_requests_ += other.total_requests_;
+  for (int i = 0; i < 4; ++i) served_counts_[i] += other.served_counts_[i];
+  for (const auto& [page, count] : other.page_counts_) {
+    page_counts_[page] += count;
+  }
+  for (const auto& [user, count] : other.user_counts_) {
+    user_counts_[user] += count;
+  }
+  latency_.Merge(other.latency_);
+  latency_pct_.Merge(other.latency_pct_);
+  if (hourly_.size() < other.hourly_.size()) {
+    hourly_.resize(other.hourly_.size(), 0);
+  }
+  for (size_t h = 0; h < other.hourly_.size(); ++h) {
+    hourly_[h] += other.hourly_[h];
+  }
+}
+
 std::vector<DataAnalyzer::TopEntry> DataAnalyzer::TopPages(size_t k) const {
   std::vector<TopEntry> all;
   all.reserve(page_counts_.size());

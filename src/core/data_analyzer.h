@@ -44,6 +44,11 @@ class DataAnalyzer {
   /// Requests per simulated hour (index = hour since epoch).
   const std::vector<uint64_t>& hourly_requests() const { return hourly_; }
 
+  /// Folds another analyzer's log into this one (cluster-level merging):
+  /// counts add up, latency distributions combine exactly. Page and user
+  /// activity maps are merged by key.
+  void MergeFrom(const DataAnalyzer& other);
+
  private:
   uint64_t total_requests_ = 0;
   uint64_t served_counts_[4] = {0, 0, 0, 0};

@@ -258,8 +258,12 @@ Warehouse::ServeResult Warehouse::ServeRawObject(corpus::RawId id, SimTime now,
   return result;
 }
 
-PageVisit Warehouse::RequestPage(corpus::PageId page, uint32_t user,
-                                 int64_t session, bool via_link, SimTime now) {
+PageVisit Warehouse::RequestPage(const PageRequest& request) {
+  const corpus::PageId page = request.page;
+  const uint32_t user = request.user;
+  const int64_t session = request.session;
+  const bool via_link = request.via_link;
+  SimTime now = request.now;
   if (now < now_) now = now_;
   now_ = now;
   ++counters_.requests;
@@ -443,8 +447,7 @@ void Warehouse::OnOriginModified(corpus::RawId id, SimTime now) {
 PageVisit Warehouse::ProcessEvent(const trace::TraceEvent& event) {
   Tick(event.time);
   if (event.type == trace::TraceEventType::kRequest) {
-    return RequestPage(event.page, event.user, event.session, event.via_link,
-                       event.time);
+    return RequestPage(PageRequest::FromEvent(event));
   }
   corpus_->ModifyObject(event.modified, event.time, rng_);
   OnOriginModified(event.modified, event.time);
@@ -671,21 +674,17 @@ Priority Warehouse::EffectiveRawPriority(corpus::RawId id, SimTime now) {
   return PriorityManager::CombineShared(p);
 }
 
-Result<query::QueryExecutionResult> Warehouse::ExecuteQuery(
-    std::string_view text, bool use_index) {
-  query::QueryExecutor::Options opts;
-  opts.use_index = use_index;
-  query::QueryExecutor executor(this, opts);
-  return executor.Execute(text);
-}
-
-Result<Warehouse::CostedQueryResult> Warehouse::ExecuteQueryWithCost(
-    std::string_view text, bool use_index) {
+Result<Warehouse::CostedQueryResult> Warehouse::ExecuteQuery(
+    std::string_view text, QueryRunOptions options) {
   last_index_used_ = 0;
-  auto result = ExecuteQuery(text, use_index);
+  query::QueryExecutor::Options opts;
+  opts.use_index = options.use_index;
+  query::QueryExecutor executor(this, opts);
+  auto result = executor.Execute(text);
   if (!result.ok()) return result.status();
   CostedQueryResult out;
   out.result = std::move(result).value();
+  if (!options.with_cost) return out;
   // Per-candidate evaluation CPU (~2us of predicate work per row).
   constexpr SimTime kRowCost = 2 * kMicrosecond;
   out.cost = static_cast<SimTime>(out.result.candidates_evaluated) * kRowCost;
@@ -699,6 +698,19 @@ Result<Warehouse::CostedQueryResult> Warehouse::ExecuteQueryWithCost(
     ++counters_.scan_queries;
   }
   return out;
+}
+
+Result<query::QueryExecutionResult> Warehouse::ExecuteQuery(
+    std::string_view text, bool use_index) {
+  auto costed = ExecuteQuery(text, QueryRunOptions{.use_index = use_index});
+  if (!costed.ok()) return costed.status();
+  return std::move(costed->result);
+}
+
+Result<Warehouse::CostedQueryResult> Warehouse::ExecuteQueryWithCost(
+    std::string_view text, bool use_index) {
+  return ExecuteQuery(
+      text, QueryRunOptions{.use_index = use_index, .with_cost = true});
 }
 
 std::vector<index::ScoredDoc> Warehouse::RecommendPages(uint32_t user,

@@ -91,6 +91,38 @@ struct WarehouseOptions {
   uint64_t seed = 2003;
 };
 
+/// One page request, as routed to a warehouse (or a cluster shard). This is
+/// the request-context object every front-end constructs; prefer designated
+/// initializers: `wh.RequestPage({.page = p, .user = u, .now = t})`.
+struct PageRequest {
+  corpus::PageId page = corpus::kInvalidPageId;
+  uint32_t user = 0;
+  /// Session this request belongs to (-1: sessionless / ad-hoc probe).
+  int64_t session = -1;
+  /// True if the user navigated here via a link from the session's
+  /// previous page (as opposed to a jump/bookmark).
+  bool via_link = false;
+  SimTime now = 0;
+
+  /// Request context of a trace event (must be a kRequest event).
+  static PageRequest FromEvent(const trace::TraceEvent& event) {
+    return PageRequest{.page = event.page,
+                       .user = event.user,
+                       .session = event.session,
+                       .via_link = event.via_link,
+                       .now = event.time};
+  }
+};
+
+/// How to run a warehouse query (see Warehouse::ExecuteQuery).
+struct QueryRunOptions {
+  /// Consult the index hierarchy for MENTION predicates (vs scanning).
+  bool use_index = true;
+  /// Charge the simulated execution cost (index reads + per-row CPU) and
+  /// account the query in the indexed/scan counters.
+  bool with_cost = false;
+};
+
 /// Latency breakdown of serving one page request.
 struct PageVisit {
   corpus::PageId page = corpus::kInvalidPageId;
@@ -135,9 +167,19 @@ class Warehouse : public query::QueryCatalog {
   /// the corpus and reacts per the consistency policy.
   PageVisit ProcessEvent(const trace::TraceEvent& event);
 
-  /// Serves a page request at `now` for `user`. Core of the system.
+  /// Serves a page request. Core of the system.
+  PageVisit RequestPage(const PageRequest& request);
+
+  /// Deprecated positional form; migrate to the PageRequest overload.
+  [[deprecated("use RequestPage(const PageRequest&)")]]
   PageVisit RequestPage(corpus::PageId page, uint32_t user, int64_t session,
-                        bool via_link, SimTime now);
+                        bool via_link, SimTime now) {
+    return RequestPage(PageRequest{.page = page,
+                                   .user = user,
+                                   .session = session,
+                                   .via_link = via_link,
+                                   .now = now});
+  }
 
   /// Origin-side modification notification.
   void OnOriginModified(corpus::RawId id, SimTime now);
@@ -149,18 +191,29 @@ class Warehouse : public query::QueryCatalog {
 
   // ----- Queries (paper Section 4.3) -----
 
-  /// Parses and executes a warehouse query.
-  Result<query::QueryExecutionResult> ExecuteQuery(std::string_view text,
-                                                   bool use_index = true);
-
   /// A query result together with its simulated execution cost: reading
   /// the index objects used (which live in the storage hierarchy like any
   /// other object — Section 4.1 "Hierarchy of Indices") plus per-candidate
-  /// evaluation CPU.
+  /// evaluation CPU. `cost` is 0 unless the query ran with
+  /// `QueryRunOptions::with_cost`.
   struct CostedQueryResult {
     query::QueryExecutionResult result;
     SimTime cost = 0;
   };
+
+  /// Parses and executes a warehouse query.
+  Result<CostedQueryResult> ExecuteQuery(std::string_view text,
+                                         QueryRunOptions options = {});
+
+  /// Deprecated positional form; migrate to
+  /// `ExecuteQuery(text, {.use_index = ...})`.
+  [[deprecated("use ExecuteQuery(text, QueryRunOptions)")]]
+  Result<query::QueryExecutionResult> ExecuteQuery(std::string_view text,
+                                                   bool use_index);
+
+  /// Deprecated; migrate to
+  /// `ExecuteQuery(text, {.use_index = ..., .with_cost = true})`.
+  [[deprecated("use ExecuteQuery(text, QueryRunOptions{.with_cost = true})")]]
   Result<CostedQueryResult> ExecuteQueryWithCost(std::string_view text,
                                                  bool use_index = true);
 
@@ -263,6 +316,21 @@ class Warehouse : public query::QueryCatalog {
     /// Total simulated time spent on background work (polls, prefetch,
     /// migration) — not charged to user latency.
     SimTime background_time = 0;
+
+    /// Accumulates another warehouse's counters (cluster-level merging).
+    void MergeFrom(const Counters& other) {
+      requests += other.requests;
+      origin_fetches += other.origin_fetches;
+      prefetches += other.prefetches;
+      path_prefetches += other.path_prefetches;
+      consistency_polls += other.consistency_polls;
+      consistency_refreshes += other.consistency_refreshes;
+      rebalances += other.rebalances;
+      admission_rejections += other.admission_rejections;
+      indexed_queries += other.indexed_queries;
+      scan_queries += other.scan_queries;
+      background_time += other.background_time;
+    }
   };
   const Counters& counters() const { return counters_; }
 

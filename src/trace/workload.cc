@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/hash.h"
+
 namespace cbfww::trace {
 
 namespace {
@@ -242,6 +244,29 @@ std::vector<corpus::RawId> WorkloadGenerator::ContainerOfPages() const {
     out[p] = corpus_->page(p).container;
   }
   return out;
+}
+
+uint32_t ShardOfPage(corpus::PageId page, uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // Mix before reducing: sequential PageIds must not land on sequential
+  // shards only (pages of one site are id-contiguous and we want sites
+  // spread across shards).
+  uint64_t h = HashCombine(0x73686172ULL /* "shar" */, page);
+  return static_cast<uint32_t>(h % num_shards);
+}
+
+std::vector<std::vector<TraceEvent>> PartitionTrace(
+    const std::vector<TraceEvent>& events, uint32_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  std::vector<std::vector<TraceEvent>> shards(num_shards);
+  for (const TraceEvent& e : events) {
+    if (e.type == TraceEventType::kRequest) {
+      shards[ShardOfPage(e.page, num_shards)].push_back(e);
+    } else {
+      for (auto& shard : shards) shard.push_back(e);
+    }
+  }
+  return shards;
 }
 
 }  // namespace cbfww::trace

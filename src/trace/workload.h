@@ -105,6 +105,24 @@ class WorkloadGenerator {
   Pcg32 rng_;
 };
 
+// ---------------------------------------------------------------------------
+// Partitioned replay (cluster front-end driver)
+// ---------------------------------------------------------------------------
+
+/// Deterministic shard of a page under `num_shards`-way hash partitioning.
+/// Stable across runs and platforms; the WarehouseCluster router and the
+/// offline partitioner below must agree on this function.
+uint32_t ShardOfPage(corpus::PageId page, uint32_t num_shards);
+
+/// Splits a time-ordered trace into `num_shards` per-shard subtraces:
+/// requests go to their page's shard (ShardOfPage); modifications are
+/// broadcast to every shard, since a raw object may be embedded by pages
+/// of any shard and each shard owns a full corpus replica. Relative event
+/// order within each subtrace matches the input trace, so replaying the
+/// subtraces independently is deterministic.
+std::vector<std::vector<TraceEvent>> PartitionTrace(
+    const std::vector<TraceEvent>& events, uint32_t num_shards);
+
 }  // namespace cbfww::trace
 
 #endif  // CBFWW_TRACE_WORKLOAD_H_

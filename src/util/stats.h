@@ -20,6 +20,11 @@ class RunningStats {
   double stddev() const;
   double sum() const { return sum_; }
 
+  /// Folds another accumulator into this one (Chan et al. parallel
+  /// variance). The result is as if every sample of `other` had been
+  /// Add()ed here; used to combine per-shard stats into cluster totals.
+  void Merge(const RunningStats& other);
+
  private:
   int64_t count_ = 0;
   double mean_ = 0.0;
@@ -44,6 +49,13 @@ class PercentileTracker {
   double Percentile(double p) const;
 
   int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+
+  /// Appends all samples of `other` (cluster-level percentile merging).
+  void Merge(const PercentileTracker& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
 
  private:
   mutable std::vector<double> samples_;

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "cluster/spsc_queue.h"
+#include "cluster/warehouse_cluster.h"
+#include "corpus/web_corpus.h"
+#include "trace/workload.h"
+
+namespace cbfww::cluster {
+namespace {
+
+corpus::CorpusOptions TestCorpusOptions() {
+  corpus::CorpusOptions opts;
+  opts.num_sites = 4;
+  opts.pages_per_site = 40;
+  opts.topic.num_topics = 4;
+  opts.seed = 77;
+  return opts;
+}
+
+ClusterOptions TestClusterOptions(uint32_t shards) {
+  ClusterOptions opts;
+  opts.num_shards = shards;
+  opts.warehouse.memory_bytes = 4ull * 1024 * 1024;
+  opts.warehouse.disk_bytes = 256ull * 1024 * 1024;
+  opts.warehouse.rebalance_interval = kHour;
+  return opts;
+}
+
+std::vector<trace::TraceEvent> TestTrace() {
+  corpus::WebCorpus corpus(TestCorpusOptions());
+  trace::WorkloadOptions wopts;
+  wopts.horizon = 8 * kHour;
+  wopts.sessions_per_hour = 60;
+  wopts.modifications_per_hour = 20;
+  wopts.seed = 5;
+  trace::WorkloadGenerator generator(&corpus, nullptr, wopts);
+  return generator.Generate();
+}
+
+bool CountersEqual(const core::Warehouse::Counters& a,
+                   const core::Warehouse::Counters& b) {
+  return a.requests == b.requests && a.origin_fetches == b.origin_fetches &&
+         a.prefetches == b.prefetches &&
+         a.path_prefetches == b.path_prefetches &&
+         a.consistency_polls == b.consistency_polls &&
+         a.consistency_refreshes == b.consistency_refreshes &&
+         a.rebalances == b.rebalances &&
+         a.admission_rejections == b.admission_rejections &&
+         a.background_time == b.background_time;
+}
+
+TEST(SpscQueueTest, FifoAndCapacity) {
+  SpscQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(i));
+  EXPECT_FALSE(q.TryPush(99));  // Full.
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.TryPop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.TryPop(out));  // Empty.
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(ShardRoutingTest, StableAndInRange) {
+  for (uint32_t shards : {1u, 2u, 3u, 4u, 8u}) {
+    for (corpus::PageId page = 0; page < 500; ++page) {
+      uint32_t s = trace::ShardOfPage(page, shards);
+      EXPECT_LT(s, shards);
+      // Stability: the same page always routes to the same shard.
+      EXPECT_EQ(s, trace::ShardOfPage(page, shards));
+    }
+  }
+}
+
+TEST(ShardRoutingTest, SpreadsContiguousPagesAcrossShards) {
+  // Pages of one site are id-contiguous; hashing must not send a whole
+  // run of ids to one shard.
+  std::vector<uint64_t> hits(4, 0);
+  for (corpus::PageId page = 0; page < 400; ++page) {
+    ++hits[trace::ShardOfPage(page, 4)];
+  }
+  for (uint64_t h : hits) {
+    EXPECT_GT(h, 400 / 8u);  // No shard under half its fair share.
+  }
+}
+
+TEST(PartitionTraceTest, RequestsPartitionModificationsBroadcast) {
+  std::vector<trace::TraceEvent> events = TestTrace();
+  uint64_t requests = 0;
+  uint64_t modifications = 0;
+  for (const auto& e : events) {
+    if (e.type == trace::TraceEventType::kRequest) {
+      ++requests;
+    } else {
+      ++modifications;
+    }
+  }
+  auto parts = trace::PartitionTrace(events, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  uint64_t part_requests = 0;
+  for (const auto& part : parts) {
+    uint64_t part_mods = 0;
+    SimTime last = 0;
+    for (const auto& e : part) {
+      EXPECT_GE(e.time, last);  // Time order preserved per shard.
+      last = e.time;
+      if (e.type == trace::TraceEventType::kRequest) {
+        EXPECT_EQ(trace::ShardOfPage(e.page, 3),
+                  static_cast<uint32_t>(&part - parts.data()));
+        ++part_requests;
+      } else {
+        ++part_mods;
+      }
+    }
+    EXPECT_EQ(part_mods, modifications);
+  }
+  EXPECT_EQ(part_requests, requests);
+}
+
+class WarehouseClusterTest : public ::testing::Test {
+ protected:
+  static ClusterReport RunOnce(uint32_t shards,
+                               const std::vector<trace::TraceEvent>& events) {
+    WarehouseCluster cluster(TestCorpusOptions(), std::nullopt,
+                             TestClusterOptions(shards));
+    cluster.Replay(events);
+    return cluster.Report();
+  }
+};
+
+TEST_F(WarehouseClusterTest, MergedReportMatchesShardSums) {
+  std::vector<trace::TraceEvent> events = TestTrace();
+  WarehouseCluster cluster(TestCorpusOptions(), std::nullopt,
+                           TestClusterOptions(4));
+  cluster.Replay(events);
+  ClusterReport report = cluster.Report();
+
+  uint64_t requests = 0;
+  for (const auto& e : events) {
+    if (e.type == trace::TraceEventType::kRequest) ++requests;
+  }
+  EXPECT_EQ(report.counters.requests, requests);
+  EXPECT_EQ(report.num_shards, 4u);
+
+  core::Warehouse::Counters summed;
+  uint64_t latency_count = 0;
+  uint64_t tier0_objects = 0;
+  for (uint32_t s = 0; s < 4; ++s) {
+    summed.MergeFrom(cluster.shard(s).counters());
+    latency_count += cluster.shard(s).analyzer().latency_stats().count();
+    tier0_objects += cluster.shard(s).hierarchy().resident_count(0);
+  }
+  EXPECT_TRUE(CountersEqual(report.counters, summed));
+  EXPECT_EQ(static_cast<uint64_t>(report.latency.count()), latency_count);
+  EXPECT_EQ(static_cast<uint64_t>(report.latency_percentiles.count()),
+            latency_count);
+  ASSERT_GE(report.tiers.size(), 1u);
+  EXPECT_EQ(report.tiers[0].resident_objects, tier0_objects);
+  EXPECT_EQ(std::accumulate(report.shard_requests.begin(),
+                            report.shard_requests.end(), uint64_t{0}),
+            requests);
+  // Every shard of this workload saw traffic.
+  for (uint64_t r : report.shard_requests) EXPECT_GT(r, 0u);
+}
+
+TEST_F(WarehouseClusterTest, DeterministicReplayAtFixedShardCount) {
+  std::vector<trace::TraceEvent> events = TestTrace();
+  ClusterReport a = RunOnce(3, events);
+  ClusterReport b = RunOnce(3, events);
+  EXPECT_TRUE(CountersEqual(a.counters, b.counters));
+  EXPECT_EQ(a.distinct_pages, b.distinct_pages);
+  EXPECT_EQ(a.shard_requests, b.shard_requests);
+  EXPECT_DOUBLE_EQ(a.latency.mean(), b.latency.mean());
+  ASSERT_EQ(a.tiers.size(), b.tiers.size());
+  for (size_t t = 0; t < a.tiers.size(); ++t) {
+    EXPECT_EQ(a.tiers[t].used_bytes, b.tiers[t].used_bytes);
+    EXPECT_EQ(a.tiers[t].resident_objects, b.tiers[t].resident_objects);
+  }
+}
+
+TEST_F(WarehouseClusterTest, AggregateTotalsInvariantAcrossShardCounts) {
+  std::vector<trace::TraceEvent> events = TestTrace();
+  ClusterReport one = RunOnce(1, events);
+  ClusterReport two = RunOnce(2, events);
+  ClusterReport four = RunOnce(4, events);
+  // Requests partition by page: no shard count loses or duplicates any.
+  EXPECT_EQ(one.counters.requests, two.counters.requests);
+  EXPECT_EQ(one.counters.requests, four.counters.requests);
+  EXPECT_EQ(one.distinct_pages, two.distinct_pages);
+  EXPECT_EQ(one.distinct_pages, four.distinct_pages);
+  EXPECT_EQ(static_cast<uint64_t>(one.latency.count()),
+            static_cast<uint64_t>(four.latency.count()));
+}
+
+TEST_F(WarehouseClusterTest, RouterAgreesWithPartitioner) {
+  WarehouseCluster cluster(TestCorpusOptions(), std::nullopt,
+                           TestClusterOptions(4));
+  for (corpus::PageId page = 0; page < 160; ++page) {
+    EXPECT_EQ(cluster.ShardOf(page), trace::ShardOfPage(page, 4));
+  }
+}
+
+TEST_F(WarehouseClusterTest, TierFailureOnOneShardLeavesOthersServing) {
+  std::vector<trace::TraceEvent> events = TestTrace();
+  WarehouseCluster cluster(TestCorpusOptions(), std::nullopt,
+                           TestClusterOptions(4));
+  cluster.Replay(events);
+  ClusterReport before = cluster.Report();
+
+  uint64_t lost = cluster.SimulateTierFailure(
+      /*shard=*/0, core::StorageManager::kMemoryTier);
+  EXPECT_GT(lost, 0u);
+  EXPECT_EQ(cluster.shard(0).hierarchy().resident_count(0), 0u);
+  // Other shards keep their memory tier.
+  uint64_t others = 0;
+  for (uint32_t s = 1; s < 4; ++s) {
+    others += cluster.shard(s).hierarchy().resident_count(0);
+  }
+  EXPECT_GT(others, 0u);
+
+  // The whole cluster — including the degraded shard — still serves.
+  trace::TraceEvent probe;
+  probe.type = trace::TraceEventType::kRequest;
+  probe.time = 9 * kHour;
+  probe.user = 424242;
+  probe.session = 1 << 20;
+  uint32_t shards_probed = 0;
+  std::vector<bool> probed(4, false);
+  for (corpus::PageId page = 0; page < 160 && shards_probed < 4; ++page) {
+    if (probed[cluster.ShardOf(page)]) continue;
+    probed[cluster.ShardOf(page)] = true;
+    ++shards_probed;
+    probe.page = page;
+    cluster.Submit(probe);
+    probe.time += kSecond;
+  }
+  cluster.Drain();
+  ClusterReport after = cluster.Report();
+  EXPECT_EQ(after.counters.requests, before.counters.requests + 4);
+}
+
+}  // namespace
+}  // namespace cbfww::cluster

@@ -111,7 +111,8 @@ TEST(ContinuousQueryTest, WorksEndToEndInWarehouse) {
   SimTime t = kSecond;
   for (int round = 0; round < 3; ++round) {
     for (corpus::PageId p = 0; p < 10; ++p) {
-      wh.RequestPage(p, 1, round * 100 + p, false, t);
+      wh.RequestPage(
+          {.page = p, .user = 1, .session = static_cast<int64_t>(round * 100 + p), .now = t});
       t += kMinute;
     }
     wh.Tick(t);  // Housekeeping evaluates due standing queries.

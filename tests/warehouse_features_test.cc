@@ -58,7 +58,11 @@ TEST_F(WarehouseFeaturesTest, PathPrefetchStagesUpcomingPages) {
   SimTime t = kSecond;
   for (int s = 0; s < 4; ++s) {
     for (size_t i = 0; i < path.size(); ++i) {
-      wh->RequestPage(path[i], 1, s, i > 0, t);
+      wh->RequestPage({.page = path[i],
+                       .user = 1,
+                       .session = s,
+                       .via_link = i > 0,
+                       .now = t});
       t += 10 * kSecond;
     }
     t += kHour;
@@ -75,7 +79,7 @@ TEST_F(WarehouseFeaturesTest, PathPrefetchStagesUpcomingPages) {
   ASSERT_NE(wh->hierarchy().FastestTierOf(next_container), 0);
 
   uint64_t before = wh->counters().path_prefetches;
-  wh->RequestPage(path[0], 9, 999, false, t);
+  wh->RequestPage({.page = path[0], .user = 9, .session = 999, .now = t});
   EXPECT_GT(wh->counters().path_prefetches, before);
   EXPECT_EQ(wh->hierarchy().FastestTierOf(next_container), 0);
 }
@@ -89,7 +93,11 @@ TEST_F(WarehouseFeaturesTest, PathPrefetchCanBeDisabled) {
   SimTime t = kSecond;
   for (int s = 0; s < 5; ++s) {
     for (size_t i = 0; i < path.size(); ++i) {
-      wh->RequestPage(path[i], 1, s, i > 0, t);
+      wh->RequestPage({.page = path[i],
+                       .user = 1,
+                       .session = s,
+                       .via_link = i > 0,
+                       .now = t});
       t += 10 * kSecond;
     }
     t += kHour;
@@ -107,7 +115,8 @@ TEST_F(WarehouseFeaturesTest, IndexesArePlacedIntoTheHierarchy) {
   auto wh = MakeWarehouse(opts);
   SimTime t = kSecond;
   for (corpus::PageId p = 0; p < 50; ++p) {
-    wh->RequestPage(p, 1, p, false, t);
+    wh->RequestPage(
+        {.page = p, .user = 1, .session = static_cast<int64_t>(p), .now = t});
     t += kSecond;
   }
   wh->Tick(t + 2 * kHour);  // Rebalance places the indexes.
@@ -124,7 +133,8 @@ TEST_F(WarehouseFeaturesTest, CostedQueryChargesIndexRead) {
   auto wh = MakeWarehouse(opts);
   SimTime t = kSecond;
   for (corpus::PageId p = 0; p < 60; ++p) {
-    wh->RequestPage(p, 1, p, false, t);
+    wh->RequestPage(
+        {.page = p, .user = 1, .session = static_cast<int64_t>(p), .now = t});
     t += kSecond;
   }
   wh->Tick(t + 2 * kHour);
@@ -137,8 +147,8 @@ TEST_F(WarehouseFeaturesTest, CostedQueryChargesIndexRead) {
       "SELECT p.oid FROM Physical_Page p WHERE p.title MENTION '%s'",
       term.c_str());
 
-  auto indexed = wh->ExecuteQueryWithCost(q, true);
-  auto scanned = wh->ExecuteQueryWithCost(q, false);
+  auto indexed = wh->ExecuteQuery(q, {.use_index = true, .with_cost = true});
+  auto scanned = wh->ExecuteQuery(q, {.use_index = false, .with_cost = true});
   ASSERT_TRUE(indexed.ok());
   ASSERT_TRUE(scanned.ok());
   EXPECT_TRUE(indexed->result.used_index);
@@ -158,18 +168,19 @@ TEST_F(WarehouseFeaturesTest, HotIndexPreferredForMemory) {
   auto wh = MakeWarehouse(opts);
   SimTime t = kSecond;
   for (corpus::PageId p = 0; p < 120; ++p) {
-    wh->RequestPage(p, 1, p, false, t);
+    wh->RequestPage(
+        {.page = p, .user = 1, .session = static_cast<int64_t>(p), .now = t});
     t += kSecond;
   }
   // Hammer the title index with queries; leave the content index cold.
   const PhysicalPageRecord* rec = wh->FindPage(0);
   std::string term = corpus_.vocabulary().TermOf(rec->title_terms[0]);
   for (int i = 0; i < 20; ++i) {
-    (void)wh->ExecuteQueryWithCost(
+    (void)wh->ExecuteQuery(
         StrFormat("SELECT p.oid FROM Physical_Page p WHERE p.title "
                   "MENTION '%s'",
                   term.c_str()),
-        true);
+        {.with_cost = true});
   }
   wh->Tick(t + 2 * kHour);
 
@@ -191,30 +202,31 @@ TEST_F(WarehouseFeaturesTest, HotIndexPreferredForMemory) {
 
 TEST_F(WarehouseFeaturesTest, RawObjectQueries) {
   auto wh = MakeWarehouse(WarehouseOptions{});
-  wh->RequestPage(0, 1, 1, false, kSecond);
-  wh->RequestPage(0, 1, 2, false, 2 * kSecond);
+  wh->RequestPage({.page = 0, .user = 1, .session = 1, .now = kSecond});
+  wh->RequestPage({.page = 0, .user = 1, .session = 2, .now = 2 * kSecond});
   auto r = wh->ExecuteQuery(
       "SELECT MFU 3 r.oid, r.kind, r.size, r.shared FROM Raw_Object r");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  ASSERT_FALSE(r->rows.empty());
+  ASSERT_FALSE(r->result.rows.empty());
   // The top raw object was referenced as part of page 0's visits.
-  EXPECT_TRUE(r->rows[0][1].is_string());
-  EXPECT_GT(r->rows[0][2].AsInt(), 0);
+  EXPECT_TRUE(r->result.rows[0][1].is_string());
+  EXPECT_GT(r->result.rows[0][2].AsInt(), 0);
 }
 
 TEST_F(WarehouseFeaturesTest, SemanticRegionQueries) {
   auto wh = MakeWarehouse(WarehouseOptions{});
   SimTime t = kSecond;
   for (corpus::PageId p = 0; p < 30; ++p) {
-    wh->RequestPage(p, 1, p, false, t);
+    wh->RequestPage(
+        {.page = p, .user = 1, .session = static_cast<int64_t>(p), .now = t});
     t += kSecond;
   }
   auto r = wh->ExecuteQuery(
       "SELECT oid, weight, priority, size FROM Semantic_Region s "
       "WHERE s.weight > 0");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_FALSE(r->rows.empty());
-  for (const auto& row : r->rows) {
+  EXPECT_FALSE(r->result.rows.empty());
+  for (const auto& row : r->result.rows) {
     EXPECT_GT(row[1].AsDouble(), 0.0);
   }
 }
@@ -223,7 +235,8 @@ TEST_F(WarehouseFeaturesTest, PrintReportSummarizesState) {
   auto wh = MakeWarehouse(WarehouseOptions{});
   SimTime t = kSecond;
   for (corpus::PageId p = 0; p < 10; ++p) {
-    wh->RequestPage(p, 1, p, false, t);
+    wh->RequestPage(
+        {.page = p, .user = 1, .session = static_cast<int64_t>(p), .now = t});
     t += kSecond;
   }
   std::ostringstream os;
@@ -237,11 +250,11 @@ TEST_F(WarehouseFeaturesTest, PrintReportSummarizesState) {
 
 TEST_F(WarehouseFeaturesTest, UnknownAttributeIsNull) {
   auto wh = MakeWarehouse(WarehouseOptions{});
-  wh->RequestPage(0, 1, 1, false, kSecond);
+  wh->RequestPage({.page = 0, .user = 1, .session = 1, .now = kSecond});
   auto r = wh->ExecuteQuery("SELECT p.nonsense FROM Physical_Page p");
   ASSERT_TRUE(r.ok());
-  ASSERT_FALSE(r->rows.empty());
-  EXPECT_TRUE(r->rows[0][0].is_null());
+  ASSERT_FALSE(r->result.rows.empty());
+  EXPECT_TRUE(r->result.rows[0][0].is_null());
 }
 
 }  // namespace

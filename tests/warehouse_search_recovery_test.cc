@@ -42,7 +42,8 @@ TEST_F(WarehouseSearchRecoveryTest, SearchRanksByRelevance) {
   auto wh = MakeWarehouse();
   SimTime t = kSecond;
   for (corpus::PageId p = 0; p < 40; ++p) {
-    wh->RequestPage(p, 1, p, false, t);
+    wh->RequestPage(
+        {.page = p, .user = 1, .session = static_cast<int64_t>(p), .now = t});
     t += kSecond;
   }
   // Query with a page's own title terms: that page must rank at the top
@@ -79,10 +80,11 @@ TEST_F(WarehouseSearchRecoveryTest, PopularityBoostsHotPages) {
   ASSERT_NE(hot, corpus::kInvalidPageId);
   SimTime t = kSecond;
   for (int i = 0; i < 30; ++i) {
-    wh->RequestPage(hot, 1, i, false, t);
+    wh->RequestPage(
+        {.page = hot, .user = 1, .session = static_cast<int64_t>(i), .now = t});
     t += kSecond;
   }
-  wh->RequestPage(cold, 1, 999, false, t);
+  wh->RequestPage({.page = cold, .user = 1, .session = 999, .now = t});
 
   // Query with the shared topic's signature terms.
   std::string query;
@@ -117,7 +119,8 @@ TEST_F(WarehouseSearchRecoveryTest, CacheConsciousPrefersResidentPages) {
   }
   ASSERT_GE(topic0.size(), 12u);
   for (size_t i = 0; i < 8; ++i) {
-    wh->RequestPage(topic0[i], 1, i, false, t);
+    wh->RequestPage(
+        {.page = topic0[i], .user = 1, .session = static_cast<int64_t>(i), .now = t});
     t += kSecond;
   }
   auto recs = wh->RecommendPagesCacheConscious(1, 5, /*tier_weight=*/1.0);
@@ -144,7 +147,8 @@ TEST_F(WarehouseSearchRecoveryTest, MemoryCrashServedFromDiskCopies) {
   auto wh = MakeWarehouse();
   SimTime t = kSecond;
   for (corpus::PageId p = 0; p < 20; ++p) {
-    wh->RequestPage(p, 1, p, false, t);
+    wh->RequestPage(
+        {.page = p, .user = 1, .session = static_cast<int64_t>(p), .now = t});
     t += kSecond;
   }
   uint64_t lost = wh->SimulateTierFailure(0);
@@ -155,7 +159,8 @@ TEST_F(WarehouseSearchRecoveryTest, MemoryCrashServedFromDiskCopies) {
   // residents kept disk copies (copy control).
   uint64_t fetches_before = wh->counters().origin_fetches;
   for (corpus::PageId p = 0; p < 20; ++p) {
-    PageVisit v = wh->RequestPage(p, 2, 100 + p, false, t);
+    PageVisit v = wh->RequestPage(
+        {.page = p, .user = 2, .session = static_cast<int64_t>(100 + p), .now = t});
     EXPECT_EQ(v.from_origin, 0u) << "page " << p;
     t += kSecond;
   }
@@ -166,14 +171,16 @@ TEST_F(WarehouseSearchRecoveryTest, DiskCrashServedFromTertiary) {
   auto wh = MakeWarehouse();
   SimTime t = kSecond;
   for (corpus::PageId p = 0; p < 10; ++p) {
-    wh->RequestPage(p, 1, p, false, t);
+    wh->RequestPage(
+        {.page = p, .user = 1, .session = static_cast<int64_t>(p), .now = t});
     t += kSecond;
   }
   wh->SimulateTierFailure(0);
   wh->SimulateTierFailure(1);
   uint64_t fetches_before = wh->counters().origin_fetches;
   for (corpus::PageId p = 0; p < 10; ++p) {
-    PageVisit v = wh->RequestPage(p, 2, 100 + p, false, t);
+    PageVisit v = wh->RequestPage(
+        {.page = p, .user = 2, .session = static_cast<int64_t>(100 + p), .now = t});
     EXPECT_EQ(v.from_origin, 0u);
     EXPECT_GT(v.from_tertiary, 0u);
     t += kSecond;

@@ -48,7 +48,8 @@ class WarehouseTest : public ::testing::Test {
 
 TEST_F(WarehouseTest, FirstRequestFetchesFromOrigin) {
   auto wh = MakeWarehouse();
-  PageVisit v = wh->RequestPage(0, 1, 1, false, kSecond);
+  PageVisit v = wh->RequestPage(
+      {.page = 0, .user = 1, .session = 1, .now = kSecond});
   EXPECT_GT(v.from_origin, 0u);
   EXPECT_GT(v.latency, 0);
   EXPECT_EQ(wh->counters().requests, 1u);
@@ -59,8 +60,10 @@ TEST_F(WarehouseTest, FirstRequestFetchesFromOrigin) {
 
 TEST_F(WarehouseTest, RepeatRequestServedLocallyAndFaster) {
   auto wh = MakeWarehouse();
-  PageVisit first = wh->RequestPage(0, 1, 1, false, kSecond);
-  PageVisit second = wh->RequestPage(0, 1, 2, false, 2 * kSecond);
+  PageVisit first = wh->RequestPage(
+      {.page = 0, .user = 1, .session = 1, .now = kSecond});
+  PageVisit second = wh->RequestPage(
+      {.page = 0, .user = 1, .session = 2, .now = 2 * kSecond});
   EXPECT_EQ(second.from_origin, 0u);
   EXPECT_LT(second.latency, first.latency);
   EXPECT_GT(second.from_memory + second.from_disk + second.from_tertiary, 0u);
@@ -69,7 +72,8 @@ TEST_F(WarehouseTest, RepeatRequestServedLocallyAndFaster) {
 TEST_F(WarehouseTest, HistoriesTrackAccesses) {
   auto wh = MakeWarehouse();
   for (int i = 0; i < 5; ++i) {
-    wh->RequestPage(3, 1, i, false, (i + 1) * kMinute);
+    wh->RequestPage(
+        {.page = 3, .user = 1, .session = static_cast<int64_t>(i), .now = (i + 1) * kMinute});
   }
   const PhysicalPageRecord* rec = wh->FindPage(3);
   ASSERT_NE(rec, nullptr);
@@ -97,8 +101,8 @@ TEST_F(WarehouseTest, SharedComponentTracksContainers) {
     }
   }
   ASSERT_NE(shared, corpus::kInvalidRawId);
-  wh->RequestPage(p1, 1, 1, false, kSecond);
-  wh->RequestPage(p2, 1, 2, false, 2 * kSecond);
+  wh->RequestPage({.page = p1, .user = 1, .session = 1, .now = kSecond});
+  wh->RequestPage({.page = p2, .user = 1, .session = 2, .now = 2 * kSecond});
   const RawObjectRecord* raw = wh->FindRaw(shared);
   ASSERT_NE(raw, nullptr);
   EXPECT_EQ(raw->history.shared(), 2u);
@@ -135,8 +139,10 @@ TEST_F(WarehouseTest, Figure2SharedComponentPriorityIsMaxNotSum) {
   // the rates settle (times must be monotone).
   SimTime t = kSecond;
   for (int i = 0; i < 12; ++i) {
-    wh->RequestPage(d2, 1, i, false, t);
-    if (i < 7) wh->RequestPage(d3, 2, 100 + i, false, t + kSecond);
+    wh->RequestPage(
+        {.page = d2, .user = 1, .session = static_cast<int64_t>(i), .now = t});
+    if (i < 7) wh->RequestPage(
+        {.page = d3, .user = 2, .session = static_cast<int64_t>(100 + i), .now = t + kSecond});
     t += 4 * kSecond;
   }
   EXPECT_EQ(wh->FindRaw(shared)->history.frequency(), 19u);
@@ -158,7 +164,8 @@ TEST_F(WarehouseTest, InitialPriorityInheritsFromSimilarRegion) {
   SimTime t = kSecond;
   for (int round = 0; round < 20; ++round) {
     for (size_t i = 0; i < 5; ++i) {
-      wh->RequestPage(site_pages[i], 1, round, false, t);
+      wh->RequestPage(
+          {.page = site_pages[i], .user = 1, .session = round, .now = t});
       t += kSecond;
     }
   }
@@ -176,8 +183,12 @@ TEST_F(WarehouseTest, InitialPriorityInheritsFromSimilarRegion) {
   }
   ASSERT_NE(dissimilar_fresh, corpus::kInvalidPageId);
 
-  wh->RequestPage(similar_fresh, 2, 1000, false, t);
-  wh->RequestPage(dissimilar_fresh, 2, 1001, false, t + kSecond);
+  wh->RequestPage(
+      {.page = similar_fresh, .user = 2, .session = 1000, .now = t});
+  wh->RequestPage({.page = dissimilar_fresh,
+                   .user = 2,
+                   .session = 1001,
+                   .now = t + kSecond});
   const PhysicalPageRecord* sim = wh->FindPage(similar_fresh);
   const PhysicalPageRecord* dis = wh->FindPage(dissimilar_fresh);
   ASSERT_NE(sim, nullptr);
@@ -190,7 +201,7 @@ TEST_F(WarehouseTest, LruModeStartsEverythingHot) {
   WarehouseOptions opts = TestWarehouseOptions();
   opts.initial_priority = InitialPriorityMode::kZero;
   auto cold_wh = MakeWarehouse(opts);
-  cold_wh->RequestPage(0, 1, 1, false, kSecond);
+  cold_wh->RequestPage({.page = 0, .user = 1, .session = 1, .now = kSecond});
   EXPECT_DOUBLE_EQ(cold_wh->FindPage(0)->own_priority, 0.0);
 }
 
@@ -205,11 +216,13 @@ TEST_F(WarehouseTest, LogicalPagesMinedFromTrails) {
 
   SimTime t = kSecond;
   for (int s = 0; s < 4; ++s) {
-    wh->RequestPage(a, 1, s, false, t);
+    wh->RequestPage({.page = a, .user = 1, .session = s, .now = t});
     t += 10 * kSecond;
-    wh->RequestPage(b, 1, s, true, t);
+    wh->RequestPage(
+        {.page = b, .user = 1, .session = s, .via_link = true, .now = t});
     t += 10 * kSecond;
-    wh->RequestPage(c, 1, s, true, t);
+    wh->RequestPage(
+        {.page = c, .user = 1, .session = s, .via_link = true, .now = t});
     t += kHour;  // Gap between sessions.
   }
   EXPECT_FALSE(wh->logical_pages().pages().empty());
@@ -220,7 +233,7 @@ TEST_F(WarehouseTest, LogicalPagesMinedFromTrails) {
 
 TEST_F(WarehouseTest, WeakConsistencyServesStaleWithoutOrigin) {
   auto wh = MakeWarehouse();  // Default: weak consistency.
-  wh->RequestPage(0, 1, 1, false, kSecond);
+  wh->RequestPage({.page = 0, .user = 1, .session = 1, .now = kSecond});
   corpus::RawId container = corpus_.page(0).container;
   wh->ProcessEvent([&] {
     trace::TraceEvent e;
@@ -231,7 +244,8 @@ TEST_F(WarehouseTest, WeakConsistencyServesStaleWithoutOrigin) {
   }());
   EXPECT_EQ(corpus_.raw(container).version, 2u);
   uint64_t fetches_before = wh->counters().origin_fetches;
-  PageVisit v = wh->RequestPage(0, 1, 2, false, 3 * kSecond);
+  PageVisit v = wh->RequestPage(
+      {.page = 0, .user = 1, .session = 2, .now = 3 * kSecond});
   EXPECT_EQ(v.from_origin, 0u);  // Stale copy served.
   EXPECT_EQ(wh->counters().origin_fetches, fetches_before);
 }
@@ -240,12 +254,13 @@ TEST_F(WarehouseTest, StrongConsistencyRefetchesAfterModification) {
   WarehouseOptions opts = TestWarehouseOptions();
   opts.constraints.default_consistency = ConsistencyMode::kStrong;
   auto wh = MakeWarehouse(opts);
-  wh->RequestPage(0, 1, 1, false, kSecond);
+  wh->RequestPage({.page = 0, .user = 1, .session = 1, .now = kSecond});
   corpus::RawId container = corpus_.page(0).container;
   Pcg32 rng(1);
   corpus_.ModifyObject(container, 2 * kSecond, rng);
   wh->OnOriginModified(container, 2 * kSecond);
-  PageVisit v = wh->RequestPage(0, 1, 2, false, 3 * kSecond);
+  PageVisit v = wh->RequestPage(
+      {.page = 0, .user = 1, .session = 2, .now = 3 * kSecond});
   EXPECT_GT(v.from_origin, 0u);  // Invalid copy refetched.
   EXPECT_EQ(wh->FindRaw(container)->cached_version, 2u);
 }
@@ -255,11 +270,11 @@ TEST_F(WarehouseTest, VersionsCapturedAcrossRefetches) {
   opts.constraints.default_consistency = ConsistencyMode::kStrong;
   auto wh = MakeWarehouse(opts);
   corpus::RawId container = corpus_.page(0).container;
-  wh->RequestPage(0, 1, 1, false, kSecond);
+  wh->RequestPage({.page = 0, .user = 1, .session = 1, .now = kSecond});
   Pcg32 rng(1);
   corpus_.ModifyObject(container, 2 * kSecond, rng);
   wh->OnOriginModified(container, 2 * kSecond);
-  wh->RequestPage(0, 1, 2, false, 3 * kSecond);
+  wh->RequestPage({.page = 0, .user = 1, .session = 2, .now = 3 * kSecond});
   EXPECT_EQ(wh->versions().VersionsOf(container).size(), 2u);
   auto old = wh->versions().AsOf(container, kSecond);
   ASSERT_TRUE(old.ok());
@@ -270,11 +285,13 @@ TEST_F(WarehouseTest, CopyrightedObjectsNeverStored) {
   auto wh = MakeWarehouse();
   corpus::RawId container = corpus_.page(0).container;
   wh->mutable_constraints().MarkCopyrighted(container);
-  PageVisit v1 = wh->RequestPage(0, 1, 1, false, kSecond);
+  PageVisit v1 = wh->RequestPage(
+      {.page = 0, .user = 1, .session = 1, .now = kSecond});
   EXPECT_GT(v1.from_origin, 0u);
   EXPECT_GT(wh->counters().admission_rejections, 0u);
   // Still a miss next time: the container must be refetched.
-  PageVisit v2 = wh->RequestPage(0, 1, 2, false, 2 * kSecond);
+  PageVisit v2 = wh->RequestPage(
+      {.page = 0, .user = 1, .session = 2, .now = 2 * kSecond});
   EXPECT_GT(v2.from_origin, 0u);
 }
 
@@ -283,11 +300,13 @@ TEST_F(WarehouseTest, RebalancePlacesHotPagesInMemory) {
   SimTime t = kSecond;
   // Hammer page 5 through one simulated hour, touch others once.
   for (int i = 0; i < 30; ++i) {
-    wh->RequestPage(5, 1, i, false, t);
+    wh->RequestPage(
+        {.page = 5, .user = 1, .session = static_cast<int64_t>(i), .now = t});
     t += kMinute;
   }
   for (corpus::PageId p = 10; p < 20; ++p) {
-    wh->RequestPage(p, 2, 100 + p, false, t);
+    wh->RequestPage(
+        {.page = p, .user = 2, .session = static_cast<int64_t>(100 + p), .now = t});
     t += kSecond;
   }
   wh->Tick(t + 2 * kHour);  // Forces a rebalance.
@@ -302,22 +321,23 @@ TEST_F(WarehouseTest, QueriesEndToEnd) {
   auto wh = MakeWarehouse();
   SimTime t = kSecond;
   for (int i = 0; i < 9; ++i) {
-    wh->RequestPage(7, 1, i, false, t);
+    wh->RequestPage(
+        {.page = 7, .user = 1, .session = static_cast<int64_t>(i), .now = t});
     t += kSecond;
   }
-  wh->RequestPage(8, 1, 100, false, t);
+  wh->RequestPage({.page = 8, .user = 1, .session = 100, .now = t});
 
   auto r = wh->ExecuteQuery("SELECT MFU 1 p.oid, p.frequency "
                             "FROM Physical_Page p");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  ASSERT_EQ(r->rows.size(), 1u);
-  EXPECT_EQ(r->rows[0][0].AsInt(), 7);
-  EXPECT_EQ(r->rows[0][1].AsInt(), 9);
+  ASSERT_EQ(r->result.rows.size(), 1u);
+  EXPECT_EQ(r->result.rows[0][0].AsInt(), 7);
+  EXPECT_EQ(r->result.rows[0][1].AsInt(), 9);
 }
 
 TEST_F(WarehouseTest, MentionQueryFindsTopicTerms) {
   auto wh = MakeWarehouse();
-  wh->RequestPage(2, 1, 1, false, kSecond);
+  wh->RequestPage({.page = 2, .user = 1, .session = 1, .now = kSecond});
   const PhysicalPageRecord* rec = wh->FindPage(2);
   ASSERT_NE(rec, nullptr);
   ASSERT_FALSE(rec->title_terms.empty());
@@ -328,9 +348,9 @@ TEST_F(WarehouseTest, MentionQueryFindsTopicTerms) {
                 "WHERE p.title MENTION '%s'",
                 term.c_str()));
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_TRUE(r->used_index);
+  EXPECT_TRUE(r->result.used_index);
   bool found = false;
-  for (const auto& row : r->rows) {
+  for (const auto& row : r->result.rows) {
     if (row[0].AsInt() == 2) found = true;
   }
   EXPECT_TRUE(found);
@@ -354,7 +374,8 @@ TEST_F(WarehouseTest, TopicSensorDrivesPrefetch) {
   // sensor's hot terms always have matching candidates.
   SimTime t = kSecond;
   for (corpus::PageId p = 0; p < corpus_.num_pages(); p += 4) {
-    wh->RequestPage(p, 1, p, false, t);
+    wh->RequestPage(
+        {.page = p, .user = 1, .session = static_cast<int64_t>(p), .now = t});
     t += kSecond;
   }
   // Advance past all headlines so the sensor sees them.
@@ -368,7 +389,7 @@ TEST_F(WarehouseTest, WeakConsistencyPollingRefreshes) {
   opts.constraints.min_poll_interval = kMinute;
   opts.constraints.max_poll_interval = 10 * kMinute;
   auto wh = MakeWarehouse(opts);
-  wh->RequestPage(0, 1, 1, false, kSecond);
+  wh->RequestPage({.page = 0, .user = 1, .session = 1, .now = kSecond});
   corpus::RawId container = corpus_.page(0).container;
   Pcg32 rng(1);
   corpus_.ModifyObject(container, kMinute, rng);
@@ -392,11 +413,13 @@ TEST_F(WarehouseTest, RecommendationsMatchUserTopic) {
   ASSERT_GE(topic1.size(), 10u);
   SimTime t = kSecond;
   for (size_t i = 0; i < 10; ++i) {
-    wh->RequestPage(topic0[i], 1, i, false, t);
+    wh->RequestPage(
+        {.page = topic0[i], .user = 1, .session = static_cast<int64_t>(i), .now = t});
     t += kSecond;
   }
   for (size_t i = 0; i < 10; ++i) {
-    wh->RequestPage(topic1[i], 2, 100 + i, false, t);
+    wh->RequestPage(
+        {.page = topic1[i], .user = 2, .session = static_cast<int64_t>(100 + i), .now = t});
     t += kSecond;
   }
   auto recs = wh->RecommendPages(1, 5);
@@ -443,8 +466,10 @@ TEST_F(WarehouseTest, EndToEndWorkloadRuns) {
 
 TEST_F(WarehouseTest, AnalyzerTracksServeMix) {
   auto wh = MakeWarehouse();
-  wh->RequestPage(0, 1, 1, false, kSecond);          // Origin.
-  wh->RequestPage(0, 1, 2, false, 2 * kSecond);      // Local.
+  wh->RequestPage(
+      {.page = 0, .user = 1, .session = 1, .now = kSecond});          // Origin.
+  wh->RequestPage(
+      {.page = 0, .user = 1, .session = 2, .now = 2 * kSecond});      // Local.
   const DataAnalyzer& an = wh->analyzer();
   EXPECT_EQ(an.total_requests(), 2u);
   EXPECT_GE(an.served_from(DataAnalyzer::ServedBy::kOrigin), 1u);
