@@ -1,11 +1,32 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "cache/cache_simulator.h"
 #include "cache/replacement_policy.h"
 
 namespace cbfww::bench {
+
+unsigned DetectHardwareThreads() {
+  unsigned detected = std::thread::hardware_concurrency();
+#if defined(_SC_NPROCESSORS_ONLN)
+  long online = sysconf(_SC_NPROCESSORS_ONLN);
+  if (online > 0) detected = std::max(detected, static_cast<unsigned>(online));
+#endif
+#if defined(_SC_NPROCESSORS_CONF)
+  long configured = sysconf(_SC_NPROCESSORS_CONF);
+  if (configured > 0) {
+    detected = std::max(detected, static_cast<unsigned>(configured));
+  }
+#endif
+  return std::max(detected, 1u);
+}
 
 corpus::CorpusOptions StandardCorpusOptions(uint64_t seed) {
   corpus::CorpusOptions opts;

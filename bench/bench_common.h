@@ -90,6 +90,14 @@ CacheStackResult RunCacheStack(
     const std::string& policy_name, uint64_t memory_bytes,
     uint64_t disk_bytes);
 
+/// Hardware concurrency as the benches should report it.
+/// `std::thread::hardware_concurrency()` is allowed to return 0 (unknown)
+/// and returns the *affinity-restricted* count on containerized runners;
+/// this consults the OS processor counts as well and returns the max,
+/// floored at 1. Benches record both this and the raw reported value so
+/// throughput JSON is interpretable on any machine.
+unsigned DetectHardwareThreads();
+
 /// Prints the standard bench header identifying the paper artifact.
 void PrintHeader(const std::string& artifact, const std::string& what);
 

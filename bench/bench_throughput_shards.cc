@@ -29,6 +29,7 @@ using cbfww::cluster::WarehouseCluster;
 
 struct ConfigResult {
   uint32_t shards = 0;
+  uint32_t worker_threads = 0;  // One replay worker per shard.
   uint64_t events = 0;
   double wall_s = 0.0;
   double events_per_sec_wall = 0.0;
@@ -61,6 +62,7 @@ ConfigResult RunConfig(const cbfww::corpus::CorpusOptions& corpus_opts,
   std::printf("\n");
   ConfigResult r;
   r.shards = shards;
+  r.worker_threads = shards;
   r.events = cluster.events_submitted();
   r.wall_s = std::chrono::duration<double>(end - start).count();
   r.events_per_sec_wall = static_cast<double>(r.events) / r.wall_s;
@@ -94,8 +96,12 @@ int main() {
   cbfww::corpus::WebCorpus corpus(corpus_opts);
   cbfww::trace::WorkloadGenerator generator(&corpus, nullptr, wopts);
   std::vector<cbfww::trace::TraceEvent> events = generator.Generate();
-  std::printf("trace: %zu events, machine threads: %u\n\n", events.size(),
-              std::thread::hardware_concurrency());
+  const unsigned threads_detected = cbfww::bench::DetectHardwareThreads();
+  const unsigned threads_reported = std::thread::hardware_concurrency();
+  std::printf(
+      "trace: %zu events, machine threads: %u detected "
+      "(%u reported by std::thread)\n\n",
+      events.size(), threads_detected, threads_reported);
 
   std::vector<ConfigResult> results;
   for (uint32_t shards : {1u, 2u, 4u, 8u}) {
@@ -135,13 +141,15 @@ int main() {
 
   std::ofstream json("BENCH_throughput_shards.json");
   json << "{\n  \"bench\": \"throughput_shards\",\n";
-  json << "  \"machine_threads\": " << std::thread::hardware_concurrency()
+  json << "  \"machine_threads_detected\": " << threads_detected
+       << ",\n  \"machine_threads_reported\": " << threads_reported
        << ",\n  \"trace_events\": " << events.size() << ",\n";
   json << "  \"configs\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const ConfigResult& r = results[i];
-    json << "    {\"shards\": " << r.shards << ", \"events\": " << r.events
-         << ", \"wall_s\": " << r.wall_s
+    json << "    {\"shards\": " << r.shards
+         << ", \"worker_threads\": " << r.worker_threads
+         << ", \"events\": " << r.events << ", \"wall_s\": " << r.wall_s
          << ", \"events_per_sec_wall\": " << r.events_per_sec_wall
          << ", \"events_per_sec_critical_path\": " << r.events_per_sec_critical
          << ", \"requests\": " << r.total_requests

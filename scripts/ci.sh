@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# CI for the CBFWW repro: tier-1 verify (full build + test suite) plus a
-# ThreadSanitizer pass over the concurrent cluster front-end.
+# CI for the CBFWW repro: tier-1 verify (full build + test suite), a
+# ThreadSanitizer pass over the concurrent cluster front-end, an
+# ASan+UBSan pass over the retrieval hot path, and a perf smoke gate on
+# the pruned top-k engine.
 #
 #   scripts/ci.sh           # everything
 #   scripts/ci.sh tier1     # build + ctest only
 #   scripts/ci.sh tsan      # TSan cluster tests + shard bench only
+#   scripts/ci.sh asan      # ASan+UBSan index/warehouse tests + hotpath
+#   scripts/ci.sh perfsmoke # hotpath smoke vs checked-in p50 baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,15 +35,47 @@ tsan() {
   rm -rf "${tsan_out}"
 }
 
+asan() {
+  echo "=== asan: retrieval hot path under ASan+UBSan ==="
+  # CBFWW_SANITIZE=address enables -fsanitize=address,undefined.
+  cmake -B build-asan -S . -DCBFWW_SANITIZE=address
+  cmake --build build-asan -j --target index_test warehouse_features_test \
+    bench_hotpath
+  ./build-asan/tests/index_test
+  ./build-asan/tests/warehouse_features_test
+  # Smoke corpus only — the sanitized build is for memory bugs, not
+  # timings, so no baseline gate here.
+  asan_out="$(mktemp -d)"
+  (cd "${asan_out}" && "${OLDPWD}/build-asan/bench/bench_hotpath" --smoke)
+  rm -rf "${asan_out}"
+}
+
+perfsmoke() {
+  echo "=== perfsmoke: pruned top-k p50 vs checked-in baseline ==="
+  cmake -B build -S .
+  cmake --build build -j --target bench_hotpath
+  # Fails (nonzero exit) if the measured pruned p50 exceeds 2x the
+  # checked-in baseline, or if pruned != exhaustive on any query.
+  smoke_out="$(mktemp -d)"
+  (cd "${smoke_out}" &&
+    "${OLDPWD}/build/bench/bench_hotpath" --smoke \
+      "${OLDPWD}/bench/hotpath_baseline.txt")
+  rm -rf "${smoke_out}"
+}
+
 case "${stage}" in
   tier1) tier1 ;;
   tsan) tsan ;;
+  asan) asan ;;
+  perfsmoke) perfsmoke ;;
   all)
     tier1
     tsan
+    asan
+    perfsmoke
     ;;
   *)
-    echo "usage: scripts/ci.sh [tier1|tsan|all]" >&2
+    echo "usage: scripts/ci.sh [tier1|tsan|asan|perfsmoke|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,78 @@
+#ifndef CBFWW_CORE_EPOCH_CACHE_H_
+#define CBFWW_CORE_EPOCH_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iterator>
+#include <unordered_map>
+#include <utility>
+
+namespace cbfww::core {
+
+/// Bounded memo table whose entries are valid only at the epoch they were
+/// stored under. The owner bumps its epoch on every mutation that could
+/// change cached answers; stale entries then read as misses and are
+/// reclaimed lazily (overwritten on Put, or swept when the table fills).
+///
+/// Used for the warehouse's normalized-query result cache and the
+/// similarity-prediction cache on the first-retrieval hot path. Each
+/// Warehouse (= cluster shard) owns its caches, so there is no sharing
+/// across threads.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class EpochCache {
+ public:
+  explicit EpochCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Value stored for `key` at exactly `epoch`, or nullptr. Counts a hit
+  /// or a miss. The pointer is invalidated by the next Put.
+  const Value* Get(const Key& key, uint64_t epoch) {
+    auto it = map_.find(key);
+    if (it == map_.end() || it->second.epoch != epoch) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    return &it->second.value;
+  }
+
+  /// Stores (replacing any entry for `key`). When the table is full,
+  /// stale-epoch entries are swept first; if every entry is current the
+  /// whole table is dropped — at that point the working set outgrew the
+  /// cache and uniform restart beats tracking recency.
+  void Put(const Key& key, uint64_t epoch, Value value) {
+    if (map_.size() >= capacity_ && !map_.contains(key)) {
+      Sweep(epoch);
+      if (map_.size() >= capacity_) map_.clear();
+    }
+    map_[key] = Entry{epoch, std::move(value)};
+  }
+
+  void Clear() { map_.clear(); }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    uint64_t epoch = 0;
+    Value value;
+  };
+
+  void Sweep(uint64_t epoch) {
+    for (auto it = map_.begin(); it != map_.end();) {
+      it = it->second.epoch == epoch ? std::next(it) : map_.erase(it);
+    }
+  }
+
+  size_t capacity_;
+  std::unordered_map<Key, Entry, Hash> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace cbfww::core
+
+#endif  // CBFWW_CORE_EPOCH_CACHE_H_

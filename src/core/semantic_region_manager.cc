@@ -27,6 +27,7 @@ RegionId SemanticRegionManager::Assign(const text::TermVector& v) {
     rec.id = facility;
     rec.centroid = v;
     regions_.emplace(facility, std::move(rec));
+    ++epoch_;
   }
   regions_[facility].weight += 1.0;
   return facility;
@@ -73,6 +74,7 @@ SemanticRegionManager::Prediction SemanticRegionManager::PredictPriority(
 }
 
 void SemanticRegionManager::Sync(SimTime now) {
+  ++epoch_;
   // 1. Replay merges: fold aggregates of absorbed regions into survivors.
   for (const cluster::MergeEvent& merge : stream_.TakeMergeEvents()) {
     auto from = regions_.find(merge.from);

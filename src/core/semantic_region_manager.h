@@ -63,6 +63,13 @@ class SemanticRegionManager {
 
   const cluster::StreamingKMedian& stream() const { return stream_; }
 
+  /// Bumped whenever the region *structure* changes (a new region opens,
+  /// or Sync applies merges / refreshes centroids). Priority aggregates
+  /// drift between bumps, so prediction caches keyed on this epoch may
+  /// serve values up to one sync period stale — acceptable for a seeding
+  /// heuristic, and Sync runs every rebalance tick.
+  uint64_t epoch() const { return epoch_; }
+
  private:
   void ApplyDecay(SemanticRegionRecord& rec, SimTime now);
 
@@ -70,6 +77,7 @@ class SemanticRegionManager {
   cluster::StreamingKMedian stream_;
   std::unordered_map<RegionId, SemanticRegionRecord> regions_;
   std::unordered_map<RegionId, SimTime> last_decay_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace cbfww::core

@@ -13,6 +13,7 @@
 #include "core/constraint_manager.h"
 #include "core/continuous_query.h"
 #include "core/data_analyzer.h"
+#include "core/epoch_cache.h"
 #include "core/logical_page_manager.h"
 #include "core/object_model.h"
 #include "core/priority_manager.h"
@@ -289,6 +290,11 @@ class Warehouse : public query::QueryCatalog {
   const WarehouseOptions& options() const { return options_; }
   SimTime now() const { return now_; }
 
+  /// Epoch of warehouse state observable through queries; bumped by every
+  /// request, modification, tick, and failure injection. The query result
+  /// cache is valid only within one epoch.
+  uint64_t data_epoch() const { return data_epoch_; }
+
   const std::unordered_map<corpus::RawId, RawObjectRecord>& raw_records()
       const {
     return raws_;
@@ -313,6 +319,12 @@ class Warehouse : public query::QueryCatalog {
     /// Queries served via an index vs by scanning.
     uint64_t indexed_queries = 0;
     uint64_t scan_queries = 0;
+    /// Normalized-query result cache (ExecuteQuery without cost
+    /// accounting): hits skip parsing + execution entirely.
+    uint64_t query_cache_hits = 0;
+    uint64_t query_cache_misses = 0;
+    /// Similarity-prediction cache hits on the first-retrieval hot path.
+    uint64_t prediction_cache_hits = 0;
     /// Total simulated time spent on background work (polls, prefetch,
     /// migration) — not charged to user latency.
     SimTime background_time = 0;
@@ -329,6 +341,9 @@ class Warehouse : public query::QueryCatalog {
       admission_rejections += other.admission_rejections;
       indexed_queries += other.indexed_queries;
       scan_queries += other.scan_queries;
+      query_cache_hits += other.query_cache_hits;
+      query_cache_misses += other.query_cache_misses;
+      prediction_cache_hits += other.prediction_cache_hits;
       background_time += other.background_time;
     }
   };
@@ -359,6 +374,21 @@ class Warehouse : public query::QueryCatalog {
 
  private:
   class ContentProviderImpl;
+
+  /// 128-bit content fingerprint of a term vector — key of the
+  /// similarity-prediction cache (collisions are vanishingly rare and at
+  /// worst mis-seed one priority, which decay corrects).
+  struct VectorFingerprint {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    bool operator==(const VectorFingerprint&) const = default;
+  };
+  struct VectorFingerprintHash {
+    size_t operator()(const VectorFingerprint& f) const {
+      return static_cast<size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  static VectorFingerprint FingerprintVector(const text::TermVector& v);
 
   /// Ensures the raw object is warehoused; fetches from origin when absent
   /// or invalid. Returns serve cost and source.
@@ -436,6 +466,13 @@ class Warehouse : public query::QueryCatalog {
   SimTime next_sensor_poll_ = 0;
   Counters counters_;
   Pcg32 rng_;
+
+  /// Retrieval hot-path caches (see DESIGN.md "Retrieval hot path").
+  uint64_t data_epoch_ = 0;
+  EpochCache<std::string, query::QueryExecutionResult> query_cache_{256};
+  EpochCache<VectorFingerprint, SemanticRegionManager::Prediction,
+             VectorFingerprintHash>
+      prediction_cache_{1024};
 };
 
 }  // namespace cbfww::core

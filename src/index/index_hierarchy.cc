@@ -21,6 +21,12 @@ void IndexHierarchy::Add(ObjectLevel l, uint64_t doc,
   level(l).Add(doc, vec);
 }
 
+void IndexHierarchy::AddBatch(
+    ObjectLevel l,
+    const std::vector<std::pair<uint64_t, text::TermVector>>& docs) {
+  level(l).AddBatch(docs);
+}
+
 void IndexHierarchy::Remove(ObjectLevel l, uint64_t doc) {
   level(l).Remove(doc);
 }

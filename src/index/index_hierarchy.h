@@ -38,6 +38,11 @@ class IndexHierarchy {
   /// Adds a document vector at a level (updates the routing table).
   void Add(ObjectLevel l, uint64_t doc, const text::TermVector& vec);
 
+  /// Batched ingest at one level (single epoch bump; postings sorted
+  /// lazily on first conjunctive query).
+  void AddBatch(ObjectLevel l,
+                const std::vector<std::pair<uint64_t, text::TermVector>>& docs);
+
   /// Removes a document from a level.
   void Remove(ObjectLevel l, uint64_t doc);
 

@@ -2,23 +2,69 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <limits>
+#include <queue>
 
 namespace cbfww::index {
 
+namespace {
+
+// Relative slack applied to pruning bounds so floating-point rounding in
+// the suffix sums can never evict a document the exhaustive path keeps.
+constexpr double kBoundSlack = 1.0 + 1e-9;
+
+// Compaction triggers once tombstones are both numerous and a sizable
+// fraction of the live corpus.
+constexpr size_t kCompactMinDead = 64;
+
+}  // namespace
+
 void InvertedIndex::Add(uint64_t doc, const text::TermVector& vec) {
-  if (Contains(doc)) Remove(doc);
+  AddInternal(doc, vec);
+  ++epoch_;
+}
+
+void InvertedIndex::AddBatch(
+    const std::vector<std::pair<uint64_t, text::TermVector>>& docs) {
+  for (const auto& [doc, vec] : docs) AddInternal(doc, vec);
+  ++epoch_;
+}
+
+void InvertedIndex::AddInternal(uint64_t doc, const text::TermVector& vec) {
+  if (Contains(doc)) {
+    // Replace: the old postings are still live — erase them eagerly so a
+    // list never holds two postings for one doc.
+    auto it = doc_terms_.find(doc);
+    ErasePostingsOf(doc, it->second, /*live_postings=*/true);
+    doc_terms_.erase(it);
+    doc_norms_.erase(doc);
+  } else if (auto dit = dead_.find(doc); dit != dead_.end()) {
+    // Re-add of a tombstoned doc: purge its stale postings before the new
+    // ones land, or queries would filter the fresh postings too.
+    ErasePostingsOf(doc, dit->second, /*live_postings=*/false);
+    dead_.erase(dit);
+  }
+
+  const double norm = vec.Norm();
+  auto [sit, new_slot] = doc_slots_.try_emplace(
+      doc, static_cast<uint32_t>(slot_docs_.size()));
+  if (new_slot) slot_docs_.push_back(doc);
+  const uint32_t slot = sit->second;
   std::vector<text::TermId> terms;
   terms.reserve(vec.size());
   for (const auto& [term, weight] : vec.entries()) {
     if (weight == 0.0) continue;
-    auto& list = postings_[term];
-    auto it = std::lower_bound(
-        list.begin(), list.end(), doc,
-        [](const Posting& p, uint64_t d) { return p.doc < d; });
-    list.insert(it, Posting{doc, weight});
+    if (weight < 0.0) nonnegative_ = false;
+    const double folded = norm > 0.0 ? weight / norm : 0.0;
+    PostingList& list = postings_[term];
+    if (!list.docs.empty() && list.docs.back().doc > doc) list.sorted = false;
+    list.docs.push_back(Posting{doc, folded, slot});
+    ++list.live;
+    if (folded > list.max_weight) list.max_weight = folded;
     terms.push_back(term);
   }
-  doc_norms_[doc] = vec.Norm();
+  doc_norms_[doc] = norm;
   doc_terms_[doc] = std::move(terms);
 }
 
@@ -28,34 +74,271 @@ void InvertedIndex::Remove(uint64_t doc) {
   for (text::TermId term : it->second) {
     auto pit = postings_.find(term);
     if (pit == postings_.end()) continue;
-    auto& list = pit->second;
-    auto lit = std::lower_bound(
-        list.begin(), list.end(), doc,
-        [](const Posting& p, uint64_t d) { return p.doc < d; });
-    if (lit != list.end() && lit->doc == doc) list.erase(lit);
-    if (list.empty()) postings_.erase(pit);
+    if (--pit->second.live == 0) postings_.erase(pit);
   }
+  if (!it->second.empty()) dead_[doc] = std::move(it->second);
   doc_terms_.erase(it);
   doc_norms_.erase(doc);
+  ++epoch_;
+  if (dead_.size() >= kCompactMinDead &&
+      dead_.size() * 4 >= doc_norms_.size()) {
+    CompactAll();
+  }
 }
+
+void InvertedIndex::ErasePostingsOf(uint64_t doc,
+                                    const std::vector<text::TermId>& terms,
+                                    bool live_postings) {
+  for (text::TermId term : terms) {
+    auto pit = postings_.find(term);
+    if (pit == postings_.end()) continue;
+    PostingList& list = pit->second;
+    auto lit = list.docs.end();
+    if (list.sorted) {
+      lit = std::lower_bound(
+          list.docs.begin(), list.docs.end(), doc,
+          [](const Posting& p, uint64_t d) { return p.doc < d; });
+      if (lit != list.docs.end() && lit->doc != doc) lit = list.docs.end();
+    } else {
+      lit = std::find_if(list.docs.begin(), list.docs.end(),
+                         [doc](const Posting& p) { return p.doc == doc; });
+    }
+    if (lit == list.docs.end()) continue;
+    // Swap-with-back erase is O(1) but breaks sort order; keep order when
+    // the list is sorted so conjunctive queries stay cheap.
+    if (list.sorted) {
+      list.docs.erase(lit);
+    } else {
+      *lit = list.docs.back();
+      list.docs.pop_back();
+    }
+    if (live_postings && --list.live == 0) postings_.erase(pit);
+  }
+}
+
+void InvertedIndex::EnsureSorted(PostingList& list) const {
+  // live == size means no tombstoned posting hides in this list, so the
+  // sweep scan is needed only when the counts disagree.
+  const bool has_dead =
+      !dead_.empty() && list.live != static_cast<uint32_t>(list.docs.size());
+  if (list.sorted && !has_dead) return;
+  if (has_dead) {
+    auto stale = std::remove_if(
+        list.docs.begin(), list.docs.end(),
+        [this](const Posting& p) { return dead_.contains(p.doc); });
+    if (stale != list.docs.end()) {
+      list.docs.erase(stale, list.docs.end());
+      double maxw = 0.0;
+      for (const Posting& p : list.docs) maxw = std::max(maxw, p.weight);
+      list.max_weight = maxw;
+    }
+  }
+  if (!list.sorted) {
+    std::sort(list.docs.begin(), list.docs.end(),
+              [](const Posting& a, const Posting& b) { return a.doc < b.doc; });
+    list.sorted = true;
+  }
+}
+
+void InvertedIndex::CompactAll() const {
+  for (auto& [term, list] : postings_) {
+    (void)term;
+    EnsureSorted(list);
+  }
+  dead_.clear();
+}
+
+namespace {
+
+struct BetterScored {
+  // "a ranks above b": higher score, ties by smaller doc id. As the
+  // priority_queue comparator this puts the *weakest* kept hit on top.
+  bool operator()(const ScoredDoc& a, const ScoredDoc& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  }
+};
+
+}  // namespace
 
 std::vector<ScoredDoc> InvertedIndex::QueryVector(const text::TermVector& query,
                                                   size_t k) const {
-  std::unordered_map<uint64_t, double> dots;
+  if (k == 0) return {};
+  if (!nonnegative_) return QueryVectorExhaustive(query, k);
+  const double qnorm = query.Norm();
+  if (qnorm <= 0.0) return {};
+
+  // Collect live query terms with their impact bounds; negative query
+  // weights break the bound math, so they take the exhaustive path.
+  struct Term {
+    const PostingList* list;
+    text::TermId id;
+    double qweight;
+    double bound;
+  };
+  std::vector<Term> terms;
+  terms.reserve(query.size());
   for (const auto& [term, qweight] : query.entries()) {
+    if (qweight == 0.0) continue;
+    if (qweight < 0.0) return QueryVectorExhaustive(query, k);
     auto it = postings_.find(term);
     if (it == postings_.end()) continue;
-    for (const Posting& p : it->second) dots[p.doc] += qweight * p.weight;
+    terms.push_back(
+        Term{&it->second, term, qweight, qweight * it->second.max_weight});
   }
-  double qnorm = query.Norm();
+  if (terms.empty()) return {};
+  // Impact order (deterministic: ties by term id). The exhaustive path
+  // uses the same order, so surviving documents accumulate their dot
+  // products in the same sequence — results match bitwise.
+  std::sort(terms.begin(), terms.end(), [](const Term& a, const Term& b) {
+    if (a.bound != b.bound) return a.bound > b.bound;
+    return a.id < b.id;
+  });
+
+  const size_t n = terms.size();
+  std::vector<double> suffix(n + 1, 0.0);
+  for (size_t i = n; i-- > 0;) suffix[i] = suffix[i + 1] + terms[i].bound;
+
+  const bool has_dead = !dead_.empty();
+  // Dense stamped accumulators: postings carry a per-document slot, so the
+  // hot loop is an array write, and "clearing" between queries is a stamp
+  // bump. (The exhaustive reference deliberately keeps the pre-optimization
+  // hash-map accumulator as the before/after baseline.)
+  if (acc_scores_.size() < slot_docs_.size()) {
+    acc_scores_.resize(slot_docs_.size(), 0.0);
+    acc_stamp_.resize(slot_docs_.size(), 0);
+  }
+  const uint64_t cur = ++acc_query_;
+  touched_.clear();
+  // θ: current k-th best partial dot — a lower bound on the final k-th
+  // best score's numerator, so any doc whose total remaining upper bound
+  // is strictly below θ can never reach the top k.
+  double theta = -std::numeric_limits<double>::infinity();
+  std::vector<double> scratch;
+  // θ refreshes sample at most this many accumulators: the ones opened by
+  // the highest-impact lists, which hold the largest partials. Any subset's
+  // k-th best partial is still a valid lower bound, and the cap keeps the
+  // refresh cost flat as the corpus grows.
+  constexpr size_t kThetaSample = 4096;
+  size_t i = 0;
+  for (; i < n; ++i) {
+    if (touched_.size() >= k) {
+      if (!(suffix[i] * kBoundSlack < theta)) {
+        // Cached θ too weak to prune — refresh it from current partials.
+        const size_t sample = std::min(touched_.size(), kThetaSample);
+        scratch.clear();
+        scratch.reserve(sample);
+        for (size_t s = 0; s < sample; ++s) {
+          scratch.push_back(acc_scores_[touched_[s]]);
+        }
+        std::nth_element(scratch.begin(), scratch.begin() + (k - 1),
+                         scratch.end(), std::greater<double>());
+        theta = std::max(theta, scratch[k - 1]);
+      }
+      // A doc first seen at term i scores at most suffix[i]: stop opening
+      // accumulators once that cannot beat the current k-th best.
+      if (suffix[i] * kBoundSlack < theta) break;
+    }
+    const Term& t = terms[i];
+    // Only lists actually holding tombstoned postings pay the dead check.
+    const bool filter =
+        has_dead &&
+        t.list->live != static_cast<uint32_t>(t.list->docs.size());
+    for (const Posting& p : t.list->docs) {
+      if (filter && dead_.contains(p.doc)) continue;
+      if (acc_stamp_[p.slot] != cur) {
+        acc_stamp_[p.slot] = cur;
+        acc_scores_[p.slot] = 0.0;
+        touched_.push_back(p.slot);
+      }
+      acc_scores_[p.slot] += t.qweight * p.weight;
+    }
+  }
+  if (i < n) {
+    // AND mode: drop accumulators that cannot reach θ (un-stamping them),
+    // then let the remaining (low-impact) terms update survivors only.
+    // Tombstoned docs never got this query's stamp, so the dead check is
+    // free here.
+    const double remaining = suffix[i] * kBoundSlack;
+    size_t w = 0;
+    for (uint32_t slot : touched_) {
+      if (acc_scores_[slot] + remaining < theta) {
+        acc_stamp_[slot] = 0;
+      } else {
+        touched_[w++] = slot;
+      }
+    }
+    touched_.resize(w);
+    for (; i < n; ++i) {
+      const Term& t = terms[i];
+      for (const Posting& p : t.list->docs) {
+        if (acc_stamp_[p.slot] == cur) {
+          acc_scores_[p.slot] += t.qweight * p.weight;
+        }
+      }
+    }
+  }
+
+  // Bounded selection: k-element heap instead of sorting every candidate.
+  std::priority_queue<ScoredDoc, std::vector<ScoredDoc>, BetterScored> heap;
+  for (uint32_t slot : touched_) {
+    ScoredDoc cand{slot_docs_[slot], acc_scores_[slot] / qnorm};
+    if (heap.size() < k) {
+      heap.push(cand);
+    } else if (cand.score > heap.top().score ||
+               (cand.score == heap.top().score && cand.doc < heap.top().doc)) {
+      heap.pop();
+      heap.push(cand);
+    }
+  }
+  std::vector<ScoredDoc> out(heap.size());
+  for (size_t j = heap.size(); j-- > 0;) {
+    out[j] = heap.top();
+    heap.pop();
+  }
+  return out;
+}
+
+std::vector<ScoredDoc> InvertedIndex::QueryVectorExhaustive(
+    const text::TermVector& query, size_t k) const {
+  const double qnorm = query.Norm();
+  if (qnorm <= 0.0) return {};
+  struct Term {
+    const PostingList* list;
+    text::TermId id;
+    double qweight;
+    double bound;
+  };
+  std::vector<Term> terms;
+  terms.reserve(query.size());
+  for (const auto& [term, qweight] : query.entries()) {
+    if (qweight == 0.0) continue;
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    terms.push_back(Term{&it->second, term, qweight,
+                         std::abs(qweight) * it->second.max_weight});
+  }
+  // Same accumulation order as the pruned path (see QueryVector) so both
+  // paths produce bitwise-identical scores.
+  std::sort(terms.begin(), terms.end(), [](const Term& a, const Term& b) {
+    if (a.bound != b.bound) return a.bound > b.bound;
+    return a.id < b.id;
+  });
+
+  const bool has_dead = !dead_.empty();
+  std::unordered_map<uint64_t, double> dots;
+  for (const Term& t : terms) {
+    const bool filter =
+        has_dead &&
+        t.list->live != static_cast<uint32_t>(t.list->docs.size());
+    for (const Posting& p : t.list->docs) {
+      if (filter && dead_.contains(p.doc)) continue;
+      dots[p.doc] += t.qweight * p.weight;
+    }
+  }
   std::vector<ScoredDoc> scored;
   scored.reserve(dots.size());
-  for (const auto& [doc, dot] : dots) {
-    auto nit = doc_norms_.find(doc);
-    double dnorm = nit != doc_norms_.end() ? nit->second : 0.0;
-    if (dnorm <= 0.0 || qnorm <= 0.0) continue;
-    scored.push_back({doc, dot / (dnorm * qnorm)});
-  }
+  for (const auto& [doc, dot] : dots) scored.push_back({doc, dot / qnorm});
   std::sort(scored.begin(), scored.end(),
             [](const ScoredDoc& a, const ScoredDoc& b) {
               if (a.score != b.score) return a.score > b.score;
@@ -65,35 +348,58 @@ std::vector<ScoredDoc> InvertedIndex::QueryVector(const text::TermVector& query,
   return scored;
 }
 
+namespace {
+
+// First index in [from, docs.size()) with docs[i].doc >= target: gallop
+// out of `from`, then binary-search the bracketed range.
+template <typename PostingT>
+size_t GallopLowerBound(const std::vector<PostingT>& docs, size_t from,
+                        uint64_t target) {
+  const size_t n = docs.size();
+  if (from >= n || docs[from].doc >= target) return from;
+  size_t step = 1;
+  size_t lo = from;
+  while (lo + step < n && docs[lo + step].doc < target) {
+    lo += step;
+    step <<= 1;
+  }
+  const size_t hi = std::min(lo + step, n);
+  // Invariant: docs[lo].doc < target <= docs[hi].doc (or hi == n).
+  auto it = std::lower_bound(
+      docs.begin() + static_cast<ptrdiff_t>(lo + 1),
+      docs.begin() + static_cast<ptrdiff_t>(hi), target,
+      [](const PostingT& p, uint64_t d) { return p.doc < d; });
+  return static_cast<size_t>(it - docs.begin());
+}
+
+}  // namespace
+
 std::vector<uint64_t> InvertedIndex::DocsContainingAll(
     const std::vector<text::TermId>& terms) const {
   if (terms.empty()) return {};
-  // Intersect posting lists, smallest first.
-  std::vector<const std::vector<Posting>*> lists;
+  std::vector<PostingList*> lists;
+  lists.reserve(terms.size());
   for (text::TermId t : terms) {
     auto it = postings_.find(t);
     if (it == postings_.end()) return {};
+    EnsureSorted(it->second);
     lists.push_back(&it->second);
   }
-  std::sort(lists.begin(), lists.end(),
-            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::sort(lists.begin(), lists.end(), [](const auto* a, const auto* b) {
+    return a->docs.size() < b->docs.size();
+  });
   std::vector<uint64_t> result;
-  for (const Posting& p : *lists[0]) result.push_back(p.doc);
+  result.reserve(lists[0]->docs.size());
+  for (const Posting& p : lists[0]->docs) result.push_back(p.doc);
   for (size_t i = 1; i < lists.size() && !result.empty(); ++i) {
+    const auto& docs = lists[i]->docs;
     std::vector<uint64_t> next;
-    const auto& list = *lists[i];
-    size_t a = 0;
-    size_t b = 0;
-    while (a < result.size() && b < list.size()) {
-      if (result[a] < list[b].doc) {
-        ++a;
-      } else if (list[b].doc < result[a]) {
-        ++b;
-      } else {
-        next.push_back(result[a]);
-        ++a;
-        ++b;
-      }
+    next.reserve(result.size());
+    size_t pos = 0;
+    for (uint64_t d : result) {
+      pos = GallopLowerBound(docs, pos, d);
+      if (pos == docs.size()) break;
+      if (docs[pos].doc == d) next.push_back(d);
     }
     result = std::move(next);
   }
@@ -102,14 +408,45 @@ std::vector<uint64_t> InvertedIndex::DocsContainingAll(
 
 std::vector<uint64_t> InvertedIndex::DocsContainingAny(
     const std::vector<text::TermId>& terms) const {
-  std::vector<uint64_t> result;
+  std::vector<const PostingList*> lists;
+  lists.reserve(terms.size());
   for (text::TermId t : terms) {
     auto it = postings_.find(t);
     if (it == postings_.end()) continue;
-    for (const Posting& p : it->second) result.push_back(p.doc);
+    EnsureSorted(it->second);
+    if (!it->second.docs.empty()) lists.push_back(&it->second);
   }
-  std::sort(result.begin(), result.end());
-  result.erase(std::unique(result.begin(), result.end()), result.end());
+  if (lists.empty()) return {};
+  if (lists.size() == 1) {
+    std::vector<uint64_t> only;
+    only.reserve(lists[0]->docs.size());
+    for (const Posting& p : lists[0]->docs) only.push_back(p.doc);
+    return only;
+  }
+  // Multi-way merge of sorted lists with duplicate suppression.
+  struct Cursor {
+    uint64_t doc;
+    size_t list;
+    size_t pos;
+    bool operator>(const Cursor& other) const { return doc > other.doc; }
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, std::greater<Cursor>> heads;
+  size_t total = 0;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    heads.push(Cursor{lists[i]->docs[0].doc, i, 0});
+    total += lists[i]->docs.size();
+  }
+  std::vector<uint64_t> result;
+  result.reserve(total);
+  while (!heads.empty()) {
+    Cursor c = heads.top();
+    heads.pop();
+    if (result.empty() || result.back() != c.doc) result.push_back(c.doc);
+    if (c.pos + 1 < lists[c.list]->docs.size()) {
+      heads.push(
+          Cursor{lists[c.list]->docs[c.pos + 1].doc, c.list, c.pos + 1});
+    }
+  }
   return result;
 }
 
@@ -117,10 +454,17 @@ uint64_t InvertedIndex::MemoryBytes() const {
   uint64_t bytes = 0;
   for (const auto& [term, list] : postings_) {
     (void)term;
-    bytes += sizeof(text::TermId) + list.size() * sizeof(Posting);
+    bytes += sizeof(text::TermId) + sizeof(PostingList) +
+             list.docs.size() * sizeof(Posting);
   }
   bytes += doc_norms_.size() * (sizeof(uint64_t) + sizeof(double));
+  bytes += doc_slots_.size() * (sizeof(uint64_t) + sizeof(uint32_t)) +
+           slot_docs_.size() * sizeof(uint64_t);
   for (const auto& [doc, terms] : doc_terms_) {
+    (void)doc;
+    bytes += sizeof(uint64_t) + terms.size() * sizeof(text::TermId);
+  }
+  for (const auto& [doc, terms] : dead_) {
     (void)doc;
     bytes += sizeof(uint64_t) + terms.size() * sizeof(text::TermId);
   }

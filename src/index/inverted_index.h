@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "text/term_vector.h"
@@ -17,43 +18,80 @@ struct ScoredDoc {
 
 /// In-memory inverted index over sparse term vectors.
 ///
-/// Posting lists map term -> (doc, weight); document norms are cached so
-/// QueryVector scores are cosine similarities. Supports removal (for object
-/// eviction / version turnover) and reports its memory footprint, which the
-/// Storage Manager uses when deciding which indexes stay in fast storage
-/// (paper Section 4.1, "Hierarchy of Indices").
+/// Posting weights are stored pre-divided by the document's L2 norm, so a
+/// query's cosine scores need one division by the query norm at the end and
+/// never touch a per-document norm table. Top-k retrieval runs a max-score
+/// pruned term-at-a-time evaluation (exact: provably identical to the
+/// exhaustive path, which is kept as `QueryVectorExhaustive` for oracle
+/// tests and before/after benchmarks). Ingest appends postings and sorts
+/// lists lazily on first conjunctive query; `Remove` tombstones documents
+/// and compacts lazily once enough garbage accumulates, so warehouse
+/// crawls never pay a per-posting sorted insert. Reports its memory
+/// footprint, which the Storage Manager uses when deciding which indexes
+/// stay in fast storage (paper Section 4.1, "Hierarchy of Indices").
+///
+/// Not thread-safe; a shard's index is owned by one worker (DESIGN.md
+/// "Concurrency model"). Lazy sorting/compaction mutate internal state
+/// from const queries.
 class InvertedIndex {
  public:
   InvertedIndex() = default;
 
-  /// Adds (or replaces) the document's vector.
+  /// Adds (or replaces) the document's vector. Appends postings (O(terms)
+  /// amortized); lists are re-sorted lazily when a conjunctive query needs
+  /// doc order.
   void Add(uint64_t doc, const text::TermVector& vec);
 
-  /// Removes a document; no-op if absent.
+  /// Batched ingest: adds every (doc, vector) pair, bumping the epoch
+  /// once. Semantically identical to calling Add in a loop.
+  void AddBatch(const std::vector<std::pair<uint64_t, text::TermVector>>& docs);
+
+  /// Removes a document; no-op if absent. O(terms) — postings are
+  /// tombstoned and swept out by a later compaction, not erased in place.
   void Remove(uint64_t doc);
 
   bool Contains(uint64_t doc) const { return doc_norms_.contains(doc); }
 
   /// Top-k documents by cosine similarity to `query`. Results sorted by
-  /// descending score; ties broken by ascending doc id.
+  /// descending score; ties broken by ascending doc id. Uses max-score
+  /// pruning + a bounded heap; output is identical to
+  /// QueryVectorExhaustive (same docs, same scores, same order).
   std::vector<ScoredDoc> QueryVector(const text::TermVector& query,
                                      size_t k) const;
 
-  /// Documents whose vectors contain *all* of `terms` (conjunctive MENTION).
+  /// Reference top-k: scores every candidate, then fully sorts. Kept as
+  /// the pre-pruning baseline for oracle tests and bench_hotpath.
+  std::vector<ScoredDoc> QueryVectorExhaustive(const text::TermVector& query,
+                                               size_t k) const;
+
+  /// Documents whose vectors contain *all* of `terms` (conjunctive
+  /// MENTION). Galloping intersection, smallest list first.
   std::vector<uint64_t> DocsContainingAll(
       const std::vector<text::TermId>& terms) const;
 
-  /// Documents containing *any* of `terms`.
+  /// Documents containing *any* of `terms` (multi-way sorted merge).
   std::vector<uint64_t> DocsContainingAny(
       const std::vector<text::TermId>& terms) const;
 
   bool TermPresent(text::TermId term) const {
-    auto it = postings_.find(term);
-    return it != postings_.end() && !it->second.empty();
+    // Lists with no live posting are erased eagerly, so presence in the
+    // map means at least one live document carries the term.
+    return postings_.contains(term);
   }
 
   size_t num_documents() const { return doc_norms_.size(); }
   size_t num_terms() const { return postings_.size(); }
+
+  /// Monotone counter bumped by every logical mutation (Add/AddBatch/
+  /// Remove). Result caches key their entries on it for invalidation.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Removed documents whose postings have not been swept yet.
+  size_t pending_tombstones() const { return dead_.size(); }
+
+  /// Forces the lazy sweep: drops all tombstoned postings, sorts every
+  /// list, and recomputes per-term weight bounds.
+  void Compact() const { CompactAll(); }
 
   /// Approximate memory footprint of posting lists + norms, in bytes.
   uint64_t MemoryBytes() const;
@@ -61,14 +99,63 @@ class InvertedIndex {
  private:
   struct Posting {
     uint64_t doc;
+    /// Term weight divided by the document's L2 norm (norm-folded), so
+    /// dot products over postings are cosine numerators directly.
     double weight;
+    /// Dense per-document slot (doc_slots_): index into the stamped query
+    /// accumulator arrays, so the top-k hot loop writes a flat array
+    /// instead of probing a hash table per posting.
+    uint32_t slot;
   };
-  // term -> postings sorted by doc id.
-  std::unordered_map<text::TermId, std::vector<Posting>> postings_;
-  // doc -> L2 norm of its vector (for cosine scoring).
+  struct PostingList {
+    std::vector<Posting> docs;
+    /// Upper bound on live posting weights (exact after compaction, may
+    /// be stale-high after removals — always a valid bound).
+    double max_weight = 0.0;
+    /// Number of live (non-tombstoned) postings.
+    uint32_t live = 0;
+    /// Whether `docs` is currently sorted by doc id.
+    bool sorted = true;
+  };
+
+  void AddInternal(uint64_t doc, const text::TermVector& vec);
+  /// Erases this doc's postings from the given lists. `live_postings`
+  /// tells whether the postings still count toward the lists' live totals
+  /// (re-add of a live doc) or were already tombstoned (re-add of a
+  /// removed doc).
+  void ErasePostingsOf(uint64_t doc, const std::vector<text::TermId>& terms,
+                       bool live_postings);
+  /// Sorts a list by doc id (and drops tombstoned postings) if needed.
+  void EnsureSorted(PostingList& list) const;
+  /// Sweeps every list: drops tombstoned postings, restores sort order,
+  /// recomputes max weights, clears the tombstone set.
+  void CompactAll() const;
+
+  // term -> postings. Mutable: queries sort/compact lazily.
+  mutable std::unordered_map<text::TermId, PostingList> postings_;
+  // doc -> L2 norm of its vector (document-liveness + footprint source).
   std::unordered_map<uint64_t, double> doc_norms_;
   // doc -> terms it contains (for removal).
   std::unordered_map<uint64_t, std::vector<text::TermId>> doc_terms_;
+  // Tombstones: removed doc -> the terms whose lists still hold its stale
+  // postings. Swept by CompactAll.
+  mutable std::unordered_map<uint64_t, std::vector<text::TermId>> dead_;
+  // doc -> dense slot, and the inverse. Slots are stable across re-adds
+  // and never recycled, so the scratch arrays below are bounded by the
+  // number of distinct documents ever added.
+  std::unordered_map<uint64_t, uint32_t> doc_slots_;
+  std::vector<uint64_t> slot_docs_;
+  // Per-query accumulator scratch: a slot's score is valid only when its
+  // stamp equals the current query number, which makes clearing free.
+  mutable std::vector<double> acc_scores_;
+  mutable std::vector<uint64_t> acc_stamp_;
+  mutable uint64_t acc_query_ = 0;
+  mutable std::vector<uint32_t> touched_;
+  uint64_t epoch_ = 0;
+  // Max-score pruning assumes non-negative weights; one negative posting
+  // flips QueryVector to the exhaustive path permanently (never happens
+  // with TF-IDF input).
+  bool nonnegative_ = true;
 };
 
 }  // namespace cbfww::index

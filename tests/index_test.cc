@@ -2,6 +2,7 @@
 
 #include "index/index_hierarchy.h"
 #include "index/inverted_index.h"
+#include "util/rng.h"
 
 namespace cbfww::index {
 namespace {
@@ -97,6 +98,190 @@ TEST(InvertedIndexTest, MemoryBytesGrowsWithContent) {
     idx.Add(d, Vec({{static_cast<text::TermId>(d), 1.0}, {999, 1.0}}));
   }
   EXPECT_GT(idx.MemoryBytes(), empty);
+}
+
+TEST(InvertedIndexTest, AddReplacesExistingDoc) {
+  InvertedIndex idx;
+  idx.Add(1, Vec({{10, 1.0}, {11, 2.0}}));
+  idx.Add(1, Vec({{11, 3.0}, {12, 1.0}}));
+  EXPECT_EQ(idx.num_documents(), 1u);
+  EXPECT_FALSE(idx.TermPresent(10));
+  EXPECT_TRUE(idx.TermPresent(11));
+  EXPECT_EQ(idx.DocsContainingAll({11, 12}), (std::vector<uint64_t>{1}));
+  // The old vector's postings are gone: a query on term 10 finds nothing.
+  EXPECT_TRUE(idx.QueryVector(Vec({{10, 1.0}}), 5).empty());
+}
+
+TEST(InvertedIndexTest, RemoveThenReAdd) {
+  InvertedIndex idx;
+  idx.Add(1, Vec({{10, 1.0}, {11, 1.0}}));
+  idx.Add(2, Vec({{10, 1.0}}));
+  idx.Remove(1);
+  EXPECT_EQ(idx.pending_tombstones(), 1u);
+  idx.Add(1, Vec({{12, 2.0}}));
+  // Re-add purges the tombstone eagerly so stale postings can't mask the
+  // fresh ones.
+  EXPECT_EQ(idx.pending_tombstones(), 0u);
+  EXPECT_FALSE(idx.TermPresent(11));
+  EXPECT_EQ(idx.DocsContainingAll({12}), (std::vector<uint64_t>{1}));
+  auto hits = idx.QueryVector(Vec({{12, 1.0}}), 5);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 1u);
+  EXPECT_NEAR(hits[0].score, 1.0, 1e-9);
+}
+
+TEST(InvertedIndexTest, TopKTiesBreakByAscendingDocId) {
+  InvertedIndex idx;
+  // Ten identical documents: every score ties, so doc id must decide.
+  for (uint64_t d = 0; d < 10; ++d) {
+    idx.Add(d, Vec({{5, 2.0}, {6, 1.0}}));
+  }
+  auto pruned = idx.QueryVector(Vec({{5, 1.0}, {6, 0.5}}), 3);
+  auto exhaustive = idx.QueryVectorExhaustive(Vec({{5, 1.0}, {6, 0.5}}), 3);
+  ASSERT_EQ(pruned.size(), 3u);
+  EXPECT_EQ(pruned[0].doc, 0u);
+  EXPECT_EQ(pruned[1].doc, 1u);
+  EXPECT_EQ(pruned[2].doc, 2u);
+  EXPECT_EQ(pruned[0].score, pruned[2].score);
+  ASSERT_EQ(exhaustive.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(pruned[i].doc, exhaustive[i].doc);
+    EXPECT_EQ(pruned[i].score, exhaustive[i].score);
+  }
+}
+
+TEST(InvertedIndexTest, EpochBumpsOnMutationsOnly) {
+  InvertedIndex idx;
+  uint64_t e0 = idx.epoch();
+  idx.Add(1, Vec({{10, 1.0}}));
+  EXPECT_GT(idx.epoch(), e0);
+  uint64_t e1 = idx.epoch();
+  idx.AddBatch({{2, Vec({{11, 1.0}})}, {3, Vec({{12, 1.0}})}});
+  EXPECT_EQ(idx.epoch(), e1 + 1);  // One bump per batch.
+  uint64_t e2 = idx.epoch();
+  (void)idx.QueryVector(Vec({{10, 1.0}}), 5);
+  (void)idx.DocsContainingAll({11});
+  EXPECT_EQ(idx.epoch(), e2);  // Queries don't invalidate caches.
+  idx.Remove(2);
+  EXPECT_GT(idx.epoch(), e2);
+}
+
+TEST(InvertedIndexTest, TombstonesSweptByCompaction) {
+  InvertedIndex idx;
+  for (uint64_t d = 0; d < 300; ++d) {
+    idx.Add(d, Vec({{7, 1.0}, {static_cast<text::TermId>(100 + d), 1.0}}));
+  }
+  // Light removal: tombstones linger until the lazy threshold.
+  idx.Remove(0);
+  EXPECT_EQ(idx.pending_tombstones(), 1u);
+  idx.Compact();
+  EXPECT_EQ(idx.pending_tombstones(), 0u);
+  // Heavy removal: the threshold sweep kicks in on its own part-way
+  // through, so far fewer than 99 tombstones can be pending at the end.
+  for (uint64_t d = 1; d < 100; ++d) idx.Remove(d);
+  EXPECT_LT(idx.pending_tombstones(), 64u);
+  // Tombstoned docs are invisible to every query path.
+  auto all = idx.DocsContainingAll({7});
+  EXPECT_EQ(all.size(), 200u);
+  EXPECT_EQ(all.front(), 100u);
+  auto hits = idx.QueryVector(Vec({{7, 1.0}}), 300);
+  EXPECT_EQ(hits.size(), 200u);
+  for (const auto& h : hits) EXPECT_GE(h.doc, 100u);
+}
+
+TEST(InvertedIndexTest, AddBatchMatchesSequentialAdd) {
+  std::vector<std::pair<uint64_t, text::TermVector>> docs;
+  Pcg32 rng(7, 42);
+  for (uint64_t d = 0; d < 120; ++d) {
+    std::vector<std::pair<text::TermId, double>> entries;
+    uint32_t n = 2 + rng.NextBounded(6);
+    for (uint32_t t = 0; t < n; ++t) {
+      entries.push_back({static_cast<text::TermId>(rng.NextBounded(60)),
+                         0.5 + rng.NextDouble()});
+    }
+    docs.emplace_back(d, Vec(std::move(entries)));
+  }
+  InvertedIndex batched, sequential;
+  batched.AddBatch(docs);
+  for (const auto& [doc, vec] : docs) sequential.Add(doc, vec);
+  EXPECT_EQ(batched.num_documents(), sequential.num_documents());
+  EXPECT_EQ(batched.num_terms(), sequential.num_terms());
+  for (int q = 0; q < 10; ++q) {
+    text::TermVector query =
+        Vec({{static_cast<text::TermId>(rng.NextBounded(60)), 1.0},
+             {static_cast<text::TermId>(rng.NextBounded(60)), 0.7}});
+    auto a = batched.QueryVector(query, 15);
+    auto b = sequential.QueryVector(query, 15);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc, b[i].doc);
+      EXPECT_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+// The oracle: on randomized corpora — including after removals, re-adds,
+// and batched ingest — the pruned QueryVector must return exactly what the
+// exhaustive reference returns: same docs, bitwise-same scores, same order.
+TEST(InvertedIndexTest, PrunedMatchesExhaustiveRandomized) {
+  Pcg32 rng(2003, 0xACE);
+  for (size_t corpus_size : {50u, 300u, 1200u}) {
+    InvertedIndex idx;
+    std::vector<std::pair<uint64_t, text::TermVector>> batch;
+    for (uint64_t d = 0; d < corpus_size; ++d) {
+      std::vector<std::pair<text::TermId, double>> entries;
+      uint32_t n = 3 + rng.NextBounded(8);
+      for (uint32_t t = 0; t < n; ++t) {
+        entries.push_back({static_cast<text::TermId>(rng.NextBounded(200)),
+                           0.25 + 2.0 * rng.NextDouble()});
+      }
+      // Exercise both ingest paths.
+      if (d % 2 == 0) {
+        idx.Add(d, Vec(std::move(entries)));
+      } else {
+        batch.emplace_back(d, Vec(std::move(entries)));
+      }
+    }
+    idx.AddBatch(batch);
+
+    auto check = [&](const char* phase) {
+      for (int q = 0; q < 25; ++q) {
+        std::vector<std::pair<text::TermId, double>> entries;
+        uint32_t n = 1 + rng.NextBounded(6);
+        for (uint32_t t = 0; t < n; ++t) {
+          entries.push_back({static_cast<text::TermId>(rng.NextBounded(220)),
+                             0.1 + rng.NextDouble()});
+        }
+        text::TermVector query = Vec(std::move(entries));
+        for (size_t k : {1u, 5u, 17u, 64u}) {
+          auto pruned = idx.QueryVector(query, k);
+          auto exhaustive = idx.QueryVectorExhaustive(query, k);
+          ASSERT_EQ(pruned.size(), exhaustive.size())
+              << phase << " corpus=" << corpus_size << " k=" << k;
+          for (size_t i = 0; i < pruned.size(); ++i) {
+            ASSERT_EQ(pruned[i].doc, exhaustive[i].doc)
+                << phase << " corpus=" << corpus_size << " k=" << k
+                << " rank=" << i;
+            ASSERT_EQ(pruned[i].score, exhaustive[i].score)
+                << phase << " corpus=" << corpus_size << " k=" << k
+                << " rank=" << i;
+          }
+        }
+      }
+    };
+
+    check("fresh");
+    // Remove a fifth of the corpus (leaves tombstones below the sweep
+    // threshold at the smaller sizes — the filtered path must stay exact).
+    for (uint64_t d = 0; d < corpus_size; d += 5) idx.Remove(d);
+    check("after-remove");
+    // Re-add some removed docs with new content.
+    for (uint64_t d = 0; d < corpus_size; d += 10) {
+      idx.Add(d, Vec({{static_cast<text::TermId>(rng.NextBounded(200)),
+                       1.0 + rng.NextDouble()}}));
+    }
+    check("after-readd");
+  }
 }
 
 TEST(IndexHierarchyTest, LevelsIndependent) {

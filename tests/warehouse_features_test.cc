@@ -161,6 +161,58 @@ TEST_F(WarehouseFeaturesTest, CostedQueryChargesIndexRead) {
   EXPECT_EQ(wh->counters().scan_queries, 1u);
 }
 
+TEST_F(WarehouseFeaturesTest, QueryResultCacheHitsAndEpochInvalidation) {
+  auto wh = MakeWarehouse(WarehouseOptions{});
+  SimTime t = kSecond;
+  for (corpus::PageId p = 0; p < 20; ++p) {
+    wh->RequestPage(
+        {.page = p, .user = 1, .session = static_cast<int64_t>(p), .now = t});
+    t += kSecond;
+  }
+  const char* q = "SELECT p.oid FROM Physical_Page p";
+  const uint64_t h0 = wh->counters().query_cache_hits;
+  const uint64_t m0 = wh->counters().query_cache_misses;
+
+  auto r1 = wh->ExecuteQuery(q);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(wh->counters().query_cache_misses, m0 + 1);
+  EXPECT_EQ(wh->counters().query_cache_hits, h0);
+
+  auto r2 = wh->ExecuteQuery(q);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(wh->counters().query_cache_hits, h0 + 1);
+  EXPECT_EQ(r2->result.rows.size(), r1->result.rows.size());
+
+  // Whitespace variants normalize to the same cache key.
+  auto r3 = wh->ExecuteQuery("  SELECT   p.oid  FROM  Physical_Page  p ");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(wh->counters().query_cache_hits, h0 + 2);
+  EXPECT_EQ(wh->counters().query_cache_misses, m0 + 1);
+
+  // Any new request bumps the data epoch, invalidating every entry.
+  const uint64_t epoch = wh->data_epoch();
+  wh->RequestPage({.page = 25, .user = 1, .session = 99, .now = t});
+  EXPECT_GT(wh->data_epoch(), epoch);
+  auto r4 = wh->ExecuteQuery(q);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(wh->counters().query_cache_misses, m0 + 2);
+}
+
+TEST_F(WarehouseFeaturesTest, CostedQueriesBypassResultCache) {
+  auto wh = MakeWarehouse(WarehouseOptions{});
+  wh->RequestPage({.page = 0, .user = 1, .session = 1, .now = kSecond});
+  const char* q = "SELECT p.oid FROM Physical_Page p";
+  const uint64_t h0 = wh->counters().query_cache_hits;
+  const uint64_t m0 = wh->counters().query_cache_misses;
+  for (int i = 0; i < 3; ++i) {
+    auto r = wh->ExecuteQuery(q, {.with_cost = true});
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r->cost, 0);  // Every costed run measures, never memoizes.
+  }
+  EXPECT_EQ(wh->counters().query_cache_hits, h0);
+  EXPECT_EQ(wh->counters().query_cache_misses, m0);
+}
+
 TEST_F(WarehouseFeaturesTest, HotIndexPreferredForMemory) {
   WarehouseOptions opts;
   // Memory sized so the index budget (1/8) cannot hold both big indexes.
