@@ -273,26 +273,39 @@ class Warehouse : public query::QueryCatalog {
 
   const DataAnalyzer& analyzer() const { return analyzer_; }
   const storage::StorageHierarchy& hierarchy() const { return *hierarchy_; }
-  storage::StorageHierarchy& mutable_hierarchy() { return *hierarchy_; }
+  // The mutable_* escape hatches hand out direct references to
+  // query-observable state, so each access conservatively bumps the data
+  // epoch — a cached query result must never outlive an external mutation.
+  storage::StorageHierarchy& mutable_hierarchy() {
+    ++data_epoch_;
+    return *hierarchy_;
+  }
   const LogicalPageManager& logical_pages() const { return logical_; }
   const SemanticRegionManager& regions() const { return regions_; }
   const VersionManager& versions() const { return versions_; }
   const ConstraintManager& constraints() const { return constraints_; }
-  ConstraintManager& mutable_constraints() { return constraints_; }
+  ConstraintManager& mutable_constraints() {
+    ++data_epoch_;
+    return constraints_;
+  }
   const TopicSensor& sensor() const { return sensor_; }
   const TopicManager& topics() const { return topics_; }
   const RecommendationManager& recommendations() const {
     return recommendations_;
   }
   const StorageManager& storage_manager() const { return storage_; }
-  StorageManager& mutable_storage_manager() { return storage_; }
+  StorageManager& mutable_storage_manager() {
+    ++data_epoch_;
+    return storage_;
+  }
   const index::IndexHierarchy& indexes() const { return indexes_; }
   const WarehouseOptions& options() const { return options_; }
   SimTime now() const { return now_; }
 
   /// Epoch of warehouse state observable through queries; bumped by every
-  /// request, modification, tick, and failure injection. The query result
-  /// cache is valid only within one epoch.
+  /// request, modification, tick, failure injection, and mutable_*
+  /// component access. The query result cache is valid only within one
+  /// epoch.
   uint64_t data_epoch() const { return data_epoch_; }
 
   const std::unordered_map<corpus::RawId, RawObjectRecord>& raw_records()

@@ -215,17 +215,21 @@ std::vector<ScoredDoc> InvertedIndex::QueryVector(const text::TermVector& query,
   // is strictly below θ can never reach the top k.
   double theta = -std::numeric_limits<double>::infinity();
   std::vector<double> scratch;
-  // θ refreshes sample at most this many accumulators: the ones opened by
-  // the highest-impact lists, which hold the largest partials. Any subset's
-  // k-th best partial is still a valid lower bound, and the cap keeps the
-  // refresh cost flat as the corpus grows.
+  // θ refreshes sample at most this many accumulators (or k, if larger):
+  // the ones opened by the highest-impact lists, which hold the largest
+  // partials. Any subset of >= k partials yields a valid k-th-best lower
+  // bound, and the cap keeps the refresh cost flat as the corpus grows.
   constexpr size_t kThetaSample = 4096;
   size_t i = 0;
   for (; i < n; ++i) {
     if (touched_.size() >= k) {
       if (!(suffix[i] * kBoundSlack < theta)) {
         // Cached θ too weak to prune — refresh it from current partials.
-        const size_t sample = std::min(touched_.size(), kThetaSample);
+        // The sample must hold at least k scores (touched_ does: the loop
+        // guard checked it), or the k-th-best selection below would read
+        // past the end when k exceeds kThetaSample.
+        const size_t sample =
+            std::min(touched_.size(), std::max(kThetaSample, k));
         scratch.clear();
         scratch.reserve(sample);
         for (size_t s = 0; s < sample; ++s) {

@@ -284,6 +284,39 @@ TEST(InvertedIndexTest, PrunedMatchesExhaustiveRandomized) {
   }
 }
 
+// Regression: k above the θ-refresh sample cap (4096) used to index past
+// the sampled-scores scratch buffer. Needs >= k accumulators opened before
+// the refresh, i.e. a first term whose posting list alone covers k docs.
+TEST(InvertedIndexTest, PrunedMatchesExhaustiveWithKAboveThetaSample) {
+  Pcg32 rng(2003, 0xBEE);
+  constexpr size_t kDocs = 5000;
+  InvertedIndex idx;
+  std::vector<std::pair<uint64_t, text::TermVector>> batch;
+  batch.reserve(kDocs);
+  for (uint64_t d = 0; d < kDocs; ++d) {
+    // Term 1 in every doc (the wide first list); a few narrower terms so
+    // the query has a second, lower-impact term to trigger the refresh.
+    std::vector<std::pair<text::TermId, double>> entries = {
+        {1, 0.5 + rng.NextDouble()}};
+    entries.push_back({static_cast<text::TermId>(2 + rng.NextBounded(50)),
+                       0.5 + rng.NextDouble()});
+    batch.emplace_back(d, Vec(std::move(entries)));
+  }
+  idx.AddBatch(batch);
+
+  text::TermVector query = Vec({{1, 1.0}, {2, 0.5}, {3, 0.25}});
+  for (size_t k : {size_t{4097}, size_t{4500}, size_t{6000}}) {
+    auto pruned = idx.QueryVector(query, k);
+    auto exhaustive = idx.QueryVectorExhaustive(query, k);
+    ASSERT_EQ(pruned.size(), exhaustive.size()) << "k=" << k;
+    for (size_t i = 0; i < pruned.size(); ++i) {
+      ASSERT_EQ(pruned[i].doc, exhaustive[i].doc) << "k=" << k << " rank=" << i;
+      ASSERT_EQ(pruned[i].score, exhaustive[i].score)
+          << "k=" << k << " rank=" << i;
+    }
+  }
+}
+
 TEST(IndexHierarchyTest, LevelsIndependent) {
   IndexHierarchy h;
   h.Add(ObjectLevel::kPhysical, 1, Vec({{10, 1.0}}));
