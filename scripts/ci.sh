@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
-# CI for the CBFWW repro: tier-1 verify (full build + test suite), a
+# CI for the CBFWW repro: tier-1 verify (full build + fast test suite), a
 # ThreadSanitizer pass over the concurrent cluster front-end, an
-# ASan+UBSan pass over the retrieval hot path, and a perf smoke gate on
-# the pruned top-k engine.
+# ASan+UBSan pass over the retrieval hot path, a perf smoke gate on the
+# pruned top-k engine, and a chaos stage replaying seeded fault schedules
+# under ASan.
 #
 #   scripts/ci.sh           # everything
-#   scripts/ci.sh tier1     # build + ctest only
+#   scripts/ci.sh tier1     # build + ctest (fast tests; excludes LABEL slow)
 #   scripts/ci.sh tsan      # TSan cluster tests + shard bench only
 #   scripts/ci.sh asan      # ASan+UBSan index/warehouse tests + hotpath
 #   scripts/ci.sh perfsmoke # hotpath smoke: pruned vs exhaustive, same run
+#   scripts/ci.sh chaos     # ASan chaos harness + soak tests, 3 fixed seeds
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,7 +20,8 @@ tier1() {
   echo "=== tier-1: build + tests ==="
   cmake -B build -S .
   cmake --build build -j
-  ctest --test-dir build --output-on-failure -j
+  # Soak tests carry LABEL slow and run in the chaos stage instead.
+  ctest --test-dir build --output-on-failure -j -LE slow
 }
 
 tsan() {
@@ -62,19 +65,36 @@ perfsmoke() {
   rm -rf "${smoke_out}"
 }
 
+chaos() {
+  echo "=== chaos: seeded fault schedules under ASan ==="
+  cmake -B build-asan -S . -DCBFWW_SANITIZE=address
+  cmake --build build-asan -j --target chaos_test chaos_soak_test bench_chaos
+  ./build-asan/tests/chaos_test
+  ./build-asan/tests/chaos_soak_test
+  # Fixed seeds: runs are reproducible bit-for-bit, so a failure here is a
+  # real bug, not flake. bench_chaos exits nonzero if any shape check
+  # fails (acknowledged object lost, non-identical same-seed replay, no
+  # degraded serves, unrecovered tier loss).
+  chaos_out="$(mktemp -d)"
+  (cd "${chaos_out}" && "${OLDPWD}/build-asan/bench/bench_chaos" 7 77 777)
+  rm -rf "${chaos_out}"
+}
+
 case "${stage}" in
   tier1) tier1 ;;
   tsan) tsan ;;
   asan) asan ;;
   perfsmoke) perfsmoke ;;
+  chaos) chaos ;;
   all)
     tier1
     tsan
     asan
     perfsmoke
+    chaos
     ;;
   *)
-    echo "usage: scripts/ci.sh [tier1|tsan|asan|perfsmoke|all]" >&2
+    echo "usage: scripts/ci.sh [tier1|tsan|asan|perfsmoke|chaos|all]" >&2
     exit 2
     ;;
 esac

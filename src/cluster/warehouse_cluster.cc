@@ -45,6 +45,13 @@ WarehouseCluster::WarehouseCluster(
     wopts.seed = HashCombine(options.warehouse.seed, i);
     shard->warehouse = std::make_unique<core::Warehouse>(
         shard->corpus.get(), shard->origin.get(), shard->feed.get(), wopts);
+    if (options.faults.has_value()) {
+      // Independent, reproducible fault domain per shard.
+      uint64_t fseed = HashCombine(options.fault_seed, i);
+      shard->injector = std::make_unique<fault::FaultInjector>(
+          fault::FaultSchedule::Generate(fseed, *options.faults), fseed);
+      shard->warehouse->AttachFaultInjector(shard->injector.get());
+    }
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_) {
@@ -154,6 +161,12 @@ uint64_t WarehouseCluster::SimulateTierFailure(uint32_t shard,
   return shards_[shard]->warehouse->SimulateTierFailure(tier);
 }
 
+uint64_t WarehouseCluster::RecoverTier(uint32_t shard,
+                                       storage::TierIndex tier) {
+  Drain();
+  return shards_[shard]->warehouse->RecoverTier(tier);
+}
+
 uint64_t ClusterReport::MaxShardBusyNs() const {
   uint64_t max_ns = 0;
   for (uint64_t ns : shard_busy_ns) max_ns = std::max(max_ns, ns);
@@ -192,6 +205,17 @@ void ClusterReport::Print(std::ostream& os) const {
       static_cast<unsigned long long>(counters.path_prefetches),
       static_cast<unsigned long long>(counters.consistency_polls),
       static_cast<unsigned long long>(counters.rebalances));
+  if (counters.tier_losses > 0 || counters.degraded_serves > 0 ||
+      counters.fetch_failures > 0) {
+    os << StrFormat(
+        "resilience: %llu degraded serves, %llu fetch failures, %llu tier "
+        "losses, %llu recoveries (%llu copies)\n",
+        static_cast<unsigned long long>(counters.degraded_serves),
+        static_cast<unsigned long long>(counters.fetch_failures),
+        static_cast<unsigned long long>(counters.tier_losses),
+        static_cast<unsigned long long>(counters.tier_recoveries),
+        static_cast<unsigned long long>(counters.objects_recovered));
+  }
   os << "shard balance (requests):";
   for (uint64_t r : shard_requests) {
     os << ' ' << r;

@@ -13,6 +13,7 @@
 #include "core/warehouse.h"
 #include "corpus/news_feed.h"
 #include "corpus/web_corpus.h"
+#include "fault/fault_injector.h"
 #include "net/origin_server.h"
 #include "trace/trace_event.h"
 #include "util/stats.h"
@@ -29,6 +30,12 @@ struct ClusterOptions {
   core::WarehouseOptions warehouse;
   /// Per-shard event queue capacity (rounded up to a power of two).
   uint32_t queue_capacity = 4096;
+  /// When set, every shard gets its own deterministic FaultInjector over
+  /// this schedule template — independent fault domains, so one shard's
+  /// tier loss or origin outage never touches the others. Each shard's
+  /// schedule and fault RNG derive from `fault_seed` and the shard index.
+  std::optional<fault::FaultScheduleOptions> faults;
+  uint64_t fault_seed = 20030107;
 };
 
 /// Cluster-level aggregate of per-shard reports: summed counters, merged
@@ -129,6 +136,15 @@ class WarehouseCluster {
   /// are untouched and keep serving. Returns copies lost.
   uint64_t SimulateTierFailure(uint32_t shard, storage::TierIndex tier);
 
+  /// Drains, then rebuilds a lost tier on one shard from its surviving
+  /// copies. Returns copies restored.
+  uint64_t RecoverTier(uint32_t shard, storage::TierIndex tier);
+
+  /// The shard's fault injector, or nullptr when `faults` was not set.
+  const fault::FaultInjector* shard_injector(uint32_t i) const {
+    return shards_[i]->injector.get();
+  }
+
   /// Shard access for tests/benches. Callers must Drain() first; the
   /// non-const overload is safe because workers only touch their
   /// warehouse while events are in flight.
@@ -152,6 +168,8 @@ class WarehouseCluster {
     std::unique_ptr<corpus::WebCorpus> corpus;
     std::unique_ptr<corpus::NewsFeed> feed;
     std::unique_ptr<net::OriginServer> origin;
+    /// Per-shard fault domain (present only when ClusterOptions::faults).
+    std::unique_ptr<fault::FaultInjector> injector;
     std::unique_ptr<core::Warehouse> warehouse;
 
     SpscQueue<trace::TraceEvent> queue;

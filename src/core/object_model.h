@@ -55,6 +55,10 @@ struct RawObjectRecord {
   bool has_summary = false;
   /// Size of the summary object (valid when has_summary).
   uint64_t summary_bytes = 0;
+  /// True once the warehouse acknowledged the object: AdmitNew succeeded,
+  /// so under copy control a durable bottom-tier copy was secured. The
+  /// chaos harness asserts acknowledged objects survive any tier loss.
+  bool acknowledged = false;
   /// True if the object was placed in memory at fetch time (admission
   /// decision) — used to measure wasted placements (experiment F8/C1).
   bool admitted_to_memory_on_fetch = false;

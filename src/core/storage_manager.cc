@@ -86,6 +86,9 @@ Status StorageManager::AdmitNew(RawObjectRecord& rec, Priority priority) {
       }
     }
   }
+  // The object now has a home (durable bottom-tier copy under copy
+  // control): the warehouse acknowledges it.
+  rec.acknowledged = true;
   return Status::Ok();
 }
 
@@ -141,6 +144,82 @@ void StorageManager::PromoteOnAccess(RawObjectRecord& rec, Priority priority) {
 
 Result<SimTime> StorageManager::ReadObject(const RawObjectRecord& rec) {
   return hierarchy_->Read(EncodeStoreId(index::ObjectLevel::kRaw, rec.id));
+}
+
+Result<storage::StorageHierarchy::ReadOutcome>
+StorageManager::ReadObjectDetailed(const RawObjectRecord& rec) {
+  return hierarchy_->ReadWithFallback(
+      EncodeStoreId(index::ObjectLevel::kRaw, rec.id));
+}
+
+void StorageManager::OnTierLost(storage::TierIndex tier) {
+  // The displacement registry mirrors memory residency; after a memory
+  // loss every entry is a ghost and would satisfy MakeMemoryRoom evictions
+  // that free nothing.
+  if (tier == kMemoryTier) memory_entries_.clear();
+}
+
+uint64_t StorageManager::RecoverTier(storage::TierIndex tier,
+                                     std::vector<RankedObject> ranked) {
+  if (tier < 0 || tier >= hierarchy_->num_tiers()) return 0;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedObject& a, const RankedObject& b) {
+              if (a.priority != b.priority) return a.priority > b.priority;
+              return a.record->id < b.record->id;
+            });
+
+  const uint64_t cap = hierarchy_->tier(tier).capacity_bytes;
+  const double fill = tier == kMemoryTier   ? options_.memory_fill_target
+                      : tier == kDiskTier   ? options_.disk_fill_target
+                                            : 1.0;
+  uint64_t budget =
+      cap == 0 ? std::numeric_limits<uint64_t>::max()
+               : static_cast<uint64_t>(fill * static_cast<double>(cap));
+  budget -= std::min(budget, hierarchy_->used_bytes(tier));
+
+  uint64_t restored = 0;
+  for (const RankedObject& r : ranked) {
+    if (budget == 0) break;
+    RawObjectRecord& rec = *r.record;
+    storage::StoreObjectId full_id =
+        EncodeStoreId(index::ObjectLevel::kRaw, rec.id);
+    if (hierarchy_->FastestTierOf(full_id) == storage::kNoTier) {
+      continue;  // No surviving copy; needs an origin refetch.
+    }
+    if (tier == kMemoryTier && !FullObjectFitsMemoryRules(rec)) {
+      // Levels of detail: the full object stays below memory; regenerate
+      // the (derived, backup-less) summary in the fast tier instead.
+      if (options_.enable_lod && rec.has_summary &&
+          rec.summary_bytes <= budget) {
+        storage::StoreObjectId summary_id =
+            EncodeStoreId(index::ObjectLevel::kRaw, rec.id, /*summary=*/true);
+        if (!hierarchy_->IsResident(summary_id, kMemoryTier) &&
+            hierarchy_->Store(summary_id, rec.summary_bytes, kMemoryTier)
+                .ok()) {
+          NoteMemoryResident(summary_id, r.priority);
+          budget -= rec.summary_bytes;
+          ++restored;
+        }
+      }
+      continue;
+    }
+    if (tier == kDiskTier && constraints_ != nullptr &&
+        (constraints_->TierFloor(rec.id) > kDiskTier ||
+         !constraints_
+              ->CheckAdmission(rec.id, rec.bytes, kDiskTier, rec.history)
+              .ok())) {
+      continue;
+    }
+    if (hierarchy_->IsResident(full_id, tier) || rec.bytes > budget) continue;
+    // Migrate may fail under an active fault window; recovery is then
+    // partial and the caller retries on a later tick.
+    if (hierarchy_->Migrate(full_id, tier, /*exclusive=*/false).ok()) {
+      budget -= rec.bytes;
+      ++restored;
+      if (tier == kMemoryTier) NoteMemoryResident(full_id, r.priority);
+    }
+  }
+  return restored;
 }
 
 Result<SimTime> StorageManager::ReadPreview(const RawObjectRecord& rec) {
@@ -268,7 +347,7 @@ StorageManager::RebalanceResult StorageManager::Rebalance(
   // --- Phase 2: evict copies above the desired tier. ---
   std::vector<storage::TierIndex> before(ranked.size());
   for (size_t i = 0; i < ranked.size(); ++i) {
-    const RawObjectRecord& rec = *ranked[i].record;
+    RawObjectRecord& rec = *ranked[i].record;
     storage::StoreObjectId full_id =
         EncodeStoreId(index::ObjectLevel::kRaw, rec.id);
     storage::StoreObjectId summary_id =
@@ -276,8 +355,11 @@ StorageManager::RebalanceResult StorageManager::Rebalance(
     before[i] = hierarchy_->FastestTierOf(full_id);
 
     if (full_tier[i] == storage::kNoTier) {
+      // Deliberate drop (copyright / churn bar), not a loss: withdraw the
+      // durability acknowledgement along with the copies.
       hierarchy_->EvictAll(full_id);
       hierarchy_->EvictAll(summary_id);
+      rec.acknowledged = false;
       continue;
     }
     if (full_tier[i] != kMemoryTier &&

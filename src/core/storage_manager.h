@@ -72,6 +72,12 @@ class StorageManager {
   /// kNotFound when the object is not resident anywhere (warehouse miss).
   Result<SimTime> ReadObject(const RawObjectRecord& rec);
 
+  /// Like ReadObject but surfaces the full read outcome (tier served from,
+  /// degraded/stale flags) — the warehouse serve path needs these to flag
+  /// degraded responses.
+  Result<storage::StorageHierarchy::ReadOutcome> ReadObjectDetailed(
+      const RawObjectRecord& rec);
+
   /// Simulated cost of serving a preview: the summary if one is resident,
   /// otherwise the full object.
   Result<SimTime> ReadPreview(const RawObjectRecord& rec);
@@ -87,6 +93,21 @@ class StorageManager {
   /// short time", Section 4.1). Returns false if the tier is simply too
   /// small.
   bool ReserveMemoryRoom(uint64_t bytes);
+
+  /// Notifies the manager that a tier's entire contents were lost (crash /
+  /// failure injection). Internal registries that mirror that tier are
+  /// reset so later displacement decisions don't act on ghosts.
+  void OnTierLost(storage::TierIndex tier);
+
+  /// Rebuilds a lost (now-empty) tier from surviving copies on the other
+  /// tiers: highest-priority objects first, up to the tier's fill target,
+  /// copying via Migrate so the recovery traffic is charged like any other
+  /// migration. Memory-tier recovery regenerates LoD summaries (they have
+  /// no backup copy — they are derived data). Objects with no surviving
+  /// copy anywhere are skipped; re-fetching them from the origin is the
+  /// warehouse's job (Warehouse::Reconcile). Returns copies restored.
+  uint64_t RecoverTier(storage::TierIndex tier,
+                       std::vector<RankedObject> ranked);
 
   /// Priority below which new objects are not admitted straight to memory.
   /// Set by Rebalance to the weakest priority that made it into memory;

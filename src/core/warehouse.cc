@@ -245,6 +245,30 @@ Priority Warehouse::PredictInitialPriority(const text::TermVector& v,
                                      hotness);
 }
 
+Warehouse::FetchOutcome Warehouse::FetchWithRetry(corpus::RawId id) {
+  const FetchRetryOptions& retry = options_.fetch_retry;
+  FetchOutcome out;
+  SimTime backoff = retry.initial_backoff;
+  for (;;) {
+    ++out.attempts;
+    out.fetch = origin_->Fetch(id);
+    out.cost += out.fetch.cost;
+    if (out.fetch.ok()) return out;
+    if (out.attempts >= std::max<uint32_t>(1, retry.max_attempts)) break;
+    if (out.cost + backoff >= retry.deadline) {
+      // The next attempt could not complete inside the budget.
+      out.fetch.status = Status::DeadlineExceeded("origin fetch deadline");
+      break;
+    }
+    out.cost += backoff;  // Simulated wait before retrying.
+    backoff = static_cast<SimTime>(static_cast<double>(backoff) *
+                                   retry.backoff_multiplier);
+    ++counters_.fetch_retries;
+  }
+  ++counters_.fetch_failures;
+  return out;
+}
+
 Warehouse::ServeResult Warehouse::ServeRawObject(corpus::RawId id, SimTime now,
                                                  Priority page_priority_hint) {
   RawObjectRecord& rec = EnsureRawRecord(id);
@@ -257,15 +281,53 @@ Warehouse::ServeResult Warehouse::ServeRawObject(corpus::RawId id, SimTime now,
   bool stale = rec.cached_version != obj.version;
   bool strong = constraints_.consistency_mode() == ConsistencyMode::kStrong;
 
+  // Counts the degradation flags once, on whichever path returns.
+  auto finish = [this](ServeResult& r) -> ServeResult& {
+    if (r.degraded) ++counters_.degraded_serves;
+    if (r.stale) ++counters_.stale_serves;
+    if (r.summary) ++counters_.summary_serves;
+    if (r.failed) ++counters_.failed_serves;
+    return r;
+  };
+  // Degradation ladder, lower rungs: a copy known to be out of date, then
+  // the LoD summary. Used when both the fast copies and the origin are
+  // unavailable.
+  auto serve_stale_or_summary = [&](ServeResult& r) -> bool {
+    auto read = storage_.ReadObjectDetailed(rec);
+    if (read.ok()) {
+      r.cost += read->cost;
+      r.source = SourceOfTier(read->tier);
+      r.degraded = true;
+      r.stale = stale;  // Only flag copies actually behind the origin.
+      return true;
+    }
+    storage::StoreObjectId summary_id =
+        EncodeStoreId(index::ObjectLevel::kRaw, id, /*summary=*/true);
+    if (rec.has_summary &&
+        hierarchy_->FastestTierOf(summary_id) != storage::kNoTier) {
+      auto sread = hierarchy_->ReadWithFallback(summary_id);
+      if (sread.ok()) {
+        r.cost += sread->cost;
+        r.source = SourceOfTier(sread->tier);
+        r.degraded = true;
+        r.summary = true;
+        return true;
+      }
+    }
+    return false;
+  };
+
   ServeResult result;
   if (resident && (!stale || !strong)) {
     // Serve the cached copy (weak consistency tolerates staleness).
-    auto read = storage_.ReadObject(rec);
+    auto read = storage_.ReadObjectDetailed(rec);
     if (read.ok()) {
-      result.cost = *read;
-      storage::TierIndex tier = hierarchy_->FastestTierOf(full_id);
-      result.source = SourceOfTier(tier);
-      if (tier == StorageManager::kMemoryTier) rec.served_from_memory = true;
+      result.cost = read->cost;
+      result.source = SourceOfTier(read->tier);
+      result.degraded = read->degraded;
+      if (read->tier == StorageManager::kMemoryTier) {
+        rec.served_from_memory = true;
+      }
       rec.effective_priority = std::max(rec.effective_priority,
                                         page_priority_hint);
       // Self-organization between rebalances: an accessed object whose
@@ -274,27 +336,41 @@ Warehouse::ServeResult Warehouse::ServeRawObject(corpus::RawId id, SimTime now,
       if (options_.enable_access_promotion) {
         storage_.PromoteOnAccess(rec, page_priority_hint);
       }
-      return result;
+      return finish(result);
     }
-    resident = false;  // Defensive: fall through to fetch.
+    // Every resident copy failed (injected device faults): fall through to
+    // the origin, flagged as a degraded serve.
+    resident = false;
+    result.degraded = true;
   }
   if (resident && stale && strong) {
     // Strong consistency: validate + refetch the new version.
     net::OriginServer::ValidateResult v =
         origin_->Validate(id, rec.cached_version);
     result.cost += v.cost;
+    if (!v.ok() && serve_stale_or_summary(result)) {
+      // Origin unreachable: hand out the resident copy even though strong
+      // consistency would refetch, rather than fail the request.
+      return finish(result);
+    }
   }
 
-  // Fetch from the origin.
-  net::OriginServer::FetchResult fetch = origin_->Fetch(id);
+  // Fetch from the origin, with retry + backoff under a deadline.
+  FetchOutcome out = FetchWithRetry(id);
   ++counters_.origin_fetches;
-  result.cost += fetch.cost;
+  result.cost += out.cost;
   result.source = DataAnalyzer::ServedBy::kOrigin;
+  if (!out.fetch.ok()) {
+    if (serve_stale_or_summary(result)) return finish(result);
+    result.degraded = true;
+    result.failed = true;
+    return finish(result);
+  }
   bool first_fetch = rec.cached_version == 0;
-  rec.cached_version = fetch.version;
-  rec.bytes = fetch.bytes;
+  rec.cached_version = out.fetch.version;
+  rec.bytes = out.fetch.bytes;
   rec.last_validated = now;
-  versions_.CaptureVersion(id, fetch.version, now, fetch.bytes);
+  versions_.CaptureVersion(id, out.fetch.version, now, out.fetch.bytes);
 
   Status admitted = storage_.AdmitNew(rec, page_priority_hint);
   if (!admitted.ok()) {
@@ -304,7 +380,7 @@ Warehouse::ServeResult Warehouse::ServeRawObject(corpus::RawId id, SimTime now,
     poll_queue_.push({now + constraints_.PollingInterval(rec.history), id});
   }
   rec.effective_priority = std::max(rec.effective_priority, page_priority_hint);
-  return result;
+  return finish(result);
 }
 
 PageVisit Warehouse::RequestPage(const PageRequest& request) {
@@ -346,8 +422,8 @@ PageVisit Warehouse::RequestPage(const PageRequest& request) {
       ServeRawObject(rec.container, now, page_priority);
   visit.latency = container_serve.cost;
   SimTime max_component = 0;
-  auto count_source = [&visit](DataAnalyzer::ServedBy s) {
-    switch (s) {
+  auto count_serve = [&visit](const ServeResult& s) {
+    switch (s.source) {
       case DataAnalyzer::ServedBy::kMemory:
         ++visit.from_memory;
         break;
@@ -361,12 +437,16 @@ PageVisit Warehouse::RequestPage(const PageRequest& request) {
         ++visit.from_origin;
         break;
     }
+    if (s.degraded) ++visit.degraded_serves;
+    if (s.stale) ++visit.stale_serves;
+    if (s.summary) ++visit.summary_serves;
+    if (s.failed) ++visit.failed_serves;
   };
-  count_source(container_serve.source);
+  count_serve(container_serve);
   for (corpus::RawId c : rec.components) {
     ServeResult s = ServeRawObject(c, now, page_priority);
     max_component = std::max(max_component, s.cost);
-    count_source(s.source);
+    count_serve(s);
   }
   visit.latency += max_component;
 
@@ -452,9 +532,11 @@ void Warehouse::PathPrefetch(corpus::PageId page, SimTime now) {
       storage::TierIndex tier = hierarchy_->FastestTierOf(full_id);
       if (tier == StorageManager::kMemoryTier) return;
       if (tier == storage::kNoTier) {
-        // Expired/never stored: background fetch.
+        // Expired/never stored: background fetch (best-effort, no retry —
+        // a failed prefetch just doesn't stage the page).
         net::OriginServer::FetchResult fetch = origin_->Fetch(rid);
         counters_.background_time += fetch.cost;
+        if (!fetch.ok()) return;
         rec.cached_version = fetch.version;
         rec.bytes = fetch.bytes;
         versions_.CaptureVersion(rid, fetch.version, now, fetch.bytes);
@@ -509,6 +591,13 @@ void Warehouse::Tick(SimTime now) {
   if (now < now_) now = now_;
   now_ = now;
   ++data_epoch_;
+  if (fault_injector_ != nullptr) {
+    fault_injector_->AdvanceTo(now_);
+    for (storage::TierIndex tier : fault_injector_->TakeDueTierLosses(now_)) {
+      SimulateTierFailure(tier);
+      if (options_.auto_recover_tiers) RecoverTier(tier);
+    }
+  }
   if (options_.enable_topic_sensor && now_ >= next_sensor_poll_) {
     sensor_.Poll(now_);
     next_sensor_poll_ = now_ + options_.sensor_poll_interval;
@@ -536,20 +625,39 @@ void Warehouse::RunConsistencyPolls(SimTime now) {
     net::OriginServer::ValidateResult v =
         origin_->Validate(id, rec.cached_version);
     counters_.background_time += v.cost;
+    if (!v.ok()) {
+      // Origin unreachable: keep the (possibly stale) copy and try again
+      // on the regular schedule.
+      ++counters_.poll_failures;
+      poll_queue_.push({now + constraints_.PollingInterval(rec.history), id});
+      continue;
+    }
     rec.last_validated = now;
     if (v.modified) {
-      net::OriginServer::FetchResult fetch = origin_->Fetch(id);
-      counters_.background_time += fetch.cost;
-      ++counters_.consistency_refreshes;
-      rec.cached_version = fetch.version;
-      rec.bytes = fetch.bytes;
-      versions_.CaptureVersion(id, fetch.version, now, fetch.bytes);
-      // Refresh resident copies (clears stale marks).
-      storage::StoreObjectId full_id =
-          EncodeStoreId(index::ObjectLevel::kRaw, id);
-      for (storage::TierIndex t = 0; t < hierarchy_->num_tiers(); ++t) {
-        if (hierarchy_->IsResident(full_id, t)) {
-          (void)hierarchy_->Store(full_id, rec.bytes, t);
+      FetchOutcome out = FetchWithRetry(id);
+      counters_.background_time += out.cost;
+      if (out.fetch.ok()) {
+        ++counters_.consistency_refreshes;
+        rec.cached_version = out.fetch.version;
+        rec.bytes = out.fetch.bytes;
+        versions_.CaptureVersion(id, out.fetch.version, now, out.fetch.bytes);
+        // Refresh resident copies (clears stale marks).
+        storage::StoreObjectId full_id =
+            EncodeStoreId(index::ObjectLevel::kRaw, id);
+        for (storage::TierIndex t = 0; t < hierarchy_->num_tiers(); ++t) {
+          if (hierarchy_->IsResident(full_id, t)) {
+            (void)hierarchy_->Store(full_id, rec.bytes, t);
+          }
+        }
+      } else {
+        // Known stale but unrefreshable (origin flapping): mark resident
+        // copies so later serves can flag them.
+        storage::StoreObjectId full_id =
+            EncodeStoreId(index::ObjectLevel::kRaw, id);
+        for (storage::TierIndex t = 0; t < hierarchy_->num_tiers(); ++t) {
+          if (hierarchy_->IsResident(full_id, t)) {
+            (void)hierarchy_->MarkStale(full_id, t);
+          }
         }
       }
     }
@@ -664,10 +772,11 @@ void Warehouse::MaybePrefetch(SimTime now) {
       storage::TierIndex tier = hierarchy_->FastestTierOf(full_id);
       if (tier == StorageManager::kMemoryTier) return;  // Already hot.
       if (tier == storage::kNoTier) {
-        // Not warehoused yet: background fetch + admit.
+        // Not warehoused yet: background fetch + admit (best-effort).
         const corpus::RawWebObject& obj = corpus_->raw(rid);
         net::OriginServer::FetchResult fetch = origin_->Fetch(rid);
         counters_.background_time += fetch.cost;
+        if (!fetch.ok()) return;
         rec.cached_version = fetch.version;
         rec.bytes = obj.size_bytes;
         versions_.CaptureVersion(rid, fetch.version, now, fetch.bytes);
@@ -840,11 +949,78 @@ std::vector<index::ScoredDoc> Warehouse::RecommendPagesCacheConscious(
 
 uint64_t Warehouse::SimulateTierFailure(storage::TierIndex tier) {
   ++data_epoch_;
+  ++counters_.tier_losses;
   uint64_t lost = 0;
   for (storage::StoreObjectId id : hierarchy_->ObjectsAtTier(tier)) {
     if (hierarchy_->Evict(id, tier).ok()) ++lost;
   }
+  // Displacement registries mirroring the lost tier are now all ghosts.
+  storage_.OnTierLost(tier);
   return lost;
+}
+
+void Warehouse::AttachFaultInjector(fault::FaultInjector* injector) {
+  fault_injector_ = injector;
+  hierarchy_->set_fault_policy(injector);
+  origin_->set_fault_policy(injector);
+}
+
+uint64_t Warehouse::RecoverTier(storage::TierIndex tier) {
+  ++data_epoch_;
+  ++counters_.tier_recoveries;
+  std::vector<StorageManager::RankedObject> ranked;
+  ranked.reserve(raws_.size());
+  for (auto& [rid, rec] : raws_) {
+    ranked.push_back({&rec, rec.effective_priority});
+  }
+  const SimTime migration_before = hierarchy_->stats().migration_time;
+  uint64_t restored = storage_.RecoverTier(tier, std::move(ranked));
+  counters_.background_time +=
+      hierarchy_->stats().migration_time - migration_before;
+  counters_.objects_recovered += restored;
+  return restored;
+}
+
+uint64_t Warehouse::Reconcile(SimTime now) {
+  if (now < now_) now = now_;
+  now_ = now;
+  ++data_epoch_;
+  // Deterministic iteration order: id-sorted.
+  std::vector<corpus::RawId> ids;
+  ids.reserve(raws_.size());
+  for (const auto& [rid, rec] : raws_) ids.push_back(rid);
+  std::sort(ids.begin(), ids.end());
+
+  uint64_t restored = 0;
+  for (corpus::RawId rid : ids) {
+    RawObjectRecord& rec = raws_.at(rid);
+    storage::StoreObjectId full_id =
+        EncodeStoreId(index::ObjectLevel::kRaw, rid);
+    bool missing = hierarchy_->FastestTierOf(full_id) == storage::kNoTier;
+    bool never_fetched = rec.cached_version == 0;
+    if (!missing && !never_fetched) continue;
+    FetchOutcome out = FetchWithRetry(rid);
+    counters_.background_time += out.cost;
+    if (!out.fetch.ok()) continue;
+    rec.cached_version = out.fetch.version;
+    rec.bytes = out.fetch.bytes;
+    rec.last_validated = now_;
+    versions_.CaptureVersion(rid, out.fetch.version, now_, out.fetch.bytes);
+    if (storage_.AdmitNew(rec, rec.effective_priority).ok()) ++restored;
+  }
+  return restored;
+}
+
+Status Warehouse::CheckStorageInvariants() const {
+  storage::StorageHierarchy::InvariantOptions opts;
+  opts.copy_control = storage_.options().copy_control;
+  opts.exempt = [](storage::StoreObjectId id) {
+    // LoD summaries (bit 60) and index objects (bit 59) are derived data
+    // with no backup copy: summaries are regenerable from the full object,
+    // indexes are rebuilt in place by PlaceIndexes.
+    return (id & (1ULL << 60)) != 0 || (id & (1ULL << 59)) != 0;
+  };
+  return hierarchy_->CheckInvariants(opts);
 }
 
 void Warehouse::PrintReport(std::ostream& os) const {
@@ -894,6 +1070,19 @@ void Warehouse::PrintReport(std::ostream& os) const {
       static_cast<unsigned long long>(versions_.num_versions()),
       FormatBytes(versions_.TotalBytesRetained()).c_str(),
       continuous_.size());
+  os << StrFormat(
+      "resilience: %llu degraded serves (%llu stale, %llu summary, %llu "
+      "failed), %llu fetch retries, %llu fetch failures, %llu tier losses, "
+      "%llu recoveries (%llu copies)\n",
+      static_cast<unsigned long long>(counters_.degraded_serves),
+      static_cast<unsigned long long>(counters_.stale_serves),
+      static_cast<unsigned long long>(counters_.summary_serves),
+      static_cast<unsigned long long>(counters_.failed_serves),
+      static_cast<unsigned long long>(counters_.fetch_retries),
+      static_cast<unsigned long long>(counters_.fetch_failures),
+      static_cast<unsigned long long>(counters_.tier_losses),
+      static_cast<unsigned long long>(counters_.tier_recoveries),
+      static_cast<unsigned long long>(counters_.objects_recovered));
   os << StrFormat(
       "queries: %llu indexed, %llu scans, result cache %llu/%llu hits, "
       "%llu prediction-cache hits\n",

@@ -26,6 +26,7 @@
 #include "core/version_manager.h"
 #include "corpus/news_feed.h"
 #include "corpus/web_corpus.h"
+#include "fault/fault_injector.h"
 #include "index/index_hierarchy.h"
 #include "net/origin_server.h"
 #include "storage/hierarchy.h"
@@ -47,6 +48,18 @@ enum class InitialPriorityMode {
   kTop,
   /// Pessimistic: every new object starts cold.
   kZero,
+};
+
+/// Retry policy for origin fetches. An unavailable origin (timeout, 5xx)
+/// is retried with exponential backoff until either the attempt or the
+/// deadline budget runs out; all simulated wait time is charged to the
+/// request.
+struct FetchRetryOptions {
+  uint32_t max_attempts = 3;
+  SimTime initial_backoff = 200 * kMillisecond;
+  double backoff_multiplier = 2.0;
+  /// Total time budget (request costs + backoff waits) per logical fetch.
+  SimTime deadline = 5 * kSecond;
 };
 
 /// Configuration of a Warehouse instance.
@@ -88,6 +101,11 @@ struct WarehouseOptions {
   SimTime sensor_poll_interval = 10 * kMinute;
   /// Maximum origin polls per housekeeping tick (weak consistency).
   uint32_t polls_per_tick = 64;
+  /// Origin fetch retry/backoff policy.
+  FetchRetryOptions fetch_retry;
+  /// When a fault injector delivers a tier loss, immediately rebuild the
+  /// tier from surviving copies (RecoverTier) in the same tick.
+  bool auto_recover_tiers = true;
   /// Seed for internal randomized decisions.
   uint64_t seed = 2003;
 };
@@ -133,6 +151,15 @@ struct PageVisit {
   uint32_t from_disk = 0;
   uint32_t from_tertiary = 0;
   uint32_t from_origin = 0;
+  /// Raw objects served on a fallback path (faster copies or the origin
+  /// were unavailable). Counted independently of the source counters.
+  uint32_t degraded_serves = 0;
+  /// Degraded serves that handed out a copy known to be out of date.
+  uint32_t stale_serves = 0;
+  /// Degraded serves satisfied by the LoD summary only.
+  uint32_t summary_serves = 0;
+  /// Raw objects that could not be served at all (no copy, origin down).
+  uint32_t failed_serves = 0;
   /// Logical pages completed by this request.
   std::vector<LogicalPageId> completed_logical;
 
@@ -257,6 +284,33 @@ class Warehouse : public query::QueryCatalog {
   /// number of copies lost.
   uint64_t SimulateTierFailure(storage::TierIndex tier);
 
+  /// Attaches (or detaches, with nullptr) a deterministic fault injector:
+  /// installs it as the device and origin fault policy and lets Tick
+  /// consume its scheduled tier-loss events. The injector is not owned and
+  /// must outlive the warehouse or be detached first.
+  void AttachFaultInjector(fault::FaultInjector* injector);
+  fault::FaultInjector* fault_injector() const { return fault_injector_; }
+
+  /// Rebuilds a lost tier from surviving copies (copy control, Section
+  /// 4.4): priority-ranked, budget-capped, charged as migration traffic.
+  /// Returns copies restored.
+  uint64_t RecoverTier(storage::TierIndex tier);
+
+  /// Re-fetches warehoused objects that have no resident copy anywhere or
+  /// were never successfully fetched (fetches lost to origin outages).
+  /// Run after a fault episode to converge back to the never-faulted
+  /// state; costs are charged as background time. Returns objects
+  /// restored.
+  uint64_t Reconcile(SimTime now);
+
+  /// Structural health check of the storage hierarchy: byte/count
+  /// accounting, no tombstones, and — when copy control is on — a durable
+  /// bottom-tier copy for every data object. LoD summaries and index
+  /// objects are exempt from copy control (derived data, rebuilt in
+  /// place). Transient violations are possible inside an active fault
+  /// window; call after a fault-free recovery pass.
+  Status CheckStorageInvariants() const;
+
   // ----- Priorities -----
 
   /// Effective (structural) priority of a raw object per the Figure 2
@@ -338,6 +392,22 @@ class Warehouse : public query::QueryCatalog {
     uint64_t query_cache_misses = 0;
     /// Similarity-prediction cache hits on the first-retrieval hot path.
     uint64_t prediction_cache_hits = 0;
+    /// Resilience: retried origin fetch attempts, and logical fetches that
+    /// exhausted their retry/deadline budget.
+    uint64_t fetch_retries = 0;
+    uint64_t fetch_failures = 0;
+    /// Raw-object serves on a fallback path, and their breakdown.
+    uint64_t degraded_serves = 0;
+    uint64_t stale_serves = 0;
+    uint64_t summary_serves = 0;
+    uint64_t failed_serves = 0;
+    /// Consistency polls whose origin validate failed (retried later).
+    uint64_t poll_failures = 0;
+    /// Tier-loss events consumed from the fault injector, recovery passes
+    /// run, and copies restored by them.
+    uint64_t tier_losses = 0;
+    uint64_t tier_recoveries = 0;
+    uint64_t objects_recovered = 0;
     /// Total simulated time spent on background work (polls, prefetch,
     /// migration) — not charged to user latency.
     SimTime background_time = 0;
@@ -357,6 +427,16 @@ class Warehouse : public query::QueryCatalog {
       query_cache_hits += other.query_cache_hits;
       query_cache_misses += other.query_cache_misses;
       prediction_cache_hits += other.prediction_cache_hits;
+      fetch_retries += other.fetch_retries;
+      fetch_failures += other.fetch_failures;
+      degraded_serves += other.degraded_serves;
+      stale_serves += other.stale_serves;
+      summary_serves += other.summary_serves;
+      failed_serves += other.failed_serves;
+      poll_failures += other.poll_failures;
+      tier_losses += other.tier_losses;
+      tier_recoveries += other.tier_recoveries;
+      objects_recovered += other.objects_recovered;
       background_time += other.background_time;
     }
   };
@@ -404,13 +484,33 @@ class Warehouse : public query::QueryCatalog {
   static VectorFingerprint FingerprintVector(const text::TermVector& v);
 
   /// Ensures the raw object is warehoused; fetches from origin when absent
-  /// or invalid. Returns serve cost and source.
+  /// or invalid. Returns serve cost, source, and degradation flags
+  /// (degradation ladder: memory → disk → tertiary → stale copy → LoD
+  /// summary → nothing).
   struct ServeResult {
     SimTime cost = 0;
     DataAnalyzer::ServedBy source = DataAnalyzer::ServedBy::kMemory;
+    /// The preferred path was unavailable; a fallback served the request.
+    bool degraded = false;
+    /// The copy handed out is known to be out of date (origin unreachable).
+    bool stale = false;
+    /// Only the LoD summary could be served.
+    bool summary = false;
+    /// Nothing could be served at all.
+    bool failed = false;
   };
   ServeResult ServeRawObject(corpus::RawId id, SimTime now,
                              Priority page_priority_hint);
+
+  /// One logical origin fetch: retries with exponential backoff under a
+  /// deadline. `fetch` holds the final attempt's result; `cost` includes
+  /// every attempt plus simulated backoff waits.
+  struct FetchOutcome {
+    net::OriginServer::FetchResult fetch;
+    SimTime cost = 0;
+    uint32_t attempts = 0;
+  };
+  FetchOutcome FetchWithRetry(corpus::RawId id);
 
   /// Creates warehouse records for a page on first contact.
   PhysicalPageRecord& EnsurePageRecord(corpus::PageId id);
@@ -439,6 +539,8 @@ class Warehouse : public query::QueryCatalog {
   corpus::WebCorpus* corpus_;
   net::OriginServer* origin_;
   WarehouseOptions options_;
+  /// Attached fault injector (not owned); nullptr when faults are off.
+  fault::FaultInjector* fault_injector_ = nullptr;
 
   std::unique_ptr<storage::StorageHierarchy> hierarchy_;
   text::TfIdfVectorizer vectorizer_;

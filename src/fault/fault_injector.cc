@@ -1,0 +1,226 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace cbfww::fault {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTierDown:
+      return "tier-down";
+    case FaultKind::kTierReadError:
+      return "tier-read-error";
+    case FaultKind::kTierStoreError:
+      return "tier-store-error";
+    case FaultKind::kTierLatency:
+      return "tier-latency";
+    case FaultKind::kTierLoss:
+      return "tier-loss";
+    case FaultKind::kOriginOutage:
+      return "origin-outage";
+    case FaultKind::kOriginError:
+      return "origin-error";
+    case FaultKind::kOriginSlow:
+      return "origin-slow";
+  }
+  return "unknown";
+}
+
+namespace {
+
+SimTime ClampedWindow(Pcg32& rng, const FaultScheduleOptions& options) {
+  double mean = static_cast<double>(options.mean_window);
+  auto duration = static_cast<SimTime>(rng.NextExponential(1.0 / mean));
+  SimTime lo = 1 * kMinute;
+  SimTime hi = std::max<SimTime>(lo, options.horizon / 4);
+  return std::clamp(duration, lo, hi);
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::Generate(uint64_t seed,
+                                      const FaultScheduleOptions& options) {
+  FaultSchedule schedule;
+  Pcg32 rng(seed, /*stream=*/0xFA17);
+  storage::TierIndex num_tiers =
+      std::max<storage::TierIndex>(1, options.max_faulted_tier + 1);
+
+  auto start_time = [&rng, &options]() -> SimTime {
+    // Keep a head start and a tail clear of faults so every run has a
+    // warm-up and a fault-free convalescence before final assertions.
+    SimTime lo = options.horizon / 10;
+    SimTime hi = (options.horizon * 8) / 10;
+    return lo + static_cast<SimTime>(
+                    rng.NextDouble() * static_cast<double>(hi - lo));
+  };
+  auto add_windows = [&](uint32_t count, FaultKind kind, bool per_tier,
+                         double magnitude) {
+    for (uint32_t i = 0; i < count; ++i) {
+      FaultWindow w;
+      w.kind = kind;
+      w.start = start_time();
+      w.end = kind == FaultKind::kTierLoss
+                  ? w.start
+                  : std::min<SimTime>(options.horizon,
+                                      w.start + ClampedWindow(rng, options));
+      w.tier = per_tier ? static_cast<storage::TierIndex>(
+                              rng.NextBounded(static_cast<uint32_t>(num_tiers)))
+                        : storage::kNoTier;
+      w.magnitude = magnitude;
+      schedule.windows.push_back(w);
+    }
+  };
+
+  add_windows(options.tier_losses, FaultKind::kTierLoss, true, 1.0);
+  add_windows(options.tier_outages, FaultKind::kTierDown, true, 1.0);
+  add_windows(options.read_error_bursts, FaultKind::kTierReadError, true,
+              options.error_probability);
+  add_windows(options.store_error_bursts, FaultKind::kTierStoreError, true,
+              options.error_probability);
+  add_windows(options.latency_spikes, FaultKind::kTierLatency, true,
+              static_cast<double>(options.tier_extra_latency));
+  add_windows(options.origin_outages, FaultKind::kOriginOutage, false, 1.0);
+  add_windows(options.origin_error_bursts, FaultKind::kOriginError, false,
+              options.error_probability);
+  add_windows(options.origin_slowdowns, FaultKind::kOriginSlow, false,
+              static_cast<double>(options.origin_extra_latency));
+
+  std::sort(schedule.windows.begin(), schedule.windows.end(),
+            [](const FaultWindow& a, const FaultWindow& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.end != b.end) return a.end < b.end;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.tier < b.tier;
+            });
+  return schedule;
+}
+
+bool FaultSchedule::AnyActiveAt(SimTime now) const {
+  for (const FaultWindow& w : windows) {
+    if (w.kind == FaultKind::kTierLoss) continue;
+    if (w.start <= now && now < w.end) return true;
+  }
+  return false;
+}
+
+std::string FaultSchedule::ToString() const {
+  std::string out;
+  for (const FaultWindow& w : windows) {
+    out += StrFormat(
+        "[%8.1fs .. %8.1fs] %-16s tier=%d magnitude=%.3f\n",
+        static_cast<double>(w.start) / kSecond,
+        static_cast<double>(w.end) / kSecond,
+        std::string(FaultKindName(w.kind)).c_str(), w.tier, w.magnitude);
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule, uint64_t seed)
+    : schedule_(std::move(schedule)), rng_(seed, /*stream=*/0x1AB) {
+  for (size_t i = 0; i < schedule_.windows.size(); ++i) {
+    if (schedule_.windows[i].kind == FaultKind::kTierLoss) {
+      loss_events_.push_back(i);
+    }
+  }
+  std::sort(loss_events_.begin(), loss_events_.end(),
+            [this](size_t a, size_t b) {
+              return schedule_.windows[a].start < schedule_.windows[b].start;
+            });
+}
+
+storage::DeviceFaultDecision FaultInjector::OnDeviceAccess(
+    storage::DeviceOp op, storage::TierIndex tier) {
+  storage::DeviceFaultDecision decision;
+  for (const FaultWindow& w : schedule_.windows) {
+    if (w.tier != tier) continue;
+    if (!(w.start <= now_ && now_ < w.end)) continue;
+    switch (w.kind) {
+      case FaultKind::kTierDown:
+        decision.fail = true;
+        break;
+      case FaultKind::kTierReadError:
+        if (op == storage::DeviceOp::kRead &&
+            rng_.NextBernoulli(w.magnitude)) {
+          decision.fail = true;
+        }
+        break;
+      case FaultKind::kTierStoreError:
+        if (op == storage::DeviceOp::kStore &&
+            rng_.NextBernoulli(w.magnitude)) {
+          decision.fail = true;
+        }
+        break;
+      case FaultKind::kTierLatency:
+        decision.extra_latency += static_cast<SimTime>(w.magnitude);
+        break;
+      default:
+        break;
+    }
+    if (decision.fail) break;
+  }
+  if (decision.fail) {
+    ++stats_.device_faults;
+    decision.extra_latency = 0;
+  } else if (decision.extra_latency > 0) {
+    ++stats_.device_latency_hits;
+  }
+  return decision;
+}
+
+net::OriginFaultDecision FaultInjector::OnOriginRequest(bool is_validate) {
+  (void)is_validate;
+  net::OriginFaultDecision decision;
+  for (const FaultWindow& w : schedule_.windows) {
+    if (!(w.start <= now_ && now_ < w.end)) continue;
+    switch (w.kind) {
+      case FaultKind::kOriginOutage:
+        decision.outcome = net::OriginFaultDecision::Outcome::kTimeout;
+        break;
+      case FaultKind::kOriginError:
+        if (rng_.NextBernoulli(w.magnitude)) {
+          decision.outcome = net::OriginFaultDecision::Outcome::kServerError;
+        }
+        break;
+      case FaultKind::kOriginSlow:
+        decision.extra_latency += static_cast<SimTime>(w.magnitude);
+        break;
+      default:
+        break;
+    }
+    if (decision.outcome != net::OriginFaultDecision::Outcome::kOk) break;
+  }
+  if (decision.outcome != net::OriginFaultDecision::Outcome::kOk) {
+    ++stats_.origin_faults;
+    decision.extra_latency = 0;
+  } else if (decision.extra_latency > 0) {
+    ++stats_.origin_latency_hits;
+  }
+  return decision;
+}
+
+std::vector<storage::TierIndex> FaultInjector::TakeDueTierLosses(SimTime now) {
+  AdvanceTo(now);
+  std::vector<storage::TierIndex> due;
+  while (next_loss_ < loss_events_.size() &&
+         schedule_.windows[loss_events_[next_loss_]].start <= now_) {
+    due.push_back(schedule_.windows[loss_events_[next_loss_]].tier);
+    ++next_loss_;
+    ++stats_.tier_losses_delivered;
+  }
+  return due;
+}
+
+std::string FaultInjector::ReportLine() const {
+  return StrFormat(
+      "faults: %llu device, %llu origin, %llu+%llu latency hits, "
+      "%llu tier losses",
+      static_cast<unsigned long long>(stats_.device_faults),
+      static_cast<unsigned long long>(stats_.origin_faults),
+      static_cast<unsigned long long>(stats_.device_latency_hits),
+      static_cast<unsigned long long>(stats_.origin_latency_hits),
+      static_cast<unsigned long long>(stats_.tier_losses_delivered));
+}
+
+}  // namespace cbfww::fault

@@ -1,0 +1,153 @@
+#ifndef CBFWW_FAULT_FAULT_INJECTOR_H_
+#define CBFWW_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/origin_server.h"
+#include "storage/hierarchy.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace cbfww::fault {
+
+/// Kinds of injectable faults. Tier faults target one storage tier; origin
+/// faults target the simulated wide-area origin.
+enum class FaultKind {
+  /// Every access to the tier fails for the window (controller crash,
+  /// cable pull).
+  kTierDown,
+  /// Reads on the tier fail with probability `magnitude` (media errors).
+  kTierReadError,
+  /// Stores on the tier fail with probability `magnitude` (write errors).
+  kTierStoreError,
+  /// Accesses to the tier charge `magnitude` extra microseconds
+  /// (contention / degraded RAID).
+  kTierLatency,
+  /// Instantaneous event at `start`: the tier's entire contents vanish.
+  /// Consumed by the warehouse via TakeDueTierLosses (copy-control
+  /// recovery, paper Section 4.4).
+  kTierLoss,
+  /// Origin requests time out for the window (origin outage / partition).
+  kOriginOutage,
+  /// Origin requests fail with a 5xx with probability `magnitude`
+  /// (flapping origin).
+  kOriginError,
+  /// Origin responses are delayed by `magnitude` extra microseconds.
+  kOriginSlow,
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+/// One scheduled fault. For kTierLoss only `start` matters; every other
+/// kind is active on [start, end).
+struct FaultWindow {
+  SimTime start = 0;
+  SimTime end = 0;
+  FaultKind kind = FaultKind::kTierDown;
+  /// Target tier for kTier* kinds; ignored for origin kinds.
+  storage::TierIndex tier = storage::kNoTier;
+  /// Probability for *Error kinds, extra latency (us) for *Latency/*Slow.
+  double magnitude = 1.0;
+};
+
+/// Knobs of FaultSchedule::Generate. Counts are events over the horizon.
+struct FaultScheduleOptions {
+  SimTime horizon = kDay;
+  uint32_t tier_losses = 1;
+  uint32_t tier_outages = 1;
+  uint32_t read_error_bursts = 2;
+  uint32_t store_error_bursts = 1;
+  uint32_t latency_spikes = 2;
+  uint32_t origin_outages = 2;
+  uint32_t origin_error_bursts = 2;
+  uint32_t origin_slowdowns = 1;
+  /// Failure probability inside *Error windows.
+  double error_probability = 0.5;
+  /// Mean window duration (exponential, clamped to [1min, horizon/4]).
+  SimTime mean_window = 30 * kMinute;
+  /// Extra latency charged by kTierLatency windows.
+  SimTime tier_extra_latency = 50 * kMillisecond;
+  /// Extra latency charged by kOriginSlow windows.
+  SimTime origin_extra_latency = 800 * kMillisecond;
+  /// Fastest..max_faulted_tier are fault candidates. Tertiary (the backup
+  /// of last resort) is never faulted by default, mirroring the paper's
+  /// assumption that the bound-free bottom tier is durable.
+  storage::TierIndex max_faulted_tier = 1;
+};
+
+/// A deterministic fault schedule: windows sorted by (start, end, kind,
+/// tier). Equal seeds and options generate identical schedules.
+struct FaultSchedule {
+  std::vector<FaultWindow> windows;
+
+  static FaultSchedule Generate(uint64_t seed,
+                                const FaultScheduleOptions& options);
+
+  /// True if any non-loss window covers `now`.
+  bool AnyActiveAt(SimTime now) const;
+
+  /// Deterministic human-readable rendering (chaos reports).
+  std::string ToString() const;
+};
+
+/// Seeded, deterministic fault injector: implements both the storage and
+/// the origin fault-policy seams, driven by a FaultSchedule and a PCG
+/// stream. All probabilistic decisions draw from one RNG in call order, so
+/// a fixed (seed, workload) pair reproduces the exact same fault sequence
+/// byte for byte.
+///
+/// Time does not advance on its own: the owner (Warehouse::Tick, or a test
+/// harness) calls AdvanceTo with simulation time.
+class FaultInjector : public storage::DeviceFaultPolicy,
+                      public net::OriginFaultPolicy {
+ public:
+  FaultInjector(FaultSchedule schedule, uint64_t seed);
+
+  /// Moves the injector clock forward (never backward).
+  void AdvanceTo(SimTime now) {
+    if (now > now_) now_ = now;
+  }
+  SimTime now() const { return now_; }
+
+  // storage::DeviceFaultPolicy
+  storage::DeviceFaultDecision OnDeviceAccess(
+      storage::DeviceOp op, storage::TierIndex tier) override;
+
+  // net::OriginFaultPolicy
+  net::OriginFaultDecision OnOriginRequest(bool is_validate) override;
+
+  /// Tier-loss events due at or before `now`, each delivered exactly once.
+  /// The caller applies them (Warehouse::SimulateTierFailure) and triggers
+  /// recovery.
+  std::vector<storage::TierIndex> TakeDueTierLosses(SimTime now);
+
+  const FaultSchedule& schedule() const { return schedule_; }
+
+  struct Stats {
+    uint64_t device_faults = 0;
+    uint64_t device_latency_hits = 0;
+    uint64_t origin_faults = 0;
+    uint64_t origin_latency_hits = 0;
+    uint64_t tier_losses_delivered = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Deterministic one-line summary (byte-identical across same-seed runs).
+  std::string ReportLine() const;
+
+ private:
+  FaultSchedule schedule_;
+  /// Indices into schedule_.windows of kTierLoss events, in time order;
+  /// next_loss_ points at the first undelivered one.
+  std::vector<size_t> loss_events_;
+  size_t next_loss_ = 0;
+  Pcg32 rng_;
+  SimTime now_ = 0;
+  Stats stats_;
+};
+
+}  // namespace cbfww::fault
+
+#endif  // CBFWW_FAULT_FAULT_INJECTOR_H_

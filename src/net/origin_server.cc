@@ -5,13 +5,41 @@ namespace cbfww::net {
 OriginServer::OriginServer(const corpus::WebCorpus* corpus, NetworkModel model)
     : corpus_(corpus), model_(model) {}
 
+Status OriginServer::FailRequest(OriginFaultDecision::Outcome outcome,
+                                 bool is_validate, SimTime* cost) {
+  Status status;
+  if (outcome == OriginFaultDecision::Outcome::kTimeout) {
+    *cost = model_.timeout;
+    status = Status::Unavailable("origin timeout");
+  } else {
+    // A 5xx is a fast, headers-only error response.
+    *cost = model_.ValidateTime();
+    status = Status::Unavailable("origin 5xx");
+  }
+  if (is_validate) {
+    ++stats_.validate_failures;
+  } else {
+    ++stats_.fetch_failures;
+  }
+  stats_.total_time += *cost;
+  stats_.failed_time += *cost;
+  return status;
+}
+
 OriginServer::FetchResult OriginServer::Fetch(corpus::RawId id) {
-  const corpus::RawWebObject& obj = corpus_->raw(id);
   FetchResult result;
+  ++stats_.fetches;
+  OriginFaultDecision d;
+  if (fault_policy_ != nullptr) d = fault_policy_->OnOriginRequest(false);
+  if (d.outcome != OriginFaultDecision::Outcome::kOk) {
+    result.status = FailRequest(d.outcome, /*is_validate=*/false,
+                                &result.cost);
+    return result;
+  }
+  const corpus::RawWebObject& obj = corpus_->raw(id);
   result.bytes = obj.size_bytes;
   result.version = obj.version;
-  result.cost = model_.FetchTime(obj.size_bytes);
-  ++stats_.fetches;
+  result.cost = model_.FetchTime(obj.size_bytes) + d.extra_latency;
   stats_.bytes_transferred += obj.size_bytes;
   stats_.total_time += result.cost;
   return result;
@@ -19,12 +47,19 @@ OriginServer::FetchResult OriginServer::Fetch(corpus::RawId id) {
 
 OriginServer::ValidateResult OriginServer::Validate(corpus::RawId id,
                                                     uint32_t cached_version) {
-  const corpus::RawWebObject& obj = corpus_->raw(id);
   ValidateResult result;
+  ++stats_.validations;
+  OriginFaultDecision d;
+  if (fault_policy_ != nullptr) d = fault_policy_->OnOriginRequest(true);
+  if (d.outcome != OriginFaultDecision::Outcome::kOk) {
+    result.status = FailRequest(d.outcome, /*is_validate=*/true,
+                                &result.cost);
+    return result;
+  }
+  const corpus::RawWebObject& obj = corpus_->raw(id);
   result.version = obj.version;
   result.modified = obj.version != cached_version;
-  result.cost = model_.ValidateTime();
-  ++stats_.validations;
+  result.cost = model_.ValidateTime() + d.extra_latency;
   stats_.total_time += result.cost;
   return result;
 }

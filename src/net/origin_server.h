@@ -5,6 +5,7 @@
 
 #include "corpus/web_corpus.h"
 #include "util/clock.h"
+#include "util/status.h"
 
 namespace cbfww::net {
 
@@ -18,6 +19,9 @@ struct NetworkModel {
   SimTime server_time = 50 * kMillisecond;
   /// Download bandwidth in bytes per microsecond (0.5 = 4 Mbit/s).
   double bytes_per_us = 0.5;
+  /// Client-side timeout: how long the warehouse waits before declaring an
+  /// unresponsive origin dead. A timed-out request costs this much.
+  SimTime timeout = 2 * kSecond;
 
   SimTime FetchTime(uint64_t bytes) const {
     return rtt + server_time +
@@ -27,27 +31,67 @@ struct NetworkModel {
   SimTime ValidateTime() const { return rtt + server_time; }
 };
 
+/// Verdict of a fault policy for one origin request.
+struct OriginFaultDecision {
+  enum class Outcome {
+    kOk,
+    /// The origin never answers; the client gives up after
+    /// NetworkModel::timeout.
+    kTimeout,
+    /// The origin answers quickly with a 5xx (headers-only cost).
+    kServerError,
+  };
+  Outcome outcome = Outcome::kOk;
+  /// Additional simulated latency (slow origin). Applied to kOk responses.
+  SimTime extra_latency = 0;
+};
+
+/// Injection seam for simulated origin/network faults, consulted once per
+/// Fetch or Validate. Implementations must be deterministic for
+/// reproducible runs (see fault::FaultInjector).
+class OriginFaultPolicy {
+ public:
+  virtual ~OriginFaultPolicy() = default;
+  virtual OriginFaultDecision OnOriginRequest(bool is_validate) = 0;
+};
+
 /// Simulated origin web server fronting the synthetic corpus. Substitutes
 /// for the live web (see DESIGN.md). Fetches return the object's current
 /// version so the warehouse's consistency machinery can detect staleness.
+///
+/// Every request outcome — 200, 304, 5xx, timeout — is charged to Stats,
+/// so bench reports stay truthful on degraded paths.
 class OriginServer {
  public:
   struct FetchResult {
     SimTime cost = 0;
     uint64_t bytes = 0;
     uint32_t version = 0;
+    /// Non-OK when the fetch failed (timeout / 5xx); bytes and version are
+    /// then meaningless.
+    Status status;
+    bool ok() const { return status.ok(); }
   };
   struct ValidateResult {
     SimTime cost = 0;
-    /// True if the origin copy is newer than `cached_version`.
+    /// True if the origin copy is newer than `cached_version`. Only
+    /// meaningful when `status` is OK.
     bool modified = false;
     uint32_t version = 0;
+    Status status;
+    bool ok() const { return status.ok(); }
   };
   struct Stats {
     uint64_t fetches = 0;
     uint64_t validations = 0;
+    /// Requests that failed (included in the counts above).
+    uint64_t fetch_failures = 0;
+    uint64_t validate_failures = 0;
     uint64_t bytes_transferred = 0;
+    /// Simulated time across ALL outcomes, successful or not.
     SimTime total_time = 0;
+    /// Portion of total_time spent on failed requests.
+    SimTime failed_time = 0;
   };
 
   /// `corpus` is not owned and must outlive the server.
@@ -59,14 +103,25 @@ class OriginServer {
   /// Conditional GET: cheap when the cached version is still current.
   ValidateResult Validate(corpus::RawId id, uint32_t cached_version);
 
+  /// Installs (or clears, with nullptr) the fault-injection policy. Not
+  /// owned; must outlive the server or be cleared first.
+  void set_fault_policy(OriginFaultPolicy* policy) { fault_policy_ = policy; }
+  OriginFaultPolicy* fault_policy() const { return fault_policy_; }
+
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
   const NetworkModel& model() const { return model_; }
 
  private:
+  /// Status + cost of a failed request per the policy decision; charges
+  /// the failure to stats.
+  Status FailRequest(OriginFaultDecision::Outcome outcome, bool is_validate,
+                     SimTime* cost);
+
   const corpus::WebCorpus* corpus_;
   NetworkModel model_;
   Stats stats_;
+  OriginFaultPolicy* fault_policy_ = nullptr;
 };
 
 }  // namespace cbfww::net

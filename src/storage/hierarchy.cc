@@ -14,10 +14,31 @@ StorageHierarchy::StorageHierarchy(std::vector<DeviceModel> tiers)
   resident_count_.assign(tiers_.size(), 0);
 }
 
+DeviceFaultDecision StorageHierarchy::ConsultFaultPolicy(DeviceOp op,
+                                                         TierIndex tier) {
+  if (fault_policy_ == nullptr) return DeviceFaultDecision{};
+  DeviceFaultDecision d = fault_policy_->OnDeviceAccess(op, tier);
+  if (d.fail) {
+    if (op == DeviceOp::kRead) {
+      ++stats_.injected_read_faults;
+    } else {
+      ++stats_.injected_store_faults;
+    }
+  } else if (d.extra_latency > 0) {
+    stats_.injected_latency += d.extra_latency;
+  }
+  return d;
+}
+
 Status StorageHierarchy::Store(StoreObjectId id, uint64_t bytes,
                                TierIndex tier) {
   if (tier < 0 || tier >= num_tiers()) {
     return Status::InvalidArgument(StrFormat("bad tier %d", tier));
+  }
+  if (ConsultFaultPolicy(DeviceOp::kStore, tier).fail) {
+    return Status::Unavailable(
+        StrFormat("tier %d (%s) write failed (injected fault)", tier,
+                  tiers_[tier].name.c_str()));
   }
   Residency& res = objects_[id];
   uint32_t bit = 1u << tier;
@@ -101,12 +122,38 @@ uint64_t StorageHierarchy::SizeOf(StoreObjectId id) const {
 }
 
 Result<SimTime> StorageHierarchy::Read(StoreObjectId id) {
-  TierIndex t = FastestTierOf(id);
-  if (t == kNoTier) return Status::NotFound("object not resident");
-  SimTime cost = tiers_[t].TransferTime(objects_[id].bytes);
-  ++stats_.reads;
-  stats_.read_time += cost;
-  return cost;
+  auto outcome = ReadWithFallback(id);
+  if (!outcome.ok()) return outcome.status();
+  return outcome->cost;
+}
+
+Result<StorageHierarchy::ReadOutcome> StorageHierarchy::ReadWithFallback(
+    StoreObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return Status::NotFound("object not resident");
+  const Residency& res = it->second;
+  ReadOutcome outcome;
+  bool any_failed = false;
+  for (TierIndex t = 0; t < num_tiers(); ++t) {
+    if (!(res.tier_mask & (1u << t))) continue;
+    DeviceFaultDecision d = ConsultFaultPolicy(DeviceOp::kRead, t);
+    if (d.fail) {
+      // A failed attempt still pays the device's fixed access latency (the
+      // seek/robot time spent before the error surfaced).
+      outcome.cost += tiers_[t].access_latency;
+      any_failed = true;
+      continue;  // Copy control: fall back to the next-slower copy.
+    }
+    outcome.cost += tiers_[t].TransferTime(res.bytes) + d.extra_latency;
+    outcome.tier = t;
+    outcome.degraded = any_failed;
+    outcome.stale = (res.stale_mask & (1u << t)) != 0;
+    ++stats_.reads;
+    stats_.read_time += outcome.cost;
+    if (any_failed) ++stats_.degraded_reads;
+    return outcome;
+  }
+  return Status::Unavailable("all resident copies failed");
 }
 
 Status StorageHierarchy::Migrate(StoreObjectId id, TierIndex dst,
@@ -120,15 +167,13 @@ Status StorageHierarchy::Migrate(StoreObjectId id, TierIndex dst,
   uint64_t bytes = it->second.bytes;
 
   if (!IsResident(id, dst)) {
-    // Check destination capacity before dropping source copies so a failed
-    // exclusive move never loses the object.
-    const DeviceModel& dev = tiers_[dst];
-    if (dev.capacity_bytes != 0 &&
-        used_bytes_[dst] + bytes > dev.capacity_bytes) {
-      return Status::ResourceExhausted(
-          StrFormat("tier %d (%s) full for migration", dst, dev.name.c_str()));
-    }
+    // Secure the destination copy before dropping source copies so a
+    // failed store (capacity, or an injected write fault) never loses the
+    // object mid-move.
+    CBFWW_RETURN_IF_ERROR(Store(id, bytes, dst));
     if (exclusive) {
+      // Store may rehash the map; re-find the entry.
+      it = objects_.find(id);
       for (TierIndex t = 0; t < num_tiers(); ++t) {
         if (t != dst && (it->second.tier_mask & (1u << t))) {
           used_bytes_[t] -= bytes;
@@ -138,7 +183,6 @@ Status StorageHierarchy::Migrate(StoreObjectId id, TierIndex dst,
         }
       }
     }
-    CBFWW_RETURN_IF_ERROR(Store(id, bytes, dst));
     ++stats_.migrations;
     stats_.bytes_migrated += bytes;
     stats_.migration_time +=
@@ -179,6 +223,76 @@ bool StorageHierarchy::IsStale(StoreObjectId id, TierIndex tier) const {
 uint64_t StorageHierarchy::free_bytes(TierIndex t) const {
   if (tiers_[t].capacity_bytes == 0) return UINT64_MAX;
   return tiers_[t].capacity_bytes - used_bytes_[t];
+}
+
+Status StorageHierarchy::CheckInvariants() const {
+  return CheckInvariants(InvariantOptions{});
+}
+
+Status StorageHierarchy::CheckInvariants(
+    const InvariantOptions& options) const {
+  std::vector<uint64_t> bytes_seen(tiers_.size(), 0);
+  std::vector<uint64_t> count_seen(tiers_.size(), 0);
+  const uint32_t valid_mask =
+      num_tiers() >= 32 ? ~0u : ((1u << num_tiers()) - 1u);
+  for (const auto& [id, res] : objects_) {
+    if (res.tier_mask == 0) {
+      return Status::Internal(
+          StrFormat("tombstoned resident: object %llu has no copies",
+                    static_cast<unsigned long long>(id)));
+    }
+    if ((res.tier_mask & ~valid_mask) != 0) {
+      return Status::Internal(
+          StrFormat("object %llu resident on nonexistent tier",
+                    static_cast<unsigned long long>(id)));
+    }
+    if ((res.stale_mask & ~res.tier_mask) != 0) {
+      return Status::Internal(
+          StrFormat("object %llu has a stale mark on a non-resident tier",
+                    static_cast<unsigned long long>(id)));
+    }
+    for (TierIndex t = 0; t < num_tiers(); ++t) {
+      if (res.tier_mask & (1u << t)) {
+        bytes_seen[t] += res.bytes;
+        ++count_seen[t];
+      }
+    }
+    if (options.copy_control &&
+        (!options.exempt || !options.exempt(id))) {
+      // Every copy above the bottom tier must be backed by a lower copy.
+      TierIndex slowest = kNoTier;
+      for (TierIndex t = 0; t < num_tiers(); ++t) {
+        if (res.tier_mask & (1u << t)) slowest = t;
+      }
+      if (slowest != num_tiers() - 1) {
+        return Status::FailedPrecondition(StrFormat(
+            "copy control violated: object %llu's slowest copy is tier %d",
+            static_cast<unsigned long long>(id), slowest));
+      }
+    }
+  }
+  for (TierIndex t = 0; t < num_tiers(); ++t) {
+    if (bytes_seen[t] != used_bytes_[t]) {
+      return Status::Internal(StrFormat(
+          "tier %d byte accounting off: recorded %llu, residents sum to %llu",
+          t, static_cast<unsigned long long>(used_bytes_[t]),
+          static_cast<unsigned long long>(bytes_seen[t])));
+    }
+    if (count_seen[t] != resident_count_[t]) {
+      return Status::Internal(StrFormat(
+          "tier %d object count off: recorded %llu, residents sum to %llu",
+          t, static_cast<unsigned long long>(resident_count_[t]),
+          static_cast<unsigned long long>(count_seen[t])));
+    }
+    if (tiers_[t].capacity_bytes != 0 &&
+        used_bytes_[t] > tiers_[t].capacity_bytes) {
+      return Status::Internal(
+          StrFormat("tier %d over capacity: %llu > %llu", t,
+                    static_cast<unsigned long long>(used_bytes_[t]),
+                    static_cast<unsigned long long>(tiers_[t].capacity_bytes)));
+    }
+  }
+  return Status::Ok();
 }
 
 std::vector<StoreObjectId> StorageHierarchy::ObjectsAtTier(TierIndex t) const {

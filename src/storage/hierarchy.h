@@ -2,6 +2,7 @@
 #define CBFWW_STORAGE_HIERARCHY_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +22,31 @@ using StoreObjectId = uint64_t;
 using TierIndex = int;
 
 constexpr TierIndex kNoTier = -1;
+
+/// Device operations a fault policy may intercept.
+enum class DeviceOp {
+  kRead,
+  kStore,
+};
+
+/// Verdict of a fault policy for one device access.
+struct DeviceFaultDecision {
+  /// The access fails (I/O error / tier unreachable).
+  bool fail = false;
+  /// Additional simulated latency charged to the access (latency spike).
+  /// Ignored when `fail` is true.
+  SimTime extra_latency = 0;
+};
+
+/// Injection seam for simulated device faults. The hierarchy consults the
+/// policy on every Read (once per candidate tier, fastest first) and on
+/// every Store (once for the target tier). Implementations must be
+/// deterministic for reproducible runs (see fault::FaultInjector).
+class DeviceFaultPolicy {
+ public:
+  virtual ~DeviceFaultPolicy() = default;
+  virtual DeviceFaultDecision OnDeviceAccess(DeviceOp op, TierIndex tier) = 0;
+};
 
 /// Simulated multi-level store with per-tier capacity accounting, copy
 /// control, and migration cost tracking (paper Sections 4.3-4.4; the
@@ -63,6 +89,25 @@ class StorageHierarchy {
   /// time; kNotFound if the object is not resident anywhere.
   Result<SimTime> Read(StoreObjectId id);
 
+  /// Detailed outcome of a read, including which tier actually served it.
+  struct ReadOutcome {
+    SimTime cost = 0;
+    /// Tier that served the read.
+    TierIndex tier = kNoTier;
+    /// True when a faster resident copy failed and a slower one served the
+    /// read instead (fault-induced degradation).
+    bool degraded = false;
+    /// True when the serving copy is marked stale.
+    bool stale = false;
+  };
+
+  /// Like Read, but falls back tier by tier: when the fault policy fails
+  /// the access at the fastest resident tier, the next-slower resident
+  /// copy is tried (the paper's copy-control rationale). Each attempted
+  /// tier charges its access cost. kNotFound if not resident anywhere;
+  /// kUnavailable if every resident copy failed.
+  Result<ReadOutcome> ReadWithFallback(StoreObjectId id);
+
   /// Ensures a copy exists at `dst`. The copy is made from the fastest
   /// current tier (cost = read src + write dst, charged to stats). When
   /// `exclusive` is true all other copies are dropped (a true move);
@@ -88,9 +133,40 @@ class StorageHierarchy {
     SimTime read_time = 0;
     /// Total simulated migration cost.
     SimTime migration_time = 0;
+    /// Fault-injection accounting: accesses the policy failed, reads that
+    /// were served by a slower copy after such a failure, and the total
+    /// extra latency charged by injected latency spikes.
+    uint64_t injected_read_faults = 0;
+    uint64_t injected_store_faults = 0;
+    uint64_t degraded_reads = 0;
+    SimTime injected_latency = 0;
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
+
+  /// Installs (or clears, with nullptr) the fault-injection policy. Not
+  /// owned; must outlive the hierarchy or be cleared first.
+  void set_fault_policy(DeviceFaultPolicy* policy) { fault_policy_ = policy; }
+  DeviceFaultPolicy* fault_policy() const { return fault_policy_; }
+
+  /// Options of CheckInvariants.
+  struct InvariantOptions {
+    /// Require the copy-control rule: every copy at a non-bottom tier is
+    /// backed by a copy at some lower tier ("data in main memory have
+    /// exact copies in the disk; data in the disk have back-up copies in
+    /// the tertiary storage"). Objects for which `exempt` returns true are
+    /// skipped (e.g. LoD summaries and indexes, which are regenerable).
+    bool copy_control = false;
+    std::function<bool(StoreObjectId)> exempt;
+  };
+
+  /// Verifies internal consistency: per-tier byte/object accounting
+  /// matches the sum over resident objects, no tombstoned residents (an
+  /// entry with no copies, or a stale mark on a non-resident tier),
+  /// capacity bounds respected, and optionally the copy-control rule.
+  /// Returns the first violation found.
+  Status CheckInvariants(const InvariantOptions& options) const;
+  Status CheckInvariants() const;
 
   /// All objects currently resident at tier t (unordered).
   std::vector<StoreObjectId> ObjectsAtTier(TierIndex t) const;
@@ -102,11 +178,15 @@ class StorageHierarchy {
     uint32_t stale_mask = 0;  // Bit t set => copy at tier t is stale.
   };
 
+  /// Consults the fault policy (when installed) for one access.
+  DeviceFaultDecision ConsultFaultPolicy(DeviceOp op, TierIndex tier);
+
   std::vector<DeviceModel> tiers_;
   std::unordered_map<StoreObjectId, Residency> objects_;
   std::vector<uint64_t> used_bytes_;
   std::vector<uint64_t> resident_count_;
   Stats stats_;
+  DeviceFaultPolicy* fault_policy_ = nullptr;
 };
 
 }  // namespace cbfww::storage

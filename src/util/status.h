@@ -20,6 +20,11 @@ enum class StatusCode {
   kResourceExhausted,
   kUnimplemented,
   kInternal,
+  /// A dependency (device, origin server) is temporarily unreachable; the
+  /// operation may succeed if retried.
+  kUnavailable,
+  /// A retry/deadline budget expired before the operation succeeded.
+  kDeadlineExceeded,
 };
 
 /// Returns the canonical name of a status code, e.g. "NotFound".
@@ -67,6 +72,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

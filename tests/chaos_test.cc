@@ -1,0 +1,379 @@
+// Chaos harness (copy control + fault injection, paper Section 4.4):
+// replays Zipf workloads through a warehouse while a seeded FaultInjector
+// fails tiers and the origin on a deterministic schedule, then asserts the
+// recovery contract:
+//  - same-seed runs are byte-identical (schedule, decisions, and report),
+//  - no acknowledged object is lost while copy control is on,
+//  - fallback serves are flagged (degraded / stale / summary / failed),
+//  - after recovery + reconciliation the warehouse converges to the state
+//    of a never-faulted oracle run over the same workload.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/warehouse.h"
+#include "corpus/web_corpus.h"
+#include "fault/fault_injector.h"
+#include "net/origin_server.h"
+#include "storage/hierarchy.h"
+#include "trace/workload.h"
+#include "util/clock.h"
+
+namespace cbfww {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared rig
+// ---------------------------------------------------------------------------
+
+struct ChaosKnobs {
+  uint64_t corpus_seed = 77;
+  uint64_t workload_seed = 5;
+  uint64_t fault_seed = 11;
+  bool with_faults = true;
+  double modifications_per_hour = 20.0;
+  SimTime horizon = 8 * kHour;
+  // Schedule aggressiveness.
+  uint32_t tier_losses = 1;
+  uint32_t tier_outages = 1;
+  uint32_t read_error_bursts = 2;
+  uint32_t origin_outages = 2;
+  double error_probability = 0.5;
+};
+
+fault::FaultScheduleOptions ScheduleOf(const ChaosKnobs& k) {
+  fault::FaultScheduleOptions fopts;
+  fopts.horizon = k.horizon;
+  fopts.tier_losses = k.tier_losses;
+  fopts.tier_outages = k.tier_outages;
+  fopts.read_error_bursts = k.read_error_bursts;
+  fopts.origin_outages = k.origin_outages;
+  fopts.error_probability = k.error_probability;
+  return fopts;
+}
+
+/// One full chaos run: its own corpus/origin replica (WebCorpus is
+/// deterministic given a seed, so replicas across runs are identical), an
+/// optional fault injector, and the replayed workload's aggregate flags.
+struct ChaosRun {
+  std::unique_ptr<corpus::WebCorpus> corpus;
+  std::unique_ptr<net::OriginServer> origin;
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::unique_ptr<core::Warehouse> wh;
+  /// Sum of the per-visit degradation flags over all request events.
+  uint64_t degraded = 0, stale = 0, summary = 0, failed = 0;
+  /// PrintReport + injector ReportLine — the byte-identity witness.
+  std::string report;
+};
+
+ChaosRun RunChaos(const ChaosKnobs& k) {
+  ChaosRun run;
+  corpus::CorpusOptions copts;
+  copts.num_sites = 3;
+  copts.pages_per_site = 50;
+  copts.seed = k.corpus_seed;
+  run.corpus = std::make_unique<corpus::WebCorpus>(copts);
+  run.origin =
+      std::make_unique<net::OriginServer>(run.corpus.get(), net::NetworkModel());
+
+  core::WarehouseOptions wopts;
+  wopts.memory_bytes = 2ull * 1024 * 1024;  // Tight: placement contended.
+  wopts.disk_bytes = 64ull * 1024 * 1024;
+  run.wh = std::make_unique<core::Warehouse>(run.corpus.get(), run.origin.get(),
+                                             nullptr, wopts);
+  if (k.with_faults) {
+    run.injector = std::make_unique<fault::FaultInjector>(
+        fault::FaultSchedule::Generate(k.fault_seed, ScheduleOf(k)),
+        k.fault_seed);
+    run.wh->AttachFaultInjector(run.injector.get());
+  }
+
+  trace::WorkloadOptions w;
+  w.horizon = k.horizon;
+  w.sessions_per_hour = 60;
+  w.modifications_per_hour = k.modifications_per_hour;
+  w.seed = k.workload_seed;
+  trace::WorkloadGenerator gen(run.corpus.get(), nullptr, w);
+  for (const trace::TraceEvent& e : gen.Generate()) {
+    core::PageVisit v = run.wh->ProcessEvent(e);
+    if (e.type == trace::TraceEventType::kRequest) {
+      run.degraded += v.degraded_serves;
+      run.stale += v.stale_serves;
+      run.summary += v.summary_serves;
+      run.failed += v.failed_serves;
+    }
+  }
+
+  std::ostringstream os;
+  run.wh->PrintReport(os);
+  if (run.injector != nullptr) os << run.injector->ReportLine() << "\n";
+  run.report = os.str();
+  return run;
+}
+
+/// Raw full objects resident at tier t (summaries and indexes excluded:
+/// they are derived data the rebalancer may legitimately regenerate).
+std::vector<uint64_t> RawSetAtTier(const core::Warehouse& wh,
+                                   storage::TierIndex t) {
+  std::vector<uint64_t> out;
+  for (storage::StoreObjectId id : wh.hierarchy().ObjectsAtTier(t)) {
+    if ((id & (1ULL << 60)) != 0 || (id & (1ULL << 59)) != 0) continue;
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Schedule + injector determinism
+// ---------------------------------------------------------------------------
+
+TEST(FaultScheduleTest, GenerateIsDeterministic) {
+  fault::FaultScheduleOptions fopts;
+  fault::FaultSchedule a = fault::FaultSchedule::Generate(42, fopts);
+  fault::FaultSchedule b = fault::FaultSchedule::Generate(42, fopts);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  fault::FaultSchedule c = fault::FaultSchedule::Generate(43, fopts);
+  EXPECT_NE(a.ToString(), c.ToString());
+}
+
+TEST(FaultScheduleTest, WindowsSortedAndBounded) {
+  fault::FaultScheduleOptions fopts;
+  fopts.tier_losses = 3;
+  fopts.read_error_bursts = 4;
+  fault::FaultSchedule s = fault::FaultSchedule::Generate(7, fopts);
+  ASSERT_FALSE(s.windows.empty());
+  for (size_t i = 1; i < s.windows.size(); ++i) {
+    EXPECT_LE(s.windows[i - 1].start, s.windows[i].start);
+  }
+  for (const fault::FaultWindow& w : s.windows) {
+    EXPECT_GE(w.start, 0);
+    EXPECT_LE(w.end, fopts.horizon);
+    switch (w.kind) {
+      case fault::FaultKind::kTierLoss:
+        EXPECT_EQ(w.end, w.start);  // Instantaneous event.
+        [[fallthrough]];
+      case fault::FaultKind::kTierDown:
+      case fault::FaultKind::kTierReadError:
+      case fault::FaultKind::kTierStoreError:
+      case fault::FaultKind::kTierLatency:
+        EXPECT_GE(w.tier, 0);
+        EXPECT_LE(w.tier, fopts.max_faulted_tier);
+        break;
+      default:
+        break;  // Origin kinds carry no tier.
+    }
+  }
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisionSequence) {
+  fault::FaultScheduleOptions fopts;
+  fopts.error_probability = 0.6;
+  fault::FaultSchedule s = fault::FaultSchedule::Generate(99, fopts);
+  fault::FaultInjector a(s, 99);
+  fault::FaultInjector b(s, 99);
+  // Drive an identical access sequence through both injectors, sweeping
+  // across the schedule horizon so windows activate and deactivate.
+  for (int i = 0; i < 5000; ++i) {
+    SimTime t = fopts.horizon * static_cast<SimTime>(i) / 5000;
+    a.AdvanceTo(t);
+    b.AdvanceTo(t);
+    storage::DeviceOp op =
+        (i % 3 == 0) ? storage::DeviceOp::kStore : storage::DeviceOp::kRead;
+    storage::TierIndex tier = i % 2;
+    storage::DeviceFaultDecision da = a.OnDeviceAccess(op, tier);
+    storage::DeviceFaultDecision db = b.OnDeviceAccess(op, tier);
+    EXPECT_EQ(da.fail, db.fail) << "step " << i;
+    EXPECT_EQ(da.extra_latency, db.extra_latency) << "step " << i;
+    net::OriginFaultDecision oa = a.OnOriginRequest(i % 4 == 0);
+    net::OriginFaultDecision ob = b.OnOriginRequest(i % 4 == 0);
+    EXPECT_EQ(static_cast<int>(oa.outcome), static_cast<int>(ob.outcome));
+    EXPECT_EQ(oa.extra_latency, ob.extra_latency);
+    EXPECT_EQ(a.TakeDueTierLosses(t), b.TakeDueTierLosses(t));
+  }
+  EXPECT_EQ(a.ReportLine(), b.ReportLine());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end chaos replay
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, SameSeedRunsAreByteIdentical) {
+  ChaosKnobs k;
+  ChaosRun first = RunChaos(k);
+  ChaosRun second = RunChaos(k);
+  // The entire run — serve mix, latency distribution, fault decisions,
+  // recovery actions — reproduces byte for byte from the seeds.
+  EXPECT_EQ(first.report, second.report);
+  EXPECT_GT(first.wh->counters().requests, 0u);
+}
+
+TEST(ChaosTest, DifferentFaultSeedsProduceDifferentSchedules) {
+  ChaosKnobs k;
+  fault::FaultSchedule a = fault::FaultSchedule::Generate(1, ScheduleOf(k));
+  fault::FaultSchedule b = fault::FaultSchedule::Generate(2, ScheduleOf(k));
+  EXPECT_NE(a.ToString(), b.ToString());
+}
+
+TEST(ChaosTest, AcknowledgedObjectsSurviveTierLosses) {
+  ChaosKnobs k;
+  k.tier_losses = 2;  // Lose a tier twice over the run.
+  ChaosRun run = RunChaos(k);
+  ASSERT_GE(run.wh->counters().tier_losses, 1u)
+      << "schedule delivered no tier loss; pick a different fault seed";
+
+  // Copy control (on by default): every object the warehouse acknowledged
+  // keeps at least one surviving copy through any number of tier losses —
+  // the durable bottom tier is never faulted.
+  uint64_t acknowledged = 0;
+  for (const auto& [rid, rec] : run.wh->raw_records()) {
+    if (!rec.acknowledged) continue;
+    ++acknowledged;
+    storage::StoreObjectId full_id =
+        core::EncodeStoreId(index::ObjectLevel::kRaw, rid);
+    EXPECT_NE(run.wh->hierarchy().FastestTierOf(full_id), storage::kNoTier)
+        << "acknowledged object " << rid << " lost";
+  }
+  EXPECT_GT(acknowledged, 0u);
+
+  // After a fault-free recovery pass the hierarchy is structurally sound,
+  // including the copy-control rule (transient violations are only allowed
+  // inside active fault windows).
+  run.wh->AttachFaultInjector(nullptr);
+  run.wh->Reconcile(k.horizon);
+  run.wh->Tick(k.horizon + 2 * kHour);
+  Status inv = run.wh->CheckStorageInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
+}
+
+TEST(ChaosTest, DegradedServesAreFlagged) {
+  ChaosKnobs k;
+  k.fault_seed = 23;
+  k.read_error_bursts = 4;
+  k.origin_outages = 3;
+  k.error_probability = 0.8;
+  ChaosRun run = RunChaos(k);
+
+  // The aggressive schedule must actually degrade some serves, and every
+  // degraded serve must surface in the per-visit flags exactly as counted
+  // by the warehouse (nothing silent, nothing double-counted).
+  const core::Warehouse::Counters& c = run.wh->counters();
+  EXPECT_GT(c.degraded_serves, 0u);
+  EXPECT_EQ(run.degraded, c.degraded_serves);
+  EXPECT_EQ(run.stale, c.stale_serves);
+  EXPECT_EQ(run.summary, c.summary_serves);
+  EXPECT_EQ(run.failed, c.failed_serves);
+  // Stale and summary serves are kinds of degraded serves.
+  EXPECT_LE(c.stale_serves + c.summary_serves, c.degraded_serves);
+
+  // A clean run over the same workload has no degradation at all.
+  ChaosKnobs clean = k;
+  clean.with_faults = false;
+  ChaosRun oracle = RunChaos(clean);
+  EXPECT_EQ(oracle.wh->counters().degraded_serves, 0u);
+  EXPECT_EQ(oracle.wh->counters().fetch_failures, 0u);
+}
+
+TEST(ChaosTest, RecoveryConvergesToNeverFaultedOracle) {
+  ChaosKnobs k;
+  k.modifications_per_hour = 0;  // Request-only: versions never move, so
+                                 // the faulted run can converge exactly.
+  k.tier_losses = 1;
+  k.origin_outages = 2;
+
+  ChaosKnobs clean = k;
+  clean.with_faults = false;
+  ChaosRun oracle = RunChaos(clean);
+  ChaosRun faulted = RunChaos(k);
+
+  // Usage histories are identical by construction (references are recorded
+  // whether or not storage/origin cooperated), so the analyzer agrees.
+  EXPECT_EQ(faulted.wh->analyzer().total_requests(),
+            oracle.wh->analyzer().total_requests());
+  EXPECT_EQ(faulted.wh->analyzer().distinct_pages(),
+            oracle.wh->analyzer().distinct_pages());
+
+  // Recovery protocol: drop the injector, re-fetch what the faults cost us
+  // (lost-and-unrecoverable copies, fetches that never succeeded), then
+  // run one fault-free housekeeping pass so the rebalancer normalizes
+  // placement. The oracle gets the identical treatment (both its passes
+  // are no-ops) so the two runs see the same simulated times.
+  faulted.wh->AttachFaultInjector(nullptr);
+  uint64_t restored = faulted.wh->Reconcile(k.horizon);
+  uint64_t oracle_restored = oracle.wh->Reconcile(k.horizon);
+  EXPECT_EQ(oracle_restored, 0u);  // Nothing to restore on a clean run.
+  (void)restored;
+  SimTime final_tick = k.horizon + 2 * kHour;
+  faulted.wh->Tick(final_tick);
+  oracle.wh->Tick(final_tick);
+
+  // Converged: identical raw-object placement on every tier.
+  for (storage::TierIndex t = 0; t < 3; ++t) {
+    EXPECT_EQ(RawSetAtTier(*faulted.wh, t), RawSetAtTier(*oracle.wh, t))
+        << "tier " << t << " diverged";
+  }
+
+  // And identical query results.
+  const char* kQueries[] = {
+      "SELECT MFU 10 p.oid FROM Physical_Page p",
+      "SELECT LFU 10 p.oid FROM Physical_Page p",
+      "SELECT COUNT(*) FROM Raw_Object r WHERE r.size > 1000",
+  };
+  for (const char* q : kQueries) {
+    auto a = faulted.wh->ExecuteQuery(q);
+    auto b = oracle.wh->ExecuteQuery(q);
+    ASSERT_TRUE(a.ok()) << q;
+    ASSERT_TRUE(b.ok()) << q;
+    ASSERT_EQ(a->result.rows.size(), b->result.rows.size()) << q;
+    for (size_t i = 0; i < a->result.rows.size(); ++i) {
+      ASSERT_EQ(a->result.rows[i].size(), b->result.rows[i].size());
+      for (size_t j = 0; j < a->result.rows[i].size(); ++j) {
+        EXPECT_EQ(a->result.rows[i][j].ToString(),
+                  b->result.rows[i][j].ToString())
+            << q << " row " << i;
+      }
+    }
+  }
+
+  // Both ends healthy.
+  Status fa = faulted.wh->CheckStorageInvariants();
+  Status fb = oracle.wh->CheckStorageInvariants();
+  EXPECT_TRUE(fa.ok()) << fa.ToString();
+  EXPECT_TRUE(fb.ok()) << fb.ToString();
+}
+
+TEST(ChaosTest, EpochCacheDropsPreFailureResults) {
+  corpus::CorpusOptions copts;
+  copts.num_sites = 2;
+  copts.pages_per_site = 30;
+  copts.seed = 9;
+  corpus::WebCorpus corpus(copts);
+  net::OriginServer origin(&corpus, net::NetworkModel());
+  core::Warehouse wh(&corpus, &origin, nullptr, core::WarehouseOptions{});
+
+  SimTime t = kSecond;
+  for (corpus::PageId p = 0; p < 20; ++p) {
+    wh.RequestPage(
+        {.page = p, .user = 1, .session = static_cast<int64_t>(p), .now = t});
+    t += kSecond;
+  }
+  const char* q = "SELECT MFU 5 p.oid FROM Physical_Page p";
+  ASSERT_TRUE(wh.ExecuteQuery(q).ok());
+  ASSERT_TRUE(wh.ExecuteQuery(q).ok());
+  EXPECT_EQ(wh.counters().query_cache_hits, 1u);
+
+  // A tier failure bumps the data epoch: the cached result is pre-failure
+  // state and must not be served again.
+  wh.SimulateTierFailure(0);
+  uint64_t hits_before = wh.counters().query_cache_hits;
+  ASSERT_TRUE(wh.ExecuteQuery(q).ok());
+  EXPECT_EQ(wh.counters().query_cache_hits, hits_before)
+      << "epoch cache served a pre-failure result";
+}
+
+}  // namespace
+}  // namespace cbfww

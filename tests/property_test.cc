@@ -76,7 +76,10 @@ TEST_P(HierarchyFuzzTest, AccountingAlwaysConsistent) {
         break;
       }
     }
-    // Invariants after every step.
+    // Invariants after every step: the hierarchy's own structural check
+    // first, then the shadow-model cross-check.
+    Status inv = h.CheckInvariants();
+    ASSERT_TRUE(inv.ok()) << "step " << step << ": " << inv.ToString();
     for (int t = 0; t < 3; ++t) {
       uint64_t expected_bytes = 0;
       uint64_t expected_count = 0;
@@ -108,6 +111,103 @@ INSTANTIATE_TEST_SUITE_P(
                       HierarchyParam{0, 0, 3},          // All unbounded.
                       HierarchyParam{100, 100000, 4},   // Tiny memory.
                       HierarchyParam{100000, 300, 5})); // Tiny disk.
+
+/// Deterministic noise policy: fails a fixed fraction of device accesses
+/// and charges occasional latency spikes, from a seeded stream.
+class NoisyFaultPolicy : public storage::DeviceFaultPolicy {
+ public:
+  explicit NoisyFaultPolicy(uint64_t seed) : rng_(seed) {}
+  storage::DeviceFaultDecision OnDeviceAccess(storage::DeviceOp,
+                                              storage::TierIndex) override {
+    storage::DeviceFaultDecision d;
+    d.fail = rng_.NextBernoulli(0.15);
+    if (!d.fail && rng_.NextBernoulli(0.1)) d.extra_latency = kMillisecond;
+    return d;
+  }
+
+ private:
+  Pcg32 rng_;
+};
+
+/// Same random-operation fuzz, but with an injected-fault policy active:
+/// operations may now fail spuriously, yet the hierarchy's accounting must
+/// never drift and no operation may lose an object's last copy.
+TEST_P(HierarchyFuzzTest, InvariantsHoldUnderInjectedFaults) {
+  const HierarchyParam& p = GetParam();
+  storage::StorageHierarchy h({storage::DeviceModel::Memory(p.mem_cap),
+                               storage::DeviceModel::Disk(p.disk_cap),
+                               storage::DeviceModel::Tertiary(0)});
+  NoisyFaultPolicy policy(p.seed * 977 + 13);
+  h.set_fault_policy(&policy);
+  Pcg32 rng(p.seed);
+  // Shadow tracks residency only; byte sizes per object are fixed so
+  // accounting stays checkable even when individual ops fail.
+  std::map<uint64_t, std::pair<uint64_t, uint32_t>> shadow;
+
+  for (int step = 0; step < 3000; ++step) {
+    uint64_t id = rng.NextBounded(60);
+    int tier = static_cast<int>(rng.NextBounded(3));
+    switch (rng.NextBounded(4)) {
+      case 0: {  // Store: may fail (capacity OR injected fault).
+        uint64_t bytes = shadow.contains(id) ? shadow[id].first
+                                             : 1 + rng.NextBounded(500);
+        if (h.Store(id, bytes, tier).ok()) {
+          shadow[id].first = bytes;
+          shadow[id].second |= (1u << tier);
+        }
+        break;
+      }
+      case 1: {  // Evict: not faultable; must agree with the shadow.
+        bool had = shadow.contains(id) && (shadow[id].second & (1u << tier));
+        Status s = h.Evict(id, tier);
+        ASSERT_EQ(s.ok(), had) << "step " << step;
+        if (had) {
+          shadow[id].second &= ~(1u << tier);
+          if (shadow[id].second == 0) shadow.erase(id);
+        }
+        break;
+      }
+      case 2: {  // Migrate: on success residency changes; on failure the
+                 // object must keep every pre-existing copy (atomicity).
+        bool resident = shadow.contains(id);
+        bool exclusive = rng.NextBernoulli(0.5);
+        Status s = h.Migrate(id, tier, exclusive);
+        if (!resident) {
+          ASSERT_FALSE(s.ok()) << "step " << step;
+        } else if (s.ok() && exclusive) {
+          shadow[id].second = (1u << tier);
+        } else if (s.ok()) {
+          shadow[id].second |= (1u << tier);
+        }
+        break;
+      }
+      case 3: {  // Read: may fail under faults, but never invents objects.
+        auto r = h.Read(id);
+        if (r.ok()) {
+          ASSERT_TRUE(shadow.contains(id)) << "step " << step;
+        }
+        break;
+      }
+    }
+    Status inv = h.CheckInvariants();
+    ASSERT_TRUE(inv.ok()) << "step " << step << ": " << inv.ToString();
+    // Residency agrees with the shadow exactly: a failed operation must
+    // leave the hierarchy untouched (no partial moves, no lost copies).
+    for (const auto& [oid, st] : shadow) {
+      for (int t = 0; t < 3; ++t) {
+        ASSERT_EQ(h.IsResident(oid, t), (st.second & (1u << t)) != 0)
+            << "step " << step << " object " << oid << " tier " << t;
+      }
+    }
+    for (int t = 0; t < 3; ++t) {
+      uint64_t expected_bytes = 0;
+      for (const auto& [oid, st] : shadow) {
+        if (st.second & (1u << t)) expected_bytes += st.first;
+      }
+      ASSERT_EQ(h.used_bytes(t), expected_bytes) << "step " << step;
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Workload validity across seeds

@@ -5,6 +5,11 @@
 
 #include "core/query/query_executor.h"
 #include "core/query/query_parser.h"
+#include "core/warehouse.h"
+#include "corpus/web_corpus.h"
+#include "fault/fault_injector.h"
+#include "net/origin_server.h"
+#include "trace/workload.h"
 #include "util/rng.h"
 
 namespace cbfww::core::query {
@@ -178,6 +183,76 @@ TEST(QueryFuzzTest, PathologicalInputsRejectedCleanly) {
     auto stmt = ParseQuery(input);
     EXPECT_FALSE(stmt.ok()) << "should reject: " << input;
   }
+}
+
+// Fuzzes warehouse queries while a fault schedule is active: random
+// skeleton queries against the live catalog must never crash (clean errors
+// are fine), and the epoch-keyed result cache must never serve a result
+// computed before a tier failure.
+TEST(QueryFuzzTest, QueriesDuringActiveFaultScheduleNeverCrash) {
+  corpus::CorpusOptions copts;
+  copts.num_sites = 2;
+  copts.pages_per_site = 40;
+  copts.seed = 55;
+  corpus::WebCorpus corpus(copts);
+  net::OriginServer origin(&corpus, net::NetworkModel());
+
+  core::WarehouseOptions wopts;
+  wopts.memory_bytes = 1ull * 1024 * 1024;
+  core::Warehouse wh(&corpus, &origin, nullptr, wopts);
+
+  fault::FaultScheduleOptions fopts;
+  fopts.horizon = 4 * kHour;
+  fopts.read_error_bursts = 3;
+  fopts.origin_outages = 2;
+  fopts.error_probability = 0.7;
+  fault::FaultInjector injector(fault::FaultSchedule::Generate(31, fopts), 31);
+  wh.AttachFaultInjector(&injector);
+
+  trace::WorkloadOptions w;
+  w.horizon = 4 * kHour;
+  w.sessions_per_hour = 50;
+  w.seed = 19;
+  trace::WorkloadGenerator gen(&corpus, nullptr, w);
+  auto events = gen.Generate();
+  ASSERT_FALSE(events.empty());
+
+  const char* fixed = "SELECT MFU 5 p.oid FROM Physical_Page p";
+  Pcg32 rng(404);
+  size_t tier_failures_injected = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    wh.ProcessEvent(events[i]);
+    if (i % 7 != 0) continue;
+    // Random query against the live, possibly-degraded warehouse.
+    auto result = wh.ExecuteQuery(RandomSkeletonQuery(rng));
+    (void)result;  // Errors are fine; crashing or corrupting state is not.
+
+    if (i % 63 == 0) {
+      // Epoch-cache contract under failures: a back-to-back repeat hits,
+      // then a tier failure invalidates — the pre-failure result must not
+      // be served again.
+      ASSERT_TRUE(wh.ExecuteQuery(fixed).ok());
+      uint64_t hits_before = wh.counters().query_cache_hits;
+      ASSERT_TRUE(wh.ExecuteQuery(fixed).ok());
+      EXPECT_EQ(wh.counters().query_cache_hits, hits_before + 1)
+          << "event " << i;
+      storage::TierIndex tier = static_cast<storage::TierIndex>(
+          tier_failures_injected % 2);
+      wh.SimulateTierFailure(tier);
+      ++tier_failures_injected;
+      uint64_t hits_at_failure = wh.counters().query_cache_hits;
+      ASSERT_TRUE(wh.ExecuteQuery(fixed).ok());
+      EXPECT_EQ(wh.counters().query_cache_hits, hits_at_failure)
+          << "epoch cache served a pre-failure result at event " << i;
+      wh.RecoverTier(tier);
+    }
+  }
+  EXPECT_GT(tier_failures_injected, 0u);
+  // The run ends structurally sound after a fault-free recovery pass.
+  wh.AttachFaultInjector(nullptr);
+  wh.Reconcile(w.horizon);
+  Status inv = wh.CheckStorageInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
 }
 
 TEST(QueryFuzzTest, DeterministicAcrossRuns) {
