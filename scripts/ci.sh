@@ -2,15 +2,17 @@
 # CI for the CBFWW repro: tier-1 verify (full build + fast test suite), a
 # ThreadSanitizer pass over the concurrent cluster front-end, an
 # ASan+UBSan pass over the retrieval hot path, a perf smoke gate on the
-# pruned top-k engine, and a chaos stage replaying seeded fault schedules
-# under ASan.
+# pruned top-k engine, a chaos stage replaying seeded fault schedules
+# under ASan, and a durability stage running the crash-restart matrix and
+# WAL fuzz suite under ASan.
 #
-#   scripts/ci.sh           # everything
-#   scripts/ci.sh tier1     # build + ctest (fast tests; excludes LABEL slow)
-#   scripts/ci.sh tsan      # TSan cluster tests + shard bench only
-#   scripts/ci.sh asan      # ASan+UBSan index/warehouse tests + hotpath
-#   scripts/ci.sh perfsmoke # hotpath smoke: pruned vs exhaustive, same run
-#   scripts/ci.sh chaos     # ASan chaos harness + soak tests, 3 fixed seeds
+#   scripts/ci.sh            # everything
+#   scripts/ci.sh tier1      # build + ctest (fast tests; excludes LABEL slow)
+#   scripts/ci.sh tsan       # TSan cluster tests + shard bench only
+#   scripts/ci.sh asan       # ASan+UBSan index/warehouse tests + hotpath
+#   scripts/ci.sh perfsmoke  # hotpath smoke: pruned vs exhaustive, same run
+#   scripts/ci.sh chaos      # ASan chaos harness + soak tests, 3 fixed seeds
+#   scripts/ci.sh durability # ASan crash-restart matrix + WAL fuzz + bench
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -80,21 +82,42 @@ chaos() {
   rm -rf "${chaos_out}"
 }
 
+durability() {
+  echo "=== durability: crash-restart matrix + WAL fuzz under ASan ==="
+  cmake -B build-asan -S . -DCBFWW_SANITIZE=address
+  cmake --build build-asan -j --target durability_test wal_fuzz_test \
+    durability_soak_test bench_durability
+  ./build-asan/tests/durability_test
+  ./build-asan/tests/wal_fuzz_test
+  # 3 seeds x 10 seeded crash points; deterministic, so a failure is a
+  # real durability bug, not flake.
+  ./build-asan/tests/durability_soak_test
+  # bench_durability exits nonzero if any shape check fails (journaled
+  # state diverges from the unjournaled baseline, recovery falls short of
+  # the pre-shutdown event count, checkpoints fail to bound WAL replay,
+  # or logging costs more than 5x baseline ingest throughput).
+  dur_out="$(mktemp -d)"
+  (cd "${dur_out}" && "${OLDPWD}/build-asan/bench/bench_durability" 7 77 777)
+  rm -rf "${dur_out}"
+}
+
 case "${stage}" in
   tier1) tier1 ;;
   tsan) tsan ;;
   asan) asan ;;
   perfsmoke) perfsmoke ;;
   chaos) chaos ;;
+  durability) durability ;;
   all)
     tier1
     tsan
     asan
     perfsmoke
     chaos
+    durability
     ;;
   *)
-    echo "usage: scripts/ci.sh [tier1|tsan|asan|perfsmoke|chaos|all]" >&2
+    echo "usage: scripts/ci.sh [tier1|tsan|asan|perfsmoke|chaos|durability|all]" >&2
     exit 2
     ;;
 esac

@@ -29,6 +29,7 @@ WarehouseCluster::WarehouseCluster(
     const std::optional<corpus::NewsFeed::Options>& feed_options,
     const ClusterOptions& options) {
   uint32_t n = std::max<uint32_t>(1, options.num_shards);
+  dispatch_max_pauses_ = options.dispatch_max_pauses;
   shards_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     auto shard = std::make_unique<Shard>(options.queue_capacity);
@@ -43,8 +44,24 @@ WarehouseCluster::WarehouseCluster(
     // Shards must not share randomized decisions, but each shard's stream
     // stays fixed across runs (deterministic replay).
     wopts.seed = HashCombine(options.warehouse.seed, i);
+    if (options.durability.enabled()) {
+      // One checkpoint/WAL pair per shard: requests partition by page and
+      // modifications broadcast in submission order, so each shard's log
+      // is a self-contained replayable history.
+      wopts.durability = options.durability;
+      wopts.durability.dir =
+          options.durability.dir + "/shard-" + std::to_string(i);
+    }
     shard->warehouse = std::make_unique<core::Warehouse>(
         shard->corpus.get(), shard->origin.get(), shard->feed.get(), wopts);
+    if (options.durability.enabled()) {
+      auto recovered = shard->warehouse->OpenDurability();
+      if (recovered.ok()) {
+        recovery_reports_.push_back(*recovered);
+      } else if (durability_status_.ok()) {
+        durability_status_ = recovered.status();
+      }
+    }
     if (options.faults.has_value()) {
       // Independent, reproducible fault domain per shard.
       uint64_t fseed = HashCombine(options.fault_seed, i);
@@ -71,6 +88,11 @@ void WarehouseCluster::WorkerLoop(Shard& shard) {
   trace::TraceEvent event;
   SpscQueue<trace::TraceEvent>::Backoff backoff;
   for (;;) {
+    if (shard.suspended.load(std::memory_order_acquire)) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      backoff.Pause();
+      continue;
+    }
     if (shard.queue.TryPop(event)) {
       backoff.Reset();
       uint64_t start = ThreadCpuNanos();
@@ -107,6 +129,59 @@ void WarehouseCluster::Submit(const trace::TraceEvent& event) {
   }
 }
 
+bool WarehouseCluster::TryPushBounded(Shard& shard,
+                                      const trace::TraceEvent& event) {
+  if (shard.queue.TryPush(event)) return true;
+  SpscQueue<trace::TraceEvent>::Backoff backoff;
+  for (uint32_t pause = 0; pause < dispatch_max_pauses_; ++pause) {
+    backoff.Pause();
+    if (shard.queue.TryPush(event)) return true;
+  }
+  return false;
+}
+
+Status WarehouseCluster::TryDispatch(const trace::TraceEvent& event) {
+  if (event.type == trace::TraceEventType::kRequest) {
+    Shard& shard = *shards_[ShardOf(event.page)];
+    if (!TryPushBounded(shard, event)) {
+      shard.shed.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted("shard queue full, request shed");
+    }
+    shard.submitted.fetch_add(1, std::memory_order_relaxed);
+    ++events_submitted_;
+    return Status::Ok();
+  }
+  // Broadcast modifications shed per shard: a stalled shard must not stop
+  // the healthy ones from learning about the new version. Partial
+  // delivery is within the weak-consistency contract (replicas already
+  // observe modifications at independent poll times).
+  uint32_t delivered = 0;
+  for (auto& shard : shards_) {
+    if (!TryPushBounded(*shard, event)) {
+      shard->shed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    shard->submitted.fetch_add(1, std::memory_order_relaxed);
+    ++events_submitted_;
+    ++delivered;
+  }
+  if (delivered < shards_.size()) {
+    return Status::ResourceExhausted("modification shed on " +
+                                     std::to_string(shards_.size() - delivered) +
+                                     " of " + std::to_string(shards_.size()) +
+                                     " shards");
+  }
+  return Status::Ok();
+}
+
+void WarehouseCluster::SuspendShard(uint32_t i) {
+  shards_[i]->suspended.store(true, std::memory_order_release);
+}
+
+void WarehouseCluster::ResumeShard(uint32_t i) {
+  shards_[i]->suspended.store(false, std::memory_order_release);
+}
+
 void WarehouseCluster::Drain() {
   SpscQueue<trace::TraceEvent>::Backoff backoff;
   for (auto& shard : shards_) {
@@ -135,6 +210,7 @@ ClusterReport WarehouseCluster::Report() {
     report.shard_requests.push_back(wh.counters().requests);
     report.shard_busy_ns.push_back(
         shard->busy_ns.load(std::memory_order_relaxed));
+    report.shard_shed.push_back(shard->shed.load(std::memory_order_relaxed));
 
     const storage::StorageHierarchy& hier = wh.hierarchy();
     if (report.tiers.size() < static_cast<size_t>(hier.num_tiers())) {
@@ -221,6 +297,14 @@ void ClusterReport::Print(std::ostream& os) const {
     os << ' ' << r;
   }
   os << '\n';
+  uint64_t total_shed = 0;
+  for (uint64_t s : shard_shed) total_shed += s;
+  if (total_shed > 0) {
+    os << StrFormat("overload: %llu events shed; per shard:",
+                    static_cast<unsigned long long>(total_shed));
+    for (uint64_t s : shard_shed) os << ' ' << s;
+    os << '\n';
+  }
 }
 
 }  // namespace cbfww::cluster

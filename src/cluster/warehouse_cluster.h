@@ -17,6 +17,7 @@
 #include "net/origin_server.h"
 #include "trace/trace_event.h"
 #include "util/stats.h"
+#include "util/status.h"
 
 namespace cbfww::cluster {
 
@@ -36,6 +37,15 @@ struct ClusterOptions {
   /// schedule and fault RNG derive from `fault_seed` and the shard index.
   std::optional<fault::FaultScheduleOptions> faults;
   uint64_t fault_seed = 20030107;
+  /// When enabled (dir non-empty), every shard opens its own
+  /// checkpoint/WAL pair under `<durability.dir>/shard-<i>`. Requests
+  /// partition by page and modifications broadcast deterministically, so
+  /// per-shard logs recover independently and in parallel.
+  core::DurabilityOptions durability;
+  /// Bounded wait of TryDispatch on a full shard queue, in backoff
+  /// pauses, before the event is shed with ResourceExhausted. 0 sheds
+  /// immediately.
+  uint32_t dispatch_max_pauses = 64;
 };
 
 /// Cluster-level aggregate of per-shard reports: summed counters, merged
@@ -68,6 +78,10 @@ struct ClusterReport {
   /// shards is the replay critical path — what wall-clock would be on a
   /// machine with >= num_shards hardware threads.
   std::vector<uint64_t> shard_busy_ns;
+  /// Per-shard events shed by TryDispatch (overload rejections). Submit
+  /// never sheds, so these stay zero unless the router opted into bounded
+  /// admission.
+  std::vector<uint64_t> shard_shed;
 
   uint64_t MaxShardBusyNs() const;
   void Print(std::ostream& os) const;
@@ -121,6 +135,23 @@ class WarehouseCluster {
   /// time (the router is the single producer of the shard queues).
   void Submit(const trace::TraceEvent& event);
 
+  /// Bounded-admission Submit: waits at most
+  /// ClusterOptions::dispatch_max_pauses backoff pauses for queue room,
+  /// then sheds the event with ResourceExhausted instead of spinning
+  /// forever on a stalled shard. A shed broadcast modification may have
+  /// reached a subset of shards — acceptable under the warehouse's weak
+  /// consistency model, where replicas already observe modifications at
+  /// different poll times. Shed counts surface per shard in
+  /// ClusterReport::shard_shed. Single producer, like Submit.
+  Status TryDispatch(const trace::TraceEvent& event);
+
+  /// Parks shard `i`'s worker: it stops popping events until
+  /// ResumeShard. Lets tests and maintenance windows fill a queue
+  /// deterministically. Drain() (and therefore the destructor) blocks
+  /// while a shard with pending events is suspended — resume first.
+  void SuspendShard(uint32_t i);
+  void ResumeShard(uint32_t i);
+
   /// Blocks until every submitted event has been processed and all shard
   /// workers are idle.
   void Drain();
@@ -159,6 +190,16 @@ class WarehouseCluster {
   /// shard they were broadcast to).
   uint64_t events_submitted() const { return events_submitted_; }
 
+  /// Per-shard recovery reports from construction, in shard order. Empty
+  /// when ClusterOptions::durability was off.
+  const std::vector<core::RecoveryReport>& recovery_reports() const {
+    return recovery_reports_;
+  }
+  /// First error opening a shard's durability, or Ok. A cluster with a
+  /// broken journal still runs, but un-journaled: callers that need the
+  /// durability guarantee must check this after construction.
+  const Status& durability_status() const { return durability_status_; }
+
  private:
   struct Shard {
     explicit Shard(uint32_t queue_capacity) : queue(queue_capacity) {}
@@ -179,14 +220,24 @@ class WarehouseCluster {
     std::atomic<uint64_t> submitted{0};
     std::atomic<uint64_t> processed{0};
     std::atomic<uint64_t> busy_ns{0};
+    /// Events rejected by TryDispatch while this shard's queue stayed
+    /// full. Router-written, report-read, hence atomic.
+    std::atomic<uint64_t> shed{0};
+    /// While set the worker parks instead of popping (SuspendShard).
+    std::atomic<bool> suspended{false};
     std::thread worker;
   };
 
   void WorkerLoop(Shard& shard);
+  /// TryPush with a bounded backoff budget; true when enqueued.
+  bool TryPushBounded(Shard& shard, const trace::TraceEvent& event);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stop_{false};
   uint64_t events_submitted_ = 0;
+  uint32_t dispatch_max_pauses_ = 64;
+  std::vector<core::RecoveryReport> recovery_reports_;
+  Status durability_status_ = Status::Ok();
 };
 
 }  // namespace cbfww::cluster

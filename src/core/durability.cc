@@ -1,0 +1,689 @@
+#include "core/durability.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "core/warehouse.h"
+#include "durability/checkpoint.h"
+#include "util/strings.h"
+
+namespace cbfww::core {
+
+namespace {
+
+/// WAL record tags. One frame = one batch header followed by the batch's
+/// records in emission order.
+enum RecordKind : uint8_t {
+  kBatchHeader = 0,
+  kPageContact = 1,
+  kCorpusModify = 2,
+  kReference = 3,
+  kSeedPriority = 4,
+  kModification = 5,
+  kObjectVersion = 6,
+  kAcknowledge = 7,
+  kWithdraw = 8,
+  kPlacement = 9,
+};
+
+enum PlacementOp : uint8_t {
+  kPlaceStore = 0,
+  kPlaceEvict = 1,
+  kPlaceMarkStale = 2,
+};
+
+void PutHistory(durability::RecordWriter& w, const UsageHistory::State& s) {
+  w.PutU64(s.frequency);
+  w.PutU64(s.modification_count);
+  w.PutI64(s.firstref);
+  w.PutU32(static_cast<uint32_t>(s.last_refs.size()));
+  for (SimTime t : s.last_refs) w.PutI64(t);
+  w.PutU32(static_cast<uint32_t>(s.last_mods.size()));
+  for (SimTime t : s.last_mods) w.PutI64(t);
+  w.PutU32(s.shared);
+}
+
+bool GetHistory(durability::RecordReader& r, UsageHistory::State* s) {
+  uint32_t nrefs = 0;
+  uint32_t nmods = 0;
+  if (!r.GetU64(&s->frequency) || !r.GetU64(&s->modification_count) ||
+      !r.GetI64(&s->firstref) || !r.GetU32(&nrefs)) {
+    return false;
+  }
+  s->last_refs.resize(nrefs);
+  for (SimTime& t : s->last_refs) {
+    if (!r.GetI64(&t)) return false;
+  }
+  if (!r.GetU32(&nmods)) return false;
+  s->last_mods.resize(nmods);
+  for (SimTime& t : s->last_mods) {
+    if (!r.GetI64(&t)) return false;
+  }
+  return r.GetU32(&s->shared);
+}
+
+Status Malformed(const char* what) {
+  return Status::DataLoss(std::string("malformed durable record: ") + what);
+}
+
+}  // namespace
+
+WarehouseJournal::WarehouseJournal(Warehouse* warehouse,
+                                   const DurabilityOptions& options)
+    : wh_(warehouse), options_(options) {}
+
+WarehouseJournal::~WarehouseJournal() {
+  if (open_) {
+    wh_->hierarchy_->set_placement_listener(nullptr);
+    wh_->storage_.set_admission_journal(nullptr);
+  }
+}
+
+std::string WarehouseJournal::CheckpointPath(uint64_t seq) const {
+  return options_.dir + "/" + options_.name + ".ckpt." + std::to_string(seq);
+}
+
+std::string WarehouseJournal::WalPath(uint64_t seq) const {
+  return options_.dir + "/" + options_.name + ".wal." + std::to_string(seq);
+}
+
+// ---------------------------------------------------------------------------
+// Batch lifecycle + emitters
+// ---------------------------------------------------------------------------
+
+bool WarehouseJournal::BeginBatch() {
+  if (!open_ || batch_active_) return false;
+  batch_active_ = true;
+  return true;
+}
+
+Status WarehouseJournal::CommitBatch() {
+  if (!batch_active_) {
+    return Status::FailedPrecondition("no active durability batch");
+  }
+  batch_active_ = false;
+  durability::RecordWriter frame;
+  frame.PutU8(kBatchHeader);
+  frame.PutU64(wh_->events_processed_);
+  frame.PutI64(wh_->now_);
+  frame.PutU64(wh_->data_epoch_);
+  frame.PutI64(wh_->next_rebalance_);
+  frame.PutI64(wh_->next_sensor_poll_);
+  frame.PutBytes(batch_.buffer().data(), batch_.size());
+  batch_.Clear();
+  Status appended = wal_.AppendFrame(frame.buffer());
+  if (!appended.ok() && last_error_.ok()) last_error_ = appended;
+  return appended;
+}
+
+void WarehouseJournal::OnPageContact(uint64_t page) {
+  if (!batch_active_) return;
+  genesis_ops_.push_back(GenesisOp{0, page, 0});
+  batch_.PutU8(kPageContact);
+  batch_.PutU64(page);
+}
+
+void WarehouseJournal::OnCorpusModify(uint64_t id, SimTime time) {
+  if (!batch_active_) return;
+  genesis_ops_.push_back(GenesisOp{1, id, time});
+  batch_.PutU8(kCorpusModify);
+  batch_.PutU64(id);
+  batch_.PutI64(time);
+}
+
+void WarehouseJournal::OnReference(index::ObjectLevel level, uint64_t id,
+                                   SimTime time) {
+  if (!batch_active_) return;
+  batch_.PutU8(kReference);
+  batch_.PutU8(static_cast<uint8_t>(level));
+  batch_.PutU64(id);
+  batch_.PutI64(time);
+}
+
+void WarehouseJournal::OnSeedPriority(index::ObjectLevel level, uint64_t id,
+                                      double value, SimTime time) {
+  if (!batch_active_) return;
+  batch_.PutU8(kSeedPriority);
+  batch_.PutU8(static_cast<uint8_t>(level));
+  batch_.PutU64(id);
+  batch_.PutF64(value);
+  batch_.PutI64(time);
+}
+
+void WarehouseJournal::OnModification(index::ObjectLevel level, uint64_t id,
+                                      SimTime time) {
+  if (!batch_active_) return;
+  batch_.PutU8(kModification);
+  batch_.PutU8(static_cast<uint8_t>(level));
+  batch_.PutU64(id);
+  batch_.PutI64(time);
+}
+
+void WarehouseJournal::OnObjectVersion(const RawObjectRecord& rec) {
+  if (!batch_active_) return;
+  batch_.PutU8(kObjectVersion);
+  batch_.PutU64(rec.id);
+  batch_.PutU32(rec.cached_version);
+  batch_.PutU64(rec.bytes);
+  batch_.PutI64(rec.last_validated);
+}
+
+Status WarehouseJournal::OnAcknowledge(const RawObjectRecord& rec) {
+  // Log-before-ack: refuse the acknowledgement once the journal is broken
+  // (a crash would lose an ack the caller believed durable).
+  if (!last_error_.ok()) return last_error_;
+  if (!batch_active_) return Status::Ok();  // Replay path: already logged.
+  batch_.PutU8(kAcknowledge);
+  batch_.PutU64(rec.id);
+  return Status::Ok();
+}
+
+void WarehouseJournal::OnWithdraw(const RawObjectRecord& rec) {
+  if (!batch_active_) return;
+  batch_.PutU8(kWithdraw);
+  batch_.PutU64(rec.id);
+}
+
+void WarehouseJournal::OnStore(storage::StoreObjectId id, uint64_t bytes,
+                               storage::TierIndex tier) {
+  if (!batch_active_) return;
+  batch_.PutU8(kPlacement);
+  batch_.PutU8(kPlaceStore);
+  batch_.PutU64(id);
+  batch_.PutU64(bytes);
+  batch_.PutU8(static_cast<uint8_t>(tier));
+}
+
+void WarehouseJournal::OnEvict(storage::StoreObjectId id,
+                               storage::TierIndex tier) {
+  if (!batch_active_) return;
+  batch_.PutU8(kPlacement);
+  batch_.PutU8(kPlaceEvict);
+  batch_.PutU64(id);
+  batch_.PutU8(static_cast<uint8_t>(tier));
+}
+
+void WarehouseJournal::OnMarkStale(storage::StoreObjectId id,
+                                   storage::TierIndex tier) {
+  if (!batch_active_) return;
+  batch_.PutU8(kPlacement);
+  batch_.PutU8(kPlaceMarkStale);
+  batch_.PutU64(id);
+  batch_.PutU8(static_cast<uint8_t>(tier));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint serialization
+// ---------------------------------------------------------------------------
+
+std::string WarehouseJournal::SerializeCheckpoint() {
+  durability::RecordWriter w;
+  w.PutU64(wh_->events_processed_);
+  w.PutI64(wh_->now_);
+  w.PutU64(wh_->data_epoch_);
+  w.PutI64(wh_->next_rebalance_);
+  w.PutI64(wh_->next_sensor_poll_);
+
+  // Genesis log (ordered page contacts + corpus modifications).
+  w.PutU64(genesis_ops_.size());
+  for (const GenesisOp& op : genesis_ops_) {
+    w.PutU8(op.kind);
+    w.PutU64(op.id);
+    w.PutI64(op.time);
+  }
+
+  // Raw-object metadata, id-sorted for deterministic bytes.
+  std::vector<corpus::RawId> raw_ids;
+  raw_ids.reserve(wh_->raws_.size());
+  for (const auto& [id, rec] : wh_->raws_) raw_ids.push_back(id);
+  std::sort(raw_ids.begin(), raw_ids.end());
+  w.PutU64(raw_ids.size());
+  for (corpus::RawId id : raw_ids) {
+    const RawObjectRecord& rec = wh_->raws_.at(id);
+    w.PutU64(rec.id);
+    w.PutU64(rec.bytes);
+    w.PutU32(rec.cached_version);
+    w.PutI64(rec.last_validated);
+    w.PutU8(rec.acknowledged ? 1 : 0);
+    w.PutF64(rec.own_priority);
+    w.PutF64(rec.effective_priority);
+    PutHistory(w, rec.history.ExportState());
+  }
+
+  // Physical-page usage histories (structure is rebuilt by the genesis
+  // log; only the usage state needs persisting).
+  std::vector<corpus::PageId> page_ids;
+  page_ids.reserve(wh_->pages_.size());
+  for (const auto& [id, rec] : wh_->pages_) page_ids.push_back(id);
+  std::sort(page_ids.begin(), page_ids.end());
+  w.PutU64(page_ids.size());
+  for (corpus::PageId id : page_ids) {
+    const PhysicalPageRecord& rec = wh_->pages_.at(id);
+    w.PutU64(rec.id);
+    PutHistory(w, rec.history.ExportState());
+  }
+
+  // Priority aging counters, canonicalized at now (already (level,id)
+  // sorted by Snapshot).
+  std::vector<PriorityManager::CounterSnapshot> counters =
+      wh_->priorities_.Snapshot(wh_->now_);
+  w.PutU64(counters.size());
+  for (const auto& c : counters) {
+    w.PutU8(static_cast<uint8_t>(c.level));
+    w.PutU64(c.id);
+    w.PutI64(c.state.period_start);
+    w.PutF64(c.state.pending);
+    w.PutF64(c.state.value);
+  }
+
+  // Tier placement, per tier id-sorted.
+  const int num_tiers = wh_->hierarchy_->num_tiers();
+  w.PutU8(static_cast<uint8_t>(num_tiers));
+  for (storage::TierIndex t = 0; t < num_tiers; ++t) {
+    std::vector<storage::StoreObjectId> ids = wh_->hierarchy_->ObjectsAtTier(t);
+    std::sort(ids.begin(), ids.end());
+    w.PutU64(ids.size());
+    for (storage::StoreObjectId id : ids) {
+      w.PutU64(id);
+      w.PutU64(wh_->hierarchy_->SizeOf(id));
+      w.PutU8(wh_->hierarchy_->IsStale(id, t) ? 1 : 0);
+    }
+  }
+  return std::move(w.TakeBuffer());
+}
+
+Status WarehouseJournal::ApplyCheckpoint(const std::string& payload) {
+  durability::RecordReader r(payload);
+  uint64_t data_epoch = 0;
+  if (!r.GetU64(&wh_->events_processed_) || !r.GetI64(&wh_->now_) ||
+      !r.GetU64(&data_epoch) || !r.GetI64(&wh_->next_rebalance_) ||
+      !r.GetI64(&wh_->next_sensor_poll_)) {
+    return Malformed("checkpoint header");
+  }
+  max_epoch_seen_ = std::max(max_epoch_seen_, data_epoch);
+
+  // Replay the genesis log over the fresh same-seed corpus: rebuilds page
+  // records, vectorizer DF statistics, indexes, container links and the
+  // corpus' own modification state (consuming the warehouse rng exactly as
+  // the original run did).
+  uint64_t genesis_count = 0;
+  if (!r.GetU64(&genesis_count)) return Malformed("genesis count");
+  genesis_ops_.clear();
+  genesis_ops_.reserve(genesis_count);
+  for (uint64_t i = 0; i < genesis_count; ++i) {
+    GenesisOp op;
+    if (!r.GetU8(&op.kind) || !r.GetU64(&op.id) || !r.GetI64(&op.time)) {
+      return Malformed("genesis op");
+    }
+    if (op.kind == 0) {
+      (void)wh_->EnsurePageRecord(op.id);
+    } else {
+      wh_->corpus_->ModifyObject(op.id, op.time, wh_->rng_);
+    }
+    genesis_ops_.push_back(op);
+  }
+
+  uint64_t raw_count = 0;
+  if (!r.GetU64(&raw_count)) return Malformed("raw count");
+  for (uint64_t i = 0; i < raw_count; ++i) {
+    uint64_t id = 0;
+    uint8_t acked = 0;
+    UsageHistory::State hist;
+    if (!r.GetU64(&id)) return Malformed("raw id");
+    RawObjectRecord& rec = wh_->EnsureRawRecord(id);
+    if (!r.GetU64(&rec.bytes) || !r.GetU32(&rec.cached_version) ||
+        !r.GetI64(&rec.last_validated) || !r.GetU8(&acked) ||
+        !r.GetF64(&rec.own_priority) || !r.GetF64(&rec.effective_priority) ||
+        !GetHistory(r, &hist)) {
+      return Malformed("raw record");
+    }
+    rec.acknowledged = acked != 0;
+    rec.history.RestoreState(hist);
+  }
+
+  uint64_t page_count = 0;
+  if (!r.GetU64(&page_count)) return Malformed("page count");
+  for (uint64_t i = 0; i < page_count; ++i) {
+    uint64_t id = 0;
+    UsageHistory::State hist;
+    if (!r.GetU64(&id) || !GetHistory(r, &hist)) return Malformed("page record");
+    auto it = wh_->pages_.find(id);
+    if (it == wh_->pages_.end()) {
+      return Malformed("page not rebuilt by genesis log");
+    }
+    it->second.history.RestoreState(hist);
+  }
+
+  uint64_t counter_count = 0;
+  if (!r.GetU64(&counter_count)) return Malformed("counter count");
+  std::vector<PriorityManager::CounterSnapshot> counters;
+  counters.reserve(counter_count);
+  for (uint64_t i = 0; i < counter_count; ++i) {
+    PriorityManager::CounterSnapshot c;
+    uint8_t level = 0;
+    if (!r.GetU8(&level) || !r.GetU64(&c.id) ||
+        !r.GetI64(&c.state.period_start) || !r.GetF64(&c.state.pending) ||
+        !r.GetF64(&c.state.value)) {
+      return Malformed("priority counter");
+    }
+    c.level = static_cast<index::ObjectLevel>(level);
+    counters.push_back(c);
+  }
+  wh_->priorities_.Restore(counters);
+
+  uint8_t num_tiers = 0;
+  if (!r.GetU8(&num_tiers)) return Malformed("tier count");
+  if (num_tiers != wh_->hierarchy_->num_tiers()) {
+    return Status::DataLoss("checkpoint tier count does not match hierarchy");
+  }
+  for (storage::TierIndex t = 0; t < num_tiers; ++t) {
+    uint64_t count = 0;
+    if (!r.GetU64(&count)) return Malformed("placement count");
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t id = 0;
+      uint64_t bytes = 0;
+      uint8_t stale = 0;
+      if (!r.GetU64(&id) || !r.GetU64(&bytes) || !r.GetU8(&stale)) {
+        return Malformed("placement entry");
+      }
+      CBFWW_RETURN_IF_ERROR(wh_->hierarchy_->Store(id, bytes, t));
+      if (stale != 0) (void)wh_->hierarchy_->MarkStale(id, t);
+    }
+  }
+  if (!r.AtEnd()) return Malformed("trailing checkpoint bytes");
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// WAL replay
+// ---------------------------------------------------------------------------
+
+Status WarehouseJournal::ApplyFrame(std::string_view frame) {
+  durability::RecordReader r(frame);
+  while (!r.AtEnd()) {
+    uint8_t kind = 0;
+    if (!r.GetU8(&kind)) return Malformed("record kind");
+    switch (kind) {
+      case kBatchHeader: {
+        uint64_t data_epoch = 0;
+        if (!r.GetU64(&wh_->events_processed_) || !r.GetI64(&wh_->now_) ||
+            !r.GetU64(&data_epoch) || !r.GetI64(&wh_->next_rebalance_) ||
+            !r.GetI64(&wh_->next_sensor_poll_)) {
+          return Malformed("batch header");
+        }
+        max_epoch_seen_ = std::max(max_epoch_seen_, data_epoch);
+        break;
+      }
+      case kPageContact: {
+        uint64_t page = 0;
+        if (!r.GetU64(&page)) return Malformed("page contact");
+        (void)wh_->EnsurePageRecord(page);
+        genesis_ops_.push_back(GenesisOp{0, page, 0});
+        break;
+      }
+      case kCorpusModify: {
+        uint64_t id = 0;
+        SimTime time = 0;
+        if (!r.GetU64(&id) || !r.GetI64(&time)) {
+          return Malformed("corpus modify");
+        }
+        wh_->corpus_->ModifyObject(id, time, wh_->rng_);
+        genesis_ops_.push_back(GenesisOp{1, id, time});
+        break;
+      }
+      case kReference: {
+        uint8_t level = 0;
+        uint64_t id = 0;
+        SimTime time = 0;
+        if (!r.GetU8(&level) || !r.GetU64(&id) || !r.GetI64(&time)) {
+          return Malformed("reference");
+        }
+        auto lv = static_cast<index::ObjectLevel>(level);
+        if (lv == index::ObjectLevel::kRaw) {
+          wh_->EnsureRawRecord(id).history.RecordReference(time);
+        } else if (lv == index::ObjectLevel::kPhysical) {
+          auto it = wh_->pages_.find(id);
+          if (it != wh_->pages_.end()) it->second.history.RecordReference(time);
+        }
+        wh_->priorities_.RecordAccess(lv, id, time);
+        break;
+      }
+      case kSeedPriority: {
+        uint8_t level = 0;
+        uint64_t id = 0;
+        double value = 0.0;
+        SimTime time = 0;
+        if (!r.GetU8(&level) || !r.GetU64(&id) || !r.GetF64(&value) ||
+            !r.GetI64(&time)) {
+          return Malformed("seed priority");
+        }
+        wh_->priorities_.SeedPriority(static_cast<index::ObjectLevel>(level),
+                                      id, value, time);
+        break;
+      }
+      case kModification: {
+        uint8_t level = 0;
+        uint64_t id = 0;
+        SimTime time = 0;
+        if (!r.GetU8(&level) || !r.GetU64(&id) || !r.GetI64(&time)) {
+          return Malformed("modification");
+        }
+        auto lv = static_cast<index::ObjectLevel>(level);
+        if (lv == index::ObjectLevel::kRaw) {
+          wh_->EnsureRawRecord(id).history.RecordModification(time);
+        } else if (lv == index::ObjectLevel::kPhysical) {
+          auto it = wh_->pages_.find(id);
+          if (it != wh_->pages_.end()) {
+            it->second.history.RecordModification(time);
+          }
+        }
+        break;
+      }
+      case kObjectVersion: {
+        uint64_t id = 0;
+        if (!r.GetU64(&id)) return Malformed("object version");
+        RawObjectRecord& rec = wh_->EnsureRawRecord(id);
+        if (!r.GetU32(&rec.cached_version) || !r.GetU64(&rec.bytes) ||
+            !r.GetI64(&rec.last_validated)) {
+          return Malformed("object version");
+        }
+        break;
+      }
+      case kAcknowledge: {
+        uint64_t id = 0;
+        if (!r.GetU64(&id)) return Malformed("acknowledge");
+        wh_->EnsureRawRecord(id).acknowledged = true;
+        break;
+      }
+      case kWithdraw: {
+        uint64_t id = 0;
+        if (!r.GetU64(&id)) return Malformed("withdraw");
+        wh_->EnsureRawRecord(id).acknowledged = false;
+        break;
+      }
+      case kPlacement: {
+        uint8_t op = 0;
+        uint64_t id = 0;
+        uint64_t bytes = 0;
+        uint8_t tier = 0;
+        if (!r.GetU8(&op) || !r.GetU64(&id)) return Malformed("placement");
+        if (op == kPlaceStore && !r.GetU64(&bytes)) {
+          return Malformed("placement bytes");
+        }
+        if (!r.GetU8(&tier)) return Malformed("placement tier");
+        switch (op) {
+          case kPlaceStore:
+            (void)wh_->hierarchy_->Store(id, bytes, tier);
+            break;
+          case kPlaceEvict:
+            (void)wh_->hierarchy_->Evict(id, tier);
+            break;
+          case kPlaceMarkStale:
+            (void)wh_->hierarchy_->MarkStale(id, tier);
+            break;
+          default:
+            return Malformed("placement op");
+        }
+        break;
+      }
+      default:
+        return Malformed("unknown record kind");
+    }
+  }
+  return Status::Ok();
+}
+
+void WarehouseJournal::FinalizeRecovery(RecoveryReport& report) {
+  // Pre-crash cached query results must never validate again.
+  wh_->data_epoch_ = max_epoch_seen_ + 1;
+
+  // Rebuild the weak-consistency poll schedule deterministically: every
+  // fetched object re-enters at its history-derived interval from now.
+  // (The original run's in-flight deadlines are ephemeral; this only
+  // shifts *future* poll times, never durable state.)
+  while (!wh_->poll_queue_.empty()) wh_->poll_queue_.pop();
+  if (wh_->constraints_.consistency_mode() == ConsistencyMode::kWeak) {
+    std::vector<corpus::RawId> ids;
+    ids.reserve(wh_->raws_.size());
+    for (const auto& [id, rec] : wh_->raws_) {
+      if (rec.cached_version != 0) ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    for (corpus::RawId id : ids) {
+      const RawObjectRecord& rec = wh_->raws_.at(id);
+      wh_->poll_queue_.push(
+          {wh_->now_ + wh_->constraints_.PollingInterval(rec.history), id});
+    }
+  }
+
+  // Rebuild the memory-displacement registry from what is actually
+  // resident, keyed to the owning object's checkpointed effective
+  // priority (index objects are placed by PlaceIndexes, not the
+  // registry).
+  std::vector<std::pair<storage::StoreObjectId, Priority>> entries;
+  for (storage::StoreObjectId id :
+       wh_->hierarchy_->ObjectsAtTier(StorageManager::kMemoryTier)) {
+    if ((id & (1ULL << 59)) != 0) continue;  // Index object.
+    const corpus::RawId raw_id = id & ((1ULL << 59) - 1);
+    auto it = wh_->raws_.find(raw_id);
+    if (it == wh_->raws_.end()) continue;
+    entries.emplace_back(id, it->second.effective_priority);
+  }
+  wh_->storage_.RestoreMemoryRegistry(std::move(entries));
+
+  report.events_processed = wh_->events_processed_;
+  report.max_epoch_seen = max_epoch_seen_;
+}
+
+// ---------------------------------------------------------------------------
+// Open / checkpoint rotation
+// ---------------------------------------------------------------------------
+
+Result<RecoveryReport> WarehouseJournal::Open() {
+  if (open_) return Status::FailedPrecondition("journal already open");
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+
+  // Newest checkpoint wins. The previous pair is deleted only after the
+  // next checkpoint is durably in place, so at least one sequence always
+  // has a readable checkpoint unless the files themselves were damaged.
+  uint64_t max_seq = 0;
+  const std::string prefix = options_.name + ".ckpt.";
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix))
+      continue;
+    uint64_t seq = 0;
+    bool numeric = true;
+    for (size_t i = prefix.size(); i < name.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(name[i]))) {
+        numeric = false;
+        break;
+      }
+      seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+    }
+    if (numeric && seq > max_seq) max_seq = seq;
+  }
+
+  RecoveryReport report;
+  if (max_seq == 0) {
+    // First boot: durable baseline of the empty warehouse, then a fresh
+    // log.
+    seq_ = 1;
+    CBFWW_RETURN_IF_ERROR(durability::WriteCheckpointAtomic(
+        CheckpointPath(seq_), SerializeCheckpoint()));
+    CBFWW_RETURN_IF_ERROR(wal_.Create(WalPath(seq_)));
+    report.recovered = false;
+    report.checkpoint_seq = seq_;
+    report.events_processed = wh_->events_processed_;
+  } else {
+    seq_ = max_seq;
+    // An unreadable newest checkpoint is unrecoverable data loss: its WAL
+    // only holds the suffix since that checkpoint, so no older state could
+    // honor every acknowledged write.
+    CBFWW_ASSIGN_OR_RETURN(durability::CheckpointData ckpt,
+                           durability::ReadCheckpoint(CheckpointPath(seq_)));
+    if (ckpt.version != durability::kCheckpointVersion) {
+      return Status::DataLoss("unsupported checkpoint version");
+    }
+    CBFWW_RETURN_IF_ERROR(ApplyCheckpoint(ckpt.payload));
+
+    durability::WalScan scan;
+    Status scanned = ScanWal(WalPath(seq_), &scan);
+    if (!scanned.ok() && scanned.code() != StatusCode::kNotFound) {
+      return scanned;
+    }
+    const bool wal_missing = scanned.code() == StatusCode::kNotFound;
+    // Replay intact frames; an (astronomically unlikely) CRC-valid but
+    // malformed frame is treated like a torn tail and truncated away.
+    uint64_t offset = durability::kWalMagicSize;
+    for (const std::string& frame : scan.frames) {
+      Status applied = ApplyFrame(frame);
+      if (!applied.ok()) {
+        scan.valid_bytes = offset;
+        scan.clean = false;
+        break;
+      }
+      offset += durability::kWalFrameHeaderSize + frame.size();
+      ++report.frames_replayed;
+    }
+    if (wal_missing) {
+      CBFWW_RETURN_IF_ERROR(wal_.Create(WalPath(seq_)));
+    } else {
+      CBFWW_RETURN_IF_ERROR(wal_.OpenTruncated(WalPath(seq_), scan.valid_bytes));
+    }
+    report.recovered = true;
+    report.checkpoint_seq = seq_;
+    report.wal_clean = !wal_missing && scan.clean;
+    report.wal_valid_bytes = wal_.size_bytes();
+    FinalizeRecovery(report);
+  }
+
+  wh_->hierarchy_->set_placement_listener(this);
+  wh_->storage_.set_admission_journal(this);
+  open_ = true;
+  return report;
+}
+
+Status WarehouseJournal::CheckpointNow() {
+  if (!open_) return Status::FailedPrecondition("journal not open");
+  if (batch_active_) {
+    return Status::FailedPrecondition("cannot checkpoint inside a batch");
+  }
+  if (!last_error_.ok()) return last_error_;
+  const uint64_t new_seq = seq_ + 1;
+  CBFWW_RETURN_IF_ERROR(durability::WriteCheckpointAtomic(
+      CheckpointPath(new_seq), SerializeCheckpoint()));
+  CBFWW_RETURN_IF_ERROR(wal_.Create(WalPath(new_seq)));
+  std::error_code ec;
+  std::filesystem::remove(CheckpointPath(seq_), ec);
+  std::filesystem::remove(WalPath(seq_), ec);
+  seq_ = new_seq;
+  return Status::Ok();
+}
+
+}  // namespace cbfww::core

@@ -1,0 +1,174 @@
+#ifndef CBFWW_CORE_DURABILITY_H_
+#define CBFWW_CORE_DURABILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/object_model.h"
+#include "core/storage_manager.h"
+#include "durability/record_io.h"
+#include "durability/wal.h"
+#include "index/index_hierarchy.h"
+#include "storage/hierarchy.h"
+#include "util/clock.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cbfww::core {
+
+class Warehouse;
+
+/// Crash-durability configuration of one warehouse (see DESIGN.md
+/// "Durability & crash recovery"). Durability is off unless `dir` is set.
+struct DurabilityOptions {
+  /// Directory holding the checkpoint/WAL pair. Empty: durability off.
+  std::string dir;
+  /// File-name stem: `<dir>/<name>.ckpt.<seq>` + `<dir>/<name>.wal.<seq>`.
+  std::string name = "warehouse";
+  /// Automatic checkpoint cadence, in processed trace events. 0: only
+  /// explicit CheckpointNow() calls rotate the log.
+  uint64_t checkpoint_every_events = 0;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// What Warehouse::OpenDurability found and did.
+struct RecoveryReport {
+  /// True when an existing checkpoint was loaded (restart); false on a
+  /// fresh directory (first boot).
+  bool recovered = false;
+  /// Sequence number of the checkpoint/WAL pair now live.
+  uint64_t checkpoint_seq = 0;
+  /// WAL frames (event batches) replayed on top of the checkpoint.
+  uint64_t frames_replayed = 0;
+  /// False when recovery truncated a torn or corrupt WAL tail.
+  bool wal_clean = true;
+  /// Bytes of WAL retained (append resumes here).
+  uint64_t wal_valid_bytes = 0;
+  /// Trace events the recovered warehouse has processed — equals the
+  /// never-crashed prefix it is byte-equivalent to.
+  uint64_t events_processed = 0;
+  /// Largest data epoch seen in the log; the recovered warehouse resumes
+  /// strictly above it so pre-crash cached query results can never
+  /// validate.
+  uint64_t max_epoch_seen = 0;
+};
+
+/// The durability engine of one warehouse: buffers every durable mutation
+/// of the current event batch, commits the batch as one CRC-framed WAL
+/// record (log-before-ack: StorageManager asks the journal to persist the
+/// acknowledgement before flipping the flag), writes rotating checkpoints,
+/// and replays checkpoint + WAL on reopen.
+///
+/// All emitters are no-ops unless a batch is active, so replay (which
+/// drives the same warehouse mutation paths) never re-journals itself.
+class WarehouseJournal : public storage::PlacementListener,
+                         public AdmissionJournal {
+ public:
+  WarehouseJournal(Warehouse* warehouse, const DurabilityOptions& options);
+  ~WarehouseJournal() override;
+
+  /// Recover-or-init. On a fresh directory writes checkpoint 1 of the
+  /// (empty) warehouse and opens WAL 1; on a restart loads the newest
+  /// checkpoint, replays the WAL suffix (truncating any torn tail) and
+  /// resumes appending. Installs the placement/admission hooks on success.
+  Result<RecoveryReport> Open();
+
+  /// Writes checkpoint seq+1, starts WAL seq+1, deletes the old pair.
+  Status CheckpointNow();
+
+  /// Starts buffering a batch. Returns true when this call actually opened
+  /// the batch (the caller then owns the commit); false when one is
+  /// already active (nested entry points).
+  bool BeginBatch();
+  /// Seals the buffered batch into one WAL frame and flushes it. Frames
+  /// are written even when no mutation was buffered — the batch header
+  /// alone keeps clock/epoch/event-count recovery exact.
+  Status CommitBatch();
+  bool batch_active() const { return batch_active_; }
+
+  /// First error that broke the journal (append/commit failure). Once set,
+  /// acknowledgements fail with it (no silent un-durable acks).
+  const Status& last_error() const { return last_error_; }
+
+  // --- Emitters called from Warehouse mutation paths ---
+  void OnPageContact(uint64_t page);
+  void OnCorpusModify(uint64_t id, SimTime time);
+  void OnReference(index::ObjectLevel level, uint64_t id, SimTime time);
+  void OnSeedPriority(index::ObjectLevel level, uint64_t id, double value,
+                      SimTime time);
+  void OnModification(index::ObjectLevel level, uint64_t id, SimTime time);
+  void OnObjectVersion(const RawObjectRecord& rec);
+
+  // --- AdmissionJournal ---
+  Status OnAcknowledge(const RawObjectRecord& rec) override;
+  void OnWithdraw(const RawObjectRecord& rec) override;
+
+  // --- storage::PlacementListener ---
+  void OnStore(storage::StoreObjectId id, uint64_t bytes,
+               storage::TierIndex tier) override;
+  void OnEvict(storage::StoreObjectId id, storage::TierIndex tier) override;
+  void OnMarkStale(storage::StoreObjectId id,
+                   storage::TierIndex tier) override;
+
+  /// RAII batch scope for warehouse entry points. Only the outermost guard
+  /// commits; nested guards (Tick inside ProcessEvent) are no-ops. A null
+  /// journal makes the guard inert.
+  class BatchGuard {
+   public:
+    explicit BatchGuard(WarehouseJournal* journal)
+        : journal_(journal),
+          owner_(journal != nullptr && journal->BeginBatch()) {}
+    ~BatchGuard() {
+      if (owner_) (void)journal_->CommitBatch();
+    }
+    BatchGuard(const BatchGuard&) = delete;
+    BatchGuard& operator=(const BatchGuard&) = delete;
+    bool owns_batch() const { return owner_; }
+
+   private:
+    WarehouseJournal* journal_;
+    bool owner_;
+  };
+
+  const DurabilityOptions& options() const { return options_; }
+
+ private:
+  /// One entry of the genesis log: the ordered interleave of page first
+  /// contacts and corpus modifications since time zero. Replaying it over
+  /// a fresh same-seed corpus reconstructs the vectorizer DF statistics,
+  /// indexes, container links and corpus text byte-exactly.
+  struct GenesisOp {
+    uint8_t kind = 0;  // 0: page contact, 1: corpus modify.
+    uint64_t id = 0;
+    SimTime time = 0;
+  };
+
+  std::string CheckpointPath(uint64_t seq) const;
+  std::string WalPath(uint64_t seq) const;
+
+  /// Serializes the full durable state (metadata, histories, priorities,
+  /// placement, genesis log) as a version-1 checkpoint payload.
+  std::string SerializeCheckpoint();
+  Status ApplyCheckpoint(const std::string& payload);
+  /// Applies one committed WAL frame's records to the warehouse.
+  Status ApplyFrame(std::string_view frame);
+  /// Post-replay fixups: epoch floor, poll queue, memory registry.
+  void FinalizeRecovery(RecoveryReport& report);
+
+  Warehouse* wh_;
+  DurabilityOptions options_;
+  durability::WalWriter wal_;
+  uint64_t seq_ = 0;
+  std::vector<GenesisOp> genesis_ops_;
+  durability::RecordWriter batch_;
+  bool batch_active_ = false;
+  bool open_ = false;
+  Status last_error_ = Status::Ok();
+  uint64_t max_epoch_seen_ = 0;
+};
+
+}  // namespace cbfww::core
+
+#endif  // CBFWW_CORE_DURABILITY_H_

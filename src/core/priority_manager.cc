@@ -1,5 +1,7 @@
 #include "core/priority_manager.h"
 
+#include <algorithm>
+
 namespace cbfww::core {
 
 PriorityManager::PriorityManager(const PriorityOptions& options)
@@ -33,6 +35,30 @@ void PriorityManager::SeedPriority(index::ObjectLevel level, uint64_t id,
 
 void PriorityManager::Forget(index::ObjectLevel level, uint64_t id) {
   counters_.erase({level, id});
+}
+
+std::vector<PriorityManager::CounterSnapshot> PriorityManager::Snapshot(
+    SimTime now) {
+  std::vector<CounterSnapshot> out;
+  out.reserve(counters_.size());
+  for (auto& [key, counter] : counters_) {
+    out.push_back(CounterSnapshot{key.level, key.id, counter.ExportState(now)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CounterSnapshot& a, const CounterSnapshot& b) {
+              if (a.level != b.level) return a.level < b.level;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+void PriorityManager::Restore(const std::vector<CounterSnapshot>& snapshot) {
+  counters_.clear();
+  for (const auto& entry : snapshot) {
+    LambdaAgingCounter counter(options_.lambda, options_.aging_period);
+    counter.RestoreState(entry.state);
+    counters_.emplace(Key{entry.level, entry.id}, counter);
+  }
 }
 
 double PriorityManager::InitialPriority(double region_mean_priority,

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "core/object_model.h"
 #include "core/usage_history.h"
@@ -76,6 +77,20 @@ class PriorityManager {
   }
 
   const PriorityOptions& options() const { return options_; }
+
+  /// One checkpointed aging counter. Entries are sorted by (level, id) so
+  /// snapshots are deterministic regardless of hash-map iteration order.
+  struct CounterSnapshot {
+    index::ObjectLevel level;
+    uint64_t id = 0;
+    LambdaAgingCounter::State state;
+  };
+
+  /// Exports every counter's recurrence state, canonicalized at `now`.
+  std::vector<CounterSnapshot> Snapshot(SimTime now);
+
+  /// Replaces all counter state with `snapshot`.
+  void Restore(const std::vector<CounterSnapshot>& snapshot);
 
  private:
   struct Key {

@@ -87,7 +87,12 @@ Status StorageManager::AdmitNew(RawObjectRecord& rec, Priority priority) {
     }
   }
   // The object now has a home (durable bottom-tier copy under copy
-  // control): the warehouse acknowledges it.
+  // control): the warehouse acknowledges it. Log-before-ack: with a
+  // journal installed, the durable record must hit the log first — if that
+  // fails, the caller sees the error and no acknowledgement is made.
+  if (admission_journal_ != nullptr) {
+    CBFWW_RETURN_IF_ERROR(admission_journal_->OnAcknowledge(rec));
+  }
   rec.acknowledged = true;
   return Status::Ok();
 }
@@ -357,6 +362,9 @@ StorageManager::RebalanceResult StorageManager::Rebalance(
     if (full_tier[i] == storage::kNoTier) {
       // Deliberate drop (copyright / churn bar), not a loss: withdraw the
       // durability acknowledgement along with the copies.
+      if (rec.acknowledged && admission_journal_ != nullptr) {
+        admission_journal_->OnWithdraw(rec);
+      }
       hierarchy_->EvictAll(full_id);
       hierarchy_->EvictAll(summary_id);
       rec.acknowledged = false;

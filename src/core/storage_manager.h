@@ -2,6 +2,7 @@
 #define CBFWW_CORE_STORAGE_MANAGER_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 #include <unordered_map>
 
@@ -12,6 +13,23 @@
 #include "util/result.h"
 
 namespace cbfww::core {
+
+/// Durability seam for the acknowledgement contract. When installed, the
+/// journal is consulted *before* `rec.acknowledged` flips to true
+/// (log-before-ack: an acknowledgement certifies a logged durable record),
+/// and notified when a rebalance deliberately withdraws an acknowledged
+/// object.
+class AdmissionJournal {
+ public:
+  virtual ~AdmissionJournal() = default;
+  /// Called with the fully placed record just before acknowledgement. A
+  /// non-OK status aborts the admission: the caller sees the failure and
+  /// the object stays unacknowledged.
+  virtual Status OnAcknowledge(const RawObjectRecord& rec) = 0;
+  /// Called just before an acknowledged object is withdrawn (its copies
+  /// dropped on purpose, e.g. a constraint bar).
+  virtual void OnWithdraw(const RawObjectRecord& rec) = 0;
+};
 
 /// Storage Manager (paper Sections 3 and 4.4): maps the object hierarchy
 /// onto the storage hierarchy by priority, self-organizingly. Implements:
@@ -117,6 +135,20 @@ class StorageManager {
   storage::StorageHierarchy* hierarchy() { return hierarchy_; }
   const Options& options() const { return options_; }
 
+  /// Installs (or clears, with nullptr) the durability journal. Not owned;
+  /// must outlive the manager or be cleared first.
+  void set_admission_journal(AdmissionJournal* journal) {
+    admission_journal_ = journal;
+  }
+
+  /// Replaces the memory-displacement registry wholesale — used by crash
+  /// recovery after restoring tier placement directly into the hierarchy.
+  void RestoreMemoryRegistry(
+      std::vector<std::pair<storage::StoreObjectId, Priority>> entries) {
+    memory_entries_.clear();
+    for (auto& [id, priority] : entries) memory_entries_[id] = priority;
+  }
+
   static constexpr storage::TierIndex kMemoryTier = 0;
   static constexpr storage::TierIndex kDiskTier = 1;
   static constexpr storage::TierIndex kTertiaryTier = 2;
@@ -142,6 +174,7 @@ class StorageManager {
   Priority disk_threshold_ = 0.0;
   /// Priority registry of memory residents (displacement admission).
   std::unordered_map<storage::StoreObjectId, Priority> memory_entries_;
+  AdmissionJournal* admission_journal_ = nullptr;
 };
 
 }  // namespace cbfww::core

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "util/clock.h"
 
@@ -78,6 +79,23 @@ class LambdaAgingCounter {
   double lambda() const { return lambda_; }
   SimTime period() const { return period_; }
 
+  /// Raw recurrence state, exposed for checkpointing. `Roll` is applied
+  /// first so the exported triple is canonical for (counter, now).
+  struct State {
+    SimTime period_start = 0;
+    double pending = 0.0;
+    double value = 0.0;
+  };
+  State ExportState(SimTime now) {
+    Roll(now);
+    return State{period_start_, pending_, value_};
+  }
+  void RestoreState(const State& s) {
+    period_start_ = s.period_start;
+    pending_ = s.pending;
+    value_ = s.value;
+  }
+
  private:
   /// Applies the aging recurrence for every full period boundary passed.
   void Roll(SimTime now) {
@@ -129,6 +147,33 @@ class UsageHistory {
   /// Mean interval between modifications, or 0 when fewer than 2 are known.
   /// Used by the Constraint Manager to pick polling cycles.
   SimTime MeanModificationInterval() const;
+
+  /// Complete value state, exposed for checkpointing. Timestamps in the
+  /// deques are most-recent-first, matching the internal layout.
+  struct State {
+    uint64_t frequency = 0;
+    uint64_t modification_count = 0;
+    SimTime firstref = kNeverTime;
+    std::vector<SimTime> last_refs;
+    std::vector<SimTime> last_mods;
+    uint32_t shared = 0;
+  };
+  State ExportState() const {
+    return State{frequency_,
+                 modification_count_,
+                 firstref_,
+                 {last_refs_.begin(), last_refs_.end()},
+                 {last_mods_.begin(), last_mods_.end()},
+                 shared_};
+  }
+  void RestoreState(const State& s) {
+    frequency_ = s.frequency;
+    modification_count_ = s.modification_count;
+    firstref_ = s.firstref;
+    last_refs_.assign(s.last_refs.begin(), s.last_refs.end());
+    last_mods_.assign(s.last_mods.begin(), s.last_mods.end());
+    shared_ = s.shared;
+  }
 
  private:
   int k_depth_;

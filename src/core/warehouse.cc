@@ -201,6 +201,9 @@ PhysicalPageRecord& Warehouse::EnsurePageRecord(corpus::PageId id) {
   // generated by the words/phrases appeared in the web objects".
   indexes_.Add(index::ObjectLevel::kRaw, spec.container,
                vectorizer_.VectorizeTerms(container.body_terms, false));
+  // Durability: first contact is a genesis event — replaying contacts in
+  // order over a fresh corpus reproduces this whole function byte-exactly.
+  if (journal_ != nullptr) journal_->OnPageContact(id);
   return stored;
 }
 
@@ -274,6 +277,9 @@ Warehouse::ServeResult Warehouse::ServeRawObject(corpus::RawId id, SimTime now,
   RawObjectRecord& rec = EnsureRawRecord(id);
   rec.history.RecordReference(now);
   priorities_.RecordAccess(index::ObjectLevel::kRaw, id, now);
+  if (journal_ != nullptr) {
+    journal_->OnReference(index::ObjectLevel::kRaw, id, now);
+  }
 
   const corpus::RawWebObject& obj = corpus_->raw(id);
   storage::StoreObjectId full_id = EncodeStoreId(index::ObjectLevel::kRaw, id);
@@ -371,6 +377,7 @@ Warehouse::ServeResult Warehouse::ServeRawObject(corpus::RawId id, SimTime now,
   rec.bytes = out.fetch.bytes;
   rec.last_validated = now;
   versions_.CaptureVersion(id, out.fetch.version, now, out.fetch.bytes);
+  if (journal_ != nullptr) journal_->OnObjectVersion(rec);
 
   Status admitted = storage_.AdmitNew(rec, page_priority_hint);
   if (!admitted.ok()) {
@@ -384,6 +391,7 @@ Warehouse::ServeResult Warehouse::ServeRawObject(corpus::RawId id, SimTime now,
 }
 
 PageVisit Warehouse::RequestPage(const PageRequest& request) {
+  WarehouseJournal::BatchGuard batch(journal_.get());
   const corpus::PageId page = request.page;
   const uint32_t user = request.user;
   const int64_t session = request.session;
@@ -407,10 +415,17 @@ PageVisit Warehouse::RequestPage(const PageRequest& request) {
     Priority initial = PredictInitialPriority(rec.vector, now);
     priorities_.SeedPriority(index::ObjectLevel::kPhysical, page, initial,
                              now);
+    if (journal_ != nullptr) {
+      journal_->OnSeedPriority(index::ObjectLevel::kPhysical, page, initial,
+                               now);
+    }
     rec.region = regions_.Assign(rec.vector);
   }
   rec.history.RecordReference(now);
   priorities_.RecordAccess(index::ObjectLevel::kPhysical, page, now);
+  if (journal_ != nullptr) {
+    journal_->OnReference(index::ObjectLevel::kPhysical, page, now);
+  }
   Priority page_priority = EffectivePagePriority(page, now);
   rec.own_priority =
       priorities_.OwnPriority(index::ObjectLevel::kPhysical, page, now);
@@ -540,6 +555,7 @@ void Warehouse::PathPrefetch(corpus::PageId page, SimTime now) {
         rec.cached_version = fetch.version;
         rec.bytes = fetch.bytes;
         versions_.CaptureVersion(rid, fetch.version, now, fetch.bytes);
+        if (journal_ != nullptr) journal_->OnObjectVersion(rec);
         (void)storage_.AdmitNew(rec, path_priority);
       } else {
         storage_.PromoteOnAccess(rec, path_priority);
@@ -552,14 +568,23 @@ void Warehouse::PathPrefetch(corpus::PageId page, SimTime now) {
 }
 
 void Warehouse::OnOriginModified(corpus::RawId id, SimTime now) {
+  WarehouseJournal::BatchGuard batch(journal_.get());
   ++data_epoch_;
   auto it = raws_.find(id);
   if (it == raws_.end()) return;  // Not warehoused: nothing to invalidate.
   RawObjectRecord& rec = it->second;
   rec.history.RecordModification(now);
+  if (journal_ != nullptr) {
+    journal_->OnModification(index::ObjectLevel::kRaw, id, now);
+  }
   for (corpus::PageId p : rec.containers) {
     auto pit = pages_.find(p);
-    if (pit != pages_.end()) pit->second.history.RecordModification(now);
+    if (pit != pages_.end()) {
+      pit->second.history.RecordModification(now);
+      if (journal_ != nullptr) {
+        journal_->OnModification(index::ObjectLevel::kPhysical, p, now);
+      }
+    }
   }
   storage::StoreObjectId full_id = EncodeStoreId(index::ObjectLevel::kRaw, id);
   if (constraints_.consistency_mode() == ConsistencyMode::kStrong) {
@@ -578,16 +603,33 @@ void Warehouse::OnOriginModified(corpus::RawId id, SimTime now) {
 }
 
 PageVisit Warehouse::ProcessEvent(const trace::TraceEvent& event) {
-  Tick(event.time);
-  if (event.type == trace::TraceEventType::kRequest) {
-    return RequestPage(PageRequest::FromEvent(event));
+  PageVisit visit;
+  {
+    // One event = one WAL frame: every durable mutation of this event
+    // (including its housekeeping Tick) commits atomically, so recovery
+    // always lands on an event boundary.
+    WarehouseJournal::BatchGuard batch(journal_.get());
+    Tick(event.time);
+    ++events_processed_;
+    if (event.type == trace::TraceEventType::kRequest) {
+      visit = RequestPage(PageRequest::FromEvent(event));
+    } else {
+      corpus_->ModifyObject(event.modified, event.time, rng_);
+      if (journal_ != nullptr) {
+        journal_->OnCorpusModify(event.modified, event.time);
+      }
+      OnOriginModified(event.modified, event.time);
+    }
   }
-  corpus_->ModifyObject(event.modified, event.time, rng_);
-  OnOriginModified(event.modified, event.time);
-  return PageVisit{};
+  if (journal_ != nullptr && options_.durability.checkpoint_every_events > 0 &&
+      events_processed_ % options_.durability.checkpoint_every_events == 0) {
+    (void)journal_->CheckpointNow();
+  }
+  return visit;
 }
 
 void Warehouse::Tick(SimTime now) {
+  WarehouseJournal::BatchGuard batch(journal_.get());
   if (now < now_) now = now_;
   now_ = now;
   ++data_epoch_;
@@ -661,6 +703,9 @@ void Warehouse::RunConsistencyPolls(SimTime now) {
         }
       }
     }
+    // One record captures the poll's whole metadata effect (last_validated
+    // plus any refreshed version/bytes).
+    if (journal_ != nullptr) journal_->OnObjectVersion(rec);
     poll_queue_.push({now + constraints_.PollingInterval(rec.history), id});
   }
 }
@@ -780,6 +825,7 @@ void Warehouse::MaybePrefetch(SimTime now) {
         rec.cached_version = fetch.version;
         rec.bytes = obj.size_bytes;
         versions_.CaptureVersion(rid, fetch.version, now, fetch.bytes);
+        if (journal_ != nullptr) journal_->OnObjectVersion(rec);
         (void)storage_.AdmitNew(rec, boost);
       } else {
         // Promote toward memory, displacing weaker residents.
@@ -948,6 +994,7 @@ std::vector<index::ScoredDoc> Warehouse::RecommendPagesCacheConscious(
 }
 
 uint64_t Warehouse::SimulateTierFailure(storage::TierIndex tier) {
+  WarehouseJournal::BatchGuard batch(journal_.get());
   ++data_epoch_;
   ++counters_.tier_losses;
   uint64_t lost = 0;
@@ -966,6 +1013,7 @@ void Warehouse::AttachFaultInjector(fault::FaultInjector* injector) {
 }
 
 uint64_t Warehouse::RecoverTier(storage::TierIndex tier) {
+  WarehouseJournal::BatchGuard batch(journal_.get());
   ++data_epoch_;
   ++counters_.tier_recoveries;
   std::vector<StorageManager::RankedObject> ranked;
@@ -982,6 +1030,7 @@ uint64_t Warehouse::RecoverTier(storage::TierIndex tier) {
 }
 
 uint64_t Warehouse::Reconcile(SimTime now) {
+  WarehouseJournal::BatchGuard batch(journal_.get());
   if (now < now_) now = now_;
   now_ = now;
   ++data_epoch_;
@@ -1006,6 +1055,7 @@ uint64_t Warehouse::Reconcile(SimTime now) {
     rec.bytes = out.fetch.bytes;
     rec.last_validated = now_;
     versions_.CaptureVersion(rid, out.fetch.version, now_, out.fetch.bytes);
+    if (journal_ != nullptr) journal_->OnObjectVersion(rec);
     if (storage_.AdmitNew(rec, rec.effective_priority).ok()) ++restored;
   }
   return restored;
@@ -1092,6 +1142,91 @@ void Warehouse::PrintReport(std::ostream& os) const {
       static_cast<unsigned long long>(counters_.query_cache_hits +
                                       counters_.query_cache_misses),
       static_cast<unsigned long long>(counters_.prediction_cache_hits));
+}
+
+// ---------------------------------------------------------------------------
+// Crash durability
+// ---------------------------------------------------------------------------
+
+Result<RecoveryReport> Warehouse::OpenDurability() {
+  if (!options_.durability.enabled()) {
+    return Status::FailedPrecondition(
+        "durability not configured (options.durability.dir is empty)");
+  }
+  if (journal_ != nullptr) {
+    return Status::FailedPrecondition("durability already open");
+  }
+  if (!raws_.empty() || !pages_.empty() || events_processed_ != 0) {
+    return Status::FailedPrecondition(
+        "OpenDurability requires a freshly constructed warehouse");
+  }
+  auto journal = std::make_unique<WarehouseJournal>(this, options_.durability);
+  auto report = journal->Open();
+  if (!report.ok()) return report.status();
+  journal_ = std::move(journal);
+  return report;
+}
+
+Status Warehouse::CheckpointNow() {
+  if (journal_ == nullptr) {
+    return Status::FailedPrecondition("durability is not open");
+  }
+  return journal_->CheckpointNow();
+}
+
+void Warehouse::PrintDurableReport(std::ostream& os) {
+  os << "=== CBFWW durable state ===\n";
+  os << StrFormat("now=%lld events=%llu\n",
+                  static_cast<long long>(now_),
+                  static_cast<unsigned long long>(events_processed_));
+
+  std::vector<corpus::RawId> raw_ids;
+  raw_ids.reserve(raws_.size());
+  for (const auto& [id, rec] : raws_) raw_ids.push_back(id);
+  std::sort(raw_ids.begin(), raw_ids.end());
+  for (corpus::RawId id : raw_ids) {
+    const RawObjectRecord& rec = raws_.at(id);
+    os << StrFormat(
+        "raw %llu bytes=%llu ver=%u validated=%lld freq=%llu mods=%llu "
+        "shared=%u ack=%d prio=%.17g\n",
+        static_cast<unsigned long long>(rec.id),
+        static_cast<unsigned long long>(rec.bytes), rec.cached_version,
+        static_cast<long long>(rec.last_validated),
+        static_cast<unsigned long long>(rec.history.frequency()),
+        static_cast<unsigned long long>(rec.history.modification_count()),
+        rec.history.shared(), rec.acknowledged ? 1 : 0,
+        priorities_.OwnPriority(index::ObjectLevel::kRaw, id, now_));
+  }
+
+  std::vector<corpus::PageId> page_ids;
+  page_ids.reserve(pages_.size());
+  for (const auto& [id, rec] : pages_) page_ids.push_back(id);
+  std::sort(page_ids.begin(), page_ids.end());
+  for (corpus::PageId id : page_ids) {
+    const PhysicalPageRecord& rec = pages_.at(id);
+    // The vector fingerprint proves content state (TF-IDF over the DF
+    // statistics in first-contact order) was rebuilt exactly.
+    const VectorFingerprint fp = FingerprintVector(rec.vector);
+    os << StrFormat(
+        "page %llu freq=%llu mods=%llu prio=%.17g fp=%016llx%016llx\n",
+        static_cast<unsigned long long>(rec.id),
+        static_cast<unsigned long long>(rec.history.frequency()),
+        static_cast<unsigned long long>(rec.history.modification_count()),
+        priorities_.OwnPriority(index::ObjectLevel::kPhysical, id, now_),
+        static_cast<unsigned long long>(fp.lo),
+        static_cast<unsigned long long>(fp.hi));
+  }
+
+  for (storage::TierIndex t = 0; t < hierarchy_->num_tiers(); ++t) {
+    std::vector<storage::StoreObjectId> ids = hierarchy_->ObjectsAtTier(t);
+    std::sort(ids.begin(), ids.end());
+    for (storage::StoreObjectId id : ids) {
+      os << StrFormat("tier %d %llu bytes=%llu stale=%d\n", t,
+                      static_cast<unsigned long long>(id),
+                      static_cast<unsigned long long>(hierarchy_->SizeOf(id)),
+                      hierarchy_->IsStale(id, t) ? 1 : 0);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -13,6 +13,7 @@
 #include "core/constraint_manager.h"
 #include "core/continuous_query.h"
 #include "core/data_analyzer.h"
+#include "core/durability.h"
 #include "core/epoch_cache.h"
 #include "core/logical_page_manager.h"
 #include "core/object_model.h"
@@ -80,6 +81,9 @@ struct WarehouseOptions {
   TopicManager::Options topics;
   StorageManager::Options storage;
   text::SummarizerOptions summarizer;
+  /// Crash durability (WAL + checkpoints). Off unless `durability.dir` is
+  /// set; activated by OpenDurability().
+  DurabilityOptions durability;
 
   /// Enable the Topic Sensor (requires a NewsFeed).
   bool enable_topic_sensor = true;
@@ -276,6 +280,34 @@ class Warehouse : public query::QueryCatalog {
   std::vector<index::ScoredDoc> RecommendPagesCacheConscious(
       uint32_t user, size_t k, double tier_weight = 0.3) const;
 
+  // ----- Crash durability (WAL + checkpoints) -----
+
+  /// Activates durability per `options().durability` (its `dir` must be
+  /// set). On a fresh directory this writes the baseline checkpoint; on a
+  /// restart it recovers: newest checkpoint + WAL-suffix replay, torn
+  /// tails truncated. Must be called on a freshly constructed warehouse
+  /// (before any traffic) built over a fresh same-seed corpus — genesis
+  /// replay re-derives content state from the corpus. kDataLoss when the
+  /// newest checkpoint exists but is unreadable.
+  Result<RecoveryReport> OpenDurability();
+
+  /// Forces a checkpoint + WAL rotation now (also driven automatically by
+  /// `durability.checkpoint_every_events`).
+  Status CheckpointNow();
+
+  /// Writes the canonical dump of all durable state (id-sorted records,
+  /// histories, priority probes, tier placement). Two warehouses that
+  /// processed the same event prefix — whether directly or via crash
+  /// recovery — print byte-identical reports. Non-const: priority probes
+  /// advance lazy aging state (deterministically).
+  void PrintDurableReport(std::ostream& os);
+
+  /// Trace events processed via ProcessEvent (the durable event clock).
+  uint64_t events_processed() const { return events_processed_; }
+
+  /// The active journal, or nullptr when durability is off.
+  const WarehouseJournal* journal() const { return journal_.get(); }
+
   // ----- Failure injection (copy control, Section 4.4) -----
 
   /// Simulates losing an entire tier (e.g. a memory crash or a disk
@@ -467,6 +499,9 @@ class Warehouse : public query::QueryCatalog {
 
  private:
   class ContentProviderImpl;
+  /// The journal replays checkpoint/WAL records through private mutation
+  /// paths (EnsurePageRecord, record fields, hierarchy state).
+  friend class WarehouseJournal;
 
   /// 128-bit content fingerprint of a term vector — key of the
   /// similarity-prediction cache (collisions are vanishingly rare and at
@@ -588,6 +623,14 @@ class Warehouse : public query::QueryCatalog {
   EpochCache<VectorFingerprint, SemanticRegionManager::Prediction,
              VectorFingerprintHash>
       prediction_cache_{1024};
+
+  /// Durable event clock: ProcessEvent calls completed. Recovery restores
+  /// it from the last committed batch header.
+  uint64_t events_processed_ = 0;
+  /// Active durability engine (nullptr: durability off). Declared last so
+  /// it is destroyed first — it unhooks itself from hierarchy_/storage_
+  /// and closes the WAL before the components it observes go away.
+  std::unique_ptr<WarehouseJournal> journal_;
 };
 
 }  // namespace cbfww::core

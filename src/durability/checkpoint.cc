@@ -1,0 +1,86 @@
+#include "durability/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "durability/crc32c.h"
+#include "durability/record_io.h"
+
+namespace cbfww::durability {
+
+namespace {
+constexpr size_t kHeaderSize = 8 + 4 + 8 + 4;  // magic, version, len, crc.
+}  // namespace
+
+Status WriteCheckpointAtomic(const std::string& path, std::string_view payload,
+                             uint32_t version) {
+  RecordWriter header;
+  header.PutBytes(kCheckpointMagic, sizeof(kCheckpointMagic));
+  header.PutU32(version);
+  header.PutU64(payload.size());
+  header.PutU32(MaskCrc(Crc32c(payload.data(), payload.size())));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot create checkpoint temp '" + tmp + "'");
+    }
+    out.write(header.buffer().data(),
+              static_cast<std::streamsize>(header.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      return Status::Internal("cannot write checkpoint temp '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot rename checkpoint '" + tmp + "' -> '" +
+                            path + "': " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Result<CheckpointData> ReadCheckpoint(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    return Status::NotFound("no checkpoint at '" + path + "'");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::DataLoss("cannot open checkpoint '" + path + "'");
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::DataLoss("cannot read checkpoint '" + path + "'");
+
+  if (contents.size() < kHeaderSize ||
+      std::memcmp(contents.data(), kCheckpointMagic,
+                  sizeof(kCheckpointMagic)) != 0) {
+    return Status::DataLoss("checkpoint '" + path + "' has a corrupt header");
+  }
+  RecordReader reader(
+      std::string_view(contents).substr(sizeof(kCheckpointMagic)));
+  uint32_t version = 0;
+  uint64_t payload_len = 0;
+  uint32_t masked_crc = 0;
+  reader.GetU32(&version);
+  reader.GetU64(&payload_len);
+  reader.GetU32(&masked_crc);
+  if (contents.size() - kHeaderSize != payload_len) {
+    return Status::DataLoss("checkpoint '" + path +
+                            "' payload length mismatch");
+  }
+  const char* payload = contents.data() + kHeaderSize;
+  if (Crc32c(payload, payload_len) != UnmaskCrc(masked_crc)) {
+    return Status::DataLoss("checkpoint '" + path + "' failed its CRC");
+  }
+  CheckpointData data;
+  data.version = version;
+  data.payload.assign(payload, payload_len);
+  return data;
+}
+
+}  // namespace cbfww::durability

@@ -1,0 +1,42 @@
+#ifndef CBFWW_DURABILITY_CHECKPOINT_H_
+#define CBFWW_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cbfww::durability {
+
+/// Checkpoint file layout:
+///   magic "CBWWCKP1" (8 bytes)
+///   u32 version
+///   u64 payload_len
+///   u32 masked_crc32c(payload)
+///   payload
+/// Unlike the WAL, a checkpoint is all-or-nothing: it is written to a
+/// temporary file and renamed into place, so a readable checkpoint that
+/// fails validation means real corruption (kDataLoss), not a torn write.
+inline constexpr char kCheckpointMagic[8] = {'C', 'B', 'W', 'W',
+                                             'C', 'K', 'P', '1'};
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// Writes `payload` atomically: `<path>.tmp` then rename onto `path`.
+Status WriteCheckpointAtomic(const std::string& path, std::string_view payload,
+                             uint32_t version = kCheckpointVersion);
+
+struct CheckpointData {
+  uint32_t version = 0;
+  std::string payload;
+};
+
+/// Reads and validates a checkpoint. kNotFound when the file is absent;
+/// kDataLoss for any file that exists but fails validation (bad magic,
+/// short header, length mismatch, bad CRC).
+Result<CheckpointData> ReadCheckpoint(const std::string& path);
+
+}  // namespace cbfww::durability
+
+#endif  // CBFWW_DURABILITY_CHECKPOINT_H_

@@ -1,0 +1,26 @@
+#ifndef CBFWW_DURABILITY_CRC32C_H_
+#define CBFWW_DURABILITY_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cbfww::durability {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+/// checksum framing every WAL record and checkpoint payload. Software
+/// slicing-by-4 implementation; no hardware dependency.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+/// Masked CRC in the LevelDB/RocksDB style: storing the CRC of data that
+/// itself embeds CRCs is error-prone, so framed files store Mask(crc).
+constexpr uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+constexpr uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace cbfww::durability
+
+#endif  // CBFWW_DURABILITY_CRC32C_H_

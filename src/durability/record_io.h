@@ -1,0 +1,96 @@
+#ifndef CBFWW_DURABILITY_RECORD_IO_H_
+#define CBFWW_DURABILITY_RECORD_IO_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace cbfww::durability {
+
+/// Append-only little-endian byte encoder for WAL records and checkpoint
+/// payloads. Fixed-width fields only: the formats are versioned at the
+/// file level, not self-describing.
+class RecordWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutLE(v); }
+  void PutU64(uint64_t v) { PutLE(v); }
+  void PutI64(int64_t v) { PutLE(static_cast<uint64_t>(v)); }
+  void PutF64(double v) { PutLE(std::bit_cast<uint64_t>(v)); }
+  void PutBytes(const void* data, size_t len) {
+    buf_.append(static_cast<const char*>(data), len);
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string&& TakeBuffer() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+  bool empty() const { return buf_.empty(); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  template <typename T>
+  void PutLE(T v) {
+    char bytes[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+    buf_.append(bytes, sizeof(T));
+  }
+
+  std::string buf_;
+};
+
+/// Matching decoder. All Get* methods return false (and leave the output
+/// untouched) on underrun, so torn records surface as a clean failure
+/// instead of UB.
+class RecordReader {
+ public:
+  explicit RecordReader(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* out) {
+    if (pos_ + 1 > data_.size()) return false;
+    *out = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool GetU32(uint32_t* out) { return GetLE(out); }
+  bool GetU64(uint64_t* out) { return GetLE(out); }
+  bool GetI64(int64_t* out) {
+    uint64_t raw = 0;
+    if (!GetLE(&raw)) return false;
+    *out = static_cast<int64_t>(raw);
+    return true;
+  }
+  bool GetF64(double* out) {
+    uint64_t raw = 0;
+    if (!GetLE(&raw)) return false;
+    *out = std::bit_cast<double>(raw);
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  template <typename T>
+  bool GetLE(T* out) {
+    if (pos_ + sizeof(T) > data_.size()) return false;
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += sizeof(T);
+    *out = v;
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace cbfww::durability
+
+#endif  // CBFWW_DURABILITY_RECORD_IO_H_

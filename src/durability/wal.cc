@@ -1,0 +1,142 @@
+#include "durability/wal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "durability/crc32c.h"
+
+namespace cbfww::durability {
+
+namespace {
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " '" + path + "': " + std::strerror(errno));
+}
+
+void PutU32LE(char* out, uint32_t v) {
+  out[0] = static_cast<char>(v & 0xFF);
+  out[1] = static_cast<char>((v >> 8) & 0xFF);
+  out[2] = static_cast<char>((v >> 16) & 0xFF);
+  out[3] = static_cast<char>((v >> 24) & 0xFF);
+}
+
+uint32_t GetU32LE(const char* in) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(in[0])) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(in[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(in[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(in[3])) << 24);
+}
+
+}  // namespace
+
+WalWriter::~WalWriter() { Close(); }
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status WalWriter::Create(const std::string& path) {
+  Close();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IoError("cannot create WAL", path);
+  if (std::fwrite(kWalMagic, 1, kWalMagicSize, f) != kWalMagicSize ||
+      std::fflush(f) != 0) {
+    std::fclose(f);
+    return IoError("cannot write WAL magic", path);
+  }
+  file_ = f;
+  path_ = path;
+  size_bytes_ = kWalMagicSize;
+  return Status::Ok();
+}
+
+Status WalWriter::OpenTruncated(const std::string& path, uint64_t valid_bytes) {
+  Close();
+  if (valid_bytes < kWalMagicSize) return Create(path);
+  std::error_code ec;
+  std::filesystem::resize_file(path, valid_bytes, ec);
+  if (ec) {
+    return Status::Internal("cannot truncate WAL '" + path +
+                            "': " + ec.message());
+  }
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return IoError("cannot reopen WAL", path);
+  file_ = f;
+  path_ = path;
+  size_bytes_ = valid_bytes;
+  return Status::Ok();
+}
+
+Status WalWriter::AppendFrame(std::string_view payload) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("WAL writer is not open");
+  }
+  if (payload.size() > kWalMaxFrameBytes) {
+    return Status::InvalidArgument("WAL frame exceeds the size limit");
+  }
+  char header[kWalFrameHeaderSize];
+  PutU32LE(header, static_cast<uint32_t>(payload.size()));
+  PutU32LE(header + 4, MaskCrc(Crc32c(payload.data(), payload.size())));
+  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header) ||
+      (!payload.empty() &&
+       std::fwrite(payload.data(), 1, payload.size(), file_) !=
+           payload.size()) ||
+      std::fflush(file_) != 0) {
+    return IoError("cannot append WAL frame", path_);
+  }
+  size_bytes_ += sizeof(header) + payload.size();
+  return Status::Ok();
+}
+
+Status ScanWal(const std::string& path, WalScan* out) {
+  *out = WalScan{};
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no WAL at '" + path + "'");
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (in.bad()) return IoError("cannot read WAL", path);
+
+  if (contents.size() < kWalMagicSize ||
+      std::memcmp(contents.data(), kWalMagic, kWalMagicSize) != 0) {
+    // Unrecognizable header: nothing before offset 0 was ever acknowledged,
+    // so treat as an empty (to-be-recreated) log rather than data loss.
+    out->valid_bytes = 0;
+    out->clean = false;
+    return Status::Ok();
+  }
+
+  size_t pos = kWalMagicSize;
+  out->valid_bytes = pos;
+  out->clean = true;
+  while (pos < contents.size()) {
+    if (contents.size() - pos < kWalFrameHeaderSize) {
+      out->clean = false;  // Torn header.
+      break;
+    }
+    const uint32_t len = GetU32LE(contents.data() + pos);
+    const uint32_t stored_crc = UnmaskCrc(GetU32LE(contents.data() + pos + 4));
+    if (len > kWalMaxFrameBytes ||
+        contents.size() - pos - kWalFrameHeaderSize < len) {
+      out->clean = false;  // Corrupt length or torn payload.
+      break;
+    }
+    const char* payload = contents.data() + pos + kWalFrameHeaderSize;
+    if (Crc32c(payload, len) != stored_crc) {
+      out->clean = false;  // Corrupt payload (or corrupt stored CRC).
+      break;
+    }
+    out->frames.emplace_back(payload, len);
+    pos += kWalFrameHeaderSize + len;
+    out->valid_bytes = pos;
+  }
+  return Status::Ok();
+}
+
+}  // namespace cbfww::durability

@@ -1,0 +1,78 @@
+#ifndef CBFWW_DURABILITY_WAL_H_
+#define CBFWW_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cbfww::durability {
+
+/// On-disk WAL layout: an 8-byte magic ("CBWWWAL1") followed by frames of
+///   [u32 payload_len][u32 masked_crc32c(payload)][payload]
+/// appended strictly in order. One frame holds every record of one
+/// warehouse batch (typically one ProcessEvent), so a torn or corrupt tail
+/// always truncates to an event boundary.
+inline constexpr char kWalMagic[8] = {'C', 'B', 'W', 'W', 'W', 'A', 'L', '1'};
+inline constexpr size_t kWalMagicSize = sizeof(kWalMagic);
+inline constexpr size_t kWalFrameHeaderSize = 8;
+/// Frames above this are rejected on read as corrupt length fields (no
+/// legitimate batch comes close; a flipped length byte must not trigger a
+/// multi-GB allocation).
+inline constexpr uint32_t kWalMaxFrameBytes = 256u * 1024 * 1024;
+
+/// Appender. Writes are buffered by stdio and flushed after every frame —
+/// the process-crash model in this simulator is "everything flushed
+/// survives, the tail may be torn", which the reader repairs.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Creates (truncating) a fresh WAL containing only the magic.
+  Status Create(const std::string& path);
+
+  /// Opens an existing WAL for append after discarding everything past
+  /// `valid_bytes` (the reader's verified prefix). A prefix shorter than
+  /// the magic re-creates the file.
+  Status OpenTruncated(const std::string& path, uint64_t valid_bytes);
+
+  /// Appends one CRC-framed payload and flushes.
+  Status AppendFrame(std::string_view payload);
+
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+  /// Total file size (magic + all frames) after the last append.
+  uint64_t size_bytes() const { return size_bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t size_bytes_ = 0;
+};
+
+/// Result of scanning a WAL file tolerantly.
+struct WalScan {
+  /// Payloads of every frame in the verified prefix, in append order.
+  std::vector<std::string> frames;
+  /// Byte length of the verified prefix (where appending may resume).
+  uint64_t valid_bytes = 0;
+  /// False when the file ended mid-frame, failed a CRC, or had a bad
+  /// magic — i.e. recovery truncated a torn/corrupt tail.
+  bool clean = true;
+};
+
+/// Reads every intact frame, stopping at the first short or corrupt one
+/// (torn-write tolerance). A missing file returns kNotFound; any readable
+/// file — even fully corrupt — returns OK with the frames that survived.
+Status ScanWal(const std::string& path, WalScan* out);
+
+}  // namespace cbfww::durability
+
+#endif  // CBFWW_DURABILITY_WAL_H_

@@ -1,0 +1,118 @@
+#include "fault/crash_point.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace cbfww::fault {
+
+std::string_view CrashEffectName(CrashEffect effect) {
+  switch (effect) {
+    case CrashEffect::kTruncate:
+      return "truncate";
+    case CrashEffect::kCorruptByte:
+      return "corrupt-byte";
+    case CrashEffect::kZeroRange:
+      return "zero-range";
+  }
+  return "unknown";
+}
+
+CrashSchedule CrashSchedule::Generate(uint64_t seed,
+                                      const CrashScheduleOptions& options) {
+  CrashSchedule schedule;
+  if (options.total_events == 0 || options.num_crashes == 0) return schedule;
+  Pcg32 rng(seed, /*stream=*/0xC4A54);
+  uint64_t lo = std::min(options.min_event, options.total_events);
+  schedule.points.reserve(options.num_crashes);
+  for (uint32_t i = 0; i < options.num_crashes; ++i) {
+    CrashPoint point;
+    point.event_index = static_cast<uint64_t>(
+        rng.NextInt(static_cast<int64_t>(lo),
+                    static_cast<int64_t>(options.total_events)));
+    point.offset_fraction = rng.NextDouble();
+    switch (rng.NextBounded(3)) {
+      case 0:
+        point.effect = CrashEffect::kTruncate;
+        break;
+      case 1:
+        point.effect = CrashEffect::kCorruptByte;
+        break;
+      default:
+        point.effect = CrashEffect::kZeroRange;
+        point.zero_len = 1 + rng.NextBounded(64);
+        break;
+    }
+    schedule.points.push_back(point);
+  }
+  std::sort(schedule.points.begin(), schedule.points.end(),
+            [](const CrashPoint& a, const CrashPoint& b) {
+              if (a.event_index != b.event_index) {
+                return a.event_index < b.event_index;
+              }
+              return a.offset_fraction < b.offset_fraction;
+            });
+  return schedule;
+}
+
+std::string CrashSchedule::ToString() const {
+  std::string out;
+  for (const CrashPoint& point : points) {
+    out += StrFormat("crash @%llu event: %s at %.3f",
+                     static_cast<unsigned long long>(point.event_index),
+                     std::string(CrashEffectName(point.effect)).c_str(),
+                     point.offset_fraction);
+    if (point.effect == CrashEffect::kZeroRange) {
+      out += StrFormat(" (%u bytes)", point.zero_len);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status ApplyCrash(const std::string& path, const CrashPoint& point) {
+  std::error_code ec;
+  uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::NotFound("crash target missing: " + path);
+  double fraction = std::clamp(point.offset_fraction, 0.0, 1.0);
+  uint64_t offset = static_cast<uint64_t>(fraction * static_cast<double>(size));
+  if (offset > size) offset = size;
+
+  if (point.effect == CrashEffect::kTruncate) {
+    std::filesystem::resize_file(path, offset, ec);
+    if (ec) return Status::Internal("truncate failed: " + path);
+    return Status::Ok();
+  }
+  if (offset >= size) return Status::Ok();  // Damage past the end: no-op.
+
+  FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return Status::Internal("cannot reopen: " + path);
+  Status status = Status::Ok();
+  if (point.effect == CrashEffect::kCorruptByte) {
+    unsigned char byte = 0;
+    if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0 ||
+        std::fread(&byte, 1, 1, f) != 1) {
+      status = Status::Internal("read failed: " + path);
+    } else {
+      byte ^= 0x5A;
+      if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0 ||
+          std::fwrite(&byte, 1, 1, f) != 1) {
+        status = Status::Internal("write failed: " + path);
+      }
+    }
+  } else {  // kZeroRange
+    uint64_t len = std::min<uint64_t>(point.zero_len, size - offset);
+    std::string zeros(static_cast<size_t>(len), '\0');
+    if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0 ||
+        std::fwrite(zeros.data(), 1, zeros.size(), f) != zeros.size()) {
+      status = Status::Internal("zero-range failed: " + path);
+    }
+  }
+  std::fclose(f);
+  return status;
+}
+
+}  // namespace cbfww::fault

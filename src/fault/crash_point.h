@@ -1,0 +1,70 @@
+#ifndef CBFWW_FAULT_CRASH_POINT_H_
+#define CBFWW_FAULT_CRASH_POINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cbfww::fault {
+
+/// How a crash mangles the durability log it interrupted. Models what real
+/// filesystems leave behind when power dies mid-append.
+enum class CrashEffect {
+  /// The tail past the crash offset never reached the platter.
+  kTruncate,
+  /// One sector arm twitch: a single byte at the crash offset flips.
+  kCorruptByte,
+  /// A partially-written sector reads back as zeroes from the crash
+  /// offset onward.
+  kZeroRange,
+};
+
+std::string_view CrashEffectName(CrashEffect effect);
+
+/// One scheduled crash: kill the workload after `event_index` processed
+/// events, then apply `effect` to the WAL at `offset_fraction` of its
+/// length. Recovery must survive whatever is left.
+struct CrashPoint {
+  /// Crash lands after this many processed trace events.
+  uint64_t event_index = 0;
+  /// Where in the surviving file the damage starts, as a fraction of its
+  /// size in [0, 1]. 1.0 with kTruncate is a no-op crash (clean file).
+  double offset_fraction = 1.0;
+  CrashEffect effect = CrashEffect::kTruncate;
+  /// Bytes zeroed by kZeroRange (clamped to the file end).
+  uint32_t zero_len = 0;
+};
+
+/// Knobs of CrashSchedule::Generate.
+struct CrashScheduleOptions {
+  /// Workload length; crash indices are drawn from [min_event,
+  /// total_events].
+  uint64_t total_events = 0;
+  uint32_t num_crashes = 10;
+  uint64_t min_event = 1;
+};
+
+/// A deterministic crash schedule: points sorted by event_index. Equal
+/// seeds and options generate identical schedules, so a failing matrix
+/// cell reproduces from (seed, cell index) alone.
+struct CrashSchedule {
+  std::vector<CrashPoint> points;
+
+  static CrashSchedule Generate(uint64_t seed,
+                                const CrashScheduleOptions& options);
+
+  /// Deterministic human-readable rendering (matrix reports).
+  std::string ToString() const;
+};
+
+/// Applies the crash effect to `path` in place (file surgery after the
+/// process "died"). NotFound when the file does not exist; kTruncate of an
+/// empty file and damage offsets past the end are harmless no-ops.
+Status ApplyCrash(const std::string& path, const CrashPoint& point);
+
+}  // namespace cbfww::fault
+
+#endif  // CBFWW_FAULT_CRASH_POINT_H_

@@ -45,6 +45,9 @@ Status StorageHierarchy::Store(StoreObjectId id, uint64_t bytes,
   if (res.tier_mask & bit) {
     // Refresh existing copy.
     res.stale_mask &= ~bit;
+    if (placement_listener_ != nullptr) {
+      placement_listener_->OnStore(id, res.bytes, tier);
+    }
     return Status::Ok();
   }
   const DeviceModel& dev = tiers_[tier];
@@ -67,6 +70,9 @@ Status StorageHierarchy::Store(StoreObjectId id, uint64_t bytes,
   res.stale_mask &= ~bit;
   used_bytes_[tier] += bytes;
   ++resident_count_[tier];
+  if (placement_listener_ != nullptr) {
+    placement_listener_->OnStore(id, bytes, tier);
+  }
   return Status::Ok();
 }
 
@@ -85,20 +91,29 @@ Status StorageHierarchy::Evict(StoreObjectId id, TierIndex tier) {
   --resident_count_[tier];
   ++stats_.evictions;
   if (it->second.tier_mask == 0) objects_.erase(it);
+  if (placement_listener_ != nullptr) {
+    placement_listener_->OnEvict(id, tier);
+  }
   return Status::Ok();
 }
 
 void StorageHierarchy::EvictAll(StoreObjectId id) {
   auto it = objects_.find(id);
   if (it == objects_.end()) return;
+  const uint32_t mask = it->second.tier_mask;
   for (TierIndex t = 0; t < num_tiers(); ++t) {
-    if (it->second.tier_mask & (1u << t)) {
+    if (mask & (1u << t)) {
       used_bytes_[t] -= it->second.bytes;
       --resident_count_[t];
       ++stats_.evictions;
     }
   }
   objects_.erase(it);
+  if (placement_listener_ != nullptr) {
+    for (TierIndex t = 0; t < num_tiers(); ++t) {
+      if (mask & (1u << t)) placement_listener_->OnEvict(id, t);
+    }
+  }
 }
 
 bool StorageHierarchy::IsResident(StoreObjectId id, TierIndex tier) const {
@@ -180,6 +195,9 @@ Status StorageHierarchy::Migrate(StoreObjectId id, TierIndex dst,
           --resident_count_[t];
           it->second.tier_mask &= ~(1u << t);
           it->second.stale_mask &= ~(1u << t);
+          if (placement_listener_ != nullptr) {
+            placement_listener_->OnEvict(id, t);
+          }
         }
       }
     }
@@ -197,6 +215,9 @@ Status StorageHierarchy::Migrate(StoreObjectId id, TierIndex dst,
         --resident_count_[t];
         it->second.tier_mask &= ~(1u << t);
         it->second.stale_mask &= ~(1u << t);
+        if (placement_listener_ != nullptr) {
+          placement_listener_->OnEvict(id, t);
+        }
       }
     }
   }
@@ -211,6 +232,9 @@ Status StorageHierarchy::MarkStale(StoreObjectId id, TierIndex tier) {
     return Status::NotFound("no copy at tier");
   }
   it->second.stale_mask |= bit;
+  if (placement_listener_ != nullptr) {
+    placement_listener_->OnMarkStale(id, tier);
+  }
   return Status::Ok();
 }
 

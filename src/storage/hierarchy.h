@@ -48,6 +48,20 @@ class DeviceFaultPolicy {
   virtual DeviceFaultDecision OnDeviceAccess(DeviceOp op, TierIndex tier) = 0;
 };
 
+/// Observer of successful residency mutations — the single choke point the
+/// durability journal uses to capture tier placement without the storage
+/// layer depending on core or durability. Refreshing an existing copy
+/// (Store on a resident tier, which clears its stale mark) also notifies
+/// OnStore; Migrate reports its internal Store/copy-drops through the same
+/// three callbacks.
+class PlacementListener {
+ public:
+  virtual ~PlacementListener() = default;
+  virtual void OnStore(StoreObjectId id, uint64_t bytes, TierIndex tier) = 0;
+  virtual void OnEvict(StoreObjectId id, TierIndex tier) = 0;
+  virtual void OnMarkStale(StoreObjectId id, TierIndex tier) = 0;
+};
+
 /// Simulated multi-level store with per-tier capacity accounting, copy
 /// control, and migration cost tracking (paper Sections 4.3-4.4; the
 /// multi-level-store lineage is Stonebraker SIGMOD'91).
@@ -149,6 +163,13 @@ class StorageHierarchy {
   void set_fault_policy(DeviceFaultPolicy* policy) { fault_policy_ = policy; }
   DeviceFaultPolicy* fault_policy() const { return fault_policy_; }
 
+  /// Installs (or clears, with nullptr) the placement observer. Not owned;
+  /// must outlive the hierarchy or be cleared first.
+  void set_placement_listener(PlacementListener* listener) {
+    placement_listener_ = listener;
+  }
+  PlacementListener* placement_listener() const { return placement_listener_; }
+
   /// Options of CheckInvariants.
   struct InvariantOptions {
     /// Require the copy-control rule: every copy at a non-bottom tier is
@@ -187,6 +208,7 @@ class StorageHierarchy {
   std::vector<uint64_t> resident_count_;
   Stats stats_;
   DeviceFaultPolicy* fault_policy_ = nullptr;
+  PlacementListener* placement_listener_ = nullptr;
 };
 
 }  // namespace cbfww::storage

@@ -25,6 +25,10 @@ enum class StatusCode {
   kUnavailable,
   /// A retry/deadline budget expired before the operation succeeded.
   kDeadlineExceeded,
+  /// Unrecoverable loss of durable state (e.g. a checkpoint file that
+  /// exists but fails its CRC). Distinct from the torn-tail WAL case,
+  /// which recovery repairs by truncating and continuing.
+  kDataLoss,
 };
 
 /// Returns the canonical name of a status code, e.g. "NotFound".
@@ -78,6 +82,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,654 @@
+// Crash-durability harness (WAL + checkpoints + seeded crash points):
+// replays workloads through a journaled warehouse, kills it at scheduled
+// crash points with filesystem-realistic damage (torn tails, flipped
+// bytes, zeroed sectors), recovers, and asserts the durability contract:
+//  - recovery is deterministic (recovering twice yields identical state),
+//  - the recovered warehouse is byte-identical (durable report) to a
+//    never-crashed oracle over the same event prefix,
+//  - no acknowledged object is lost (log-before-ack),
+//  - the data epoch after recovery is strictly above anything the
+//    pre-crash run published, so stale cached results can never validate,
+//  - a cluster recovers shard-by-shard from per-shard logs.
+// The full 3-seed x 10-crash-point matrix lives in durability_soak_test
+// (label: slow); this file keeps a fast slice of every property.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/warehouse_cluster.h"
+#include "core/warehouse.h"
+#include "corpus/web_corpus.h"
+#include "durability/checkpoint.h"
+#include "durability/crc32c.h"
+#include "durability/record_io.h"
+#include "durability/wal.h"
+#include "fault/crash_point.h"
+#include "net/origin_server.h"
+#include "trace/workload.h"
+#include "util/clock.h"
+
+namespace cbfww {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Durability primitives: CRC, records, WAL, checkpoint
+// ---------------------------------------------------------------------------
+
+TEST(Crc32cTest, KnownVectorAndMaskRoundtrip) {
+  // The standard CRC-32C check value.
+  EXPECT_EQ(durability::Crc32c("123456789", 9), 0xE3069283u);
+  // Empty input.
+  EXPECT_EQ(durability::Crc32c("", 0), 0u);
+  // Incremental == one-shot.
+  uint32_t inc = durability::Crc32c("12345", 5);
+  inc = durability::Crc32c("6789", 4, inc);
+  EXPECT_EQ(inc, 0xE3069283u);
+  for (uint32_t crc : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu}) {
+    EXPECT_EQ(durability::UnmaskCrc(durability::MaskCrc(crc)), crc);
+  }
+}
+
+TEST(RecordIoTest, RoundtripAllTypes) {
+  durability::RecordWriter w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI64(-42);
+  w.PutF64(3.14159265358979);
+  w.PutF64(-0.0);
+
+  durability::RecordReader r(w.buffer());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double f64 = 0;
+  ASSERT_TRUE(r.GetU8(&u8));
+  EXPECT_EQ(u8, 0xAB);
+  ASSERT_TRUE(r.GetU32(&u32));
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  ASSERT_TRUE(r.GetU64(&u64));
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  ASSERT_TRUE(r.GetI64(&i64));
+  EXPECT_EQ(i64, -42);
+  ASSERT_TRUE(r.GetF64(&f64));
+  EXPECT_DOUBLE_EQ(f64, 3.14159265358979);
+  ASSERT_TRUE(r.GetF64(&f64));
+  EXPECT_EQ(f64, 0.0);
+  EXPECT_TRUE(std::signbit(f64));
+  EXPECT_TRUE(r.AtEnd());
+  // Underrun is reported, not UB.
+  EXPECT_FALSE(r.GetU64(&u64));
+}
+
+TEST(WalTest, AppendScanRoundtrip) {
+  std::string path = testing::TempDir() + "/wal_roundtrip.wal";
+  fs::remove(path);
+  durability::WalWriter w;
+  ASSERT_TRUE(w.Create(path).ok());
+  ASSERT_TRUE(w.AppendFrame("alpha").ok());
+  ASSERT_TRUE(w.AppendFrame("").ok());  // Header-only frames are legal.
+  ASSERT_TRUE(w.AppendFrame("gamma-gamma").ok());
+  w.Close();
+
+  durability::WalScan scan;
+  ASSERT_TRUE(durability::ScanWal(path, &scan).ok());
+  EXPECT_TRUE(scan.clean);
+  ASSERT_EQ(scan.frames.size(), 3u);
+  EXPECT_EQ(scan.frames[0], "alpha");
+  EXPECT_EQ(scan.frames[1], "");
+  EXPECT_EQ(scan.frames[2], "gamma-gamma");
+  EXPECT_EQ(scan.valid_bytes, fs::file_size(path));
+}
+
+TEST(WalTest, TornTailIsTruncatedAndAppendResumes) {
+  std::string path = testing::TempDir() + "/wal_torn.wal";
+  fs::remove(path);
+  durability::WalWriter w;
+  ASSERT_TRUE(w.Create(path).ok());
+  ASSERT_TRUE(w.AppendFrame("first").ok());
+  ASSERT_TRUE(w.AppendFrame("second-record").ok());
+  w.Close();
+
+  // Tear the last frame: chop 3 bytes off the file.
+  fs::resize_file(path, fs::file_size(path) - 3);
+  durability::WalScan scan;
+  ASSERT_TRUE(durability::ScanWal(path, &scan).ok());
+  EXPECT_FALSE(scan.clean);
+  ASSERT_EQ(scan.frames.size(), 1u);
+  EXPECT_EQ(scan.frames[0], "first");
+
+  // Reopen at the valid prefix and keep appending: the torn bytes vanish.
+  ASSERT_TRUE(w.OpenTruncated(path, scan.valid_bytes).ok());
+  ASSERT_TRUE(w.AppendFrame("third").ok());
+  w.Close();
+  durability::WalScan rescan;
+  ASSERT_TRUE(durability::ScanWal(path, &rescan).ok());
+  EXPECT_TRUE(rescan.clean);
+  ASSERT_EQ(rescan.frames.size(), 2u);
+  EXPECT_EQ(rescan.frames[1], "third");
+}
+
+TEST(WalTest, CorruptPayloadStopsScanAtLastGoodFrame) {
+  std::string path = testing::TempDir() + "/wal_corrupt.wal";
+  fs::remove(path);
+  durability::WalWriter w;
+  ASSERT_TRUE(w.Create(path).ok());
+  ASSERT_TRUE(w.AppendFrame("good-frame").ok());
+  uint64_t good_bytes = w.size_bytes();
+  ASSERT_TRUE(w.AppendFrame("bad-frame!").ok());
+  w.Close();
+
+  fault::CrashPoint flip;
+  flip.effect = fault::CrashEffect::kCorruptByte;
+  flip.offset_fraction =
+      (static_cast<double>(good_bytes) + 10.0) / fs::file_size(path);
+  ASSERT_TRUE(fault::ApplyCrash(path, flip).ok());
+
+  durability::WalScan scan;
+  ASSERT_TRUE(durability::ScanWal(path, &scan).ok());
+  EXPECT_FALSE(scan.clean);
+  ASSERT_EQ(scan.frames.size(), 1u);
+  EXPECT_EQ(scan.frames[0], "good-frame");
+  EXPECT_EQ(scan.valid_bytes, good_bytes);
+}
+
+TEST(WalTest, MissingFileIsNotFound) {
+  durability::WalScan scan;
+  Status s = durability::ScanWal(testing::TempDir() + "/nope.wal", &scan);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, AtomicWriteReadRoundtrip) {
+  std::string path = testing::TempDir() + "/ckpt_roundtrip.ckpt";
+  fs::remove(path);
+  std::string payload(10000, '\x5C');
+  ASSERT_TRUE(durability::WriteCheckpointAtomic(path, payload).ok());
+  auto read = durability::ReadCheckpoint(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->version, durability::kCheckpointVersion);
+  EXPECT_EQ(read->payload, payload);
+}
+
+TEST(CheckpointTest, CorruptCheckpointIsDataLossMissingIsNotFound) {
+  std::string path = testing::TempDir() + "/ckpt_corrupt.ckpt";
+  fs::remove(path);
+  EXPECT_EQ(durability::ReadCheckpoint(path).status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(durability::WriteCheckpointAtomic(path, "payload-bytes").ok());
+  fault::CrashPoint flip;
+  flip.effect = fault::CrashEffect::kCorruptByte;
+  flip.offset_fraction = 0.9;
+  ASSERT_TRUE(fault::ApplyCrash(path, flip).ok());
+  // A checkpoint is all-or-nothing: any damage is data loss, never a
+  // silent partial load.
+  EXPECT_EQ(durability::ReadCheckpoint(path).status().code(),
+            StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// Crash scheduling
+// ---------------------------------------------------------------------------
+
+TEST(CrashScheduleTest, GenerateIsDeterministicAndSorted) {
+  fault::CrashScheduleOptions opts;
+  opts.total_events = 500;
+  opts.num_crashes = 12;
+  fault::CrashSchedule a = fault::CrashSchedule::Generate(42, opts);
+  fault::CrashSchedule b = fault::CrashSchedule::Generate(42, opts);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_NE(a.ToString(), fault::CrashSchedule::Generate(43, opts).ToString());
+  ASSERT_EQ(a.points.size(), 12u);
+  for (size_t i = 1; i < a.points.size(); ++i) {
+    EXPECT_LE(a.points[i - 1].event_index, a.points[i].event_index);
+  }
+  for (const fault::CrashPoint& p : a.points) {
+    EXPECT_GE(p.event_index, 1u);
+    EXPECT_LE(p.event_index, 500u);
+    EXPECT_GE(p.offset_fraction, 0.0);
+    EXPECT_LT(p.offset_fraction, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Warehouse-level recovery rig
+// ---------------------------------------------------------------------------
+
+struct DurabilityKnobs {
+  uint64_t corpus_seed = 77;
+  uint64_t workload_seed = 5;
+  /// 0: explicit checkpoints only.
+  uint64_t checkpoint_every_events = 0;
+};
+
+corpus::CorpusOptions RigCorpusOptions(const DurabilityKnobs& k) {
+  corpus::CorpusOptions copts;
+  copts.num_sites = 2;
+  copts.pages_per_site = 40;
+  copts.seed = k.corpus_seed;
+  return copts;
+}
+
+core::WarehouseOptions RigWarehouseOptions(const DurabilityKnobs& k,
+                                           const std::string& dir) {
+  core::WarehouseOptions wopts;
+  wopts.memory_bytes = 2ull * 1024 * 1024;
+  wopts.disk_bytes = 64ull * 1024 * 1024;
+  wopts.durability.dir = dir;  // Empty: durability off.
+  wopts.durability.checkpoint_every_events = k.checkpoint_every_events;
+  return wopts;
+}
+
+struct Rig {
+  std::unique_ptr<corpus::WebCorpus> corpus;
+  std::unique_ptr<net::OriginServer> origin;
+  std::unique_ptr<core::Warehouse> wh;
+  core::RecoveryReport recovery;
+};
+
+/// Builds a warehouse over a fresh same-seed corpus. With `dir` set the
+/// journal is opened (recover-or-init) before any traffic.
+Rig MakeRig(const DurabilityKnobs& k, const std::string& dir) {
+  Rig rig;
+  rig.corpus = std::make_unique<corpus::WebCorpus>(RigCorpusOptions(k));
+  rig.origin = std::make_unique<net::OriginServer>(rig.corpus.get(),
+                                                   net::NetworkModel());
+  rig.wh = std::make_unique<core::Warehouse>(
+      rig.corpus.get(), rig.origin.get(), nullptr,
+      RigWarehouseOptions(k, dir));
+  if (!dir.empty()) {
+    auto report = rig.wh->OpenDurability();
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    if (report.ok()) rig.recovery = *report;
+  }
+  return rig;
+}
+
+std::vector<trace::TraceEvent> RigTrace(const DurabilityKnobs& k) {
+  corpus::WebCorpus corpus(RigCorpusOptions(k));
+  trace::WorkloadOptions w;
+  w.horizon = 2 * kHour;
+  w.sessions_per_hour = 40;
+  w.modifications_per_hour = 12;
+  w.seed = k.workload_seed;
+  trace::WorkloadGenerator gen(&corpus, nullptr, w);
+  return gen.Generate();
+}
+
+std::string DurableReport(core::Warehouse& wh) {
+  std::ostringstream os;
+  wh.PrintDurableReport(os);
+  return os.str();
+}
+
+/// The single live WAL file under `dir` (exactly one after a run).
+std::string FindWal(const std::string& dir) {
+  std::string found;
+  int count = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().find(".wal.") != std::string::npos) {
+      found = entry.path().string();
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 1) << "expected exactly one WAL in " << dir;
+  return found;
+}
+
+/// Fresh subdirectory under the test temp dir.
+std::string FreshDir(const std::string& tag) {
+  std::string dir = testing::TempDir() + "/dur_" + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(DurabilityTest, FreshBootWritesBaselinePair) {
+  DurabilityKnobs k;
+  std::string dir = FreshDir("fresh_boot");
+  Rig rig = MakeRig(k, dir);
+  EXPECT_FALSE(rig.recovery.recovered);
+  EXPECT_EQ(rig.recovery.checkpoint_seq, 1u);
+  EXPECT_TRUE(fs::exists(dir + "/warehouse.ckpt.1"));
+  EXPECT_TRUE(fs::exists(dir + "/warehouse.wal.1"));
+  EXPECT_NE(rig.wh->journal(), nullptr);
+}
+
+TEST(DurabilityTest, OpeningTwiceOrLateIsRejected) {
+  DurabilityKnobs k;
+  Rig rig = MakeRig(k, FreshDir("double_open"));
+  EXPECT_FALSE(rig.wh->OpenDurability().ok());  // Already open.
+  Rig off = MakeRig(k, "");
+  EXPECT_FALSE(off.wh->OpenDurability().ok());  // Durability not configured.
+  EXPECT_EQ(off.wh->journal(), nullptr);
+}
+
+TEST(DurabilityTest, CleanRestartMatchesOracleAndContinues) {
+  DurabilityKnobs k;
+  std::vector<trace::TraceEvent> events = RigTrace(k);
+  ASSERT_GT(events.size(), 100u);
+  size_t cut = events.size() / 2;
+
+  std::string dir = FreshDir("clean_restart");
+  {
+    Rig victim = MakeRig(k, dir);
+    for (size_t i = 0; i < cut; ++i) victim.wh->ProcessEvent(events[i]);
+    EXPECT_EQ(victim.wh->events_processed(), cut);
+  }  // Clean shutdown: every committed frame is already on disk.
+
+  Rig recovered = MakeRig(k, dir);
+  EXPECT_TRUE(recovered.recovery.recovered);
+  EXPECT_TRUE(recovered.recovery.wal_clean);
+  EXPECT_EQ(recovered.recovery.events_processed, cut);
+  EXPECT_EQ(recovered.wh->events_processed(), cut);
+
+  Rig oracle = MakeRig(k, "");
+  for (size_t i = 0; i < cut; ++i) oracle.wh->ProcessEvent(events[i]);
+  EXPECT_EQ(DurableReport(*recovered.wh), DurableReport(*oracle.wh));
+  // Stale pre-restart cached results can never validate again.
+  EXPECT_GT(recovered.wh->data_epoch(), oracle.wh->data_epoch());
+
+  // The recovered warehouse is a full citizen: it finishes the workload,
+  // journaling as it goes. (Its priority *evolution* may drift from the
+  // oracle's — advisory state like semantic regions restarts cold, per
+  // the documented ephemeral-state contract — but its durable core stays
+  // in lockstep.)
+  for (size_t i = cut; i < events.size(); ++i) {
+    recovered.wh->ProcessEvent(events[i]);
+    oracle.wh->ProcessEvent(events[i]);
+  }
+  EXPECT_EQ(recovered.wh->events_processed(), oracle.wh->events_processed());
+  Status inv = recovered.wh->CheckStorageInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
+  std::string continued = DurableReport(*recovered.wh);
+  recovered = Rig{};  // Second "power cut", again on a clean frame edge.
+
+  // Recover-continue-recover is deterministic end to end: the journal
+  // written *during* post-recovery operation (genesis continuation
+  // included) recovers to the exact continued state.
+  Rig rerecovered = MakeRig(k, dir);
+  EXPECT_TRUE(rerecovered.recovery.recovered);
+  EXPECT_EQ(rerecovered.wh->events_processed(), events.size());
+  EXPECT_EQ(DurableReport(*rerecovered.wh), continued);
+}
+
+TEST(DurabilityTest, CheckpointRotationPreservesEqualityAndPrunes) {
+  DurabilityKnobs k;
+  k.checkpoint_every_events = 25;  // Several rotations over the run.
+  std::vector<trace::TraceEvent> events = RigTrace(k);
+  size_t cut = std::min<size_t>(events.size(), 130);
+
+  std::string dir = FreshDir("rotation");
+  {
+    Rig victim = MakeRig(k, dir);
+    for (size_t i = 0; i < cut; ++i) victim.wh->ProcessEvent(events[i]);
+  }
+  // Rotation prunes: exactly one checkpoint/WAL pair remains.
+  int files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 2);
+
+  Rig recovered = MakeRig(k, dir);
+  EXPECT_TRUE(recovered.recovery.recovered);
+  EXPECT_GT(recovered.recovery.checkpoint_seq, 1u);
+  EXPECT_EQ(recovered.wh->events_processed(), cut);
+  // Replay from the rotated checkpoint lands on the same bytes as a
+  // replay from genesis would.
+  DurabilityKnobs oracle_k = k;
+  oracle_k.checkpoint_every_events = 0;
+  Rig oracle = MakeRig(oracle_k, "");
+  for (size_t i = 0; i < cut; ++i) oracle.wh->ProcessEvent(events[i]);
+  EXPECT_EQ(DurableReport(*recovered.wh), DurableReport(*oracle.wh));
+}
+
+// One matrix cell: run to the crash point, damage the WAL, recover twice
+// (determinism), compare against the oracle prefix, then finish the
+// workload. Returns the recovered event count.
+uint64_t RunCrashCell(const DurabilityKnobs& k,
+                      const std::vector<trace::TraceEvent>& events,
+                      const fault::CrashPoint& point, const std::string& tag) {
+  std::string dir = FreshDir(tag);
+  uint64_t crash_at = std::min<uint64_t>(point.event_index, events.size());
+  {
+    Rig victim = MakeRig(k, dir);
+    for (uint64_t i = 0; i < crash_at; ++i) {
+      victim.wh->ProcessEvent(events[i]);
+    }
+  }  // "Power dies" here; the journal flushed every committed frame.
+  Status surgery = fault::ApplyCrash(FindWal(dir), point);
+  EXPECT_TRUE(surgery.ok()) << surgery.ToString();
+
+  Rig recovered = MakeRig(k, dir);
+  EXPECT_TRUE(recovered.recovery.recovered) << tag;
+  uint64_t replayed = recovered.recovery.events_processed;
+  EXPECT_LE(replayed, crash_at) << tag;
+  std::string recovered_report = DurableReport(*recovered.wh);
+
+  // Determinism: recovering the damaged directory again (the first
+  // recovery already truncated the torn tail) yields identical state.
+  {
+    Rig again = MakeRig(k, dir);
+    EXPECT_EQ(again.recovery.events_processed, replayed) << tag;
+    EXPECT_TRUE(again.recovery.wal_clean) << tag;  // Tail already cut.
+    EXPECT_EQ(DurableReport(*again.wh), recovered_report) << tag;
+  }
+
+  // Byte-identity with a never-crashed oracle over the surviving prefix.
+  Rig oracle = MakeRig(k, "");
+  for (uint64_t i = 0; i < replayed; ++i) oracle.wh->ProcessEvent(events[i]);
+  EXPECT_EQ(recovered_report, DurableReport(*oracle.wh)) << tag;
+  // Monotonic epoch: strictly above the oracle prefix and above every
+  // epoch the surviving log recorded, so no cached result produced by an
+  // acknowledged pre-crash state can validate. (Epochs advanced only in
+  // the destroyed tail belong to unacknowledged events — gone with it.)
+  EXPECT_GT(recovered.wh->data_epoch(), oracle.wh->data_epoch()) << tag;
+  EXPECT_GT(recovered.wh->data_epoch(), recovered.recovery.max_epoch_seen)
+      << tag;
+
+  // Log-before-ack: every acknowledged object survived the crash.
+  uint64_t acked = 0;
+  for (const auto& [rid, rec] : recovered.wh->raw_records()) {
+    if (!rec.acknowledged) continue;
+    ++acked;
+    storage::StoreObjectId full_id =
+        core::EncodeStoreId(index::ObjectLevel::kRaw, rid);
+    EXPECT_NE(recovered.wh->hierarchy().FastestTierOf(full_id),
+              storage::kNoTier)
+        << tag << ": acknowledged object " << rid << " lost";
+  }
+  if (replayed > 20) {
+    EXPECT_GT(acked, 0u) << tag;
+  }
+
+  // Life goes on: finish the workload from the recovery point.
+  for (uint64_t i = replayed; i < events.size(); ++i) {
+    recovered.wh->ProcessEvent(events[i]);
+  }
+  Status inv = recovered.wh->CheckStorageInvariants();
+  EXPECT_TRUE(inv.ok()) << tag << ": " << inv.ToString();
+  return replayed;
+}
+
+TEST(DurabilityTest, CrashMatrixFastSlice) {
+  DurabilityKnobs k;
+  std::vector<trace::TraceEvent> events = RigTrace(k);
+  fault::CrashScheduleOptions copts;
+  copts.total_events = events.size();
+  copts.num_crashes = 4;
+  copts.min_event = 10;
+  fault::CrashSchedule schedule = fault::CrashSchedule::Generate(7, copts);
+  ASSERT_EQ(schedule.points.size(), 4u);
+  for (size_t c = 0; c < schedule.points.size(); ++c) {
+    RunCrashCell(k, events, schedule.points[c],
+                 "fast_cell_" + std::to_string(c));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster: per-shard logs, partitioned replay, overload shedding
+// ---------------------------------------------------------------------------
+
+corpus::CorpusOptions ClusterCorpusOptions() {
+  corpus::CorpusOptions copts;
+  copts.num_sites = 3;
+  copts.pages_per_site = 40;
+  copts.seed = 21;
+  return copts;
+}
+
+cluster::ClusterOptions ClusterOpts(const std::string& durability_dir) {
+  cluster::ClusterOptions opts;
+  opts.num_shards = 2;
+  opts.warehouse.memory_bytes = 2ull * 1024 * 1024;
+  opts.warehouse.disk_bytes = 64ull * 1024 * 1024;
+  opts.durability.dir = durability_dir;
+  return opts;
+}
+
+std::vector<trace::TraceEvent> ClusterTrace() {
+  corpus::WebCorpus corpus(ClusterCorpusOptions());
+  trace::WorkloadOptions w;
+  w.horizon = 2 * kHour;
+  w.sessions_per_hour = 40;
+  w.modifications_per_hour = 10;
+  w.seed = 9;
+  trace::WorkloadGenerator gen(&corpus, nullptr, w);
+  return gen.Generate();
+}
+
+std::vector<std::string> ShardDurableReports(cluster::WarehouseCluster& c) {
+  c.Drain();
+  std::vector<std::string> out;
+  for (uint32_t s = 0; s < c.num_shards(); ++s) {
+    std::ostringstream os;
+    c.mutable_shard(s).PrintDurableReport(os);
+    out.push_back(os.str());
+  }
+  return out;
+}
+
+TEST(ClusterDurabilityTest, PartitionedRestartMatchesPerShard) {
+  std::string dir = FreshDir("cluster_restart");
+  std::vector<trace::TraceEvent> events = ClusterTrace();
+  std::vector<std::string> before;
+  {
+    cluster::WarehouseCluster c(ClusterCorpusOptions(), std::nullopt,
+                                ClusterOpts(dir));
+    ASSERT_TRUE(c.durability_status().ok())
+        << c.durability_status().ToString();
+    ASSERT_EQ(c.recovery_reports().size(), 2u);
+    EXPECT_FALSE(c.recovery_reports()[0].recovered);
+    c.Replay(events);
+    before = ShardDurableReports(c);
+  }
+  EXPECT_TRUE(fs::exists(dir + "/shard-0"));
+  EXPECT_TRUE(fs::exists(dir + "/shard-1"));
+
+  // Every shard recovers independently from its own checkpoint/WAL pair
+  // and lands byte-identical to its pre-shutdown self.
+  cluster::WarehouseCluster recovered(ClusterCorpusOptions(), std::nullopt,
+                                      ClusterOpts(dir));
+  ASSERT_TRUE(recovered.durability_status().ok())
+      << recovered.durability_status().ToString();
+  ASSERT_EQ(recovered.recovery_reports().size(), 2u);
+  for (const core::RecoveryReport& r : recovered.recovery_reports()) {
+    EXPECT_TRUE(r.recovered);
+    EXPECT_TRUE(r.wal_clean);
+    EXPECT_GT(r.events_processed, 0u);
+  }
+  EXPECT_EQ(ShardDurableReports(recovered), before);
+}
+
+TEST(ClusterDurabilityTest, OneShardTornTailRecoversPartitioned) {
+  std::string dir = FreshDir("cluster_torn");
+  std::vector<trace::TraceEvent> events = ClusterTrace();
+  std::vector<std::string> before;
+  uint64_t shard0_events = 0;
+  {
+    cluster::WarehouseCluster c(ClusterCorpusOptions(), std::nullopt,
+                                ClusterOpts(dir));
+    ASSERT_TRUE(c.durability_status().ok());
+    c.Replay(events);
+    before = ShardDurableReports(c);
+    shard0_events = c.shard(0).events_processed();
+  }
+  // Shard 0 crashes mid-append; shard 1's log is untouched.
+  fault::CrashPoint tear;
+  tear.effect = fault::CrashEffect::kTruncate;
+  tear.offset_fraction = 0.6;
+  ASSERT_TRUE(fault::ApplyCrash(FindWal(dir + "/shard-0"), tear).ok());
+
+  cluster::WarehouseCluster recovered(ClusterCorpusOptions(), std::nullopt,
+                                      ClusterOpts(dir));
+  ASSERT_TRUE(recovered.durability_status().ok())
+      << recovered.durability_status().ToString();
+  const auto& reports = recovered.recovery_reports();
+  ASSERT_EQ(reports.size(), 2u);
+  // Shard 0 lost its tail but recovered a valid prefix; shard 1 is whole.
+  EXPECT_LT(reports[0].events_processed, shard0_events);
+  EXPECT_TRUE(reports[1].recovered);
+  std::vector<std::string> after = ShardDurableReports(recovered);
+  EXPECT_NE(after[0], before[0]);  // Rolled back to the surviving prefix.
+  EXPECT_EQ(after[1], before[1]);  // Fault domains are independent.
+  for (uint32_t s = 0; s < 2; ++s) {
+    Status inv = recovered.mutable_shard(s).CheckStorageInvariants();
+    EXPECT_TRUE(inv.ok()) << "shard " << s << ": " << inv.ToString();
+  }
+}
+
+TEST(ClusterOverloadTest, TryDispatchShedsInsteadOfHanging) {
+  cluster::ClusterOptions opts = ClusterOpts("");
+  opts.queue_capacity = 8;
+  opts.dispatch_max_pauses = 2;  // Shed fast; this test wants rejections.
+  cluster::WarehouseCluster c(ClusterCorpusOptions(), std::nullopt, opts);
+
+  // Park shard 0's worker so its queue fills deterministically.
+  c.SuspendShard(0);
+  corpus::PageId victim_page = 0;
+  while (c.ShardOf(victim_page) != 0) ++victim_page;
+
+  trace::TraceEvent e;
+  e.type = trace::TraceEventType::kRequest;
+  e.page = victim_page;
+  e.time = kSecond;
+  e.user = 1;
+  e.session = 1;
+  uint64_t accepted = 0, shed = 0;
+  // 8-slot queue + a parked worker: far fewer than 64 submissions must
+  // start bouncing. Submit() would spin forever here — TryDispatch must
+  // return instead.
+  for (int i = 0; i < 64; ++i) {
+    e.time += kSecond;
+    Status s = c.TryDispatch(e);
+    if (s.ok()) {
+      ++accepted;
+    } else {
+      EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0u);
+  EXPECT_LE(accepted, opts.queue_capacity + 1);
+
+  c.ResumeShard(0);
+  cluster::ClusterReport report = c.Report();
+  ASSERT_EQ(report.shard_shed.size(), 2u);
+  EXPECT_EQ(report.shard_shed[0], shed);
+  EXPECT_EQ(report.shard_shed[1], 0u);
+  std::ostringstream os;
+  report.Print(os);
+  EXPECT_NE(os.str().find("overload"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbfww

@@ -59,10 +59,22 @@ TEST(StatusTest, AllCodeNamesDistinct) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
-        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+        StatusCode::kUnimplemented, StatusCode::kInternal,
+        StatusCode::kDataLoss}) {
     names.insert(StatusCodeName(c));
   }
-  EXPECT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.size(), 10u);
+}
+
+TEST(StatusTest, DataLossCode) {
+  // kDataLoss is the durability layer's "unrecoverable" verdict: the
+  // newest checkpoint itself is unreadable (WAL damage alone never raises
+  // it — recovery truncates to the valid prefix instead).
+  Status s = Status::DataLoss("checkpoint 3 unreadable");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.ToString(), "DataLoss: checkpoint 3 unreadable");
+  EXPECT_NE(s, Status::Internal("checkpoint 3 unreadable"));
 }
 
 Status FailIfNegative(int x) {
