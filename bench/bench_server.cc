@@ -1,0 +1,329 @@
+// Wire-level serving throughput: HTTP load generator against the embedded
+// server at 1/2/4/8 shards.
+//
+// Two phases per shard count:
+//   1. Closed loop: N keep-alive connections issue GET /page/<id>
+//      back-to-back; wall RPS measures the full wire path (event loop,
+//      parser, shard dispatch, JSON serialization).
+//   2. Open loop: arrivals are *scheduled* at a fixed rate (a fraction of
+//      the measured closed-loop RPS) and latency is measured from the
+//      scheduled arrival, not the send — the standard correction for
+//      coordinated omission. p50/p99 come from a PercentileTracker; a
+//      stream::ExponentialHistogram over completion times gives the
+//      windowed RPS estimate the DSMS layer would see.
+//
+// Like bench_throughput_shards, the scaling gate uses critical-path RPS
+// (requests / max per-shard busy time): wall RPS on a single-core CI
+// runner serializes every thread onto one CPU and says nothing about shard
+// scaling. On a machine with >= shards cores the two numbers converge.
+//
+// --smoke runs a small correctness-gated pass (used by scripts/ci.sh under
+// ASan): every response must be 200, no hangs, no scaling gate.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/warehouse_cluster.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
+#include "stream/exponential_histogram.h"
+#include "util/stats.h"
+
+namespace {
+
+using cbfww::PercentileTracker;
+using cbfww::cluster::ClusterOptions;
+using cbfww::cluster::ClusterReport;
+using cbfww::cluster::WarehouseCluster;
+using cbfww::server::ClientResponse;
+using cbfww::server::HttpServer;
+using cbfww::server::ServerOptions;
+using cbfww::server::SimpleHttpClient;
+
+constexpr int kConnections = 8;
+
+struct PhaseResult {
+  uint64_t requests = 0;
+  uint64_t errors = 0;  // Non-200 responses or transport failures.
+  double wall_s = 0.0;
+  double rps_wall = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double windowed_rps = 0.0;  // ExponentialHistogram estimate at the end.
+};
+
+struct ConfigResult {
+  uint32_t shards = 0;
+  PhaseResult closed;
+  PhaseResult open;
+  double rps_critical_path = 0.0;
+  uint64_t shed_total = 0;
+  uint64_t served_requests = 0;
+};
+
+uint64_t PickPage(int conn, uint64_t i, uint64_t num_pages) {
+  return (static_cast<uint64_t>(conn) * 7919 + i * 13) % num_pages;
+}
+
+// Closed loop: each connection hammers round-trips; returns aggregate RPS.
+PhaseResult RunClosedLoop(uint16_t port, uint64_t num_pages,
+                          uint64_t requests_per_conn) {
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> errors{0};
+  std::vector<PercentileTracker> latencies(kConnections);
+  auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < kConnections; ++c) {
+    threads.emplace_back([&, c] {
+      SimpleHttpClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        errors.fetch_add(requests_per_conn);
+        return;
+      }
+      for (uint64_t i = 0; i < requests_per_conn; ++i) {
+        uint64_t page = PickPage(c, i, num_pages);
+        std::string target = "/page/" + std::to_string(page) +
+                             "?user=" + std::to_string(c) +
+                             "&session=" + std::to_string(c);
+        auto t0 = std::chrono::steady_clock::now();
+        auto response = client.RoundTrip("GET", target);
+        auto t1 = std::chrono::steady_clock::now();
+        if (!response.ok() || response->status != 200) {
+          errors.fetch_add(1);
+          if (!response.ok()) return;  // Transport broken: stop this conn.
+          continue;
+        }
+        latencies[c].Add(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto end = std::chrono::steady_clock::now();
+
+  PhaseResult r;
+  r.requests = static_cast<uint64_t>(kConnections) * requests_per_conn;
+  r.errors = errors.load();
+  r.wall_s = std::chrono::duration<double>(end - start).count();
+  r.rps_wall = r.wall_s > 0 ? static_cast<double>(r.requests) / r.wall_s : 0;
+  PercentileTracker merged;
+  for (auto& p : latencies) merged.Merge(p);
+  r.p50_ms = merged.Percentile(50);
+  r.p99_ms = merged.Percentile(99);
+  return r;
+}
+
+// Open loop: each connection schedules arrivals at rate/kConnections and
+// measures latency from the *scheduled* time.
+PhaseResult RunOpenLoop(uint16_t port, uint64_t num_pages, double rate_rps,
+                        uint64_t total_requests) {
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> errors{0};
+  std::vector<PercentileTracker> latencies(kConnections);
+  // Completion timestamps (us since phase start), per connection; merged
+  // into the exponential histogram afterwards (it needs ordered input).
+  std::vector<std::vector<int64_t>> completions(kConnections);
+  uint64_t per_conn = std::max<uint64_t>(1, total_requests / kConnections);
+  double conn_rate = rate_rps / kConnections;
+  double interval_s = conn_rate > 0 ? 1.0 / conn_rate : 0.001;
+
+  auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < kConnections; ++c) {
+    threads.emplace_back([&, c] {
+      SimpleHttpClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        errors.fetch_add(per_conn);
+        return;
+      }
+      for (uint64_t i = 0; i < per_conn; ++i) {
+        auto scheduled =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(interval_s *
+                                                      static_cast<double>(i)));
+        std::this_thread::sleep_until(scheduled);
+        uint64_t page = PickPage(c, i + 101, num_pages);
+        std::string target = "/page/" + std::to_string(page) +
+                             "?user=" + std::to_string(100 + c);
+        auto response = client.RoundTrip("GET", target);
+        auto done = std::chrono::steady_clock::now();
+        if (!response.ok() || response->status != 200) {
+          errors.fetch_add(1);
+          if (!response.ok()) return;
+          continue;
+        }
+        // Latency from scheduled arrival: includes queueing delay when the
+        // server (or this closed connection) falls behind the schedule.
+        latencies[c].Add(
+            std::chrono::duration<double, std::milli>(done - scheduled)
+                .count());
+        completions[c].push_back(
+            std::chrono::duration_cast<std::chrono::microseconds>(done - start)
+                .count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto end = std::chrono::steady_clock::now();
+
+  PhaseResult r;
+  r.requests = per_conn * kConnections;
+  r.errors = errors.load();
+  r.wall_s = std::chrono::duration<double>(end - start).count();
+  r.rps_wall = r.wall_s > 0 ? static_cast<double>(r.requests) / r.wall_s : 0;
+  PercentileTracker merged;
+  for (auto& p : latencies) merged.Merge(p);
+  r.p50_ms = merged.Percentile(50);
+  r.p99_ms = merged.Percentile(99);
+
+  // Windowed completion rate over the last second, as the DSMS layer's
+  // sliding-window counter would report it.
+  std::vector<int64_t> all;
+  for (auto& v : completions) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end());
+  cbfww::stream::ExponentialHistogram hist(cbfww::kSecond, 16);
+  int64_t last = 0;
+  for (int64_t t : all) {
+    hist.RecordEvent(t);
+    last = t;
+  }
+  r.windowed_rps = static_cast<double>(hist.Estimate(last));
+  return r;
+}
+
+ConfigResult RunConfig(const cbfww::corpus::CorpusOptions& corpus_opts,
+                       uint32_t shards, uint64_t closed_per_conn,
+                       uint64_t open_total) {
+  ClusterOptions opts;
+  opts.num_shards = shards;
+  opts.warehouse = cbfww::bench::StandardWarehouseOptions();
+  opts.warehouse.memory_bytes /= shards;
+  opts.warehouse.disk_bytes /= shards;
+  WarehouseCluster cluster(corpus_opts, std::nullopt, opts);
+  uint64_t num_pages = cluster.shard(0).corpus().num_pages();
+
+  HttpServer server(&cluster, ServerOptions{});
+  cbfww::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 status.message().c_str());
+    std::exit(1);
+  }
+
+  ConfigResult r;
+  r.shards = shards;
+  r.closed = RunClosedLoop(server.port(), num_pages, closed_per_conn);
+  double open_rate = std::max(50.0, r.closed.rps_wall * 0.6);
+  r.open = RunOpenLoop(server.port(), num_pages, open_rate, open_total);
+
+  server.Stop();
+  ClusterReport report = cluster.Report();
+  r.shed_total = report.TotalShed();
+  r.served_requests = report.counters.requests;
+  double critical_s = static_cast<double>(report.MaxShardBusyNs()) / 1e9;
+  r.rps_critical_path =
+      critical_s > 0
+          ? static_cast<double>(report.counters.requests) / critical_s
+          : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  cbfww::bench::PrintHeader(
+      "serving/wire",
+      smoke ? "HTTP serving smoke (correctness only)"
+            : "HTTP serving throughput and latency at 1/2/4/8 shards");
+
+  cbfww::corpus::CorpusOptions corpus_opts =
+      cbfww::bench::StandardCorpusOptions();
+  corpus_opts.num_sites = 8;
+  corpus_opts.pages_per_site = 150;
+
+  const uint64_t closed_per_conn = smoke ? 25 : 600;
+  const uint64_t open_total = smoke ? 120 : 1600;
+  std::vector<uint32_t> shard_counts =
+      smoke ? std::vector<uint32_t>{1, 2} : std::vector<uint32_t>{1, 2, 4, 8};
+
+  const unsigned threads_detected = cbfww::bench::DetectHardwareThreads();
+  std::printf("connections: %d, machine threads: %u\n\n", kConnections,
+              threads_detected);
+
+  std::vector<ConfigResult> results;
+  bool all_served = true;
+  for (uint32_t shards : shard_counts) {
+    ConfigResult r =
+        RunConfig(corpus_opts, shards, closed_per_conn, open_total);
+    results.push_back(r);
+    all_served = all_served && r.closed.errors == 0 && r.open.errors == 0;
+    std::printf(
+        "shards=%u  closed: %llu req %.2fs rps=%.0f p99=%.2fms | open: "
+        "rps=%.0f p50=%.2fms p99=%.2fms win-rps=%.0f | critical-path "
+        "rps=%.0f shed=%llu\n",
+        r.shards, static_cast<unsigned long long>(r.closed.requests),
+        r.closed.wall_s, r.closed.rps_wall, r.closed.p99_ms, r.open.rps_wall,
+        r.open.p50_ms, r.open.p99_ms, r.open.windowed_rps,
+        r.rps_critical_path, static_cast<unsigned long long>(r.shed_total));
+  }
+
+  cbfww::bench::ShapeCheck(
+      "every request served (no transport errors, all 200s, no hangs)",
+      all_served);
+
+  double scaling = 0.0;
+  if (!smoke) {
+    scaling = results[2].rps_critical_path / results[0].rps_critical_path;
+    std::printf("\ncritical-path RPS speedup at 4 shards: %.2fx\n", scaling);
+    cbfww::bench::ShapeCheck(
+        "4-shard serving sustains >= 1.5x the 1-shard RPS (critical path)",
+        scaling >= 1.5);
+  }
+
+  std::ofstream json("BENCH_server.json");
+  json << "{\n  \"bench\": \"server\",\n  \"smoke\": "
+       << (smoke ? "true" : "false")
+       << ",\n  \"connections\": " << kConnections
+       << ",\n  \"machine_threads_detected\": " << threads_detected
+       << ",\n  \"configs\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    json << "    {\"shards\": " << r.shards
+         << ", \"closed_requests\": " << r.closed.requests
+         << ", \"closed_wall_s\": " << r.closed.wall_s
+         << ", \"rps\": " << r.closed.rps_wall
+         << ", \"rps_critical_path\": " << r.rps_critical_path
+         << ", \"closed_p50_ms\": " << r.closed.p50_ms
+         << ", \"closed_p99_ms\": " << r.closed.p99_ms
+         << ", \"open_requests\": " << r.open.requests
+         << ", \"open_rps\": " << r.open.rps_wall
+         << ", \"open_p50_ms\": " << r.open.p50_ms
+         << ", \"open_p99_ms\": " << r.open.p99_ms
+         << ", \"open_windowed_rps\": " << r.open.windowed_rps
+         << ", \"errors\": " << (r.closed.errors + r.open.errors)
+         << ", \"shed_total\": " << r.shed_total
+         << ", \"served_requests\": " << r.served_requests << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]";
+  if (!smoke) {
+    json << ",\n  \"critical_path_rps_speedup_4_shards\": " << scaling;
+  }
+  json << "\n}\n";
+  std::printf("\nwrote BENCH_server.json\n");
+  return all_served ? 0 : 1;
+}

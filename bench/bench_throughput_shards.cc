@@ -36,6 +36,12 @@ struct ConfigResult {
   double events_per_sec_critical = 0.0;
   uint64_t total_requests = 0;
   uint64_t origin_fetches = 0;
+  /// Overload diagnostics: events shed by bounded admission (zero under
+  /// plain Replay, which never sheds) and queue occupancy at report time
+  /// (zero after a draining Report — nonzero would flag silent backlog).
+  uint64_t shed_total = 0;
+  std::vector<uint64_t> shard_shed;
+  std::vector<uint64_t> queue_depths;
 };
 
 ConfigResult RunConfig(const cbfww::corpus::CorpusOptions& corpus_opts,
@@ -71,6 +77,9 @@ ConfigResult RunConfig(const cbfww::corpus::CorpusOptions& corpus_opts,
       critical_s > 0 ? static_cast<double>(r.events) / critical_s : 0.0;
   r.total_requests = report.counters.requests;
   r.origin_fetches = report.counters.origin_fetches;
+  r.shed_total = report.TotalShed();
+  r.shard_shed = report.shard_shed;
+  r.queue_depths = report.shard_queue_depth;
   return r;
 }
 
@@ -153,8 +162,16 @@ int main() {
          << ", \"events_per_sec_wall\": " << r.events_per_sec_wall
          << ", \"events_per_sec_critical_path\": " << r.events_per_sec_critical
          << ", \"requests\": " << r.total_requests
-         << ", \"origin_fetches\": " << r.origin_fetches << "}"
-         << (i + 1 < results.size() ? "," : "") << "\n";
+         << ", \"origin_fetches\": " << r.origin_fetches
+         << ", \"shed_total\": " << r.shed_total << ", \"shard_shed\": [";
+    for (size_t s = 0; s < r.shard_shed.size(); ++s) {
+      json << (s > 0 ? ", " : "") << r.shard_shed[s];
+    }
+    json << "], \"queue_depths\": [";
+    for (size_t s = 0; s < r.queue_depths.size(); ++s) {
+      json << (s > 0 ? ", " : "") << r.queue_depths[s];
+    }
+    json << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ],\n  \"critical_path_speedup_4_shards\": " << speedup
        << "\n}\n";

@@ -3,20 +3,46 @@
 # ThreadSanitizer pass over the concurrent cluster front-end, an
 # ASan+UBSan pass over the retrieval hot path, a perf smoke gate on the
 # pruned top-k engine, a chaos stage replaying seeded fault schedules
-# under ASan, and a durability stage running the crash-restart matrix and
-# WAL fuzz suite under ASan.
+# under ASan, a durability stage running the crash-restart matrix and
+# WAL fuzz suite under ASan, and a server stage exercising the wire-level
+# serving layer (HTTP parser/event-loop units + socket e2e + bench smoke)
+# under ASan.
 #
-#   scripts/ci.sh            # everything
+#   scripts/ci.sh all        # everything
 #   scripts/ci.sh tier1      # build + ctest (fast tests; excludes LABEL slow)
 #   scripts/ci.sh tsan       # TSan cluster tests + shard bench only
 #   scripts/ci.sh asan       # ASan+UBSan index/warehouse tests + hotpath
 #   scripts/ci.sh perfsmoke  # hotpath smoke: pruned vs exhaustive, same run
 #   scripts/ci.sh chaos      # ASan chaos harness + soak tests, 3 fixed seeds
 #   scripts/ci.sh durability # ASan crash-restart matrix + WAL fuzz + bench
+#   scripts/ci.sh server     # ASan server units + socket e2e + bench smoke
+#
+# With no arguments the script lists the stages and exits.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-stage="${1:-all}"
+usage() {
+  cat <<'EOF'
+usage: scripts/ci.sh <stage>
+
+stages:
+  tier1       build + ctest (fast tests; excludes LABEL slow)
+  tsan        ThreadSanitizer: cluster front-end tests + shard bench
+  asan        ASan+UBSan: index/warehouse tests + hotpath smoke
+  perfsmoke   pruned top-k p50 vs exhaustive, same-run relative gate
+  chaos       ASan chaos harness + soak tests, 3 fixed seeds
+  durability  ASan crash-restart matrix + WAL fuzz + durability bench
+  server      ASan serving-layer units + socket e2e + bench_server smoke
+  all         every stage above, in order
+EOF
+}
+
+if [[ $# -eq 0 ]]; then
+  usage
+  exit 0
+fi
+
+stage="$1"
 
 tier1() {
   echo "=== tier-1: build + tests ==="
@@ -101,6 +127,23 @@ durability() {
   rm -rf "${dur_out}"
 }
 
+server() {
+  echo "=== server: wire serving layer under ASan ==="
+  cmake -B build-asan -S . -DCBFWW_SANITIZE=address
+  cmake --build build-asan -j --target server_test server_e2e_test \
+    bench_server
+  ./build-asan/tests/server_test
+  # Socket-level: 10k keep-alive requests / 8 connections / 4 shards with
+  # byte-identity against direct in-process calls, overload 503s matching
+  # /metrics shed counters, admin suspend/resume, graceful drain.
+  ./build-asan/tests/server_e2e_test
+  # Smoke shape gate only (every request served); the sanitized build is
+  # for memory bugs, not timings, so the RPS scaling gate stays out.
+  server_out="$(mktemp -d)"
+  (cd "${server_out}" && "${OLDPWD}/build-asan/bench/bench_server" --smoke)
+  rm -rf "${server_out}"
+}
+
 case "${stage}" in
   tier1) tier1 ;;
   tsan) tsan ;;
@@ -108,6 +151,7 @@ case "${stage}" in
   perfsmoke) perfsmoke ;;
   chaos) chaos ;;
   durability) durability ;;
+  server) server ;;
   all)
     tier1
     tsan
@@ -115,9 +159,10 @@ case "${stage}" in
     perfsmoke
     chaos
     durability
+    server
     ;;
   *)
-    echo "usage: scripts/ci.sh [tier1|tsan|asan|perfsmoke|chaos|durability|all]" >&2
+    usage >&2
     exit 2
     ;;
 esac

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace cbfww::cluster {
@@ -53,7 +54,10 @@ class SpscQueue {
     uint64_t head = head_.load(std::memory_order_relaxed);
     uint64_t tail = tail_.load(std::memory_order_acquire);
     if (head == tail) return false;
-    out = buffer_[head & mask_];
+    out = std::move(buffer_[head & mask_]);
+    // Reset the slot so elements owning resources (shared_ptr payloads in
+    // the serving path) release them on pop, not on slot reuse.
+    buffer_[head & mask_] = T{};
     head_.store(head + 1, std::memory_order_release);
     return true;
   }
@@ -61,6 +65,14 @@ class SpscQueue {
   bool Empty() const {
     return head_.load(std::memory_order_acquire) ==
            tail_.load(std::memory_order_acquire);
+  }
+
+  /// Instantaneous occupancy. Exact from either endpoint's own thread; a
+  /// racing snapshot (metrics, overload probes) from elsewhere.
+  size_t SizeApprox() const {
+    uint64_t head = head_.load(std::memory_order_acquire);
+    uint64_t tail = tail_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
   }
 
   /// Escalating wait: yield a while, then sleep in growing slices. Keeps

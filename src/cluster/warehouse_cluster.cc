@@ -85,22 +85,49 @@ WarehouseCluster::~WarehouseCluster() {
 }
 
 void WarehouseCluster::WorkerLoop(Shard& shard) {
-  trace::TraceEvent event;
-  SpscQueue<trace::TraceEvent>::Backoff backoff;
+  ShardItem item;
+  SpscQueue<ShardItem>::Backoff backoff;
   for (;;) {
     if (shard.suspended.load(std::memory_order_acquire)) {
       if (stop_.load(std::memory_order_acquire)) return;
       backoff.Pause();
       continue;
     }
-    if (shard.queue.TryPop(event)) {
+    if (shard.queue.TryPop(item)) {
       backoff.Reset();
       uint64_t start = ThreadCpuNanos();
-      shard.warehouse->ProcessEvent(event);
+      switch (item.kind) {
+        case ShardItem::Kind::kEvent:
+          shard.warehouse->ProcessEvent(item.event);
+          break;
+        case ShardItem::Kind::kPage:
+          // Same event-atomic path as ProcessEvent(kRequest): wire traffic
+          // and trace replay are indistinguishable to the warehouse.
+          item.ticket->visit = shard.warehouse->ServeRequest(item.request);
+          break;
+        case ShardItem::Kind::kQuery: {
+          auto res = shard.warehouse->ExecuteQuery(item.query_text,
+                                                   item.query_options);
+          ServeTicket::QuerySlot& slot = item.ticket->query[item.query_slot];
+          if (res.ok()) {
+            slot.result = *std::move(res);
+          } else {
+            slot.status = res.status();
+          }
+          break;
+        }
+      }
       shard.busy_ns.fetch_add(ThreadCpuNanos() - start,
                               std::memory_order_relaxed);
       // Release-publish the warehouse mutations above to Drain() readers.
       shard.processed.fetch_add(1, std::memory_order_release);
+      if (item.ticket != nullptr) {
+        // After CompleteOne the front-end may free its reference; ours (a
+        // local shared_ptr) keeps the ticket alive through the callback.
+        std::shared_ptr<ServeTicket> ticket = std::move(item.ticket);
+        ticket->CompleteOne();
+      }
+      item = ShardItem{};
       continue;
     }
     if (stop_.load(std::memory_order_acquire) && shard.queue.Empty()) return;
@@ -113,9 +140,11 @@ uint32_t WarehouseCluster::ShardOf(corpus::PageId page) const {
 }
 
 void WarehouseCluster::Submit(const trace::TraceEvent& event) {
+  ShardItem item;
+  item.event = event;
   if (event.type == trace::TraceEventType::kRequest) {
     Shard& shard = *shards_[ShardOf(event.page)];
-    shard.queue.Push(event);
+    shard.queue.Push(item);
     shard.submitted.fetch_add(1, std::memory_order_relaxed);
     ++events_submitted_;
     return;
@@ -123,27 +152,28 @@ void WarehouseCluster::Submit(const trace::TraceEvent& event) {
   // Modifications touch raw objects, which pages of any shard may embed:
   // broadcast so every replica stays in (weakly) consistent step.
   for (auto& shard : shards_) {
-    shard->queue.Push(event);
+    shard->queue.Push(item);
     shard->submitted.fetch_add(1, std::memory_order_relaxed);
     ++events_submitted_;
   }
 }
 
-bool WarehouseCluster::TryPushBounded(Shard& shard,
-                                      const trace::TraceEvent& event) {
-  if (shard.queue.TryPush(event)) return true;
-  SpscQueue<trace::TraceEvent>::Backoff backoff;
+bool WarehouseCluster::TryPushBounded(Shard& shard, const ShardItem& item) {
+  if (shard.queue.TryPush(item)) return true;
+  SpscQueue<ShardItem>::Backoff backoff;
   for (uint32_t pause = 0; pause < dispatch_max_pauses_; ++pause) {
     backoff.Pause();
-    if (shard.queue.TryPush(event)) return true;
+    if (shard.queue.TryPush(item)) return true;
   }
   return false;
 }
 
 Status WarehouseCluster::TryDispatch(const trace::TraceEvent& event) {
+  ShardItem item;
+  item.event = event;
   if (event.type == trace::TraceEventType::kRequest) {
     Shard& shard = *shards_[ShardOf(event.page)];
-    if (!TryPushBounded(shard, event)) {
+    if (!TryPushBounded(shard, item)) {
       shard.shed.fetch_add(1, std::memory_order_relaxed);
       return Status::ResourceExhausted("shard queue full, request shed");
     }
@@ -157,7 +187,7 @@ Status WarehouseCluster::TryDispatch(const trace::TraceEvent& event) {
   // observe modifications at independent poll times).
   uint32_t delivered = 0;
   for (auto& shard : shards_) {
-    if (!TryPushBounded(*shard, event)) {
+    if (!TryPushBounded(*shard, item)) {
       shard->shed.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
@@ -174,6 +204,86 @@ Status WarehouseCluster::TryDispatch(const trace::TraceEvent& event) {
   return Status::Ok();
 }
 
+Status WarehouseCluster::TryServePage(const core::PageRequest& request,
+                                      std::shared_ptr<ServeTicket> ticket) {
+  Shard& shard = *shards_[ShardOf(request.page)];
+  ShardItem item;
+  item.kind = ShardItem::Kind::kPage;
+  item.request = request;
+  // remaining must be set before the worker can observe the item.
+  ticket->remaining.store(1, std::memory_order_relaxed);
+  item.ticket = ticket;
+  if (!TryPushBounded(shard, item)) {
+    shard.shed.fetch_add(1, std::memory_order_relaxed);
+    ticket->remaining.store(0, std::memory_order_relaxed);
+    return Status::ResourceExhausted("shard queue full, request shed");
+  }
+  shard.submitted.fetch_add(1, std::memory_order_relaxed);
+  ++events_submitted_;
+  return Status::Ok();
+}
+
+Status WarehouseCluster::TryServeQuery(std::string_view text,
+                                       core::QueryRunOptions options,
+                                       std::shared_ptr<ServeTicket> ticket) {
+  const uint32_t n = num_shards();
+  ticket->query.assign(n, ServeTicket::QuerySlot{});
+  ticket->remaining.store(n, std::memory_order_relaxed);
+  uint32_t accepted = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    Shard& shard = *shards_[i];
+    ShardItem item;
+    item.kind = ShardItem::Kind::kQuery;
+    item.query_text.assign(text);
+    item.query_options = options;
+    item.query_slot = i;
+    item.ticket = ticket;
+    if (!TryPushBounded(shard, item)) {
+      // A saturated shard sheds its slot; the healthy shards still answer
+      // (partial results are the caller's call to serve or discard).
+      shard.shed.fetch_add(1, std::memory_order_relaxed);
+      ticket->query[i].status =
+          Status::ResourceExhausted("shard queue full, query shed");
+      ticket->CompleteOne();
+      continue;
+    }
+    shard.submitted.fetch_add(1, std::memory_order_relaxed);
+    ++events_submitted_;
+    ++accepted;
+  }
+  if (accepted < n) {
+    return Status::ResourceExhausted(
+        "query shed on " + std::to_string(n - accepted) + " of " +
+        std::to_string(n) + " shards");
+  }
+  return Status::Ok();
+}
+
+std::vector<ShardRuntimeStats> WarehouseCluster::RuntimeStats() const {
+  std::vector<ShardRuntimeStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardRuntimeStats s;
+    s.submitted = shard->submitted.load(std::memory_order_relaxed);
+    s.processed = shard->processed.load(std::memory_order_acquire);
+    s.shed = shard->shed.load(std::memory_order_relaxed);
+    s.queue_depth = shard->queue.SizeApprox();
+    s.suspended = shard->suspended.load(std::memory_order_acquire);
+    out.push_back(s);
+  }
+  return out;
+}
+
+bool WarehouseCluster::Idle() const {
+  for (const auto& shard : shards_) {
+    if (shard->processed.load(std::memory_order_acquire) <
+        shard->submitted.load(std::memory_order_relaxed)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void WarehouseCluster::SuspendShard(uint32_t i) {
   shards_[i]->suspended.store(true, std::memory_order_release);
 }
@@ -183,7 +293,7 @@ void WarehouseCluster::ResumeShard(uint32_t i) {
 }
 
 void WarehouseCluster::Drain() {
-  SpscQueue<trace::TraceEvent>::Backoff backoff;
+  SpscQueue<ShardItem>::Backoff backoff;
   for (auto& shard : shards_) {
     uint64_t target = shard->submitted.load(std::memory_order_relaxed);
     while (shard->processed.load(std::memory_order_acquire) < target) {
@@ -211,6 +321,7 @@ ClusterReport WarehouseCluster::Report() {
     report.shard_busy_ns.push_back(
         shard->busy_ns.load(std::memory_order_relaxed));
     report.shard_shed.push_back(shard->shed.load(std::memory_order_relaxed));
+    report.shard_queue_depth.push_back(shard->queue.SizeApprox());
 
     const storage::StorageHierarchy& hier = wh.hierarchy();
     if (report.tiers.size() < static_cast<size_t>(hier.num_tiers())) {
@@ -247,6 +358,12 @@ uint64_t ClusterReport::MaxShardBusyNs() const {
   uint64_t max_ns = 0;
   for (uint64_t ns : shard_busy_ns) max_ns = std::max(max_ns, ns);
   return max_ns;
+}
+
+uint64_t ClusterReport::TotalShed() const {
+  uint64_t total = 0;
+  for (uint64_t s : shard_shed) total += s;
+  return total;
 }
 
 void ClusterReport::Print(std::ostream& os) const {
@@ -297,8 +414,7 @@ void ClusterReport::Print(std::ostream& os) const {
     os << ' ' << r;
   }
   os << '\n';
-  uint64_t total_shed = 0;
-  for (uint64_t s : shard_shed) total_shed += s;
+  uint64_t total_shed = TotalShed();
   if (total_shed > 0) {
     os << StrFormat("overload: %llu events shed; per shard:",
                     static_cast<unsigned long long>(total_shed));

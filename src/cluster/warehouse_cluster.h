@@ -3,9 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <ostream>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -83,8 +86,69 @@ struct ClusterReport {
   /// admission.
   std::vector<uint64_t> shard_shed;
 
+  /// Per-shard queue occupancy sampled when the report was taken. Always
+  /// zero after a Report() (which drains first); recorded so overload
+  /// tooling reading serialized reports can detect silent backlog if a
+  /// future report path stops draining.
+  std::vector<uint64_t> shard_queue_depth;
+
   uint64_t MaxShardBusyNs() const;
+  uint64_t TotalShed() const;
   void Print(std::ostream& os) const;
+};
+
+/// Completion slot for one serving-layer call dispatched into the shard
+/// queues (TryServePage / TryServeQuery). The dispatching front-end
+/// (single producer) allocates a ticket per call, hands the cluster a
+/// shared_ptr, and polls done() — or lets `on_complete` wake its event
+/// loop. Results become visible with acquire/release ordering: once
+/// done() returns true, `visit` / `query` reads are race-free.
+struct ServeTicket {
+  /// Page-call result (TryServePage).
+  core::PageVisit visit;
+
+  /// Query-call results, one slot per shard in shard order
+  /// (TryServeQuery). A slot whose dispatch was shed carries
+  /// kResourceExhausted; a slot whose query failed carries that error.
+  struct QuerySlot {
+    Status status;
+    core::Warehouse::CostedQueryResult result;
+  };
+  std::vector<QuerySlot> query;
+
+  /// Outstanding completions. Initialized by the dispatch call; each shard
+  /// worker (or the router, for shed query slots) counts down once.
+  std::atomic<uint32_t> remaining{0};
+
+  /// Invoked exactly once, by whichever participant performs the final
+  /// count-down, on that participant's thread. Used to wake a poller
+  /// (write to a pipe/eventfd); keep it cheap and non-blocking. Callers
+  /// holding only `done()` need not set it.
+  std::function<void()> on_complete;
+
+  bool done() const {
+    return remaining.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Counts down one completion; fires on_complete at zero. Callers must
+  /// hold a live reference (the cluster's dispatch path does).
+  void CompleteOne() {
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (on_complete) on_complete();
+    }
+  }
+};
+
+/// Low-cost always-available per-shard health snapshot (atomic loads only
+/// — never drains, never blocks, safe while traffic is in flight). This is
+/// what /metrics serves under load, when a draining Report() would stall
+/// the serving loop or deadlock on a suspended shard.
+struct ShardRuntimeStats {
+  uint64_t submitted = 0;
+  uint64_t processed = 0;
+  uint64_t shed = 0;
+  uint64_t queue_depth = 0;
+  bool suspended = false;
 };
 
 /// Sharded parallel front-end over N independent Warehouse shards (the
@@ -145,10 +209,52 @@ class WarehouseCluster {
   /// ClusterReport::shard_shed. Single producer, like Submit.
   Status TryDispatch(const trace::TraceEvent& event);
 
+  // ----- Serving-layer calls (wire front-ends) -----
+  //
+  // Unlike Submit/TryDispatch (fire-and-forget replay), these route a call
+  // to its shard worker and deliver the result through a ServeTicket. Same
+  // single-producer contract as Submit: one dispatching thread at a time.
+
+  /// Routes one page request to its owning shard with bounded admission.
+  /// On Ok the ticket will complete (worker runs Warehouse::ServeRequest —
+  /// the exact ProcessEvent path, so wire traffic and trace replay are
+  /// indistinguishable). On ResourceExhausted the request was shed, the
+  /// ticket is left untouched (remaining reset to 0 but on_complete NOT
+  /// fired), and the shard's shed counter is bumped — the caller answers
+  /// 503 without ever blocking on a saturated shard.
+  Status TryServePage(const core::PageRequest& request,
+                      std::shared_ptr<ServeTicket> ticket);
+
+  /// Scatter-gathers one OQL query across every shard (records partition
+  /// by page, so cluster-level query semantics are the union of per-shard
+  /// results). Each shard fills its ticket slot; slots of shards whose
+  /// queue stayed full are completed immediately with kResourceExhausted.
+  /// Returns Ok only when every shard accepted; partial/total shedding
+  /// returns ResourceExhausted (the ticket still completes for the
+  /// accepted shards, so a caller may await it or abandon it — the shared
+  /// ptr keeps it alive either way).
+  Status TryServeQuery(std::string_view text, core::QueryRunOptions options,
+                       std::shared_ptr<ServeTicket> ticket);
+
+  /// Atomic-only per-shard snapshot; callable from the dispatching thread
+  /// at any time, even mid-flight or with shards suspended.
+  std::vector<ShardRuntimeStats> RuntimeStats() const;
+
+  /// True when every shard has processed everything submitted to it (all
+  /// workers idle). Because the caller is the single producer, no new work
+  /// can appear between this check and a subsequent read — so `Idle() &&
+  /// Report()` never blocks.
+  bool Idle() const;
+
+  bool IsSuspended(uint32_t i) const {
+    return shards_[i]->suspended.load(std::memory_order_acquire);
+  }
+
   /// Parks shard `i`'s worker: it stops popping events until
   /// ResumeShard. Lets tests and maintenance windows fill a queue
   /// deterministically. Drain() (and therefore the destructor) blocks
   /// while a shard with pending events is suspended — resume first.
+  /// Callable from any thread (not just the producer).
   void SuspendShard(uint32_t i);
   void ResumeShard(uint32_t i);
 
@@ -201,6 +307,21 @@ class WarehouseCluster {
   const Status& durability_status() const { return durability_status_; }
 
  private:
+  /// One queued unit of shard work: a replayed trace event, or a
+  /// serving-layer call carrying its completion ticket.
+  struct ShardItem {
+    enum class Kind : uint8_t { kEvent = 0, kPage, kQuery };
+    Kind kind = Kind::kEvent;
+    trace::TraceEvent event;     // kEvent
+    core::PageRequest request;   // kPage
+    std::string query_text;      // kQuery
+    core::QueryRunOptions query_options;
+    uint32_t query_slot = 0;
+    /// Set for kPage/kQuery; the queue/worker copies keep the ticket alive
+    /// even if the dispatching front-end abandons it (client hung up).
+    std::shared_ptr<ServeTicket> ticket;
+  };
+
   struct Shard {
     explicit Shard(uint32_t queue_capacity) : queue(queue_capacity) {}
 
@@ -213,7 +334,7 @@ class WarehouseCluster {
     std::unique_ptr<fault::FaultInjector> injector;
     std::unique_ptr<core::Warehouse> warehouse;
 
-    SpscQueue<trace::TraceEvent> queue;
+    SpscQueue<ShardItem> queue;
     /// submitted is written by the router only; processed by the worker
     /// only. processed's release-store publishes all warehouse mutations
     /// of the events counted, so drained readers are race-free.
@@ -230,7 +351,7 @@ class WarehouseCluster {
 
   void WorkerLoop(Shard& shard);
   /// TryPush with a bounded backoff budget; true when enqueued.
-  bool TryPushBounded(Shard& shard, const trace::TraceEvent& event);
+  bool TryPushBounded(Shard& shard, const ShardItem& item);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stop_{false};

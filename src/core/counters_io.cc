@@ -1,0 +1,55 @@
+#include "core/counters_io.h"
+
+namespace cbfww::core {
+
+std::vector<CounterEntry> CounterEntries(const Warehouse::Counters& c) {
+  return {
+      {"requests", c.requests},
+      {"origin_fetches", c.origin_fetches},
+      {"prefetches", c.prefetches},
+      {"path_prefetches", c.path_prefetches},
+      {"consistency_polls", c.consistency_polls},
+      {"consistency_refreshes", c.consistency_refreshes},
+      {"rebalances", c.rebalances},
+      {"admission_rejections", c.admission_rejections},
+      {"indexed_queries", c.indexed_queries},
+      {"scan_queries", c.scan_queries},
+      {"query_cache_hits", c.query_cache_hits},
+      {"query_cache_misses", c.query_cache_misses},
+      {"prediction_cache_hits", c.prediction_cache_hits},
+      {"fetch_retries", c.fetch_retries},
+      {"fetch_failures", c.fetch_failures},
+      {"degraded_serves", c.degraded_serves},
+      {"stale_serves", c.stale_serves},
+      {"summary_serves", c.summary_serves},
+      {"failed_serves", c.failed_serves},
+      {"poll_failures", c.poll_failures},
+      {"tier_losses", c.tier_losses},
+      {"tier_recoveries", c.tier_recoveries},
+      {"objects_recovered", c.objects_recovered},
+      {"background_time_us", static_cast<uint64_t>(c.background_time)},
+  };
+}
+
+std::string CountersToJson(const Warehouse::Counters& counters) {
+  std::string out = "{";
+  bool first = true;
+  for (const CounterEntry& e : CounterEntries(counters)) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += e.name;
+    out += "\":";
+    out += std::to_string(e.value);
+  }
+  out += '}';
+  return out;
+}
+
+void WriteCountersText(std::ostream& os, const Warehouse::Counters& counters) {
+  for (const CounterEntry& e : CounterEntries(counters)) {
+    os << e.name << '=' << e.value << '\n';
+  }
+}
+
+}  // namespace cbfww::core

@@ -1,0 +1,35 @@
+#ifndef CBFWW_CORE_COUNTERS_IO_H_
+#define CBFWW_CORE_COUNTERS_IO_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/warehouse.h"
+
+namespace cbfww::core {
+
+/// One named counter value. `name` points at a string literal, so entries
+/// are cheap to copy and stable for the program's lifetime.
+struct CounterEntry {
+  const char* name;
+  uint64_t value;
+};
+
+/// Flattens Warehouse::Counters into (name, value) pairs in a fixed,
+/// documented order. Every serialization of the counters — the /metrics
+/// Prometheus endpoint, JSON dumps, PrintDurableReport diagnostics, test
+/// assertions — renders from this one list, so adding a counter to the
+/// struct only requires adding it here to surface everywhere.
+std::vector<CounterEntry> CounterEntries(const Warehouse::Counters& counters);
+
+/// Compact single-object JSON rendering: {"requests":1,...}.
+std::string CountersToJson(const Warehouse::Counters& counters);
+
+/// Compact text rendering, one "name=value" line per counter.
+void WriteCountersText(std::ostream& os, const Warehouse::Counters& counters);
+
+}  // namespace cbfww::core
+
+#endif  // CBFWW_CORE_COUNTERS_IO_H_

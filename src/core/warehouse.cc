@@ -6,6 +6,7 @@
 #include <cctype>
 #include <cmath>
 
+#include "core/counters_io.h"
 #include "util/hash.h"
 #include "util/strings.h"
 
@@ -250,6 +251,11 @@ Priority Warehouse::PredictInitialPriority(const text::TermVector& v,
 
 Warehouse::FetchOutcome Warehouse::FetchWithRetry(corpus::RawId id) {
   const FetchRetryOptions& retry = options_.fetch_retry;
+  // A request-scoped deadline (serving layer) can only tighten the
+  // configured budget, never extend it.
+  const SimTime deadline = active_fetch_deadline_ > 0
+                               ? std::min(retry.deadline, active_fetch_deadline_)
+                               : retry.deadline;
   FetchOutcome out;
   SimTime backoff = retry.initial_backoff;
   for (;;) {
@@ -258,7 +264,7 @@ Warehouse::FetchOutcome Warehouse::FetchWithRetry(corpus::RawId id) {
     out.cost += out.fetch.cost;
     if (out.fetch.ok()) return out;
     if (out.attempts >= std::max<uint32_t>(1, retry.max_attempts)) break;
-    if (out.cost + backoff >= retry.deadline) {
+    if (out.cost + backoff >= deadline) {
       // The next attempt could not complete inside the budget.
       out.fetch.status = Status::DeadlineExceeded("origin fetch deadline");
       break;
@@ -392,6 +398,7 @@ Warehouse::ServeResult Warehouse::ServeRawObject(corpus::RawId id, SimTime now,
 
 PageVisit Warehouse::RequestPage(const PageRequest& request) {
   WarehouseJournal::BatchGuard batch(journal_.get());
+  active_fetch_deadline_ = request.fetch_deadline;
   const corpus::PageId page = request.page;
   const uint32_t user = request.user;
   const int64_t session = request.session;
@@ -513,6 +520,7 @@ PageVisit Warehouse::RequestPage(const PageRequest& request) {
 
   analyzer_.RecordRequest(page, user, now, visit.SlowestSource(),
                           visit.latency);
+  active_fetch_deadline_ = 0;
   return visit;
 }
 
@@ -603,6 +611,9 @@ void Warehouse::OnOriginModified(corpus::RawId id, SimTime now) {
 }
 
 PageVisit Warehouse::ProcessEvent(const trace::TraceEvent& event) {
+  if (event.type == trace::TraceEventType::kRequest) {
+    return ServeRequest(PageRequest::FromEvent(event));
+  }
   PageVisit visit;
   {
     // One event = one WAL frame: every durable mutation of this event
@@ -611,21 +622,35 @@ PageVisit Warehouse::ProcessEvent(const trace::TraceEvent& event) {
     WarehouseJournal::BatchGuard batch(journal_.get());
     Tick(event.time);
     ++events_processed_;
-    if (event.type == trace::TraceEventType::kRequest) {
-      visit = RequestPage(PageRequest::FromEvent(event));
-    } else {
-      corpus_->ModifyObject(event.modified, event.time, rng_);
-      if (journal_ != nullptr) {
-        journal_->OnCorpusModify(event.modified, event.time);
-      }
-      OnOriginModified(event.modified, event.time);
+    corpus_->ModifyObject(event.modified, event.time, rng_);
+    if (journal_ != nullptr) {
+      journal_->OnCorpusModify(event.modified, event.time);
     }
+    OnOriginModified(event.modified, event.time);
   }
+  MaybeCheckpointAfterEvent();
+  return visit;
+}
+
+PageVisit Warehouse::ServeRequest(const PageRequest& request) {
+  PageVisit visit;
+  {
+    // Same event-atomicity contract as ProcessEvent: the housekeeping Tick
+    // and the serve commit as one WAL frame.
+    WarehouseJournal::BatchGuard batch(journal_.get());
+    Tick(request.now);
+    ++events_processed_;
+    visit = RequestPage(request);
+  }
+  MaybeCheckpointAfterEvent();
+  return visit;
+}
+
+void Warehouse::MaybeCheckpointAfterEvent() {
   if (journal_ != nullptr && options_.durability.checkpoint_every_events > 0 &&
       events_processed_ % options_.durability.checkpoint_every_events == 0) {
     (void)journal_->CheckpointNow();
   }
-  return visit;
 }
 
 void Warehouse::Tick(SimTime now) {
@@ -1174,7 +1199,7 @@ Status Warehouse::CheckpointNow() {
   return journal_->CheckpointNow();
 }
 
-void Warehouse::PrintDurableReport(std::ostream& os) {
+void Warehouse::PrintDurableReport(std::ostream& os, bool include_counters) {
   os << "=== CBFWW durable state ===\n";
   os << StrFormat("now=%lld events=%llu\n",
                   static_cast<long long>(now_),
@@ -1226,6 +1251,12 @@ void Warehouse::PrintDurableReport(std::ostream& os) {
                       static_cast<unsigned long long>(hierarchy_->SizeOf(id)),
                       hierarchy_->IsStale(id, t) ? 1 : 0);
     }
+  }
+  if (include_counters) {
+    // Diagnostics only — counters are rebuilt by traffic, not recovery, so
+    // they sit outside the byte-identity sections above.
+    os << "--- counters (non-durable) ---\n";
+    WriteCountersText(os, counters_);
   }
 }
 

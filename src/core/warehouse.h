@@ -126,6 +126,11 @@ struct PageRequest {
   /// previous page (as opposed to a jump/bookmark).
   bool via_link = false;
   SimTime now = 0;
+  /// Per-request origin-fetch time budget. When > 0 it tightens (never
+  /// loosens) FetchRetryOptions::deadline for every origin fetch performed
+  /// while serving this request — the serving layer propagates a client
+  /// deadline down to the retry loop. 0 keeps the configured default.
+  SimTime fetch_deadline = 0;
 
   /// Request context of a trace event (must be a kRequest event).
   static PageRequest FromEvent(const trace::TraceEvent& event) {
@@ -201,6 +206,15 @@ class Warehouse : public query::QueryCatalog {
 
   /// Serves a page request. Core of the system.
   PageVisit RequestPage(const PageRequest& request);
+
+  /// Serves one page request as a full event-atomic unit: housekeeping
+  /// Tick at request.now, the serve itself, durable batch commit and
+  /// checkpoint cadence — exactly what ProcessEvent does for a kRequest
+  /// trace event, but entered from a PageRequest. This is the serving
+  /// layer's entry point (cluster shard workers call it for wire
+  /// requests), so direct calls and replayed trace events take one code
+  /// path and produce identical results.
+  PageVisit ServeRequest(const PageRequest& request);
 
   /// Deprecated positional form; migrate to the PageRequest overload.
   [[deprecated("use RequestPage(const PageRequest&)")]]
@@ -300,7 +314,11 @@ class Warehouse : public query::QueryCatalog {
   /// processed the same event prefix — whether directly or via crash
   /// recovery — print byte-identical reports. Non-const: priority probes
   /// advance lazy aging state (deterministically).
-  void PrintDurableReport(std::ostream& os);
+  /// Counters are *not* durable state (recovery replays journal records,
+  /// not traffic), so they are excluded from the byte-identity contract;
+  /// `include_counters` appends them as a clearly separated diagnostics
+  /// section (serialized via counters_io) for operator dumps.
+  void PrintDurableReport(std::ostream& os, bool include_counters = false);
 
   /// Trace events processed via ProcessEvent (the durable event clock).
   uint64_t events_processed() const { return events_processed_; }
@@ -474,6 +492,10 @@ class Warehouse : public query::QueryCatalog {
   };
   const Counters& counters() const { return counters_; }
 
+  /// The corpus this warehouse fronts (read-only view; the serving layer
+  /// resolves page URLs against it).
+  const corpus::WebCorpus& corpus() const { return *corpus_; }
+
   /// Writes a human-readable status report: traffic, latency, tier
   /// occupancy, component activity. Used by the CLI driver and examples.
   void PrintReport(std::ostream& os) const;
@@ -547,6 +569,10 @@ class Warehouse : public query::QueryCatalog {
   };
   FetchOutcome FetchWithRetry(corpus::RawId id);
 
+  /// Checkpoint cadence shared by ProcessEvent and ServeRequest; must run
+  /// after the event's batch guard has committed.
+  void MaybeCheckpointAfterEvent();
+
   /// Creates warehouse records for a page on first contact.
   PhysicalPageRecord& EnsurePageRecord(corpus::PageId id);
   RawObjectRecord& EnsureRawRecord(corpus::RawId id);
@@ -614,6 +640,9 @@ class Warehouse : public query::QueryCatalog {
   SimTime now_ = 0;
   SimTime next_rebalance_ = 0;
   SimTime next_sensor_poll_ = 0;
+  /// Deadline of the request currently being served (0 = none); tightens
+  /// FetchWithRetry's budget. Set/cleared by RequestPage.
+  SimTime active_fetch_deadline_ = 0;
   Counters counters_;
   Pcg32 rng_;
 

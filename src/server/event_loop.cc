@@ -1,0 +1,161 @@
+#include "server/event_loop.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#define CBFWW_HAVE_EPOLL 1
+#include <sys/epoll.h>
+#else
+#define CBFWW_HAVE_EPOLL 0
+#endif
+
+#include "util/strings.h"
+
+namespace cbfww::server {
+
+EventLoop::EventLoop(Backend backend) {
+#if CBFWW_HAVE_EPOLL
+  if (backend != Backend::kPoll) {
+    epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+    // On failure fall through to the poll backend rather than dying: the
+    // server still works, just with the portable multiplexer.
+  }
+#else
+  (void)backend;
+#endif
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+#if CBFWW_HAVE_EPOLL
+namespace {
+uint32_t EpollMask(bool want_read, bool want_write) {
+  uint32_t mask = 0;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  return mask;
+}
+}  // namespace
+#endif
+
+Status EventLoop::Add(int fd, bool want_read, bool want_write, void* tag) {
+  if (fd < 0) return Status::InvalidArgument("EventLoop::Add: bad fd");
+  if (fds_.count(fd) > 0) {
+    return Status::InvalidArgument(
+        StrFormat("EventLoop::Add: fd %d already registered", fd));
+  }
+#if CBFWW_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EpollMask(want_read, want_write);
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return Status::Internal(StrFormat("epoll_ctl(ADD fd=%d): %s", fd,
+                                              std::strerror(errno)));
+    }
+  }
+#endif
+  fds_[fd] = Watch{tag, want_read, want_write};
+  return Status::Ok();
+}
+
+Status EventLoop::Modify(int fd, bool want_read, bool want_write) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return Status::InvalidArgument(
+        StrFormat("EventLoop::Modify: fd %d not registered", fd));
+  }
+#if CBFWW_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EpollMask(want_read, want_write);
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+      return Status::Internal(StrFormat("epoll_ctl(MOD fd=%d): %s", fd,
+                                              std::strerror(errno)));
+    }
+  }
+#endif
+  it->second.want_read = want_read;
+  it->second.want_write = want_write;
+  return Status::Ok();
+}
+
+void EventLoop::Remove(int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+#if CBFWW_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    struct epoll_event ev;  // Non-null for pre-2.6.9 kernel compat.
+    std::memset(&ev, 0, sizeof(ev));
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &ev);
+  }
+#endif
+  fds_.erase(it);
+}
+
+int EventLoop::Wait(std::vector<IoEvent>& out, int timeout_ms) {
+  out.clear();
+#if CBFWW_HAVE_EPOLL
+  if (epoll_fd_ >= 0) {
+    size_t want = fds_.empty() ? 1 : fds_.size();
+    if (epoll_buf_.size() < want * sizeof(struct epoll_event)) {
+      epoll_buf_.resize(want * sizeof(struct epoll_event));
+    }
+    auto* events = reinterpret_cast<struct epoll_event*>(epoll_buf_.data());
+    int n = epoll_wait(epoll_fd_, events, static_cast<int>(want), timeout_ms);
+    if (n < 0) return errno == EINTR ? 0 : -1;
+    out.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      auto it = fds_.find(events[i].data.fd);
+      if (it == fds_.end()) continue;  // Removed by an earlier event handler.
+      IoEvent ev;
+      ev.fd = events[i].data.fd;
+      ev.tag = it->second.tag;
+      ev.readable = (events[i].events & EPOLLIN) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(ev);
+    }
+    return static_cast<int>(out.size());
+  }
+#endif
+  // poll(2) backend.
+  std::vector<struct pollfd> pfds;
+  pfds.reserve(fds_.size());
+  for (const auto& [fd, watch] : fds_) {
+    struct pollfd p;
+    p.fd = fd;
+    p.events = 0;
+    p.revents = 0;
+    if (watch.want_read) p.events |= POLLIN;
+    if (watch.want_write) p.events |= POLLOUT;
+    pfds.push_back(p);
+  }
+  int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (n < 0) return errno == EINTR ? 0 : -1;
+  if (n == 0) return 0;
+  for (const auto& p : pfds) {
+    if (p.revents == 0) continue;
+    auto it = fds_.find(p.fd);
+    if (it == fds_.end()) continue;
+    IoEvent ev;
+    ev.fd = p.fd;
+    ev.tag = it->second.tag;
+    ev.readable = (p.revents & POLLIN) != 0;
+    ev.writable = (p.revents & POLLOUT) != 0;
+    ev.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    out.push_back(ev);
+  }
+  return static_cast<int>(out.size());
+}
+
+}  // namespace cbfww::server

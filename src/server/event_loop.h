@@ -1,0 +1,76 @@
+#ifndef CBFWW_SERVER_EVENT_LOOP_H_
+#define CBFWW_SERVER_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cbfww::server {
+
+/// One readiness notification from EventLoop::Wait.
+struct IoEvent {
+  void* tag = nullptr;
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Error/hangup on the fd; the owner should tear the connection down.
+  bool error = false;
+};
+
+/// Thin non-blocking readiness multiplexer: epoll(7) on Linux, poll(2)
+/// everywhere (and selectable at construction so the fallback is exercised
+/// by tests on Linux too, not just compiled).
+///
+/// Not thread-safe: one loop belongs to one thread.
+class EventLoop {
+ public:
+  enum class Backend {
+    kDefault,  // epoll where available, else poll.
+    kEpoll,
+    kPoll,
+  };
+
+  explicit EventLoop(Backend backend = Backend::kDefault);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  bool using_epoll() const { return epoll_fd_ >= 0; }
+
+  /// Registers `fd` with the given interest set. `tag` is returned
+  /// verbatim in IoEvents for this fd.
+  Status Add(int fd, bool want_read, bool want_write, void* tag);
+
+  /// Updates the interest set of a registered fd (tag unchanged).
+  Status Modify(int fd, bool want_read, bool want_write);
+
+  /// Deregisters; safe to call for fds that were never added.
+  void Remove(int fd);
+
+  size_t watched() const { return fds_.size(); }
+
+  /// Blocks up to `timeout_ms` (-1 = indefinitely) and fills `out` with
+  /// ready fds. Returns the number of events, 0 on timeout, -1 on an
+  /// unrecoverable multiplexer error. EINTR is treated as a timeout.
+  int Wait(std::vector<IoEvent>& out, int timeout_ms);
+
+ private:
+  struct Watch {
+    void* tag = nullptr;
+    bool want_read = false;
+    bool want_write = false;
+  };
+
+  int epoll_fd_ = -1;  // -1 = poll backend.
+  std::unordered_map<int, Watch> fds_;
+  // Scratch buffers reused across Wait calls (no per-wait allocation once
+  // warmed up).
+  std::vector<char> epoll_buf_;
+};
+
+}  // namespace cbfww::server
+
+#endif  // CBFWW_SERVER_EVENT_LOOP_H_

@@ -1,0 +1,232 @@
+#include "server/http_client.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/strings.h"
+
+namespace cbfww::server {
+
+std::string_view ClientResponse::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return {};
+}
+
+SimpleHttpClient& SimpleHttpClient::operator=(
+    SimpleHttpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buf_ = std::move(other.buf_);
+    pos_ = other.pos_;
+    other.fd_ = -1;
+    other.pos_ = 0;
+  }
+  return *this;
+}
+
+Status SimpleHttpClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status status = Status::Unavailable(
+        StrFormat("connect %s:%u: %s", host.c_str(), port,
+                  std::strerror(errno)));
+    Close();
+    return status;
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  buf_.clear();
+  pos_ = 0;
+  return Status::Ok();
+}
+
+void SimpleHttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+  pos_ = 0;
+}
+
+Status SimpleHttpClient::Send(std::string_view method, std::string_view target,
+                              std::string_view body,
+                              std::string_view extra_headers) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string request;
+  request.reserve(128 + body.size() + extra_headers.size());
+  request.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");
+  request.append("Host: localhost\r\n");
+  request.append(extra_headers);
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request += StrFormat("Content-Length: %zu\r\n", body.size());
+  }
+  request.append("\r\n").append(body);
+  size_t off = 0;
+  while (off < request.size()) {
+    ssize_t n = ::write(fd_, request.data() + off, request.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(
+          StrFormat("write: %s", std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status SimpleHttpClient::FillBuffer() {
+  char chunk[16384];
+  while (true) {
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buf_.append(chunk, static_cast<size_t>(n));
+      return Status::Ok();
+    }
+    if (n == 0) return Status::Unavailable("connection closed by server");
+    if (errno == EINTR) continue;
+    return Status::Unavailable(StrFormat("read: %s", std::strerror(errno)));
+  }
+}
+
+Result<std::string> SimpleHttpClient::ReadLine() {
+  while (true) {
+    size_t nl = buf_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(pos_, nl - pos_);
+      pos_ = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    Status status = FillBuffer();
+    if (!status.ok()) return status;
+  }
+}
+
+Result<std::string> SimpleHttpClient::ReadExact(size_t n) {
+  while (buf_.size() - pos_ < n) {
+    Status status = FillBuffer();
+    if (!status.ok()) return status;
+  }
+  std::string out = buf_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Result<ClientResponse> SimpleHttpClient::Receive() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  // Compact the consumed prefix between responses.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+
+  auto status_line = ReadLine();
+  if (!status_line.ok()) return status_line.status();
+  ClientResponse response;
+  // "HTTP/1.1 200 OK"
+  const std::string& line = *status_line;
+  size_t sp1 = line.find(' ');
+  if (line.rfind("HTTP/1.", 0) != 0 || sp1 == std::string::npos) {
+    return Status::Internal("malformed status line: " + line);
+  }
+  response.keep_alive = line[7] == '1';
+  response.status = std::atoi(line.c_str() + sp1 + 1);
+
+  size_t content_length = 0;
+  bool chunked = false;
+  while (true) {
+    auto header_line = ReadLine();
+    if (!header_line.ok()) return header_line.status();
+    if (header_line->empty()) break;
+    size_t colon = header_line->find(':');
+    if (colon == std::string::npos) continue;
+    std::string name =
+        ToLowerAscii(std::string_view(*header_line).substr(0, colon));
+    std::string value(
+        TrimAscii(std::string_view(*header_line).substr(colon + 1)));
+    if (name == "content-length") {
+      content_length = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (name == "transfer-encoding" &&
+               ToLowerAscii(value).find("chunked") != std::string::npos) {
+      chunked = true;
+    } else if (name == "connection") {
+      std::string lower = ToLowerAscii(value);
+      if (lower.find("close") != std::string::npos) response.keep_alive = false;
+      if (lower.find("keep-alive") != std::string::npos) {
+        response.keep_alive = true;
+      }
+    }
+    response.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  if (chunked) {
+    while (true) {
+      auto size_line = ReadLine();
+      if (!size_line.ok()) return size_line.status();
+      size_t chunk_size = 0;
+      for (char c : *size_line) {
+        if (c == ';') break;  // Chunk extensions: ignored.
+        int nibble;
+        if (c >= '0' && c <= '9') {
+          nibble = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+          nibble = c - 'a' + 10;
+        } else if (c >= 'A' && c <= 'F') {
+          nibble = c - 'A' + 10;
+        } else {
+          return Status::Internal("malformed chunk size: " + *size_line);
+        }
+        chunk_size = chunk_size * 16 + static_cast<size_t>(nibble);
+      }
+      if (chunk_size == 0) {
+        auto trailer = ReadLine();  // Final CRLF (no trailers expected).
+        if (!trailer.ok()) return trailer.status();
+        break;
+      }
+      auto data = ReadExact(chunk_size);
+      if (!data.ok()) return data.status();
+      response.body += *data;
+      auto crlf = ReadExact(2);
+      if (!crlf.ok()) return crlf.status();
+    }
+  } else if (content_length > 0) {
+    auto data = ReadExact(content_length);
+    if (!data.ok()) return data.status();
+    response.body = std::move(*data);
+  }
+  return response;
+}
+
+Result<ClientResponse> SimpleHttpClient::RoundTrip(
+    std::string_view method, std::string_view target, std::string_view body,
+    std::string_view extra_headers) {
+  Status status = Send(method, target, body, extra_headers);
+  if (!status.ok()) return status;
+  return Receive();
+}
+
+}  // namespace cbfww::server

@@ -1,0 +1,69 @@
+#ifndef CBFWW_SERVER_HTTP_CLIENT_H_
+#define CBFWW_SERVER_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cbfww::server {
+
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  // names lowercased
+  std::string body;
+  bool keep_alive = true;
+
+  std::string_view Header(std::string_view name) const;
+};
+
+/// Minimal blocking HTTP/1.1 client over one keep-alive connection —
+/// exactly what the load generator and the e2e tests need, nothing more.
+/// Handles Content-Length and chunked response bodies. Send and Receive
+/// are split so callers can pipeline: queue N requests, then collect N
+/// responses in order.
+class SimpleHttpClient {
+ public:
+  SimpleHttpClient() = default;
+  ~SimpleHttpClient() { Close(); }
+
+  SimpleHttpClient(const SimpleHttpClient&) = delete;
+  SimpleHttpClient& operator=(const SimpleHttpClient&) = delete;
+  SimpleHttpClient(SimpleHttpClient&& other) noexcept { *this = std::move(other); }
+  SimpleHttpClient& operator=(SimpleHttpClient&& other) noexcept;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Writes one request. `extra_headers` must be complete CRLF-terminated
+  /// lines when non-empty.
+  Status Send(std::string_view method, std::string_view target,
+              std::string_view body = {}, std::string_view extra_headers = {});
+
+  /// Blocks for the next in-order response.
+  Result<ClientResponse> Receive();
+
+  /// Send + Receive.
+  Result<ClientResponse> RoundTrip(std::string_view method,
+                                   std::string_view target,
+                                   std::string_view body = {},
+                                   std::string_view extra_headers = {});
+
+ private:
+  Status FillBuffer();  // Reads more bytes; error on EOF.
+  Result<std::string> ReadLine();
+  Result<std::string> ReadExact(size_t n);
+
+  int fd_ = -1;
+  std::string buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace cbfww::server
+
+#endif  // CBFWW_SERVER_HTTP_CLIENT_H_

@@ -1,0 +1,213 @@
+#include "server/http_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace cbfww::server {
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return {};
+}
+
+void HttpParser::Reset() {
+  state_ = State::kRequestLine;
+  line_.clear();
+  header_bytes_ = 0;
+  body_expected_ = 0;
+  request_ = HttpRequest{};
+  error_status_ = 0;
+  error_.clear();
+}
+
+void HttpParser::Fail(int status, std::string reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_ = std::move(reason);
+}
+
+// Appends bytes up to (and excluding) the next LF into line_. Returns the
+// number of bytes consumed; sets *overflow if the line exceeds `limit`.
+size_t HttpParser::ConsumeLine(std::string_view data, size_t limit,
+                               bool* overflow) {
+  *overflow = false;
+  size_t nl = data.find('\n');
+  size_t take = (nl == std::string_view::npos) ? data.size() : nl + 1;
+  size_t line_part = (nl == std::string_view::npos) ? take : nl;
+  if (line_.size() + line_part > limit) {
+    *overflow = true;
+    return take;
+  }
+  line_.append(data.substr(0, line_part));
+  if (nl != std::string_view::npos) {
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+  }
+  return take;
+}
+
+bool HttpParser::FinishRequestLine() {
+  // METHOD SP request-target SP HTTP/1.x
+  size_t sp1 = line_.find(' ');
+  size_t sp2 = (sp1 == std::string::npos) ? std::string::npos
+                                          : line_.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line_.find(' ', sp2 + 1) != std::string::npos) {
+    Fail(400, "malformed request line");
+    return false;
+  }
+  request_.method = line_.substr(0, sp1);
+  request_.target = line_.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string version = line_.substr(sp2 + 1);
+  if (request_.method.empty() || request_.target.empty()) {
+    Fail(400, "empty method or target");
+    return false;
+  }
+  for (char c : request_.method) {
+    if (!std::isupper(static_cast<unsigned char>(c))) {
+      Fail(400, "bad method token");
+      return false;
+    }
+  }
+  if (version == "HTTP/1.1") {
+    request_.version_minor = 1;
+    request_.keep_alive = true;
+  } else if (version == "HTTP/1.0") {
+    request_.version_minor = 0;
+    request_.keep_alive = false;
+  } else if (version.rfind("HTTP/", 0) == 0) {
+    Fail(505, "unsupported HTTP version: " + version);
+    return false;
+  } else {
+    Fail(400, "malformed HTTP version");
+    return false;
+  }
+  return true;
+}
+
+bool HttpParser::FinishHeaderLine() {
+  if (request_.headers.size() >= limits_.max_headers) {
+    Fail(431, "too many header fields");
+    return false;
+  }
+  size_t colon = line_.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    Fail(400, "malformed header line");
+    return false;
+  }
+  std::string name = ToLowerAscii(std::string_view(line_).substr(0, colon));
+  // Field names must be tokens: no embedded whitespace (a space before the
+  // colon is a classic request-smuggling vector).
+  for (char c : name) {
+    if (c == ' ' || c == '\t') {
+      Fail(400, "whitespace in header name");
+      return false;
+    }
+  }
+  std::string value(TrimAscii(std::string_view(line_).substr(colon + 1)));
+  request_.headers.emplace_back(std::move(name), std::move(value));
+  return true;
+}
+
+bool HttpParser::FinishHeaderSection() {
+  if (!request_.Header("transfer-encoding").empty()) {
+    Fail(501, "chunked request bodies not supported");
+    return false;
+  }
+  std::string_view cl = request_.Header("content-length");
+  if (!cl.empty()) {
+    uint64_t value = 0;
+    for (char c : cl) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        Fail(400, "malformed Content-Length");
+        return false;
+      }
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+      if (value > limits_.max_body_bytes) {
+        Fail(413, "request body too large");
+        return false;
+      }
+    }
+    body_expected_ = static_cast<size_t>(value);
+  }
+  // Connection header overrides the version default.
+  std::string conn = ToLowerAscii(request_.Header("connection"));
+  if (conn.find("close") != std::string::npos) {
+    request_.keep_alive = false;
+  } else if (conn.find("keep-alive") != std::string::npos) {
+    request_.keep_alive = true;
+  }
+  if (body_expected_ == 0) {
+    state_ = State::kComplete;
+  } else {
+    request_.body.reserve(body_expected_);
+    state_ = State::kBody;
+  }
+  return true;
+}
+
+size_t HttpParser::Consume(std::string_view data) {
+  size_t consumed = 0;
+  while (consumed < data.size()) {
+    if (state_ == State::kComplete || state_ == State::kError) break;
+    std::string_view rest = data.substr(consumed);
+    switch (state_) {
+      case State::kRequestLine: {
+        bool overflow = false;
+        size_t n = ConsumeLine(rest, limits_.max_request_line_bytes, &overflow);
+        consumed += n;
+        header_bytes_ += n;
+        if (overflow) {
+          Fail(431, "request line too long");
+          break;
+        }
+        if (header_bytes_ > limits_.max_header_bytes) {
+          Fail(431, "header section too large");
+          break;
+        }
+        if (rest.substr(0, n).find('\n') == std::string_view::npos) break;
+        // Tolerate empty line(s) before the request line (RFC 9112 §2.2).
+        if (line_.empty()) break;
+        if (FinishRequestLine()) {
+          line_.clear();
+          state_ = State::kHeaders;
+        }
+        break;
+      }
+      case State::kHeaders: {
+        bool overflow = false;
+        size_t n = ConsumeLine(rest, limits_.max_header_bytes, &overflow);
+        consumed += n;
+        header_bytes_ += n;
+        if (overflow || header_bytes_ > limits_.max_header_bytes) {
+          Fail(431, "header section too large");
+          break;
+        }
+        if (rest.substr(0, n).find('\n') == std::string_view::npos) break;
+        if (line_.empty()) {
+          FinishHeaderSection();
+        } else if (FinishHeaderLine()) {
+          line_.clear();
+        }
+        break;
+      }
+      case State::kBody: {
+        size_t need = body_expected_ - request_.body.size();
+        size_t take = std::min(need, rest.size());
+        request_.body.append(rest.substr(0, take));
+        consumed += take;
+        if (request_.body.size() == body_expected_) state_ = State::kComplete;
+        break;
+      }
+      case State::kComplete:
+      case State::kError:
+        break;
+    }
+  }
+  return consumed;
+}
+
+}  // namespace cbfww::server

@@ -1,0 +1,97 @@
+#ifndef CBFWW_SERVER_HTTP_PARSER_H_
+#define CBFWW_SERVER_HTTP_PARSER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cbfww::server {
+
+/// Hard limits on what the parser will buffer. Exceeding one maps to a
+/// specific HTTP status so the server can reject without reading further.
+struct ParserLimits {
+  size_t max_request_line_bytes = 4096;
+  size_t max_header_bytes = 16384;  // Request line + all header lines.
+  size_t max_body_bytes = 1 << 20;  // 1 MiB.
+  size_t max_headers = 64;
+};
+
+/// A fully parsed request. Header names are lowercased; values trimmed.
+struct HttpRequest {
+  std::string method;
+  std::string target;        // Raw request-target (still percent-encoded).
+  int version_minor = 1;     // HTTP/1.<minor>; only 0 and 1 are accepted.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  /// First matching header value or empty view. `name` must be lowercase.
+  std::string_view Header(std::string_view name) const;
+};
+
+/// Incremental HTTP/1.1 request parser: a push-based state machine that
+/// consumes bytes as they arrive off the socket and never reads past the
+/// end of the current request, so pipelined requests queued in the same
+/// buffer are left intact for the next Consume round.
+///
+/// Scope (documented subset, enforced with precise error statuses):
+///   - request bodies are Content-Length delimited only; a request with
+///     `Transfer-Encoding` is rejected with 501 (the *server* may respond
+///     chunked, it just does not accept chunked uploads),
+///   - HTTP/1.0 and HTTP/1.1 only (else 505),
+///   - header section and body bounded by ParserLimits (431 / 413).
+class HttpParser {
+ public:
+  enum class State {
+    kRequestLine,
+    kHeaders,
+    kBody,
+    kComplete,  // request() is valid; call Reset() before further input.
+    kError,     // error_status()/error() describe the failure.
+  };
+
+  explicit HttpParser(ParserLimits limits = {}) : limits_(limits) {}
+
+  /// Feeds bytes; returns how many were consumed (always all of `data`
+  /// unless the machine hit kComplete or kError mid-buffer). The caller
+  /// keeps unconsumed bytes for the next request.
+  size_t Consume(std::string_view data);
+
+  State state() const { return state_; }
+  bool done() const { return state_ == State::kComplete; }
+  bool failed() const { return state_ == State::kError; }
+
+  const HttpRequest& request() const { return request_; }
+  HttpRequest TakeRequest() { return std::move(request_); }
+
+  /// HTTP status code to answer with when failed() (400, 413, 431, 501,
+  /// 505) and a short human-readable reason.
+  int error_status() const { return error_status_; }
+  const std::string& error() const { return error_; }
+
+  /// Clears all state for the next request on the same connection.
+  void Reset();
+
+ private:
+  size_t ConsumeLine(std::string_view data, size_t limit, bool* overflow);
+  bool FinishRequestLine();
+  bool FinishHeaderLine();
+  bool FinishHeaderSection();
+  void Fail(int status, std::string reason);
+
+  ParserLimits limits_;
+  State state_ = State::kRequestLine;
+  std::string line_;           // Partial line being accumulated.
+  size_t header_bytes_ = 0;    // Total request-line + header bytes seen.
+  size_t body_expected_ = 0;
+  HttpRequest request_;
+  int error_status_ = 0;
+  std::string error_;
+};
+
+}  // namespace cbfww::server
+
+#endif  // CBFWW_SERVER_HTTP_PARSER_H_

@@ -1,0 +1,870 @@
+#include "server/http_server.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/counters_io.h"
+#include "server/wire_format.h"
+#include "util/strings.h"
+
+namespace cbfww::server {
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool AllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool ParseU64(std::string_view s, uint64_t* out) {
+  if (!AllDigits(s) || s.size() > 19) return false;
+  uint64_t v = 0;
+  for (char c : s) v = v * 10 + static_cast<uint64_t>(c - '0');
+  *out = v;
+  return true;
+}
+
+bool ParseI64(std::string_view s, int64_t* out) {
+  bool neg = !s.empty() && s[0] == '-';
+  std::string_view digits = neg ? s.substr(1) : s;
+  uint64_t v = 0;
+  if (!ParseU64(digits, &v)) return false;
+  *out = neg ? -static_cast<int64_t>(v) : static_cast<int64_t>(v);
+  return true;
+}
+
+bool TruthyParam(std::string_view v) {
+  return v == "1" || v == "true" || v == "yes";
+}
+
+// Signal-drain plumbing: the handler may only do async-signal-safe work, so
+// it writes one byte to the installed server's wake pipe and sets a flag
+// the IO loop reads.
+std::atomic<HttpServer*> g_signal_server{nullptr};
+std::atomic<int> g_signal_wake_fd{-1};
+std::atomic<bool> g_signal_drain{false};
+
+void SignalDrainHandler(int /*signo*/) {
+  g_signal_drain.store(true, std::memory_order_release);
+  int fd = g_signal_wake_fd.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    char byte = 'q';
+    [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+/// Per-connection state machine. Input accumulates in `in`; `in_pos` marks
+/// the parsed prefix (pipelined requests wait there while one is in
+/// flight). Output accumulates in `out` and flushes as the socket allows.
+struct HttpServer::Conn {
+  uint64_t id = 0;
+  int fd = -1;
+
+  std::string in;
+  size_t in_pos = 0;
+  HttpParser parser;
+  bool read_eof = false;
+
+  std::string out;
+  size_t out_pos = 0;
+  bool write_registered = false;
+  bool want_close = false;
+
+  // The request currently being answered (set by RouteRequest).
+  bool resp_keep_alive = true;
+  int resp_version_minor = 1;
+
+  // In-flight cluster call, if any.
+  bool awaiting = false;
+  std::shared_ptr<cluster::ServeTicket> ticket;
+  enum class Pending { kNone, kPage, kQuery } pending = Pending::kNone;
+  std::string pending_url;
+
+  explicit Conn(ParserLimits limits) : parser(limits) {}
+};
+
+HttpServer::HttpServer(cluster::WarehouseCluster* cluster,
+                       const ServerOptions& options)
+    : cluster_(cluster), options_(options) {}
+
+HttpServer::~HttpServer() {
+  Stop();
+  if (g_signal_server.load(std::memory_order_acquire) == this) {
+    InstallSignalDrain(nullptr);
+  }
+}
+
+void HttpServer::InstallSignalDrain(HttpServer* server) {
+  if (server == nullptr) {
+    g_signal_server.store(nullptr, std::memory_order_release);
+    g_signal_wake_fd.store(-1, std::memory_order_release);
+    signal(SIGTERM, SIG_DFL);
+    signal(SIGINT, SIG_DFL);
+    return;
+  }
+  g_signal_server.store(server, std::memory_order_release);
+  g_signal_wake_fd.store(server->wake_pipe_[1], std::memory_order_release);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = SignalDrainHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+Status HttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+
+  // URL map from shard 0's corpus replica (identical across shards): a
+  // page is addressed by its container object's URL.
+  const corpus::WebCorpus& corpus = cluster_->shard(0).corpus();
+  url_to_page_.reserve(corpus.num_pages());
+  for (const auto& page : corpus.pages()) {
+    url_to_page_[corpus.raw(page.container).url] = page.id;
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status status =
+        Status::Internal(StrFormat("bind %s:%u: %s",
+                                   options_.bind_address.c_str(),
+                                   options_.port, std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    Status status =
+        Status::Internal(StrFormat("listen: %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(StrFormat("pipe: %s", std::strerror(errno)));
+  }
+  SetNonBlocking(wake_pipe_[0]);
+  SetNonBlocking(wake_pipe_[1]);
+
+  loop_ = std::make_unique<EventLoop>(options_.backend);
+  Status status = loop_->Add(listen_fd_, /*want_read=*/true,
+                             /*want_write=*/false, nullptr);
+  if (status.ok()) {
+    status = loop_->Add(wake_pipe_[0], /*want_read=*/true,
+                        /*want_write=*/false, nullptr);
+  }
+  if (!status.ok()) {
+    ::close(listen_fd_);
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+    listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
+    loop_.reset();
+    return status;
+  }
+
+  drain_requested_.store(false, std::memory_order_release);
+  draining_ = false;
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { Run(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  drain_requested_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    char byte = 'q';
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  Join();
+}
+
+void HttpServer::Join() {
+  if (io_thread_.joinable()) io_thread_.join();
+  // Reclaim the wake pipe only once the IO thread is gone; until then
+  // Stop() (any thread) and the signal handler write to it. If the signal
+  // handler is still pointed at our write end, retarget it first so a
+  // late signal can't write into a recycled descriptor.
+  if (wake_pipe_[1] >= 0) {
+    int expected = wake_pipe_[1];
+    g_signal_wake_fd.compare_exchange_strong(expected, -1);
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+  }
+}
+
+void HttpServer::Run() {
+  std::vector<IoEvent> events;
+  while (true) {
+    if (!draining_ &&
+        (drain_requested_.load(std::memory_order_acquire) ||
+         (g_signal_server.load(std::memory_order_acquire) == this &&
+          g_signal_drain.load(std::memory_order_acquire)))) {
+      BeginDrain();
+    }
+    if (draining_ && DrainComplete()) break;
+
+    int n = loop_->Wait(events, /*timeout_ms=*/awaiting_tickets_ > 0 ? 10 : 250);
+    if (n < 0) break;  // Multiplexer failure: shut down rather than spin.
+
+    for (const IoEvent& ev : events) {
+      if (ev.fd == listen_fd_) {
+        AcceptNew();
+        continue;
+      }
+      if (ev.fd == wake_pipe_[0]) {
+        char buf[256];
+        while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      auto* conn = static_cast<Conn*>(ev.tag);
+      if (conn == nullptr) continue;
+      uint64_t id = conn->id;
+      if (ev.error) {
+        CloseConn(*conn);
+        continue;
+      }
+      if (ev.readable) {
+        HandleReadable(*conn);
+        if (conns_.count(id) == 0) continue;  // Closed during read.
+      }
+      if (ev.writable) HandleWritable(*conn);
+    }
+
+    // Completions arrive from shard workers via the wake pipe; sweep all
+    // parked connections (cheap: only conns with awaiting set are checked).
+    if (awaiting_tickets_ > 0) CheckPendingTickets();
+  }
+
+  // Drain epilogue: nothing in flight, nothing buffered. Un-park any
+  // suspended shards (Drain would block on their backlog) and wait for the
+  // cluster to go quiescent.
+  for (uint32_t i = 0; i < cluster_->num_shards(); ++i) {
+    if (cluster_->IsSuspended(i)) cluster_->ResumeShard(i);
+  }
+  cluster_->Drain();
+
+  if (listen_fd_ >= 0) {
+    loop_->Remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // The wake pipe stays open: Stop() on another thread writes to it to
+  // nudge this loop, so it can only be reclaimed after the join (Join()).
+  loop_->Remove(wake_pipe_[0]);
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::BeginDrain() {
+  draining_ = true;
+  if (listen_fd_ >= 0) {
+    loop_->Remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Idle connections close now; busy ones finish their in-flight request,
+  // flush, and then close (want_close stops pipelined follow-ups).
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (uint64_t id : ids) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Conn& conn = *it->second;
+    conn.want_close = true;
+    if (!conn.awaiting && conn.out_pos >= conn.out.size()) CloseConn(conn);
+  }
+}
+
+bool HttpServer::DrainComplete() const { return conns_.empty(); }
+
+void HttpServer::AcceptNew() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (conns_.size() >= options_.max_connections) {
+      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    SetNonBlocking(fd);
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Conn>(options_.limits);
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    Conn* raw = conn.get();
+    if (!loop_->Add(fd, /*want_read=*/true, /*want_write=*/false, raw).ok()) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(raw->id, std::move(conn));
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HttpServer::CloseConn(Conn& conn) {
+  if (conn.awaiting) {
+    // The ticket is abandoned: shard workers still hold a shared_ptr and
+    // will complete it harmlessly after we are gone.
+    awaiting_tickets_--;
+    conn.awaiting = false;
+    conn.ticket.reset();
+  }
+  loop_->Remove(conn.fd);
+  ::close(conn.fd);
+  conns_.erase(conn.id);  // Destroys conn; no member access past this line.
+}
+
+void HttpServer::HandleReadable(Conn& conn) {
+  // `conn` may be destroyed by any callee that closes the connection;
+  // capture the id up front and re-check liveness before each reuse.
+  const uint64_t id = conn.id;
+  char buf[16384];
+  while (true) {
+    ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      stats_.bytes_in.fetch_add(static_cast<uint64_t>(n),
+                                std::memory_order_relaxed);
+      conn.in.append(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      conn.read_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConn(conn);
+    return;
+  }
+  ProcessBuffered(conn);
+  if (conns_.count(id) == 0) return;
+  HandleWritable(conn);  // Flush whatever the routing produced.
+  if (conns_.count(id) == 0) return;
+  if (conn.read_eof && !conn.awaiting && conn.out_pos >= conn.out.size()) {
+    CloseConn(conn);
+  }
+}
+
+void HttpServer::ProcessBuffered(Conn& conn) {
+  // One request in flight at a time per connection; pipelined bytes wait in
+  // `in`. Responses append to `out` in arrival order, so ordering holds.
+  while (!conn.awaiting && !conn.want_close) {
+    if (conn.in_pos < conn.in.size()) {
+      size_t n = conn.parser.Consume(
+          std::string_view(conn.in).substr(conn.in_pos));
+      conn.in_pos += n;
+    }
+    if (conn.parser.failed()) {
+      stats_.requests_total.fetch_add(1, std::memory_order_relaxed);
+      conn.resp_keep_alive = false;
+      conn.resp_version_minor = 1;
+      QueueError(conn, conn.parser.error_status(), conn.parser.error());
+      conn.want_close = true;
+      break;
+    }
+    if (!conn.parser.done()) break;  // Need more bytes.
+    HttpRequest request = conn.parser.TakeRequest();
+    conn.parser.Reset();
+    RouteRequest(conn, std::move(request));
+  }
+  // Reclaim consumed input.
+  if (conn.in_pos >= conn.in.size()) {
+    conn.in.clear();
+    conn.in_pos = 0;
+  } else if (conn.in_pos > 65536) {
+    conn.in.erase(0, conn.in_pos);
+    conn.in_pos = 0;
+  }
+}
+
+void HttpServer::RouteRequest(Conn& conn, HttpRequest request) {
+  stats_.requests_total.fetch_add(1, std::memory_order_relaxed);
+  conn.resp_keep_alive = request.keep_alive;
+  conn.resp_version_minor = request.version_minor;
+
+  RequestTarget target = ParseTarget(request.target);
+
+  if (target.path == "/healthz") {
+    if (request.method != "GET") {
+      QueueError(conn, 405, "use GET");
+      return;
+    }
+    QueueResponse(conn, 200, "text/plain", "ok\n");
+    return;
+  }
+
+  if (target.path == "/metrics") {
+    if (request.method != "GET") {
+      QueueError(conn, 405, "use GET");
+      return;
+    }
+    QueueResponse(conn, 200, "text/plain; version=0.0.4", MetricsText());
+    return;
+  }
+
+  if (target.path.rfind("/page/", 0) == 0) {
+    if (request.method != "GET") {
+      QueueError(conn, 405, "use GET");
+      return;
+    }
+    std::string key = target.path.substr(6);
+    corpus::PageId page = corpus::kInvalidPageId;
+    std::string url;
+    uint64_t numeric = 0;
+    if (ParseU64(key, &numeric)) {
+      page = numeric;
+    } else {
+      auto it = url_to_page_.find(key);
+      if (it != url_to_page_.end()) {
+        page = it->second;
+        url = it->first;
+      }
+    }
+    if (page == corpus::kInvalidPageId ||
+        page >= cluster_->shard(0).corpus().num_pages()) {
+      QueueError(conn, 404, "unknown page: " + key);
+      return;
+    }
+
+    core::PageRequest page_request;
+    page_request.page = page;
+    uint64_t user = 0;
+    if (ParseU64(target.Param("user"), &user)) {
+      page_request.user = static_cast<uint32_t>(user);
+    }
+    int64_t session = -1;
+    if (ParseI64(target.Param("session"), &session)) {
+      page_request.session = session;
+    }
+    page_request.via_link = TruthyParam(target.Param("via_link"));
+    // An explicit ?t= is used verbatim (deterministic replay over the
+    // wire: per-shard event times are exactly what the client scripted);
+    // otherwise the server's logical clock advances 1ms per request.
+    int64_t now = 0;
+    if (ParseI64(target.Param("t"), &now) && now > 0) {
+      page_request.now = now;
+      sim_now_ = std::max(sim_now_, now);
+    } else {
+      sim_now_ += kMillisecond;
+      page_request.now = sim_now_;
+    }
+
+    // Client deadline: ?deadline_ms= beats X-Deadline-Ms beats the server
+    // default. Propagated into the warehouse's origin-fetch retry loop.
+    int64_t deadline_ms = options_.default_deadline_ms;
+    int64_t parsed = 0;
+    if (ParseI64(request.Header("x-deadline-ms"), &parsed) && parsed > 0) {
+      deadline_ms = parsed;
+    }
+    if (ParseI64(target.Param("deadline_ms"), &parsed) && parsed > 0) {
+      deadline_ms = parsed;
+    }
+    if (deadline_ms > 0) {
+      page_request.fetch_deadline = deadline_ms * kMillisecond;
+    }
+
+    auto ticket = std::make_shared<cluster::ServeTicket>();
+    int wake_fd = wake_pipe_[1];
+    ticket->on_complete = [wake_fd] {
+      char byte = 'c';
+      [[maybe_unused]] ssize_t n = ::write(wake_fd, &byte, 1);
+    };
+    Status status = cluster_->TryServePage(page_request, ticket);
+    if (!status.ok()) {
+      if (status.code() == StatusCode::kResourceExhausted) {
+        stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
+        QueueResponse(
+            conn, 503, "application/json",
+            "{\"error\":\"shard overloaded\",\"shed\":true}",
+            StrFormat("Retry-After: %d\r\n", options_.retry_after_s));
+      } else {
+        QueueError(conn, 500, status.message());
+      }
+      return;
+    }
+    conn.awaiting = true;
+    conn.ticket = std::move(ticket);
+    conn.pending = Conn::Pending::kPage;
+    conn.pending_url = std::move(url);
+    awaiting_tickets_++;
+    return;
+  }
+
+  if (target.path == "/query") {
+    if (request.method != "POST") {
+      QueueError(conn, 405, "use POST with the OQL text as the body");
+      return;
+    }
+    if (request.body.empty()) {
+      QueueError(conn, 400, "empty query body");
+      return;
+    }
+    core::QueryRunOptions run_options;
+    std::string_view use_index = target.Param("use_index");
+    if (use_index == "0" || use_index == "false") run_options.use_index = false;
+    run_options.with_cost = TruthyParam(target.Param("with_cost"));
+
+    auto ticket = std::make_shared<cluster::ServeTicket>();
+    int wake_fd = wake_pipe_[1];
+    ticket->on_complete = [wake_fd] {
+      char byte = 'c';
+      [[maybe_unused]] ssize_t n = ::write(wake_fd, &byte, 1);
+    };
+    Status status = cluster_->TryServeQuery(request.body, run_options, ticket);
+    if (!status.ok()) {
+      // Shed on at least one shard: the accepted shards still complete the
+      // abandoned ticket (the shared_ptr keeps it alive); the client gets
+      // an immediate 503 and retries.
+      stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
+      QueueResponse(conn, 503, "application/json",
+                    "{\"error\":\"query shed\",\"shed\":true}",
+                    StrFormat("Retry-After: %d\r\n", options_.retry_after_s));
+      return;
+    }
+    conn.awaiting = true;
+    conn.ticket = std::move(ticket);
+    conn.pending = Conn::Pending::kQuery;
+    awaiting_tickets_++;
+    return;
+  }
+
+  if (target.path.rfind("/admin/shard/", 0) == 0) {
+    if (request.method != "POST") {
+      QueueError(conn, 405, "use POST");
+      return;
+    }
+    std::string rest = target.path.substr(std::strlen("/admin/shard/"));
+    size_t slash = rest.find('/');
+    uint64_t shard = 0;
+    if (slash == std::string::npos ||
+        !ParseU64(std::string_view(rest).substr(0, slash), &shard) ||
+        shard >= cluster_->num_shards()) {
+      QueueError(conn, 404, "unknown shard");
+      return;
+    }
+    std::string action = rest.substr(slash + 1);
+    if (action == "suspend") {
+      cluster_->SuspendShard(static_cast<uint32_t>(shard));
+    } else if (action == "resume") {
+      cluster_->ResumeShard(static_cast<uint32_t>(shard));
+    } else {
+      QueueError(conn, 404, "unknown admin action: " + action);
+      return;
+    }
+    QueueResponse(conn, 200, "application/json",
+                  StrFormat("{\"shard\":%llu,\"suspended\":%s}",
+                            static_cast<unsigned long long>(shard),
+                            cluster_->IsSuspended(static_cast<uint32_t>(shard))
+                                ? "true"
+                                : "false"));
+    return;
+  }
+
+  QueueError(conn, 404, "no such route: " + target.path);
+}
+
+void HttpServer::CheckPendingTickets() {
+  std::vector<uint64_t> ready;
+  for (const auto& [id, conn] : conns_) {
+    if (conn->awaiting && conn->ticket->done()) ready.push_back(id);
+  }
+  for (uint64_t id : ready) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Conn& conn = *it->second;
+    FinishTicket(conn);
+    if (conns_.count(id) == 0) continue;
+    // The answered request may have pipelined successors waiting.
+    ProcessBuffered(conn);
+    if (conns_.count(id) == 0) continue;
+    HandleWritable(conn);
+    if (conns_.count(id) == 0) continue;
+    if (conn.want_close && !conn.awaiting && conn.out_pos >= conn.out.size()) {
+      CloseConn(conn);
+    }
+  }
+}
+
+void HttpServer::FinishTicket(Conn& conn) {
+  std::shared_ptr<cluster::ServeTicket> ticket = std::move(conn.ticket);
+  conn.awaiting = false;
+  conn.ticket.reset();
+  awaiting_tickets_--;
+
+  if (conn.pending == Conn::Pending::kPage) {
+    QueueResponse(conn, 200, "application/json",
+                  PageVisitToJson(ticket->visit, conn.pending_url));
+    conn.pending_url.clear();
+  } else {
+    // Query: 200 when at least one shard answered; otherwise the first
+    // slot's error decides between client error (400) and overload (503).
+    bool any_ok = false;
+    for (const auto& slot : ticket->query) any_ok = any_ok || slot.status.ok();
+    if (any_ok) {
+      QueueResponse(conn, 200, "application/json", QueryTicketToJson(*ticket));
+    } else if (!ticket->query.empty() &&
+               ticket->query[0].status.code() ==
+                   StatusCode::kResourceExhausted) {
+      stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
+      QueueResponse(conn, 503, "application/json",
+                    "{\"error\":\"query shed\",\"shed\":true}",
+                    StrFormat("Retry-After: %d\r\n", options_.retry_after_s));
+    } else {
+      std::string message =
+          ticket->query.empty() ? "no shards" : ticket->query[0].status.message();
+      QueueError(conn, 400, message);
+    }
+  }
+  conn.pending = Conn::Pending::kNone;
+}
+
+void HttpServer::QueueError(Conn& conn, int status, const std::string& message) {
+  QueueResponse(conn, status, "application/json",
+                "{\"error\":\"" + JsonEscape(message) + "\"}");
+}
+
+void HttpServer::QueueResponse(Conn& conn, int status,
+                               const std::string& content_type,
+                               const std::string& body,
+                               const std::string& extra_headers) {
+  if (status >= 200 && status < 300) {
+    stats_.responses_2xx.fetch_add(1, std::memory_order_relaxed);
+  } else if (status >= 400 && status < 500) {
+    stats_.responses_4xx.fetch_add(1, std::memory_order_relaxed);
+  } else if (status >= 500 && status != 503) {
+    stats_.responses_5xx_other.fetch_add(1, std::memory_order_relaxed);
+  }
+  // (503s are counted at their call sites, which know the shed context.)
+
+  bool keep_alive = conn.resp_keep_alive && !conn.want_close && !draining_;
+  bool chunked = conn.resp_version_minor >= 1 &&
+                 body.size() > options_.chunk_threshold;
+
+  std::string head =
+      StrFormat("HTTP/1.%d %d %s\r\n", conn.resp_version_minor, status,
+                ReasonPhrase(status));
+  head += "Content-Type: " + content_type + "\r\n";
+  head += extra_headers;
+  if (chunked) {
+    head += "Transfer-Encoding: chunked\r\n";
+  } else {
+    head += StrFormat("Content-Length: %zu\r\n", body.size());
+  }
+  head += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  head += "\r\n";
+
+  conn.out += head;
+  if (chunked) {
+    constexpr size_t kChunk = 32768;
+    for (size_t off = 0; off < body.size(); off += kChunk) {
+      size_t n = std::min(kChunk, body.size() - off);
+      conn.out += StrFormat("%zx\r\n", n);
+      conn.out.append(body, off, n);
+      conn.out += "\r\n";
+    }
+    conn.out += "0\r\n\r\n";
+  } else {
+    conn.out += body;
+  }
+  if (!keep_alive) conn.want_close = true;
+}
+
+void HttpServer::HandleWritable(Conn& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos,
+                        conn.out.size() - conn.out_pos);
+    if (n > 0) {
+      conn.out_pos += static_cast<size_t>(n);
+      stats_.bytes_out.fetch_add(static_cast<uint64_t>(n),
+                                 std::memory_order_relaxed);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn.write_registered) {
+        loop_->Modify(conn.fd, /*want_read=*/true, /*want_write=*/true);
+        conn.write_registered = true;
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(conn);
+    return;
+  }
+  // Fully flushed.
+  conn.out.clear();
+  conn.out_pos = 0;
+  if (conn.write_registered) {
+    loop_->Modify(conn.fd, /*want_read=*/true, /*want_write=*/false);
+    conn.write_registered = false;
+  }
+  if (conn.want_close && !conn.awaiting) CloseConn(conn);
+}
+
+std::string HttpServer::MetricsText() {
+  std::ostringstream os;
+  os << "# HELP cbfww_up Serving layer liveness.\n# TYPE cbfww_up gauge\n"
+     << "cbfww_up 1\n";
+
+  // Server-side counters.
+  os << "# TYPE cbfww_http_connections gauge\n"
+     << "cbfww_http_connections " << conns_.size() << "\n";
+  os << "# TYPE cbfww_http_requests_total counter\n"
+     << "cbfww_http_requests_total "
+     << stats_.requests_total.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE cbfww_http_responses_total counter\n";
+  os << "cbfww_http_responses_total{code=\"2xx\"} "
+     << stats_.responses_2xx.load(std::memory_order_relaxed) << "\n";
+  os << "cbfww_http_responses_total{code=\"4xx\"} "
+     << stats_.responses_4xx.load(std::memory_order_relaxed) << "\n";
+  os << "cbfww_http_responses_total{code=\"503\"} "
+     << stats_.responses_503.load(std::memory_order_relaxed) << "\n";
+  os << "cbfww_http_responses_total{code=\"5xx_other\"} "
+     << stats_.responses_5xx_other.load(std::memory_order_relaxed) << "\n";
+
+  // Always-available per-shard runtime stats (atomic loads; never blocks,
+  // valid mid-flight and with shards suspended).
+  std::vector<cluster::ShardRuntimeStats> shards = cluster_->RuntimeStats();
+  os << "# TYPE cbfww_shard_submitted_total counter\n";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    os << "cbfww_shard_submitted_total{shard=\"" << i << "\"} "
+       << shards[i].submitted << "\n";
+  }
+  os << "# TYPE cbfww_shard_processed_total counter\n";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    os << "cbfww_shard_processed_total{shard=\"" << i << "\"} "
+       << shards[i].processed << "\n";
+  }
+  os << "# HELP cbfww_shard_shed_total Requests rejected by bounded "
+        "admission (served as 503).\n# TYPE cbfww_shard_shed_total counter\n";
+  uint64_t total_shed = 0;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    total_shed += shards[i].shed;
+    os << "cbfww_shard_shed_total{shard=\"" << i << "\"} " << shards[i].shed
+       << "\n";
+  }
+  os << "# TYPE cbfww_cluster_shed_total counter\n"
+     << "cbfww_cluster_shed_total " << total_shed << "\n";
+  os << "# TYPE cbfww_shard_queue_depth gauge\n";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    os << "cbfww_shard_queue_depth{shard=\"" << i << "\"} "
+       << shards[i].queue_depth << "\n";
+  }
+  os << "# TYPE cbfww_shard_suspended gauge\n";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    os << "cbfww_shard_suspended{shard=\"" << i << "\"} "
+       << (shards[i].suspended ? 1 : 0) << "\n";
+  }
+
+  os << "# TYPE cbfww_durability_ok gauge\n"
+     << "cbfww_durability_ok "
+     << (cluster_->durability_status().ok() ? 1 : 0) << "\n";
+
+  // Warehouse-level counters need a drained cluster. The IO thread is the
+  // single producer, so Idle() here is stable: if idle, Report() cannot
+  // block and we emit the full merged report; otherwise scrapers get the
+  // runtime stats above plus an explicit staleness marker.
+  bool idle = cluster_->Idle();
+  os << "# HELP cbfww_metrics_full_report 1 when the warehouse counter "
+        "section below reflects a full drained report.\n"
+     << "# TYPE cbfww_metrics_full_report gauge\n"
+     << "cbfww_metrics_full_report " << (idle ? 1 : 0) << "\n";
+  if (idle) {
+    cluster::ClusterReport report = cluster_->Report();
+    for (const auto& entry : core::CounterEntries(report.counters)) {
+      os << "# TYPE cbfww_warehouse_" << entry.name << "_total counter\n";
+      os << "cbfww_warehouse_" << entry.name << "_total " << entry.value
+         << "\n";
+    }
+    static const char* kSources[4] = {"memory", "disk", "tertiary", "origin"};
+    os << "# TYPE cbfww_served_from_total counter\n";
+    for (int i = 0; i < 4; ++i) {
+      os << "cbfww_served_from_total{source=\"" << kSources[i] << "\"} "
+         << report.served_from[i] << "\n";
+    }
+    os << "# TYPE cbfww_distinct_pages gauge\n"
+       << "cbfww_distinct_pages " << report.distinct_pages << "\n";
+    if (report.latency_percentiles.count() > 0) {
+      os << "# TYPE cbfww_request_latency_us gauge\n";
+      os << "cbfww_request_latency_us{quantile=\"0.5\"} "
+         << report.latency_percentiles.Percentile(50) << "\n";
+      os << "cbfww_request_latency_us{quantile=\"0.99\"} "
+         << report.latency_percentiles.Percentile(99) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cbfww::server

@@ -1,0 +1,157 @@
+#ifndef CBFWW_SERVER_HTTP_SERVER_H_
+#define CBFWW_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/warehouse_cluster.h"
+#include "server/event_loop.h"
+#include "server/http_parser.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace cbfww::server {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = pick an ephemeral port (read back via HttpServer::port()).
+  uint16_t port = 0;
+  int backlog = 128;
+  /// Accepted connections beyond this are closed immediately with 503.
+  size_t max_connections = 1024;
+  ParserLimits limits;
+  EventLoop::Backend backend = EventLoop::Backend::kDefault;
+  /// Retry-After seconds advertised on 503 (shed) responses.
+  int retry_after_s = 1;
+  /// Responses with bodies larger than this are sent with chunked
+  /// transfer-encoding (HTTP/1.1 clients only).
+  size_t chunk_threshold = 64 * 1024;
+  /// Default per-request origin-fetch budget when the client sends none
+  /// (0 = warehouse default). Clients override with ?deadline_ms= or the
+  /// X-Deadline-Ms header.
+  int64_t default_deadline_ms = 0;
+};
+
+/// Aggregate request counters maintained by the IO thread (atomics so
+/// /metrics scrapes and tests can read them from other threads).
+struct ServerStats {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_rejected{0};
+  std::atomic<uint64_t> requests_total{0};
+  std::atomic<uint64_t> responses_2xx{0};
+  std::atomic<uint64_t> responses_4xx{0};
+  std::atomic<uint64_t> responses_503{0};
+  std::atomic<uint64_t> responses_5xx_other{0};
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+};
+
+/// Embedded HTTP/1.1 front-end over a WarehouseCluster: one IO thread runs
+/// a non-blocking event loop (epoll/poll) and is the cluster's single
+/// producer; shard workers complete requests through ServeTickets and wake
+/// the loop over a self-pipe.
+///
+/// Routes:
+///   GET  /healthz                          liveness probe
+///   GET  /metrics                          Prometheus text format
+///   GET  /page/<id-or-url>?user=&session=&t=&via_link=&deadline_ms=
+///                                          serve one page (PageVisit JSON)
+///   POST /query                            body = OQL; scatter-gather JSON
+///   POST /admin/shard/<i>/suspend          park one shard's worker
+///   POST /admin/shard/<i>/resume           un-park it
+///
+/// Overload contract: page/query dispatch uses the bounded TryServe* path;
+/// a saturated shard yields `503 Service Unavailable` + `Retry-After`
+/// immediately — the IO thread never blocks on a full shard queue.
+class HttpServer {
+ public:
+  HttpServer(cluster::WarehouseCluster* cluster, const ServerOptions& options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spawns the IO thread. The cluster must be idle
+  /// and must not receive Submit/TryDispatch traffic from other threads
+  /// while the server runs (single-producer contract).
+  Status Start();
+
+  /// Bound port (valid after Start; useful with options.port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting, finish and flush in-flight requests,
+  /// resume suspended shards, drain the cluster, close. Idempotent;
+  /// callable from any thread. Blocks until the IO thread exits.
+  void Stop();
+
+  /// Blocks until the IO thread exits (e.g. after a SIGTERM drain).
+  void Join();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  const ServerStats& stats() const { return stats_; }
+
+  /// Installs a SIGTERM (and SIGINT) handler that triggers this server's
+  /// graceful drain via an async-signal-safe self-pipe write. At most one
+  /// server per process may install it; passing nullptr uninstalls.
+  static void InstallSignalDrain(HttpServer* server);
+
+ private:
+  struct Conn;
+
+  void Run();  // IO thread main.
+  void AcceptNew();
+  void HandleReadable(Conn& conn);
+  void HandleWritable(Conn& conn);
+  void ProcessBuffered(Conn& conn);
+  void RouteRequest(Conn& conn, HttpRequest request);
+  void FinishTicket(Conn& conn);
+  void CloseConn(Conn& conn);
+  void CheckPendingTickets();
+  void BeginDrain();
+  bool DrainComplete() const;
+
+  // Response helpers (append to conn.out).
+  void QueueResponse(Conn& conn, int status, const std::string& content_type,
+                     const std::string& body,
+                     const std::string& extra_headers = {});
+  void QueueError(Conn& conn, int status, const std::string& message);
+
+  std::string MetricsText();
+
+  cluster::WarehouseCluster* cluster_;
+  ServerOptions options_;
+  ServerStats stats_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::unique_ptr<EventLoop> loop_;
+  std::thread io_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> drain_requested_{false};
+  bool draining_ = false;  // IO-thread-only.
+
+  /// Logical clock for requests without an explicit ?t=: warehouse event
+  /// times must be non-decreasing, so the server advances 1ms per request
+  /// and ratchets forward on explicit timestamps.
+  SimTime sim_now_ = 0;
+
+  uint64_t next_conn_id_ = 1;
+  std::map<uint64_t, std::unique_ptr<Conn>> conns_;
+  size_t awaiting_tickets_ = 0;  // Conns with a dispatched, unfinished call.
+
+  /// url -> PageId over shard 0's corpus replica (replicas are identical).
+  std::unordered_map<std::string, corpus::PageId> url_to_page_;
+};
+
+}  // namespace cbfww::server
+
+#endif  // CBFWW_SERVER_HTTP_SERVER_H_

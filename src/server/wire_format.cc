@@ -1,0 +1,208 @@
+#include "server/wire_format.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace cbfww::server {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::optional<std::string> PercentDecode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '%') {
+      out += text[i];
+      continue;
+    }
+    if (i + 2 >= text.size()) return std::nullopt;
+    int hi = HexNibble(text[i + 1]);
+    int lo = HexNibble(text[i + 2]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out += static_cast<char>((hi << 4) | lo);
+    i += 2;
+  }
+  return out;
+}
+
+std::string_view RequestTarget::Param(std::string_view key) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+RequestTarget ParseTarget(std::string_view target) {
+  RequestTarget out;
+  size_t qmark = target.find('?');
+  std::string_view raw_path = target.substr(0, qmark);
+  out.path = PercentDecode(raw_path).value_or(std::string(raw_path));
+  if (qmark == std::string_view::npos) return out;
+  std::string_view qs = target.substr(qmark + 1);
+  size_t pos = 0;
+  while (pos <= qs.size()) {
+    size_t amp = qs.find('&', pos);
+    std::string_view pair = qs.substr(
+        pos, amp == std::string_view::npos ? std::string_view::npos
+                                           : amp - pos);
+    if (!pair.empty()) {
+      size_t eq = pair.find('=');
+      std::string_view rk = pair.substr(0, eq);
+      std::string_view rv =
+          eq == std::string_view::npos ? std::string_view{} : pair.substr(eq + 1);
+      auto key = PercentDecode(rk);
+      auto value = PercentDecode(rv);
+      if (key && value) out.params.emplace_back(std::move(*key), std::move(*value));
+    }
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+  return out;
+}
+
+std::string PageVisitToJson(const core::PageVisit& visit,
+                            std::string_view url) {
+  std::string out = "{";
+  out += StrFormat("\"page\":%llu",
+                   static_cast<unsigned long long>(visit.page));
+  if (!url.empty()) {
+    out += ",\"url\":\"" + JsonEscape(url) + "\"";
+  }
+  out += StrFormat(
+      ",\"latency_us\":%lld,\"from_memory\":%u,\"from_disk\":%u,"
+      "\"from_tertiary\":%u,\"from_origin\":%u,\"degraded_serves\":%u,"
+      "\"stale_serves\":%u,\"summary_serves\":%u,\"failed_serves\":%u,"
+      "\"completed_logical\":%u}",
+      static_cast<long long>(visit.latency), visit.from_memory,
+      visit.from_disk, visit.from_tertiary, visit.from_origin,
+      visit.degraded_serves, visit.stale_serves, visit.summary_serves,
+      visit.failed_serves,
+      static_cast<unsigned>(visit.completed_logical.size()));
+  return out;
+}
+
+std::string ValueToJson(const core::query::Value& value) {
+  if (value.is_null()) return "null";
+  if (value.is_bool()) return value.AsBool() ? "true" : "false";
+  if (value.is_int()) {
+    return StrFormat("%lld", static_cast<long long>(value.AsInt()));
+  }
+  if (value.is_double()) return StrFormat("%.17g", value.AsDouble());
+  if (value.is_string()) {
+    std::string out = "\"";
+    out += JsonEscape(value.AsString());
+    out += "\"";
+    return out;
+  }
+  // oid list
+  std::string out = "[";
+  bool first = true;
+  for (uint64_t oid : value.AsOidList()) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("%llu", static_cast<unsigned long long>(oid));
+  }
+  out += "]";
+  return out;
+}
+
+std::string QueryTicketToJson(const cluster::ServeTicket& ticket) {
+  // Find the first successful slot for the column list.
+  const core::query::QueryExecutionResult* first_ok = nullptr;
+  for (const auto& slot : ticket.query) {
+    if (slot.status.ok()) {
+      first_ok = &slot.result.result;
+      break;
+    }
+  }
+  std::string out = "{\"columns\":[";
+  if (first_ok != nullptr) {
+    for (size_t i = 0; i < first_ok->columns.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"";
+      out += JsonEscape(first_ok->columns[i]);
+      out += "\"";
+    }
+  }
+  out += "],\"rows\":[";
+  bool first_row = true;
+  uint64_t candidates = 0;
+  bool used_index = false;
+  int64_t max_cost = 0;
+  std::string errors;  // JSON array body of per-shard errors.
+  for (size_t shard = 0; shard < ticket.query.size(); ++shard) {
+    const auto& slot = ticket.query[shard];
+    if (!slot.status.ok()) {
+      if (!errors.empty()) errors += ",";
+      errors += StrFormat("{\"shard\":%u,\"error\":\"",
+                          static_cast<unsigned>(shard));
+      errors += JsonEscape(slot.status.message());
+      errors += "\"}";
+      continue;
+    }
+    const auto& result = slot.result.result;
+    candidates += result.candidates_evaluated;
+    used_index = used_index || result.used_index;
+    if (slot.result.cost > max_cost) max_cost = slot.result.cost;
+    for (const auto& row : result.rows) {
+      if (!first_row) out += ",";
+      first_row = false;
+      out += "[";
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) out += ",";
+        out += ValueToJson(row[i]);
+      }
+      out += "]";
+    }
+  }
+  out += StrFormat(
+      "],\"candidates_evaluated\":%llu,\"used_index\":%s,"
+      "\"cost_us\":%lld,\"shards\":%u,\"errors\":[",
+      static_cast<unsigned long long>(candidates),
+      used_index ? "true" : "false", static_cast<long long>(max_cost),
+      static_cast<unsigned>(ticket.query.size()));
+  out += errors;
+  out += "]}";
+  return out;
+}
+
+}  // namespace cbfww::server

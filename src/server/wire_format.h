@@ -1,0 +1,51 @@
+#ifndef CBFWW_SERVER_WIRE_FORMAT_H_
+#define CBFWW_SERVER_WIRE_FORMAT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cluster/warehouse_cluster.h"
+#include "core/warehouse.h"
+#include "core/query/query_value.h"
+
+namespace cbfww::server {
+
+/// JSON string-escape of `text` (no surrounding quotes). Control bytes
+/// become \u00XX; UTF-8 passes through untouched.
+std::string JsonEscape(std::string_view text);
+
+/// RFC 3986 percent-decoding; '+' is NOT treated as space (we decode path
+/// segments, not form bodies). Returns nullopt on a malformed escape.
+std::optional<std::string> PercentDecode(std::string_view text);
+
+/// Split-out pieces of a request-target: `/page/7?user=3&t=1000` →
+/// path "/page/7", params [("user","3"),("t","1000")]. Keys and values are
+/// percent-decoded; a malformed escape drops that pair.
+struct RequestTarget {
+  std::string path;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// First value for `key`, or empty view.
+  std::string_view Param(std::string_view key) const;
+};
+RequestTarget ParseTarget(std::string_view target);
+
+/// `{"page":7,"url":"...","latency_us":...,...}` — the wire shape of one
+/// served page visit. `url` is omitted when empty.
+std::string PageVisitToJson(const core::PageVisit& visit,
+                            std::string_view url);
+
+/// One query Value as a JSON scalar/array.
+std::string ValueToJson(const core::query::Value& value);
+
+/// Merges per-shard scatter-gather slots (shard order) into one response:
+/// union of rows, summed candidates, per-shard error strings. Cluster
+/// query semantics: records partition by page, so the union is exact.
+std::string QueryTicketToJson(const cluster::ServeTicket& ticket);
+
+}  // namespace cbfww::server
+
+#endif  // CBFWW_SERVER_WIRE_FORMAT_H_

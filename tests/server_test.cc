@@ -1,0 +1,364 @@
+// Unit tests of the serving layer's pieces: incremental HTTP parser, wire
+// serialization, the event loop's poll fallback, and the counters
+// serializer shared with /metrics and PrintDurableReport.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "core/counters_io.h"
+#include "core/warehouse.h"
+#include "corpus/web_corpus.h"
+#include "net/origin_server.h"
+#include "server/event_loop.h"
+#include "server/http_parser.h"
+#include "server/wire_format.h"
+
+namespace cbfww::server {
+namespace {
+
+// ----- HttpParser -----
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpParser parser;
+  std::string_view raw = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  EXPECT_EQ(parser.Consume(raw), raw.size());
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/healthz");
+  EXPECT_EQ(parser.request().Header("host"), "x");
+  EXPECT_TRUE(parser.request().keep_alive);
+}
+
+TEST(HttpParserTest, IncrementalByteByByte) {
+  HttpParser parser;
+  std::string raw =
+      "POST /query HTTP/1.1\r\nContent-Length: 5\r\nX-Y: z\r\n\r\nhello";
+  for (char c : raw) {
+    ASSERT_FALSE(parser.failed());
+    parser.Consume(std::string_view(&c, 1));
+  }
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().body, "hello");
+  EXPECT_EQ(parser.request().Header("x-y"), "z");
+}
+
+TEST(HttpParserTest, PipeliningStopsAtRequestBoundary) {
+  HttpParser parser;
+  std::string two =
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+  size_t consumed = parser.Consume(two);
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().target, "/a");
+  // The second request's bytes were NOT consumed.
+  EXPECT_EQ(two.substr(consumed), "GET /b HTTP/1.1\r\n\r\n");
+  parser.Reset();
+  parser.Consume(std::string_view(two).substr(consumed));
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().target, "/b");
+}
+
+TEST(HttpParserTest, Http10DefaultsToClose) {
+  HttpParser parser;
+  parser.Consume("GET / HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_FALSE(parser.request().keep_alive);
+
+  parser.Reset();
+  parser.Consume("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_TRUE(parser.request().keep_alive);
+}
+
+TEST(HttpParserTest, ConnectionCloseOverridesKeepAlive) {
+  HttpParser parser;
+  parser.Consume("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_FALSE(parser.request().keep_alive);
+}
+
+TEST(HttpParserTest, RejectsUnsupportedVersion) {
+  HttpParser parser;
+  parser.Consume("GET / HTTP/2.0\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(HttpParserTest, RejectsChunkedUploads) {
+  HttpParser parser;
+  parser.Consume("POST /q HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParserTest, RejectsOversizeBody) {
+  ParserLimits limits;
+  limits.max_body_bytes = 10;
+  HttpParser parser(limits);
+  parser.Consume("POST /q HTTP/1.1\r\nContent-Length: 11\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, RejectsOversizeHeaderSection) {
+  ParserLimits limits;
+  limits.max_header_bytes = 64;
+  HttpParser parser(limits);
+  std::string raw = "GET / HTTP/1.1\r\nX-Big: " + std::string(100, 'a') +
+                    "\r\n\r\n";
+  parser.Consume(raw);
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, RejectsTooManyHeaders) {
+  ParserLimits limits;
+  limits.max_headers = 3;
+  HttpParser parser(limits);
+  std::string raw = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 5; ++i) {
+    raw += "H";
+    raw += std::to_string(i);
+    raw += ": v\r\n";
+  }
+  raw += "\r\n";
+  parser.Consume(raw);
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, RejectsMalformedRequestLine) {
+  HttpParser parser;
+  parser.Consume("GARBAGE\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, RejectsWhitespaceInHeaderName) {
+  HttpParser parser;
+  parser.Consume("GET / HTTP/1.1\r\nBad Header : v\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, RejectsMalformedContentLength) {
+  HttpParser parser;
+  parser.Consume("POST / HTTP/1.1\r\nContent-Length: 12a\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, ResetAllowsReuse) {
+  HttpParser parser;
+  parser.Consume("BAD\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  parser.Reset();
+  parser.Consume("GET /ok HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().target, "/ok");
+}
+
+// ----- Wire format -----
+
+TEST(WireFormatTest, JsonEscape) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(WireFormatTest, PercentDecode) {
+  EXPECT_EQ(PercentDecode("a%20b").value(), "a b");
+  EXPECT_EQ(PercentDecode("http%3A%2F%2Fx%2Fy").value(), "http://x/y");
+  EXPECT_EQ(PercentDecode("no-escapes").value(), "no-escapes");
+  EXPECT_FALSE(PercentDecode("bad%2").has_value());
+  EXPECT_FALSE(PercentDecode("bad%zz").has_value());
+}
+
+TEST(WireFormatTest, ParseTarget) {
+  RequestTarget t = ParseTarget("/page/7?user=3&t=1000&flag");
+  EXPECT_EQ(t.path, "/page/7");
+  EXPECT_EQ(t.Param("user"), "3");
+  EXPECT_EQ(t.Param("t"), "1000");
+  EXPECT_EQ(t.Param("missing"), "");
+
+  RequestTarget decoded = ParseTarget("/page/http%3A%2F%2Fsite0%2Fa?u=%311");
+  EXPECT_EQ(decoded.path, "/page/http://site0/a");
+  EXPECT_EQ(decoded.Param("u"), "11");
+}
+
+TEST(WireFormatTest, PageVisitJsonShape) {
+  core::PageVisit visit;
+  visit.page = 12;
+  visit.latency = 1500;
+  visit.from_memory = 2;
+  visit.from_origin = 1;
+  std::string json = PageVisitToJson(visit, "http://a/b");
+  EXPECT_NE(json.find("\"page\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"url\":\"http://a/b\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_us\":1500"), std::string::npos);
+  EXPECT_NE(json.find("\"from_memory\":2"), std::string::npos);
+  // Without a URL the field is omitted.
+  EXPECT_EQ(PageVisitToJson(visit, "").find("\"url\""), std::string::npos);
+}
+
+TEST(WireFormatTest, ValueJson) {
+  using core::query::Value;
+  EXPECT_EQ(ValueToJson(Value()), "null");
+  EXPECT_EQ(ValueToJson(Value(static_cast<int64_t>(-7))), "-7");
+  EXPECT_EQ(ValueToJson(Value(true)), "true");
+  EXPECT_EQ(ValueToJson(Value(std::string("a\"b"))), "\"a\\\"b\"");
+  EXPECT_EQ(ValueToJson(Value(std::vector<uint64_t>{1, 2})), "[1,2]");
+}
+
+TEST(WireFormatTest, QueryTicketMergesShards) {
+  cluster::ServeTicket ticket;
+  ticket.query.resize(3);
+  // Shard 0: two rows.
+  ticket.query[0].result.result.columns = {"url"};
+  ticket.query[0].result.result.rows = {
+      {core::query::Value(std::string("a"))},
+      {core::query::Value(std::string("b"))}};
+  ticket.query[0].result.result.candidates_evaluated = 10;
+  ticket.query[0].result.result.used_index = true;
+  ticket.query[0].result.cost = 5;
+  // Shard 1: shed.
+  ticket.query[1].status = Status::ResourceExhausted("shed");
+  // Shard 2: one row, higher cost.
+  ticket.query[2].result.result.columns = {"url"};
+  ticket.query[2].result.result.rows = {
+      {core::query::Value(std::string("c"))}};
+  ticket.query[2].result.result.candidates_evaluated = 4;
+  ticket.query[2].result.cost = 9;
+
+  std::string json = QueryTicketToJson(ticket);
+  EXPECT_NE(json.find("\"columns\":[\"url\"]"), std::string::npos);
+  EXPECT_NE(json.find("[\"a\"],[\"b\"],[\"c\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"candidates_evaluated\":14"), std::string::npos);
+  EXPECT_NE(json.find("\"used_index\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"cost_us\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"shard\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"shards\":3"), std::string::npos);
+}
+
+// ----- Counters serializer (shared by /metrics, reports, tests) -----
+
+TEST(CountersIoTest, EntriesCoverAllCountersInFixedOrder) {
+  core::Warehouse::Counters counters;
+  counters.requests = 3;
+  counters.origin_fetches = 2;
+  counters.background_time = 1234;
+  auto entries = core::CounterEntries(counters);
+  ASSERT_FALSE(entries.empty());
+  EXPECT_STREQ(entries.front().name, "requests");
+  EXPECT_EQ(entries.front().value, 3u);
+  bool found_bg = false;
+  for (const auto& e : entries) {
+    if (std::string_view(e.name) == "background_time_us") {
+      found_bg = true;
+      EXPECT_EQ(e.value, 1234u);
+    }
+  }
+  EXPECT_TRUE(found_bg);
+}
+
+TEST(CountersIoTest, JsonAndTextAgree) {
+  core::Warehouse::Counters counters;
+  counters.requests = 7;
+  counters.fetch_retries = 2;
+  std::string json = core::CountersToJson(counters);
+  EXPECT_NE(json.find("\"requests\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"fetch_retries\":2"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+
+  std::ostringstream os;
+  core::WriteCountersText(os, counters);
+  EXPECT_NE(os.str().find("requests=7\n"), std::string::npos);
+  EXPECT_NE(os.str().find("fetch_retries=2\n"), std::string::npos);
+}
+
+TEST(CountersIoTest, DurableReportCountersAreOptIn) {
+  corpus::CorpusOptions copts;
+  copts.num_sites = 2;
+  copts.pages_per_site = 10;
+  corpus::WebCorpus corpus(copts);
+  net::OriginServer origin(&corpus, net::NetworkModel());
+  core::WarehouseOptions wopts;
+  core::Warehouse warehouse(&corpus, &origin, nullptr, wopts);
+  warehouse.RequestPage({.page = 0, .user = 1, .session = 1, .now = kSecond});
+
+  std::ostringstream plain;
+  warehouse.PrintDurableReport(plain);
+  EXPECT_EQ(plain.str().find("counters (non-durable)"), std::string::npos);
+
+  std::ostringstream with;
+  warehouse.PrintDurableReport(with, /*include_counters=*/true);
+  EXPECT_NE(with.str().find("counters (non-durable)"), std::string::npos);
+  EXPECT_NE(with.str().find("requests=1"), std::string::npos);
+  // The durable section itself is byte-identical either way.
+  EXPECT_EQ(with.str().substr(0, plain.str().size()), plain.str());
+}
+
+// ----- EventLoop (both backends) -----
+
+class EventLoopBackendTest
+    : public ::testing::TestWithParam<EventLoop::Backend> {};
+
+TEST_P(EventLoopBackendTest, PipeReadiness) {
+  EventLoop loop(GetParam());
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  int tag_value = 42;
+  ASSERT_TRUE(loop.Add(fds[0], true, false, &tag_value).ok());
+  EXPECT_EQ(loop.watched(), 1u);
+
+  std::vector<IoEvent> events;
+  EXPECT_EQ(loop.Wait(events, 0), 0);  // Nothing ready yet.
+
+  ASSERT_EQ(write(fds[1], "x", 1), 1);
+  ASSERT_EQ(loop.Wait(events, 1000), 1);
+  EXPECT_EQ(events[0].fd, fds[0]);
+  EXPECT_EQ(events[0].tag, &tag_value);
+  EXPECT_TRUE(events[0].readable);
+
+  // Duplicate Add fails; Modify of unknown fd fails.
+  EXPECT_FALSE(loop.Add(fds[0], true, false, nullptr).ok());
+  EXPECT_FALSE(loop.Modify(fds[1], true, false).ok());
+
+  loop.Remove(fds[0]);
+  EXPECT_EQ(loop.watched(), 0u);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST_P(EventLoopBackendTest, WriteInterest) {
+  EventLoop loop(GetParam());
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  ASSERT_TRUE(loop.Add(fds[1], false, true, nullptr).ok());
+  std::vector<IoEvent> events;
+  ASSERT_EQ(loop.Wait(events, 1000), 1);  // Empty pipe: writable.
+  EXPECT_TRUE(events[0].writable);
+  // Drop write interest: nothing ready.
+  ASSERT_TRUE(loop.Modify(fds[1], false, false).ok());
+  EXPECT_EQ(loop.Wait(events, 0), 0);
+  loop.Remove(fds[1]);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventLoopBackendTest,
+                         ::testing::Values(EventLoop::Backend::kDefault,
+                                           EventLoop::Backend::kPoll));
+
+TEST(EventLoopTest, PollBackendForcedEvenOnLinux) {
+  EventLoop loop(EventLoop::Backend::kPoll);
+  EXPECT_FALSE(loop.using_epoll());
+}
+
+}  // namespace
+}  // namespace cbfww::server
