@@ -36,9 +36,9 @@ struct AblationRun {
 AblationRun Run(core::WarehouseOptions opts,
                 trace::WorkloadOptions wopts = AblationWorkload()) {
   Simulation sim(AblationCorpus(), StandardFeedOptions());
-  trace::WorkloadGenerator gen(&sim.corpus, sim.feed.get(), wopts);
+  trace::WorkloadGenerator gen(&sim.corpus(), sim.feed(), wopts);
   auto events = gen.Generate();
-  core::Warehouse wh(&sim.corpus, &sim.origin, sim.feed.get(), opts);
+  core::Warehouse wh(&sim.corpus(), &sim.origin(), sim.feed(), opts);
   AblationRun run;
   run.metrics = RunTrace(wh, events);
   run.migrations = wh.hierarchy().stats().migrations;
@@ -49,7 +49,10 @@ AblationRun Run(core::WarehouseOptions opts,
 }  // namespace
 }  // namespace cbfww::bench
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_ablation_design_choices");
+
   using namespace cbfww;
   using namespace cbfww::bench;
 

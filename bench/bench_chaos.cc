@@ -43,11 +43,11 @@ ChaosMetrics RunOnce(uint64_t fault_seed, bool with_faults) {
 
   trace::WorkloadOptions wopts = StandardWorkloadOptions();
   wopts.horizon = kDay;
-  trace::WorkloadGenerator gen(&sim.corpus, nullptr, wopts);
+  trace::WorkloadGenerator gen(&sim.corpus(), nullptr, wopts);
   auto events = gen.Generate();
 
   core::WarehouseOptions opts = StandardWarehouseOptions();
-  core::Warehouse wh(&sim.corpus, &sim.origin, nullptr, opts);
+  core::Warehouse wh(&sim.corpus(), &sim.origin(), nullptr, opts);
 
   std::unique_ptr<fault::FaultInjector> injector;
   if (with_faults) {
@@ -103,11 +103,8 @@ int main(int argc, char** argv) {
   using namespace cbfww;
   using namespace cbfww::bench;
 
-  std::vector<uint64_t> seeds;
-  for (int i = 1; i < argc; ++i) {
-    seeds.push_back(std::strtoull(argv[i], nullptr, 10));
-  }
-  if (seeds.empty()) seeds = {7, 77, 777};
+  const BenchArgs args = ParseBenchArgs(&argc, argv, "bench_chaos");
+  std::vector<uint64_t> seeds = args.SeedsOr({7, 77, 777});
 
   PrintHeader("Chaos harness (Section 4.4)",
               "Deterministic fault injection: degradation, recovery, and "

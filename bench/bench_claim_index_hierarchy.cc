@@ -16,7 +16,10 @@
 #include "util/strings.h"
 #include "util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_claim_index_hierarchy");
+
   using namespace cbfww;
   using namespace cbfww::bench;
 
@@ -24,7 +27,7 @@ int main() {
               "Hierarchy of indices: sizes, routing, and the cost of an "
               "index falling out of memory");
 
-  corpus::CorpusOptions copts = StandardCorpusOptions();
+  corpus::CorpusOptions copts = StandardCorpusOptions(bench_args.seed.value_or(2003));
   copts.num_sites = 10;
   copts.pages_per_site = 300;
 
@@ -33,11 +36,11 @@ int main() {
   trace::WorkloadOptions wopts = StandardWorkloadOptions();
   wopts.horizon = kDay;
   wopts.trail_session_prob = 0.3;
-  trace::WorkloadGenerator gen(&sim.corpus, sim.feed.get(), wopts);
+  trace::WorkloadGenerator gen(&sim.corpus(), sim.feed(), wopts);
   auto events = gen.Generate();
   core::WarehouseOptions wh_opts = StandardWarehouseOptions();
   wh_opts.memory_bytes = 64ull * 1024 * 1024;  // Index budget holds indexes.
-  core::Warehouse wh(&sim.corpus, &sim.origin, sim.feed.get(), wh_opts);
+  core::Warehouse wh(&sim.corpus(), &sim.origin(), sim.feed(), wh_opts);
   RunTrace(wh, events);
 
   TablePrinter sizes({"index", "documents", "terms", "bytes"});
@@ -54,10 +57,10 @@ int main() {
   // Routing table ("index for indices"): pick a topic term and show which
   // level indexes can answer for it without opening their posting lists.
   text::TermId probe_term =
-      sim.corpus.topic_model().TopicSignature(0, 1).front();
+      sim.corpus().topic_model().TopicSignature(0, 1).front();
   uint32_t mask = ih.LevelsContaining(probe_term);
   std::printf("index-for-indices: term '%s' present at levels:",
-              sim.corpus.vocabulary().TermOf(probe_term).c_str());
+              sim.corpus().vocabulary().TermOf(probe_term).c_str());
   for (int i = 0; i < index::kNumObjectLevels; ++i) {
     if (mask & (1u << i)) {
       std::printf(" %s",
@@ -73,7 +76,7 @@ int main() {
       wh.page_records().empty() ? nullptr
                                 : &wh.page_records().begin()->second;
   std::string term = any != nullptr && !any->title_terms.empty()
-                         ? sim.corpus.vocabulary().TermOf(any->title_terms[0])
+                         ? sim.corpus().vocabulary().TermOf(any->title_terms[0])
                          : "commonterm0";
   std::string q = StrFormat(
       "SELECT MFU 10 p.oid FROM Physical_Page p WHERE p.content MENTION '%s'",

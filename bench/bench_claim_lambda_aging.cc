@@ -16,7 +16,10 @@
 #include "util/strings.h"
 #include "util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_claim_lambda_aging");
+
   using namespace cbfww;
   using namespace cbfww::bench;
   using core::LambdaAgingCounter;

@@ -15,7 +15,10 @@
 #include "util/strings.h"
 #include "util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_claim_lod");
+
   using namespace cbfww;
   using namespace cbfww::bench;
 
@@ -23,7 +26,7 @@ int main() {
               "Levels of detail: summaries of large documents in fast "
               "storage");
 
-  corpus::CorpusOptions copts = StandardCorpusOptions();
+  corpus::CorpusOptions copts = StandardCorpusOptions(bench_args.seed.value_or(2003));
   copts.large_doc_fraction = 0.10;  // Plenty of large docs to measure.
   corpus::NewsFeed::Options fopts = StandardFeedOptions();
   trace::WorkloadOptions wopts = StandardWorkloadOptions();
@@ -36,12 +39,12 @@ int main() {
   double preview_on = 0.0, preview_off = 0.0;
   for (bool lod_on : {true, false}) {
     Simulation sim(copts, fopts);
-    trace::WorkloadGenerator gen(&sim.corpus, sim.feed.get(), wopts);
+    trace::WorkloadGenerator gen(&sim.corpus(), sim.feed(), wopts);
     auto events = gen.Generate();
     core::WarehouseOptions opts = StandardWarehouseOptions();
     opts.storage.enable_lod = lod_on;
     opts.storage.lod_threshold_bytes = 96 * 1024;
-    core::Warehouse wh(&sim.corpus, &sim.origin, sim.feed.get(), opts);
+    core::Warehouse wh(&sim.corpus(), &sim.origin(), sim.feed(), opts);
     RunTrace(wh, events);
 
     // Preview the 50 highest-priority large documents.
@@ -83,12 +86,12 @@ int main() {
 
   // Summary quality: coverage of the document's term mass (B' vs B).
   Simulation sim(copts);
-  text::TfIdfVectorizer vectorizer(sim.corpus.mutable_vocabulary());
+  text::TfIdfVectorizer vectorizer(sim.corpus().mutable_vocabulary());
   text::Summarizer summarizer;
   RunningStats coverage;
   int large_docs = 0;
-  for (const auto& page : sim.corpus.pages()) {
-    const auto& raw = sim.corpus.raw(page.container);
+  for (const auto& page : sim.corpus().pages()) {
+    const auto& raw = sim.corpus().raw(page.container);
     if (raw.size_bytes <= 96 * 1024) continue;
     text::TermVector v = vectorizer.VectorizeTerms(raw.body_terms, true);
     coverage.Add(summarizer.Summarize(v).weight_coverage);

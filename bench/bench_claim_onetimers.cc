@@ -12,7 +12,10 @@
 #include "util/strings.h"
 #include "util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_claim_onetimers");
+
   using namespace cbfww;
   using namespace cbfww::bench;
 
@@ -20,7 +23,7 @@ int main() {
               "\"Over 60% of web pages once used will never be retrieved "
               "again before modified or replaced\"");
 
-  corpus::CorpusOptions copts = StandardCorpusOptions();
+  corpus::CorpusOptions copts = StandardCorpusOptions(bench_args.seed.value_or(2003));
 
   TablePrinter table({"cold-start fraction", "requests", "distinct pages",
                       "one-timer fraction", "no-reuse-before-modify"});
@@ -29,7 +32,7 @@ int main() {
     Simulation sim(copts);
     trace::WorkloadOptions wopts = StandardWorkloadOptions();
     wopts.cold_start_fraction = cold;
-    trace::WorkloadGenerator gen(&sim.corpus, nullptr, wopts);
+    trace::WorkloadGenerator gen(&sim.corpus(), nullptr, wopts);
     auto events = gen.Generate();
     auto stats = trace::ComputeTraceStats(events, gen.ContainerOfPages());
     table.AddRow({FormatDouble(cold, 2),
@@ -58,11 +61,11 @@ int main() {
     Simulation sim(copts, StandardFeedOptions());
     trace::WorkloadOptions wopts = StandardWorkloadOptions();
     wopts.horizon = 2 * kDay;
-    trace::WorkloadGenerator gen(&sim.corpus, sim.feed.get(), wopts);
+    trace::WorkloadGenerator gen(&sim.corpus(), sim.feed(), wopts);
     auto events = gen.Generate();
     core::WarehouseOptions opts = StandardWarehouseOptions();
     opts.initial_priority = mode;
-    core::Warehouse wh(&sim.corpus, &sim.origin, sim.feed.get(), opts);
+    core::Warehouse wh(&sim.corpus(), &sim.origin(), sim.feed(), opts);
     RunTrace(wh, events);
     uint64_t admitted = 0, wasted = 0;
     for (const auto& [id, rec] : wh.raw_records()) {

@@ -20,17 +20,17 @@ struct QueryFixture {
       : sim(SmallCorpus(), StandardFeedOptions()) {
     trace::WorkloadOptions wopts = StandardWorkloadOptions();
     wopts.horizon = kDay;
-    trace::WorkloadGenerator gen(&sim.corpus, sim.feed.get(), wopts);
+    trace::WorkloadGenerator gen(&sim.corpus(), sim.feed(), wopts);
     auto events = gen.Generate();
     warehouse = std::make_unique<core::Warehouse>(
-        &sim.corpus, &sim.origin, sim.feed.get(), StandardWarehouseOptions());
+        &sim.corpus(), &sim.origin(), sim.feed(), StandardWarehouseOptions());
     RunTrace(*warehouse, events);
     // Pick a real term for the MENTION query.
     const auto& pages = warehouse->page_records();
     mention_term = "commonterm0";
     for (const auto& [id, rec] : pages) {
       if (!rec.title_terms.empty()) {
-        mention_term = sim.corpus.vocabulary().TermOf(rec.title_terms[0]);
+        mention_term = sim.corpus().vocabulary().TermOf(rec.title_terms[0]);
         break;
       }
     }
@@ -98,8 +98,8 @@ void BM_PaperQuery3_EndAt(benchmark::State& state) {
   auto top = f.warehouse->analyzer().TopPages(1);
   std::string url =
       top.empty() ? "http://site0.example.org/html/0"
-                  : f.sim.corpus.raw(
-                        f.sim.corpus.page(top[0].page).container).url;
+                  : f.sim.corpus().raw(
+                        f.sim.corpus().page(top[0].page).container).url;
   RunQuery(state,
            "SELECT MFU l.oid, l.path FROM Logical_Page l WHERE "
            "end_at(l.oid) IN ( SELECT p.oid FROM Physical_Page p WHERE "
@@ -129,6 +129,8 @@ BENCHMARK(BM_ParseOnly);
 }  // namespace cbfww::bench
 
 int main(int argc, char** argv) {
+  // Strips the standard bench flags; google-benchmark keeps its own.
+  cbfww::bench::ParseBenchArgs(&argc, argv, "bench_claim_queries");
   cbfww::bench::PrintHeader(
       "Claim C5 (Sections 4.1/4.3)",
       "Popularity-aware query execution: the paper's example queries, "

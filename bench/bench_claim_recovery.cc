@@ -29,12 +29,12 @@ RecoveryResult RunWithFailure(bool copy_control, int tiers_to_fail) {
   wopts.horizon = kDay;
   wopts.cold_start_fraction = 0.3;
   wopts.modifications_per_hour = 0;  // Isolate recovery from staleness.
-  trace::WorkloadGenerator gen(&sim.corpus, nullptr, wopts);
+  trace::WorkloadGenerator gen(&sim.corpus(), nullptr, wopts);
   auto events = gen.Generate();
 
   core::WarehouseOptions opts = StandardWarehouseOptions();
   opts.storage.copy_control = copy_control;
-  core::Warehouse wh(&sim.corpus, &sim.origin, nullptr, opts);
+  core::Warehouse wh(&sim.corpus(), &sim.origin(), nullptr, opts);
 
   // Warm up on the first half, fail tiers, measure the second half.
   size_t half = events.size() / 2;
@@ -61,7 +61,10 @@ RecoveryResult RunWithFailure(bool copy_control, int tiers_to_fail) {
 }  // namespace
 }  // namespace cbfww::bench
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_claim_recovery");
+
   using namespace cbfww;
   using namespace cbfww::bench;
 

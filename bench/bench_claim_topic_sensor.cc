@@ -33,7 +33,7 @@ BurstMetrics RunWithSensor(const corpus::CorpusOptions& copts,
                            const trace::WorkloadOptions& wopts,
                            bool sensor_on) {
   Simulation sim(copts, fopts);
-  trace::WorkloadGenerator gen(&sim.corpus, sim.feed.get(), wopts);
+  trace::WorkloadGenerator gen(&sim.corpus(), sim.feed(), wopts);
   auto events = gen.Generate();
   core::WarehouseOptions opts = StandardWarehouseOptions();
   opts.enable_topic_sensor = sensor_on;
@@ -45,7 +45,7 @@ BurstMetrics RunWithSensor(const corpus::CorpusOptions& copts,
   // Aggressive prefetch: stage enough of the hot topic to matter (each
   // sensor poll may pull in up to 64 matching pages).
   opts.prefetch_pages_per_tick = 64;
-  core::Warehouse wh(&sim.corpus, &sim.origin, sim.feed.get(), opts);
+  core::Warehouse wh(&sim.corpus(), &sim.origin(), sim.feed(), opts);
 
   // The sensor's edge is the burst's EARLY phase: headlines lead the burst
   // by ~45 minutes, so boost/prefetch can pre-position the topic before the
@@ -58,9 +58,9 @@ BurstMetrics RunWithSensor(const corpus::CorpusOptions& copts,
     core::PageVisit v = wh.ProcessEvent(e);
     if (e.type != trace::TraceEventType::kRequest) continue;
     bool in_burst = false;
-    for (const auto& b : sim.feed->bursts()) {
+    for (const auto& b : sim.feed()->bursts()) {
       if (b.ActiveAt(e.time) && e.time < b.start + kEarlyWindow &&
-          sim.corpus.page(e.page).topic == b.topic) {
+          sim.corpus().page(e.page).topic == b.topic) {
         in_burst = true;
         break;
       }
@@ -78,7 +78,10 @@ BurstMetrics RunWithSensor(const corpus::CorpusOptions& copts,
 }  // namespace
 }  // namespace cbfww::bench
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_claim_topic_sensor");
+
   using namespace cbfww;
   using namespace cbfww::bench;
 
@@ -86,7 +89,7 @@ int main() {
               "Topic Sensor: headline-driven boost/prefetch vs sensor off, "
               "measured on hot-topic requests during bursts");
 
-  corpus::CorpusOptions copts = StandardCorpusOptions();
+  corpus::CorpusOptions copts = StandardCorpusOptions(bench_args.seed.value_or(2003));
   TablePrinter table({"burst intensity", "sensor", "early-burst mem hit",
                       "early-burst latency", "prefetches"});
   bool improves_somewhere = false;

@@ -33,14 +33,14 @@ ConsistencyMetrics RunConsistency(core::ConsistencyMode mode,
   wopts.horizon = kDay;
   wopts.cold_start_fraction = 0.3;
   wopts.modifications_per_hour = 120;  // Churny content.
-  trace::WorkloadGenerator gen(&sim.corpus, nullptr, wopts);
+  trace::WorkloadGenerator gen(&sim.corpus(), nullptr, wopts);
   auto events = gen.Generate();
 
   core::WarehouseOptions opts = StandardWarehouseOptions();
   opts.constraints.default_consistency = mode;
   opts.constraints.min_poll_interval = min_poll;
   opts.constraints.max_poll_interval = max_poll;
-  core::Warehouse wh(&sim.corpus, &sim.origin, nullptr, opts);
+  core::Warehouse wh(&sim.corpus(), &sim.origin(), nullptr, opts);
 
   ConsistencyMetrics metrics;
   uint64_t serves = 0;
@@ -52,11 +52,11 @@ ConsistencyMetrics RunConsistency(core::ConsistencyMode mode,
     latency.Add(static_cast<double>(v.latency) / 1000.0);
     // Staleness check: after serving, is the warehouse copy of the
     // container behind the origin version?
-    const auto* rec = wh.FindRaw(sim.corpus.page(e.page).container);
+    const auto* rec = wh.FindRaw(sim.corpus().page(e.page).container);
     if (rec != nullptr && rec->cached_version > 0) {
       ++serves;
       if (rec->cached_version !=
-          sim.corpus.raw(rec->id).version) {
+          sim.corpus().raw(rec->id).version) {
         ++stale_serves;
       }
     }
@@ -66,7 +66,7 @@ ConsistencyMetrics RunConsistency(core::ConsistencyMode mode,
                   : static_cast<double>(stale_serves) /
                         static_cast<double>(serves);
   metrics.origin_requests =
-      sim.origin.stats().fetches + sim.origin.stats().validations;
+      sim.origin().stats().fetches + sim.origin().stats().validations;
   metrics.mean_latency_ms = latency.mean();
   metrics.versions = wh.versions().num_versions();
   return metrics;
@@ -75,7 +75,10 @@ ConsistencyMetrics RunConsistency(core::ConsistencyMode mode,
 }  // namespace
 }  // namespace cbfww::bench
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_claim_versions_consistency");
+
   using namespace cbfww;
   using namespace cbfww::bench;
 
@@ -97,12 +100,12 @@ int main() {
       wopts.horizon = kDay;
       wopts.cold_start_fraction = 0.2;
       wopts.modifications_per_hour = 200;
-      trace::WorkloadGenerator gen(&sim.corpus, nullptr, wopts);
+      trace::WorkloadGenerator gen(&sim.corpus(), nullptr, wopts);
       auto events = gen.Generate();
       core::WarehouseOptions opts = StandardWarehouseOptions();
       opts.versions.max_versions_per_object = max_versions;
       opts.constraints.default_consistency = core::ConsistencyMode::kStrong;
-      core::Warehouse wh(&sim.corpus, &sim.origin, nullptr, opts);
+      core::Warehouse wh(&sim.corpus(), &sim.origin(), nullptr, opts);
       RunTrace(wh, events);
 
       // As-of: every object with >= 2 versions must answer a query at the

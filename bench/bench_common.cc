@@ -1,7 +1,11 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
 #include <thread>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -68,12 +72,12 @@ core::WarehouseOptions StandardWarehouseOptions() {
 }
 
 Simulation::Simulation(const corpus::CorpusOptions& copts)
-    : corpus(copts), origin(&corpus, net::NetworkModel()) {}
+    : corpus_(copts), origin_(&corpus_, net::NetworkModel()) {}
 
 Simulation::Simulation(const corpus::CorpusOptions& copts,
                        const corpus::NewsFeed::Options& fopts)
-    : corpus(copts), origin(&corpus, net::NetworkModel()) {
-  feed = std::make_unique<corpus::NewsFeed>(fopts, &corpus.topic_model());
+    : corpus_(copts), origin_(&corpus_, net::NetworkModel()) {
+  feed_ = std::make_unique<corpus::NewsFeed>(fopts, &corpus_.topic_model());
 }
 
 RunMetrics RunTrace(core::Warehouse& warehouse,
@@ -121,14 +125,14 @@ CacheStackResult RunCacheStack(Simulation& sim,
   Pcg32 rng(11, 0xCAFE);
   for (const trace::TraceEvent& e : events) {
     if (e.type == trace::TraceEventType::kModify) {
-      sim.corpus.ModifyObject(e.modified, e.time, rng);
+      sim.corpus().ModifyObject(e.modified, e.time, rng);
       // Conventional cache: invalidate on modification notice.
       memory.Invalidate(e.modified);
       disk.Invalidate(e.modified);
       continue;
     }
     ++result.metrics.requests;
-    const corpus::PhysicalPageSpec& page = sim.corpus.page(e.page);
+    const corpus::PhysicalPageSpec& page = sim.corpus().page(e.page);
     std::vector<corpus::RawId> objects;
     objects.push_back(page.container);
     objects.insert(objects.end(), page.components.begin(),
@@ -137,7 +141,7 @@ CacheStackResult RunCacheStack(Simulation& sim,
     SimTime max_component = 0;
     for (size_t i = 0; i < objects.size(); ++i) {
       corpus::RawId id = objects[i];
-      uint64_t bytes = sim.corpus.raw(id).size_bytes;
+      uint64_t bytes = sim.corpus().raw(id).size_bytes;
       SimTime cost;
       if (memory.Access(id, bytes, e.time)) {
         cost = mem_dev.TransferTime(bytes);
@@ -147,7 +151,7 @@ CacheStackResult RunCacheStack(Simulation& sim,
         cost = disk_dev.TransferTime(bytes);
         ++result.metrics.objects_from_disk;
       } else {
-        cost = sim.origin.Fetch(id).cost;
+        cost = sim.origin().Fetch(id).cost;
         ++result.metrics.objects_from_origin;
       }
       if (i == 0) {
@@ -176,6 +180,99 @@ void PrintHeader(const std::string& artifact, const std::string& what) {
 
 void ShapeCheck(const std::string& description, bool ok) {
   std::printf("[SHAPE-%s] %s\n", ok ? "OK  " : "FAIL", description.c_str());
+}
+
+namespace {
+
+bool IsAllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// "--key=" prefix match; on success points `value` at the remainder.
+bool MatchFlag(std::string_view arg, std::string_view key,
+               std::string_view* value) {
+  if (arg.size() < key.size() + 3 || arg.substr(0, 2) != "--") return false;
+  if (arg.substr(2, key.size()) != key || arg[2 + key.size()] != '=') {
+    return false;
+  }
+  *value = arg.substr(key.size() + 3);
+  return true;
+}
+
+std::vector<uint64_t> ParseU64List(std::string_view text) {
+  std::vector<uint64_t> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    std::string_view item = text.substr(
+        start, comma == std::string_view::npos ? comma : comma - start);
+    if (!item.empty()) {
+      out.push_back(std::strtoull(std::string(item).c_str(), nullptr, 10));
+    }
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint64_t> BenchArgs::SeedsOr(
+    std::vector<uint64_t> defaults) const {
+  if (!seeds.empty()) return seeds;
+  if (seed.has_value()) return {*seed};
+  return defaults;
+}
+
+BenchArgs ParseBenchArgs(int* argc, char** argv, const char* bench_name) {
+  BenchArgs args;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string_view arg = argv[i];
+    std::string_view value;
+    bool recognized = true;
+    if (arg == "--smoke") {
+      args.smoke = true;
+    } else if (MatchFlag(arg, "spec", &value)) {
+      args.spec_path = std::string(value);
+    } else if (MatchFlag(arg, "json-out", &value)) {
+      args.json_out = std::string(value);
+    } else if (MatchFlag(arg, "backend", &value)) {
+      args.backend = std::string(value);
+    } else if (MatchFlag(arg, "seed", &value)) {
+      args.seed = std::strtoull(std::string(value).c_str(), nullptr, 10);
+    } else if (MatchFlag(arg, "seeds", &value)) {
+      args.seeds = ParseU64List(value);
+    } else if (MatchFlag(arg, "threads", &value)) {
+      args.threads = static_cast<uint32_t>(
+          std::strtoul(std::string(value).c_str(), nullptr, 10));
+    } else if (MatchFlag(arg, "shards", &value)) {
+      args.shards = static_cast<uint32_t>(
+          std::strtoul(std::string(value).c_str(), nullptr, 10));
+    } else if (MatchFlag(arg, "ops", &value)) {
+      args.ops = std::strtoull(std::string(value).c_str(), nullptr, 10);
+    } else if (IsAllDigits(arg)) {
+      // The old multi-seed calling convention (`bench_chaos 7 77`).
+      std::fprintf(stderr,
+                   "%s: positional seeds are deprecated; use --seeds=A,B,C\n",
+                   bench_name);
+      args.seeds.push_back(
+          std::strtoull(std::string(arg).c_str(), nullptr, 10));
+    } else {
+      // Leave unknown flags in argv: wrapped parsers (google-benchmark)
+      // own them.
+      std::fprintf(stderr, "%s: ignoring unrecognized argument '%s'\n",
+                   bench_name, std::string(arg).c_str());
+      recognized = false;
+    }
+    if (!recognized) argv[out++] = argv[i];
+  }
+  *argc = out;
+  return args;
 }
 
 }  // namespace cbfww::bench

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,15 +32,28 @@ corpus::NewsFeed::Options StandardFeedOptions();
 /// Warehouse sized so that memory is contended (the interesting regime).
 core::WarehouseOptions StandardWarehouseOptions();
 
-/// Everything a simulation run needs, with correct construction order.
-struct Simulation {
+/// Everything a simulation run needs, with correct construction order
+/// (the origin borrows the corpus, the feed borrows its topic model).
+class Simulation {
+ public:
   explicit Simulation(const corpus::CorpusOptions& copts);
   Simulation(const corpus::CorpusOptions& copts,
              const corpus::NewsFeed::Options& fopts);
 
-  corpus::WebCorpus corpus;
-  std::unique_ptr<corpus::NewsFeed> feed;  // Null when not requested.
-  net::OriginServer origin;
+  corpus::WebCorpus& corpus() { return corpus_; }
+  const corpus::WebCorpus& corpus() const { return corpus_; }
+
+  /// Null when the feed-less constructor was used.
+  corpus::NewsFeed* feed() { return feed_.get(); }
+  const corpus::NewsFeed* feed() const { return feed_.get(); }
+
+  net::OriginServer& origin() { return origin_; }
+  const net::OriginServer& origin() const { return origin_; }
+
+ private:
+  corpus::WebCorpus corpus_;
+  std::unique_ptr<corpus::NewsFeed> feed_;  // Null when not requested.
+  net::OriginServer origin_;
 };
 
 /// Aggregate metrics of replaying a trace through a warehouse.
@@ -104,6 +118,42 @@ void PrintHeader(const std::string& artifact, const std::string& what);
 /// Prints a PASS/FAIL shape-check line (the reproduction contract: shape,
 /// not absolute numbers).
 void ShapeCheck(const std::string& description, bool ok);
+
+/// The standard bench command line, shared by every bench_* binary:
+///
+///   --smoke            CI-scale run (small corpora, few ops)
+///   --spec=PATH        workload spec file (benches on the workload runner)
+///   --json-out=PATH    where to write the bench's JSON report
+///   --backend=NAME     cluster | server | both (bench_workload)
+///   --seed=N           primary RNG seed override
+///   --seeds=A,B,C      seed list (multi-seed benches: chaos, durability)
+///   --threads=N        client threads / closed-loop window override
+///   --shards=N         shard count override
+///   --ops=N            op count override
+///
+/// Bare positional integers are accepted as a deprecated alias for
+/// --seeds (the old bench_chaos/bench_durability calling convention) with
+/// a stderr note. Unrecognized --flags warn but do not abort, so wrapped
+/// arg parsers (google-benchmark) keep working; recognized arguments are
+/// stripped from argv for the same reason.
+struct BenchArgs {
+  bool smoke = false;
+  std::string spec_path;
+  std::string json_out;
+  std::string backend;
+  std::optional<uint64_t> seed;
+  std::vector<uint64_t> seeds;
+  std::optional<uint32_t> threads;
+  std::optional<uint32_t> shards;
+  std::optional<uint64_t> ops;
+
+  /// The seed list with fallbacks: --seeds, else --seed, else `defaults`.
+  std::vector<uint64_t> SeedsOr(std::vector<uint64_t> defaults) const;
+};
+
+/// Parses (and strips recognized arguments from) argv. `bench_name` labels
+/// warnings.
+BenchArgs ParseBenchArgs(int* argc, char** argv, const char* bench_name);
 
 }  // namespace cbfww::bench
 

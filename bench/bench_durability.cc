@@ -65,13 +65,13 @@ IngestResult RunIngest(uint64_t seed, const std::string& dir,
   Simulation sim(BenchCorpusOptions(seed));
   trace::WorkloadOptions wopts = StandardWorkloadOptions(seed + 1);
   wopts.horizon = kDay;
-  trace::WorkloadGenerator gen(&sim.corpus, nullptr, wopts);
+  trace::WorkloadGenerator gen(&sim.corpus(), nullptr, wopts);
   auto events = gen.Generate();
 
   core::WarehouseOptions opts = StandardWarehouseOptions();
   opts.durability.dir = dir;
   opts.durability.checkpoint_every_events = cadence;
-  core::Warehouse wh(&sim.corpus, &sim.origin, nullptr, opts);
+  core::Warehouse wh(&sim.corpus(), &sim.origin(), nullptr, opts);
   if (!dir.empty()) {
     auto report = wh.OpenDurability();
     if (!report.ok()) {
@@ -108,7 +108,7 @@ RecoveryResult RunRecovery(uint64_t seed, const std::string& dir,
   core::WarehouseOptions opts = StandardWarehouseOptions();
   opts.durability.dir = dir;
   opts.durability.checkpoint_every_events = cadence;
-  core::Warehouse wh(&sim.corpus, &sim.origin, nullptr, opts);
+  core::Warehouse wh(&sim.corpus(), &sim.origin(), nullptr, opts);
 
   RecoveryResult r;
   r.cadence = cadence;
@@ -136,11 +136,8 @@ int main(int argc, char** argv) {
   using namespace cbfww::bench;
   namespace fs = std::filesystem;
 
-  std::vector<uint64_t> seeds;
-  for (int i = 1; i < argc; ++i) {
-    seeds.push_back(std::strtoull(argv[i], nullptr, 10));
-  }
-  if (seeds.empty()) seeds = {7, 77, 777};
+  const BenchArgs args = ParseBenchArgs(&argc, argv, "bench_durability");
+  std::vector<uint64_t> seeds = args.SeedsOr({7, 77, 777});
   // Ingest overhead is measured on the first seed; the remaining seeds
   // re-check the equality gates (state identity is seed-independent).
   const uint64_t kCadences[] = {0, 512, 128};

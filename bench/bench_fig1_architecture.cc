@@ -11,7 +11,10 @@
 #include "util/strings.h"
 #include "util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_fig1_architecture");
+
   using namespace cbfww;
   using namespace cbfww::bench;
 
@@ -19,17 +22,17 @@ int main() {
               "Full-architecture integration run: every component active "
               "over a 3-day synthetic workload");
 
-  Simulation sim(StandardCorpusOptions(), StandardFeedOptions());
-  trace::WorkloadGenerator gen(&sim.corpus, sim.feed.get(),
+  Simulation sim(StandardCorpusOptions(bench_args.seed.value_or(2003)), StandardFeedOptions());
+  trace::WorkloadGenerator gen(&sim.corpus(), sim.feed(),
                                StandardWorkloadOptions());
   auto events = gen.Generate();
 
   core::WarehouseOptions opts = StandardWarehouseOptions();
-  core::Warehouse wh(&sim.corpus, &sim.origin, sim.feed.get(), opts);
+  core::Warehouse wh(&sim.corpus(), &sim.origin(), sim.feed(), opts);
   RunMetrics metrics = RunTrace(wh, events);
 
   std::printf("corpus: %zu pages, %zu raw objects; workload: %zu events\n",
-              sim.corpus.num_pages(), sim.corpus.num_raw_objects(),
+              sim.corpus().num_pages(), sim.corpus().num_raw_objects(),
               events.size());
 
   TablePrinter comp({"Component (Figure 1)", "Activity observed"});

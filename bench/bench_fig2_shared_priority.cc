@@ -35,7 +35,10 @@ core::WarehouseOptions PurePriorityOptions() {
 }  // namespace
 }  // namespace cbfww::bench
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_fig2_shared_priority");
+
   using namespace cbfww;
   using namespace cbfww::bench;
 
@@ -44,22 +47,22 @@ int main() {
               "reference count");
 
   // ---- Part 1: the worked example (D2=12, D3=7 => E5 = 12, not 19). ----
-  corpus::CorpusOptions copts = StandardCorpusOptions();
+  corpus::CorpusOptions copts = StandardCorpusOptions(bench_args.seed.value_or(2003));
   copts.pages_per_site = 100;
   Simulation sim(copts);
 
   corpus::RawId e5 = corpus::kInvalidRawId;
   corpus::PageId d2 = corpus::kInvalidPageId, d3 = corpus::kInvalidPageId;
-  for (corpus::RawId id = 0; id < sim.corpus.num_raw_objects(); ++id) {
-    if (sim.corpus.ContainersOf(id).size() == 2) {
+  for (corpus::RawId id = 0; id < sim.corpus().num_raw_objects(); ++id) {
+    if (sim.corpus().ContainersOf(id).size() == 2) {
       e5 = id;
-      d2 = sim.corpus.ContainersOf(id)[0];
-      d3 = sim.corpus.ContainersOf(id)[1];
+      d2 = sim.corpus().ContainersOf(id)[0];
+      d3 = sim.corpus().ContainersOf(id)[1];
       break;
     }
   }
 
-  core::Warehouse wh(&sim.corpus, &sim.origin, nullptr, PurePriorityOptions());
+  core::Warehouse wh(&sim.corpus(), &sim.origin(), nullptr, PurePriorityOptions());
   SimTime t = kSecond;
   for (int i = 0; i < 12; ++i) {
     wh.RequestPage({.page = d2, .user = 1, .session = i, .now = t});

@@ -10,7 +10,10 @@
 #include "util/strings.h"
 #include "util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_fig3_storage_mapping");
+
   using namespace cbfww;
   using namespace cbfww::bench;
 
@@ -18,7 +21,7 @@ int main() {
               "Adaptive object->storage mapping vs stacked-LRU and static "
               "placement under a drifting hot spot");
 
-  corpus::CorpusOptions copts = StandardCorpusOptions();
+  corpus::CorpusOptions copts = StandardCorpusOptions(bench_args.seed.value_or(2003));
   // Strong, drifting hot spots: bursts shift the hot topic every few hours.
   corpus::NewsFeed::Options fopts = StandardFeedOptions();
   fopts.num_bursts = 12;
@@ -35,9 +38,9 @@ int main() {
   auto add_warehouse_row = [&](const std::string& name,
                                core::WarehouseOptions opts, bool adaptive) {
     Simulation sim(copts, fopts);
-    trace::WorkloadGenerator gen(&sim.corpus, sim.feed.get(), wopts);
+    trace::WorkloadGenerator gen(&sim.corpus(), sim.feed(), wopts);
     auto events = gen.Generate();
-    core::Warehouse wh(&sim.corpus, &sim.origin, sim.feed.get(), opts);
+    core::Warehouse wh(&sim.corpus(), &sim.origin(), sim.feed(), opts);
     RunMetrics m = RunTrace(wh, events);
     table.AddRow({name, StrFormat("%.1fms", m.MeanLatencyMs()),
                   StrFormat("%.1fms", m.latency_pct.Percentile(50) / 1000.0),
@@ -67,7 +70,7 @@ int main() {
 
   {
     Simulation sim(copts, fopts);
-    trace::WorkloadGenerator gen(&sim.corpus, sim.feed.get(), wopts);
+    trace::WorkloadGenerator gen(&sim.corpus(), sim.feed(), wopts);
     auto events = gen.Generate();
     CacheStackResult lru = RunCacheStack(
         sim, events, "LRU", StandardWarehouseOptions().memory_bytes,

@@ -14,7 +14,10 @@
 #include "util/strings.h"
 #include "util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_fig4_composition");
+
   using namespace cbfww;
   using namespace cbfww::bench;
 
@@ -22,16 +25,16 @@ int main() {
               "Physical-page composition: container + shared media "
               "components");
 
-  Simulation sim(StandardCorpusOptions());
+  Simulation sim(StandardCorpusOptions(bench_args.seed.value_or(2003)));
 
   // --- Sharing distribution across the corpus. ---
   std::map<size_t, uint64_t> degree_histogram;
   uint64_t shared_bytes_once = 0;   // Storing each shared component once.
   uint64_t shared_bytes_naive = 0;  // Duplicating per embedding page.
-  for (corpus::RawId id = 0; id < sim.corpus.num_raw_objects(); ++id) {
-    const auto& obj = sim.corpus.raw(id);
+  for (corpus::RawId id = 0; id < sim.corpus().num_raw_objects(); ++id) {
+    const auto& obj = sim.corpus().raw(id);
     if (obj.is_html()) continue;
-    size_t degree = sim.corpus.ContainersOf(id).size();
+    size_t degree = sim.corpus().ContainersOf(id).size();
     if (degree == 0) continue;
     ++degree_histogram[degree];
     shared_bytes_once += obj.size_bytes;
@@ -53,9 +56,9 @@ int main() {
   // --- Assembly integrity under a real run. ---
   trace::WorkloadOptions wopts = StandardWorkloadOptions();
   wopts.horizon = kDay;
-  trace::WorkloadGenerator gen(&sim.corpus, nullptr, wopts);
+  trace::WorkloadGenerator gen(&sim.corpus(), nullptr, wopts);
   auto events = gen.Generate();
-  core::Warehouse wh(&sim.corpus, &sim.origin, nullptr,
+  core::Warehouse wh(&sim.corpus(), &sim.origin(), nullptr,
                      StandardWarehouseOptions());
 
   uint64_t requests = 0;
@@ -64,7 +67,7 @@ int main() {
     core::PageVisit v = wh.ProcessEvent(e);
     if (e.type != trace::TraceEventType::kRequest) continue;
     ++requests;
-    const auto& page = sim.corpus.page(e.page);
+    const auto& page = sim.corpus().page(e.page);
     uint32_t expected =
         1 + static_cast<uint32_t>(page.components.size());
     uint32_t served =

@@ -12,7 +12,10 @@
 #include "util/strings.h"
 #include "util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_fig5_logical_docs");
+
   using namespace cbfww;
   using namespace cbfww::bench;
 
@@ -20,16 +23,16 @@ int main() {
               "Mining logical documents (frequently traversed paths) from "
               "planted navigation trails");
 
-  Simulation sim(StandardCorpusOptions(), StandardFeedOptions());
+  Simulation sim(StandardCorpusOptions(bench_args.seed.value_or(2003)), StandardFeedOptions());
   trace::WorkloadOptions wopts = StandardWorkloadOptions();
   wopts.trail_session_prob = 0.3;
   wopts.num_trails = 10;
-  trace::WorkloadGenerator gen(&sim.corpus, sim.feed.get(), wopts);
+  trace::WorkloadGenerator gen(&sim.corpus(), sim.feed(), wopts);
   auto events = gen.Generate();
 
   core::WarehouseOptions opts = StandardWarehouseOptions();
   opts.logical.support_threshold = 8;
-  core::Warehouse wh(&sim.corpus, &sim.origin, sim.feed.get(), opts);
+  core::Warehouse wh(&sim.corpus(), &sim.origin(), sim.feed(), opts);
   RunTrace(wh, events);
 
   const auto& mined = wh.logical_pages().pages();
@@ -92,12 +95,12 @@ int main() {
   size_t prev = SIZE_MAX;
   bool monotone = true;
   for (uint64_t threshold : {4, 8, 16, 32}) {
-    Simulation s2(StandardCorpusOptions(), StandardFeedOptions());
-    trace::WorkloadGenerator g2(&s2.corpus, s2.feed.get(), wopts);
+    Simulation s2(StandardCorpusOptions(bench_args.seed.value_or(2003)), StandardFeedOptions());
+    trace::WorkloadGenerator g2(&s2.corpus(), s2.feed(), wopts);
     auto ev2 = g2.Generate();
     core::WarehouseOptions o2 = StandardWarehouseOptions();
     o2.logical.support_threshold = threshold;
-    core::Warehouse w2(&s2.corpus, &s2.origin, s2.feed.get(), o2);
+    core::Warehouse w2(&s2.corpus(), &s2.origin(), s2.feed(), o2);
     RunTrace(w2, ev2);
     size_t count = w2.logical_pages().pages().size();
     sweep.AddRow({StrFormat("%llu", static_cast<unsigned long long>(threshold)),

@@ -16,7 +16,10 @@
 #include "util/strings.h"
 #include "util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_fig6_logical_content");
+
   using namespace cbfww;
   using namespace cbfww::bench;
 
@@ -26,22 +29,22 @@ int main() {
 
   // Collect, from the real corpus, pairs of length-2 paths ending at the
   // same page but entering from different pages with different anchors.
-  Simulation sim(StandardCorpusOptions());
+  Simulation sim(StandardCorpusOptions(bench_args.seed.value_or(2003)));
   // terminal -> list of (source page, anchor terms).
   std::map<corpus::PageId,
            std::vector<std::pair<corpus::PageId, std::vector<text::TermId>>>>
       inbound;
-  for (const auto& page : sim.corpus.pages()) {
+  for (const auto& page : sim.corpus().pages()) {
     for (const auto& anchor : page.anchors) {
       inbound[anchor.target].emplace_back(page.id, anchor.text_terms);
     }
   }
 
-  text::Vocabulary* vocab = sim.corpus.mutable_vocabulary();
+  text::Vocabulary* vocab = sim.corpus().mutable_vocabulary();
   text::TfIdfVectorizer vectorizer(vocab);
   // Prime DF statistics with every page body once.
-  for (const auto& page : sim.corpus.pages()) {
-    const auto& raw = sim.corpus.raw(page.container);
+  for (const auto& page : sim.corpus().pages()) {
+    const auto& raw = sim.corpus().raw(page.container);
     std::vector<text::TermId> all = raw.title_terms;
     all.insert(all.end(), raw.body_terms.begin(), raw.body_terms.end());
     vectorizer.VectorizeTerms(all, /*update_statistics=*/true);
@@ -50,7 +53,7 @@ int main() {
   auto logical_vector = [&](corpus::PageId terminal,
                             const std::vector<text::TermId>& anchor_terms,
                             double omega) {
-    const auto& raw = sim.corpus.raw(sim.corpus.page(terminal).container);
+    const auto& raw = sim.corpus().raw(sim.corpus().page(terminal).container);
     std::vector<text::TermId> title = anchor_terms;
     title.insert(title.end(), raw.title_terms.begin(), raw.title_terms.end());
     text::TermVector v = vectorizer.VectorizeTerms(raw.body_terms, false);

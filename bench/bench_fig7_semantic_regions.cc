@@ -15,7 +15,10 @@
 #include "util/strings.h"
 #include "util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_fig7_semantic_regions");
+
   using namespace cbfww;
   using namespace cbfww::bench;
 
@@ -23,15 +26,15 @@ int main() {
               "Semantic regions: single-pass streaming k-median vs batch "
               "k-means on TF-IDF page vectors");
 
-  Simulation sim(StandardCorpusOptions());
-  const uint32_t k = sim.corpus.topic_model().num_topics();
+  Simulation sim(StandardCorpusOptions(bench_args.seed.value_or(2003)));
+  const uint32_t k = sim.corpus().topic_model().num_topics();
 
   // Vectorize every page (normalized TF-IDF over title+body).
-  text::TfIdfVectorizer vectorizer(sim.corpus.mutable_vocabulary());
+  text::TfIdfVectorizer vectorizer(sim.corpus().mutable_vocabulary());
   std::vector<text::TermVector> points;
   std::vector<int32_t> labels;
-  for (const auto& page : sim.corpus.pages()) {
-    const auto& raw = sim.corpus.raw(page.container);
+  for (const auto& page : sim.corpus().pages()) {
+    const auto& raw = sim.corpus().raw(page.container);
     std::vector<text::TermId> all = raw.title_terms;
     all.insert(all.end(), raw.body_terms.begin(), raw.body_terms.end());
     text::TermVector v = vectorizer.VectorizeTerms(all, true);

@@ -15,7 +15,10 @@
 #include "util/strings.h"
 #include "util/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_fig8_priority_policies");
+
   using namespace cbfww;
   using namespace cbfww::bench;
 
@@ -23,7 +26,7 @@ int main() {
               "Initial-priority policy comparison: similarity-seeded CBFWW "
               "vs LRU-like/cold ablations vs classical caches");
 
-  corpus::CorpusOptions copts = StandardCorpusOptions();
+  corpus::CorpusOptions copts = StandardCorpusOptions(bench_args.seed.value_or(2003));
   corpus::NewsFeed::Options fopts = StandardFeedOptions();
 
   bool cbfww_beats_top_everywhere = true;
@@ -39,7 +42,7 @@ int main() {
     double one_timer_share;
     {
       Simulation sim(copts, fopts);
-      trace::WorkloadGenerator gen(&sim.corpus, sim.feed.get(), wopts);
+      trace::WorkloadGenerator gen(&sim.corpus(), sim.feed(), wopts);
       auto stats = trace::ComputeTraceStats(gen.Generate(),
                                             gen.ContainerOfPages());
       one_timer_share = stats.OneTimerFraction();
@@ -61,11 +64,11 @@ int main() {
     auto run_warehouse = [&](const std::string& name,
                              core::InitialPriorityMode mode) {
       Simulation sim(copts, fopts);
-      trace::WorkloadGenerator gen(&sim.corpus, sim.feed.get(), wopts);
+      trace::WorkloadGenerator gen(&sim.corpus(), sim.feed(), wopts);
       auto events = gen.Generate();
       core::WarehouseOptions opts = StandardWarehouseOptions();
       opts.initial_priority = mode;
-      core::Warehouse wh(&sim.corpus, &sim.origin, sim.feed.get(), opts);
+      core::Warehouse wh(&sim.corpus(), &sim.origin(), sim.feed(), opts);
       RunMetrics m = RunTrace(wh, events);
       // The paper's waste argument: memory placements made at fetch time
       // for objects that were never subsequently read from memory.
@@ -107,7 +110,7 @@ int main() {
 
     for (std::string policy : {"LRU", "LFU", "LFU-DA", "LRU-2", "GDSF"}) {
       Simulation sim(copts, fopts);
-      trace::WorkloadGenerator gen(&sim.corpus, sim.feed.get(), wopts);
+      trace::WorkloadGenerator gen(&sim.corpus(), sim.feed(), wopts);
       auto events = gen.Generate();
       CacheStackResult r = RunCacheStack(
           sim, events, policy, StandardWarehouseOptions().memory_bytes,

@@ -302,7 +302,9 @@ CacheBenchResult RunCacheBench() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const cbfww::bench::BenchArgs args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_hotpath");
+  const bool smoke = args.smoke;
 
   cbfww::bench::PrintHeader(
       "hotpath", smoke ? "similarity hot path (perf smoke)"

@@ -1,16 +1,15 @@
-// Wire-level serving throughput: HTTP load generator against the embedded
-// server at 1/2/4/8 shards.
+// Wire-level serving throughput: the workload harness driving its HTTP
+// load generator against the embedded server at 1/2/4/8 shards.
 //
-// Two phases per shard count:
-//   1. Closed loop: N keep-alive connections issue GET /page/<id>
+// Two phases per shard count, both runs of the same WorkloadSpec through
+// workload::Runner's server backend:
+//   1. Closed loop: N keep-alive connections issue the spec's op stream
 //      back-to-back; wall RPS measures the full wire path (event loop,
 //      parser, shard dispatch, JSON serialization).
 //   2. Open loop: arrivals are *scheduled* at a fixed rate (a fraction of
 //      the measured closed-loop RPS) and latency is measured from the
 //      scheduled arrival, not the send — the standard correction for
-//      coordinated omission. p50/p99 come from a PercentileTracker; a
-//      stream::ExponentialHistogram over completion times gives the
-//      windowed RPS estimate the DSMS layer would see.
+//      coordinated omission.
 //
 // Like bench_throughput_shards, the scaling gate uses critical-path RPS
 // (requests / max per-shard busy time): wall RPS on a single-core CI
@@ -18,271 +17,167 @@
 // scaling. On a machine with >= shards cores the two numbers converge.
 //
 // --smoke runs a small correctness-gated pass (used by scripts/ci.sh under
-// ASan): every response must be 200, no hangs, no scaling gate.
+// ASan): every request must be served, no hangs, no scaling gate.
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
 #include <cstdio>
-#include <cstring>
-#include <fstream>
+#include <cstdlib>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "bench_common.h"
-#include "cluster/warehouse_cluster.h"
-#include "server/http_client.h"
-#include "server/http_server.h"
-#include "stream/exponential_histogram.h"
-#include "util/stats.h"
+#include "workload/json_report.h"
+#include "workload/runner.h"
+#include "workload/workload_spec.h"
 
 namespace {
 
-using cbfww::PercentileTracker;
-using cbfww::cluster::ClusterOptions;
-using cbfww::cluster::ClusterReport;
-using cbfww::cluster::WarehouseCluster;
-using cbfww::server::ClientResponse;
-using cbfww::server::HttpServer;
-using cbfww::server::ServerOptions;
-using cbfww::server::SimpleHttpClient;
+using cbfww::bench::BenchArgs;
+using cbfww::bench::JsonReport;
+using cbfww::workload::Backend;
+using cbfww::workload::LoopMode;
+using cbfww::workload::Runner;
+using cbfww::workload::RunnerOptions;
+using cbfww::workload::RunResult;
+using cbfww::workload::WorkloadSpec;
 
-constexpr int kConnections = 8;
-
-struct PhaseResult {
-  uint64_t requests = 0;
-  uint64_t errors = 0;  // Non-200 responses or transport failures.
-  double wall_s = 0.0;
-  double rps_wall = 0.0;
-  double p50_ms = 0.0;
-  double p99_ms = 0.0;
-  double windowed_rps = 0.0;  // ExponentialHistogram estimate at the end.
-};
+/// Mostly-GET wire traffic with a sprinkle of queries, scans, and POSTed
+/// modifications — every route class the server exposes.
+WorkloadSpec DefaultSpec(bool smoke) {
+  WorkloadSpec spec;
+  spec.name = "server_default";
+  spec.description = "mixed wire traffic for the HTTP serving bench";
+  spec.mix.page_visit = 0.94;
+  spec.mix.query = 0.02;
+  spec.mix.scan = 0.01;
+  spec.mix.ingest = 0.03;
+  spec.corpus_sites = 8;
+  spec.corpus_pages_per_site = 150;
+  spec.threads = 8;  // Keep-alive client connections.
+  spec.users = 64;
+  spec.ops = smoke ? 200 : 4800;
+  spec.mean_gap_us = 1000;
+  return spec;
+}
 
 struct ConfigResult {
   uint32_t shards = 0;
-  PhaseResult closed;
-  PhaseResult open;
+  RunResult closed;
+  RunResult open;
+  /// Cumulative over both phases: served requests / max shard busy time.
   double rps_critical_path = 0.0;
-  uint64_t shed_total = 0;
   uint64_t served_requests = 0;
+  uint64_t shed_total = 0;
+  uint64_t errors = 0;
 };
 
-uint64_t PickPage(int conn, uint64_t i, uint64_t num_pages) {
-  return (static_cast<uint64_t>(conn) * 7919 + i * 13) % num_pages;
-}
-
-// Closed loop: each connection hammers round-trips; returns aggregate RPS.
-PhaseResult RunClosedLoop(uint16_t port, uint64_t num_pages,
-                          uint64_t requests_per_conn) {
-  std::vector<std::thread> threads;
-  std::atomic<uint64_t> errors{0};
-  std::vector<PercentileTracker> latencies(kConnections);
-  auto start = std::chrono::steady_clock::now();
-  for (int c = 0; c < kConnections; ++c) {
-    threads.emplace_back([&, c] {
-      SimpleHttpClient client;
-      if (!client.Connect("127.0.0.1", port).ok()) {
-        errors.fetch_add(requests_per_conn);
-        return;
-      }
-      for (uint64_t i = 0; i < requests_per_conn; ++i) {
-        uint64_t page = PickPage(c, i, num_pages);
-        std::string target = "/page/" + std::to_string(page) +
-                             "?user=" + std::to_string(c) +
-                             "&session=" + std::to_string(c);
-        auto t0 = std::chrono::steady_clock::now();
-        auto response = client.RoundTrip("GET", target);
-        auto t1 = std::chrono::steady_clock::now();
-        if (!response.ok() || response->status != 200) {
-          errors.fetch_add(1);
-          if (!response.ok()) return;  // Transport broken: stop this conn.
-          continue;
-        }
-        latencies[c].Add(
-            std::chrono::duration<double, std::milli>(t1 - t0).count());
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  auto end = std::chrono::steady_clock::now();
-
-  PhaseResult r;
-  r.requests = static_cast<uint64_t>(kConnections) * requests_per_conn;
-  r.errors = errors.load();
-  r.wall_s = std::chrono::duration<double>(end - start).count();
-  r.rps_wall = r.wall_s > 0 ? static_cast<double>(r.requests) / r.wall_s : 0;
-  PercentileTracker merged;
-  for (auto& p : latencies) merged.Merge(p);
-  r.p50_ms = merged.Percentile(50);
-  r.p99_ms = merged.Percentile(99);
-  return r;
-}
-
-// Open loop: each connection schedules arrivals at rate/kConnections and
-// measures latency from the *scheduled* time.
-PhaseResult RunOpenLoop(uint16_t port, uint64_t num_pages, double rate_rps,
-                        uint64_t total_requests) {
-  std::vector<std::thread> threads;
-  std::atomic<uint64_t> errors{0};
-  std::vector<PercentileTracker> latencies(kConnections);
-  // Completion timestamps (us since phase start), per connection; merged
-  // into the exponential histogram afterwards (it needs ordered input).
-  std::vector<std::vector<int64_t>> completions(kConnections);
-  uint64_t per_conn = std::max<uint64_t>(1, total_requests / kConnections);
-  double conn_rate = rate_rps / kConnections;
-  double interval_s = conn_rate > 0 ? 1.0 / conn_rate : 0.001;
-
-  auto start = std::chrono::steady_clock::now();
-  for (int c = 0; c < kConnections; ++c) {
-    threads.emplace_back([&, c] {
-      SimpleHttpClient client;
-      if (!client.Connect("127.0.0.1", port).ok()) {
-        errors.fetch_add(per_conn);
-        return;
-      }
-      for (uint64_t i = 0; i < per_conn; ++i) {
-        auto scheduled =
-            start + std::chrono::duration_cast<
-                        std::chrono::steady_clock::duration>(
-                        std::chrono::duration<double>(interval_s *
-                                                      static_cast<double>(i)));
-        std::this_thread::sleep_until(scheduled);
-        uint64_t page = PickPage(c, i + 101, num_pages);
-        std::string target = "/page/" + std::to_string(page) +
-                             "?user=" + std::to_string(100 + c);
-        auto response = client.RoundTrip("GET", target);
-        auto done = std::chrono::steady_clock::now();
-        if (!response.ok() || response->status != 200) {
-          errors.fetch_add(1);
-          if (!response.ok()) return;
-          continue;
-        }
-        // Latency from scheduled arrival: includes queueing delay when the
-        // server (or this closed connection) falls behind the schedule.
-        latencies[c].Add(
-            std::chrono::duration<double, std::milli>(done - scheduled)
-                .count());
-        completions[c].push_back(
-            std::chrono::duration_cast<std::chrono::microseconds>(done - start)
-                .count());
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  auto end = std::chrono::steady_clock::now();
-
-  PhaseResult r;
-  r.requests = per_conn * kConnections;
-  r.errors = errors.load();
-  r.wall_s = std::chrono::duration<double>(end - start).count();
-  r.rps_wall = r.wall_s > 0 ? static_cast<double>(r.requests) / r.wall_s : 0;
-  PercentileTracker merged;
-  for (auto& p : latencies) merged.Merge(p);
-  r.p50_ms = merged.Percentile(50);
-  r.p99_ms = merged.Percentile(99);
-
-  // Windowed completion rate over the last second, as the DSMS layer's
-  // sliding-window counter would report it.
-  std::vector<int64_t> all;
-  for (auto& v : completions) {
-    all.insert(all.end(), v.begin(), v.end());
-  }
-  std::sort(all.begin(), all.end());
-  cbfww::stream::ExponentialHistogram hist(cbfww::kSecond, 16);
-  int64_t last = 0;
-  for (int64_t t : all) {
-    hist.RecordEvent(t);
-    last = t;
-  }
-  r.windowed_rps = static_cast<double>(hist.Estimate(last));
-  return r;
-}
-
-ConfigResult RunConfig(const cbfww::corpus::CorpusOptions& corpus_opts,
-                       uint32_t shards, uint64_t closed_per_conn,
+ConfigResult RunConfig(const WorkloadSpec& spec, uint32_t shards,
                        uint64_t open_total) {
-  ClusterOptions opts;
-  opts.num_shards = shards;
-  opts.warehouse = cbfww::bench::StandardWarehouseOptions();
-  opts.warehouse.memory_bytes /= shards;
-  opts.warehouse.disk_bytes /= shards;
-  WarehouseCluster cluster(corpus_opts, std::nullopt, opts);
-  uint64_t num_pages = cluster.shard(0).corpus().num_pages();
-
-  HttpServer server(&cluster, ServerOptions{});
-  cbfww::Status status = server.Start();
+  RunnerOptions options;
+  options.backend = Backend::kServer;
+  options.shards = shards;
+  options.warehouse = cbfww::bench::StandardWarehouseOptions();
+  Runner runner(spec, options);
+  cbfww::Status status = runner.Init();
   if (!status.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
-                 status.message().c_str());
+                 std::string(status.message()).c_str());
     std::exit(1);
   }
 
   ConfigResult r;
   r.shards = shards;
-  r.closed = RunClosedLoop(server.port(), num_pages, closed_per_conn);
-  double open_rate = std::max(50.0, r.closed.rps_wall * 0.6);
-  r.open = RunOpenLoop(server.port(), num_pages, open_rate, open_total);
+  auto closed = runner.Run();
+  if (!closed.ok()) {
+    std::fprintf(stderr, "closed run failed: %s\n",
+                 std::string(closed.status().message()).c_str());
+    std::exit(1);
+  }
+  r.closed = *std::move(closed);
 
-  server.Stop();
-  ClusterReport report = cluster.Report();
-  r.shed_total = report.TotalShed();
-  r.served_requests = report.counters.requests;
+  // Warm open-loop phase against the same populated warehouse, offered a
+  // fraction of the just-measured closed-loop throughput.
+  WorkloadSpec open_spec = spec;
+  open_spec.name = spec.name + "_open";
+  open_spec.loop = LoopMode::kOpen;
+  open_spec.offered_load_rps = std::max(50.0, r.closed.rps_wall * 0.6);
+  open_spec.ops = open_total;
+  auto open = runner.Run(open_spec);
+  if (!open.ok()) {
+    std::fprintf(stderr, "open run failed: %s\n",
+                 std::string(open.status().message()).c_str());
+    std::exit(1);
+  }
+  r.open = *std::move(open);
+
+  // The scaling gate's number: cumulative requests over the busiest
+  // shard's total CPU time, exactly as the pre-harness bench computed it.
+  const auto& report = r.open.report;
   double critical_s = static_cast<double>(report.MaxShardBusyNs()) / 1e9;
+  r.served_requests = report.counters.requests;
   r.rps_critical_path =
       critical_s > 0
           ? static_cast<double>(report.counters.requests) / critical_s
           : 0.0;
+  r.shed_total = r.closed.total.shed + r.open.total.shed;
+  r.errors = r.closed.total.errors + r.open.total.errors;
   return r;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  }
+  BenchArgs args = cbfww::bench::ParseBenchArgs(&argc, argv, "bench_server");
+  const bool smoke = args.smoke;
 
   cbfww::bench::PrintHeader(
       "serving/wire",
       smoke ? "HTTP serving smoke (correctness only)"
             : "HTTP serving throughput and latency at 1/2/4/8 shards");
 
-  cbfww::corpus::CorpusOptions corpus_opts =
-      cbfww::bench::StandardCorpusOptions();
-  corpus_opts.num_sites = 8;
-  corpus_opts.pages_per_site = 150;
+  WorkloadSpec spec = DefaultSpec(smoke);
+  if (!args.spec_path.empty()) {
+    auto loaded = cbfww::workload::LoadWorkloadSpec(args.spec_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "bench_server: %s\n",
+                   std::string(loaded.status().message()).c_str());
+      return 2;
+    }
+    spec = *loaded;
+    if (smoke) spec = cbfww::workload::SmokeShrunk(spec);
+  }
+  if (args.seed) spec.seed = *args.seed;
+  if (args.threads) spec.threads = *args.threads;
+  if (args.ops) spec.ops = *args.ops;
 
-  const uint64_t closed_per_conn = smoke ? 25 : 600;
   const uint64_t open_total = smoke ? 120 : 1600;
   std::vector<uint32_t> shard_counts =
       smoke ? std::vector<uint32_t>{1, 2} : std::vector<uint32_t>{1, 2, 4, 8};
 
   const unsigned threads_detected = cbfww::bench::DetectHardwareThreads();
-  std::printf("connections: %d, machine threads: %u\n\n", kConnections,
+  std::printf("connections: %u, machine threads: %u\n\n", spec.threads,
               threads_detected);
 
   std::vector<ConfigResult> results;
   bool all_served = true;
   for (uint32_t shards : shard_counts) {
-    ConfigResult r =
-        RunConfig(corpus_opts, shards, closed_per_conn, open_total);
-    results.push_back(r);
-    all_served = all_served && r.closed.errors == 0 && r.open.errors == 0;
+    ConfigResult r = RunConfig(spec, shards, open_total);
+    all_served = all_served && r.errors == 0 && r.shed_total == 0;
     std::printf(
         "shards=%u  closed: %llu req %.2fs rps=%.0f p99=%.2fms | open: "
-        "rps=%.0f p50=%.2fms p99=%.2fms win-rps=%.0f | critical-path "
-        "rps=%.0f shed=%llu\n",
-        r.shards, static_cast<unsigned long long>(r.closed.requests),
-        r.closed.wall_s, r.closed.rps_wall, r.closed.p99_ms, r.open.rps_wall,
-        r.open.p50_ms, r.open.p99_ms, r.open.windowed_rps,
-        r.rps_critical_path, static_cast<unsigned long long>(r.shed_total));
+        "rps=%.0f p50=%.2fms p99=%.2fms | critical-path rps=%.0f "
+        "shed=%llu\n",
+        r.shards, static_cast<unsigned long long>(r.closed.ops_issued),
+        r.closed.wall_s, r.closed.rps_wall,
+        r.closed.total.latency_pct.Percentile(99) / 1e3, r.open.rps_wall,
+        r.open.total.latency_pct.Percentile(50) / 1e3,
+        r.open.total.latency_pct.Percentile(99) / 1e3, r.rps_critical_path,
+        static_cast<unsigned long long>(r.shed_total));
+    results.push_back(std::move(r));
   }
 
   cbfww::bench::ShapeCheck(
-      "every request served (no transport errors, all 200s, no hangs)",
+      "every request served (no transport errors, nothing shed, no hangs)",
       all_served);
 
   double scaling = 0.0;
@@ -294,36 +189,30 @@ int main(int argc, char** argv) {
         scaling >= 1.5);
   }
 
-  std::ofstream json("BENCH_server.json");
-  json << "{\n  \"bench\": \"server\",\n  \"smoke\": "
-       << (smoke ? "true" : "false")
-       << ",\n  \"connections\": " << kConnections
-       << ",\n  \"machine_threads_detected\": " << threads_detected
-       << ",\n  \"configs\": [\n";
-  for (size_t i = 0; i < results.size(); ++i) {
-    const ConfigResult& r = results[i];
-    json << "    {\"shards\": " << r.shards
-         << ", \"closed_requests\": " << r.closed.requests
-         << ", \"closed_wall_s\": " << r.closed.wall_s
-         << ", \"rps\": " << r.closed.rps_wall
-         << ", \"rps_critical_path\": " << r.rps_critical_path
-         << ", \"closed_p50_ms\": " << r.closed.p50_ms
-         << ", \"closed_p99_ms\": " << r.closed.p99_ms
-         << ", \"open_requests\": " << r.open.requests
-         << ", \"open_rps\": " << r.open.rps_wall
-         << ", \"open_p50_ms\": " << r.open.p50_ms
-         << ", \"open_p99_ms\": " << r.open.p99_ms
-         << ", \"open_windowed_rps\": " << r.open.windowed_rps
-         << ", \"errors\": " << (r.closed.errors + r.open.errors)
-         << ", \"shed_total\": " << r.shed_total
-         << ", \"served_requests\": " << r.served_requests << "}"
-         << (i + 1 < results.size() ? "," : "") << "\n";
+  JsonReport report("server");
+  report.writer().Field("smoke", smoke);
+  report.writer().RawField("spec", cbfww::workload::SpecToJson(spec));
+  report.writer().Field("connections", spec.threads);
+  report.writer().Field("machine_threads_detected", threads_detected);
+  report.writer().BeginArray("configs");
+  for (const ConfigResult& r : results) {
+    report.writer().BeginObject();
+    report.writer().Field("shards", r.shards);
+    report.writer().Field("rps_critical_path", r.rps_critical_path);
+    report.writer().Field("served_requests", r.served_requests);
+    report.writer().Field("shed_total", r.shed_total);
+    report.writer().Field("errors", r.errors);
+    report.writer().BeginArray("runs");
+    cbfww::workload::AppendRunResultJson(r.closed, report.writer());
+    cbfww::workload::AppendRunResultJson(r.open, report.writer());
+    report.writer().EndArray();
+    report.writer().EndObject();
   }
-  json << "  ]";
+  report.writer().EndArray();
   if (!smoke) {
-    json << ",\n  \"critical_path_rps_speedup_4_shards\": " << scaling;
+    report.writer().Field("critical_path_rps_speedup_4_shards", scaling);
   }
-  json << "\n}\n";
-  std::printf("\nwrote BENCH_server.json\n");
+  report.WriteFileOrDie(args.json_out.empty() ? "BENCH_server.json"
+                                              : args.json_out);
   return all_served ? 0 : 1;
 }

@@ -36,9 +36,9 @@ Probe ProbeCache(Simulation& sim, const std::vector<trace::TraceEvent>& events) 
   uint64_t inserted = 0;
   for (const auto& e : events) {
     if (e.type != trace::TraceEventType::kRequest) continue;
-    const auto& page = sim.corpus.page(e.page);
+    const auto& page = sim.corpus().page(e.page);
     if (!cache.Access(page.container,
-                      sim.corpus.raw(page.container).size_bytes, e.time)) {
+                      sim.corpus().raw(page.container).size_bytes, e.time)) {
       ++inserted;
     }
   }
@@ -60,9 +60,9 @@ Probe ProbeStream(Simulation& sim, const std::vector<trace::TraceEvent>& events)
   bool have_first = false;
   for (const auto& e : events) {
     if (e.type != trace::TraceEventType::kRequest) continue;
-    const auto& page = sim.corpus.page(e.page);
+    const auto& page = sim.corpus().page(e.page);
     stream::StreamTuple tuple{e.time, page.container,
-                              sim.corpus.raw(page.container).size_bytes};
+                              sim.corpus().raw(page.container).size_bytes};
     if (!have_first) {
       first_tuple = tuple;
       have_first = true;
@@ -93,7 +93,7 @@ Probe ProbeWarehouse(Simulation& sim,
                      const std::vector<trace::TraceEvent>& events) {
   Probe p;
   core::WarehouseOptions opts = StandardWarehouseOptions();
-  core::Warehouse wh(&sim.corpus, &sim.origin, sim.feed.get(), opts);
+  core::Warehouse wh(&sim.corpus(), &sim.origin(), sim.feed(), opts);
   RunTrace(wh, events);
   // Persistence: every object ever fetched is still resident somewhere
   // (tertiary is bound-free).
@@ -120,7 +120,10 @@ Probe ProbeWarehouse(Simulation& sim,
 }  // namespace
 }  // namespace cbfww::bench
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_table1_taxonomy");
+
   using namespace cbfww;
   using namespace cbfww::bench;
 
@@ -128,12 +131,12 @@ int main() {
               "Databases vs data streams vs caches vs CBFWW — probed "
               "against the systems built in this repository");
 
-  corpus::CorpusOptions copts = StandardCorpusOptions();
+  corpus::CorpusOptions copts = StandardCorpusOptions(bench_args.seed.value_or(2003));
   copts.pages_per_site = 150;  // Faster probe run.
   Simulation sim(copts, StandardFeedOptions());
   trace::WorkloadOptions wopts = StandardWorkloadOptions();
   wopts.horizon = 1 * kDay;
-  trace::WorkloadGenerator gen(&sim.corpus, sim.feed.get(), wopts);
+  trace::WorkloadGenerator gen(&sim.corpus(), sim.feed(), wopts);
   auto events = gen.Generate();
   std::printf("workload: %zu events over 1 simulated day\n", events.size());
 

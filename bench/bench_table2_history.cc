@@ -31,7 +31,10 @@ std::string TimeOf(SimTime t) {
 }  // namespace
 }  // namespace cbfww::bench
 
-int main() {
+int main(int argc, char** argv) {
+  const cbfww::bench::BenchArgs bench_args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_table2_history");
+
   using namespace cbfww;
   using namespace cbfww::bench;
 
@@ -39,15 +42,15 @@ int main() {
               "Usage-history attributes per object, validated against exact "
               "recomputation from the event log");
 
-  corpus::CorpusOptions copts = StandardCorpusOptions();
+  corpus::CorpusOptions copts = StandardCorpusOptions(bench_args.seed.value_or(2003));
   copts.pages_per_site = 150;
   Simulation sim(copts);
   trace::WorkloadOptions wopts = StandardWorkloadOptions();
   wopts.horizon = 1 * kDay;
-  trace::WorkloadGenerator gen(&sim.corpus, nullptr, wopts);
+  trace::WorkloadGenerator gen(&sim.corpus(), nullptr, wopts);
   auto events = gen.Generate();
 
-  core::Warehouse wh(&sim.corpus, &sim.origin, nullptr,
+  core::Warehouse wh(&sim.corpus(), &sim.origin(), nullptr,
                      StandardWarehouseOptions());
   RunTrace(wh, events);
 
@@ -56,8 +59,8 @@ int main() {
   // A modification of ANY raw object (container or embedded component)
   // counts as a modification of every page embedding it.
   std::unordered_map<corpus::RawId, std::vector<corpus::PageId>> by_container;
-  for (corpus::PageId p = 0; p < sim.corpus.num_pages(); ++p) {
-    const auto& spec = sim.corpus.page(p);
+  for (corpus::PageId p = 0; p < sim.corpus().num_pages(); ++p) {
+    const auto& spec = sim.corpus().page(p);
     by_container[spec.container].push_back(p);
     for (corpus::RawId c : spec.components) by_container[c].push_back(p);
   }

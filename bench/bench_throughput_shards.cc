@@ -1,180 +1,184 @@
-// Parallel throughput of the sharded warehouse front-end.
+// Parallel throughput of the sharded warehouse front-end, on the unified
+// workload harness.
 //
-// Replays one fixed trace through WarehouseCluster at 1/2/4/8 shards and
-// measures replay events/sec. Two numbers are reported per configuration:
-//   - wall-clock events/sec, which depends on how many hardware threads
-//     the machine actually has, and
-//   - critical-path events/sec (events / max per-shard busy time), the
+// Runs one declarative WorkloadSpec (read-dominated, zipfian, with a
+// little ingest churn) through workload::Runner at 1/2/4/8 shards and
+// measures ops/sec. Two numbers are reported per configuration:
+//   - wall-clock ops/sec, which depends on how many hardware threads the
+//     machine actually has, and
+//   - critical-path ops/sec (requests / max per-shard busy time), the
 //     throughput a machine with >= shards hardware threads would see.
 // The scalability shape check uses the critical path so the result is
 // meaningful on single-core CI runners too; on a big machine the two
-// numbers converge. Results land in BENCH_throughput_shards.json for the
-// perf trajectory.
+// numbers converge. Results land in BENCH_throughput_shards.json (unified
+// bench schema) for the perf trajectory.
+//
+// --spec=FILE swaps in another workload; --smoke shrinks it to CI scale
+// and gates correctness only.
 
-#include <chrono>
 #include <cstdio>
-#include <fstream>
+#include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
-#include "cluster/warehouse_cluster.h"
-#include "trace/workload.h"
+#include "workload/json_report.h"
+#include "workload/runner.h"
+#include "workload/workload_spec.h"
 
 namespace {
 
-using cbfww::cluster::ClusterOptions;
-using cbfww::cluster::ClusterReport;
-using cbfww::cluster::WarehouseCluster;
+using cbfww::bench::BenchArgs;
+using cbfww::bench::JsonReport;
+using cbfww::workload::Backend;
+using cbfww::workload::Runner;
+using cbfww::workload::RunnerOptions;
+using cbfww::workload::RunResult;
+using cbfww::workload::WorkloadSpec;
 
-struct ConfigResult {
-  uint32_t shards = 0;
-  uint32_t worker_threads = 0;  // One replay worker per shard.
-  uint64_t events = 0;
-  double wall_s = 0.0;
-  double events_per_sec_wall = 0.0;
-  double events_per_sec_critical = 0.0;
-  uint64_t total_requests = 0;
-  uint64_t origin_fetches = 0;
-  /// Overload diagnostics: events shed by bounded admission (zero under
-  /// plain Replay, which never sheds) and queue occupancy at report time
-  /// (zero after a draining Report — nonzero would flag silent backlog).
-  uint64_t shed_total = 0;
-  std::vector<uint64_t> shard_shed;
-  std::vector<uint64_t> queue_depths;
-};
+/// The workload the shard-scaling gate has always measured: almost pure
+/// zipfian reads with light modification churn, paced like a browsing
+/// trace (seconds of simulated time between ops, so housekeeping runs).
+WorkloadSpec DefaultSpec() {
+  WorkloadSpec spec;
+  spec.name = "throughput_shards_default";
+  spec.description = "zipfian read-mostly replay for shard scaling";
+  spec.mix.page_visit = 0.97;
+  spec.mix.query = 0.0;
+  spec.mix.scan = 0.0;
+  spec.mix.ingest = 0.03;
+  spec.corpus_sites = 12;
+  spec.corpus_pages_per_site = 250;
+  spec.ops = 24000;
+  spec.threads = 16;  // Closed-loop window: keeps 8 shards busy.
+  spec.users = 64;
+  spec.mean_gap_us = 5'000'000;  // ~5 sim-seconds/op, a trace-like cadence.
+  return spec;
+}
 
-ConfigResult RunConfig(const cbfww::corpus::CorpusOptions& corpus_opts,
-                       const std::vector<cbfww::trace::TraceEvent>& events,
-                       uint32_t shards) {
-  ClusterOptions opts;
-  opts.num_shards = shards;
-  opts.warehouse = cbfww::bench::StandardWarehouseOptions();
-  // Same cluster-wide capacity at every shard count.
-  opts.warehouse.memory_bytes /= shards;
-  opts.warehouse.disk_bytes /= shards;
-
-  WarehouseCluster cluster(corpus_opts, std::nullopt, opts);
-  auto start = std::chrono::steady_clock::now();
-  cluster.Replay(events);
-  auto end = std::chrono::steady_clock::now();
-
-  ClusterReport report = cluster.Report();
+RunResult RunConfig(const WorkloadSpec& spec, uint32_t shards) {
+  RunnerOptions options;
+  options.backend = Backend::kCluster;
+  options.shards = shards;
+  options.warehouse = cbfww::bench::StandardWarehouseOptions();
+  Runner runner(spec, options);
+  cbfww::Status status = runner.Init();
+  if (!status.ok()) {
+    std::fprintf(stderr, "init failed: %s\n",
+                 std::string(status.message()).c_str());
+    std::exit(1);
+  }
+  auto result = runner.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 std::string(result.status().message()).c_str());
+    std::exit(1);
+  }
   std::printf("  shard busy:");
-  for (size_t s = 0; s < report.shard_busy_ns.size(); ++s) {
-    std::printf(" %.2fs/%llu ev", report.shard_busy_ns[s] / 1e9,
-                static_cast<unsigned long long>(report.shard_requests[s]));
+  for (size_t s = 0; s < result->report.shard_busy_ns.size(); ++s) {
+    std::printf(" %.2fs/%llu ev", result->report.shard_busy_ns[s] / 1e9,
+                static_cast<unsigned long long>(
+                    result->report.shard_requests[s]));
   }
   std::printf("\n");
-  ConfigResult r;
-  r.shards = shards;
-  r.worker_threads = shards;
-  r.events = cluster.events_submitted();
-  r.wall_s = std::chrono::duration<double>(end - start).count();
-  r.events_per_sec_wall = static_cast<double>(r.events) / r.wall_s;
-  double critical_s = static_cast<double>(report.MaxShardBusyNs()) / 1e9;
-  r.events_per_sec_critical =
-      critical_s > 0 ? static_cast<double>(r.events) / critical_s : 0.0;
-  r.total_requests = report.counters.requests;
-  r.origin_fetches = report.counters.origin_fetches;
-  r.shed_total = report.TotalShed();
-  r.shard_shed = report.shard_shed;
-  r.queue_depths = report.shard_queue_depth;
-  return r;
+  return *std::move(result);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_throughput_shards");
+
   cbfww::bench::PrintHeader(
       "throughput/shards",
-      "WarehouseCluster parallel replay throughput at 1/2/4/8 shards");
+      "WarehouseCluster parallel throughput at 1/2/4/8 shards "
+      "(workload harness)");
 
-  // A mid-size corpus: big enough that per-event work dominates queue
-  // overhead, small enough that 8 replicas build in seconds.
-  cbfww::corpus::CorpusOptions corpus_opts =
-      cbfww::bench::StandardCorpusOptions();
-  corpus_opts.num_sites = 12;
-  corpus_opts.pages_per_site = 250;
+  WorkloadSpec spec = DefaultSpec();
+  if (!args.spec_path.empty()) {
+    auto loaded = cbfww::workload::LoadWorkloadSpec(args.spec_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "bench_throughput_shards: %s\n",
+                   std::string(loaded.status().message()).c_str());
+      return 2;
+    }
+    spec = *loaded;
+  }
+  if (args.seed) spec.seed = *args.seed;
+  if (args.threads) spec.threads = *args.threads;
+  if (args.ops) spec.ops = *args.ops;
+  if (args.smoke) spec = cbfww::workload::SmokeShrunk(spec);
 
-  cbfww::trace::WorkloadOptions wopts =
-      cbfww::bench::StandardWorkloadOptions();
-  wopts.horizon = 2 * cbfww::kDay;
-  wopts.sessions_per_hour = 120;
+  std::vector<uint32_t> shard_counts =
+      args.smoke ? std::vector<uint32_t>{1, 2}
+                 : std::vector<uint32_t>{1, 2, 4, 8};
 
-  cbfww::corpus::WebCorpus corpus(corpus_opts);
-  cbfww::trace::WorkloadGenerator generator(&corpus, nullptr, wopts);
-  std::vector<cbfww::trace::TraceEvent> events = generator.Generate();
   const unsigned threads_detected = cbfww::bench::DetectHardwareThreads();
   const unsigned threads_reported = std::thread::hardware_concurrency();
   std::printf(
-      "trace: %zu events, machine threads: %u detected "
+      "spec: %s, %llu ops, machine threads: %u detected "
       "(%u reported by std::thread)\n\n",
-      events.size(), threads_detected, threads_reported);
+      spec.name.c_str(), static_cast<unsigned long long>(spec.ops),
+      threads_detected, threads_reported);
 
-  std::vector<ConfigResult> results;
-  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
-    ConfigResult r = RunConfig(corpus_opts, events, shards);
-    results.push_back(r);
+  std::vector<RunResult> results;
+  for (uint32_t shards : shard_counts) {
+    RunResult r = RunConfig(spec, shards);
     std::printf(
-        "shards=%u  events=%llu  wall=%.2fs  ev/s(wall)=%.0f  "
-        "ev/s(critical-path)=%.0f\n",
-        r.shards, static_cast<unsigned long long>(r.events), r.wall_s,
-        r.events_per_sec_wall, r.events_per_sec_critical);
+        "shards=%u  ops=%llu  wall=%.2fs  ops/s(wall)=%.0f  "
+        "ops/s(critical-path)=%.0f  shed=%llu\n",
+        r.shards, static_cast<unsigned long long>(r.ops_issued), r.wall_s,
+        r.rps_wall, r.rps_critical_path,
+        static_cast<unsigned long long>(r.shed_delta));
+    results.push_back(std::move(r));
   }
 
-  const ConfigResult& base = results[0];
-  const ConfigResult& four = results[2];
-  double speedup =
-      four.events_per_sec_critical / base.events_per_sec_critical;
-  std::printf("\ncritical-path speedup at 4 shards: %.2fx\n", speedup);
+  const RunResult& base = results[0];
+  bool totals_equal = true;
+  for (const RunResult& r : results) {
+    totals_equal = totals_equal && r.requests_delta == base.requests_delta;
+  }
   cbfww::bench::ShapeCheck(
-      "4-shard cluster sustains >= 2x the 1-shard events/sec "
-      "(critical path)",
-      speedup >= 2.0);
-  cbfww::bench::ShapeCheck(
-      "request totals identical at every shard count (partitioned replay "
+      "request totals identical at every shard count (partitioned dispatch "
       "loses nothing)",
-      results[1].total_requests == base.total_requests &&
-          four.total_requests == base.total_requests &&
-          results[3].total_requests == base.total_requests);
+      totals_equal);
 
-  // Determinism spot check: a second 4-shard run must reproduce the
-  // aggregate counters exactly.
-  ConfigResult again = RunConfig(corpus_opts, events, 4);
-  cbfww::bench::ShapeCheck(
-      "4-shard aggregate counters reproduce across runs (deterministic "
-      "replay)",
-      again.total_requests == four.total_requests &&
-          again.origin_fetches == four.origin_fetches);
+  double speedup = 0.0;
+  if (!args.smoke) {
+    const RunResult& four = results[2];
+    speedup = four.rps_critical_path / base.rps_critical_path;
+    std::printf("\ncritical-path speedup at 4 shards: %.2fx\n", speedup);
+    cbfww::bench::ShapeCheck(
+        "4-shard cluster sustains >= 2x the 1-shard ops/sec "
+        "(critical path)",
+        speedup >= 2.0);
 
-  std::ofstream json("BENCH_throughput_shards.json");
-  json << "{\n  \"bench\": \"throughput_shards\",\n";
-  json << "  \"machine_threads_detected\": " << threads_detected
-       << ",\n  \"machine_threads_reported\": " << threads_reported
-       << ",\n  \"trace_events\": " << events.size() << ",\n";
-  json << "  \"configs\": [\n";
-  for (size_t i = 0; i < results.size(); ++i) {
-    const ConfigResult& r = results[i];
-    json << "    {\"shards\": " << r.shards
-         << ", \"worker_threads\": " << r.worker_threads
-         << ", \"events\": " << r.events << ", \"wall_s\": " << r.wall_s
-         << ", \"events_per_sec_wall\": " << r.events_per_sec_wall
-         << ", \"events_per_sec_critical_path\": " << r.events_per_sec_critical
-         << ", \"requests\": " << r.total_requests
-         << ", \"origin_fetches\": " << r.origin_fetches
-         << ", \"shed_total\": " << r.shed_total << ", \"shard_shed\": [";
-    for (size_t s = 0; s < r.shard_shed.size(); ++s) {
-      json << (s > 0 ? ", " : "") << r.shard_shed[s];
-    }
-    json << "], \"queue_depths\": [";
-    for (size_t s = 0; s < r.queue_depths.size(); ++s) {
-      json << (s > 0 ? ", " : "") << r.queue_depths[s];
-    }
-    json << "]}" << (i + 1 < results.size() ? "," : "") << "\n";
+    // Determinism spot check: a second 4-shard run must reproduce the
+    // aggregate counters exactly.
+    RunResult again = RunConfig(spec, 4);
+    cbfww::bench::ShapeCheck(
+        "4-shard aggregate counters reproduce across runs (deterministic "
+        "replay)",
+        again.requests_delta == four.requests_delta &&
+            again.origin_fetches_delta == four.origin_fetches_delta);
   }
-  json << "  ],\n  \"critical_path_speedup_4_shards\": " << speedup
-       << "\n}\n";
-  std::printf("\nwrote BENCH_throughput_shards.json\n");
+
+  JsonReport report("throughput_shards");
+  report.writer().Field("smoke", args.smoke);
+  report.writer().RawField("spec", cbfww::workload::SpecToJson(spec));
+  report.writer().Field("machine_threads_detected", threads_detected);
+  report.writer().Field("machine_threads_reported", threads_reported);
+  report.writer().BeginArray("configs");
+  for (const RunResult& r : results) {
+    cbfww::workload::AppendRunResultJson(r, report.writer());
+  }
+  report.writer().EndArray();
+  if (!args.smoke) {
+    report.writer().Field("critical_path_speedup_4_shards", speedup);
+  }
+  report.WriteFileOrDie(args.json_out.empty() ? "BENCH_throughput_shards.json"
+                                              : args.json_out);
   return 0;
 }

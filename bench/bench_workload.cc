@@ -1,0 +1,138 @@
+// Unified workload harness: drives one declarative WorkloadSpec against
+// the in-process cluster, the wire-level HTTP server, or both — from the
+// identical spec, emitting one schema-versioned JSON report.
+//
+//   bench_workload --spec=bench/specs/read_heavy.spec --backend=cluster
+//   bench_workload --spec=bench/specs/read_heavy.spec --backend=server
+//   bench_workload --spec=... --backend=both --json-out=OUT.json --smoke
+//
+// Overrides: --seed=, --threads=, --shards=, --ops=. --smoke shrinks the
+// spec to CI scale (SmokeShrunk) while keeping its mix/distribution/loop
+// shape.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "workload/json_report.h"
+#include "workload/runner.h"
+#include "workload/workload_spec.h"
+
+namespace {
+
+using cbfww::bench::BenchArgs;
+using cbfww::bench::JsonReport;
+using cbfww::workload::Backend;
+using cbfww::workload::LoopMode;
+using cbfww::workload::Runner;
+using cbfww::workload::RunnerOptions;
+using cbfww::workload::RunResult;
+using cbfww::workload::WorkloadSpec;
+
+void PrintRun(const RunResult& r) {
+  std::printf(
+      "%-8s shards=%u %s%s  ops=%llu ok=%llu err=%llu shed=%llu  "
+      "wall=%.2fs rps=%.0f rps(critical)=%.0f  p50=%.0fus p99=%.0fus\n",
+      ToString(r.backend), r.shards, ToString(r.loop),
+      r.loop == LoopMode::kOpen
+          ? (" @" + std::to_string(static_cast<int>(r.offered_load_rps)))
+                .c_str()
+          : "",
+      static_cast<unsigned long long>(r.ops_issued),
+      static_cast<unsigned long long>(r.total.ops),
+      static_cast<unsigned long long>(r.total.errors),
+      static_cast<unsigned long long>(r.total.shed), r.wall_s, r.rps_wall,
+      r.rps_critical_path, r.total.latency_pct.Percentile(50),
+      r.total.latency_pct.Percentile(99));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = cbfww::bench::ParseBenchArgs(&argc, argv, "bench_workload");
+  if (args.spec_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_workload --spec=FILE "
+                 "[--backend=cluster|server|both] [--json-out=FILE] "
+                 "[--smoke] [--seed=N] [--threads=N] [--shards=N] [--ops=N]\n");
+    return 2;
+  }
+
+  auto loaded = cbfww::workload::LoadWorkloadSpec(args.spec_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "bench_workload: %s\n",
+                 std::string(loaded.status().message()).c_str());
+    return 2;
+  }
+  WorkloadSpec spec = *loaded;
+  if (args.seed) spec.seed = *args.seed;
+  if (args.threads) spec.threads = *args.threads;
+  if (args.ops) spec.ops = *args.ops;
+  if (args.smoke) spec = cbfww::workload::SmokeShrunk(spec);
+
+  std::vector<Backend> backends;
+  std::string backend_arg = args.backend.empty() ? "both" : args.backend;
+  if (backend_arg == "both") {
+    backends = {Backend::kCluster, Backend::kServer};
+  } else {
+    auto parsed = cbfww::workload::ParseBackend(backend_arg);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench_workload: %s\n",
+                   std::string(parsed.status().message()).c_str());
+      return 2;
+    }
+    backends = {*parsed};
+  }
+
+  cbfww::bench::PrintHeader(
+      "workload harness",
+      "declarative spec '" + spec.name + "' against " + backend_arg);
+  std::printf("spec: %s (%s), %llu ops, %u threads, corpus %ux%u\n\n",
+              spec.name.c_str(), spec.description.c_str(),
+              static_cast<unsigned long long>(spec.ops), spec.threads,
+              spec.corpus_sites, spec.corpus_pages_per_site);
+
+  JsonReport report("workload");
+  report.writer().RawField("spec", cbfww::workload::SpecToJson(spec));
+  report.writer().Field("smoke", args.smoke);
+  report.writer().BeginArray("runs");
+
+  uint64_t total_errors = 0;
+  bool failed = false;
+  for (Backend backend : backends) {
+    RunnerOptions options;
+    options.backend = backend;
+    options.shards = args.shards.value_or(4);
+    options.warehouse = cbfww::bench::StandardWarehouseOptions();
+    Runner runner(spec, options);
+    cbfww::Status status = runner.Init();
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench_workload: %s init failed: %s\n",
+                   ToString(backend),
+                   std::string(status.message()).c_str());
+      failed = true;
+      continue;
+    }
+    auto result = runner.Run();
+    if (!result.ok()) {
+      std::fprintf(stderr, "bench_workload: %s run failed: %s\n",
+                   ToString(backend),
+                   std::string(result.status().message()).c_str());
+      failed = true;
+      continue;
+    }
+    PrintRun(*result);
+    total_errors += result->total.errors;
+    cbfww::workload::AppendRunResultJson(*result, report.writer());
+  }
+  report.writer().EndArray();
+
+  cbfww::bench::ShapeCheck("all runs completed without op errors",
+                           !failed && total_errors == 0);
+
+  report.WriteFileOrDie(args.json_out.empty() ? "BENCH_workload.json"
+                                              : args.json_out);
+  return (failed || total_errors > 0) ? 1 : 0;
+}

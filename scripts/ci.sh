@@ -4,9 +4,11 @@
 # ASan+UBSan pass over the retrieval hot path, a perf smoke gate on the
 # pruned top-k engine, a chaos stage replaying seeded fault schedules
 # under ASan, a durability stage running the crash-restart matrix and
-# WAL fuzz suite under ASan, and a server stage exercising the wire-level
+# WAL fuzz suite under ASan, a server stage exercising the wire-level
 # serving layer (HTTP parser/event-loop units + socket e2e + bench smoke)
-# under ASan.
+# under ASan, and a workload stage smoke-running every declarative spec
+# in bench/specs/ against both harness backends and validating every
+# emitted report against the unified bench JSON schema.
 #
 #   scripts/ci.sh all        # everything
 #   scripts/ci.sh tier1      # build + ctest (fast tests; excludes LABEL slow)
@@ -16,6 +18,7 @@
 #   scripts/ci.sh chaos      # ASan chaos harness + soak tests, 3 fixed seeds
 #   scripts/ci.sh durability # ASan crash-restart matrix + WAL fuzz + bench
 #   scripts/ci.sh server     # ASan server units + socket e2e + bench smoke
+#   scripts/ci.sh workload   # every spec x both backends, JSON schema gate
 #
 # With no arguments the script lists the stages and exits.
 set -euo pipefail
@@ -33,6 +36,8 @@ stages:
   chaos       ASan chaos harness + soak tests, 3 fixed seeds
   durability  ASan crash-restart matrix + WAL fuzz + durability bench
   server      ASan serving-layer units + socket e2e + bench_server smoke
+  workload    smoke every bench/specs/*.spec against both backends,
+              validate every emitted JSON against the unified schema
   all         every stage above, in order
 EOF
 }
@@ -144,6 +149,25 @@ server() {
   rm -rf "${server_out}"
 }
 
+workload() {
+  echo "=== workload: every spec x both backends + JSON schema gate ==="
+  cmake -B build -S .
+  cmake --build build -j --target bench_workload workload_test
+  ./build/tests/workload_test
+  # Each spec smoke-runs through the unified harness against both the
+  # in-process cluster and the wire server; the run fails on any op error.
+  # Every emitted report must then validate against the unified bench
+  # JSON schema (schema_version, per-class metrics, serve mix, hardware).
+  wl_out="$(mktemp -d)"
+  for spec in bench/specs/*.spec; do
+    name="$(basename "${spec}" .spec)"
+    ./build/bench/bench_workload --spec="${spec}" --backend=both --smoke \
+      --json-out="${wl_out}/${name}.json"
+  done
+  python3 scripts/validate_bench_json.py "${wl_out}"/*.json
+  rm -rf "${wl_out}"
+}
+
 case "${stage}" in
   tier1) tier1 ;;
   tsan) tsan ;;
@@ -152,6 +176,7 @@ case "${stage}" in
   chaos) chaos ;;
   durability) durability ;;
   server) server ;;
+  workload) workload ;;
   all)
     tier1
     tsan
@@ -160,6 +185,7 @@ case "${stage}" in
     chaos
     durability
     server
+    workload
     ;;
   *)
     usage >&2

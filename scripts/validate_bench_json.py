@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validates a bench JSON report against the unified bench schema (v1).
+
+Every bench emits a top-level object with `schema_version` and `bench`;
+run blocks (wherever they appear: a `runs` array, or nested inside
+`configs`) carry per-op-class metrics, a serve-mix block, and a hardware
+block. This validator is what scripts/ci.sh runs over every smoke
+report, so schema drift fails CI instead of silently breaking the perf
+trajectory tooling.
+
+usage: validate_bench_json.py FILE...
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+RUN_KEYS = {
+    "spec", "backend", "shards", "loop", "ops_issued", "wall_s",
+    "rps_wall", "rps_critical_path", "total", "serve_mix", "hardware",
+}
+CLASS_KEYS = {
+    "ops", "errors", "shed", "latency_mean_us", "latency_p50_us",
+    "latency_p90_us", "latency_p99_us", "latency_max_us",
+}
+SERVE_MIX_KEYS = {
+    "requests", "from_memory", "from_disk", "from_tertiary",
+    "from_origin", "origin_fetches", "shed",
+}
+HARDWARE_KEYS = {
+    "wall_s", "cpu_user_s", "cpu_system_s", "cpu_total_s",
+    "peak_rss_bytes",
+}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, where, message):
+    if not cond:
+        raise SchemaError(f"{where}: {message}")
+
+
+def check_keys(obj, wanted, where):
+    require(isinstance(obj, dict), where, "expected an object")
+    missing = wanted - obj.keys()
+    require(not missing, where, f"missing keys: {sorted(missing)}")
+
+
+def check_run(run, where):
+    check_keys(run, RUN_KEYS, where)
+    check_keys(run["total"], CLASS_KEYS, f"{where}.total")
+    for cls in ("page_visit", "query", "scan", "ingest"):
+        if cls in run:  # Empty classes are omitted.
+            check_keys(run[cls], CLASS_KEYS, f"{where}.{cls}")
+    check_keys(run["serve_mix"], SERVE_MIX_KEYS, f"{where}.serve_mix")
+    check_keys(run["hardware"], HARDWARE_KEYS, f"{where}.hardware")
+    require(run["backend"] in ("cluster", "server"), where,
+            f"unknown backend {run['backend']!r}")
+    require(run["loop"] in ("closed", "open"), where,
+            f"unknown loop {run['loop']!r}")
+    total = run["total"]
+    require(total["ops"] + total["errors"] + total["shed"]
+            == run["ops_issued"], where,
+            "total ops + errors + shed != ops_issued")
+
+
+def find_runs(node, path):
+    """Yields every run-shaped object in the report, wherever nested."""
+    if isinstance(node, dict):
+        if RUN_KEYS <= node.keys():
+            yield node, path
+        else:
+            for key, value in node.items():
+                yield from find_runs(value, f"{path}.{key}")
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from find_runs(value, f"{path}[{i}]")
+
+
+def validate(path):
+    with open(path) as f:
+        report = json.load(f)
+    check_keys(report, {"schema_version", "bench"}, "$")
+    require(report["schema_version"] == SCHEMA_VERSION, "$",
+            f"schema_version {report['schema_version']} != {SCHEMA_VERSION}")
+    require(isinstance(report["bench"], str) and report["bench"], "$",
+            "bench must be a non-empty string")
+    runs = list(find_runs(report, "$"))
+    require(runs, "$", "no run blocks found")
+    for run, where in runs:
+        check_run(run, where)
+    return len(runs)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            n = validate(path)
+            print(f"ok: {path} ({n} run block{'s' if n != 1 else ''})")
+        except (SchemaError, json.JSONDecodeError, OSError) as e:
+            print(f"FAIL: {path}: {e}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -25,6 +25,7 @@ namespace {
 const char* ReasonPhrase(int status) {
   switch (status) {
     case 200: return "OK";
+    case 202: return "Accepted";
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
@@ -162,6 +163,7 @@ Status HttpServer::Start() {
   for (const auto& page : corpus.pages()) {
     url_to_page_[corpus.raw(page.container).url] = page.id;
   }
+  num_raw_objects_ = corpus.num_raw_objects();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -560,6 +562,48 @@ void HttpServer::RouteRequest(Conn& conn, HttpRequest request) {
     conn.pending = Conn::Pending::kPage;
     conn.pending_url = std::move(url);
     awaiting_tickets_++;
+    return;
+  }
+
+  if (target.path.rfind("/modify/", 0) == 0) {
+    // Wire-level ingest: broadcast one origin-side modification event to
+    // every shard (replicas each track versions for their copy). Enqueue
+    // only — the event is applied by the shard workers in FIFO order with
+    // everything already queued, so a client that got its 202 and then
+    // issues a page request on the same (or any later) connection observes
+    // the modification exactly as an in-process replay would.
+    if (request.method != "POST") {
+      QueueError(conn, 405, "use POST");
+      return;
+    }
+    uint64_t raw = 0;
+    std::string key = target.path.substr(std::strlen("/modify/"));
+    if (!ParseU64(key, &raw) || raw >= num_raw_objects_) {
+      QueueError(conn, 404, "unknown raw object: " + key);
+      return;
+    }
+    trace::TraceEvent event;
+    event.type = trace::TraceEventType::kModify;
+    event.modified = raw;
+    int64_t now = 0;
+    if (ParseI64(target.Param("t"), &now) && now > 0) {
+      event.time = now;
+      sim_now_ = std::max(sim_now_, now);
+    } else {
+      sim_now_ += kMillisecond;
+      event.time = sim_now_;
+    }
+    Status status = cluster_->TryDispatch(event);
+    if (!status.ok()) {
+      stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
+      QueueResponse(conn, 503, "application/json",
+                    "{\"error\":\"modify shed\",\"shed\":true}",
+                    StrFormat("Retry-After: %d\r\n", options_.retry_after_s));
+      return;
+    }
+    QueueResponse(conn, 202, "application/json",
+                  StrFormat("{\"modified\":%llu,\"enqueued\":true}",
+                            static_cast<unsigned long long>(raw)));
     return;
   }
 

@@ -63,6 +63,7 @@ struct ServerStats {
 ///   GET  /page/<id-or-url>?user=&session=&t=&via_link=&deadline_ms=
 ///                                          serve one page (PageVisit JSON)
 ///   POST /query                            body = OQL; scatter-gather JSON
+///   POST /modify/<raw-id>?t=               broadcast one origin modification
 ///   POST /admin/shard/<i>/suspend          park one shard's worker
 ///   POST /admin/shard/<i>/resume           un-park it
 ///
@@ -150,6 +151,9 @@ class HttpServer {
 
   /// url -> PageId over shard 0's corpus replica (replicas are identical).
   std::unordered_map<std::string, corpus::PageId> url_to_page_;
+
+  /// Raw-object count of the corpus (bounds /modify/<raw-id>).
+  size_t num_raw_objects_ = 0;
 };
 
 }  // namespace cbfww::server

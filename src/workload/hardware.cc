@@ -1,0 +1,64 @@
+#include "workload/hardware.h"
+
+#include <chrono>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace cbfww::workload {
+
+namespace {
+
+double NowWallS() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+double TvToS(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) / 1e6;
+}
+#endif
+
+void SampleCpu(double* user_s, double* system_s, uint64_t* peak_rss_bytes) {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    *user_s = TvToS(ru.ru_utime);
+    *system_s = TvToS(ru.ru_stime);
+#if defined(__APPLE__)
+    *peak_rss_bytes = static_cast<uint64_t>(ru.ru_maxrss);  // Bytes.
+#else
+    *peak_rss_bytes = static_cast<uint64_t>(ru.ru_maxrss) * 1024;  // KiB.
+#endif
+    return;
+  }
+#endif
+  *user_s = 0.0;
+  *system_s = 0.0;
+  *peak_rss_bytes = 0;
+}
+
+}  // namespace
+
+void HardwareTracker::Start() {
+  uint64_t rss = 0;
+  SampleCpu(&user0_s_, &system0_s_, &rss);
+  wall0_s_ = NowWallS();
+}
+
+HardwareUsage HardwareTracker::Snapshot() const {
+  HardwareUsage usage;
+  double user = 0.0;
+  double system = 0.0;
+  SampleCpu(&user, &system, &usage.peak_rss_bytes);
+  usage.wall_s = NowWallS() - wall0_s_;
+  usage.cpu_user_s = user - user0_s_;
+  usage.cpu_system_s = system - system0_s_;
+  return usage;
+}
+
+}  // namespace cbfww::workload

@@ -1,0 +1,39 @@
+#ifndef CBFWW_WORKLOAD_HARDWARE_H_
+#define CBFWW_WORKLOAD_HARDWARE_H_
+
+#include <cstdint>
+
+namespace cbfww::workload {
+
+/// Hardware usage of a measured interval: wall time, CPU time split
+/// user/system (deltas over the interval), and the process's peak RSS.
+/// Peak RSS is a process-lifetime high-water mark (the kernel exposes no
+/// per-interval reset), so it reflects everything up to the snapshot.
+struct HardwareUsage {
+  double wall_s = 0.0;
+  double cpu_user_s = 0.0;
+  double cpu_system_s = 0.0;
+  uint64_t peak_rss_bytes = 0;
+
+  double CpuTotalS() const { return cpu_user_s + cpu_system_s; }
+};
+
+/// Samples getrusage + a monotonic clock at Start() and diffs at
+/// Snapshot(). Cheap enough to wrap every bench phase.
+class HardwareTracker {
+ public:
+  /// Marks the interval start (re-callable to restart).
+  void Start();
+
+  /// Usage since Start(). Callable repeatedly.
+  HardwareUsage Snapshot() const;
+
+ private:
+  double wall0_s_ = 0.0;
+  double user0_s_ = 0.0;
+  double system0_s_ = 0.0;
+};
+
+}  // namespace cbfww::workload
+
+#endif  // CBFWW_WORKLOAD_HARDWARE_H_

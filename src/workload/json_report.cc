@@ -1,0 +1,228 @@
+#include "workload/json_report.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/strings.h"
+
+namespace cbfww::bench {
+
+namespace {
+
+std::string EscapeJson(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonWriter::Indent() {
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::Prefix(std::string_view key) {
+  if (has_sibling_) out_ += ",";
+  out_ += "\n";
+  Indent();
+  out_ += "\"";
+  out_ += key;
+  out_ += "\": ";
+  has_sibling_ = true;
+}
+
+void JsonWriter::ValuePrefix() {
+  if (has_sibling_) out_ += ",";
+  out_ += "\n";
+  Indent();
+  has_sibling_ = true;
+}
+
+void JsonWriter::BeginObject() {
+  if (!stack_.empty()) ValuePrefix();
+  out_ += "{";
+  stack_.push_back('{');
+  has_sibling_ = false;
+}
+
+void JsonWriter::BeginObject(std::string_view key) {
+  Prefix(key);
+  out_ += "{";
+  stack_.push_back('{');
+  has_sibling_ = false;
+}
+
+void JsonWriter::EndObject() {
+  assert(!stack_.empty() && stack_.back() == '{');
+  stack_.pop_back();
+  if (has_sibling_) {
+    out_ += "\n";
+    Indent();
+  }
+  out_ += "}";
+  has_sibling_ = true;
+}
+
+void JsonWriter::BeginArray(std::string_view key) {
+  Prefix(key);
+  out_ += "[";
+  stack_.push_back('[');
+  has_sibling_ = false;
+}
+
+void JsonWriter::BeginArray() {
+  ValuePrefix();
+  out_ += "[";
+  stack_.push_back('[');
+  has_sibling_ = false;
+}
+
+void JsonWriter::EndArray() {
+  assert(!stack_.empty() && stack_.back() == '[');
+  stack_.pop_back();
+  if (has_sibling_) {
+    out_ += "\n";
+    Indent();
+  }
+  out_ += "]";
+  has_sibling_ = true;
+}
+
+void JsonWriter::AppendNumber(double value) {
+  if (!std::isfinite(value)) {
+    out_ += "0";  // JSON has no NaN/Inf; zero beats an invalid document.
+    return;
+  }
+  std::string formatted = StrFormat("%.8g", value);
+  out_ += formatted;
+}
+
+void JsonWriter::Field(std::string_view key, uint64_t value) {
+  Prefix(key);
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(value));
+}
+
+void JsonWriter::Field(std::string_view key, int64_t value) {
+  Prefix(key);
+  out_ += StrFormat("%lld", static_cast<long long>(value));
+}
+
+void JsonWriter::Field(std::string_view key, double value) {
+  Prefix(key);
+  AppendNumber(value);
+}
+
+void JsonWriter::Field(std::string_view key, bool value) {
+  Prefix(key);
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Field(std::string_view key, std::string_view value) {
+  Prefix(key);
+  out_ += "\"";
+  out_ += EscapeJson(value);
+  out_ += "\"";
+}
+
+void JsonWriter::RawField(std::string_view key, std::string_view raw_json) {
+  Prefix(key);
+  out_ += raw_json;
+}
+
+void JsonWriter::Value(uint64_t value) {
+  ValuePrefix();
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(value));
+}
+
+void JsonWriter::Value(double value) {
+  ValuePrefix();
+  AppendNumber(value);
+}
+
+void JsonWriter::Value(std::string_view value) {
+  ValuePrefix();
+  out_ += "\"";
+  out_ += EscapeJson(value);
+  out_ += "\"";
+}
+
+void JsonWriter::RawValue(std::string_view raw_json) {
+  ValuePrefix();
+  out_ += raw_json;
+}
+
+std::string JsonWriter::Take() {
+  assert(stack_.empty() && "unbalanced Begin/End");
+  out_ += "\n";
+  std::string result = std::move(out_);
+  out_.clear();
+  has_sibling_ = false;
+  return result;
+}
+
+void AppendHardwareJson(const workload::HardwareUsage& usage,
+                        JsonWriter& writer) {
+  writer.BeginObject("hardware");
+  writer.Field("wall_s", usage.wall_s);
+  writer.Field("cpu_user_s", usage.cpu_user_s);
+  writer.Field("cpu_system_s", usage.cpu_system_s);
+  writer.Field("cpu_total_s", usage.CpuTotalS());
+  writer.Field("peak_rss_bytes", usage.peak_rss_bytes);
+  writer.EndObject();
+}
+
+JsonReport::JsonReport(std::string_view bench_name) {
+  writer_.BeginObject();
+  writer_.Field("schema_version", kBenchSchemaVersion);
+  writer_.Field("bench", bench_name);
+}
+
+void JsonReport::AddHardware(const workload::HardwareUsage& usage) {
+  AppendHardwareJson(usage, writer_);
+}
+
+std::string JsonReport::Finish() {
+  assert(!finished_ && "Finish called twice");
+  finished_ = true;
+  writer_.EndObject();
+  return writer_.Take();
+}
+
+Status JsonReport::WriteFile(const std::string& path) {
+  std::string doc = Finish();
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for write: " + path);
+  out << doc;
+  out.close();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+void JsonReport::WriteFileOrDie(const std::string& path) {
+  Status status = WriteFile(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", std::string(status.message()).c_str());
+    std::abort();
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace cbfww::bench

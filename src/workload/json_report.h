@@ -1,0 +1,111 @@
+#ifndef CBFWW_WORKLOAD_JSON_REPORT_H_
+#define CBFWW_WORKLOAD_JSON_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "workload/hardware.h"
+
+namespace cbfww::bench {
+
+/// Version of the unified bench JSON schema. Bump when a field changes
+/// meaning; consumers (scripts/validate_bench_json.py, the perf
+/// trajectory tooling) key on it.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Small streaming JSON writer with pretty-printed output and an explicit
+/// nesting stack (asserts on mismatched Begin/End). Insertion order is
+/// preserved; no escaping surprises — keys must be plain ASCII, string
+/// values are escaped.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void BeginObject(std::string_view key);
+  void EndObject();
+  void BeginArray(std::string_view key);
+  void BeginArray();
+  void EndArray();
+
+  void Field(std::string_view key, uint64_t value);
+  void Field(std::string_view key, int64_t value);
+  void Field(std::string_view key, uint32_t value) {
+    Field(key, static_cast<uint64_t>(value));
+  }
+  void Field(std::string_view key, int value) {
+    Field(key, static_cast<int64_t>(value));
+  }
+  void Field(std::string_view key, double value);
+  void Field(std::string_view key, bool value);
+  void Field(std::string_view key, std::string_view value);
+  void Field(std::string_view key, const char* value) {
+    Field(key, std::string_view(value));
+  }
+  /// Pre-rendered JSON (e.g. SpecToJson / CountersToJson output).
+  void RawField(std::string_view key, std::string_view raw_json);
+
+  /// Array elements.
+  void Value(uint64_t value);
+  void Value(double value);
+  void Value(std::string_view value);
+  void RawValue(std::string_view raw_json);
+
+  /// Finishes and returns the document. The nesting stack must be empty.
+  std::string Take();
+
+ private:
+  void Prefix(std::string_view key);
+  void ValuePrefix();
+  void Indent();
+  void AppendNumber(double value);
+
+  std::string out_;
+  std::vector<char> stack_;  // '{' or '['.
+  bool line_open_ = false;
+  bool has_sibling_ = false;
+};
+
+/// The unified bench report: every bench emits through this one writer so
+/// all BENCH_*.json files share `schema_version`, a `bench` name, and one
+/// `hardware` block shape. Typical use:
+///
+///   JsonReport report("server");
+///   report.writer().Field("connections", 8);
+///   report.writer().BeginArray("configs"); ... report.writer().EndArray();
+///   report.AddHardware(tracker.Snapshot());
+///   report.WriteFileOrDie("BENCH_server.json");
+class JsonReport {
+ public:
+  explicit JsonReport(std::string_view bench_name);
+
+  JsonWriter& writer() { return writer_; }
+
+  /// Emits the standard "hardware" block (peak RSS, CPU user/system/total,
+  /// wall) at the current nesting level.
+  void AddHardware(const workload::HardwareUsage& usage);
+
+  /// Closes the root object and returns the document (single use).
+  std::string Finish();
+
+  /// Finish + write. Returns an error on IO failure.
+  Status WriteFile(const std::string& path);
+
+  /// WriteFile, printing "wrote <path>" on success and aborting on error
+  /// — the contract every bench main wants.
+  void WriteFileOrDie(const std::string& path);
+
+ private:
+  JsonWriter writer_;
+  bool finished_ = false;
+};
+
+/// Renders the standard hardware block into any writer (used by JsonReport
+/// and by per-run blocks that carry their own usage).
+void AppendHardwareJson(const workload::HardwareUsage& usage,
+                        JsonWriter& writer);
+
+}  // namespace cbfww::bench
+
+#endif  // CBFWW_WORKLOAD_JSON_REPORT_H_

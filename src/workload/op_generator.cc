@@ -1,0 +1,239 @@
+#include "workload/op_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace cbfww::workload {
+
+namespace {
+
+uint64_t HotSetSize(size_t num_pages, double fraction) {
+  uint64_t n = static_cast<uint64_t>(
+      std::ceil(fraction * static_cast<double>(num_pages)));
+  return std::max<uint64_t>(1, std::min<uint64_t>(n, num_pages));
+}
+
+}  // namespace
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kPageVisit: return "page_visit";
+    case OpType::kQuery: return "query";
+    case OpType::kScan: return "scan";
+    case OpType::kIngest: return "ingest";
+  }
+  return "page_visit";
+}
+
+trace::TraceEvent ToTraceEvent(const Op& op) {
+  assert(op.type == OpType::kPageVisit || op.type == OpType::kIngest);
+  trace::TraceEvent e;
+  e.time = op.time;
+  if (op.type == OpType::kIngest) {
+    e.type = trace::TraceEventType::kModify;
+    e.modified = op.raw;
+    return e;
+  }
+  e.type = trace::TraceEventType::kRequest;
+  e.user = op.user;
+  e.page = op.page;
+  e.session = op.session;
+  e.session_start = op.session_start;
+  e.via_link = op.via_link;
+  return e;
+}
+
+OpGenerator::OpGenerator(const corpus::WebCorpus* corpus,
+                         const WorkloadSpec& spec)
+    : corpus_(corpus),
+      spec_(spec),
+      rng_(spec.seed, /*stream=*/0x3057EC),
+      page_zipf_(corpus->num_pages(),
+                 spec.dist == DistKind::kUniform ? 0.0 : spec.zipf_theta),
+      hot_zipf_(HotSetSize(corpus->num_pages(), spec.hot_set_fraction),
+                spec.zipf_theta) {
+  // Popularity rank -> page mapping: a seeded shuffle so that popular
+  // pages spread over sites (and therefore over cluster shards).
+  perm_.resize(corpus_->num_pages());
+  for (corpus::PageId i = 0; i < perm_.size(); ++i) perm_[i] = i;
+  Pcg32 shuffle_rng = rng_.Fork(0x5AFE);
+  for (size_t i = perm_.size(); i > 1; --i) {
+    size_t j = shuffle_rng.NextBounded(static_cast<uint32_t>(i));
+    std::swap(perm_[i - 1], perm_[j]);
+  }
+
+  if (spec_.dist == DistKind::kHotTopic) {
+    pages_by_topic_.resize(corpus_->topic_model().num_topics());
+    for (const corpus::PhysicalPageSpec& page : corpus_->pages()) {
+      if (page.topic >= 0) pages_by_topic_[page.topic].push_back(page.id);
+    }
+    topic_zipf_.reserve(pages_by_topic_.size());
+    for (const auto& pages : pages_by_topic_) {
+      topic_zipf_.emplace_back(std::max<uint64_t>(1, pages.size()),
+                               spec_.zipf_theta);
+    }
+  }
+
+  if (spec_.dist == DistKind::kTrailReplay) {
+    // Borrow the trace generator's trail planting (real anchor walks) so
+    // session replay exercises the same ground truth the logical-document
+    // miner is gated on.
+    trace::WorkloadOptions wopts;
+    wopts.seed = spec_.seed;
+    wopts.num_trails = 12;
+    trace::WorkloadGenerator planter(corpus_, nullptr, wopts);
+    trails_ = planter.trails();
+  }
+
+  // Sim clock starts strictly positive (wire requests require t > 0).
+  now_ = kMillisecond;
+}
+
+corpus::PageId OpGenerator::SamplePage() {
+  switch (spec_.dist) {
+    case DistKind::kZipfian:
+    case DistKind::kUniform:
+      return perm_[page_zipf_.Sample(rng_)];
+    case DistKind::kHotTopic: {
+      uint32_t hot_topics = std::min<uint32_t>(
+          spec_.num_hot_topics,
+          static_cast<uint32_t>(pages_by_topic_.size()));
+      if (hot_topics > 0 && rng_.NextBernoulli(spec_.hot_topic_bias)) {
+        uint32_t topic = rng_.NextBounded(hot_topics);
+        if (!pages_by_topic_[topic].empty()) {
+          return pages_by_topic_[topic][topic_zipf_[topic].Sample(rng_)];
+        }
+      }
+      return rng_.NextBounded(static_cast<uint32_t>(corpus_->num_pages()));
+    }
+    case DistKind::kTrailReplay:
+      // Non-trail sessions browse the skewed permutation.
+      return perm_[hot_zipf_.Sample(rng_)];
+  }
+  return 0;
+}
+
+corpus::RawId OpGenerator::SampleIngestTarget() {
+  if (spec_.ingest_target == IngestTarget::kHot) {
+    corpus::PageId page = perm_[hot_zipf_.Sample(rng_)];
+    return corpus_->page(page).container;
+  }
+  return rng_.NextBounded(static_cast<uint32_t>(corpus_->num_raw_objects()));
+}
+
+std::string OpGenerator::MakeQueryText(bool scan) {
+  // Deterministic rotation over parameterized templates. Thresholds vary
+  // so the epoch query cache sees genuine misses, not one repeated text.
+  uint32_t threshold = 100u << rng_.NextBounded(5);  // 100..1600
+  if (scan) {
+    return StrFormat(
+        "SELECT p.oid FROM Physical_Page p WHERE p.size > %u", threshold);
+  }
+  if (rng_.NextBernoulli(0.5)) {
+    return "SELECT MFU 10 p.oid, p.title FROM Physical_Page p";
+  }
+  return StrFormat(
+      "SELECT MRU p.oid, p.title FROM Physical_Page p WHERE p.size > %u",
+      threshold);
+}
+
+void OpGenerator::StartSession() {
+  ++session_id_;
+  session_user_ = rng_.NextBounded(spec_.users);
+  session_fresh_ = true;
+  trail_ = nullptr;
+  trail_pos_ = 0;
+  if (spec_.dist == DistKind::kTrailReplay && !trails_.empty() &&
+      rng_.NextBernoulli(spec_.trail_session_prob)) {
+    // Zipf-ish weighted trail choice (weight 1/(i+1), like the planter).
+    double total = 0.0;
+    for (const trace::Trail& t : trails_) total += t.weight;
+    double u = rng_.NextDouble() * total;
+    size_t pick = 0;
+    for (; pick + 1 < trails_.size(); ++pick) {
+      u -= trails_[pick].weight;
+      if (u <= 0.0) break;
+    }
+    trail_ = &trails_[pick];
+    session_remaining_ = static_cast<uint32_t>(trail_->pages.size());
+    session_page_ = trail_->pages[0];
+    return;
+  }
+  session_remaining_ = 1 + rng_.NextBounded(spec_.max_session_length);
+  session_page_ = SamplePage();
+}
+
+Op OpGenerator::Next() {
+  Op op;
+  now_ += 1 + static_cast<SimTime>(
+                  rng_.NextExponential(1.0 / static_cast<double>(
+                                                 spec_.mean_gap_us)));
+  op.time = now_;
+
+  double pick = rng_.NextDouble();
+  if (pick < spec_.mix.page_visit) {
+    op.type = OpType::kPageVisit;
+  } else if (pick < spec_.mix.page_visit + spec_.mix.query) {
+    op.type = OpType::kQuery;
+  } else if (pick < spec_.mix.page_visit + spec_.mix.query + spec_.mix.scan) {
+    op.type = OpType::kScan;
+  } else {
+    op.type = OpType::kIngest;
+  }
+
+  switch (op.type) {
+    case OpType::kPageVisit: {
+      if (session_remaining_ == 0) StartSession();
+      op.page = session_page_;
+      op.user = session_user_;
+      op.session = session_id_;
+      op.session_start = session_fresh_;
+      op.via_link = !session_fresh_;
+      session_fresh_ = false;
+      --session_remaining_;
+      if (session_remaining_ > 0) {
+        if (trail_ != nullptr) {
+          ++trail_pos_;
+          session_page_ = trail_->pages[trail_pos_];
+        } else {
+          // Follow a real anchor when one exists (positional bias, like
+          // the trace generator); otherwise resample.
+          const auto& anchors = corpus_->page(session_page_).anchors;
+          if (!anchors.empty() && rng_.NextBernoulli(0.65)) {
+            uint32_t a = std::min<uint32_t>(
+                static_cast<uint32_t>(anchors.size()) - 1,
+                static_cast<uint32_t>(rng_.NextExponential(0.7)));
+            session_page_ = anchors[a].target;
+          } else {
+            session_page_ = SamplePage();  // Jump; next op still in session.
+          }
+        }
+      }
+      break;
+    }
+    case OpType::kQuery:
+      op.query_text = MakeQueryText(/*scan=*/false);
+      op.use_index = true;
+      break;
+    case OpType::kScan:
+      op.query_text = MakeQueryText(/*scan=*/true);
+      op.use_index = false;
+      break;
+    case OpType::kIngest:
+      op.raw = SampleIngestTarget();
+      break;
+  }
+  return op;
+}
+
+std::vector<Op> OpGenerator::Generate(uint64_t n) {
+  std::vector<Op> ops;
+  ops.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) ops.push_back(Next());
+  return ops;
+}
+
+}  // namespace cbfww::workload

@@ -1,0 +1,117 @@
+#ifndef CBFWW_WORKLOAD_OP_GENERATOR_H_
+#define CBFWW_WORKLOAD_OP_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/web_corpus.h"
+#include "trace/trace_event.h"
+#include "trace/workload.h"
+#include "util/clock.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+#include "workload/workload_spec.h"
+
+namespace cbfww::workload {
+
+/// Op classes a spec mixes. Indexes into per-class metric arrays.
+enum class OpType : uint8_t {
+  kPageVisit = 0,
+  kQuery,
+  kScan,
+  kIngest,
+};
+inline constexpr size_t kNumOpTypes = 4;
+const char* OpTypeName(OpType type);
+
+/// One generated operation. The stream is deterministic given the spec
+/// seed, so both backends (and repeat runs) see byte-identical workloads.
+struct Op {
+  OpType type = OpType::kPageVisit;
+  /// Simulated timestamp (strictly increasing over the stream). Drives
+  /// warehouse housekeeping identically on every backend.
+  SimTime time = 0;
+
+  // kPageVisit
+  corpus::PageId page = 0;
+  uint32_t user = 0;
+  int64_t session = -1;
+  bool session_start = false;
+  bool via_link = false;
+
+  // kQuery / kScan
+  std::string query_text;
+  bool use_index = true;
+
+  // kIngest
+  corpus::RawId raw = 0;
+
+  bool operator==(const Op& other) const {
+    return type == other.type && time == other.time && page == other.page &&
+           user == other.user && session == other.session &&
+           session_start == other.session_start &&
+           via_link == other.via_link && query_text == other.query_text &&
+           use_index == other.use_index && raw == other.raw;
+  }
+};
+
+/// Converts a page-visit or ingest op into the equivalent trace event
+/// (kQuery/kScan ops have no trace representation and must not be passed).
+trace::TraceEvent ToTraceEvent(const Op& op);
+
+/// Deterministic op-stream generator over a WebCorpus, implementing the
+/// spec's op mix and key distribution. Reuses the library's popularity
+/// machinery: util::ZipfSampler for skew and trace::WorkloadGenerator
+/// trails for session replay. `corpus` must outlive the generator.
+class OpGenerator {
+ public:
+  OpGenerator(const corpus::WebCorpus* corpus, const WorkloadSpec& spec);
+
+  /// Next op in the stream. Deterministic: two generators built from the
+  /// same (corpus seed, spec) produce identical streams.
+  Op Next();
+
+  /// Generates the next `n` ops.
+  std::vector<Op> Generate(uint64_t n);
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  corpus::PageId SamplePage();
+  corpus::RawId SampleIngestTarget();
+  std::string MakeQueryText(bool scan);
+  void StartSession();
+
+  const corpus::WebCorpus* corpus_;
+  WorkloadSpec spec_;
+  Pcg32 rng_;
+  SimTime now_ = 0;
+
+  /// Shuffled page permutation; rank r of the Zipf sampler maps to
+  /// perm_[r], so popular ranks are spread across sites and shards.
+  std::vector<corpus::PageId> perm_;
+  ZipfSampler page_zipf_;
+  /// Hot-set sampler for kHot ingest targets (top hot_set_fraction of the
+  /// permutation).
+  ZipfSampler hot_zipf_;
+
+  // kHotTopic state.
+  std::vector<std::vector<corpus::PageId>> pages_by_topic_;
+  std::vector<ZipfSampler> topic_zipf_;
+
+  // Session state.
+  int64_t session_id_ = -1;
+  uint32_t session_user_ = 0;
+  uint32_t session_remaining_ = 0;
+  bool session_fresh_ = false;
+  corpus::PageId session_page_ = 0;
+  /// kTrailReplay: active trail and position, or trail_ == nullptr.
+  std::vector<trace::Trail> trails_;
+  const trace::Trail* trail_ = nullptr;
+  size_t trail_pos_ = 0;
+};
+
+}  // namespace cbfww::workload
+
+#endif  // CBFWW_WORKLOAD_OP_GENERATOR_H_

@@ -1,0 +1,500 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "corpus/web_corpus.h"
+#include "server/http_client.h"
+#include "util/strings.h"
+
+namespace cbfww::workload {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One in-flight cluster call. Lives in a std::deque (stable addresses),
+/// so the completion callback can stamp `done_ns` directly.
+struct Pending {
+  std::shared_ptr<cluster::ServeTicket> ticket;
+  std::atomic<uint64_t> done_ns{0};
+  uint64_t issue_ns = 0;  // Open loop: the *scheduled* arrival.
+  OpType type = OpType::kPageVisit;
+  bool dispatch_shed = false;  // Query dispatch partially/fully shed.
+};
+
+/// One pre-rendered wire request.
+struct WireOp {
+  OpType type = OpType::kPageVisit;
+  const char* method = "GET";
+  std::string target;
+  std::string body;
+};
+
+}  // namespace
+
+const char* ToString(Backend backend) {
+  switch (backend) {
+    case Backend::kCluster: return "cluster";
+    case Backend::kServer: return "server";
+  }
+  return "?";
+}
+
+Result<Backend> ParseBackend(std::string_view text) {
+  if (text == "cluster") return Backend::kCluster;
+  if (text == "server") return Backend::kServer;
+  return Status::InvalidArgument(
+      StrFormat("unknown backend '%.*s' (want cluster|server)",
+                static_cast<int>(text.size()), text.data()));
+}
+
+Runner::Runner(const WorkloadSpec& spec, const RunnerOptions& options)
+    : spec_(spec), options_(options) {}
+
+Runner::~Runner() {
+  if (server_) server_->Stop();
+}
+
+Status Runner::Init() {
+  if (cluster_) return Status::FailedPrecondition("Init called twice");
+  Status valid = ValidateSpec(spec_);
+  if (!valid.ok()) return valid;
+  if (options_.shards == 0) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+
+  corpus::CorpusOptions copts;
+  copts.num_sites = spec_.corpus_sites;
+  copts.pages_per_site = spec_.corpus_pages_per_site;
+  copts.topic.num_topics = spec_.corpus_topics;
+  copts.seed = spec_.seed;
+
+  cluster::ClusterOptions clopts;
+  clopts.num_shards = options_.shards;
+  clopts.warehouse = options_.warehouse;
+  clopts.queue_capacity = options_.queue_capacity;
+  if (options_.divide_capacity_by_shards) {
+    clopts.warehouse.memory_bytes =
+        std::max<uint64_t>(1, clopts.warehouse.memory_bytes / options_.shards);
+    clopts.warehouse.disk_bytes =
+        std::max<uint64_t>(1, clopts.warehouse.disk_bytes / options_.shards);
+  }
+  // No news feed: workload specs drive popularity themselves; the sensor
+  // path is exercised by the dedicated sensor benches.
+  clopts.warehouse.enable_topic_sensor = false;
+  cluster_ = std::make_unique<cluster::WarehouseCluster>(
+      copts, std::nullopt, clopts);
+
+  if (options_.backend == Backend::kServer) {
+    server::ServerOptions sopts;
+    sopts.port = options_.server_port;
+    server_ = std::make_unique<server::HttpServer>(cluster_.get(), sopts);
+    Status started = server_->Start();
+    if (!started.ok()) return started;
+  }
+  return Status::Ok();
+}
+
+uint16_t Runner::server_port() const {
+  return server_ ? server_->port() : 0;
+}
+
+Result<RunResult> Runner::Run() { return Run(spec_); }
+
+Result<RunResult> Runner::Run(const WorkloadSpec& spec) {
+  if (!cluster_) return Status::FailedPrecondition("Run before Init");
+  Status valid = ValidateSpec(spec);
+  if (!valid.ok()) return valid;
+  if (spec.corpus_sites != spec_.corpus_sites ||
+      spec.corpus_pages_per_site != spec_.corpus_pages_per_site ||
+      spec.corpus_topics != spec_.corpus_topics) {
+    return Status::InvalidArgument(
+        "variant spec changes corpus sizing; the backend was built from "
+        "the construction-time spec");
+  }
+  if (spec.loop == LoopMode::kOpen && spec.offered_load_rps <= 0.0) {
+    return Status::InvalidArgument("open loop requires offered_load_rps > 0");
+  }
+  return options_.backend == Backend::kCluster ? RunCluster(spec)
+                                               : RunServer(spec);
+}
+
+void Runner::FinishResult(const WorkloadSpec& spec, RunResult* result) {
+  cluster::ClusterReport cur = cluster_->Report();
+
+  result->spec_name = spec.name;
+  result->backend = options_.backend;
+  result->shards = options_.shards;
+  result->loop = spec.loop;
+  result->offered_load_rps =
+      spec.loop == LoopMode::kOpen ? spec.offered_load_rps : 0.0;
+
+  result->requests_delta =
+      cur.counters.requests - prev_report_.counters.requests;
+  result->origin_fetches_delta =
+      cur.counters.origin_fetches - prev_report_.counters.origin_fetches;
+  for (int i = 0; i < 4; i++) {
+    result->served_from_delta[i] =
+        cur.served_from[i] - prev_report_.served_from[i];
+  }
+  result->shed_delta = cur.TotalShed() - prev_report_.TotalShed();
+  uint64_t max_busy_delta = 0;
+  for (size_t i = 0; i < cur.shard_busy_ns.size(); i++) {
+    uint64_t before =
+        i < prev_report_.shard_busy_ns.size() ? prev_report_.shard_busy_ns[i]
+                                              : 0;
+    max_busy_delta = std::max(max_busy_delta, cur.shard_busy_ns[i] - before);
+  }
+  result->max_shard_busy_delta_ns = max_busy_delta;
+
+  for (size_t i = 0; i < kNumOpTypes; i++) {
+    result->total.MergeFrom(result->per_class[i]);
+  }
+  result->ops_issued =
+      result->total.ops + result->total.errors + result->total.shed;
+  result->rps_wall = result->wall_s > 0.0
+                         ? static_cast<double>(result->total.ops) /
+                               result->wall_s
+                         : 0.0;
+  result->rps_critical_path =
+      max_busy_delta > 0
+          ? static_cast<double>(result->requests_delta) /
+                (static_cast<double>(max_busy_delta) / 1e9)
+          : 0.0;
+
+  prev_report_ = cur;
+  result->report = std::move(cur);
+}
+
+Result<RunResult> Runner::RunCluster(const WorkloadSpec& spec) {
+  OpGenerator gen(&cluster_->shard(0).corpus(), spec);
+  std::vector<Op> ops = gen.Generate(spec.ops);
+
+  RunResult result;
+  HardwareTracker tracker;
+  tracker.Start();
+
+  std::deque<Pending> window;
+  const bool open = spec.loop == LoopMode::kOpen;
+  const uint32_t max_in_flight = std::max<uint32_t>(1, spec.threads);
+  const uint64_t start_ns = NowNs();
+  const double gap_ns =
+      open ? 1e9 / std::max(1e-6, spec.offered_load_rps) : 0.0;
+
+  // Retires the oldest in-flight call, blocking until it completes. Waits
+  // on done_ns (stamped by on_complete), not ticket->done(): done() can
+  // read true while on_complete is still mid-store, and popping then
+  // would free the slot under the completing worker.
+  auto retire_front = [&]() {
+    Pending& p = window.front();
+    while (p.done_ns.load(std::memory_order_acquire) == 0) {
+      std::this_thread::yield();
+    }
+    uint64_t done = p.done_ns.load(std::memory_order_acquire);
+    OpClassMetrics& m = result.per_class[static_cast<size_t>(p.type)];
+    if (p.dispatch_shed) {
+      m.shed++;
+    } else if (p.type == OpType::kQuery || p.type == OpType::kScan) {
+      bool failed = false;
+      for (const auto& slot : p.ticket->query) {
+        if (!slot.status.ok()) { failed = true; break; }
+      }
+      if (failed) {
+        m.errors++;
+      } else {
+        m.Record(static_cast<double>(done - p.issue_ns) / 1e3);
+      }
+    } else {
+      m.Record(static_cast<double>(done - p.issue_ns) / 1e3);
+    }
+    window.pop_front();
+  };
+
+  for (uint64_t i = 0; i < ops.size(); i++) {
+    const Op& op = ops[i];
+    uint64_t issue_ns;
+    if (open) {
+      uint64_t scheduled =
+          start_ns + static_cast<uint64_t>(static_cast<double>(i) * gap_ns);
+      // Opportunistically retire whatever has already completed, then wait
+      // for the scheduled arrival. Latency counts from `scheduled` even if
+      // we fall behind — the coordinated-omission correction.
+      while (!window.empty() &&
+             window.front().done_ns.load(std::memory_order_acquire) != 0) {
+        retire_front();
+      }
+      uint64_t now = NowNs();
+      if (now < scheduled) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(scheduled - now));
+      }
+      issue_ns = scheduled;
+    } else {
+      while (window.size() >= max_in_flight) retire_front();
+      issue_ns = NowNs();
+    }
+
+    OpClassMetrics& m = result.per_class[static_cast<size_t>(op.type)];
+    switch (op.type) {
+      case OpType::kPageVisit: {
+        auto ticket = std::make_shared<cluster::ServeTicket>();
+        Pending& p = window.emplace_back();
+        p.ticket = ticket;
+        p.issue_ns = issue_ns;
+        p.type = op.type;
+        ticket->on_complete = [&p] {
+          p.done_ns.store(NowNs(), std::memory_order_release);
+        };
+        core::PageRequest request;
+        request.page = op.page;
+        request.user = op.user;
+        request.session = op.session;
+        request.via_link = op.via_link;
+        request.now = op.time;
+        Status status = cluster_->TryServePage(request, ticket);
+        if (!status.ok()) {
+          // Shed: the ticket never completes; drop the pending slot.
+          window.pop_back();
+          m.shed++;
+        }
+        break;
+      }
+      case OpType::kQuery:
+      case OpType::kScan: {
+        auto ticket = std::make_shared<cluster::ServeTicket>();
+        Pending& p = window.emplace_back();
+        p.ticket = ticket;
+        p.issue_ns = issue_ns;
+        p.type = op.type;
+        ticket->on_complete = [&p] {
+          p.done_ns.store(NowNs(), std::memory_order_release);
+        };
+        core::QueryRunOptions qopts;
+        qopts.use_index = op.use_index;
+        Status status = cluster_->TryServeQuery(op.query_text, qopts, ticket);
+        // Shed slots are completed by the router, so the ticket always
+        // finishes — retire normally, counting the op as shed.
+        if (!status.ok()) p.dispatch_shed = true;
+        break;
+      }
+      case OpType::kIngest: {
+        Status status = cluster_->TryDispatch(ToTraceEvent(op));
+        if (!status.ok()) {
+          m.shed++;
+        } else {
+          // Ingest is fire-and-forget on this backend; the measured
+          // latency is admission time (the wire backend measures the
+          // full HTTP round-trip).
+          m.Record(static_cast<double>(NowNs() - issue_ns) / 1e3);
+        }
+        break;
+      }
+    }
+  }
+  while (!window.empty()) retire_front();
+  cluster_->Drain();
+
+  result.wall_s = static_cast<double>(NowNs() - start_ns) / 1e9;
+  result.hardware = tracker.Snapshot();
+  FinishResult(spec, &result);
+  return result;
+}
+
+Result<RunResult> Runner::RunServer(const WorkloadSpec& spec) {
+  if (!server_) return Status::FailedPrecondition("server backend not built");
+  const uint16_t port = server_->port();
+
+  OpGenerator gen(&cluster_->shard(0).corpus(), spec);
+  std::vector<Op> ops = gen.Generate(spec.ops);
+
+  // Pre-render the wire requests so client threads only do IO. Explicit
+  // simulated timestamps ride along only on a single connection (see the
+  // class comment on time monotonicity).
+  const bool explicit_t = spec.threads <= 1;
+  std::vector<WireOp> wire(ops.size());
+  for (size_t i = 0; i < ops.size(); i++) {
+    const Op& op = ops[i];
+    WireOp& w = wire[i];
+    w.type = op.type;
+    switch (op.type) {
+      case OpType::kPageVisit: {
+        w.method = "GET";
+        w.target = StrFormat("/page/%llu?user=%u&session=%lld",
+                             static_cast<unsigned long long>(op.page),
+                             op.user, static_cast<long long>(op.session));
+        if (op.via_link) w.target += "&via_link=1";
+        if (explicit_t) {
+          w.target += StrFormat("&t=%lld", static_cast<long long>(op.time));
+        }
+        break;
+      }
+      case OpType::kQuery:
+      case OpType::kScan: {
+        w.method = "POST";
+        w.target = op.use_index ? "/query" : "/query?use_index=0";
+        w.body = op.query_text;
+        break;
+      }
+      case OpType::kIngest: {
+        w.method = "POST";
+        w.target = StrFormat("/modify/%llu",
+                             static_cast<unsigned long long>(op.raw));
+        if (explicit_t) {
+          w.target += StrFormat("?t=%lld", static_cast<long long>(op.time));
+        }
+        break;
+      }
+    }
+  }
+
+  RunResult result;
+  HardwareTracker tracker;
+  tracker.Start();
+
+  const uint32_t num_threads = std::max<uint32_t>(1, spec.threads);
+  const bool open = spec.loop == LoopMode::kOpen;
+  const double gap_ns =
+      open ? 1e9 / std::max(1e-6, spec.offered_load_rps) : 0.0;
+  const uint64_t start_ns = NowNs();
+
+  std::vector<std::array<OpClassMetrics, kNumOpTypes>> per_thread(num_threads);
+  std::atomic<uint64_t> connect_failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(num_threads);
+  for (uint32_t tid = 0; tid < num_threads; tid++) {
+    clients.emplace_back([&, tid] {
+      server::SimpleHttpClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        connect_failures.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      auto& metrics = per_thread[tid];
+      for (size_t i = tid; i < wire.size(); i += num_threads) {
+        const WireOp& w = wire[i];
+        uint64_t issue_ns;
+        if (open) {
+          uint64_t scheduled = start_ns + static_cast<uint64_t>(
+                                              static_cast<double>(i) * gap_ns);
+          uint64_t now = NowNs();
+          if (now < scheduled) {
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(scheduled - now));
+          }
+          issue_ns = scheduled;  // Coordinated-omission correction.
+        } else {
+          issue_ns = NowNs();
+        }
+        OpClassMetrics& m = metrics[static_cast<size_t>(w.type)];
+        auto response = client.RoundTrip(w.method, w.target, w.body);
+        if (!response.ok()) {
+          m.errors++;
+          if (!client.connected() &&
+              !client.Connect("127.0.0.1", port).ok()) {
+            break;  // Server gone; remaining ops count as errors below.
+          }
+          continue;
+        }
+        if (response->status == 200 || response->status == 202) {
+          m.Record(static_cast<double>(NowNs() - issue_ns) / 1e3);
+        } else if (response->status == 503) {
+          m.shed++;
+        } else {
+          m.errors++;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  if (connect_failures.load() > 0) {
+    return Status::Internal(
+        StrFormat("%llu client connections failed",
+                  static_cast<unsigned long long>(connect_failures.load())));
+  }
+
+  // Ingest 202s may still be queued behind the shards; quiesce before the
+  // report. Clients are gone, so no new work can arrive.
+  while (!cluster_->Idle()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  result.wall_s = static_cast<double>(NowNs() - start_ns) / 1e9;
+  for (auto& metrics : per_thread) {
+    for (size_t i = 0; i < kNumOpTypes; i++) {
+      result.per_class[i].MergeFrom(metrics[i]);
+    }
+  }
+  result.hardware = tracker.Snapshot();
+  FinishResult(spec, &result);
+  return result;
+}
+
+namespace {
+
+void AppendClassJson(const char* key, const OpClassMetrics& m,
+                     bench::JsonWriter& writer) {
+  writer.BeginObject(key);
+  writer.Field("ops", m.ops);
+  writer.Field("errors", m.errors);
+  writer.Field("shed", m.shed);
+  if (m.latency_pct.count() > 0) {
+    writer.Field("latency_mean_us", m.latency_us.mean());
+    writer.Field("latency_p50_us", m.latency_pct.Percentile(50));
+    writer.Field("latency_p90_us", m.latency_pct.Percentile(90));
+    writer.Field("latency_p99_us", m.latency_pct.Percentile(99));
+    writer.Field("latency_max_us", m.latency_us.max());
+  }
+  writer.EndObject();
+}
+
+}  // namespace
+
+void AppendRunResultJson(const RunResult& result, bench::JsonWriter& writer) {
+  writer.BeginObject();
+  writer.Field("spec", result.spec_name);
+  writer.Field("backend", ToString(result.backend));
+  writer.Field("shards", result.shards);
+  writer.Field("loop", ToString(result.loop));
+  if (result.loop == LoopMode::kOpen) {
+    writer.Field("offered_load_rps", result.offered_load_rps);
+  }
+  writer.Field("ops_issued", result.ops_issued);
+  writer.Field("wall_s", result.wall_s);
+  writer.Field("rps_wall", result.rps_wall);
+  writer.Field("rps_critical_path", result.rps_critical_path);
+  AppendClassJson("total", result.total, writer);
+  for (size_t i = 0; i < kNumOpTypes; i++) {
+    if (result.per_class[i].ops + result.per_class[i].errors +
+            result.per_class[i].shed ==
+        0) {
+      continue;
+    }
+    AppendClassJson(OpTypeName(static_cast<OpType>(i)), result.per_class[i],
+                    writer);
+  }
+  writer.BeginObject("serve_mix");
+  writer.Field("requests", result.requests_delta);
+  writer.Field("from_memory", result.served_from_delta[0]);
+  writer.Field("from_disk", result.served_from_delta[1]);
+  writer.Field("from_tertiary", result.served_from_delta[2]);
+  writer.Field("from_origin", result.served_from_delta[3]);
+  writer.Field("origin_fetches", result.origin_fetches_delta);
+  writer.Field("shed", result.shed_delta);
+  writer.EndObject();
+  bench::AppendHardwareJson(result.hardware, writer);
+  writer.EndObject();
+}
+
+}  // namespace cbfww::workload

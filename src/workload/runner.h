@@ -1,0 +1,175 @@
+#ifndef CBFWW_WORKLOAD_RUNNER_H_
+#define CBFWW_WORKLOAD_RUNNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cluster/warehouse_cluster.h"
+#include "core/warehouse.h"
+#include "server/http_server.h"
+#include "util/result.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "workload/hardware.h"
+#include "workload/json_report.h"
+#include "workload/op_generator.h"
+#include "workload/workload_spec.h"
+
+namespace cbfww::workload {
+
+/// Which side of the serving stack a run drives. Both execute the exact
+/// same op stream; kServer additionally pays the wire (HTTP parse, epoll,
+/// socket round-trips).
+enum class Backend {
+  /// In-process: ops dispatched straight into the WarehouseCluster.
+  kCluster = 0,
+  /// Wire-level: ops sent as HTTP requests to an embedded HttpServer.
+  kServer,
+};
+
+const char* ToString(Backend backend);
+Result<Backend> ParseBackend(std::string_view text);
+
+/// Backend shape shared by every run of one Runner (the spec describes the
+/// workload; these describe the system under test).
+struct RunnerOptions {
+  Backend backend = Backend::kCluster;
+  uint32_t shards = 4;
+  /// Cluster-total tier capacities; divided per shard when
+  /// `divide_capacity_by_shards` (so shard counts compare at equal total
+  /// capacity, as the shard-scaling benches require).
+  core::WarehouseOptions warehouse;
+  bool divide_capacity_by_shards = true;
+  uint32_t queue_capacity = 4096;
+  /// kServer: 0 picks an ephemeral port.
+  uint16_t server_port = 0;
+};
+
+/// Latency/outcome accumulator for one op class (and for the run total).
+/// Latencies are wall microseconds; open-loop runs measure from the
+/// *scheduled* arrival, the standard coordinated-omission correction.
+struct OpClassMetrics {
+  uint64_t ops = 0;     // Completed (includes degraded serves).
+  uint64_t errors = 0;  // Non-shed failures (wire errors, bad status).
+  uint64_t shed = 0;    // Overload rejections (503 / ResourceExhausted).
+  RunningStats latency_us;
+  PercentileTracker latency_pct;
+
+  void Record(double us) {
+    ops++;
+    latency_us.Add(us);
+    latency_pct.Add(us);
+  }
+  void MergeFrom(const OpClassMetrics& other) {
+    ops += other.ops;
+    errors += other.errors;
+    shed += other.shed;
+    latency_us.Merge(other.latency_us);
+    latency_pct.Merge(other.latency_pct);
+  }
+};
+
+/// Everything one measured run produces. `report` is the cluster's
+/// *cumulative* state after the run; the `*_delta` fields isolate this
+/// run's contribution (a warm Runner accumulates across runs).
+struct RunResult {
+  std::string spec_name;
+  Backend backend = Backend::kCluster;
+  uint32_t shards = 0;
+  LoopMode loop = LoopMode::kClosed;
+  double offered_load_rps = 0.0;  // Open loop only.
+
+  uint64_t ops_issued = 0;
+  OpClassMetrics per_class[kNumOpTypes];
+  OpClassMetrics total;
+
+  // This run's cluster-side deltas.
+  uint64_t requests_delta = 0;
+  uint64_t origin_fetches_delta = 0;
+  uint64_t served_from_delta[4] = {0, 0, 0, 0};
+  uint64_t shed_delta = 0;
+  uint64_t max_shard_busy_delta_ns = 0;
+
+  double wall_s = 0.0;
+  /// Completed ops per wall second.
+  double rps_wall = 0.0;
+  /// This run's page requests over the busiest shard's CPU time — the
+  /// replay critical path (wall throughput on a machine with >= shards
+  /// hardware threads).
+  double rps_critical_path = 0.0;
+
+  cluster::ClusterReport report;  // Cumulative, post-drain.
+  HardwareUsage hardware;
+};
+
+/// Drives one WorkloadSpec against one backend. Builds the corpus/cluster
+/// (and, for kServer, the embedded HTTP server) in Init(); each Run()
+/// generates the spec's deterministic op stream and measures it. A Runner
+/// is warm across Run() calls — ported benches exploit this to run a
+/// closed phase then an open phase against the same populated warehouse.
+///
+/// Time model: the op stream carries simulated timestamps. The cluster
+/// backend passes them directly. The wire backend passes explicit `?t=`
+/// only when spec.threads == 1 (a single connection preserves stream
+/// order; concurrent connections would interleave timestamps and violate
+/// the warehouse's per-shard time monotonicity), otherwise the server's
+/// logical clock assigns times. With threads == 1 both backends therefore
+/// observe byte-identical event streams and produce identical serve-mix
+/// counters — workload_test locks this in.
+class Runner {
+ public:
+  Runner(const WorkloadSpec& spec, const RunnerOptions& options);
+  ~Runner();
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  /// Builds corpus + cluster (+ server for kServer). Must be called once
+  /// before Run().
+  Status Init();
+
+  /// Runs the spec given at construction.
+  Result<RunResult> Run();
+
+  /// Runs a variant spec against the warm backend. The variant must keep
+  /// the construction-time corpus sizing (sites/pages/topics/seed) — the
+  /// backend was built from it.
+  Result<RunResult> Run(const WorkloadSpec& spec);
+
+  const WorkloadSpec& spec() const { return spec_; }
+  const RunnerOptions& options() const { return options_; }
+
+  /// Non-null after Init().
+  cluster::WarehouseCluster* cluster() { return cluster_.get(); }
+
+  /// kServer: bound port after Init().
+  uint16_t server_port() const;
+
+ private:
+  Result<RunResult> RunCluster(const WorkloadSpec& spec);
+  Result<RunResult> RunServer(const WorkloadSpec& spec);
+  /// Snapshots a fresh cumulative report and fills result's deltas
+  /// against the previous snapshot.
+  void FinishResult(const WorkloadSpec& spec, RunResult* result);
+
+  WorkloadSpec spec_;
+  RunnerOptions options_;
+
+  std::unique_ptr<cluster::WarehouseCluster> cluster_;
+  std::unique_ptr<server::HttpServer> server_;
+
+  /// Previous cumulative report (delta baseline). Zero-valued until the
+  /// first run completes.
+  cluster::ClusterReport prev_report_;
+};
+
+/// Emits one run as a JSON object at the writer's current nesting level —
+/// the shared per-run block of the unified bench schema (bench_workload
+/// and the ported benches all use it).
+void AppendRunResultJson(const RunResult& result, bench::JsonWriter& writer);
+
+}  // namespace cbfww::workload
+
+#endif  // CBFWW_WORKLOAD_RUNNER_H_

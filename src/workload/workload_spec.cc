@@ -1,0 +1,347 @@
+#include "workload/workload_spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace cbfww::workload {
+
+namespace {
+
+Status Invalid(const std::string& message) {
+  return Status::InvalidArgument(message);
+}
+
+bool ParseDoubleValue(std::string_view text, double* out) {
+  std::string buf(text);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseU64Value(std::string_view text, uint64_t* out) {
+  std::string buf(text);
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (end == buf.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* ToString(DistKind kind) {
+  switch (kind) {
+    case DistKind::kZipfian: return "zipfian";
+    case DistKind::kUniform: return "uniform";
+    case DistKind::kHotTopic: return "hot_topic";
+    case DistKind::kTrailReplay: return "trail_replay";
+  }
+  return "zipfian";
+}
+
+const char* ToString(IngestTarget target) {
+  switch (target) {
+    case IngestTarget::kUniform: return "uniform";
+    case IngestTarget::kHot: return "hot";
+  }
+  return "uniform";
+}
+
+const char* ToString(LoopMode loop) {
+  switch (loop) {
+    case LoopMode::kClosed: return "closed";
+    case LoopMode::kOpen: return "open";
+  }
+  return "closed";
+}
+
+Result<DistKind> ParseDistKind(std::string_view text) {
+  if (text == "zipfian") return DistKind::kZipfian;
+  if (text == "uniform") return DistKind::kUniform;
+  if (text == "hot_topic") return DistKind::kHotTopic;
+  if (text == "trail_replay") return DistKind::kTrailReplay;
+  return Invalid("unknown dist.kind: " + std::string(text) +
+                 " (want zipfian|uniform|hot_topic|trail_replay)");
+}
+
+Result<IngestTarget> ParseIngestTarget(std::string_view text) {
+  if (text == "uniform") return IngestTarget::kUniform;
+  if (text == "hot") return IngestTarget::kHot;
+  return Invalid("unknown dist.ingest: " + std::string(text) +
+                 " (want uniform|hot)");
+}
+
+Result<LoopMode> ParseLoopMode(std::string_view text) {
+  if (text == "closed") return LoopMode::kClosed;
+  if (text == "open") return LoopMode::kOpen;
+  return Invalid("unknown run.loop: " + std::string(text) +
+                 " (want closed|open)");
+}
+
+Status ValidateSpec(const WorkloadSpec& spec) {
+  if (spec.name.empty()) return Invalid("spec needs a name");
+  const OpMix& m = spec.mix;
+  if (m.page_visit < 0 || m.query < 0 || m.scan < 0 || m.ingest < 0) {
+    return Invalid("mix fractions must be >= 0");
+  }
+  if (std::fabs(m.Sum() - 1.0) > 1e-3) {
+    return Invalid(StrFormat("mix fractions sum to %.6f, want 1.0", m.Sum()));
+  }
+  if (spec.zipf_theta < 0) return Invalid("dist.zipf_theta must be >= 0");
+  if (spec.hot_set_fraction <= 0 || spec.hot_set_fraction > 1) {
+    return Invalid("dist.hot_set_fraction must be in (0, 1]");
+  }
+  if (spec.hot_topic_bias < 0 || spec.hot_topic_bias > 1) {
+    return Invalid("dist.hot_topic_bias must be in [0, 1]");
+  }
+  if (spec.num_hot_topics == 0) return Invalid("dist.hot_topics must be >= 1");
+  if (spec.corpus_sites == 0 || spec.corpus_pages_per_site == 0 ||
+      spec.corpus_topics == 0) {
+    return Invalid("corpus sizing fields must be >= 1");
+  }
+  if (spec.ops == 0) return Invalid("run.ops must be >= 1");
+  if (spec.threads == 0) return Invalid("run.threads must be >= 1");
+  if (spec.users == 0) return Invalid("run.users must be >= 1");
+  if (spec.offered_load_rps < 0) {
+    return Invalid("run.offered_load_rps must be >= 0");
+  }
+  if (spec.mean_gap_us == 0) return Invalid("run.mean_gap_us must be >= 1");
+  if (spec.trail_session_prob < 0 || spec.trail_session_prob > 1) {
+    return Invalid("run.trail_session_prob must be in [0, 1]");
+  }
+  if (spec.max_session_length == 0) {
+    return Invalid("run.max_session_length must be >= 1");
+  }
+  return Status::Ok();
+}
+
+Result<WorkloadSpec> ParseWorkloadSpec(std::string_view text) {
+  WorkloadSpec spec;
+  // Track whether any mix key appeared: a spec that sets none keeps the
+  // default pure-page-visit mix; one that sets any must spell out a full
+  // distribution (unset fractions are 0, and the sum check catches gaps).
+  bool mix_seen = false;
+
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = TrimAscii(line);
+    if (line.empty()) continue;
+
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Invalid(StrFormat("spec line %zu: expected key = value",
+                               line_no));
+    }
+    std::string key(TrimAscii(line.substr(0, eq)));
+    std::string value(TrimAscii(line.substr(eq + 1)));
+    if (key.empty()) {
+      return Invalid(StrFormat("spec line %zu: empty key", line_no));
+    }
+
+    auto want_double = [&](double* out) -> Status {
+      if (!ParseDoubleValue(value, out)) {
+        return Invalid(StrFormat("spec line %zu: %s wants a number", line_no,
+                                 key.c_str()));
+      }
+      return Status::Ok();
+    };
+    auto want_u64 = [&](uint64_t* out) -> Status {
+      if (!ParseU64Value(value, out)) {
+        return Invalid(StrFormat("spec line %zu: %s wants a non-negative "
+                                 "integer", line_no, key.c_str()));
+      }
+      return Status::Ok();
+    };
+    auto want_u32 = [&](uint32_t* out) -> Status {
+      uint64_t v = 0;
+      Status s = want_u64(&v);
+      if (!s.ok()) return s;
+      if (v > UINT32_MAX) {
+        return Invalid(StrFormat("spec line %zu: %s out of range", line_no,
+                                 key.c_str()));
+      }
+      *out = static_cast<uint32_t>(v);
+      return Status::Ok();
+    };
+
+    Status s = Status::Ok();
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "description") {
+      spec.description = value;
+    } else if (key == "mix.page_visit") {
+      if (!mix_seen) spec.mix = OpMix{0, 0, 0, 0};
+      mix_seen = true;
+      s = want_double(&spec.mix.page_visit);
+    } else if (key == "mix.query") {
+      if (!mix_seen) spec.mix = OpMix{0, 0, 0, 0};
+      mix_seen = true;
+      s = want_double(&spec.mix.query);
+    } else if (key == "mix.scan") {
+      if (!mix_seen) spec.mix = OpMix{0, 0, 0, 0};
+      mix_seen = true;
+      s = want_double(&spec.mix.scan);
+    } else if (key == "mix.ingest") {
+      if (!mix_seen) spec.mix = OpMix{0, 0, 0, 0};
+      mix_seen = true;
+      s = want_double(&spec.mix.ingest);
+    } else if (key == "dist.kind") {
+      auto kind = ParseDistKind(value);
+      if (!kind.ok()) return kind.status();
+      spec.dist = *kind;
+    } else if (key == "dist.zipf_theta") {
+      s = want_double(&spec.zipf_theta);
+    } else if (key == "dist.hot_set_fraction") {
+      s = want_double(&spec.hot_set_fraction);
+    } else if (key == "dist.hot_topic_bias") {
+      s = want_double(&spec.hot_topic_bias);
+    } else if (key == "dist.hot_topics") {
+      s = want_u32(&spec.num_hot_topics);
+    } else if (key == "dist.ingest") {
+      auto target = ParseIngestTarget(value);
+      if (!target.ok()) return target.status();
+      spec.ingest_target = *target;
+    } else if (key == "corpus.sites") {
+      s = want_u32(&spec.corpus_sites);
+    } else if (key == "corpus.pages_per_site") {
+      s = want_u32(&spec.corpus_pages_per_site);
+    } else if (key == "corpus.topics") {
+      s = want_u32(&spec.corpus_topics);
+    } else if (key == "run.ops") {
+      s = want_u64(&spec.ops);
+    } else if (key == "run.threads") {
+      s = want_u32(&spec.threads);
+    } else if (key == "run.users") {
+      s = want_u32(&spec.users);
+    } else if (key == "run.loop") {
+      auto loop = ParseLoopMode(value);
+      if (!loop.ok()) return loop.status();
+      spec.loop = *loop;
+    } else if (key == "run.offered_load_rps") {
+      s = want_double(&spec.offered_load_rps);
+    } else if (key == "run.mean_gap_us") {
+      s = want_u64(&spec.mean_gap_us);
+    } else if (key == "run.trail_session_prob") {
+      s = want_double(&spec.trail_session_prob);
+    } else if (key == "run.max_session_length") {
+      s = want_u32(&spec.max_session_length);
+    } else if (key == "seed") {
+      s = want_u64(&spec.seed);
+    } else {
+      return Invalid(StrFormat("spec line %zu: unknown key %s", line_no,
+                               key.c_str()));
+    }
+    if (!s.ok()) return s;
+  }
+
+  Status valid = ValidateSpec(spec);
+  if (!valid.ok()) return valid;
+  // Normalize away float dust so fractions are an exact distribution.
+  double sum = spec.mix.Sum();
+  spec.mix.page_visit /= sum;
+  spec.mix.query /= sum;
+  spec.mix.scan /= sum;
+  spec.mix.ingest /= sum;
+  return spec;
+}
+
+Result<WorkloadSpec> LoadWorkloadSpec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open spec file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto spec = ParseWorkloadSpec(buf.str());
+  if (!spec.ok()) {
+    return Invalid(path + ": " + std::string(spec.status().message()));
+  }
+  return spec;
+}
+
+std::string ToSpecText(const WorkloadSpec& spec) {
+  std::ostringstream out;
+  out << "name = " << spec.name << "\n";
+  if (!spec.description.empty()) {
+    out << "description = " << spec.description << "\n";
+  }
+  out << StrFormat("mix.page_visit = %.6f\n", spec.mix.page_visit)
+      << StrFormat("mix.query = %.6f\n", spec.mix.query)
+      << StrFormat("mix.scan = %.6f\n", spec.mix.scan)
+      << StrFormat("mix.ingest = %.6f\n", spec.mix.ingest)
+      << "dist.kind = " << ToString(spec.dist) << "\n"
+      << StrFormat("dist.zipf_theta = %.6f\n", spec.zipf_theta)
+      << StrFormat("dist.hot_set_fraction = %.6f\n", spec.hot_set_fraction)
+      << StrFormat("dist.hot_topic_bias = %.6f\n", spec.hot_topic_bias)
+      << "dist.hot_topics = " << spec.num_hot_topics << "\n"
+      << "dist.ingest = " << ToString(spec.ingest_target) << "\n"
+      << "corpus.sites = " << spec.corpus_sites << "\n"
+      << "corpus.pages_per_site = " << spec.corpus_pages_per_site << "\n"
+      << "corpus.topics = " << spec.corpus_topics << "\n"
+      << "run.ops = " << spec.ops << "\n"
+      << "run.threads = " << spec.threads << "\n"
+      << "run.users = " << spec.users << "\n"
+      << "run.loop = " << ToString(spec.loop) << "\n"
+      << StrFormat("run.offered_load_rps = %.6f\n", spec.offered_load_rps)
+      << "run.mean_gap_us = " << spec.mean_gap_us << "\n"
+      << StrFormat("run.trail_session_prob = %.6f\n", spec.trail_session_prob)
+      << "run.max_session_length = " << spec.max_session_length << "\n"
+      << "seed = " << spec.seed << "\n";
+  return out.str();
+}
+
+std::string SpecToJson(const WorkloadSpec& spec) {
+  std::ostringstream out;
+  out << "{\"name\":\"" << spec.name << "\""
+      << StrFormat(",\"mix\":{\"page_visit\":%.6f,\"query\":%.6f,"
+                   "\"scan\":%.6f,\"ingest\":%.6f}",
+                   spec.mix.page_visit, spec.mix.query, spec.mix.scan,
+                   spec.mix.ingest)
+      << ",\"dist\":\"" << ToString(spec.dist) << "\""
+      << StrFormat(",\"zipf_theta\":%.3f", spec.zipf_theta)
+      << StrFormat(",\"hot_set_fraction\":%.4f", spec.hot_set_fraction)
+      << StrFormat(",\"hot_topic_bias\":%.3f", spec.hot_topic_bias)
+      << ",\"hot_topics\":" << spec.num_hot_topics
+      << ",\"ingest_target\":\"" << ToString(spec.ingest_target) << "\""
+      << ",\"corpus_sites\":" << spec.corpus_sites
+      << ",\"corpus_pages_per_site\":" << spec.corpus_pages_per_site
+      << ",\"corpus_topics\":" << spec.corpus_topics
+      << ",\"ops\":" << spec.ops
+      << ",\"threads\":" << spec.threads
+      << ",\"users\":" << spec.users
+      << ",\"loop\":\"" << ToString(spec.loop) << "\""
+      << StrFormat(",\"offered_load_rps\":%.3f", spec.offered_load_rps)
+      << ",\"mean_gap_us\":" << spec.mean_gap_us
+      << ",\"seed\":" << spec.seed << "}";
+  return out.str();
+}
+
+WorkloadSpec SmokeShrunk(const WorkloadSpec& spec) {
+  WorkloadSpec s = spec;
+  s.ops = std::min<uint64_t>(s.ops, 400);
+  s.threads = std::min<uint32_t>(s.threads, 2);
+  s.corpus_sites = std::min<uint32_t>(s.corpus_sites, 6);
+  s.corpus_pages_per_site = std::min<uint32_t>(s.corpus_pages_per_site, 60);
+  if (s.loop == LoopMode::kOpen) {
+    s.offered_load_rps = std::min(s.offered_load_rps, 400.0);
+    if (s.offered_load_rps <= 0) s.offered_load_rps = 200.0;
+  }
+  return s;
+}
+
+}  // namespace cbfww::workload

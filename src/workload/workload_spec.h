@@ -1,0 +1,147 @@
+#ifndef CBFWW_WORKLOAD_WORKLOAD_SPEC_H_
+#define CBFWW_WORKLOAD_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cbfww::workload {
+
+/// Key-popularity law of a workload (which pages the op stream touches).
+enum class DistKind {
+  /// Zipf(theta) over a seeded shuffle of the whole corpus (YCSB-style).
+  kZipfian = 0,
+  /// Uniform over the whole corpus.
+  kUniform,
+  /// A few designated hot topics draw `hot_topic_bias` of the traffic,
+  /// Zipf-skewed within each topic — the flash-crowd shape the paper's
+  /// topic sensor exists for.
+  kHotTopic,
+  /// Sessions replay planted navigation trails (trace::WorkloadGenerator
+  /// trails), the session-replay shape behind logical-document mining.
+  kTrailReplay,
+};
+
+/// Where ingest (modification) ops land.
+enum class IngestTarget {
+  /// Uniform over all raw objects (crawl-style churn).
+  kUniform = 0,
+  /// Containers of the popular pages (update-heavy: hot content churns).
+  kHot,
+};
+
+/// Closed loop (fixed concurrency, next op after the previous completes)
+/// vs open loop (arrivals scheduled at an offered rate; latency measured
+/// from the scheduled arrival — the standard coordinated-omission fix).
+enum class LoopMode {
+  kClosed = 0,
+  kOpen,
+};
+
+/// Fractions of each op class in the stream. Must sum to 1 (+-1e-3; the
+/// parser normalizes the remainder away).
+struct OpMix {
+  double page_visit = 1.0;
+  double query = 0.0;  // OQL through the index path.
+  double scan = 0.0;   // OQL forced to scan (use_index = false).
+  double ingest = 0.0; // Origin-side modification of a raw object.
+
+  double Sum() const { return page_visit + query + scan + ingest; }
+};
+
+/// One declarative workload: everything a runner needs to drive either the
+/// in-process cluster or the wire server, parseable from a small text file
+/// (see ParseWorkloadSpec for the grammar) and round-trippable through
+/// ToSpecText.
+struct WorkloadSpec {
+  std::string name = "unnamed";
+  std::string description;
+
+  OpMix mix;
+
+  // --- Key distribution ---
+  DistKind dist = DistKind::kZipfian;
+  /// Zipf exponent for kZipfian and the within-topic skew of kHotTopic.
+  double zipf_theta = 0.9;
+  /// Fraction of the corpus whose containers are the kHot ingest targets.
+  double hot_set_fraction = 0.05;
+  /// kHotTopic: probability a page visit targets a hot topic.
+  double hot_topic_bias = 0.9;
+  /// kHotTopic: number of designated hot topics.
+  uint32_t num_hot_topics = 1;
+  IngestTarget ingest_target = IngestTarget::kUniform;
+
+  // --- Corpus sizing (every backend builds this corpus) ---
+  uint32_t corpus_sites = 12;
+  uint32_t corpus_pages_per_site = 250;
+  uint32_t corpus_topics = 10;
+
+  // --- Run shape ---
+  uint64_t ops = 20000;
+  uint32_t threads = 4;  // Closed-loop window / wire connections.
+  uint32_t users = 64;
+  LoopMode loop = LoopMode::kClosed;
+  /// Open loop only: offered arrival rate in ops/sec (> 0 when loop=open).
+  double offered_load_rps = 0.0;
+  /// Mean exponential gap between consecutive op *sim* timestamps, in
+  /// microseconds of simulated time (drives warehouse housekeeping
+  /// cadence, consistency polling, aging — identically on both backends).
+  uint64_t mean_gap_us = 2000;
+
+  // --- Session shape (kTrailReplay; sessions also group ops otherwise) ---
+  double trail_session_prob = 0.7;
+  uint32_t max_session_length = 8;
+
+  uint64_t seed = 2003;
+};
+
+const char* ToString(DistKind kind);
+const char* ToString(IngestTarget target);
+const char* ToString(LoopMode loop);
+Result<DistKind> ParseDistKind(std::string_view text);
+Result<IngestTarget> ParseIngestTarget(std::string_view text);
+Result<LoopMode> ParseLoopMode(std::string_view text);
+
+/// Checks invariants (mix sums to 1, positive op counts, valid enums,
+/// open loop has an offered rate or will get one from the runner caller).
+Status ValidateSpec(const WorkloadSpec& spec);
+
+/// Parses the `key = value` spec grammar:
+///
+///   # comment
+///   name = read_heavy
+///   mix.page_visit = 0.95        # fractions must sum to 1
+///   mix.query = 0.03
+///   dist.kind = zipfian          # zipfian|uniform|hot_topic|trail_replay
+///   dist.zipf_theta = 0.9
+///   corpus.sites = 12
+///   run.ops = 20000
+///   run.loop = closed            # closed|open
+///   ...
+///
+/// Unknown keys are errors (typos must not silently change a workload).
+/// The parsed spec is validated before being returned.
+Result<WorkloadSpec> ParseWorkloadSpec(std::string_view text);
+
+/// Reads and parses a spec file.
+Result<WorkloadSpec> LoadWorkloadSpec(const std::string& path);
+
+/// Renders a spec in the grammar ParseWorkloadSpec accepts; parsing the
+/// result reproduces the spec exactly (round-trip).
+std::string ToSpecText(const WorkloadSpec& spec);
+
+/// Compact JSON object describing the spec (embedded in bench reports so
+/// every emitted JSON names the workload that produced it).
+std::string SpecToJson(const WorkloadSpec& spec);
+
+/// A copy shrunk to CI-smoke scale: tiny corpus, a few hundred ops, small
+/// offered rate. Keeps mix/distribution/loop shape so smoke runs exercise
+/// the same code paths.
+WorkloadSpec SmokeShrunk(const WorkloadSpec& spec);
+
+}  // namespace cbfww::workload
+
+#endif  // CBFWW_WORKLOAD_WORKLOAD_SPEC_H_
