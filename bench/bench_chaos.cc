@@ -4,7 +4,7 @@
 // fault seed: faults delivered, degradation observed, recovery work, and
 // how much of the serve traffic stayed local despite the chaos.
 //
-//   bench_chaos [seed...]     # default seeds: 7 77 777
+//   bench_chaos [--seeds=A,B,C]     # default seeds: 7,77,777
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>

@@ -256,12 +256,14 @@ BenchArgs ParseBenchArgs(int* argc, char** argv, const char* bench_name) {
     } else if (MatchFlag(arg, "ops", &value)) {
       args.ops = std::strtoull(std::string(value).c_str(), nullptr, 10);
     } else if (IsAllDigits(arg)) {
-      // The old multi-seed calling convention (`bench_chaos 7 77`).
+      // The pre-harness multi-seed convention (`bench_chaos 7 77`) was
+      // deprecated when the unified flag set landed; it is now an error so
+      // stale invocations fail loudly instead of drifting.
       std::fprintf(stderr,
-                   "%s: positional seeds are deprecated; use --seeds=A,B,C\n",
-                   bench_name);
-      args.seeds.push_back(
-          std::strtoull(std::string(arg).c_str(), nullptr, 10));
+                   "%s: bare positional seed '%s' is no longer accepted; "
+                   "use --seeds=A,B,C\n",
+                   bench_name, std::string(arg).c_str());
+      std::exit(2);
     } else {
       // Leave unknown flags in argv: wrapped parsers (google-benchmark)
       // own them.

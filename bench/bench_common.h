@@ -131,11 +131,11 @@ void ShapeCheck(const std::string& description, bool ok);
 ///   --shards=N         shard count override
 ///   --ops=N            op count override
 ///
-/// Bare positional integers are accepted as a deprecated alias for
-/// --seeds (the old bench_chaos/bench_durability calling convention) with
-/// a stderr note. Unrecognized --flags warn but do not abort, so wrapped
-/// arg parsers (google-benchmark) keep working; recognized arguments are
-/// stripped from argv for the same reason.
+/// Bare positional integers (the pre-harness bench_chaos/bench_durability
+/// seed convention) are a hard parse error — pass --seeds=A,B,C.
+/// Unrecognized --flags warn but do not abort, so wrapped arg parsers
+/// (google-benchmark) keep working; recognized arguments are stripped from
+/// argv for the same reason.
 struct BenchArgs {
   bool smoke = false;
   std::string spec_path;

@@ -13,7 +13,7 @@
 //  - logging keeps >= 20% of baseline ingest throughput.
 // Results land in BENCH_durability.json.
 //
-//   bench_durability [seed...]     # default seeds: 7 77 777
+//   bench_durability [--seeds=A,B,C]     # default seeds: 7,77,777
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>

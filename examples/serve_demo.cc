@@ -1,7 +1,7 @@
 // Demo server: a 4-shard warehouse cluster behind the embedded HTTP
 // front-end, for poking with curl.
 //
-//   ./serve_demo [port] [shards]
+//   ./serve_demo [port] [shards] [io_threads]
 //
 //   curl http://127.0.0.1:8080/healthz
 //   curl http://127.0.0.1:8080/page/42
@@ -25,6 +25,9 @@ int main(int argc, char** argv) {
   uint16_t port = argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1])) : 8080;
   uint32_t shards = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 4;
   if (shards == 0) shards = 1;
+  uint32_t io_threads =
+      argc > 3 ? static_cast<uint32_t>(std::atoi(argv[3])) : 1;
+  if (io_threads == 0) io_threads = 1;
 
   cbfww::corpus::CorpusOptions corpus_opts;
   corpus_opts.num_sites = 10;
@@ -32,6 +35,8 @@ int main(int argc, char** argv) {
 
   cbfww::cluster::ClusterOptions cluster_opts;
   cluster_opts.num_shards = shards;
+  // One SPSC producer lane per IO thread.
+  cluster_opts.producer_lanes = io_threads;
 
   std::printf("building %u-shard cluster (%u sites x %u pages)...\n", shards,
               corpus_opts.num_sites, corpus_opts.pages_per_site);
@@ -40,6 +45,7 @@ int main(int argc, char** argv) {
 
   cbfww::server::ServerOptions server_opts;
   server_opts.port = port;
+  server_opts.io_threads = io_threads;
   cbfww::server::HttpServer server(&cluster, server_opts);
   cbfww::Status status = server.Start();
   if (!status.ok()) {
@@ -48,9 +54,14 @@ int main(int argc, char** argv) {
   }
   cbfww::server::HttpServer::InstallSignalDrain(&server);
 
-  std::printf("serving on http://127.0.0.1:%u  (%zu pages; Ctrl-C drains)\n",
-              server.port(),
-              cluster.shard(0).corpus().num_pages());
+  std::printf(
+      "serving on http://127.0.0.1:%u  (%zu pages, %u IO thread%s via %s; "
+      "Ctrl-C drains)\n",
+      server.port(), cluster.shard(0).corpus().num_pages(),
+      server.io_threads(), server.io_threads() == 1 ? "" : "s",
+      server.accept_mode_resolved() == cbfww::server::AcceptMode::kReusePort
+          ? "reuseport"
+          : "handoff");
   std::printf("try: curl http://127.0.0.1:%u/page/42\n", server.port());
 
   server.Join();  // Returns after the signal-triggered drain completes.

@@ -17,7 +17,7 @@
 #   scripts/ci.sh perfsmoke  # hotpath smoke: pruned vs exhaustive, same run
 #   scripts/ci.sh chaos      # ASan chaos harness + soak tests, 3 fixed seeds
 #   scripts/ci.sh durability # ASan crash-restart matrix + WAL fuzz + bench
-#   scripts/ci.sh server     # ASan server units + socket e2e + bench smoke
+#   scripts/ci.sh server     # ASan+TSan server units + e2e + bench smoke
 #   scripts/ci.sh workload   # every spec x both backends, JSON schema gate
 #
 # With no arguments the script lists the stages and exits.
@@ -35,7 +35,8 @@ stages:
   perfsmoke   pruned top-k p50 vs exhaustive, same-run relative gate
   chaos       ASan chaos harness + soak tests, 3 fixed seeds
   durability  ASan crash-restart matrix + WAL fuzz + durability bench
-  server      ASan serving-layer units + socket e2e + bench_server smoke
+  server      ASan+TSan serving-layer units + socket e2e + bench_server
+              smoke (IO scaling gate) + bench JSON schema check
   workload    smoke every bench/specs/*.spec against both backends,
               validate every emitted JSON against the unified schema
   all         every stage above, in order
@@ -109,7 +110,7 @@ chaos() {
   # fails (acknowledged object lost, non-identical same-seed replay, no
   # degraded serves, unrecovered tier loss).
   chaos_out="$(mktemp -d)"
-  (cd "${chaos_out}" && "${OLDPWD}/build-asan/bench/bench_chaos" 7 77 777)
+  (cd "${chaos_out}" && "${OLDPWD}/build-asan/bench/bench_chaos" --seeds=7,77,777)
   rm -rf "${chaos_out}"
 }
 
@@ -128,24 +129,41 @@ durability() {
   # the pre-shutdown event count, checkpoints fail to bound WAL replay,
   # or logging costs more than 5x baseline ingest throughput).
   dur_out="$(mktemp -d)"
-  (cd "${dur_out}" && "${OLDPWD}/build-asan/bench/bench_durability" 7 77 777)
+  (cd "${dur_out}" && "${OLDPWD}/build-asan/bench/bench_durability" --seeds=7,77,777)
   rm -rf "${dur_out}"
 }
 
 server() {
-  echo "=== server: wire serving layer under ASan ==="
+  echo "=== server: wire serving layer under ASan + TSan ==="
   cmake -B build-asan -S . -DCBFWW_SANITIZE=address
   cmake --build build-asan -j --target server_test server_e2e_test \
     bench_server
   ./build-asan/tests/server_test
   # Socket-level: 10k keep-alive requests / 8 connections / 4 shards with
-  # byte-identity against direct in-process calls, overload 503s matching
-  # /metrics shed counters, admin suspend/resume, graceful drain.
+  # byte-identity against direct in-process calls (single- and multi-IO-
+  # thread servers), overload 503s matching /metrics shed counters,
+  # admission-class shedding, admin suspend/resume, graceful drain.
   ./build-asan/tests/server_e2e_test
-  # Smoke shape gate only (every request served); the sanitized build is
-  # for memory bugs, not timings, so the RPS scaling gate stays out.
+  # The multi-threaded serving units again under ThreadSanitizer: N IO
+  # threads x per-lane SPSC dispatch x shard-worker completions is exactly
+  # the kind of concurrency TSan exists for.
+  cmake -B build-tsan -S . -DCBFWW_SANITIZE=thread
+  cmake --build build-tsan -j --target server_test server_e2e_test
+  ./build-tsan/tests/server_test
+  ./build-tsan/tests/server_e2e_test
+  # Smoke gates: every request served, and the 4-IO-thread config must
+  # sustain >= 1.5x the 1-IO-thread RPS. The CPU-time (IO critical path)
+  # form of that gate is always enforced; the wall-clock form self-skips
+  # when the runner has too few hardware threads to run the loops in
+  # parallel. Plain build: the sanitized builds are for bugs, not timings.
+  cmake -B build -S .
+  cmake --build build -j --target bench_server
   server_out="$(mktemp -d)"
-  (cd "${server_out}" && "${OLDPWD}/build-asan/bench/bench_server" --smoke)
+  (cd "${server_out}" && "${OLDPWD}/build/bench/bench_server" --smoke)
+  # Every report this stage produced — and the committed grid numbers —
+  # must match the unified bench JSON schema.
+  python3 scripts/validate_bench_json.py "${server_out}"/BENCH_server.json \
+    BENCH_server.json
   rm -rf "${server_out}"
 }
 

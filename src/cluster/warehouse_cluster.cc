@@ -30,9 +30,11 @@ WarehouseCluster::WarehouseCluster(
     const ClusterOptions& options) {
   uint32_t n = std::max<uint32_t>(1, options.num_shards);
   dispatch_max_pauses_ = options.dispatch_max_pauses;
+  num_lanes_ = std::max<uint32_t>(1, options.producer_lanes);
   shards_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
-    auto shard = std::make_unique<Shard>(options.queue_capacity);
+    auto shard = std::make_unique<Shard>(options.queue_capacity, num_lanes_);
+    lane_capacity_ = shard->lanes[0]->capacity();
     shard->corpus = std::make_unique<corpus::WebCorpus>(corpus_options);
     shard->origin = std::make_unique<net::OriginServer>(shard->corpus.get(),
                                                         net::NetworkModel());
@@ -87,13 +89,32 @@ WarehouseCluster::~WarehouseCluster() {
 void WarehouseCluster::WorkerLoop(Shard& shard) {
   ShardItem item;
   SpscQueue<ShardItem>::Backoff backoff;
+  // Round-robin cursor over producer lanes: one pop per lane per sweep
+  // keeps every producer making progress under sustained load (no lane
+  // starves behind a chatty neighbor).
+  size_t next_lane = 0;
+  const size_t lanes = shard.lanes.size();
+  auto pop_next = [&]() -> bool {
+    for (size_t probe = 0; probe < lanes; ++probe) {
+      size_t l = next_lane;
+      next_lane = (next_lane + 1) % lanes;
+      if (shard.lanes[l]->TryPop(item)) return true;
+    }
+    return false;
+  };
+  auto all_empty = [&]() -> bool {
+    for (const auto& lane : shard.lanes) {
+      if (!lane->Empty()) return false;
+    }
+    return true;
+  };
   for (;;) {
     if (shard.suspended.load(std::memory_order_acquire)) {
       if (stop_.load(std::memory_order_acquire)) return;
       backoff.Pause();
       continue;
     }
-    if (shard.queue.TryPop(item)) {
+    if (pop_next()) {
       backoff.Reset();
       uint64_t start = ThreadCpuNanos();
       switch (item.kind) {
@@ -130,7 +151,7 @@ void WarehouseCluster::WorkerLoop(Shard& shard) {
       item = ShardItem{};
       continue;
     }
-    if (stop_.load(std::memory_order_acquire) && shard.queue.Empty()) return;
+    if (stop_.load(std::memory_order_acquire) && all_empty()) return;
     backoff.Pause();
   }
 }
@@ -139,46 +160,49 @@ uint32_t WarehouseCluster::ShardOf(corpus::PageId page) const {
   return trace::ShardOfPage(page, num_shards());
 }
 
-void WarehouseCluster::Submit(const trace::TraceEvent& event) {
+void WarehouseCluster::Submit(const trace::TraceEvent& event, uint32_t lane) {
   ShardItem item;
   item.event = event;
   if (event.type == trace::TraceEventType::kRequest) {
     Shard& shard = *shards_[ShardOf(event.page)];
-    shard.queue.Push(item);
+    shard.lanes[lane]->Push(item);
     shard.submitted.fetch_add(1, std::memory_order_relaxed);
-    ++events_submitted_;
+    events_submitted_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   // Modifications touch raw objects, which pages of any shard may embed:
   // broadcast so every replica stays in (weakly) consistent step.
   for (auto& shard : shards_) {
-    shard->queue.Push(item);
+    shard->lanes[lane]->Push(item);
     shard->submitted.fetch_add(1, std::memory_order_relaxed);
-    ++events_submitted_;
+    events_submitted_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-bool WarehouseCluster::TryPushBounded(Shard& shard, const ShardItem& item) {
-  if (shard.queue.TryPush(item)) return true;
+bool WarehouseCluster::TryPushBounded(Shard& shard, uint32_t lane,
+                                      const ShardItem& item) {
+  SpscQueue<ShardItem>& queue = *shard.lanes[lane];
+  if (queue.TryPush(item)) return true;
   SpscQueue<ShardItem>::Backoff backoff;
   for (uint32_t pause = 0; pause < dispatch_max_pauses_; ++pause) {
     backoff.Pause();
-    if (shard.queue.TryPush(item)) return true;
+    if (queue.TryPush(item)) return true;
   }
   return false;
 }
 
-Status WarehouseCluster::TryDispatch(const trace::TraceEvent& event) {
+Status WarehouseCluster::TryDispatch(const trace::TraceEvent& event,
+                                     uint32_t lane) {
   ShardItem item;
   item.event = event;
   if (event.type == trace::TraceEventType::kRequest) {
     Shard& shard = *shards_[ShardOf(event.page)];
-    if (!TryPushBounded(shard, item)) {
+    if (!TryPushBounded(shard, lane, item)) {
       shard.shed.fetch_add(1, std::memory_order_relaxed);
       return Status::ResourceExhausted("shard queue full, request shed");
     }
     shard.submitted.fetch_add(1, std::memory_order_relaxed);
-    ++events_submitted_;
+    events_submitted_.fetch_add(1, std::memory_order_relaxed);
     return Status::Ok();
   }
   // Broadcast modifications shed per shard: a stalled shard must not stop
@@ -187,12 +211,12 @@ Status WarehouseCluster::TryDispatch(const trace::TraceEvent& event) {
   // observe modifications at independent poll times).
   uint32_t delivered = 0;
   for (auto& shard : shards_) {
-    if (!TryPushBounded(*shard, item)) {
+    if (!TryPushBounded(*shard, lane, item)) {
       shard->shed.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     shard->submitted.fetch_add(1, std::memory_order_relaxed);
-    ++events_submitted_;
+    events_submitted_.fetch_add(1, std::memory_order_relaxed);
     ++delivered;
   }
   if (delivered < shards_.size()) {
@@ -205,7 +229,8 @@ Status WarehouseCluster::TryDispatch(const trace::TraceEvent& event) {
 }
 
 Status WarehouseCluster::TryServePage(const core::PageRequest& request,
-                                      std::shared_ptr<ServeTicket> ticket) {
+                                      std::shared_ptr<ServeTicket> ticket,
+                                      uint32_t lane) {
   Shard& shard = *shards_[ShardOf(request.page)];
   ShardItem item;
   item.kind = ShardItem::Kind::kPage;
@@ -213,19 +238,20 @@ Status WarehouseCluster::TryServePage(const core::PageRequest& request,
   // remaining must be set before the worker can observe the item.
   ticket->remaining.store(1, std::memory_order_relaxed);
   item.ticket = ticket;
-  if (!TryPushBounded(shard, item)) {
+  if (!TryPushBounded(shard, lane, item)) {
     shard.shed.fetch_add(1, std::memory_order_relaxed);
     ticket->remaining.store(0, std::memory_order_relaxed);
     return Status::ResourceExhausted("shard queue full, request shed");
   }
   shard.submitted.fetch_add(1, std::memory_order_relaxed);
-  ++events_submitted_;
+  events_submitted_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Status WarehouseCluster::TryServeQuery(std::string_view text,
                                        core::QueryRunOptions options,
-                                       std::shared_ptr<ServeTicket> ticket) {
+                                       std::shared_ptr<ServeTicket> ticket,
+                                       uint32_t lane) {
   const uint32_t n = num_shards();
   ticket->query.assign(n, ServeTicket::QuerySlot{});
   ticket->remaining.store(n, std::memory_order_relaxed);
@@ -238,7 +264,7 @@ Status WarehouseCluster::TryServeQuery(std::string_view text,
     item.query_options = options;
     item.query_slot = i;
     item.ticket = ticket;
-    if (!TryPushBounded(shard, item)) {
+    if (!TryPushBounded(shard, lane, item)) {
       // A saturated shard sheds its slot; the healthy shards still answer
       // (partial results are the caller's call to serve or discard).
       shard.shed.fetch_add(1, std::memory_order_relaxed);
@@ -248,7 +274,7 @@ Status WarehouseCluster::TryServeQuery(std::string_view text,
       continue;
     }
     shard.submitted.fetch_add(1, std::memory_order_relaxed);
-    ++events_submitted_;
+    events_submitted_.fetch_add(1, std::memory_order_relaxed);
     ++accepted;
   }
   if (accepted < n) {
@@ -267,7 +293,10 @@ std::vector<ShardRuntimeStats> WarehouseCluster::RuntimeStats() const {
     s.submitted = shard->submitted.load(std::memory_order_relaxed);
     s.processed = shard->processed.load(std::memory_order_acquire);
     s.shed = shard->shed.load(std::memory_order_relaxed);
-    s.queue_depth = shard->queue.SizeApprox();
+    for (const auto& lane : shard->lanes) {
+      s.queue_depth += lane->SizeApprox();
+      s.queue_capacity += lane->capacity();
+    }
     s.suspended = shard->suspended.load(std::memory_order_acquire);
     out.push_back(s);
   }
@@ -321,7 +350,9 @@ ClusterReport WarehouseCluster::Report() {
     report.shard_busy_ns.push_back(
         shard->busy_ns.load(std::memory_order_relaxed));
     report.shard_shed.push_back(shard->shed.load(std::memory_order_relaxed));
-    report.shard_queue_depth.push_back(shard->queue.SizeApprox());
+    uint64_t depth = 0;
+    for (const auto& lane : shard->lanes) depth += lane->SizeApprox();
+    report.shard_queue_depth.push_back(depth);
 
     const storage::StorageHierarchy& hier = wh.hierarchy();
     if (report.tiers.size() < static_cast<size_t>(hier.num_tiers())) {

@@ -32,8 +32,18 @@ struct ClusterOptions {
   /// divide them by num_shards. The per-shard RNG seed is derived from
   /// `warehouse.seed` and the shard index.
   core::WarehouseOptions warehouse;
-  /// Per-shard event queue capacity (rounded up to a power of two).
+  /// Per-shard, per-lane event queue capacity (rounded up to a power of
+  /// two).
   uint32_t queue_capacity = 4096;
+  /// Number of independent producer lanes per shard. Each lane is one
+  /// SPSC queue owned by exactly one dispatching thread (lane i belongs
+  /// to producer i), so a multi-threaded front-end — e.g. the HTTP
+  /// server's N IO threads — keeps the one-producer-per-queue invariant
+  /// without any producer-side locking. The shard worker drains all of
+  /// its lanes; FIFO order holds within a lane (per-producer order),
+  /// which is the strongest order a concurrent front-end can promise
+  /// anyway. 1 (the default) is the classic single-router setup.
+  uint32_t producer_lanes = 1;
   /// When set, every shard gets its own deterministic FaultInjector over
   /// this schedule template — independent fault domains, so one shard's
   /// tier loss or origin outage never touches the others. Each shard's
@@ -147,7 +157,11 @@ struct ShardRuntimeStats {
   uint64_t submitted = 0;
   uint64_t processed = 0;
   uint64_t shed = 0;
+  /// Occupancy summed over all producer lanes.
   uint64_t queue_depth = 0;
+  /// Total capacity summed over all producer lanes (admission-class
+  /// front-ends shed background work at a fraction of this).
+  uint64_t queue_capacity = 0;
   bool suspended = false;
 };
 
@@ -160,10 +174,14 @@ struct ShardRuntimeStats {
 ///    owns its pages' records, storage hierarchy, indexes, and a full
 ///    corpus/origin/feed replica. No warehouse state is shared between
 ///    shards, so shard workers never synchronize with each other.
-///  - One router (the caller of Submit) feeds one SPSC queue per shard;
-///    one worker thread per shard drains its queue in FIFO order. A given
-///    trace therefore yields the same per-shard event sequence — and the
-///    same per-shard results — on every run (deterministic replay).
+///  - Each shard owns `producer_lanes` SPSC queues ("lanes"); lane L of
+///    every shard is owned by exactly one dispatching thread, which is
+///    its single producer. With the default one lane this is the classic
+///    one-router setup: one SPSC queue per shard, drained FIFO by one
+///    worker per shard, so a given trace yields the same per-shard event
+///    sequence — and the same per-shard results — on every run
+///    (deterministic replay). With N lanes, order is FIFO per lane
+///    (per-producer order); the worker round-robins across lanes.
 ///  - Modification events are broadcast to every shard: a raw object may
 ///    be embedded by pages of any shard, and each shard tracks versions
 ///    for its own replica.
@@ -195,9 +213,10 @@ class WarehouseCluster {
 
   /// Routes one event to its shard queue (requests) or broadcasts it
   /// (modifications). Returns after the event is enqueued, not processed;
-  /// call Drain() for completion. Must be called from one thread at a
-  /// time (the router is the single producer of the shard queues).
-  void Submit(const trace::TraceEvent& event);
+  /// call Drain() for completion. `lane` selects the producer lane; each
+  /// lane must only ever be fed by one thread (that thread is the single
+  /// producer of lane `lane` on every shard).
+  void Submit(const trace::TraceEvent& event, uint32_t lane = 0);
 
   /// Bounded-admission Submit: waits at most
   /// ClusterOptions::dispatch_max_pauses backoff pauses for queue room,
@@ -206,14 +225,15 @@ class WarehouseCluster {
   /// reached a subset of shards — acceptable under the warehouse's weak
   /// consistency model, where replicas already observe modifications at
   /// different poll times. Shed counts surface per shard in
-  /// ClusterReport::shard_shed. Single producer, like Submit.
-  Status TryDispatch(const trace::TraceEvent& event);
+  /// ClusterReport::shard_shed. Single producer per lane, like Submit.
+  Status TryDispatch(const trace::TraceEvent& event, uint32_t lane = 0);
 
   // ----- Serving-layer calls (wire front-ends) -----
   //
   // Unlike Submit/TryDispatch (fire-and-forget replay), these route a call
   // to its shard worker and deliver the result through a ServeTicket. Same
-  // single-producer contract as Submit: one dispatching thread at a time.
+  // single-producer-per-lane contract as Submit: each lane is fed by
+  // exactly one dispatching thread.
 
   /// Routes one page request to its owning shard with bounded admission.
   /// On Ok the ticket will complete (worker runs Warehouse::ServeRequest —
@@ -223,7 +243,7 @@ class WarehouseCluster {
   /// fired), and the shard's shed counter is bumped — the caller answers
   /// 503 without ever blocking on a saturated shard.
   Status TryServePage(const core::PageRequest& request,
-                      std::shared_ptr<ServeTicket> ticket);
+                      std::shared_ptr<ServeTicket> ticket, uint32_t lane = 0);
 
   /// Scatter-gathers one OQL query across every shard (records partition
   /// by page, so cluster-level query semantics are the union of per-shard
@@ -234,17 +254,24 @@ class WarehouseCluster {
   /// accepted shards, so a caller may await it or abandon it — the shared
   /// ptr keeps it alive either way).
   Status TryServeQuery(std::string_view text, core::QueryRunOptions options,
-                       std::shared_ptr<ServeTicket> ticket);
+                       std::shared_ptr<ServeTicket> ticket, uint32_t lane = 0);
 
   /// Atomic-only per-shard snapshot; callable from the dispatching thread
   /// at any time, even mid-flight or with shards suspended.
   std::vector<ShardRuntimeStats> RuntimeStats() const;
 
   /// True when every shard has processed everything submitted to it (all
-  /// workers idle). Because the caller is the single producer, no new work
-  /// can appear between this check and a subsequent read — so `Idle() &&
-  /// Report()` never blocks.
+  /// workers idle). With a single producer lane, no new work can appear
+  /// between this check and a subsequent read by that producer — so
+  /// `Idle() && Report()` never blocks. With multiple lanes the check is
+  /// only stable once every producer has stopped dispatching.
   bool Idle() const;
+
+  /// Producer lanes per shard (ClusterOptions::producer_lanes, clamped to
+  /// >= 1).
+  uint32_t num_lanes() const { return num_lanes_; }
+  /// Capacity of one lane's queue (rounded up to a power of two).
+  uint64_t lane_capacity() const { return lane_capacity_; }
 
   bool IsSuspended(uint32_t i) const {
     return shards_[i]->suspended.load(std::memory_order_acquire);
@@ -294,7 +321,9 @@ class WarehouseCluster {
 
   /// Total events handed to shard queues (modifications count once per
   /// shard they were broadcast to).
-  uint64_t events_submitted() const { return events_submitted_; }
+  uint64_t events_submitted() const {
+    return events_submitted_.load(std::memory_order_relaxed);
+  }
 
   /// Per-shard recovery reports from construction, in shard order. Empty
   /// when ClusterOptions::durability was off.
@@ -323,7 +352,12 @@ class WarehouseCluster {
   };
 
   struct Shard {
-    explicit Shard(uint32_t queue_capacity) : queue(queue_capacity) {}
+    Shard(uint32_t queue_capacity, uint32_t num_lanes) {
+      lanes.reserve(num_lanes);
+      for (uint32_t l = 0; l < num_lanes; ++l) {
+        lanes.push_back(std::make_unique<SpscQueue<ShardItem>>(queue_capacity));
+      }
+    }
 
     // Replica world: each shard owns corpus + origin + feed so no mutable
     // state crosses a thread boundary.
@@ -334,10 +368,13 @@ class WarehouseCluster {
     std::unique_ptr<fault::FaultInjector> injector;
     std::unique_ptr<core::Warehouse> warehouse;
 
-    SpscQueue<ShardItem> queue;
-    /// submitted is written by the router only; processed by the worker
-    /// only. processed's release-store publishes all warehouse mutations
-    /// of the events counted, so drained readers are race-free.
+    /// One SPSC queue per producer lane; lane L is written only by
+    /// producer thread L (unique_ptr because SpscQueue pins its cursors'
+    /// addresses).
+    std::vector<std::unique_ptr<SpscQueue<ShardItem>>> lanes;
+    /// submitted is incremented by producers (one per lane); processed by
+    /// the worker only. processed's release-store publishes all warehouse
+    /// mutations of the events counted, so drained readers are race-free.
     std::atomic<uint64_t> submitted{0};
     std::atomic<uint64_t> processed{0};
     std::atomic<uint64_t> busy_ns{0};
@@ -350,12 +387,16 @@ class WarehouseCluster {
   };
 
   void WorkerLoop(Shard& shard);
-  /// TryPush with a bounded backoff budget; true when enqueued.
-  bool TryPushBounded(Shard& shard, const ShardItem& item);
+  /// TryPush on one lane with a bounded backoff budget; true when
+  /// enqueued.
+  bool TryPushBounded(Shard& shard, uint32_t lane, const ShardItem& item);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stop_{false};
-  uint64_t events_submitted_ = 0;
+  /// Incremented by every producer lane, hence atomic.
+  std::atomic<uint64_t> events_submitted_{0};
+  uint32_t num_lanes_ = 1;
+  uint64_t lane_capacity_ = 0;
   uint32_t dispatch_max_pauses_ = 64;
   std::vector<core::RecoveryReport> recovery_reports_;
   Status durability_status_ = Status::Ok();

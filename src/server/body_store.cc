@@ -1,0 +1,74 @@
+#include "server/body_store.h"
+
+#include "util/strings.h"
+
+namespace cbfww::server {
+
+namespace {
+
+// Filler used to pad rendered text out to the object's logical
+// size_bytes.
+constexpr std::string_view kFiller =
+    "................................................................\n";
+
+}  // namespace
+
+BodyStore::BodyStore(const corpus::WebCorpus& corpus)
+    : slots_(corpus.num_raw_objects()) {
+  const text::Vocabulary& vocab = corpus.vocabulary();
+  entries_.reserve(corpus.num_raw_objects());
+  for (corpus::RawId id = 0; id < corpus.num_raw_objects(); ++id) {
+    const corpus::RawWebObject& raw = corpus.raw(id);
+    Entry entry;
+    entry.target_size = raw.size_bytes;
+    std::string& out = entry.natural;
+    out += StrFormat("<!-- object %llu v%u %s -->\n",
+                     static_cast<unsigned long long>(raw.id), raw.version,
+                     raw.url.c_str());
+    out += "<title>";
+    for (size_t i = 0; i < raw.title_terms.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += vocab.TermOf(raw.title_terms[i]);
+    }
+    out += "</title>\n";
+    for (size_t i = 0; i < raw.body_terms.size(); ++i) {
+      out += vocab.TermOf(raw.body_terms[i]);
+      out += (i + 1) % 12 == 0 ? '\n' : ' ';
+    }
+    out += '\n';
+    entries_.push_back(std::move(entry));
+    slots_[id].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+size_t BodyStore::RenderedSize(corpus::RawId id) const {
+  if (id >= entries_.size()) return 0;
+  const Entry& entry = entries_[id];
+  return entry.natural.size() > entry.target_size ? entry.natural.size()
+                                                  : entry.target_size;
+}
+
+std::string_view BodyStore::Body(corpus::RawId id) {
+  if (id >= slots_.size()) return {};
+  const std::string* body = slots_[id].load(std::memory_order_acquire);
+  if (body != nullptr) return *body;
+  std::lock_guard<std::mutex> lock(render_mutex_);
+  body = slots_[id].load(std::memory_order_acquire);
+  if (body != nullptr) return *body;  // Lost the materialization race.
+  const Entry& entry = entries_[id];
+  std::string padded = entry.natural;
+  padded.reserve(RenderedSize(id));
+  while (padded.size() < entry.target_size) {
+    size_t n = entry.target_size - padded.size();
+    padded.append(kFiller, 0, n < kFiller.size() ? n : kFiller.size());
+  }
+  auto rendered = std::make_unique<const std::string>(std::move(padded));
+  body = rendered.get();
+  owned_.push_back(std::move(rendered));
+  rendered_objects_.fetch_add(1, std::memory_order_relaxed);
+  rendered_bytes_.fetch_add(body->size(), std::memory_order_relaxed);
+  slots_[id].store(body, std::memory_order_release);
+  return *body;
+}
+
+}  // namespace cbfww::server

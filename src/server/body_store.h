@@ -1,0 +1,81 @@
+#ifndef CBFWW_SERVER_BODY_STORE_H_
+#define CBFWW_SERVER_BODY_STORE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/web_corpus.h"
+
+namespace cbfww::server {
+
+/// Immutable rendered-body cache over a corpus: the synthetic corpus
+/// stores term ids and logical sizes, so the serving layer renders each
+/// raw object's document text once and then serves it forever by
+/// reference. Rendered bodies live in heap strings whose addresses never
+/// move, which is what lets the page-serve hot path hand spans straight
+/// to writev with zero copies — and lets components shared by many pages
+/// be rendered and stored exactly once.
+///
+/// The term text of every object is resolved at construction time (while
+/// the cluster is idle), so serving never reads the corpus replica that
+/// shard workers mutate on /modify events; bodies are a snapshot of the
+/// initial content version, full-size padding to the object's logical
+/// size_bytes is materialized lazily on first request.
+///
+/// Thread-safe: any IO thread may call Body(); first request of an object
+/// takes a mutex to materialize, every later lookup is one acquire-load.
+class BodyStore {
+ public:
+  /// Snapshots `corpus` (all shard replicas are identical, so any one
+  /// works). The corpus may be mutated or destroyed afterwards.
+  explicit BodyStore(const corpus::WebCorpus& corpus);
+
+  /// The rendered body of raw object `id`. The returned view is stable
+  /// for the lifetime of the store. Returns an empty view for an
+  /// out-of-range id.
+  std::string_view Body(corpus::RawId id);
+
+  /// Exact rendered size of `id` without forcing materialization.
+  size_t RenderedSize(corpus::RawId id) const;
+
+  size_t num_objects() const { return entries_.size(); }
+
+  /// Objects materialized so far (metrics/tests).
+  uint64_t rendered_objects() const {
+    return rendered_objects_.load(std::memory_order_relaxed);
+  }
+  /// Total bytes held by materialized bodies.
+  uint64_t rendered_bytes() const {
+    return rendered_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    /// Header + title + body term text, rendered at construction.
+    std::string natural;
+    /// Logical object size; bodies pad out to this so rendered sizes
+    /// follow the corpus size distribution (large documents genuinely
+    /// exercise the chunked path).
+    size_t target_size = 0;
+  };
+
+  std::vector<Entry> entries_;
+  /// One slot per raw object; null until materialized, then an immortal
+  /// string published with release ordering.
+  std::vector<std::atomic<const std::string*>> slots_;
+  /// Keeps materialized bodies alive; also serializes first-request races.
+  std::mutex render_mutex_;
+  std::vector<std::unique_ptr<const std::string>> owned_;
+  std::atomic<uint64_t> rendered_objects_{0};
+  std::atomic<uint64_t> rendered_bytes_{0};
+};
+
+}  // namespace cbfww::server
+
+#endif  // CBFWW_SERVER_BODY_STORE_H_

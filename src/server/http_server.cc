@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <ctime>
 #include <sstream>
 
 #include <arpa/inet.h>
@@ -73,9 +74,70 @@ bool TruthyParam(std::string_view v) {
   return v == "1" || v == "true" || v == "yes";
 }
 
+// CPU time consumed by the calling thread (excludes time blocked in the
+// multiplexer), so per-IO-thread busy_ns parallels the shards' busy_ns.
+uint64_t ThreadCpuNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+// Creates a non-blocking listening socket. With `reuseport`, failure to
+// set SO_REUSEPORT reports Unimplemented so kAuto can fall back to the
+// handoff acceptor.
+Status OpenListenSocket(const std::string& address, uint16_t port,
+                        int backlog, bool reuseport, int* out_fd,
+                        uint16_t* out_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport) {
+#ifdef SO_REUSEPORT
+    if (setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      ::close(fd);
+      return Status::Unimplemented("SO_REUSEPORT unavailable");
+    }
+#else
+    ::close(fd);
+    return Status::Unimplemented("SO_REUSEPORT unavailable");
+#endif
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " + address);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = Status::Internal(StrFormat(
+        "bind %s:%u: %s", address.c_str(), port, std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status status =
+        Status::Internal(StrFormat("listen: %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len);
+  SetNonBlocking(fd);
+  *out_fd = fd;
+  *out_port = ntohs(addr.sin_port);
+  return Status::Ok();
+}
+
 // Signal-drain plumbing: the handler may only do async-signal-safe work, so
 // it writes one byte to the installed server's wake pipe and sets a flag
-// the IO loop reads.
+// the IO loops read.
 std::atomic<HttpServer*> g_signal_server{nullptr};
 std::atomic<int> g_signal_wake_fd{-1};
 std::atomic<bool> g_signal_drain{false};
@@ -93,18 +155,19 @@ void SignalDrainHandler(int /*signo*/) {
 
 /// Per-connection state machine. Input accumulates in `in`; `in_pos` marks
 /// the parsed prefix (pipelined requests wait there while one is in
-/// flight). Output accumulates in `out` and flushes as the socket allows.
+/// flight). Output accumulates in the scatter/gather buffer `out` and
+/// flushes via writev as the socket allows.
 struct HttpServer::Conn {
   uint64_t id = 0;
   int fd = -1;
+  IoShard* io = nullptr;  // Owning IO thread's world.
 
   std::string in;
   size_t in_pos = 0;
   HttpParser parser;
   bool read_eof = false;
 
-  std::string out;
-  size_t out_pos = 0;
+  OutBuf out;
   bool write_registered = false;
   bool want_close = false;
 
@@ -115,8 +178,11 @@ struct HttpServer::Conn {
   // In-flight cluster call, if any.
   bool awaiting = false;
   std::shared_ptr<cluster::ServeTicket> ticket;
-  enum class Pending { kNone, kPage, kQuery } pending = Pending::kNone;
+  enum class Pending { kNone, kPage, kBody, kQuery } pending = Pending::kNone;
   std::string pending_url;
+  /// kBody: raw objects (container + components) whose rendered bodies
+  /// form the response.
+  std::vector<corpus::RawId> pending_body;
 
   explicit Conn(ParserLimits limits) : parser(limits) {}
 };
@@ -141,7 +207,10 @@ void HttpServer::InstallSignalDrain(HttpServer* server) {
     return;
   }
   g_signal_server.store(server, std::memory_order_release);
-  g_signal_wake_fd.store(server->wake_pipe_[1], std::memory_order_release);
+  g_signal_wake_fd.store(server->io_shards_.empty()
+                             ? -1
+                             : server->io_shards_[0]->wake_pipe[1],
+                         std::memory_order_release);
   struct sigaction sa;
   std::memset(&sa, 0, sizeof(sa));
   sa.sa_handler = SignalDrainHandler;
@@ -155,132 +224,206 @@ Status HttpServer::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("server already running");
   }
+  io_threads_ = std::max<uint32_t>(1, options_.io_threads);
+  if (io_threads_ > cluster_->num_lanes()) {
+    return Status::FailedPrecondition(StrFormat(
+        "io_threads (%u) exceeds the cluster's producer lanes (%u); build "
+        "the cluster with ClusterOptions::producer_lanes >= io_threads",
+        io_threads_, cluster_->num_lanes()));
+  }
 
-  // URL map from shard 0's corpus replica (identical across shards): a
-  // page is addressed by its container object's URL.
+  // Corpus-derived lookups, snapshotted while the cluster is idle so the
+  // IO threads never read the replica that shard workers mutate. A page
+  // is addressed by its container object's URL; replicas are identical,
+  // so shard 0's works for everyone.
   const corpus::WebCorpus& corpus = cluster_->shard(0).corpus();
+  url_to_page_.clear();
   url_to_page_.reserve(corpus.num_pages());
+  page_bodies_.clear();
+  page_bodies_.reserve(corpus.num_pages());
   for (const auto& page : corpus.pages()) {
     url_to_page_[corpus.raw(page.container).url] = page.id;
+    std::vector<corpus::RawId> objects;
+    objects.reserve(1 + page.components.size());
+    objects.push_back(page.container);
+    objects.insert(objects.end(), page.components.begin(),
+                   page.components.end());
+    page_bodies_.push_back(std::move(objects));
   }
   num_raw_objects_ = corpus.num_raw_objects();
+  body_store_ = std::make_unique<BodyStore>(corpus);
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
-  }
-  int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  overload_depth_threshold_ =
+      options_.overload_queue_fraction > 0
+          ? std::max<uint64_t>(
+                1, static_cast<uint64_t>(options_.overload_queue_fraction *
+                                         static_cast<double>(
+                                             cluster_->lane_capacity() *
+                                             cluster_->num_lanes())))
+          : 0;
 
-  struct sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::InvalidArgument("bad bind address: " +
-                                   options_.bind_address);
+  io_shards_.clear();
+  for (uint32_t i = 0; i < io_threads_; ++i) {
+    auto io = std::make_unique<IoShard>();
+    io->index = i;
+    io_shards_.push_back(std::move(io));
   }
-  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    Status status =
-        Status::Internal(StrFormat("bind %s:%u: %s",
-                                   options_.bind_address.c_str(),
-                                   options_.port, std::strerror(errno)));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  if (::listen(listen_fd_, options_.backlog) != 0) {
-    Status status =
-        Status::Internal(StrFormat("listen: %s", std::strerror(errno)));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  socklen_t len = sizeof(addr);
-  getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  SetNonBlocking(listen_fd_);
 
-  if (::pipe(wake_pipe_) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::Internal(StrFormat("pipe: %s", std::strerror(errno)));
-  }
-  SetNonBlocking(wake_pipe_[0]);
-  SetNonBlocking(wake_pipe_[1]);
+  auto cleanup = [this] {
+    for (auto& io : io_shards_) {
+      if (io->listen_fd >= 0) ::close(io->listen_fd);
+      if (io->wake_pipe[0] >= 0) ::close(io->wake_pipe[0]);
+      if (io->wake_pipe[1] >= 0) ::close(io->wake_pipe[1]);
+    }
+    io_shards_.clear();
+  };
 
-  loop_ = std::make_unique<EventLoop>(options_.backend);
-  Status status = loop_->Add(listen_fd_, /*want_read=*/true,
-                             /*want_write=*/false, nullptr);
-  if (status.ok()) {
-    status = loop_->Add(wake_pipe_[0], /*want_read=*/true,
-                        /*want_write=*/false, nullptr);
+  // Listening sockets. One per IO thread under SO_REUSEPORT (the kernel
+  // shards accepts); one on IO thread 0 in handoff mode.
+  if (io_threads_ == 1) {
+    accept_mode_resolved_ = AcceptMode::kHandoff;  // Degenerate: no dealing.
+  } else if (options_.accept_mode == AcceptMode::kHandoff) {
+    accept_mode_resolved_ = AcceptMode::kHandoff;
+  } else {
+    accept_mode_resolved_ = AcceptMode::kReusePort;
+  }
+
+  Status status = Status::Ok();
+  if (accept_mode_resolved_ == AcceptMode::kReusePort) {
+    status = OpenListenSocket(options_.bind_address, options_.port,
+                              options_.backlog, /*reuseport=*/true,
+                              &io_shards_[0]->listen_fd, &port_);
+    if (status.code() == StatusCode::kUnimplemented &&
+        options_.accept_mode == AcceptMode::kAuto) {
+      accept_mode_resolved_ = AcceptMode::kHandoff;
+      status = Status::Ok();
+    } else if (status.ok()) {
+      // Followers bind the port the first socket resolved (matters when
+      // options_.port was 0).
+      for (uint32_t i = 1; i < io_threads_ && status.ok(); ++i) {
+        uint16_t bound = 0;
+        status = OpenListenSocket(options_.bind_address, port_,
+                                  options_.backlog, /*reuseport=*/true,
+                                  &io_shards_[i]->listen_fd, &bound);
+      }
+    }
+  }
+  if (status.ok() && accept_mode_resolved_ == AcceptMode::kHandoff) {
+    status = OpenListenSocket(options_.bind_address, options_.port,
+                              options_.backlog, /*reuseport=*/false,
+                              &io_shards_[0]->listen_fd, &port_);
+    for (uint32_t i = 1; i < io_threads_; ++i) {
+      io_shards_[i]->handoff =
+          std::make_unique<cluster::SpscQueue<int>>(1024);
+    }
   }
   if (!status.ok()) {
-    ::close(listen_fd_);
-    ::close(wake_pipe_[0]);
-    ::close(wake_pipe_[1]);
-    listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
-    loop_.reset();
+    cleanup();
     return status;
   }
 
+  for (auto& io : io_shards_) {
+    if (::pipe(io->wake_pipe) != 0) {
+      status = Status::Internal(StrFormat("pipe: %s", std::strerror(errno)));
+      cleanup();
+      return status;
+    }
+    SetNonBlocking(io->wake_pipe[0]);
+    SetNonBlocking(io->wake_pipe[1]);
+    io->loop = std::make_unique<EventLoop>(options_.backend);
+    if (io->listen_fd >= 0) {
+      status = io->loop->Add(io->listen_fd, /*want_read=*/true,
+                             /*want_write=*/false, nullptr);
+    }
+    if (status.ok()) {
+      status = io->loop->Add(io->wake_pipe[0], /*want_read=*/true,
+                             /*want_write=*/false, nullptr);
+    }
+    if (!status.ok()) {
+      cleanup();
+      return status;
+    }
+  }
+
+  next_handoff_ = 0;
+  total_conns_.store(0, std::memory_order_relaxed);
   drain_requested_.store(false, std::memory_order_release);
-  draining_ = false;
+  active_io_threads_.store(io_threads_, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  io_thread_ = std::thread([this] { Run(); });
+  for (auto& io : io_shards_) {
+    io->thread = std::thread([this, raw = io.get()] { Run(*raw); });
+  }
   return Status::Ok();
+}
+
+void HttpServer::WakeAll() {
+  for (auto& io : io_shards_) {
+    if (io->wake_pipe[1] >= 0) {
+      char byte = 'q';
+      [[maybe_unused]] ssize_t n = ::write(io->wake_pipe[1], &byte, 1);
+    }
+  }
 }
 
 void HttpServer::Stop() {
   drain_requested_.store(true, std::memory_order_release);
-  if (wake_pipe_[1] >= 0) {
-    char byte = 'q';
-    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
-  }
+  WakeAll();
   Join();
 }
 
 void HttpServer::Join() {
-  if (io_thread_.joinable()) io_thread_.join();
-  // Reclaim the wake pipe only once the IO thread is gone; until then
-  // Stop() (any thread) and the signal handler write to it. If the signal
-  // handler is still pointed at our write end, retarget it first so a
-  // late signal can't write into a recycled descriptor.
-  if (wake_pipe_[1] >= 0) {
-    int expected = wake_pipe_[1];
-    g_signal_wake_fd.compare_exchange_strong(expected, -1);
-    ::close(wake_pipe_[0]);
-    ::close(wake_pipe_[1]);
-    wake_pipe_[0] = wake_pipe_[1] = -1;
+  for (auto& io : io_shards_) {
+    if (io->thread.joinable()) io->thread.join();
+  }
+  // Reclaim wake pipes only once the IO threads are gone; until then
+  // Stop() (any thread) and the signal handler write to them. If the
+  // signal handler is still pointed at a write end, retarget it first so
+  // a late signal can't write into a recycled descriptor.
+  for (auto& io : io_shards_) {
+    if (io->wake_pipe[1] >= 0) {
+      int expected = io->wake_pipe[1];
+      g_signal_wake_fd.compare_exchange_strong(expected, -1);
+      ::close(io->wake_pipe[0]);
+      ::close(io->wake_pipe[1]);
+      io->wake_pipe[0] = io->wake_pipe[1] = -1;
+    }
+    // A handed-off fd whose target thread had already exited would
+    // otherwise leak (drain-window race); sweep the queues post-join.
+    if (io->handoff) {
+      int fd = -1;
+      while (io->handoff->TryPop(fd)) ::close(fd);
+    }
   }
 }
 
-void HttpServer::Run() {
+void HttpServer::Run(IoShard& io) {
+  const uint64_t cpu_start = ThreadCpuNanos();
   std::vector<IoEvent> events;
   while (true) {
-    if (!draining_ &&
-        (drain_requested_.load(std::memory_order_acquire) ||
-         (g_signal_server.load(std::memory_order_acquire) == this &&
-          g_signal_drain.load(std::memory_order_acquire)))) {
-      BeginDrain();
+    bool signal_drain =
+        g_signal_server.load(std::memory_order_acquire) == this &&
+        g_signal_drain.load(std::memory_order_acquire);
+    if (!io.draining &&
+        (drain_requested_.load(std::memory_order_acquire) || signal_drain)) {
+      // Propagate a signal-initiated drain to the sibling loops.
+      drain_requested_.store(true, std::memory_order_release);
+      if (signal_drain) WakeAll();
+      BeginDrain(io);
     }
-    if (draining_ && DrainComplete()) break;
+    if (io.draining && io.conns.empty()) break;
 
-    int n = loop_->Wait(events, /*timeout_ms=*/awaiting_tickets_ > 0 ? 10 : 250);
+    int n =
+        io.loop->Wait(events, /*timeout_ms=*/io.awaiting_tickets > 0 ? 10 : 250);
     if (n < 0) break;  // Multiplexer failure: shut down rather than spin.
 
     for (const IoEvent& ev : events) {
-      if (ev.fd == listen_fd_) {
-        AcceptNew();
+      if (ev.fd == io.listen_fd) {
+        AcceptNew(io);
         continue;
       }
-      if (ev.fd == wake_pipe_[0]) {
+      if (ev.fd == io.wake_pipe[0]) {
         char buf[256];
-        while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+        while (::read(io.wake_pipe[0], buf, sizeof(buf)) > 0) {
         }
         continue;
       }
@@ -288,107 +431,158 @@ void HttpServer::Run() {
       if (conn == nullptr) continue;
       uint64_t id = conn->id;
       if (ev.error) {
-        CloseConn(*conn);
+        CloseConn(io, *conn);
         continue;
       }
       if (ev.readable) {
-        HandleReadable(*conn);
-        if (conns_.count(id) == 0) continue;  // Closed during read.
+        HandleReadable(io, *conn);
+        if (io.conns.count(id) == 0) continue;  // Closed during read.
       }
-      if (ev.writable) HandleWritable(*conn);
+      if (ev.writable) HandleWritable(io, *conn);
     }
+
+    // Connections dealt over by IO thread 0 (no-op elsewhere).
+    AdoptHandoff(io);
 
     // Completions arrive from shard workers via the wake pipe; sweep all
     // parked connections (cheap: only conns with awaiting set are checked).
-    if (awaiting_tickets_ > 0) CheckPendingTickets();
+    if (io.awaiting_tickets > 0) CheckPendingTickets(io);
+
+    io.busy_ns.store(ThreadCpuNanos() - cpu_start, std::memory_order_relaxed);
   }
 
-  // Drain epilogue: nothing in flight, nothing buffered. Un-park any
-  // suspended shards (Drain would block on their backlog) and wait for the
-  // cluster to go quiescent.
-  for (uint32_t i = 0; i < cluster_->num_shards(); ++i) {
-    if (cluster_->IsSuspended(i)) cluster_->ResumeShard(i);
+  if (io.listen_fd >= 0) {
+    io.loop->Remove(io.listen_fd);
+    ::close(io.listen_fd);
+    io.listen_fd = -1;
   }
-  cluster_->Drain();
-
-  if (listen_fd_ >= 0) {
-    loop_->Remove(listen_fd_);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (io.handoff) {
+    int fd = -1;
+    while (io.handoff->TryPop(fd)) ::close(fd);
   }
   // The wake pipe stays open: Stop() on another thread writes to it to
   // nudge this loop, so it can only be reclaimed after the join (Join()).
-  loop_->Remove(wake_pipe_[0]);
-  running_.store(false, std::memory_order_release);
+  io.loop->Remove(io.wake_pipe[0]);
+  io.busy_ns.store(ThreadCpuNanos() - cpu_start, std::memory_order_relaxed);
+
+  // Last IO thread out runs the drain epilogue: nothing is dispatching
+  // anymore, so un-park any suspended shards (Drain would block on their
+  // backlog) and wait for the cluster to go quiescent.
+  if (active_io_threads_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    for (uint32_t i = 0; i < cluster_->num_shards(); ++i) {
+      if (cluster_->IsSuspended(i)) cluster_->ResumeShard(i);
+    }
+    cluster_->Drain();
+    running_.store(false, std::memory_order_release);
+  }
 }
 
-void HttpServer::BeginDrain() {
-  draining_ = true;
-  if (listen_fd_ >= 0) {
-    loop_->Remove(listen_fd_);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+void HttpServer::BeginDrain(IoShard& io) {
+  io.draining = true;
+  if (io.listen_fd >= 0) {
+    io.loop->Remove(io.listen_fd);
+    ::close(io.listen_fd);
+    io.listen_fd = -1;
   }
   // Idle connections close now; busy ones finish their in-flight request,
   // flush, and then close (want_close stops pipelined follow-ups).
   std::vector<uint64_t> ids;
-  ids.reserve(conns_.size());
-  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  ids.reserve(io.conns.size());
+  for (const auto& [id, conn] : io.conns) ids.push_back(id);
   for (uint64_t id : ids) {
-    auto it = conns_.find(id);
-    if (it == conns_.end()) continue;
+    auto it = io.conns.find(id);
+    if (it == io.conns.end()) continue;
     Conn& conn = *it->second;
     conn.want_close = true;
-    if (!conn.awaiting && conn.out_pos >= conn.out.size()) CloseConn(conn);
+    if (!conn.awaiting && conn.out.empty()) CloseConn(io, conn);
   }
 }
 
-bool HttpServer::DrainComplete() const { return conns_.empty(); }
+bool HttpServer::RegisterConn(IoShard& io, int fd) {
+  if (total_conns_.load(std::memory_order_relaxed) >=
+      options_.max_connections) {
+    stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+    ::close(fd);
+    return false;
+  }
+  SetNonBlocking(fd);
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
-void HttpServer::AcceptNew() {
+  auto conn = std::make_unique<Conn>(options_.limits);
+  conn->id = io.next_conn_id++;
+  conn->fd = fd;
+  conn->io = &io;
+  Conn* raw = conn.get();
+  if (!io.loop->Add(fd, /*want_read=*/true, /*want_write=*/false, raw).ok()) {
+    ::close(fd);
+    return false;
+  }
+  io.conns.emplace(raw->id, std::move(conn));
+  total_conns_.fetch_add(1, std::memory_order_relaxed);
+  stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void HttpServer::AcceptNew(IoShard& io) {
   while (true) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (io.draining || io.listen_fd < 0) return;
+    int fd = ::accept(io.listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
       return;
     }
-    if (conns_.size() >= options_.max_connections) {
+    // Handoff dealing: IO thread 0 keeps every io_threads_'th connection
+    // and deals the rest round-robin to its peers' SPSC queues.
+    if (accept_mode_resolved_ == AcceptMode::kHandoff && io_threads_ > 1) {
+      uint32_t target = next_handoff_++ % io_threads_;
+      if (target != io.index) {
+        IoShard& peer = *io_shards_[target];
+        if (total_conns_.load(std::memory_order_relaxed) >=
+                options_.max_connections ||
+            !peer.handoff->TryPush(fd)) {
+          stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+          ::close(fd);
+          continue;
+        }
+        char byte = 'h';
+        [[maybe_unused]] ssize_t n = ::write(peer.wake_pipe[1], &byte, 1);
+        continue;
+      }
+    }
+    RegisterConn(io, fd);
+  }
+}
+
+void HttpServer::AdoptHandoff(IoShard& io) {
+  if (!io.handoff) return;
+  int fd = -1;
+  while (io.handoff->TryPop(fd)) {
+    if (io.draining) {
       stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
       ::close(fd);
       continue;
     }
-    SetNonBlocking(fd);
-    int one = 1;
-    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-    auto conn = std::make_unique<Conn>(options_.limits);
-    conn->id = next_conn_id_++;
-    conn->fd = fd;
-    Conn* raw = conn.get();
-    if (!loop_->Add(fd, /*want_read=*/true, /*want_write=*/false, raw).ok()) {
-      ::close(fd);
-      continue;
-    }
-    conns_.emplace(raw->id, std::move(conn));
-    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    RegisterConn(io, fd);
   }
 }
 
-void HttpServer::CloseConn(Conn& conn) {
+void HttpServer::CloseConn(IoShard& io, Conn& conn) {
   if (conn.awaiting) {
     // The ticket is abandoned: shard workers still hold a shared_ptr and
     // will complete it harmlessly after we are gone.
-    awaiting_tickets_--;
+    io.awaiting_tickets--;
     conn.awaiting = false;
     conn.ticket.reset();
   }
-  loop_->Remove(conn.fd);
+  io.loop->Remove(conn.fd);
   ::close(conn.fd);
-  conns_.erase(conn.id);  // Destroys conn; no member access past this line.
+  total_conns_.fetch_sub(1, std::memory_order_relaxed);
+  io.conns.erase(conn.id);  // Destroys conn; no member access past this line.
 }
 
-void HttpServer::HandleReadable(Conn& conn) {
+void HttpServer::HandleReadable(IoShard& io, Conn& conn) {
   // `conn` may be destroyed by any callee that closes the connection;
   // capture the id up front and re-check liveness before each reuse.
   const uint64_t id = conn.id;
@@ -408,19 +602,19 @@ void HttpServer::HandleReadable(Conn& conn) {
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
-    CloseConn(conn);
+    CloseConn(io, conn);
     return;
   }
-  ProcessBuffered(conn);
-  if (conns_.count(id) == 0) return;
-  HandleWritable(conn);  // Flush whatever the routing produced.
-  if (conns_.count(id) == 0) return;
-  if (conn.read_eof && !conn.awaiting && conn.out_pos >= conn.out.size()) {
-    CloseConn(conn);
+  ProcessBuffered(io, conn);
+  if (io.conns.count(id) == 0) return;
+  HandleWritable(io, conn);  // Flush whatever the routing produced.
+  if (io.conns.count(id) == 0) return;
+  if (conn.read_eof && !conn.awaiting && conn.out.empty()) {
+    CloseConn(io, conn);
   }
 }
 
-void HttpServer::ProcessBuffered(Conn& conn) {
+void HttpServer::ProcessBuffered(IoShard& io, Conn& conn) {
   // One request in flight at a time per connection; pipelined bytes wait in
   // `in`. Responses append to `out` in arrival order, so ordering holds.
   while (!conn.awaiting && !conn.want_close) {
@@ -440,7 +634,7 @@ void HttpServer::ProcessBuffered(Conn& conn) {
     if (!conn.parser.done()) break;  // Need more bytes.
     HttpRequest request = conn.parser.TakeRequest();
     conn.parser.Reset();
-    RouteRequest(conn, std::move(request));
+    RouteRequest(io, conn, std::move(request));
   }
   // Reclaim consumed input.
   if (conn.in_pos >= conn.in.size()) {
@@ -452,7 +646,42 @@ void HttpServer::ProcessBuffered(Conn& conn) {
   }
 }
 
-void HttpServer::RouteRequest(Conn& conn, HttpRequest request) {
+bool HttpServer::Overloaded() const {
+  if (overload_depth_threshold_ == 0) return false;
+  for (const cluster::ShardRuntimeStats& s : cluster_->RuntimeStats()) {
+    if (s.queue_depth >= overload_depth_threshold_) return true;
+  }
+  return false;
+}
+
+bool HttpServer::ShedByClass(Conn& conn, AdmissionClass klass) {
+  if (klass != AdmissionClass::kBackground) return false;
+  if (!Overloaded()) return false;
+  stats_.admission_shed_background.fetch_add(1, std::memory_order_relaxed);
+  stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
+  QueueResponse(conn, 503, "application/json",
+                "{\"error\":\"background class shed under overload\","
+                "\"shed\":true}",
+                StrFormat("Retry-After: %d\r\n", options_.retry_after_s));
+  return true;
+}
+
+SimTime HttpServer::EventTime(int64_t explicit_t) {
+  if (explicit_t > 0) {
+    // Ratchet the shared clock up to the scripted time (CAS-max: another
+    // IO thread may be ratcheting concurrently).
+    SimTime now = sim_now_.load(std::memory_order_relaxed);
+    while (now < explicit_t &&
+           !sim_now_.compare_exchange_weak(now, explicit_t,
+                                           std::memory_order_relaxed)) {
+    }
+    return explicit_t;
+  }
+  return sim_now_.fetch_add(kMillisecond, std::memory_order_relaxed) +
+         kMillisecond;
+}
+
+void HttpServer::RouteRequest(IoShard& io, Conn& conn, HttpRequest request) {
   stats_.requests_total.fetch_add(1, std::memory_order_relaxed);
   conn.resp_keep_alive = request.keep_alive;
   conn.resp_version_minor = request.version_minor;
@@ -460,6 +689,8 @@ void HttpServer::RouteRequest(Conn& conn, HttpRequest request) {
   RequestTarget target = ParseTarget(request.target);
 
   if (target.path == "/healthz") {
+    // AdmissionClass::kHealth: never shed, never dispatched — a liveness
+    // answer must not depend on shard queues having room.
     if (request.method != "GET") {
       QueueError(conn, 405, "use GET");
       return;
@@ -473,11 +704,14 @@ void HttpServer::RouteRequest(Conn& conn, HttpRequest request) {
       QueueError(conn, 405, "use GET");
       return;
     }
+    if (ShedByClass(conn, AdmissionClass::kBackground)) return;
     QueueResponse(conn, 200, "text/plain; version=0.0.4", MetricsText());
     return;
   }
 
-  if (target.path.rfind("/page/", 0) == 0) {
+  bool is_page = target.path.rfind("/page/", 0) == 0;
+  bool is_body = target.path.rfind("/body/", 0) == 0;
+  if (is_page || is_body) {
     if (request.method != "GET") {
       QueueError(conn, 405, "use GET");
       return;
@@ -495,8 +729,7 @@ void HttpServer::RouteRequest(Conn& conn, HttpRequest request) {
         url = it->first;
       }
     }
-    if (page == corpus::kInvalidPageId ||
-        page >= cluster_->shard(0).corpus().num_pages()) {
+    if (page == corpus::kInvalidPageId || page >= page_bodies_.size()) {
       QueueError(conn, 404, "unknown page: " + key);
       return;
     }
@@ -515,14 +748,9 @@ void HttpServer::RouteRequest(Conn& conn, HttpRequest request) {
     // An explicit ?t= is used verbatim (deterministic replay over the
     // wire: per-shard event times are exactly what the client scripted);
     // otherwise the server's logical clock advances 1ms per request.
-    int64_t now = 0;
-    if (ParseI64(target.Param("t"), &now) && now > 0) {
-      page_request.now = now;
-      sim_now_ = std::max(sim_now_, now);
-    } else {
-      sim_now_ += kMillisecond;
-      page_request.now = sim_now_;
-    }
+    int64_t explicit_t = 0;
+    ParseI64(target.Param("t"), &explicit_t);
+    page_request.now = EventTime(explicit_t);
 
     // Client deadline: ?deadline_ms= beats X-Deadline-Ms beats the server
     // default. Propagated into the warehouse's origin-fetch retry loop.
@@ -539,12 +767,12 @@ void HttpServer::RouteRequest(Conn& conn, HttpRequest request) {
     }
 
     auto ticket = std::make_shared<cluster::ServeTicket>();
-    int wake_fd = wake_pipe_[1];
+    int wake_fd = io.wake_pipe[1];
     ticket->on_complete = [wake_fd] {
       char byte = 'c';
       [[maybe_unused]] ssize_t n = ::write(wake_fd, &byte, 1);
     };
-    Status status = cluster_->TryServePage(page_request, ticket);
+    Status status = cluster_->TryServePage(page_request, ticket, io.index);
     if (!status.ok()) {
       if (status.code() == StatusCode::kResourceExhausted) {
         stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
@@ -559,9 +787,14 @@ void HttpServer::RouteRequest(Conn& conn, HttpRequest request) {
     }
     conn.awaiting = true;
     conn.ticket = std::move(ticket);
-    conn.pending = Conn::Pending::kPage;
-    conn.pending_url = std::move(url);
-    awaiting_tickets_++;
+    if (is_body) {
+      conn.pending = Conn::Pending::kBody;
+      conn.pending_body = page_bodies_[page];
+    } else {
+      conn.pending = Conn::Pending::kPage;
+      conn.pending_url = std::move(url);
+    }
+    io.awaiting_tickets++;
     return;
   }
 
@@ -569,9 +802,10 @@ void HttpServer::RouteRequest(Conn& conn, HttpRequest request) {
     // Wire-level ingest: broadcast one origin-side modification event to
     // every shard (replicas each track versions for their copy). Enqueue
     // only — the event is applied by the shard workers in FIFO order with
-    // everything already queued, so a client that got its 202 and then
-    // issues a page request on the same (or any later) connection observes
-    // the modification exactly as an in-process replay would.
+    // everything already queued on this IO thread's lane, so a client that
+    // got its 202 and then issues a page request on the same (or any
+    // later) connection of this IO thread observes the modification
+    // exactly as an in-process replay would.
     if (request.method != "POST") {
       QueueError(conn, 405, "use POST");
       return;
@@ -585,15 +819,10 @@ void HttpServer::RouteRequest(Conn& conn, HttpRequest request) {
     trace::TraceEvent event;
     event.type = trace::TraceEventType::kModify;
     event.modified = raw;
-    int64_t now = 0;
-    if (ParseI64(target.Param("t"), &now) && now > 0) {
-      event.time = now;
-      sim_now_ = std::max(sim_now_, now);
-    } else {
-      sim_now_ += kMillisecond;
-      event.time = sim_now_;
-    }
-    Status status = cluster_->TryDispatch(event);
+    int64_t explicit_t = 0;
+    ParseI64(target.Param("t"), &explicit_t);
+    event.time = EventTime(explicit_t);
+    Status status = cluster_->TryDispatch(event, io.index);
     if (!status.ok()) {
       stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
       QueueResponse(conn, 503, "application/json",
@@ -622,12 +851,13 @@ void HttpServer::RouteRequest(Conn& conn, HttpRequest request) {
     run_options.with_cost = TruthyParam(target.Param("with_cost"));
 
     auto ticket = std::make_shared<cluster::ServeTicket>();
-    int wake_fd = wake_pipe_[1];
+    int wake_fd = io.wake_pipe[1];
     ticket->on_complete = [wake_fd] {
       char byte = 'c';
       [[maybe_unused]] ssize_t n = ::write(wake_fd, &byte, 1);
     };
-    Status status = cluster_->TryServeQuery(request.body, run_options, ticket);
+    Status status =
+        cluster_->TryServeQuery(request.body, run_options, ticket, io.index);
     if (!status.ok()) {
       // Shed on at least one shard: the accepted shards still complete the
       // abandoned ticket (the shared_ptr keeps it alive); the client gets
@@ -641,7 +871,7 @@ void HttpServer::RouteRequest(Conn& conn, HttpRequest request) {
     conn.awaiting = true;
     conn.ticket = std::move(ticket);
     conn.pending = Conn::Pending::kQuery;
-    awaiting_tickets_++;
+    io.awaiting_tickets++;
     return;
   }
 
@@ -650,6 +880,7 @@ void HttpServer::RouteRequest(Conn& conn, HttpRequest request) {
       QueueError(conn, 405, "use POST");
       return;
     }
+    if (ShedByClass(conn, AdmissionClass::kBackground)) return;
     std::string rest = target.path.substr(std::strlen("/admin/shard/"));
     size_t slash = rest.find('/');
     uint64_t shard = 0;
@@ -680,38 +911,55 @@ void HttpServer::RouteRequest(Conn& conn, HttpRequest request) {
   QueueError(conn, 404, "no such route: " + target.path);
 }
 
-void HttpServer::CheckPendingTickets() {
+void HttpServer::CheckPendingTickets(IoShard& io) {
   std::vector<uint64_t> ready;
-  for (const auto& [id, conn] : conns_) {
+  for (const auto& [id, conn] : io.conns) {
     if (conn->awaiting && conn->ticket->done()) ready.push_back(id);
   }
   for (uint64_t id : ready) {
-    auto it = conns_.find(id);
-    if (it == conns_.end()) continue;
+    auto it = io.conns.find(id);
+    if (it == io.conns.end()) continue;
     Conn& conn = *it->second;
-    FinishTicket(conn);
-    if (conns_.count(id) == 0) continue;
+    FinishTicket(io, conn);
+    if (io.conns.count(id) == 0) continue;
     // The answered request may have pipelined successors waiting.
-    ProcessBuffered(conn);
-    if (conns_.count(id) == 0) continue;
-    HandleWritable(conn);
-    if (conns_.count(id) == 0) continue;
-    if (conn.want_close && !conn.awaiting && conn.out_pos >= conn.out.size()) {
-      CloseConn(conn);
+    ProcessBuffered(io, conn);
+    if (io.conns.count(id) == 0) continue;
+    HandleWritable(io, conn);
+    if (io.conns.count(id) == 0) continue;
+    if (conn.want_close && !conn.awaiting && conn.out.empty()) {
+      CloseConn(io, conn);
     }
   }
 }
 
-void HttpServer::FinishTicket(Conn& conn) {
+void HttpServer::FinishTicket(IoShard& io, Conn& conn) {
   std::shared_ptr<cluster::ServeTicket> ticket = std::move(conn.ticket);
   conn.awaiting = false;
   conn.ticket.reset();
-  awaiting_tickets_--;
+  io.awaiting_tickets--;
 
   if (conn.pending == Conn::Pending::kPage) {
-    QueueResponse(conn, 200, "application/json",
-                  PageVisitToJson(ticket->visit, conn.pending_url));
+    // Hot path: PageVisit JSON straight into the arena, head prepended
+    // once the length is known — no response-sized string is built.
+    conn.out.BeginResponse();
+    AppendPageVisitJson(conn.out, ticket->visit, conn.pending_url);
+    FinishOpenResponse(conn, 200, "application/json");
     conn.pending_url.clear();
+  } else if (conn.pending == Conn::Pending::kBody) {
+    // Rendered bodies are referenced in place (immortal store) and go to
+    // writev uncopied: zero body copies between storage and the socket.
+    conn.out.BeginResponse();
+    uint64_t body_bytes = 0;
+    for (corpus::RawId id : conn.pending_body) {
+      std::string_view body = body_store_->Body(id);
+      conn.out.AppendExternal(body.data(), body.size());
+      body_bytes += body.size();
+    }
+    stats_.body_bytes_zero_copy.fetch_add(body_bytes,
+                                          std::memory_order_relaxed);
+    FinishOpenResponse(conn, 200, "text/html; charset=utf-8");
+    conn.pending_body.clear();
   } else {
     // Query: 200 when at least one shard answered; otherwise the first
     // slot's error decides between client error (400) and overload (503).
@@ -740,10 +988,7 @@ void HttpServer::QueueError(Conn& conn, int status, const std::string& message) 
                 "{\"error\":\"" + JsonEscape(message) + "\"}");
 }
 
-void HttpServer::QueueResponse(Conn& conn, int status,
-                               const std::string& content_type,
-                               const std::string& body,
-                               const std::string& extra_headers) {
+void HttpServer::CountResponse(int status) {
   if (status >= 200 && status < 300) {
     stats_.responses_2xx.fetch_add(1, std::memory_order_relaxed);
   } else if (status >= 400 && status < 500) {
@@ -752,10 +997,26 @@ void HttpServer::QueueResponse(Conn& conn, int status,
     stats_.responses_5xx_other.fetch_add(1, std::memory_order_relaxed);
   }
   // (503s are counted at their call sites, which know the shed context.)
+}
 
-  bool keep_alive = conn.resp_keep_alive && !conn.want_close && !draining_;
-  bool chunked = conn.resp_version_minor >= 1 &&
-                 body.size() > options_.chunk_threshold;
+void HttpServer::QueueResponse(Conn& conn, int status,
+                               const std::string& content_type,
+                               const std::string& body,
+                               const std::string& extra_headers) {
+  conn.out.BeginResponse();
+  conn.out.Append(body);
+  FinishOpenResponse(conn, status, content_type, extra_headers);
+}
+
+void HttpServer::FinishOpenResponse(Conn& conn, int status,
+                                    const std::string& content_type,
+                                    const std::string& extra_headers) {
+  CountResponse(status);
+  size_t body_len = conn.out.staged_bytes();
+  bool keep_alive =
+      conn.resp_keep_alive && !conn.want_close && !conn.io->draining;
+  bool chunked =
+      conn.resp_version_minor >= 1 && body_len > options_.chunk_threshold;
 
   std::string head =
       StrFormat("HTTP/1.%d %d %s\r\n", conn.resp_version_minor, status,
@@ -765,56 +1026,48 @@ void HttpServer::QueueResponse(Conn& conn, int status,
   if (chunked) {
     head += "Transfer-Encoding: chunked\r\n";
   } else {
-    head += StrFormat("Content-Length: %zu\r\n", body.size());
+    head += StrFormat("Content-Length: %zu\r\n", body_len);
   }
   head += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
   head += "\r\n";
 
-  conn.out += head;
-  if (chunked) {
-    constexpr size_t kChunk = 32768;
-    for (size_t off = 0; off < body.size(); off += kChunk) {
-      size_t n = std::min(kChunk, body.size() - off);
-      conn.out += StrFormat("%zx\r\n", n);
-      conn.out.append(body, off, n);
-      conn.out += "\r\n";
-    }
-    conn.out += "0\r\n\r\n";
-  } else {
-    conn.out += body;
-  }
+  conn.out.EndResponse(head, chunked, /*chunk_max=*/32768);
   if (!keep_alive) conn.want_close = true;
 }
 
-void HttpServer::HandleWritable(Conn& conn) {
-  while (conn.out_pos < conn.out.size()) {
-    ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos,
-                        conn.out.size() - conn.out_pos);
-    if (n > 0) {
-      conn.out_pos += static_cast<size_t>(n);
-      stats_.bytes_out.fetch_add(static_cast<uint64_t>(n),
-                                 std::memory_order_relaxed);
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+void HttpServer::HandleWritable(IoShard& io, Conn& conn) {
+  uint64_t wrote = 0;
+  OutBuf::FlushResult result = conn.out.FlushTo(conn.fd, &wrote);
+  if (wrote > 0) {
+    stats_.bytes_out.fetch_add(wrote, std::memory_order_relaxed);
+  }
+  switch (result) {
+    case OutBuf::FlushResult::kWouldBlock:
       if (!conn.write_registered) {
-        loop_->Modify(conn.fd, /*want_read=*/true, /*want_write=*/true);
+        io.loop->Modify(conn.fd, /*want_read=*/true, /*want_write=*/true);
         conn.write_registered = true;
       }
       return;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    CloseConn(conn);
-    return;
+    case OutBuf::FlushResult::kError:
+      CloseConn(io, conn);
+      return;
+    case OutBuf::FlushResult::kDrained:
+      break;
   }
-  // Fully flushed.
-  conn.out.clear();
-  conn.out_pos = 0;
   if (conn.write_registered) {
-    loop_->Modify(conn.fd, /*want_read=*/true, /*want_write=*/false);
+    io.loop->Modify(conn.fd, /*want_read=*/true, /*want_write=*/false);
     conn.write_registered = false;
   }
-  if (conn.want_close && !conn.awaiting) CloseConn(conn);
+  if (conn.want_close && !conn.awaiting) CloseConn(io, conn);
+}
+
+std::vector<uint64_t> HttpServer::IoBusyNs() const {
+  std::vector<uint64_t> out;
+  out.reserve(io_shards_.size());
+  for (const auto& io : io_shards_) {
+    out.push_back(io->busy_ns.load(std::memory_order_relaxed));
+  }
+  return out;
 }
 
 std::string HttpServer::MetricsText() {
@@ -824,7 +1077,22 @@ std::string HttpServer::MetricsText() {
 
   // Server-side counters.
   os << "# TYPE cbfww_http_connections gauge\n"
-     << "cbfww_http_connections " << conns_.size() << "\n";
+     << "cbfww_http_connections "
+     << total_conns_.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE cbfww_http_connection_capacity gauge\n"
+     << "cbfww_http_connection_capacity " << options_.max_connections << "\n";
+  os << "# TYPE cbfww_io_threads gauge\n"
+     << "cbfww_io_threads " << io_threads_ << "\n";
+  os << "# TYPE cbfww_accept_sharding gauge\n"
+     << "cbfww_accept_sharding{mode=\""
+     << (accept_mode_resolved_ == AcceptMode::kReusePort ? "reuseport"
+                                                         : "handoff")
+     << "\"} 1\n";
+  os << "# TYPE cbfww_io_busy_ns counter\n";
+  for (size_t i = 0; i < io_shards_.size(); ++i) {
+    os << "cbfww_io_busy_ns{io=\"" << i << "\"} "
+       << io_shards_[i]->busy_ns.load(std::memory_order_relaxed) << "\n";
+  }
   os << "# TYPE cbfww_http_requests_total counter\n"
      << "cbfww_http_requests_total "
      << stats_.requests_total.load(std::memory_order_relaxed) << "\n";
@@ -837,9 +1105,32 @@ std::string HttpServer::MetricsText() {
      << stats_.responses_503.load(std::memory_order_relaxed) << "\n";
   os << "cbfww_http_responses_total{code=\"5xx_other\"} "
      << stats_.responses_5xx_other.load(std::memory_order_relaxed) << "\n";
+  os << "# HELP cbfww_admission_shed_total Requests shed by per-route "
+        "admission classes (before reaching the shard queues).\n"
+     << "# TYPE cbfww_admission_shed_total counter\n"
+     << "cbfww_admission_shed_total{class=\"background\"} "
+     << stats_.admission_shed_background.load(std::memory_order_relaxed)
+     << "\n";
+  os << "# HELP cbfww_body_bytes_total Rendered body bytes served, by "
+        "transfer path.\n"
+     << "# TYPE cbfww_body_bytes_total counter\n"
+     << "cbfww_body_bytes_total{path=\"zero_copy\"} "
+     << stats_.body_bytes_zero_copy.load(std::memory_order_relaxed) << "\n"
+     << "cbfww_body_bytes_total{path=\"copied\"} "
+     << stats_.body_bytes_copied.load(std::memory_order_relaxed) << "\n";
+  if (body_store_ != nullptr) {
+    os << "# TYPE cbfww_body_store_rendered_objects gauge\n"
+       << "cbfww_body_store_rendered_objects "
+       << body_store_->rendered_objects() << "\n";
+    os << "# TYPE cbfww_body_store_rendered_bytes gauge\n"
+       << "cbfww_body_store_rendered_bytes " << body_store_->rendered_bytes()
+       << "\n";
+  }
 
   // Always-available per-shard runtime stats (atomic loads; never blocks,
-  // valid mid-flight and with shards suspended).
+  // valid mid-flight and with shards suspended). This is the overload
+  // observability path: queue depth, capacity, and shed counters stay
+  // live while the shards are busy.
   std::vector<cluster::ShardRuntimeStats> shards = cluster_->RuntimeStats();
   os << "# TYPE cbfww_shard_submitted_total counter\n";
   for (size_t i = 0; i < shards.size(); ++i) {
@@ -866,6 +1157,11 @@ std::string HttpServer::MetricsText() {
     os << "cbfww_shard_queue_depth{shard=\"" << i << "\"} "
        << shards[i].queue_depth << "\n";
   }
+  os << "# TYPE cbfww_shard_queue_capacity gauge\n";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    os << "cbfww_shard_queue_capacity{shard=\"" << i << "\"} "
+       << shards[i].queue_capacity << "\n";
+  }
   os << "# TYPE cbfww_shard_suspended gauge\n";
   for (size_t i = 0; i < shards.size(); ++i) {
     os << "cbfww_shard_suspended{shard=\"" << i << "\"} "
@@ -876,11 +1172,11 @@ std::string HttpServer::MetricsText() {
      << "cbfww_durability_ok "
      << (cluster_->durability_status().ok() ? 1 : 0) << "\n";
 
-  // Warehouse-level counters need a drained cluster. The IO thread is the
-  // single producer, so Idle() here is stable: if idle, Report() cannot
-  // block and we emit the full merged report; otherwise scrapers get the
-  // runtime stats above plus an explicit staleness marker.
-  bool idle = cluster_->Idle();
+  // Warehouse-level counters need a drained cluster, and "idle" is only a
+  // stable claim when this thread is the one and only producer — with
+  // multiple IO threads a sibling can dispatch between the check and the
+  // drain, so the full report is gated to single-IO-thread servers.
+  bool idle = io_threads_ == 1 && cluster_->Idle();
   os << "# HELP cbfww_metrics_full_report 1 when the warehouse counter "
         "section below reflects a full drained report.\n"
      << "# TYPE cbfww_metrics_full_report gauge\n"

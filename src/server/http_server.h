@@ -10,35 +10,77 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/spsc_queue.h"
 #include "cluster/warehouse_cluster.h"
+#include "server/body_store.h"
 #include "server/event_loop.h"
 #include "server/http_parser.h"
+#include "server/output_buffer.h"
 #include "util/clock.h"
 #include "util/status.h"
 
 namespace cbfww::server {
+
+/// How accepted connections are distributed over the IO threads.
+enum class AcceptMode {
+  /// SO_REUSEPORT when the platform grants it, else handoff.
+  kAuto = 0,
+  /// Every IO thread binds its own listening socket with SO_REUSEPORT;
+  /// the kernel shards incoming connections across them. Start() fails
+  /// if the option is unavailable.
+  kReusePort,
+  /// IO thread 0 owns the one listening socket and deals accepted fds
+  /// round-robin to its peers over SPSC handoff queues (+ wake pipe).
+  kHandoff,
+};
+
+/// Priority class a route belongs to under overload. Page serves are the
+/// product; observability and admin must never crowd them out.
+enum class AdmissionClass : uint8_t {
+  /// /page, /body, /query, /modify — shed only by the shards' bounded
+  /// queue admission (503 + Retry-After when a queue stays full).
+  kCritical = 0,
+  /// /healthz — never shed; a liveness probe that dies under load is
+  /// worse than useless.
+  kHealth,
+  /// /metrics, /admin — shed first: rejected with 503 + Retry-After as
+  /// soon as any shard queue passes the overload threshold, before the
+  /// critical path feels pressure.
+  kBackground,
+};
 
 struct ServerOptions {
   std::string bind_address = "127.0.0.1";
   /// 0 = pick an ephemeral port (read back via HttpServer::port()).
   uint16_t port = 0;
   int backlog = 128;
-  /// Accepted connections beyond this are closed immediately with 503.
-  size_t max_connections = 1024;
+  /// Accepted connections beyond this (across all IO threads) are closed
+  /// immediately. Sized for thousands of keep-alive connections from an
+  /// open-loop load generator.
+  size_t max_connections = 8192;
   ParserLimits limits;
   EventLoop::Backend backend = EventLoop::Backend::kDefault;
+  /// IO threads (event loops). Each is one producer lane into the shard
+  /// queues, so the cluster must be built with producer_lanes >=
+  /// io_threads (Start() enforces this).
+  uint32_t io_threads = 1;
+  AcceptMode accept_mode = AcceptMode::kAuto;
   /// Retry-After seconds advertised on 503 (shed) responses.
   int retry_after_s = 1;
   /// Responses with bodies larger than this are sent with chunked
   /// transfer-encoding (HTTP/1.1 clients only).
   size_t chunk_threshold = 64 * 1024;
+  /// Background-class requests are shed once any shard's queue occupancy
+  /// reaches this fraction of its capacity. 0 disables background
+  /// shedding (every class admitted until the queues themselves shed).
+  double overload_queue_fraction = 0.75;
   /// Default per-request origin-fetch budget when the client sends none
   /// (0 = warehouse default). Clients override with ?deadline_ms= or the
   /// X-Deadline-Ms header.
   int64_t default_deadline_ms = 0;
 };
 
-/// Aggregate request counters maintained by the IO thread (atomics so
+/// Aggregate request counters maintained by the IO threads (atomics so
 /// /metrics scrapes and tests can read them from other threads).
 struct ServerStats {
   std::atomic<uint64_t> connections_accepted{0};
@@ -50,26 +92,41 @@ struct ServerStats {
   std::atomic<uint64_t> responses_5xx_other{0};
   std::atomic<uint64_t> bytes_in{0};
   std::atomic<uint64_t> bytes_out{0};
+  /// Background-class requests shed by route admission (a subset of the
+  /// 503s above; the queue-admission sheds make up the rest).
+  std::atomic<uint64_t> admission_shed_background{0};
+  /// Body bytes handed to writev by reference (zero copies between the
+  /// rendered-body store and the socket) vs. through the arena.
+  std::atomic<uint64_t> body_bytes_zero_copy{0};
+  std::atomic<uint64_t> body_bytes_copied{0};
 };
 
-/// Embedded HTTP/1.1 front-end over a WarehouseCluster: one IO thread runs
-/// a non-blocking event loop (epoll/poll) and is the cluster's single
-/// producer; shard workers complete requests through ServeTickets and wake
-/// the loop over a self-pipe.
+/// Embedded HTTP/1.1 front-end over a WarehouseCluster: N IO threads each
+/// run a non-blocking event loop (epoll/poll) and own one producer lane
+/// into every shard's queues, so the SPSC invariant holds per lane with
+/// zero producer-side locking. Incoming connections shard across the IO
+/// threads via SO_REUSEPORT (kernel accept sharding) or a single-acceptor
+/// fd handoff; shard workers complete requests through ServeTickets and
+/// wake the owning loop over its self-pipe. Responses are scatter/gather:
+/// headers and JSON framing in a per-connection arena, page bodies
+/// referenced zero-copy from the rendered-body store, all flushed with
+/// writev.
 ///
 /// Routes:
-///   GET  /healthz                          liveness probe
-///   GET  /metrics                          Prometheus text format
+///   GET  /healthz                          liveness probe       [health]
+///   GET  /metrics                          Prometheus text  [background]
 ///   GET  /page/<id-or-url>?user=&session=&t=&via_link=&deadline_ms=
-///                                          serve one page (PageVisit JSON)
-///   POST /query                            body = OQL; scatter-gather JSON
-///   POST /modify/<raw-id>?t=               broadcast one origin modification
-///   POST /admin/shard/<i>/suspend          park one shard's worker
-///   POST /admin/shard/<i>/resume           un-park it
+///                                          PageVisit JSON     [critical]
+///   GET  /body/<id-or-url>                 rendered page body [critical]
+///   POST /query                            scatter-gather OQL [critical]
+///   POST /modify/<raw-id>?t=               broadcast modify   [critical]
+///   POST /admin/shard/<i>/suspend|resume   park/unpark      [background]
 ///
-/// Overload contract: page/query dispatch uses the bounded TryServe* path;
+/// Overload contract: critical dispatch uses the bounded TryServe* path —
 /// a saturated shard yields `503 Service Unavailable` + `Retry-After`
-/// immediately — the IO thread never blocks on a full shard queue.
+/// immediately and no IO thread ever blocks on a full shard queue.
+/// Background routes are shed earlier (overload_queue_fraction), health
+/// never.
 class HttpServer {
  public:
   HttpServer(cluster::WarehouseCluster* cluster, const ServerOptions& options);
@@ -78,9 +135,10 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Binds, listens, and spawns the IO thread. The cluster must be idle
-  /// and must not receive Submit/TryDispatch traffic from other threads
-  /// while the server runs (single-producer contract).
+  /// Binds, listens, and spawns the IO threads. The cluster must be idle,
+  /// must have producer_lanes >= io_threads, and must not receive
+  /// Submit/TryDispatch traffic from other threads while the server runs
+  /// (the IO threads own the lanes).
   Status Start();
 
   /// Bound port (valid after Start; useful with options.port = 0).
@@ -88,15 +146,31 @@ class HttpServer {
 
   /// Graceful drain: stop accepting, finish and flush in-flight requests,
   /// resume suspended shards, drain the cluster, close. Idempotent;
-  /// callable from any thread. Blocks until the IO thread exits.
+  /// callable from any thread. Blocks until every IO thread exits.
   void Stop();
 
-  /// Blocks until the IO thread exits (e.g. after a SIGTERM drain).
+  /// Blocks until the IO threads exit (e.g. after a SIGTERM drain).
   void Join();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   const ServerStats& stats() const { return stats_; }
+
+  /// The accept-sharding mode actually in effect after Start()
+  /// ("reuseport" or "handoff"; kAuto resolves to one of them).
+  AcceptMode accept_mode_resolved() const { return accept_mode_resolved_; }
+
+  uint32_t io_threads() const { return io_threads_; }
+
+  /// Per-IO-thread CPU time (CLOCK_THREAD_CPUTIME_ID) spent inside the
+  /// serving loops, indexed by IO thread. The max over threads bounds
+  /// wall-clock on a machine with >= io_threads spare hardware threads —
+  /// the IO-side analogue of the per-shard critical path.
+  std::vector<uint64_t> IoBusyNs() const;
+
+  /// The rendered-body store backing /body responses (tests compare
+  /// served bytes against it).
+  BodyStore* body_store() { return body_store_.get(); }
 
   /// Installs a SIGTERM (and SIGINT) handler that triggers this server's
   /// graceful drain via an async-signal-safe self-pipe write. At most one
@@ -106,54 +180,102 @@ class HttpServer {
  private:
   struct Conn;
 
-  void Run();  // IO thread main.
-  void AcceptNew();
-  void HandleReadable(Conn& conn);
-  void HandleWritable(Conn& conn);
-  void ProcessBuffered(Conn& conn);
-  void RouteRequest(Conn& conn, HttpRequest request);
-  void FinishTicket(Conn& conn);
-  void CloseConn(Conn& conn);
-  void CheckPendingTickets();
-  void BeginDrain();
-  bool DrainComplete() const;
+  /// One IO thread's world: event loop, wake pipe, its share of the
+  /// connections, and (reuseport) its own listening socket. Only its
+  /// owning thread touches the non-atomic members after Start().
+  struct IoShard {
+    uint32_t index = 0;
+    int listen_fd = -1;  // -1 for handoff followers.
+    int wake_pipe[2] = {-1, -1};
+    std::unique_ptr<EventLoop> loop;
+    std::thread thread;
+    bool draining = false;
+
+    uint64_t next_conn_id = 1;
+    std::map<uint64_t, std::unique_ptr<Conn>> conns;
+    size_t awaiting_tickets = 0;  // Conns with an unfinished cluster call.
+
+    /// Accepted fds dealt to this thread by IO thread 0 (handoff mode
+    /// only; thread 0 is the single producer).
+    std::unique_ptr<cluster::SpscQueue<int>> handoff;
+
+    /// Serving-loop CPU time so far (live-updated; see IoBusyNs()).
+    std::atomic<uint64_t> busy_ns{0};
+  };
+
+  void Run(IoShard& io);  // IO thread main.
+  void AcceptNew(IoShard& io);
+  void AdoptHandoff(IoShard& io);
+  bool RegisterConn(IoShard& io, int fd);
+  void HandleReadable(IoShard& io, Conn& conn);
+  void HandleWritable(IoShard& io, Conn& conn);
+  void ProcessBuffered(IoShard& io, Conn& conn);
+  void RouteRequest(IoShard& io, Conn& conn, HttpRequest request);
+  void FinishTicket(IoShard& io, Conn& conn);
+  void CloseConn(IoShard& io, Conn& conn);
+  void CheckPendingTickets(IoShard& io);
+  void BeginDrain(IoShard& io);
+  void WakeAll();
+
+  /// True when any shard queue is past the background-shed threshold.
+  bool Overloaded() const;
+  /// Applies the route's admission class; true = shed (503 queued).
+  bool ShedByClass(Conn& conn, AdmissionClass klass);
+
+  /// Event time for a request: explicit ?t= ratchets the shared logical
+  /// clock, otherwise the clock advances one millisecond.
+  SimTime EventTime(int64_t explicit_t);
 
   // Response helpers (append to conn.out).
   void QueueResponse(Conn& conn, int status, const std::string& content_type,
                      const std::string& body,
                      const std::string& extra_headers = {});
   void QueueError(Conn& conn, int status, const std::string& message);
-
+  /// Builds the head for an open response of `body_len` bytes; returns
+  /// whether the body must be chunked (and frames accordingly).
+  void FinishOpenResponse(Conn& conn, int status,
+                          const std::string& content_type,
+                          const std::string& extra_headers = {});
+  void CountResponse(int status);
   std::string MetricsText();
 
   cluster::WarehouseCluster* cluster_;
   ServerOptions options_;
   ServerStats stats_;
 
-  int listen_fd_ = -1;
   uint16_t port_ = 0;
-  int wake_pipe_[2] = {-1, -1};
+  uint32_t io_threads_ = 1;
+  AcceptMode accept_mode_resolved_ = AcceptMode::kHandoff;
 
-  std::unique_ptr<EventLoop> loop_;
-  std::thread io_thread_;
+  std::vector<std::unique_ptr<IoShard>> io_shards_;
+  std::atomic<uint32_t> active_io_threads_{0};
+  std::atomic<size_t> total_conns_{0};
+  uint32_t next_handoff_ = 0;  // IO thread 0 only.
+
   std::atomic<bool> running_{false};
   std::atomic<bool> drain_requested_{false};
-  bool draining_ = false;  // IO-thread-only.
 
   /// Logical clock for requests without an explicit ?t=: warehouse event
-  /// times must be non-decreasing, so the server advances 1ms per request
-  /// and ratchets forward on explicit timestamps.
-  SimTime sim_now_ = 0;
-
-  uint64_t next_conn_id_ = 1;
-  std::map<uint64_t, std::unique_ptr<Conn>> conns_;
-  size_t awaiting_tickets_ = 0;  // Conns with a dispatched, unfinished call.
+  /// times must be non-decreasing per shard, so the server advances 1ms
+  /// per request and ratchets forward on explicit timestamps. Shared by
+  /// all IO threads, hence atomic.
+  std::atomic<SimTime> sim_now_{0};
 
   /// url -> PageId over shard 0's corpus replica (replicas are identical).
   std::unordered_map<std::string, corpus::PageId> url_to_page_;
 
   /// Raw-object count of the corpus (bounds /modify/<raw-id>).
   size_t num_raw_objects_ = 0;
+
+  /// Page -> raw objects whose rendered bodies form its /body response
+  /// (container first, then components; snapshotted in Start()).
+  std::vector<std::vector<corpus::RawId>> page_bodies_;
+
+  /// Rendered page bodies (built in Start(); immutable afterwards).
+  std::unique_ptr<BodyStore> body_store_;
+
+  /// Background-shed threshold in absolute queue entries (0 = disabled).
+  uint64_t overload_depth_threshold_ = 0;
 };
 
 }  // namespace cbfww::server

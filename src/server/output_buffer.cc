@@ -1,0 +1,160 @@
+#include "server/output_buffer.h"
+
+#include <cerrno>
+#include <cstdio>
+
+#include <sys/uio.h>
+#include <unistd.h>
+
+namespace cbfww::server {
+
+const char* OutBuf::ArenaCopy(std::string_view data) {
+  if (blocks_.empty() ||
+      blocks_.back().size() + data.size() > blocks_.back().capacity()) {
+    blocks_.emplace_back();
+    blocks_.back().reserve(data.size() > kBlockBytes ? data.size()
+                                                     : kBlockBytes);
+  }
+  std::vector<char>& block = blocks_.back();
+  const char* base = block.data() + block.size();
+  block.insert(block.end(), data.begin(), data.end());
+  copied_bytes_ += data.size();
+  return base;
+}
+
+void OutBuf::Queue(Seg seg) {
+  if (seg.len == 0) return;
+  if (staging_) {
+    // Merge with the previous staged segment when contiguous (consecutive
+    // arena appends usually are) to keep the iovec count down.
+    if (!staged_.empty() &&
+        staged_.back().base + staged_.back().len == seg.base) {
+      staged_.back().len += seg.len;
+    } else {
+      staged_.push_back(seg);
+    }
+    staged_bytes_ += seg.len;
+    return;
+  }
+  if (!segs_.empty() && segs_.back().base + segs_.back().len == seg.base) {
+    segs_.back().len += seg.len;
+  } else {
+    segs_.push_back(seg);
+  }
+  pending_bytes_ += seg.len;
+}
+
+void OutBuf::Append(std::string_view data) {
+  if (data.empty()) return;
+  Queue(Seg{ArenaCopy(data), data.size()});
+}
+
+void OutBuf::AppendExternal(const char* data, size_t len) {
+  if (len == 0) return;
+  external_bytes_ += len;
+  Queue(Seg{data, len});
+}
+
+void OutBuf::BeginResponse() {
+  staging_ = true;
+  staged_.clear();
+  staged_bytes_ = 0;
+}
+
+void OutBuf::EndResponse(std::string_view head, bool chunked,
+                         size_t chunk_max) {
+  std::vector<Seg> body;
+  body.swap(staged_);
+  size_t body_bytes = staged_bytes_;
+  staged_bytes_ = 0;
+  staging_ = false;
+
+  Append(head);
+  if (!chunked) {
+    for (const Seg& seg : body) {
+      pending_bytes_ += seg.len;
+      if (!segs_.empty() && segs_.back().base + segs_.back().len == seg.base) {
+        segs_.back().len += seg.len;
+      } else {
+        segs_.push_back(seg);
+      }
+    }
+    (void)body_bytes;
+    return;
+  }
+  // Chunk at segment granularity (slicing large segments): chunk sizes are
+  // the sender's choice in HTTP/1.1, and per-segment chunks mean external
+  // body spans still reach writev uncopied.
+  if (chunk_max == 0) chunk_max = kBlockBytes;
+  char frame[32];
+  for (const Seg& seg : body) {
+    for (size_t off = 0; off < seg.len; off += chunk_max) {
+      size_t n = seg.len - off < chunk_max ? seg.len - off : chunk_max;
+      int len = std::snprintf(frame, sizeof(frame), "%zx\r\n", n);
+      Append(std::string_view(frame, static_cast<size_t>(len)));
+      pending_bytes_ += n;
+      Seg piece{seg.base + off, n};
+      if (!segs_.empty() &&
+          segs_.back().base + segs_.back().len == piece.base) {
+        segs_.back().len += piece.len;
+      } else {
+        segs_.push_back(piece);
+      }
+      Append("\r\n");
+    }
+  }
+  Append("0\r\n\r\n");
+}
+
+OutBuf::FlushResult OutBuf::FlushTo(int fd, uint64_t* bytes_written) {
+  while (pending_bytes_ > 0) {
+    struct iovec iov[kMaxIov];
+    size_t n_iov = 0;
+    size_t offset = front_offset_;
+    for (const Seg& seg : segs_) {
+      if (n_iov == kMaxIov) break;
+      iov[n_iov].iov_base = const_cast<char*>(seg.base) + offset;
+      iov[n_iov].iov_len = seg.len - offset;
+      offset = 0;
+      ++n_iov;
+    }
+    ssize_t wrote = ::writev(fd, iov, static_cast<int>(n_iov));
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return FlushResult::kWouldBlock;
+      return FlushResult::kError;
+    }
+    *bytes_written += static_cast<uint64_t>(wrote);
+    pending_bytes_ -= static_cast<size_t>(wrote);
+    size_t remaining = static_cast<size_t>(wrote);
+    while (remaining > 0) {
+      Seg& front = segs_.front();
+      size_t left = front.len - front_offset_;
+      if (remaining < left) {
+        front_offset_ += remaining;
+        remaining = 0;
+      } else {
+        remaining -= left;
+        front_offset_ = 0;
+        segs_.pop_front();
+      }
+    }
+  }
+  Clear();
+  return FlushResult::kDrained;
+}
+
+void OutBuf::Clear() {
+  segs_.clear();
+  front_offset_ = 0;
+  pending_bytes_ = 0;
+  staging_ = false;
+  staged_.clear();
+  staged_bytes_ = 0;
+  // Keep one block (reset to empty) so a keep-alive connection serving a
+  // steady request stream stops allocating once warmed up.
+  while (blocks_.size() > 1) blocks_.pop_back();
+  if (!blocks_.empty()) blocks_.front().clear();
+}
+
+}  // namespace cbfww::server

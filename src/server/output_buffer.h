@@ -1,0 +1,114 @@
+#ifndef CBFWW_SERVER_OUTPUT_BUFFER_H_
+#define CBFWW_SERVER_OUTPUT_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbfww::server {
+
+/// Per-connection scatter/gather output buffer: small pieces (status line,
+/// headers, JSON framing) are bump-allocated into arena blocks; large
+/// payloads (rendered page bodies) are referenced in place and never
+/// copied. Flushing hands the accumulated segment list to writev(2), so a
+/// response leaves the process in one syscall without ever being
+/// assembled into a contiguous string.
+///
+/// The buffer is single-threaded (owned by one IO thread, like the
+/// connection it belongs to). External segments must stay valid until the
+/// buffer is flushed or cleared — the serving path guarantees this by
+/// only referencing immortal storage (the server's body cache).
+///
+/// Responses are built in two steps because the head depends on the body
+/// length: BeginResponse() opens a staging area, Append*() calls fill in
+/// the body, and EndResponse() prepends the head and splices the staged
+/// segments into the send queue (adding chunked framing when asked).
+class OutBuf {
+ public:
+  /// Arena block size. Appends larger than this get a dedicated block.
+  static constexpr size_t kBlockBytes = 16 * 1024;
+  /// writev batch cap (well under IOV_MAX everywhere).
+  static constexpr size_t kMaxIov = 64;
+
+  OutBuf() = default;
+  OutBuf(const OutBuf&) = delete;
+  OutBuf& operator=(const OutBuf&) = delete;
+
+  /// Copies `data` into the arena and queues it (staged while a response
+  /// is open, send queue otherwise).
+  void Append(std::string_view data);
+
+  /// Queues a reference to caller-owned bytes without copying. The bytes
+  /// must outlive the flush.
+  void AppendExternal(const char* data, size_t len);
+
+  /// Opens the staging area for one response body.
+  void BeginResponse();
+
+  /// True between BeginResponse and EndResponse.
+  bool response_open() const { return staging_; }
+
+  /// Bytes appended to the open response so far.
+  size_t staged_bytes() const { return staged_bytes_; }
+
+  /// Closes the staged response: queues `head` (copied), then the staged
+  /// body. With `chunked`, every staged segment is framed as HTTP/1.1
+  /// chunks of at most `chunk_max` bytes, followed by the final 0-chunk
+  /// (the head must already advertise Transfer-Encoding: chunked).
+  void EndResponse(std::string_view head, bool chunked, size_t chunk_max);
+
+  /// Unflushed bytes across all queued segments.
+  size_t pending() const { return pending_bytes_; }
+  bool empty() const { return pending_bytes_ == 0; }
+
+  enum class FlushResult {
+    kDrained,     // Everything queued has been written.
+    kWouldBlock,  // Socket full; call again when writable.
+    kError,       // Unrecoverable write error (errno preserved).
+  };
+
+  /// writev's queued segments to `fd` until drained or EAGAIN. Adds the
+  /// bytes written to *bytes_written (may be non-zero even on kError).
+  FlushResult FlushTo(int fd, uint64_t* bytes_written);
+
+  /// Drops all queued data and returns arena blocks for reuse (one block
+  /// is retained to keep steady-state keep-alive traffic allocation-free).
+  void Clear();
+
+  /// Lifetime totals, for the zero-copy accounting in tests and /metrics:
+  /// bytes that went through the arena (one copy) vs. referenced in place
+  /// (zero copies between storage and writev).
+  uint64_t copied_bytes() const { return copied_bytes_; }
+  uint64_t external_bytes() const { return external_bytes_; }
+
+ private:
+  struct Seg {
+    const char* base = nullptr;
+    size_t len = 0;
+  };
+
+  /// Bump-allocates a copy of `data` in the arena; returns a stable span.
+  const char* ArenaCopy(std::string_view data);
+  void Queue(Seg seg);
+
+  /// Fixed-capacity blocks: the vectors never grow past their reserved
+  /// capacity, so segment pointers into them stay valid.
+  std::deque<std::vector<char>> blocks_;
+  std::deque<Seg> segs_;       // Send queue; front is flushed first.
+  size_t front_offset_ = 0;    // Flushed prefix of segs_.front().
+  size_t pending_bytes_ = 0;
+
+  bool staging_ = false;
+  std::vector<Seg> staged_;
+  size_t staged_bytes_ = 0;
+
+  uint64_t copied_bytes_ = 0;
+  uint64_t external_bytes_ = 0;
+};
+
+}  // namespace cbfww::server
+
+#endif  // CBFWW_SERVER_OUTPUT_BUFFER_H_

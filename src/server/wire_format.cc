@@ -99,15 +99,23 @@ RequestTarget ParseTarget(std::string_view target) {
   return out;
 }
 
-std::string PageVisitToJson(const core::PageVisit& visit,
-                            std::string_view url) {
-  std::string out = "{";
-  out += StrFormat("\"page\":%llu",
-                   static_cast<unsigned long long>(visit.page));
+namespace {
+
+// Single emitter behind PageVisitToJson and AppendPageVisitJson: the e2e
+// suite asserts byte-identity between wire responses and in-process
+// mirror calls, so the two paths must produce identical bytes.
+template <typename AppendFn>
+void EmitPageVisitJson(AppendFn&& append, const core::PageVisit& visit,
+                       std::string_view url) {
+  append("{");
+  append(StrFormat("\"page\":%llu",
+                   static_cast<unsigned long long>(visit.page)));
   if (!url.empty()) {
-    out += ",\"url\":\"" + JsonEscape(url) + "\"";
+    append(",\"url\":\"");
+    append(JsonEscape(url));
+    append("\"");
   }
-  out += StrFormat(
+  append(StrFormat(
       ",\"latency_us\":%lld,\"from_memory\":%u,\"from_disk\":%u,"
       "\"from_tertiary\":%u,\"from_origin\":%u,\"degraded_serves\":%u,"
       "\"stale_serves\":%u,\"summary_serves\":%u,\"failed_serves\":%u,"
@@ -116,8 +124,23 @@ std::string PageVisitToJson(const core::PageVisit& visit,
       visit.from_disk, visit.from_tertiary, visit.from_origin,
       visit.degraded_serves, visit.stale_serves, visit.summary_serves,
       visit.failed_serves,
-      static_cast<unsigned>(visit.completed_logical.size()));
+      static_cast<unsigned>(visit.completed_logical.size())));
+}
+
+}  // namespace
+
+std::string PageVisitToJson(const core::PageVisit& visit,
+                            std::string_view url) {
+  std::string out;
+  EmitPageVisitJson([&out](std::string_view piece) { out += piece; }, visit,
+                    url);
   return out;
+}
+
+void AppendPageVisitJson(OutBuf& out, const core::PageVisit& visit,
+                         std::string_view url) {
+  EmitPageVisitJson([&out](std::string_view piece) { out.Append(piece); },
+                    visit, url);
 }
 
 std::string ValueToJson(const core::query::Value& value) {

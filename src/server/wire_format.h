@@ -10,6 +10,7 @@
 #include "cluster/warehouse_cluster.h"
 #include "core/warehouse.h"
 #include "core/query/query_value.h"
+#include "server/output_buffer.h"
 
 namespace cbfww::server {
 
@@ -37,6 +38,13 @@ RequestTarget ParseTarget(std::string_view target);
 /// served page visit. `url` is omitted when empty.
 std::string PageVisitToJson(const core::PageVisit& visit,
                             std::string_view url);
+
+/// Serializes the same bytes as PageVisitToJson straight into an OutBuf's
+/// open response — the page-serve hot path, with no intermediate
+/// response-sized string (both functions share one emitter, so they can't
+/// drift).
+void AppendPageVisitJson(OutBuf& out, const core::PageVisit& visit,
+                         std::string_view url);
 
 /// One query Value as a JSON scalar/array.
 std::string ValueToJson(const core::query::Value& value);

@@ -95,15 +95,23 @@ Status Runner::Init() {
   // No news feed: workload specs drive popularity themselves; the sensor
   // path is exercised by the dedicated sensor benches.
   clopts.warehouse.enable_topic_sensor = false;
+  // The server backend dispatches from io_threads event loops — one
+  // producer lane each. The cluster backend drives from a single thread.
+  if (options_.backend == Backend::kServer) {
+    clopts.producer_lanes = std::max<uint32_t>(1, options_.io_threads);
+  }
   cluster_ = std::make_unique<cluster::WarehouseCluster>(
       copts, std::nullopt, clopts);
 
   if (options_.backend == Backend::kServer) {
     server::ServerOptions sopts;
     sopts.port = options_.server_port;
+    sopts.io_threads = std::max<uint32_t>(1, options_.io_threads);
+    sopts.accept_mode = options_.accept_mode;
     server_ = std::make_unique<server::HttpServer>(cluster_.get(), sopts);
     Status started = server_->Start();
     if (!started.ok()) return started;
+    prev_io_busy_ns_.assign(server_->io_threads(), 0);
   }
   return Status::Ok();
 }
@@ -138,6 +146,7 @@ void Runner::FinishResult(const WorkloadSpec& spec, RunResult* result) {
   result->spec_name = spec.name;
   result->backend = options_.backend;
   result->shards = options_.shards;
+  result->io_threads = server_ ? server_->io_threads() : 0;
   result->loop = spec.loop;
   result->offered_load_rps =
       spec.loop == LoopMode::kOpen ? spec.offered_load_rps : 0.0;
@@ -160,6 +169,18 @@ void Runner::FinishResult(const WorkloadSpec& spec, RunResult* result) {
   }
   result->max_shard_busy_delta_ns = max_busy_delta;
 
+  uint64_t max_io_busy_delta = 0;
+  if (server_) {
+    std::vector<uint64_t> io_busy = server_->IoBusyNs();
+    for (size_t i = 0; i < io_busy.size(); i++) {
+      uint64_t before =
+          i < prev_io_busy_ns_.size() ? prev_io_busy_ns_[i] : 0;
+      max_io_busy_delta = std::max(max_io_busy_delta, io_busy[i] - before);
+    }
+    prev_io_busy_ns_ = std::move(io_busy);
+  }
+  result->max_io_busy_delta_ns = max_io_busy_delta;
+
   for (size_t i = 0; i < kNumOpTypes; i++) {
     result->total.MergeFrom(result->per_class[i]);
   }
@@ -173,6 +194,11 @@ void Runner::FinishResult(const WorkloadSpec& spec, RunResult* result) {
       max_busy_delta > 0
           ? static_cast<double>(result->requests_delta) /
                 (static_cast<double>(max_busy_delta) / 1e9)
+          : 0.0;
+  result->rps_io_critical_path =
+      max_io_busy_delta > 0
+          ? static_cast<double>(result->total.ops) /
+                (static_cast<double>(max_io_busy_delta) / 1e9)
           : 0.0;
 
   prev_report_ = cur;
@@ -466,6 +492,7 @@ void AppendRunResultJson(const RunResult& result, bench::JsonWriter& writer) {
   writer.Field("spec", result.spec_name);
   writer.Field("backend", ToString(result.backend));
   writer.Field("shards", result.shards);
+  if (result.io_threads > 0) writer.Field("io_threads", result.io_threads);
   writer.Field("loop", ToString(result.loop));
   if (result.loop == LoopMode::kOpen) {
     writer.Field("offered_load_rps", result.offered_load_rps);
@@ -474,6 +501,9 @@ void AppendRunResultJson(const RunResult& result, bench::JsonWriter& writer) {
   writer.Field("wall_s", result.wall_s);
   writer.Field("rps_wall", result.rps_wall);
   writer.Field("rps_critical_path", result.rps_critical_path);
+  if (result.rps_io_critical_path > 0.0) {
+    writer.Field("rps_io_critical_path", result.rps_io_critical_path);
+  }
   AppendClassJson("total", result.total, writer);
   for (size_t i = 0; i < kNumOpTypes; i++) {
     if (result.per_class[i].ops + result.per_class[i].errors +

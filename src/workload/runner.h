@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "cluster/warehouse_cluster.h"
 #include "core/warehouse.h"
@@ -45,6 +46,11 @@ struct RunnerOptions {
   uint32_t queue_capacity = 4096;
   /// kServer: 0 picks an ephemeral port.
   uint16_t server_port = 0;
+  /// kServer: IO threads (event loops) in the embedded server. The cluster
+  /// is built with one producer lane per IO thread.
+  uint32_t io_threads = 1;
+  /// kServer: how connections are sharded across the IO threads.
+  server::AcceptMode accept_mode = server::AcceptMode::kAuto;
 };
 
 /// Latency/outcome accumulator for one op class (and for the run total).
@@ -78,6 +84,7 @@ struct RunResult {
   std::string spec_name;
   Backend backend = Backend::kCluster;
   uint32_t shards = 0;
+  uint32_t io_threads = 0;  // kServer only; 0 on the cluster backend.
   LoopMode loop = LoopMode::kClosed;
   double offered_load_rps = 0.0;  // Open loop only.
 
@@ -91,6 +98,8 @@ struct RunResult {
   uint64_t served_from_delta[4] = {0, 0, 0, 0};
   uint64_t shed_delta = 0;
   uint64_t max_shard_busy_delta_ns = 0;
+  /// kServer: busiest IO thread's serving-loop CPU time for this run.
+  uint64_t max_io_busy_delta_ns = 0;
 
   double wall_s = 0.0;
   /// Completed ops per wall second.
@@ -99,6 +108,10 @@ struct RunResult {
   /// replay critical path (wall throughput on a machine with >= shards
   /// hardware threads).
   double rps_critical_path = 0.0;
+  /// kServer: completed ops over the busiest IO thread's CPU time — the
+  /// wire-side critical path (what the serving loops could sustain with
+  /// >= io_threads spare hardware threads).
+  double rps_io_critical_path = 0.0;
 
   cluster::ClusterReport report;  // Cumulative, post-drain.
   HardwareUsage hardware;
@@ -163,6 +176,8 @@ class Runner {
   /// Previous cumulative report (delta baseline). Zero-valued until the
   /// first run completes.
   cluster::ClusterReport prev_report_;
+  /// Previous cumulative per-IO-thread busy time (kServer delta baseline).
+  std::vector<uint64_t> prev_io_busy_ns_;
 };
 
 /// Emits one run as a JSON object at the writer's current nesting level —

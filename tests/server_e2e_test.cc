@@ -167,13 +167,247 @@ TEST(ServerE2eTest, TenThousandRequestsByteIdenticalToDirectCalls) {
   }
 }
 
+// The multi-IO-thread server must be exactly as transparent as the
+// single-threaded one: with each page connection owning one shard, the
+// responses and final per-shard counters must match a direct in-process
+// mirror no matter which IO thread serves which connection. Runs under
+// both accept-sharding modes (kernel SO_REUSEPORT and single-acceptor fd
+// handoff).
+TEST(ServerE2eTest, MultiIoThreadsStayByteIdenticalToDirectCalls) {
+  constexpr uint32_t kShards = 4;
+  constexpr uint32_t kIoThreads = 4;
+  constexpr uint64_t kRequestsPerConn = 400;
+
+  for (AcceptMode mode : {AcceptMode::kHandoff, AcceptMode::kAuto}) {
+    SCOPED_TRACE(mode == AcceptMode::kHandoff ? "handoff" : "auto");
+    ClusterOptions cluster_options = TestClusterOptions(kShards);
+    // One producer lane per IO thread keeps every queue SPSC.
+    cluster_options.producer_lanes = kIoThreads;
+    WarehouseCluster cluster(TestCorpusOptions(), std::nullopt,
+                             cluster_options);
+    uint64_t num_pages = cluster.shard(0).corpus().num_pages();
+    std::vector<std::vector<corpus::PageId>> shard_pages(kShards);
+    for (uint64_t p = 0; p < num_pages; ++p) {
+      shard_pages[cluster.ShardOf(p)].push_back(p);
+    }
+
+    ServerOptions server_options;
+    server_options.io_threads = kIoThreads;
+    server_options.accept_mode = mode;
+    HttpServer server(&cluster, server_options);
+    ASSERT_TRUE(server.Start().ok());
+    EXPECT_EQ(server.io_threads(), kIoThreads);
+    if (mode == AcceptMode::kHandoff) {
+      EXPECT_EQ(server.accept_mode_resolved(), AcceptMode::kHandoff);
+    }
+    uint16_t port = server.port();
+
+    std::vector<std::vector<std::string>> bodies(kShards);
+    std::atomic<uint64_t> failures{0};
+    std::vector<std::thread> threads;
+    for (uint32_t c = 0; c < kShards; ++c) {
+      threads.emplace_back([&, c] {
+        SimpleHttpClient client;
+        if (!client.Connect("127.0.0.1", port).ok()) {
+          failures.fetch_add(kRequestsPerConn);
+          return;
+        }
+        const auto& pages = shard_pages[c];
+        for (uint64_t i = 0; i < kRequestsPerConn; ++i) {
+          corpus::PageId page = pages[i % pages.size()];
+          std::string target =
+              "/page/" + std::to_string(page) +
+              "?user=" + std::to_string(c + 1) +
+              "&session=" + std::to_string(i / 10) +
+              "&t=" + std::to_string((i + 1) * kSecond);
+          auto response = client.RoundTrip("GET", target);
+          if (!response.ok() || response->status != 200) {
+            failures.fetch_add(1);
+            if (!response.ok()) return;
+            continue;
+          }
+          bodies[c].push_back(std::move(response->body));
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    ASSERT_EQ(failures.load(), 0u);
+    server.Stop();
+
+    WarehouseCluster mirror(TestCorpusOptions(), std::nullopt,
+                            TestClusterOptions(kShards));
+    for (uint32_t c = 0; c < kShards; ++c) {
+      ASSERT_EQ(bodies[c].size(), kRequestsPerConn) << "conn " << c;
+      const auto& pages = shard_pages[c];
+      for (uint64_t i = 0; i < kRequestsPerConn; ++i) {
+        core::PageRequest request;
+        request.page = pages[i % pages.size()];
+        request.user = c + 1;
+        request.session = static_cast<int64_t>(i / 10);
+        request.now = static_cast<SimTime>((i + 1) * kSecond);
+        core::PageVisit visit = mirror.mutable_shard(c).ServeRequest(request);
+        ASSERT_EQ(bodies[c][i], PageVisitToJson(visit, ""))
+            << "conn " << c << " request " << i;
+      }
+    }
+    for (uint32_t s = 0; s < kShards; ++s) {
+      EXPECT_EQ(core::CountersToJson(cluster.shard(s).counters()),
+                core::CountersToJson(mirror.shard(s).counters()))
+          << "shard " << s;
+    }
+  }
+}
+
+// Admission classes under overload: with a shard parked and its queue past
+// the overload threshold, background routes (/metrics, /admin) shed with
+// 503 + Retry-After BEFORE the critical path feels pressure, /healthz
+// still answers, and the shed totals match both stats() and the
+// cbfww_admission_shed_total counter once the backlog clears.
+TEST(ServerE2eTest, BackgroundClassShedsFirstWhileHealthAlwaysAnswers) {
+  ClusterOptions cluster_options = TestClusterOptions(1);
+  cluster_options.queue_capacity = 4;
+  cluster_options.dispatch_max_pauses = 0;
+  WarehouseCluster cluster(TestCorpusOptions(), std::nullopt, cluster_options);
+
+  ServerOptions server_options;
+  server_options.overload_queue_fraction = 0.5;  // Threshold: 2 of 4 slots.
+  HttpServer server(&cluster, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  uint16_t port = server.port();
+
+  // Park the shard directly (not via /admin: once the queue is past the
+  // threshold the admin route itself is shed, which is the point).
+  cluster.SuspendShard(0);
+
+  // Three connections each queue one page request at the parked shard:
+  // depth 3 >= threshold 2, below capacity 4 (no queue-admission sheds).
+  constexpr int kParked = 3;
+  std::vector<SimpleHttpClient> parked(kParked);
+  for (int i = 0; i < kParked; ++i) {
+    ASSERT_TRUE(parked[i].Connect("127.0.0.1", port).ok());
+    ASSERT_TRUE(parked[i]
+                    .Send("GET", "/page/" + std::to_string(i) + "?t=" +
+                                     std::to_string((i + 1) * kSecond))
+                    .ok());
+  }
+  for (int spin = 0;
+       spin < 2000 && server.stats().requests_total.load() < kParked;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(server.stats().requests_total.load(),
+            static_cast<uint64_t>(kParked));
+
+  SimpleHttpClient probe;
+  ASSERT_TRUE(probe.Connect("127.0.0.1", port).ok());
+
+  // Health answers regardless of overload.
+  auto health = probe.RoundTrip("GET", "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+
+  // Background routes shed with the full 503 contract.
+  uint64_t sheds = 0;
+  auto metrics = probe.RoundTrip("GET", "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status, 503);
+  EXPECT_FALSE(metrics->Header("retry-after").empty());
+  ++sheds;
+  auto admin = probe.RoundTrip("POST", "/admin/shard/0/resume");
+  ASSERT_TRUE(admin.ok());
+  EXPECT_EQ(admin->status, 503);
+  EXPECT_FALSE(admin->Header("retry-after").empty());
+  ++sheds;
+
+  // Health still answers after the sheds; the books agree live.
+  health = probe.RoundTrip("GET", "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_EQ(server.stats().admission_shed_background.load(), sheds);
+
+  // Unpark: every parked critical request completes normally — overload
+  // never cost the critical path anything.
+  cluster.ResumeShard(0);
+  for (int i = 0; i < kParked; ++i) {
+    auto response = parked[i].Receive();
+    ASSERT_TRUE(response.ok()) << "parked conn " << i;
+    EXPECT_EQ(response->status, 200) << "parked conn " << i;
+  }
+
+  // Pressure gone: /metrics answers again and advertises the sheds.
+  metrics = probe.RoundTrip("GET", "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find(StrFormat(
+                "cbfww_admission_shed_total{class=\"background\"} %llu",
+                static_cast<unsigned long long>(sheds))),
+            std::string::npos)
+      << metrics->body;
+
+  server.Stop();
+}
+
+// GET /body streams rendered page bodies (container + components) by
+// reference: the served bytes must equal the body store's concatenation,
+// large bodies must take the chunked path, and the zero-copy accounting
+// must show every body byte bypassing the arena.
+TEST(ServerE2eTest, BodyRouteStreamsRenderedBodiesZeroCopy) {
+  WarehouseCluster cluster(TestCorpusOptions(), std::nullopt,
+                           TestClusterOptions(1));
+  ServerOptions server_options;
+  server_options.chunk_threshold = 2048;  // Large pages stream chunked.
+  HttpServer server(&cluster, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  SimpleHttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  const auto& corpus = cluster.shard(0).corpus();
+  uint64_t expected_total = 0;
+  bool saw_chunked = false;
+  for (corpus::PageId page = 0; page < 6; ++page) {
+    auto response = client.RoundTrip("GET", "/body/" + std::to_string(page));
+    ASSERT_TRUE(response.ok()) << "page " << page;
+    ASSERT_EQ(response->status, 200) << "page " << page;
+    EXPECT_EQ(response->Header("content-type"), "text/html; charset=utf-8");
+
+    const corpus::PhysicalPageSpec& spec = corpus.page(page);
+    std::string expected(server.body_store()->Body(spec.container));
+    for (corpus::RawId component : spec.components) {
+      expected += server.body_store()->Body(component);
+    }
+    ASSERT_EQ(response->body, expected) << "page " << page;
+    expected_total += expected.size();
+    if (expected.size() > server_options.chunk_threshold) {
+      EXPECT_EQ(response->Header("transfer-encoding"), "chunked");
+      saw_chunked = true;
+    }
+  }
+  EXPECT_TRUE(saw_chunked);  // The test corpus must exercise the big path.
+
+  // The acceptance counter: every body byte reached writev by reference.
+  EXPECT_EQ(server.stats().body_bytes_zero_copy.load(), expected_total);
+  EXPECT_EQ(server.stats().body_bytes_copied.load(), 0u);
+
+  auto missing = client.RoundTrip("GET", "/body/999999");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+
+  server.Stop();
+}
+
 TEST(ServerE2eTest, OverloadedShardYields503AndMetricsMatchReport) {
   ClusterOptions opts = TestClusterOptions(1);
   opts.queue_capacity = 2;        // Tiny ring: fills after 2 requests.
   opts.dispatch_max_pauses = 0;   // Shed immediately, never wait.
   WarehouseCluster cluster(TestCorpusOptions(), std::nullopt, opts);
 
-  HttpServer server(&cluster, ServerOptions{});
+  // This test is about queue-admission shedding and live observability of
+  // a saturated shard, so background-class admission shedding is off:
+  // /metrics and /admin must answer normally while the queue sits full.
+  ServerOptions server_options;
+  server_options.overload_queue_fraction = 0;
+  HttpServer server(&cluster, server_options);
   ASSERT_TRUE(server.Start().ok());
   uint16_t port = server.port();
 

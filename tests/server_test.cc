@@ -1,20 +1,33 @@
 // Unit tests of the serving layer's pieces: incremental HTTP parser, wire
-// serialization, the event loop's poll fallback, and the counters
-// serializer shared with /metrics and PrintDurableReport.
+// serialization, the scatter/gather output buffer, the rendered-body
+// store, the event loop's poll fallback (including epoll/poll parity on
+// one readiness sequence), and the counters serializer shared with
+// /metrics and PrintDurableReport.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <fcntl.h>
 #include <sstream>
 #include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <tuple>
 #include <unistd.h>
+#include <vector>
 
 #include "core/counters_io.h"
 #include "core/warehouse.h"
 #include "corpus/web_corpus.h"
 #include "net/origin_server.h"
+#include "server/body_store.h"
 #include "server/event_loop.h"
 #include "server/http_parser.h"
+#include "server/output_buffer.h"
 #include "server/wire_format.h"
+#include "util/rng.h"
 
 namespace cbfww::server {
 namespace {
@@ -303,6 +316,276 @@ TEST(CountersIoTest, DurableReportCountersAreOptIn) {
   EXPECT_EQ(with.str().substr(0, plain.str().size()), plain.str());
 }
 
+// ----- OutBuf (arena serializer + writev scatter output) -----
+
+// Reads everything currently queued on `fd` (which must have data).
+std::string ReadAvailable(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+    if (static_cast<size_t>(n) < sizeof(buf)) break;
+  }
+  return out;
+}
+
+TEST(OutBufTest, AppendCopiesIntoArenaAndFlushes) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  OutBuf out;
+  out.Append("HTTP/1.1 200 OK\r\n\r\n");
+  out.Append("hello ");
+  out.Append("world");
+  EXPECT_EQ(out.pending(), 30u);
+  EXPECT_EQ(out.copied_bytes(), 30u);
+  EXPECT_EQ(out.external_bytes(), 0u);
+
+  uint64_t written = 0;
+  EXPECT_EQ(out.FlushTo(fds[0], &written), OutBuf::FlushResult::kDrained);
+  EXPECT_EQ(written, 30u);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(ReadAvailable(fds[1]), "HTTP/1.1 200 OK\r\n\r\nhello world");
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(OutBufTest, ExternalSegmentsInterleaveInOrderWithoutCopy) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // External storage the buffer must reference, never copy.
+  const std::string body1(1000, 'A');
+  const std::string body2(2000, 'B');
+
+  OutBuf out;
+  out.Append("head|");
+  out.AppendExternal(body1.data(), body1.size());
+  out.Append("|mid|");
+  out.AppendExternal(body2.data(), body2.size());
+  out.Append("|tail");
+  EXPECT_EQ(out.copied_bytes(), 15u);       // Only the three literals.
+  EXPECT_EQ(out.external_bytes(), 3000u);   // Bodies untouched by the arena.
+
+  uint64_t written = 0;
+  ASSERT_EQ(out.FlushTo(fds[0], &written), OutBuf::FlushResult::kDrained);
+  EXPECT_EQ(written, 3015u);
+  EXPECT_EQ(ReadAvailable(fds[1]), "head|" + body1 + "|mid|" + body2 + "|tail");
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(OutBufTest, StagedResponseWithContentLengthKeepsBodyVerbatim) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string body(100, 'x');
+
+  OutBuf out;
+  out.BeginResponse();
+  EXPECT_TRUE(out.response_open());
+  out.Append("{\"n\":1}");
+  out.AppendExternal(body.data(), body.size());
+  EXPECT_EQ(out.staged_bytes(), 107u);
+  EXPECT_EQ(out.pending(), 0u);  // Nothing queued until the head is known.
+  out.EndResponse("HTTP/1.1 200 OK\r\nContent-Length: 107\r\n\r\n",
+                  /*chunked=*/false, 0);
+  EXPECT_FALSE(out.response_open());
+
+  uint64_t written = 0;
+  ASSERT_EQ(out.FlushTo(fds[0], &written), OutBuf::FlushResult::kDrained);
+  EXPECT_EQ(ReadAvailable(fds[1]),
+            "HTTP/1.1 200 OK\r\nContent-Length: 107\r\n\r\n{\"n\":1}" + body);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(OutBufTest, ChunkedFramingSlicesSegmentsAtChunkMax) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // 40 external bytes with chunk_max 16 -> chunks of 16, 16, 8. The 7-byte
+  // arena segment before it stays its own chunk (chunking is per segment).
+  const std::string body(40, 'E');
+
+  OutBuf out;
+  out.BeginResponse();
+  out.Append("{\"a\":1}");
+  out.AppendExternal(body.data(), body.size());
+  const std::string head =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n";
+  out.EndResponse(head, /*chunked=*/true, /*chunk_max=*/16);
+
+  uint64_t written = 0;
+  ASSERT_EQ(out.FlushTo(fds[0], &written), OutBuf::FlushResult::kDrained);
+  std::string expected = head + "7\r\n{\"a\":1}\r\n" +
+                         "10\r\n" + std::string(16, 'E') + "\r\n" +
+                         "10\r\n" + std::string(16, 'E') + "\r\n" +
+                         "8\r\n" + std::string(8, 'E') + "\r\n" +
+                         "0\r\n\r\n";
+  EXPECT_EQ(ReadAvailable(fds[1]), expected);
+  // The external body bytes were still never copied: head, JSON, and
+  // chunk framing went through the arena, the 40-byte payload did not.
+  EXPECT_EQ(out.external_bytes(), 40u);
+  EXPECT_EQ(out.copied_bytes(), expected.size() - 40);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(OutBufTest, FlushReportsWouldBlockAndResumesWhereItStopped) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_EQ(fcntl(fds[0], F_SETFL, O_NONBLOCK), 0);
+  int snd = 4096;
+  setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &snd, sizeof(snd));
+
+  // Far more than any socket buffer holds.
+  const std::string big(4 * 1024 * 1024, 'Q');
+  OutBuf out;
+  out.AppendExternal(big.data(), big.size());
+
+  uint64_t written = 0;
+  ASSERT_EQ(out.FlushTo(fds[0], &written), OutBuf::FlushResult::kWouldBlock);
+  EXPECT_GT(written, 0u);
+  EXPECT_LT(written, big.size());
+  EXPECT_EQ(out.pending(), big.size() - written);
+
+  // Drain the reader and keep flushing until done; the receiver must see
+  // every byte exactly once, in order.
+  std::string received;
+  while (!out.empty()) {
+    received += ReadAvailable(fds[1]);
+    OutBuf::FlushResult result = out.FlushTo(fds[0], &written);
+    ASSERT_NE(result, OutBuf::FlushResult::kError);
+  }
+  received += ReadAvailable(fds[1]);
+  EXPECT_EQ(written, big.size());
+  EXPECT_EQ(received, big);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(OutBufTest, FlushToBadFdIsError) {
+  OutBuf out;
+  out.Append("data");
+  uint64_t written = 0;
+  EXPECT_EQ(out.FlushTo(-1, &written), OutBuf::FlushResult::kError);
+  EXPECT_EQ(written, 0u);
+  EXPECT_EQ(out.pending(), 4u);  // Nothing lost; caller decides what's next.
+}
+
+TEST(OutBufTest, DrainsMoreSegmentsThanOneWritevBatch) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // External segments with distinct bases cannot merge, so this queues
+  // 3 * kMaxIov iovecs and FlushTo must loop over writev batches.
+  std::vector<std::string> pieces;
+  std::string expected;
+  for (size_t i = 0; i < 3 * OutBuf::kMaxIov; ++i) {
+    pieces.push_back("seg" + std::to_string(i) + ";");
+    expected += pieces.back();
+  }
+  OutBuf out;
+  for (const std::string& p : pieces) out.AppendExternal(p.data(), p.size());
+
+  uint64_t written = 0;
+  ASSERT_EQ(out.FlushTo(fds[0], &written), OutBuf::FlushResult::kDrained);
+  EXPECT_EQ(written, expected.size());
+  EXPECT_EQ(ReadAvailable(fds[1]), expected);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(OutBufTest, ClearDropsPendingButKeepsLifetimeCounters) {
+  OutBuf out;
+  out.Append("abc");
+  const std::string ext = "defg";
+  out.AppendExternal(ext.data(), ext.size());
+  out.BeginResponse();
+  out.Append("staged");
+  out.Clear();
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(out.pending(), 0u);
+  EXPECT_FALSE(out.response_open());
+  EXPECT_EQ(out.staged_bytes(), 0u);
+  // Counters are lifetime totals (metrics), not queue state.
+  EXPECT_EQ(out.copied_bytes(), 9u);
+  EXPECT_EQ(out.external_bytes(), 4u);
+}
+
+// ----- BodyStore (rendered-body snapshot) -----
+
+corpus::CorpusOptions BodyStoreCorpusOptions() {
+  corpus::CorpusOptions opts;
+  opts.num_sites = 2;
+  opts.pages_per_site = 12;
+  opts.topic.num_topics = 3;
+  opts.seed = 99;
+  return opts;
+}
+
+TEST(BodyStoreTest, RendersToLogicalSizeWithStableViews) {
+  corpus::WebCorpus corpus(BodyStoreCorpusOptions());
+  BodyStore store(corpus);
+  ASSERT_EQ(store.num_objects(), corpus.num_raw_objects());
+  EXPECT_EQ(store.rendered_objects(), 0u);  // Rendering is lazy.
+
+  std::string_view first = store.Body(0);
+  // Bodies pad out to the object's logical size (never truncate below it).
+  EXPECT_GE(first.size(), corpus.raw(0).size_bytes);
+  EXPECT_EQ(first.size(), store.RenderedSize(0));
+  EXPECT_EQ(store.rendered_objects(), 1u);
+  EXPECT_EQ(store.rendered_bytes(), first.size());
+
+  // A second request returns the same immortal storage, no re-render.
+  std::string_view again = store.Body(0);
+  EXPECT_EQ(again.data(), first.data());
+  EXPECT_EQ(store.rendered_objects(), 1u);
+
+  // Out-of-range ids are served as empty, not UB.
+  EXPECT_TRUE(store.Body(corpus.num_raw_objects() + 5).empty());
+  EXPECT_EQ(store.RenderedSize(corpus.num_raw_objects() + 5), 0u);
+}
+
+TEST(BodyStoreTest, SnapshotIsImmuneToLaterCorpusMutation) {
+  corpus::WebCorpus corpus(BodyStoreCorpusOptions());
+  BodyStore store(corpus);
+  std::string before(store.Body(1));
+  const char* base = store.Body(1).data();
+
+  // Mutate the corpus the way shard workers do on /modify events.
+  Pcg32 rng(123, 0x5EED);
+  for (int i = 0; i < 5; ++i) {
+    corpus.ModifyObject(1, (i + 1) * kSecond, rng);
+  }
+  EXPECT_EQ(store.Body(1).data(), base);
+  EXPECT_EQ(std::string(store.Body(1)), before);
+}
+
+TEST(BodyStoreTest, ConcurrentFirstTouchMaterializesEachObjectOnce) {
+  corpus::WebCorpus corpus(BodyStoreCorpusOptions());
+  BodyStore store(corpus);
+  const size_t n = std::min<size_t>(store.num_objects(), 64);
+
+  // Every thread races Body() over the same id range — exactly what the
+  // IO threads do on a cold server. TSan covers the publication protocol.
+  constexpr int kThreads = 4;
+  std::vector<const char*> seen[kThreads];
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      seen[t].resize(n);
+      for (size_t id = 0; id < n; ++id) {
+        std::string_view body = store.Body(id);
+        EXPECT_EQ(body.size(), store.RenderedSize(id));
+        seen[t][id] = body.data();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // All threads observed the same storage; nothing rendered twice.
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(store.rendered_objects(), n);
+}
+
 // ----- EventLoop (both backends) -----
 
 class EventLoopBackendTest
@@ -358,6 +641,87 @@ INSTANTIATE_TEST_SUITE_P(Backends, EventLoopBackendTest,
 TEST(EventLoopTest, PollBackendForcedEvenOnLinux) {
   EventLoop loop(EventLoop::Backend::kPoll);
   EXPECT_FALSE(loop.using_epoll());
+}
+
+// Backend parity: epoll and poll watch the SAME fds through one scripted
+// readiness sequence and must report identical (fd, readable, writable,
+// error) sets at every step. Both are level-triggered, so watching one fd
+// from two multiplexers is well-defined. This is what lets the poll
+// fallback substitute for epoll without behavioral drift.
+TEST(EventLoopTest, EpollAndPollAgreeOnSameReadinessSequence) {
+  EventLoop epoll_loop(EventLoop::Backend::kDefault);
+  if (!epoll_loop.using_epoll()) {
+    GTEST_SKIP() << "default backend is already poll on this platform";
+  }
+  EventLoop poll_loop(EventLoop::Backend::kPoll);
+
+  // (fd, readable, writable, error) tuples, sorted by fd.
+  using Ready = std::vector<std::tuple<int, bool, bool, bool>>;
+  auto snapshot = [](EventLoop& loop) {
+    std::vector<IoEvent> events;
+    int n = loop.Wait(events, 0);
+    Ready ready;
+    for (int i = 0; i < n; ++i) {
+      ready.emplace_back(events[i].fd, events[i].readable,
+                         events[i].writable, events[i].error);
+    }
+    std::sort(ready.begin(), ready.end());
+    return ready;
+  };
+  auto expect_parity = [&](const char* step) {
+    Ready from_epoll = snapshot(epoll_loop);
+    EXPECT_EQ(from_epoll, snapshot(poll_loop)) << "diverged at: " << step;
+    return from_epoll;
+  };
+
+  int a[2], b[2], c[2];
+  ASSERT_EQ(pipe(a), 0);
+  ASSERT_EQ(pipe(b), 0);
+  ASSERT_EQ(pipe(c), 0);
+  for (EventLoop* loop : {&epoll_loop, &poll_loop}) {
+    ASSERT_TRUE(loop->Add(a[0], true, false, nullptr).ok());
+    ASSERT_TRUE(loop->Add(b[0], true, false, nullptr).ok());
+    ASSERT_TRUE(loop->Add(c[1], false, true, nullptr).ok());
+  }
+
+  // Step 1: only the empty pipe's write end is ready.
+  EXPECT_EQ(expect_parity("initial").size(), 1u);
+
+  // Step 2/3: readability appears as data lands, pipe by pipe.
+  ASSERT_EQ(write(a[1], "x", 1), 1);
+  EXPECT_EQ(expect_parity("a readable").size(), 2u);
+  ASSERT_EQ(write(b[1], "y", 1), 1);
+  EXPECT_EQ(expect_parity("a+b readable").size(), 3u);
+
+  // Step 4: draining a pipe clears its readiness (level-triggered).
+  char buf[1];
+  ASSERT_EQ(read(a[0], buf, 1), 1);
+  expect_parity("a drained");
+
+  // Step 5: dropping write interest silences the writable fd.
+  for (EventLoop* loop : {&epoll_loop, &poll_loop}) {
+    ASSERT_TRUE(loop->Modify(c[1], false, false).ok());
+  }
+  EXPECT_EQ(expect_parity("write interest dropped").size(), 1u);
+
+  // Step 6: writer hangup with data still buffered — both backends must
+  // agree on the readable+error combination.
+  close(b[1]);
+  Ready hangup = expect_parity("b writer closed");
+  ASSERT_EQ(hangup.size(), 1u);
+  EXPECT_EQ(std::get<0>(hangup[0]), b[0]);
+  EXPECT_TRUE(std::get<1>(hangup[0]));  // Buffered byte is readable.
+  EXPECT_TRUE(std::get<3>(hangup[0]));  // Hangup surfaces as error.
+
+  // Step 7: removal ends reporting on both.
+  for (EventLoop* loop : {&epoll_loop, &poll_loop}) loop->Remove(b[0]);
+  EXPECT_TRUE(expect_parity("b removed").empty());
+
+  close(a[0]);
+  close(a[1]);
+  close(b[0]);
+  close(c[0]);
+  close(c[1]);
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 //    unreadable — WAL damage alone never aborts recovery.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <filesystem>
 #include <memory>
@@ -85,7 +87,11 @@ void AssertAckedObjectsPlaced(const core::Warehouse& wh,
 class WalFuzzTest : public testing::Test {
  protected:
   static void SetUpTestSuite() {
-    pristine_ = new std::string(testing::TempDir() + "/fuzz_pristine");
+    // Process-unique root: ctest runs each case of this suite as its own
+    // process, and a shared /tmp path would let one process's
+    // SetUpTestSuite rebuild the pristine dir while another copies it.
+    pristine_ = new std::string(testing::TempDir() + "/fuzz_" +
+                                std::to_string(getpid()) + "_pristine");
     fs::remove_all(*pristine_);
     Rig victim = MakeRig(*pristine_);
     ASSERT_TRUE(victim.wh->OpenDurability().ok());
@@ -104,6 +110,7 @@ class WalFuzzTest : public testing::Test {
   }
 
   static void TearDownTestSuite() {
+    fs::remove_all(*pristine_);
     delete pristine_;
     pristine_ = nullptr;
   }
@@ -141,7 +148,8 @@ TEST_F(WalFuzzTest, WalDamageAlwaysRecoversDeterministically) {
   Pcg32 rng(20260807, /*stream=*/1);
   for (int iter = 0; iter < 24; ++iter) {
     std::string tag = "wal_iter_" + std::to_string(iter);
-    std::string dir = testing::TempDir() + "/fuzz_" + tag;
+    std::string dir = testing::TempDir() + "/fuzz_" +
+                      std::to_string(getpid()) + "_" + tag;
     fs::remove_all(dir);
     fs::copy(*pristine_, dir, fs::copy_options::recursive);
     // Damage the WAL only; the checkpoint stays sound, so recovery must
@@ -174,7 +182,8 @@ TEST_F(WalFuzzTest, CheckpointDamageIsDataLossNeverACrash) {
   int data_losses = 0;
   for (int iter = 0; iter < 12; ++iter) {
     std::string tag = "ckpt_iter_" + std::to_string(iter);
-    std::string dir = testing::TempDir() + "/fuzz_" + tag;
+    std::string dir = testing::TempDir() + "/fuzz_" +
+                      std::to_string(getpid()) + "_" + tag;
     fs::remove_all(dir);
     fs::copy(*pristine_, dir, fs::copy_options::recursive);
     Mutilate(rng, dir + "/warehouse.ckpt.1", 1 + rng.NextBounded(3));
@@ -202,7 +211,8 @@ TEST_F(WalFuzzTest, CombinedDamageNeverLosesAckedPrefix) {
   Pcg32 rng(20260807, /*stream=*/3);
   for (int iter = 0; iter < 12; ++iter) {
     std::string tag = "both_iter_" + std::to_string(iter);
-    std::string dir = testing::TempDir() + "/fuzz_" + tag;
+    std::string dir = testing::TempDir() + "/fuzz_" +
+                      std::to_string(getpid()) + "_" + tag;
     fs::remove_all(dir);
     fs::copy(*pristine_, dir, fs::copy_options::recursive);
     Mutilate(rng, dir + "/warehouse.wal.1", 1 + rng.NextBounded(3));
