@@ -18,6 +18,8 @@
 #   scripts/ci.sh chaos      # ASan chaos harness + soak tests, 3 fixed seeds
 #   scripts/ci.sh durability # ASan crash-restart matrix + WAL fuzz + bench
 #   scripts/ci.sh server     # ASan+TSan server units + e2e + bench smoke
+#   scripts/ci.sh segments   # ASan segment units + corruption fuzz + crash
+#                            # soak smoke + bench smoke + JSON schema gate
 #   scripts/ci.sh workload   # every spec x both backends, JSON schema gate
 #
 # With no arguments the script lists the stages and exits.
@@ -37,6 +39,9 @@ stages:
   durability  ASan crash-restart matrix + WAL fuzz + durability bench
   server      ASan+TSan serving-layer units + socket e2e + bench_server
               smoke (IO scaling gate) + bench JSON schema check
+  segments    ASan segment units + 4000-case corruption fuzz +
+              compaction-crash soak (3 fixed seeds) + bench_segments
+              smoke + bench JSON schema check
   workload    smoke every bench/specs/*.spec against both backends,
               validate every emitted JSON against the unified schema
   all         every stage above, in order
@@ -167,6 +172,34 @@ server() {
   rm -rf "${server_out}"
 }
 
+segments() {
+  echo "=== segments: immutable segment store under ASan ==="
+  cmake -B build-asan -S . -DCBFWW_SANITIZE=address
+  cmake --build build-asan -j --target segment_test segment_fuzz_test \
+    segment_soak_test
+  # Format/store/body-store/checkpoint units, then the corruption battery:
+  # 1000 randomized byte-surgery cases per class (truncation, bit flips,
+  # zeroed ranges, directory corruption) — every case must yield a clean
+  # kDataLoss/kNotFound or byte-correct values, never wrong bytes; ASan
+  # turns any out-of-mapping probe into a hard failure.
+  ./build-asan/tests/segment_test
+  ./build-asan/tests/segment_fuzz_test
+  # Compaction-crash soak smoke: 3 fixed seeds x 8 crash points, killing
+  # the checkpoint rotation at every CheckpointPhase. Deterministic, so a
+  # failure is a real durability bug, not flake.
+  ./build-asan/tests/segment_soak_test
+  # Recovery + BodyStore-RSS shape gates at smoke scale; the emitted
+  # report must match the unified bench JSON schema, as must the
+  # committed full-scale numbers.
+  cmake -B build -S .
+  cmake --build build -j --target bench_segments
+  seg_out="$(mktemp -d)"
+  (cd "${seg_out}" && "${OLDPWD}/build/bench/bench_segments" --smoke)
+  python3 scripts/validate_bench_json.py "${seg_out}"/BENCH_segments.json \
+    BENCH_segments.json
+  rm -rf "${seg_out}"
+}
+
 workload() {
   echo "=== workload: every spec x both backends + JSON schema gate ==="
   cmake -B build -S .
@@ -194,6 +227,7 @@ case "${stage}" in
   chaos) chaos ;;
   durability) durability ;;
   server) server ;;
+  segments) segments ;;
   workload) workload ;;
   all)
     tier1
@@ -203,6 +237,7 @@ case "${stage}" in
     chaos
     durability
     server
+    segments
     workload
     ;;
   *)

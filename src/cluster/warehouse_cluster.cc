@@ -331,6 +331,16 @@ void WarehouseCluster::Drain() {
   }
 }
 
+Status WarehouseCluster::CheckpointAllShards() {
+  Status first = Status::Ok();
+  for (auto& shard : shards_) {
+    if (shard->warehouse->journal() == nullptr) continue;
+    Status s = shard->warehouse->CheckpointNow();
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
 void WarehouseCluster::Replay(const std::vector<trace::TraceEvent>& events) {
   for (const trace::TraceEvent& event : events) Submit(event);
   Drain();

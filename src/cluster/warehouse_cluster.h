@@ -335,6 +335,12 @@ class WarehouseCluster {
   /// durability guarantee must check this after construction.
   const Status& durability_status() const { return durability_status_; }
 
+  /// Rotates every shard's checkpoint + WAL (shard order; first error
+  /// wins but all shards are attempted). Callers must Drain() first —
+  /// checkpoints cannot be cut mid-batch. No-op Ok when durability is
+  /// off.
+  Status CheckpointAllShards();
+
  private:
   /// One queued unit of shard work: a replayed trace event, or a
   /// serving-layer call carrying its completion ticket.

@@ -8,6 +8,8 @@
 
 #include "core/warehouse.h"
 #include "durability/checkpoint.h"
+#include "segment/segment_reader.h"
+#include "segment/segment_writer.h"
 #include "util/strings.h"
 
 namespace cbfww::core {
@@ -69,6 +71,26 @@ Status Malformed(const char* what) {
   return Status::DataLoss(std::string("malformed durable record: ") + what);
 }
 
+/// Record keys inside a segment-format checkpoint. Key 0 carries the
+/// checkpoint payload itself; key 1 a small meta record (u32 version).
+constexpr uint64_t kSegCkptPayloadKey = 0;
+constexpr uint64_t kSegCkptVersionKey = 1;
+
+/// Parses "<stem><digits>" file names; false for anything else.
+bool ParseSeqSuffix(const std::string& name, const std::string& stem,
+                    uint64_t* seq) {
+  if (name.size() <= stem.size() || name.compare(0, stem.size(), stem) != 0) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = stem.size(); i < name.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *seq = v;
+  return true;
+}
+
 }  // namespace
 
 WarehouseJournal::WarehouseJournal(Warehouse* warehouse,
@@ -84,6 +106,10 @@ WarehouseJournal::~WarehouseJournal() {
 
 std::string WarehouseJournal::CheckpointPath(uint64_t seq) const {
   return options_.dir + "/" + options_.name + ".ckpt." + std::to_string(seq);
+}
+
+std::string WarehouseJournal::SegmentCheckpointPath(uint64_t seq) const {
+  return options_.dir + "/" + options_.name + ".seg." + std::to_string(seq);
 }
 
 std::string WarehouseJournal::WalPath(uint64_t seq) const {
@@ -295,7 +321,7 @@ std::string WarehouseJournal::SerializeCheckpoint() {
   return std::move(w.TakeBuffer());
 }
 
-Status WarehouseJournal::ApplyCheckpoint(const std::string& payload) {
+Status WarehouseJournal::ApplyCheckpoint(std::string_view payload) {
   durability::RecordReader r(payload);
   uint64_t data_epoch = 0;
   if (!r.GetU64(&wh_->events_processed_) || !r.GetI64(&wh_->now_) ||
@@ -582,31 +608,87 @@ void WarehouseJournal::FinalizeRecovery(RecoveryReport& report) {
 // Open / checkpoint rotation
 // ---------------------------------------------------------------------------
 
+Status WarehouseJournal::WriteCheckpoint(uint64_t seq) {
+  if (!options_.segment_checkpoints) {
+    return durability::WriteCheckpointAtomic(CheckpointPath(seq),
+                                             SerializeCheckpoint());
+  }
+  // A checkpoint is a segment: the payload as record 0, a version meta
+  // record as record 1. The writer's tmp+fsync+rename protocol gives the
+  // same crash atomicity as WriteCheckpointAtomic.
+  segment::SegmentWriter writer;
+  CBFWW_RETURN_IF_ERROR(writer.Create(SegmentCheckpointPath(seq)));
+  CBFWW_RETURN_IF_ERROR(writer.Add(kSegCkptPayloadKey, SerializeCheckpoint()));
+  durability::RecordWriter meta;
+  meta.PutU32(durability::kCheckpointVersion);
+  CBFWW_RETURN_IF_ERROR(writer.Add(kSegCkptVersionKey, meta.buffer()));
+  return writer.Finish();
+}
+
+Status WarehouseJournal::RecoverFromSegmentCheckpoint(uint64_t seq) {
+  auto reader = segment::SegmentReader::Open(SegmentCheckpointPath(seq));
+  if (!reader.ok()) {
+    // The scan just saw this file; any failure here (including a racing
+    // delete) is loss of the newest checkpoint.
+    return Status::DataLoss(reader.status().message());
+  }
+  auto meta = (*reader)->Lookup(kSegCkptVersionKey);
+  if (!meta.ok()) {
+    return Status::DataLoss("segment checkpoint missing version record: " +
+                            meta.status().message());
+  }
+  durability::RecordReader meta_r(*meta);
+  uint32_t version = 0;
+  if (!meta_r.GetU32(&version) || !meta_r.AtEnd()) {
+    return Malformed("segment checkpoint version record");
+  }
+  if (version != durability::kCheckpointVersion) {
+    return Status::DataLoss("unsupported checkpoint version");
+  }
+  auto payload = (*reader)->Lookup(kSegCkptPayloadKey);
+  if (!payload.ok()) {
+    return Status::DataLoss("segment checkpoint missing payload record: " +
+                            payload.status().message());
+  }
+  // Zero-copy: the payload view aliases the mmap for the whole apply.
+  return ApplyCheckpoint(*payload);
+}
+
 Result<RecoveryReport> WarehouseJournal::Open() {
   if (open_) return Status::FailedPrecondition("journal already open");
   std::error_code ec;
   std::filesystem::create_directories(options_.dir, ec);
 
-  // Newest checkpoint wins. The previous pair is deleted only after the
-  // next checkpoint is durably in place, so at least one sequence always
-  // has a readable checkpoint unless the files themselves were damaged.
+  // Newest checkpoint wins — in either format, so segment_checkpoints can
+  // be flipped on an existing directory. The previous pair is deleted only
+  // after the next checkpoint is durably in place, so at least one
+  // sequence always has a readable checkpoint unless the files themselves
+  // were damaged.
   uint64_t max_seq = 0;
-  const std::string prefix = options_.name + ".ckpt.";
+  bool max_is_segment = false;
+  const std::string ckpt_stem = options_.name + ".ckpt.";
+  const std::string seg_stem = options_.name + ".seg.";
   for (const auto& entry :
        std::filesystem::directory_iterator(options_.dir, ec)) {
     const std::string name = entry.path().filename().string();
-    if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix))
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      // A checkpoint write that crashed before its rename; nothing
+      // references it.
+      std::filesystem::remove(entry.path(), ec);
       continue;
-    uint64_t seq = 0;
-    bool numeric = true;
-    for (size_t i = prefix.size(); i < name.size(); ++i) {
-      if (!std::isdigit(static_cast<unsigned char>(name[i]))) {
-        numeric = false;
-        break;
-      }
-      seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
     }
-    if (numeric && seq > max_seq) max_seq = seq;
+    uint64_t seq = 0;
+    if (ParseSeqSuffix(name, ckpt_stem, &seq)) {
+      if (seq > max_seq) {
+        max_seq = seq;
+        max_is_segment = false;
+      }
+    } else if (ParseSeqSuffix(name, seg_stem, &seq)) {
+      if (seq >= max_seq) {
+        max_seq = seq;
+        max_is_segment = true;
+      }
+    }
   }
 
   RecoveryReport report;
@@ -614,8 +696,7 @@ Result<RecoveryReport> WarehouseJournal::Open() {
     // First boot: durable baseline of the empty warehouse, then a fresh
     // log.
     seq_ = 1;
-    CBFWW_RETURN_IF_ERROR(durability::WriteCheckpointAtomic(
-        CheckpointPath(seq_), SerializeCheckpoint()));
+    CBFWW_RETURN_IF_ERROR(WriteCheckpoint(seq_));
     CBFWW_RETURN_IF_ERROR(wal_.Create(WalPath(seq_)));
     report.recovered = false;
     report.checkpoint_seq = seq_;
@@ -625,12 +706,17 @@ Result<RecoveryReport> WarehouseJournal::Open() {
     // An unreadable newest checkpoint is unrecoverable data loss: its WAL
     // only holds the suffix since that checkpoint, so no older state could
     // honor every acknowledged write.
-    CBFWW_ASSIGN_OR_RETURN(durability::CheckpointData ckpt,
-                           durability::ReadCheckpoint(CheckpointPath(seq_)));
-    if (ckpt.version != durability::kCheckpointVersion) {
-      return Status::DataLoss("unsupported checkpoint version");
+    if (max_is_segment) {
+      CBFWW_RETURN_IF_ERROR(RecoverFromSegmentCheckpoint(seq_));
+      report.checkpoint_from_segment = true;
+    } else {
+      CBFWW_ASSIGN_OR_RETURN(durability::CheckpointData ckpt,
+                             durability::ReadCheckpoint(CheckpointPath(seq_)));
+      if (ckpt.version != durability::kCheckpointVersion) {
+        return Status::DataLoss("unsupported checkpoint version");
+      }
+      CBFWW_RETURN_IF_ERROR(ApplyCheckpoint(ckpt.payload));
     }
-    CBFWW_RETURN_IF_ERROR(ApplyCheckpoint(ckpt.payload));
 
     durability::WalScan scan;
     Status scanned = ScanWal(WalPath(seq_), &scan);
@@ -669,6 +755,15 @@ Result<RecoveryReport> WarehouseJournal::Open() {
   return report;
 }
 
+Status WarehouseJournal::MaybeCrash(CheckpointPhase phase) {
+  if (!crash_hook_ || !crash_hook_(phase)) return Status::Ok();
+  // Simulated process death mid-rotation: the journal is broken from here
+  // on (log-before-ack refuses further acknowledgements) and the on-disk
+  // files stay exactly as the crash left them.
+  last_error_ = Status::Unavailable("simulated crash during checkpoint");
+  return last_error_;
+}
+
 Status WarehouseJournal::CheckpointNow() {
   if (!open_) return Status::FailedPrecondition("journal not open");
   if (batch_active_) {
@@ -676,14 +771,17 @@ Status WarehouseJournal::CheckpointNow() {
   }
   if (!last_error_.ok()) return last_error_;
   const uint64_t new_seq = seq_ + 1;
-  CBFWW_RETURN_IF_ERROR(durability::WriteCheckpointAtomic(
-      CheckpointPath(new_seq), SerializeCheckpoint()));
+  CBFWW_RETURN_IF_ERROR(MaybeCrash(CheckpointPhase::kBeforeCheckpointWrite));
+  CBFWW_RETURN_IF_ERROR(WriteCheckpoint(new_seq));
+  CBFWW_RETURN_IF_ERROR(MaybeCrash(CheckpointPhase::kAfterCheckpointWrite));
   CBFWW_RETURN_IF_ERROR(wal_.Create(WalPath(new_seq)));
+  CBFWW_RETURN_IF_ERROR(MaybeCrash(CheckpointPhase::kAfterWalCreate));
   std::error_code ec;
   std::filesystem::remove(CheckpointPath(seq_), ec);
+  std::filesystem::remove(SegmentCheckpointPath(seq_), ec);
   std::filesystem::remove(WalPath(seq_), ec);
   seq_ = new_seq;
-  return Status::Ok();
+  return MaybeCrash(CheckpointPhase::kAfterOldCheckpointRemoved);
 }
 
 }  // namespace cbfww::core

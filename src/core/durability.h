@@ -2,7 +2,9 @@
 #define CBFWW_CORE_DURABILITY_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/object_model.h"
@@ -29,6 +31,13 @@ struct DurabilityOptions {
   /// Automatic checkpoint cadence, in processed trace events. 0: only
   /// explicit CheckpointNow() calls rotate the log.
   uint64_t checkpoint_every_events = 0;
+  /// Write checkpoints as immutable segment files
+  /// (`<dir>/<name>.seg.<seq>`, see src/segment/) instead of the flat
+  /// `.ckpt.` format — a checkpoint *is* a segment, and recovery applies
+  /// it zero-copy from the mmap. Recovery always accepts both formats
+  /// (whichever sequence is newest wins), so flipping this flag on an
+  /// existing directory is safe in either direction.
+  bool segment_checkpoints = false;
 
   bool enabled() const { return !dir.empty(); }
 };
@@ -53,6 +62,20 @@ struct RecoveryReport {
   /// strictly above it so pre-crash cached query results can never
   /// validate.
   uint64_t max_epoch_seen = 0;
+  /// True when the checkpoint that seeded recovery was a segment file
+  /// (applied zero-copy from the mmap) rather than a flat `.ckpt.` file.
+  bool checkpoint_from_segment = false;
+};
+
+/// Where CheckpointNow is when the test-only crash hook fires; the hook
+/// returning true simulates process death at that point (the journal
+/// breaks, further acks fail, and the on-disk state is left exactly as a
+/// real crash would).
+enum class CheckpointPhase {
+  kBeforeCheckpointWrite,
+  kAfterCheckpointWrite,
+  kAfterWalCreate,
+  kAfterOldCheckpointRemoved,
 };
 
 /// The durability engine of one warehouse: buffers every durable mutation
@@ -134,6 +157,14 @@ class WarehouseJournal : public storage::PlacementListener,
 
   const DurabilityOptions& options() const { return options_; }
 
+  /// Installs the crash-matrix hook (tests only): consulted at each
+  /// CheckpointPhase of every CheckpointNow; returning true kills the
+  /// rotation there as a simulated crash. nullptr clears it.
+  void set_checkpoint_crash_hook_for_test(
+      std::function<bool(CheckpointPhase)> hook) {
+    crash_hook_ = std::move(hook);
+  }
+
  private:
   /// One entry of the genesis log: the ordered interleave of page first
   /// contacts and corpus modifications since time zero. Replaying it over
@@ -146,12 +177,24 @@ class WarehouseJournal : public storage::PlacementListener,
   };
 
   std::string CheckpointPath(uint64_t seq) const;
+  /// Segment-format checkpoint: `<dir>/<name>.seg.<seq>`.
+  std::string SegmentCheckpointPath(uint64_t seq) const;
   std::string WalPath(uint64_t seq) const;
+
+  /// Writes checkpoint `seq` in the configured format (flat file or
+  /// segment).
+  Status WriteCheckpoint(uint64_t seq);
+  /// Loads + applies segment-format checkpoint `seq` zero-copy from its
+  /// mmap. Any damage surfaces as kDataLoss.
+  Status RecoverFromSegmentCheckpoint(uint64_t seq);
+  /// Fires the test crash hook; when it returns true the journal is marked
+  /// broken (simulated death) and this returns the abort status.
+  Status MaybeCrash(CheckpointPhase phase);
 
   /// Serializes the full durable state (metadata, histories, priorities,
   /// placement, genesis log) as a version-1 checkpoint payload.
   std::string SerializeCheckpoint();
-  Status ApplyCheckpoint(const std::string& payload);
+  Status ApplyCheckpoint(std::string_view payload);
   /// Applies one committed WAL frame's records to the warehouse.
   Status ApplyFrame(std::string_view frame);
   /// Post-replay fixups: epoch floor, poll queue, memory registry.
@@ -167,6 +210,7 @@ class WarehouseJournal : public storage::PlacementListener,
   bool open_ = false;
   Status last_error_ = Status::Ok();
   uint64_t max_epoch_seen_ = 0;
+  std::function<bool(CheckpointPhase)> crash_hook_;
 };
 
 }  // namespace cbfww::core

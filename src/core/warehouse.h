@@ -325,6 +325,8 @@ class Warehouse : public query::QueryCatalog {
 
   /// The active journal, or nullptr when durability is off.
   const WarehouseJournal* journal() const { return journal_.get(); }
+  /// Mutable access for test instrumentation (crash hooks).
+  WarehouseJournal* mutable_journal() { return journal_.get(); }
 
   // ----- Failure injection (copy control, Section 4.4) -----
 

@@ -1,0 +1,86 @@
+#ifndef CBFWW_SEGMENT_SEGMENT_FORMAT_H_
+#define CBFWW_SEGMENT_SEGMENT_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cbfww::segment {
+
+/// On-disk layout of an immutable segment (the cdb lineage: a write-once
+/// packed record file with a two-level hash directory giving O(1) keyed
+/// probes; read-only after build, so readers need no locks and bodies can
+/// be served straight from mmap pages).
+///
+///   header   (kHeaderSize bytes, CRC32C-protected)
+///   records  (packed, each CRC32C-protected)
+///   directory (256-bucket two-level hash table + slot arrays, CRC32C)
+///
+/// Header, byte-exact:
+///   magic "CBWWSEG1"                                      (8)
+///   u32 version                                           (4)
+///   u32 flags (reserved, 0)                               (4)
+///   u64 record_count                                      (8)
+///   u64 data_offset  (== kHeaderSize)                     (8)
+///   u64 data_bytes   (packed-records region length)       (8)
+///   u64 dir_offset   (== data_offset + data_bytes)        (8)
+///   u64 dir_bytes    (directory region length, incl. CRC) (8)
+///   u32 masked crc32c(header bytes [0, 56))               (4)
+///
+/// Record, at its directory-published offset:
+///   u64 key
+///   u64 value_len
+///   u32 masked crc32c(key_le || value_len_le || value)
+///   value bytes
+///
+/// Directory, at dir_offset:
+///   256 buckets x { u64 slots_offset (absolute), u64 nslots }
+///   slot arrays, consecutively: nslots x { u64 key, u64 record_offset }
+///     (record_offset 0 marks an empty slot; 0 is never a valid record
+///      offset because the header occupies it)
+///   u32 masked crc32c(directory region except these 4 bytes)
+///
+/// Every byte of the file is covered by exactly one CRC domain, so any
+/// single flipped, zeroed, or truncated byte is detectable: corruption
+/// surfaces as kDataLoss, never as wrong bytes.
+inline constexpr char kSegmentMagic[8] = {'C', 'B', 'W', 'W', 'S', 'E', 'G',
+                                          '1'};
+inline constexpr uint32_t kSegmentVersion = 1;
+inline constexpr size_t kSegmentHeaderSize = 60;
+/// Bytes of the header covered by the header CRC (everything before it).
+inline constexpr size_t kSegmentHeaderCrcCoverage = kSegmentHeaderSize - 4;
+inline constexpr size_t kSegmentRecordHeaderSize = 8 + 8 + 4;
+inline constexpr size_t kSegmentDirBuckets = 256;
+inline constexpr size_t kSegmentDirBucketEntrySize = 16;
+inline constexpr size_t kSegmentDirTableSize =
+    kSegmentDirBuckets * kSegmentDirBucketEntrySize;
+inline constexpr size_t kSegmentDirSlotSize = 16;
+/// Smallest legal directory: empty bucket table + trailing CRC.
+inline constexpr size_t kSegmentDirMinSize = kSegmentDirTableSize + 4;
+/// Sanity bound on one value (a flipped length byte must not trigger a
+/// multi-GB read); far above any real body or checkpoint payload.
+inline constexpr uint64_t kSegmentMaxValueBytes = 1ull << 31;
+
+/// Parsed header fields (see layout above).
+struct SegmentHeader {
+  uint32_t version = kSegmentVersion;
+  uint32_t flags = 0;
+  uint64_t record_count = 0;
+  uint64_t data_offset = kSegmentHeaderSize;
+  uint64_t data_bytes = 0;
+  uint64_t dir_offset = 0;
+  uint64_t dir_bytes = 0;
+};
+
+/// 64-bit finalizer (SplitMix64) spreading sequential object ids over the
+/// directory. Byte 0 selects the bucket; the upper bytes pick the probe
+/// start within the bucket's slot array.
+inline uint64_t SegmentHashKey(uint64_t key) {
+  uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace cbfww::segment
+
+#endif  // CBFWW_SEGMENT_SEGMENT_FORMAT_H_

@@ -1,0 +1,258 @@
+#include "segment/segment_reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "durability/crc32c.h"
+#include "durability/record_io.h"
+#include "util/strings.h"
+
+namespace cbfww::segment {
+
+namespace {
+
+Status Damaged(const std::string& path, const char* what) {
+  return Status::DataLoss(
+      StrFormat("segment %s: %s", path.c_str(), what));
+}
+
+}  // namespace
+
+SegmentReader::~SegmentReader() {
+  if (base_ != nullptr) {
+    ::munmap(const_cast<char*>(base_), size_);
+  }
+}
+
+Result<std::unique_ptr<SegmentReader>> SegmentReader::Open(
+    const std::string& path, SegmentReaderOptions options) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound(StrFormat("segment %s: open: %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal(StrFormat("segment %s: fstat: %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < kSegmentHeaderSize + kSegmentDirMinSize) {
+    ::close(fd);
+    return Damaged(path, "file shorter than header + empty directory");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping pins the inode; the fd is no longer needed.
+  if (map == MAP_FAILED) {
+    return Status::Internal(StrFormat("segment %s: mmap: %s", path.c_str(),
+                                      std::strerror(errno)));
+  }
+  const char* base = static_cast<const char*>(map);
+
+  char magic[sizeof(kSegmentMagic)];
+  std::memcpy(magic, base, sizeof(magic));
+  SegmentHeader h;
+  uint32_t stored_crc = 0;
+  // Skip magic, then decode the fixed fields.
+  durability::RecordReader fields(std::string_view(
+      base + sizeof(kSegmentMagic), kSegmentHeaderSize - sizeof(magic)));
+  bool decoded = fields.GetU32(&h.version) && fields.GetU32(&h.flags) &&
+                 fields.GetU64(&h.record_count) &&
+                 fields.GetU64(&h.data_offset) &&
+                 fields.GetU64(&h.data_bytes) && fields.GetU64(&h.dir_offset) &&
+                 fields.GetU64(&h.dir_bytes) && fields.GetU32(&stored_crc);
+  auto fail = [&](const char* what) -> Result<std::unique_ptr<SegmentReader>> {
+    ::munmap(map, size);
+    return Damaged(path, what);
+  };
+  if (!decoded) return fail("truncated header");
+  if (std::memcmp(magic, kSegmentMagic, sizeof(magic)) != 0) {
+    return fail("bad magic");
+  }
+  const uint32_t actual_crc =
+      durability::Crc32c(base, kSegmentHeaderCrcCoverage);
+  if (durability::UnmaskCrc(stored_crc) != actual_crc) {
+    return fail("header CRC mismatch");
+  }
+  if (h.version != kSegmentVersion) return fail("unsupported version");
+  if (h.data_offset != kSegmentHeaderSize) return fail("bad data offset");
+  if (h.dir_offset != h.data_offset + h.data_bytes) {
+    return fail("bad directory offset");
+  }
+  if (h.dir_bytes < kSegmentDirMinSize) return fail("directory too small");
+  if (h.dir_offset + h.dir_bytes != size) {
+    return fail("file length does not match header geometry");
+  }
+
+  const char* dir = base + h.dir_offset;
+  durability::RecordReader dir_crc_field(
+      std::string_view(dir + h.dir_bytes - 4, 4));
+  uint32_t dir_stored = 0;
+  dir_crc_field.GetU32(&dir_stored);
+  if (durability::UnmaskCrc(dir_stored) !=
+      durability::Crc32c(dir, h.dir_bytes - 4)) {
+    return fail("directory CRC mismatch");
+  }
+
+  return std::unique_ptr<SegmentReader>(
+      new SegmentReader(path, base, size, h, options));
+}
+
+uint64_t SegmentReader::LoadU64(uint64_t offset) const {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(
+             static_cast<unsigned char>(base_[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+Status SegmentReader::ReadRecord(uint64_t offset, bool verify_crc,
+                                 uint64_t* key,
+                                 std::string_view* value) const {
+  const uint64_t data_end = header_.dir_offset;
+  if (offset < header_.data_offset ||
+      offset + kSegmentRecordHeaderSize > data_end) {
+    return Damaged(path_, "record offset outside data region");
+  }
+  const uint64_t rec_key = LoadU64(offset);
+  const uint64_t len = LoadU64(offset + 8);
+  if (len > kSegmentMaxValueBytes ||
+      len > data_end - offset - kSegmentRecordHeaderSize) {
+    return Damaged(path_, "record length outside data region");
+  }
+  if (verify_crc) {
+    durability::RecordReader crc_field(
+        std::string_view(base_ + offset + 16, 4));
+    uint32_t stored = 0;
+    crc_field.GetU32(&stored);
+    uint32_t actual = durability::Crc32c(base_ + offset, 16);
+    actual = durability::Crc32c(base_ + offset + kSegmentRecordHeaderSize,
+                                len, actual);
+    if (durability::UnmaskCrc(stored) != actual) {
+      return Damaged(path_, "record CRC mismatch");
+    }
+  }
+  *key = rec_key;
+  *value = std::string_view(base_ + offset + kSegmentRecordHeaderSize, len);
+  return Status::Ok();
+}
+
+Result<std::string_view> SegmentReader::Lookup(uint64_t key) const {
+  const uint64_t h = SegmentHashKey(key);
+  const uint64_t bucket_off =
+      header_.dir_offset + (h & (kSegmentDirBuckets - 1)) *
+                               kSegmentDirBucketEntrySize;
+  const uint64_t slots_offset = LoadU64(bucket_off);
+  const uint64_t nslots = LoadU64(bucket_off + 8);
+  if (nslots == 0) {
+    return Status::NotFound("key not in segment");
+  }
+  // The directory CRC was verified at Open, but bound the slot region
+  // anyway so a CRC collision can never walk us out of the file.
+  const uint64_t slots_end = header_.dir_offset + header_.dir_bytes - 4;
+  if (slots_offset < header_.dir_offset + kSegmentDirTableSize ||
+      nslots > (slots_end - slots_offset) / kSegmentDirSlotSize) {
+    return Damaged(path_, "directory bucket outside slot region");
+  }
+  uint64_t i = (h >> 8) % nslots;
+  for (uint64_t probes = 0; probes < nslots; ++probes) {
+    const uint64_t slot_off = slots_offset + i * kSegmentDirSlotSize;
+    const uint64_t slot_key = LoadU64(slot_off);
+    const uint64_t rec_off = LoadU64(slot_off + 8);
+    if (rec_off == 0) {
+      return Status::NotFound("key not in segment");
+    }
+    if (slot_key == key) {
+      uint64_t rec_key = 0;
+      std::string_view value;
+      CBFWW_RETURN_IF_ERROR(
+          ReadRecord(rec_off, options_.verify_record_crc, &rec_key, &value));
+      if (rec_key != key) {
+        return Damaged(path_, "directory slot key disagrees with record");
+      }
+      return value;
+    }
+    i = (i + 1) % nslots;
+  }
+  return Status::NotFound("key not in segment");
+}
+
+Status SegmentReader::ValidateAll() const {
+  // Walk the packed region: records must tile it exactly.
+  uint64_t offset = header_.data_offset;
+  uint64_t seen = 0;
+  while (offset < header_.dir_offset) {
+    uint64_t key = 0;
+    std::string_view value;
+    CBFWW_RETURN_IF_ERROR(ReadRecord(offset, /*verify_crc=*/true, &key,
+                                     &value));
+    offset += kSegmentRecordHeaderSize + value.size();
+    ++seen;
+  }
+  if (offset != header_.dir_offset) {
+    return Damaged(path_, "records do not tile the data region");
+  }
+  if (seen != header_.record_count) {
+    return Damaged(path_, "record count disagrees with header");
+  }
+  // Every occupied directory slot must resolve to a matching record, and
+  // every record must be findable — lookup ≡ the packed region.
+  uint64_t occupied = 0;
+  const uint64_t table_off = header_.dir_offset;
+  const uint64_t slots_end = header_.dir_offset + header_.dir_bytes - 4;
+  for (size_t b = 0; b < kSegmentDirBuckets; ++b) {
+    const uint64_t bucket_off = table_off + b * kSegmentDirBucketEntrySize;
+    const uint64_t slots_offset = LoadU64(bucket_off);
+    const uint64_t nslots = LoadU64(bucket_off + 8);
+    if (nslots == 0) continue;
+    if (slots_offset < table_off + kSegmentDirTableSize ||
+        nslots > (slots_end - slots_offset) / kSegmentDirSlotSize) {
+      return Damaged(path_, "directory bucket outside slot region");
+    }
+    for (uint64_t s = 0; s < nslots; ++s) {
+      const uint64_t slot_off = slots_offset + s * kSegmentDirSlotSize;
+      const uint64_t slot_key = LoadU64(slot_off);
+      const uint64_t rec_off = LoadU64(slot_off + 8);
+      if (rec_off == 0) continue;
+      uint64_t rec_key = 0;
+      std::string_view value;
+      CBFWW_RETURN_IF_ERROR(ReadRecord(rec_off, /*verify_crc=*/false,
+                                       &rec_key, &value));
+      if (rec_key != slot_key) {
+        return Damaged(path_, "directory slot key disagrees with record");
+      }
+      ++occupied;
+    }
+  }
+  if (occupied != header_.record_count) {
+    return Damaged(path_, "directory does not index every record");
+  }
+  return Status::Ok();
+}
+
+Status SegmentReader::ForEach(
+    const std::function<void(uint64_t, std::string_view)>& fn) const {
+  uint64_t offset = header_.data_offset;
+  while (offset < header_.dir_offset) {
+    uint64_t key = 0;
+    std::string_view value;
+    CBFWW_RETURN_IF_ERROR(ReadRecord(offset, /*verify_crc=*/true, &key,
+                                     &value));
+    fn(key, value);
+    offset += kSegmentRecordHeaderSize + value.size();
+  }
+  if (offset != header_.dir_offset) {
+    return Damaged(path_, "records do not tile the data region");
+  }
+  return Status::Ok();
+}
+
+}  // namespace cbfww::segment

@@ -1,0 +1,89 @@
+#ifndef CBFWW_SEGMENT_SEGMENT_READER_H_
+#define CBFWW_SEGMENT_SEGMENT_READER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "segment/segment_format.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cbfww::segment {
+
+struct SegmentReaderOptions {
+  /// Re-check each record's CRC on every Lookup. The store leaves this on;
+  /// BodyStore validates the whole file once at open (ValidateAll) and then
+  /// turns it off so hot-path lookups cost only the directory probe.
+  bool verify_record_crc = true;
+};
+
+/// Read side of an immutable segment: the whole file is mmap'd PROT_READ,
+/// the header and directory are CRC-validated at Open, and Lookup returns
+/// string_views aliasing the mapping — zero-copy slices that stay valid for
+/// the reader's lifetime even if the file is concurrently renamed (tier
+/// migration) or unlinked, because the mapping pins the inode. All methods
+/// are const and lock-free; any number of threads may probe concurrently.
+///
+/// Every structural field is bounds-checked before use and every region is
+/// CRC-covered, so a damaged file surfaces as kDataLoss from Open or
+/// Lookup — never as out-of-bounds reads or silently wrong bytes.
+class SegmentReader {
+ public:
+  ~SegmentReader();
+  SegmentReader(const SegmentReader&) = delete;
+  SegmentReader& operator=(const SegmentReader&) = delete;
+
+  /// Maps and validates `path` (magic, version, geometry, header CRC,
+  /// directory CRC). Record CRCs are checked lazily per Lookup, or all at
+  /// once via ValidateAll.
+  static Result<std::unique_ptr<SegmentReader>> Open(
+      const std::string& path, SegmentReaderOptions options = {});
+
+  /// O(1) keyed probe. Returns a zero-copy view of the value, kNotFound if
+  /// the key is absent, or kDataLoss on any structural/CRC damage.
+  Result<std::string_view> Lookup(uint64_t key) const;
+
+  /// Sequentially walks the packed-record region, checking every record's
+  /// bounds and CRC and that the region is exactly covered. Also verifies
+  /// each directory slot points at a record whose key matches the slot.
+  Status ValidateAll() const;
+
+  /// In-file-order iteration over (key, value). Stops and returns on the
+  /// first structural/CRC error.
+  Status ForEach(
+      const std::function<void(uint64_t, std::string_view)>& fn) const;
+
+  uint64_t record_count() const { return header_.record_count; }
+  uint64_t data_bytes() const { return header_.data_bytes; }
+  uint64_t file_size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SegmentReader(std::string path, const char* base, size_t size,
+                const SegmentHeader& header, SegmentReaderOptions options)
+      : path_(std::move(path)),
+        base_(base),
+        size_(size),
+        header_(header),
+        options_(options) {}
+
+  /// Decodes and fully validates the record starting at `offset`; on
+  /// success points `*value` at its payload and sets `*key`.
+  Status ReadRecord(uint64_t offset, bool verify_crc, uint64_t* key,
+                    std::string_view* value) const;
+
+  uint64_t LoadU64(uint64_t offset) const;
+
+  std::string path_;
+  const char* base_ = nullptr;
+  size_t size_ = 0;
+  SegmentHeader header_;
+  SegmentReaderOptions options_;
+};
+
+}  // namespace cbfww::segment
+
+#endif  // CBFWW_SEGMENT_SEGMENT_READER_H_

@@ -1,0 +1,282 @@
+#include "segment/segment_store.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace cbfww::segment {
+
+namespace {
+
+constexpr char kSegPrefix[] = "seg-";
+constexpr char kSegSuffix[] = ".seg";
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::Ok();
+  }
+  return Status::Internal(StrFormat("mkdir %s: %s", path.c_str(),
+                                    std::strerror(errno)));
+}
+
+/// Parses "seg-<digits>.seg" → seq; false for anything else.
+bool ParseSegmentName(const std::string& name, SegmentSeq* seq) {
+  const size_t prefix_len = sizeof(kSegPrefix) - 1;
+  const size_t suffix_len = sizeof(kSegSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, kSegPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, kSegSuffix) != 0) {
+    return false;
+  }
+  SegmentSeq v = 0;
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<SegmentSeq>(name[i] - '0');
+  }
+  *seq = v;
+  return true;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string SegmentStore::TierDir(storage::TierIndex tier) const {
+  return StrFormat("%s/tier-%d", options_.dir.c_str(), tier);
+}
+
+std::string SegmentStore::SegmentPath(SegmentSeq seq,
+                                      storage::TierIndex tier) const {
+  return StrFormat("%s/%s%012llu%s", TierDir(tier).c_str(), kSegPrefix,
+                   static_cast<unsigned long long>(seq), kSegSuffix);
+}
+
+Result<std::unique_ptr<SegmentStore>> SegmentStore::Open(
+    SegmentStoreOptions options) {
+  auto store = std::unique_ptr<SegmentStore>(
+      new SegmentStore(std::move(options)));
+  CBFWW_RETURN_IF_ERROR(EnsureDir(store->options_.dir));
+  const int num_tiers = store->options_.hierarchy != nullptr
+                            ? store->options_.hierarchy->num_tiers()
+                            : 3;
+  std::vector<std::pair<SegmentSeq, storage::TierIndex>> found;
+  for (storage::TierIndex t = 1; t < num_tiers; ++t) {
+    const std::string dir = store->TierDir(t);
+    CBFWW_RETURN_IF_ERROR(EnsureDir(dir));
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      return Status::Internal(StrFormat("opendir %s: %s", dir.c_str(),
+                                        std::strerror(errno)));
+    }
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+        // A seal that crashed before publish; the rename never happened,
+        // so nothing references it.
+        std::remove((dir + "/" + name).c_str());
+        continue;
+      }
+      SegmentSeq seq = 0;
+      if (ParseSegmentName(name, &seq)) found.emplace_back(seq, t);
+    }
+    ::closedir(d);
+  }
+  std::sort(found.begin(), found.end());
+  for (const auto& [seq, tier] : found) {
+    if (store->segments_.count(seq) != 0) {
+      return Status::DataLoss(StrFormat(
+          "segment seq %llu present on two tiers",
+          static_cast<unsigned long long>(seq)));
+    }
+    CBFWW_RETURN_IF_ERROR(store->Attach(seq, tier));
+    store->next_seq_ = std::max(store->next_seq_, seq + 1);
+  }
+  return store;
+}
+
+Status SegmentStore::Attach(SegmentSeq seq, storage::TierIndex tier) {
+  const std::string path = SegmentPath(seq, tier);
+  SegmentReaderOptions ropts;
+  ropts.verify_record_crc = options_.verify_record_crc;
+  auto reader = SegmentReader::Open(path, ropts);
+  Status valid = reader.ok() ? reader->get()->ValidateAll() : reader.status();
+  if (!valid.ok()) {
+    // Quarantine, never delete: the bytes are evidence. A retried Open
+    // then comes up clean without this file.
+    std::rename(path.c_str(), (path + ".corrupt").c_str());
+    return Status::DataLoss(StrFormat("segment %s failed validation (%s); "
+                                      "quarantined as .corrupt",
+                                      path.c_str(),
+                                      valid.message().c_str()));
+  }
+  Slot slot;
+  slot.info.seq = seq;
+  slot.info.tier = tier;
+  slot.info.record_count = reader->get()->record_count();
+  slot.info.file_bytes = reader->get()->file_size();
+  slot.info.path = path;
+  slot.reader = std::shared_ptr<SegmentReader>(std::move(reader.value()));
+  MirrorPlacement(slot, tier);
+  std::lock_guard<std::mutex> lock(mu_);
+  segments_[seq] = std::move(slot);
+  return Status::Ok();
+}
+
+void SegmentStore::MirrorPlacement(const Slot& slot,
+                                   storage::TierIndex tier) {
+  if (options_.hierarchy == nullptr) return;
+  // Unbounded tiers in the paper's model, so Store only fails on injected
+  // faults or a capacity-bounded test hierarchy; placement mirroring is
+  // best-effort bookkeeping, not the durability source of truth.
+  slot.reader->ForEach([&](uint64_t key, std::string_view value) {
+    if (options_.hierarchy->IsResident(key, tier)) return;
+    (void)options_.hierarchy->Store(key, value.size(), tier);
+  }).ok();
+}
+
+Result<std::unique_ptr<SegmentWriter>> SegmentStore::BeginSeal() {
+  SegmentSeq seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = next_seq_++;
+  }
+  auto writer = std::make_unique<SegmentWriter>();
+  CBFWW_RETURN_IF_ERROR(
+      writer->Create(SegmentPath(seq, options_.seal_tier)));
+  return writer;
+}
+
+Result<SegmentSeq> SegmentStore::FinishSeal(
+    std::unique_ptr<SegmentWriter> writer) {
+  const std::string path = writer->path();
+  CBFWW_RETURN_IF_ERROR(writer->Finish());
+  // Recover the reserved seq from the published filename.
+  const size_t slash = path.find_last_of('/');
+  SegmentSeq seq = 0;
+  if (slash == std::string::npos ||
+      !ParseSegmentName(path.substr(slash + 1), &seq)) {
+    return Status::Internal(
+        StrFormat("sealed segment has unparseable path %s", path.c_str()));
+  }
+  CBFWW_RETURN_IF_ERROR(Attach(seq, options_.seal_tier));
+  return seq;
+}
+
+Result<SegmentSeq> SegmentStore::Seal(
+    const std::vector<std::pair<uint64_t, std::string>>& records) {
+  CBFWW_ASSIGN_OR_RETURN(std::unique_ptr<SegmentWriter> writer, BeginSeal());
+  for (const auto& [key, value] : records) {
+    CBFWW_RETURN_IF_ERROR(writer->Add(key, value));
+  }
+  return FinishSeal(std::move(writer));
+}
+
+Result<SegmentStore::LookupResult> SegmentStore::Lookup(uint64_t key) const {
+  // Snapshot the slot list under the lock, probe outside it.
+  std::vector<std::pair<std::shared_ptr<SegmentReader>, SegmentInfo>> snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.reserve(segments_.size());
+    for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+      snap.emplace_back(it->second.reader, it->second.info);
+    }
+  }
+  const uint64_t start = NowNs();
+  for (auto& [reader, info] : snap) {
+    auto v = reader->Lookup(key);
+    if (v.ok()) {
+      if (options_.hierarchy != nullptr) {
+        options_.hierarchy->RecordMeasuredRead(info.tier, NowNs() - start);
+      }
+      LookupResult out;
+      out.value = *v;
+      out.reader = std::move(reader);
+      out.seq = info.seq;
+      out.tier = info.tier;
+      return out;
+    }
+    if (v.status().code() != StatusCode::kNotFound) return v.status();
+  }
+  return Status::NotFound("key not in any segment");
+}
+
+Status SegmentStore::MigrateSegment(SegmentSeq seq, storage::TierIndex dst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(seq);
+  if (it == segments_.end()) {
+    return Status::NotFound("no such segment");
+  }
+  Slot& slot = it->second;
+  if (slot.info.tier == dst) return Status::Ok();
+  const std::string dst_path = SegmentPath(seq, dst);
+  CBFWW_RETURN_IF_ERROR(EnsureDir(TierDir(dst)));
+  // rename(2) leaves existing mmap views (in-flight LookupResults) intact:
+  // the mapping follows the inode, not the name.
+  if (std::rename(slot.info.path.c_str(), dst_path.c_str()) != 0) {
+    return Status::Internal(StrFormat("rename %s -> %s: %s",
+                                      slot.info.path.c_str(),
+                                      dst_path.c_str(), std::strerror(errno)));
+  }
+  if (options_.hierarchy != nullptr) {
+    slot.reader->ForEach([&](uint64_t key, std::string_view) {
+      (void)options_.hierarchy->Migrate(key, dst, /*exclusive=*/true);
+    }).ok();
+  }
+  slot.info.tier = dst;
+  slot.info.path = dst_path;
+  return Status::Ok();
+}
+
+Status SegmentStore::DropSegment(SegmentSeq seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(seq);
+  if (it == segments_.end()) {
+    return Status::NotFound("no such segment");
+  }
+  // unlink(2) also leaves live mappings intact; pinned LookupResults keep
+  // serving until their shared_ptr releases the reader.
+  std::remove(it->second.info.path.c_str());
+  if (options_.hierarchy != nullptr) {
+    const storage::TierIndex tier = it->second.info.tier;
+    it->second.reader->ForEach([&](uint64_t key, std::string_view) {
+      (void)options_.hierarchy->Evict(key, tier);
+    }).ok();
+  }
+  segments_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<SegmentInfo> SegmentStore::ListSegments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SegmentInfo> out;
+  out.reserve(segments_.size());
+  for (const auto& [seq, slot] : segments_) out.push_back(slot.info);
+  return out;
+}
+
+size_t SegmentStore::segment_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.size();
+}
+
+uint64_t SegmentStore::record_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [seq, slot] : segments_) total += slot.info.record_count;
+  return total;
+}
+
+}  // namespace cbfww::segment

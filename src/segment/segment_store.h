@@ -1,0 +1,135 @@
+#ifndef CBFWW_SEGMENT_SEGMENT_STORE_H_
+#define CBFWW_SEGMENT_SEGMENT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "segment/segment_reader.h"
+#include "segment/segment_writer.h"
+#include "storage/hierarchy.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cbfww::segment {
+
+/// Identifier of one segment within a store (monotonic, never reused).
+using SegmentSeq = uint64_t;
+
+struct SegmentStoreOptions {
+  /// Root directory; per-tier segments live in `<dir>/tier-<t>/`.
+  std::string dir;
+  /// Optional hierarchy to mirror placement into: each segment's records
+  /// are Store()d/Migrate()d at the segment's tier, and measured lookup
+  /// costs feed RecordMeasuredRead. Not owned; may be null (standalone
+  /// store, as used by BodyStore).
+  storage::StorageHierarchy* hierarchy = nullptr;
+  /// Tier new segments are sealed into (conventional layout: 1 = disk).
+  storage::TierIndex seal_tier = 1;
+  /// Verify every record CRC on every Lookup (the safe default). The
+  /// BodyStore path validates once at open instead.
+  bool verify_record_crc = true;
+};
+
+/// Per-segment bookkeeping surfaced by ListSegments.
+struct SegmentInfo {
+  SegmentSeq seq = 0;
+  storage::TierIndex tier = 1;
+  uint64_t record_count = 0;
+  uint64_t file_bytes = 0;
+  std::string path;
+};
+
+/// Owns the immutable segment sets of the disk and tertiary tiers:
+/// sealing (compacting a batch of key→value records into a new segment),
+/// keyed lookup across all live segments (newest wins), segment-granular
+/// migration between tiers, and quarantine of damaged files.
+///
+/// Concurrency: Seal/Migrate/Drop serialize on a mutex; Lookup takes the
+/// same mutex only to snapshot the reader (shared_ptr), then probes the
+/// mmap without any lock. Readers captured before a migration keep serving
+/// from their mapping — rename/unlink do not invalidate mmap views — so
+/// migration never blocks or breaks in-flight serves.
+///
+/// Damage policy: a segment that fails validation at Attach is renamed to
+/// `<file>.corrupt` (quarantined, never deleted — operator forensics) and
+/// reported as kDataLoss; lookups simply skip it after quarantine.
+class SegmentStore {
+ public:
+  /// Creates tier directories and attaches any segments already on disk
+  /// (newest first). Stray `.tmp` files (crashed seals) are removed.
+  /// Returns kDataLoss if any existing segment fails validation — after
+  /// quarantining it so a retry comes up clean.
+  static Result<std::unique_ptr<SegmentStore>> Open(
+      SegmentStoreOptions options);
+
+  /// Compacts `records` into a new immutable segment at options.seal_tier.
+  /// Returns its seq. Keys may repeat across segments (newer segment
+  /// shadows older at Lookup) but not within the batch.
+  Result<SegmentSeq> Seal(
+      const std::vector<std::pair<uint64_t, std::string>>& records);
+
+  /// Begins a streaming seal: returns a writer publishing to the next
+  /// segment path at seal_tier. Call FinishSeal with it to register.
+  Result<std::unique_ptr<SegmentWriter>> BeginSeal();
+  Result<SegmentSeq> FinishSeal(std::unique_ptr<SegmentWriter> writer);
+
+  /// Zero-copy keyed lookup, newest segment first. The returned view stays
+  /// valid as long as the returned reader handle is held, surviving
+  /// concurrent migration/drop of the segment.
+  struct LookupResult {
+    std::string_view value;
+    /// Pins the mapping the view aliases.
+    std::shared_ptr<SegmentReader> reader;
+    SegmentSeq seq = 0;
+    storage::TierIndex tier = 1;
+  };
+  Result<LookupResult> Lookup(uint64_t key) const;
+
+  /// Moves one whole segment between tiers: the file is renamed into the
+  /// destination tier directory and (when a hierarchy is wired) every
+  /// record's placement migrates with it. In-flight readers are unaffected.
+  Status MigrateSegment(SegmentSeq seq, storage::TierIndex dst);
+
+  /// Unlinks the segment file and forgets it. Holders of LookupResult
+  /// readers keep serving from the pinned mapping.
+  Status DropSegment(SegmentSeq seq);
+
+  std::vector<SegmentInfo> ListSegments() const;
+  size_t segment_count() const;
+  /// Total records across live segments (keys shadowed by newer segments
+  /// still count — the store does not dedupe).
+  uint64_t record_count() const;
+
+  const SegmentStoreOptions& options() const { return options_; }
+  /// Path a segment with sequence `seq` would occupy at `tier`.
+  std::string SegmentPath(SegmentSeq seq, storage::TierIndex tier) const;
+
+ private:
+  struct Slot {
+    SegmentInfo info;
+    std::shared_ptr<SegmentReader> reader;
+  };
+
+  explicit SegmentStore(SegmentStoreOptions options)
+      : options_(std::move(options)) {}
+
+  std::string TierDir(storage::TierIndex tier) const;
+  /// Validates and registers one on-disk segment file; quarantines on
+  /// failure.
+  Status Attach(SegmentSeq seq, storage::TierIndex tier);
+  void MirrorPlacement(const Slot& slot, storage::TierIndex tier);
+
+  SegmentStoreOptions options_;
+  mutable std::mutex mu_;
+  std::map<SegmentSeq, Slot> segments_;  // Ordered: rbegin() = newest.
+  SegmentSeq next_seq_ = 1;
+};
+
+}  // namespace cbfww::segment
+
+#endif  // CBFWW_SEGMENT_SEGMENT_STORE_H_

@@ -1,0 +1,163 @@
+#include "segment/segment_writer.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "durability/crc32c.h"
+#include "durability/record_io.h"
+#include "util/strings.h"
+
+namespace cbfww::segment {
+
+namespace {
+
+Status IoError(const char* what, const std::string& path) {
+  return Status::Internal(StrFormat("segment writer: %s failed for %s: %s",
+                                    what, path.c_str(),
+                                    std::strerror(errno)));
+}
+
+}  // namespace
+
+SegmentWriter::~SegmentWriter() {
+  if (!finished_) Abandon();
+}
+
+Status SegmentWriter::Create(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("segment writer already open");
+  }
+  path_ = path;
+  tmp_path_ = path + ".tmp";
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
+  if (file_ == nullptr) return IoError("open", tmp_path_);
+  // Header placeholder; Finish() patches the real one in place.
+  char zeros[kSegmentHeaderSize] = {};
+  if (std::fwrite(zeros, 1, sizeof(zeros), file_) != sizeof(zeros)) {
+    return IoError("write header", tmp_path_);
+  }
+  data_bytes_ = 0;
+  entries_.clear();
+  keys_.clear();
+  finished_ = false;
+  return Status::Ok();
+}
+
+Status SegmentWriter::Add(uint64_t key, std::string_view value) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("segment writer not open");
+  }
+  if (value.size() > kSegmentMaxValueBytes) {
+    return Status::InvalidArgument("segment value exceeds size bound");
+  }
+  if (!keys_.insert(key).second) {
+    return Status::InvalidArgument(
+        StrFormat("duplicate segment key %llu",
+                  static_cast<unsigned long long>(key)));
+  }
+  durability::RecordWriter head;
+  head.PutU64(key);
+  head.PutU64(value.size());
+  uint32_t crc = durability::Crc32c(head.buffer().data(), head.size());
+  crc = durability::Crc32c(value.data(), value.size(), crc);
+  head.PutU32(durability::MaskCrc(crc));
+  const uint64_t offset = kSegmentHeaderSize + data_bytes_;
+  if (std::fwrite(head.buffer().data(), 1, head.size(), file_) !=
+      head.size()) {
+    return IoError("write record header", tmp_path_);
+  }
+  if (!value.empty() &&
+      std::fwrite(value.data(), 1, value.size(), file_) != value.size()) {
+    return IoError("write record value", tmp_path_);
+  }
+  entries_.push_back(Entry{key, offset});
+  data_bytes_ += kSegmentRecordHeaderSize + value.size();
+  return Status::Ok();
+}
+
+Status SegmentWriter::Finish() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("segment writer not open");
+  }
+
+  // Two-level directory: bucket = low hash byte; within a bucket, open
+  // addressing over a slot array sized 2x its entry count.
+  std::vector<std::vector<Entry>> buckets(kSegmentDirBuckets);
+  for (const Entry& e : entries_) {
+    buckets[SegmentHashKey(e.key) & (kSegmentDirBuckets - 1)].push_back(e);
+  }
+
+  durability::RecordWriter dir;
+  uint64_t slots_offset = kSegmentHeaderSize + data_bytes_ +
+                          kSegmentDirTableSize;
+  std::vector<uint64_t> bucket_slots(kSegmentDirBuckets, 0);
+  for (size_t b = 0; b < kSegmentDirBuckets; ++b) {
+    const uint64_t nslots = buckets[b].empty() ? 0 : 2 * buckets[b].size();
+    bucket_slots[b] = nslots;
+    dir.PutU64(nslots == 0 ? 0 : slots_offset);
+    dir.PutU64(nslots);
+    slots_offset += nslots * kSegmentDirSlotSize;
+  }
+  for (size_t b = 0; b < kSegmentDirBuckets; ++b) {
+    const uint64_t nslots = bucket_slots[b];
+    if (nslots == 0) continue;
+    std::vector<Entry> slots(nslots);  // offset 0 = empty.
+    for (const Entry& e : buckets[b]) {
+      uint64_t i = (SegmentHashKey(e.key) >> 8) % nslots;
+      while (slots[i].offset != 0) i = (i + 1) % nslots;
+      slots[i] = e;
+    }
+    for (const Entry& s : slots) {
+      dir.PutU64(s.key);
+      dir.PutU64(s.offset);
+    }
+  }
+  dir.PutU32(durability::MaskCrc(
+      durability::Crc32c(dir.buffer().data(), dir.size())));
+  if (std::fwrite(dir.buffer().data(), 1, dir.size(), file_) != dir.size()) {
+    return IoError("write directory", tmp_path_);
+  }
+
+  durability::RecordWriter header;
+  header.PutBytes(kSegmentMagic, sizeof(kSegmentMagic));
+  header.PutU32(kSegmentVersion);
+  header.PutU32(0);  // flags
+  header.PutU64(entries_.size());
+  header.PutU64(kSegmentHeaderSize);
+  header.PutU64(data_bytes_);
+  header.PutU64(kSegmentHeaderSize + data_bytes_);
+  header.PutU64(dir.size());
+  header.PutU32(durability::MaskCrc(durability::Crc32c(
+      header.buffer().data(), kSegmentHeaderCrcCoverage)));
+  if (std::fflush(file_) != 0 ||
+      std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(header.buffer().data(), 1, header.size(), file_) !=
+          header.size() ||
+      std::fflush(file_) != 0) {
+    return IoError("patch header", tmp_path_);
+  }
+  if (::fsync(::fileno(file_)) != 0) return IoError("fsync", tmp_path_);
+  if (std::fclose(file_) != 0) {
+    file_ = nullptr;
+    return IoError("close", tmp_path_);
+  }
+  file_ = nullptr;
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    return IoError("rename", path_);
+  }
+  finished_ = true;
+  return Status::Ok();
+}
+
+void SegmentWriter::Abandon() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (!tmp_path_.empty()) std::remove(tmp_path_.c_str());
+}
+
+}  // namespace cbfww::segment

@@ -1,0 +1,70 @@
+#ifndef CBFWW_SEGMENT_SEGMENT_WRITER_H_
+#define CBFWW_SEGMENT_SEGMENT_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "segment/segment_format.h"
+#include "util/status.h"
+
+namespace cbfww::segment {
+
+/// Builds one immutable segment file. Records stream straight to disk (a
+/// `<path>.tmp` scratch file), so packing a corpus that exceeds memory
+/// never holds more than one value in RAM; only the (key, offset) index —
+/// 16 bytes per record — is kept for the directory build. Finish() appends
+/// the two-level hash directory, patches the header, fsyncs, and renames
+/// the scratch file onto `path`, so a crash at any point leaves either no
+/// segment or a complete, validated one (plus at worst a stray .tmp that
+/// readers ignore).
+class SegmentWriter {
+ public:
+  SegmentWriter() = default;
+  /// Abandons (removes) the scratch file if Finish() was never reached.
+  ~SegmentWriter();
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+  /// Opens `<path>.tmp` for streaming; `path` is where Finish() will
+  /// publish the segment.
+  Status Create(const std::string& path);
+
+  /// Appends one record. Keys must be unique within a segment
+  /// (kInvalidArgument otherwise — the store's object ids are unique, and
+  /// rejecting duplicates keeps lookup semantics unambiguous).
+  Status Add(uint64_t key, std::string_view value);
+
+  /// Writes the directory, patches the header, fsyncs, and atomically
+  /// renames the scratch file onto the target path.
+  Status Finish();
+
+  /// Closes and removes the scratch file without publishing.
+  void Abandon();
+
+  uint64_t record_count() const { return entries_.size(); }
+  /// Packed-records bytes so far (excluding header and directory).
+  uint64_t data_bytes() const { return data_bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t offset = 0;
+  };
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string tmp_path_;
+  uint64_t data_bytes_ = 0;
+  std::vector<Entry> entries_;
+  std::unordered_set<uint64_t> keys_;
+  bool finished_ = false;
+};
+
+}  // namespace cbfww::segment
+
+#endif  // CBFWW_SEGMENT_SEGMENT_WRITER_H_

@@ -1,5 +1,10 @@
 #include "server/body_store.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
+
+#include "segment/segment_writer.h"
 #include "util/strings.h"
 
 namespace cbfww::server {
@@ -13,35 +18,107 @@ constexpr std::string_view kFiller =
 
 }  // namespace
 
-BodyStore::BodyStore(const corpus::WebCorpus& corpus)
-    : slots_(corpus.num_raw_objects()) {
+std::string BodyStore::RenderNatural(const corpus::WebCorpus& corpus,
+                                     corpus::RawId id) {
   const text::Vocabulary& vocab = corpus.vocabulary();
-  entries_.reserve(corpus.num_raw_objects());
-  for (corpus::RawId id = 0; id < corpus.num_raw_objects(); ++id) {
-    const corpus::RawWebObject& raw = corpus.raw(id);
+  const corpus::RawWebObject& raw = corpus.raw(id);
+  std::string out;
+  out += StrFormat("<!-- object %llu v%u %s -->\n",
+                   static_cast<unsigned long long>(raw.id), raw.version,
+                   raw.url.c_str());
+  out += "<title>";
+  for (size_t i = 0; i < raw.title_terms.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += vocab.TermOf(raw.title_terms[i]);
+  }
+  out += "</title>\n";
+  for (size_t i = 0; i < raw.body_terms.size(); ++i) {
+    out += vocab.TermOf(raw.body_terms[i]);
+    out += (i + 1) % 12 == 0 ? '\n' : ' ';
+  }
+  out += '\n';
+  return out;
+}
+
+void BodyStore::PadTo(size_t target, std::string* body) {
+  if (body->size() < target) body->reserve(target);
+  while (body->size() < target) {
+    size_t n = target - body->size();
+    body->append(kFiller, 0, n < kFiller.size() ? n : kFiller.size());
+  }
+}
+
+BodyStore::BodyStore(const corpus::WebCorpus& corpus,
+                     const BodyStoreOptions& options)
+    : num_objects_(corpus.num_raw_objects()) {
+  if (!options.segment_dir.empty()) {
+    segment_status_ = OpenSegmentMode(corpus, options.segment_dir);
+    if (segment_status_.ok()) return;
+    // Fall back to heap mode; segment_status_ records why.
+    segment_reader_.reset();
+    segment_path_.clear();
+    sizes_.clear();
+  }
+  BuildHeapMode(corpus);
+}
+
+Status BodyStore::OpenSegmentMode(const corpus::WebCorpus& corpus,
+                                  const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal(
+        StrFormat("body store: mkdir %s failed", dir.c_str()));
+  }
+  const std::string path = dir + "/bodies.seg";
+  segment::SegmentReaderOptions ropts;
+  // One full-file validation below, then CRC-free lookups: the file is
+  // immutable, so the hot path pays only the directory probe.
+  ropts.verify_record_crc = false;
+
+  // Adopt a segment left by a previous run when it covers this corpus —
+  // warm restart without re-rendering.
+  auto existing = segment::SegmentReader::Open(path, ropts);
+  if (existing.ok() && (*existing)->record_count() == num_objects_ &&
+      (*existing)->ValidateAll().ok()) {
+    segment_reader_ = std::move(existing.value());
+  } else {
+    if (existing.ok()) existing.value().reset();  // Stale: rebuild over it.
+    segment::SegmentWriter writer;
+    CBFWW_RETURN_IF_ERROR(writer.Create(path));
+    for (corpus::RawId id = 0; id < num_objects_; ++id) {
+      // One body in RAM at a time: render, pad, stream to disk, drop.
+      std::string body = RenderNatural(corpus, id);
+      PadTo(corpus.raw(id).size_bytes, &body);
+      CBFWW_RETURN_IF_ERROR(writer.Add(id, body));
+    }
+    CBFWW_RETURN_IF_ERROR(writer.Finish());
+    auto built = segment::SegmentReader::Open(path, ropts);
+    if (!built.ok()) return built.status();
+    CBFWW_RETURN_IF_ERROR((*built)->ValidateAll());
+    segment_reader_ = std::move(built.value());
+  }
+  segment_path_ = path;
+  sizes_.assign(num_objects_, 0);
+  return segment_reader_->ForEach([&](uint64_t key, std::string_view value) {
+    if (key < sizes_.size()) sizes_[key] = value.size();
+  });
+}
+
+void BodyStore::BuildHeapMode(const corpus::WebCorpus& corpus) {
+  slots_ = std::vector<std::atomic<const std::string*>>(num_objects_);
+  entries_.reserve(num_objects_);
+  for (corpus::RawId id = 0; id < num_objects_; ++id) {
     Entry entry;
-    entry.target_size = raw.size_bytes;
-    std::string& out = entry.natural;
-    out += StrFormat("<!-- object %llu v%u %s -->\n",
-                     static_cast<unsigned long long>(raw.id), raw.version,
-                     raw.url.c_str());
-    out += "<title>";
-    for (size_t i = 0; i < raw.title_terms.size(); ++i) {
-      if (i > 0) out += ' ';
-      out += vocab.TermOf(raw.title_terms[i]);
-    }
-    out += "</title>\n";
-    for (size_t i = 0; i < raw.body_terms.size(); ++i) {
-      out += vocab.TermOf(raw.body_terms[i]);
-      out += (i + 1) % 12 == 0 ? '\n' : ' ';
-    }
-    out += '\n';
+    entry.target_size = corpus.raw(id).size_bytes;
+    entry.natural = RenderNatural(corpus, id);
     entries_.push_back(std::move(entry));
     slots_[id].store(nullptr, std::memory_order_relaxed);
   }
 }
 
 size_t BodyStore::RenderedSize(corpus::RawId id) const {
+  if (segment_backed()) {
+    return id < sizes_.size() ? sizes_[id] : 0;
+  }
   if (id >= entries_.size()) return 0;
   const Entry& entry = entries_[id];
   return entry.natural.size() > entry.target_size ? entry.natural.size()
@@ -49,6 +126,13 @@ size_t BodyStore::RenderedSize(corpus::RawId id) const {
 }
 
 std::string_view BodyStore::Body(corpus::RawId id) {
+  if (segment_backed()) {
+    auto v = segment_reader_->Lookup(id);
+    // Absent or damaged: serve empty rather than wrong bytes (damage is
+    // impossible after ValidateAll on an immutable file, but never
+    // propagate a raw mmap slice on error).
+    return v.ok() ? *v : std::string_view{};
+  }
   if (id >= slots_.size()) return {};
   const std::string* body = slots_[id].load(std::memory_order_acquire);
   if (body != nullptr) return *body;
@@ -57,11 +141,7 @@ std::string_view BodyStore::Body(corpus::RawId id) {
   if (body != nullptr) return *body;  // Lost the materialization race.
   const Entry& entry = entries_[id];
   std::string padded = entry.natural;
-  padded.reserve(RenderedSize(id));
-  while (padded.size() < entry.target_size) {
-    size_t n = entry.target_size - padded.size();
-    padded.append(kFiller, 0, n < kFiller.size() ? n : kFiller.size());
-  }
+  PadTo(entry.target_size, &padded);
   auto rendered = std::make_unique<const std::string>(std::move(padded));
   body = rendered.get();
   owned_.push_back(std::move(rendered));

@@ -11,30 +11,53 @@
 #include <vector>
 
 #include "corpus/web_corpus.h"
+#include "segment/segment_reader.h"
+#include "util/status.h"
 
 namespace cbfww::server {
+
+struct BodyStoreOptions {
+  /// When non-empty, bodies are compacted once into an immutable segment
+  /// file (`<segment_dir>/bodies.seg`) at construction and served
+  /// zero-copy from its mmap for the store's lifetime — RAM holds only the
+  /// 8-byte size table, not the bodies (the kernel pages body bytes in and
+  /// out on demand). A valid segment already on disk whose record count
+  /// matches the corpus is reused as-is: a warm restart serves without
+  /// re-rendering anything.
+  ///
+  /// Empty: heap mode — bodies are rendered into immortal heap strings
+  /// (the pre-segment behavior).
+  std::string segment_dir;
+};
 
 /// Immutable rendered-body cache over a corpus: the synthetic corpus
 /// stores term ids and logical sizes, so the serving layer renders each
 /// raw object's document text once and then serves it forever by
-/// reference. Rendered bodies live in heap strings whose addresses never
-/// move, which is what lets the page-serve hot path hand spans straight
-/// to writev with zero copies — and lets components shared by many pages
-/// be rendered and stored exactly once.
+/// reference — from an mmap'd segment file (segment mode) or from heap
+/// strings whose addresses never move (heap mode). Either way the
+/// page-serve hot path hands spans straight to writev with zero copies.
 ///
 /// The term text of every object is resolved at construction time (while
 /// the cluster is idle), so serving never reads the corpus replica that
 /// shard workers mutate on /modify events; bodies are a snapshot of the
-/// initial content version, full-size padding to the object's logical
-/// size_bytes is materialized lazily on first request.
+/// initial content version. Heap mode pads to the object's logical size
+/// lazily on first request; segment mode streams fully padded bodies to
+/// disk one at a time, so peak RAM never holds more than one body.
 ///
-/// Thread-safe: any IO thread may call Body(); first request of an object
-/// takes a mutex to materialize, every later lookup is one acquire-load.
+/// Thread-safe: any IO thread may call Body(). Segment mode is wait-free
+/// (an mmap probe); heap mode takes a mutex only on an object's first
+/// request.
 class BodyStore {
  public:
   /// Snapshots `corpus` (all shard replicas are identical, so any one
   /// works). The corpus may be mutated or destroyed afterwards.
-  explicit BodyStore(const corpus::WebCorpus& corpus);
+  explicit BodyStore(const corpus::WebCorpus& corpus)
+      : BodyStore(corpus, BodyStoreOptions{}) {}
+
+  /// Segment mode when `options.segment_dir` is set. If building or
+  /// validating the segment fails, the store falls back to heap mode and
+  /// segment_status() carries why.
+  BodyStore(const corpus::WebCorpus& corpus, const BodyStoreOptions& options);
 
   /// The rendered body of raw object `id`. The returned view is stable
   /// for the lifetime of the store. Returns an empty view for an
@@ -44,13 +67,21 @@ class BodyStore {
   /// Exact rendered size of `id` without forcing materialization.
   size_t RenderedSize(corpus::RawId id) const;
 
-  size_t num_objects() const { return entries_.size(); }
+  size_t num_objects() const { return num_objects_; }
 
-  /// Objects materialized so far (metrics/tests).
+  /// True when bodies are served from the mmap'd segment.
+  bool segment_backed() const { return segment_reader_ != nullptr; }
+  /// Path of the backing segment file (empty in heap mode).
+  const std::string& segment_path() const { return segment_path_; }
+  /// Why segment mode was requested but not engaged (Ok otherwise).
+  const Status& segment_status() const { return segment_status_; }
+
+  /// Objects materialized in heap memory so far (metrics/tests; stays 0
+  /// in segment mode — that is the point).
   uint64_t rendered_objects() const {
     return rendered_objects_.load(std::memory_order_relaxed);
   }
-  /// Total bytes held by materialized bodies.
+  /// Total heap bytes held by materialized bodies (0 in segment mode).
   uint64_t rendered_bytes() const {
     return rendered_bytes_.load(std::memory_order_relaxed);
   }
@@ -65,6 +96,28 @@ class BodyStore {
     size_t target_size = 0;
   };
 
+  /// Renders the natural (unpadded) text of one object.
+  static std::string RenderNatural(const corpus::WebCorpus& corpus,
+                                   corpus::RawId id);
+  /// Pads `body` out to `target` with the filler pattern.
+  static void PadTo(size_t target, std::string* body);
+
+  /// Builds (or adopts) the segment and opens the validated reader.
+  Status OpenSegmentMode(const corpus::WebCorpus& corpus,
+                         const std::string& dir);
+  void BuildHeapMode(const corpus::WebCorpus& corpus);
+
+  size_t num_objects_ = 0;
+
+  // --- Segment mode ---
+  std::unique_ptr<segment::SegmentReader> segment_reader_;
+  std::string segment_path_;
+  Status segment_status_ = Status::Ok();
+  /// Rendered size per object (the segment value length), so
+  /// RenderedSize stays O(1) without a directory probe.
+  std::vector<uint64_t> sizes_;
+
+  // --- Heap mode ---
   std::vector<Entry> entries_;
   /// One slot per raw object; null until materialized, then an immortal
   /// string published with release ordering.

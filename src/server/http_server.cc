@@ -251,7 +251,9 @@ Status HttpServer::Start() {
     page_bodies_.push_back(std::move(objects));
   }
   num_raw_objects_ = corpus.num_raw_objects();
-  body_store_ = std::make_unique<BodyStore>(corpus);
+  BodyStoreOptions body_opts;
+  body_opts.segment_dir = options_.body_segment_dir;
+  body_store_ = std::make_unique<BodyStore>(corpus, body_opts);
 
   overload_depth_threshold_ =
       options_.overload_queue_fraction > 0
@@ -1125,6 +1127,11 @@ std::string HttpServer::MetricsText() {
     os << "# TYPE cbfww_body_store_rendered_bytes gauge\n"
        << "cbfww_body_store_rendered_bytes " << body_store_->rendered_bytes()
        << "\n";
+    os << "# HELP cbfww_body_store_segment_backed 1 when /body serves "
+          "zero-copy from the mmap'd segment file.\n"
+       << "# TYPE cbfww_body_store_segment_backed gauge\n"
+       << "cbfww_body_store_segment_backed "
+       << (body_store_->segment_backed() ? 1 : 0) << "\n";
   }
 
   // Always-available per-shard runtime stats (atomic loads; never blocks,

@@ -78,6 +78,11 @@ struct ServerOptions {
   /// (0 = warehouse default). Clients override with ?deadline_ms= or the
   /// X-Deadline-Ms header.
   int64_t default_deadline_ms = 0;
+  /// When set, the body store runs in segment-backed mode: bodies are
+  /// compacted into `<dir>/bodies.seg` at Start() and /body responses
+  /// stream zero-copy from its mmap pages instead of heap snapshots (RAM
+  /// no longer double-holds the corpus). See BodyStoreOptions.
+  std::string body_segment_dir;
 };
 
 /// Aggregate request counters maintained by the IO threads (atomics so

@@ -12,6 +12,22 @@ StorageHierarchy::StorageHierarchy(std::vector<DeviceModel> tiers)
   assert(tiers_.size() <= 32);
   used_bytes_.assign(tiers_.size(), 0);
   resident_count_.assign(tiers_.size(), 0);
+  measured_read_ns_.assign(tiers_.size(), 0);
+  measured_read_count_.assign(tiers_.size(), 0);
+}
+
+void StorageHierarchy::RecordMeasuredRead(TierIndex tier, uint64_t ns) {
+  if (tier < 0 || tier >= num_tiers()) return;
+  if (measured_read_count_[tier] == 0) {
+    measured_read_ns_[tier] = ns;
+  } else {
+    // EWMA, alpha = 1/8: new = old + (sample - old) / 8.
+    const int64_t delta = static_cast<int64_t>(ns) -
+                          static_cast<int64_t>(measured_read_ns_[tier]);
+    measured_read_ns_[tier] = static_cast<uint64_t>(
+        static_cast<int64_t>(measured_read_ns_[tier]) + delta / 8);
+  }
+  ++measured_read_count_[tier];
 }
 
 DeviceFaultDecision StorageHierarchy::ConsultFaultPolicy(DeviceOp op,

@@ -133,6 +133,21 @@ class StorageHierarchy {
   Status MarkStale(StoreObjectId id, TierIndex tier);
   bool IsStale(StoreObjectId id, TierIndex tier) const;
 
+  /// Feeds one *measured* (wall-clock) read cost for a tier, in
+  /// nanoseconds. The simulated DeviceModel costs above are assumptions;
+  /// real backing stores (the segment store's mmap lookups) report what a
+  /// cold serve actually cost, and the tier boundary can be gated on that
+  /// measurement instead (PAPERS.md, cache optimization models). Smoothed
+  /// with an EWMA (alpha = 1/8).
+  void RecordMeasuredRead(TierIndex tier, uint64_t ns);
+
+  /// EWMA of measured read cost at tier t (ns); 0 before any sample.
+  uint64_t measured_read_ns(TierIndex t) const { return measured_read_ns_[t]; }
+  /// Number of measured-read samples fed for tier t.
+  uint64_t measured_read_count(TierIndex t) const {
+    return measured_read_count_[t];
+  }
+
   uint64_t used_bytes(TierIndex t) const { return used_bytes_[t]; }
   uint64_t free_bytes(TierIndex t) const;
   /// Number of objects resident at tier t.
@@ -206,6 +221,8 @@ class StorageHierarchy {
   std::unordered_map<StoreObjectId, Residency> objects_;
   std::vector<uint64_t> used_bytes_;
   std::vector<uint64_t> resident_count_;
+  std::vector<uint64_t> measured_read_ns_;
+  std::vector<uint64_t> measured_read_count_;
   Stats stats_;
   DeviceFaultPolicy* fault_policy_ = nullptr;
   PlacementListener* placement_listener_ = nullptr;

@@ -1,0 +1,239 @@
+// Segment-compaction crash soak (label: slow; run as a 3-fixed-seed
+// smoke by `scripts/ci.sh segments`): the durability_soak matrix with
+// segment-format checkpoints on, plus a killer that dies *inside*
+// compaction. Each cell runs a journaled warehouse (automatic rotation
+// every 64 events, so several segment checkpoints age naturally) to a
+// seeded crash point, then kills a manual compaction at one of the four
+// CheckpointPhases — before the segment write, after it, after the new
+// WAL exists, after the old generation is unlinked — and in odd cells
+// additionally mutilates the surviving WAL with the scheduled damage.
+// Gates: zero acknowledged-object loss, deterministic double recovery,
+// byte-identical convergence with a never-crashed oracle prefix, and a
+// strictly advancing data epoch.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/warehouse.h"
+#include "corpus/web_corpus.h"
+#include "fault/crash_point.h"
+#include "net/origin_server.h"
+#include "trace/workload.h"
+#include "util/clock.h"
+
+namespace cbfww {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kSeeds[] = {7, 77, 777};
+constexpr uint32_t kCrashPointsPerSeed = 8;
+
+constexpr core::CheckpointPhase kPhases[] = {
+    core::CheckpointPhase::kBeforeCheckpointWrite,
+    core::CheckpointPhase::kAfterCheckpointWrite,
+    core::CheckpointPhase::kAfterWalCreate,
+    core::CheckpointPhase::kAfterOldCheckpointRemoved,
+};
+
+corpus::CorpusOptions SoakCorpusOptions(uint64_t seed) {
+  corpus::CorpusOptions copts;
+  copts.num_sites = 2;
+  copts.pages_per_site = 40;
+  copts.seed = seed;
+  return copts;
+}
+
+core::WarehouseOptions SoakWarehouseOptions(const std::string& dir) {
+  core::WarehouseOptions wopts;
+  wopts.memory_bytes = 2ull * 1024 * 1024;
+  wopts.disk_bytes = 64ull * 1024 * 1024;
+  wopts.durability.dir = dir;
+  wopts.durability.segment_checkpoints = true;
+  // Rotate often enough that the matrix crashes over checkpoints of
+  // several ages, including cells with no completed rotation at all.
+  wopts.durability.checkpoint_every_events = 64;
+  return wopts;
+}
+
+struct Rig {
+  std::unique_ptr<corpus::WebCorpus> corpus;
+  std::unique_ptr<net::OriginServer> origin;
+  std::unique_ptr<core::Warehouse> wh;
+  core::RecoveryReport recovery;
+};
+
+Rig MakeRig(uint64_t seed, const std::string& dir, bool durable) {
+  Rig rig;
+  rig.corpus = std::make_unique<corpus::WebCorpus>(SoakCorpusOptions(seed));
+  rig.origin = std::make_unique<net::OriginServer>(rig.corpus.get(),
+                                                   net::NetworkModel());
+  core::WarehouseOptions wopts = SoakWarehouseOptions(durable ? dir : "");
+  rig.wh = std::make_unique<core::Warehouse>(rig.corpus.get(),
+                                             rig.origin.get(), nullptr, wopts);
+  if (durable) {
+    auto report = rig.wh->OpenDurability();
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    if (report.ok()) rig.recovery = *report;
+  }
+  return rig;
+}
+
+std::vector<trace::TraceEvent> SoakTrace(uint64_t seed) {
+  corpus::WebCorpus corpus(SoakCorpusOptions(seed));
+  trace::WorkloadOptions w;
+  w.horizon = 3 * kHour;
+  w.sessions_per_hour = 40;
+  w.modifications_per_hour = 12;
+  w.seed = seed + 1;
+  trace::WorkloadGenerator gen(&corpus, nullptr, w);
+  return gen.Generate();
+}
+
+std::string DurableReport(core::Warehouse& wh) {
+  std::ostringstream os;
+  wh.PrintDurableReport(os);
+  return os.str();
+}
+
+/// Newest WAL in `dir` (highest sequence suffix).
+std::string FindWal(const std::string& dir) {
+  std::string found;
+  uint64_t best_seq = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::string name = entry.path().filename().string();
+    size_t pos = name.find(".wal.");
+    if (pos == std::string::npos) continue;
+    uint64_t seq = std::strtoull(name.c_str() + pos + 5, nullptr, 10);
+    if (found.empty() || seq > best_seq) {
+      best_seq = seq;
+      found = entry.path().string();
+    }
+  }
+  EXPECT_FALSE(found.empty()) << "no WAL in " << dir;
+  return found;
+}
+
+bool AnySegmentCheckpoint(const std::string& dir) {
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().find(".seg.") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RunCell(uint64_t seed, const std::vector<trace::TraceEvent>& events,
+             const fault::CrashPoint& point, core::CheckpointPhase phase,
+             bool damage_wal, const std::string& tag,
+             uint64_t* segment_recoveries) {
+  std::string dir = testing::TempDir() + "/segsoak_" +
+                    std::to_string(getpid()) + "_" + tag;
+  fs::remove_all(dir);
+  uint64_t crash_at = std::min<uint64_t>(point.event_index, events.size());
+  {
+    Rig victim = MakeRig(seed, dir, true);
+    for (uint64_t i = 0; i < crash_at; ++i) {
+      victim.wh->ProcessEvent(events[i]);
+    }
+    // Die inside the compaction itself, at the cell's phase. The hook
+    // poisons the journal exactly as the real crash would leave the
+    // process: disk state frozen mid-rotation, no further acks.
+    victim.wh->mutable_journal()->set_checkpoint_crash_hook_for_test(
+        [phase](core::CheckpointPhase p) { return p == phase; });
+    Status died = victim.wh->CheckpointNow();
+    ASSERT_FALSE(died.ok()) << tag;
+    if (crash_at >= 64) {
+      // At least one automatic rotation completed before the crash, so
+      // the directory holds a segment-format checkpoint.
+      EXPECT_TRUE(AnySegmentCheckpoint(dir)) << tag;
+    }
+  }
+  if (damage_wal) {
+    ASSERT_TRUE(fault::ApplyCrash(FindWal(dir), point).ok()) << tag;
+  }
+
+  Rig recovered = MakeRig(seed, dir, true);
+  ASSERT_TRUE(recovered.recovery.recovered) << tag;
+  if (recovered.recovery.checkpoint_from_segment) ++*segment_recoveries;
+  uint64_t replayed = recovered.recovery.events_processed;
+  ASSERT_LE(replayed, crash_at) << tag;
+  std::string state = DurableReport(*recovered.wh);
+
+  // Deterministic double recovery.
+  {
+    Rig again = MakeRig(seed, dir, true);
+    ASSERT_EQ(again.recovery.events_processed, replayed) << tag;
+    ASSERT_EQ(DurableReport(*again.wh), state) << tag;
+  }
+
+  // Byte-identical convergence with the never-crashed oracle prefix.
+  Rig oracle = MakeRig(seed, dir, false);
+  for (uint64_t i = 0; i < replayed; ++i) oracle.wh->ProcessEvent(events[i]);
+  ASSERT_EQ(state, DurableReport(*oracle.wh)) << tag;
+  // Monotonic epoch: strictly above the oracle prefix and above every
+  // epoch the surviving log recorded.
+  EXPECT_GT(recovered.wh->data_epoch(), oracle.wh->data_epoch()) << tag;
+  EXPECT_GT(recovered.wh->data_epoch(), recovered.recovery.max_epoch_seen)
+      << tag;
+
+  // Zero acknowledged-object loss.
+  for (const auto& [rid, rec] : recovered.wh->raw_records()) {
+    if (!rec.acknowledged) continue;
+    storage::StoreObjectId full_id =
+        core::EncodeStoreId(index::ObjectLevel::kRaw, rid);
+    ASSERT_NE(recovered.wh->hierarchy().FastestTierOf(full_id),
+              storage::kNoTier)
+        << tag << ": acknowledged object " << rid << " lost";
+  }
+
+  // Finish the workload on the recovered warehouse: still a full citizen,
+  // including further segment-checkpoint rotations.
+  for (uint64_t i = replayed; i < events.size(); ++i) {
+    recovered.wh->ProcessEvent(events[i]);
+  }
+  Status inv = recovered.wh->CheckStorageInvariants();
+  EXPECT_TRUE(inv.ok()) << tag << ": " << inv.ToString();
+  fs::remove_all(dir);
+}
+
+class SegmentSoakTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(SegmentSoakTest, CompactionCrashMatrix) {
+  uint64_t seed = GetParam();
+  std::vector<trace::TraceEvent> events = SoakTrace(seed);
+  ASSERT_GT(events.size(), 100u);
+  fault::CrashScheduleOptions copts;
+  copts.total_events = events.size();
+  copts.num_crashes = kCrashPointsPerSeed;
+  copts.min_event = 5;
+  fault::CrashSchedule schedule = fault::CrashSchedule::Generate(seed, copts);
+  ASSERT_EQ(schedule.points.size(), kCrashPointsPerSeed);
+  uint64_t segment_recoveries = 0;
+  for (size_t c = 0; c < schedule.points.size(); ++c) {
+    // Cycle the crash phase across cells (every phase twice per seed)
+    // and mutilate the surviving WAL in every odd cell.
+    RunCell(seed, events, schedule.points[c], kPhases[c % 4],
+            /*damage_wal=*/(c % 2) == 1,
+            "s" + std::to_string(seed) + "_c" + std::to_string(c),
+            &segment_recoveries);
+  }
+  // The matrix must actually exercise segment-checkpoint recovery, not
+  // just WAL-only first-boot cells.
+  EXPECT_GT(segment_recoveries, 0u) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentSoakTest, testing::ValuesIn(kSeeds),
+                         [](const testing::TestParamInfo<uint64_t>& info) {
+                           return "seed_" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace cbfww

@@ -1,0 +1,672 @@
+// Segment-store harness (immutable cdb-style tiers): writer/reader
+// round trips, a randomized lookup ≡ in-memory-oracle property test, the
+// mmap edge cases (empty segment, single record, >64KiB bodies,
+// concurrent readers during migration, unlink mid-serve), SegmentStore
+// tier migration wired into StorageHierarchy, the segment-backed
+// BodyStore (byte-parity with heap mode, zero heap bytes held), and
+// segment-format checkpoints (round trip, crash-phase matrix, cluster
+// rotation). The corruption battery lives in segment_fuzz_test; the
+// seeded crash-matrix soak in segment_soak_test (label: slow).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/warehouse_cluster.h"
+#include "core/warehouse.h"
+#include "corpus/web_corpus.h"
+#include "net/origin_server.h"
+#include "segment/segment_reader.h"
+#include "segment/segment_store.h"
+#include "segment/segment_writer.h"
+#include "server/body_store.h"
+#include "storage/hierarchy.h"
+#include "trace/workload.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace cbfww {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string UniqueDir(const std::string& tag) {
+  std::string dir = testing::TempDir() + "/seg_" + std::to_string(getpid()) +
+                    "_" + tag;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Builds a segment at `path` from (key, value) pairs.
+void BuildSegment(const std::string& path,
+                  const std::vector<std::pair<uint64_t, std::string>>& kvs) {
+  segment::SegmentWriter w;
+  ASSERT_TRUE(w.Create(path).ok());
+  for (const auto& [k, v] : kvs) {
+    ASSERT_TRUE(w.Add(k, v).ok()) << k;
+  }
+  ASSERT_TRUE(w.Finish().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Writer/reader round trips + edge cases
+// ---------------------------------------------------------------------------
+
+TEST(SegmentFileTest, RoundtripAndAbsentKeys) {
+  std::string dir = UniqueDir("roundtrip");
+  BuildSegment(dir + "/a.seg", {{1, "alpha"}, {2, ""}, {7, "gamma-gamma"}});
+  auto r = segment::SegmentReader::Open(dir + "/a.seg");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ((*r)->record_count(), 3u);
+  EXPECT_TRUE((*r)->ValidateAll().ok());
+  EXPECT_EQ(*(*r)->Lookup(1), "alpha");
+  EXPECT_EQ(*(*r)->Lookup(2), "");  // Empty values are legal.
+  EXPECT_EQ(*(*r)->Lookup(7), "gamma-gamma");
+  auto missing = (*r)->Lookup(3);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SegmentFileTest, EmptySegment) {
+  std::string dir = UniqueDir("empty");
+  BuildSegment(dir + "/e.seg", {});
+  auto r = segment::SegmentReader::Open(dir + "/e.seg");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ((*r)->record_count(), 0u);
+  EXPECT_TRUE((*r)->ValidateAll().ok());
+  EXPECT_EQ((*r)->Lookup(0).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*r)->Lookup(42).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SegmentFileTest, SingleRecordSegment) {
+  std::string dir = UniqueDir("single");
+  BuildSegment(dir + "/s.seg", {{99, "only"}});
+  auto r = segment::SegmentReader::Open(dir + "/s.seg");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*(*r)->Lookup(99), "only");
+  EXPECT_EQ((*r)->Lookup(98).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE((*r)->ValidateAll().ok());
+}
+
+TEST(SegmentFileTest, LargeValuePastChunkThreshold) {
+  // >64KiB: the size class the server streams with chunked framing.
+  std::string big(200 * 1024, 'x');
+  for (size_t i = 0; i < big.size(); i += 97) big[i] = 'A' + (i / 97) % 26;
+  std::string dir = UniqueDir("large");
+  BuildSegment(dir + "/l.seg", {{5, big}, {6, "tiny"}});
+  auto r = segment::SegmentReader::Open(dir + "/l.seg");
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto v = (*r)->Lookup(5);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, big);
+  EXPECT_EQ(*(*r)->Lookup(6), "tiny");
+}
+
+TEST(SegmentFileTest, DuplicateKeyRejected) {
+  segment::SegmentWriter w;
+  std::string dir = UniqueDir("dup");
+  ASSERT_TRUE(w.Create(dir + "/d.seg").ok());
+  ASSERT_TRUE(w.Add(1, "first").ok());
+  Status dup = w.Add(1, "second");
+  EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
+  w.Abandon();
+}
+
+TEST(SegmentFileTest, AbandonLeavesNoFiles) {
+  std::string dir = UniqueDir("abandon");
+  {
+    segment::SegmentWriter w;
+    ASSERT_TRUE(w.Create(dir + "/x.seg").ok());
+    ASSERT_TRUE(w.Add(1, "doomed").ok());
+    // Destructor abandons an unfinished writer.
+  }
+  EXPECT_FALSE(fs::exists(dir + "/x.seg"));
+  EXPECT_FALSE(fs::exists(dir + "/x.seg.tmp"));
+}
+
+TEST(SegmentFileTest, ForEachVisitsFileOrder) {
+  std::string dir = UniqueDir("foreach");
+  BuildSegment(dir + "/f.seg", {{10, "a"}, {3, "b"}, {77, "c"}});
+  auto r = segment::SegmentReader::Open(dir + "/f.seg");
+  ASSERT_TRUE(r.ok());
+  std::vector<uint64_t> keys;
+  ASSERT_TRUE((*r)
+                  ->ForEach([&](uint64_t k, std::string_view v) {
+                    keys.push_back(k);
+                    EXPECT_FALSE(v.empty());
+                  })
+                  .ok());
+  EXPECT_EQ(keys, (std::vector<uint64_t>{10, 3, 77}));
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property: lookup ≡ in-memory oracle
+// ---------------------------------------------------------------------------
+
+TEST(SegmentPropertyTest, LookupMatchesOracleOverRandomCorpora) {
+  std::string dir = UniqueDir("property");
+  for (uint64_t seed : {11u, 22u, 33u, 44u}) {
+    Pcg32 rng(seed, /*stream=*/9);
+    std::unordered_map<uint64_t, std::string> oracle;
+    const uint32_t n = 50 + rng.NextBounded(400);
+    std::vector<std::pair<uint64_t, std::string>> kvs;
+    while (oracle.size() < n) {
+      // Keys across the whole 64-bit space (including adversarial
+      // extremes), values of wildly varying size including empty.
+      uint64_t key;
+      switch (rng.NextBounded(8)) {
+        case 0:
+          key = rng.NextBounded(4);  // Dense small ids (likely collisions).
+          break;
+        case 1:
+          key = ~0ull - rng.NextBounded(4);
+          break;
+        default:
+          key = (static_cast<uint64_t>(rng.Next()) << 32) | rng.Next();
+      }
+      if (oracle.count(key)) continue;
+      std::string value(rng.NextBounded(2000), '\0');
+      for (char& c : value) c = static_cast<char>(rng.NextBounded(256));
+      kvs.emplace_back(key, value);
+      oracle.emplace(key, std::move(value));
+    }
+    const std::string path =
+        dir + "/p" + std::to_string(seed) + ".seg";
+    BuildSegment(path, kvs);
+    auto r = segment::SegmentReader::Open(path);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_TRUE((*r)->ValidateAll().ok());
+    EXPECT_EQ((*r)->record_count(), oracle.size());
+    for (const auto& [k, v] : oracle) {
+      auto got = (*r)->Lookup(k);
+      ASSERT_TRUE(got.ok()) << "seed " << seed << " key " << k;
+      EXPECT_EQ(*got, v) << "seed " << seed << " key " << k;
+    }
+    // Probes for keys the segment does not hold.
+    for (int i = 0; i < 500; ++i) {
+      uint64_t k = (static_cast<uint64_t>(rng.Next()) << 32) | rng.Next();
+      if (oracle.count(k)) continue;
+      EXPECT_EQ((*r)->Lookup(k).status().code(), StatusCode::kNotFound);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// mmap lifetime: rename and unlink never break live views
+// ---------------------------------------------------------------------------
+
+TEST(SegmentFileTest, ViewSurvivesRenameAndUnlinkMidServe) {
+  std::string dir = UniqueDir("lifetime");
+  std::string big(128 * 1024, 'z');
+  BuildSegment(dir + "/m.seg", {{1, big}, {2, "small"}});
+  auto r = segment::SegmentReader::Open(dir + "/m.seg");
+  ASSERT_TRUE(r.ok());
+  auto view = (*r)->Lookup(1);
+  ASSERT_TRUE(view.ok());
+
+  // Tier migration is a rename: the mapping follows the inode.
+  fs::rename(dir + "/m.seg", dir + "/m.migrated.seg");
+  EXPECT_EQ(*view, big);
+  EXPECT_EQ(*(*r)->Lookup(2), "small");
+
+  // Unlink mid-serve: the inode lives until the last mapping goes.
+  fs::remove(dir + "/m.migrated.seg");
+  EXPECT_EQ(*view, big);
+  EXPECT_EQ(*(*r)->Lookup(2), "small");
+  EXPECT_TRUE((*r)->ValidateAll().ok());
+}
+
+// ---------------------------------------------------------------------------
+// SegmentStore: sealing, shadowing, migration, quarantine, reopen
+// ---------------------------------------------------------------------------
+
+segment::SegmentStoreOptions StoreOpts(const std::string& dir,
+                                       storage::StorageHierarchy* h) {
+  segment::SegmentStoreOptions o;
+  o.dir = dir;
+  o.hierarchy = h;
+  return o;
+}
+
+std::vector<storage::DeviceModel> ThreeTiers() {
+  return {storage::DeviceModel::Memory(0), storage::DeviceModel::Disk(0),
+          storage::DeviceModel::Tertiary(0)};
+}
+
+TEST(SegmentStoreTest, SealLookupAndNewestWins) {
+  std::string dir = UniqueDir("store_seal");
+  auto store = segment::SegmentStore::Open(StoreOpts(dir, nullptr));
+  ASSERT_TRUE(store.ok()) << store.status();
+  auto s1 = (*store)->Seal({{1, "old-one"}, {2, "two"}});
+  ASSERT_TRUE(s1.ok()) << s1.status();
+  auto s2 = (*store)->Seal({{1, "new-one"}, {3, "three"}});
+  ASSERT_TRUE(s2.ok());
+  EXPECT_GT(*s2, *s1);
+
+  auto hit = (*store)->Lookup(1);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->value, "new-one");  // Newer segment shadows older.
+  EXPECT_EQ(hit->seq, *s2);
+  EXPECT_EQ((*store)->Lookup(2)->value, "two");
+  EXPECT_EQ((*store)->Lookup(3)->value, "three");
+  EXPECT_EQ((*store)->Lookup(9).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ((*store)->segment_count(), 2u);
+  EXPECT_EQ((*store)->record_count(), 4u);
+}
+
+TEST(SegmentStoreTest, ReopenReattachesAndContinuesSeqs) {
+  std::string dir = UniqueDir("store_reopen");
+  segment::SegmentSeq first_seq = 0;
+  {
+    auto store = segment::SegmentStore::Open(StoreOpts(dir, nullptr));
+    ASSERT_TRUE(store.ok());
+    first_seq = *(*store)->Seal({{1, "persisted"}});
+  }
+  auto again = segment::SegmentStore::Open(StoreOpts(dir, nullptr));
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ((*again)->segment_count(), 1u);
+  EXPECT_EQ((*again)->Lookup(1)->value, "persisted");
+  auto next = (*again)->Seal({{2, "later"}});
+  ASSERT_TRUE(next.ok());
+  EXPECT_GT(*next, first_seq);  // Seqs never reuse across restarts.
+}
+
+TEST(SegmentStoreTest, MigrationMovesFileAndHierarchyPlacement) {
+  std::string dir = UniqueDir("store_migrate");
+  storage::StorageHierarchy h(ThreeTiers());
+  auto store = segment::SegmentStore::Open(StoreOpts(dir, &h));
+  ASSERT_TRUE(store.ok());
+  auto seq = (*store)->Seal({{10, "a"}, {11, "bb"}});
+  ASSERT_TRUE(seq.ok());
+  EXPECT_TRUE(h.IsResident(10, 1));
+  EXPECT_TRUE(h.IsResident(11, 1));
+
+  ASSERT_TRUE((*store)->MigrateSegment(*seq, 2).ok());
+  EXPECT_TRUE(h.IsResident(10, 2));
+  EXPECT_FALSE(h.IsResident(10, 1));
+  EXPECT_TRUE(h.CheckInvariants().ok());
+  auto infos = (*store)->ListSegments();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].tier, 2);
+  EXPECT_TRUE(fs::exists(infos[0].path));
+  EXPECT_NE(infos[0].path.find("tier-2"), std::string::npos);
+  // Values still served after the move.
+  EXPECT_EQ((*store)->Lookup(10)->value, "a");
+  EXPECT_EQ((*store)->Lookup(10)->tier, 2);
+
+  // A reopened store finds it on the tertiary tier.
+  store->reset();
+  storage::StorageHierarchy h2(ThreeTiers());
+  auto again = segment::SegmentStore::Open(StoreOpts(dir, &h2));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->ListSegments()[0].tier, 2);
+  EXPECT_TRUE(h2.IsResident(11, 2));
+}
+
+TEST(SegmentStoreTest, MeasuredReadCostFeedsHierarchy) {
+  std::string dir = UniqueDir("store_measured");
+  storage::StorageHierarchy h(ThreeTiers());
+  auto store = segment::SegmentStore::Open(StoreOpts(dir, &h));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Seal({{1, "x"}}).ok());
+  EXPECT_EQ(h.measured_read_count(1), 0u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*store)->Lookup(1).ok());
+  }
+  EXPECT_EQ(h.measured_read_count(1), 5u);
+}
+
+TEST(SegmentStoreTest, DropEvictsAndPinnedReaderKeepsServing) {
+  std::string dir = UniqueDir("store_drop");
+  storage::StorageHierarchy h(ThreeTiers());
+  auto store = segment::SegmentStore::Open(StoreOpts(dir, &h));
+  ASSERT_TRUE(store.ok());
+  auto seq = (*store)->Seal({{5, "pinned-value"}});
+  ASSERT_TRUE(seq.ok());
+  auto pinned = (*store)->Lookup(5);
+  ASSERT_TRUE(pinned.ok());
+
+  ASSERT_TRUE((*store)->DropSegment(*seq).ok());
+  EXPECT_EQ((*store)->segment_count(), 0u);
+  EXPECT_FALSE(h.IsResident(5, 1));
+  EXPECT_EQ((*store)->Lookup(5).status().code(), StatusCode::kNotFound);
+  // The in-flight serve still reads good bytes from the unlinked inode.
+  EXPECT_EQ(pinned->value, "pinned-value");
+}
+
+TEST(SegmentStoreTest, CorruptSegmentQuarantinedAtOpen) {
+  std::string dir = UniqueDir("store_corrupt");
+  std::string path;
+  {
+    auto store = segment::SegmentStore::Open(StoreOpts(dir, nullptr));
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Seal({{1, "will-be-damaged"}}).ok());
+    path = (*store)->ListSegments()[0].path;
+  }
+  {
+    // Flip one payload byte.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(70);
+    char c = 0;
+    f.read(&c, 1);
+    f.seekp(70);
+    c = static_cast<char>(c ^ 0x40);
+    f.write(&c, 1);
+  }
+  auto damaged = segment::SegmentStore::Open(StoreOpts(dir, nullptr));
+  ASSERT_FALSE(damaged.ok());
+  EXPECT_EQ(damaged.status().code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(path + ".corrupt"));  // Evidence retained.
+
+  // A retried open comes up clean (empty store).
+  auto retried = segment::SegmentStore::Open(StoreOpts(dir, nullptr));
+  ASSERT_TRUE(retried.ok()) << retried.status();
+  EXPECT_EQ((*retried)->segment_count(), 0u);
+}
+
+TEST(SegmentStoreTest, StrayTmpFromCrashedSealIsCleaned) {
+  std::string dir = UniqueDir("store_tmp");
+  {
+    auto store = segment::SegmentStore::Open(StoreOpts(dir, nullptr));
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Seal({{1, "kept"}}).ok());
+  }
+  // Simulate a seal that died mid-write.
+  std::ofstream(dir + "/tier-1/seg-000000000099.seg.tmp") << "partial";
+  auto store = segment::SegmentStore::Open(StoreOpts(dir, nullptr));
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ((*store)->segment_count(), 1u);
+  EXPECT_FALSE(fs::exists(dir + "/tier-1/seg-000000000099.seg.tmp"));
+}
+
+TEST(SegmentStoreTest, ConcurrentReadersDuringMigration) {
+  std::string dir = UniqueDir("store_concurrent");
+  auto store = segment::SegmentStore::Open(StoreOpts(dir, nullptr));
+  ASSERT_TRUE(store.ok());
+  std::vector<std::pair<uint64_t, std::string>> kvs;
+  for (uint64_t k = 0; k < 64; ++k) {
+    kvs.emplace_back(k, std::string(1024 + k * 17, 'a' + k % 26));
+  }
+  auto seq = (*store)->Seal(kvs);
+  ASSERT_TRUE(seq.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Pcg32 rng(7, t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        uint64_t k = rng.NextBounded(64);
+        auto hit = (*store)->Lookup(k);
+        if (!hit.ok() || hit->value != kvs[k].second) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Bounce the segment between tiers until the readers have provably
+  // raced the renames (at least 50 bounces and 2000 lookups).
+  for (int i = 0; i < 50 || reads.load(std::memory_order_relaxed) < 2000;
+       ++i) {
+    ASSERT_TRUE((*store)->MigrateSegment(*seq, 2).ok());
+    ASSERT_TRUE((*store)->MigrateSegment(*seq, 1).ok());
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(reads.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Segment-backed BodyStore
+// ---------------------------------------------------------------------------
+
+corpus::CorpusOptions SmallCorpus() {
+  corpus::CorpusOptions copts;
+  copts.num_sites = 2;
+  copts.pages_per_site = 20;
+  copts.seed = 5;
+  return copts;
+}
+
+TEST(SegmentBodyStoreTest, ByteParityWithHeapModeAndZeroHeapBytes) {
+  corpus::WebCorpus corpus(SmallCorpus());
+  std::string dir = UniqueDir("bodies");
+  server::BodyStoreOptions opts;
+  opts.segment_dir = dir;
+  server::BodyStore seg_store(corpus, opts);
+  ASSERT_TRUE(seg_store.segment_backed()) << seg_store.segment_status();
+  server::BodyStore heap_store(corpus);
+  ASSERT_FALSE(heap_store.segment_backed());
+
+  ASSERT_EQ(seg_store.num_objects(), heap_store.num_objects());
+  for (corpus::RawId id = 0; id < corpus.num_raw_objects(); ++id) {
+    EXPECT_EQ(seg_store.Body(id), heap_store.Body(id)) << "object " << id;
+    EXPECT_EQ(seg_store.RenderedSize(id), heap_store.RenderedSize(id));
+  }
+  // The fix under test: segment mode holds zero body bytes on the heap.
+  EXPECT_EQ(seg_store.rendered_bytes(), 0u);
+  EXPECT_EQ(seg_store.rendered_objects(), 0u);
+  EXPECT_GT(heap_store.rendered_bytes(), 0u);
+  // Out-of-range stays an empty view in both modes.
+  EXPECT_TRUE(seg_store.Body(corpus.num_raw_objects() + 7).empty());
+}
+
+TEST(SegmentBodyStoreTest, WarmRestartAdoptsExistingSegment) {
+  corpus::WebCorpus corpus(SmallCorpus());
+  std::string dir = UniqueDir("bodies_warm");
+  server::BodyStoreOptions opts;
+  opts.segment_dir = dir;
+  std::string first_body;
+  {
+    server::BodyStore store(corpus, opts);
+    ASSERT_TRUE(store.segment_backed());
+    first_body = std::string(store.Body(0));
+  }
+  auto mtime_before = fs::last_write_time(dir + "/bodies.seg");
+  server::BodyStore again(corpus, opts);
+  ASSERT_TRUE(again.segment_backed());
+  EXPECT_EQ(again.Body(0), first_body);
+  // Adopted, not rebuilt.
+  EXPECT_EQ(fs::last_write_time(dir + "/bodies.seg"), mtime_before);
+}
+
+TEST(SegmentBodyStoreTest, UnwritableDirFallsBackToHeap) {
+  corpus::WebCorpus corpus(SmallCorpus());
+  server::BodyStoreOptions opts;
+  opts.segment_dir = "/proc/definitely/not/writable";
+  server::BodyStore store(corpus, opts);
+  EXPECT_FALSE(store.segment_backed());
+  EXPECT_FALSE(store.segment_status().ok());
+  // Heap fallback still serves.
+  EXPECT_FALSE(store.Body(0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Segment-format checkpoints (a checkpoint IS a segment)
+// ---------------------------------------------------------------------------
+
+struct Rig {
+  std::unique_ptr<corpus::WebCorpus> corpus;
+  std::unique_ptr<net::OriginServer> origin;
+  std::unique_ptr<core::Warehouse> wh;
+};
+
+Rig MakeRig(const std::string& dir, bool segment_checkpoints = true) {
+  Rig rig;
+  rig.corpus = std::make_unique<corpus::WebCorpus>(SmallCorpus());
+  rig.origin = std::make_unique<net::OriginServer>(rig.corpus.get(),
+                                                   net::NetworkModel());
+  core::WarehouseOptions wopts;
+  wopts.memory_bytes = 2ull * 1024 * 1024;
+  wopts.disk_bytes = 64ull * 1024 * 1024;
+  wopts.durability.dir = dir;
+  wopts.durability.segment_checkpoints = segment_checkpoints;
+  rig.wh = std::make_unique<core::Warehouse>(rig.corpus.get(),
+                                             rig.origin.get(), nullptr,
+                                             wopts);
+  return rig;
+}
+
+std::vector<trace::TraceEvent> SmallWorkload() {
+  trace::WorkloadOptions w;
+  w.horizon = kHour;
+  w.sessions_per_hour = 30;
+  w.modifications_per_hour = 10;
+  w.seed = 3;
+  corpus::WebCorpus gen_corpus(SmallCorpus());
+  trace::WorkloadGenerator gen(&gen_corpus, nullptr, w);
+  return gen.Generate();
+}
+
+std::string DurableReport(core::Warehouse& wh) {
+  std::ostringstream os;
+  wh.PrintDurableReport(os);
+  return os.str();
+}
+
+TEST(SegmentCheckpointTest, RoundTripRecoversByteIdentical) {
+  std::string dir = UniqueDir("seg_ckpt");
+  std::string state;
+  uint64_t events = 0;
+  {
+    Rig rig = MakeRig(dir);
+    ASSERT_TRUE(rig.wh->OpenDurability().ok());
+    for (const auto& e : SmallWorkload()) rig.wh->ProcessEvent(e);
+    ASSERT_TRUE(rig.wh->CheckpointNow().ok());
+    events = rig.wh->events_processed();
+    state = DurableReport(*rig.wh);
+    // The rotation produced a segment checkpoint, not a flat one.
+    EXPECT_TRUE(fs::exists(dir + "/warehouse.seg.2"));
+    EXPECT_FALSE(fs::exists(dir + "/warehouse.ckpt.2"));
+  }
+  Rig rec = MakeRig(dir);
+  auto report = rec.wh->OpenDurability();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->recovered);
+  EXPECT_TRUE(report->checkpoint_from_segment);
+  EXPECT_EQ(report->events_processed, events);
+  EXPECT_EQ(DurableReport(*rec.wh), state);
+}
+
+TEST(SegmentCheckpointTest, FormatFlipEitherDirectionRecovers) {
+  // Flat-format run, then reopen with segment checkpoints on (and back).
+  std::string dir = UniqueDir("seg_flip");
+  std::string state;
+  {
+    Rig rig = MakeRig(dir, /*segment_checkpoints=*/false);
+    ASSERT_TRUE(rig.wh->OpenDurability().ok());
+    for (const auto& e : SmallWorkload()) rig.wh->ProcessEvent(e);
+    state = DurableReport(*rig.wh);
+  }
+  {
+    Rig rig = MakeRig(dir, /*segment_checkpoints=*/true);
+    auto report = rig.wh->OpenDurability();
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_FALSE(report->checkpoint_from_segment);  // Old flat file.
+    EXPECT_EQ(DurableReport(*rig.wh), state);
+    ASSERT_TRUE(rig.wh->CheckpointNow().ok());  // Rotates to segment.
+  }
+  {
+    Rig rig = MakeRig(dir, /*segment_checkpoints=*/false);
+    auto report = rig.wh->OpenDurability();
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_TRUE(report->checkpoint_from_segment);  // Newest wins.
+    EXPECT_EQ(DurableReport(*rig.wh), state);
+  }
+}
+
+TEST(SegmentCheckpointTest, CrashAtEveryPhaseRecoversWithZeroAckedLoss) {
+  using core::CheckpointPhase;
+  for (CheckpointPhase phase :
+       {CheckpointPhase::kBeforeCheckpointWrite,
+        CheckpointPhase::kAfterCheckpointWrite,
+        CheckpointPhase::kAfterWalCreate,
+        CheckpointPhase::kAfterOldCheckpointRemoved}) {
+    std::string tag = "phase_" + std::to_string(static_cast<int>(phase));
+    std::string dir = UniqueDir("seg_crash_" + tag);
+    std::string state;
+    uint64_t events = 0;
+    {
+      Rig rig = MakeRig(dir);
+      ASSERT_TRUE(rig.wh->OpenDurability().ok());
+      for (const auto& e : SmallWorkload()) rig.wh->ProcessEvent(e);
+      events = rig.wh->events_processed();
+      state = DurableReport(*rig.wh);
+      rig.wh->mutable_journal()->set_checkpoint_crash_hook_for_test(
+          [phase](CheckpointPhase p) { return p == phase; });
+      Status died = rig.wh->CheckpointNow();
+      EXPECT_FALSE(died.ok()) << tag;
+      // The broken journal refuses further work (log-before-ack holds).
+      EXPECT_FALSE(rig.wh->CheckpointNow().ok()) << tag;
+    }
+    Rig rec = MakeRig(dir);
+    auto report = rec.wh->OpenDurability();
+    ASSERT_TRUE(report.ok()) << tag << ": " << report.status().ToString();
+    // Whichever side of the rotation survived, the recovered state is the
+    // exact pre-crash state: the checkpoint covers it, or the old
+    // checkpoint + full WAL replays to it.
+    EXPECT_EQ(rec.wh->events_processed(), events) << tag;
+    EXPECT_EQ(DurableReport(*rec.wh), state) << tag;
+  }
+}
+
+TEST(SegmentCheckpointTest, ClusterCheckpointAllShardsAndRecover) {
+  std::string dir = UniqueDir("seg_cluster");
+  std::vector<trace::TraceEvent> events = SmallWorkload();
+  std::string report_before;
+  {
+    cluster::ClusterOptions copts;
+    copts.num_shards = 2;
+    copts.durability.dir = dir;
+    copts.durability.segment_checkpoints = true;
+    cluster::WarehouseCluster cl(SmallCorpus(), std::nullopt, copts);
+    ASSERT_TRUE(cl.durability_status().ok());
+    cl.Replay(events);
+    ASSERT_TRUE(cl.CheckpointAllShards().ok());
+    std::ostringstream os;
+    for (uint32_t i = 0; i < 2; ++i) {
+      cl.mutable_shard(i).PrintDurableReport(os);
+    }
+    report_before = os.str();
+    // Both shards rotated to segment checkpoints.
+    EXPECT_TRUE(fs::exists(dir + "/shard-0/warehouse.seg.2"));
+    EXPECT_TRUE(fs::exists(dir + "/shard-1/warehouse.seg.2"));
+  }
+  {
+    cluster::ClusterOptions copts;
+    copts.num_shards = 2;
+    copts.durability.dir = dir;
+    copts.durability.segment_checkpoints = true;
+    cluster::WarehouseCluster cl(SmallCorpus(), std::nullopt, copts);
+    ASSERT_TRUE(cl.durability_status().ok());
+    ASSERT_EQ(cl.recovery_reports().size(), 2u);
+    for (const auto& r : cl.recovery_reports()) {
+      EXPECT_TRUE(r.recovered);
+      EXPECT_TRUE(r.checkpoint_from_segment);
+    }
+    std::ostringstream os;
+    for (uint32_t i = 0; i < 2; ++i) {
+      cl.mutable_shard(i).PrintDurableReport(os);
+    }
+    EXPECT_EQ(os.str(), report_before);
+  }
+}
+
+}  // namespace
+}  // namespace cbfww

@@ -14,7 +14,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -394,6 +397,76 @@ TEST(ServerE2eTest, BodyRouteStreamsRenderedBodiesZeroCopy) {
   EXPECT_EQ(missing->status, 404);
 
   server.Stop();
+}
+
+// Same /body contract with the segment-backed store: bodies stream
+// zero-copy from the mmap'd segment file rather than heap snapshots.
+// Lifetime body_bytes_copied must stay 0, heap body bytes must stay 0,
+// and >chunk_threshold bodies must still take the chunked path — the
+// external-iovec framing works identically over mmap pages.
+TEST(ServerE2eTest, BodyRouteServesFromSegmentStoreZeroCopy) {
+  std::string seg_dir = testing::TempDir() + "/e2e_bodies_" +
+                        std::to_string(getpid());
+  std::filesystem::remove_all(seg_dir);
+
+  WarehouseCluster cluster(TestCorpusOptions(), std::nullopt,
+                           TestClusterOptions(1));
+  ServerOptions server_options;
+  server_options.chunk_threshold = 2048;
+  server_options.body_segment_dir = seg_dir;
+  HttpServer server(&cluster, server_options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.body_store()->segment_backed())
+      << server.body_store()->segment_status();
+  // Segment mode never materializes bodies on the heap.
+  EXPECT_EQ(server.body_store()->rendered_bytes(), 0u);
+
+  SimpleHttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // A heap-mode twin is the byte oracle: both modes must serve
+  // identical bodies.
+  WarehouseCluster mirror(TestCorpusOptions(), std::nullopt,
+                          TestClusterOptions(1));
+  BodyStore oracle(mirror.shard(0).corpus());
+
+  const auto& corpus = cluster.shard(0).corpus();
+  uint64_t expected_total = 0;
+  bool saw_chunked = false;
+  for (corpus::PageId page = 0; page < 8; ++page) {
+    auto response = client.RoundTrip("GET", "/body/" + std::to_string(page));
+    ASSERT_TRUE(response.ok()) << "page " << page;
+    ASSERT_EQ(response->status, 200) << "page " << page;
+
+    const corpus::PhysicalPageSpec& spec = corpus.page(page);
+    std::string expected(oracle.Body(spec.container));
+    for (corpus::RawId component : spec.components) {
+      expected += oracle.Body(component);
+    }
+    ASSERT_EQ(response->body, expected) << "page " << page;
+    expected_total += expected.size();
+    if (expected.size() > server_options.chunk_threshold) {
+      EXPECT_EQ(response->Header("transfer-encoding"), "chunked");
+      saw_chunked = true;
+    }
+  }
+  EXPECT_TRUE(saw_chunked);
+
+  // The acceptance gate: every body byte left via writev by reference to
+  // the mmap — nothing was copied, nothing rendered onto the heap.
+  EXPECT_EQ(server.stats().body_bytes_zero_copy.load(), expected_total);
+  EXPECT_EQ(server.stats().body_bytes_copied.load(), 0u);
+  EXPECT_EQ(server.body_store()->rendered_bytes(), 0u);
+  EXPECT_EQ(server.body_store()->rendered_objects(), 0u);
+
+  // The mode is observable on the wire.
+  auto metrics = client.RoundTrip("GET", "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->body.find("cbfww_body_store_segment_backed 1"),
+            std::string::npos);
+
+  server.Stop();
+  std::filesystem::remove_all(seg_dir);
 }
 
 TEST(ServerE2eTest, OverloadedShardYields503AndMetricsMatchReport) {
