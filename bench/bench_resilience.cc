@@ -1,0 +1,273 @@
+// Wire resilience under attack: a slowloris fleet (64 partial-header
+// connections, reconnecting as the server's header deadline reaps them)
+// squats on the server while the workload harness measures legitimate
+// closed-loop traffic. Per seed, three numbers matter:
+//   - baseline p99 (no attack) vs attacked p99: the lifecycle deadlines
+//     must keep well-behaved latency bounded — attacked p99 <= 3x baseline
+//     (plus a small absolute floor so microsecond baselines don't make the
+//     ratio gate noise-bound).
+//   - zero legit errors: the attack may slow things, never break them.
+//   - timeouts_header > 0 and open connections back to baseline after the
+//     fleet stops: the attack was real and nothing leaked.
+//
+// --smoke shrinks the op count and fleet (used by scripts/ci.sh netchaos
+// under ASan); the gates are identical.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "bench_common.h"
+#include "server/http_server.h"
+#include "workload/json_report.h"
+#include "workload/runner.h"
+#include "workload/workload_spec.h"
+
+namespace {
+
+using cbfww::bench::BenchArgs;
+using cbfww::bench::JsonReport;
+using cbfww::workload::Backend;
+using cbfww::workload::Runner;
+using cbfww::workload::RunnerOptions;
+using cbfww::workload::RunResult;
+using cbfww::workload::WorkloadSpec;
+
+WorkloadSpec DefaultSpec(bool smoke) {
+  WorkloadSpec spec;
+  spec.name = "resilience_default";
+  spec.description = "legit GET traffic measured while slowloris squats";
+  spec.mix.page_visit = 1.0;
+  spec.mix.query = 0.0;
+  spec.mix.scan = 0.0;
+  spec.mix.ingest = 0.0;
+  spec.corpus_sites = 8;
+  spec.corpus_pages_per_site = 150;
+  spec.threads = 4;  // Well-behaved keep-alive connections.
+  spec.users = 32;
+  spec.ops = smoke ? 600 : 4000;
+  spec.mean_gap_us = 1000;
+  return spec;
+}
+
+/// One slowloris attacker: connect, write a partial header, hold the
+/// socket until the server's header deadline reaps it, reconnect, repeat.
+void SlowlorisThread(uint16_t port, std::atomic<bool>* stop) {
+  while (!stop->load(std::memory_order_relaxed)) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) continue;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      const char* partial = "GET /page/1 HTTP/1.1\r\nHost: loris\r\n";
+      (void)!::send(fd, partial, strlen(partial), MSG_NOSIGNAL);
+      // Hold until the server closes us (header deadline) or shutdown.
+      pollfd p{fd, POLLIN, 0};
+      while (!stop->load(std::memory_order_relaxed)) {
+        int rc = ::poll(&p, 1, 50);
+        if (rc > 0) break;  // Readable/EOF: the server gave up on us.
+      }
+    }
+    ::close(fd);
+  }
+}
+
+struct SeedResult {
+  uint64_t seed = 0;
+  RunResult baseline;
+  RunResult attacked;
+  double baseline_p99_ms = 0.0;
+  double attacked_p99_ms = 0.0;
+  double p99_ratio = 0.0;
+  uint64_t header_timeouts = 0;
+  uint64_t errors = 0;
+  bool conns_returned = false;
+};
+
+RunResult RunOrDie(Runner& runner, const WorkloadSpec& spec,
+                   const char* phase) {
+  auto result = runner.Run(spec);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s run failed: %s\n", phase,
+                 std::string(result.status().message()).c_str());
+    std::exit(1);
+  }
+  return *std::move(result);
+}
+
+SeedResult RunSeed(const WorkloadSpec& base_spec, uint64_t seed,
+                   int attackers) {
+  WorkloadSpec spec = base_spec;
+  spec.seed = seed;
+
+  RunnerOptions options;
+  options.backend = Backend::kServer;
+  options.shards = 2;
+  options.io_threads = 2;
+  options.accept_mode = cbfww::server::AcceptMode::kHandoff;
+  options.warehouse = cbfww::bench::StandardWarehouseOptions();
+  // Short header deadline: the only defense the slowloris fleet meets.
+  options.lifecycle.header_timeout_ms = 250;
+  options.lifecycle.idle_timeout_ms = 5000;
+  options.lifecycle.timer_tick_ms = 5;
+  // Legit clients retry shed answers instead of counting them as errors.
+  options.client.retry.max_attempts = 4;
+  options.client.retry.initial_backoff_ms = 5;
+  options.client.retry.max_backoff_ms = 100;
+  options.client.connect_timeout_ms = 5000;
+  options.client.read_timeout_ms = 10000;
+  Runner runner(spec, options);
+  cbfww::Status status = runner.Init();
+  if (!status.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 std::string(status.message()).c_str());
+    std::exit(1);
+  }
+
+  SeedResult r;
+  r.seed = seed;
+  r.baseline = RunOrDie(runner, spec, "baseline");
+  size_t conns_baseline = runner.server()->open_connections();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> fleet;
+  fleet.reserve(static_cast<size_t>(attackers));
+  for (int a = 0; a < attackers; ++a) {
+    fleet.emplace_back(SlowlorisThread, runner.server_port(), &stop);
+  }
+  // Let the fleet take up residence before measuring.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  WorkloadSpec attacked_spec = spec;
+  attacked_spec.name = spec.name + "_attacked";
+  r.attacked = RunOrDie(runner, attacked_spec, "attacked");
+
+  stop.store(true);
+  for (std::thread& t : fleet) t.join();
+
+  r.baseline_p99_ms = r.baseline.total.latency_pct.Percentile(99) / 1e3;
+  r.attacked_p99_ms = r.attacked.total.latency_pct.Percentile(99) / 1e3;
+  // The absolute floor keeps a sub-millisecond baseline from turning the
+  // ratio into a scheduler-noise lottery.
+  double bound_ms = std::max(r.baseline_p99_ms * 3.0, 5.0);
+  r.p99_ratio = r.baseline_p99_ms > 0
+                    ? r.attacked_p99_ms / r.baseline_p99_ms
+                    : 0.0;
+  r.errors = r.baseline.total.errors + r.attacked.total.errors;
+  r.header_timeouts =
+      runner.server()->stats().timeouts_header.load();
+
+  // The fleet is gone: the gauge must fall back to the legit keep-alive
+  // connections (the workload's own clients may stay connected).
+  for (int i = 0; i < 500; ++i) {
+    if (runner.server()->open_connections() <= conns_baseline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  r.conns_returned = runner.server()->open_connections() <= conns_baseline;
+
+  std::printf(
+      "seed=%llu  baseline p99=%.2fms  attacked p99=%.2fms (bound %.2fms) "
+      "ratio=%.2fx  header_timeouts=%llu  errors=%llu  conns_ok=%d\n",
+      static_cast<unsigned long long>(seed), r.baseline_p99_ms,
+      r.attacked_p99_ms, bound_ms, r.p99_ratio,
+      static_cast<unsigned long long>(r.header_timeouts),
+      static_cast<unsigned long long>(r.errors),
+      r.conns_returned ? 1 : 0);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_resilience");
+  const bool smoke = args.smoke;
+  const int attackers = smoke ? 16 : 64;
+
+  cbfww::bench::PrintHeader(
+      "serving/resilience",
+      smoke ? "slowloris resilience smoke (bounded p99, zero errors)"
+            : "well-behaved p99 under a 64-connection slowloris fleet");
+  std::printf("attackers: %d, machine threads: %u\n\n", attackers,
+              cbfww::bench::DetectHardwareThreads());
+
+  WorkloadSpec spec = DefaultSpec(smoke);
+  if (args.seed) spec.seed = *args.seed;
+  if (args.ops) spec.ops = *args.ops;
+
+  std::vector<uint64_t> seeds = args.SeedsOr({7, 77, 777});
+  if (smoke && seeds.size() > 1) seeds.resize(1);
+
+  std::vector<SeedResult> results;
+  for (uint64_t seed : seeds) {
+    results.push_back(RunSeed(spec, seed, attackers));
+  }
+
+  bool all_bounded = true, none_errored = true, chaos_real = true,
+       no_leaks = true;
+  for (const SeedResult& r : results) {
+    double bound_ms = std::max(r.baseline_p99_ms * 3.0, 5.0);
+    all_bounded = all_bounded && r.attacked_p99_ms <= bound_ms;
+    none_errored = none_errored && r.errors == 0;
+    chaos_real = chaos_real && r.header_timeouts > 0;
+    no_leaks = no_leaks && r.conns_returned;
+  }
+  std::printf("\n");
+  cbfww::bench::ShapeCheck(
+      "attacked p99 <= 3x unattacked baseline (5ms floor) on every seed",
+      all_bounded);
+  cbfww::bench::ShapeCheck("zero legit-client errors under attack",
+                           none_errored);
+  cbfww::bench::ShapeCheck(
+      "header deadline reaped the slowloris fleet (timeouts_header > 0)",
+      chaos_real);
+  cbfww::bench::ShapeCheck(
+      "open-connection gauge returned to baseline after the attack",
+      no_leaks);
+  bool gates_ok = all_bounded && none_errored && chaos_real && no_leaks;
+
+  JsonReport report("resilience");
+  report.writer().Field("smoke", smoke);
+  report.writer().Field("attackers", attackers);
+  report.writer().BeginArray("seeds");
+  for (const SeedResult& r : results) {
+    report.writer().BeginObject();
+    report.writer().Field("seed", r.seed);
+    report.writer().Field("baseline_p99_ms", r.baseline_p99_ms);
+    report.writer().Field("attacked_p99_ms", r.attacked_p99_ms);
+    report.writer().Field("p99_ratio", r.p99_ratio);
+    report.writer().Field("header_timeouts", r.header_timeouts);
+    report.writer().Field("errors", r.errors);
+    report.writer().Field("conns_returned", r.conns_returned);
+    report.writer().BeginArray("runs");
+    cbfww::workload::AppendRunResultJson(r.baseline, report.writer());
+    cbfww::workload::AppendRunResultJson(r.attacked, report.writer());
+    report.writer().EndArray();
+    report.writer().EndObject();
+  }
+  report.writer().EndArray();
+  report.writer().BeginObject("resilience");
+  report.writer().Field("p99_bound_ratio", 3.0);
+  report.writer().Field("p99_floor_ms", 5.0);
+  report.writer().Field("all_bounded", all_bounded);
+  report.writer().Field("zero_errors", none_errored);
+  report.writer().Field("no_fd_leaks", no_leaks);
+  report.writer().EndObject();
+  report.WriteFileOrDie(args.json_out.empty() ? "BENCH_resilience.json"
+                                              : args.json_out);
+  return gates_ok ? 0 : 1;
+}

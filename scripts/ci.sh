@@ -21,6 +21,8 @@
 #   scripts/ci.sh segments   # ASan segment units + corruption fuzz + crash
 #                            # soak smoke + bench smoke + JSON schema gate
 #   scripts/ci.sh workload   # every spec x both backends, JSON schema gate
+#   scripts/ci.sh netchaos   # ASan wire-resilience units + seeded socket
+#                            # chaos soak + slowloris bench smoke
 #
 # With no arguments the script lists the stages and exits.
 set -euo pipefail
@@ -44,6 +46,9 @@ stages:
               smoke + bench JSON schema check
   workload    smoke every bench/specs/*.spec against both backends,
               validate every emitted JSON against the unified schema
+  netchaos    ASan wire-resilience units (timer wheel, 408s, client
+              timeouts, degraded wire contract) + seeded socket-chaos
+              soak (3 fixed seeds) + bench_resilience smoke + JSON gate
   all         every stage above, in order
 EOF
 }
@@ -219,6 +224,33 @@ workload() {
   rm -rf "${wl_out}"
 }
 
+netchaos() {
+  echo "=== netchaos: wire resilience under ASan ==="
+  cmake -B build-asan -S . -DCBFWW_SANITIZE=address
+  cmake --build build-asan -j --target net_resilience_test \
+    netchaos_soak_test
+  # Timer wheel, seeded fault-injector replay, every lifecycle deadline
+  # over real sockets, client timeouts against stalled listeners, the
+  # degraded-answer wire contract, and the drain-report quiesce path.
+  ./build-asan/tests/net_resilience_test
+  # Adversarial fleets (slowloris, resetters, dribblers) racing retrying
+  # clients, 3 fixed seeds: zero acked loss, no fd leaks, and a seeded
+  # server-side fault run must replay byte-identically. Deterministic
+  # seeds — a failure here is a real bug, not flake.
+  ./build-asan/tests/netchaos_soak_test
+  # Slowloris latency gate at smoke scale (plain build — the sanitized
+  # builds are for bugs, not timings): attacked p99 <= 3x baseline, zero
+  # legit errors, gauge returns to baseline. The emitted report and the
+  # committed full-scale numbers must match the bench JSON schema.
+  cmake -B build -S .
+  cmake --build build -j --target bench_resilience
+  nc_out="$(mktemp -d)"
+  (cd "${nc_out}" && "${OLDPWD}/build/bench/bench_resilience" --smoke)
+  python3 scripts/validate_bench_json.py \
+    "${nc_out}"/BENCH_resilience.json BENCH_resilience.json
+  rm -rf "${nc_out}"
+}
+
 case "${stage}" in
   tier1) tier1 ;;
   tsan) tsan ;;
@@ -229,6 +261,7 @@ case "${stage}" in
   server) server ;;
   segments) segments ;;
   workload) workload ;;
+  netchaos) netchaos ;;
   all)
     tier1
     tsan
@@ -239,6 +272,7 @@ case "${stage}" in
     server
     segments
     workload
+    netchaos
     ;;
   *)
     usage >&2

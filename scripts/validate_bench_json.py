@@ -32,6 +32,12 @@ HARDWARE_KEYS = {
     "wall_s", "cpu_user_s", "cpu_system_s", "cpu_total_s",
     "peak_rss_bytes",
 }
+# Optional top-level summary block emitted by bench_resilience: the
+# slowloris gates the committed report claims to have passed.
+RESILIENCE_KEYS = {
+    "p99_bound_ratio", "p99_floor_ms", "all_bounded", "zero_errors",
+    "no_fd_leaks",
+}
 
 
 class SchemaError(Exception):
@@ -92,6 +98,11 @@ def validate(path):
     require(runs, "$", "no run blocks found")
     for run, where in runs:
         check_run(run, where)
+    if "resilience" in report:
+        check_keys(report["resilience"], RESILIENCE_KEYS, "$.resilience")
+        for gate in ("all_bounded", "zero_errors", "no_fd_leaks"):
+            require(report["resilience"][gate] is True, "$.resilience",
+                    f"gate {gate} did not pass")
     return len(runs)
 
 

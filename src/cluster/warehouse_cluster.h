@@ -277,6 +277,15 @@ class WarehouseCluster {
     return shards_[i]->suspended.load(std::memory_order_acquire);
   }
 
+  /// True when any shard's worker is parked (Drain would block behind its
+  /// backlog; callers that must quiesce check this first).
+  bool AnySuspended() const {
+    for (const auto& shard : shards_) {
+      if (shard->suspended.load(std::memory_order_acquire)) return true;
+    }
+    return false;
+  }
+
   /// Parks shard `i`'s worker: it stops popping events until
   /// ResumeShard. Lets tests and maintenance windows fill a queue
   /// deterministically. Drain() (and therefore the destructor) blocks

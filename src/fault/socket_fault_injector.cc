@@ -1,0 +1,165 @@
+#include "fault/socket_fault_injector.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace cbfww::fault {
+
+namespace {
+
+// Tags for the per-connection sub-streams (Pcg32::Fork), so the profile
+// draw order is fixed regardless of which direction is consulted first.
+constexpr uint64_t kProfileTag = 0x50524f46;   // "PROF"
+constexpr uint64_t kBoundaryTag = 0x424f554e;  // "BOUN"
+
+uint64_t DrawOffset(Pcg32& rng, uint64_t lo, uint64_t hi) {
+  if (hi <= lo) return lo;
+  return static_cast<uint64_t>(rng.NextInt(static_cast<int64_t>(lo),
+                                           static_cast<int64_t>(hi - 1)));
+}
+
+}  // namespace
+
+SocketFaultInjector::SocketFaultInjector(uint64_t seed,
+                                         const SocketFaultOptions& options)
+    : seed_(seed), options_(options) {}
+
+SocketFaultInjector::ConnState& SocketFaultInjector::State(uint64_t serial) {
+  auto it = conns_.find(serial);
+  if (it != conns_.end()) return it->second;
+
+  // The whole plan is a function of (seed, serial): draws happen in one
+  // fixed order here, and the boundary stream advances only as the byte
+  // offset does, so replays with identical byte streams see identical
+  // faults.
+  Pcg32 base(seed_, serial);
+  Pcg32 profile = base.Fork(kProfileTag);
+  ConnState state(base.Fork(kBoundaryTag));
+  state.accept_reset = profile.NextBernoulli(options_.accept_reset_probability);
+  state.dribble = profile.NextBernoulli(options_.dribble_probability);
+  state.short_io = profile.NextBernoulli(options_.short_io_probability);
+  for (DirState* dir : {&state.read, &state.write}) {
+    bool is_read = dir == &state.read;
+    double reset_p = is_read ? options_.read_reset_probability
+                             : options_.write_reset_probability;
+    if (profile.NextBernoulli(reset_p)) {
+      dir->reset_at = DrawOffset(profile, options_.min_reset_offset,
+                                 options_.max_reset_offset);
+    }
+    if (profile.NextBernoulli(options_.eagain_probability)) {
+      dir->eagain_at = DrawOffset(profile, options_.min_reset_offset,
+                                  options_.max_reset_offset);
+      dir->eagain_left = options_.eagain_burst;
+    }
+  }
+  return conns_.emplace(serial, std::move(state)).first->second;
+}
+
+uint64_t SocketFaultInjector::OnConnection() {
+  return next_serial_.fetch_add(1, std::memory_order_relaxed);
+}
+
+net::SocketAcceptFault SocketFaultInjector::OnAccept(uint64_t serial) {
+  std::lock_guard<std::mutex> lock(mu_);
+  net::SocketAcceptFault fault;
+  if (State(serial).accept_reset) {
+    fault.action = net::SocketAcceptFault::Action::kResetAfterAccept;
+    stats_.accept_resets.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fault;
+}
+
+net::SocketIoFault SocketFaultInjector::OnIo(uint64_t serial, uint64_t offset,
+                                             bool is_read) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ConnState& conn = State(serial);
+  DirState& dir = is_read ? conn.read : conn.write;
+  net::SocketIoFault fault;
+
+  if (offset >= dir.reset_at) {
+    fault.action = net::SocketIoFault::Action::kReset;
+    (is_read ? stats_.read_resets : stats_.write_resets)
+        .fetch_add(1, std::memory_order_relaxed);
+    return fault;
+  }
+  if (offset >= dir.eagain_at && dir.eagain_left > 0) {
+    dir.eagain_left--;
+    if (dir.eagain_left == 0) dir.eagain_at = UINT64_MAX;
+    fault.action = net::SocketIoFault::Action::kEAgain;
+    stats_.eagain_injected.fetch_add(1, std::memory_order_relaxed);
+    return fault;
+  }
+
+  if (conn.dribble) {
+    fault.max_bytes = std::max<size_t>(1, options_.dribble_bytes);
+    fault.pace_us = options_.dribble_pace_us;
+    stats_.dribbled_ios.fetch_add(1, std::memory_order_relaxed);
+  } else if (conn.short_io) {
+    // Budget = distance to the next seeded byte boundary. Offset-driven:
+    // however the kernel chunked earlier IO, the boundaries land on the
+    // same absolute offsets.
+    while (dir.next_boundary <= offset) {
+      uint64_t gap = 1 + static_cast<uint64_t>(conn.rng.NextExponential(
+                             1.0 / static_cast<double>(std::max<uint64_t>(
+                                       1, options_.short_io_mean_gap))));
+      dir.next_boundary += gap;
+    }
+    fault.max_bytes = static_cast<size_t>(dir.next_boundary - offset);
+    stats_.short_ios.fetch_add(1, std::memory_order_relaxed);
+  }
+  // A reset scheduled ahead also caps the budget so the reset offset is
+  // hit exactly (chunk-independent placement).
+  if (dir.reset_at != UINT64_MAX && offset < dir.reset_at) {
+    fault.max_bytes =
+        std::min<size_t>(fault.max_bytes,
+                         static_cast<size_t>(dir.reset_at - offset));
+  }
+  if (dir.eagain_at != UINT64_MAX && offset < dir.eagain_at) {
+    fault.max_bytes =
+        std::min<size_t>(fault.max_bytes,
+                         static_cast<size_t>(dir.eagain_at - offset));
+  }
+  return fault;
+}
+
+net::SocketIoFault SocketFaultInjector::OnRead(uint64_t serial,
+                                               uint64_t offset) {
+  return OnIo(serial, offset, /*is_read=*/true);
+}
+
+net::SocketIoFault SocketFaultInjector::OnWrite(uint64_t serial,
+                                                uint64_t offset) {
+  return OnIo(serial, offset, /*is_read=*/false);
+}
+
+std::string SocketFaultInjector::PlanString(uint64_t serial) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ConnState& conn = State(serial);
+  auto dir_text = [](const DirState& dir) {
+    std::string out;
+    if (dir.reset_at != UINT64_MAX) {
+      out += StrFormat(" reset@%llu",
+                       static_cast<unsigned long long>(dir.reset_at));
+    }
+    if (dir.eagain_at != UINT64_MAX || dir.eagain_left > 0) {
+      out += StrFormat(" eagain@%llu x%u",
+                       static_cast<unsigned long long>(dir.eagain_at),
+                       dir.eagain_left);
+    }
+    if (out.empty()) out = " clean";
+    return out;
+  };
+  std::string line =
+      StrFormat("conn %llu:", static_cast<unsigned long long>(serial));
+  if (conn.accept_reset) line += " accept-reset";
+  if (conn.dribble) {
+    line += StrFormat(" dribble=%zu", options_.dribble_bytes);
+  }
+  if (conn.short_io) line += " short-io";
+  line += " read:" + dir_text(conn.read);
+  line += " write:" + dir_text(conn.write);
+  return line;
+}
+
+}  // namespace cbfww::fault

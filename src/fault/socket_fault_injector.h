@@ -1,0 +1,118 @@
+#ifndef CBFWW_FAULT_SOCKET_FAULT_INJECTOR_H_
+#define CBFWW_FAULT_SOCKET_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "net/socket_fault.h"
+#include "util/rng.h"
+
+namespace cbfww::fault {
+
+/// Knobs of SocketFaultInjector. Probabilities are per connection: each
+/// accepted/connected socket draws its fault profile once, from a PCG
+/// stream derived from (seed, serial) alone.
+struct SocketFaultOptions {
+  /// Connection is reset the instant it is accepted (client sees RST
+  /// before the first byte).
+  double accept_reset_probability = 0.02;
+  /// A read on the connection hits RST at a random byte offset.
+  double read_reset_probability = 0.05;
+  /// A write hits RST mid-response at a random byte offset.
+  double write_reset_probability = 0.05;
+  /// All IO on the connection is capped to dribble_bytes per attempt
+  /// (byte-dribble pacing; slowloris-shaped when combined with pace).
+  double dribble_probability = 0.10;
+  size_t dribble_bytes = 3;
+  /// Client-side pacing applied with each dribbled IO (servers ignore it).
+  int64_t dribble_pace_us = 0;
+  /// IO budgets are randomly shortened (short reads/writes at seeded byte
+  /// boundaries).
+  double short_io_probability = 0.20;
+  /// Mean gap between short-IO boundaries, in bytes.
+  uint64_t short_io_mean_gap = 512;
+  /// An EAGAIN storm starts at a random byte offset: the next
+  /// `eagain_burst` attempts at/after it report not-ready.
+  double eagain_probability = 0.10;
+  uint32_t eagain_burst = 3;
+  /// Reset offsets are drawn uniformly from [min, max).
+  uint64_t min_reset_offset = 16;
+  uint64_t max_reset_offset = 4096;
+};
+
+/// Seeded, deterministic socket-fault policy. Every connection's complete
+/// fault plan — resets, dribble, short-IO boundaries, EAGAIN storms — is a
+/// pure function of (seed, serial), and IO decisions key on the byte
+/// offset the caller reports, never on attempt count or chunk size. Two
+/// runs with the same seed and the same per-connection byte streams
+/// therefore inject byte-identically, which is what the netchaos replay
+/// gate asserts.
+///
+/// Thread-safe: IO threads consult it concurrently (one mutex; the serving
+/// path tolerates this — fault runs are diagnostics, not benchmarks).
+class SocketFaultInjector : public net::SocketFaultPolicy {
+ public:
+  explicit SocketFaultInjector(uint64_t seed,
+                               const SocketFaultOptions& options = {});
+
+  // net::SocketFaultPolicy
+  uint64_t OnConnection() override;
+  net::SocketAcceptFault OnAccept(uint64_t serial) override;
+  net::SocketIoFault OnRead(uint64_t serial, uint64_t offset) override;
+  net::SocketIoFault OnWrite(uint64_t serial, uint64_t offset) override;
+
+  /// Deterministic rendering of one connection's fault plan (replay gates
+  /// compare these across same-seed runs). Valid for serials already
+  /// handed out by OnConnection.
+  std::string PlanString(uint64_t serial);
+
+  uint64_t connections() const {
+    return next_serial_.load(std::memory_order_relaxed);
+  }
+
+  struct Stats {
+    std::atomic<uint64_t> accept_resets{0};
+    std::atomic<uint64_t> read_resets{0};
+    std::atomic<uint64_t> write_resets{0};
+    std::atomic<uint64_t> eagain_injected{0};
+    std::atomic<uint64_t> short_ios{0};
+    std::atomic<uint64_t> dribbled_ios{0};
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// One direction's offset-keyed stream state.
+  struct DirState {
+    uint64_t reset_at = UINT64_MAX;   // RST once offset reaches this.
+    uint64_t eagain_at = UINT64_MAX;  // Storm trigger offset.
+    uint32_t eagain_left = 0;         // Remaining not-ready verdicts.
+    uint64_t next_boundary = 0;       // Next short-IO byte boundary.
+  };
+  struct ConnState {
+    bool accept_reset = false;
+    bool dribble = false;
+    bool short_io = false;
+    DirState read;
+    DirState write;
+    Pcg32 rng;  // Advances boundaries (offset-driven, so replay-stable).
+
+    explicit ConnState(Pcg32 r) : rng(r) {}
+  };
+
+  ConnState& State(uint64_t serial);  // Callers must hold mu_.
+  net::SocketIoFault OnIo(uint64_t serial, uint64_t offset, bool is_read);
+
+  const uint64_t seed_;
+  const SocketFaultOptions options_;
+  std::atomic<uint64_t> next_serial_{0};
+  std::mutex mu_;
+  std::unordered_map<uint64_t, ConnState> conns_;
+  Stats stats_;
+};
+
+}  // namespace cbfww::fault
+
+#endif  // CBFWW_FAULT_SOCKET_FAULT_INJECTOR_H_

@@ -1,0 +1,67 @@
+#ifndef CBFWW_NET_SOCKET_FAULT_H_
+#define CBFWW_NET_SOCKET_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cbfww::net {
+
+/// Verdict of a socket-fault policy for one read() or write() attempt.
+struct SocketIoFault {
+  enum class Action {
+    /// Let the IO proceed, capped at max_bytes (short reads/writes and
+    /// byte-dribble pacing both reduce to a byte cap).
+    kPass = 0,
+    /// Pretend the socket is not ready (EAGAIN storm): the caller backs
+    /// off exactly as it would for a genuinely full/empty socket buffer.
+    kEAgain,
+    /// Tear the connection down as if the peer sent RST.
+    kReset,
+  };
+  Action action = Action::kPass;
+  /// kPass: at most this many bytes may move in this attempt.
+  size_t max_bytes = SIZE_MAX;
+  /// Client-side pacing: sleep this long before the capped IO (a blocking
+  /// client dribbling bytes). Event-loop callers must ignore it — a server
+  /// never sleeps.
+  int64_t pace_us = 0;
+};
+
+/// Verdict for one accepted connection.
+struct SocketAcceptFault {
+  enum class Action {
+    kPass = 0,
+    /// Close the accepted socket immediately with RST (SO_LINGER 0): the
+    /// client sees connection reset before its first byte.
+    kResetAfterAccept,
+  };
+  Action action = Action::kPass;
+};
+
+/// Injection seam for wire-level socket faults, consulted by the server's
+/// accept/read/write paths (and mirrored by SimpleHttpClient). Decisions
+/// are keyed on a per-connection serial plus the connection's cumulative
+/// byte offset in that direction — never on call count or buffer size —
+/// so the same seed yields byte-identical fault placement regardless of
+/// how the kernel chunks the stream. Implementations must be thread-safe
+/// (IO threads consult it concurrently) and deterministic for a given
+/// seed (see fault::SocketFaultInjector).
+class SocketFaultPolicy {
+ public:
+  virtual ~SocketFaultPolicy() = default;
+
+  /// Called once per connection (at accept on the server, at connect on
+  /// the client); returns the serial that keys every later decision.
+  virtual uint64_t OnConnection() = 0;
+
+  virtual SocketAcceptFault OnAccept(uint64_t serial) = 0;
+
+  /// `offset` is the count of bytes already moved on this connection in
+  /// the given direction.
+  virtual SocketIoFault OnRead(uint64_t serial, uint64_t offset) = 0;
+  virtual SocketIoFault OnWrite(uint64_t serial, uint64_t offset) = 0;
+};
+
+}  // namespace cbfww::net
+
+#endif  // CBFWW_NET_SOCKET_FAULT_H_

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <ctime>
 
 #include <poll.h>
 #include <unistd.h>
@@ -102,8 +103,33 @@ void EventLoop::Remove(int fd) {
   fds_.erase(it);
 }
 
+namespace {
+
+// Monotonic milliseconds, for re-arming interrupted waits.
+uint64_t MonotonicMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000ull +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000000ull;
+}
+
+// Remaining budget after an EINTR, against the wait's original deadline.
+// Returns -1 for indefinite waits, 0 once the deadline has passed (the
+// caller then reports a genuine timeout instead of silently restarting
+// with the full budget — repeated signals must not starve timer wheels).
+int RemainingMs(int timeout_ms, uint64_t deadline_ms) {
+  if (timeout_ms < 0) return -1;
+  uint64_t now = MonotonicMs();
+  if (now >= deadline_ms) return 0;
+  return static_cast<int>(deadline_ms - now);
+}
+
+}  // namespace
+
 int EventLoop::Wait(std::vector<IoEvent>& out, int timeout_ms) {
   out.clear();
+  const uint64_t deadline_ms =
+      timeout_ms < 0 ? 0 : MonotonicMs() + static_cast<uint64_t>(timeout_ms);
 #if CBFWW_HAVE_EPOLL
   if (epoll_fd_ >= 0) {
     size_t want = fds_.empty() ? 1 : fds_.size();
@@ -111,8 +137,15 @@ int EventLoop::Wait(std::vector<IoEvent>& out, int timeout_ms) {
       epoll_buf_.resize(want * sizeof(struct epoll_event));
     }
     auto* events = reinterpret_cast<struct epoll_event*>(epoll_buf_.data());
-    int n = epoll_wait(epoll_fd_, events, static_cast<int>(want), timeout_ms);
-    if (n < 0) return errno == EINTR ? 0 : -1;
+    int remaining = timeout_ms;
+    int n;
+    while (true) {
+      n = epoll_wait(epoll_fd_, events, static_cast<int>(want), remaining);
+      if (n >= 0) break;
+      if (errno != EINTR) return -1;
+      remaining = RemainingMs(timeout_ms, deadline_ms);
+      if (remaining == 0) return 0;
+    }
     out.reserve(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) {
       auto it = fds_.find(events[i].data.fd);
@@ -140,8 +173,15 @@ int EventLoop::Wait(std::vector<IoEvent>& out, int timeout_ms) {
     if (watch.want_write) p.events |= POLLOUT;
     pfds.push_back(p);
   }
-  int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
-  if (n < 0) return errno == EINTR ? 0 : -1;
+  int remaining = timeout_ms;
+  int n;
+  while (true) {
+    n = ::poll(pfds.data(), pfds.size(), remaining);
+    if (n >= 0) break;
+    if (errno != EINTR) return -1;
+    remaining = RemainingMs(timeout_ms, deadline_ms);
+    if (remaining == 0) return 0;
+  }
   if (n == 0) return 0;
   for (const auto& p : pfds) {
     if (p.revents == 0) continue;

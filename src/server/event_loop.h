@@ -54,7 +54,9 @@ class EventLoop {
 
   /// Blocks up to `timeout_ms` (-1 = indefinitely) and fills `out` with
   /// ready fds. Returns the number of events, 0 on timeout, -1 on an
-  /// unrecoverable multiplexer error. EINTR is treated as a timeout.
+  /// unrecoverable multiplexer error. EINTR restarts the wait with the
+  /// *remaining* budget, so a signal storm can delay the return by at most
+  /// the original timeout — callers' timer deadlines are never starved.
   int Wait(std::vector<IoEvent>& out, int timeout_ms);
 
  private:

@@ -1,18 +1,56 @@
 #include "server/http_client.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstring>
+#include <ctime>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "util/strings.h"
 
 namespace cbfww::server {
+
+namespace {
+
+uint64_t MonotonicMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000ull +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000000ull;
+}
+
+void SleepMs(int64_t ms) {
+  if (ms <= 0) return;
+  timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = (ms % 1000) * 1000000;
+  while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+void SleepUs(int64_t us) {
+  if (us <= 0) return;
+  timespec ts;
+  ts.tv_sec = us / 1000000;
+  ts.tv_nsec = (us % 1000000) * 1000;
+  while (nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
 
 std::string_view ClientResponse::Header(std::string_view name) const {
   for (const auto& [key, value] : headers) {
@@ -21,21 +59,69 @@ std::string_view ClientResponse::Header(std::string_view name) const {
   return {};
 }
 
+SimpleHttpClient::SimpleHttpClient(const ClientOptions& options)
+    : options_(options), rng_(options.seed, 0xc11e) {}
+
 SimpleHttpClient& SimpleHttpClient::operator=(
     SimpleHttpClient&& other) noexcept {
   if (this != &other) {
     Close();
+    options_ = other.options_;
+    rng_ = other.rng_;
+    stats_ = other.stats_;
     fd_ = other.fd_;
     buf_ = std::move(other.buf_);
     pos_ = other.pos_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    serial_ = other.serial_;
+    bytes_in_total_ = other.bytes_in_total_;
+    bytes_out_total_ = other.bytes_out_total_;
     other.fd_ = -1;
     other.pos_ = 0;
   }
   return *this;
 }
 
+Status SimpleHttpClient::WaitFd(short events, int64_t timeout_ms) {
+  const uint64_t deadline =
+      timeout_ms > 0 ? MonotonicMs() + static_cast<uint64_t>(timeout_ms) : 0;
+  while (true) {
+    int remaining = -1;
+    if (timeout_ms > 0) {
+      uint64_t now = MonotonicMs();
+      if (now >= deadline) {
+        ++stats_.timeouts;
+        return Status::DeadlineExceeded(
+            StrFormat("socket wait exceeded %lld ms",
+                      static_cast<long long>(timeout_ms)));
+      }
+      remaining = static_cast<int>(deadline - now);
+    }
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = events;
+    pfd.revents = 0;
+    int n = ::poll(&pfd, 1, remaining);
+    if (n > 0) {
+      // Readable/writable (or error — the next read/write reports it).
+      return Status::Ok();
+    }
+    if (n == 0) {
+      ++stats_.timeouts;
+      return Status::DeadlineExceeded(
+          StrFormat("socket wait exceeded %lld ms",
+                    static_cast<long long>(timeout_ms)));
+    }
+    if (errno == EINTR) continue;
+    return Status::Unavailable(StrFormat("poll: %s", std::strerror(errno)));
+  }
+}
+
 Status SimpleHttpClient::Connect(const std::string& host, uint16_t port) {
   Close();
+  host_ = host;
+  port_ = port;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
@@ -48,18 +134,45 @@ Status SimpleHttpClient::Connect(const std::string& host, uint16_t port) {
     Close();
     return Status::InvalidArgument("bad host address: " + host);
   }
+  SetNonBlocking(fd_);
   if (::connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
-    Status status = Status::Unavailable(
-        StrFormat("connect %s:%u: %s", host.c_str(), port,
-                  std::strerror(errno)));
-    Close();
-    return status;
+    if (errno != EINPROGRESS) {
+      Status status = Status::Unavailable(StrFormat(
+          "connect %s:%u: %s", host.c_str(), port, std::strerror(errno)));
+      Close();
+      return status;
+    }
+    Status status = WaitFd(POLLOUT, options_.connect_timeout_ms);
+    if (!status.ok()) {
+      Close();
+      return status;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      Status failed = Status::Unavailable(
+          StrFormat("connect %s:%u: %s", host.c_str(), port,
+                    std::strerror(err != 0 ? err : errno)));
+      Close();
+      return failed;
+    }
   }
   int one = 1;
   setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   buf_.clear();
   pos_ = 0;
+  bytes_in_total_ = 0;
+  bytes_out_total_ = 0;
+  if (options_.socket_faults != nullptr) {
+    serial_ = options_.socket_faults->OnConnection();
+    if (options_.socket_faults->OnAccept(serial_).action ==
+        net::SocketAcceptFault::Action::kResetAfterAccept) {
+      ++stats_.injected_faults;
+      Close();
+      return Status::Unavailable("injected connect reset");
+    }
+  }
   return Status::Ok();
 }
 
@@ -70,6 +183,42 @@ void SimpleHttpClient::Close() {
   }
   buf_.clear();
   pos_ = 0;
+}
+
+Status SimpleHttpClient::WriteAll(std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    size_t want = data.size() - off;
+    if (options_.socket_faults != nullptr) {
+      net::SocketIoFault f =
+          options_.socket_faults->OnWrite(serial_, bytes_out_total_);
+      if (f.action == net::SocketIoFault::Action::kReset) {
+        ++stats_.injected_faults;
+        Close();
+        return Status::Unavailable("injected write reset");
+      }
+      if (f.action == net::SocketIoFault::Action::kEAgain) {
+        ++stats_.injected_faults;
+        SleepUs(100);  // A real EAGAIN costs a scheduler bounce; mimic it.
+        continue;
+      }
+      if (f.max_bytes < want) want = f.max_bytes > 0 ? f.max_bytes : 1;
+      if (f.pace_us > 0) SleepUs(f.pace_us);  // Byte-dribble pacing.
+    }
+    ssize_t n = ::write(fd_, data.data() + off, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        Status status = WaitFd(POLLOUT, options_.write_timeout_ms);
+        if (!status.ok()) return status;
+        continue;
+      }
+      return Status::Unavailable(StrFormat("write: %s", std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+    bytes_out_total_ += static_cast<uint64_t>(n);
+  }
+  return Status::Ok();
 }
 
 Status SimpleHttpClient::Send(std::string_view method, std::string_view target,
@@ -85,29 +234,42 @@ Status SimpleHttpClient::Send(std::string_view method, std::string_view target,
     request += StrFormat("Content-Length: %zu\r\n", body.size());
   }
   request.append("\r\n").append(body);
-  size_t off = 0;
-  while (off < request.size()) {
-    ssize_t n = ::write(fd_, request.data() + off, request.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Unavailable(
-          StrFormat("write: %s", std::strerror(errno)));
-    }
-    off += static_cast<size_t>(n);
-  }
-  return Status::Ok();
+  return WriteAll(request);
 }
 
 Status SimpleHttpClient::FillBuffer() {
   char chunk[16384];
   while (true) {
-    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    size_t want = sizeof(chunk);
+    if (options_.socket_faults != nullptr) {
+      net::SocketIoFault f =
+          options_.socket_faults->OnRead(serial_, bytes_in_total_);
+      if (f.action == net::SocketIoFault::Action::kReset) {
+        ++stats_.injected_faults;
+        Close();
+        return Status::Unavailable("injected read reset");
+      }
+      if (f.action == net::SocketIoFault::Action::kEAgain) {
+        ++stats_.injected_faults;
+        SleepUs(100);
+        continue;
+      }
+      if (f.max_bytes < want) want = f.max_bytes > 0 ? f.max_bytes : 1;
+      if (f.pace_us > 0) SleepUs(f.pace_us);
+    }
+    ssize_t n = ::read(fd_, chunk, want);
     if (n > 0) {
       buf_.append(chunk, static_cast<size_t>(n));
+      bytes_in_total_ += static_cast<uint64_t>(n);
       return Status::Ok();
     }
     if (n == 0) return Status::Unavailable("connection closed by server");
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      Status status = WaitFd(POLLIN, options_.read_timeout_ms);
+      if (!status.ok()) return status;
+      continue;
+    }
     return Status::Unavailable(StrFormat("read: %s", std::strerror(errno)));
   }
 }
@@ -227,6 +389,71 @@ Result<ClientResponse> SimpleHttpClient::RoundTrip(
   Status status = Send(method, target, body, extra_headers);
   if (!status.ok()) return status;
   return Receive();
+}
+
+Result<ClientResponse> SimpleHttpClient::RoundTripWithRetry(
+    std::string_view method, std::string_view target, std::string_view body,
+    std::string_view extra_headers) {
+  const ClientBackoffOptions& retry = options_.retry;
+  uint32_t attempts = std::max<uint32_t>(1, retry.max_attempts);
+  int64_t backoff_ms = std::max<int64_t>(1, retry.initial_backoff_ms);
+  Result<ClientResponse> last = Status::Unavailable("no attempt made");
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    if (!connected() && !host_.empty()) {
+      Status status = Connect(host_, port_);
+      if (!status.ok()) {
+        last = status;
+        ++stats_.reconnects;
+        SleepMs(backoff_ms);
+        backoff_ms = std::min<int64_t>(
+            retry.max_backoff_ms,
+            static_cast<int64_t>(static_cast<double>(backoff_ms) *
+                                 retry.multiplier));
+        continue;
+      }
+      ++stats_.reconnects;
+    }
+    last = RoundTrip(method, target, body, extra_headers);
+    if (last.ok() && last->status != 503) {
+      if (!last->keep_alive) Close();
+      return last;
+    }
+    // Transport failure or 503: drop the connection (its stream state is
+    // unknown after a failure; a 503 keep-alive could be reused, but a
+    // fresh connection lands on a different IO thread under reuseport,
+    // which is the better retry).
+    int64_t wait_ms = backoff_ms;
+    if (last.ok()) {
+      if (retry.honor_retry_after) {
+        std::string_view ra = last->Header("retry-after");
+        int64_t secs = 0;
+        bool parsed = !ra.empty();
+        for (char c : ra) {
+          if (!std::isdigit(static_cast<unsigned char>(c))) {
+            parsed = false;
+            break;
+          }
+          secs = secs * 10 + (c - '0');
+        }
+        if (parsed) {
+          wait_ms = std::min<int64_t>(secs * 1000, retry.retry_after_cap_ms);
+        }
+      }
+      if (!last->keep_alive) Close();
+    } else {
+      Close();
+    }
+    if (attempt + 1 == attempts) break;
+    // Jitter: uniform in [1-jitter, 1+jitter].
+    double factor = 1.0 + retry.jitter * (2.0 * rng_.NextDouble() - 1.0);
+    SleepMs(static_cast<int64_t>(static_cast<double>(wait_ms) * factor));
+    backoff_ms = std::min<int64_t>(
+        retry.max_backoff_ms,
+        static_cast<int64_t>(static_cast<double>(backoff_ms) *
+                             retry.multiplier));
+  }
+  return last;
 }
 
 }  // namespace cbfww::server

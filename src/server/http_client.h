@@ -7,7 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "net/socket_fault.h"
 #include "util/result.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace cbfww::server {
@@ -21,14 +23,52 @@ struct ClientResponse {
   std::string_view Header(std::string_view name) const;
 };
 
+/// Retry policy for RoundTripWithRetry: transport failures (reset, EOF,
+/// timeout) and 503s are retried with jittered exponential backoff, up to
+/// max_attempts total tries.
+struct ClientBackoffOptions {
+  /// Total attempts (1 = no retries).
+  uint32_t max_attempts = 1;
+  int64_t initial_backoff_ms = 10;
+  double multiplier = 2.0;
+  int64_t max_backoff_ms = 1000;
+  /// Backoff is multiplied by a uniform factor in [1-jitter, 1+jitter]
+  /// (decorrelates a retrying fleet).
+  double jitter = 0.2;
+  /// A 503's Retry-After (delta-seconds) overrides the computed backoff.
+  bool honor_retry_after = true;
+  /// Ceiling on an honored Retry-After (a server asking for minutes must
+  /// not stall a test harness).
+  int64_t retry_after_cap_ms = 2000;
+};
+
+struct ClientOptions {
+  /// All 0 = block indefinitely (the pre-resilience behavior).
+  int64_t connect_timeout_ms = 0;
+  int64_t read_timeout_ms = 0;
+  int64_t write_timeout_ms = 0;
+  ClientBackoffOptions retry;
+  /// Client-side mirror of the server's socket-fault seam: consulted on
+  /// every read/write with this connection's serial and byte offsets.
+  /// Not owned; nullptr = no injection.
+  net::SocketFaultPolicy* socket_faults = nullptr;
+  /// Seeds the backoff jitter (deterministic retry schedules per client).
+  uint64_t seed = 0x5eed;
+};
+
 /// Minimal blocking HTTP/1.1 client over one keep-alive connection —
 /// exactly what the load generator and the e2e tests need, nothing more.
 /// Handles Content-Length and chunked response bodies. Send and Receive
 /// are split so callers can pipeline: queue N requests, then collect N
 /// responses in order.
+///
+/// The socket is non-blocking internally; blocking semantics come from
+/// poll(2) with the configured deadlines, so a stalled or half-closed
+/// server yields DeadlineExceeded instead of hanging the caller forever.
 class SimpleHttpClient {
  public:
   SimpleHttpClient() = default;
+  explicit SimpleHttpClient(const ClientOptions& options);
   ~SimpleHttpClient() { Close(); }
 
   SimpleHttpClient(const SimpleHttpClient&) = delete;
@@ -54,14 +94,49 @@ class SimpleHttpClient {
                                    std::string_view body = {},
                                    std::string_view extra_headers = {});
 
+  /// RoundTrip with the configured retry policy: reconnects after
+  /// transport failures (the last Connect's host/port), retries 503s
+  /// honoring Retry-After, backs off exponentially with jitter between
+  /// attempts. Returns the first non-503 response or the final error.
+  Result<ClientResponse> RoundTripWithRetry(std::string_view method,
+                                            std::string_view target,
+                                            std::string_view body = {},
+                                            std::string_view extra_headers = {});
+
+  /// Lifetime counters (tests assert the retry machinery actually ran).
+  struct ClientStats {
+    uint64_t retries = 0;
+    uint64_t reconnects = 0;
+    uint64_t timeouts = 0;
+    uint64_t injected_faults = 0;
+  };
+  const ClientStats& client_stats() const { return stats_; }
+
  private:
+  /// poll(2)s for `events` (POLLIN/POLLOUT) within `timeout_ms` (<= 0 =
+  /// indefinite). DeadlineExceeded on timeout.
+  Status WaitFd(short events, int64_t timeout_ms);
+  Status WriteAll(std::string_view data);
   Status FillBuffer();  // Reads more bytes; error on EOF.
   Result<std::string> ReadLine();
   Result<std::string> ReadExact(size_t n);
 
+  ClientOptions options_;
+  Pcg32 rng_{0x5eed, 0xc11e};
+  ClientStats stats_;
+
   int fd_ = -1;
   std::string buf_;
   size_t pos_ = 0;
+
+  // Last Connect() target (RoundTripWithRetry reconnects here).
+  std::string host_;
+  uint16_t port_ = 0;
+
+  // Socket-fault mirror bookkeeping.
+  uint64_t serial_ = 0;
+  uint64_t bytes_in_total_ = 0;
+  uint64_t bytes_out_total_ = 0;
 };
 
 }  // namespace cbfww::server

@@ -64,6 +64,14 @@ class HttpParser {
   bool done() const { return state_ == State::kComplete; }
   bool failed() const { return state_ == State::kError; }
 
+  /// True once any byte of the next request has been consumed — the
+  /// connection is mid-request (header or body deadlines apply) rather
+  /// than idle between requests.
+  bool mid_request() const {
+    return state_ == State::kHeaders || state_ == State::kBody ||
+           (state_ == State::kRequestLine && !line_.empty());
+  }
+
   const HttpRequest& request() const { return request_; }
   HttpRequest TakeRequest() { return std::move(request_); }
 

@@ -30,6 +30,8 @@ const char* ReasonPhrase(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
     case 413: return "Payload Too Large";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
@@ -81,6 +83,37 @@ uint64_t ThreadCpuNanos() {
   clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
   return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
          static_cast<uint64_t>(ts.tv_nsec);
+}
+
+// Wall clock for the connection-lifecycle deadlines (monotonic ms; immune
+// to wall-clock steps).
+uint64_t NowMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000ull +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000000ull;
+}
+
+// Abortive close: SO_LINGER(0) turns close() into RST, dropping queued
+// output. For peers that misbehaved (stalled writes, injected resets) —
+// a graceful FIN would leave the kernel buffering a response nobody reads.
+void ResetClose(int fd) {
+  struct linger lg;
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd);
+}
+
+Route ClassifyRoute(std::string_view path) {
+  if (path.rfind("/page/", 0) == 0) return Route::kPage;
+  if (path.rfind("/body/", 0) == 0) return Route::kBody;
+  if (path == "/query") return Route::kQuery;
+  if (path.rfind("/modify/", 0) == 0) return Route::kModify;
+  if (path == "/metrics") return Route::kMetrics;
+  if (path.rfind("/admin/", 0) == 0) return Route::kAdmin;
+  if (path == "/healthz") return Route::kHealth;
+  return Route::kOther;
 }
 
 // Creates a non-blocking listening socket. With `reuseport`, failure to
@@ -153,6 +186,20 @@ void SignalDrainHandler(int /*signo*/) {
 
 }  // namespace
 
+const char* RouteName(Route route) {
+  switch (route) {
+    case Route::kPage: return "page";
+    case Route::kBody: return "body";
+    case Route::kQuery: return "query";
+    case Route::kModify: return "modify";
+    case Route::kMetrics: return "metrics";
+    case Route::kAdmin: return "admin";
+    case Route::kHealth: return "health";
+    case Route::kOther: return "other";
+  }
+  return "other";
+}
+
 /// Per-connection state machine. Input accumulates in `in`; `in_pos` marks
 /// the parsed prefix (pipelined requests wait there while one is in
 /// flight). Output accumulates in the scatter/gather buffer `out` and
@@ -183,6 +230,28 @@ struct HttpServer::Conn {
   /// kBody: raw objects (container + components) whose rendered bodies
   /// form the response.
   std::vector<corpus::RawId> pending_body;
+
+  // Connection lifecycle (timer wheel deadlines; all ms on NowMs()).
+  enum class Phase : uint8_t { kIdle, kHeader, kBody, kAwait };
+  Phase phase = Phase::kIdle;
+  uint64_t phase_start_ms = 0;
+  uint64_t created_ms = 0;
+  /// Nonzero while queued output has made no write progress (write-stall
+  /// deadline runs from here).
+  uint64_t stall_since_ms = 0;
+  TimerWheel::Entry timer;
+  std::list<Conn*>::iterator idle_it;
+  bool in_idle_list = false;
+  /// Route of the request currently being handled (counter attribution).
+  Route current_route = Route::kOther;
+  /// Parked behind an in-flight POST /admin/drain-report.
+  bool awaiting_report = false;
+
+  // Socket-fault bookkeeping: the policy's serial for this connection and
+  // the cumulative byte offsets its decisions are keyed on.
+  uint64_t serial = 0;
+  uint64_t bytes_in_total = 0;
+  uint64_t bytes_out_total = 0;
 
   explicit Conn(ParserLimits limits) : parser(limits) {}
 };
@@ -268,6 +337,10 @@ Status HttpServer::Start() {
   for (uint32_t i = 0; i < io_threads_; ++i) {
     auto io = std::make_unique<IoShard>();
     io->index = i;
+    io->wheel = std::make_unique<TimerWheel>(
+        std::max<uint64_t>(1, options_.lifecycle.timer_tick_ms),
+        std::max<size_t>(2, options_.lifecycle.timer_slots));
+    io->now_ms = NowMs();
     io_shards_.push_back(std::move(io));
   }
 
@@ -350,6 +423,9 @@ Status HttpServer::Start() {
   next_handoff_ = 0;
   total_conns_.store(0, std::memory_order_relaxed);
   drain_requested_.store(false, std::memory_order_release);
+  drain_report_pending_.store(false, std::memory_order_release);
+  report_gen_.store(0, std::memory_order_release);
+  report_acks_.store(0, std::memory_order_release);
   active_io_threads_.store(io_threads_, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   for (auto& io : io_shards_) {
@@ -414,9 +490,12 @@ void HttpServer::Run(IoShard& io) {
     }
     if (io.draining && io.conns.empty()) break;
 
-    int n =
-        io.loop->Wait(events, /*timeout_ms=*/io.awaiting_tickets > 0 ? 10 : 250);
+    io.now_ms = NowMs();
+    int cap_ms = io.awaiting_tickets > 0 ? 10 : 250;
+    int timeout_ms = io.wheel->NextTimeoutMs(io.now_ms, cap_ms);
+    int n = io.loop->Wait(events, timeout_ms);
     if (n < 0) break;  // Multiplexer failure: shut down rather than spin.
+    io.now_ms = NowMs();
 
     for (const IoEvent& ev : events) {
       if (ev.fd == io.listen_fd) {
@@ -449,6 +528,11 @@ void HttpServer::Run(IoShard& io) {
     // Completions arrive from shard workers via the wake pipe; sweep all
     // parked connections (cheap: only conns with awaiting set are checked).
     if (io.awaiting_tickets > 0) CheckPendingTickets(io);
+
+    // Lifecycle deadlines and the drain-report protocol run off the same
+    // loop — no timer threads.
+    ExpireTimers(io);
+    DrainReportTick(io);
 
     io.busy_ns.store(ThreadCpuNanos() - cpu_start, std::memory_order_relaxed);
   }
@@ -501,8 +585,20 @@ void HttpServer::BeginDrain(IoShard& io) {
 }
 
 bool HttpServer::RegisterConn(IoShard& io, int fd) {
-  if (total_conns_.load(std::memory_order_relaxed) >=
-      options_.max_connections) {
+  // High-water reaping: approaching the connection cap, evict this
+  // thread's coldest idle keep-alive connections to make room — a fresh
+  // client beats a parked one. (Per-thread: each loop reaps its own.)
+  size_t open = total_conns_.load(std::memory_order_relaxed);
+  if (options_.lifecycle.reap_high_water_fraction > 0) {
+    size_t high_water = static_cast<size_t>(
+        options_.lifecycle.reap_high_water_fraction *
+        static_cast<double>(options_.max_connections));
+    if (open >= high_water && high_water > 0) {
+      ReapIdle(io, open - high_water + 1);
+      open = total_conns_.load(std::memory_order_relaxed);
+    }
+  }
+  if (open >= options_.max_connections) {
     stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
     ::close(fd);
     return false;
@@ -515,6 +611,18 @@ bool HttpServer::RegisterConn(IoShard& io, int fd) {
   conn->id = io.next_conn_id++;
   conn->fd = fd;
   conn->io = &io;
+  if (options_.socket_faults != nullptr) {
+    conn->serial = options_.socket_faults->OnConnection();
+    if (options_.socket_faults->OnAccept(conn->serial).action ==
+        net::SocketAcceptFault::Action::kResetAfterAccept) {
+      stats_.socket_faults_injected.fetch_add(1, std::memory_order_relaxed);
+      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      ResetClose(fd);
+      return false;
+    }
+  }
+  conn->created_ms = io.now_ms;
+  conn->phase_start_ms = io.now_ms;
   Conn* raw = conn.get();
   if (!io.loop->Add(fd, /*want_read=*/true, /*want_write=*/false, raw).ok()) {
     ::close(fd);
@@ -523,6 +631,9 @@ bool HttpServer::RegisterConn(IoShard& io, int fd) {
   io.conns.emplace(raw->id, std::move(conn));
   total_conns_.fetch_add(1, std::memory_order_relaxed);
   stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  // New connections start idle (phase transitions stamp from here) and on
+  // the idle list, so an accept flood that never sends a byte is reapable.
+  UpdatePhase(io, *raw);
   return true;
 }
 
@@ -578,10 +689,41 @@ void HttpServer::CloseConn(IoShard& io, Conn& conn) {
     conn.awaiting = false;
     conn.ticket.reset();
   }
+  if (conn.awaiting_report) {
+    // The drain-report requester died mid-protocol: release the latch so
+    // traffic resumes (the report is simply lost, like any response to a
+    // closed connection).
+    conn.awaiting_report = false;
+    io.report_conn = 0;
+    drain_report_pending_.store(false, std::memory_order_release);
+    WakeAll();
+  }
+  io.wheel->Cancel(&conn.timer);
+  if (conn.in_idle_list) {
+    io.idle_lifo.erase(conn.idle_it);
+    conn.in_idle_list = false;
+  }
   io.loop->Remove(conn.fd);
   ::close(conn.fd);
   total_conns_.fetch_sub(1, std::memory_order_relaxed);
   io.conns.erase(conn.id);  // Destroys conn; no member access past this line.
+}
+
+void HttpServer::HardCloseConn(IoShard& io, Conn& conn) {
+  struct linger lg;
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  setsockopt(conn.fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  CloseConn(io, conn);
+}
+
+void HttpServer::ReapIdle(IoShard& io, size_t want) {
+  while (want > 0 && !io.idle_lifo.empty()) {
+    Conn* victim = io.idle_lifo.back();  // Coldest (LIFO list).
+    stats_.conns_reaped.fetch_add(1, std::memory_order_relaxed);
+    CloseConn(io, *victim);
+    --want;
+  }
 }
 
 void HttpServer::HandleReadable(IoShard& io, Conn& conn) {
@@ -590,12 +732,31 @@ void HttpServer::HandleReadable(IoShard& io, Conn& conn) {
   const uint64_t id = conn.id;
   char buf[16384];
   while (true) {
-    ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    size_t want = sizeof(buf);
+    if (options_.socket_faults != nullptr) {
+      net::SocketIoFault f =
+          options_.socket_faults->OnRead(conn.serial, conn.bytes_in_total);
+      if (f.action == net::SocketIoFault::Action::kReset) {
+        stats_.socket_faults_injected.fetch_add(1, std::memory_order_relaxed);
+        HardCloseConn(io, conn);
+        return;
+      }
+      if (f.action == net::SocketIoFault::Action::kEAgain) {
+        stats_.socket_faults_injected.fetch_add(1, std::memory_order_relaxed);
+        break;  // Level-triggered: the loop re-fires while bytes wait.
+      }
+      if (f.max_bytes < want) want = f.max_bytes > 0 ? f.max_bytes : 1;
+    }
+    ssize_t n = ::read(conn.fd, buf, want);
     if (n > 0) {
       stats_.bytes_in.fetch_add(static_cast<uint64_t>(n),
                                 std::memory_order_relaxed);
+      conn.bytes_in_total += static_cast<uint64_t>(n);
       conn.in.append(buf, static_cast<size_t>(n));
-      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      // A short or fault-capped read ends the round; under injection one
+      // capped bite per round keeps fault offsets exact (the loop re-fires
+      // for the rest).
+      if (static_cast<size_t>(n) < want || want < sizeof(buf)) break;
       continue;
     }
     if (n == 0) {
@@ -611,15 +772,21 @@ void HttpServer::HandleReadable(IoShard& io, Conn& conn) {
   if (io.conns.count(id) == 0) return;
   HandleWritable(io, conn);  // Flush whatever the routing produced.
   if (io.conns.count(id) == 0) return;
-  if (conn.read_eof && !conn.awaiting && conn.out.empty()) {
+  if (conn.read_eof && !conn.awaiting && !conn.awaiting_report &&
+      conn.out.empty()) {
     CloseConn(io, conn);
+    return;
   }
+  UpdatePhase(io, conn);
 }
 
 void HttpServer::ProcessBuffered(IoShard& io, Conn& conn) {
   // One request in flight at a time per connection; pipelined bytes wait in
   // `in`. Responses append to `out` in arrival order, so ordering holds.
-  while (!conn.awaiting && !conn.want_close) {
+  while (!conn.awaiting && !conn.awaiting_report && !conn.want_close) {
+    // A pending drain-report parks all request processing (buffered bytes
+    // keep; the loop resumes once the report is out).
+    if (drain_report_pending_.load(std::memory_order_acquire)) break;
     if (conn.in_pos < conn.in.size()) {
       size_t n = conn.parser.Consume(
           std::string_view(conn.in).substr(conn.in_pos));
@@ -636,6 +803,10 @@ void HttpServer::ProcessBuffered(IoShard& io, Conn& conn) {
     if (!conn.parser.done()) break;  // Need more bytes.
     HttpRequest request = conn.parser.TakeRequest();
     conn.parser.Reset();
+    // Each request restarts the lifecycle clock: a pipelined successor
+    // gets a fresh header window instead of inheriting its predecessor's.
+    conn.phase = Conn::Phase::kIdle;
+    conn.phase_start_ms = io.now_ms;
     RouteRequest(io, conn, std::move(request));
   }
   // Reclaim consumed input.
@@ -660,6 +831,8 @@ bool HttpServer::ShedByClass(Conn& conn, AdmissionClass klass) {
   if (klass != AdmissionClass::kBackground) return false;
   if (!Overloaded()) return false;
   stats_.admission_shed_background.fetch_add(1, std::memory_order_relaxed);
+  stats_.route[static_cast<size_t>(conn.current_route)].shed.fetch_add(
+      1, std::memory_order_relaxed);
   stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
   QueueResponse(conn, 503, "application/json",
                 "{\"error\":\"background class shed under overload\","
@@ -689,6 +862,9 @@ void HttpServer::RouteRequest(IoShard& io, Conn& conn, HttpRequest request) {
   conn.resp_version_minor = request.version_minor;
 
   RequestTarget target = ParseTarget(request.target);
+  conn.current_route = ClassifyRoute(target.path);
+  stats_.route[static_cast<size_t>(conn.current_route)].requests.fetch_add(
+      1, std::memory_order_relaxed);
 
   if (target.path == "/healthz") {
     // AdmissionClass::kHealth: never shed, never dispatched — a liveness
@@ -777,6 +953,8 @@ void HttpServer::RouteRequest(IoShard& io, Conn& conn, HttpRequest request) {
     Status status = cluster_->TryServePage(page_request, ticket, io.index);
     if (!status.ok()) {
       if (status.code() == StatusCode::kResourceExhausted) {
+        stats_.route[static_cast<size_t>(conn.current_route)].shed.fetch_add(
+            1, std::memory_order_relaxed);
         stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
         QueueResponse(
             conn, 503, "application/json",
@@ -826,6 +1004,8 @@ void HttpServer::RouteRequest(IoShard& io, Conn& conn, HttpRequest request) {
     event.time = EventTime(explicit_t);
     Status status = cluster_->TryDispatch(event, io.index);
     if (!status.ok()) {
+      stats_.route[static_cast<size_t>(conn.current_route)].shed.fetch_add(
+          1, std::memory_order_relaxed);
       stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
       QueueResponse(conn, 503, "application/json",
                     "{\"error\":\"modify shed\",\"shed\":true}",
@@ -864,6 +1044,8 @@ void HttpServer::RouteRequest(IoShard& io, Conn& conn, HttpRequest request) {
       // Shed on at least one shard: the accepted shards still complete the
       // abandoned ticket (the shared_ptr keeps it alive); the client gets
       // an immediate 503 and retries.
+      stats_.route[static_cast<size_t>(conn.current_route)].shed.fetch_add(
+          1, std::memory_order_relaxed);
       stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
       QueueResponse(conn, 503, "application/json",
                     "{\"error\":\"query shed\",\"shed\":true}",
@@ -874,6 +1056,39 @@ void HttpServer::RouteRequest(IoShard& io, Conn& conn, HttpRequest request) {
     conn.ticket = std::move(ticket);
     conn.pending = Conn::Pending::kQuery;
     io.awaiting_tickets++;
+    return;
+  }
+
+  if (target.path == "/admin/drain-report") {
+    // Full warehouse counter report at any IO-thread count: all IO threads
+    // park new dispatch (the drain_report_pending_ latch), ack, and the
+    // owning thread drains the cluster and answers with the quiesced
+    // report (see DrainReportTick). In-flight tickets finish first — the
+    // owner also waits for its own awaiting conns via the idle check.
+    if (request.method != "POST") {
+      QueueError(conn, 405, "use POST");
+      return;
+    }
+    if (ShedByClass(conn, AdmissionClass::kBackground)) return;
+    if (cluster_->AnySuspended()) {
+      // Drain would block behind a parked shard's backlog forever.
+      QueueError(conn, 409, "shards suspended; resume before drain-report");
+      return;
+    }
+    bool expected = false;
+    if (!drain_report_pending_.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
+      QueueResponse(conn, 503, "application/json",
+                    "{\"error\":\"drain-report already in flight\"}",
+                    StrFormat("Retry-After: %d\r\n", options_.retry_after_s));
+      return;
+    }
+    report_gen_.fetch_add(1, std::memory_order_acq_rel);
+    report_acks_.store(0, std::memory_order_release);
+    conn.awaiting_report = true;
+    io.report_conn = conn.id;
+    WakeAll();  // Sibling loops must notice the latch and ack.
     return;
   }
 
@@ -929,9 +1144,12 @@ void HttpServer::CheckPendingTickets(IoShard& io) {
     if (io.conns.count(id) == 0) continue;
     HandleWritable(io, conn);
     if (io.conns.count(id) == 0) continue;
-    if (conn.want_close && !conn.awaiting && conn.out.empty()) {
+    if (conn.want_close && !conn.awaiting && !conn.awaiting_report &&
+        conn.out.empty()) {
       CloseConn(io, conn);
+      continue;
     }
+    UpdatePhase(io, conn);
   }
 }
 
@@ -941,27 +1159,75 @@ void HttpServer::FinishTicket(IoShard& io, Conn& conn) {
   conn.ticket.reset();
   io.awaiting_tickets--;
 
-  if (conn.pending == Conn::Pending::kPage) {
-    // Hot path: PageVisit JSON straight into the arena, head prepended
-    // once the length is known — no response-sized string is built.
-    conn.out.BeginResponse();
-    AppendPageVisitJson(conn.out, ticket->visit, conn.pending_url);
-    FinishOpenResponse(conn, 200, "application/json");
-    conn.pending_url.clear();
-  } else if (conn.pending == Conn::Pending::kBody) {
-    // Rendered bodies are referenced in place (immortal store) and go to
-    // writev uncopied: zero body copies between storage and the socket.
-    conn.out.BeginResponse();
-    uint64_t body_bytes = 0;
-    for (corpus::RawId id : conn.pending_body) {
-      std::string_view body = body_store_->Body(id);
-      conn.out.AppendExternal(body.data(), body.size());
-      body_bytes += body.size();
+  if (conn.pending == Conn::Pending::kPage ||
+      conn.pending == Conn::Pending::kBody) {
+    // Degradation ladder, surfaced over the wire. A serve the warehouse
+    // could not complete at all (ladder exhausted) is always a 503; a
+    // stale/summary answer is either an honest degraded 200 (the paper's
+    // stale-but-useful answer, flagged with X-Cbfww-Degraded) or a 503
+    // per DegradedPolicy.
+    const core::PageVisit& visit = ticket->visit;
+    RouteStats& route = stats_.route[static_cast<size_t>(conn.current_route)];
+    const char* mode = nullptr;
+    if (visit.failed_serves > 0) {
+      route.degraded_failed.fetch_add(1, std::memory_order_relaxed);
+      stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
+      QueueResponse(conn, 503, "application/json",
+                    "{\"error\":\"degraded serve failed\",\"degraded\":true}",
+                    StrFormat("Retry-After: %d\r\nX-Cbfww-Degraded: failed\r\n",
+                              options_.retry_after_s));
+      conn.pending_url.clear();
+      conn.pending_body.clear();
+      conn.pending = Conn::Pending::kNone;
+      return;
     }
-    stats_.body_bytes_zero_copy.fetch_add(body_bytes,
-                                          std::memory_order_relaxed);
-    FinishOpenResponse(conn, 200, "text/html; charset=utf-8");
-    conn.pending_body.clear();
+    if (visit.stale_serves > 0) {
+      mode = "stale";
+      route.degraded_stale.fetch_add(1, std::memory_order_relaxed);
+    } else if (visit.summary_serves > 0) {
+      mode = "summary";
+      route.degraded_summary.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (mode != nullptr &&
+        options_.degraded_critical == DegradedPolicy::kFail503) {
+      stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
+      QueueResponse(
+          conn, 503, "application/json",
+          StrFormat("{\"error\":\"degraded (%s) rejected by policy\","
+                    "\"degraded\":true}",
+                    mode),
+          StrFormat("Retry-After: %d\r\nX-Cbfww-Degraded: %s\r\n",
+                    options_.retry_after_s, mode));
+      conn.pending_url.clear();
+      conn.pending_body.clear();
+      conn.pending = Conn::Pending::kNone;
+      return;
+    }
+    std::string extra =
+        mode != nullptr ? StrFormat("X-Cbfww-Degraded: %s\r\n", mode)
+                        : std::string();
+    if (conn.pending == Conn::Pending::kPage) {
+      // Hot path: PageVisit JSON straight into the arena, head prepended
+      // once the length is known — no response-sized string is built.
+      conn.out.BeginResponse();
+      AppendPageVisitJson(conn.out, visit, conn.pending_url);
+      FinishOpenResponse(conn, 200, "application/json", extra);
+      conn.pending_url.clear();
+    } else {
+      // Rendered bodies are referenced in place (immortal store) and go to
+      // writev uncopied: zero body copies between storage and the socket.
+      conn.out.BeginResponse();
+      uint64_t body_bytes = 0;
+      for (corpus::RawId id : conn.pending_body) {
+        std::string_view body = body_store_->Body(id);
+        conn.out.AppendExternal(body.data(), body.size());
+        body_bytes += body.size();
+      }
+      stats_.body_bytes_zero_copy.fetch_add(body_bytes,
+                                            std::memory_order_relaxed);
+      FinishOpenResponse(conn, 200, "text/html; charset=utf-8", extra);
+      conn.pending_body.clear();
+    }
   } else {
     // Query: 200 when at least one shard answered; otherwise the first
     // slot's error decides between client error (400) and overload (503).
@@ -972,6 +1238,8 @@ void HttpServer::FinishTicket(IoShard& io, Conn& conn) {
     } else if (!ticket->query.empty() &&
                ticket->query[0].status.code() ==
                    StatusCode::kResourceExhausted) {
+      stats_.route[static_cast<size_t>(conn.current_route)].shed.fetch_add(
+          1, std::memory_order_relaxed);
       stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
       QueueResponse(conn, 503, "application/json",
                     "{\"error\":\"query shed\",\"shed\":true}",
@@ -1038,17 +1306,37 @@ void HttpServer::FinishOpenResponse(Conn& conn, int status,
 }
 
 void HttpServer::HandleWritable(IoShard& io, Conn& conn) {
+  size_t budget = SIZE_MAX;
+  if (options_.socket_faults != nullptr && !conn.out.empty()) {
+    net::SocketIoFault f =
+        options_.socket_faults->OnWrite(conn.serial, conn.bytes_out_total);
+    if (f.action == net::SocketIoFault::Action::kReset) {
+      stats_.socket_faults_injected.fetch_add(1, std::memory_order_relaxed);
+      HardCloseConn(io, conn);
+      return;
+    }
+    if (f.action == net::SocketIoFault::Action::kEAgain) {
+      stats_.socket_faults_injected.fetch_add(1, std::memory_order_relaxed);
+      budget = 0;
+    } else if (f.max_bytes < budget) {
+      budget = f.max_bytes > 0 ? f.max_bytes : 1;
+    }
+  }
   uint64_t wrote = 0;
-  OutBuf::FlushResult result = conn.out.FlushTo(conn.fd, &wrote);
+  OutBuf::FlushResult result = conn.out.FlushTo(conn.fd, &wrote, budget);
   if (wrote > 0) {
     stats_.bytes_out.fetch_add(wrote, std::memory_order_relaxed);
+    conn.bytes_out_total += wrote;
+    conn.stall_since_ms = 0;  // Progress: the stall clock restarts.
   }
   switch (result) {
     case OutBuf::FlushResult::kWouldBlock:
+      if (conn.stall_since_ms == 0) conn.stall_since_ms = io.now_ms;
       if (!conn.write_registered) {
         io.loop->Modify(conn.fd, /*want_read=*/true, /*want_write=*/true);
         conn.write_registered = true;
       }
+      RearmTimer(io, conn);
       return;
     case OutBuf::FlushResult::kError:
       CloseConn(io, conn);
@@ -1056,12 +1344,48 @@ void HttpServer::HandleWritable(IoShard& io, Conn& conn) {
     case OutBuf::FlushResult::kDrained:
       break;
   }
+  conn.stall_since_ms = 0;
   if (conn.write_registered) {
     io.loop->Modify(conn.fd, /*want_read=*/true, /*want_write=*/false);
     conn.write_registered = false;
   }
-  if (conn.want_close && !conn.awaiting) CloseConn(io, conn);
+  if (conn.want_close && !conn.awaiting && !conn.awaiting_report) {
+    CloseConn(io, conn);
+    return;
+  }
+  RearmTimer(io, conn);
 }
+
+namespace {
+
+// Warehouse-level counter section in Prometheus text form. Only valid
+// over a drained cluster (counters are aggregated per shard at drain).
+std::string WarehouseReportText(const cluster::ClusterReport& report) {
+  std::ostringstream os;
+  for (const auto& entry : core::CounterEntries(report.counters)) {
+    os << "# TYPE cbfww_warehouse_" << entry.name << "_total counter\n";
+    os << "cbfww_warehouse_" << entry.name << "_total " << entry.value
+       << "\n";
+  }
+  static const char* kSources[4] = {"memory", "disk", "tertiary", "origin"};
+  os << "# TYPE cbfww_served_from_total counter\n";
+  for (int i = 0; i < 4; ++i) {
+    os << "cbfww_served_from_total{source=\"" << kSources[i] << "\"} "
+       << report.served_from[i] << "\n";
+  }
+  os << "# TYPE cbfww_distinct_pages gauge\n"
+     << "cbfww_distinct_pages " << report.distinct_pages << "\n";
+  if (report.latency_percentiles.count() > 0) {
+    os << "# TYPE cbfww_request_latency_us gauge\n";
+    os << "cbfww_request_latency_us{quantile=\"0.5\"} "
+       << report.latency_percentiles.Percentile(50) << "\n";
+    os << "cbfww_request_latency_us{quantile=\"0.99\"} "
+       << report.latency_percentiles.Percentile(99) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace
 
 std::vector<uint64_t> HttpServer::IoBusyNs() const {
   std::vector<uint64_t> out;
@@ -1070,6 +1394,203 @@ std::vector<uint64_t> HttpServer::IoBusyNs() const {
     out.push_back(io->busy_ns.load(std::memory_order_relaxed));
   }
   return out;
+}
+
+void HttpServer::UpdatePhase(IoShard& io, Conn& conn) {
+  Conn::Phase next;
+  if (conn.awaiting || conn.awaiting_report) {
+    next = Conn::Phase::kAwait;
+  } else if (conn.parser.state() == HttpParser::State::kBody) {
+    next = Conn::Phase::kBody;
+  } else if (conn.parser.mid_request() || conn.in_pos < conn.in.size()) {
+    next = Conn::Phase::kHeader;
+  } else {
+    next = Conn::Phase::kIdle;
+  }
+  if (next != conn.phase) {
+    conn.phase = next;
+    conn.phase_start_ms = io.now_ms;
+  }
+  // Idle-list membership tracks the phase: only truly idle keep-alive
+  // connections are reapable. push_front = most recently idle; the back
+  // of the list is the coldest.
+  bool should_idle = next == Conn::Phase::kIdle && !conn.want_close;
+  if (should_idle && !conn.in_idle_list) {
+    io.idle_lifo.push_front(&conn);
+    conn.idle_it = io.idle_lifo.begin();
+    conn.in_idle_list = true;
+  } else if (!should_idle && conn.in_idle_list) {
+    io.idle_lifo.erase(conn.idle_it);
+    conn.in_idle_list = false;
+  }
+  RearmTimer(io, conn);
+}
+
+void HttpServer::RearmTimer(IoShard& io, Conn& conn) {
+  const ConnLifecycleOptions& lc = options_.lifecycle;
+  uint64_t dl = UINT64_MAX;
+  auto consider = [&dl](uint64_t start, int64_t timeout_ms) {
+    if (timeout_ms <= 0) return;
+    uint64_t d = start + static_cast<uint64_t>(timeout_ms);
+    if (d < dl) dl = d;
+  };
+  if (!conn.want_close) {
+    switch (conn.phase) {
+      case Conn::Phase::kHeader:
+        consider(conn.phase_start_ms, lc.header_timeout_ms);
+        break;
+      case Conn::Phase::kBody:
+        consider(conn.phase_start_ms, lc.body_timeout_ms);
+        break;
+      case Conn::Phase::kIdle:
+        consider(conn.phase_start_ms, lc.idle_timeout_ms);
+        break;
+      case Conn::Phase::kAwait:
+        break;  // The shard owns this wait; no wire deadline applies.
+    }
+    consider(conn.created_ms, lc.max_lifetime_ms);
+  }
+  if (conn.stall_since_ms > 0) {
+    consider(conn.stall_since_ms, lc.write_stall_timeout_ms);
+  }
+  if (dl == UINT64_MAX) {
+    io.wheel->Cancel(&conn.timer);
+  } else {
+    io.wheel->Schedule(&conn.timer, dl, &conn);
+  }
+}
+
+void HttpServer::ExpireTimers(IoShard& io) {
+  if (io.wheel->scheduled() == 0) return;
+  io.now_ms = NowMs();
+  std::vector<void*> expired;
+  io.wheel->Advance(io.now_ms, &expired);
+  // Each connection owns exactly one wheel entry and OnConnDeadline only
+  // ever destroys its own connection, so every reported tag is live.
+  for (void* tag : expired) {
+    OnConnDeadline(io, *static_cast<Conn*>(tag));
+  }
+}
+
+void HttpServer::OnConnDeadline(IoShard& io, Conn& conn) {
+  const ConnLifecycleOptions& lc = options_.lifecycle;
+  const uint64_t now = io.now_ms;
+  auto due = [now](uint64_t start, int64_t timeout_ms) {
+    return timeout_ms > 0 && start + static_cast<uint64_t>(timeout_ms) <= now;
+  };
+  // A peer that stopped reading mid-response gets an abortive close: the
+  // response cannot be completed, and a graceful FIN would leave the
+  // kernel holding its unread bytes.
+  if (conn.stall_since_ms > 0 &&
+      due(conn.stall_since_ms, lc.write_stall_timeout_ms)) {
+    stats_.timeouts_write_stall.fetch_add(1, std::memory_order_relaxed);
+    stats_.route[static_cast<size_t>(conn.current_route)].timeouts.fetch_add(
+        1, std::memory_order_relaxed);
+    HardCloseConn(io, conn);
+    return;
+  }
+  if (!conn.want_close && due(conn.created_ms, lc.max_lifetime_ms)) {
+    stats_.conns_lifetime_closed.fetch_add(1, std::memory_order_relaxed);
+    if (conn.awaiting || conn.awaiting_report || !conn.out.empty()) {
+      conn.want_close = true;  // Finish the in-flight request, then close.
+      RearmTimer(io, conn);
+    } else {
+      CloseConn(io, conn);
+    }
+    return;
+  }
+  if (!conn.want_close) {
+    switch (conn.phase) {
+      case Conn::Phase::kHeader:
+        if (due(conn.phase_start_ms, lc.header_timeout_ms)) {
+          Timeout408(io, conn, "header read timeout", stats_.timeouts_header);
+          return;
+        }
+        break;
+      case Conn::Phase::kBody:
+        if (due(conn.phase_start_ms, lc.body_timeout_ms)) {
+          Timeout408(io, conn, "request body timeout", stats_.timeouts_body);
+          return;
+        }
+        break;
+      case Conn::Phase::kIdle:
+        if (due(conn.phase_start_ms, lc.idle_timeout_ms)) {
+          stats_.timeouts_idle.fetch_add(1, std::memory_order_relaxed);
+          CloseConn(io, conn);
+          return;
+        }
+        break;
+      case Conn::Phase::kAwait:
+        break;
+    }
+  }
+  RearmTimer(io, conn);  // Spurious wakeup (coarse wheel slots); rearm.
+}
+
+void HttpServer::Timeout408(IoShard& io, Conn& conn,
+                            const std::string& message,
+                            std::atomic<uint64_t>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+  // Attribute to the route the stalled request was heading for, when the
+  // request line already revealed it.
+  Route route = Route::kOther;
+  if (conn.parser.state() == HttpParser::State::kHeaders ||
+      conn.parser.state() == HttpParser::State::kBody) {
+    route = ClassifyRoute(ParseTarget(conn.parser.request().target).path);
+  }
+  stats_.route[static_cast<size_t>(route)].timeouts.fetch_add(
+      1, std::memory_order_relaxed);
+  stats_.responses_408.fetch_add(1, std::memory_order_relaxed);
+  stats_.requests_total.fetch_add(1, std::memory_order_relaxed);
+  conn.resp_keep_alive = false;
+  conn.resp_version_minor = 1;
+  QueueError(conn, 408, message);
+  conn.want_close = true;
+  HandleWritable(io, conn);  // May destroy conn (flush + close).
+}
+
+void HttpServer::DrainReportTick(IoShard& io) {
+  if (!drain_report_pending_.load(std::memory_order_acquire)) return;
+  uint64_t gen = report_gen_.load(std::memory_order_acquire);
+  if (io.report_acked_gen != gen) {
+    // This loop has parked request routing (ProcessBuffered checks the
+    // latch), so after this ack it dispatches nothing new to the shards.
+    io.report_acked_gen = gen;
+    report_acks_.fetch_add(1, std::memory_order_acq_rel);
+    WakeAll();  // Nudge the owner to re-check the ack count.
+  }
+  if (io.report_conn == 0) return;  // Not the owner of the pending report.
+  if (report_acks_.load(std::memory_order_acquire) < io_threads_) return;
+  const uint64_t conn_id = io.report_conn;
+  io.report_conn = 0;
+  // All IO threads acked: nothing new reaches the shard queues, so Drain
+  // quiesces in bounded time (in-flight tickets complete during it; a
+  // shard suspended after the 409 check would stall it, so re-check).
+  std::string text;
+  if (cluster_->AnySuspended()) {
+    text.clear();
+  } else {
+    cluster_->Drain();
+    cluster::ClusterReport report = cluster_->Report();
+    text = WarehouseReportText(report);
+    stats_.drain_reports.fetch_add(1, std::memory_order_relaxed);
+  }
+  drain_report_pending_.store(false, std::memory_order_release);
+  WakeAll();  // Siblings resume routing.
+  auto it = io.conns.find(conn_id);
+  if (it == io.conns.end()) return;  // Requester vanished mid-protocol.
+  Conn& conn = *it->second;
+  conn.awaiting_report = false;
+  if (text.empty()) {
+    QueueError(conn, 409, "shards suspended; resume before drain-report");
+  } else {
+    QueueResponse(conn, 200, "text/plain; version=0.0.4", text);
+  }
+  ProcessBuffered(io, conn);
+  if (io.conns.count(conn_id) == 0) return;
+  HandleWritable(io, conn);
+  if (io.conns.count(conn_id) == 0) return;
+  UpdatePhase(io, conn);
 }
 
 std::string HttpServer::MetricsText() {
@@ -1107,12 +1628,78 @@ std::string HttpServer::MetricsText() {
      << stats_.responses_503.load(std::memory_order_relaxed) << "\n";
   os << "cbfww_http_responses_total{code=\"5xx_other\"} "
      << stats_.responses_5xx_other.load(std::memory_order_relaxed) << "\n";
+  os << "cbfww_http_responses_total{code=\"408\"} "
+     << stats_.responses_408.load(std::memory_order_relaxed) << "\n";
   os << "# HELP cbfww_admission_shed_total Requests shed by per-route "
         "admission classes (before reaching the shard queues).\n"
      << "# TYPE cbfww_admission_shed_total counter\n"
      << "cbfww_admission_shed_total{class=\"background\"} "
      << stats_.admission_shed_background.load(std::memory_order_relaxed)
      << "\n";
+  os << "# HELP cbfww_route_requests_total Requests by route.\n"
+     << "# TYPE cbfww_route_requests_total counter\n";
+  for (size_t i = 0; i < kNumRoutes; ++i) {
+    os << "cbfww_route_requests_total{route=\""
+       << RouteName(static_cast<Route>(i)) << "\"} "
+       << stats_.route[i].requests.load(std::memory_order_relaxed) << "\n";
+  }
+  os << "# HELP cbfww_route_shed_total 503s by route (admission class and "
+        "shard-queue sheds combined).\n"
+     << "# TYPE cbfww_route_shed_total counter\n";
+  for (size_t i = 0; i < kNumRoutes; ++i) {
+    os << "cbfww_route_shed_total{route=\""
+       << RouteName(static_cast<Route>(i)) << "\"} "
+       << stats_.route[i].shed.load(std::memory_order_relaxed) << "\n";
+  }
+  os << "# HELP cbfww_route_degraded_total Responses whose warehouse "
+        "answer came off the degradation ladder, by route and mode.\n"
+     << "# TYPE cbfww_route_degraded_total counter\n";
+  for (size_t i = 0; i < kNumRoutes; ++i) {
+    const char* name = RouteName(static_cast<Route>(i));
+    os << "cbfww_route_degraded_total{route=\"" << name
+       << "\",mode=\"stale\"} "
+       << stats_.route[i].degraded_stale.load(std::memory_order_relaxed)
+       << "\n";
+    os << "cbfww_route_degraded_total{route=\"" << name
+       << "\",mode=\"summary\"} "
+       << stats_.route[i].degraded_summary.load(std::memory_order_relaxed)
+       << "\n";
+    os << "cbfww_route_degraded_total{route=\"" << name
+       << "\",mode=\"failed\"} "
+       << stats_.route[i].degraded_failed.load(std::memory_order_relaxed)
+       << "\n";
+  }
+  os << "# HELP cbfww_route_timeout_total Connection-lifecycle timeouts "
+        "attributed to the route the stalled request targeted.\n"
+     << "# TYPE cbfww_route_timeout_total counter\n";
+  for (size_t i = 0; i < kNumRoutes; ++i) {
+    os << "cbfww_route_timeout_total{route=\""
+       << RouteName(static_cast<Route>(i)) << "\"} "
+       << stats_.route[i].timeouts.load(std::memory_order_relaxed) << "\n";
+  }
+  os << "# HELP cbfww_conn_timeouts_total Connections closed by lifecycle "
+        "deadline, by kind.\n"
+     << "# TYPE cbfww_conn_timeouts_total counter\n"
+     << "cbfww_conn_timeouts_total{kind=\"header\"} "
+     << stats_.timeouts_header.load(std::memory_order_relaxed) << "\n"
+     << "cbfww_conn_timeouts_total{kind=\"body\"} "
+     << stats_.timeouts_body.load(std::memory_order_relaxed) << "\n"
+     << "cbfww_conn_timeouts_total{kind=\"idle\"} "
+     << stats_.timeouts_idle.load(std::memory_order_relaxed) << "\n"
+     << "cbfww_conn_timeouts_total{kind=\"write_stall\"} "
+     << stats_.timeouts_write_stall.load(std::memory_order_relaxed) << "\n"
+     << "cbfww_conn_timeouts_total{kind=\"lifetime\"} "
+     << stats_.conns_lifetime_closed.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE cbfww_conn_reaped_total counter\n"
+     << "cbfww_conn_reaped_total "
+     << stats_.conns_reaped.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE cbfww_socket_faults_injected_total counter\n"
+     << "cbfww_socket_faults_injected_total "
+     << stats_.socket_faults_injected.load(std::memory_order_relaxed)
+     << "\n";
+  os << "# TYPE cbfww_drain_reports_total counter\n"
+     << "cbfww_drain_reports_total "
+     << stats_.drain_reports.load(std::memory_order_relaxed) << "\n";
   os << "# HELP cbfww_body_bytes_total Rendered body bytes served, by "
         "transfer path.\n"
      << "# TYPE cbfww_body_bytes_total counter\n"
@@ -1185,31 +1772,13 @@ std::string HttpServer::MetricsText() {
   // drain, so the full report is gated to single-IO-thread servers.
   bool idle = io_threads_ == 1 && cluster_->Idle();
   os << "# HELP cbfww_metrics_full_report 1 when the warehouse counter "
-        "section below reflects a full drained report.\n"
+        "section below reflects a full drained report. With multiple IO "
+        "threads, POST /admin/drain-report instead: it quiesces every "
+        "loop first and answers with this section at any thread count.\n"
      << "# TYPE cbfww_metrics_full_report gauge\n"
      << "cbfww_metrics_full_report " << (idle ? 1 : 0) << "\n";
   if (idle) {
-    cluster::ClusterReport report = cluster_->Report();
-    for (const auto& entry : core::CounterEntries(report.counters)) {
-      os << "# TYPE cbfww_warehouse_" << entry.name << "_total counter\n";
-      os << "cbfww_warehouse_" << entry.name << "_total " << entry.value
-         << "\n";
-    }
-    static const char* kSources[4] = {"memory", "disk", "tertiary", "origin"};
-    os << "# TYPE cbfww_served_from_total counter\n";
-    for (int i = 0; i < 4; ++i) {
-      os << "cbfww_served_from_total{source=\"" << kSources[i] << "\"} "
-         << report.served_from[i] << "\n";
-    }
-    os << "# TYPE cbfww_distinct_pages gauge\n"
-       << "cbfww_distinct_pages " << report.distinct_pages << "\n";
-    if (report.latency_percentiles.count() > 0) {
-      os << "# TYPE cbfww_request_latency_us gauge\n";
-      os << "cbfww_request_latency_us{quantile=\"0.5\"} "
-         << report.latency_percentiles.Percentile(50) << "\n";
-      os << "cbfww_request_latency_us{quantile=\"0.99\"} "
-         << report.latency_percentiles.Percentile(99) << "\n";
-    }
+    os << WarehouseReportText(cluster_->Report());
   }
   return os.str();
 }

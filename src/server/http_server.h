@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
@@ -12,10 +13,12 @@
 
 #include "cluster/spsc_queue.h"
 #include "cluster/warehouse_cluster.h"
+#include "net/socket_fault.h"
 #include "server/body_store.h"
 #include "server/event_loop.h"
 #include "server/http_parser.h"
 #include "server/output_buffer.h"
+#include "server/timer_wheel.h"
 #include "util/clock.h"
 #include "util/status.h"
 
@@ -47,6 +50,58 @@ enum class AdmissionClass : uint8_t {
   /// soon as any shard queue passes the overload threshold, before the
   /// critical path feels pressure.
   kBackground,
+};
+
+/// What a request whose warehouse answer is degraded (stale copy or LoD
+/// summary on the degradation ladder) gets over the wire.
+enum class DegradedPolicy : uint8_t {
+  /// 200 with an `X-Cbfww-Degraded: stale|summary` header — the paper's
+  /// stale-but-useful answer, made visible to the client.
+  kServe200 = 0,
+  /// 503 + Retry-After: strict readers prefer a clean failure.
+  kFail503,
+};
+
+/// Routes, for per-route shed/degrade/timeout counters.
+enum class Route : uint8_t {
+  kPage = 0,
+  kBody,
+  kQuery,
+  kModify,
+  kMetrics,
+  kAdmin,
+  kHealth,
+  kOther,
+};
+inline constexpr size_t kNumRoutes = 8;
+const char* RouteName(Route route);
+
+/// Per-connection lifecycle deadlines (milliseconds; 0 disables that
+/// deadline). All of them are enforced from the IO threads' event loops
+/// via a per-loop timer wheel — no extra threads.
+struct ConnLifecycleOptions {
+  /// First byte of a request until its header section completes. The
+  /// clock starts per request (pipelined successors each get a fresh
+  /// window), which is the slowloris bound: a client dribbling header
+  /// bytes forever is answered 408 and closed.
+  int64_t header_timeout_ms = 10000;
+  /// Headers complete until the Content-Length body is fully read (408).
+  int64_t body_timeout_ms = 20000;
+  /// Keep-alive gap between requests (silent close).
+  int64_t idle_timeout_ms = 60000;
+  /// Queued output with no write progress — a peer that stops reading
+  /// mid-response (hard close; the response cannot be completed anyway).
+  int64_t write_stall_timeout_ms = 10000;
+  /// Whole-connection cap; busy connections finish their in-flight
+  /// request first. 0 (default) = unlimited.
+  int64_t max_lifetime_ms = 0;
+  /// Once open connections reach this fraction of max_connections, each
+  /// new accept reaps idle connections, coldest first (the idle list is
+  /// LIFO, so recently-active keep-alive clients are spared). 0 disables.
+  double reap_high_water_fraction = 0.9;
+  /// Timer wheel granularity and size (one rotation spans their product).
+  uint64_t timer_tick_ms = 10;
+  size_t timer_slots = 256;
 };
 
 struct ServerOptions {
@@ -83,6 +138,27 @@ struct ServerOptions {
   /// stream zero-copy from its mmap pages instead of heap snapshots (RAM
   /// no longer double-holds the corpus). See BodyStoreOptions.
   std::string body_segment_dir;
+  /// Per-connection deadlines, high-water reaping, and timer wheel shape.
+  ConnLifecycleOptions lifecycle;
+  /// Wire-resilience policy for critical-route responses that came back
+  /// degraded (stale/summary). Failed serves (ladder exhausted) are
+  /// always 503. Health and background routes never produce degraded
+  /// answers, so this is the whole per-class story.
+  DegradedPolicy degraded_critical = DegradedPolicy::kServe200;
+  /// Seeded socket-fault policy injected behind accept/read/write (chaos
+  /// testing; see fault::SocketFaultInjector). Not owned; must outlive
+  /// the server. nullptr = no injection.
+  net::SocketFaultPolicy* socket_faults = nullptr;
+};
+
+/// Per-route counters (atomics; /metrics scrapes them live).
+struct RouteStats {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> degraded_stale{0};
+  std::atomic<uint64_t> degraded_summary{0};
+  std::atomic<uint64_t> degraded_failed{0};
+  std::atomic<uint64_t> timeouts{0};
 };
 
 /// Aggregate request counters maintained by the IO threads (atomics so
@@ -104,6 +180,20 @@ struct ServerStats {
   /// rendered-body store and the socket) vs. through the arena.
   std::atomic<uint64_t> body_bytes_zero_copy{0};
   std::atomic<uint64_t> body_bytes_copied{0};
+  /// Connection-lifecycle enforcement (see ConnLifecycleOptions).
+  std::atomic<uint64_t> timeouts_header{0};
+  std::atomic<uint64_t> timeouts_body{0};
+  std::atomic<uint64_t> timeouts_idle{0};
+  std::atomic<uint64_t> timeouts_write_stall{0};
+  std::atomic<uint64_t> conns_lifetime_closed{0};
+  std::atomic<uint64_t> conns_reaped{0};
+  std::atomic<uint64_t> responses_408{0};
+  /// Injected socket faults that actually fired (resets + EAGAINs).
+  std::atomic<uint64_t> socket_faults_injected{0};
+  /// Completed POST /admin/drain-report cycles.
+  std::atomic<uint64_t> drain_reports{0};
+  /// Per-route request/shed/degraded/timeout breakdown.
+  RouteStats route[kNumRoutes];
 };
 
 /// Embedded HTTP/1.1 front-end over a WarehouseCluster: N IO threads each
@@ -126,6 +216,8 @@ struct ServerStats {
 ///   POST /query                            scatter-gather OQL [critical]
 ///   POST /modify/<raw-id>?t=               broadcast modify   [critical]
 ///   POST /admin/shard/<i>/suspend|resume   park/unpark      [background]
+///   POST /admin/drain-report               quiesced warehouse report
+///                                          (any io_threads) [background]
 ///
 /// Overload contract: critical dispatch uses the bounded TryServe* path —
 /// a saturated shard yields `503 Service Unavailable` + `Retry-After`
@@ -160,6 +252,12 @@ class HttpServer {
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   const ServerStats& stats() const { return stats_; }
+
+  /// Currently open connections across all IO threads (the fd-leak gauge
+  /// the chaos soak asserts returns to baseline).
+  size_t open_connections() const {
+    return total_conns_.load(std::memory_order_acquire);
+  }
 
   /// The accept-sharding mode actually in effect after Start()
   /// ("reuseport" or "handoff"; kAuto resolves to one of them).
@@ -206,6 +304,18 @@ class HttpServer {
 
     /// Serving-loop CPU time so far (live-updated; see IoBusyNs()).
     std::atomic<uint64_t> busy_ns{0};
+
+    /// Per-loop deadline wheel for the connection-lifecycle timeouts.
+    std::unique_ptr<TimerWheel> wheel;
+    /// Idle keep-alive connections, most recently idle first; the reaper
+    /// takes from the back (coldest).
+    std::list<Conn*> idle_lifo;
+    /// Event-loop wall clock (CLOCK_MONOTONIC ms), refreshed per round.
+    uint64_t now_ms = 0;
+
+    /// Drain-report protocol (see DrainReportTick).
+    uint64_t report_acked_gen = 0;  // Last report generation acked.
+    uint64_t report_conn = 0;       // Conn id awaiting the report (owner).
   };
 
   void Run(IoShard& io);  // IO thread main.
@@ -221,6 +331,29 @@ class HttpServer {
   void CheckPendingTickets(IoShard& io);
   void BeginDrain(IoShard& io);
   void WakeAll();
+
+  // Connection-lifecycle machinery (all called on the owning IO thread).
+  /// Re-derives the connection's phase from parser/awaiting state, stamps
+  /// phase_start_ms on change, maintains idle-list membership, and rearms
+  /// the timer. Call after any state transition.
+  void UpdatePhase(IoShard& io, Conn& conn);
+  /// Schedules the connection's nearest deadline on the wheel (or cancels
+  /// when no deadline applies).
+  void RearmTimer(IoShard& io, Conn& conn);
+  /// Advances the wheel to now and fires OnConnDeadline for expirations.
+  void ExpireTimers(IoShard& io);
+  /// Timer callback: decides which deadline (if any) is really due —
+  /// wheel slots are coarse, so spurious wakeups just rearm.
+  void OnConnDeadline(IoShard& io, Conn& conn);
+  /// Queues a 408 + close (header/body deadline exceeded).
+  void Timeout408(IoShard& io, Conn& conn, const std::string& message,
+                  std::atomic<uint64_t>& counter);
+  /// Abortive close: SO_LINGER(0) => RST, for peers that stopped reading.
+  void HardCloseConn(IoShard& io, Conn& conn);
+  /// Closes up to `want` idle connections, coldest first.
+  void ReapIdle(IoShard& io, size_t want);
+  /// Drain-report quiesce protocol step (runs every loop round).
+  void DrainReportTick(IoShard& io);
 
   /// True when any shard queue is past the background-shed threshold.
   bool Overloaded() const;
@@ -259,6 +392,13 @@ class HttpServer {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> drain_requested_{false};
+
+  /// POST /admin/drain-report coordination: while pending, IO threads
+  /// park new request processing, ack the generation, and the owning
+  /// thread drains the cluster and emits the full warehouse report.
+  std::atomic<bool> drain_report_pending_{false};
+  std::atomic<uint64_t> report_gen_{0};
+  std::atomic<uint32_t> report_acks_{0};
 
   /// Logical clock for requests without an explicit ?t=: warehouse event
   /// times must be non-decreasing per shard, so the server advances 1ms

@@ -106,15 +106,21 @@ void OutBuf::EndResponse(std::string_view head, bool chunked,
   Append("0\r\n\r\n");
 }
 
-OutBuf::FlushResult OutBuf::FlushTo(int fd, uint64_t* bytes_written) {
+OutBuf::FlushResult OutBuf::FlushTo(int fd, uint64_t* bytes_written,
+                                    size_t max_bytes) {
   while (pending_bytes_ > 0) {
+    if (max_bytes == 0) return FlushResult::kWouldBlock;
     struct iovec iov[kMaxIov];
     size_t n_iov = 0;
     size_t offset = front_offset_;
+    size_t budget = max_bytes;
     for (const Seg& seg : segs_) {
-      if (n_iov == kMaxIov) break;
+      if (n_iov == kMaxIov || budget == 0) break;
+      size_t len = seg.len - offset;
+      if (len > budget) len = budget;
       iov[n_iov].iov_base = const_cast<char*>(seg.base) + offset;
-      iov[n_iov].iov_len = seg.len - offset;
+      iov[n_iov].iov_len = len;
+      budget -= len;
       offset = 0;
       ++n_iov;
     }
@@ -126,6 +132,7 @@ OutBuf::FlushResult OutBuf::FlushTo(int fd, uint64_t* bytes_written) {
     }
     *bytes_written += static_cast<uint64_t>(wrote);
     pending_bytes_ -= static_cast<size_t>(wrote);
+    max_bytes -= static_cast<size_t>(wrote);
     size_t remaining = static_cast<size_t>(wrote);
     while (remaining > 0) {
       Seg& front = segs_.front();

@@ -72,7 +72,11 @@ class OutBuf {
 
   /// writev's queued segments to `fd` until drained or EAGAIN. Adds the
   /// bytes written to *bytes_written (may be non-zero even on kError).
-  FlushResult FlushTo(int fd, uint64_t* bytes_written);
+  /// `max_bytes` caps this call's write budget (socket-fault pacing);
+  /// stopping at the cap with data still queued reports kWouldBlock so
+  /// the caller keeps write interest registered.
+  FlushResult FlushTo(int fd, uint64_t* bytes_written,
+                      size_t max_bytes = SIZE_MAX);
 
   /// Drops all queued data and returns arena blocks for reuse (one block
   /// is retained to keep steady-state keep-alive traffic allocation-free).

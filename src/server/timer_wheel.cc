@@ -1,0 +1,77 @@
+#include "server/timer_wheel.h"
+
+#include <algorithm>
+
+namespace cbfww::server {
+
+TimerWheel::TimerWheel(uint64_t tick_ms, size_t slots)
+    : tick_ms_(tick_ms == 0 ? 1 : tick_ms),
+      slots_(slots == 0 ? 1 : slots) {
+  for (Entry& head : slots_) {
+    head.prev = &head;
+    head.next = &head;
+  }
+}
+
+void TimerWheel::Schedule(Entry* entry, uint64_t deadline_ms, void* tag) {
+  Cancel(entry);
+  // Deadlines already in the past land in the cursor's slot so the next
+  // Advance reports them.
+  if (deadline_ms < cursor_ms_) deadline_ms = cursor_ms_;
+  entry->deadline_ms = deadline_ms;
+  entry->tag = tag;
+  Entry& head = slots_[SlotFor(deadline_ms)];
+  entry->prev = &head;
+  entry->next = head.next;
+  head.next->prev = entry;
+  head.next = entry;
+  scheduled_++;
+}
+
+void TimerWheel::Cancel(Entry* entry) {
+  if (!entry->scheduled()) return;
+  entry->prev->next = entry->next;
+  entry->next->prev = entry->prev;
+  entry->prev = nullptr;
+  entry->next = nullptr;
+  scheduled_--;
+}
+
+void TimerWheel::Advance(uint64_t now_ms, std::vector<void*>* expired) {
+  if (scheduled_ == 0) {
+    cursor_ms_ = std::max(cursor_ms_, now_ms);
+    return;
+  }
+  uint64_t start_tick = cursor_ms_ / tick_ms_;
+  uint64_t end_tick = now_ms >= cursor_ms_ ? now_ms / tick_ms_ : start_tick;
+  uint64_t span = std::min<uint64_t>(end_tick - start_tick + 1, slots_.size());
+  for (uint64_t i = 0; i < span; ++i) {
+    Entry& head = slots_[(start_tick + i) % slots_.size()];
+    Entry* e = head.next;
+    while (e != &head) {
+      Entry* next = e->next;
+      if (e->deadline_ms <= now_ms) {
+        Cancel(e);
+        expired->push_back(e->tag);
+      }
+      e = next;
+    }
+  }
+  cursor_ms_ = std::max(cursor_ms_, now_ms);
+}
+
+int TimerWheel::NextTimeoutMs(uint64_t now_ms, int cap_ms) const {
+  if (scheduled_ == 0) return cap_ms;
+  uint64_t earliest = UINT64_MAX;
+  for (const Entry& head : slots_) {
+    for (const Entry* e = head.next; e != &head; e = e->next) {
+      earliest = std::min(earliest, e->deadline_ms);
+    }
+  }
+  if (earliest <= now_ms) return 0;
+  uint64_t delta = earliest - now_ms;
+  if (delta > static_cast<uint64_t>(cap_ms)) return cap_ms;
+  return static_cast<int>(delta);
+}
+
+}  // namespace cbfww::server

@@ -1,0 +1,72 @@
+#ifndef CBFWW_SERVER_TIMER_WHEEL_H_
+#define CBFWW_SERVER_TIMER_WHEEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cbfww::server {
+
+/// Hashed timer wheel for per-connection deadlines, owned by one IO thread
+/// (single-threaded, like the event loop it serves). Entries are intrusive
+/// doubly-linked list nodes embedded in their owners (one per connection),
+/// so scheduling, cancelling, and expiry are all O(1) with zero allocation
+/// after construction.
+///
+/// Deadlines are absolute milliseconds on the caller's clock. The wheel
+/// rounds them up to its tick granularity; entries hashed into a slot that
+/// comes around before their deadline are simply re-examined (the owner
+/// re-checks the real deadline on expiry), so a small slot count stays
+/// correct for arbitrarily long timeouts.
+class TimerWheel {
+ public:
+  struct Entry {
+    Entry* prev = nullptr;
+    Entry* next = nullptr;
+    uint64_t deadline_ms = 0;
+    void* tag = nullptr;
+    bool scheduled() const { return prev != nullptr; }
+  };
+
+  /// `tick_ms` is the granularity; `slots` the wheel size. One full
+  /// rotation spans tick_ms * slots; longer deadlines wrap (and cost one
+  /// spurious wakeup per rotation).
+  explicit TimerWheel(uint64_t tick_ms = 10, size_t slots = 256);
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Schedules (or reschedules) `entry` to fire at absolute `deadline_ms`.
+  void Schedule(Entry* entry, uint64_t deadline_ms, void* tag);
+
+  /// Removes `entry` if scheduled; harmless otherwise.
+  void Cancel(Entry* entry);
+
+  /// Collects the tags of entries whose deadline is <= now_ms, advancing
+  /// the wheel's cursor. Expired entries are unlinked before their tags
+  /// are reported (owners typically reschedule from the callback path).
+  void Advance(uint64_t now_ms, std::vector<void*>* expired);
+
+  /// Milliseconds until the earliest scheduled deadline, clamped to
+  /// [0, cap_ms]; cap_ms when nothing is scheduled. A coarse bound — the
+  /// caller uses it to bound its multiplexer sleep, not as the deadline
+  /// itself.
+  int NextTimeoutMs(uint64_t now_ms, int cap_ms) const;
+
+  size_t scheduled() const { return scheduled_; }
+  uint64_t tick_ms() const { return tick_ms_; }
+
+ private:
+  size_t SlotFor(uint64_t deadline_ms) const {
+    return static_cast<size_t>((deadline_ms / tick_ms_) % slots_.size());
+  }
+
+  uint64_t tick_ms_;
+  std::vector<Entry> slots_;  // Sentinel heads (circular lists).
+  uint64_t cursor_ms_ = 0;    // Everything < cursor_ms_ has been expired.
+  size_t scheduled_ = 0;
+};
+
+}  // namespace cbfww::server
+
+#endif  // CBFWW_SERVER_TIMER_WHEEL_H_

@@ -108,6 +108,9 @@ Status Runner::Init() {
     sopts.port = options_.server_port;
     sopts.io_threads = std::max<uint32_t>(1, options_.io_threads);
     sopts.accept_mode = options_.accept_mode;
+    sopts.lifecycle = options_.lifecycle;
+    sopts.degraded_critical = options_.degraded_critical;
+    sopts.socket_faults = options_.server_socket_faults;
     server_ = std::make_unique<server::HttpServer>(cluster_.get(), sopts);
     Status started = server_->Start();
     if (!started.ok()) return started;
@@ -402,7 +405,12 @@ Result<RunResult> Runner::RunServer(const WorkloadSpec& spec) {
   clients.reserve(num_threads);
   for (uint32_t tid = 0; tid < num_threads; tid++) {
     clients.emplace_back([&, tid] {
-      server::SimpleHttpClient client;
+      // Per-thread client seed: retry jitter must differ across threads
+      // yet stay deterministic for a fixed RunnerOptions::client.seed.
+      server::ClientOptions copts = options_.client;
+      copts.seed = copts.seed * 1000003u + tid;
+      const bool with_retry = copts.retry.max_attempts > 1;
+      server::SimpleHttpClient client(copts);
       if (!client.Connect("127.0.0.1", port).ok()) {
         connect_failures.fetch_add(1, std::memory_order_relaxed);
         return;
@@ -424,7 +432,9 @@ Result<RunResult> Runner::RunServer(const WorkloadSpec& spec) {
           issue_ns = NowNs();
         }
         OpClassMetrics& m = metrics[static_cast<size_t>(w.type)];
-        auto response = client.RoundTrip(w.method, w.target, w.body);
+        auto response =
+            with_retry ? client.RoundTripWithRetry(w.method, w.target, w.body)
+                       : client.RoundTrip(w.method, w.target, w.body);
         if (!response.ok()) {
           m.errors++;
           if (!client.connected() &&

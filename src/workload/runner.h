@@ -9,6 +9,7 @@
 
 #include "cluster/warehouse_cluster.h"
 #include "core/warehouse.h"
+#include "server/http_client.h"
 #include "server/http_server.h"
 #include "util/result.h"
 #include "util/stats.h"
@@ -51,6 +52,17 @@ struct RunnerOptions {
   uint32_t io_threads = 1;
   /// kServer: how connections are sharded across the IO threads.
   server::AcceptMode accept_mode = server::AcceptMode::kAuto;
+  /// kServer: per-connection lifecycle deadlines for the embedded server.
+  server::ConnLifecycleOptions lifecycle;
+  /// kServer: degraded-answer wire policy for critical routes.
+  server::DegradedPolicy degraded_critical = server::DegradedPolicy::kServe200;
+  /// kServer: seeded socket-fault policy injected behind the server's
+  /// accept/read/write (not owned; must outlive the Runner).
+  net::SocketFaultPolicy* server_socket_faults = nullptr;
+  /// kServer: options for the workload threads' HTTP clients (timeouts,
+  /// retry policy, client-side fault mirror). Retries kick in when
+  /// client.retry.max_attempts > 1.
+  server::ClientOptions client;
 };
 
 /// Latency/outcome accumulator for one op class (and for the run total).
@@ -156,6 +168,10 @@ class Runner {
 
   /// Non-null after Init().
   cluster::WarehouseCluster* cluster() { return cluster_.get(); }
+
+  /// kServer: non-null after Init() (stats and gauges for resilience
+  /// tests/benches).
+  server::HttpServer* server() { return server_.get(); }
 
   /// kServer: bound port after Init().
   uint16_t server_port() const;

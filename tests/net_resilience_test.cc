@@ -1,0 +1,943 @@
+// Wire-resilience fast battery: the per-IO-loop timer wheel, the seeded
+// socket-fault injector's replay determinism, every connection-lifecycle
+// deadline (header/body/idle/write-stall/lifetime) observed through real
+// sockets, LIFO idle reaping under the connection high-water mark, the
+// client's connect/read timeouts against unresponsive listeners, retry
+// with Retry-After over a shedding server, the degraded-answer wire
+// contract (X-Cbfww-Degraded, 503-vs-200 policy), the pipelined
+// byte-at-a-time progress guarantee, and the drain-report quiesce path at
+// io_threads > 1.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/warehouse_cluster.h"
+#include "corpus/web_corpus.h"
+#include "fault/fault_injector.h"
+#include "fault/socket_fault_injector.h"
+#include "server/event_loop.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
+#include "server/timer_wheel.h"
+#include "util/clock.h"
+#include "util/hash.h"
+
+namespace cbfww::server {
+namespace {
+
+using cluster::ClusterOptions;
+using cluster::WarehouseCluster;
+
+void SleepMs(int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Spin-waits (up to `budget_ms`) for `cond` to become true.
+template <typename Cond>
+bool WaitFor(Cond cond, int64_t budget_ms = 5000) {
+  for (int64_t spent = 0; spent < budget_ms; spent += 2) {
+    if (cond()) return true;
+    SleepMs(2);
+  }
+  return cond();
+}
+
+// ----- TimerWheel -----
+
+TEST(TimerWheelTest, SchedulesExpiresAndCancels) {
+  TimerWheel wheel(10, 8);  // One rotation = 80ms.
+  TimerWheel::Entry a, b, c;
+  int ta = 1, tb = 2, tc = 3;
+  wheel.Schedule(&a, 20, &ta);
+  wheel.Schedule(&b, 50, &tb);
+  wheel.Schedule(&c, 45, &tc);
+  EXPECT_EQ(wheel.scheduled(), 3u);
+
+  std::vector<void*> expired;
+  wheel.Advance(10, &expired);
+  EXPECT_TRUE(expired.empty());
+
+  wheel.Advance(25, &expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], &ta);
+  EXPECT_FALSE(a.scheduled());
+
+  wheel.Cancel(&c);
+  EXPECT_EQ(wheel.scheduled(), 1u);
+  wheel.Cancel(&c);  // Double-cancel is harmless.
+
+  expired.clear();
+  wheel.Advance(100, &expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], &tb);
+  EXPECT_EQ(wheel.scheduled(), 0u);
+}
+
+TEST(TimerWheelTest, LongDeadlinesSurviveWheelWrap) {
+  TimerWheel wheel(10, 8);  // Rotation 80ms; deadline 500 wraps 6 times.
+  TimerWheel::Entry e;
+  int tag = 0;
+  wheel.Schedule(&e, 500, &tag);
+  std::vector<void*> expired;
+  // Sweep in steps smaller than a rotation: the entry's slot is visited
+  // repeatedly, but it must only be reported once its deadline passes.
+  for (uint64_t now = 25; now < 500; now += 25) {
+    wheel.Advance(now, &expired);
+    EXPECT_TRUE(expired.empty()) << "at now=" << now;
+  }
+  wheel.Advance(505, &expired);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], &tag);
+}
+
+TEST(TimerWheelTest, ReschedulingMovesTheDeadline) {
+  TimerWheel wheel(10, 16);
+  TimerWheel::Entry e;
+  int tag = 0;
+  wheel.Schedule(&e, 30, &tag);
+  wheel.Schedule(&e, 120, &tag);  // Rearm replaces the old slot entry.
+  EXPECT_EQ(wheel.scheduled(), 1u);
+  std::vector<void*> expired;
+  wheel.Advance(60, &expired);
+  EXPECT_TRUE(expired.empty());
+  wheel.Advance(130, &expired);
+  ASSERT_EQ(expired.size(), 1u);
+}
+
+TEST(TimerWheelTest, NextTimeoutBoundsTheSleep) {
+  TimerWheel wheel(10, 16);
+  EXPECT_EQ(wheel.NextTimeoutMs(0, 250), 250);  // Nothing scheduled.
+  TimerWheel::Entry e;
+  int tag = 0;
+  wheel.Schedule(&e, 40, &tag);
+  EXPECT_LE(wheel.NextTimeoutMs(0, 250), 40);
+  EXPECT_GT(wheel.NextTimeoutMs(0, 250), 0);
+  EXPECT_EQ(wheel.NextTimeoutMs(45, 250), 0);  // Already due.
+  EXPECT_EQ(wheel.NextTimeoutMs(0, 5), 5);     // Cap wins.
+}
+
+// ----- SocketFaultInjector determinism -----
+
+TEST(SocketFaultInjectorTest, SameSeedYieldsByteIdenticalPlans) {
+  fault::SocketFaultOptions opts;  // Defaults: every fault class enabled.
+  fault::SocketFaultInjector a(42, opts);
+  fault::SocketFaultInjector b(42, opts);
+  for (int i = 0; i < 32; ++i) {
+    uint64_t sa = a.OnConnection();
+    uint64_t sb = b.OnConnection();
+    ASSERT_EQ(sa, sb);
+    EXPECT_EQ(a.PlanString(sa), b.PlanString(sb)) << "serial " << sa;
+  }
+  // A different seed must produce a different plan somewhere.
+  fault::SocketFaultInjector c(43, opts);
+  bool any_differ = false;
+  for (int i = 0; i < 32; ++i) {
+    uint64_t s = c.OnConnection();
+    if (c.PlanString(s) != a.PlanString(s)) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(SocketFaultInjectorTest, DecisionsKeyOnByteOffsetNotChunking) {
+  // Two same-seed injectors asked about the same byte offsets must return
+  // identical verdicts even when one caller "reads" in different chunk
+  // sizes — offsets are the replay key, not attempt counts.
+  fault::SocketFaultOptions opts;
+  opts.accept_reset_probability = 0;  // Keep every connection usable.
+  fault::SocketFaultInjector a(7, opts);
+  fault::SocketFaultInjector b(7, opts);
+  for (int conn = 0; conn < 8; ++conn) {
+    uint64_t sa = a.OnConnection();
+    uint64_t sb = b.OnConnection();
+    ASSERT_EQ(sa, sb);
+    for (uint64_t offset : {0ull, 1ull, 3ull, 64ull, 512ull, 4096ull}) {
+      net::SocketIoFault fa = a.OnRead(sa, offset);
+      net::SocketIoFault fb = b.OnRead(sb, offset);
+      EXPECT_EQ(static_cast<int>(fa.action), static_cast<int>(fb.action));
+      EXPECT_EQ(fa.max_bytes, fb.max_bytes);
+      net::SocketIoFault wa = a.OnWrite(sa, offset);
+      net::SocketIoFault wb = b.OnWrite(sb, offset);
+      EXPECT_EQ(static_cast<int>(wa.action), static_cast<int>(wb.action));
+      EXPECT_EQ(wa.max_bytes, wb.max_bytes);
+    }
+  }
+}
+
+// ----- Raw socket helper (deliberately dumb: tests drive bad clients) --
+
+struct RawSocket {
+  int fd = -1;
+
+  ~RawSocket() { Close(); }
+  void Close() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+
+  bool ConnectTo(uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  bool WriteStr(std::string_view s) {
+    size_t off = 0;
+    while (off < s.size()) {
+      ssize_t n = ::send(fd, s.data() + off, s.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads whatever arrives until the peer closes or `budget_ms` passes.
+  std::string ReadUntilClosed(int budget_ms) {
+    std::string out;
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(budget_ms);
+    char buf[4096];
+    for (;;) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - std::chrono::steady_clock::now())
+                      .count();
+      if (left <= 0) break;
+      pollfd p{fd, POLLIN, 0};
+      int rc = ::poll(&p, 1, static_cast<int>(left));
+      if (rc <= 0) {
+        if (rc < 0 && errno == EINTR) continue;
+        break;  // Timeout.
+      }
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;  // EOF or reset: the server closed us.
+      out.append(buf, static_cast<size_t>(n));
+    }
+    return out;
+  }
+
+  /// True when the peer has closed (EOF/reset observed) within budget.
+  bool ClosedBy(int budget_ms) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(budget_ms);
+    char buf[4096];
+    for (;;) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - std::chrono::steady_clock::now())
+                      .count();
+      if (left <= 0) return false;
+      pollfd p{fd, POLLIN, 0};
+      int rc = ::poll(&p, 1, static_cast<int>(left));
+      if (rc <= 0) {
+        if (rc < 0 && errno == EINTR) continue;
+        return false;
+      }
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) return true;
+    }
+  }
+};
+
+// ----- Server-side lifecycle deadlines over real sockets -----
+
+corpus::CorpusOptions SmallCorpus() {
+  corpus::CorpusOptions opts;
+  opts.num_sites = 4;
+  opts.pages_per_site = 40;
+  opts.topic.num_topics = 4;
+  opts.seed = 77;
+  return opts;
+}
+
+ClusterOptions SmallCluster(uint32_t shards = 1) {
+  ClusterOptions opts;
+  opts.num_shards = shards;
+  opts.warehouse.memory_bytes = 4ull * 1024 * 1024;
+  opts.warehouse.disk_bytes = 256ull * 1024 * 1024;
+  opts.warehouse.rebalance_interval = kHour;
+  return opts;
+}
+
+ServerOptions FastTimers() {
+  ServerOptions opts;
+  opts.lifecycle.header_timeout_ms = 200;
+  opts.lifecycle.body_timeout_ms = 200;
+  opts.lifecycle.idle_timeout_ms = 0;  // Off unless the test wants it.
+  opts.lifecycle.write_stall_timeout_ms = 200;
+  opts.lifecycle.timer_tick_ms = 5;
+  return opts;
+}
+
+TEST(ConnLifecycleTest, SlowlorisHeaderGets408AndClose) {
+  WarehouseCluster cluster(SmallCorpus(), std::nullopt, SmallCluster());
+  HttpServer server(&cluster, FastTimers());
+  ASSERT_TRUE(server.Start().ok());
+
+  RawSocket loris;
+  ASSERT_TRUE(loris.ConnectTo(server.port()));
+  // Complete request line, header section never finished.
+  ASSERT_TRUE(loris.WriteStr("GET /healthz HTTP/1.1\r\nHost: x\r\n"));
+  std::string response = loris.ReadUntilClosed(5000);
+  EXPECT_NE(response.find("HTTP/1.1 408"), std::string::npos) << response;
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+
+  EXPECT_TRUE(WaitFor([&] { return server.open_connections() == 0; }));
+  EXPECT_EQ(server.stats().timeouts_header.load(), 1u);
+  EXPECT_EQ(server.stats().responses_408.load(), 1u);
+  // The stalled request's route is attributed from its request line.
+  EXPECT_EQ(server.stats()
+                .route[static_cast<size_t>(Route::kHealth)]
+                .timeouts.load(),
+            1u);
+  server.Stop();
+}
+
+TEST(ConnLifecycleTest, StalledBodyGets408) {
+  WarehouseCluster cluster(SmallCorpus(), std::nullopt, SmallCluster());
+  ServerOptions opts = FastTimers();
+  opts.lifecycle.header_timeout_ms = 10000;  // Only the body clock is short.
+  HttpServer server(&cluster, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawSocket slow;
+  ASSERT_TRUE(slow.ConnectTo(server.port()));
+  ASSERT_TRUE(slow.WriteStr(
+      "POST /query HTTP/1.1\r\nContent-Length: 64\r\n\r\nSELECT"));
+  std::string response = slow.ReadUntilClosed(5000);
+  EXPECT_NE(response.find("HTTP/1.1 408"), std::string::npos) << response;
+  EXPECT_EQ(server.stats().timeouts_body.load(), 1u);
+  EXPECT_EQ(server.stats()
+                .route[static_cast<size_t>(Route::kQuery)]
+                .timeouts.load(),
+            1u);
+  server.Stop();
+}
+
+TEST(ConnLifecycleTest, IdleKeepAliveIsSilentlyClosed) {
+  WarehouseCluster cluster(SmallCorpus(), std::nullopt, SmallCluster());
+  ServerOptions opts = FastTimers();
+  opts.lifecycle.idle_timeout_ms = 200;
+  HttpServer server(&cluster, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawSocket conn;
+  ASSERT_TRUE(conn.ConnectTo(server.port()));
+  ASSERT_TRUE(conn.WriteStr("GET /healthz HTTP/1.1\r\n\r\n"));
+  // One good response, then silence from us: the server must close the
+  // idle connection without queuing any 408 (there is no request to fail).
+  std::string all = conn.ReadUntilClosed(5000);
+  EXPECT_NE(all.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_EQ(all.find("408"), std::string::npos) << all;
+  EXPECT_TRUE(WaitFor([&] { return server.open_connections() == 0; }));
+  EXPECT_GE(server.stats().timeouts_idle.load(), 1u);
+  EXPECT_EQ(server.stats().responses_408.load(), 0u);
+  server.Stop();
+}
+
+TEST(ConnLifecycleTest, PeerThatStopsReadingIsHardClosed) {
+  WarehouseCluster cluster(SmallCorpus(), std::nullopt, SmallCluster());
+  HttpServer server(&cluster, FastTimers());
+  ASSERT_TRUE(server.Start().ok());
+
+  RawSocket sink;
+  // Tiny receive window, set before connect so the handshake advertises it.
+  sink.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(sink.fd, 0);
+  int rcvbuf = 4096;
+  setsockopt(sink.fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(sink.fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  // Pipeline enough /metrics responses to overflow both socket buffers,
+  // then never read: the server's output queue stops making progress and
+  // the write-stall deadline must hard-close the connection.
+  std::string burst;
+  for (int i = 0; i < 400; ++i) burst += "GET /metrics HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(sink.WriteStr(burst));
+  EXPECT_TRUE(WaitFor(
+      [&] { return server.stats().timeouts_write_stall.load() >= 1; },
+      10000));
+  EXPECT_TRUE(WaitFor([&] { return server.open_connections() == 0; }));
+  server.Stop();
+}
+
+TEST(ConnLifecycleTest, LifetimeCapClosesAfterInFlightFinishes) {
+  WarehouseCluster cluster(SmallCorpus(), std::nullopt, SmallCluster());
+  ServerOptions opts;  // Generous per-phase deadlines; only lifetime binds.
+  opts.lifecycle.max_lifetime_ms = 200;
+  opts.lifecycle.timer_tick_ms = 5;
+  HttpServer server(&cluster, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawSocket conn;
+  ASSERT_TRUE(conn.ConnectTo(server.port()));
+  ASSERT_TRUE(conn.WriteStr("GET /healthz HTTP/1.1\r\n\r\n"));
+  std::string all = conn.ReadUntilClosed(5000);
+  EXPECT_NE(all.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_TRUE(WaitFor([&] { return server.open_connections() == 0; }));
+  EXPECT_GE(server.stats().conns_lifetime_closed.load(), 1u);
+  server.Stop();
+}
+
+TEST(ConnLifecycleTest, HighWaterReapsColdestIdleConnectionFirst) {
+  WarehouseCluster cluster(SmallCorpus(), std::nullopt, SmallCluster());
+  ServerOptions opts;
+  opts.max_connections = 100;
+  opts.lifecycle.reap_high_water_fraction = 0.04;  // High water at 4 conns.
+  opts.lifecycle.timer_tick_ms = 5;
+  HttpServer server(&cluster, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Four keep-alive connections, idled in order 0..3 (0 is the coldest).
+  std::vector<std::unique_ptr<RawSocket>> conns;
+  for (int i = 0; i < 4; ++i) {
+    auto conn = std::make_unique<RawSocket>();
+    ASSERT_TRUE(conn->ConnectTo(server.port()));
+    ASSERT_TRUE(conn->WriteStr("GET /healthz HTTP/1.1\r\n\r\n"));
+    // Wait for the response so this conn is registered + idle before the
+    // next connects (fixes the LIFO order the test asserts).
+    std::string r;
+    char buf[512];
+    while (r.find("ok\n") == std::string::npos) {
+      pollfd p{conn->fd, POLLIN, 0};
+      ASSERT_GT(::poll(&p, 1, 5000), 0);
+      ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0);
+      r.append(buf, static_cast<size_t>(n));
+    }
+    conns.push_back(std::move(conn));
+  }
+  ASSERT_EQ(server.open_connections(), 4u);
+
+  // The fifth connection pushes past the high-water mark: the coldest
+  // idle connection (#0) is reaped; the warm ones survive.
+  RawSocket fresh;
+  ASSERT_TRUE(fresh.ConnectTo(server.port()));
+  ASSERT_TRUE(fresh.WriteStr("GET /healthz HTTP/1.1\r\n\r\n"));
+  EXPECT_TRUE(
+      WaitFor([&] { return server.stats().conns_reaped.load() >= 1; }));
+  EXPECT_TRUE(conns[0]->ClosedBy(5000));
+  // A warm survivor still serves.
+  ASSERT_TRUE(conns[3]->WriteStr("GET /healthz HTTP/1.1\r\n\r\n"));
+  std::string again = conns[3]->ReadUntilClosed(500);
+  EXPECT_NE(again.find("HTTP/1.1 200"), std::string::npos);
+  server.Stop();
+}
+
+TEST(ConnLifecycleTest, PipelinedByteAtATimeNeverTripsHeaderDeadline) {
+  WarehouseCluster cluster(SmallCorpus(), std::nullopt, SmallCluster());
+  ServerOptions opts;
+  opts.lifecycle.header_timeout_ms = 250;
+  opts.lifecycle.timer_tick_ms = 5;
+  HttpServer server(&cluster, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Ten pipelined requests dribbled one byte every 2ms: each request's
+  // header completes in ~50ms (inside the 250ms window), but the stream
+  // as a whole takes ~0.5s — far past a single window. The per-request
+  // restamp is what keeps the deadline from firing while bytes flow.
+  constexpr int kRequests = 10;
+  std::string stream;
+  for (int i = 0; i < kRequests; ++i) {
+    stream += "GET /healthz HTTP/1.1\r\n\r\n";
+  }
+  RawSocket conn;
+  ASSERT_TRUE(conn.ConnectTo(server.port()));
+  std::string responses;
+  char buf[512];
+  for (char byte : stream) {
+    ASSERT_TRUE(conn.WriteStr(std::string_view(&byte, 1)));
+    SleepMs(2);
+    // Drain whatever responses have arrived (non-blocking).
+    pollfd p{conn.fd, POLLIN, 0};
+    while (::poll(&p, 1, 0) > 0) {
+      ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0) << "server closed a flowing connection";
+      responses.append(buf, static_cast<size_t>(n));
+      p.revents = 0;
+    }
+  }
+  // Collect the tail.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    size_t count = 0;
+    for (size_t pos = responses.find("HTTP/1.1 200");
+         pos != std::string::npos;
+         pos = responses.find("HTTP/1.1 200", pos + 1)) {
+      ++count;
+    }
+    if (count >= kRequests) break;
+    pollfd p{conn.fd, POLLIN, 0};
+    if (::poll(&p, 1, 100) > 0) {
+      ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0) << "server closed a flowing connection";
+      responses.append(buf, static_cast<size_t>(n));
+    }
+  }
+  size_t count = 0;
+  for (size_t pos = responses.find("HTTP/1.1 200"); pos != std::string::npos;
+       pos = responses.find("HTTP/1.1 200", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, static_cast<size_t>(kRequests));
+  EXPECT_EQ(server.stats().timeouts_header.load(), 0u);
+  EXPECT_EQ(server.stats().responses_408.load(), 0u);
+  server.Stop();
+}
+
+// ----- EventLoop EINTR bound -----
+
+void IgnoreSignal(int) {}
+
+TEST(EventLoopTest, SignalStormDoesNotExtendWaitBeyondBudget) {
+  // Install a no-op SIGUSR1 handler WITHOUT SA_RESTART so poll/epoll_wait
+  // actually return EINTR.
+  struct sigaction sa{};
+  sa.sa_handler = IgnoreSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  struct sigaction old{};
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  EventLoop loop;
+  int tag = 0;
+  ASSERT_TRUE(loop.Add(pipe_fds[0], true, false, &tag).ok());
+
+  std::atomic<bool> done{false};
+  pthread_t victim = pthread_self();
+  std::thread storm([&] {
+    while (!done.load()) {
+      pthread_kill(victim, SIGUSR1);
+      SleepMs(10);
+    }
+  });
+
+  // A 300ms wait peppered by a signal every 10ms: the EINTR fix recomputes
+  // the remaining budget, so the wait ends near 300ms — not 300ms after
+  // the *last* signal (which would be unbounded while the storm lasts).
+  std::vector<IoEvent> events;
+  auto start = std::chrono::steady_clock::now();
+  int n = loop.Wait(events, 300);
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  done.store(true);
+  storm.join();
+  EXPECT_EQ(n, 0);  // Timed out; the pipe never became readable.
+  EXPECT_GE(elapsed_ms, 280);
+  EXPECT_LE(elapsed_ms, 2000);
+
+  ::close(pipe_fds[0]);
+  ::close(pipe_fds[1]);
+  sigaction(SIGUSR1, &old, nullptr);
+}
+
+// ----- SimpleHttpClient timeouts against unresponsive listeners -----
+
+struct StallListener {
+  int listen_fd = -1;
+  uint16_t port = 0;
+
+  bool Open(int backlog = 8) {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) return false;
+    int one = 1;
+    setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return false;
+    }
+    socklen_t len = sizeof(addr);
+    getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    port = ntohs(addr.sin_port);
+    return ::listen(listen_fd, backlog) == 0;
+  }
+  ~StallListener() {
+    if (listen_fd >= 0) ::close(listen_fd);
+  }
+};
+
+TEST(ClientTimeoutTest, ReadTimeoutAgainstAcceptThenStall) {
+  StallListener listener;
+  ASSERT_TRUE(listener.Open());
+  std::atomic<bool> done{false};
+  std::thread acceptor([&] {
+    int fd = ::accept(listener.listen_fd, nullptr, nullptr);
+    while (!done.load()) SleepMs(5);  // Accept, then say nothing, ever.
+    if (fd >= 0) ::close(fd);
+  });
+
+  ClientOptions opts;
+  opts.read_timeout_ms = 150;
+  SimpleHttpClient client(opts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", listener.port).ok());
+  auto start = std::chrono::steady_clock::now();
+  auto response = client.RoundTrip("GET", "/healthz");
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded)
+      << response.status();
+  EXPECT_LT(elapsed_ms, 5000);  // Returned on the deadline, not a hang.
+  EXPECT_GE(client.client_stats().timeouts, 1u);
+  done.store(true);
+  acceptor.join();
+}
+
+TEST(ClientTimeoutTest, HalfClosedServerYieldsPromptErrorNotHang) {
+  StallListener listener;
+  ASSERT_TRUE(listener.Open());
+  std::atomic<bool> done{false};
+  std::thread acceptor([&] {
+    int fd = ::accept(listener.listen_fd, nullptr, nullptr);
+    if (fd >= 0) ::shutdown(fd, SHUT_WR);  // Half-close: EOF to the client.
+    while (!done.load()) SleepMs(5);
+    if (fd >= 0) ::close(fd);
+  });
+
+  ClientOptions opts;
+  opts.read_timeout_ms = 2000;
+  SimpleHttpClient client(opts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", listener.port).ok());
+  auto start = std::chrono::steady_clock::now();
+  auto response = client.RoundTrip("GET", "/healthz");
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_FALSE(response.ok());
+  // EOF is a transport error, detected immediately — well before the
+  // 2s read deadline.
+  EXPECT_LT(elapsed_ms, 1000);
+  done.store(true);
+  acceptor.join();
+}
+
+TEST(ClientTimeoutTest, ConnectTimeoutAgainstFullBacklog) {
+  // listen(fd, 0) + unaccepted connects fill the accept queue; loopback
+  // SYNs are then dropped, so a further connect can only time out.
+  StallListener listener;
+  ASSERT_TRUE(listener.Open(/*backlog=*/0));
+  std::vector<int> fillers;
+  for (int i = 0; i < 6; ++i) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    int flags = fcntl(fd, F_GETFL, 0);
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(listener.port);
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    fillers.push_back(fd);
+  }
+  SleepMs(50);  // Let the fillers occupy the queue.
+
+  ClientOptions opts;
+  opts.connect_timeout_ms = 200;
+  SimpleHttpClient client(opts);
+  auto start = std::chrono::steady_clock::now();
+  Status status = client.Connect("127.0.0.1", listener.port);
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  EXPECT_FALSE(status.ok());
+  EXPECT_LT(elapsed_ms, 5000);
+  for (int fd : fillers) ::close(fd);
+}
+
+// ----- Retry with Retry-After over a shedding server -----
+
+TEST(ClientRetryTest, RetriesShed503sHonoringRetryAfterUntilSuccess) {
+  ClusterOptions copts = SmallCluster(1);
+  copts.queue_capacity = 2;
+  copts.dispatch_max_pauses = 0;
+  WarehouseCluster cluster(SmallCorpus(), std::nullopt, copts);
+  HttpServer server(&cluster, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  uint16_t port = server.port();
+
+  // Park the shard and fill its queue so page requests shed with 503.
+  cluster.SuspendShard(0);
+  std::vector<SimpleHttpClient> parked(2);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(parked[i].Connect("127.0.0.1", port).ok());
+    ASSERT_TRUE(parked[i]
+                    .Send("GET", "/page/" + std::to_string(i) + "?t=" +
+                                     std::to_string((i + 1) * kSecond))
+                    .ok());
+  }
+  ASSERT_TRUE(WaitFor(
+      [&] { return server.stats().requests_total.load() >= 2; }));
+
+  std::thread resumer([&] {
+    SleepMs(150);
+    cluster.ResumeShard(0);
+  });
+
+  ClientOptions opts;
+  opts.retry.max_attempts = 10;
+  opts.retry.initial_backoff_ms = 20;
+  opts.retry.retry_after_cap_ms = 40;  // Retry-After: 1 capped to 40ms.
+  opts.seed = 4242;
+  SimpleHttpClient client(opts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  auto response = client.RoundTripWithRetry(
+      "GET", "/page/5?t=" + std::to_string(10 * kSecond));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_GE(client.client_stats().retries, 1u);
+
+  resumer.join();
+  for (auto& p : parked) {
+    auto r = p.Receive();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->status, 200);
+  }
+  server.Stop();
+}
+
+TEST(ClientRetryTest, InjectedConnectResetsExhaustRetryBudget) {
+  // A client-side fault mirror that resets every connection on accept:
+  // RoundTripWithRetry must reconnect per attempt, burn the whole budget,
+  // and report the injected faults in its stats.
+  fault::SocketFaultOptions fopts;
+  fopts.accept_reset_probability = 1.0;
+  fopts.read_reset_probability = 0;
+  fopts.write_reset_probability = 0;
+  fopts.dribble_probability = 0;
+  fopts.short_io_probability = 0;
+  fopts.eagain_probability = 0;
+  fault::SocketFaultInjector faults(11, fopts);
+
+  ClientOptions opts;
+  opts.socket_faults = &faults;
+  opts.retry.max_attempts = 3;
+  opts.retry.initial_backoff_ms = 1;
+  opts.retry.max_backoff_ms = 5;
+  SimpleHttpClient client(opts);
+
+  // A real listener so TCP connects succeed; the injected reset happens at
+  // the fault seam above it.
+  StallListener listener;
+  ASSERT_TRUE(listener.Open());
+  EXPECT_FALSE(client.Connect("127.0.0.1", listener.port).ok());
+  auto response = client.RoundTripWithRetry("GET", "/healthz");
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(client.client_stats().retries, 2u);  // max_attempts - 1.
+  EXPECT_GE(client.client_stats().injected_faults, 3u);
+}
+
+// ----- Degraded serving over the wire -----
+
+/// Finds (t_clear, t_outage): a quiet minute before the first origin
+/// outage, and the midpoint of that outage window. The schedule is
+/// regenerated exactly as WarehouseCluster derives it for shard 0.
+bool FindOutageTimes(const fault::FaultSchedule& schedule, SimTime* t_clear,
+                     SimTime* t_outage) {
+  for (const fault::FaultWindow& w : schedule.windows) {
+    if (w.kind != fault::FaultKind::kOriginOutage) continue;
+    // A quiet minute strictly before this window.
+    for (SimTime t = kMinute; t + kMinute < w.start; t += kMinute) {
+      if (!schedule.AnyActiveAt(t) && !schedule.AnyActiveAt(t + kSecond)) {
+        *t_clear = t;
+        *t_outage = w.start + (w.end - w.start) / 2;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+fault::FaultScheduleOptions OutageOnlySchedule() {
+  fault::FaultScheduleOptions fopts;
+  fopts.horizon = kDay;
+  fopts.tier_losses = 0;
+  fopts.tier_outages = 0;
+  fopts.read_error_bursts = 0;
+  fopts.store_error_bursts = 0;
+  fopts.latency_spikes = 0;
+  fopts.origin_error_bursts = 0;
+  fopts.origin_slowdowns = 0;
+  fopts.origin_outages = 3;
+  fopts.mean_window = 2 * kHour;
+  return fopts;
+}
+
+TEST(DegradedServingTest, StaleAnd503FailedContractsOverTheWire) {
+  constexpr uint64_t kFaultSeed = 99;
+  fault::FaultSchedule schedule = fault::FaultSchedule::Generate(
+      HashCombine(kFaultSeed, 0), OutageOnlySchedule());
+  SimTime t_clear = 0, t_outage = 0;
+  ASSERT_TRUE(FindOutageTimes(schedule, &t_clear, &t_outage))
+      << schedule.ToString();
+
+  for (DegradedPolicy policy :
+       {DegradedPolicy::kServe200, DegradedPolicy::kFail503}) {
+    SCOPED_TRACE(policy == DegradedPolicy::kServe200 ? "serve200"
+                                                     : "fail503");
+    ClusterOptions copts = SmallCluster(1);
+    copts.faults = OutageOnlySchedule();
+    copts.fault_seed = kFaultSeed;
+    // Strong consistency: a known-stale copy is validated against the
+    // origin, so an outage forces the degradation ladder.
+    copts.warehouse.constraints.default_consistency =
+        core::ConsistencyMode::kStrong;
+    WarehouseCluster cluster(SmallCorpus(), std::nullopt, copts);
+    corpus::RawId container = cluster.shard(0).corpus().page(0).container;
+
+    ServerOptions sopts;
+    sopts.degraded_critical = policy;
+    HttpServer server(&cluster, sopts);
+    ASSERT_TRUE(server.Start().ok());
+
+    SimpleHttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+    // Clean weather: page 0 is fetched and cached, no degradation.
+    auto fresh = client.RoundTrip(
+        "GET", "/page/0?t=" + std::to_string(t_clear));
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_EQ(fresh->status, 200);
+    EXPECT_TRUE(fresh->Header("x-cbfww-degraded").empty());
+
+    // The origin revs page 0's container: the cached copy is now stale.
+    auto modified = client.RoundTrip(
+        "POST", "/modify/" + std::to_string(container) +
+                    "?t=" + std::to_string(t_clear + kSecond));
+    ASSERT_TRUE(modified.ok());
+    EXPECT_EQ(modified->status, 202);
+
+    // Mid-outage revisit: validation is impossible, the resident stale
+    // copy is handed out — 200 + header, or 503 under kFail503.
+    auto stale = client.RoundTrip(
+        "GET", "/page/0?t=" + std::to_string(t_outage));
+    ASSERT_TRUE(stale.ok());
+    EXPECT_EQ(stale->Header("x-cbfww-degraded"), "stale") << stale->status;
+    EXPECT_EQ(stale->status,
+              policy == DegradedPolicy::kServe200 ? 200 : 503);
+    if (policy == DegradedPolicy::kFail503) {
+      EXPECT_FALSE(stale->Header("retry-after").empty());
+    }
+
+    // A never-seen page mid-outage: nothing cached, no summary — the
+    // ladder is exhausted and the answer is always 503 "failed".
+    auto failed = client.RoundTrip(
+        "GET", "/page/30?t=" + std::to_string(t_outage + kSecond));
+    ASSERT_TRUE(failed.ok());
+    EXPECT_EQ(failed->status, 503);
+    EXPECT_EQ(failed->Header("x-cbfww-degraded"), "failed");
+    EXPECT_FALSE(failed->Header("retry-after").empty());
+
+    // The per-route ledger on /metrics agrees.
+    auto metrics = client.RoundTrip("GET", "/metrics");
+    ASSERT_TRUE(metrics.ok());
+    EXPECT_NE(metrics->body.find("cbfww_route_degraded_total{route=\"page\""
+                                 ",mode=\"stale\"} 1"),
+              std::string::npos)
+        << metrics->body;
+    EXPECT_NE(metrics->body.find("cbfww_route_degraded_total{route=\"page\""
+                                 ",mode=\"failed\"} 1"),
+              std::string::npos);
+    server.Stop();
+  }
+}
+
+// ----- POST /admin/drain-report at io_threads > 1 -----
+
+TEST(DrainReportTest, QuiescedWarehouseReportAtAnyIoThreadCount) {
+  ClusterOptions copts = SmallCluster(2);
+  copts.producer_lanes = 2;
+  WarehouseCluster cluster(SmallCorpus(), std::nullopt, copts);
+  ServerOptions sopts;
+  sopts.io_threads = 2;
+  HttpServer server(&cluster, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  SimpleHttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  for (uint64_t p = 0; p < 8; ++p) {
+    auto r = client.RoundTrip("GET", "/page/" + std::to_string(p) + "?t=" +
+                                         std::to_string((p + 1) * kSecond));
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->status, 200);
+  }
+
+  // GET /metrics cannot produce the warehouse section here: with two IO
+  // threads "idle" is not a stable claim, so full_report stays 0.
+  auto metrics = client.RoundTrip("GET", "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->body.find("cbfww_metrics_full_report 0"),
+            std::string::npos);
+  EXPECT_EQ(metrics->body.find("cbfww_warehouse_requests_total"),
+            std::string::npos);
+
+  // Wrong method first.
+  auto got = client.RoundTrip("GET", "/admin/drain-report");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->status, 405);
+
+  // The drain-report path quiesces all loops, drains the cluster, and
+  // emits the full warehouse section regardless of io_threads.
+  auto report = client.RoundTrip("POST", "/admin/drain-report");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->status, 200);
+  EXPECT_NE(report->body.find("cbfww_warehouse_requests_total"),
+            std::string::npos)
+      << report->body;
+  EXPECT_NE(report->body.find("cbfww_served_from_total"), std::string::npos);
+  EXPECT_EQ(server.stats().drain_reports.load(), 1u);
+
+  // The latch is released: serving continues and a second report works.
+  auto after = client.RoundTrip(
+      "GET", "/page/1?t=" + std::to_string(100 * kSecond));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->status, 200);
+  auto second = client.RoundTrip("POST", "/admin/drain-report");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status, 200);
+  EXPECT_EQ(server.stats().drain_reports.load(), 2u);
+
+  // A suspended shard cannot be drained: the report answers 409 instead
+  // of deadlocking the quiesce.
+  cluster.SuspendShard(0);
+  auto refused = client.RoundTrip("POST", "/admin/drain-report");
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(refused->status, 409);
+  cluster.ResumeShard(0);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace cbfww::server

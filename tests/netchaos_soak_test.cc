@@ -1,0 +1,292 @@
+// Chaos-over-the-wire soak (slow, seed-parameterized): adversarial
+// socket fleets — slowloris partial-header writers, abortive resetters,
+// byte-dribblers — race a pool of legitimate retrying clients against a
+// multi-IO-thread server with short lifecycle deadlines. The invariants:
+// every legitimate op eventually succeeds (zero acked loss), the
+// open-connection gauge returns to baseline (no fd leaks), the lifecycle
+// deadlines actually fired (the chaos was real), and a seeded server-side
+// socket-fault run replays byte-identically under the same seed.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/warehouse_cluster.h"
+#include "corpus/web_corpus.h"
+#include "fault/socket_fault_injector.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
+#include "util/clock.h"
+
+namespace cbfww::server {
+namespace {
+
+using cluster::ClusterOptions;
+using cluster::WarehouseCluster;
+
+void SleepMs(int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+corpus::CorpusOptions SoakCorpus() {
+  corpus::CorpusOptions opts;
+  opts.num_sites = 6;
+  opts.pages_per_site = 60;
+  opts.topic.num_topics = 4;
+  opts.seed = 77;
+  return opts;
+}
+
+ClusterOptions SoakCluster(uint32_t shards, uint32_t lanes) {
+  ClusterOptions opts;
+  opts.num_shards = shards;
+  opts.producer_lanes = lanes;
+  opts.warehouse.memory_bytes = 8ull * 1024 * 1024;
+  opts.warehouse.disk_bytes = 512ull * 1024 * 1024;
+  opts.warehouse.rebalance_interval = kHour;
+  return opts;
+}
+
+int OpenRawConn(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One adversarial actor. Which kind it plays is derived from the seed so
+/// the fleet's composition varies per seed but is stable for one seed.
+void AdversaryThread(uint16_t port, uint64_t seed, uint32_t id,
+                     std::atomic<bool>* stop) {
+  Pcg32 rng(seed, 0xbad0 + id);
+  while (!stop->load(std::memory_order_relaxed)) {
+    int fd = OpenRawConn(port);
+    if (fd < 0) {
+      SleepMs(5);
+      continue;
+    }
+    switch (rng.Next() % 3) {
+      case 0: {  // Slowloris: partial header, then hold the socket open.
+        const char* partial = "GET /page/1 HTTP/1.1\r\nHost: slow\r\n";
+        (void)!::send(fd, partial, strlen(partial), MSG_NOSIGNAL);
+        // Hold until the server's header deadline kills us (poll for the
+        // close so we don't outstay the test).
+        pollfd p{fd, POLLIN, 0};
+        ::poll(&p, 1, 700);
+        break;
+      }
+      case 1: {  // Resetter: half a request, then an abortive RST close.
+        const char* partial = "GET /metri";
+        (void)!::send(fd, partial, strlen(partial), MSG_NOSIGNAL);
+        linger hard{1, 0};
+        setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+        break;
+      }
+      default: {  // Dribbler: a real request, one byte at a time, then bail
+                  // partway through with the connection just... left there.
+        const char* req = "GET /healthz HTTP/1.1\r\n\r\n";
+        size_t cut = 5 + rng.Next() % 15;
+        for (size_t i = 0; i < cut; ++i) {
+          if (::send(fd, req + i, 1, MSG_NOSIGNAL) != 1) break;
+          SleepMs(1 + rng.Next() % 3);
+        }
+        break;
+      }
+    }
+    ::close(fd);
+    SleepMs(1 + rng.Next() % 5);
+  }
+}
+
+/// One legitimate client: every op retries (reconnecting) until it gets a
+/// 200 or the hard deadline passes. A single lost ack fails the soak.
+void LegitThread(uint16_t port, uint64_t seed, uint32_t id, int ops,
+                 std::atomic<uint64_t>* acked,
+                 std::atomic<uint64_t>* lost) {
+  ClientOptions opts;
+  opts.connect_timeout_ms = 2000;
+  opts.read_timeout_ms = 3000;
+  opts.write_timeout_ms = 2000;
+  opts.retry.max_attempts = 4;
+  opts.retry.initial_backoff_ms = 10;
+  opts.retry.max_backoff_ms = 200;
+  opts.seed = seed * 1000003u + id;
+  SimpleHttpClient client(opts);
+  Pcg32 rng(seed, 0x900d + id);
+  for (int op = 0; op < ops; ++op) {
+    std::string target = "/page/" + std::to_string(rng.Next() % 300);
+    bool ok = false;
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (!client.connected() &&
+          !client.Connect("127.0.0.1", port).ok()) {
+        SleepMs(10);
+        continue;
+      }
+      auto response = client.RoundTripWithRetry("GET", target);
+      if (response.ok() && response->status == 200) {
+        ok = true;
+        break;
+      }
+      SleepMs(5);
+    }
+    if (ok) {
+      acked->fetch_add(1, std::memory_order_relaxed);
+    } else {
+      lost->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+class NetChaosSoakTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NetChaosSoakTest, AdversarialFleetNeverLosesAckedWork) {
+  const uint64_t seed = GetParam();
+  WarehouseCluster cluster(SoakCorpus(), std::nullopt, SoakCluster(2, 2));
+  ServerOptions sopts;
+  sopts.io_threads = 2;
+  sopts.accept_mode = AcceptMode::kHandoff;
+  sopts.lifecycle.header_timeout_ms = 300;
+  sopts.lifecycle.body_timeout_ms = 300;
+  sopts.lifecycle.idle_timeout_ms = 2000;
+  sopts.lifecycle.write_stall_timeout_ms = 300;
+  sopts.lifecycle.timer_tick_ms = 5;
+  HttpServer server(&cluster, sopts);
+  ASSERT_TRUE(server.Start().ok());
+  uint16_t port = server.port();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> acked{0}, lost{0};
+  std::vector<std::thread> threads;
+  constexpr int kAdversaries = 12;
+  constexpr int kLegit = 4;
+  constexpr int kOpsPerLegit = 60;
+  for (uint32_t a = 0; a < kAdversaries; ++a) {
+    threads.emplace_back(AdversaryThread, port, seed, a, &stop);
+  }
+  for (uint32_t c = 0; c < kLegit; ++c) {
+    threads.emplace_back(LegitThread, port, seed, c, kOpsPerLegit, &acked,
+                         &lost);
+  }
+  // Legit clients finish first; then call off the adversaries.
+  for (size_t i = kAdversaries; i < threads.size(); ++i) threads[i].join();
+  stop.store(true);
+  for (size_t i = 0; i < kAdversaries; ++i) threads[i].join();
+
+  // Zero acked loss: every legitimate op landed a 200 despite the chaos.
+  EXPECT_EQ(lost.load(), 0u);
+  EXPECT_EQ(acked.load(),
+            static_cast<uint64_t>(kLegit) * kOpsPerLegit);
+
+  // The chaos was real: lifecycle deadlines fired.
+  const ServerStats& stats = server.stats();
+  EXPECT_GE(stats.timeouts_header.load(), 1u) << "slowloris never tripped";
+
+  // No fd leaks: with every client gone the gauge must return to zero
+  // (idle/header deadlines collect any adversarial stragglers).
+  bool drained = false;
+  for (int i = 0; i < 500 && !drained; ++i) {
+    drained = server.open_connections() == 0;
+    if (!drained) SleepMs(10);
+  }
+  EXPECT_TRUE(drained) << server.open_connections() << " conns leaked";
+  server.Stop();
+}
+
+/// Runs one scripted client session against a server with a seeded
+/// socket-fault injector and returns the (status, body) transcript.
+/// /metrics is excluded from scripts — it embeds live latency values.
+std::vector<std::pair<int, std::string>> ScriptedRun(uint64_t seed) {
+  WarehouseCluster cluster(SoakCorpus(), std::nullopt, SoakCluster(1, 1));
+  fault::SocketFaultOptions fopts;
+  fopts.accept_reset_probability = 0.05;
+  fopts.read_reset_probability = 0.02;
+  fopts.write_reset_probability = 0.02;
+  fault::SocketFaultInjector injector(seed, fopts);
+  ServerOptions sopts;  // io_threads=1: a total order over the wire.
+  sopts.socket_faults = &injector;
+  HttpServer server(&cluster, sopts);
+  EXPECT_TRUE(server.Start().ok());
+
+  ClientOptions copts;
+  copts.connect_timeout_ms = 2000;
+  copts.read_timeout_ms = 2000;
+  copts.retry.max_attempts = 6;
+  copts.retry.initial_backoff_ms = 5;
+  copts.retry.max_backoff_ms = 50;
+  copts.retry.jitter = 0;  // Deterministic backoff for the replay check.
+  copts.seed = seed;
+  SimpleHttpClient client(copts);
+
+  std::vector<std::pair<int, std::string>> transcript;
+  Pcg32 rng(seed, 0x5c21);
+  SimTime t = kSecond;
+  for (int op = 0; op < 120; ++op) {
+    std::string target;
+    uint32_t raw = rng.Next() % 100;
+    t += kSecond;
+    if (raw < 80) {
+      target = "/page/" + std::to_string(rng.Next() % 300);
+    } else if (raw < 90) {
+      target = "/body/" + std::to_string(rng.Next() % 300);
+    } else {
+      target = "/healthz";
+    }
+    target += "?t=" + std::to_string(t);
+    if (!client.connected()) {
+      // Connect may be reset by the injector; retry until it sticks.
+      for (int i = 0; i < 50 && !client.connected(); ++i) {
+        (void)client.Connect("127.0.0.1", server.port());
+      }
+    }
+    auto response = client.RoundTripWithRetry("GET", target);
+    if (response.ok()) {
+      transcript.emplace_back(response->status, response->body);
+    } else {
+      transcript.emplace_back(-1, std::string(response.status().message()));
+    }
+  }
+  // The injector's per-connection plans are part of the transcript: same
+  // seed must mean the same faults at the same byte offsets.
+  for (uint64_t serial = 1; serial <= injector.connections(); ++serial) {
+    transcript.emplace_back(0, injector.PlanString(serial));
+  }
+  server.Stop();
+  return transcript;
+}
+
+TEST_P(NetChaosSoakTest, SameSeedReplaysByteIdentically) {
+  const uint64_t seed = GetParam();
+  auto first = ScriptedRun(seed);
+  auto second = ScriptedRun(seed);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].first, second[i].first) << "op " << i;
+    EXPECT_EQ(first[i].second, second[i].second) << "op " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetChaosSoakTest,
+                         ::testing::Values(7u, 77u, 777u));
+
+}  // namespace
+}  // namespace cbfww::server
