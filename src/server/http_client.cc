@@ -419,31 +419,27 @@ Result<ClientResponse> SimpleHttpClient::RoundTripWithRetry(
       if (!last->keep_alive) Close();
       return last;
     }
-    // Transport failure or 503: drop the connection (its stream state is
-    // unknown after a failure; a 503 keep-alive could be reused, but a
-    // fresh connection lands on a different IO thread under reuseport,
-    // which is the better retry).
+    // Transport failure or 503: drop the connection unconditionally —
+    // after a failure its stream state is unknown, and even a keep-alive
+    // 503 is worth abandoning so the retry's fresh connection lands on a
+    // different IO thread under reuseport.
     int64_t wait_ms = backoff_ms;
-    if (last.ok()) {
-      if (retry.honor_retry_after) {
-        std::string_view ra = last->Header("retry-after");
-        int64_t secs = 0;
-        bool parsed = !ra.empty();
-        for (char c : ra) {
-          if (!std::isdigit(static_cast<unsigned char>(c))) {
-            parsed = false;
-            break;
-          }
-          secs = secs * 10 + (c - '0');
+    if (last.ok() && retry.honor_retry_after) {
+      std::string_view ra = last->Header("retry-after");
+      int64_t secs = 0;
+      bool parsed = !ra.empty();
+      for (char c : ra) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          parsed = false;
+          break;
         }
-        if (parsed) {
-          wait_ms = std::min<int64_t>(secs * 1000, retry.retry_after_cap_ms);
-        }
+        secs = secs * 10 + (c - '0');
       }
-      if (!last->keep_alive) Close();
-    } else {
-      Close();
+      if (parsed) {
+        wait_ms = std::min<int64_t>(secs * 1000, retry.retry_after_cap_ms);
+      }
     }
+    Close();
     if (attempt + 1 == attempts) break;
     // Jitter: uniform in [1-jitter, 1+jitter].
     double factor = 1.0 + retry.jitter * (2.0 * rng_.NextDouble() - 1.0);

@@ -232,7 +232,7 @@ struct HttpServer::Conn {
   std::vector<corpus::RawId> pending_body;
 
   // Connection lifecycle (timer wheel deadlines; all ms on NowMs()).
-  enum class Phase : uint8_t { kIdle, kHeader, kBody, kAwait };
+  enum class Phase : uint8_t { kIdle, kHeader, kBody, kAwait, kFlush };
   Phase phase = Phase::kIdle;
   uint64_t phase_start_ms = 0;
   uint64_t created_ms = 0;
@@ -488,7 +488,13 @@ void HttpServer::Run(IoShard& io) {
       if (signal_drain) WakeAll();
       BeginDrain(io);
     }
-    if (io.draining && io.conns.empty()) break;
+    if (io.draining && io.conns.empty()) {
+      // Ack any drain-report still pending before exiting: once this loop
+      // is gone it can never ack, and the owner's ack count would stall
+      // short of the thread total forever (Stop() would hang behind it).
+      DrainReportTick(io);
+      break;
+    }
 
     io.now_ms = NowMs();
     int cap_ms = io.awaiting_tickets > 0 ? 10 : 250;
@@ -524,6 +530,13 @@ void HttpServer::Run(IoShard& io) {
 
     // Connections dealt over by IO thread 0 (no-op elsewhere).
     AdoptHandoff(io);
+
+    // High-water reaping recorded by RegisterConn, deferred to here so no
+    // event tag from the batch above pointed at a destroyed connection.
+    if (io.reap_deficit > 0) {
+      ReapIdle(io, io.reap_deficit);
+      io.reap_deficit = 0;
+    }
 
     // Completions arrive from shard workers via the wake pipe; sweep all
     // parked connections (cheap: only conns with awaiting set are checked).
@@ -588,14 +601,17 @@ bool HttpServer::RegisterConn(IoShard& io, int fd) {
   // High-water reaping: approaching the connection cap, evict this
   // thread's coldest idle keep-alive connections to make room — a fresh
   // client beats a parked one. (Per-thread: each loop reaps its own.)
+  // The reap itself is deferred to after event dispatch: RegisterConn
+  // runs from AcceptNew inside the dispatch loop, and closing an idle
+  // connection here could free a Conn whose event is still pending in
+  // the same round's batch (use-after-free on its tag).
   size_t open = total_conns_.load(std::memory_order_relaxed);
   if (options_.lifecycle.reap_high_water_fraction > 0) {
     size_t high_water = static_cast<size_t>(
         options_.lifecycle.reap_high_water_fraction *
         static_cast<double>(options_.max_connections));
     if (open >= high_water && high_water > 0) {
-      ReapIdle(io, open - high_water + 1);
-      open = total_conns_.load(std::memory_order_relaxed);
+      io.reap_deficit = std::max(io.reap_deficit, open - high_water + 1);
     }
   }
   if (open >= options_.max_connections) {
@@ -1070,6 +1086,15 @@ void HttpServer::RouteRequest(IoShard& io, Conn& conn, HttpRequest request) {
       return;
     }
     if (ShedByClass(conn, AdmissionClass::kBackground)) return;
+    if (drain_requested_.load(std::memory_order_acquire)) {
+      // Sibling loops may already have exited their Run loops and can
+      // never ack; starting the quiesce protocol now would hang Stop().
+      stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
+      QueueResponse(conn, 503, "application/json",
+                    "{\"error\":\"server draining\"}",
+                    StrFormat("Retry-After: %d\r\n", options_.retry_after_s));
+      return;
+    }
     if (cluster_->AnySuspended()) {
       // Drain would block behind a parked shard's backlog forever.
       QueueError(conn, 409, "shards suspended; resume before drain-report");
@@ -1353,7 +1378,9 @@ void HttpServer::HandleWritable(IoShard& io, Conn& conn) {
     CloseConn(io, conn);
     return;
   }
-  RearmTimer(io, conn);
+  // The flush drained: reclassify (kFlush -> kIdle when nothing else is in
+  // flight) so the connection rejoins the idle list and its idle deadline.
+  UpdatePhase(io, conn);
 }
 
 namespace {
@@ -1404,6 +1431,11 @@ void HttpServer::UpdatePhase(IoShard& io, Conn& conn) {
     next = Conn::Phase::kBody;
   } else if (conn.parser.mid_request() || conn.in_pos < conn.in.size()) {
     next = Conn::Phase::kHeader;
+  } else if (!conn.out.empty() || conn.write_registered) {
+    // Response bytes still flushing: not idle. The connection must not be
+    // reapable or idle-timed-out while it makes write progress — the
+    // write-stall clock alone governs it (plus max lifetime).
+    next = Conn::Phase::kFlush;
   } else {
     next = Conn::Phase::kIdle;
   }
@@ -1447,6 +1479,8 @@ void HttpServer::RearmTimer(IoShard& io, Conn& conn) {
         break;
       case Conn::Phase::kAwait:
         break;  // The shard owns this wait; no wire deadline applies.
+      case Conn::Phase::kFlush:
+        break;  // Write-stall deadline (below) governs queued output.
     }
     consider(conn.created_ms, lc.max_lifetime_ms);
   }
@@ -1521,6 +1555,7 @@ void HttpServer::OnConnDeadline(IoShard& io, Conn& conn) {
         }
         break;
       case Conn::Phase::kAwait:
+      case Conn::Phase::kFlush:
         break;
     }
   }
@@ -1560,7 +1595,13 @@ void HttpServer::DrainReportTick(IoShard& io) {
     WakeAll();  // Nudge the owner to re-check the ack count.
   }
   if (io.report_conn == 0) return;  // Not the owner of the pending report.
-  if (report_acks_.load(std::memory_order_acquire) < io_threads_) return;
+  // Count acks against the loops still running, not the configured thread
+  // total: a loop that raced shutdown and exited acked on its way out (or
+  // dropped out of the active count), so the latch still releases.
+  if (report_acks_.load(std::memory_order_acquire) <
+      active_io_threads_.load(std::memory_order_acquire)) {
+    return;
+  }
   const uint64_t conn_id = io.report_conn;
   io.report_conn = 0;
   // All IO threads acked: nothing new reaches the shard queues, so Drain

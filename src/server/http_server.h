@@ -310,6 +310,9 @@ class HttpServer {
     /// Idle keep-alive connections, most recently idle first; the reaper
     /// takes from the back (coldest).
     std::list<Conn*> idle_lifo;
+    /// High-water reap demand recorded during event dispatch; the loop
+    /// reaps after the batch so no pending event tag is destroyed.
+    size_t reap_deficit = 0;
     /// Event-loop wall clock (CLOCK_MONOTONIC ms), refreshed per round.
     uint64_t now_ms = 0;
 

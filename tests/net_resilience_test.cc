@@ -450,6 +450,73 @@ TEST(ConnLifecycleTest, HighWaterReapsColdestIdleConnectionFirst) {
   server.Stop();
 }
 
+TEST(ConnLifecycleTest, SlowReaderDrainingResponsesIsNotIdleClosed) {
+  // Regression: once the last pipelined request parses, the connection
+  // must classify as flushing (kFlush), not idle, while responses are
+  // still queued — an idle expiry or high-water reap here would silently
+  // truncate an in-flight response. The write-stall clock (reset by every
+  // byte of progress) is the only deadline that governs the drain.
+  WarehouseCluster cluster(SmallCorpus(), std::nullopt, SmallCluster());
+  ServerOptions opts = FastTimers();
+  opts.lifecycle.header_timeout_ms = 10000;
+  opts.lifecycle.body_timeout_ms = 10000;
+  opts.lifecycle.idle_timeout_ms = 150;  // Far shorter than the drain.
+  opts.lifecycle.write_stall_timeout_ms = 2000;
+  HttpServer server(&cluster, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawSocket slow;
+  // Tiny receive window, set before connect so the handshake advertises
+  // it: the server's output queue stays non-empty for the whole drain.
+  slow.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(slow.fd, 0);
+  int rcvbuf = 4096;
+  setsockopt(slow.fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(slow.fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  // Pipeline enough /metrics responses to overflow both socket buffers,
+  // then read them back slowly: total drain time is many idle windows,
+  // but steady progress must keep the connection alive until the last
+  // byte, after which the idle deadline (not a truncating close) ends it.
+  constexpr int kRequests = 400;
+  std::string burst;
+  for (int i = 0; i < kRequests; ++i) burst += "GET /metrics HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(slow.WriteStr(burst));
+
+  std::string all;
+  char buf[4096];
+  for (;;) {
+    pollfd p{slow.fd, POLLIN, 0};
+    int rc = ::poll(&p, 1, 5000);
+    if (rc < 0 && errno == EINTR) continue;
+    ASSERT_GT(rc, 0) << "server stopped sending mid-drain";
+    ssize_t n = ::recv(slow.fd, buf, sizeof(buf), 0);
+    if (n == 0) break;  // Post-drain idle close.
+    ASSERT_GT(n, 0);
+    all.append(buf, static_cast<size_t>(n));
+    SleepMs(5);  // Pace the drain well past idle_timeout_ms.
+  }
+
+  size_t responses = 0;
+  for (size_t at = all.find("HTTP/1.1 200"); at != std::string::npos;
+       at = all.find("HTTP/1.1 200", at + 1)) {
+    ++responses;
+  }
+  EXPECT_EQ(responses, static_cast<size_t>(kRequests));
+  // The close that ended the read loop was the post-drain idle expiry,
+  // not a write-stall abort (progress never stopped for 2s).
+  EXPECT_TRUE(WaitFor([&] { return server.stats().timeouts_idle.load() >= 1; }));
+  EXPECT_EQ(server.stats().timeouts_write_stall.load(), 0u);
+  EXPECT_TRUE(WaitFor([&] { return server.open_connections() == 0; }));
+  server.Stop();
+}
+
 TEST(ConnLifecycleTest, PipelinedByteAtATimeNeverTripsHeaderDeadline) {
   WarehouseCluster cluster(SmallCorpus(), std::nullopt, SmallCluster());
   ServerOptions opts;
