@@ -1,0 +1,349 @@
+// Scale-out gateway throughput and failover latency: the workload harness
+// driving its HTTP load generator against the consistent-hash gateway in
+// front of N forked warehouse node processes (real fork(2) fleets, one
+// cluster per process).
+//
+// Per node count, two steady phases run the same WorkloadSpec through
+// workload::Runner's gateway backend:
+//   1. Closed loop: keep-alive connections issue the op stream
+//      back-to-back; wall RPS measures the whole path (gateway routing,
+//      per-node keep-alive pools, node serving).
+//   2. Open loop: arrivals scheduled at a fraction of the measured
+//      closed-loop RPS; latency measured from the scheduled arrival
+//      (coordinated-omission corrected). This is the steady-state p99
+//      baseline the kill phase is judged against.
+//
+// Then the failover phase: a fresh open-loop run at the same offered load
+// against the widest fleet, with one node process SIGKILLed partway
+// through. R=2 write-through means reads fail over to the peer replica;
+// the gate is that open-loop p99 during the kill run stays within 3x the
+// steady-state p99 — failover is a latency blip, not an outage.
+//
+// Scaling gates:
+//   - Critical path (CPU time): completed ops over the busiest node
+//     process's CPU delta (/proc/<pid>/stat, maintained by the runner).
+//     Per-process CPU holds even when a small CI runner serializes the
+//     fleet onto few cores, so this gate is enforced everywhere.
+//   - Wall RPS: N-node wall RPS vs 1-node, enforced only when the machine
+//     has >= 8 hardware threads (fleet + gateway + clients need real
+//     parallelism); always recorded.
+//
+// --smoke runs a small correctness-gated pass (scripts/ci.sh gateway
+// stage): every steady-phase request must be served and the kill phase
+// must complete with the gateway still answering.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/strings.h"
+#include "workload/json_report.h"
+#include "workload/runner.h"
+#include "workload/workload_spec.h"
+
+namespace {
+
+using cbfww::bench::BenchArgs;
+using cbfww::bench::JsonReport;
+using cbfww::workload::Backend;
+using cbfww::workload::LoopMode;
+using cbfww::workload::Runner;
+using cbfww::workload::RunnerOptions;
+using cbfww::workload::RunResult;
+using cbfww::workload::WorkloadSpec;
+
+/// Mostly-GET traffic with a write stream for replication and a sprinkle
+/// of scatter queries. No scans: the gateway exposes the page/body/query/
+/// modify surface (scans map to /query over the wire anyway).
+WorkloadSpec DefaultSpec(bool smoke) {
+  WorkloadSpec spec;
+  spec.name = "gateway_default";
+  spec.description = "mixed wire traffic through the scale-out gateway";
+  spec.mix.page_visit = 0.93;
+  spec.mix.query = 0.02;
+  spec.mix.scan = 0.0;
+  spec.mix.ingest = 0.05;
+  spec.corpus_sites = 8;
+  spec.corpus_pages_per_site = 150;
+  spec.threads = 8;  // Keep-alive client connections.
+  spec.users = 64;
+  spec.ops = smoke ? 800 : 4000;
+  spec.mean_gap_us = 1000;
+  return spec;
+}
+
+struct ConfigResult {
+  uint32_t nodes = 0;
+  RunResult closed;
+  RunResult open;
+  uint64_t errors = 0;
+  uint64_t shed = 0;
+};
+
+RunResult RunOrDie(Runner& runner, const WorkloadSpec& spec,
+                   const char* phase) {
+  auto result = runner.Run(spec);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s run failed: %s\n", phase,
+                 std::string(result.status().message()).c_str());
+    std::exit(1);
+  }
+  return *std::move(result);
+}
+
+RunnerOptions GatewayRunnerOptions(uint32_t nodes) {
+  RunnerOptions options;
+  options.backend = Backend::kGateway;
+  options.gateway_nodes = nodes;
+  options.gateway_replication = 2;
+  options.shards = 2;  // Per node.
+  options.io_threads = 1;
+  options.warehouse = cbfww::bench::StandardWarehouseOptions();
+  return options;
+}
+
+ConfigResult RunConfig(const WorkloadSpec& spec, uint32_t nodes,
+                       uint64_t open_total) {
+  Runner runner(spec, GatewayRunnerOptions(nodes));
+  cbfww::Status status = runner.Init();
+  if (!status.ok()) {
+    std::fprintf(stderr, "gateway fleet start failed: %s\n",
+                 std::string(status.message()).c_str());
+    std::exit(1);
+  }
+  ConfigResult r;
+  r.nodes = nodes;
+  r.closed = RunOrDie(runner, spec, "closed");
+
+  WorkloadSpec open_spec = spec;
+  open_spec.name = spec.name + "_open";
+  open_spec.loop = LoopMode::kOpen;
+  open_spec.offered_load_rps = std::max(50.0, r.closed.rps_wall * 0.6);
+  open_spec.ops = open_total;
+  r.open = RunOrDie(runner, open_spec, "open");
+
+  r.errors = r.closed.total.errors + r.open.total.errors;
+  r.shed = r.closed.total.shed + r.open.total.shed;
+  return r;
+}
+
+/// The failover phase: open loop against a fresh fleet, one node process
+/// SIGKILLed once ~40% of the expected wall time has elapsed.
+struct KillResult {
+  RunResult run;
+  double steady_p99_us = 0.0;
+  double kill_p99_us = 0.0;
+  double p99_ratio = 0.0;
+  uint32_t victim = 0;
+};
+
+KillResult RunKillPhase(const WorkloadSpec& spec, uint32_t nodes,
+                        uint64_t open_total, double offered_rps,
+                        double steady_p99_us) {
+  Runner runner(spec, GatewayRunnerOptions(nodes));
+  if (!runner.Init().ok()) {
+    std::fprintf(stderr, "kill-phase fleet start failed\n");
+    std::exit(1);
+  }
+  WorkloadSpec kill_spec = spec;
+  kill_spec.name = spec.name + "_kill";
+  kill_spec.loop = LoopMode::kOpen;
+  kill_spec.offered_load_rps = offered_rps;
+  kill_spec.ops = open_total;
+
+  KillResult k;
+  k.victim = 1 % nodes;
+  const double expected_wall_s =
+      static_cast<double>(open_total) / std::max(50.0, offered_rps);
+  std::thread killer([&runner, &k, expected_wall_s] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<int64_t>(expected_wall_s * 0.4 * 1000)));
+    runner.gateway_nodes()[k.victim].Kill();
+  });
+  k.run = RunOrDie(runner, kill_spec, "kill");
+  killer.join();
+
+  k.steady_p99_us = steady_p99_us;
+  k.kill_p99_us = k.run.total.latency_pct.Percentile(99);
+  k.p99_ratio =
+      steady_p99_us > 0 ? k.kill_p99_us / steady_p99_us : 0.0;
+  return k;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // NOTE: the runner fork(2)s the node fleet in Init(); keep this process
+  // single-threaded until the first Runner is built.
+  BenchArgs args =
+      cbfww::bench::ParseBenchArgs(&argc, argv, "bench_gateway");
+  const bool smoke = args.smoke;
+
+  cbfww::bench::PrintHeader(
+      "scale-out/gateway",
+      smoke ? "gateway smoke (correctness + node-kill failover)"
+            : "scale-out gateway: node scaling and kill-a-node failover");
+
+  WorkloadSpec spec = DefaultSpec(smoke);
+  if (!args.spec_path.empty()) {
+    auto loaded = cbfww::workload::LoadWorkloadSpec(args.spec_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "bench_gateway: %s\n",
+                   std::string(loaded.status().message()).c_str());
+      return 2;
+    }
+    spec = *loaded;
+    if (smoke) spec = cbfww::workload::SmokeShrunk(spec);
+  }
+  if (args.seed) spec.seed = *args.seed;
+  if (args.threads) spec.threads = *args.threads;
+  if (args.ops) spec.ops = *args.ops;
+
+  const uint64_t open_total = smoke ? 240 : 1600;
+  const std::vector<uint32_t> node_counts =
+      smoke ? std::vector<uint32_t>{1, 2} : std::vector<uint32_t>{1, 4};
+  const uint32_t widest = node_counts.back();
+
+  const unsigned threads_detected = cbfww::bench::DetectHardwareThreads();
+  std::printf("connections: %u, machine threads: %u, replication: 2\n\n",
+              spec.threads, threads_detected);
+
+  std::vector<ConfigResult> results;
+  bool all_served = true;
+  for (uint32_t nodes : node_counts) {
+    ConfigResult r = RunConfig(spec, nodes, open_total);
+    all_served = all_served && r.errors == 0 && r.shed == 0;
+    std::printf(
+        "nodes=%u  closed: %llu req %.2fs rps=%.0f p99=%.2fms | "
+        "open: rps=%.0f p50=%.2fms p99=%.2fms | node-cp rps=%.0f "
+        "errors=%llu shed=%llu\n",
+        r.nodes, static_cast<unsigned long long>(r.closed.ops_issued),
+        r.closed.wall_s, r.closed.rps_wall,
+        r.closed.total.latency_pct.Percentile(99) / 1e3, r.open.rps_wall,
+        r.open.total.latency_pct.Percentile(50) / 1e3,
+        r.open.total.latency_pct.Percentile(99) / 1e3,
+        r.closed.rps_critical_path,
+        static_cast<unsigned long long>(r.errors),
+        static_cast<unsigned long long>(r.shed));
+    results.push_back(std::move(r));
+  }
+
+  bool gates_ok = all_served;
+  cbfww::bench::ShapeCheck(
+      "every steady-phase request served (no errors, nothing shed)",
+      all_served);
+
+  // Node scaling on CPU time: completed ops over the busiest node
+  // process's CPU. Per-process CPU, so enforced regardless of how many
+  // cores this runner has.
+  double cp_scaling = 0.0;
+  double wall_scaling = 0.0;
+  bool wall_gate_enforced = false;
+  {
+    const ConfigResult& one = results.front();
+    const ConfigResult& wide = results.back();
+    if (one.closed.rps_critical_path > 0) {
+      cp_scaling =
+          wide.closed.rps_critical_path / one.closed.rps_critical_path;
+      const double cp_bar = smoke ? 1.2 : 1.5;
+      std::printf("\ncritical-path RPS speedup at %u nodes: %.2fx\n", widest,
+                  cp_scaling);
+      bool ok = cp_scaling >= cp_bar;
+      gates_ok = gates_ok && ok;
+      cbfww::bench::ShapeCheck(
+          cbfww::StrFormat("%u-node fleet sustains >= %.1fx the 1-node RPS "
+                           "(node critical path)",
+                           widest, cp_bar),
+          ok);
+    }
+    if (one.closed.rps_wall > 0) {
+      wall_scaling = wide.closed.rps_wall / one.closed.rps_wall;
+      wall_gate_enforced = !smoke && threads_detected >= 8;
+      std::printf("wall RPS speedup at %u nodes: %.2fx%s\n", widest,
+                  wall_scaling,
+                  wall_gate_enforced
+                      ? ""
+                      : " (gate skipped: smoke or too few machine threads)");
+      if (wall_gate_enforced) {
+        bool ok = wall_scaling >= 1.8;
+        gates_ok = gates_ok && ok;
+        cbfww::bench::ShapeCheck(
+            "4-node fleet sustains >= 1.8x the 1-node wall RPS", ok);
+      }
+    }
+  }
+
+  // Failover: kill one node mid-run; p99 must stay within 3x steady state.
+  const ConfigResult& wide = results.back();
+  const double steady_p99_us = wide.open.total.latency_pct.Percentile(99);
+  KillResult kill = RunKillPhase(
+      spec, widest, open_total,
+      std::max(50.0, wide.closed.rps_wall * 0.6), steady_p99_us);
+  std::printf(
+      "\nkill phase (nodes=%u, victim=node-%u): rps=%.0f p50=%.2fms "
+      "p99=%.2fms (steady p99=%.2fms, ratio %.2fx) errors=%llu\n",
+      widest, kill.victim, kill.run.rps_wall,
+      kill.run.total.latency_pct.Percentile(50) / 1e3, kill.kill_p99_us / 1e3,
+      steady_p99_us / 1e3, kill.p99_ratio,
+      static_cast<unsigned long long>(kill.run.total.errors));
+  {
+    // The run completing at all proves the gateway kept answering; the
+    // latency gate is full-mode only (smoke op counts are too small for a
+    // stable p99).
+    bool completed = kill.run.ops_issued == open_total;
+    gates_ok = gates_ok && completed;
+    cbfww::bench::ShapeCheck(
+        "kill phase completes: gateway keeps serving through a node death",
+        completed);
+    if (!smoke) {
+      bool ok = kill.p99_ratio > 0 && kill.p99_ratio <= 3.0;
+      gates_ok = gates_ok && ok;
+      cbfww::bench::ShapeCheck(
+          "open-loop p99 during single-node kill within 3x steady state",
+          ok);
+    }
+  }
+
+  JsonReport report("gateway");
+  report.writer().Field("smoke", smoke);
+  report.writer().RawField("spec", cbfww::workload::SpecToJson(spec));
+  report.writer().Field("connections", spec.threads);
+  report.writer().Field("machine_threads_detected", threads_detected);
+  report.writer().Field("replication", 2);
+  report.writer().BeginArray("configs");
+  for (const ConfigResult& r : results) {
+    report.writer().BeginObject();
+    report.writer().Field("nodes", r.nodes);
+    report.writer().Field("rps_critical_path", r.closed.rps_critical_path);
+    report.writer().Field("errors", r.errors);
+    report.writer().Field("shed", r.shed);
+    report.writer().BeginArray("runs");
+    cbfww::workload::AppendRunResultJson(r.closed, report.writer());
+    cbfww::workload::AppendRunResultJson(r.open, report.writer());
+    report.writer().EndArray();
+    report.writer().EndObject();
+  }
+  report.writer().EndArray();
+  report.writer().BeginObject("kill_phase");
+  report.writer().Field("nodes", widest);
+  report.writer().Field("victim", kill.victim);
+  report.writer().Field("steady_p99_us", kill.steady_p99_us);
+  report.writer().Field("kill_p99_us", kill.kill_p99_us);
+  report.writer().Field("p99_ratio", kill.p99_ratio);
+  report.writer().Field("errors", kill.run.total.errors);
+  report.writer().BeginArray("runs");
+  cbfww::workload::AppendRunResultJson(kill.run, report.writer());
+  report.writer().EndArray();
+  report.writer().EndObject();
+  report.writer().Field("critical_path_rps_speedup", cp_scaling);
+  report.writer().Field("wall_rps_speedup", wall_scaling);
+  report.writer().Field("wall_gate_enforced", wall_gate_enforced);
+  report.WriteFileOrDie(args.json_out.empty() ? "BENCH_gateway.json"
+                                              : args.json_out);
+  return gates_ok ? 0 : 1;
+}

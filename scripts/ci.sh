@@ -23,6 +23,8 @@
 #   scripts/ci.sh workload   # every spec x both backends, JSON schema gate
 #   scripts/ci.sh netchaos   # ASan wire-resilience units + seeded socket
 #                            # chaos soak + slowloris bench smoke
+#   scripts/ci.sh gateway    # ASan gateway units (ring/pool/replication)
+#                            # + kill-a-node e2e soak + bench smoke
 #
 # With no arguments the script lists the stages and exits.
 set -euo pipefail
@@ -49,6 +51,9 @@ stages:
   netchaos    ASan wire-resilience units (timer wheel, 408s, client
               timeouts, degraded wire contract) + seeded socket-chaos
               soak (3 fixed seeds) + bench_resilience smoke + JSON gate
+  gateway     ASan gateway units (hash ring, client pool, replication,
+              failover) + kill-a-node e2e soak (3 fixed seeds, forked
+              node processes) + bench_gateway smoke + JSON gate
   all         every stage above, in order
 EOF
 }
@@ -251,6 +256,32 @@ netchaos() {
   rm -rf "${nc_out}"
 }
 
+gateway() {
+  echo "=== gateway: scale-out gateway under ASan ==="
+  cmake -B build-asan -S . -DCBFWW_SANITIZE=address
+  cmake --build build-asan -j --target gateway_test gateway_soak_test
+  # Hash-ring stability, client-pool reuse/eviction, write-through
+  # replication with the no-ack-without-all-replicas contract, peer-rung
+  # failover, hinted handoff + read repair, scatter /query, node
+  # leave/join, and a forked node process dying for real (SIGKILL).
+  ./build-asan/tests/gateway_test
+  # Kill-a-node e2e: 3 fixed seeds x 4 forked durable nodes, one
+  # SIGKILLed mid-load at a seeded op index; zero acknowledged-object
+  # loss, observable peer failover, and byte-identical same-seed replay.
+  ./build-asan/tests/gateway_soak_test
+  # Node-scaling and failover-latency gates at smoke scale (plain build —
+  # the sanitized builds are for bugs, not timings). The emitted report
+  # and the committed full-scale numbers must match the bench JSON
+  # schema, including the gateway config/kill_phase blocks.
+  cmake -B build -S .
+  cmake --build build -j --target bench_gateway
+  gw_out="$(mktemp -d)"
+  (cd "${gw_out}" && "${OLDPWD}/build/bench/bench_gateway" --smoke)
+  python3 scripts/validate_bench_json.py "${gw_out}"/BENCH_gateway.json \
+    BENCH_gateway.json
+  rm -rf "${gw_out}"
+}
+
 case "${stage}" in
   tier1) tier1 ;;
   tsan) tsan ;;
@@ -262,6 +293,7 @@ case "${stage}" in
   segments) segments ;;
   workload) workload ;;
   netchaos) netchaos ;;
+  gateway) gateway ;;
   all)
     tier1
     tsan
@@ -273,6 +305,7 @@ case "${stage}" in
     segments
     workload
     netchaos
+    gateway
     ;;
   *)
     usage >&2

@@ -38,6 +38,13 @@ RESILIENCE_KEYS = {
     "p99_bound_ratio", "p99_floor_ms", "all_bounded", "zero_errors",
     "no_fd_leaks",
 }
+# bench_gateway blocks: per-node-count configs plus the kill-a-node
+# failover phase (SIGKILL of one forked node mid-open-loop).
+GATEWAY_CONFIG_KEYS = {"nodes", "rps_critical_path", "errors", "shed", "runs"}
+GATEWAY_KILL_KEYS = {
+    "nodes", "victim", "steady_p99_us", "kill_p99_us", "p99_ratio",
+    "errors", "runs",
+}
 
 
 class SchemaError(Exception):
@@ -63,7 +70,7 @@ def check_run(run, where):
             check_keys(run[cls], CLASS_KEYS, f"{where}.{cls}")
     check_keys(run["serve_mix"], SERVE_MIX_KEYS, f"{where}.serve_mix")
     check_keys(run["hardware"], HARDWARE_KEYS, f"{where}.hardware")
-    require(run["backend"] in ("cluster", "server"), where,
+    require(run["backend"] in ("cluster", "server", "gateway"), where,
             f"unknown backend {run['backend']!r}")
     require(run["loop"] in ("closed", "open"), where,
             f"unknown loop {run['loop']!r}")
@@ -103,6 +110,23 @@ def validate(path):
         for gate in ("all_bounded", "zero_errors", "no_fd_leaks"):
             require(report["resilience"][gate] is True, "$.resilience",
                     f"gate {gate} did not pass")
+    if report["bench"] == "gateway":
+        check_keys(report, {"replication", "configs", "kill_phase",
+                            "critical_path_rps_speedup", "wall_rps_speedup",
+                            "wall_gate_enforced"}, "$")
+        require(isinstance(report["replication"], int)
+                and report["replication"] >= 1, "$",
+                "replication must be an int >= 1")
+        require(isinstance(report["configs"], list) and report["configs"],
+                "$.configs", "expected a non-empty array")
+        for i, config in enumerate(report["configs"]):
+            check_keys(config, GATEWAY_CONFIG_KEYS, f"$.configs[{i}]")
+            require(config["nodes"] >= 1, f"$.configs[{i}]",
+                    "nodes must be >= 1")
+        kill = report["kill_phase"]
+        check_keys(kill, GATEWAY_KILL_KEYS, "$.kill_phase")
+        require(kill["victim"] < kill["nodes"], "$.kill_phase",
+                "victim must index a node in the fleet")
     return len(runs)
 
 

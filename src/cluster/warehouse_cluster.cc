@@ -176,6 +176,18 @@ void WarehouseCluster::Submit(const trace::TraceEvent& event, uint32_t lane) {
     shard->lanes[lane]->Push(item);
     shard->submitted.fetch_add(1, std::memory_order_relaxed);
     events_submitted_.fetch_add(1, std::memory_order_relaxed);
+    NoteQueueDepth(*shard);
+  }
+}
+
+void WarehouseCluster::NoteQueueDepth(Shard& shard) {
+  const uint64_t submitted = shard.submitted.load(std::memory_order_relaxed);
+  const uint64_t processed = shard.processed.load(std::memory_order_relaxed);
+  const uint64_t depth = submitted > processed ? submitted - processed : 0;
+  uint64_t seen = shard.queue_depth_high_water.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !shard.queue_depth_high_water.compare_exchange_weak(
+             seen, depth, std::memory_order_relaxed)) {
   }
 }
 
@@ -203,6 +215,7 @@ Status WarehouseCluster::TryDispatch(const trace::TraceEvent& event,
     }
     shard.submitted.fetch_add(1, std::memory_order_relaxed);
     events_submitted_.fetch_add(1, std::memory_order_relaxed);
+    NoteQueueDepth(shard);
     return Status::Ok();
   }
   // Broadcast modifications shed per shard: a stalled shard must not stop
@@ -217,6 +230,7 @@ Status WarehouseCluster::TryDispatch(const trace::TraceEvent& event,
     }
     shard->submitted.fetch_add(1, std::memory_order_relaxed);
     events_submitted_.fetch_add(1, std::memory_order_relaxed);
+    NoteQueueDepth(*shard);
     ++delivered;
   }
   if (delivered < shards_.size()) {
@@ -245,6 +259,7 @@ Status WarehouseCluster::TryServePage(const core::PageRequest& request,
   }
   shard.submitted.fetch_add(1, std::memory_order_relaxed);
   events_submitted_.fetch_add(1, std::memory_order_relaxed);
+  NoteQueueDepth(shard);
   return Status::Ok();
 }
 
@@ -275,6 +290,7 @@ Status WarehouseCluster::TryServeQuery(std::string_view text,
     }
     shard.submitted.fetch_add(1, std::memory_order_relaxed);
     events_submitted_.fetch_add(1, std::memory_order_relaxed);
+    NoteQueueDepth(shard);
     ++accepted;
   }
   if (accepted < n) {
@@ -297,6 +313,9 @@ std::vector<ShardRuntimeStats> WarehouseCluster::RuntimeStats() const {
       s.queue_depth += lane->SizeApprox();
       s.queue_capacity += lane->capacity();
     }
+    s.queue_depth_high_water =
+        shard->queue_depth_high_water.load(std::memory_order_relaxed);
+    s.busy_ns = shard->busy_ns.load(std::memory_order_relaxed);
     s.suspended = shard->suspended.load(std::memory_order_acquire);
     out.push_back(s);
   }

@@ -162,6 +162,12 @@ struct ShardRuntimeStats {
   /// Total capacity summed over all producer lanes (admission-class
   /// front-ends shed background work at a fraction of this).
   uint64_t queue_capacity = 0;
+  /// Highest backlog (submitted − processed) ever observed at an enqueue,
+  /// across all lanes. Never resets: health probes read it to tell a node
+  /// that has merely been busy from one that is currently drowning.
+  uint64_t queue_depth_high_water = 0;
+  /// Cumulative worker CPU time inside ProcessEvent (thread CPU clock).
+  uint64_t busy_ns = 0;
   bool suspended = false;
 };
 
@@ -396,6 +402,8 @@ class WarehouseCluster {
     /// Events rejected by TryDispatch while this shard's queue stayed
     /// full. Router-written, report-read, hence atomic.
     std::atomic<uint64_t> shed{0};
+    /// CAS-max of (submitted − processed) sampled at every enqueue.
+    std::atomic<uint64_t> queue_depth_high_water{0};
     /// While set the worker parks instead of popping (SuspendShard).
     std::atomic<bool> suspended{false};
     std::thread worker;
@@ -405,6 +413,9 @@ class WarehouseCluster {
   /// TryPush on one lane with a bounded backoff budget; true when
   /// enqueued.
   bool TryPushBounded(Shard& shard, uint32_t lane, const ShardItem& item);
+  /// Samples the shard's backlog after an enqueue and ratchets
+  /// queue_depth_high_water (CAS-max).
+  static void NoteQueueDepth(Shard& shard);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> stop_{false};

@@ -1,0 +1,832 @@
+#include "gateway/gateway_server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <sstream>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "server/wire_format.h"
+#include "util/strings.h"
+
+namespace cbfww::gateway {
+
+namespace {
+
+uint64_t MonotonicMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000ull +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000000ull;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Response";
+  }
+}
+
+bool ParseI64(std::string_view s, int64_t* out) {
+  if (s.empty() || s.size() > 19) return false;
+  int64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+/// Same conservative charset as the node side: ids travel inside heads.
+std::string SanitizeRequestId(std::string_view raw) {
+  std::string id;
+  id.reserve(std::min<size_t>(raw.size(), 64));
+  for (char c : raw) {
+    if (id.size() == 64) break;
+    bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+              (c >= 'A' && c <= 'Z') || c == '-' || c == '_' || c == '.' ||
+              c == ':';
+    if (ok) id.push_back(c);
+  }
+  return id;
+}
+
+}  // namespace
+
+GatewayServer::GatewayServer(std::vector<NodeEndpoint> endpoints,
+                             GatewayOptions options)
+    : options_(std::move(options)), ring_(options_.ring) {
+  if (options_.replication == 0) options_.replication = 1;
+  for (const NodeEndpoint& ep : endpoints) ring_.AddNode(ep.id);
+  pool_ = std::make_unique<NodePool>(std::move(endpoints), options_.pool);
+}
+
+GatewayServer::~GatewayServer() { Stop(); }
+
+Status GatewayServer::Start() {
+  if (running_.load(std::memory_order_acquire)) return Status::Ok();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, options_.backlog) != 0) {
+    Status status =
+        Status::Unavailable(StrFormat("bind/listen: %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void GatewayServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    // Unblock connection threads parked in poll/read.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& [id, fd] : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  pool_->StopProber();
+}
+
+void GatewayServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Listener closed (Stop) or fatal.
+    }
+    if (open_conns_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    open_conns_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    uint64_t id = next_conn_id_++;
+    conn_fds_[id] = fd;
+    conn_threads_.emplace_back([this, fd, id] {
+      ConnLoop(fd);
+      open_conns_.fetch_sub(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> inner(conns_mu_);
+      conn_fds_.erase(id);
+    });
+  }
+}
+
+void GatewayServer::ConnLoop(int fd) {
+  server::HttpParser parser(options_.limits);
+  std::string buf;
+  size_t pos = 0;
+  ConnCtx ctx;
+  ctx.fd = fd;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (pos < buf.size()) {
+      pos += parser.Consume(std::string_view(buf).substr(pos));
+    }
+    if (parser.failed()) {
+      ctx.keep_alive = false;
+      SendResponse(ctx, parser.error_status(), "application/json",
+                   "{\"error\":\"" + server::JsonEscape(parser.error()) +
+                       "\"}");
+      break;
+    }
+    if (parser.done()) {
+      server::HttpRequest request = parser.TakeRequest();
+      parser.Reset();
+      if (!HandleRequest(ctx, std::move(request))) break;
+      continue;
+    }
+    if (pos >= buf.size()) {
+      buf.clear();
+      pos = 0;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int n = ::poll(&pfd, 1, static_cast<int>(options_.io_poll_ms));
+    if (n < 0 && errno != EINTR) break;
+    if (n <= 0) continue;  // Timeout: re-check stop_.
+    char chunk[16384];
+    ssize_t r = ::read(fd, chunk, sizeof(chunk));
+    if (r <= 0) {
+      if (r < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      break;  // Peer closed or error.
+    }
+    buf.append(chunk, static_cast<size_t>(r));
+  }
+  ::close(fd);
+}
+
+Status GatewayServer::WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        pfd.revents = 0;
+        if (::poll(&pfd, 1, static_cast<int>(options_.io_poll_ms)) < 0 &&
+            errno != EINTR) {
+          return Status::Unavailable("poll for write failed");
+        }
+        if (stop_.load(std::memory_order_acquire)) {
+          return Status::Unavailable("gateway stopping");
+        }
+        continue;
+      }
+      return Status::Unavailable(StrFormat("write: %s", std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status GatewayServer::SendResponse(ConnCtx& ctx, int status,
+                                   const std::string& content_type,
+                                   const std::string& body,
+                                   const std::string& extra_headers) {
+  if (status >= 200 && status < 300) {
+    stats_.responses_2xx.fetch_add(1, std::memory_order_relaxed);
+  } else if (status >= 400 && status < 500) {
+    stats_.responses_4xx.fetch_add(1, std::memory_order_relaxed);
+  } else if (status == 503) {
+    stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::string head = StrFormat("HTTP/1.%d %d %s\r\n", ctx.version_minor,
+                               status, ReasonPhrase(status));
+  head += "Content-Type: " + content_type + "\r\n";
+  if (!ctx.request_id.empty()) {
+    head += "X-Cbfww-Request-Id: " + ctx.request_id + "\r\n";
+  }
+  head += extra_headers;
+  head += StrFormat("Content-Length: %zu\r\n", body.size());
+  head += ctx.keep_alive ? "Connection: keep-alive\r\n"
+                         : "Connection: close\r\n";
+  head += "\r\n";
+  head += body;
+  return WriteAll(ctx.fd, head);
+}
+
+Status GatewayServer::Send503(ConnCtx& ctx, const std::string& error) {
+  return SendResponse(
+      ctx, 503, "application/json",
+      "{\"error\":\"" + server::JsonEscape(error) + "\",\"request_id\":\"" +
+          ctx.request_id + "\"}",
+      StrFormat("Retry-After: %d\r\n", options_.retry_after_s));
+}
+
+std::string GatewayServer::UpstreamHeaders(const ConnCtx& ctx,
+                                           int64_t remaining_ms) const {
+  std::string headers = "X-Cbfww-Request-Id: " + ctx.request_id + "\r\n";
+  if (remaining_ms > 0) {
+    headers += StrFormat("X-Deadline-Ms: %lld\r\n",
+                         static_cast<long long>(remaining_ms));
+  }
+  return headers;
+}
+
+std::vector<std::string> GatewayServer::ReplicasForKey(
+    std::string_view key) const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return ring_.ReplicasFor(key, options_.replication);
+}
+
+std::vector<std::string> GatewayServer::ReplicasForRaw(
+    std::string_view raw_id) const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return ring_.ReplicasFor("raw:" + std::string(raw_id),
+                           options_.replication);
+}
+
+Status GatewayServer::NodeLeave(const std::string& id) {
+  if (!pool_->HasNode(id)) return Status::NotFound("unknown node: " + id);
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    ring_.RemoveNode(id);
+  }
+  pool_->SetHealth(id, NodeHealth::kLeft);
+  return Status::Ok();
+}
+
+Status GatewayServer::NodeJoin(const std::string& id) {
+  if (!pool_->HasNode(id)) return Status::NotFound("unknown node: " + id);
+  pool_->SetHealth(id, NodeHealth::kDown);  // Until the probe says up.
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    ring_.AddNode(id);
+  }
+  Status probed = pool_->ProbeOnce(id);
+  // ProbeOnce's down->up transition already replays hints; flush again in
+  // case new hints raced the probe.
+  if (probed.ok()) pool_->FlushHints(id);
+  return probed;
+}
+
+bool GatewayServer::HandleRequest(ConnCtx& ctx, server::HttpRequest request) {
+  stats_.requests_total.fetch_add(1, std::memory_order_relaxed);
+  ctx.keep_alive = request.keep_alive;
+  ctx.version_minor = request.version_minor;
+  ctx.request_id = SanitizeRequestId(request.Header("x-cbfww-request-id"));
+  if (ctx.request_id.empty()) {
+    ctx.request_id =
+        options_.request_id_prefix + "-" +
+        std::to_string(
+            next_request_id_.fetch_add(1, std::memory_order_relaxed));
+    stats_.request_ids_stamped.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  server::RequestTarget target = server::ParseTarget(request.target);
+  const uint64_t start_ms = MonotonicMs();
+  int64_t budget_ms = options_.default_deadline_ms;
+  {
+    int64_t parsed = 0;
+    if (ParseI64(target.Param("deadline_ms"), &parsed) &&
+        parsed > 0) {
+      budget_ms = parsed;
+    } else {
+      std::string_view hdr = request.Header("x-deadline-ms");
+      if (!hdr.empty() && ParseI64(hdr, &parsed) && parsed > 0) {
+        budget_ms = parsed;
+      }
+    }
+  }
+
+  if (target.path == "/healthz") {
+    if (request.method != "GET") {
+      SendResponse(ctx, 405, "application/json", "{\"error\":\"use GET\"}");
+      return ctx.keep_alive;
+    }
+    SendResponse(ctx, 200, "application/json", HealthzJson());
+    return ctx.keep_alive;
+  }
+  if (target.path == "/metrics") {
+    if (request.method != "GET") {
+      SendResponse(ctx, 405, "application/json", "{\"error\":\"use GET\"}");
+      return ctx.keep_alive;
+    }
+    SendResponse(ctx, 200, "text/plain; version=0.0.4", MetricsText());
+    return ctx.keep_alive;
+  }
+
+  bool is_page = target.path.rfind("/page/", 0) == 0;
+  bool is_body = target.path.rfind("/body/", 0) == 0;
+  if (is_page || is_body) {
+    if (request.method != "GET") {
+      SendResponse(ctx, 405, "application/json", "{\"error\":\"use GET\"}");
+      return ctx.keep_alive;
+    }
+    HandleRead(ctx, request.target, target.path.substr(6), budget_ms,
+               start_ms);
+    return ctx.keep_alive;
+  }
+
+  if (target.path == "/query") {
+    if (request.method != "POST") {
+      SendResponse(ctx, 405, "application/json",
+                   "{\"error\":\"use POST with the OQL text as the body\"}");
+      return ctx.keep_alive;
+    }
+    HandleQuery(ctx, request.target, request, budget_ms, start_ms);
+    return ctx.keep_alive;
+  }
+
+  if (target.path.rfind("/modify/", 0) == 0) {
+    if (request.method != "POST") {
+      SendResponse(ctx, 405, "application/json", "{\"error\":\"use POST\"}");
+      return ctx.keep_alive;
+    }
+    HandleModify(ctx, request.target,
+                 target.path.substr(std::strlen("/modify/")), budget_ms,
+                 start_ms);
+    return ctx.keep_alive;
+  }
+
+  if (target.path.rfind("/admin/", 0) == 0) {
+    HandleAdmin(ctx, target.path, request);
+    return ctx.keep_alive;
+  }
+
+  SendResponse(ctx, 404, "application/json",
+               "{\"error\":\"no such route: " +
+                   server::JsonEscape(target.path) + "\"}");
+  return ctx.keep_alive;
+}
+
+void GatewayServer::HandleRead(ConnCtx& ctx, const std::string& raw_target,
+                               std::string_view key, int64_t budget_ms,
+                               uint64_t start_ms) {
+  // The failover ladder: the key's replica set (primary first), then any
+  // other live node — the peer and origin rungs the degradation ladder
+  // anticipated, now spanning processes.
+  std::vector<std::string> replicas = ReplicasForKey(key);
+  std::vector<std::string> candidates;
+  candidates.reserve(replicas.size() + 2);
+  for (const std::string& id : replicas) {
+    NodeHealth h = pool_->Health(id);
+    if (h == NodeHealth::kUp || h == NodeHealth::kDegraded) {
+      candidates.push_back(id);
+    }
+  }
+  const size_t replica_rungs = candidates.size();
+  for (const std::string& id : pool_->LiveNodes()) {
+    if (std::find(replicas.begin(), replicas.end(), id) == replicas.end()) {
+      candidates.push_back(id);
+    }
+  }
+  if (candidates.empty()) {
+    stats_.unavailable.fetch_add(1, std::memory_order_relaxed);
+    Send503(ctx, "no live nodes");
+    return;
+  }
+  const std::string& primary_id =
+      replicas.empty() ? candidates.front() : replicas.front();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const int64_t remaining =
+        budget_ms - static_cast<int64_t>(MonotonicMs() - start_ms);
+    if (remaining <= 0) {
+      stats_.deadline_exhausted.fetch_add(1, std::memory_order_relaxed);
+      Send503(ctx, "deadline exhausted in failover ladder");
+      return;
+    }
+    const std::string& id = candidates[i];
+    auto response = pool_->RoundTrip(id, "GET", raw_target, {},
+                                     UpstreamHeaders(ctx, remaining));
+    if (!response.ok() || response->status >= 500) {
+      continue;  // Transport failure (marked down) or shed: next rung.
+    }
+    // Rung accounting: primary / peer replica / any-live-node fallback.
+    const char* rung;
+    if (id == primary_id) {
+      rung = "primary";
+      stats_.served_primary.fetch_add(1, std::memory_order_relaxed);
+    } else if (i < replica_rungs) {
+      rung = "peer";
+      stats_.peer_failovers.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rung = "origin";
+      stats_.origin_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (id != primary_id && pool_->PendingHints(primary_id) > 0 &&
+        pool_->Health(primary_id) != NodeHealth::kLeft) {
+      // Read-repair: a peer had to answer for the primary — try to close
+      // the primary's gap right now instead of waiting for a probe.
+      stats_.read_repairs.fetch_add(1, std::memory_order_relaxed);
+      pool_->FlushHints(primary_id);
+    }
+    std::string content_type(response->Header("content-type"));
+    if (content_type.empty()) content_type = "application/json";
+    std::string extra = "X-Cbfww-Served-By: " + id + "\r\n";
+    extra += StrFormat("X-Cbfww-Gateway-Rung: %s\r\n", rung);
+    std::string_view degraded = response->Header("x-cbfww-degraded");
+    if (!degraded.empty()) {
+      extra += "X-Cbfww-Degraded: " + std::string(degraded) + "\r\n";
+    }
+    std::string_view node = response->Header("x-cbfww-node");
+    if (!node.empty()) {
+      extra += "X-Cbfww-Node: " + std::string(node) + "\r\n";
+    }
+    SendResponse(ctx, response->status, content_type, response->body, extra);
+    return;
+  }
+  stats_.unavailable.fetch_add(1, std::memory_order_relaxed);
+  Send503(ctx, "all failover rungs exhausted");
+}
+
+void GatewayServer::HandleQuery(ConnCtx& ctx, const std::string& raw_target,
+                                const server::HttpRequest& request,
+                                int64_t budget_ms, uint64_t start_ms) {
+  if (request.body.empty()) {
+    SendResponse(ctx, 400, "application/json",
+                 "{\"error\":\"empty query body\"}");
+    return;
+  }
+  stats_.scatter_queries.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::string> nodes = pool_->LiveNodes();
+  if (nodes.empty()) {
+    Send503(ctx, "no live nodes");
+    return;
+  }
+  const int64_t remaining =
+      budget_ms - static_cast<int64_t>(MonotonicMs() - start_ms);
+  if (remaining <= 0) {
+    stats_.deadline_exhausted.fetch_add(1, std::memory_order_relaxed);
+    Send503(ctx, "deadline exhausted before scatter");
+    return;
+  }
+  // Scatter: one worker per live node, upstream deadline = the whole
+  // remaining budget (legs run concurrently, not sequentially). Results
+  // land in node order, so the merged body is deterministic given the
+  // fleet's answers.
+  struct Leg {
+    bool ok = false;
+    int status = 0;
+    std::string body;
+    std::string error;
+  };
+  std::vector<Leg> legs(nodes.size());
+  std::string upstream_headers = UpstreamHeaders(ctx, remaining);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      workers.emplace_back([&, i] {
+        auto response = pool_->RoundTrip(nodes[i], "POST", raw_target,
+                                         request.body, upstream_headers);
+        if (!response.ok()) {
+          legs[i].error = response.status().message();
+          return;
+        }
+        legs[i].status = response->status;
+        if (response->status == 200) {
+          legs[i].ok = true;
+          legs[i].body = std::move(response->body);
+        } else {
+          legs[i].error = "status " + std::to_string(response->status);
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+  size_t ok_count = 0;
+  std::ostringstream os;
+  os << "{\"request_id\":\"" << ctx.request_id << "\",\"nodes\":[";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"node\":\"" << server::JsonEscape(nodes[i]) << "\"";
+    if (legs[i].ok) {
+      ++ok_count;
+      os << ",\"ok\":true,\"result\":" << legs[i].body;
+    } else {
+      stats_.scatter_node_errors.fetch_add(1, std::memory_order_relaxed);
+      os << ",\"ok\":false,\"error\":\"" << server::JsonEscape(legs[i].error)
+         << "\"";
+      if (legs[i].status != 0) os << ",\"status\":" << legs[i].status;
+    }
+    os << "}";
+  }
+  os << "],\"nodes_ok\":" << ok_count
+     << ",\"nodes_failed\":" << (nodes.size() - ok_count) << "}";
+  if (ok_count == 0) {
+    // All-4xx means the request itself is bad (e.g. malformed OQL) — the
+    // client's fault, not the fleet's.
+    bool all_client_errors = true;
+    for (const Leg& leg : legs) {
+      if (leg.status < 400 || leg.status >= 500) {
+        all_client_errors = false;
+        break;
+      }
+    }
+    if (all_client_errors && !legs.empty()) {
+      SendResponse(ctx, 400, "application/json", os.str());
+    } else {
+      Send503(ctx, "query failed on every live node");
+    }
+    return;
+  }
+  SendResponse(ctx, 200, "application/json", os.str());
+}
+
+void GatewayServer::HandleModify(ConnCtx& ctx, const std::string& raw_target,
+                                 std::string_view raw_id, int64_t budget_ms,
+                                 uint64_t start_ms) {
+  // Write-through replication: the modification goes to every non-left
+  // node (any node may embed the raw object in pages it owns), but the
+  // acknowledgement contract is the ring's R designated replicas — the
+  // 202 means "R real processes hold this", which is what survives a
+  // node kill. Unreachable nodes get hinted handoff instead.
+  std::vector<std::string> required = ReplicasForRaw(raw_id);
+  std::vector<std::string> all = pool_->NodeIds();
+  size_t delivered = 0;
+  std::vector<std::string> hinted;
+  std::vector<std::string> failed_required;
+  for (const std::string& id : all) {
+    NodeHealth health = pool_->Health(id);
+    if (health == NodeHealth::kLeft) continue;
+    const bool is_required =
+        std::find(required.begin(), required.end(), id) != required.end();
+    const int64_t remaining =
+        budget_ms - static_cast<int64_t>(MonotonicMs() - start_ms);
+    bool sent = false;
+    if (health != NodeHealth::kDown && remaining > 0) {
+      auto response = pool_->RoundTrip(id, "POST", raw_target, {},
+                                       UpstreamHeaders(ctx, remaining));
+      sent = response.ok() && response->status < 500;
+    }
+    if (sent) {
+      ++delivered;
+      continue;
+    }
+    if (is_required) {
+      failed_required.push_back(id);
+    }
+    // Either way the node must converge eventually: queue the mutation
+    // for replay when it comes back (or when an admin flushes).
+    pool_->QueueHint(id, NodePool::Hint{"POST", raw_target, "",
+                                        "X-Cbfww-Request-Id: " +
+                                            ctx.request_id + "\r\n"});
+    hinted.push_back(id);
+    stats_.write_hints_queued.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::ostringstream os;
+  os << "{\"modified\":\"" << server::JsonEscape(raw_id) << "\",\"required\":[";
+  for (size_t i = 0; i < required.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << server::JsonEscape(required[i]) << "\"";
+  }
+  os << "],\"delivered\":" << delivered << ",\"hinted\":" << hinted.size()
+     << ",\"request_id\":\"" << ctx.request_id << "\"";
+  if (!failed_required.empty()) {
+    stats_.writes_unacked.fetch_add(1, std::memory_order_relaxed);
+    os << ",\"acked\":false,\"failed_required\":[";
+    for (size_t i = 0; i < failed_required.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\"" << server::JsonEscape(failed_required[i]) << "\"";
+    }
+    os << "]}";
+    SendResponse(ctx, 503, "application/json", os.str(),
+                 StrFormat("Retry-After: %d\r\n", options_.retry_after_s));
+    return;
+  }
+  stats_.writes_acked.fetch_add(1, std::memory_order_relaxed);
+  os << ",\"acked\":true}";
+  SendResponse(ctx, 202, "application/json", os.str());
+}
+
+void GatewayServer::HandleAdmin(ConnCtx& ctx, const std::string& path,
+                                const server::HttpRequest& request) {
+  if (path == "/admin/nodes") {
+    if (request.method != "GET") {
+      SendResponse(ctx, 405, "application/json", "{\"error\":\"use GET\"}");
+      return;
+    }
+    SendResponse(ctx, 200, "application/json", NodesJson());
+    return;
+  }
+  if (path == "/admin/flush-hints") {
+    if (request.method != "POST") {
+      SendResponse(ctx, 405, "application/json", "{\"error\":\"use POST\"}");
+      return;
+    }
+    size_t delivered = pool_->FlushAllHints();
+    SendResponse(ctx, 200, "application/json",
+                 StrFormat("{\"hints_delivered\":%zu}", delivered));
+    return;
+  }
+  // /admin/node/<id>/leave|join
+  const std::string prefix = "/admin/node/";
+  if (path.rfind(prefix, 0) == 0) {
+    if (request.method != "POST") {
+      SendResponse(ctx, 405, "application/json", "{\"error\":\"use POST\"}");
+      return;
+    }
+    std::string rest = path.substr(prefix.size());
+    size_t slash = rest.rfind('/');
+    if (slash == std::string::npos) {
+      SendResponse(ctx, 404, "application/json",
+                   "{\"error\":\"use /admin/node/<id>/leave|join\"}");
+      return;
+    }
+    std::string id = rest.substr(0, slash);
+    std::string action = rest.substr(slash + 1);
+    Status status;
+    if (action == "leave") {
+      status = NodeLeave(id);
+    } else if (action == "join") {
+      status = NodeJoin(id);
+    } else {
+      SendResponse(ctx, 404, "application/json",
+                   "{\"error\":\"unknown node action: " +
+                       server::JsonEscape(action) + "\"}");
+      return;
+    }
+    if (!status.ok() && status.code() == StatusCode::kNotFound) {
+      SendResponse(ctx, 404, "application/json",
+                   "{\"error\":\"" + server::JsonEscape(status.message()) +
+                       "\"}");
+      return;
+    }
+    // A join whose probe failed still joined the ring; report the state.
+    SendResponse(ctx, 200, "application/json", NodesJson());
+    return;
+  }
+  SendResponse(ctx, 404, "application/json",
+               "{\"error\":\"no such admin route: " +
+                   server::JsonEscape(path) + "\"}");
+}
+
+std::string GatewayServer::NodesJson() {
+  std::ostringstream os;
+  os << "{\"replication\":" << options_.replication << ",\"nodes\":[";
+  std::vector<std::string> ids = pool_->NodeIds();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) os << ",";
+    bool in_ring;
+    {
+      std::lock_guard<std::mutex> lock(ring_mu_);
+      in_ring = ring_.HasNode(ids[i]);
+    }
+    os << "{\"node\":\"" << server::JsonEscape(ids[i]) << "\",\"health\":\""
+       << NodeHealthName(pool_->Health(ids[i])) << "\",\"in_ring\":"
+       << (in_ring ? "true" : "false")
+       << ",\"pending_hints\":" << pool_->PendingHints(ids[i]) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string GatewayServer::HealthzJson() {
+  std::vector<std::string> live = pool_->LiveNodes();
+  std::ostringstream os;
+  os << "{\"status\":\"" << (live.empty() ? "down" : "ok")
+     << "\",\"role\":\"gateway\",\"live_nodes\":" << live.size()
+     << ",\"nodes\":[";
+  std::vector<std::string> ids = pool_->NodeIds();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"node\":\"" << server::JsonEscape(ids[i]) << "\",\"health\":\""
+       << NodeHealthName(pool_->Health(ids[i])) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string GatewayServer::MetricsText() {
+  const NodePoolStats& pool_stats = pool_->stats();
+  std::ostringstream os;
+  os << "# HELP cbfww_gateway_up Gateway liveness.\n"
+     << "# TYPE cbfww_gateway_up gauge\ncbfww_gateway_up 1\n";
+  os << "# TYPE cbfww_gateway_requests_total counter\n"
+     << "cbfww_gateway_requests_total "
+     << stats_.requests_total.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE cbfww_gateway_responses_total counter\n"
+     << "cbfww_gateway_responses_total{code=\"2xx\"} "
+     << stats_.responses_2xx.load(std::memory_order_relaxed) << "\n"
+     << "cbfww_gateway_responses_total{code=\"4xx\"} "
+     << stats_.responses_4xx.load(std::memory_order_relaxed) << "\n"
+     << "cbfww_gateway_responses_total{code=\"503\"} "
+     << stats_.responses_503.load(std::memory_order_relaxed) << "\n";
+  os << "# HELP cbfww_gateway_read_rung_total Reads answered per failover "
+        "rung (primary replica, peer replica, any live node).\n"
+     << "# TYPE cbfww_gateway_read_rung_total counter\n"
+     << "cbfww_gateway_read_rung_total{rung=\"primary\"} "
+     << stats_.served_primary.load(std::memory_order_relaxed) << "\n"
+     << "cbfww_gateway_read_rung_total{rung=\"peer\"} "
+     << stats_.peer_failovers.load(std::memory_order_relaxed) << "\n"
+     << "cbfww_gateway_read_rung_total{rung=\"origin\"} "
+     << stats_.origin_fallbacks.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE cbfww_gateway_unavailable_total counter\n"
+     << "cbfww_gateway_unavailable_total "
+     << stats_.unavailable.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE cbfww_gateway_deadline_exhausted_total counter\n"
+     << "cbfww_gateway_deadline_exhausted_total "
+     << stats_.deadline_exhausted.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE cbfww_gateway_writes_total counter\n"
+     << "cbfww_gateway_writes_total{result=\"acked\"} "
+     << stats_.writes_acked.load(std::memory_order_relaxed) << "\n"
+     << "cbfww_gateway_writes_total{result=\"unacked\"} "
+     << stats_.writes_unacked.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE cbfww_gateway_scatter_queries_total counter\n"
+     << "cbfww_gateway_scatter_queries_total "
+     << stats_.scatter_queries.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE cbfww_gateway_scatter_node_errors_total counter\n"
+     << "cbfww_gateway_scatter_node_errors_total "
+     << stats_.scatter_node_errors.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE cbfww_gateway_read_repairs_total counter\n"
+     << "cbfww_gateway_read_repairs_total "
+     << stats_.read_repairs.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE cbfww_gateway_request_ids_stamped_total counter\n"
+     << "cbfww_gateway_request_ids_stamped_total "
+     << stats_.request_ids_stamped.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE cbfww_gateway_hints_total counter\n"
+     << "cbfww_gateway_hints_total{event=\"queued\"} "
+     << pool_stats.hints_queued.load(std::memory_order_relaxed) << "\n"
+     << "cbfww_gateway_hints_total{event=\"replayed\"} "
+     << pool_stats.hints_replayed.load(std::memory_order_relaxed) << "\n"
+     << "cbfww_gateway_hints_total{event=\"dropped\"} "
+     << pool_stats.hints_dropped.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE cbfww_gateway_upstream_round_trips_total counter\n"
+     << "cbfww_gateway_upstream_round_trips_total "
+     << pool_stats.round_trips.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE cbfww_gateway_upstream_transport_errors_total counter\n"
+     << "cbfww_gateway_upstream_transport_errors_total "
+     << pool_stats.transport_errors.load(std::memory_order_relaxed) << "\n";
+  os << "# TYPE cbfww_gateway_probes_total counter\n"
+     << "cbfww_gateway_probes_total "
+     << pool_stats.probes.load(std::memory_order_relaxed) << "\n"
+     << "# TYPE cbfww_gateway_probe_failures_total counter\n"
+     << "cbfww_gateway_probe_failures_total "
+     << pool_stats.probe_failures.load(std::memory_order_relaxed) << "\n";
+  os << "# HELP cbfww_gateway_node_health Health of each upstream node "
+        "(0=up, 1=degraded, 2=down, 3=left).\n"
+     << "# TYPE cbfww_gateway_node_health gauge\n";
+  for (const std::string& id : pool_->NodeIds()) {
+    os << "cbfww_gateway_node_health{node=\"" << id << "\"} "
+       << static_cast<int>(pool_->Health(id)) << "\n";
+  }
+  os << "# TYPE cbfww_gateway_pending_hints gauge\n";
+  for (const std::string& id : pool_->NodeIds()) {
+    os << "cbfww_gateway_pending_hints{node=\"" << id << "\"} "
+       << pool_->PendingHints(id) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cbfww::gateway

@@ -1,0 +1,187 @@
+#ifndef CBFWW_GATEWAY_GATEWAY_SERVER_H_
+#define CBFWW_GATEWAY_GATEWAY_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "gateway/hash_ring.h"
+#include "gateway/node_pool.h"
+#include "server/http_parser.h"
+#include "util/status.h"
+
+namespace cbfww::gateway {
+
+struct GatewayOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral (read back via port()).
+  uint16_t port = 0;
+  int backlog = 64;
+  size_t max_connections = 512;
+  /// Acknowledged-object replication factor R: a /modify is acked (202)
+  /// only once the key's R ring-designated replicas all accepted it.
+  uint32_t replication = 2;
+  RingOptions ring;
+  NodePoolOptions pool;
+  /// Per-request budget when the client sends neither ?deadline_ms= nor
+  /// X-Deadline-Ms. The remaining budget is propagated upstream on every
+  /// failover rung.
+  int64_t default_deadline_ms = 2000;
+  int retry_after_s = 1;
+  server::ParserLimits limits;
+  /// Generated request ids are `<prefix>-<counter>` (deterministic).
+  std::string request_id_prefix = "gw";
+  /// Blocking-IO granularity for connection reads/writes; Stop() latency
+  /// is bounded by it.
+  int64_t io_poll_ms = 100;
+};
+
+/// Gateway lifetime counters (atomics; /metrics scrapes them).
+struct GatewayStats {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_rejected{0};
+  std::atomic<uint64_t> requests_total{0};
+  std::atomic<uint64_t> responses_2xx{0};
+  std::atomic<uint64_t> responses_4xx{0};
+  std::atomic<uint64_t> responses_503{0};
+  /// Reads answered by the key's primary replica.
+  std::atomic<uint64_t> served_primary{0};
+  /// Reads that failed over to a non-primary replica (the peer rung).
+  std::atomic<uint64_t> peer_failovers{0};
+  /// Reads that fell through the replica set to any live node (the origin
+  /// rung of the gateway ladder).
+  std::atomic<uint64_t> origin_fallbacks{0};
+  /// Reads for which every rung failed (503 to the client).
+  std::atomic<uint64_t> unavailable{0};
+  std::atomic<uint64_t> deadline_exhausted{0};
+  std::atomic<uint64_t> scatter_queries{0};
+  std::atomic<uint64_t> scatter_node_errors{0};
+  std::atomic<uint64_t> writes_acked{0};
+  std::atomic<uint64_t> writes_unacked{0};
+  std::atomic<uint64_t> write_hints_queued{0};
+  /// Peer-rung hits that triggered a hint replay toward the primary.
+  std::atomic<uint64_t> read_repairs{0};
+  std::atomic<uint64_t> request_ids_stamped{0};
+};
+
+/// HTTP front-end over N warehouse server processes: consistent-hash
+/// routing with an R-replica failover ladder for reads, write-through
+/// replication with hinted handoff for /modify, scatter-gather for
+/// /query, and node join/leave. Blocking thread-per-connection IO — the
+/// gateway's work is waiting on upstreams, and its connection count is
+/// the handful of load-generator/driver sockets, not the nodes' fan-in.
+///
+/// Routes:
+///   GET  /healthz                      gateway + fleet health JSON
+///   GET  /metrics                      Prometheus text
+///   GET  /page/<key>?... | /body/<key> route to owner; failover ladder
+///                                      primary -> peers -> any live node
+///   POST /query                        scatter to all live nodes, merge
+///                                      with per-node error slots
+///   POST /modify/<raw-id>?t=           write-through to the fleet; 202
+///                                      iff all R designated replicas ack
+///   GET  /admin/nodes                  fleet table JSON
+///   POST /admin/node/<id>/leave|join   membership (ring + health)
+///   POST /admin/flush-hints            replay all queued hints now
+///
+/// Every ingress request is stamped with X-Cbfww-Request-Id (client value
+/// propagated, else generated) and the id travels to every upstream hop
+/// and back on the gateway's own response.
+class GatewayServer {
+ public:
+  GatewayServer(std::vector<NodeEndpoint> endpoints, GatewayOptions options);
+  ~GatewayServer();
+
+  GatewayServer(const GatewayServer&) = delete;
+  GatewayServer& operator=(const GatewayServer&) = delete;
+
+  Status Start();
+  void Stop();
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  NodePool& pool() { return *pool_; }
+  const GatewayStats& stats() const { return stats_; }
+  uint32_t replication() const { return options_.replication; }
+
+  /// Replica set the ring currently assigns to a read key (test hook;
+  /// takes the membership lock).
+  std::vector<std::string> ReplicasForKey(std::string_view key) const;
+  /// Replica set for a /modify raw-object id.
+  std::vector<std::string> ReplicasForRaw(std::string_view raw_id) const;
+
+  /// Membership: leave removes the node from the ring and marks it kLeft
+  /// (its keyspace hands off to the ring successors); join re-adds it,
+  /// probes it, and replays its queued hints.
+  Status NodeLeave(const std::string& id);
+  Status NodeJoin(const std::string& id);
+
+ private:
+  struct ConnCtx {
+    int fd = -1;
+    bool keep_alive = true;
+    int version_minor = 1;
+    std::string request_id;
+  };
+
+  void AcceptLoop();
+  void ConnLoop(int fd);
+  /// Handles one parsed request; returns false when the connection must
+  /// close.
+  bool HandleRequest(ConnCtx& ctx, server::HttpRequest request);
+
+  void HandleRead(ConnCtx& ctx, const std::string& raw_target,
+                  std::string_view key, int64_t budget_ms, uint64_t start_ms);
+  void HandleQuery(ConnCtx& ctx, const std::string& raw_target,
+                   const server::HttpRequest& request, int64_t budget_ms,
+                   uint64_t start_ms);
+  void HandleModify(ConnCtx& ctx, const std::string& raw_target,
+                    std::string_view raw_id, int64_t budget_ms,
+                    uint64_t start_ms);
+  void HandleAdmin(ConnCtx& ctx, const std::string& path,
+                   const server::HttpRequest& request);
+
+  std::string HealthzJson();
+  std::string NodesJson();
+  std::string MetricsText();
+
+  /// Upstream headers for one hop: request id + remaining deadline.
+  std::string UpstreamHeaders(const ConnCtx& ctx, int64_t remaining_ms) const;
+
+  Status SendResponse(ConnCtx& ctx, int status,
+                      const std::string& content_type, const std::string& body,
+                      const std::string& extra_headers = {});
+  Status Send503(ConnCtx& ctx, const std::string& error);
+  Status WriteAll(int fd, std::string_view data);
+
+  GatewayOptions options_;
+  GatewayStats stats_;
+  std::unique_ptr<NodePool> pool_;
+
+  mutable std::mutex ring_mu_;
+  HashRing ring_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  std::mutex conns_mu_;
+  std::map<uint64_t, int> conn_fds_;
+  uint64_t next_conn_id_ = 1;
+  std::vector<std::thread> conn_threads_;
+  std::atomic<size_t> open_conns_{0};
+
+  std::atomic<uint64_t> next_request_id_{1};
+};
+
+}  // namespace cbfww::gateway
+
+#endif  // CBFWW_GATEWAY_GATEWAY_SERVER_H_

@@ -1,0 +1,101 @@
+#include "gateway/hash_ring.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace cbfww::gateway {
+
+namespace {
+
+/// Splitmix64 finalizer. FNV-1a alone has weak avalanche: short keys that
+/// share a prefix ("raw:0".."raw:63") differ only in a few low bits and
+/// would cluster on one arc of the ring, all walking the same owner
+/// sequence. Both ring points and lookup keys go through this mix.
+uint64_t Avalanche(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+/// Point `v` of member `id`, spread over the whole 64-bit ring.
+uint64_t PointOf(std::string_view id, uint32_t v) {
+  return Avalanche(HashCombine(Fnv1a64(id), v));
+}
+
+}  // namespace
+
+HashRing::HashRing(RingOptions options) : options_(options) {
+  if (options_.virtual_nodes == 0) options_.virtual_nodes = 1;
+}
+
+void HashRing::AddNode(const std::string& node_id) {
+  auto it = std::lower_bound(members_.begin(), members_.end(), node_id);
+  if (it != members_.end() && *it == node_id) return;
+  members_.insert(it, node_id);
+  RebuildPoints();
+}
+
+void HashRing::RemoveNode(const std::string& node_id) {
+  auto it = std::lower_bound(members_.begin(), members_.end(), node_id);
+  if (it == members_.end() || *it != node_id) return;
+  members_.erase(it);
+  RebuildPoints();
+}
+
+bool HashRing::HasNode(std::string_view node_id) const {
+  return std::binary_search(members_.begin(), members_.end(), node_id);
+}
+
+void HashRing::RebuildPoints() {
+  points_.clear();
+  points_.reserve(members_.size() * options_.virtual_nodes);
+  for (uint32_t m = 0; m < members_.size(); ++m) {
+    for (uint32_t v = 0; v < options_.virtual_nodes; ++v) {
+      points_.emplace_back(PointOf(members_[m], v), m);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::string HashRing::PrimaryFor(std::string_view key) const {
+  std::vector<std::string> one = ReplicasFor(key, 1);
+  return one.empty() ? std::string() : std::move(one[0]);
+}
+
+std::vector<std::string> HashRing::ReplicasFor(std::string_view key,
+                                               uint32_t replicas) const {
+  std::vector<std::string> out;
+  if (points_.empty() || replicas == 0) return out;
+  const uint64_t h = Avalanche(Fnv1a64(key));
+  size_t start = std::lower_bound(points_.begin(), points_.end(),
+                                  std::make_pair(h, uint32_t{0})) -
+                 points_.begin();
+  const uint32_t want =
+      std::min<uint32_t>(replicas, static_cast<uint32_t>(members_.size()));
+  out.reserve(want);
+  for (size_t step = 0; step < points_.size() && out.size() < want; ++step) {
+    const std::string& id = members_[points_[(start + step) % points_.size()].second];
+    if (std::find(out.begin(), out.end(), id) == out.end()) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> HashRing::OwnershipShares()
+    const {
+  std::vector<std::pair<std::string, double>> shares;
+  shares.reserve(members_.size());
+  for (const std::string& id : members_) shares.emplace_back(id, 0.0);
+  if (points_.empty()) return shares;
+  // Arc ending at point i is owned by point i's member (clockwise lookup).
+  const double whole = 18446744073709551616.0;  // 2^64
+  for (size_t i = 0; i < points_.size(); ++i) {
+    uint64_t prev = points_[i == 0 ? points_.size() - 1 : i - 1].first;
+    uint64_t arc = points_[i].first - prev;  // Wraps correctly (mod 2^64).
+    shares[points_[i].second].second += static_cast<double>(arc) / whole;
+  }
+  return shares;
+}
+
+}  // namespace cbfww::gateway

@@ -1,0 +1,62 @@
+#ifndef CBFWW_GATEWAY_HASH_RING_H_
+#define CBFWW_GATEWAY_HASH_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cbfww::gateway {
+
+struct RingOptions {
+  /// Virtual nodes (points) per member. More points = better balance at
+  /// O(points) membership-change cost; 64 keeps the max/min key share
+  /// under ~1.4x for small clusters.
+  uint32_t virtual_nodes = 64;
+};
+
+/// Consistent-hash ring with virtual nodes. Each member contributes
+/// `virtual_nodes` points derived only from its own id, so adding or
+/// removing a member never moves a key between two surviving members —
+/// the stability property the gateway's replica placement depends on.
+///
+/// Not thread-safe; the gateway guards it with its membership mutex.
+class HashRing {
+ public:
+  explicit HashRing(RingOptions options = {});
+
+  /// Idempotent; point positions depend only on `node_id`.
+  void AddNode(const std::string& node_id);
+  void RemoveNode(const std::string& node_id);
+  bool HasNode(std::string_view node_id) const;
+
+  /// Member ids, sorted (deterministic iteration for scatter-gather).
+  const std::vector<std::string>& nodes() const { return members_; }
+  size_t num_nodes() const { return members_.size(); }
+  size_t num_points() const { return points_.size(); }
+
+  /// Owner of `key`: the first point clockwise from hash(key). Empty
+  /// string when the ring is empty.
+  std::string PrimaryFor(std::string_view key) const;
+
+  /// The first min(replicas, num_nodes) DISTINCT members clockwise from
+  /// hash(key), primary first — the replica set for `key`.
+  std::vector<std::string> ReplicasFor(std::string_view key,
+                                       uint32_t replicas) const;
+
+  /// Fraction of the keyspace owned by each member (diagnostics/tests).
+  std::vector<std::pair<std::string, double>> OwnershipShares() const;
+
+ private:
+  void RebuildPoints();
+
+  RingOptions options_;
+  std::vector<std::string> members_;  // Sorted.
+  /// (point, index into members_), sorted by point.
+  std::vector<std::pair<uint64_t, uint32_t>> points_;
+};
+
+}  // namespace cbfww::gateway
+
+#endif  // CBFWW_GATEWAY_HASH_RING_H_

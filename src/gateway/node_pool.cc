@@ -1,0 +1,256 @@
+#include "gateway/node_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace cbfww::gateway {
+
+const char* NodeHealthName(NodeHealth health) {
+  switch (health) {
+    case NodeHealth::kUp:
+      return "up";
+    case NodeHealth::kDegraded:
+      return "degraded";
+    case NodeHealth::kDown:
+      return "down";
+    case NodeHealth::kLeft:
+      return "left";
+  }
+  return "unknown";
+}
+
+NodePool::NodePool(std::vector<NodeEndpoint> endpoints,
+                   NodePoolOptions options)
+    : options_(std::move(options)) {
+  std::sort(endpoints.begin(), endpoints.end(),
+            [](const NodeEndpoint& a, const NodeEndpoint& b) {
+              return a.id < b.id;
+            });
+  nodes_.reserve(endpoints.size());
+  for (NodeEndpoint& ep : endpoints) {
+    auto node = std::make_unique<Node>();
+    node->pool = std::make_unique<server::ClientPool>(ep.host, ep.port,
+                                                      options_.pool);
+    node->endpoint = std::move(ep);
+    nodes_.push_back(std::move(node));
+  }
+  if (options_.enable_prober) StartProber();
+}
+
+NodePool::~NodePool() { StopProber(); }
+
+NodePool::Node* NodePool::Find(std::string_view id) const {
+  auto it = std::lower_bound(
+      nodes_.begin(), nodes_.end(), id,
+      [](const std::unique_ptr<Node>& n, std::string_view key) {
+        return n->endpoint.id < key;
+      });
+  if (it == nodes_.end() || (*it)->endpoint.id != id) return nullptr;
+  return it->get();
+}
+
+std::vector<std::string> NodePool::NodeIds() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) out.push_back(node->endpoint.id);
+  return out;
+}
+
+bool NodePool::HasNode(std::string_view id) const {
+  return Find(id) != nullptr;
+}
+
+NodeHealth NodePool::Health(const std::string& id) const {
+  Node* node = Find(id);
+  return node == nullptr
+             ? NodeHealth::kLeft
+             : node->health.load(std::memory_order_acquire);
+}
+
+void NodePool::SetHealth(const std::string& id, NodeHealth health) {
+  Node* node = Find(id);
+  if (node == nullptr) return;
+  NodeHealth prev = node->health.exchange(health, std::memory_order_acq_rel);
+  if (prev == health) return;
+  if (health == NodeHealth::kDown || health == NodeHealth::kLeft) {
+    stats_.marked_down.fetch_add(1, std::memory_order_relaxed);
+    node->pool->CloseIdle();  // Dead sockets must not be handed out.
+  } else if (health == NodeHealth::kUp) {
+    stats_.marked_up.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::string> NodePool::LiveNodes() const {
+  std::vector<std::string> out;
+  for (const auto& node : nodes_) {
+    NodeHealth h = node->health.load(std::memory_order_acquire);
+    if (h == NodeHealth::kUp || h == NodeHealth::kDegraded) {
+      out.push_back(node->endpoint.id);
+    }
+  }
+  return out;
+}
+
+Result<server::ClientResponse> NodePool::RoundTrip(
+    const std::string& id, std::string_view method, std::string_view target,
+    std::string_view body, std::string_view extra_headers) {
+  Node* node = Find(id);
+  if (node == nullptr) return Status::NotFound("unknown node: " + id);
+  stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
+  auto lease = node->pool->Acquire();
+  if (!lease.ok()) {
+    stats_.transport_errors.fetch_add(1, std::memory_order_relaxed);
+    SetHealth(id, NodeHealth::kDown);
+    return lease.status();
+  }
+  auto response =
+      (*lease)->RoundTripWithRetry(method, target, body, extra_headers);
+  if (!response.ok()) {
+    stats_.transport_errors.fetch_add(1, std::memory_order_relaxed);
+    SetHealth(id, NodeHealth::kDown);
+  }
+  return response;
+}
+
+Status NodePool::ProbeOnce(const std::string& id) {
+  Node* node = Find(id);
+  if (node == nullptr) return Status::NotFound("unknown node: " + id);
+  if (node->health.load(std::memory_order_acquire) == NodeHealth::kLeft) {
+    return Status::FailedPrecondition("node left: " + id);
+  }
+  stats_.probes.fetch_add(1, std::memory_order_relaxed);
+  // Probe on a dedicated connection, not the pool: a probe must not
+  // consume (or be blocked behind) serving connections, and a down node
+  // would only churn the pool.
+  server::SimpleHttpClient probe(options_.pool.client);
+  Status status = probe.Connect(node->endpoint.host, node->endpoint.port);
+  Result<server::ClientResponse> response = status;
+  if (status.ok()) response = probe.RoundTrip("GET", "/healthz");
+  if (!response.ok() || response->status != 200) {
+    stats_.probe_failures.fetch_add(1, std::memory_order_relaxed);
+    SetHealth(id, NodeHealth::kDown);
+    return response.ok()
+               ? Status::Unavailable("healthz status " +
+                                     std::to_string(response->status))
+               : response.status();
+  }
+  const bool healthy =
+      response->body.find("\"status\":\"ok\"") != std::string::npos;
+  const NodeHealth prev = node->health.load(std::memory_order_acquire);
+  SetHealth(id, healthy ? NodeHealth::kUp : NodeHealth::kDegraded);
+  if (healthy && prev == NodeHealth::kDown) {
+    // Recovery: hand the node everything it missed.
+    FlushHints(id);
+  }
+  return Status::Ok();
+}
+
+void NodePool::QueueHint(const std::string& id, Hint hint) {
+  Node* node = Find(id);
+  if (node == nullptr) return;
+  std::lock_guard<std::mutex> lock(node->hints_mu);
+  if (node->hints.size() >= options_.max_hints_per_node) {
+    node->hints.pop_front();
+    stats_.hints_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+  node->hints.push_back(std::move(hint));
+  stats_.hints_queued.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t NodePool::PendingHints(const std::string& id) const {
+  Node* node = Find(id);
+  if (node == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(node->hints_mu);
+  return node->hints.size();
+}
+
+size_t NodePool::FlushHints(const std::string& id) {
+  Node* node = Find(id);
+  if (node == nullptr) return 0;
+  size_t delivered = 0;
+  while (true) {
+    Hint hint;
+    {
+      std::lock_guard<std::mutex> lock(node->hints_mu);
+      if (node->hints.empty()) break;
+      hint = node->hints.front();
+    }
+    auto lease = node->pool->Acquire();
+    Result<server::ClientResponse> response =
+        lease.ok() ? (*lease)->RoundTripWithRetry(hint.method, hint.target,
+                                                  hint.body,
+                                                  hint.extra_headers)
+                   : Result<server::ClientResponse>(lease.status());
+    if (!response.ok() || response->status >= 500) {
+      // Still unreachable (or shedding): keep the queue, try again later.
+      if (!response.ok()) SetHealth(id, NodeHealth::kDown);
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(node->hints_mu);
+      // Another flusher may have raced the same head; only pop our hint.
+      if (!node->hints.empty()) node->hints.pop_front();
+    }
+    ++delivered;
+    stats_.hints_replayed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return delivered;
+}
+
+size_t NodePool::FlushAllHints() {
+  size_t delivered = 0;
+  for (const auto& node : nodes_) {
+    if (node->health.load(std::memory_order_acquire) == NodeHealth::kLeft) {
+      continue;
+    }
+    delivered += FlushHints(node->endpoint.id);
+  }
+  return delivered;
+}
+
+void NodePool::StartProber() {
+  std::lock_guard<std::mutex> lock(prober_mu_);
+  if (prober_running_) return;
+  prober_stop_ = false;
+  prober_running_ = true;
+  prober_ = std::thread([this] { ProberLoop(); });
+}
+
+void NodePool::StopProber() {
+  {
+    std::lock_guard<std::mutex> lock(prober_mu_);
+    if (!prober_running_) return;
+    prober_stop_ = true;
+  }
+  prober_cv_.notify_all();
+  prober_.join();
+  std::lock_guard<std::mutex> lock(prober_mu_);
+  prober_running_ = false;
+}
+
+void NodePool::ProberLoop() {
+  Pcg32 rng(options_.seed, 0x9b0b);
+  size_t next = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(prober_mu_);
+      const double jitter =
+          1.0 + options_.probe_jitter * (2.0 * rng.NextDouble() - 1.0);
+      const int64_t base =
+          std::max<int64_t>(1, options_.probe_interval_ms);
+      const auto wait = std::chrono::milliseconds(std::max<int64_t>(
+          1, static_cast<int64_t>(static_cast<double>(base) * jitter /
+                                  std::max<size_t>(1, nodes_.size()))));
+      if (prober_cv_.wait_for(lock, wait, [this] { return prober_stop_; })) {
+        return;
+      }
+    }
+    if (nodes_.empty()) continue;
+    const std::string id = nodes_[next % nodes_.size()]->endpoint.id;
+    next++;
+    if (Health(id) != NodeHealth::kLeft) ProbeOnce(id);
+  }
+}
+
+}  // namespace cbfww::gateway

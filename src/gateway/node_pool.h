@@ -1,0 +1,163 @@
+#ifndef CBFWW_GATEWAY_NODE_POOL_H_
+#define CBFWW_GATEWAY_NODE_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "server/client_pool.h"
+#include "server/http_client.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cbfww::gateway {
+
+/// Health ladder of one upstream node, as the gateway sees it.
+enum class NodeHealth : uint8_t {
+  kUp = 0,
+  /// Answering /healthz but draining or overloaded: kept out of the read
+  /// path when an up replica exists, still written through.
+  kDegraded,
+  /// Transport failures or failed probes: skipped until a probe (or a
+  /// successful hint replay) brings it back.
+  kDown,
+  /// Administratively removed (node leave); only a join re-admits it.
+  kLeft,
+};
+const char* NodeHealthName(NodeHealth health);
+
+struct NodeEndpoint {
+  std::string id;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct NodePoolOptions {
+  /// Per-node keep-alive pool configuration (timeouts + retry policy ride
+  /// in pool.client).
+  server::ClientPoolOptions pool;
+  /// Background /healthz prober. Off by default: deterministic tests
+  /// drive ProbeOnce explicitly and rely on passive down-detection.
+  bool enable_prober = false;
+  int64_t probe_interval_ms = 250;
+  /// Probe sleep is multiplied by uniform [1-jitter, 1+jitter] per node
+  /// (decorrelates probes across gateways).
+  double probe_jitter = 0.3;
+  /// Seeds probe jitter.
+  uint64_t seed = 0x90de;
+  /// Hints retained per node before the oldest is dropped (bounded queue;
+  /// drops are counted, never silent).
+  size_t max_hints_per_node = 4096;
+};
+
+/// Lifetime counters (atomic; scraped by the gateway's /metrics).
+struct NodePoolStats {
+  std::atomic<uint64_t> round_trips{0};
+  std::atomic<uint64_t> transport_errors{0};
+  std::atomic<uint64_t> probes{0};
+  std::atomic<uint64_t> probe_failures{0};
+  std::atomic<uint64_t> marked_down{0};
+  std::atomic<uint64_t> marked_up{0};
+  std::atomic<uint64_t> hints_queued{0};
+  std::atomic<uint64_t> hints_replayed{0};
+  std::atomic<uint64_t> hints_dropped{0};
+};
+
+/// The gateway's view of its upstream fleet: one keep-alive ClientPool
+/// per node, a health state driven by /healthz probes and passive
+/// transport outcomes, and a per-node hinted-handoff queue of mutations
+/// the node missed while unreachable.
+///
+/// Thread-safe; RoundTrip runs concurrently from the gateway's connection
+/// threads and the prober.
+class NodePool {
+ public:
+  NodePool(std::vector<NodeEndpoint> endpoints, NodePoolOptions options);
+  ~NodePool();
+
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+  std::vector<std::string> NodeIds() const;  // All, sorted, any health.
+  bool HasNode(std::string_view id) const;
+
+  /// One HTTP round trip to node `id` over its pool (RoundTripWithRetry
+  /// semantics within the node). A transport failure marks the node down
+  /// (passive detection) and drops its idle connections.
+  Result<server::ClientResponse> RoundTrip(const std::string& id,
+                                           std::string_view method,
+                                           std::string_view target,
+                                           std::string_view body = {},
+                                           std::string_view extra_headers = {});
+
+  NodeHealth Health(const std::string& id) const;
+  void SetHealth(const std::string& id, NodeHealth health);
+  /// Nodes whose health is kUp or kDegraded, sorted by id.
+  std::vector<std::string> LiveNodes() const;
+
+  /// Probes `id`'s /healthz once and applies the result: ok -> kUp,
+  /// draining/overloaded -> kDegraded, unreachable/non-200 -> kDown.
+  /// A down->up transition replays the node's queued hints.
+  Status ProbeOnce(const std::string& id);
+
+  /// Jittered background probe loop over all nodes (no-op when
+  /// enable_prober is false or already started).
+  void StartProber();
+  void StopProber();
+
+  /// Queues a missed mutation for replay when `id` recovers. The queue is
+  /// bounded (oldest dropped, counted in hints_dropped).
+  struct Hint {
+    std::string method;
+    std::string target;
+    std::string body;
+    std::string extra_headers;
+  };
+  void QueueHint(const std::string& id, Hint hint);
+  size_t PendingHints(const std::string& id) const;
+
+  /// Replays `id`'s queued hints in order; stops at the first failure
+  /// (remaining hints stay queued). Returns hints delivered.
+  size_t FlushHints(const std::string& id);
+  /// FlushHints over every non-left node; returns total delivered.
+  size_t FlushAllHints();
+
+  const NodePoolStats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    NodeEndpoint endpoint;
+    std::unique_ptr<server::ClientPool> pool;
+    std::atomic<NodeHealth> health{NodeHealth::kUp};
+    /// Guards the hint queue (health is atomic; the pool locks itself).
+    std::mutex hints_mu;
+    std::deque<Hint> hints;
+  };
+
+  Node* Find(std::string_view id) const;
+  void ProberLoop();
+
+  NodePoolOptions options_;
+  /// Fixed at construction (join/leave flips health, never membership —
+  /// the fleet roster is configuration, liveness is state).
+  std::vector<std::unique_ptr<Node>> nodes_;  // Sorted by endpoint.id.
+  NodePoolStats stats_;
+
+  std::thread prober_;
+  std::mutex prober_mu_;
+  std::condition_variable prober_cv_;
+  bool prober_stop_ = false;
+  bool prober_running_ = false;
+};
+
+}  // namespace cbfww::gateway
+
+#endif  // CBFWW_GATEWAY_NODE_POOL_H_

@@ -1,0 +1,114 @@
+#include "gateway/node_process.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <utility>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace cbfww::gateway {
+
+namespace {
+
+/// Reads exactly `len` bytes (the child's port report) or fails.
+bool ReadFull(int fd, void* buf, size_t len) {
+  char* p = static_cast<char*>(buf);
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::read(fd, p + off, len - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<NodeProcess> NodeProcess::Spawn(const NodeProcessOptions& options) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return Status::Internal(std::string("pipe: ") + std::strerror(errno));
+  }
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return Status::Internal(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // === Child: a whole warehouse node. Never returns. ===
+    ::close(pipe_fds[0]);
+    // A dying gateway/test must not leave orphans: default SIGTERM kills
+    // us, and the parent's destructor reaps. Build everything fresh —
+    // recovery from options.cluster.durability.dir happens here, so a
+    // re-spawned node resumes from its own checkpoint/WAL.
+    {
+      cluster::WarehouseCluster cluster(options.corpus, std::nullopt,
+                                        options.cluster);
+      if (!cluster.durability_status().ok()) _exit(3);
+      server::ServerOptions server_options = options.server;
+      server_options.node_id = options.node_id;
+      server_options.port = 0;  // Always ephemeral; the pipe reports it.
+      server::HttpServer server(&cluster, server_options);
+      if (!server.Start().ok()) _exit(2);
+      const uint16_t port = server.port();
+      if (::write(pipe_fds[1], &port, sizeof(port)) != sizeof(port)) {
+        _exit(2);
+      }
+      ::close(pipe_fds[1]);
+      server::HttpServer::InstallSignalDrain(&server);
+      server.Join();  // Until SIGTERM drain (SIGKILL never gets here).
+      server::HttpServer::InstallSignalDrain(nullptr);
+    }
+    _exit(0);
+  }
+  // === Parent ===
+  ::close(pipe_fds[1]);
+  uint16_t port = 0;
+  const bool got_port = ReadFull(pipe_fds[0], &port, sizeof(port));
+  ::close(pipe_fds[0]);
+  if (!got_port || port == 0) {
+    ::kill(pid, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);
+    return Status::Unavailable("node child died before reporting its port");
+  }
+  return NodeProcess(pid, port);
+}
+
+NodeProcess::~NodeProcess() { Kill(); }
+
+NodeProcess::NodeProcess(NodeProcess&& other) noexcept
+    : pid_(other.pid_), port_(other.port_) {
+  other.pid_ = -1;
+  other.port_ = 0;
+}
+
+NodeProcess& NodeProcess::operator=(NodeProcess&& other) noexcept {
+  if (this != &other) {
+    Kill();
+    pid_ = other.pid_;
+    port_ = other.port_;
+    other.pid_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void NodeProcess::Signal(int signo) {
+  if (pid_ <= 0) return;
+  ::kill(pid_, signo);
+  int wstatus = 0;
+  while (::waitpid(pid_, &wstatus, 0) < 0 && errno == EINTR) {
+  }
+  pid_ = -1;
+}
+
+void NodeProcess::Kill() { Signal(SIGKILL); }
+
+void NodeProcess::Terminate() { Signal(SIGTERM); }
+
+}  // namespace cbfww::gateway

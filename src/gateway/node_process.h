@@ -1,0 +1,76 @@
+#ifndef CBFWW_GATEWAY_NODE_PROCESS_H_
+#define CBFWW_GATEWAY_NODE_PROCESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include <sys/types.h>
+
+#include "cluster/warehouse_cluster.h"
+#include "corpus/web_corpus.h"
+#include "server/http_server.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace cbfww::gateway {
+
+/// Configuration of one forked warehouse node.
+struct NodeProcessOptions {
+  /// Server identity: responses carry X-Cbfww-Node and /healthz reports it.
+  std::string node_id = "node";
+  corpus::CorpusOptions corpus;
+  /// Per-node cluster (set durability.dir for crash-recoverable nodes —
+  /// each node must get its OWN directory).
+  cluster::ClusterOptions cluster;
+  server::ServerOptions server;
+};
+
+/// A real warehouse server running in a forked child process — the only
+/// honest way to test node-failure failover: SIGKILL takes the whole
+/// process (threads, sockets, page cache view), exactly like a crashed
+/// node, which no in-process Stop() can imitate.
+///
+/// Spawn() forks without exec: the child constructs its own
+/// WarehouseCluster + HttpServer (recovering from durability.dir when
+/// set), reports the bound port back over a pipe, and serves until
+/// SIGTERM (graceful drain) or SIGKILL. The parent must treat the
+/// returned object as the sole handle: the destructor kills and reaps a
+/// still-running child.
+///
+/// Fork-safety: call Spawn() before the parent creates unrelated threads
+/// where possible; the child executes only freshly-constructed state.
+class NodeProcess {
+ public:
+  /// Forks and boots a node; blocks until the child reports its port (or
+  /// dies trying).
+  static Result<NodeProcess> Spawn(const NodeProcessOptions& options);
+
+  NodeProcess() = default;
+  ~NodeProcess();
+
+  NodeProcess(NodeProcess&& other) noexcept;
+  NodeProcess& operator=(NodeProcess&& other) noexcept;
+  NodeProcess(const NodeProcess&) = delete;
+  NodeProcess& operator=(const NodeProcess&) = delete;
+
+  pid_t pid() const { return pid_; }
+  uint16_t port() const { return port_; }
+  bool running() const { return pid_ > 0; }
+
+  /// SIGKILL + reap: the crash case. Idempotent.
+  void Kill();
+  /// SIGTERM + reap: the graceful case (child drains via
+  /// InstallSignalDrain). Idempotent.
+  void Terminate();
+
+ private:
+  NodeProcess(pid_t pid, uint16_t port) : pid_(pid), port_(port) {}
+  void Signal(int signo);
+
+  pid_t pid_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace cbfww::gateway
+
+#endif  // CBFWW_GATEWAY_NODE_PROCESS_H_

@@ -1,0 +1,88 @@
+#include "server/client_pool.h"
+
+#include <ctime>
+
+namespace cbfww::server {
+
+namespace {
+
+uint64_t MonotonicMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000ull +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000000ull;
+}
+
+}  // namespace
+
+ClientPool::ClientPool(std::string host, uint16_t port,
+                       ClientPoolOptions options)
+    : host_(std::move(host)), port_(port), options_(std::move(options)) {}
+
+void ClientPool::Lease::Release() {
+  if (pool_ != nullptr && live_) {
+    pool_->ReturnToPool(std::move(client_));
+  }
+  pool_ = nullptr;
+  live_ = false;
+}
+
+Result<ClientPool::Lease> ClientPool::Acquire() {
+  const uint64_t now = MonotonicMs();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.acquires;
+    // Newest-first: the most recently released connection is least likely
+    // to have hit the server's idle timeout.
+    while (!idle_.empty()) {
+      IdleEntry entry = std::move(idle_.back());
+      idle_.pop_back();
+      const bool expired =
+          options_.idle_ttl_ms > 0 &&
+          now >= entry.released_at_ms +
+                     static_cast<uint64_t>(options_.idle_ttl_ms);
+      if (expired || !entry.client.IdleConnectionAlive()) {
+        ++stats_.evicted_stale;
+        continue;  // Destructor closes it.
+      }
+      ++stats_.pool_hits;
+      return Lease(this, std::move(entry.client));
+    }
+    ++stats_.dials;
+  }
+  SimpleHttpClient client(options_.client);
+  Status status = client.Connect(host_, port_);
+  if (!status.ok()) return status;
+  return Lease(this, std::move(client));
+}
+
+void ClientPool::ReturnToPool(SimpleHttpClient client) {
+  if (!client.connected()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.discarded;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idle_.size() >= options_.max_idle) {
+    ++stats_.evicted_full;
+    return;  // Destructor closes it.
+  }
+  idle_.push_back(IdleEntry{std::move(client), MonotonicMs()});
+}
+
+void ClientPool::CloseIdle() {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.clear();
+}
+
+size_t ClientPool::idle_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idle_.size();
+}
+
+ClientPool::PoolStats ClientPool::pool_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cbfww::server

@@ -1,0 +1,114 @@
+#ifndef CBFWW_SERVER_CLIENT_POOL_H_
+#define CBFWW_SERVER_CLIENT_POOL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "server/http_client.h"
+#include "util/result.h"
+
+namespace cbfww::server {
+
+struct ClientPoolOptions {
+  /// Idle connections retained per pool; excess releases are closed.
+  size_t max_idle = 4;
+  /// Idle connections older than this are evicted at the next Acquire
+  /// (0 = no age limit). Staleness from the server side — a peer that
+  /// closed the socket while it sat idle — is always detected and evicted
+  /// regardless of age.
+  int64_t idle_ttl_ms = 0;
+  /// Options for newly created clients (timeouts, retry, fault seam).
+  ClientOptions client;
+};
+
+/// Keep-alive connection pool for one host:port. Acquire() hands out an
+/// idle pooled connection when a healthy one exists, else dials a new one;
+/// the RAII Lease returns it on destruction iff still connected (a client
+/// whose last response said `Connection: close`, or that failed, comes
+/// back disconnected and is discarded).
+///
+/// Thread-safe: the gateway's per-connection threads share one pool per
+/// upstream node.
+class ClientPool {
+ public:
+  ClientPool(std::string host, uint16_t port, ClientPoolOptions options);
+
+  ClientPool(const ClientPool&) = delete;
+  ClientPool& operator=(const ClientPool&) = delete;
+
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ClientPool* pool, SimpleHttpClient client)
+        : pool_(pool), client_(std::move(client)), live_(true) {}
+    ~Lease() { Release(); }
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        client_ = std::move(other.client_);
+        live_ = other.live_;
+        other.pool_ = nullptr;
+        other.live_ = false;
+      }
+      return *this;
+    }
+
+    SimpleHttpClient* operator->() { return &client_; }
+    SimpleHttpClient& operator*() { return client_; }
+
+    /// Returns the client to the pool now (no-op on a moved-from lease).
+    void Release();
+
+   private:
+    ClientPool* pool_ = nullptr;
+    SimpleHttpClient client_;
+    bool live_ = false;
+  };
+
+  /// Pops a healthy idle connection or dials a new one. Fails only when
+  /// the dial fails (an unhealthy idle connection is evicted, not
+  /// returned).
+  Result<Lease> Acquire();
+
+  /// Drops all idle connections (e.g. the node was declared down).
+  void CloseIdle();
+
+  size_t idle_size() const;
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+  struct PoolStats {
+    uint64_t acquires = 0;
+    uint64_t pool_hits = 0;   // Served from idle list.
+    uint64_t dials = 0;       // New connections created.
+    uint64_t evicted_stale = 0;  // Dead or over-TTL idle connections.
+    uint64_t evicted_full = 0;   // Releases dropped at max_idle.
+    uint64_t discarded = 0;      // Releases of already-dead clients.
+  };
+  PoolStats pool_stats() const;
+
+ private:
+  friend class Lease;
+  void ReturnToPool(SimpleHttpClient client);
+
+  const std::string host_;
+  const uint16_t port_;
+  const ClientPoolOptions options_;
+
+  struct IdleEntry {
+    SimpleHttpClient client;
+    uint64_t released_at_ms = 0;
+  };
+  mutable std::mutex mu_;
+  std::vector<IdleEntry> idle_;
+  PoolStats stats_;
+};
+
+}  // namespace cbfww::server
+
+#endif  // CBFWW_SERVER_CLIENT_POOL_H_

@@ -72,6 +72,7 @@ SimpleHttpClient& SimpleHttpClient::operator=(
     fd_ = other.fd_;
     buf_ = std::move(other.buf_);
     pos_ = other.pos_;
+    requests_on_conn_ = other.requests_on_conn_;
     host_ = std::move(other.host_);
     port_ = other.port_;
     serial_ = other.serial_;
@@ -162,6 +163,7 @@ Status SimpleHttpClient::Connect(const std::string& host, uint16_t port) {
   setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   buf_.clear();
   pos_ = 0;
+  requests_on_conn_ = 0;
   bytes_in_total_ = 0;
   bytes_out_total_ = 0;
   if (options_.socket_faults != nullptr) {
@@ -221,10 +223,30 @@ Status SimpleHttpClient::WriteAll(std::string_view data) {
   return Status::Ok();
 }
 
+bool SimpleHttpClient::IdleConnectionAlive() const {
+  if (fd_ < 0) return false;
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  int n = ::poll(&pfd, 1, 0);
+  if (n == 0) return true;  // Quiet socket: the expected idle state.
+  if (n < 0) return false;
+  if ((pfd.revents & (POLLERR | POLLHUP)) != 0) return false;
+  // Readable while idle means the server closed (EOF pending) or sent
+  // bytes no request asked for; either way the connection is unusable.
+  char peek;
+  ssize_t r = ::recv(fd_, &peek, 1, MSG_PEEK);
+  return r > 0 ? false : (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK));
+}
+
 Status SimpleHttpClient::Send(std::string_view method, std::string_view target,
                               std::string_view body,
                               std::string_view extra_headers) {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  ++stats_.requests;
+  if (requests_on_conn_ > 0) ++stats_.reuses;
+  ++requests_on_conn_;
   std::string request;
   request.reserve(128 + body.size() + extra_headers.size());
   request.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");

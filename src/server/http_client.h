@@ -105,12 +105,21 @@ class SimpleHttpClient {
 
   /// Lifetime counters (tests assert the retry machinery actually ran).
   struct ClientStats {
+    uint64_t requests = 0;
+    /// Requests sent on a connection that had already carried at least one
+    /// request (keep-alive actually paying off).
+    uint64_t reuses = 0;
     uint64_t retries = 0;
     uint64_t reconnects = 0;
     uint64_t timeouts = 0;
     uint64_t injected_faults = 0;
   };
   const ClientStats& client_stats() const { return stats_; }
+
+  /// Non-destructive liveness check for an idle keep-alive connection:
+  /// false when the server has since closed (or sent unsolicited bytes on)
+  /// the socket, so a pool can evict it instead of handing it out.
+  bool IdleConnectionAlive() const;
 
  private:
   /// poll(2)s for `events` (POLLIN/POLLOUT) within `timeout_ms` (<= 0 =
@@ -128,6 +137,7 @@ class SimpleHttpClient {
   int fd_ = -1;
   std::string buf_;
   size_t pos_ = 0;
+  uint64_t requests_on_conn_ = 0;
 
   // Last Connect() target (RoundTripWithRetry reconnects here).
   std::string host_;

@@ -105,6 +105,27 @@ void ResetClose(int fd) {
   ::close(fd);
 }
 
+/// `,"request_id":"<id>"` when the request carried one — appended to
+/// shed/degraded JSON bodies so a gateway can correlate its fan-out.
+std::string RequestIdField(const std::string& id) {
+  return id.empty() ? std::string() : ",\"request_id\":\"" + id + "\"";
+}
+
+/// Request ids travel back inside response heads and JSON bodies, so only
+/// a conservative charset survives (header/JSON injection hardening).
+std::string SanitizeRequestId(std::string_view raw) {
+  std::string id;
+  id.reserve(std::min<size_t>(raw.size(), 64));
+  for (char c : raw) {
+    if (id.size() == 64) break;
+    bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+              (c >= 'A' && c <= 'Z') || c == '-' || c == '_' || c == '.' ||
+              c == ':';
+    if (ok) id.push_back(c);
+  }
+  return id;
+}
+
 Route ClassifyRoute(std::string_view path) {
   if (path.rfind("/page/", 0) == 0) return Route::kPage;
   if (path.rfind("/body/", 0) == 0) return Route::kBody;
@@ -244,6 +265,10 @@ struct HttpServer::Conn {
   bool in_idle_list = false;
   /// Route of the request currently being handled (counter attribution).
   Route current_route = Route::kOther;
+  /// Sanitized X-Cbfww-Request-Id of the current request (echoed on the
+  /// response and stamped into shed/degraded bodies for cross-hop
+  /// correlation); empty when the client sent none.
+  std::string current_request_id;
   /// Parked behind an in-flight POST /admin/drain-report.
   bool awaiting_report = false;
 
@@ -852,7 +877,8 @@ bool HttpServer::ShedByClass(Conn& conn, AdmissionClass klass) {
   stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
   QueueResponse(conn, 503, "application/json",
                 "{\"error\":\"background class shed under overload\","
-                "\"shed\":true}",
+                "\"shed\":true" +
+                    RequestIdField(conn.current_request_id) + "}",
                 StrFormat("Retry-After: %d\r\n", options_.retry_after_s));
   return true;
 }
@@ -876,6 +902,8 @@ void HttpServer::RouteRequest(IoShard& io, Conn& conn, HttpRequest request) {
   stats_.requests_total.fetch_add(1, std::memory_order_relaxed);
   conn.resp_keep_alive = request.keep_alive;
   conn.resp_version_minor = request.version_minor;
+  conn.current_request_id =
+      SanitizeRequestId(request.Header("x-cbfww-request-id"));
 
   RequestTarget target = ParseTarget(request.target);
   conn.current_route = ClassifyRoute(target.path);
@@ -884,12 +912,33 @@ void HttpServer::RouteRequest(IoShard& io, Conn& conn, HttpRequest request) {
 
   if (target.path == "/healthz") {
     // AdmissionClass::kHealth: never shed, never dispatched — a liveness
-    // answer must not depend on shard queues having room.
+    // answer must not depend on shard queues having room. The JSON body
+    // carries enough node state (identity, drain, suspension, backlog
+    // high-water) for a gateway probe to tell "up" from "draining" from
+    // "overloaded" without scraping /metrics.
     if (request.method != "GET") {
       QueueError(conn, 405, "use GET");
       return;
     }
-    QueueResponse(conn, 200, "text/plain", "ok\n");
+    const bool draining =
+        io.draining || drain_requested_.load(std::memory_order_acquire);
+    const char* state =
+        draining ? "draining" : (Overloaded() ? "overloaded" : "ok");
+    std::ostringstream os;
+    os << "{\"status\":\"" << state << "\",\"node\":\""
+       << JsonEscape(options_.node_id) << "\",\"draining\":"
+       << (draining ? "true" : "false") << ",\"overloaded\":"
+       << (Overloaded() ? "true" : "false") << ",\"shards\":[";
+    std::vector<cluster::ShardRuntimeStats> shards = cluster_->RuntimeStats();
+    for (size_t i = 0; i < shards.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "{\"suspended\":" << (shards[i].suspended ? "true" : "false")
+         << ",\"queue_depth\":" << shards[i].queue_depth
+         << ",\"queue_depth_high_water\":" << shards[i].queue_depth_high_water
+         << ",\"queue_capacity\":" << shards[i].queue_capacity << "}";
+    }
+    os << "]}";
+    QueueResponse(conn, 200, "application/json", os.str());
     return;
   }
 
@@ -974,7 +1023,8 @@ void HttpServer::RouteRequest(IoShard& io, Conn& conn, HttpRequest request) {
         stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
         QueueResponse(
             conn, 503, "application/json",
-            "{\"error\":\"shard overloaded\",\"shed\":true}",
+            "{\"error\":\"shard overloaded\",\"shed\":true" +
+                RequestIdField(conn.current_request_id) + "}",
             StrFormat("Retry-After: %d\r\n", options_.retry_after_s));
       } else {
         QueueError(conn, 500, status.message());
@@ -1024,7 +1074,8 @@ void HttpServer::RouteRequest(IoShard& io, Conn& conn, HttpRequest request) {
           1, std::memory_order_relaxed);
       stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
       QueueResponse(conn, 503, "application/json",
-                    "{\"error\":\"modify shed\",\"shed\":true}",
+                    "{\"error\":\"modify shed\",\"shed\":true" +
+                        RequestIdField(conn.current_request_id) + "}",
                     StrFormat("Retry-After: %d\r\n", options_.retry_after_s));
       return;
     }
@@ -1064,7 +1115,8 @@ void HttpServer::RouteRequest(IoShard& io, Conn& conn, HttpRequest request) {
           1, std::memory_order_relaxed);
       stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
       QueueResponse(conn, 503, "application/json",
-                    "{\"error\":\"query shed\",\"shed\":true}",
+                    "{\"error\":\"query shed\",\"shed\":true" +
+                        RequestIdField(conn.current_request_id) + "}",
                     StrFormat("Retry-After: %d\r\n", options_.retry_after_s));
       return;
     }
@@ -1198,7 +1250,8 @@ void HttpServer::FinishTicket(IoShard& io, Conn& conn) {
       route.degraded_failed.fetch_add(1, std::memory_order_relaxed);
       stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
       QueueResponse(conn, 503, "application/json",
-                    "{\"error\":\"degraded serve failed\",\"degraded\":true}",
+                    "{\"error\":\"degraded serve failed\",\"degraded\":true" +
+                        RequestIdField(conn.current_request_id) + "}",
                     StrFormat("Retry-After: %d\r\nX-Cbfww-Degraded: failed\r\n",
                               options_.retry_after_s));
       conn.pending_url.clear();
@@ -1219,8 +1272,9 @@ void HttpServer::FinishTicket(IoShard& io, Conn& conn) {
       QueueResponse(
           conn, 503, "application/json",
           StrFormat("{\"error\":\"degraded (%s) rejected by policy\","
-                    "\"degraded\":true}",
-                    mode),
+                    "\"degraded\":true",
+                    mode) +
+              RequestIdField(conn.current_request_id) + "}",
           StrFormat("Retry-After: %d\r\nX-Cbfww-Degraded: %s\r\n",
                     options_.retry_after_s, mode));
       conn.pending_url.clear();
@@ -1267,7 +1321,8 @@ void HttpServer::FinishTicket(IoShard& io, Conn& conn) {
           1, std::memory_order_relaxed);
       stats_.responses_503.fetch_add(1, std::memory_order_relaxed);
       QueueResponse(conn, 503, "application/json",
-                    "{\"error\":\"query shed\",\"shed\":true}",
+                    "{\"error\":\"query shed\",\"shed\":true" +
+                        RequestIdField(conn.current_request_id) + "}",
                     StrFormat("Retry-After: %d\r\n", options_.retry_after_s));
     } else {
       std::string message =
@@ -1317,6 +1372,12 @@ void HttpServer::FinishOpenResponse(Conn& conn, int status,
       StrFormat("HTTP/1.%d %d %s\r\n", conn.resp_version_minor, status,
                 ReasonPhrase(status));
   head += "Content-Type: " + content_type + "\r\n";
+  if (!options_.node_id.empty()) {
+    head += "X-Cbfww-Node: " + options_.node_id + "\r\n";
+  }
+  if (!conn.current_request_id.empty()) {
+    head += "X-Cbfww-Request-Id: " + conn.current_request_id + "\r\n";
+  }
   head += extra_headers;
   if (chunked) {
     head += "Transfer-Encoding: chunked\r\n";
@@ -1638,6 +1699,10 @@ std::string HttpServer::MetricsText() {
   std::ostringstream os;
   os << "# HELP cbfww_up Serving layer liveness.\n# TYPE cbfww_up gauge\n"
      << "cbfww_up 1\n";
+  if (!options_.node_id.empty()) {
+    os << "# TYPE cbfww_node_info gauge\n"
+       << "cbfww_node_info{node=\"" << options_.node_id << "\"} 1\n";
+  }
 
   // Server-side counters.
   os << "# TYPE cbfww_http_connections gauge\n"
@@ -1796,6 +1861,18 @@ std::string HttpServer::MetricsText() {
   for (size_t i = 0; i < shards.size(); ++i) {
     os << "cbfww_shard_queue_capacity{shard=\"" << i << "\"} "
        << shards[i].queue_capacity << "\n";
+  }
+  os << "# HELP cbfww_shard_queue_depth_high_water Highest backlog ever "
+        "observed at an enqueue (never resets).\n"
+     << "# TYPE cbfww_shard_queue_depth_high_water gauge\n";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    os << "cbfww_shard_queue_depth_high_water{shard=\"" << i << "\"} "
+       << shards[i].queue_depth_high_water << "\n";
+  }
+  os << "# TYPE cbfww_shard_busy_ns counter\n";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    os << "cbfww_shard_busy_ns{shard=\"" << i << "\"} " << shards[i].busy_ns
+       << "\n";
   }
   os << "# TYPE cbfww_shard_suspended gauge\n";
   for (size_t i = 0; i < shards.size(); ++i) {

@@ -106,6 +106,10 @@ struct ConnLifecycleOptions {
 
 struct ServerOptions {
   std::string bind_address = "127.0.0.1";
+  /// Stable identity of this serving process in a multi-node deployment.
+  /// When non-empty every response carries `X-Cbfww-Node: <id>` and
+  /// /healthz reports it, so a gateway can tell which node answered.
+  std::string node_id;
   /// 0 = pick an ephemeral port (read back via HttpServer::port()).
   uint16_t port = 0;
   int backlog = 128;

@@ -10,6 +10,11 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
 #include "corpus/web_corpus.h"
 #include "server/http_client.h"
 #include "util/strings.h"
@@ -23,6 +28,34 @@ uint64_t NowNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// Cumulative CPU (utime + stime) of another process, from
+/// /proc/<pid>/stat — the only window into a forked node's critical path.
+/// Returns 0 for dead/invalid pids.
+uint64_t ReadProcCpuNs(pid_t pid) {
+  if (pid <= 0) return 0;
+  char path[64];
+  std::snprintf(path, sizeof(path), "/proc/%d/stat", static_cast<int>(pid));
+  FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return 0;
+  char buf[1024];
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  // utime/stime are fields 14/15; scan from the last ')' so a comm with
+  // spaces cannot shift the fields.
+  const char* p = std::strrchr(buf, ')');
+  if (p == nullptr) return 0;
+  unsigned long long utime = 0, stime = 0;
+  if (std::sscanf(p + 1,
+                  " %*s %*d %*d %*d %*d %*d %*u %*u %*u %*u %*u %llu %llu",
+                  &utime, &stime) != 2) {
+    return 0;
+  }
+  const long ticks = sysconf(_SC_CLK_TCK);
+  if (ticks <= 0) return 0;
+  return (utime + stime) * (1000000000ull / static_cast<uint64_t>(ticks));
 }
 
 /// One in-flight cluster call. Lives in a std::deque (stable addresses),
@@ -49,6 +82,7 @@ const char* ToString(Backend backend) {
   switch (backend) {
     case Backend::kCluster: return "cluster";
     case Backend::kServer: return "server";
+    case Backend::kGateway: return "gateway";
   }
   return "?";
 }
@@ -56,8 +90,9 @@ const char* ToString(Backend backend) {
 Result<Backend> ParseBackend(std::string_view text) {
   if (text == "cluster") return Backend::kCluster;
   if (text == "server") return Backend::kServer;
+  if (text == "gateway") return Backend::kGateway;
   return Status::InvalidArgument(
-      StrFormat("unknown backend '%.*s' (want cluster|server)",
+      StrFormat("unknown backend '%.*s' (want cluster|server|gateway)",
                 static_cast<int>(text.size()), text.data()));
 }
 
@@ -66,10 +101,13 @@ Runner::Runner(const WorkloadSpec& spec, const RunnerOptions& options)
 
 Runner::~Runner() {
   if (server_) server_->Stop();
+  if (gateway_) gateway_->Stop();
 }
 
 Status Runner::Init() {
-  if (cluster_) return Status::FailedPrecondition("Init called twice");
+  if (cluster_ || gateway_) {
+    return Status::FailedPrecondition("Init called twice");
+  }
   Status valid = ValidateSpec(spec_);
   if (!valid.ok()) return valid;
   if (options_.shards == 0) {
@@ -97,9 +135,47 @@ Status Runner::Init() {
   clopts.warehouse.enable_topic_sensor = false;
   // The server backend dispatches from io_threads event loops — one
   // producer lane each. The cluster backend drives from a single thread.
-  if (options_.backend == Backend::kServer) {
+  if (options_.backend == Backend::kServer ||
+      options_.backend == Backend::kGateway) {
     clopts.producer_lanes = std::max<uint32_t>(1, options_.io_threads);
   }
+
+  if (options_.backend == Backend::kGateway) {
+    // Fork the node fleet FIRST: the parent has spawned no threads yet,
+    // so fork-without-exec is safe. Each node builds its own cluster over
+    // the same corpus options (identical corpora by seed determinism).
+    if (options_.gateway_nodes == 0) {
+      return Status::InvalidArgument("gateway_nodes must be >= 1");
+    }
+    std::vector<gateway::NodeEndpoint> endpoints;
+    for (uint32_t n = 0; n < options_.gateway_nodes; ++n) {
+      gateway::NodeProcessOptions nopts;
+      nopts.node_id = StrFormat("node-%u", n);
+      nopts.corpus = copts;
+      nopts.cluster = clopts;
+      nopts.server.io_threads = std::max<uint32_t>(1, options_.io_threads);
+      nopts.server.accept_mode = options_.accept_mode;
+      nopts.server.lifecycle = options_.lifecycle;
+      nopts.server.degraded_critical = options_.degraded_critical;
+      auto node = gateway::NodeProcess::Spawn(nopts);
+      if (!node.ok()) return node.status();
+      endpoints.push_back(
+          gateway::NodeEndpoint{nopts.node_id, "127.0.0.1", node->port()});
+      gateway_nodes_.push_back(std::move(*node));
+    }
+    gateway::GatewayOptions gopts;
+    gopts.replication =
+        std::min(std::max<uint32_t>(1, options_.gateway_replication),
+                 options_.gateway_nodes);
+    gateway_ =
+        std::make_unique<gateway::GatewayServer>(std::move(endpoints), gopts);
+    Status started = gateway_->Start();
+    if (!started.ok()) return started;
+    gateway_corpus_ = std::make_unique<corpus::WebCorpus>(copts);
+    prev_node_cpu_ns_.assign(gateway_nodes_.size(), 0);
+    return Status::Ok();
+  }
+
   cluster_ = std::make_unique<cluster::WarehouseCluster>(
       copts, std::nullopt, clopts);
 
@@ -126,7 +202,9 @@ uint16_t Runner::server_port() const {
 Result<RunResult> Runner::Run() { return Run(spec_); }
 
 Result<RunResult> Runner::Run(const WorkloadSpec& spec) {
-  if (!cluster_) return Status::FailedPrecondition("Run before Init");
+  if (!cluster_ && !gateway_) {
+    return Status::FailedPrecondition("Run before Init");
+  }
   Status valid = ValidateSpec(spec);
   if (!valid.ok()) return valid;
   if (spec.corpus_sites != spec_.corpus_sites ||
@@ -139,12 +217,20 @@ Result<RunResult> Runner::Run(const WorkloadSpec& spec) {
   if (spec.loop == LoopMode::kOpen && spec.offered_load_rps <= 0.0) {
     return Status::InvalidArgument("open loop requires offered_load_rps > 0");
   }
-  return options_.backend == Backend::kCluster ? RunCluster(spec)
-                                               : RunServer(spec);
+  switch (options_.backend) {
+    case Backend::kCluster:
+      return RunCluster(spec);
+    case Backend::kServer:
+      return RunWire(spec, server_ ? server_->port() : 0);
+    case Backend::kGateway:
+      return RunWire(spec, gateway_ ? gateway_->port() : 0);
+  }
+  return Status::Internal("unknown backend");
 }
 
 void Runner::FinishResult(const WorkloadSpec& spec, RunResult* result) {
-  cluster::ClusterReport cur = cluster_->Report();
+  cluster::ClusterReport cur =
+      cluster_ ? cluster_->Report() : cluster::ClusterReport{};
 
   result->spec_name = spec.name;
   result->backend = options_.backend;
@@ -169,6 +255,26 @@ void Runner::FinishResult(const WorkloadSpec& spec, RunResult* result) {
         i < prev_report_.shard_busy_ns.size() ? prev_report_.shard_busy_ns[i]
                                               : 0;
     max_busy_delta = std::max(max_busy_delta, cur.shard_busy_ns[i] - before);
+  }
+  if (gateway_) {
+    // Cross-process critical path: the busiest node process's CPU delta
+    // (utime + stime) plays the role the busiest shard plays in-process,
+    // and the gateway-served op count plays the request count. A node
+    // killed mid-run contributes its last observed CPU (delta 0).
+    for (size_t i = 0; i < gateway_nodes_.size(); i++) {
+      uint64_t cpu = ReadProcCpuNs(gateway_nodes_[i].pid());
+      uint64_t before =
+          i < prev_node_cpu_ns_.size() ? prev_node_cpu_ns_[i] : 0;
+      if (cpu == 0) cpu = before;  // Dead node: freeze at the baseline.
+      max_busy_delta = std::max(max_busy_delta, cpu - before);
+      if (i < prev_node_cpu_ns_.size()) prev_node_cpu_ns_[i] = cpu;
+    }
+    // total is merged below; sum the classes here.
+    uint64_t gateway_ops = 0;
+    for (size_t i = 0; i < kNumOpTypes; i++) {
+      gateway_ops += result->per_class[i].ops;
+    }
+    result->requests_delta = gateway_ops;
   }
   result->max_shard_busy_delta_ns = max_busy_delta;
 
@@ -342,11 +448,12 @@ Result<RunResult> Runner::RunCluster(const WorkloadSpec& spec) {
   return result;
 }
 
-Result<RunResult> Runner::RunServer(const WorkloadSpec& spec) {
-  if (!server_) return Status::FailedPrecondition("server backend not built");
-  const uint16_t port = server_->port();
+Result<RunResult> Runner::RunWire(const WorkloadSpec& spec, uint16_t port) {
+  if (port == 0) return Status::FailedPrecondition("wire backend not built");
 
-  OpGenerator gen(&cluster_->shard(0).corpus(), spec);
+  const corpus::WebCorpus* corpus =
+      cluster_ ? &cluster_->shard(0).corpus() : gateway_corpus_.get();
+  OpGenerator gen(corpus, spec);
   std::vector<Op> ops = gen.Generate(spec.ops);
 
   // Pre-render the wire requests so client threads only do IO. Explicit
@@ -461,8 +568,9 @@ Result<RunResult> Runner::RunServer(const WorkloadSpec& spec) {
   }
 
   // Ingest 202s may still be queued behind the shards; quiesce before the
-  // report. Clients are gone, so no new work can arrive.
-  while (!cluster_->Idle()) {
+  // report. Clients are gone, so no new work can arrive. (Gateway nodes
+  // quiesce in their own processes; their queues drain asynchronously.)
+  while (cluster_ && !cluster_->Idle()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 

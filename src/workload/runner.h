@@ -9,6 +9,8 @@
 
 #include "cluster/warehouse_cluster.h"
 #include "core/warehouse.h"
+#include "gateway/gateway_server.h"
+#include "gateway/node_process.h"
 #include "server/http_client.h"
 #include "server/http_server.h"
 #include "util/result.h"
@@ -29,6 +31,10 @@ enum class Backend {
   kCluster = 0,
   /// Wire-level: ops sent as HTTP requests to an embedded HttpServer.
   kServer,
+  /// Scale-out: ops sent through a GatewayServer fronting N forked
+  /// warehouse node processes (real processes, real sockets — the
+  /// wall-clock scaling configuration).
+  kGateway,
 };
 
 const char* ToString(Backend backend);
@@ -63,6 +69,12 @@ struct RunnerOptions {
   /// retry policy, client-side fault mirror). Retries kick in when
   /// client.retry.max_attempts > 1.
   server::ClientOptions client;
+  /// kGateway: forked warehouse node processes behind the gateway. Each
+  /// node runs its own `shards`-shard cluster over the same corpus.
+  uint32_t gateway_nodes = 1;
+  /// kGateway: acknowledged-object replication factor (clamped to the
+  /// node count).
+  uint32_t gateway_replication = 2;
 };
 
 /// Latency/outcome accumulator for one op class (and for the run total).
@@ -176,9 +188,17 @@ class Runner {
   /// kServer: bound port after Init().
   uint16_t server_port() const;
 
+  /// kGateway: non-null after Init().
+  gateway::GatewayServer* gateway() { return gateway_.get(); }
+  /// kGateway: the forked node fleet (pids for CPU accounting; Kill() one
+  /// mid-run for failover benches).
+  std::vector<gateway::NodeProcess>& gateway_nodes() { return gateway_nodes_; }
+
  private:
   Result<RunResult> RunCluster(const WorkloadSpec& spec);
-  Result<RunResult> RunServer(const WorkloadSpec& spec);
+  /// Shared wire driver for kServer (embedded server port) and kGateway
+  /// (gateway port).
+  Result<RunResult> RunWire(const WorkloadSpec& spec, uint16_t port);
   /// Snapshots a fresh cumulative report and fills result's deltas
   /// against the previous snapshot.
   void FinishResult(const WorkloadSpec& spec, RunResult* result);
@@ -188,6 +208,15 @@ class Runner {
 
   std::unique_ptr<cluster::WarehouseCluster> cluster_;
   std::unique_ptr<server::HttpServer> server_;
+
+  /// kGateway: local corpus mirror for op generation (nodes build their
+  /// own identical copies from the same options).
+  std::unique_ptr<corpus::WebCorpus> gateway_corpus_;
+  std::vector<gateway::NodeProcess> gateway_nodes_;
+  std::unique_ptr<gateway::GatewayServer> gateway_;
+  /// Previous cumulative per-node process CPU (kGateway critical-path
+  /// delta baseline).
+  std::vector<uint64_t> prev_node_cpu_ns_;
 
   /// Previous cumulative report (delta baseline). Zero-valued until the
   /// first run completes.

@@ -1,0 +1,643 @@
+// Gateway subsystem tests: consistent-hash ring properties, keep-alive
+// client pooling, request-id propagation, and the full routing /
+// replication / failover ladder against real warehouse node servers
+// (in-process HttpServers for speed; one test forks a real NodeProcess
+// and kills it).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/warehouse_cluster.h"
+#include "corpus/web_corpus.h"
+#include "gateway/gateway_server.h"
+#include "gateway/hash_ring.h"
+#include "gateway/node_pool.h"
+#include "gateway/node_process.h"
+#include "server/client_pool.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
+
+namespace cbfww::gateway {
+namespace {
+
+using cluster::ClusterOptions;
+using cluster::WarehouseCluster;
+
+corpus::CorpusOptions SmallCorpus() {
+  corpus::CorpusOptions opts;
+  opts.num_sites = 2;
+  opts.pages_per_site = 10;
+  opts.topic.num_topics = 2;
+  opts.seed = 11;
+  return opts;
+}
+
+ClusterOptions SmallCluster() {
+  ClusterOptions opts;
+  opts.num_shards = 2;
+  opts.warehouse.memory_bytes = 4ull * 1024 * 1024;
+  opts.warehouse.disk_bytes = 64ull * 1024 * 1024;
+  opts.warehouse.rebalance_interval = kHour;
+  // Strong consistency: a modification invalidates fast copies, so the
+  // next page request re-materializes and captures the new generation —
+  // what the write-through test's version witness observes.
+  opts.warehouse.constraints.default_consistency =
+      core::ConsistencyMode::kStrong;
+  return opts;
+}
+
+/// One in-process warehouse node (cluster + HTTP server with an id).
+struct InProcNode {
+  std::unique_ptr<WarehouseCluster> cluster;
+  std::unique_ptr<server::HttpServer> server;
+
+  static InProcNode Start(const std::string& id, uint16_t port = 0) {
+    InProcNode node;
+    node.cluster = std::make_unique<WarehouseCluster>(
+        SmallCorpus(), std::nullopt, SmallCluster());
+    server::ServerOptions sopts;
+    sopts.node_id = id;
+    sopts.port = port;
+    node.server =
+        std::make_unique<server::HttpServer>(node.cluster.get(), sopts);
+    EXPECT_TRUE(node.server->Start().ok());
+    return node;
+  }
+};
+
+GatewayOptions FastGatewayOptions() {
+  GatewayOptions opts;
+  opts.replication = 2;
+  // Deterministic tests drive probes explicitly; fast client timeouts keep
+  // dead-node detection snappy.
+  opts.pool.enable_prober = false;
+  opts.pool.pool.client.connect_timeout_ms = 1000;
+  opts.pool.pool.client.read_timeout_ms = 2000;
+  opts.pool.pool.client.write_timeout_ms = 2000;
+  return opts;
+}
+
+uint64_t MetricCounter(const std::string& metrics, const std::string& name) {
+  size_t pos = metrics.find(name);
+  if (pos == std::string::npos) return 0;
+  pos += name.size();
+  while (pos < metrics.size() && metrics[pos] == ' ') pos++;
+  return std::stoull(metrics.substr(pos));
+}
+
+// ---------------------------------------------------------------------------
+// Hash ring
+
+TEST(HashRingTest, BalancedOwnershipAndDistinctReplicas) {
+  HashRing ring(RingOptions{});
+  for (const char* id : {"node-a", "node-b", "node-c", "node-d"}) {
+    ring.AddNode(id);
+  }
+  for (const auto& [id, share] : ring.OwnershipShares()) {
+    EXPECT_GT(share, 0.10) << id;
+    EXPECT_LT(share, 0.45) << id;
+  }
+  for (int k = 0; k < 100; k++) {
+    std::vector<std::string> replicas =
+        ring.ReplicasFor(std::to_string(k), 2);
+    ASSERT_EQ(replicas.size(), 2u);
+    EXPECT_NE(replicas[0], replicas[1]);
+    // Primary of the set is PrimaryFor.
+    EXPECT_EQ(replicas[0], ring.PrimaryFor(std::to_string(k)));
+  }
+  // Replica count clamps to membership.
+  EXPECT_EQ(ring.ReplicasFor("x", 9).size(), 4u);
+}
+
+TEST(HashRingTest, StableAcrossMembershipChanges) {
+  HashRing ring(RingOptions{});
+  for (const char* id : {"node-a", "node-b", "node-c", "node-d"}) {
+    ring.AddNode(id);
+  }
+  std::map<int, std::string> before;
+  for (int k = 0; k < 300; k++) before[k] = ring.PrimaryFor(std::to_string(k));
+
+  ring.RemoveNode("node-d");
+  int moved = 0;
+  for (int k = 0; k < 300; k++) {
+    std::string now = ring.PrimaryFor(std::to_string(k));
+    if (before[k] == "node-d") {
+      // Orphaned keys must land somewhere else...
+      EXPECT_NE(now, "node-d");
+      moved++;
+    } else {
+      // ...but keys owned by survivors must not move — the consistent-hash
+      // contract that makes membership churn cheap.
+      EXPECT_EQ(now, before[k]) << "key " << k;
+    }
+  }
+  EXPECT_GT(moved, 0);
+
+  // Re-adding restores the exact original mapping (points depend only on
+  // the member id, never on join order or current membership).
+  ring.AddNode("node-d");
+  for (int k = 0; k < 300; k++) {
+    EXPECT_EQ(ring.PrimaryFor(std::to_string(k)), before[k]);
+  }
+}
+
+TEST(HashRingTest, JoinOrderIrrelevant) {
+  HashRing a{RingOptions{}}, b{RingOptions{}};
+  for (const char* id : {"n0", "n1", "n2"}) a.AddNode(id);
+  for (const char* id : {"n2", "n0", "n1"}) b.AddNode(id);
+  for (int k = 0; k < 100; k++) {
+    EXPECT_EQ(a.ReplicasFor(std::to_string(k), 2),
+              b.ReplicasFor(std::to_string(k), 2));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client pool (satellite: independently tested unit)
+
+TEST(ClientPoolTest, ReusesIdleConnectionsAndCounts) {
+  InProcNode node = InProcNode::Start("pool-node");
+  server::ClientPoolOptions opts;
+  opts.max_idle = 2;
+  server::ClientPool pool("127.0.0.1", node.server->port(), opts);
+
+  {
+    auto lease = pool.Acquire();
+    ASSERT_TRUE(lease.ok());
+    auto r = (*lease)->RoundTrip("GET", "/healthz");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->status, 200);
+    // First request on a fresh connection: no reuse yet.
+    EXPECT_EQ((*lease)->client_stats().requests, 1u);
+    EXPECT_EQ((*lease)->client_stats().reuses, 0u);
+  }  // Lease returns the connection to the pool.
+  EXPECT_EQ(pool.idle_size(), 1u);
+
+  {
+    auto lease = pool.Acquire();
+    ASSERT_TRUE(lease.ok());
+    auto r = (*lease)->RoundTrip("GET", "/healthz");
+    ASSERT_TRUE(r.ok());
+    // Same connection came back: its second request counts as a reuse.
+    EXPECT_EQ((*lease)->client_stats().requests, 2u);
+    EXPECT_EQ((*lease)->client_stats().reuses, 1u);
+  }
+  auto stats = pool.pool_stats();
+  EXPECT_EQ(stats.acquires, 2u);
+  EXPECT_EQ(stats.dials, 1u);
+  EXPECT_EQ(stats.pool_hits, 1u);
+
+  node.server->Stop();
+}
+
+TEST(ClientPoolTest, EvictsOverCapAndStaleConnections) {
+  InProcNode node = InProcNode::Start("pool-node2");
+  const uint16_t port = node.server->port();
+  server::ClientPoolOptions opts;
+  opts.max_idle = 1;
+  server::ClientPool pool("127.0.0.1", port, opts);
+
+  {
+    // Two concurrent leases force a second dial; releasing both overflows
+    // max_idle = 1.
+    auto a = pool.Acquire();
+    auto b = pool.Acquire();
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE((*a)->RoundTrip("GET", "/healthz").ok());
+    ASSERT_TRUE((*b)->RoundTrip("GET", "/healthz").ok());
+  }
+  EXPECT_EQ(pool.idle_size(), 1u);
+  EXPECT_EQ(pool.pool_stats().dials, 2u);
+  EXPECT_EQ(pool.pool_stats().evicted_full, 1u);
+
+  // Kill the server: the pooled idle connection is now dead on the other
+  // end. Acquire must detect it (IdleConnectionAlive), evict, and fail the
+  // redial instead of handing out a corpse.
+  node.server->Stop();
+  auto lease = pool.Acquire();
+  EXPECT_FALSE(lease.ok());
+  EXPECT_GE(pool.pool_stats().evicted_stale, 1u);
+  EXPECT_EQ(pool.idle_size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// /healthz enrichment (satellite)
+
+TEST(HealthzTest, ReportsNodeIdShardsAndSuspension) {
+  InProcNode node = InProcNode::Start("healthz-node");
+  server::SimpleHttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", node.server->port()).ok());
+
+  auto r = client.RoundTrip("GET", "/healthz");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_NE(r->body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(r->body.find("\"node\":\"healthz-node\""), std::string::npos);
+  EXPECT_NE(r->body.find("\"suspended\":false"), std::string::npos);
+  EXPECT_NE(r->body.find("\"queue_depth_high_water\""), std::string::npos);
+
+  node.cluster->SuspendShard(0);
+  r = client.RoundTrip("GET", "/healthz");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->body.find("\"suspended\":true"), std::string::npos);
+  node.cluster->ResumeShard(0);
+
+  node.server->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Gateway end-to-end over in-process nodes
+
+class GatewayE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 3; i++) {
+      ids_.push_back("n" + std::to_string(i));
+      nodes_.push_back(InProcNode::Start(ids_.back()));
+    }
+    std::vector<NodeEndpoint> endpoints;
+    for (size_t i = 0; i < nodes_.size(); i++) {
+      endpoints.push_back(
+          NodeEndpoint{ids_[i], "127.0.0.1", nodes_[i].server->port()});
+    }
+    gateway_ =
+        std::make_unique<GatewayServer>(endpoints, FastGatewayOptions());
+    ASSERT_TRUE(gateway_->Start().ok());
+    ASSERT_TRUE(client_.Connect("127.0.0.1", gateway_->port()).ok());
+  }
+
+  void TearDown() override {
+    gateway_->Stop();
+    for (auto& node : nodes_) {
+      if (node.server) node.server->Stop();
+    }
+  }
+
+  InProcNode& NodeById(const std::string& id) {
+    for (size_t i = 0; i < ids_.size(); i++) {
+      if (ids_[i] == id) return nodes_[i];
+    }
+    ADD_FAILURE() << "no node " << id;
+    return nodes_[0];
+  }
+
+  uint64_t NodeModifyCount(const std::string& id) {
+    server::SimpleHttpClient c;
+    if (!c.Connect("127.0.0.1", NodeById(id).server->port()).ok()) return 0;
+    auto r = c.RoundTrip("GET", "/metrics");
+    if (!r.ok()) return 0;
+    return MetricCounter(r->body,
+                         "cbfww_route_requests_total{route=\"modify\"}");
+  }
+
+  std::vector<std::string> ids_;
+  std::vector<InProcNode> nodes_;
+  std::unique_ptr<GatewayServer> gateway_;
+  server::SimpleHttpClient client_;
+};
+
+TEST_F(GatewayE2eTest, RoutesReadsToPrimaryAndPropagatesIds) {
+  std::vector<std::string> replicas = gateway_->ReplicasForKey("5");
+  ASSERT_EQ(replicas.size(), 2u);
+
+  auto r = client_.RoundTrip("GET", "/page/5?user=1&session=1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  // The ring's primary answered, and said so.
+  EXPECT_EQ(r->Header("x-cbfww-served-by"), replicas[0]);
+  EXPECT_EQ(r->Header("x-cbfww-gateway-rung"), "primary");
+  // The node identified itself and the gateway stamped a request id.
+  EXPECT_EQ(r->Header("x-cbfww-node"), replicas[0]);
+  EXPECT_FALSE(r->Header("x-cbfww-request-id").empty());
+  EXPECT_EQ(gateway_->stats().request_ids_stamped.load(), 1u);
+
+  // A client-supplied id is propagated verbatim, not replaced.
+  r = client_.RoundTrip("GET", "/page/5?user=1&session=1", {},
+                        "X-Cbfww-Request-Id: trace-42\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Header("x-cbfww-request-id"), "trace-42");
+  EXPECT_EQ(gateway_->stats().request_ids_stamped.load(), 1u);
+  EXPECT_EQ(gateway_->stats().served_primary.load(), 2u);
+}
+
+TEST_F(GatewayE2eTest, ReadFailsOverToPeerThenRecovers) {
+  std::vector<std::string> replicas = gateway_->ReplicasForKey("7");
+  ASSERT_EQ(replicas.size(), 2u);
+  const std::string primary = replicas[0];
+  const std::string peer = replicas[1];
+
+  // Kill the primary (in-process stop = connection refused from now on).
+  NodeById(primary).server->Stop();
+
+  auto r = client_.RoundTrip("GET", "/page/7?user=1&session=1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_EQ(r->Header("x-cbfww-served-by"), peer);
+  EXPECT_EQ(r->Header("x-cbfww-gateway-rung"), "peer");
+  EXPECT_GE(gateway_->stats().peer_failovers.load(), 1u);
+  // Passive detection marked the primary down.
+  EXPECT_EQ(gateway_->pool().Health(primary), NodeHealth::kDown);
+
+  // Subsequent reads skip the corpse without paying a connect timeout.
+  r = client_.RoundTrip("GET", "/page/7?user=1&session=2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_EQ(r->Header("x-cbfww-served-by"), peer);
+}
+
+TEST_F(GatewayE2eTest, DegradedReplicaStillServesOnPeerRung) {
+  std::vector<std::string> replicas = gateway_->ReplicasForKey("9");
+  const std::string primary = replicas[0];
+  // A draining/overloaded (not dead) primary is kDegraded: still live,
+  // still serving — the ladder only reorders when a replica is down.
+  gateway_->pool().SetHealth(primary, NodeHealth::kDegraded);
+  auto r = client_.RoundTrip("GET", "/page/9?user=1&session=1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_EQ(r->Header("x-cbfww-served-by"), primary);
+}
+
+TEST_F(GatewayE2eTest, WriteThroughReplicatesToAllLiveNodes) {
+  // Warm page 0 on every node directly (not via the gateway, which would
+  // route it to one primary) so each holds a copy of its container raw.
+  const corpus::RawId raw =
+      nodes_[0].cluster->shard(0).corpus().page(0).container;
+  for (auto& node : nodes_) {
+    server::SimpleHttpClient direct;
+    ASSERT_TRUE(
+        direct.Connect("127.0.0.1", node.server->port()).ok());
+    auto warm = direct.RoundTrip("GET", "/page/0?user=1&session=1");
+    ASSERT_TRUE(warm.ok());
+    ASSERT_EQ(warm->status, 200);
+  }
+
+  std::map<std::string, uint64_t> before;
+  for (const std::string& id : ids_) before[id] = NodeModifyCount(id);
+  std::map<std::string, uint64_t> epoch_before;
+  auto shard_epochs = [](InProcNode& node) {
+    uint64_t total = 0;
+    for (uint32_t s = 0; s < node.cluster->num_shards(); s++) {
+      total += node.cluster->shard(s).data_epoch();
+    }
+    return total;
+  };
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    nodes_[i].cluster->Drain();
+    epoch_before[ids_[i]] = shard_epochs(nodes_[i]);
+  }
+
+  auto r = client_.RoundTrip(
+      "POST", "/modify/" + std::to_string(raw) + "?t=9000000");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 202);
+  EXPECT_NE(r->body.find("\"acked\":true"), std::string::npos);
+  EXPECT_NE(r->body.find("\"delivered\":3"), std::string::npos);
+  EXPECT_EQ(gateway_->stats().writes_acked.load(), 1u);
+
+  // Every node really received the modification (wire-level witness)...
+  for (const std::string& id : ids_) {
+    EXPECT_EQ(NodeModifyCount(id), before[id] + 1) << id;
+  }
+  // ...and applied it: the modification event reached every shard of
+  // every node (data_epoch advances once per applied event per shard —
+  // the in-process acknowledged-object witness).
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    nodes_[i].cluster->Drain();
+    EXPECT_GE(shard_epochs(nodes_[i]),
+              epoch_before[ids_[i]] + nodes_[i].cluster->num_shards())
+        << ids_[i];
+    // Re-materializing the page records the post-modification version:
+    // two generations of the container raw now exist on this node.
+    server::SimpleHttpClient direct;
+    ASSERT_TRUE(
+        direct.Connect("127.0.0.1", nodes_[i].server->port()).ok());
+    auto reread = direct.RoundTrip("GET", "/page/0?user=1&session=2");
+    ASSERT_TRUE(reread.ok());
+    ASSERT_EQ(reread->status, 200);
+    nodes_[i].cluster->Drain();
+    uint64_t generations = 0;
+    for (uint32_t s = 0; s < nodes_[i].cluster->num_shards(); s++) {
+      generations +=
+          nodes_[i].cluster->shard(s).versions().VersionsOf(raw).size();
+    }
+    EXPECT_GE(generations, 2u) << ids_[i];
+  }
+}
+
+TEST_F(GatewayE2eTest, UnreachableRequiredReplicaMeansNoAckPlusHint) {
+  // Find a raw id whose replica set contains a chosen victim.
+  const std::string victim = ids_[2];
+  int raw = -1;
+  for (int candidate = 0; candidate < 64; candidate++) {
+    std::vector<std::string> replicas =
+        gateway_->ReplicasForRaw(std::to_string(candidate));
+    if (std::find(replicas.begin(), replicas.end(), victim) !=
+        replicas.end()) {
+      raw = candidate;
+      break;
+    }
+  }
+  ASSERT_GE(raw, 0);
+  const uint16_t victim_port = NodeById(victim).server->port();
+  NodeById(victim).server->Stop();
+
+  std::string target = "/modify/" + std::to_string(raw) + "?t=1000000";
+  auto r = client_.RoundTrip("POST", target);
+  ASSERT_TRUE(r.ok());
+  // A required replica missed the write: the gateway must NOT acknowledge.
+  EXPECT_EQ(r->status, 503);
+  EXPECT_NE(r->body.find("\"acked\":false"), std::string::npos);
+  EXPECT_NE(r->body.find(victim), std::string::npos);
+  EXPECT_GE(gateway_->pool().PendingHints(victim), 1u);
+  EXPECT_EQ(gateway_->stats().writes_unacked.load(), 1u);
+
+  // Node recovery: restart on the same port, probe, hints replay.
+  uint64_t before = NodeModifyCount(victim);
+  (void)before;
+  NodeById(victim) = InProcNode::Start(victim, victim_port);
+  ASSERT_TRUE(gateway_->pool().ProbeOnce(victim).ok());
+  EXPECT_EQ(gateway_->pool().Health(victim), NodeHealth::kUp);
+  EXPECT_EQ(gateway_->pool().PendingHints(victim), 0u);
+  // The replayed hint landed as a real modification on the reborn node.
+  EXPECT_GE(NodeModifyCount(victim), 1u);
+}
+
+TEST_F(GatewayE2eTest, ReadRepairFlushesPrimaryHintsOnPeerHit) {
+  std::vector<std::string> replicas = gateway_->ReplicasForKey("3");
+  const std::string primary = replicas[0];
+  const uint16_t primary_port = NodeById(primary).server->port();
+  NodeById(primary).server->Stop();
+
+  // A write while the primary is down leaves a hint behind (the write
+  // itself may or may not ack depending on the raw key's replica set).
+  (void)client_.RoundTrip("POST", "/modify/2?t=1000000");
+  // Ensure the down node has at least one queued hint either way.
+  gateway_->pool().QueueHint(
+      primary, NodePool::Hint{"POST", "/modify/2?t=1000001", "", ""});
+  ASSERT_GE(gateway_->pool().PendingHints(primary), 1u);
+
+  // Primary comes back, but no probe has noticed yet (it is still marked
+  // down). A peer-rung read triggers read-repair: the hints flush now.
+  NodeById(primary) = InProcNode::Start(primary, primary_port);
+  auto r = client_.RoundTrip("GET", "/page/3?user=1&session=1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_NE(r->Header("x-cbfww-served-by"), primary);
+  EXPECT_GE(gateway_->stats().read_repairs.load(), 1u);
+  EXPECT_EQ(gateway_->pool().PendingHints(primary), 0u);
+}
+
+TEST_F(GatewayE2eTest, ScatterQueryMergesAllNodesWithErrorSlots) {
+  auto r = client_.RoundTrip("POST", "/query",
+                             "SELECT p.url FROM Physical_Page p");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_NE(r->body.find("\"nodes_ok\":3"), std::string::npos);
+  for (const std::string& id : ids_) {
+    EXPECT_NE(r->body.find("\"node\":\"" + id + "\""), std::string::npos);
+  }
+
+  // One node down: the scatter degrades to a partial answer with an
+  // explicit per-node error slot, not a total failure.
+  NodeById(ids_[1]).server->Stop();
+  r = client_.RoundTrip("POST", "/query", "SELECT p.url FROM Physical_Page p");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_NE(r->body.find("\"nodes_ok\":2"), std::string::npos);
+  EXPECT_NE(r->body.find("\"ok\":false"), std::string::npos);
+  EXPECT_GE(gateway_->stats().scatter_node_errors.load(), 1u);
+
+  // Malformed OQL is the client's fault on every node: 400, not 503.
+  r = client_.RoundTrip("POST", "/query", "NOT A QUERY");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 400);
+}
+
+TEST_F(GatewayE2eTest, NodeLeaveHandsOffOwnershipAndJoinRestoresIt) {
+  // Membership before: every node owns some keys.
+  std::map<int, std::string> before;
+  for (int k = 0; k < 100; k++) {
+    before[k] = gateway_->ReplicasForKey(std::to_string(k))[0];
+  }
+  const std::string leaver = ids_[0];
+
+  // Maintenance window on the leaver: suspend its shards (the handoff
+  // protocol), then leave.
+  for (uint32_t s = 0; s < SmallCluster().num_shards; s++) {
+    NodeById(leaver).cluster->SuspendShard(s);
+  }
+  ASSERT_TRUE(gateway_->NodeLeave(leaver).ok());
+  EXPECT_EQ(gateway_->pool().Health(leaver), NodeHealth::kLeft);
+
+  // Its keyspace handed off to ring successors; reads keep working.
+  for (int k = 0; k < 100; k++) {
+    std::string owner = gateway_->ReplicasForKey(std::to_string(k))[0];
+    EXPECT_NE(owner, leaver);
+    if (before[k] != leaver) {
+      EXPECT_EQ(owner, before[k]) << "survivor ownership moved for key " << k;
+    }
+  }
+  auto r = client_.RoundTrip("GET", "/page/4?user=1&session=1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_NE(r->Header("x-cbfww-served-by"), leaver);
+
+  // Rejoin (resume shards first — recovery of a real node would replay
+  // durable state here), probe brings it up, ownership restored exactly.
+  for (uint32_t s = 0; s < SmallCluster().num_shards; s++) {
+    NodeById(leaver).cluster->ResumeShard(s);
+  }
+  ASSERT_TRUE(gateway_->NodeJoin(leaver).ok());
+  EXPECT_EQ(gateway_->pool().Health(leaver), NodeHealth::kUp);
+  for (int k = 0; k < 100; k++) {
+    EXPECT_EQ(gateway_->ReplicasForKey(std::to_string(k))[0], before[k]);
+  }
+}
+
+TEST_F(GatewayE2eTest, AdminRoutesExposeFleetState) {
+  auto r = client_.RoundTrip("GET", "/admin/nodes");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  for (const std::string& id : ids_) {
+    EXPECT_NE(r->body.find("\"node\":\"" + id + "\""), std::string::npos);
+  }
+  EXPECT_NE(r->body.find("\"replication\":2"), std::string::npos);
+  EXPECT_NE(r->body.find("\"health\":\"up\""), std::string::npos);
+
+  r = client_.RoundTrip("GET", "/healthz");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_NE(r->body.find("\"role\":\"gateway\""), std::string::npos);
+  EXPECT_NE(r->body.find("\"live_nodes\":3"), std::string::npos);
+
+  r = client_.RoundTrip("GET", "/metrics");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_NE(r->body.find("cbfww_gateway_up 1"), std::string::npos);
+  EXPECT_NE(r->body.find("cbfww_gateway_node_health"), std::string::npos);
+
+  r = client_.RoundTrip("GET", "/nope");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 404);
+}
+
+TEST_F(GatewayE2eTest, AllNodesDownYields503WithRequestId) {
+  for (auto& node : nodes_) node.server->Stop();
+  // First read pays the transport failures and marks everything down.
+  auto r = client_.RoundTrip("GET", "/page/1?user=1&session=1", {},
+                             "X-Cbfww-Request-Id: doomed-1\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 503);
+  EXPECT_NE(r->body.find("doomed-1"), std::string::npos);
+  EXPECT_FALSE(r->Header("retry-after").empty());
+  // Second read short-circuits: no live candidates at all.
+  r = client_.RoundTrip("GET", "/page/1?user=1&session=1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 503);
+  EXPECT_GE(gateway_->stats().unavailable.load(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Forked node process (the real-failure harness)
+
+TEST(NodeProcessTest, ForkedNodeServesThenDiesForReal) {
+  NodeProcessOptions nopts;
+  nopts.node_id = "forked-0";
+  nopts.corpus = SmallCorpus();
+  nopts.cluster = SmallCluster();
+  auto spawned = NodeProcess::Spawn(nopts);
+  ASSERT_TRUE(spawned.ok()) << spawned.status().ToString();
+  NodeProcess node = std::move(*spawned);
+  ASSERT_GT(node.port(), 0);
+
+  GatewayOptions gopts = FastGatewayOptions();
+  gopts.replication = 1;
+  GatewayServer gateway(
+      {NodeEndpoint{"forked-0", "127.0.0.1", node.port()}}, gopts);
+  ASSERT_TRUE(gateway.Start().ok());
+  server::SimpleHttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", gateway.port()).ok());
+
+  auto r = client.RoundTrip("GET", "/page/2?user=1&session=1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_EQ(r->Header("x-cbfww-node"), "forked-0");
+
+  // SIGKILL: the whole process vanishes, mid-connection. No in-process
+  // Stop() can fake this.
+  node.Kill();
+  r = client.RoundTrip("GET", "/page/2?user=1&session=2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 503);
+  EXPECT_EQ(gateway.pool().Health("forked-0"), NodeHealth::kDown);
+
+  gateway.Stop();
+}
+
+}  // namespace
+}  // namespace cbfww::gateway

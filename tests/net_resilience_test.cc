@@ -424,7 +424,7 @@ TEST(ConnLifecycleTest, HighWaterReapsColdestIdleConnectionFirst) {
     // next connects (fixes the LIFO order the test asserts).
     std::string r;
     char buf[512];
-    while (r.find("ok\n") == std::string::npos) {
+    while (r.find("\"status\":\"ok\"") == std::string::npos) {
       pollfd p{conn->fd, POLLIN, 0};
       ASSERT_GT(::poll(&p, 1, 5000), 0);
       ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
@@ -824,6 +824,64 @@ TEST(ClientRetryTest, InjectedConnectResetsExhaustRetryBudget) {
   EXPECT_FALSE(response.ok());
   EXPECT_EQ(client.client_stats().retries, 2u);  // max_attempts - 1.
   EXPECT_GE(client.client_stats().injected_faults, 3u);
+}
+
+TEST(ClientReuseTest, SequentialRequestsReuseOneConnection) {
+  WarehouseCluster cluster(SmallCorpus(), std::nullopt, SmallCluster(1));
+  HttpServer server(&cluster, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  SimpleHttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  for (int i = 0; i < 5; ++i) {
+    auto r = client.RoundTrip(
+        "GET", "/page/" + std::to_string(i) + "?t=" +
+                   std::to_string((i + 1) * kSecond));
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->status, 200);
+  }
+  // One dial, five requests: four rode the kept-alive connection.
+  EXPECT_EQ(client.client_stats().requests, 5u);
+  EXPECT_EQ(client.client_stats().reuses, 4u);
+  EXPECT_EQ(client.client_stats().reconnects, 0u);
+  // The server agrees there was exactly one connection.
+  EXPECT_EQ(server.stats().connections_accepted.load(), 1u);
+  server.Stop();
+}
+
+TEST(ClientRetryTest, ReconnectsWhenServerDiesBetweenRequests) {
+  WarehouseCluster cluster(SmallCorpus(), std::nullopt, SmallCluster(1));
+  HttpServer first(&cluster, ServerOptions{});
+  ASSERT_TRUE(first.Start().ok());
+  const uint16_t port = first.port();
+
+  ClientOptions opts;
+  opts.retry.max_attempts = 4;
+  opts.retry.initial_backoff_ms = 10;
+  SimpleHttpClient client(opts);
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  auto r = client.RoundTripWithRetry(
+      "GET", "/page/1?t=" + std::to_string(kSecond));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+
+  // The server dies wholesale between requests; a replacement comes up on
+  // the same port (SO_REUSEADDR). The client's next round trip finds its
+  // cached connection dead, reconnects, and succeeds — no caller-visible
+  // error.
+  first.Stop();
+  WarehouseCluster cluster2(SmallCorpus(), std::nullopt, SmallCluster(1));
+  ServerOptions sopts;
+  sopts.port = port;
+  HttpServer second(&cluster2, sopts);
+  ASSERT_TRUE(second.Start().ok());
+
+  r = client.RoundTripWithRetry("GET",
+                                "/page/2?t=" + std::to_string(2 * kSecond));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->status, 200);
+  EXPECT_GE(client.client_stats().reconnects, 1u);
+  second.Stop();
 }
 
 // ----- Degraded serving over the wire -----
